@@ -1,0 +1,67 @@
+//! GA training-data generation (Figure 3) and OPM hardware generation /
+//! co-simulation (Figures 8, 15b) benchmarks.
+
+use apollo_bench::{Pipeline, PipelineConfig};
+use apollo_core::benchgen::{run_ga, GaConfig};
+use apollo_core::SelectionPenalty;
+use apollo_opm::{build_opm, opm_gate_area, QuantizedOpm};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+
+static PIPE: OnceLock<Pipeline> = OnceLock::new();
+
+fn pipe() -> &'static Pipeline {
+    PIPE.get_or_init(|| Pipeline::new(PipelineConfig::quick()))
+}
+
+fn bench_ga(c: &mut Criterion) {
+    let p = pipe();
+    let mut g = c.benchmark_group("ga");
+    g.sample_size(10);
+    g.bench_function("one_generation_pop8", |b| {
+        b.iter(|| {
+            run_ga(
+                &p.ctx,
+                &GaConfig {
+                    population: 8,
+                    generations: 1,
+                    body_len_min: 10,
+                    body_len_max: 32,
+                    reps: 4,
+                    warmup: 150,
+                    fitness_cycles: 150,
+                    threads: 1,
+                    ..GaConfig::default()
+                },
+            )
+            .individuals
+            .len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_opm(c: &mut Criterion) {
+    let p = pipe();
+    let model = p.model(16, SelectionPenalty::Mcp { gamma: 10.0 }).model;
+    let quant = QuantizedOpm::from_model(&model, 10, 8);
+    let bench = apollo_cpu::benchmarks::maxpwr_cpu();
+    let proxy = p.ctx.capture_bits(&bench, &model.bits(), 256, 150);
+
+    let mut g = c.benchmark_group("opm");
+    g.bench_function("build_hardware", |b| {
+        b.iter(|| opm_gate_area(&build_opm(&quant)))
+    });
+    let hw = build_opm(&quant);
+    g.bench_function("cosim_256_cycles", |b| {
+        b.iter(|| hw.cosim(&proxy.toggles).windows.len())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ga, bench_opm
+}
+criterion_main!(benches);

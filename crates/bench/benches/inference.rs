@@ -1,0 +1,53 @@
+//! §8.1: per-cycle inference throughput of APOLLO versus the
+//! all-signals baselines, on identical traces.
+
+use apollo_bench::{Pipeline, PipelineConfig};
+use apollo_core::baselines::{train_primal, PrimalOptions};
+use apollo_core::SelectionPenalty;
+use apollo_mlkit::MlpOptions;
+use apollo_opm::QuantizedOpm;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::OnceLock;
+
+static PIPE: OnceLock<Pipeline> = OnceLock::new();
+
+fn pipe() -> &'static Pipeline {
+    PIPE.get_or_init(|| Pipeline::new(PipelineConfig::quick()))
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let p = pipe();
+    let model = p.model(16, SelectionPenalty::Mcp { gamma: 10.0 }).model;
+    let test = p.test_trace();
+    let cycles = test.n_cycles() as u64;
+
+    let mut g = c.benchmark_group("inference");
+    g.throughput(Throughput::Elements(cycles));
+    g.bench_function("apollo_linear", |b| {
+        b.iter(|| model.predict_full(&test.toggles).len())
+    });
+    let quant = QuantizedOpm::from_model(&model, 10, 8);
+    g.bench_function("apollo_opm_fixed_point", |b| {
+        b.iter(|| quant.window_outputs(&test.toggles).len())
+    });
+    let primal = train_primal(
+        p.train_trace(),
+        p.feature_space(),
+        &PrimalOptions {
+            hash_dim: 128,
+            mlp: MlpOptions { hidden: vec![32], epochs: 2, ..MlpOptions::default() },
+            ..PrimalOptions::default()
+        },
+    );
+    g.bench_function("primal_nn_all_signals", |b| {
+        b.iter(|| primal.predict(&test.toggles, &p.feature_space().reps).len())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 11 infrastructure: APOLLO-tau training on interval-averaged
+//! features and Eq. (9) window inference.
+
+use apollo_bench::{Pipeline, PipelineConfig};
+use apollo_core::{train_tau, TrainOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+
+static PIPE: OnceLock<Pipeline> = OnceLock::new();
+
+fn pipe() -> &'static Pipeline {
+    PIPE.get_or_init(|| Pipeline::new(PipelineConfig::quick()))
+}
+
+fn bench_multicycle(c: &mut Criterion) {
+    let p = pipe();
+    let mut g = c.benchmark_group("multicycle");
+    g.bench_function("train_tau8_q12", |b| {
+        b.iter(|| {
+            train_tau(
+                p.train_trace(),
+                p.ctx.netlist(),
+                p.feature_space(),
+                8,
+                &TrainOptions { q_target: 12, ..TrainOptions::default() },
+            )
+            .q()
+        })
+    });
+    let tau = train_tau(
+        p.train_trace(),
+        p.ctx.netlist(),
+        p.feature_space(),
+        8,
+        &TrainOptions { q_target: 12, ..TrainOptions::default() },
+    );
+    let test = p.test_trace();
+    g.bench_function("predict_windows_t32", |b| {
+        b.iter(|| tau.predict_windows(&test.toggles, 32).len())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_multicycle
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Proxy-selection benchmarks: MCP vs Lasso coordinate descent on real
+//! toggle data (the training cost the paper reports as "within three
+//! hours"; here: seconds).
+
+use apollo_bench::{Pipeline, PipelineConfig};
+use apollo_core::{train_per_cycle, SelectionPenalty, TrainOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+
+static PIPE: OnceLock<Pipeline> = OnceLock::new();
+
+fn pipe() -> &'static Pipeline {
+    PIPE.get_or_init(|| {
+        let p = Pipeline::new(PipelineConfig::quick());
+        p.train_trace();
+        p.feature_space();
+        p
+    })
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let p = pipe();
+    let mut g = c.benchmark_group("selection");
+    for (name, penalty) in [
+        ("mcp_q16", SelectionPenalty::Mcp { gamma: 10.0 }),
+        ("lasso_q16", SelectionPenalty::Lasso),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                train_per_cycle(
+                    p.train_trace(),
+                    p.ctx.netlist(),
+                    p.feature_space(),
+                    &TrainOptions {
+                        q_target: 16,
+                        penalty,
+                        ..TrainOptions::default()
+                    },
+                )
+                .model
+                .q()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_selection
+}
+criterion_main!(benches);

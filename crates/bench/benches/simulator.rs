@@ -1,0 +1,51 @@
+//! Substrate benchmarks: RTL simulation, toggle capture and ground-truth
+//! power throughput (the costs behind every experiment; paper §7.1
+//! infrastructure).
+
+use apollo_cpu::{benchmarks, build_cpu, CpuConfig, CpuSim};
+use apollo_rtl::CapModel;
+use apollo_sim::{PowerConfig, TraceCapture};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn bench_simulator(c: &mut Criterion) {
+    let handles = build_cpu(&CpuConfig::tiny()).unwrap();
+    let cap = CapModel::default().annotate(&handles.netlist);
+    let bench = benchmarks::maxpwr_cpu();
+
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(500));
+    g.bench_function("cycles_500_tiny", |b| {
+        b.iter_batched(
+            || CpuSim::new(&handles, &cap, PowerConfig::default(), &bench.program, &bench.data),
+            |mut sim| {
+                for _ in 0..500 {
+                    sim.step();
+                }
+                sim.sim().power().total
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("capture_500_tiny", |b| {
+        b.iter_batched(
+            || CpuSim::new(&handles, &cap, PowerConfig::default(), &bench.program, &bench.data),
+            |mut sim| {
+                let mut tc = TraceCapture::all(&handles.netlist, 500);
+                tc.record(sim.sim_mut(), 500, "w");
+                tc.finish().n_cycles()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("build_cpu_tiny", |b| {
+        b.iter(|| build_cpu(&CpuConfig::tiny()).unwrap().netlist.len())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator
+}
+criterion_main!(benches);

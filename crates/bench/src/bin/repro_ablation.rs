@@ -1,0 +1,12 @@
+//! Ablation study of APOLLO's design choices (relaxation, MCP γ,
+//! non-negativity, nonlinear heads).
+
+use apollo_bench::{experiments as ex, Pipeline, PipelineConfig};
+
+fn main() {
+    let quick = std::env::var("APOLLO_QUICK").is_ok();
+    let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::neoverse() };
+    let q = if quick { 16 } else { 159 };
+    let p = Pipeline::new(cfg);
+    ex::ablation(&p, q);
+}

@@ -1,0 +1,47 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage: `cargo run --release -p apollo-bench --bin repro_all`
+//! Set `APOLLO_QUICK=1` for a fast smoke run on the tiny design.
+
+use apollo_bench::{experiments as ex, Pipeline, PipelineConfig};
+
+fn main() {
+    let quick = std::env::var("APOLLO_QUICK").is_ok();
+    let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::neoverse() };
+    let p = Pipeline::new(cfg);
+
+    ex::table4(&p);
+    ex::table5();
+    ex::fig3(&p);
+    ex::fig9(&p);
+    let q_sweep: Vec<usize> = if quick { vec![8, 16, 32] } else { vec![25, 50, 100, 159, 250, 400] };
+    ex::fig10(&p, &q_sweep, "10");
+    if quick {
+        ex::fig11(&p, 12, 24);
+        ex::fig13_14(&p, 16);
+    } else {
+        ex::fig11(&p, 100, 200);
+        ex::fig13_14(&p, 159);
+    }
+    ex::fig15a(&p);
+    let (qs, bs): (Vec<usize>, Vec<u8>) = if quick {
+        (vec![8, 16], vec![6, 10])
+    } else {
+        (vec![40, 80, 159, 300], vec![6, 8, 10, 12])
+    };
+    ex::fig15b(&p, &qs, &bs);
+    ex::fig16(&p, if quick { 5_000 } else { 1_000_000 });
+    ex::fig17(&p);
+    ex::table1(&p);
+    ex::table3(&p);
+    ex::speed(&p);
+    ex::ablation(&p, if quick { 16 } else { 159 });
+
+    // Figure 12: the Cortex-like design.
+    let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::cortex() };
+    let p2 = Pipeline::new(cfg);
+    let q_sweep2: Vec<usize> = if quick { vec![8, 16] } else { vec![50, 100, 200, 300, 500] };
+    ex::fig10(&p2, &q_sweep2, "12");
+
+    println!("\nAll experiments complete; JSON results under results/.");
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 10 (accuracy vs Q on the Neoverse-like design).
+
+use apollo_bench::{experiments as ex, Pipeline, PipelineConfig};
+
+fn main() {
+    let quick = std::env::var("APOLLO_QUICK").is_ok();
+    let (cfg, targets): (PipelineConfig, Vec<usize>) = if quick {
+        (PipelineConfig::quick(), vec![8, 16, 32])
+    } else {
+        (PipelineConfig::neoverse(), vec![25, 50, 100, 159, 250, 400])
+    };
+    let p = Pipeline::new(cfg);
+    ex::fig10(&p, &targets, "10");
+}

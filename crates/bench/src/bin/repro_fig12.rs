@@ -1,0 +1,14 @@
+//! Regenerates Figure 12 (accuracy vs Q on the Cortex-like design).
+
+use apollo_bench::{experiments as ex, Pipeline, PipelineConfig};
+
+fn main() {
+    let quick = std::env::var("APOLLO_QUICK").is_ok();
+    let (cfg, targets): (PipelineConfig, Vec<usize>) = if quick {
+        (PipelineConfig::quick(), vec![8, 16])
+    } else {
+        (PipelineConfig::cortex(), vec![50, 100, 200, 300, 500])
+    };
+    let p = Pipeline::new(cfg);
+    ex::fig10(&p, &targets, "12");
+}

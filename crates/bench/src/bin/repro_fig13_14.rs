@@ -1,0 +1,11 @@
+//! Regenerates Figures 13 and 14 (weight mass and VIF comparisons).
+
+use apollo_bench::{experiments as ex, Pipeline, PipelineConfig};
+
+fn main() {
+    let quick = std::env::var("APOLLO_QUICK").is_ok();
+    let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::neoverse() };
+    let q = if quick { 16 } else { 159 };
+    let p = Pipeline::new(cfg);
+    ex::fig13_14(&p, q);
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's fig15a experiment (see repro_all for the
+//! full suite). Set `APOLLO_QUICK=1` for a smoke run.
+
+use apollo_bench::{experiments as ex, Pipeline, PipelineConfig};
+
+fn main() {
+    let quick = std::env::var("APOLLO_QUICK").is_ok();
+    let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::neoverse() };
+    let p = Pipeline::new(cfg);
+    ex::fig15a(&p);
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 15(b) (OPM area/accuracy trade-off).
+
+use apollo_bench::{experiments as ex, Pipeline, PipelineConfig};
+
+fn main() {
+    let quick = std::env::var("APOLLO_QUICK").is_ok();
+    let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::neoverse() };
+    let (qs, bs): (Vec<usize>, Vec<u8>) = if quick {
+        (vec![8, 16], vec![6, 10])
+    } else {
+        (vec![40, 80, 159, 300], vec![6, 8, 10, 12])
+    };
+    let p = Pipeline::new(cfg);
+    ex::fig15b(&p, &qs, &bs);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 16 (emulator-assisted long-trace flow).
+
+use apollo_bench::{experiments as ex, Pipeline, PipelineConfig};
+
+fn main() {
+    let quick = std::env::var("APOLLO_QUICK").is_ok();
+    let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::neoverse() };
+    let cycles = if quick { 5_000 } else { 1_000_000 };
+    let p = Pipeline::new(cfg);
+    ex::fig16(&p, cycles);
+}

@@ -1,0 +1,105 @@
+//! Multi-core SoC power introspection (paper §1: design-time analysis of
+//! "the simultaneous execution of multiple CPU cores"): one APOLLO model
+//! for a dual-core die, trained on concurrent random workloads and
+//! tested on concurrent handcrafted kernels.
+
+use apollo_bench::pipeline::{progress, save_json};
+use apollo_core::benchgen::training_data_pattern;
+use apollo_core::{train_per_cycle, FeatureSpace, SelectionPenalty, TrainOptions};
+use apollo_cpu::benchmarks::random::{random_body, wrap_body, GenWeights};
+use apollo_cpu::{benchmarks, build_soc, CpuConfig, SocConfig, SocSim};
+use apollo_mlkit::metrics;
+use apollo_sim::TraceCapture;
+
+fn main() {
+    let quick = std::env::var("APOLLO_QUICK").is_ok();
+    let core = CpuConfig::tiny();
+    let soc = build_soc(&SocConfig::homogeneous("duo", core.clone(), 2)).unwrap();
+    progress(&format!(
+        "dual-core SoC: {} nodes, M = {} signal bits",
+        soc.netlist.len(),
+        soc.netlist.signal_bits()
+    ));
+
+    let (pairs, cycles_each, q) = if quick { (6, 250, 24) } else { (24, 400, 48) };
+    let data = training_data_pattern(core.dram_words as usize);
+    let w = GenWeights::default();
+
+    // Training: concurrent pairs of random programs.
+    let mut capture = TraceCapture::all(&soc.netlist, pairs * cycles_each);
+    for seed in 0..pairs as u64 {
+        let p0 = wrap_body(&random_body(seed * 2, 60, &w), 10);
+        let p1 = wrap_body(&random_body(seed * 2 + 1, 60, &w), 10);
+        let workloads = vec![(p0, data.clone()), (p1, data.clone())];
+        let (_cap, mut sim) = SocSim::with_defaults(&soc, &workloads);
+        for _ in 0..150 {
+            sim.sim_mut().step();
+        }
+        capture.record(sim.sim_mut(), cycles_each, &format!("pair{seed}"));
+    }
+    let trace = capture.finish();
+    let fs = FeatureSpace::build(&trace.toggles);
+    progress(&format!(
+        "training: {} cycles, {} candidates",
+        trace.n_cycles(),
+        fs.n_candidates()
+    ));
+    let model = train_per_cycle(
+        &trace,
+        &soc.netlist,
+        &fs,
+        &TrainOptions {
+            q_target: q,
+            penalty: SelectionPenalty::Mcp { gamma: 10.0 },
+            ..TrainOptions::default()
+        },
+    )
+    .model;
+
+    // Test: asymmetric concurrent kernels (vector-heavy + memory-heavy).
+    let b0 = benchmarks::maxpwr_cpu();
+    let b1 = benchmarks::memcpy_l2(&core);
+    let workloads = vec![(b0.program, b0.data), (b1.program, b1.data)];
+    let (_cap, mut sim) = SocSim::with_defaults(&soc, &workloads);
+    for _ in 0..150 {
+        sim.sim_mut().step();
+    }
+    let test_cycles = if quick { 800 } else { 1_500 };
+    let mut capture = TraceCapture::all(&soc.netlist, test_cycles);
+    capture.record(sim.sim_mut(), test_cycles, "concurrent");
+    let test = capture.finish();
+
+    let pred = model.predict_full(&test.toggles);
+    let y = test.labels();
+    let r2 = metrics::r2(&y, &pred);
+    let nrmse = metrics::nrmse(&y, &pred);
+
+    // Per-core attribution by flat-bit ranges.
+    let (mut c0, mut c1) = (0usize, 0usize);
+    for p in &model.proxies {
+        if soc.core_bit_ranges[0].contains(&p.bit) {
+            c0 += 1;
+        } else if soc.core_bit_ranges[1].contains(&p.bit) {
+            c1 += 1;
+        }
+    }
+
+    println!("\n== Multi-core SoC power introspection (2x tiny cores) ==");
+    println!(
+        "  M = {} bits, Q = {} proxies (core0: {c0}, core1: {c1})",
+        model.m_bits,
+        model.q()
+    );
+    println!(
+        "  concurrent asymmetric test: R2 = {r2:.3}, NRMSE = {:.1}%",
+        100.0 * nrmse
+    );
+    save_json(
+        "soc_multicore",
+        &serde_json::json!({
+            "m_bits": model.m_bits, "q": model.q(),
+            "proxies_core0": c0, "proxies_core1": c1,
+            "r2": r2, "nrmse": nrmse,
+        }),
+    );
+}

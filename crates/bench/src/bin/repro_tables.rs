@@ -1,0 +1,13 @@
+//! Regenerates Tables 1, 3, 4 and 5.
+
+use apollo_bench::{experiments as ex, Pipeline, PipelineConfig};
+
+fn main() {
+    let quick = std::env::var("APOLLO_QUICK").is_ok();
+    let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::neoverse() };
+    let p = Pipeline::new(cfg);
+    ex::table4(&p);
+    ex::table5();
+    ex::table1(&p);
+    ex::table3(&p);
+}

@@ -1,0 +1,952 @@
+//! One function per paper table/figure, each returning a serializable
+//! result and printing the corresponding rows/series.
+
+use crate::pipeline::{progress, save_json, Pipeline};
+use apollo_core::baselines::{
+    train_pca, train_primal, train_simmani, train_simmani_window, PrimalOptions, SimmaniOptions,
+};
+use apollo_core::{
+    run_emulator_flow, train_per_cycle_multi, train_tau, window_average, window_nrmse,
+    SelectionPenalty, TraceDesign, TrainOptions,
+};
+use apollo_mlkit::metrics::{self, mean_vif};
+use apollo_mlkit::MlpOptions;
+use apollo_opm::droop::{mitigate, DroopAnalysis, PdnModel};
+use apollo_opm::structure::{table3 as opm_table3, verify_apollo_structure, MonitorStructure};
+use apollo_opm::{build_opm, AreaReport, QuantizedOpm};
+use std::collections::BTreeMap;
+
+/// Accuracy triple used throughout.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct Accuracy {
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Normalized RMSE.
+    pub nrmse: f64,
+    /// Normalized MAE.
+    pub nmae: f64,
+}
+
+impl Accuracy {
+    /// Computes all three metrics.
+    pub fn of(y: &[f64], pred: &[f64]) -> Accuracy {
+        Accuracy {
+            r2: metrics::r2(y, pred),
+            nrmse: metrics::nrmse(y, pred),
+            nmae: metrics::nmae(y, pred),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 3(b): GA training-data generation
+// ---------------------------------------------------------------------
+
+/// Figure 3(b) data: per-generation power samples.
+#[derive(Debug, serde::Serialize)]
+pub struct Fig3 {
+    /// (generation, average power) for every individual.
+    pub samples: Vec<(usize, f64)>,
+    /// Best power per generation (the envelope).
+    pub best_per_gen: Vec<f64>,
+    /// max/min power ratio over all individuals.
+    pub spread: f64,
+}
+
+/// Runs the Figure 3(b) experiment.
+pub fn fig3(p: &Pipeline) -> Fig3 {
+    let ga = p.ga();
+    let out = Fig3 {
+        samples: ga
+            .individuals
+            .iter()
+            .map(|i| (i.generation, i.avg_power))
+            .collect(),
+        best_per_gen: ga.best_per_gen.clone(),
+        spread: ga.power_spread(),
+    };
+    println!("\n== Figure 3(b): GA-generated training benchmarks ==");
+    println!(
+        "individuals: {}   power spread (max/min): {:.2}x   (paper: > 5x)",
+        out.samples.len(),
+        out.spread
+    );
+    let gens = ga.best_per_gen.len();
+    for g in [0, gens / 2, gens - 1] {
+        println!("  generation {:>3}: best power {:.1}", g, ga.best_per_gen[g]);
+    }
+    save_json("fig3_ga", &out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 9: detailed evaluation of the headline model
+// ---------------------------------------------------------------------
+
+/// Figure 9 data.
+#[derive(Debug, serde::Serialize)]
+pub struct Fig9 {
+    /// Proxy count of the evaluated model.
+    pub q: usize,
+    /// Overall test-set accuracy.
+    pub overall: Accuracy,
+    /// Mean ground-truth and predicted power (the paper's unbiasedness
+    /// check: 16.9 vs 16.8, 0.6% apart).
+    pub mean_truth: f64,
+    /// Mean predicted power.
+    pub mean_pred: f64,
+    /// Per-benchmark (name, cycles, accuracy).
+    pub per_benchmark: Vec<(String, usize, Accuracy)>,
+    /// A short excerpt of (truth, prediction) pairs for plotting.
+    pub excerpt: Vec<(f64, f64)>,
+}
+
+/// Runs the Figure 9 experiment with the headline model.
+pub fn fig9(p: &Pipeline) -> Fig9 {
+    let model = p.main_model();
+    let test = p.test_trace();
+    let y = test.labels();
+    let pred = model.predict_full(&test.toggles);
+    let overall = Accuracy::of(&y, &pred);
+    let mut per_benchmark = Vec::new();
+    for (name, range) in &test.segments {
+        let acc = Accuracy::of(&y[range.clone()], &pred[range.clone()]);
+        per_benchmark.push((name.clone(), range.len(), acc));
+    }
+    let excerpt: Vec<(f64, f64)> = y
+        .iter()
+        .zip(&pred)
+        .take(2000)
+        .map(|(a, b)| (*a, *b))
+        .collect();
+    let out = Fig9 {
+        q: model.q(),
+        overall,
+        mean_truth: y.iter().sum::<f64>() / y.len() as f64,
+        mean_pred: pred.iter().sum::<f64>() / pred.len() as f64,
+        per_benchmark,
+        excerpt,
+    };
+    println!("\n== Figure 9: per-cycle evaluation (Q = {}) ==", out.q);
+    println!(
+        "overall: R2 = {:.3}  NRMSE = {:.1}%  NMAE = {:.1}%   (paper: R2 0.95, NRMSE 9.4%)",
+        out.overall.r2,
+        100.0 * out.overall.nrmse,
+        100.0 * out.overall.nmae
+    );
+    println!(
+        "mean power: truth {:.1} vs predicted {:.1} ({:+.2}%)",
+        out.mean_truth,
+        out.mean_pred,
+        100.0 * (out.mean_pred - out.mean_truth) / out.mean_truth
+    );
+    for (name, cycles, acc) in &out.per_benchmark {
+        println!(
+            "  {:<14} {:>5} cycles   NRMSE {:>5.1}%  NMAE {:>5.1}%",
+            name,
+            cycles,
+            100.0 * acc.nrmse,
+            100.0 * acc.nmae
+        );
+    }
+    save_json("fig9_eval", &out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figures 10 / 12: accuracy vs Q across methods
+// ---------------------------------------------------------------------
+
+/// One accuracy-vs-Q series.
+#[derive(Debug, serde::Serialize)]
+pub struct QSeries {
+    /// Method name.
+    pub method: String,
+    /// (Q, accuracy) points.
+    pub points: Vec<(usize, Accuracy)>,
+}
+
+/// Figure 10/12 data.
+#[derive(Debug, serde::Serialize)]
+pub struct Fig10 {
+    /// Design name.
+    pub design: String,
+    /// Total signal bits M.
+    pub m_bits: usize,
+    /// Sweeping methods (APOLLO, Lasso, Simmani).
+    pub series: Vec<QSeries>,
+    /// PRIMAL-NN horizontal line (uses all signals).
+    pub primal: Accuracy,
+    /// PCA horizontal line (uses all signals).
+    pub pca: Accuracy,
+}
+
+/// Runs the accuracy-vs-Q sweep on a pipeline.
+pub fn fig10(p: &Pipeline, q_targets: &[usize], label: &str) -> Fig10 {
+    let test = p.test_trace();
+    let y = test.labels();
+    let fs = p.feature_space();
+
+    let mut series = Vec::new();
+    for (name, penalty) in [
+        ("APOLLO (MCP)", SelectionPenalty::Mcp { gamma: 10.0 }),
+        ("Lasso [53]", SelectionPenalty::Lasso),
+    ] {
+        progress(&format!("fig10[{label}]: sweeping {name}"));
+        let models = train_per_cycle_multi(
+            p.train_trace(),
+            p.ctx.netlist(),
+            fs,
+            q_targets,
+            &TrainOptions {
+                penalty,
+                ..TrainOptions::default()
+            },
+        );
+        let points = models
+            .iter()
+            .map(|m| {
+                let pred = m.model.predict_full(&test.toggles);
+                (m.model.q(), Accuracy::of(&y, &pred))
+            })
+            .collect();
+        series.push(QSeries {
+            method: name.into(),
+            points,
+        });
+    }
+
+    // Simmani sweep.
+    progress(&format!("fig10[{label}]: sweeping Simmani"));
+    let mut simmani_points = Vec::new();
+    for &q in q_targets {
+        let model = train_simmani(
+            p.train_trace(),
+            fs,
+            &SimmaniOptions {
+                q,
+                pair_terms: (3 * q).min(1200),
+                ..SimmaniOptions::default()
+            },
+        );
+        let pred = model.predict(&test.toggles);
+        simmani_points.push((model.q(), Accuracy::of(&y, &pred)));
+    }
+    series.push(QSeries {
+        method: "Simmani [40]".into(),
+        points: simmani_points,
+    });
+
+    progress(&format!("fig10[{label}]: PRIMAL-NN"));
+    let primal_model = train_primal(
+        p.train_trace(),
+        fs,
+        &PrimalOptions {
+            hash_dim: 256,
+            mlp: MlpOptions {
+                hidden: vec![64, 32],
+                epochs: 10,
+                ..MlpOptions::default()
+            },
+            ..PrimalOptions::default()
+        },
+    );
+    let primal_pred = primal_model.predict(&test.toggles, &fs.reps);
+    let primal = Accuracy::of(&y, &primal_pred);
+
+    progress(&format!("fig10[{label}]: PCA"));
+    let pca_model = train_pca(p.train_trace(), fs, 256, 64, 0xCAFE);
+    let test_design = TraceDesign::new(&test.toggles, &fs.reps);
+    let pca_pred = pca_model.predict(&test_design);
+    let pca = Accuracy::of(&y, &pca_pred);
+
+    let out = Fig10 {
+        design: p.ctx.netlist().design_name().to_owned(),
+        m_bits: p.ctx.m_bits(),
+        series,
+        primal,
+        pca,
+    };
+    println!("\n== Figure {label}: accuracy vs Q on `{}` (M = {}) ==", out.design, out.m_bits);
+    for s in &out.series {
+        println!("  {}:", s.method);
+        for (q, acc) in &s.points {
+            println!(
+                "    Q = {:>4}  NRMSE = {:>5.1}%   R2 = {:.3}",
+                q,
+                100.0 * acc.nrmse,
+                acc.r2
+            );
+        }
+    }
+    println!(
+        "  PRIMAL-NN (all {} signals): NRMSE = {:.1}%  R2 = {:.3}",
+        out.m_bits,
+        100.0 * out.primal.nrmse,
+        out.primal.r2
+    );
+    println!(
+        "  PCA       (all {} signals): NRMSE = {:.1}%  R2 = {:.3}",
+        out.m_bits,
+        100.0 * out.pca.nrmse,
+        out.pca.r2
+    );
+    save_json(&format!("fig{label}_accuracy_vs_q"), &out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 11: multi-cycle models
+// ---------------------------------------------------------------------
+
+/// Figure 11 data: NRMSE vs window size T for each approach.
+#[derive(Debug, serde::Serialize)]
+pub struct Fig11 {
+    /// Window sizes.
+    pub ts: Vec<usize>,
+    /// Per-cycle APOLLO predictions averaged over T.
+    pub apollo_avg: Vec<f64>,
+    /// APOLLOτ with fixed τ = 8 (Eq. 9 inference).
+    pub apollo_tau8: Vec<f64>,
+    /// APOLLOτ trained with τ = T (input averaging).
+    pub tau_eq_t: Vec<f64>,
+    /// Simmani multi-cycle baseline.
+    pub simmani: Vec<f64>,
+    /// Q used by the APOLLO variants.
+    pub q_apollo: usize,
+    /// Q used by Simmani.
+    pub q_simmani: usize,
+}
+
+/// Runs the Figure 11 experiment.
+pub fn fig11(p: &Pipeline, q_apollo: usize, q_simmani: usize) -> Fig11 {
+    let ts = vec![4usize, 8, 16, 32, 64];
+    let fs = p.feature_space();
+    let test = p.test_trace();
+    let labels = test.labels();
+    let opts = TrainOptions {
+        q_target: q_apollo,
+        ..TrainOptions::default()
+    };
+
+    progress("fig11: per-cycle model for averaging");
+    let per_cycle = p
+        .model(q_apollo, SelectionPenalty::Mcp { gamma: 10.0 })
+        .model;
+    let per_cycle_pred = per_cycle.predict_full(&test.toggles);
+
+    progress("fig11: APOLLO-tau (tau = 8)");
+    let tau8 = train_tau(p.train_trace(), p.ctx.netlist(), fs, 8, &opts);
+
+    progress("fig11: Simmani base model");
+    let simmani_base = train_simmani(
+        p.train_trace(),
+        fs,
+        &SimmaniOptions {
+            q: q_simmani,
+            pair_terms: (3 * q_simmani).min(1200),
+            ..SimmaniOptions::default()
+        },
+    );
+
+    let mut apollo_avg = Vec::new();
+    let mut apollo_tau8 = Vec::new();
+    let mut tau_eq_t = Vec::new();
+    let mut simmani = Vec::new();
+    for &t in &ts {
+        let avg = window_average(&per_cycle_pred, t);
+        apollo_avg.push(window_nrmse(&avg, &labels, t));
+
+        let tau_pred = tau8.predict_windows(&test.toggles, t);
+        apollo_tau8.push(window_nrmse(&tau_pred, &labels, t));
+
+        progress(&format!("fig11: APOLLO-tau (tau = T = {t})"));
+        let tau_t = train_tau(p.train_trace(), p.ctx.netlist(), fs, t, &opts);
+        let tt_pred = tau_t.predict_windows(&test.toggles, t);
+        tau_eq_t.push(window_nrmse(&tt_pred, &labels, t));
+
+        let sw = train_simmani_window(p.train_trace(), &simmani_base, t, 1.0);
+        let sw_pred = sw.predict_windows(&test.toggles);
+        simmani.push(window_nrmse(&sw_pred, &labels, t));
+    }
+
+    let out = Fig11 {
+        ts: ts.clone(),
+        apollo_avg,
+        apollo_tau8,
+        tau_eq_t,
+        simmani,
+        q_apollo,
+        q_simmani,
+    };
+    println!(
+        "\n== Figure 11: multi-cycle NRMSE vs T (APOLLO Q = {q_apollo}, Simmani Q = {q_simmani}) =="
+    );
+    println!("  T     APOLLO-avg  APOLLOtau8  tau=T       Simmani");
+    for (i, t) in ts.iter().enumerate() {
+        println!(
+            "  {:<5} {:>8.1}%  {:>8.1}%  {:>8.1}%  {:>8.1}%",
+            t,
+            100.0 * out.apollo_avg[i],
+            100.0 * out.apollo_tau8[i],
+            100.0 * out.tau_eq_t[i],
+            100.0 * out.simmani[i]
+        );
+    }
+    save_json("fig11_multicycle", &out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figures 13 / 14: weight mass and VIF
+// ---------------------------------------------------------------------
+
+/// Figures 13 and 14 data.
+#[derive(Debug, serde::Serialize)]
+pub struct Fig13_14 {
+    /// Q at which the comparison was made.
+    pub q: usize,
+    /// Σ|w| of the final MCP model.
+    pub weight_l1_mcp: f64,
+    /// Σ|w| of the final Lasso model.
+    pub weight_l1_lasso: f64,
+    /// Σ|w̃| of the MCP selection stage (pre-relaxation).
+    pub selection_l1_mcp: f64,
+    /// Σ|w̃| of the Lasso selection stage.
+    pub selection_l1_lasso: f64,
+    /// Mean VIF of the MCP proxies.
+    pub vif_mcp: f64,
+    /// Mean VIF of the Lasso proxies.
+    pub vif_lasso: f64,
+    /// Mean VIF of the Simmani proxies.
+    pub vif_simmani: f64,
+}
+
+/// Runs the weight-mass and VIF comparisons.
+pub fn fig13_14(p: &Pipeline, q: usize) -> Fig13_14 {
+    let mcp = p.model(q, SelectionPenalty::Mcp { gamma: 10.0 });
+    let lasso = p.model(q, SelectionPenalty::Lasso);
+    progress("fig14: Simmani proxies for VIF");
+    let simmani = train_simmani(
+        p.train_trace(),
+        p.feature_space(),
+        &SimmaniOptions {
+            q,
+            pair_terms: 1,
+            ..SimmaniOptions::default()
+        },
+    );
+    let matrix = &p.train_trace().toggles;
+    let vif_of_bits = |bits: &[usize]| {
+        let design = TraceDesign::new(matrix, bits);
+        let cols: Vec<usize> = (0..bits.len()).collect();
+        mean_vif(&design, &cols, 1e4)
+    };
+    progress("fig14: computing VIFs");
+    let out = Fig13_14 {
+        q,
+        weight_l1_mcp: mcp.model.weight_l1(),
+        weight_l1_lasso: lasso.model.weight_l1(),
+        selection_l1_mcp: mcp.selection.weight_l1(),
+        selection_l1_lasso: lasso.selection.weight_l1(),
+        vif_mcp: vif_of_bits(&mcp.model.bits()),
+        vif_lasso: vif_of_bits(&lasso.model.bits()),
+        vif_simmani: vif_of_bits(&simmani.base_bits),
+    };
+    println!("\n== Figure 13: sum of absolute weights (Q = {q}) ==");
+    println!(
+        "  selection stage: MCP {:.1} vs Lasso {:.1}  (paper: MCP larger)",
+        out.selection_l1_mcp, out.selection_l1_lasso
+    );
+    println!(
+        "  final models:    MCP {:.1} vs Lasso {:.1}",
+        out.weight_l1_mcp, out.weight_l1_lasso
+    );
+    println!("\n== Figure 14: mean variance inflation factors ==");
+    println!(
+        "  APOLLO {:.2}   Lasso {:.2}   Simmani {:.2}   (paper: APOLLO and Simmani low, Lasso high)",
+        out.vif_mcp, out.vif_lasso, out.vif_simmani
+    );
+    save_json("fig13_14_weights_vif", &out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 15(a): proxy distribution
+// ---------------------------------------------------------------------
+
+/// Runs the proxy-distribution report.
+pub fn fig15a(p: &Pipeline) -> BTreeMap<String, usize> {
+    let model = p.main_model();
+    let dist = apollo_core::report::proxy_distribution(&model);
+    println!("\n== Figure 15(a): distribution of the {} proxies ==", model.q());
+    for (unit, count) in &dist {
+        println!("  {:<18} {:>4}", unit, count);
+    }
+    save_json("fig15a_distribution", &dist);
+    dist
+}
+
+// ---------------------------------------------------------------------
+// Figure 15(b) + Table 1 + §7.5: OPM cost/accuracy trade-off
+// ---------------------------------------------------------------------
+
+/// One point of the OPM trade-off grid.
+#[derive(Debug, serde::Serialize)]
+pub struct OpmPoint {
+    /// Proxy count.
+    pub q: usize,
+    /// Weight bits.
+    pub b: u8,
+    /// Area overhead vs host CPU.
+    pub area_overhead: f64,
+    /// Test NRMSE of the quantized hardware model.
+    pub nrmse: f64,
+    /// NRMSE increase over the float model.
+    pub nrmse_loss_vs_float: f64,
+}
+
+/// Figure 15(b) data.
+#[derive(Debug, serde::Serialize)]
+pub struct Fig15b {
+    /// The grid.
+    pub points: Vec<OpmPoint>,
+    /// Measured power overhead of the headline OPM (Q = main, B = 10).
+    pub headline_power_overhead: f64,
+    /// Headline area overhead.
+    pub headline_area_overhead: f64,
+}
+
+/// Runs the OPM trade-off sweep.
+pub fn fig15b(p: &Pipeline, qs: &[usize], bs: &[u8]) -> Fig15b {
+    let test = p.test_trace();
+    let y = test.labels();
+    let mut points = Vec::new();
+    for &q in qs {
+        let trained = p.model(q, SelectionPenalty::Mcp { gamma: 10.0 });
+        let float_pred = trained.model.predict_full(&test.toggles);
+        let float_nrmse = metrics::nrmse(&y, &float_pred);
+        for &b in bs {
+            let quant = QuantizedOpm::from_model(&trained.model, b, 1);
+            let pred = quant.predict_cycles(&test.toggles);
+            let nrmse = metrics::nrmse(&y, &pred);
+            let hw = build_opm(&quant);
+            let report = AreaReport::from_areas(&hw, p.ctx.netlist());
+            points.push(OpmPoint {
+                q: trained.model.q(),
+                b,
+                area_overhead: report.area_overhead,
+                nrmse,
+                nrmse_loss_vs_float: nrmse - float_nrmse,
+            });
+        }
+    }
+
+    // Headline OPM power overhead: co-simulate the generated OPM over a
+    // proxy trace of one benchmark and compare against CPU power.
+    progress("fig15b: headline OPM power co-simulation");
+    let model = p.main_model();
+    let quant = QuantizedOpm::from_model(&model, 10, 8);
+    let hw = build_opm(&quant);
+    let bench = apollo_cpu::benchmarks::maxpwr_cpu();
+    let proxy_trace = p
+        .ctx
+        .capture_bits(&bench, &model.bits(), 512, p.cfg.warmup);
+    let cosim = hw.cosim(&proxy_trace.toggles);
+    let cpu_power = proxy_trace.mean_power();
+    let report = AreaReport::from_areas(&hw, p.ctx.netlist()).with_power(
+        cosim.mean_power.total,
+        cpu_power,
+        0.004,
+    );
+
+    let out = Fig15b {
+        points,
+        headline_power_overhead: report.power_overhead.unwrap(),
+        headline_area_overhead: report.area_overhead,
+    };
+    println!("\n== Figure 15(b): OPM area vs accuracy trade-off ==");
+    println!("  Q      B    area overhead   NRMSE    quantization loss");
+    for pt in &out.points {
+        println!(
+            "  {:>4}  {:>2}   {:>8.3}%      {:>5.1}%   {:+.2}%",
+            pt.q,
+            pt.b,
+            100.0 * pt.area_overhead,
+            100.0 * pt.nrmse,
+            100.0 * pt.nrmse_loss_vs_float
+        );
+    }
+    println!(
+        "headline OPM (B = 10): area {:.2}% of host, power {:.2}% of host (paper on N1-scale host: 0.2% / 0.9%)",
+        100.0 * out.headline_area_overhead,
+        100.0 * out.headline_power_overhead
+    );
+    save_json("fig15b_opm_tradeoff", &out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 16 + §8.1: emulator-assisted long-trace flow
+// ---------------------------------------------------------------------
+
+/// Figure 16 data.
+#[derive(Debug, serde::Serialize)]
+pub struct Fig16 {
+    /// Cycles replayed.
+    pub cycles: usize,
+    /// Proxy-trace bytes.
+    pub proxy_bytes: usize,
+    /// Full-dump bytes.
+    pub full_bytes: usize,
+    /// Reduction factor.
+    pub reduction: f64,
+    /// Inference throughput (cycles/second).
+    pub inference_cps: f64,
+    /// Extrapolated seconds per billion cycles.
+    pub sec_per_billion: f64,
+    /// Accuracy of the inferred trace against ground truth.
+    pub accuracy: Accuracy,
+    /// A window excerpt of (truth, prediction), decimated.
+    pub excerpt: Vec<(f64, f64)>,
+}
+
+/// Runs the emulator-assisted flow on a long workload.
+pub fn fig16(p: &Pipeline, cycles: usize) -> Fig16 {
+    let model = p.main_model();
+    let phases = (cycles / 2500).clamp(2, 600) as u16;
+    let bench = apollo_cpu::benchmarks::hmmer_like(&p.ctx.handles.config, phases);
+    progress(&format!("fig16: emulator flow over {cycles} cycles"));
+    let report = run_emulator_flow(&p.ctx, &model, &bench, cycles, p.cfg.warmup);
+    let acc = Accuracy::of(&report.ground_truth, &report.power_trace);
+    let step = (cycles / 4000).max(1);
+    let excerpt = report
+        .ground_truth
+        .iter()
+        .zip(&report.power_trace)
+        .step_by(step)
+        .map(|(a, b)| (*a, *b))
+        .collect();
+    let out = Fig16 {
+        cycles: report.cycles,
+        proxy_bytes: report.proxy_trace_bytes,
+        full_bytes: report.full_trace_bytes,
+        reduction: report.reduction_factor(),
+        inference_cps: report.inference_cycles_per_second(),
+        sec_per_billion: report.seconds_per_billion_cycles(),
+        accuracy: acc,
+        excerpt,
+    };
+    println!("\n== Figure 16 / §8.1: emulator-assisted power introspection ==");
+    println!(
+        "  {} cycles: proxy trace {:.2} MiB vs full dump {:.2} MiB ({:.0}x reduction)",
+        out.cycles,
+        out.proxy_bytes as f64 / (1 << 20) as f64,
+        out.full_bytes as f64 / (1 << 20) as f64,
+        out.reduction
+    );
+    println!(
+        "  inference: {:.1} Mcycles/s -> {:.0} s per billion cycles (paper: ~1 minute)",
+        out.inference_cps / 1e6,
+        out.sec_per_billion
+    );
+    println!(
+        "  trace accuracy: R2 = {:.3}, NRMSE = {:.1}%",
+        out.accuracy.r2,
+        100.0 * out.accuracy.nrmse
+    );
+    save_json("fig16_emulator_flow", &out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 17 + §8.2: ΔI / droop
+// ---------------------------------------------------------------------
+
+/// Figure 17 data.
+#[derive(Debug, serde::Serialize)]
+pub struct Fig17 {
+    /// ΔI agreement between the quantized OPM and ground truth.
+    pub analysis: DroopAnalysis,
+    /// Mitigation experiment report.
+    pub mitigation: apollo_opm::droop::MitigationReport,
+}
+
+/// Runs the droop experiments with the hardware-quantized OPM.
+pub fn fig17(p: &Pipeline) -> Fig17 {
+    let model = p.main_model();
+    let quant = QuantizedOpm::from_model(&model, 10, 1);
+    let test = p.test_trace();
+    let est = quant.predict_cycles(&test.toggles);
+    let truth = test.labels();
+    let analysis = DroopAnalysis::analyze(&est, &truth, 0.95);
+    let pdn = PdnModel::default();
+    let mitigation = mitigate(&pdn, &est, &truth, 0.12, 0.03, 10, 0.93);
+    let out = Fig17 {
+        analysis,
+        mitigation,
+    };
+    println!("\n== Figure 17 / §8.2: per-cycle ΔI for droop prediction ==");
+    println!(
+        "  Pearson(ΔI_opm, ΔI_truth) = {:.3}   (paper: 0.946)",
+        out.analysis.pearson
+    );
+    println!(
+        "  deep-droop precursor recall {:.0}%, overshoot recall {:.0}% (at the {:.0}% tails)",
+        100.0 * out.analysis.droop_recall,
+        100.0 * out.analysis.overshoot_recall,
+        100.0 * (1.0 - out.analysis.tail_quantile)
+    );
+    println!(
+        "  mitigation: Vmin {:.3} -> {:.3}, violations {} -> {} ({} throttled cycles)",
+        out.mitigation.vmin_baseline,
+        out.mitigation.vmin_mitigated,
+        out.mitigation.violations_baseline,
+        out.mitigation.violations_mitigated,
+        out.mitigation.throttled_cycles
+    );
+    println!(
+        "  guardband: {:.3} V -> {:.3} V ({:.0}% margin reduction; the paper's future-work metric)",
+        out.mitigation.margin_baseline(1.0),
+        out.mitigation.margin_mitigated(1.0),
+        100.0 * out.mitigation.margin_reduction(1.0)
+    );
+    save_json("fig17_droop", &out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------
+
+/// Prints Table 1's quantitative APOLLO row (the rest of Table 1 is a
+/// literature survey reproduced in EXPERIMENTS.md).
+pub fn table1(p: &Pipeline) -> AreaReport {
+    let model = p.main_model();
+    let quant = QuantizedOpm::from_model(&model, 10, 8);
+    let hw = build_opm(&quant);
+    let report = AreaReport::from_areas(&hw, p.ctx.netlist());
+    println!("\n== Table 1 (APOLLO row): design-time model + runtime monitor ==");
+    println!(
+        "  proxies: Q = {} ({:.4}% of M = {})",
+        model.q(),
+        100.0 * model.monitored_fraction(),
+        model.m_bits
+    );
+    println!(
+        "  per-cycle resolution, automatic selection, area overhead {:.2}% of host",
+        100.0 * report.area_overhead
+    );
+    save_json("table1_apollo_row", &report);
+    report
+}
+
+/// Prints Table 3 plus the generated-hardware verification row.
+pub fn table3(p: &Pipeline) -> Vec<MonitorStructure> {
+    let model = p.main_model();
+    let quant = QuantizedOpm::from_model(&model, 10, 8);
+    let hw = build_opm(&quant);
+    let mut rows = opm_table3(p.ctx.m_bits(), model.q());
+    rows.push(verify_apollo_structure(&hw));
+    println!("\n== Table 3: hardware structures (Q = {}) ==", model.q());
+    for r in &rows {
+        println!("  {r}");
+    }
+    save_json("table3_structures", &rows);
+    rows
+}
+
+/// Prints Table 4 (the testing suite actually used, with windows).
+pub fn table4(p: &Pipeline) -> Vec<(String, usize)> {
+    let suite = p.ctx.test_suite(p.cfg.test_scale);
+    let rows: Vec<(String, usize)> = suite
+        .iter()
+        .map(|(b, c)| (b.name.clone(), *c))
+        .collect();
+    println!("\n== Table 4: designer-handcrafted testing benchmarks ==");
+    for row in rows.chunks(4) {
+        let names: Vec<String> = row.iter().map(|(n, c)| format!("{n} ({c})")).collect();
+        println!("  {}", names.join("   "));
+    }
+    save_json("table4_benchmarks", &rows);
+    rows
+}
+
+/// Prints Table 5 (method matrix — static by construction).
+pub fn table5() {
+    println!("\n== Table 5: baseline methods ==");
+    println!("  method        selection      pre-processing   model");
+    println!("  Simmani [40]  K-means        polynomial       elastic net");
+    println!("  PRIMAL [79]   (none: all M)  (none)           neural network");
+    println!("  PCA [79]      (none: all M)  PCA projection   linear");
+    println!("  Lasso [53]    Lasso          (none)           linear");
+    println!("  APOLLO        MCP            (none)           ridge-relaxed linear");
+}
+
+/// §8.1 inference-cost table with measured APOLLO throughput.
+pub fn speed(p: &Pipeline) -> Vec<apollo_core::report::InferenceCost> {
+    let model = p.main_model();
+    let costs = apollo_core::report::inference_costs(p.ctx.m_bits(), model.q(), 256, &[64, 32], 64);
+    println!("\n== §8.1: inference cost per cycle ==");
+    for c in &costs {
+        println!(
+            "  {:<14} observes {:>7} signals, {:>12.0} ops/cycle",
+            c.method, c.signals_observed, c.ops_per_cycle
+        );
+    }
+    save_json("speed_costs", &costs);
+    costs
+}
+
+// ---------------------------------------------------------------------
+// Ablations of APOLLO's design choices (DESIGN.md per-experiment index)
+// ---------------------------------------------------------------------
+
+/// One ablation row.
+#[derive(Debug, serde::Serialize)]
+pub struct AblationRow {
+    /// Variant description.
+    pub variant: String,
+    /// Selected Q.
+    pub q: usize,
+    /// Test accuracy.
+    pub accuracy: Accuracy,
+}
+
+/// Ablation study: how much each ingredient of the recipe contributes.
+#[derive(Debug, serde::Serialize)]
+pub struct Ablation {
+    /// Rows, first is the reference configuration.
+    pub rows: Vec<AblationRow>,
+}
+
+/// Runs the ablation sweep at proxy budget `q`.
+pub fn ablation(p: &Pipeline, q: usize) -> Ablation {
+    use apollo_core::train_per_cycle;
+    let test = p.test_trace();
+    let y = test.labels();
+    let fs = p.feature_space();
+    let mut rows = Vec::new();
+
+    let eval_model = |m: &apollo_core::ApolloModel| {
+        Accuracy::of(&y, &m.predict_full(&test.toggles))
+    };
+
+    // Reference: MCP gamma=10 + nonneg + ridge relaxation.
+    let reference = p.model(q, SelectionPenalty::Mcp { gamma: 10.0 });
+    rows.push(AblationRow {
+        variant: "APOLLO (MCP γ=10, nonneg, relaxed)".into(),
+        q: reference.model.q(),
+        accuracy: eval_model(&reference.model),
+    });
+
+    // No relaxation: use the selection-stage weights directly.
+    {
+        let design = TraceDesign::new(&p.train_trace().toggles, &fs.reps);
+        let sel = &reference.selection;
+        let mut model = reference.model.clone();
+        // Map selection weights (already in raw feature space) onto
+        // proxies.
+        for (proxy, &(col, w)) in model.proxies.iter_mut().zip(sel.active.iter()) {
+            let bit = design.bit_of(col);
+            assert_eq!(proxy.bit, bit, "selection/proxy order must agree");
+            proxy.weight = w;
+        }
+        model.intercept = sel.intercept;
+        rows.push(AblationRow {
+            variant: "no relaxation (selection-stage weights)".into(),
+            q: model.q(),
+            accuracy: eval_model(&model),
+        });
+    }
+
+    // Gamma sweep.
+    for gamma in [2.0, 5.0, 50.0] {
+        progress(&format!("ablation: gamma {gamma}"));
+        let trained = train_per_cycle(
+            p.train_trace(),
+            p.ctx.netlist(),
+            fs,
+            &TrainOptions {
+                q_target: q,
+                penalty: SelectionPenalty::Mcp { gamma },
+                ..TrainOptions::default()
+            },
+        );
+        rows.push(AblationRow {
+            variant: format!("MCP γ = {gamma}"),
+            q: trained.model.q(),
+            accuracy: eval_model(&trained.model),
+        });
+    }
+
+    // Unconstrained weights (allow negative).
+    {
+        progress("ablation: signed weights");
+        let trained = train_per_cycle(
+            p.train_trace(),
+            p.ctx.netlist(),
+            fs,
+            &TrainOptions {
+                q_target: q,
+                nonnegative: false,
+                ..TrainOptions::default()
+            },
+        );
+        rows.push(AblationRow {
+            variant: "signed weights (no nonnegativity)".into(),
+            q: trained.model.q(),
+            accuracy: eval_model(&trained.model),
+        });
+    }
+
+    // Nonlinear head: gradient-boosted trees over the selected proxies
+    // (does nonlinearity on top of good proxies buy anything?).
+    {
+        progress("ablation: GBT head over APOLLO proxies");
+        let bits = reference.model.bits();
+        let n = p.train_trace().n_cycles();
+        let d = bits.len();
+        let to_rows = |trace: &apollo_sim::TraceData| {
+            let mut rowsx = vec![0.0f64; trace.n_cycles() * d];
+            for (k, &bit) in bits.iter().enumerate() {
+                for c in 0..trace.n_cycles() {
+                    if trace.toggles.get(bit, c) {
+                        rowsx[c * d + k] = 1.0;
+                    }
+                }
+            }
+            rowsx
+        };
+        let xtrain = to_rows(p.train_trace());
+        let ytrain = p.train_trace().labels();
+        let gbt = apollo_mlkit::Gbt::fit(
+            &xtrain,
+            n,
+            d,
+            &ytrain,
+            &apollo_mlkit::GbtOptions { rounds: 60, ..apollo_mlkit::GbtOptions::default() },
+        );
+        let xtest = to_rows(test);
+        let pred = gbt.predict(&xtest, test.n_cycles());
+        rows.push(AblationRow {
+            variant: "GBT head over APOLLO proxies [44]".into(),
+            q: d,
+            accuracy: Accuracy::of(&y, &pred),
+        });
+    }
+
+    let out = Ablation { rows };
+    println!("\n== Ablation of APOLLO's design choices (Q target = {q}) ==");
+    for r in &out.rows {
+        println!(
+            "  {:<44} Q = {:>4}  NRMSE = {:>5.1}%  R2 = {:.3}",
+            r.variant,
+            r.q,
+            100.0 * r.accuracy.nrmse,
+            r.accuracy.r2
+        );
+    }
+    save_json("ablation", &out);
+    out
+}

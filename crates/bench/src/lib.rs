@@ -1,0 +1,18 @@
+//! # apollo-bench
+//!
+//! Reproduction harness for every table and figure in the APOLLO paper's
+//! evaluation, plus Criterion micro-benchmarks.
+//!
+//! The [`Pipeline`] lazily builds and caches the expensive artifacts —
+//! design, GA training data, toggle traces, trained models — so the
+//! `repro_*` binaries can share work within a process. Run
+//! `cargo run --release -p apollo-bench --bin repro_all` to regenerate
+//! every experiment; results are printed as the paper's rows/series and
+//! saved as JSON under `results/`.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod pipeline;
+
+pub use pipeline::{Pipeline, PipelineConfig};

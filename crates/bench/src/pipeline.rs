@@ -1,0 +1,247 @@
+//! Lazily-built, cached experiment pipeline shared by all repro
+//! binaries.
+
+use apollo_core::{
+    run_ga, train_per_cycle, ApolloModel, DesignContext, FeatureSpace, GaConfig, GaRun,
+    SelectionPenalty, TrainOptions, TrainedPerCycle,
+};
+use apollo_cpu::CpuConfig;
+use apollo_sim::TraceData;
+use std::sync::Mutex;
+use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Top-level knobs of a reproduction run.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// CPU design under evaluation.
+    pub design: CpuConfig,
+    /// GA settings for training-data generation.
+    pub ga: GaConfig,
+    /// Micro-benchmarks drawn from the GA pool for training.
+    pub train_benchmarks: usize,
+    /// Recorded cycles per training micro-benchmark.
+    pub train_cycles_each: usize,
+    /// Warm-up cycles skipped before recording each workload.
+    pub warmup: usize,
+    /// Scale on the Table-4 per-benchmark test windows.
+    pub test_scale: f64,
+    /// Headline proxy count (the paper's Q = 159).
+    pub q_main: usize,
+}
+
+impl PipelineConfig {
+    /// Full-quality run on the Neoverse-like design (paper setup:
+    /// ≈ 30k training cycles, ≈ 15k testing cycles, Q = 159).
+    pub fn neoverse() -> Self {
+        PipelineConfig {
+            design: CpuConfig::neoverse_like(),
+            ga: GaConfig {
+                population: 24,
+                generations: 40,
+                body_len_min: 12,
+                body_len_max: 220,
+                reps: 30,
+                fitness_cycles: 500,
+                warmup: 400,
+                ..GaConfig::default()
+            },
+            train_benchmarks: 400,
+            train_cycles_each: 100,
+            warmup: 400,
+            test_scale: 1.0,
+            q_main: 159,
+        }
+    }
+
+    /// Full-quality run on the larger Cortex-like design (paper setup:
+    /// 5k training cycles, 2k testing cycles).
+    pub fn cortex() -> Self {
+        PipelineConfig {
+            design: CpuConfig::cortex_like(),
+            ga: GaConfig {
+                population: 16,
+                generations: 16,
+                body_len_min: 12,
+                body_len_max: 300,
+                reps: 30,
+                fitness_cycles: 400,
+                warmup: 450,
+                ..GaConfig::default()
+            },
+            train_benchmarks: 50,
+            train_cycles_each: 100,
+            warmup: 450,
+            test_scale: 0.14, // ≈ 2k total test cycles
+            q_main: 300,
+        }
+    }
+
+    /// Small, fast configuration for Criterion benches and examples.
+    pub fn quick() -> Self {
+        PipelineConfig {
+            design: CpuConfig::tiny(),
+            ga: GaConfig {
+                population: 10,
+                generations: 6,
+                body_len_min: 10,
+                body_len_max: 48,
+                reps: 8,
+                warmup: 150,
+                fitness_cycles: 250,
+                ..GaConfig::default()
+            },
+            train_benchmarks: 24,
+            train_cycles_each: 80,
+            warmup: 150,
+            test_scale: 0.25,
+            q_main: 24,
+        }
+    }
+}
+
+/// Lazily-computed pipeline state.
+pub struct Pipeline {
+    /// The design context (always built eagerly).
+    pub ctx: DesignContext,
+    /// Configuration.
+    pub cfg: PipelineConfig,
+    ga: OnceLock<GaRun>,
+    train: OnceLock<TraceData>,
+    fs: OnceLock<FeatureSpace>,
+    test: OnceLock<TraceData>,
+    models: Mutex<HashMap<(usize, bool), TrainedPerCycle>>,
+}
+
+/// Prints a timestamped progress line to stderr.
+pub fn progress(msg: &str) {
+    eprintln!("[{:>8.1?}] {msg}", START.elapsed());
+}
+
+static START: LazyLock<Instant> = LazyLock::new(Instant::now);
+use std::sync::LazyLock;
+
+impl Pipeline {
+    /// Builds the design and prepares the lazy caches.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        progress(&format!("building design `{}`", cfg.design.name));
+        let ctx = DesignContext::new(&cfg.design);
+        progress(&format!(
+            "design ready: {} nodes, M = {} signal bits",
+            ctx.netlist().len(),
+            ctx.m_bits()
+        ));
+        Pipeline {
+            ctx,
+            cfg,
+            ga: OnceLock::new(),
+            train: OnceLock::new(),
+            fs: OnceLock::new(),
+            test: OnceLock::new(),
+            models: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// GA training-data generation (cached).
+    pub fn ga(&self) -> &GaRun {
+        self.ga.get_or_init(|| {
+            progress("running GA training-data generation");
+            let run = run_ga(&self.ctx, &self.cfg.ga);
+            progress(&format!(
+                "GA done: {} individuals, power spread {:.2}x",
+                run.individuals.len(),
+                run.power_spread()
+            ));
+            run
+        })
+    }
+
+    /// Full-signal training trace over the GA-selected suite (cached).
+    pub fn train_trace(&self) -> &TraceData {
+        self.train.get_or_init(|| {
+            let suite = self.ga().training_suite(
+                self.cfg.train_benchmarks,
+                self.cfg.train_cycles_each,
+                self.ctx.handles.config.dram_words,
+            );
+            progress(&format!(
+                "capturing training trace: {} benchmarks x {} cycles",
+                suite.len(),
+                self.cfg.train_cycles_each
+            ));
+            let t = self.ctx.capture_suite(&suite, self.cfg.warmup);
+            progress(&format!(
+                "training trace: {} cycles, {:?}",
+                t.n_cycles(),
+                t.toggles
+            ));
+            t
+        })
+    }
+
+    /// Deduplicated candidate feature space (cached).
+    pub fn feature_space(&self) -> &FeatureSpace {
+        self.fs.get_or_init(|| {
+            progress("building feature space (dedup)");
+            let fs = FeatureSpace::build(&self.train_trace().toggles);
+            progress(&format!(
+                "feature space: {} candidates of {} bits ({} constant)",
+                fs.n_candidates(),
+                fs.total_bits,
+                fs.constant_bits
+            ));
+            fs
+        })
+    }
+
+    /// Full-signal testing trace over the Table-4 suite (cached).
+    pub fn test_trace(&self) -> &TraceData {
+        self.test.get_or_init(|| {
+            progress("capturing Table-4 test trace");
+            let suite = self.ctx.test_suite(self.cfg.test_scale);
+            let t = self.ctx.capture_suite(&suite, self.cfg.warmup);
+            progress(&format!("test trace: {} cycles", t.n_cycles()));
+            t
+        })
+    }
+
+    /// Trains (or fetches) a per-cycle model at proxy budget `q`.
+    pub fn model(&self, q: usize, penalty: SelectionPenalty) -> TrainedPerCycle {
+        let key = (q, matches!(penalty, SelectionPenalty::Mcp { .. }));
+        if let Some(m) = self.models.lock().unwrap().get(&key) {
+            return m.clone();
+        }
+        progress(&format!("training per-cycle model: Q target {q}, {penalty:?}"));
+        let trained = train_per_cycle(
+            self.train_trace(),
+            self.ctx.netlist(),
+            self.feature_space(),
+            &TrainOptions {
+                q_target: q,
+                penalty,
+                ..TrainOptions::default()
+            },
+        );
+        progress(&format!("model trained: Q = {}", trained.model.q()));
+        self.models.lock().unwrap().insert(key, trained.clone());
+        trained
+    }
+
+    /// The headline APOLLO model (MCP at the configured main Q).
+    pub fn main_model(&self) -> ApolloModel {
+        self.model(self.cfg.q_main, SelectionPenalty::Mcp { gamma: 10.0 })
+            .model
+    }
+}
+
+/// Writes a JSON value to `results/<name>.json` (creating the
+/// directory), and returns the path.
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) -> std::path::PathBuf {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    std::fs::write(&path, json).expect("write result file");
+    path
+}

@@ -1,0 +1,526 @@
+//! Baseline power-modeling methods from the paper's Table 5:
+//! Simmani (K-means signal clustering + polynomial elastic net),
+//! PRIMAL (a neural network over all signals), PCA + linear regression,
+//! and Lasso selection (reached through
+//! [`crate::model::SelectionPenalty::Lasso`]).
+
+use crate::features::{FeatureSpace, TraceDesign};
+use apollo_mlkit::pca::random_project;
+use apollo_mlkit::{
+    coordinate_descent, ols_ridge, BitMatrix, CdOptions, CdResult, Design, KMeans, Matrix, Mlp,
+    MlpOptions, Pca, Penalty,
+};
+use apollo_sim::{ToggleMatrix, TraceData};
+
+// ---------------------------------------------------------------------
+// Simmani
+// ---------------------------------------------------------------------
+
+/// Options for [`train_simmani`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimmaniOptions {
+    /// Number of clusters / base proxies `Q`.
+    pub q: usize,
+    /// Number of coarse windows in the toggle-density signature used
+    /// for clustering.
+    pub signature_windows: usize,
+    /// Number of sampled second-order (AND) terms added to the feature
+    /// pool. The paper's Simmani uses all `Q²` polynomial terms; we
+    /// sample `pair_terms` of them to bound memory (documented
+    /// deviation — the elastic net prunes most of them anyway).
+    pub pair_terms: usize,
+    /// Elastic-net penalties.
+    pub lambda1: f64,
+    /// L2 part of the elastic net.
+    pub lambda2: f64,
+    /// K-means iterations.
+    pub kmeans_iters: usize,
+    /// Cap on the number of candidate signals clustered (a strided
+    /// subsample keeps K-means tractable at commercial M; documented
+    /// deviation).
+    pub max_candidates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimmaniOptions {
+    fn default() -> Self {
+        SimmaniOptions {
+            q: 100,
+            signature_windows: 64,
+            pair_terms: 600,
+            lambda1: 2e-3,
+            lambda2: 1e-3,
+            kmeans_iters: 25,
+            max_candidates: 6000,
+            seed: 0x51AA,
+        }
+    }
+}
+
+/// A trained Simmani-style model.
+#[derive(Clone, Debug)]
+pub struct SimmaniModel {
+    /// Selected base proxy bits (cluster representatives).
+    pub base_bits: Vec<usize>,
+    /// Sampled second-order terms, as index pairs into `base_bits`.
+    pub pairs: Vec<(usize, usize)>,
+    /// Elastic-net fit over `[base, pairs]` features.
+    pub fit: CdResult,
+}
+
+impl SimmaniModel {
+    /// Number of monitored signals.
+    pub fn q(&self) -> usize {
+        self.base_bits.len()
+    }
+
+    /// Builds the Simmani feature matrix (base toggles + AND pairs) for
+    /// any toggle trace.
+    pub fn features(&self, matrix: &ToggleMatrix) -> BitMatrix {
+        build_simmani_features(matrix, &self.base_bits, &self.pairs)
+    }
+
+    /// Per-cycle prediction.
+    pub fn predict(&self, matrix: &ToggleMatrix) -> Vec<f64> {
+        let feats = self.features(matrix);
+        self.fit.predict(&feats)
+    }
+
+    /// Window-averaged prediction over `t`-cycle windows.
+    pub fn predict_windows(&self, matrix: &ToggleMatrix, t: usize) -> Vec<f64> {
+        crate::dataset::window_average(&self.predict(matrix), t)
+    }
+}
+
+fn build_simmani_features(
+    matrix: &ToggleMatrix,
+    base_bits: &[usize],
+    pairs: &[(usize, usize)],
+) -> BitMatrix {
+    let n = matrix.n_cycles();
+    let mut out = BitMatrix::zeros(n, base_bits.len() + pairs.len());
+    for (col, &bit) in base_bits.iter().enumerate() {
+        for c in 0..n {
+            if matrix.get(bit, c) {
+                out.set(c, col);
+            }
+        }
+    }
+    for (k, &(a, b)) in pairs.iter().enumerate() {
+        let col = base_bits.len() + k;
+        let (ba, bb) = (base_bits[a], base_bits[b]);
+        for c in 0..n {
+            if matrix.get(ba, c) && matrix.get(bb, c) {
+                out.set(c, col);
+            }
+        }
+    }
+    out
+}
+
+/// Toggle-density signatures for clustering: per candidate column, the
+/// toggle rate over `windows` coarse windows, normalized to unit mean.
+fn signatures(matrix: &ToggleMatrix, reps: &[usize], windows: usize) -> Vec<Vec<f64>> {
+    let n = matrix.n_cycles();
+    let w = (n / windows).max(1);
+    reps.iter()
+        .map(|&bit| {
+            let mut sig = vec![0.0f64; windows];
+            for (wi, &word) in matrix.column(bit).iter().enumerate() {
+                let mut bits = word;
+                let base = wi * 64;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let k = ((base + b) / w).min(windows - 1);
+                    sig[k] += 1.0;
+                }
+            }
+            // Density per window (keeping magnitude: activity level is
+            // part of the signature, so clusters separate hot and cold
+            // signals).
+            for v in sig.iter_mut() {
+                *v /= w as f64;
+            }
+            sig
+        })
+        .collect()
+}
+
+/// Trains a Simmani-style model: unsupervised K-means clustering of
+/// signal toggle-density signatures, one representative proxy per
+/// cluster, then an elastic-net fit over proxies and sampled AND terms.
+pub fn train_simmani(
+    trace: &TraceData,
+    fs: &FeatureSpace,
+    opts: &SimmaniOptions,
+) -> SimmaniModel {
+    // Strided subsample of candidates for clustering tractability.
+    let stride = (fs.reps.len() / opts.max_candidates.max(1)).max(1);
+    let cluster_reps: Vec<usize> = fs.reps.iter().copied().step_by(stride).collect();
+    let sigs = signatures(&trace.toggles, &cluster_reps, opts.signature_windows);
+    let km = KMeans::fit(&sigs, opts.q, opts.kmeans_iters, opts.seed);
+    let rep_cols = km.representatives(&sigs);
+    let base_bits: Vec<usize> = rep_cols.iter().map(|&c| cluster_reps[c]).collect();
+
+    // Deterministic pair sampling.
+    let q = base_bits.len();
+    let mut pairs = Vec::with_capacity(opts.pair_terms);
+    let mut s = opts.seed | 1;
+    let n_pairs = opts.pair_terms.min(q * (q - 1) / 2);
+    while pairs.len() < n_pairs {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let a = (s % q as u64) as usize;
+        let b = ((s >> 32) % q as u64) as usize;
+        if a != b {
+            let p = (a.min(b), a.max(b));
+            if !pairs.contains(&p) {
+                pairs.push(p);
+            }
+        }
+    }
+
+    let feats = build_simmani_features(&trace.toggles, &base_bits, &pairs);
+    let y = trace.labels();
+    let fit = coordinate_descent(
+        &feats,
+        &y,
+        Penalty::ElasticNet {
+            lambda1: opts.lambda1,
+            lambda2: opts.lambda2,
+        },
+        &CdOptions {
+            nonnegative: false,
+            ..CdOptions::default()
+        },
+    );
+    SimmaniModel {
+        base_bits,
+        pairs,
+        fit,
+    }
+}
+
+// ---------------------------------------------------------------------
+// PRIMAL (neural network over all signals)
+// ---------------------------------------------------------------------
+
+/// Options for [`train_primal`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PrimalOptions {
+    /// Hash-bucket count for the full-signal input encoding.
+    pub hash_dim: usize,
+    /// MLP training options.
+    pub mlp: MlpOptions,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl Default for PrimalOptions {
+    fn default() -> Self {
+        PrimalOptions {
+            hash_dim: 512,
+            mlp: MlpOptions {
+                hidden: vec![128, 64],
+                epochs: 20,
+                ..MlpOptions::default()
+            },
+            seed: 0x9817,
+        }
+    }
+}
+
+/// PRIMAL-style model: a neural network over a feature-hashed encoding
+/// of *all* design signals. Every signal contributes (weighted by its
+/// duplicate-group size), so inference cost scales with `M`, not `Q` —
+/// reproducing the paper's cost argument.
+#[derive(Debug)]
+pub struct PrimalModel {
+    /// Hash bucket of each candidate column.
+    bucket_of: Vec<usize>,
+    /// Multiplicity (duplicate-group size) of each candidate column.
+    multiplicity: Vec<f64>,
+    /// Hash dimension.
+    pub hash_dim: usize,
+    /// The trained network.
+    pub mlp: Mlp,
+}
+
+impl PrimalModel {
+    /// Encodes a trace into hashed dense features (row-major).
+    pub fn encode(&self, matrix: &ToggleMatrix, reps: &[usize]) -> Vec<f64> {
+        let n = matrix.n_cycles();
+        let d = self.hash_dim;
+        let mut out = vec![0.0f64; n * d];
+        for (col, &bit) in reps.iter().enumerate() {
+            let bucket = self.bucket_of[col];
+            let mult = self.multiplicity[col];
+            for (wi, &word) in matrix.column(bit).iter().enumerate() {
+                let mut bits = word;
+                let base = wi * 64;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    out[(base + b) * d + bucket] += mult;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-cycle prediction.
+    pub fn predict(&self, matrix: &ToggleMatrix, reps: &[usize]) -> Vec<f64> {
+        let x = self.encode(matrix, reps);
+        self.mlp.predict(&x, matrix.n_cycles())
+    }
+}
+
+fn hash64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Trains the PRIMAL-style network.
+pub fn train_primal(trace: &TraceData, fs: &FeatureSpace, opts: &PrimalOptions) -> PrimalModel {
+    let bucket_of: Vec<usize> = (0..fs.n_candidates())
+        .map(|c| (hash64(opts.seed ^ c as u64) % opts.hash_dim as u64) as usize)
+        .collect();
+    let multiplicity: Vec<f64> = fs.groups.iter().map(|g| g.len() as f64).collect();
+    let mut model = PrimalModel {
+        bucket_of,
+        multiplicity,
+        hash_dim: opts.hash_dim,
+        mlp: Mlp::fit(&[0.0], 1, 1, &[0.0], &MlpOptions { epochs: 0, ..MlpOptions::default() }),
+    };
+    let x = model.encode(&trace.toggles, &fs.reps);
+    let y = trace.labels();
+    model.mlp = Mlp::fit(&x, trace.n_cycles(), opts.hash_dim, &y, &opts.mlp);
+    model
+}
+
+// ---------------------------------------------------------------------
+// PCA + linear regression
+// ---------------------------------------------------------------------
+
+/// PCA baseline: random projection of all signals, PCA, then ridge
+/// regression on the top components. Like PRIMAL, inference requires
+/// all signals.
+#[derive(Debug)]
+pub struct PcaModel {
+    /// Projection dimension.
+    pub proj_dim: usize,
+    /// Principal components retained.
+    pub pca: Pca,
+    /// Ridge weights on components.
+    pub weights: Vec<f64>,
+    /// Ridge intercept.
+    pub intercept: f64,
+    /// Projection seed.
+    pub seed: u64,
+}
+
+impl PcaModel {
+    /// Per-cycle prediction.
+    pub fn predict<D: Design>(&self, design: &D) -> Vec<f64> {
+        let projected = random_project(design, 0..design.n_rows(), self.proj_dim, self.seed);
+        let comps = self.pca.transform(&projected);
+        (0..comps.rows())
+            .map(|i| {
+                self.intercept
+                    + comps
+                        .row(i)
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+}
+
+/// Trains the PCA + linear baseline.
+pub fn train_pca(trace: &TraceData, fs: &FeatureSpace, proj_dim: usize, components: usize, seed: u64) -> PcaModel {
+    let design = TraceDesign::new(&trace.toggles, &fs.reps);
+    let projected = random_project(&design, 0..trace.n_cycles(), proj_dim, seed);
+    let pca = Pca::fit(&projected, components.min(proj_dim));
+    let comps = pca.transform(&projected);
+    let y = trace.labels();
+    let (weights, intercept) = ols_ridge(&comps, &y, 1e-3);
+    PcaModel {
+        proj_dim,
+        pca,
+        weights,
+        intercept,
+        seed,
+    }
+}
+
+/// Multi-cycle Simmani variant for Figure 11: elastic net over τ=T
+/// averaged proxy features with quadratic terms of the averages.
+#[derive(Debug)]
+pub struct SimmaniWindowModel {
+    /// Base proxy bits.
+    pub base_bits: Vec<usize>,
+    /// Window size the model was trained for.
+    pub t: usize,
+    /// Elastic-net weights over `[avg features, squares]`.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub intercept: f64,
+}
+
+impl SimmaniWindowModel {
+    fn features(&self, matrix: &ToggleMatrix) -> (Matrix, usize) {
+        let n_windows = matrix.n_cycles() / self.t;
+        let q = self.base_bits.len();
+        let mut m = Matrix::zeros(n_windows, 2 * q);
+        for (col, &bit) in self.base_bits.iter().enumerate() {
+            for k in 0..n_windows {
+                let mut count = 0usize;
+                for c in k * self.t..(k + 1) * self.t {
+                    count += matrix.get(bit, c) as usize;
+                }
+                let avg = count as f64 / self.t as f64;
+                m[(k, col)] = avg;
+                m[(k, q + col)] = avg * avg;
+            }
+        }
+        (m, n_windows)
+    }
+
+    /// Predicts `t`-cycle window averages.
+    pub fn predict_windows(&self, matrix: &ToggleMatrix) -> Vec<f64> {
+        let (feats, n) = self.features(matrix);
+        (0..n)
+            .map(|k| {
+                self.intercept
+                    + feats
+                        .row(k)
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+}
+
+/// Trains the multi-cycle Simmani baseline at window size `t`, reusing
+/// the clustering of an existing per-cycle Simmani model.
+pub fn train_simmani_window(
+    trace: &TraceData,
+    base: &SimmaniModel,
+    t: usize,
+    lambda: f64,
+) -> SimmaniWindowModel {
+    let mut model = SimmaniWindowModel {
+        base_bits: base.base_bits.clone(),
+        t,
+        weights: Vec::new(),
+        intercept: 0.0,
+    };
+    let (feats, n_windows) = model.features(&trace.toggles);
+    let y = crate::dataset::window_average(&trace.labels(), t);
+    let (w, b) = ols_ridge(&feats, &y[..n_windows], lambda);
+    model.weights = w;
+    model.intercept = b;
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DesignContext;
+    use apollo_cpu::CpuConfig;
+    use apollo_mlkit::metrics;
+
+    fn tiny_setup() -> (DesignContext, TraceData, FeatureSpace, TraceData) {
+        use apollo_cpu::benchmarks::random::{random_body, wrap_body, GenWeights};
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        // Train on diverse constrained-random programs (like the real
+        // GA-generated training set) plus two handcrafted kernels.
+        let mut train: Vec<_> = vec![
+            (apollo_cpu::benchmarks::dhrystone(), 300),
+            (apollo_cpu::benchmarks::maxpwr_cpu(), 300),
+        ];
+        let w = GenWeights::default();
+        for seed in 0..8u64 {
+            let bench = apollo_cpu::benchmarks::Benchmark {
+                name: format!("rand{seed}"),
+                program: wrap_body(&random_body(seed, 40, &w), 8),
+                data: crate::benchgen::training_data_pattern(256),
+                cycles: 200,
+            };
+            train.push((bench, 200));
+        }
+        let trace = ctx.capture_suite(&train, 60);
+        let fs = FeatureSpace::build(&trace.toggles);
+        let test: Vec<_> = vec![
+            (apollo_cpu::benchmarks::saxpy_simd(), 300),
+            (apollo_cpu::benchmarks::daxpy(), 300),
+        ];
+        let test_trace = ctx.capture_suite(&test, 16);
+        (ctx, trace, fs, test_trace)
+    }
+
+    #[test]
+    fn simmani_trains_and_predicts() {
+        let (_ctx, trace, fs, test_trace) = tiny_setup();
+        let model = train_simmani(
+            &trace,
+            &fs,
+            &SimmaniOptions { q: 32, pair_terms: 80, ..SimmaniOptions::default() },
+        );
+        assert!(model.q() >= 12, "q = {}", model.q());
+        let pred = model.predict(&test_trace.toggles);
+        let r2 = metrics::r2(&test_trace.labels(), &pred);
+        assert!(r2 > 0.2, "Simmani test R² = {r2}");
+    }
+
+    #[test]
+    fn primal_reaches_reasonable_accuracy() {
+        let (_ctx, trace, fs, test_trace) = tiny_setup();
+        let model = train_primal(
+            &trace,
+            &fs,
+            &PrimalOptions {
+                hash_dim: 128,
+                mlp: MlpOptions { hidden: vec![48], epochs: 12, ..MlpOptions::default() },
+                ..PrimalOptions::default()
+            },
+        );
+        let pred = model.predict(&test_trace.toggles, &fs.reps);
+        let r2 = metrics::r2(&test_trace.labels(), &pred);
+        assert!(r2 > 0.5, "PRIMAL test R² = {r2}");
+    }
+
+    #[test]
+    fn pca_baseline_works() {
+        let (_ctx, trace, fs, test_trace) = tiny_setup();
+        let model = train_pca(&trace, &fs, 128, 48, 3);
+        let test_design = TraceDesign::new(&test_trace.toggles, &fs.reps);
+        let pred = model.predict(&test_design);
+        let r2 = metrics::r2(&test_trace.labels(), &pred);
+        assert!(r2 > 0.4, "PCA test R² = {r2}");
+    }
+
+    #[test]
+    fn simmani_window_model_fits_averages() {
+        let (_ctx, trace, fs, test_trace) = tiny_setup();
+        let base = train_simmani(
+            &trace,
+            &fs,
+            &SimmaniOptions { q: 32, pair_terms: 40, ..SimmaniOptions::default() },
+        );
+        let wm = train_simmani_window(&trace, &base, 16, 1.0);
+        let pred = wm.predict_windows(&test_trace.toggles);
+        let truth = crate::dataset::window_average(&test_trace.labels(), 16);
+        let err = metrics::nrmse(&truth[..pred.len()], &pred);
+        assert!(err < 0.3, "Simmani window NRMSE = {err}");
+    }
+}

@@ -1,0 +1,345 @@
+//! Automatic training-data generation with a genetic algorithm
+//! (paper §4.1, after GeST).
+//!
+//! Starting from a random population of constrained instruction
+//! sequences, each generation measures every individual's average power
+//! on the simulator, keeps the highest-power individuals as parents, and
+//! produces children by one-point crossover and per-slot mutation. The
+//! optimizer drives toward a power virus, and the union of individuals
+//! across generations — early low-power ones included — spans a wide
+//! power range (Figure 3b), from which a uniform-power training set is
+//! drawn.
+
+use crate::dataset::DesignContext;
+use apollo_cpu::benchmarks::random::{random_inst, wrap_body, GenWeights};
+use apollo_cpu::benchmarks::Benchmark;
+use apollo_cpu::Inst;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// GA configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Shortest individual body (branch-dense when looped).
+    pub body_len_min: usize,
+    /// Longest individual body (past the I-cache capacity these create
+    /// instruction-fetch misses, like real long basic blocks).
+    pub body_len_max: usize,
+    /// Times each body is looped during fitness evaluation.
+    pub reps: u16,
+    /// Unrecorded warm-up cycles before measuring.
+    pub warmup: u64,
+    /// Cycles of power measurement per fitness evaluation.
+    pub fitness_cycles: u64,
+    /// Fraction of the population kept as parents.
+    pub parent_fraction: f64,
+    /// Per-slot mutation probability for children.
+    pub mutation_rate: f64,
+    /// Instruction-class weights for generation and mutation.
+    pub weights: GenWeights,
+    /// Worker threads for fitness evaluation.
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 24,
+            generations: 30,
+            body_len_min: 12,
+            body_len_max: 200,
+            reps: 12,
+            warmup: 400,
+            fitness_cycles: 500,
+            parent_fraction: 0.5,
+            mutation_rate: 0.06,
+            weights: GenWeights::default(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            seed: 0xA9011,
+        }
+    }
+}
+
+/// One evaluated micro-benchmark.
+#[derive(Clone, Debug)]
+pub struct Individual {
+    /// Straight-line body (wrapped in the standard loop harness when
+    /// assembled).
+    pub body: Vec<Inst>,
+    /// Measured average power.
+    pub avg_power: f64,
+    /// Generation it was evaluated in.
+    pub generation: usize,
+}
+
+impl Individual {
+    /// Assembles the runnable program for this individual.
+    pub fn program(&self, reps: u16) -> Vec<Inst> {
+        wrap_body(&self.body, reps)
+    }
+}
+
+/// Output of a GA run: every individual ever evaluated, plus the
+/// best-power trajectory.
+#[derive(Clone, Debug)]
+pub struct GaRun {
+    /// All evaluated individuals across all generations.
+    pub individuals: Vec<Individual>,
+    /// Highest power seen per generation.
+    pub best_per_gen: Vec<f64>,
+    /// The configuration used.
+    pub config: GaConfig,
+}
+
+impl GaRun {
+    /// The max/min power ratio across all individuals (the paper reports
+    /// > 5×).
+    pub fn power_spread(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for ind in &self.individuals {
+            lo = lo.min(ind.avg_power);
+            hi = hi.max(ind.avg_power);
+        }
+        hi / lo
+    }
+
+    /// Draws `count` *distinct* individuals with approximately uniform
+    /// coverage of the observed power range (the paper's training-set
+    /// construction: ≈ 300 of > 1000 generated micro-benchmarks, with a
+    /// uniform power distribution).
+    pub fn select_uniform(&self, count: usize) -> Vec<&Individual> {
+        assert!(count >= 1);
+        let mut sorted: Vec<&Individual> = self.individuals.iter().collect();
+        sorted.sort_by(|a, b| a.avg_power.partial_cmp(&b.avg_power).unwrap());
+        if sorted.len() <= count {
+            return sorted;
+        }
+        // Quantile picks across the power-sorted list (endpoints
+        // included): distinct individuals with uniform-ish power
+        // coverage.
+        let mut out: Vec<&Individual> = Vec::with_capacity(count);
+        for k in 0..count {
+            let idx = k * (sorted.len() - 1) / (count - 1).max(1);
+            out.push(sorted[idx]);
+        }
+        out.dedup_by(|a, b| std::ptr::eq(*a, *b));
+        out
+    }
+
+    /// Converts selected individuals into capture-ready benchmarks of
+    /// `cycles_each` recorded cycles. `dram_words` bounds the preloaded
+    /// data pattern to the target design's memory.
+    pub fn training_suite(
+        &self,
+        count: usize,
+        cycles_each: usize,
+        dram_words: u32,
+    ) -> Vec<(Benchmark, usize)> {
+        let data = training_data_pattern(dram_words.min(4096) as usize);
+        self.select_uniform(count)
+            .into_iter()
+            .enumerate()
+            .map(|(i, ind)| {
+                let bench = Benchmark {
+                    name: format!("ga{i:04}"),
+                    program: ind.program(self.config.reps),
+                    data: data.clone(),
+                    cycles: cycles_each,
+                };
+                (bench, cycles_each)
+            })
+            .collect()
+    }
+}
+
+/// Deterministic data-memory pattern shared by all GA evaluations.
+pub fn training_data_pattern(words: usize) -> Vec<u64> {
+    let mut s = 0x1234_5678_9ABC_DEF0u64;
+    (0..words)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        })
+        .collect()
+}
+
+/// Evaluates fitness (average power) for a set of bodies in parallel.
+fn evaluate(ctx: &DesignContext, cfg: &GaConfig, bodies: &[Vec<Inst>]) -> Vec<f64> {
+    let data = training_data_pattern(ctx.handles.config.dram_words.min(4096) as usize);
+    let mut out = vec![0.0f64; bodies.len()];
+    let threads = cfg.threads.clamp(1, bodies.len().max(1));
+    let chunk = bodies.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (slot, work) in bodies.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let data = &data;
+            scope.spawn(move |_| {
+                for (body, res) in slot.iter().zip(work.iter_mut()) {
+                    let program = wrap_body(body, cfg.reps);
+                    *res = ctx.mean_power(&program, data, cfg.warmup, cfg.fitness_cycles);
+                }
+            });
+        }
+    })
+    .expect("fitness worker panicked");
+    out
+}
+
+/// Scales each instruction-class weight by a log-uniform factor in
+/// roughly `[1/8, 8]`, producing hot and cold instruction mixes.
+fn randomize_profile(base: &GenWeights, rng: &mut StdRng) -> GenWeights {
+    let mut scale = |w: f64| w * (2.0f64).powf(rng.gen_range(-3.0..3.0));
+    GenWeights {
+        alu: scale(base.alu),
+        mul: scale(base.mul),
+        div: scale(base.div),
+        load: scale(base.load),
+        store: scale(base.store),
+        vec: scale(base.vec),
+        vmem: scale(base.vmem),
+        nop: scale(base.nop * 4.0),
+        throttle: scale(base.throttle),
+    }
+}
+
+/// Runs the GA and returns every evaluated individual.
+pub fn run_ga(ctx: &DesignContext, cfg: &GaConfig) -> GaRun {
+    assert!(cfg.population >= 4, "population too small");
+    assert!((0.0..=1.0).contains(&cfg.parent_fraction));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Diverse initial population: each individual draws from its own
+    // randomized instruction-mix profile (some NOP/branchy-cold, some
+    // vector/multiply-hot) and its own body length (short bodies are
+    // branch-dense when looped, long ones overflow the I-cache), which
+    // is what gives the union of generations the paper's wide power
+    // range.
+    let mut population: Vec<Vec<Inst>> = (0..cfg.population)
+        .map(|_| {
+            let profile = randomize_profile(&cfg.weights, &mut rng);
+            let len = rng.gen_range(cfg.body_len_min..=cfg.body_len_max);
+            (0..len).map(|_| random_inst(&mut rng, &profile)).collect()
+        })
+        .collect();
+
+    let mut all = Vec::with_capacity(cfg.population * cfg.generations);
+    let mut best_per_gen = Vec::with_capacity(cfg.generations);
+
+    for generation in 0..cfg.generations {
+        let fitness = evaluate(ctx, cfg, &population);
+        let mut ranked: Vec<usize> = (0..population.len()).collect();
+        ranked.sort_by(|&a, &b| fitness[b].partial_cmp(&fitness[a]).unwrap());
+        best_per_gen.push(fitness[ranked[0]]);
+        for (body, &fit) in population.iter().zip(&fitness) {
+            all.push(Individual {
+                body: body.clone(),
+                avg_power: fit,
+                generation,
+            });
+        }
+        if generation + 1 == cfg.generations {
+            break;
+        }
+        // Parents: top fraction by power.
+        let n_parents = ((cfg.population as f64 * cfg.parent_fraction) as usize).max(2);
+        let parents: Vec<&Vec<Inst>> =
+            ranked[..n_parents].iter().map(|&i| &population[i]).collect();
+        // Children: crossover + mutation; elitism keeps the best as-is.
+        let mut next: Vec<Vec<Inst>> = vec![population[ranked[0]].clone()];
+        while next.len() < cfg.population {
+            let pa = parents[rng.gen_range(0..parents.len())];
+            let pb = parents[rng.gen_range(0..parents.len())];
+            // Variable-length one-point crossover: prefix of one parent,
+            // suffix of the other, clamped to the configured range.
+            let cut_a = rng.gen_range(1..pa.len());
+            let cut_b = rng.gen_range(0..pb.len());
+            let mut child: Vec<Inst> = pa[..cut_a]
+                .iter()
+                .chain(pb[cut_b..].iter())
+                .copied()
+                .collect();
+            child.truncate(cfg.body_len_max);
+            while child.len() < cfg.body_len_min {
+                child.push(random_inst(&mut rng, &cfg.weights));
+            }
+            for slot in child.iter_mut() {
+                if rng.gen_bool(cfg.mutation_rate) {
+                    *slot = random_inst(&mut rng, &cfg.weights);
+                }
+            }
+            next.push(child);
+        }
+        population = next;
+    }
+
+    GaRun {
+        individuals: all,
+        best_per_gen,
+        config: cfg.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_cpu::CpuConfig;
+
+    fn small_cfg() -> GaConfig {
+        GaConfig {
+            population: 8,
+            generations: 4,
+            body_len_min: 10,
+            body_len_max: 48,
+            reps: 8,
+            warmup: 60,
+            fitness_cycles: 250,
+            threads: 4,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn ga_produces_diverse_power_and_improves() {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let run = run_ga(&ctx, &small_cfg());
+        assert_eq!(run.individuals.len(), 8 * 4);
+        assert!(run.power_spread() > 1.1, "spread {}", run.power_spread());
+        let first = run.best_per_gen[0];
+        let last = *run.best_per_gen.last().unwrap();
+        assert!(
+            last >= first * 0.999,
+            "elitism: best should not regress ({first} -> {last})"
+        );
+    }
+
+    #[test]
+    fn uniform_selection_spans_range() {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let run = run_ga(&ctx, &small_cfg());
+        let sel = run.select_uniform(6);
+        assert!(sel.len() >= 3);
+        let lo = sel.iter().map(|i| i.avg_power).fold(f64::INFINITY, f64::min);
+        let hi = sel.iter().map(|i| i.avg_power).fold(0.0, f64::max);
+        let all_lo = run.individuals.iter().map(|i| i.avg_power).fold(f64::INFINITY, f64::min);
+        let all_hi = run.individuals.iter().map(|i| i.avg_power).fold(0.0, f64::max);
+        assert!(lo <= all_lo + 0.2 * (all_hi - all_lo));
+        assert!(hi >= all_hi - 0.2 * (all_hi - all_lo));
+    }
+
+    #[test]
+    fn ga_is_deterministic() {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let a = run_ga(&ctx, &small_cfg());
+        let b = run_ga(&ctx, &small_cfg());
+        assert_eq!(a.best_per_gen, b.best_per_gen);
+    }
+}

@@ -1,0 +1,167 @@
+//! Design context and trace-capture helpers: the glue between the CPU
+//! substrate, the simulator, and model training.
+
+use apollo_cpu::benchmarks::Benchmark;
+use apollo_cpu::{build_cpu, CpuConfig, CpuHandles, CpuSim, Inst};
+use apollo_rtl::{CapAnnotation, CapModel, Netlist};
+use apollo_sim::{PowerConfig, TraceCapture, TraceData};
+
+/// A CPU design prepared for power-model work: netlist, annotated
+/// parasitics and ground-truth power configuration.
+#[derive(Debug)]
+pub struct DesignContext {
+    /// The CPU design handles.
+    pub handles: CpuHandles,
+    /// Back-annotated parasitics.
+    pub cap: CapAnnotation,
+    /// Ground-truth power engine configuration.
+    pub power: PowerConfig,
+}
+
+impl DesignContext {
+    /// Builds the design and annotates parasitics with default models.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (CPU generation is
+    /// infallible for valid configs).
+    pub fn new(config: &CpuConfig) -> Self {
+        let handles = build_cpu(config).expect("CPU generation failed");
+        let cap = CapModel::default().annotate(&handles.netlist);
+        DesignContext {
+            handles,
+            cap,
+            power: PowerConfig::default(),
+        }
+    }
+
+    /// The design netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.handles.netlist
+    }
+
+    /// Total signal bits (the paper's `M`).
+    pub fn m_bits(&self) -> usize {
+        self.netlist().signal_bits()
+    }
+
+    /// Creates a fresh simulator with a program loaded.
+    pub fn simulate(&self, program: &[Inst], data: &[u64]) -> CpuSim<'_> {
+        CpuSim::new(&self.handles, &self.cap, self.power.clone(), program, data)
+    }
+
+    /// Mean total power of a program over `cycles` cycles after
+    /// `warmup` cycles (the GA fitness function).
+    pub fn mean_power(&self, program: &[Inst], data: &[u64], warmup: u64, cycles: u64) -> f64 {
+        let mut sim = self.simulate(program, data);
+        for _ in 0..warmup {
+            sim.step();
+        }
+        let mut total = 0.0;
+        for _ in 0..cycles {
+            sim.step();
+            total += sim.sim().power().total;
+        }
+        total / cycles as f64
+    }
+
+    /// Captures full toggle traces for a set of workloads, each recorded
+    /// for its own cycle window after `warmup` un-recorded cycles.
+    pub fn capture_suite(&self, suite: &[(Benchmark, usize)], warmup: usize) -> TraceData {
+        let total: usize = suite.iter().map(|(_, c)| c).sum();
+        assert!(total > 0, "empty capture request");
+        let mut cap = TraceCapture::all(self.netlist(), total);
+        for (bench, cycles) in suite {
+            let mut sim = self.simulate(&bench.program, &bench.data);
+            for _ in 0..warmup {
+                sim.step();
+            }
+            cap.record(sim.sim_mut(), *cycles, &bench.name);
+        }
+        cap.finish()
+    }
+
+    /// Captures only the given flat signal bits (the emulator-assisted
+    /// proxy-only flow of paper §5).
+    pub fn capture_bits(
+        &self,
+        bench: &Benchmark,
+        bits: &[usize],
+        cycles: usize,
+        warmup: usize,
+    ) -> TraceData {
+        let mut cap = TraceCapture::bits(self.netlist(), bits, cycles);
+        let mut sim = self.simulate(&bench.program, &bench.data);
+        for _ in 0..warmup {
+            sim.step();
+        }
+        cap.record(sim.sim_mut(), cycles, &bench.name);
+        cap.finish()
+    }
+
+    /// The Table-4 testing suite with the paper's per-benchmark window
+    /// lengths, scaled by `scale` (1.0 = paper windows).
+    pub fn test_suite(&self, scale: f64) -> Vec<(Benchmark, usize)> {
+        apollo_cpu::benchmarks::table4_suite(&self.handles.config)
+            .into_iter()
+            .map(|b| {
+                let c = ((b.cycles as f64 * scale) as usize).max(64);
+                (b, c)
+            })
+            .collect()
+    }
+}
+
+/// Averages consecutive windows of `t` entries (incomplete tail
+/// dropped) — used for multi-cycle ground truth.
+pub fn window_average(v: &[f64], t: usize) -> Vec<f64> {
+    assert!(t >= 1, "window must be at least 1");
+    let n = v.len() / t;
+    (0..n)
+        .map(|k| v[k * t..(k + 1) * t].iter().sum::<f64>() / t as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_suite_records_all_segments() {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let suite: Vec<(Benchmark, usize)> = vec![
+            (apollo_cpu::benchmarks::dhrystone(), 100),
+            (apollo_cpu::benchmarks::maxpwr_cpu(), 150),
+        ];
+        let data = ctx.capture_suite(&suite, 8);
+        assert_eq!(data.n_cycles(), 250);
+        assert_eq!(data.segment("dhrystone"), Some(0..100));
+        assert_eq!(data.segment("maxpwr_cpu"), Some(100..250));
+        assert!(data.mean_power() > 0.0);
+        assert_eq!(data.toggles.m_bits(), ctx.m_bits());
+    }
+
+    #[test]
+    fn mean_power_is_deterministic_and_workload_dependent() {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let hot = apollo_cpu::benchmarks::maxpwr_cpu();
+        let idle_prog = {
+            let mut a = apollo_cpu::Asm::new();
+            a.halt();
+            a.assemble()
+        };
+        let p_hot = ctx.mean_power(&hot.program, &hot.data, 10, 200);
+        let p_hot2 = ctx.mean_power(&hot.program, &hot.data, 10, 200);
+        let p_idle = ctx.mean_power(&idle_prog, &[], 10, 200);
+        assert_eq!(p_hot, p_hot2);
+        assert!(
+            p_hot > 1.5 * p_idle,
+            "hot {p_hot} should clearly exceed idle {p_idle}"
+        );
+    }
+
+    #[test]
+    fn window_average_drops_tail() {
+        let v = vec![1.0, 3.0, 5.0, 7.0, 100.0];
+        assert_eq!(window_average(&v, 2), vec![2.0, 6.0]);
+    }
+}

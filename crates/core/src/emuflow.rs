@@ -1,0 +1,125 @@
+//! Emulator-assisted power analysis flow (paper §5 and §8.1).
+//!
+//! Long workloads are replayed while dumping only the `Q` proxy bits per
+//! cycle; the APOLLO model then infers per-cycle power from the compact
+//! trace. The report quantifies the data-volume reduction (the paper:
+//! 17M cycles → 1.1 GB instead of > 200 GB) and inference throughput
+//! (§8.1: a billion cycles in about a minute for a linear model).
+
+use crate::dataset::DesignContext;
+use crate::model::ApolloModel;
+use apollo_cpu::benchmarks::Benchmark;
+use std::time::Instant;
+
+/// Result of one emulator-assisted run.
+#[derive(Clone, Debug)]
+pub struct EmuFlowReport {
+    /// Workload name.
+    pub workload: String,
+    /// Cycles replayed.
+    pub cycles: usize,
+    /// Number of proxies dumped.
+    pub q: usize,
+    /// Bytes of the packed proxy trace.
+    pub proxy_trace_bytes: usize,
+    /// Bytes a full-signal dump would need.
+    pub full_trace_bytes: usize,
+    /// Wall-clock seconds of emulation + trace dump.
+    pub capture_seconds: f64,
+    /// Wall-clock seconds of model inference over the trace.
+    pub inference_seconds: f64,
+    /// The inferred per-cycle power trace.
+    pub power_trace: Vec<f64>,
+    /// Ground-truth per-cycle power (available because our "emulator" is
+    /// the simulator; used for accuracy spot checks).
+    pub ground_truth: Vec<f64>,
+}
+
+impl EmuFlowReport {
+    /// Data-volume reduction factor versus a full-signal dump.
+    pub fn reduction_factor(&self) -> f64 {
+        self.full_trace_bytes as f64 / self.proxy_trace_bytes.max(1) as f64
+    }
+
+    /// Inference throughput in cycles per second.
+    pub fn inference_cycles_per_second(&self) -> f64 {
+        self.cycles as f64 / self.inference_seconds.max(1e-12)
+    }
+
+    /// Extrapolated wall-clock seconds to infer one billion cycles
+    /// (the paper's §8.1 comparison point).
+    pub fn seconds_per_billion_cycles(&self) -> f64 {
+        1e9 / self.inference_cycles_per_second()
+    }
+}
+
+/// Runs the emulator-assisted flow: proxy-only capture of `bench` for
+/// `cycles` cycles, then model inference.
+pub fn run_emulator_flow(
+    ctx: &DesignContext,
+    model: &ApolloModel,
+    bench: &Benchmark,
+    cycles: usize,
+    warmup: usize,
+) -> EmuFlowReport {
+    let bits = model.bits();
+    let t0 = Instant::now();
+    let trace = ctx.capture_bits(bench, &bits, cycles, warmup);
+    let capture_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let power_trace = model.predict_proxy_trace(&trace);
+    let inference_seconds = t1.elapsed().as_secs_f64();
+
+    let proxy_trace_bytes = trace.toggles.size_bytes();
+    let full_trace_bytes = ctx.m_bits().div_ceil(8) * cycles;
+    EmuFlowReport {
+        workload: bench.name.clone(),
+        cycles,
+        q: bits.len(),
+        proxy_trace_bytes,
+        full_trace_bytes,
+        capture_seconds,
+        inference_seconds,
+        power_trace,
+        ground_truth: trace.labels(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSpace;
+    use crate::model::{train_per_cycle, TrainOptions};
+    use apollo_cpu::CpuConfig;
+    use apollo_mlkit::metrics;
+
+    #[test]
+    fn emulator_flow_reduces_data_and_stays_accurate() {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let train: Vec<_> = vec![
+            (apollo_cpu::benchmarks::dhrystone(), 400),
+            (apollo_cpu::benchmarks::maxpwr_cpu(), 400),
+            (apollo_cpu::benchmarks::memcpy_l2(&ctx.handles.config), 400),
+        ];
+        let trace = ctx.capture_suite(&train, 16);
+        let fs = FeatureSpace::build(&trace.toggles);
+        let trained = train_per_cycle(
+            &trace,
+            ctx.netlist(),
+            &fs,
+            &TrainOptions { q_target: 20, ..TrainOptions::default() },
+        );
+        let long = apollo_cpu::benchmarks::hmmer_like(&ctx.handles.config, 4);
+        let report = run_emulator_flow(&ctx, &trained.model, &long, 2_000, 8);
+        assert_eq!(report.cycles, 2_000);
+        assert!(
+            report.reduction_factor() > 20.0,
+            "reduction {}",
+            report.reduction_factor()
+        );
+        let r2 = metrics::r2(&report.ground_truth, &report.power_trace);
+        assert!(r2 > 0.6, "emulated-trace R² = {r2}");
+        assert!(report.inference_cycles_per_second() > 100_000.0);
+    }
+}

@@ -1,0 +1,439 @@
+//! Feature-space construction from toggle traces.
+//!
+//! Before regression we (a) drop constant columns and (b) deduplicate
+//! *exactly identical* toggle columns, keeping one representative per
+//! group. RTL designs contain large numbers of bit-identical nets
+//! (fanout copies, staging registers, bus slices), and identical columns
+//! are interchangeable for any linear model — deduplication is lossless
+//! and is what makes commercial-scale `M` tractable for pure-Rust
+//! coordinate descent. Reported `M` counts remain pre-dedup, as in the
+//! paper.
+
+use apollo_mlkit::Design;
+use apollo_sim::ToggleMatrix;
+use std::collections::HashMap;
+
+/// The reduced candidate feature space over a training trace.
+#[derive(Clone, Debug)]
+pub struct FeatureSpace {
+    /// Representative flat-bit index per candidate column.
+    pub reps: Vec<usize>,
+    /// For each representative, all member bits of its duplicate group
+    /// (including the representative itself).
+    pub groups: Vec<Vec<usize>>,
+    /// Total signal bits in the design (pre-dedup `M`).
+    pub total_bits: usize,
+    /// Bits dropped as constant (never/always toggling is impossible for
+    /// "always" since toggles are events, so: never toggling).
+    pub constant_bits: usize,
+}
+
+impl FeatureSpace {
+    /// Builds the candidate space from a full-capture training matrix.
+    pub fn build(matrix: &ToggleMatrix) -> FeatureSpace {
+        let m = matrix.m_bits();
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut constant_bits = 0usize;
+        for bit in 0..m {
+            let pop = matrix.popcount(bit);
+            if pop == 0 || pop == matrix.n_cycles() {
+                constant_bits += 1;
+                continue;
+            }
+            buckets.entry(matrix.column_hash(bit)).or_default().push(bit);
+        }
+        let mut reps = Vec::new();
+        let mut groups = Vec::new();
+        let mut bucket_keys: Vec<u64> = buckets.keys().copied().collect();
+        bucket_keys.sort_unstable();
+        for key in bucket_keys {
+            let members = &buckets[&key];
+            // Within a hash bucket, split by true equality.
+            let mut subgroups: Vec<Vec<usize>> = Vec::new();
+            'member: for &bit in members {
+                for sg in subgroups.iter_mut() {
+                    if matrix.columns_equal(sg[0], bit) {
+                        sg.push(bit);
+                        continue 'member;
+                    }
+                }
+                subgroups.push(vec![bit]);
+            }
+            for sg in subgroups {
+                reps.push(sg[0]);
+                groups.push(sg);
+            }
+        }
+        // Deterministic order by representative bit index.
+        let mut order: Vec<usize> = (0..reps.len()).collect();
+        order.sort_by_key(|&i| reps[i]);
+        let reps = order.iter().map(|&i| reps[i]).collect();
+        let groups = order.into_iter().map(|i| groups[i].clone()).collect();
+        FeatureSpace {
+            reps,
+            groups,
+            total_bits: m,
+            constant_bits,
+        }
+    }
+
+    /// Number of candidate (deduplicated) columns.
+    pub fn n_candidates(&self) -> usize {
+        self.reps.len()
+    }
+}
+
+/// [`Design`] adapter exposing selected representative columns of a
+/// [`ToggleMatrix`] to the regression solvers, without copying.
+#[derive(Clone, Debug)]
+pub struct TraceDesign<'a> {
+    matrix: &'a ToggleMatrix,
+    reps: &'a [usize],
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl<'a> TraceDesign<'a> {
+    /// Wraps `matrix`, exposing `reps[j]` as column `j`.
+    pub fn new(matrix: &'a ToggleMatrix, reps: &'a [usize]) -> Self {
+        let n = matrix.n_cycles() as f64;
+        let mut means = Vec::with_capacity(reps.len());
+        let mut stds = Vec::with_capacity(reps.len());
+        for &bit in reps {
+            let m = matrix.popcount(bit) as f64 / n;
+            means.push(m);
+            stds.push((m * (1.0 - m)).sqrt());
+        }
+        TraceDesign {
+            matrix,
+            reps,
+            means,
+            stds,
+        }
+    }
+
+    /// The global bit index behind column `j`.
+    pub fn bit_of(&self, j: usize) -> usize {
+        self.reps[j]
+    }
+}
+
+impl Design for TraceDesign<'_> {
+    fn n_rows(&self) -> usize {
+        self.matrix.n_cycles()
+    }
+
+    fn n_cols(&self) -> usize {
+        self.reps.len()
+    }
+
+    fn col_mean(&self, j: usize) -> f64 {
+        self.means[j]
+    }
+
+    fn col_std(&self, j: usize) -> f64 {
+        self.stds[j]
+    }
+
+    fn col_dot(&self, j: usize, v: &[f64]) -> f64 {
+        let mut sum = 0.0;
+        for (wi, &w) in self.matrix.column(self.reps[j]).iter().enumerate() {
+            let mut bits = w;
+            let base = wi * 64;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                sum += v[base + b];
+            }
+        }
+        sum
+    }
+
+    fn col_axpy(&self, j: usize, alpha: f64, v: &mut [f64]) {
+        for (wi, &w) in self.matrix.column(self.reps[j]).iter().enumerate() {
+            let mut bits = w;
+            let base = wi * 64;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                v[base + b] += alpha;
+            }
+        }
+    }
+
+    fn value(&self, row: usize, col: usize) -> f64 {
+        self.matrix.get(self.reps[col], row) as u8 as f64
+    }
+
+    fn for_each_nonzero(&self, j: usize, f: &mut dyn FnMut(usize, f64)) {
+        for (wi, &w) in self.matrix.column(self.reps[j]).iter().enumerate() {
+            let mut bits = w;
+            let base = wi * 64;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(base + b, 1.0);
+            }
+        }
+    }
+}
+
+/// [`Design`] view of τ-cycle interval-averaged toggle features
+/// (the paper's `x^τ` inputs of §4.5), computed on demand from the
+/// packed per-cycle matrix — the dense averaged matrix is never
+/// materialized.
+#[derive(Clone, Debug)]
+pub struct AveragedDesign<'a> {
+    matrix: &'a ToggleMatrix,
+    reps: &'a [usize],
+    tau: usize,
+    n_intervals: usize,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl<'a> AveragedDesign<'a> {
+    /// Builds the τ-cycle averaged view (complete intervals only).
+    ///
+    /// # Panics
+    /// Panics if `tau` is zero or exceeds the trace length.
+    pub fn new(matrix: &'a ToggleMatrix, reps: &'a [usize], tau: usize) -> Self {
+        assert!(tau >= 1, "tau must be at least 1");
+        let n_intervals = matrix.n_cycles() / tau;
+        assert!(n_intervals >= 1, "trace shorter than one interval");
+        let mut means = Vec::with_capacity(reps.len());
+        let mut stds = Vec::with_capacity(reps.len());
+        let mut acc = vec![0.0f64; n_intervals];
+        for &bit in reps {
+            acc.iter_mut().for_each(|a| *a = 0.0);
+            for (wi, &w) in matrix.column(bit).iter().enumerate() {
+                let mut bits = w;
+                let base = wi * 64;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let k = (base + b) / tau;
+                    if k < n_intervals {
+                        acc[k] += 1.0;
+                    }
+                }
+            }
+            let inv = 1.0 / tau as f64;
+            let mean = acc.iter().sum::<f64>() * inv / n_intervals as f64;
+            let var = acc
+                .iter()
+                .map(|&c| {
+                    let v = c * inv - mean;
+                    v * v
+                })
+                .sum::<f64>()
+                / n_intervals as f64;
+            means.push(mean);
+            stds.push(var.sqrt());
+        }
+        AveragedDesign {
+            matrix,
+            reps,
+            tau,
+            n_intervals,
+            means,
+            stds,
+        }
+    }
+
+    /// The interval size τ.
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+}
+
+impl Design for AveragedDesign<'_> {
+    fn n_rows(&self) -> usize {
+        self.n_intervals
+    }
+
+    fn n_cols(&self) -> usize {
+        self.reps.len()
+    }
+
+    fn col_mean(&self, j: usize) -> f64 {
+        self.means[j]
+    }
+
+    fn col_std(&self, j: usize) -> f64 {
+        self.stds[j]
+    }
+
+    fn col_dot(&self, j: usize, v: &[f64]) -> f64 {
+        let inv = 1.0 / self.tau as f64;
+        let mut sum = 0.0;
+        for (wi, &w) in self.matrix.column(self.reps[j]).iter().enumerate() {
+            let mut bits = w;
+            let base = wi * 64;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let k = (base + b) / self.tau;
+                if k < self.n_intervals {
+                    sum += v[k] * inv;
+                }
+            }
+        }
+        sum
+    }
+
+    fn col_axpy(&self, j: usize, alpha: f64, v: &mut [f64]) {
+        let a = alpha / self.tau as f64;
+        for (wi, &w) in self.matrix.column(self.reps[j]).iter().enumerate() {
+            let mut bits = w;
+            let base = wi * 64;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let k = (base + b) / self.tau;
+                if k < self.n_intervals {
+                    v[k] += a;
+                }
+            }
+        }
+    }
+
+    fn value(&self, row: usize, col: usize) -> f64 {
+        let start = row * self.tau;
+        let mut count = 0usize;
+        for c in start..start + self.tau {
+            count += self.matrix.get(self.reps[col], c) as usize;
+        }
+        count as f64 / self.tau as f64
+    }
+
+    fn for_each_nonzero(&self, j: usize, f: &mut dyn FnMut(usize, f64)) {
+        // Coalesce consecutive bits of the same interval.
+        let inv = 1.0 / self.tau as f64;
+        let mut last_k = usize::MAX;
+        let mut acc = 0.0;
+        for (wi, &w) in self.matrix.column(self.reps[j]).iter().enumerate() {
+            let mut bits = w;
+            let base = wi * 64;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let k = (base + b) / self.tau;
+                if k >= self.n_intervals {
+                    continue;
+                }
+                if k != last_k {
+                    if last_k != usize::MAX {
+                        f(last_k, acc);
+                    }
+                    last_k = k;
+                    acc = 0.0;
+                }
+                acc += inv;
+            }
+        }
+        if last_k != usize::MAX {
+            f(last_k, acc);
+        }
+    }
+}
+
+/// Averages a label vector over τ-cycle intervals (complete intervals
+/// only), producing the paper's `y^τ` labels.
+pub fn average_labels(y: &[f64], tau: usize) -> Vec<f64> {
+    assert!(tau >= 1);
+    let n = y.len() / tau;
+    (0..n)
+        .map(|k| y[k * tau..(k + 1) * tau].iter().sum::<f64>() / tau as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> ToggleMatrix {
+        let mut m = ToggleMatrix::new(6, 32);
+        for c in 0..32 {
+            if c % 2 == 0 {
+                m.set(0, c); // toggles every other cycle
+                m.set(1, c); // duplicate of column 0
+            }
+            if c % 4 == 0 {
+                m.set(2, c);
+            }
+            // column 3: constant zero
+            if c < 32 {
+                m.set(4, c); // constant one (always toggles)
+            }
+            if c % 3 == 0 {
+                m.set(5, c);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn dedup_groups_identical_columns() {
+        let m = sample_matrix();
+        let fs = FeatureSpace::build(&m);
+        assert_eq!(fs.total_bits, 6);
+        // col 3 (never) and col 4 (always) are constant.
+        assert_eq!(fs.constant_bits, 2);
+        assert_eq!(fs.n_candidates(), 3);
+        // Columns 0 and 1 grouped together.
+        let g0 = fs
+            .groups
+            .iter()
+            .find(|g| g.contains(&0))
+            .expect("group containing column 0");
+        assert!(g0.contains(&1));
+    }
+
+    #[test]
+    fn trace_design_matches_matrix() {
+        let m = sample_matrix();
+        let reps = vec![0usize, 2, 5];
+        let d = TraceDesign::new(&m, &reps);
+        assert_eq!(d.n_rows(), 32);
+        assert_eq!(d.n_cols(), 3);
+        assert!((d.col_mean(0) - 0.5).abs() < 1e-12);
+        let ones = vec![1.0; 32];
+        assert_eq!(d.col_dot(0, &ones), 16.0);
+        let mut v = vec![0.0; 32];
+        d.col_axpy(1, 2.0, &mut v);
+        assert_eq!(v[0], 2.0);
+        assert_eq!(v[4], 2.0);
+        assert_eq!(v[1], 0.0);
+        assert_eq!(d.value(0, 0), 1.0);
+        assert_eq!(d.value(1, 0), 0.0);
+    }
+
+    #[test]
+    fn averaged_design_means() {
+        let m = sample_matrix();
+        let reps = vec![0usize, 2];
+        let d = AveragedDesign::new(&m, &reps, 4);
+        assert_eq!(d.n_rows(), 8);
+        // Column 0 toggles 2 of every 4 cycles -> each interval avg 0.5.
+        assert!((d.value(0, 0) - 0.5).abs() < 1e-12);
+        assert!((d.col_mean(0) - 0.5).abs() < 1e-12);
+        assert!(d.col_std(0) < 1e-12, "constant after averaging");
+        // Column 2 toggles once per interval -> 0.25.
+        assert!((d.value(3, 1) - 0.25).abs() < 1e-12);
+        // dot with ones = sum of interval averages.
+        let ones = vec![1.0; 8];
+        assert!((d.col_dot(0, &ones) - 4.0).abs() < 1e-12);
+        // for_each_nonzero agrees with value().
+        let mut total = 0.0;
+        d.for_each_nonzero(0, &mut |_, v| total += v);
+        assert!((total - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_labels_means() {
+        let y: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        assert_eq!(average_labels(&y, 4), vec![1.5, 5.5]);
+        assert_eq!(average_labels(&y, 3), vec![1.0, 4.0]);
+    }
+}

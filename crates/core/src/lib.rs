@@ -1,0 +1,47 @@
+//! # apollo-core
+//!
+//! The APOLLO framework itself (the paper's primary contribution): an
+//! automated pipeline that, given an RTL design,
+//!
+//! 1. **generates training data** with a genetic algorithm that evolves
+//!    instruction sequences toward a power virus, yielding
+//!    micro-benchmarks spanning a wide power range ([`benchgen`]);
+//! 2. **collects features and labels** — per-cycle signal toggles and
+//!    ground-truth power ([`dataset`], [`features`]);
+//! 3. **selects power proxies** with MCP-penalized regression and
+//!    refits the final linear model with a weak ridge penalty
+//!    ("relaxation", [`model`]);
+//! 4. **generalizes to multi-cycle windows** with the APOLLOτ model and
+//!    the rearranged inference of the paper's Eq. (9) ([`multicycle`]);
+//! 5. provides the **comparison baselines** of the paper's Table 5 —
+//!    Lasso selection, Simmani, PRIMAL and PCA ([`baselines`]) — and the
+//!    **emulator-assisted flow** for long workloads ([`emuflow`]).
+//!
+//! The result is an [`model::ApolloModel`]: fewer than ~0.5% of signal
+//! bits as proxies, a linear predictor accurate per cycle, cheap enough
+//! for both design-time simulation and (via `apollo-opm`) a runtime
+//! on-chip power meter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod benchgen;
+pub mod dataset;
+pub mod emuflow;
+pub mod features;
+pub mod model;
+pub mod multicycle;
+pub mod report;
+pub mod validation;
+
+pub use benchgen::{run_ga, GaConfig, GaRun, Individual};
+pub use dataset::{window_average, DesignContext};
+pub use emuflow::{run_emulator_flow, EmuFlowReport};
+pub use features::{average_labels, AveragedDesign, FeatureSpace, TraceDesign};
+pub use model::{
+    train_per_cycle, train_per_cycle_multi, ApolloModel, Proxy, SelectionPenalty, TrainOptions,
+    TrainedPerCycle,
+};
+pub use multicycle::{train_tau, window_nrmse, ApolloTau};
+pub use validation::{tune_relax_lambda, tune_tau, SweepResult};

@@ -1,0 +1,468 @@
+//! The per-cycle APOLLO power model (paper §4.3–4.4): MCP-based proxy
+//! selection followed by ridge relaxation.
+
+use crate::features::{FeatureSpace, TraceDesign};
+use apollo_mlkit::{
+    coordinate_descent, select_features, CdOptions, CdResult, DenseDesign, Design, Penalty,
+};
+use apollo_rtl::{Netlist, Unit};
+use apollo_sim::{ToggleMatrix, TraceData};
+
+/// Which sparsity-inducing penalty drives proxy selection.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum SelectionPenalty {
+    /// Minimax concave penalty (APOLLO).
+    Mcp {
+        /// Concavity parameter γ (the paper uses 10).
+        gamma: f64,
+    },
+    /// Lasso (the Pagliari et al. baseline).
+    Lasso,
+}
+
+/// Training options for [`train_per_cycle`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainOptions {
+    /// Target number of proxies `Q`.
+    pub q_target: usize,
+    /// Selection penalty.
+    pub penalty: SelectionPenalty,
+    /// Ridge strength for the relaxation refit.
+    pub relax_lambda: f64,
+    /// Constrain weights to be non-negative.
+    pub nonnegative: bool,
+    /// Coordinate-descent controls.
+    pub cd: CdOptions,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            q_target: 150,
+            penalty: SelectionPenalty::Mcp { gamma: 10.0 },
+            relax_lambda: 1e-3,
+            nonnegative: true,
+            cd: CdOptions::default(),
+        }
+    }
+}
+
+/// One selected power proxy.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Proxy {
+    /// Flat signal-bit index in the design.
+    pub bit: usize,
+    /// Trained weight.
+    pub weight: f64,
+    /// Hierarchical signal name (with bit suffix for multi-bit nodes).
+    pub name: String,
+    /// Functional unit of the signal.
+    pub unit: Unit,
+    /// Whether the proxy is a gated-clock net.
+    pub is_clock_gate: bool,
+}
+
+/// The per-cycle APOLLO power model: `p[i] = b₀ + Σ w_j · x_j[i]`.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ApolloModel {
+    /// Design this model was trained for.
+    pub design_name: String,
+    /// Selected proxies with their weights.
+    pub proxies: Vec<Proxy>,
+    /// Intercept (leakage + always-on clock baseline).
+    pub intercept: f64,
+    /// λ the selection stage settled on.
+    pub selection_lambda: f64,
+    /// Penalty used for selection.
+    pub penalty: SelectionPenalty,
+    /// Candidate columns after dedup (for reporting).
+    pub candidates: usize,
+    /// Total signal bits `M` of the design.
+    pub m_bits: usize,
+}
+
+impl ApolloModel {
+    /// Number of proxies `Q`.
+    pub fn q(&self) -> usize {
+        self.proxies.len()
+    }
+
+    /// Flat bit indices of the proxies, in model order.
+    pub fn bits(&self) -> Vec<usize> {
+        self.proxies.iter().map(|p| p.bit).collect()
+    }
+
+    /// Σ|w| (Figure 13's quantity).
+    pub fn weight_l1(&self) -> f64 {
+        self.proxies.iter().map(|p| p.weight.abs()).sum()
+    }
+
+    /// Fraction of design signal bits monitored.
+    pub fn monitored_fraction(&self) -> f64 {
+        self.q() as f64 / self.m_bits as f64
+    }
+
+    /// Renders a human-readable model card: proxies grouped by unit
+    /// with their weights, plus summary statistics.
+    pub fn report_markdown(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "# APOLLO model — `{}`", self.design_name);
+        let _ = writeln!(
+            out,
+            "
+Q = {} proxies of M = {} signal bits ({:.4} %), intercept {:.2}, Σ|w| = {:.1}
+",
+            self.q(),
+            self.m_bits,
+            100.0 * self.monitored_fraction(),
+            self.intercept,
+            self.weight_l1()
+        );
+        let mut by_unit: std::collections::BTreeMap<String, Vec<&Proxy>> = Default::default();
+        for p in &self.proxies {
+            let key = if p.is_clock_gate {
+                "Gated Clock".to_owned()
+            } else {
+                p.unit.label().to_owned()
+            };
+            by_unit.entry(key).or_default().push(p);
+        }
+        for (unit, mut proxies) in by_unit {
+            proxies.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+            let _ = writeln!(out, "## {unit} ({})", proxies.len());
+            for p in proxies.iter().take(8) {
+                let _ = writeln!(out, "- `{}` — weight {:.2}", p.name, p.weight);
+            }
+            if proxies.len() > 8 {
+                let _ = writeln!(out, "- … and {} more", proxies.len() - 8);
+            }
+        }
+        out
+    }
+
+    /// Per-cycle prediction from a full toggle matrix (columns indexed
+    /// by flat bit).
+    pub fn predict_full(&self, matrix: &ToggleMatrix) -> Vec<f64> {
+        let mut out = vec![self.intercept; matrix.n_cycles()];
+        for p in &self.proxies {
+            for (wi, &w) in matrix.column(p.bit).iter().enumerate() {
+                let mut bits = w;
+                let base = wi * 64;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    out[base + b] += p.weight;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-cycle prediction from a proxy-only capture whose `bit_map`
+    /// must cover all proxy bits.
+    ///
+    /// # Panics
+    /// Panics if the capture lacks a proxy bit.
+    pub fn predict_proxy_trace(&self, data: &TraceData) -> Vec<f64> {
+        let map = data
+            .bit_map
+            .as_ref()
+            .expect("proxy capture must carry a bit map");
+        let mut out = vec![self.intercept; data.n_cycles()];
+        for p in &self.proxies {
+            let col = map
+                .iter()
+                .position(|&b| b == p.bit)
+                .unwrap_or_else(|| panic!("capture is missing proxy bit {}", p.bit));
+            for (wi, &w) in data.toggles.column(col).iter().enumerate() {
+                let mut bits = w;
+                let base = wi * 64;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    out[base + b] += p.weight;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds a [`Proxy`] record for a flat bit.
+pub(crate) fn proxy_info(netlist: &Netlist, bit: usize, weight: f64) -> Proxy {
+    let (node, sub) = netlist.bit_owner(bit);
+    let base = netlist.display_name(node);
+    let width = netlist.node(node).width;
+    let name = if width > 1 {
+        format!("{base}[{sub}]")
+    } else {
+        base
+    };
+    let is_clock_gate = matches!(netlist.node(node).op, apollo_rtl::Op::GatedClock { .. });
+    Proxy {
+        bit,
+        weight,
+        name,
+        unit: netlist.unit(node),
+        is_clock_gate,
+    }
+}
+
+/// Extracts the selected columns densely (Q columns) for relaxation.
+pub(crate) fn dense_selected<D: Design>(design: &D, cols: &[usize]) -> DenseDesign {
+    let n = design.n_rows();
+    let mut data = vec![0.0; n * cols.len()];
+    for (k, &j) in cols.iter().enumerate() {
+        let slice = &mut data[k * n..(k + 1) * n];
+        design.for_each_nonzero(j, &mut |row, val| slice[row] = val);
+    }
+    DenseDesign::from_columns(n, cols.len(), data)
+}
+
+/// Selection result detail, for reporting (Figure 13 compares the
+/// selection-stage weight mass of MCP vs Lasso).
+#[derive(Clone, Debug)]
+pub struct TrainedPerCycle {
+    /// The final (relaxed) model.
+    pub model: ApolloModel,
+    /// The selection-stage temporary model (pre-relaxation).
+    pub selection: CdResult,
+}
+
+/// Trains a per-cycle APOLLO model: MCP (or Lasso) proxy selection over
+/// all candidate columns, then a ridge refit ("relaxation") on the
+/// selected proxies only.
+pub fn train_per_cycle(
+    trace: &TraceData,
+    netlist: &Netlist,
+    fs: &FeatureSpace,
+    opts: &TrainOptions,
+) -> TrainedPerCycle {
+    let design = TraceDesign::new(&trace.toggles, &fs.reps);
+    let y = trace.labels();
+    let penalty = match opts.penalty {
+        SelectionPenalty::Mcp { gamma } => Penalty::Mcp { lambda: 1.0, gamma },
+        SelectionPenalty::Lasso => Penalty::Lasso { lambda: 1.0 },
+    };
+    let cd_opts = CdOptions {
+        nonnegative: opts.nonnegative,
+        ..opts.cd.clone()
+    };
+    let selection = select_features(&design, &y, penalty, opts.q_target, &cd_opts);
+    let cols: Vec<usize> = selection.active.iter().map(|&(j, _)| j).collect();
+    assert!(!cols.is_empty(), "selection produced an empty model");
+
+    // Relaxation: ridge refit from scratch on the selected proxies.
+    let dense = dense_selected(&design, &cols);
+    let relaxed = coordinate_descent(
+        &dense,
+        &y,
+        Penalty::Ridge {
+            lambda: opts.relax_lambda,
+        },
+        &CdOptions {
+            nonnegative: opts.nonnegative,
+            max_sweeps: 400,
+            ..CdOptions::default()
+        },
+    );
+    let mut weights = vec![0.0; cols.len()];
+    for &(k, w) in &relaxed.active {
+        weights[k] = w;
+    }
+    let proxies: Vec<Proxy> = cols
+        .iter()
+        .zip(&weights)
+        .map(|(&j, &w)| proxy_info(netlist, design.bit_of(j), w))
+        .collect();
+
+    let model = ApolloModel {
+        design_name: netlist.design_name().to_owned(),
+        proxies,
+        intercept: relaxed.intercept,
+        selection_lambda: selection.lambda,
+        penalty: opts.penalty,
+        candidates: fs.n_candidates(),
+        m_bits: fs.total_bits,
+    };
+    TrainedPerCycle { model, selection }
+}
+
+/// Trains per-cycle models at several proxy budgets with a single
+/// shared selection path (the Figure 10/12 sweep).
+pub fn train_per_cycle_multi(
+    trace: &TraceData,
+    netlist: &Netlist,
+    fs: &FeatureSpace,
+    q_targets: &[usize],
+    opts: &TrainOptions,
+) -> Vec<TrainedPerCycle> {
+    let design = TraceDesign::new(&trace.toggles, &fs.reps);
+    let y = trace.labels();
+    let penalty = match opts.penalty {
+        SelectionPenalty::Mcp { gamma } => Penalty::Mcp { lambda: 1.0, gamma },
+        SelectionPenalty::Lasso => Penalty::Lasso { lambda: 1.0 },
+    };
+    let cd_opts = CdOptions {
+        nonnegative: opts.nonnegative,
+        ..opts.cd.clone()
+    };
+    let selections = apollo_mlkit::select_path_targets(&design, &y, penalty, q_targets, &cd_opts);
+    selections
+        .into_iter()
+        .map(|selection| {
+            let cols: Vec<usize> = selection.active.iter().map(|&(j, _)| j).collect();
+            assert!(!cols.is_empty(), "selection produced an empty model");
+            let dense = dense_selected(&design, &cols);
+            let relaxed = coordinate_descent(
+                &dense,
+                &y,
+                Penalty::Ridge { lambda: opts.relax_lambda },
+                &CdOptions {
+                    nonnegative: opts.nonnegative,
+                    max_sweeps: 400,
+                    ..CdOptions::default()
+                },
+            );
+            let mut weights = vec![0.0; cols.len()];
+            for &(k, w) in &relaxed.active {
+                weights[k] = w;
+            }
+            let proxies: Vec<Proxy> = cols
+                .iter()
+                .zip(&weights)
+                .map(|(&j, &w)| proxy_info(netlist, design.bit_of(j), w))
+                .collect();
+            let model = ApolloModel {
+                design_name: netlist.design_name().to_owned(),
+                proxies,
+                intercept: relaxed.intercept,
+                selection_lambda: selection.lambda,
+                penalty: opts.penalty,
+                candidates: fs.n_candidates(),
+                m_bits: fs.total_bits,
+            };
+            TrainedPerCycle { model, selection }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DesignContext;
+    use apollo_cpu::CpuConfig;
+    use apollo_mlkit::metrics;
+
+    fn train_tiny() -> (DesignContext, TraceData, FeatureSpace, TrainedPerCycle) {
+        use apollo_cpu::benchmarks::random::{random_body, wrap_body, GenWeights};
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        // Handcrafted kernels plus constrained-random programs for
+        // coverage (the production pipeline uses GA-generated programs).
+        let mut suite: Vec<_> = vec![
+            (apollo_cpu::benchmarks::dhrystone(), 400),
+            (apollo_cpu::benchmarks::maxpwr_cpu(), 400),
+            (apollo_cpu::benchmarks::daxpy(), 400),
+            (apollo_cpu::benchmarks::memcpy_l2(&CpuConfig::tiny()), 400),
+        ];
+        let w = GenWeights::default();
+        for seed in 0..6u64 {
+            let bench = apollo_cpu::benchmarks::Benchmark {
+                name: format!("rand{seed}"),
+                program: wrap_body(&random_body(seed, 40, &w), 8),
+                data: crate::benchgen::training_data_pattern(256),
+                cycles: 150,
+            };
+            suite.push((bench, 150));
+        }
+        let trace = ctx.capture_suite(&suite, 60);
+        let fs = FeatureSpace::build(&trace.toggles);
+        let trained = train_per_cycle(
+            &trace,
+            ctx.netlist(),
+            &fs,
+            &TrainOptions {
+                q_target: 32,
+                ..TrainOptions::default()
+            },
+        );
+        (ctx, trace, fs, trained)
+    }
+
+    #[test]
+    fn trains_accurate_sparse_model_on_tiny_cpu() {
+        let (ctx, trace, fs, trained) = train_tiny();
+        let model = &trained.model;
+        assert!(model.q() >= 16 && model.q() <= 64, "Q = {}", model.q());
+        assert!(model.q() < fs.n_candidates() / 4);
+        // In-sample accuracy.
+        let pred = model.predict_full(&trace.toggles);
+        let y = trace.labels();
+        let r2 = metrics::r2(&y, &pred);
+        assert!(r2 > 0.8, "train R² = {r2}");
+
+        // Held-out accuracy on unseen benchmarks.
+        let test: Vec<_> = vec![
+            (apollo_cpu::benchmarks::saxpy_simd(), 400),
+            (apollo_cpu::benchmarks::cache_miss(&ctx.handles.config), 300),
+        ];
+        let test_trace = ctx.capture_suite(&test, 16);
+        let pred = model.predict_full(&test_trace.toggles);
+        let y = test_trace.labels();
+        let r2 = metrics::r2(&y, &pred);
+        assert!(r2 > 0.65, "test R² = {r2}");
+    }
+
+    #[test]
+    fn proxy_metadata_is_populated() {
+        let (_ctx, _trace, _fs, trained) = train_tiny();
+        for p in &trained.model.proxies {
+            assert!(!p.name.is_empty());
+            assert!(p.weight >= 0.0, "nonneg violated: {}", p.weight);
+        }
+        assert!(trained.model.intercept > 0.0, "leakage baseline expected");
+    }
+
+    #[test]
+    fn proxy_capture_prediction_matches_full() {
+        let (ctx, _trace, _fs, trained) = train_tiny();
+        let model = &trained.model;
+        let bench = apollo_cpu::benchmarks::dhrystone();
+        let full = ctx.capture_suite(&[(bench.clone(), 200)], 16);
+        let proxy_only = ctx.capture_bits(&bench, &model.bits(), 200, 16);
+        let a = model.predict_full(&full.toggles);
+        let b = model.predict_proxy_trace(&proxy_only);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn report_markdown_lists_all_units() {
+        let (_ctx, _trace, _fs, trained) = train_tiny();
+        let report = trained.model.report_markdown();
+        assert!(report.contains("# APOLLO model"));
+        assert!(report.contains(&format!("Q = {} proxies", trained.model.q())));
+        for p in trained.model.proxies.iter().take(3) {
+            if !p.is_clock_gate {
+                assert!(report.contains(p.unit.label()), "missing unit {}", p.unit);
+            }
+        }
+    }
+
+    #[test]
+    fn model_serializes_roundtrip() {
+        let (_ctx, _trace, _fs, trained) = train_tiny();
+        let json = serde_json::to_string(&trained.model).unwrap();
+        let back: ApolloModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.q(), trained.model.q());
+        assert_eq!(back.design_name, trained.model.design_name);
+        for (a, b) in back.proxies.iter().zip(&trained.model.proxies) {
+            assert_eq!(a.bit, b.bit);
+            assert_eq!(a.name, b.name);
+            assert!((a.weight - b.weight).abs() <= 1e-9 * b.weight.abs().max(1.0));
+        }
+        assert!((back.intercept - trained.model.intercept).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,216 @@
+//! Multi-cycle power modeling (paper §4.5): the APOLLOτ model.
+//!
+//! A τ-cycle model is trained on interval-averaged features and labels;
+//! at inference over a `T`-cycle measurement window the rearranged form
+//! of Eq. (9) applies the per-cycle binary toggles to the τ-model's
+//! weights and divides by `T` — which is exactly what the OPM hardware
+//! implements with an accumulator and a bit-shift.
+
+// Lockstep multi-array index loops are intentional throughout this
+// module; iterator zips would obscure the hardware/math being expressed.
+#![allow(clippy::needless_range_loop)]
+
+use crate::dataset::window_average;
+use crate::features::{average_labels, AveragedDesign, FeatureSpace};
+use crate::model::{dense_selected, proxy_info, Proxy, SelectionPenalty, TrainOptions};
+use apollo_mlkit::{coordinate_descent, select_features, CdOptions, Penalty};
+use apollo_rtl::Netlist;
+use apollo_sim::{ToggleMatrix, TraceData};
+
+/// The multi-cycle APOLLOτ model: weights `ω` trained at interval size
+/// τ, applied per-cycle and averaged over any window `T` (Eq. 9).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ApolloTau {
+    /// Design name.
+    pub design_name: String,
+    /// Interval size the model was trained at.
+    pub tau: usize,
+    /// Selected proxies and weights `ω`.
+    pub proxies: Vec<Proxy>,
+    /// Intercept.
+    pub intercept: f64,
+}
+
+impl ApolloTau {
+    /// Number of proxies.
+    pub fn q(&self) -> usize {
+        self.proxies.len()
+    }
+
+    /// Proxy bit indices.
+    pub fn bits(&self) -> Vec<usize> {
+        self.proxies.iter().map(|p| p.bit).collect()
+    }
+
+    /// Predicts the average power of consecutive `t`-cycle windows from
+    /// per-cycle toggles (Eq. 9 — per-cycle weighted toggles accumulated
+    /// and divided by `t`; τ is not needed at inference).
+    pub fn predict_windows(&self, matrix: &ToggleMatrix, t: usize) -> Vec<f64> {
+        assert!(t >= 1, "window must be at least 1");
+        let n_windows = matrix.n_cycles() / t;
+        let mut acc = vec![0.0f64; n_windows];
+        for p in &self.proxies {
+            for (wi, &w) in matrix.column(p.bit).iter().enumerate() {
+                let mut bits = w;
+                let base = wi * 64;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let k = (base + b) / t;
+                    if k < n_windows {
+                        acc[k] += p.weight;
+                    }
+                }
+            }
+        }
+        acc.iter()
+            .map(|a| self.intercept + a / t as f64)
+            .collect()
+    }
+}
+
+/// Trains an APOLLOτ model on τ-cycle averaged features/labels with the
+/// same MCP-selection + ridge-relaxation recipe as the per-cycle model.
+pub fn train_tau(
+    trace: &TraceData,
+    netlist: &Netlist,
+    fs: &FeatureSpace,
+    tau: usize,
+    opts: &TrainOptions,
+) -> ApolloTau {
+    let design = AveragedDesign::new(&trace.toggles, &fs.reps, tau);
+    let y = average_labels(&trace.labels(), tau);
+    let penalty = match opts.penalty {
+        SelectionPenalty::Mcp { gamma } => Penalty::Mcp { lambda: 1.0, gamma },
+        SelectionPenalty::Lasso => Penalty::Lasso { lambda: 1.0 },
+    };
+    let cd_opts = CdOptions {
+        nonnegative: opts.nonnegative,
+        ..opts.cd.clone()
+    };
+    let selection = select_features(&design, &y, penalty, opts.q_target, &cd_opts);
+    let cols: Vec<usize> = selection.active.iter().map(|&(j, _)| j).collect();
+    assert!(!cols.is_empty(), "τ-selection produced an empty model");
+
+    let dense = dense_selected(&design, &cols);
+    let relaxed = coordinate_descent(
+        &dense,
+        &y,
+        Penalty::Ridge { lambda: opts.relax_lambda },
+        &CdOptions {
+            nonnegative: opts.nonnegative,
+            max_sweeps: 400,
+            ..CdOptions::default()
+        },
+    );
+    let mut weights = vec![0.0; cols.len()];
+    for &(k, w) in &relaxed.active {
+        weights[k] = w;
+    }
+    let proxies = cols
+        .iter()
+        .zip(&weights)
+        .map(|(&j, &w)| proxy_info(netlist, fs.reps[j], w))
+        .collect();
+    ApolloTau {
+        design_name: netlist.design_name().to_owned(),
+        tau,
+        proxies,
+        intercept: relaxed.intercept,
+    }
+}
+
+/// Multi-cycle evaluation point: NRMSE of a window predictor against
+/// window-averaged ground truth.
+pub fn window_nrmse(pred_windows: &[f64], labels_per_cycle: &[f64], t: usize) -> f64 {
+    let truth = window_average(labels_per_cycle, t);
+    let n = pred_windows.len().min(truth.len());
+    apollo_mlkit::metrics::nrmse(&truth[..n], &pred_windows[..n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DesignContext;
+    use crate::model::train_per_cycle;
+    use apollo_cpu::CpuConfig;
+
+    fn tiny_training() -> (DesignContext, TraceData, FeatureSpace) {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let suite: Vec<_> = vec![
+            (apollo_cpu::benchmarks::dhrystone(), 512),
+            (apollo_cpu::benchmarks::maxpwr_cpu(), 512),
+            (apollo_cpu::benchmarks::daxpy(), 512),
+        ];
+        let trace = ctx.capture_suite(&suite, 16);
+        let fs = FeatureSpace::build(&trace.toggles);
+        (ctx, trace, fs)
+    }
+
+    #[test]
+    fn tau_model_beats_input_averaged_for_large_t() {
+        let (ctx, trace, fs) = tiny_training();
+        let opts = TrainOptions {
+            q_target: 16,
+            ..TrainOptions::default()
+        };
+        let tau8 = train_tau(&trace, ctx.netlist(), &fs, 8, &opts);
+        assert!(tau8.q() >= 8);
+
+        let test: Vec<_> = vec![(apollo_cpu::benchmarks::saxpy_simd(), 512)];
+        let test_trace = ctx.capture_suite(&test, 16);
+        let labels = test_trace.labels();
+
+        let t = 32;
+        let pred = tau8.predict_windows(&test_trace.toggles, t);
+        let err = window_nrmse(&pred, &labels, t);
+        assert!(err < 0.2, "τ=8 NRMSE at T=32: {err}");
+    }
+
+    #[test]
+    fn window_prediction_matches_interval_math() {
+        let (ctx, trace, fs) = tiny_training();
+        let opts = TrainOptions { q_target: 12, ..TrainOptions::default() };
+        let tau = train_tau(&trace, ctx.netlist(), &fs, 4, &opts);
+        // Eq. 9 check: predicting windows of t = 1 equals the per-cycle
+        // weighted-toggle sum.
+        let w1 = tau.predict_windows(&trace.toggles, 1);
+        let mut manual = vec![tau.intercept; trace.n_cycles()];
+        for p in &tau.proxies {
+            for c in 0..trace.n_cycles() {
+                if trace.toggles.get(p.bit, c) {
+                    manual[c] += p.weight;
+                }
+            }
+        }
+        for (a, b) in w1.iter().zip(&manual) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // And a t=8 window is the mean of the corresponding eight
+        // per-cycle values.
+        let w8 = tau.predict_windows(&trace.toggles, 8);
+        let manual8 = crate::dataset::window_average(&manual, 8);
+        for (a, b) in w8.iter().zip(&manual8) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multicycle_accuracy_improves_with_window_size() {
+        let (ctx, trace, fs) = tiny_training();
+        let opts = TrainOptions { q_target: 16, ..TrainOptions::default() };
+        let trained = train_per_cycle(&trace, ctx.netlist(), &fs, &opts);
+        let test: Vec<_> = vec![(apollo_cpu::benchmarks::memcpy_l2(&ctx.handles.config), 512)];
+        let test_trace = ctx.capture_suite(&test, 16);
+        let labels = test_trace.labels();
+        let per_cycle = trained.model.predict_full(&test_trace.toggles);
+
+        let err_t1 = window_nrmse(&per_cycle, &labels, 1);
+        let avg32 = crate::dataset::window_average(&per_cycle, 32);
+        let err_t32 = window_nrmse(&avg32, &labels, 32);
+        assert!(
+            err_t32 < err_t1,
+            "averaging should reduce NRMSE: T=1 {err_t1}, T=32 {err_t32}"
+        );
+    }
+}

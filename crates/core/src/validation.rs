@@ -1,0 +1,175 @@
+//! Validation-set hyper-parameter tuning (paper §7.1: 20 % of the
+//! training data forms a validation set; the multi-cycle interval τ and
+//! regularisation strengths are chosen on it).
+
+use crate::features::FeatureSpace;
+use crate::model::{train_per_cycle, ApolloModel, TrainOptions};
+use crate::multicycle::{train_tau, window_nrmse, ApolloTau};
+use apollo_mlkit::metrics;
+use apollo_rtl::Netlist;
+use apollo_sim::TraceData;
+
+/// Result of a hyper-parameter sweep: every candidate with its
+/// validation score (lower is better), plus the winner's index.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct SweepResult<P: serde::Serialize> {
+    /// `(parameter, validation NRMSE)` per candidate.
+    pub candidates: Vec<(P, f64)>,
+    /// Index of the best candidate.
+    pub best: usize,
+}
+
+impl<P: Copy + serde::Serialize> SweepResult<P> {
+    fn from_scores(candidates: Vec<(P, f64)>) -> Self {
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+            .map(|(i, _)| i)
+            .expect("non-empty sweep");
+        SweepResult { candidates, best }
+    }
+
+    /// The winning parameter value.
+    pub fn best_param(&self) -> P {
+        self.candidates[self.best].0
+    }
+
+    /// The winning validation NRMSE.
+    pub fn best_score(&self) -> f64 {
+        self.candidates[self.best].1
+    }
+}
+
+/// Tunes the relaxation ridge strength on a validation trace and
+/// returns the model refit at the winning strength.
+///
+/// # Panics
+/// Panics if `grid` is empty.
+pub fn tune_relax_lambda(
+    train: &TraceData,
+    val: &TraceData,
+    netlist: &Netlist,
+    fs: &FeatureSpace,
+    base: &TrainOptions,
+    grid: &[f64],
+) -> (ApolloModel, SweepResult<f64>) {
+    assert!(!grid.is_empty(), "empty grid");
+    let y_val = val.labels();
+    let mut scored: Vec<(f64, f64, ApolloModel)> = grid
+        .iter()
+        .map(|&lambda| {
+            let opts = TrainOptions {
+                relax_lambda: lambda,
+                ..base.clone()
+            };
+            let model = train_per_cycle(train, netlist, fs, &opts).model;
+            let pred = model.predict_full(&val.toggles);
+            (lambda, metrics::nrmse(&y_val, &pred), model)
+        })
+        .collect();
+    let sweep = SweepResult::from_scores(scored.iter().map(|(l, s, _)| (*l, *s)).collect());
+    let best = sweep.best;
+    let (_, _, model) = scored.swap_remove(best);
+    (model, sweep)
+}
+
+/// Tunes the multi-cycle interval τ on a validation trace, scoring at
+/// measurement window `t_eval` (the paper's Figure-11 procedure, which
+/// lands on τ = 8), and returns the winning model.
+///
+/// # Panics
+/// Panics if `taus` is empty.
+pub fn tune_tau(
+    train: &TraceData,
+    val: &TraceData,
+    netlist: &Netlist,
+    fs: &FeatureSpace,
+    base: &TrainOptions,
+    taus: &[usize],
+    t_eval: usize,
+) -> (ApolloTau, SweepResult<usize>) {
+    assert!(!taus.is_empty(), "empty tau list");
+    let labels = val.labels();
+    let mut scored: Vec<(usize, f64, ApolloTau)> = taus
+        .iter()
+        .map(|&tau| {
+            let model = train_tau(train, netlist, fs, tau, base);
+            let pred = model.predict_windows(&val.toggles, t_eval);
+            (tau, window_nrmse(&pred, &labels, t_eval), model)
+        })
+        .collect();
+    let sweep = SweepResult::from_scores(scored.iter().map(|(t, s, _)| (*t, *s)).collect());
+    let best = sweep.best;
+    let (_, _, model) = scored.swap_remove(best);
+    (model, sweep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DesignContext;
+    use apollo_cpu::benchmarks::random::{random_body, wrap_body, GenWeights};
+    use apollo_cpu::CpuConfig;
+
+    fn setup() -> (DesignContext, TraceData, TraceData, FeatureSpace) {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let w = GenWeights::default();
+        let make = |seeds: std::ops::Range<u64>, cycles: usize| {
+            seeds
+                .map(|s| {
+                    (
+                        apollo_cpu::benchmarks::Benchmark {
+                            name: format!("r{s}"),
+                            program: wrap_body(&random_body(s, 50, &w), 8),
+                            data: crate::benchgen::training_data_pattern(256),
+                            cycles,
+                        },
+                        cycles,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        // 80/20-style split: disjoint program sets.
+        let train = ctx.capture_suite(&make(0..8, 200), 150);
+        let val = ctx.capture_suite(&make(8..10, 200), 150);
+        let fs = FeatureSpace::build(&train.toggles);
+        (ctx, train, val, fs)
+    }
+
+    #[test]
+    fn relax_lambda_tuning_picks_a_finite_winner() {
+        let (ctx, train, val, fs) = setup();
+        let base = TrainOptions {
+            q_target: 16,
+            ..TrainOptions::default()
+        };
+        let grid = [1e-5, 1e-3, 1e-1, 10.0];
+        let (model, sweep) = tune_relax_lambda(&train, &val, ctx.netlist(), &fs, &base, &grid);
+        assert_eq!(sweep.candidates.len(), 4);
+        assert!(grid.contains(&sweep.best_param()));
+        assert!(sweep.best_score().is_finite());
+        // The winner is no worse than every other candidate.
+        for (_, score) in &sweep.candidates {
+            assert!(sweep.best_score() <= *score + 1e-12);
+        }
+        assert!(model.q() >= 8);
+    }
+
+    #[test]
+    fn tau_tuning_scores_all_candidates() {
+        let (ctx, train, val, fs) = setup();
+        let base = TrainOptions {
+            q_target: 12,
+            ..TrainOptions::default()
+        };
+        let taus = [2usize, 8, 32];
+        let (model, sweep) = tune_tau(&train, &val, ctx.netlist(), &fs, &base, &taus, 32);
+        assert_eq!(sweep.candidates.len(), 3);
+        assert!(taus.contains(&sweep.best_param()));
+        assert_eq!(model.tau, sweep.best_param());
+        // Scores should vary across τ (not all identical).
+        let first = sweep.candidates[0].1;
+        assert!(sweep.candidates.iter().any(|(_, s)| (s - first).abs() > 1e-9));
+    }
+}

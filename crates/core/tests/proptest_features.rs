@@ -1,0 +1,150 @@
+//! Property-based tests for feature-space construction and the
+//! interval-averaged design views.
+
+#![allow(clippy::needless_range_loop)]
+
+use apollo_core::{average_labels, AveragedDesign, FeatureSpace, TraceDesign};
+use apollo_mlkit::Design;
+use apollo_sim::ToggleMatrix;
+use proptest::prelude::*;
+
+/// Builds a random toggle matrix with some duplicate and constant
+/// columns mixed in.
+fn random_matrix(seed: u64, bits: usize, cycles: usize) -> ToggleMatrix {
+    let mut m = ToggleMatrix::new(bits, cycles);
+    let mut s = seed | 1;
+    for b in 0..bits {
+        match b % 5 {
+            // constant-zero column
+            0 if b > 0 => {}
+            // duplicate of the previous column
+            1 if b > 0 => {
+                for c in 0..cycles {
+                    if m.get(b - 1, c) {
+                        m.set(b, c);
+                    }
+                }
+            }
+            _ => {
+                for c in 0..cycles {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    if s & 3 == 0 {
+                        m.set(b, c);
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every non-constant column belongs to exactly one dedup group, and
+    /// group members are truly identical.
+    #[test]
+    fn feature_space_partitions_columns(seed in any::<u64>(), bits in 6usize..60, cycles in 10usize..120) {
+        let m = random_matrix(seed, bits, cycles);
+        let fs = FeatureSpace::build(&m);
+        let mut covered = vec![false; bits];
+        for (rep_idx, group) in fs.groups.iter().enumerate() {
+            let rep = fs.reps[rep_idx];
+            prop_assert!(group.contains(&rep));
+            for &member in group {
+                prop_assert!(!covered[member], "bit {member} in two groups");
+                covered[member] = true;
+                prop_assert!(m.columns_equal(rep, member));
+            }
+        }
+        let grouped = covered.iter().filter(|&&c| c).count();
+        prop_assert_eq!(grouped + fs.constant_bits, bits);
+        // Constant bits are exactly the never/always toggling ones.
+        for b in 0..bits {
+            let pop = m.popcount(b);
+            let constant = pop == 0 || pop == cycles;
+            prop_assert_eq!(constant, !covered[b], "bit {}", b);
+        }
+    }
+
+    /// The TraceDesign adapter agrees with direct matrix reads.
+    #[test]
+    fn trace_design_consistency(seed in any::<u64>(), cycles in 16usize..100) {
+        let m = random_matrix(seed, 12, cycles);
+        let fs = FeatureSpace::build(&m);
+        prop_assume!(fs.n_candidates() >= 1);
+        let d = TraceDesign::new(&m, &fs.reps);
+        let v: Vec<f64> = (0..cycles).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        for j in 0..d.n_cols() {
+            let bit = fs.reps[j];
+            // dot
+            let expect: f64 = (0..cycles).filter(|&c| m.get(bit, c)).map(|c| v[c]).sum();
+            prop_assert!((d.col_dot(j, &v) - expect).abs() < 1e-9);
+            // mean/std from popcount
+            let mean = m.popcount(bit) as f64 / cycles as f64;
+            prop_assert!((d.col_mean(j) - mean).abs() < 1e-12);
+            // values
+            for c in (0..cycles).step_by(5) {
+                prop_assert_eq!(d.value(c, j), m.get(bit, c) as u8 as f64);
+            }
+        }
+    }
+
+    /// AveragedDesign equals explicit interval averaging of the dense
+    /// columns, for every τ.
+    #[test]
+    fn averaged_design_matches_naive(seed in any::<u64>(), cycles in 32usize..128, tau in 1usize..9) {
+        let m = random_matrix(seed, 10, cycles);
+        let fs = FeatureSpace::build(&m);
+        prop_assume!(fs.n_candidates() >= 1);
+        let d = AveragedDesign::new(&m, &fs.reps, tau);
+        let n_int = cycles / tau;
+        prop_assume!(n_int >= 1);
+        prop_assert_eq!(d.n_rows(), n_int);
+        for j in 0..d.n_cols() {
+            let bit = fs.reps[j];
+            let naive: Vec<f64> = (0..n_int)
+                .map(|k| {
+                    (k * tau..(k + 1) * tau).filter(|&c| m.get(bit, c)).count() as f64 / tau as f64
+                })
+                .collect();
+            for k in 0..n_int {
+                prop_assert!((d.value(k, j) - naive[k]).abs() < 1e-12);
+            }
+            // dot against naive
+            let v: Vec<f64> = (0..n_int).map(|k| (k as f64 * 0.31).sin()).collect();
+            let expect: f64 = naive.iter().zip(&v).map(|(a, b)| a * b).sum();
+            prop_assert!((d.col_dot(j, &v) - expect).abs() < 1e-9);
+            // axpy against naive
+            let mut got = vec![0.0; n_int];
+            d.col_axpy(j, 2.0, &mut got);
+            for k in 0..n_int {
+                prop_assert!((got[k] - 2.0 * naive[k]).abs() < 1e-9);
+            }
+            // mean/std recomputed
+            let mean = naive.iter().sum::<f64>() / n_int as f64;
+            prop_assert!((d.col_mean(j) - mean).abs() < 1e-9);
+            let var = naive.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n_int as f64;
+            prop_assert!((d.col_std(j) - var.sqrt()).abs() < 1e-9);
+            // for_each_nonzero sums to the column total
+            let mut sum = 0.0;
+            d.for_each_nonzero(j, &mut |_, val| sum += val);
+            let total: f64 = naive.iter().sum();
+            prop_assert!((sum - total).abs() < 1e-9);
+        }
+    }
+
+    /// Label averaging drops the incomplete tail and preserves totals of
+    /// complete windows.
+    #[test]
+    fn label_averaging(values in prop::collection::vec(0.0f64..100.0, 8..80), tau in 1usize..7) {
+        let avg = average_labels(&values, tau);
+        prop_assert_eq!(avg.len(), values.len() / tau);
+        for (k, a) in avg.iter().enumerate() {
+            let expect: f64 = values[k * tau..(k + 1) * tau].iter().sum::<f64>() / tau as f64;
+            prop_assert!((a - expect).abs() < 1e-9);
+        }
+    }
+}

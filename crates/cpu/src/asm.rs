@@ -1,0 +1,322 @@
+//! A small structured assembler with label support.
+
+use crate::isa::{AluOp, BranchCond, Inst, VecOp, Vr, Xr};
+use std::collections::HashMap;
+
+/// A forward-referenceable branch target.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builds instruction sequences with labels, then resolves branch
+/// offsets.
+///
+/// ```
+/// use apollo_cpu::{Asm, Xr};
+///
+/// let mut a = Asm::new();
+/// a.addi(Xr(1), Xr(0), 10);        // x1 = 10
+/// let loop_top = a.label();
+/// a.addi(Xr(1), Xr(1), 0x3FFF);    // x1 -= 1 (wrapping add of -1 mod 2^14... use sub)
+/// a.sub(Xr(1), Xr(1), Xr(2));
+/// a.bne(Xr(1), Xr(0), loop_top);
+/// a.halt();
+/// let program = a.assemble();
+/// assert!(program.len() >= 5);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Asm {
+    insts: Vec<PendingInst>,
+    labels: HashMap<Label, usize>,
+    next_label: usize,
+}
+
+#[derive(Clone, Debug)]
+enum PendingInst {
+    Fixed(Inst),
+    Branch { cond: BranchCond, ra: Xr, rb: Xr, target: Label },
+    Jump { target: Label },
+}
+
+impl Asm {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Current instruction count.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(PendingInst::Fixed(inst));
+        self
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        self.labels.insert(l, self.insts.len());
+        l
+    }
+
+    /// Creates a label to be placed later with
+    /// [`place`](Asm::place) (forward references).
+    pub fn forward_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Places a previously created forward label at the current position.
+    ///
+    /// # Panics
+    /// Panics if the label was already placed.
+    pub fn place(&mut self, label: Label) {
+        let prev = self.labels.insert(label, self.insts.len());
+        assert!(prev.is_none(), "label placed twice");
+    }
+
+    // -- convenience emitters --------------------------------------------
+
+    /// `NOP`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+
+    /// `rd = ra + rb`.
+    pub fn add(&mut self, rd: Xr, ra: Xr, rb: Xr) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Add, rd, ra, rb })
+    }
+
+    /// `rd = ra - rb`.
+    pub fn sub(&mut self, rd: Xr, ra: Xr, rb: Xr) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Sub, rd, ra, rb })
+    }
+
+    /// `rd = ra ^ rb`.
+    pub fn xor(&mut self, rd: Xr, ra: Xr, rb: Xr) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Xor, rd, ra, rb })
+    }
+
+    /// `rd = ra & rb`.
+    pub fn and(&mut self, rd: Xr, ra: Xr, rb: Xr) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::And, rd, ra, rb })
+    }
+
+    /// `rd = ra | rb`.
+    pub fn or(&mut self, rd: Xr, ra: Xr, rb: Xr) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Or, rd, ra, rb })
+    }
+
+    /// Generic register ALU op.
+    pub fn alu(&mut self, op: AluOp, rd: Xr, ra: Xr, rb: Xr) -> &mut Self {
+        self.push(Inst::Alu { op, rd, ra, rb })
+    }
+
+    /// `rd = ra + imm`.
+    pub fn addi(&mut self, rd: Xr, ra: Xr, imm: u16) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::Add, rd, ra, imm })
+    }
+
+    /// `rd = ra ^ imm`.
+    pub fn xori(&mut self, rd: Xr, ra: Xr, imm: u16) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::Xor, rd, ra, imm })
+    }
+
+    /// `rd = ra << imm`.
+    pub fn shli(&mut self, rd: Xr, ra: Xr, imm: u16) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::Shl, rd, ra, imm })
+    }
+
+    /// `rd = ra >> imm`.
+    pub fn shri(&mut self, rd: Xr, ra: Xr, imm: u16) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::Shr, rd, ra, imm })
+    }
+
+    /// `rd = imm << 14`.
+    pub fn lui(&mut self, rd: Xr, imm: u16) -> &mut Self {
+        self.push(Inst::Lui { rd, imm })
+    }
+
+    /// `rd = ra * rb`.
+    pub fn mul(&mut self, rd: Xr, ra: Xr, rb: Xr) -> &mut Self {
+        self.push(Inst::Mul { rd, ra, rb })
+    }
+
+    /// `rd = ra / rb`.
+    pub fn div(&mut self, rd: Xr, ra: Xr, rb: Xr) -> &mut Self {
+        self.push(Inst::Div { rd, ra, rb })
+    }
+
+    /// `rd = mem[ra + imm]`.
+    pub fn lw(&mut self, rd: Xr, ra: Xr, imm: u16) -> &mut Self {
+        self.push(Inst::Lw { rd, ra, imm })
+    }
+
+    /// `mem[ra + imm] = rb`.
+    pub fn sw(&mut self, rb: Xr, ra: Xr, imm: u16) -> &mut Self {
+        self.push(Inst::Sw { rb, ra, imm })
+    }
+
+    /// Branch if equal.
+    pub fn beq(&mut self, ra: Xr, rb: Xr, target: Label) -> &mut Self {
+        self.insts.push(PendingInst::Branch { cond: BranchCond::Eq, ra, rb, target });
+        self
+    }
+
+    /// Branch if not equal.
+    pub fn bne(&mut self, ra: Xr, rb: Xr, target: Label) -> &mut Self {
+        self.insts.push(PendingInst::Branch { cond: BranchCond::Ne, ra, rb, target });
+        self
+    }
+
+    /// Branch if unsigned less-than.
+    pub fn blt(&mut self, ra: Xr, rb: Xr, target: Label) -> &mut Self {
+        self.insts.push(PendingInst::Branch { cond: BranchCond::Lt, ra, rb, target });
+        self
+    }
+
+    /// Unconditional jump.
+    pub fn jump(&mut self, target: Label) -> &mut Self {
+        self.insts.push(PendingInst::Jump { target });
+        self
+    }
+
+    /// Vector op.
+    pub fn vec(&mut self, op: VecOp, vd: Vr, va: Vr, vb: Vr) -> &mut Self {
+        self.push(Inst::Vec { op, vd, va, vb })
+    }
+
+    /// Vector load.
+    pub fn vld(&mut self, vd: Vr, ra: Xr, imm: u16) -> &mut Self {
+        self.push(Inst::Vld { vd, ra, imm })
+    }
+
+    /// Vector store.
+    pub fn vst(&mut self, vb: Vr, ra: Xr, imm: u16) -> &mut Self {
+        self.push(Inst::Vst { vb, ra, imm })
+    }
+
+    /// Issue-throttle hint.
+    pub fn throttle(&mut self, level: u8) -> &mut Self {
+        self.push(Inst::Throttle { level })
+    }
+
+    /// `HALT`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// Loads a full 64-bit constant into `rd` using a LUI/ORI/SHLI
+    /// sequence (5+ instructions).
+    pub fn load_const(&mut self, rd: Xr, value: u64) -> &mut Self {
+        // Build 64 bits in 14-bit chunks, MSB first.
+        self.lui(rd, ((value >> 50) & 0x3FFF) as u16);
+        self.shri(rd, rd, 14); // LUI put chunk at [27:14]; normalize to low bits
+        for shift in [36u8, 22, 8] {
+            self.shli(rd, rd, 14);
+            self.push(Inst::AluImm { op: AluOp::Or, rd, ra: rd, imm: ((value >> shift) & 0x3FFF) as u16 });
+        }
+        self.shli(rd, rd, 8);
+        self.push(Inst::AluImm { op: AluOp::Or, rd, ra: rd, imm: (value & 0xFF) as u16 });
+        self
+    }
+
+    /// Resolves labels and returns the encoded instruction sequence.
+    ///
+    /// # Panics
+    /// Panics if a referenced label was never placed or an offset does
+    /// not fit in 14 signed bits.
+    pub fn assemble(&self) -> Vec<Inst> {
+        self.insts
+            .iter()
+            .enumerate()
+            .map(|(pc, p)| match p {
+                PendingInst::Fixed(i) => *i,
+                PendingInst::Branch { cond, ra, rb, target } => {
+                    let t = *self.labels.get(target).expect("unplaced label");
+                    let offset = t as i64 - pc as i64;
+                    assert!((-(1 << 13)..(1 << 13)).contains(&offset), "branch offset {offset} out of range");
+                    Inst::Branch { cond: *cond, ra: *ra, rb: *rb, offset: offset as i16 }
+                }
+                PendingInst::Jump { target } => {
+                    let t = *self.labels.get(target).expect("unplaced label");
+                    let offset = t as i64 - pc as i64;
+                    assert!((-(1 << 13)..(1 << 13)).contains(&offset), "jump offset {offset} out of range");
+                    Inst::Jump { offset: offset as i16 }
+                }
+            })
+            .collect()
+    }
+
+    /// Assembles directly to machine words.
+    pub fn assemble_words(&self) -> Vec<u32> {
+        self.assemble().into_iter().map(Inst::encode).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_branch_offset() {
+        let mut a = Asm::new();
+        a.nop();
+        let top = a.label();
+        a.addi(Xr(1), Xr(1), 1);
+        a.bne(Xr(1), Xr(2), top);
+        a.halt();
+        let prog = a.assemble();
+        match prog[2] {
+            Inst::Branch { offset, .. } => assert_eq!(offset, -1),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_branch_offset() {
+        let mut a = Asm::new();
+        let done = a.forward_label();
+        a.beq(Xr(0), Xr(0), done);
+        a.nop();
+        a.nop();
+        a.place(done);
+        a.halt();
+        let prog = a.assemble();
+        match prog[0] {
+            Inst::Branch { offset, .. } => assert_eq!(offset, 3),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unplaced label")]
+    fn unplaced_label_panics() {
+        let mut a = Asm::new();
+        let l = a.forward_label();
+        a.jump(l);
+        a.assemble();
+    }
+
+    #[test]
+    fn load_const_roundtrip_through_golden_model() {
+        use crate::golden::GoldenModel;
+        for value in [0u64, 1, 0xDEAD_BEEF_CAFE_F00D, u64::MAX, 0x8000_0000_0000_0001] {
+            let mut a = Asm::new();
+            a.load_const(Xr(5), value);
+            a.halt();
+            let mut g = GoldenModel::new(1 << 12);
+            g.run(&a.assemble(), 10_000);
+            assert_eq!(g.xregs[5], value, "value {value:#x}");
+        }
+    }
+}

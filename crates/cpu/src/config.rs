@@ -1,0 +1,149 @@
+//! CPU configuration and the two evaluation presets.
+
+/// Parameters of the synthetic microprocessor.
+///
+/// Two presets mirror the paper's evaluation targets: a larger
+/// server-class core ([`CpuConfig::neoverse_like`]) and an even larger
+/// mobile core with roughly twice the signal count
+/// ([`CpuConfig::cortex_like`]), plus a [`CpuConfig::tiny`] configuration
+/// for fast unit tests.
+///
+/// Cache line size is one word throughout; caches are direct-mapped and
+/// write-through (no dirty state), so correctness is easy to audit while
+/// the latency/energy shape (L1 hit ≪ L2 hit ≪ DRAM) is preserved.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CpuConfig {
+    /// Design name (becomes the netlist name).
+    pub name: String,
+    /// Instruction memory capacity in 32-bit words (power of two).
+    pub imem_words: u32,
+    /// Data memory (DRAM model) capacity in 64-bit words (power of two).
+    pub dram_words: u32,
+    /// I-cache lines (power of two, one instruction per line).
+    pub icache_lines: u32,
+    /// D-cache lines (power of two, one word per line).
+    pub dcache_lines: u32,
+    /// Unified L2 lines (power of two, one word per line).
+    pub l2_lines: u32,
+    /// Issue-queue depth (power of two, 2 ..= 8).
+    pub queue_depth: u32,
+    /// Number of scalar ALUs (1 ..= 4).
+    pub num_alus: u8,
+    /// Multiplier latency in cycles (>= 1).
+    pub mul_latency: u8,
+    /// Divider latency in cycles (>= 1).
+    pub div_latency: u8,
+    /// Extra L2 access latency in cycles (>= 2).
+    pub l2_latency: u8,
+    /// Extra DRAM access latency in cycles (>= 2).
+    pub dram_latency: u8,
+    /// I-cache miss refill latency in cycles (>= 2).
+    pub imiss_latency: u8,
+    /// Depth of the per-unit staging/debug register chains (scales the
+    /// signal count the way verification/debug logic does in production
+    /// RTL; 0 disables).
+    pub staging_depth: u8,
+}
+
+impl CpuConfig {
+    /// Server-class preset (the "Neoverse-N1-like" evaluation target).
+    pub fn neoverse_like() -> Self {
+        CpuConfig {
+            name: "n1-like".into(),
+            imem_words: 4096,
+            dram_words: 65536,
+            icache_lines: 64,
+            dcache_lines: 64,
+            l2_lines: 256,
+            queue_depth: 4,
+            num_alus: 2,
+            mul_latency: 3,
+            div_latency: 10,
+            l2_latency: 6,
+            dram_latency: 24,
+            imiss_latency: 6,
+            staging_depth: 3,
+        }
+    }
+
+    /// Larger mobile-class preset (the "Cortex-A77-like" target, roughly
+    /// twice the signal count of [`CpuConfig::neoverse_like`]).
+    pub fn cortex_like() -> Self {
+        CpuConfig {
+            name: "a77-like".into(),
+            imem_words: 4096,
+            dram_words: 131072,
+            icache_lines: 128,
+            dcache_lines: 128,
+            l2_lines: 512,
+            queue_depth: 8,
+            num_alus: 3,
+            mul_latency: 2,
+            div_latency: 12,
+            l2_latency: 5,
+            dram_latency: 28,
+            imiss_latency: 5,
+            staging_depth: 6,
+        }
+    }
+
+    /// Small configuration for unit tests (fast to build and simulate).
+    pub fn tiny() -> Self {
+        CpuConfig {
+            name: "tiny".into(),
+            imem_words: 512,
+            dram_words: 256,
+            icache_lines: 8,
+            dcache_lines: 8,
+            l2_lines: 16,
+            queue_depth: 4,
+            num_alus: 2,
+            mul_latency: 3,
+            div_latency: 6,
+            l2_latency: 4,
+            dram_latency: 8,
+            imiss_latency: 3,
+            staging_depth: 1,
+        }
+    }
+
+    /// Validates invariants (powers of two, ranges).
+    ///
+    /// # Panics
+    /// Panics with a description of the violated constraint.
+    pub fn validate(&self) {
+        assert!(self.imem_words.is_power_of_two(), "imem_words must be a power of two");
+        assert!(self.dram_words.is_power_of_two(), "dram_words must be a power of two");
+        assert!(self.icache_lines.is_power_of_two() && self.icache_lines >= 4);
+        assert!(self.dcache_lines.is_power_of_two() && self.dcache_lines >= 4);
+        assert!(self.l2_lines.is_power_of_two() && self.l2_lines >= 8);
+        assert!(
+            self.dram_words >= 4 * self.l2_lines && self.dram_words >= 4 * self.dcache_lines,
+            "dram must be at least 4x each cache so tags are meaningful"
+        );
+        assert!(self.queue_depth.is_power_of_two() && (2..=8).contains(&self.queue_depth));
+        assert!((1..=4).contains(&self.num_alus));
+        assert!(self.mul_latency >= 1 && self.div_latency >= 1);
+        assert!(self.l2_latency >= 2 && self.dram_latency >= 2 && self.imiss_latency >= 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        CpuConfig::neoverse_like().validate();
+        CpuConfig::cortex_like().validate();
+        CpuConfig::tiny().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_config_panics() {
+        let mut c = CpuConfig::tiny();
+        c.imem_words = 100;
+        c.validate();
+    }
+}

@@ -1,0 +1,254 @@
+//! Architectural golden model (instruction-set simulator).
+//!
+//! Executes programs at the architecture level, independent of the RTL
+//! micro-architecture. Used to differentially test the RTL CPU and to
+//! cheaply pre-screen generated programs (e.g. GA individuals that would
+//! never halt).
+
+use crate::isa::{Inst, NUM_VREGS, NUM_XREGS, VEC_LANES};
+
+/// Result of running the golden model.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum GoldenOutcome {
+    /// The program reached `HALT` after this many executed instructions.
+    Halted {
+        /// Number of instructions executed, including the `HALT`.
+        executed: u64,
+    },
+    /// The instruction budget ran out before `HALT`.
+    OutOfBudget,
+}
+
+/// Architectural state and executor.
+#[derive(Clone, Debug)]
+pub struct GoldenModel {
+    /// Scalar registers (`x0` is hardwired to zero).
+    pub xregs: [u64; NUM_XREGS],
+    /// Vector registers as 32-bit lanes.
+    pub vregs: [[u32; VEC_LANES]; NUM_VREGS],
+    /// Data memory, word-addressed (addresses wrap at its length).
+    pub mem: Vec<u64>,
+    /// Program counter (instruction index).
+    pub pc: u64,
+    /// Current throttle level (architecturally visible state).
+    pub throttle: u8,
+}
+
+impl GoldenModel {
+    /// Creates a model with `mem_words` words of zeroed data memory.
+    ///
+    /// # Panics
+    /// Panics if `mem_words` is zero.
+    pub fn new(mem_words: usize) -> Self {
+        assert!(mem_words > 0, "data memory must be non-empty");
+        GoldenModel {
+            xregs: [0; NUM_XREGS],
+            vregs: [[0; VEC_LANES]; NUM_VREGS],
+            mem: vec![0; mem_words],
+            pc: 0,
+            throttle: 0,
+        }
+    }
+
+    fn wrap_addr(&self, addr: u64) -> usize {
+        (addr % self.mem.len() as u64) as usize
+    }
+
+    fn write_x(&mut self, rd: u8, value: u64) {
+        if rd != 0 {
+            self.xregs[rd as usize] = value;
+        }
+    }
+
+    /// Executes a single instruction, advancing the PC.
+    ///
+    /// Returns `true` if it was `HALT`.
+    pub fn exec(&mut self, inst: Inst) -> bool {
+        let mut next_pc = self.pc.wrapping_add(1);
+        match inst {
+            Inst::Nop => {}
+            Inst::Alu { op, rd, ra, rb } => {
+                let v = op.apply(self.xregs[ra.0 as usize], self.xregs[rb.0 as usize]);
+                self.write_x(rd.0, v);
+            }
+            Inst::AluImm { op, rd, ra, imm } => {
+                let v = op.apply(self.xregs[ra.0 as usize], imm as u64);
+                self.write_x(rd.0, v);
+            }
+            Inst::Lui { rd, imm } => self.write_x(rd.0, (imm as u64) << 14),
+            Inst::Mul { rd, ra, rb } => {
+                let v = self.xregs[ra.0 as usize].wrapping_mul(self.xregs[rb.0 as usize]);
+                self.write_x(rd.0, v);
+            }
+            Inst::Div { rd, ra, rb } => {
+                let b = self.xregs[rb.0 as usize];
+                let v = self.xregs[ra.0 as usize].checked_div(b).unwrap_or(u64::MAX);
+                self.write_x(rd.0, v);
+            }
+            Inst::Lw { rd, ra, imm } => {
+                let addr = self.wrap_addr(self.xregs[ra.0 as usize].wrapping_add(imm as u64));
+                self.write_x(rd.0, self.mem[addr]);
+            }
+            Inst::Sw { rb, ra, imm } => {
+                let addr = self.wrap_addr(self.xregs[ra.0 as usize].wrapping_add(imm as u64));
+                self.mem[addr] = self.xregs[rb.0 as usize];
+            }
+            Inst::Branch { cond, ra, rb, offset } => {
+                if cond.taken(self.xregs[ra.0 as usize], self.xregs[rb.0 as usize]) {
+                    next_pc = self.pc.wrapping_add_signed(offset as i64);
+                }
+            }
+            Inst::Jump { offset } => {
+                next_pc = self.pc.wrapping_add_signed(offset as i64);
+            }
+            Inst::Vec { op, vd, va, vb } => {
+                let a = self.vregs[va.0 as usize];
+                let b = self.vregs[vb.0 as usize];
+                let d = self.vregs[vd.0 as usize];
+                let mut out = [0u32; VEC_LANES];
+                for lane in 0..VEC_LANES {
+                    out[lane] = op.apply_lane(d[lane], a[lane], b[lane]);
+                }
+                self.vregs[vd.0 as usize] = out;
+            }
+            Inst::Vld { vd, ra, imm } => {
+                let base = self.xregs[ra.0 as usize].wrapping_add(imm as u64);
+                let w0 = self.mem[self.wrap_addr(base)];
+                let w1 = self.mem[self.wrap_addr(base.wrapping_add(1))];
+                self.vregs[vd.0 as usize] = [
+                    w0 as u32,
+                    (w0 >> 32) as u32,
+                    w1 as u32,
+                    (w1 >> 32) as u32,
+                ];
+            }
+            Inst::Vst { vb, ra, imm } => {
+                let base = self.xregs[ra.0 as usize].wrapping_add(imm as u64);
+                let v = self.vregs[vb.0 as usize];
+                let w0 = (v[0] as u64) | ((v[1] as u64) << 32);
+                let w1 = (v[2] as u64) | ((v[3] as u64) << 32);
+                let a0 = self.wrap_addr(base);
+                let a1 = self.wrap_addr(base.wrapping_add(1));
+                self.mem[a0] = w0;
+                self.mem[a1] = w1;
+            }
+            Inst::Halt => return true,
+            Inst::Throttle { level } => self.throttle = level & 3,
+        }
+        self.pc = next_pc;
+        false
+    }
+
+    /// Runs `program` from the current PC until `HALT` or `max_insts`
+    /// executed instructions. The PC wraps at the program length.
+    pub fn run(&mut self, program: &[Inst], max_insts: u64) -> GoldenOutcome {
+        if program.is_empty() {
+            return GoldenOutcome::OutOfBudget;
+        }
+        for executed in 1..=max_insts {
+            let inst = program[(self.pc % program.len() as u64) as usize];
+            if self.exec(inst) {
+                return GoldenOutcome::Halted { executed };
+            }
+        }
+        GoldenOutcome::OutOfBudget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::isa::{Vr, Xr};
+
+    #[test]
+    fn loop_sums_integers() {
+        // sum 1..=10 into x3
+        let mut a = Asm::new();
+        a.addi(Xr(1), Xr(0), 10); // i = 10
+        a.addi(Xr(2), Xr(0), 1);
+        let top = a.label();
+        a.add(Xr(3), Xr(3), Xr(1));
+        a.sub(Xr(1), Xr(1), Xr(2));
+        a.bne(Xr(1), Xr(0), top);
+        a.halt();
+        let mut g = GoldenModel::new(64);
+        let out = g.run(&a.assemble(), 1000);
+        assert!(matches!(out, GoldenOutcome::Halted { .. }));
+        assert_eq!(g.xregs[3], 55);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut a = Asm::new();
+        a.addi(Xr(0), Xr(0), 99);
+        a.halt();
+        let mut g = GoldenModel::new(64);
+        g.run(&a.assemble(), 10);
+        assert_eq!(g.xregs[0], 0);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_wrap() {
+        let mut a = Asm::new();
+        a.addi(Xr(1), Xr(0), 7);
+        a.sw(Xr(1), Xr(0), 3);
+        a.lw(Xr(2), Xr(0), 3);
+        // address 67 wraps to 3 in a 64-word memory
+        a.addi(Xr(3), Xr(0), 67);
+        a.lw(Xr(4), Xr(3), 0);
+        a.halt();
+        let mut g = GoldenModel::new(64);
+        g.run(&a.assemble(), 100);
+        assert_eq!(g.xregs[2], 7);
+        assert_eq!(g.xregs[4], 7);
+    }
+
+    #[test]
+    fn vector_load_compute_store() {
+        let mut a = Asm::new();
+        a.vld(Vr(1), Xr(0), 0);
+        a.vld(Vr(2), Xr(0), 2);
+        a.vec(crate::isa::VecOp::VAdd, Vr(3), Vr(1), Vr(2));
+        a.vst(Vr(3), Xr(0), 4);
+        a.halt();
+        let mut g = GoldenModel::new(64);
+        g.mem[0] = 0x0000_0002_0000_0001; // lanes 1,2
+        g.mem[1] = 0x0000_0004_0000_0003; // lanes 3,4
+        g.mem[2] = 0x0000_000A_0000_0009;
+        g.mem[3] = 0x0000_000C_0000_000B;
+        g.run(&a.assemble(), 100);
+        assert_eq!(g.mem[4], 0x0000_000C_0000_000A);
+        assert_eq!(g.mem[5], 0x0000_0010_0000_000E);
+    }
+
+    #[test]
+    fn div_by_zero_is_all_ones() {
+        let mut a = Asm::new();
+        a.addi(Xr(1), Xr(0), 5);
+        a.div(Xr(2), Xr(1), Xr(0));
+        a.halt();
+        let mut g = GoldenModel::new(64);
+        g.run(&a.assemble(), 100);
+        assert_eq!(g.xregs[2], u64::MAX);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut a = Asm::new();
+        let top = a.label();
+        a.jump(top);
+        let mut g = GoldenModel::new(64);
+        assert_eq!(g.run(&a.assemble(), 50), GoldenOutcome::OutOfBudget);
+    }
+
+    #[test]
+    fn throttle_is_recorded() {
+        let mut a = Asm::new();
+        a.throttle(2);
+        a.halt();
+        let mut g = GoldenModel::new(64);
+        g.run(&a.assemble(), 10);
+        assert_eq!(g.throttle, 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Simulation harness: loads programs, runs to completion, inspects
+//! architectural state.
+
+use crate::isa::Inst;
+use crate::uarch::CpuHandles;
+use apollo_rtl::{CapAnnotation, CapModel};
+use apollo_sim::{PowerConfig, Simulator};
+
+/// Outcome of running a program on the RTL CPU.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The core quiesced (halted and drained) after this many cycles.
+    Quiesced {
+        /// Cycles simulated until quiescence.
+        cycles: u64,
+    },
+    /// The cycle budget ran out first.
+    OutOfCycles,
+}
+
+/// Convenience wrapper tying a [`CpuHandles`] design to a simulator.
+///
+/// The netlist is built once per design; each program run constructs a
+/// fresh [`Simulator`] (cheap) and pokes the program image into the
+/// instruction memory, so model feature indices remain valid across
+/// workloads.
+#[derive(Debug)]
+pub struct CpuSim<'a> {
+    handles: &'a CpuHandles,
+    sim: Simulator<'a>,
+}
+
+impl<'a> CpuSim<'a> {
+    /// Creates a fresh simulator for the design with `program` loaded at
+    /// address 0 and `data` (if any) preloaded into data memory.
+    ///
+    /// # Panics
+    /// Panics if the program exceeds instruction memory or data exceeds
+    /// data memory.
+    pub fn new(
+        handles: &'a CpuHandles,
+        cap: &CapAnnotation,
+        power: PowerConfig,
+        program: &[Inst],
+        data: &[u64],
+    ) -> Self {
+        assert!(
+            program.len() <= handles.config.imem_words as usize,
+            "program of {} instructions exceeds imem ({} words)",
+            program.len(),
+            handles.config.imem_words
+        );
+        assert!(
+            data.len() <= handles.config.dram_words as usize,
+            "data of {} words exceeds dram ({} words)",
+            data.len(),
+            handles.config.dram_words
+        );
+        let mut sim = Simulator::new(&handles.netlist, cap, power);
+        for (i, inst) in program.iter().enumerate() {
+            sim.poke_mem(handles.imem, i as u32, inst.encode() as u64);
+        }
+        for (i, &w) in data.iter().enumerate() {
+            sim.poke_mem(handles.dram, i as u32, w);
+        }
+        CpuSim { handles, sim }
+    }
+
+    /// Creates a simulator with the default parasitic annotation.
+    pub fn with_default_power(handles: &'a CpuHandles, program: &[Inst], data: &[u64]) -> (CapAnnotation, PowerConfig) {
+        let _ = (handles, program, data);
+        (CapModel::default().annotate(&handles.netlist), PowerConfig::default())
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &Simulator<'a> {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying simulator (stepping, tracing).
+    pub fn sim_mut(&mut self) -> &mut Simulator<'a> {
+        &mut self.sim
+    }
+
+    /// The design handles.
+    pub fn handles(&self) -> &'a CpuHandles {
+        self.handles
+    }
+
+    /// Steps one cycle.
+    pub fn step(&mut self) {
+        self.sim.step();
+    }
+
+    /// Runs until the core quiesces or `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
+        for cycle in 1..=max_cycles {
+            self.sim.step();
+            if self.sim.value(self.handles.quiesced) == 1 {
+                return RunOutcome::Quiesced { cycles: cycle };
+            }
+        }
+        RunOutcome::OutOfCycles
+    }
+
+    /// Architectural value of scalar register `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 16`.
+    pub fn xreg(&self, i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            self.sim.value(self.handles.xregs[i - 1])
+        }
+    }
+
+    /// Architectural value of vector register `i` as `[lo64, hi64]`.
+    pub fn vreg(&self, i: usize) -> [u64; 2] {
+        let h = self.handles.vregs[i];
+        [self.sim.value(h[0]), self.sim.value(h[1])]
+    }
+
+    /// Reads a data-memory word.
+    pub fn mem_word(&self, addr: u32) -> u64 {
+        self.sim.mem_word(self.handles.dram, addr)
+    }
+
+    /// The retired-instruction counter.
+    pub fn retired(&self) -> u64 {
+        self.sim.value(self.handles.retired)
+    }
+
+    /// Whether the core has halted.
+    pub fn halted(&self) -> bool {
+        self.sim.value(self.handles.halted) == 1
+    }
+}

@@ -1,0 +1,534 @@
+//! Instruction set of the synthetic microprocessor.
+//!
+//! A compact RISC ISA with 64-bit scalar registers, 128-bit (4 × 32-bit
+//! lane) vector registers, scalar/vector arithmetic, loads/stores,
+//! branches and a `THROTTLE` hint that drives the issue-throttling
+//! schemes referenced by the paper's `throttling_{1,2,3}` benchmarks.
+//!
+//! Encodings are 32-bit fixed width:
+//!
+//! ```text
+//! [31:26] opcode   [25:22] rd   [21:18] ra   [17:14] rb   [13:0] imm14
+//! ```
+
+use std::fmt;
+
+/// Number of scalar registers (`x0` reads as zero).
+pub const NUM_XREGS: usize = 16;
+/// Number of vector registers.
+pub const NUM_VREGS: usize = 8;
+/// Vector lanes (32-bit each).
+pub const VEC_LANES: usize = 4;
+
+/// A scalar register index (`x0` ..= `x15`).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Xr(pub u8);
+
+impl Xr {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn new(i: u8) -> Self {
+        assert!((i as usize) < NUM_XREGS, "x{i} out of range");
+        Xr(i)
+    }
+}
+
+impl fmt::Debug for Xr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A vector register index (`v0` ..= `v7`).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Vr(pub u8);
+
+impl Vr {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn new(i: u8) -> Self {
+        assert!((i as usize) < NUM_VREGS, "v{i} out of range");
+        Vr(i)
+    }
+}
+
+impl fmt::Debug for Vr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Scalar two-operand ALU operations.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum AluOp {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (amount mod 64).
+    Shl,
+    /// Logical shift right (amount mod 64).
+    Shr,
+    /// Set if less-than (unsigned): 1 or 0.
+    Slt,
+}
+
+impl AluOp {
+    /// All ALU operations.
+    pub const ALL: [AluOp; 8] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Slt,
+    ];
+
+    /// Applies the operation to 64-bit values.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a << (b & 63),
+            AluOp::Shr => a >> (b & 63),
+            AluOp::Slt => (a < b) as u64,
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            AluOp::Add => 0,
+            AluOp::Sub => 1,
+            AluOp::And => 2,
+            AluOp::Or => 3,
+            AluOp::Xor => 4,
+            AluOp::Shl => 5,
+            AluOp::Shr => 6,
+            AluOp::Slt => 7,
+        }
+    }
+
+    fn from_code(c: u8) -> Self {
+        Self::ALL[(c & 7) as usize]
+    }
+}
+
+/// Vector lane-wise operations on 4 × 32-bit lanes.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum VecOp {
+    /// Lane-wise wrapping add.
+    VAdd,
+    /// Lane-wise wrapping multiply.
+    VMul,
+    /// Lane-wise XOR.
+    VXor,
+    /// Lane-wise multiply-accumulate: `vd += va * vb`.
+    VMac,
+}
+
+impl VecOp {
+    /// All vector operations.
+    pub const ALL: [VecOp; 4] = [VecOp::VAdd, VecOp::VMul, VecOp::VXor, VecOp::VMac];
+
+    /// Applies the op to one 32-bit lane (with accumulator `d` for MAC).
+    pub fn apply_lane(self, d: u32, a: u32, b: u32) -> u32 {
+        match self {
+            VecOp::VAdd => a.wrapping_add(b),
+            VecOp::VMul => a.wrapping_mul(b),
+            VecOp::VXor => a ^ b,
+            VecOp::VMac => d.wrapping_add(a.wrapping_mul(b)),
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            VecOp::VAdd => 0,
+            VecOp::VMul => 1,
+            VecOp::VXor => 2,
+            VecOp::VMac => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> Self {
+        Self::ALL[(c & 3) as usize]
+    }
+}
+
+/// Branch conditions.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum BranchCond {
+    /// Taken when `ra == rb`.
+    Eq,
+    /// Taken when `ra != rb`.
+    Ne,
+    /// Taken when `ra < rb` (unsigned).
+    Lt,
+}
+
+impl BranchCond {
+    /// Evaluates the condition.
+    pub fn taken(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => a < b,
+        }
+    }
+}
+
+/// An instruction, at the assembler level.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Inst {
+    /// No operation.
+    Nop,
+    /// `rd = ra <op> rb`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Xr,
+        /// First operand.
+        ra: Xr,
+        /// Second operand.
+        rb: Xr,
+    },
+    /// `rd = ra <op> imm` (imm zero-extended, 14 bits).
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Xr,
+        /// Operand.
+        ra: Xr,
+        /// 14-bit immediate.
+        imm: u16,
+    },
+    /// `rd = imm << 14` (load upper immediate).
+    Lui {
+        /// Destination.
+        rd: Xr,
+        /// 14-bit immediate.
+        imm: u16,
+    },
+    /// `rd = ra * rb` (low 64 bits; multi-cycle unit).
+    Mul {
+        /// Destination.
+        rd: Xr,
+        /// First operand.
+        ra: Xr,
+        /// Second operand.
+        rb: Xr,
+    },
+    /// `rd = ra / rb` (`rb == 0` yields all-ones; multi-cycle unit).
+    Div {
+        /// Destination.
+        rd: Xr,
+        /// Dividend.
+        ra: Xr,
+        /// Divisor.
+        rb: Xr,
+    },
+    /// `rd = mem[ra + imm]` (word address).
+    Lw {
+        /// Destination.
+        rd: Xr,
+        /// Base register.
+        ra: Xr,
+        /// Word offset.
+        imm: u16,
+    },
+    /// `mem[ra + imm] = rb` (word address).
+    Sw {
+        /// Source register.
+        rb: Xr,
+        /// Base register.
+        ra: Xr,
+        /// Word offset.
+        imm: u16,
+    },
+    /// Conditional branch to `pc + offset`.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// First compare operand.
+        ra: Xr,
+        /// Second compare operand.
+        rb: Xr,
+        /// Signed word offset from this instruction.
+        offset: i16,
+    },
+    /// Unconditional jump to `pc + offset`.
+    Jump {
+        /// Signed word offset from this instruction.
+        offset: i16,
+    },
+    /// Vector lane-wise operation `vd = va <op> vb` (`vd` also read for MAC).
+    Vec {
+        /// Operation.
+        op: VecOp,
+        /// Destination (and accumulator for MAC).
+        vd: Vr,
+        /// First operand.
+        va: Vr,
+        /// Second operand.
+        vb: Vr,
+    },
+    /// Vector load: `vd = mem[ra + imm .. ra + imm + 2]` (two words).
+    Vld {
+        /// Destination vector register.
+        vd: Vr,
+        /// Base register.
+        ra: Xr,
+        /// Word offset.
+        imm: u16,
+    },
+    /// Vector store: `mem[ra + imm .. +2] = vb`.
+    Vst {
+        /// Source vector register.
+        vb: Vr,
+        /// Base register.
+        ra: Xr,
+        /// Word offset.
+        imm: u16,
+    },
+    /// Stop fetching and issuing; the pipeline drains and the core idles.
+    Halt,
+    /// Set the issue-throttling level (0 = off .. 3 = max).
+    Throttle {
+        /// New throttle level.
+        level: u8,
+    },
+}
+
+/// Opcode numbers, used both by the encoder and the RTL decoder.
+pub mod opcode {
+    /// `NOP`.
+    pub const NOP: u8 = 0;
+    /// Register-register ALU ops occupy `ALU_BASE + code`.
+    pub const ALU_BASE: u8 = 1; // 1..=8
+    /// Immediate ALU ops occupy `ALUI_BASE + code`.
+    pub const ALUI_BASE: u8 = 9; // 9..=16
+    /// `LUI`.
+    pub const LUI: u8 = 17;
+    /// `MUL`.
+    pub const MUL: u8 = 18;
+    /// `DIV`.
+    pub const DIV: u8 = 19;
+    /// `LW`.
+    pub const LW: u8 = 20;
+    /// `SW`.
+    pub const SW: u8 = 21;
+    /// `BEQ`.
+    pub const BEQ: u8 = 22;
+    /// `BNE`.
+    pub const BNE: u8 = 23;
+    /// `BLT`.
+    pub const BLT: u8 = 24;
+    /// `J`.
+    pub const J: u8 = 25;
+    /// Vector ops occupy `VEC_BASE + code`.
+    pub const VEC_BASE: u8 = 26; // 26..=29
+    /// `VLD`.
+    pub const VLD: u8 = 30;
+    /// `VST`.
+    pub const VST: u8 = 31;
+    /// `HALT`.
+    pub const HALT: u8 = 32;
+    /// `THROTTLE`.
+    pub const THROTTLE: u8 = 33;
+}
+
+const IMM_MASK: u32 = (1 << 14) - 1;
+
+fn fields(op: u8, rd: u8, ra: u8, rb: u8, imm: u16) -> u32 {
+    debug_assert!(op < 64 && rd < 16 && ra < 16 && rb < 16);
+    debug_assert!((imm as u32) <= IMM_MASK);
+    ((op as u32) << 26)
+        | ((rd as u32) << 22)
+        | ((ra as u32) << 18)
+        | ((rb as u32) << 14)
+        | (imm as u32 & IMM_MASK)
+}
+
+/// Encodes a signed 14-bit offset.
+fn enc_offset(offset: i16) -> u16 {
+    debug_assert!((-(1 << 13)..(1 << 13)).contains(&(offset as i32)), "offset {offset} out of range");
+    (offset as u16) & IMM_MASK as u16
+}
+
+/// Decodes a signed 14-bit offset.
+fn dec_offset(imm: u16) -> i16 {
+    // sign-extend from bit 13
+    ((imm << 2) as i16) >> 2
+}
+
+impl Inst {
+    /// Encodes the instruction to its 32-bit machine form.
+    pub fn encode(self) -> u32 {
+        use opcode::*;
+        match self {
+            Inst::Nop => fields(NOP, 0, 0, 0, 0),
+            Inst::Alu { op, rd, ra, rb } => fields(ALU_BASE + op.code(), rd.0, ra.0, rb.0, 0),
+            Inst::AluImm { op, rd, ra, imm } => fields(ALUI_BASE + op.code(), rd.0, ra.0, 0, imm),
+            Inst::Lui { rd, imm } => fields(LUI, rd.0, 0, 0, imm),
+            Inst::Mul { rd, ra, rb } => fields(MUL, rd.0, ra.0, rb.0, 0),
+            Inst::Div { rd, ra, rb } => fields(DIV, rd.0, ra.0, rb.0, 0),
+            Inst::Lw { rd, ra, imm } => fields(LW, rd.0, ra.0, 0, imm),
+            Inst::Sw { rb, ra, imm } => fields(SW, 0, ra.0, rb.0, imm),
+            Inst::Branch { cond, ra, rb, offset } => {
+                let op = match cond {
+                    BranchCond::Eq => BEQ,
+                    BranchCond::Ne => BNE,
+                    BranchCond::Lt => BLT,
+                };
+                fields(op, 0, ra.0, rb.0, enc_offset(offset))
+            }
+            Inst::Jump { offset } => fields(J, 0, 0, 0, enc_offset(offset)),
+            Inst::Vec { op, vd, va, vb } => fields(VEC_BASE + op.code(), vd.0, va.0, vb.0, 0),
+            Inst::Vld { vd, ra, imm } => fields(VLD, vd.0, ra.0, 0, imm),
+            Inst::Vst { vb, ra, imm } => fields(VST, 0, ra.0, vb.0, imm),
+            Inst::Halt => fields(HALT, 0, 0, 0, 0),
+            Inst::Throttle { level } => fields(THROTTLE, 0, 0, 0, (level & 3) as u16),
+        }
+    }
+
+    /// Decodes a 32-bit machine word; unknown opcodes decode as `Nop`.
+    pub fn decode(word: u32) -> Inst {
+        use opcode::*;
+        let op = (word >> 26) as u8;
+        let rd = ((word >> 22) & 15) as u8;
+        let ra = ((word >> 18) & 15) as u8;
+        let rb = ((word >> 14) & 15) as u8;
+        let imm = (word & IMM_MASK) as u16;
+        match op {
+            NOP => Inst::Nop,
+            o if (ALU_BASE..ALU_BASE + 8).contains(&o) => Inst::Alu {
+                op: AluOp::from_code(o - ALU_BASE),
+                rd: Xr(rd),
+                ra: Xr(ra),
+                rb: Xr(rb),
+            },
+            o if (ALUI_BASE..ALUI_BASE + 8).contains(&o) => Inst::AluImm {
+                op: AluOp::from_code(o - ALUI_BASE),
+                rd: Xr(rd),
+                ra: Xr(ra),
+                imm,
+            },
+            LUI => Inst::Lui { rd: Xr(rd), imm },
+            MUL => Inst::Mul { rd: Xr(rd), ra: Xr(ra), rb: Xr(rb) },
+            DIV => Inst::Div { rd: Xr(rd), ra: Xr(ra), rb: Xr(rb) },
+            LW => Inst::Lw { rd: Xr(rd), ra: Xr(ra), imm },
+            SW => Inst::Sw { rb: Xr(rb), ra: Xr(ra), imm },
+            BEQ => Inst::Branch { cond: BranchCond::Eq, ra: Xr(ra), rb: Xr(rb), offset: dec_offset(imm) },
+            BNE => Inst::Branch { cond: BranchCond::Ne, ra: Xr(ra), rb: Xr(rb), offset: dec_offset(imm) },
+            BLT => Inst::Branch { cond: BranchCond::Lt, ra: Xr(ra), rb: Xr(rb), offset: dec_offset(imm) },
+            J => Inst::Jump { offset: dec_offset(imm) },
+            o if (VEC_BASE..VEC_BASE + 4).contains(&o) => Inst::Vec {
+                op: VecOp::from_code(o - VEC_BASE),
+                vd: Vr(rd & 7),
+                va: Vr(ra & 7),
+                vb: Vr(rb & 7),
+            },
+            VLD => Inst::Vld { vd: Vr(rd & 7), ra: Xr(ra), imm },
+            VST => Inst::Vst { vb: Vr(rb & 7), ra: Xr(ra), imm },
+            HALT => Inst::Halt,
+            THROTTLE => Inst::Throttle { level: (imm & 3) as u8 },
+            _ => Inst::Nop,
+        }
+    }
+
+    /// Returns `true` if this instruction ends a program's execution.
+    pub fn is_halt(self) -> bool {
+        matches!(self, Inst::Halt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_instructions() -> Vec<Inst> {
+        let mut v = vec![
+            Inst::Nop,
+            Inst::Halt,
+            Inst::Throttle { level: 2 },
+            Inst::Lui { rd: Xr(3), imm: 0x3FF },
+            Inst::Mul { rd: Xr(1), ra: Xr(2), rb: Xr(3) },
+            Inst::Div { rd: Xr(4), ra: Xr(5), rb: Xr(6) },
+            Inst::Lw { rd: Xr(7), ra: Xr(8), imm: 100 },
+            Inst::Sw { rb: Xr(9), ra: Xr(10), imm: 200 },
+            Inst::Jump { offset: -5 },
+            Inst::Vld { vd: Vr(3), ra: Xr(2), imm: 8 },
+            Inst::Vst { vb: Vr(4), ra: Xr(1), imm: 16 },
+        ];
+        for op in AluOp::ALL {
+            v.push(Inst::Alu { op, rd: Xr(1), ra: Xr(2), rb: Xr(3) });
+            v.push(Inst::AluImm { op, rd: Xr(4), ra: Xr(5), imm: 77 });
+        }
+        for op in VecOp::ALL {
+            v.push(Inst::Vec { op, vd: Vr(1), va: Vr(2), vb: Vr(3) });
+        }
+        for cond in [BranchCond::Eq, BranchCond::Ne, BranchCond::Lt] {
+            v.push(Inst::Branch { cond, ra: Xr(1), rb: Xr(2), offset: -100 });
+            v.push(Inst::Branch { cond, ra: Xr(3), rb: Xr(4), offset: 100 });
+        }
+        v
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for inst in all_sample_instructions() {
+            let enc = inst.encode();
+            assert_eq!(Inst::decode(enc), inst, "{inst:?} ({enc:#010x})");
+        }
+    }
+
+    #[test]
+    fn offsets_sign_extend() {
+        assert_eq!(dec_offset(enc_offset(-1)), -1);
+        assert_eq!(dec_offset(enc_offset(-8192)), -8192);
+        assert_eq!(dec_offset(enc_offset(8191)), 8191);
+        assert_eq!(dec_offset(enc_offset(0)), 0);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u64::MAX);
+        assert_eq!(AluOp::Shl.apply(1, 65), 2, "shift amount is mod 64");
+        assert_eq!(AluOp::Slt.apply(1, 2), 1);
+        assert_eq!(AluOp::Slt.apply(2, 1), 0);
+    }
+
+    #[test]
+    fn vec_lane_semantics() {
+        assert_eq!(VecOp::VAdd.apply_lane(0, u32::MAX, 1), 0);
+        assert_eq!(VecOp::VMac.apply_lane(10, 3, 4), 22);
+    }
+
+    #[test]
+    fn unknown_opcode_decodes_to_nop() {
+        assert_eq!(Inst::decode(0xFC00_0000), Inst::Nop);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn xr_range_checked() {
+        Xr::new(16);
+    }
+}

@@ -1,0 +1,57 @@
+//! # apollo-cpu
+//!
+//! The synthetic microprocessor substrate for the APOLLO reproduction:
+//! a compact RISC ISA ([`Inst`]), a structured [assembler](Asm), an
+//! architectural [golden model](GoldenModel), and — most importantly —
+//! a parametric RTL [micro-architecture](build_cpu) built on
+//! [`apollo_rtl`]: a single-issue scoreboarded core with out-of-order
+//! completion, I/D caches, a unified L2, a 4-lane vector unit, iterative
+//! multiply/divide, issue throttling and unit-level clock gating.
+//!
+//! Two presets mirror the paper's evaluation targets
+//! ([`CpuConfig::neoverse_like`] and the larger
+//! [`CpuConfig::cortex_like`]); [`benchmarks`] recreates the paper's
+//! Table 4 suite of designer-handcrafted test benchmarks plus longer
+//! workloads for the emulator-assisted flow.
+//!
+//! ## Example
+//!
+//! ```
+//! use apollo_cpu::{build_cpu, Asm, CpuConfig, CpuSim, Xr};
+//! use apollo_rtl::CapModel;
+//! use apollo_sim::PowerConfig;
+//!
+//! let handles = build_cpu(&CpuConfig::tiny())?;
+//! let cap = CapModel::default().annotate(&handles.netlist);
+//!
+//! let mut a = Asm::new();
+//! a.addi(Xr(1), Xr(0), 2);
+//! a.addi(Xr(2), Xr(0), 3);
+//! a.add(Xr(3), Xr(1), Xr(2));
+//! a.halt();
+//!
+//! let mut sim = CpuSim::new(&handles, &cap, PowerConfig::default(), &a.assemble(), &[]);
+//! sim.run(1_000);
+//! assert_eq!(sim.xreg(3), 5);
+//! # Ok::<(), apollo_rtl::RtlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+pub mod benchmarks;
+mod config;
+mod golden;
+mod harness;
+mod isa;
+mod soc;
+mod uarch;
+
+pub use asm::{Asm, Label};
+pub use config::CpuConfig;
+pub use golden::{GoldenModel, GoldenOutcome};
+pub use harness::{CpuSim, RunOutcome};
+pub use isa::{opcode, AluOp, BranchCond, Inst, VecOp, Vr, Xr, NUM_VREGS, NUM_XREGS, VEC_LANES};
+pub use soc::{build_soc, SocConfig, SocHandles, SocSim};
+pub use uarch::{build_core, build_cpu, CoreHandles, CpuHandles, ADDR_W, PC_W};

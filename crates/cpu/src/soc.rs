@@ -1,0 +1,249 @@
+//! Multi-core SoC assembly: several cores elaborated into one netlist.
+//!
+//! The paper motivates design-time power introspection for "the
+//! simultaneous execution of multiple CPU cores" (§1). This module
+//! builds N cores (each with private memories — think per-core LLC
+//! slices) into a single netlist so one APOLLO model can be trained for
+//! the whole die and per-cycle SoC power traced across concurrent
+//! workloads.
+
+use crate::config::CpuConfig;
+use crate::harness::RunOutcome;
+use crate::isa::Inst;
+use crate::uarch::{build_core, CoreHandles};
+use apollo_rtl::{CapAnnotation, CapModel, Netlist, NetlistBuilder, RtlError};
+use apollo_sim::{PowerConfig, Simulator};
+
+/// A multi-core SoC configuration.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SocConfig {
+    /// Design name.
+    pub name: String,
+    /// Per-core configurations (cores may be heterogeneous).
+    pub cores: Vec<CpuConfig>,
+}
+
+impl SocConfig {
+    /// A homogeneous SoC of `n` copies of `core`.
+    pub fn homogeneous(name: &str, core: CpuConfig, n: usize) -> Self {
+        SocConfig {
+            name: name.to_owned(),
+            cores: vec![core; n],
+        }
+    }
+}
+
+/// Handles into a built SoC.
+#[derive(Clone, Debug)]
+pub struct SocHandles {
+    /// The combined netlist.
+    pub netlist: Netlist,
+    /// The configuration.
+    pub config: SocConfig,
+    /// Per-core handles (signal ids are valid in `netlist`).
+    pub cores: Vec<CoreHandles>,
+    /// Flat signal-bit range occupied by each core (for attribution).
+    pub core_bit_ranges: Vec<std::ops::Range<usize>>,
+}
+
+/// Builds an SoC netlist with every core namespaced as `coreN/...`.
+///
+/// # Errors
+/// Propagates netlist construction errors.
+///
+/// # Panics
+/// Panics if the configuration has no cores or a core config is invalid.
+pub fn build_soc(config: &SocConfig) -> Result<SocHandles, RtlError> {
+    assert!(!config.cores.is_empty(), "SoC needs at least one core");
+    let mut b = NetlistBuilder::new(config.name.clone());
+    let mut cores = Vec::with_capacity(config.cores.len());
+    let mut node_ranges = Vec::with_capacity(config.cores.len());
+    for (i, core_cfg) in config.cores.iter().enumerate() {
+        let start = b.len();
+        b.push_scope(format!("core{i}"));
+        cores.push(build_core(&mut b, core_cfg));
+        b.pop_scope();
+        node_ranges.push(start..b.len());
+    }
+    let netlist = b.build()?;
+    let core_bit_ranges = node_ranges
+        .into_iter()
+        .map(|r| {
+            let start = netlist.bit_offset(apollo_rtl::NodeId::from_index(r.start));
+            let end = if r.end == netlist.len() {
+                netlist.signal_bits()
+            } else {
+                netlist.bit_offset(apollo_rtl::NodeId::from_index(r.end))
+            };
+            start..end
+        })
+        .collect();
+    Ok(SocHandles {
+        netlist,
+        config: config.clone(),
+        cores,
+        core_bit_ranges,
+    })
+}
+
+/// Simulation harness for an SoC: per-core program images, run until
+/// every core quiesces.
+#[derive(Debug)]
+pub struct SocSim<'a> {
+    handles: &'a SocHandles,
+    sim: Simulator<'a>,
+}
+
+impl<'a> SocSim<'a> {
+    /// Creates a session with one `(program, data)` pair per core.
+    ///
+    /// # Panics
+    /// Panics if the workload count differs from the core count or an
+    /// image exceeds its core's memories.
+    pub fn new(
+        handles: &'a SocHandles,
+        cap: &CapAnnotation,
+        power: PowerConfig,
+        workloads: &[(Vec<Inst>, Vec<u64>)],
+    ) -> Self {
+        assert_eq!(
+            workloads.len(),
+            handles.cores.len(),
+            "one workload per core required"
+        );
+        let mut sim = Simulator::new(&handles.netlist, cap, power);
+        for ((program, data), core) in workloads.iter().zip(&handles.cores) {
+            for (i, inst) in program.iter().enumerate() {
+                sim.poke_mem(core.imem, i as u32, inst.encode() as u64);
+            }
+            for (i, &w) in data.iter().enumerate() {
+                sim.poke_mem(core.dram, i as u32, w);
+            }
+        }
+        SocSim { handles, sim }
+    }
+
+    /// Creates a session with the default parasitic annotation.
+    pub fn with_defaults(
+        handles: &'a SocHandles,
+        workloads: &[(Vec<Inst>, Vec<u64>)],
+    ) -> (CapAnnotation, Self) {
+        let cap = CapModel::default().annotate(&handles.netlist);
+        let sim = Self::new(handles, &cap, PowerConfig::default(), workloads);
+        (cap, sim)
+    }
+
+    /// Mutable access to the underlying simulator.
+    pub fn sim_mut(&mut self) -> &mut Simulator<'a> {
+        &mut self.sim
+    }
+
+    /// Shared access to the underlying simulator.
+    pub fn sim(&self) -> &Simulator<'a> {
+        &self.sim
+    }
+
+    /// Whether every core has quiesced.
+    pub fn all_quiesced(&self) -> bool {
+        self.handles
+            .cores
+            .iter()
+            .all(|c| self.sim.value(c.quiesced) == 1)
+    }
+
+    /// Runs until all cores quiesce or `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
+        for cycle in 1..=max_cycles {
+            self.sim.step();
+            if self.all_quiesced() {
+                return RunOutcome::Quiesced { cycles: cycle };
+            }
+        }
+        RunOutcome::OutOfCycles
+    }
+
+    /// Architectural scalar register of one core.
+    pub fn xreg(&self, core: usize, i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            self.sim.value(self.handles.cores[core].xregs[i - 1])
+        }
+    }
+
+    /// Retired-instruction counter of one core.
+    pub fn retired(&self, core: usize) -> u64 {
+        self.sim.value(self.handles.cores[core].retired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::isa::Xr;
+
+    fn sum_program(n: u16) -> Vec<Inst> {
+        let mut a = Asm::new();
+        a.addi(Xr(1), Xr(0), n);
+        a.addi(Xr(2), Xr(0), 1);
+        let top = a.label();
+        a.add(Xr(3), Xr(3), Xr(1));
+        a.sub(Xr(1), Xr(1), Xr(2));
+        a.bne(Xr(1), Xr(0), top);
+        a.halt();
+        a.assemble()
+    }
+
+    #[test]
+    fn dual_core_runs_independent_programs() {
+        let soc = build_soc(&SocConfig::homogeneous(
+            "duo",
+            CpuConfig::tiny(),
+            2,
+        ))
+        .unwrap();
+        assert!(soc.netlist.signal_bits() > 2 * 10_000);
+        // Names are namespaced per core.
+        assert!(soc
+            .netlist
+            .named_signals()
+            .any(|(_, m)| m.name == "core0/fetch/pc"));
+        assert!(soc
+            .netlist
+            .named_signals()
+            .any(|(_, m)| m.name == "core1/fetch/pc"));
+
+        let workloads = vec![
+            (sum_program(10), vec![]),
+            (sum_program(20), vec![]),
+        ];
+        let (_cap, mut sim) = SocSim::with_defaults(&soc, &workloads);
+        let out = sim.run(100_000);
+        assert!(matches!(out, RunOutcome::Quiesced { .. }), "{out:?}");
+        assert_eq!(sim.xreg(0, 3), 55);
+        assert_eq!(sim.xreg(1, 3), 210);
+        assert!(sim.retired(0) > 0 && sim.retired(1) > 0);
+    }
+
+    #[test]
+    fn soc_power_exceeds_single_core_power() {
+        let core_cfg = CpuConfig::tiny();
+        let single = build_soc(&SocConfig::homogeneous("uno", core_cfg.clone(), 1)).unwrap();
+        let duo = build_soc(&SocConfig::homogeneous("duo", core_cfg, 2)).unwrap();
+        let busy = sum_program(2000);
+
+        let mean_power = |soc: &SocHandles, workloads: &[(Vec<Inst>, Vec<u64>)]| {
+            let (_cap, mut sim) = SocSim::with_defaults(soc, workloads);
+            let mut total = 0.0;
+            for _ in 0..300 {
+                sim.sim_mut().step();
+                total += sim.sim().power().total;
+            }
+            total / 300.0
+        };
+        let p1 = mean_power(&single, &[(busy.clone(), vec![])]);
+        let p2 = mean_power(&duo, &[(busy.clone(), vec![]), (busy, vec![])]);
+        assert!(p2 > 1.6 * p1, "duo {p2:.0} vs uno {p1:.0}");
+    }
+}

@@ -1,0 +1,1501 @@
+//! The RTL micro-architecture of the synthetic CPU.
+//!
+//! A single-issue, scoreboarded core with out-of-order completion:
+//! fetch with an I-cache and refill FSM, an issue queue, per-register
+//! busy bits, multiple parallel function units (N scalar ALUs, an
+//! iterative multiplier and divider, a 4-lane vector unit, a load/store
+//! unit with write-through D-cache and unified L2 backed by a DRAM
+//! model), a two-port writeback arbiter, unit-level clock gating, and
+//! per-unit staging/debug register chains.
+//!
+//! The design intentionally exhibits the structure the APOLLO paper's
+//! proxy selection exploits: activity is strongly correlated within
+//! clock-gated functional units, and gated-clock enables summarize large
+//! groups of register clock pins.
+
+// Lockstep multi-array index loops are intentional throughout this
+// module; iterator zips would obscure the hardware/math being expressed.
+#![allow(clippy::needless_range_loop)]
+
+use crate::config::CpuConfig;
+use crate::isa::opcode;
+use apollo_rtl::{ClockId, MemId, Netlist, NetlistBuilder, NodeId, RtlError, Unit, CLOCK_ROOT};
+
+/// Width of the program counter in bits.
+pub const PC_W: u8 = 16;
+/// Width of physical data addresses in bits.
+pub const ADDR_W: u8 = 24;
+
+/// Handles into the built CPU netlist, used by the simulation harness.
+#[derive(Clone, Debug)]
+pub struct CpuHandles {
+    /// The finished netlist.
+    pub netlist: Netlist,
+    /// The configuration it was built from.
+    pub config: CpuConfig,
+    /// Instruction memory (program image backing store).
+    pub imem: MemId,
+    /// Data memory (DRAM model backing store).
+    pub dram: MemId,
+    /// Program counter.
+    pub pc: NodeId,
+    /// Set once `HALT` issues.
+    pub halted: NodeId,
+    /// High once halted *and* the pipeline has fully drained.
+    pub quiesced: NodeId,
+    /// Retired (issued) instruction counter.
+    pub retired: NodeId,
+    /// Free-running cycle counter.
+    pub cycles: NodeId,
+    /// Architectural scalar registers `x1 ..= x15` (`x0` is constant 0).
+    pub xregs: Vec<NodeId>,
+    /// Architectural vector registers as `[low64, high64]` halves.
+    pub vregs: Vec<[NodeId; 2]>,
+    /// Current throttle level register.
+    pub throttle: NodeId,
+    /// External throttle-override enable input.
+    pub throttle_override_en: NodeId,
+    /// External throttle-override level input (2 bits).
+    pub throttle_override: NodeId,
+}
+
+struct Fu {
+    /// Always-on valid/busy flag.
+    valid: NodeId,
+    /// Gated clock domain of the datapath.
+    clock: ClockId,
+    /// Gate enable (for reuse in staging chains).
+    grant: NodeId,
+}
+
+/// `lo <= x <= hi` for an unsigned node and constant bounds.
+fn in_range(b: &mut NetlistBuilder, x: NodeId, lo: u64, hi: u64) -> NodeId {
+    let w = b.width(x);
+    let lo_c = b.constant(lo, w);
+    let below = b.ult(x, lo_c); // x < lo
+    let ge = b.not(below);
+    let hi1 = b.constant(hi, w);
+    let above = b.ult(hi1, x); // hi < x
+    let le = b.not(above);
+    b.and(ge, le)
+}
+
+fn eq_const(b: &mut NetlistBuilder, x: NodeId, v: u64) -> NodeId {
+    let w = b.width(x);
+    let c = b.constant(v, w);
+    b.eq(x, c)
+}
+
+fn ne_const(b: &mut NetlistBuilder, x: NodeId, v: u64) -> NodeId {
+    let e = eq_const(b, x, v);
+    b.not(e)
+}
+
+/// Sign-extends `x` from its width to `to` bits.
+fn sext(b: &mut NetlistBuilder, x: NodeId, to: u8) -> NodeId {
+    let from = b.width(x);
+    assert!(to > from);
+    let sign = b.bit(x, from - 1);
+    let zeros = b.constant(0, to - from);
+    let ones = b.constant(apollo_rtl_mask(to - from), to - from);
+    let ext = b.mux(sign, ones, zeros);
+    b.concat(ext, x)
+}
+
+fn apollo_rtl_mask(w: u8) -> u64 {
+    if w == 64 {
+        u64::MAX
+    } else {
+        (1 << w) - 1
+    }
+}
+
+fn add_const(b: &mut NetlistBuilder, x: NodeId, v: u64) -> NodeId {
+    let w = b.width(x);
+    let c = b.constant(v & apollo_rtl_mask(w), w);
+    b.add(x, c)
+}
+
+fn sub_const(b: &mut NetlistBuilder, x: NodeId, v: u64) -> NodeId {
+    let w = b.width(x);
+    let c = b.constant(v & apollo_rtl_mask(w), w);
+    b.sub(x, c)
+}
+
+/// OR of a list of 1-bit signals.
+fn any(b: &mut NetlistBuilder, xs: &[NodeId]) -> NodeId {
+    let mut acc = xs[0];
+    for &x in &xs[1..] {
+        acc = b.or(acc, x);
+    }
+    acc
+}
+
+fn and3(b: &mut NetlistBuilder, x: NodeId, y: NodeId, z: NodeId) -> NodeId {
+    let xy = b.and(x, y);
+    b.and(xy, z)
+}
+
+fn andn(b: &mut NetlistBuilder, x: NodeId, y_inverted: NodeId) -> NodeId {
+    let ny = b.not(y_inverted);
+    b.and(x, ny)
+}
+
+/// Handles for one CPU core inside a (possibly multi-core) netlist.
+#[derive(Clone, Debug)]
+pub struct CoreHandles {
+    /// Instruction memory (program image backing store).
+    pub imem: MemId,
+    /// Data memory (DRAM model backing store).
+    pub dram: MemId,
+    /// Program counter.
+    pub pc: NodeId,
+    /// Set once `HALT` issues.
+    pub halted: NodeId,
+    /// High once halted *and* the pipeline has fully drained.
+    pub quiesced: NodeId,
+    /// Retired (issued) instruction counter.
+    pub retired: NodeId,
+    /// Free-running cycle counter.
+    pub cycles: NodeId,
+    /// Architectural scalar registers `x1 ..= x15`.
+    pub xregs: Vec<NodeId>,
+    /// Architectural vector registers as `[low64, high64]` halves.
+    pub vregs: Vec<[NodeId; 2]>,
+    /// Current throttle level register.
+    pub throttle: NodeId,
+    /// External input: when 1, the throttle level is taken from
+    /// [`CoreHandles::throttle_override`] instead of the architectural
+    /// register (used by runtime power-management loops).
+    pub throttle_override_en: NodeId,
+    /// External input: the override throttle level (2 bits).
+    pub throttle_override: NodeId,
+}
+
+/// Builds the CPU and returns its netlist plus handles.
+///
+/// # Errors
+/// Propagates netlist construction errors (which would indicate a bug in
+/// this generator rather than in user input).
+///
+/// # Panics
+/// Panics if `config` fails [`CpuConfig::validate`].
+pub fn build_cpu(config: &CpuConfig) -> Result<CpuHandles, RtlError> {
+    let mut b = NetlistBuilder::new(config.name.clone());
+    let core = build_core(&mut b, config);
+    let netlist = b.build()?;
+    Ok(CpuHandles {
+        netlist,
+        config: config.clone(),
+        imem: core.imem,
+        dram: core.dram,
+        pc: core.pc,
+        halted: core.halted,
+        quiesced: core.quiesced,
+        retired: core.retired,
+        cycles: core.cycles,
+        xregs: core.xregs,
+        vregs: core.vregs,
+        throttle: core.throttle,
+        throttle_override_en: core.throttle_override_en,
+        throttle_override: core.throttle_override,
+    })
+}
+
+/// Elaborates one core into an existing builder (used directly by
+/// [`crate::build_soc`] for multi-core designs; wrap names with
+/// [`NetlistBuilder::push_scope`] to namespace cores).
+///
+/// # Panics
+/// Panics if `config` fails [`CpuConfig::validate`].
+pub fn build_core(b: &mut NetlistBuilder, config: &CpuConfig) -> CoreHandles {
+    config.validate();
+    let c = config.clone();
+    let depth = c.queue_depth as usize;
+    let qidx_w: u8 = (c.queue_depth.trailing_zeros() as u8).max(1);
+    let ib: u8 = c.icache_lines.trailing_zeros() as u8; // icache index bits
+    let itag_w: u8 = PC_W - ib;
+    // The cached (physical) address space must equal the DRAM size:
+    // the DRAM model wraps addresses, so a wider tag space would let two
+    // tags alias one physical word and serve stale data.
+    let phys_w: u8 = (c.dram_words.trailing_zeros() as u8).min(ADDR_W);
+    let db: u8 = c.dcache_lines.trailing_zeros() as u8;
+    let dtag_w: u8 = phys_w - db;
+    let l2b: u8 = c.l2_lines.trailing_zeros() as u8;
+    let l2tag_w: u8 = phys_w - l2b;
+    let n_alus = c.num_alus as usize;
+
+    // ---- P0/P1: memories and always-on architectural + control state ----
+    b.set_unit(Unit::Fetch);
+    let imem = b.memory(c.imem_words, 32, "imem", Unit::Fetch);
+    b.set_unit(Unit::LoadStore);
+    let dram = b.memory(c.dram_words, 64, "dram", Unit::L2);
+    let dcache_data = b.memory(c.dcache_lines, 64, "dcache_data", Unit::LoadStore);
+    b.set_unit(Unit::L2);
+    let l2_data = b.memory(c.l2_lines, 64, "l2_data", Unit::L2);
+
+    b.set_unit(Unit::Fetch);
+    let pc = b.reg(PC_W, 0, CLOCK_ROOT, "fetch/pc", Unit::Fetch);
+    let fstate = b.reg(1, 0, CLOCK_ROOT, "fetch/miss_state", Unit::Fetch);
+    let miss_ctr = b.reg(8, 0, CLOCK_ROOT, "fetch/miss_ctr", Unit::Fetch);
+    b.set_unit(Unit::Issue);
+    let q_instr: Vec<NodeId> = (0..depth)
+        .map(|i| b.reg(32, 0, CLOCK_ROOT, &format!("issue/q{i}_instr"), Unit::Issue))
+        .collect();
+    let q_pc: Vec<NodeId> = (0..depth)
+        .map(|i| b.reg(PC_W, 0, CLOCK_ROOT, &format!("issue/q{i}_pc"), Unit::Issue))
+        .collect();
+    let q_head = b.reg(qidx_w, 0, CLOCK_ROOT, "issue/q_head", Unit::Issue);
+    let q_count = b.reg(4, 0, CLOCK_ROOT, "issue/q_count", Unit::Issue);
+    let xbusy = b.reg(16, 0, CLOCK_ROOT, "issue/xbusy", Unit::Issue);
+    let vbusy = b.reg(8, 0, CLOCK_ROOT, "issue/vbusy", Unit::Issue);
+
+    b.set_unit(Unit::Control);
+    let halted = b.reg(1, 0, CLOCK_ROOT, "ctrl/halted", Unit::Control);
+    let throttle = b.reg(2, 0, CLOCK_ROOT, "ctrl/throttle", Unit::Control);
+    let throttle_override_en = b.input(1, "ctrl/thr_ov_en", Unit::Control);
+    let throttle_override = b.input(2, "ctrl/thr_ov", Unit::Control);
+    let throttle_eff = b.mux(throttle_override_en, throttle_override, throttle);
+    b.name(throttle_eff, "ctrl/throttle_eff", Unit::Control);
+    let thr_ctr = b.reg(3, 0, CLOCK_ROOT, "ctrl/thr_ctr", Unit::Control);
+    let cycles = b.reg(16, 0, CLOCK_ROOT, "ctrl/cycles", Unit::Control);
+    let retired = b.reg(24, 0, CLOCK_ROOT, "ctrl/retired", Unit::Control);
+
+    // FU always-on valid flags + LSU master state (created early so
+    // conservative clock-gate enables for the big register arrays can be
+    // derived from them — real RTL gates register files and tag arrays
+    // the same way, with enables that may be pessimistically on but are
+    // never wrongly off).
+    b.set_unit(Unit::Issue);
+    let alu_v: Vec<NodeId> = (0..n_alus)
+        .map(|i| b.reg(1, 0, CLOCK_ROOT, &format!("issue/alu{i}_busy"), Unit::Issue))
+        .collect();
+    let mul_v = b.reg(1, 0, CLOCK_ROOT, "issue/mul_busy", Unit::Issue);
+    let div_v = b.reg(1, 0, CLOCK_ROOT, "issue/div_busy", Unit::Issue);
+    let vec_v = b.reg(1, 0, CLOCK_ROOT, "issue/vec_busy", Unit::Issue);
+    b.set_unit(Unit::LoadStore);
+    let lsu_state = b.reg(3, 0, CLOCK_ROOT, "lsu/state", Unit::LoadStore);
+    let lsu_busy_flag = ne_const(&mut *b, lsu_state, 0);
+
+    // Conservative gate enables.
+    b.set_unit(Unit::ClockTree);
+    let any_scalar_fu = {
+        let mut e = mul_v;
+        for &v in &alu_v {
+            e = b.or(e, v);
+        }
+        let e = b.or(e, div_v);
+        b.or(e, lsu_busy_flag)
+    };
+    let clk_xrf = b.clock_gate(any_scalar_fu, "clk/xrf", Unit::ClockTree);
+    let vrf_en = b.or(vec_v, lsu_busy_flag);
+    let clk_vrf = b.clock_gate(vrf_en, "clk/vrf", Unit::ClockTree);
+    let clk_dtag = b.clock_gate(lsu_busy_flag, "clk/dtag", Unit::ClockTree);
+    let clk_l2tag = b.clock_gate(lsu_busy_flag, "clk/l2tag", Unit::ClockTree);
+    let fmiss_en = b.bit(fstate, 0);
+    let clk_icache = b.clock_gate(fmiss_en, "clk/icache", Unit::ClockTree);
+
+    b.set_unit(Unit::Fetch);
+    let itag: Vec<NodeId> = (0..c.icache_lines)
+        .map(|i| b.reg(itag_w + 1, 0, clk_icache, &format!("fetch/itag{i}"), Unit::Fetch))
+        .collect();
+    let idata: Vec<NodeId> = (0..c.icache_lines)
+        .map(|i| b.reg(32, 0, clk_icache, &format!("fetch/idata{i}"), Unit::Fetch))
+        .collect();
+
+    b.set_unit(Unit::RegFile);
+    let xregs: Vec<NodeId> = (1..16)
+        .map(|i| b.reg(64, 0, clk_xrf, &format!("rf/x{i}"), Unit::RegFile))
+        .collect();
+    let vregs: Vec<[NodeId; 2]> = (0..8)
+        .map(|i| {
+            [
+                b.reg(64, 0, clk_vrf, &format!("rf/v{i}_lo"), Unit::RegFile),
+                b.reg(64, 0, clk_vrf, &format!("rf/v{i}_hi"), Unit::RegFile),
+            ]
+        })
+        .collect();
+
+    // D-cache / L2 tag arrays (read combinationally; clocked only while
+    // the LSU is active, which covers every fill).
+    b.set_unit(Unit::LoadStore);
+    let dtag: Vec<NodeId> = (0..c.dcache_lines)
+        .map(|i| b.reg(dtag_w + 1, 0, clk_dtag, &format!("lsu/dtag{i}"), Unit::LoadStore))
+        .collect();
+    b.set_unit(Unit::L2);
+    let l2tag: Vec<NodeId> = (0..c.l2_lines)
+        .map(|i| b.reg(l2tag_w + 1, 0, clk_l2tag, &format!("l2/tag{i}"), Unit::L2))
+        .collect();
+
+    // ---- P2: decode of the queue head + register-file reads -------------
+    b.set_unit(Unit::Decode);
+    let zero1 = b.zero();
+    let zero64 = b.constant(0, 64);
+    let head_instr = b.select(q_head, &q_instr);
+    b.name(head_instr, "decode/instr", Unit::Decode);
+    let head_pc = b.select(q_head, &q_pc);
+    let op6 = b.slice(head_instr, 26, 6);
+    b.name(op6, "decode/op", Unit::Decode);
+    let rd = b.slice(head_instr, 22, 4);
+    let ra = b.slice(head_instr, 18, 4);
+    let rb = b.slice(head_instr, 14, 4);
+    let imm14 = b.slice(head_instr, 0, 14);
+    let vd3 = b.slice(head_instr, 22, 3);
+    let va3 = b.slice(head_instr, 18, 3);
+    let vb3 = b.slice(head_instr, 14, 3);
+
+    let is_alu_rr = in_range(&mut *b, op6, opcode::ALU_BASE as u64, (opcode::ALU_BASE + 7) as u64);
+    let is_alu_imm = in_range(&mut *b, op6, opcode::ALUI_BASE as u64, (opcode::ALUI_BASE + 7) as u64);
+    let is_lui = eq_const(&mut *b, op6, opcode::LUI as u64);
+    let is_mul = eq_const(&mut *b, op6, opcode::MUL as u64);
+    let is_div = eq_const(&mut *b, op6, opcode::DIV as u64);
+    let is_lw = eq_const(&mut *b, op6, opcode::LW as u64);
+    let is_sw = eq_const(&mut *b, op6, opcode::SW as u64);
+    let is_beq = eq_const(&mut *b, op6, opcode::BEQ as u64);
+    let is_bne = eq_const(&mut *b, op6, opcode::BNE as u64);
+    let is_blt = eq_const(&mut *b, op6, opcode::BLT as u64);
+    let is_j = eq_const(&mut *b, op6, opcode::J as u64);
+    let is_vec = in_range(&mut *b, op6, opcode::VEC_BASE as u64, (opcode::VEC_BASE + 3) as u64);
+    let is_vld = eq_const(&mut *b, op6, opcode::VLD as u64);
+    let is_vst = eq_const(&mut *b, op6, opcode::VST as u64);
+    let is_halt = eq_const(&mut *b, op6, opcode::HALT as u64);
+    let is_throttle = eq_const(&mut *b, op6, opcode::THROTTLE as u64);
+    let is_branch = {
+        let t = b.or(is_beq, is_bne);
+        b.or(t, is_blt)
+    };
+    let is_vmac = eq_const(&mut *b, op6, (opcode::VEC_BASE + 3) as u64);
+
+    let needs_alu = {
+        let t = b.or(is_alu_rr, is_alu_imm);
+        b.or(t, is_lui)
+    };
+    let needs_lsu = {
+        let t = b.or(is_lw, is_sw);
+        let u = b.or(is_vld, is_vst);
+        b.or(t, u)
+    };
+    let uses_ra = {
+        let t = b.or(is_alu_rr, is_alu_imm);
+        let u = b.or(is_mul, is_div);
+        let v = b.or(needs_lsu, is_branch);
+        let tu = b.or(t, u);
+        b.or(tu, v)
+    };
+    let uses_rb = {
+        let t = b.or(is_alu_rr, is_mul);
+        let u = b.or(is_div, is_sw);
+        let tu = b.or(t, u);
+        b.or(tu, is_branch)
+    };
+    let writes_rd = {
+        let t = b.or(is_alu_rr, is_alu_imm);
+        let u = b.or(is_lui, is_mul);
+        let v = b.or(is_div, is_lw);
+        let tu = b.or(t, u);
+        b.or(tu, v)
+    };
+    let writes_vd = b.or(is_vec, is_vld);
+
+    // Scalar register read ports (x0 reads as zero).
+    b.set_unit(Unit::RegFile);
+    let mut xchoices = vec![zero64];
+    xchoices.extend_from_slice(&xregs);
+    let ra_val = b.select(ra, &xchoices);
+    b.name(ra_val, "rf/ra_val", Unit::RegFile);
+    let rb_val = b.select(rb, &xchoices);
+    b.name(rb_val, "rf/rb_val", Unit::RegFile);
+
+    // Vector register read ports (3 ports x 2 halves).
+    let v_lo: Vec<NodeId> = vregs.iter().map(|v| v[0]).collect();
+    let v_hi: Vec<NodeId> = vregs.iter().map(|v| v[1]).collect();
+    let va_lo = b.select(va3, &v_lo);
+    let va_hi = b.select(va3, &v_hi);
+    let vb_lo = b.select(vb3, &v_lo);
+    let vb_hi = b.select(vb3, &v_hi);
+    let vd_lo = b.select(vd3, &v_lo);
+    let vd_hi = b.select(vd3, &v_hi);
+
+    // ---- P3: issue decision ---------------------------------------------
+    b.set_unit(Unit::Issue);
+    let have_inst = ne_const(&mut *b, q_count, 0);
+
+    // Throttle gate: duty-cycled issue — level k allows one issue per
+    // 2^k cycles.
+    let lvl0 = eq_const(&mut *b, throttle_eff, 0);
+    let lvl1 = eq_const(&mut *b, throttle_eff, 1);
+    let lvl2 = eq_const(&mut *b, throttle_eff, 2);
+    let lvl3 = eq_const(&mut *b, throttle_eff, 3);
+    let ctr_b0 = b.bit(thr_ctr, 0);
+    let ctr_lo2 = b.slice(thr_ctr, 0, 2);
+    let ctr_lo2_zero = eq_const(&mut *b, ctr_lo2, 0);
+    let ctr_zero = eq_const(&mut *b, thr_ctr, 0);
+    let open1 = andn(&mut *b, lvl1, ctr_b0);
+    let open2 = b.and(lvl2, ctr_lo2_zero);
+    let open3 = b.and(lvl3, ctr_zero);
+    let thr_open = {
+        let t = b.or(lvl0, open1);
+        let u = b.or(open2, open3);
+        b.or(t, u)
+    };
+    b.name(thr_open, "issue/throttle_open", Unit::Issue);
+    let vec_blocked = b.zero();
+
+    // Hazards via busy bits.
+    let ra_w = b.zext(ra, 16);
+    let rb_w = b.zext(rb, 16);
+    let rd_w = b.zext(rd, 16);
+    let busy_ra = {
+        let s = b.shr(xbusy, ra_w);
+        b.bit(s, 0)
+    };
+    let busy_rb = {
+        let s = b.shr(xbusy, rb_w);
+        b.bit(s, 0)
+    };
+    let busy_rd = {
+        let s = b.shr(xbusy, rd_w);
+        b.bit(s, 0)
+    };
+    let vd_w = b.zext(vd3, 8);
+    let va_w = b.zext(va3, 8);
+    let vb_w = b.zext(vb3, 8);
+    let busy_vd = {
+        let s = b.shr(vbusy, vd_w);
+        b.bit(s, 0)
+    };
+    let busy_va = {
+        let s = b.shr(vbusy, va_w);
+        b.bit(s, 0)
+    };
+    let busy_vb = {
+        let s = b.shr(vbusy, vb_w);
+        b.bit(s, 0)
+    };
+
+    let uses_va = is_vec;
+    let uses_vb = b.or(is_vec, is_vst); // vb field doubles as the store source
+    let uses_vd_any = b.or(writes_vd, is_vmac);
+
+    let haz_ra = b.and(uses_ra, busy_ra);
+    let haz_rb = b.and(uses_rb, busy_rb);
+    let haz_rd = b.and(writes_rd, busy_rd);
+    let haz_va = b.and(uses_va, busy_va);
+    let haz_vb = b.and(uses_vb, busy_vb);
+    let haz_vd = b.and(uses_vd_any, busy_vd);
+    let any_hazard = {
+        let t = b.or(haz_ra, haz_rb);
+        let u = b.or(haz_rd, haz_va);
+        let v = b.or(haz_vb, haz_vd);
+        let tu = b.or(t, u);
+        b.or(tu, v)
+    };
+    b.name(any_hazard, "issue/hazard", Unit::Issue);
+
+    // Structural readiness.
+    let alu_free: Vec<NodeId> = alu_v.iter().map(|&v| b.not(v)).collect();
+    let any_alu_free = any(&mut *b, &alu_free);
+    let mul_free = b.not(mul_v);
+    let div_free = b.not(div_v);
+    let vec_free = b.not(vec_v);
+    let lsu_free = eq_const(&mut *b, lsu_state, 0);
+    let no_fu = {
+        let t = b.or(is_branch, is_j);
+        let u = b.or(is_halt, is_throttle);
+        let nop = eq_const(&mut *b, op6, opcode::NOP as u64);
+        let tu = b.or(t, u);
+        let tun = b.or(tu, nop);
+        // Unknown opcodes behave as NOP: not any known class.
+        let known = {
+            let k1 = b.or(needs_alu, needs_lsu);
+            let k2 = b.or(is_mul, is_div);
+            let k3 = b.or(is_vec, tun);
+            let k12 = b.or(k1, k2);
+            b.or(k12, k3)
+        };
+        let unknown = b.not(known);
+        b.or(tun, unknown)
+    };
+    let fu_ready = {
+        let a = b.and(needs_alu, any_alu_free);
+        let m = b.and(is_mul, mul_free);
+        let d = b.and(is_div, div_free);
+        let l = b.and(needs_lsu, lsu_free);
+        let v = b.and(is_vec, vec_free);
+        let am = b.or(a, m);
+        let dl = b.or(d, l);
+        let amdl = b.or(am, dl);
+        let amdlv = b.or(amdl, v);
+        b.or(amdlv, no_fu)
+    };
+
+    let not_halted = b.not(halted);
+    let no_haz = b.not(any_hazard);
+    let no_vecblock = b.not(vec_blocked);
+    let issue = {
+        let t = and3(&mut *b, have_inst, not_halted, thr_open);
+        let u = and3(&mut *b, no_haz, fu_ready, no_vecblock);
+        b.and(t, u)
+    };
+    b.name(issue, "issue/fire", Unit::Issue);
+
+    // Per-FU grants. ALUs pick the lowest-numbered free unit, rotated by
+    // the cycle counter's low bit for activity balance.
+    let issue_alu = b.and(issue, needs_alu);
+    let rotate = b.bit(cycles, 0);
+    let mut grant_alu: Vec<NodeId> = Vec::with_capacity(n_alus);
+    {
+        // preference order: if rotate, start from unit 1.
+        let mut taken = zero1;
+        let order: Vec<usize> = (0..n_alus).collect();
+        let mut grants = vec![zero1; n_alus];
+        // two passes to realize rotation: pass1 skips units < 1 when rotate
+        for pass in 0..2 {
+            for &i in &order {
+                let in_this_pass = if pass == 0 {
+                    if i == 0 {
+                        // unit 0 preferred only when !rotate
+                        b.not(rotate)
+                    } else {
+                        b.one()
+                    }
+                } else if i == 0 {
+                    rotate
+                } else {
+                    zero1
+                };
+                let not_taken = b.not(taken);
+                let cand = and3(&mut *b, issue_alu, alu_free[i], not_taken);
+                let g = b.and(cand, in_this_pass);
+                grants[i] = b.or(grants[i], g);
+                taken = b.or(taken, g);
+            }
+        }
+        for (i, g) in grants.into_iter().enumerate() {
+            let named = b.name(g, &format!("issue/grant_alu{i}"), Unit::Issue);
+            grant_alu.push(named);
+        }
+    }
+    let grant_mul = b.and(issue, is_mul);
+    b.name(grant_mul, "issue/grant_mul", Unit::Issue);
+    let grant_div = b.and(issue, is_div);
+    b.name(grant_div, "issue/grant_div", Unit::Issue);
+    let grant_vec = b.and(issue, is_vec);
+    b.name(grant_vec, "issue/grant_vec", Unit::Issue);
+    let grant_lsu = b.and(issue, needs_lsu);
+    b.name(grant_lsu, "issue/grant_lsu", Unit::Issue);
+
+    // Branch resolution at issue.
+    let cmp_eq = b.eq(ra_val, rb_val);
+    let cmp_lt = b.ult(ra_val, rb_val);
+    let cmp_ne = b.not(cmp_eq);
+    let br_taken = {
+        let e = b.and(is_beq, cmp_eq);
+        let n = b.and(is_bne, cmp_ne);
+        let l = b.and(is_blt, cmp_lt);
+        let en = b.or(e, n);
+        let enl = b.or(en, l);
+        b.or(enl, is_j)
+    };
+    let br_class = b.or(is_branch, is_j);
+    let flush = {
+        let ib2 = b.and(issue, br_class);
+        let br_flush = b.and(ib2, br_taken);
+        // HALT also flushes: instructions fetched past it are dead and
+        // would otherwise keep the queue non-empty forever.
+        let halt_fire = b.and(issue, is_halt);
+        b.or(br_flush, halt_fire)
+    };
+    b.name(flush, "issue/flush", Unit::Issue);
+    let offset16 = sext(&mut *b, imm14, PC_W);
+    let br_target = b.add(head_pc, offset16);
+    b.name(br_target, "issue/br_target", Unit::Issue);
+
+    let pop = issue;
+
+    // ALU operand / opcode preparation.
+    b.set_unit(Unit::Alu);
+    let imm64 = b.zext(imm14, 64);
+    let lui_val = {
+        let c14 = b.constant(14, 64);
+        b.shl(imm64, c14)
+    };
+    let alu_a = b.mux(is_lui, lui_val, ra_val);
+    let alu_b = {
+        let imm_or_rb = b.mux(is_alu_imm, imm64, rb_val);
+        b.mux(is_lui, zero64, imm_or_rb)
+    };
+    let aluop_rr = sub_const(&mut *b, op6, opcode::ALU_BASE as u64);
+    let aluop_imm = sub_const(&mut *b, op6, opcode::ALUI_BASE as u64);
+    let or_code = b.constant(3, 6);
+    let alu_code6 = {
+        let t = b.mux(is_alu_imm, aluop_imm, aluop_rr);
+        b.mux(is_lui, or_code, t)
+    };
+    let alu_code = b.trunc(alu_code6, 3);
+
+    // LSU issue-time address and store data.
+    b.set_unit(Unit::LoadStore);
+    let addr64 = b.add(ra_val, imm64);
+    let addr_issue = b.trunc(addr64, phys_w);
+    b.name(addr_issue, "lsu/addr_issue", Unit::LoadStore);
+    let kind_code = {
+        // 0 = LW, 1 = SW, 2 = VLD, 3 = VST
+        let one2 = b.constant(1, 2);
+        let two2 = b.constant(2, 2);
+        let three2 = b.constant(3, 2);
+        let zero2 = b.constant(0, 2);
+        let t = b.mux(is_sw, one2, zero2);
+        let u = b.mux(is_vld, two2, t);
+        b.mux(is_vst, three2, u)
+    };
+
+    // ---- P4: function units ----------------------------------------------
+    // Scalar ALUs.
+    let mut alu_done_req: Vec<NodeId> = Vec::new();
+    let mut alu_rd_reg: Vec<NodeId> = Vec::new();
+    let mut alu_result: Vec<NodeId> = Vec::new();
+    let mut alu_clock: Vec<ClockId> = Vec::new();
+    for i in 0..n_alus {
+        b.set_unit(Unit::Alu);
+        let en = b.or(grant_alu[i], alu_v[i]);
+        let clk = b.clock_gate(en, &format!("clk/alu{i}"), Unit::ClockTree);
+        alu_clock.push(clk);
+        let a = b.reg(64, 0, clk, &format!("alu{i}/a"), Unit::Alu);
+        let bb = b.reg(64, 0, clk, &format!("alu{i}/b"), Unit::Alu);
+        let op = b.reg(3, 0, clk, &format!("alu{i}/op"), Unit::Alu);
+        let rdre = b.reg(4, 0, clk, &format!("alu{i}/rd"), Unit::Alu);
+        let a_next = b.mux(grant_alu[i], alu_a, a);
+        let b_next = b.mux(grant_alu[i], alu_b, bb);
+        let op_next = b.mux(grant_alu[i], alu_code, op);
+        let rd_next = b.mux(grant_alu[i], rd, rdre);
+        b.connect(a, a_next);
+        b.connect(bb, b_next);
+        b.connect(op, op_next);
+        b.connect(rdre, rd_next);
+        // Parallel datapaths, selected by op.
+        let amt6 = {
+            let c63 = b.constant(63, 64);
+            b.and(bb, c63)
+        };
+        let r_add = b.add(a, bb);
+        let r_sub = b.sub(a, bb);
+        let r_and = b.and(a, bb);
+        let r_or = b.or(a, bb);
+        let r_xor = b.xor(a, bb);
+        let r_shl = b.shl(a, amt6);
+        let r_shr = b.shr(a, amt6);
+        let r_slt = {
+            let lt = b.ult(a, bb);
+            b.zext(lt, 64)
+        };
+        let result = b.select(op, &[r_add, r_sub, r_and, r_or, r_xor, r_shl, r_shr, r_slt]);
+        b.name(result, &format!("alu{i}/result"), Unit::Alu);
+        alu_result.push(result);
+        alu_done_req.push(alu_v[i]);
+        alu_rd_reg.push(rdre);
+    }
+
+    // Multiplier.
+    b.set_unit(Unit::Multiplier);
+    let mul_en = b.or(grant_mul, mul_v);
+    let clk_mul = b.clock_gate(mul_en, "clk/mul", Unit::ClockTree);
+    let mul_a = b.reg(64, 0, clk_mul, "mul/a", Unit::Multiplier);
+    let mul_b = b.reg(64, 0, clk_mul, "mul/b", Unit::Multiplier);
+    let mul_rd = b.reg(4, 0, clk_mul, "mul/rd", Unit::Multiplier);
+    let mul_ctr = b.reg(4, 0, clk_mul, "mul/ctr", Unit::Multiplier);
+    let mul_churn = b.reg(64, 1, clk_mul, "mul/pp", Unit::Multiplier);
+    {
+        let an = b.mux(grant_mul, ra_val, mul_a);
+        b.connect(mul_a, an);
+        let bn = b.mux(grant_mul, rb_val, mul_b);
+        b.connect(mul_b, bn);
+        let rn = b.mux(grant_mul, rd, mul_rd);
+        b.connect(mul_rd, rn);
+        let lat = b.constant(c.mul_latency as u64, 4);
+        let nz = ne_const(&mut *b, mul_ctr, 0);
+        let dec = sub_const(&mut *b, mul_ctr, 1);
+        let held = b.mux(nz, dec, mul_ctr);
+        let cn = b.mux(grant_mul, lat, held);
+        b.connect(mul_ctr, cn);
+        // Partial-product churn: realistic array activity while busy.
+        let one64 = b.constant(1, 64);
+        let a_odd = b.or(mul_a, one64);
+        let pp = b.mul(mul_churn, a_odd);
+        let pp2 = b.add(pp, mul_b);
+        b.connect(mul_churn, pp2);
+    }
+    let mul_result = b.mul(mul_a, mul_b);
+    b.name(mul_result, "mul/result", Unit::Multiplier);
+    let mul_ctr_zero = eq_const(&mut *b, mul_ctr, 0);
+    let mul_done = b.and(mul_v, mul_ctr_zero);
+
+    // Divider.
+    b.set_unit(Unit::Multiplier);
+    let div_en = b.or(grant_div, div_v);
+    let clk_div = b.clock_gate(div_en, "clk/div", Unit::ClockTree);
+    let div_a = b.reg(64, 0, clk_div, "div/a", Unit::Multiplier);
+    let div_b = b.reg(64, 0, clk_div, "div/b", Unit::Multiplier);
+    let div_rd = b.reg(4, 0, clk_div, "div/rd", Unit::Multiplier);
+    let div_ctr = b.reg(4, 0, clk_div, "div/ctr", Unit::Multiplier);
+    let div_churn = b.reg(64, 0, clk_div, "div/rem", Unit::Multiplier);
+    {
+        let an = b.mux(grant_div, ra_val, div_a);
+        b.connect(div_a, an);
+        let bn = b.mux(grant_div, rb_val, div_b);
+        b.connect(div_b, bn);
+        let rn = b.mux(grant_div, rd, div_rd);
+        b.connect(div_rd, rn);
+        let lat = b.constant(c.div_latency as u64, 4);
+        let nz = ne_const(&mut *b, div_ctr, 0);
+        let dec = sub_const(&mut *b, div_ctr, 1);
+        let held = b.mux(nz, dec, div_ctr);
+        let cn = b.mux(grant_div, lat, held);
+        b.connect(div_ctr, cn);
+        // Shift-subtract churn.
+        let c1 = b.constant(1, 64);
+        let sh = b.shl(div_churn, c1);
+        let sub = b.sub(sh, div_b);
+        let use_sub = b.ult(div_b, sh);
+        let next = b.mux(use_sub, sub, sh);
+        let seeded = b.mux(grant_div, ra_val, next);
+        b.connect(div_churn, seeded);
+    }
+    let div_result = b.udiv(div_a, div_b);
+    b.name(div_result, "div/result", Unit::Multiplier);
+    let div_ctr_zero = eq_const(&mut *b, div_ctr, 0);
+    let div_done = b.and(div_v, div_ctr_zero);
+
+    // Vector unit.
+    b.set_unit(Unit::Vector);
+    let vec_en = b.or(grant_vec, vec_v);
+    let clk_vec = b.clock_gate(vec_en, "clk/vec", Unit::ClockTree);
+    let vu_a = [
+        b.reg(64, 0, clk_vec, "vec/a_lo", Unit::Vector),
+        b.reg(64, 0, clk_vec, "vec/a_hi", Unit::Vector),
+    ];
+    let vu_b = [
+        b.reg(64, 0, clk_vec, "vec/b_lo", Unit::Vector),
+        b.reg(64, 0, clk_vec, "vec/b_hi", Unit::Vector),
+    ];
+    let vu_d = [
+        b.reg(64, 0, clk_vec, "vec/d_lo", Unit::Vector),
+        b.reg(64, 0, clk_vec, "vec/d_hi", Unit::Vector),
+    ];
+    let vu_op = b.reg(2, 0, clk_vec, "vec/op", Unit::Vector);
+    let vu_dest = b.reg(3, 0, clk_vec, "vec/dest", Unit::Vector);
+    let vu_ctr = b.reg(1, 0, clk_vec, "vec/ctr", Unit::Vector);
+    {
+        for (r, src) in [
+            (vu_a[0], va_lo),
+            (vu_a[1], va_hi),
+            (vu_b[0], vb_lo),
+            (vu_b[1], vb_hi),
+            (vu_d[0], vd_lo),
+            (vu_d[1], vd_hi),
+        ] {
+            let n = b.mux(grant_vec, src, r);
+            b.connect(r, n);
+        }
+        let vop2 = sub_const(&mut *b, op6, opcode::VEC_BASE as u64);
+        let vop2 = b.trunc(vop2, 2);
+        let on = b.mux(grant_vec, vop2, vu_op);
+        b.connect(vu_op, on);
+        let dn = b.mux(grant_vec, vd3, vu_dest);
+        b.connect(vu_dest, dn);
+        let one1 = b.one();
+        let zn = b.mux(grant_vec, one1, zero1);
+        b.connect(vu_ctr, zn);
+    }
+    // Lane datapaths.
+    let mut lane_out = Vec::with_capacity(4);
+    for lane in 0..4u8 {
+        let half = (lane / 2) as usize;
+        let off = (lane % 2) * 32;
+        let a_l = b.slice(vu_a[half], off, 32);
+        let b_l = b.slice(vu_b[half], off, 32);
+        let d_l = b.slice(vu_d[half], off, 32);
+        let r_add = b.add(a_l, b_l);
+        let r_mul = b.mul(a_l, b_l);
+        let r_xor = b.xor(a_l, b_l);
+        let r_mac = b.add(d_l, r_mul);
+        let r = b.select(vu_op, &[r_add, r_mul, r_xor, r_mac]);
+        b.name(r, &format!("vec/lane{lane}"), Unit::Vector);
+        lane_out.push(r);
+    }
+    let vec_res_lo = b.concat(lane_out[1], lane_out[0]);
+    let vec_res_hi = b.concat(lane_out[3], lane_out[2]);
+    let vu_ctr_zero = eq_const(&mut *b, vu_ctr, 0);
+    let vec_done = b.and(vec_v, vu_ctr_zero);
+    b.name(vec_done, "vec/done", Unit::Vector);
+
+    // Load/store unit.
+    b.set_unit(Unit::LoadStore);
+    let lsu_active = ne_const(&mut *b, lsu_state, 0);
+    let lsu_en = b.or(grant_lsu, lsu_active);
+    let clk_lsu = b.clock_gate(lsu_en, "clk/lsu", Unit::ClockTree);
+    let lsu_addr = b.reg(phys_w, 0, clk_lsu, "lsu/addr", Unit::LoadStore);
+    let lsu_kind = b.reg(2, 0, clk_lsu, "lsu/kind", Unit::LoadStore);
+    let lsu_rd = b.reg(4, 0, clk_lsu, "lsu/rd", Unit::LoadStore);
+    let lsu_vdest = b.reg(3, 0, clk_lsu, "lsu/vdest", Unit::LoadStore);
+    let lsu_beat = b.reg(1, 0, clk_lsu, "lsu/beat", Unit::LoadStore);
+    let lsu_src = b.reg(2, 0, clk_lsu, "lsu/src", Unit::LoadStore);
+    let lsu_data0 = b.reg(64, 0, clk_lsu, "lsu/data0", Unit::LoadStore);
+    let lsu_wdata0 = b.reg(64, 0, clk_lsu, "lsu/wdata0", Unit::LoadStore);
+    let lsu_wdata1 = b.reg(64, 0, clk_lsu, "lsu/wdata1", Unit::LoadStore);
+    let lsu_ctr = b.reg(8, 0, clk_lsu, "lsu/ctr", Unit::LoadStore);
+
+    // FSM state constants.
+    const S_IDLE: u64 = 0;
+    const S_LOOKUP: u64 = 1;
+    const S_L2WAIT: u64 = 2;
+    const S_DRAMWAIT: u64 = 3;
+    const S_WBWAIT: u64 = 4;
+    const S_REISSUE: u64 = 5;
+
+    let st_idle = eq_const(&mut *b, lsu_state, S_IDLE);
+    let st_lookup = eq_const(&mut *b, lsu_state, S_LOOKUP);
+    let st_l2wait = eq_const(&mut *b, lsu_state, S_L2WAIT);
+    let st_dramwait = eq_const(&mut *b, lsu_state, S_DRAMWAIT);
+    let st_wbwait = eq_const(&mut *b, lsu_state, S_WBWAIT);
+    let st_reissue = eq_const(&mut *b, lsu_state, S_REISSUE);
+    let _ = st_idle;
+
+    let kind_is_lw = eq_const(&mut *b, lsu_kind, 0);
+    let kind_is_sw = eq_const(&mut *b, lsu_kind, 1);
+    let kind_is_vld = eq_const(&mut *b, lsu_kind, 2);
+    let kind_is_vst = eq_const(&mut *b, lsu_kind, 3);
+    let kind_is_load = b.or(kind_is_lw, kind_is_vld);
+    let kind_is_store = b.or(kind_is_sw, kind_is_vst);
+
+    // Cache index/tag of the latched address.
+    let dindex = b.slice(lsu_addr, 0, db);
+    let dtag_of_addr = b.slice(lsu_addr, db, dtag_w);
+    let dtag_entry = b.select(dindex, &dtag);
+    let dtag_valid = b.bit(dtag_entry, dtag_w);
+    let dtag_tag = b.slice(dtag_entry, 0, dtag_w);
+    let dtag_match = b.eq(dtag_tag, dtag_of_addr);
+    let dhit = b.and(dtag_valid, dtag_match);
+    b.name(dhit, "lsu/dhit", Unit::LoadStore);
+
+    b.set_unit(Unit::L2);
+    let l2index = b.slice(lsu_addr, 0, l2b);
+    let l2tag_of_addr = b.slice(lsu_addr, l2b, l2tag_w);
+    let l2tag_entry = b.select(l2index, &l2tag);
+    let l2tag_valid = b.bit(l2tag_entry, l2tag_w);
+    let l2tag_tag = b.slice(l2tag_entry, 0, l2tag_w);
+    let l2tag_match = b.eq(l2tag_tag, l2tag_of_addr);
+    let l2hit = b.and(l2tag_valid, l2tag_match);
+    b.name(l2hit, "l2/hit", Unit::L2);
+
+    b.set_unit(Unit::LoadStore);
+    let ctr_one = eq_const(&mut *b, lsu_ctr, 1);
+    let ctr_zero2 = eq_const(&mut *b, lsu_ctr, 0);
+
+    // Memory read ports.
+    let issue_load_like = b.or(is_lw, is_vld);
+    let accept_read = b.and(grant_lsu, issue_load_like);
+    let reissue_read = b.and(st_reissue, kind_is_vld);
+    let dc_read_en = b.or(accept_read, reissue_read);
+    let addr_issue_index = b.slice(addr_issue, 0, db);
+    let dc_read_addr_src = b.mux(accept_read, addr_issue_index, dindex);
+    let dc_read_addr = b.zext(dc_read_addr_src, phys_w.max(db));
+    let dc_port = b.mem_read(dcache_data, dc_read_addr, dc_read_en, "lsu/dc_rdata", Unit::LoadStore);
+
+    b.set_unit(Unit::L2);
+    let l2_read_en = and3(&mut *b, st_l2wait, ctr_one, l2hit);
+    let l2_read_addr = b.zext(l2index, phys_w.max(l2b));
+    let l2_port = b.mem_read(l2_data, l2_read_addr, l2_read_en, "l2/rdata", Unit::L2);
+
+    let dram_read_en = b.and(st_dramwait, ctr_one);
+    let dram_port = b.mem_read(dram, lsu_addr, dram_read_en, "l2/dram_rdata", Unit::L2);
+
+    b.set_unit(Unit::LoadStore);
+    let lsu_result = b.select(lsu_src, &[dc_port, l2_port, dram_port]);
+    b.name(lsu_result, "lsu/result", Unit::LoadStore);
+
+    // Store data for the current beat.
+    let store_data = {
+        let beat1 = b.bit(lsu_beat, 0);
+        b.mux(beat1, lsu_wdata1, lsu_wdata0)
+    };
+
+    // Store writes at LOOKUP (write-through; no allocate).
+    let store_cycle = b.and(st_lookup, kind_is_store);
+    b.name(store_cycle, "lsu/store_fire", Unit::LoadStore);
+    let dc_store_en = b.and(store_cycle, dhit);
+    let dindex32 = b.zext(dindex, phys_w.max(db));
+    b.mem_write(dcache_data, dc_store_en, dindex32, store_data);
+    let l2_store_en = b.and(store_cycle, l2hit);
+    let l2index32 = b.zext(l2index, phys_w.max(l2b));
+    b.mem_write(l2_data, l2_store_en, l2index32, store_data);
+    b.mem_write(dram, store_cycle, lsu_addr, store_data);
+
+    // Fills.
+    let fill_from_l2 = and3(&mut *b, st_l2wait, ctr_zero2, l2hit);
+    let fill_from_dram = b.and(st_dramwait, ctr_zero2);
+    let fill_dc = b.or(fill_from_l2, fill_from_dram);
+    b.name(fill_dc, "lsu/fill", Unit::LoadStore);
+    let fill_dc_data = b.mux(fill_from_l2, l2_port, dram_port);
+    b.mem_write(dcache_data, fill_dc, dindex32, fill_dc_data);
+    b.mem_write(l2_data, fill_from_dram, l2index32, dram_port);
+
+    // Scalar/vector writeback requests from the LSU.
+    let lsu_scalar_req = b.and(st_wbwait, kind_is_lw);
+    let beat_bit = b.bit(lsu_beat, 0);
+    let beat0 = b.not(beat_bit);
+    let lsu_vec_req = and3(&mut *b, st_wbwait, kind_is_vld, beat_bit);
+    b.name(lsu_vec_req, "lsu/vec_wb_req", Unit::LoadStore);
+
+    // ---- P5: writeback arbitration ---------------------------------------
+    b.set_unit(Unit::Issue);
+    // Requesters in priority order: ALUs, MUL, DIV, LSU.
+    let mut req: Vec<(NodeId, NodeId, NodeId, &str)> = Vec::new(); // (req, rd, data, name)
+    for i in 0..n_alus {
+        req.push((alu_done_req[i], alu_rd_reg[i], alu_result[i], "alu"));
+    }
+    req.push((mul_done, mul_rd, mul_result, "mul"));
+    req.push((div_done, div_rd, div_result, "div"));
+    req.push((lsu_scalar_req, lsu_rd, lsu_result, "lsu"));
+
+    let mut grants: Vec<NodeId> = Vec::with_capacity(req.len());
+    let mut used = b.constant(0, 2); // grants so far (0..=2)
+    for &(r, _, _, _) in &req {
+        let lt2 = {
+            let two = b.constant(2, 2);
+            b.ult(used, two)
+        };
+        let g = b.and(r, lt2);
+        grants.push(g);
+        let g2 = b.zext(g, 2);
+        used = b.add(used, g2);
+    }
+    // Port assignment: the first grant goes to port 0, the second to port 1.
+    let mut p0_en = zero1;
+    let mut p0_idx = b.constant(0, 4);
+    let mut p0_data = zero64;
+    let mut p1_en = zero1;
+    let mut p1_idx = b.constant(0, 4);
+    let mut p1_data = zero64;
+    let mut seen = b.constant(0, 2);
+    for (i, &(_, rdn, data, _)) in req.iter().enumerate() {
+        let g = grants[i];
+        let first = eq_const(&mut *b, seen, 0);
+        let to_p0 = b.and(g, first);
+        let to_p1 = andn(&mut *b, g, first);
+        p0_en = b.or(p0_en, to_p0);
+        p0_idx = b.mux(to_p0, rdn, p0_idx);
+        p0_data = b.mux(to_p0, data, p0_data);
+        p1_en = b.or(p1_en, to_p1);
+        p1_idx = b.mux(to_p1, rdn, p1_idx);
+        p1_data = b.mux(to_p1, data, p1_data);
+        let g2 = b.zext(g, 2);
+        seen = b.add(seen, g2);
+    }
+    b.name(p0_en, "wb/p0_en", Unit::Issue);
+    b.name(p0_data, "wb/p0_data", Unit::Issue);
+    b.name(p1_en, "wb/p1_en", Unit::Issue);
+    b.name(p1_data, "wb/p1_data", Unit::Issue);
+
+    let grant_wb_alu: Vec<NodeId> = (0..n_alus).map(|i| grants[i]).collect();
+    let grant_wb_mul = grants[n_alus];
+    let grant_wb_div = grants[n_alus + 1];
+    let grant_wb_lsu = grants[n_alus + 2];
+
+    // Vector RF write port: vector unit has priority, LSU holds.
+    b.set_unit(Unit::Vector);
+    let lsu_vec_grant = andn(&mut *b, lsu_vec_req, vec_done);
+    let vwr_en = b.or(vec_done, lsu_vec_grant);
+    b.name(vwr_en, "vec/wr_en", Unit::Vector);
+    let vwr_idx = b.mux(vec_done, vu_dest, lsu_vdest);
+    let vwr_lo = b.mux(vec_done, vec_res_lo, lsu_data0);
+    let vwr_hi = b.mux(vec_done, vec_res_hi, lsu_result);
+
+    // ---- P6: fetch --------------------------------------------------------
+    b.set_unit(Unit::Fetch);
+    let q_full = eq_const(&mut *b, q_count, c.queue_depth as u64);
+    let fnormal = eq_const(&mut *b, fstate, 0);
+    let fmiss = b.bit(fstate, 0);
+    let iindex = b.slice(pc, 0, ib);
+    let itag_of_pc = b.slice(pc, ib, itag_w);
+    let itag_entry = b.select(iindex, &itag);
+    let itag_valid = b.bit(itag_entry, itag_w);
+    let itag_tag = b.slice(itag_entry, 0, itag_w);
+    let itag_match = b.eq(itag_tag, itag_of_pc);
+    let ihit = b.and(itag_valid, itag_match);
+    b.name(ihit, "fetch/ihit", Unit::Fetch);
+    let icache_instr = b.select(iindex, &idata);
+    b.name(icache_instr, "fetch/instr", Unit::Fetch);
+
+    let f_can_run = {
+        let nf = b.not(q_full);
+        let nh = b.not(halted);
+        let nfl = b.not(flush);
+        and3(&mut *b, nf, nh, nfl)
+    };
+    let hit_fetch = and3(&mut *b, fnormal, f_can_run, ihit);
+    let miss_detect = {
+        let nh = b.not(ihit);
+        and3(&mut *b, fnormal, f_can_run, nh)
+    };
+    b.name(miss_detect, "fetch/miss", Unit::Fetch);
+
+    let mctr_one = eq_const(&mut *b, miss_ctr, 1);
+    let mctr_zero = eq_const(&mut *b, miss_ctr, 0);
+    let imem_read_en = b.and(fmiss, mctr_one);
+    let imem_addr = b.zext(pc, 32.min(PC_W + 1));
+    let imem_port = b.mem_read(imem, imem_addr, imem_read_en, "fetch/imem_rdata", Unit::Fetch);
+
+    let miss_deliver = and3(&mut *b, fmiss, mctr_zero, f_can_run);
+    let push = b.or(hit_fetch, miss_deliver);
+    b.name(push, "fetch/push", Unit::Fetch);
+    let fetch_instr = b.mux(fmiss, imem_port, icache_instr);
+
+    // I-cache fill (idempotent while waiting to deliver).
+    let fill_i = b.and(fmiss, mctr_zero);
+
+    // PC / miss FSM next-state.
+    let pc_inc = add_const(&mut *b, pc, 1);
+    let pc_next = {
+        let adv = b.mux(push, pc_inc, pc);
+        
+        b.mux(flush, br_target, adv)
+    };
+    b.connect(pc, pc_next);
+    let fstate_next = {
+        let one_ = b.one();
+        let enter = b.mux(miss_detect, one_, fstate);
+        let leave = b.mux(miss_deliver, zero1, enter);
+        b.mux(flush, zero1, leave)
+    };
+    b.connect(fstate, fstate_next);
+    let miss_ctr_next = {
+        let lat = b.constant(c.imiss_latency as u64, 8);
+        let nz = ne_const(&mut *b, miss_ctr, 0);
+        let dec = sub_const(&mut *b, miss_ctr, 1);
+        let count = b.mux(nz, dec, miss_ctr);
+        let dflt = b.mux(fmiss, count, miss_ctr);
+        b.mux(miss_detect, lat, dflt)
+    };
+    b.connect(miss_ctr, miss_ctr_next);
+
+    // I-cache fill connections.
+    for i in 0..c.icache_lines {
+        let sel_line = eq_const(&mut *b, iindex, i as u64);
+        let we = b.and(fill_i, sel_line);
+        let one_w = b.one();
+        let new_tag = b.concat(one_w, itag_of_pc);
+        let tn = b.mux(we, new_tag, itag[i as usize]);
+        b.connect(itag[i as usize], tn);
+        let dn = b.mux(we, imem_port, idata[i as usize]);
+        b.connect(idata[i as usize], dn);
+    }
+
+    // ---- P7: connect remaining always-on state ----------------------------
+    // Queue.
+    b.set_unit(Unit::Issue);
+    let tail = {
+        let cnt_trunc = b.trunc(q_count, qidx_w);
+        b.add(q_head, cnt_trunc)
+    };
+    for i in 0..depth {
+        let sel_i = eq_const(&mut *b, tail, i as u64);
+        let we = {
+            let nfl = b.not(flush);
+            and3(&mut *b, push, sel_i, nfl)
+        };
+        let instr_n = b.mux(we, fetch_instr, q_instr[i]);
+        b.connect(q_instr[i], instr_n);
+        let pc_n = b.mux(we, pc, q_pc[i]);
+        b.connect(q_pc[i], pc_n);
+    }
+    let head_inc = add_const(&mut *b, q_head, 1);
+    let head_next = {
+        let popd = b.mux(pop, head_inc, q_head);
+        let z = b.constant(0, qidx_w);
+        b.mux(flush, z, popd)
+    };
+    b.connect(q_head, head_next);
+    let count_next = {
+        let push4 = b.zext(push, 4);
+        let pop4 = b.zext(pop, 4);
+        let plus = b.add(q_count, push4);
+        let minus = b.sub(plus, pop4);
+        let z = b.constant(0, 4);
+        b.mux(flush, z, minus)
+    };
+    b.connect(q_count, count_next);
+
+    // Busy bits.
+    let one16 = b.constant(1, 16);
+    let set_x = {
+        let sh = b.shl(one16, rd_w);
+        let fffe = b.constant(0xFFFE, 16);
+        let masked = b.and(sh, fffe);
+        let w = b.and(issue, writes_rd);
+        let z = b.constant(0, 16);
+        b.mux(w, masked, z)
+    };
+    let clear_x = {
+        let mut m = b.constant(0, 16);
+        // All scalar WB grants clear their destination bit.
+        let grant_rds: Vec<(NodeId, NodeId)> = (0..n_alus)
+            .map(|i| (grant_wb_alu[i], alu_rd_reg[i]))
+            .chain([
+                (grant_wb_mul, mul_rd),
+                (grant_wb_div, div_rd),
+                (grant_wb_lsu, lsu_rd),
+            ])
+            .collect();
+        for (g, rdn) in grant_rds {
+            let rd16 = b.zext(rdn, 16);
+            let bitm = b.shl(one16, rd16);
+            let z = b.constant(0, 16);
+            let mm = b.mux(g, bitm, z);
+            m = b.or(m, mm);
+        }
+        m
+    };
+    let xbusy_next = {
+        let setted = b.or(xbusy, set_x);
+        let ncl = b.not(clear_x);
+        b.and(setted, ncl)
+    };
+    b.connect(xbusy, xbusy_next);
+
+    let one8 = b.constant(1, 8);
+    let set_v = {
+        let sh = b.shl(one8, vd_w);
+        let w = b.and(issue, writes_vd);
+        let z = b.constant(0, 8);
+        b.mux(w, sh, z)
+    };
+    let clear_v = {
+        let vidx8 = b.zext(vwr_idx, 8);
+        let bitm = b.shl(one8, vidx8);
+        let z = b.constant(0, 8);
+        b.mux(vwr_en, bitm, z)
+    };
+    let vbusy_next = {
+        let setted = b.or(vbusy, set_v);
+        let ncl = b.not(clear_v);
+        b.and(setted, ncl)
+    };
+    b.connect(vbusy, vbusy_next);
+
+    // Scalar RF writes.
+    for (i, &xr) in xregs.iter().enumerate() {
+        let idx = (i + 1) as u64;
+        let m0 = eq_const(&mut *b, p0_idx, idx);
+        let w0 = b.and(p0_en, m0);
+        let m1 = eq_const(&mut *b, p1_idx, idx);
+        let w1 = b.and(p1_en, m1);
+        let v1 = b.mux(w1, p1_data, xr);
+        let v0 = b.mux(w0, p0_data, v1);
+        b.connect(xr, v0);
+    }
+    // Vector RF writes.
+    for (v, halves) in vregs.iter().enumerate() {
+        let m = eq_const(&mut *b, vwr_idx, v as u64);
+        let we = b.and(vwr_en, m);
+        let lo_n = b.mux(we, vwr_lo, halves[0]);
+        b.connect(halves[0], lo_n);
+        let hi_n = b.mux(we, vwr_hi, halves[1]);
+        b.connect(halves[1], hi_n);
+    }
+
+    // FU valid flags.
+    for i in 0..n_alus {
+        let cleared = andn(&mut *b, alu_v[i], grant_wb_alu[i]);
+        let n = b.or(cleared, grant_alu[i]);
+        b.connect(alu_v[i], n);
+    }
+    {
+        let cleared = andn(&mut *b, mul_v, grant_wb_mul);
+        let n = b.or(cleared, grant_mul);
+        b.connect(mul_v, n);
+        let cleared = andn(&mut *b, div_v, grant_wb_div);
+        let n = b.or(cleared, grant_div);
+        b.connect(div_v, n);
+        let vcleared = andn(&mut *b, vec_v, vec_done);
+        let n = b.or(vcleared, grant_vec);
+        b.connect(vec_v, n);
+    }
+
+    // LSU state machine.
+    {
+        let k_idle = b.constant(S_IDLE, 3);
+        let k_lookup = b.constant(S_LOOKUP, 3);
+        let k_l2wait = b.constant(S_L2WAIT, 3);
+        let k_dramwait = b.constant(S_DRAMWAIT, 3);
+        let k_wbwait = b.constant(S_WBWAIT, 3);
+        let k_reissue = b.constant(S_REISSUE, 3);
+
+        // From IDLE.
+        let from_idle = b.mux(grant_lsu, k_lookup, k_idle);
+        // From LOOKUP.
+        let load_hit_next = k_wbwait;
+        let load_miss_next = k_l2wait;
+        let load_next = b.mux(dhit, load_hit_next, load_miss_next);
+        let vst_beat0 = b.and(kind_is_vst, beat0);
+        let store_next = b.mux(vst_beat0, k_reissue, k_idle);
+        let from_lookup = b.mux(kind_is_load, load_next, store_next);
+        // From L2WAIT.
+        let l2_done_next = b.mux(l2hit, k_wbwait, k_dramwait);
+        let from_l2wait = b.mux(ctr_zero2, l2_done_next, k_l2wait);
+        // From DRAMWAIT.
+        let from_dramwait = b.mux(ctr_zero2, k_wbwait, k_dramwait);
+        // From WBWAIT.
+        let scalar_leave = b.mux(grant_wb_lsu, k_idle, k_wbwait);
+        let vld_b0 = b.and(kind_is_vld, beat0);
+        let vld_b1_leave = b.mux(lsu_vec_grant, k_idle, k_wbwait);
+        let vld_next = b.mux(vld_b0, k_reissue, vld_b1_leave);
+        let from_wbwait = b.mux(kind_is_lw, scalar_leave, vld_next);
+        // Select by state.
+        let st_next = b.select(
+            lsu_state,
+            &[
+                from_idle,
+                from_lookup,
+                from_l2wait,
+                from_dramwait,
+                from_wbwait,
+                k_lookup, // REISSUE -> LOOKUP
+                k_idle,
+                k_idle,
+            ],
+        );
+        b.connect(lsu_state, st_next);
+
+        // Counter.
+        let l2lat = b.constant(c.l2_latency as u64, 8);
+        let dramlat = b.constant(c.dram_latency as u64, 8);
+        let nz = ne_const(&mut *b, lsu_ctr, 0);
+        let dec = sub_const(&mut *b, lsu_ctr, 1);
+        let counting = b.mux(nz, dec, lsu_ctr);
+        let to_l2wait = {
+            let miss = b.not(dhit);
+            and3(&mut *b, st_lookup, kind_is_load, miss)
+        };
+        let to_dram = {
+            let nl2 = b.not(l2hit);
+            and3(&mut *b, st_l2wait, ctr_zero2, nl2)
+        };
+        let c1 = b.mux(to_l2wait, l2lat, counting);
+        let c2 = b.mux(to_dram, dramlat, c1);
+        b.connect(lsu_ctr, c2);
+
+        // Latched operation registers.
+        let entering_reissue = {
+            let a = b.and(st_lookup, vst_beat0);
+            let bq = and3(&mut *b, st_wbwait, kind_is_vld, beat0);
+            b.or(a, bq)
+        };
+        let addr_inc = add_const(&mut *b, lsu_addr, 1);
+        let a1 = b.mux(entering_reissue, addr_inc, lsu_addr);
+        let a2 = b.mux(grant_lsu, addr_issue, a1);
+        b.connect(lsu_addr, a2);
+
+        let k1 = b.mux(grant_lsu, kind_code, lsu_kind);
+        b.connect(lsu_kind, k1);
+        let r1 = b.mux(grant_lsu, rd, lsu_rd);
+        b.connect(lsu_rd, r1);
+        let v1 = b.mux(grant_lsu, vd3, lsu_vdest);
+        b.connect(lsu_vdest, v1);
+        let bt1 = {
+            let one_ = b.one();
+            let set1 = b.mux(entering_reissue, one_, lsu_beat);
+            b.mux(grant_lsu, zero1, set1)
+        };
+        b.connect(lsu_beat, bt1);
+
+        // Result source.
+        let s0 = b.constant(0, 2);
+        let s1 = b.constant(1, 2);
+        let s2 = b.constant(2, 2);
+        let src_dhit = and3(&mut *b, st_lookup, kind_is_load, dhit);
+        let a = b.mux(src_dhit, s0, lsu_src);
+        let bsel = b.mux(fill_from_l2, s1, a);
+        let csel = b.mux(fill_from_dram, s2, bsel);
+        b.connect(lsu_src, csel);
+
+        // Beat-0 data stash for vector loads.
+        let stash = and3(&mut *b, st_wbwait, kind_is_vld, beat0);
+        let d1 = b.mux(stash, lsu_result, lsu_data0);
+        b.connect(lsu_data0, d1);
+
+        // Store data latched at issue (vb halves or rb value).
+        let w0 = b.mux(is_vst, vb_lo, rb_val);
+        let w0n = b.mux(grant_lsu, w0, lsu_wdata0);
+        b.connect(lsu_wdata0, w0n);
+        let w1n = b.mux(grant_lsu, vb_hi, lsu_wdata1);
+        b.connect(lsu_wdata1, w1n);
+    }
+
+    // D-cache / L2 tag fills.
+    for i in 0..c.dcache_lines {
+        let sel_line = eq_const(&mut *b, dindex, i as u64);
+        let we = b.and(fill_dc, sel_line);
+        let one_ = b.one();
+        let new_tag = b.concat(one_, dtag_of_addr);
+        let n = b.mux(we, new_tag, dtag[i as usize]);
+        b.connect(dtag[i as usize], n);
+    }
+    for i in 0..c.l2_lines {
+        let sel_line = eq_const(&mut *b, l2index, i as u64);
+        let we = b.and(fill_from_dram, sel_line);
+        let one_ = b.one();
+        let new_tag = b.concat(one_, l2tag_of_addr);
+        let n = b.mux(we, new_tag, l2tag[i as usize]);
+        b.connect(l2tag[i as usize], n);
+    }
+
+    // Control state.
+    b.set_unit(Unit::Control);
+    {
+        let h = b.and(issue, is_halt);
+        let one_ = b.one();
+        let n = b.mux(h, one_, halted);
+        b.connect(halted, n);
+        let t = b.and(issue, is_throttle);
+        let lvl = b.trunc(imm14, 2);
+        let n = b.mux(t, lvl, throttle);
+        b.connect(throttle, n);
+        let inc = add_const(&mut *b, thr_ctr, 1);
+        b.connect(thr_ctr, inc);
+        let cinc = add_const(&mut *b, cycles, 1);
+        b.connect(cycles, cinc);
+        let pop24 = b.zext(pop, 24);
+        let rinc = b.add(retired, pop24);
+        b.connect(retired, rinc);
+    }
+
+    // Quiesced: halted and fully drained.
+    let quiesced = {
+        let empty = eq_const(&mut *b, q_count, 0);
+        let mut idle = b.and(halted, empty);
+        for i in 0..n_alus {
+            let f = b.not(alu_v[i]);
+            idle = b.and(idle, f);
+        }
+        let nm = b.not(mul_v);
+        let nd = b.not(div_v);
+        let nv = b.not(vec_v);
+        let nl = eq_const(&mut *b, lsu_state, 0);
+        idle = b.and(idle, nm);
+        idle = b.and(idle, nd);
+        idle = b.and(idle, nv);
+        idle = b.and(idle, nl);
+        b.name(idle, "ctrl/quiesced", Unit::Control)
+    };
+
+    // ---- P8: staging/debug chains + per-unit event counters ---------------
+    let fu_list: Vec<(Fu, NodeId, &str, Unit)> = {
+        let mut v: Vec<(Fu, NodeId, &str, Unit)> = Vec::new();
+        for i in 0..n_alus {
+            v.push((
+                Fu { valid: alu_v[i], clock: alu_clock[i], grant: grant_alu[i] },
+                alu_result[i],
+                if i == 0 { "alu0" } else if i == 1 { "alu1" } else { "alu2" },
+                Unit::Alu,
+            ));
+        }
+        v.push((Fu { valid: mul_v, clock: clk_mul, grant: grant_mul }, mul_result, "mul", Unit::Multiplier));
+        v.push((Fu { valid: div_v, clock: clk_div, grant: grant_div }, div_result, "div", Unit::Multiplier));
+        v.push((Fu { valid: vec_v, clock: clk_vec, grant: grant_vec }, vec_res_lo, "vec", Unit::Vector));
+        v.push((Fu { valid: lsu_active, clock: clk_lsu, grant: grant_lsu }, lsu_result, "lsu", Unit::LoadStore));
+        v
+    };
+    if c.staging_depth > 0 {
+        for (fu, bus, name, unit) in &fu_list {
+            b.set_unit(*unit);
+            let mut prev = *bus;
+            for s in 0..c.staging_depth {
+                let r = b.reg(64.min(b.width(prev)), 0, fu.clock, &format!("{name}/stage{s}"), *unit);
+                b.connect(r, prev);
+                prev = r;
+            }
+            // Per-unit op counter in the gated domain.
+            let ctr = b.reg(12, 0, fu.clock, &format!("{name}/ops"), *unit);
+            let g12 = b.zext(fu.grant, 12);
+            let n = b.add(ctr, g12);
+            b.connect(ctr, n);
+            let _ = fu.valid;
+        }
+        // Issue-side staging chain in its own gated domain (active on pop).
+        b.set_unit(Unit::Issue);
+        let pop_en = b.or(pop, flush);
+        let clk_istage = b.clock_gate(pop_en, "clk/issue_dbg", Unit::ClockTree);
+        let mut prev = head_instr;
+        for s in 0..c.staging_depth {
+            let r = b.reg(32, 0, clk_istage, &format!("issue/dbg{s}"), Unit::Issue);
+            b.connect(r, prev);
+            prev = r;
+        }
+        // Fetch-side chain gated on push.
+        b.set_unit(Unit::Fetch);
+        let clk_fstage = b.clock_gate(push, "clk/fetch_dbg", Unit::ClockTree);
+        let mut prev = fetch_instr;
+        for s in 0..c.staging_depth {
+            let r = b.reg(32, 0, clk_fstage, &format!("fetch/dbg{s}"), Unit::Fetch);
+            b.connect(r, prev);
+            prev = r;
+        }
+        // Writeback-bus chain gated on port-0 writes.
+        b.set_unit(Unit::Issue);
+        let clk_wb = b.clock_gate(p0_en, "clk/wb_dbg", Unit::ClockTree);
+        let mut prev = p0_data;
+        for s in 0..c.staging_depth {
+            let r = b.reg(64, 0, clk_wb, &format!("wb/dbg{s}"), Unit::Issue);
+            b.connect(r, prev);
+            prev = r;
+        }
+    }
+
+    CoreHandles {
+        imem,
+        dram,
+        pc,
+        halted,
+        quiesced,
+        retired,
+        cycles,
+        xregs,
+        vregs,
+        throttle,
+        throttle_override_en,
+        throttle_override,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_cpu_builds() {
+        let h = build_cpu(&CpuConfig::tiny()).unwrap();
+        let stats = h.netlist.stats();
+        assert!(stats.signal_bits > 3_000, "got {}", stats.signal_bits);
+        assert!(stats.clock_domains >= 8);
+        assert!(stats.memories == 4);
+    }
+
+    #[test]
+    fn presets_build_with_expected_scale() {
+        let n1 = build_cpu(&CpuConfig::neoverse_like()).unwrap();
+        let a77 = build_cpu(&CpuConfig::cortex_like()).unwrap();
+        let m1 = n1.netlist.signal_bits();
+        let m2 = a77.netlist.signal_bits();
+        assert!(m1 > 15_000, "n1-like M = {m1}");
+        assert!(m2 > m1, "a77-like ({m2}) should exceed n1-like ({m1})");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = build_cpu(&CpuConfig::tiny()).unwrap();
+        let b = build_cpu(&CpuConfig::tiny()).unwrap();
+        assert_eq!(a.netlist.len(), b.netlist.len());
+        assert_eq!(a.netlist.signal_bits(), b.netlist.signal_bits());
+    }
+}

@@ -1,0 +1,158 @@
+//! Differential testing: the RTL CPU against the architectural golden
+//! model, over the Table-4 suite and constrained random programs.
+
+use apollo_cpu::benchmarks::{self, random};
+use apollo_cpu::{build_cpu, CpuConfig, CpuSim, GoldenModel, GoldenOutcome, RunOutcome};
+use apollo_rtl::CapModel;
+use apollo_sim::PowerConfig;
+
+fn run_both(
+    handles: &apollo_cpu::CpuHandles,
+    cap: &apollo_rtl::CapAnnotation,
+    program: &[apollo_cpu::Inst],
+    data: &[u64],
+    name: &str,
+) {
+    let config = &handles.config;
+
+    let mut golden = GoldenModel::new(config.dram_words as usize);
+    golden.mem[..data.len()].copy_from_slice(data);
+    let out = golden.run(program, 3_000_000);
+    assert!(
+        matches!(out, GoldenOutcome::Halted { .. }),
+        "{name}: golden model did not halt"
+    );
+
+    let mut rtl = CpuSim::new(handles, cap, PowerConfig::default(), program, data);
+    let out = rtl.run(2_000_000);
+    assert!(
+        matches!(out, RunOutcome::Quiesced { .. }),
+        "{name}: RTL did not quiesce"
+    );
+
+    for i in 1..16 {
+        assert_eq!(
+            rtl.xreg(i),
+            golden.xregs[i],
+            "{name}: x{i} mismatch (rtl={:#x} golden={:#x})",
+            rtl.xreg(i),
+            golden.xregs[i]
+        );
+    }
+    for v in 0..8 {
+        let g = golden.vregs[v];
+        let glo = (g[0] as u64) | ((g[1] as u64) << 32);
+        let ghi = (g[2] as u64) | ((g[3] as u64) << 32);
+        let r = rtl.vreg(v);
+        assert_eq!(r[0], glo, "{name}: v{v} low half mismatch");
+        assert_eq!(r[1], ghi, "{name}: v{v} high half mismatch");
+    }
+    for addr in 0..config.dram_words.min(512) {
+        assert_eq!(
+            rtl.mem_word(addr),
+            golden.mem[addr as usize],
+            "{name}: mem[{addr}] mismatch"
+        );
+    }
+}
+
+#[test]
+fn table4_suite_matches_golden_model() {
+    let config = CpuConfig::tiny();
+    let handles = build_cpu(&config).unwrap();
+    let cap = CapModel::default().annotate(&handles.netlist);
+    for bench in benchmarks::table4_suite(&config) {
+        run_both(&handles, &cap, &bench.program, &bench.data, &bench.name);
+    }
+}
+
+#[test]
+fn hmmer_like_matches_golden_model() {
+    let config = CpuConfig::tiny();
+    let handles = build_cpu(&config).unwrap();
+    let cap = CapModel::default().annotate(&handles.netlist);
+    let bench = benchmarks::hmmer_like(&config, 2);
+    run_both(&handles, &cap, &bench.program, &bench.data, &bench.name);
+}
+
+#[test]
+fn random_programs_match_golden_model() {
+    let config = CpuConfig::tiny();
+    let handles = build_cpu(&config).unwrap();
+    let cap = CapModel::default().annotate(&handles.netlist);
+    let weights = random::GenWeights::default();
+    for seed in 0..25u64 {
+        let body = random::random_body(seed, 30, &weights);
+        let program = random::wrap_body(&body, 3);
+        let data: Vec<u64> = (0..config.dram_words as u64).map(|i| i.wrapping_mul(0x2545F4914F6CDD1D) ^ seed).collect();
+        run_both(&handles, &cap, &program, &data, &format!("random{seed}"));
+    }
+}
+
+#[test]
+fn branch_heavy_program_matches() {
+    use apollo_cpu::{Asm, Xr};
+    let config = CpuConfig::tiny();
+    let handles = build_cpu(&config).unwrap();
+    let cap = CapModel::default().annotate(&handles.netlist);
+
+    // Collatz-ish iteration with data-dependent branches.
+    let mut a = Asm::new();
+    a.addi(Xr(1), Xr(0), 27);
+    a.addi(Xr(2), Xr(0), 1);
+    a.addi(Xr(3), Xr(0), 3);
+    a.addi(Xr(7), Xr(0), 0); // step counter
+    let top = a.label();
+    let even = a.forward_label();
+    let done = a.forward_label();
+    a.addi(Xr(7), Xr(7), 1);
+    a.and(Xr(4), Xr(1), Xr(2));
+    a.beq(Xr(4), Xr(0), even);
+    a.mul(Xr(1), Xr(1), Xr(3));
+    a.addi(Xr(1), Xr(1), 1);
+    let cont = a.forward_label();
+    a.jump(cont);
+    a.place(even);
+    a.shri(Xr(1), Xr(1), 1);
+    a.place(cont);
+    a.bne(Xr(1), Xr(2), top);
+    a.place(done);
+    a.halt();
+    let program = a.assemble();
+
+    let mut golden = GoldenModel::new(config.dram_words as usize);
+    assert!(matches!(golden.run(&program, 1_000_000), GoldenOutcome::Halted { .. }));
+    assert_eq!(golden.xregs[1], 1);
+    assert_eq!(golden.xregs[7], 111, "collatz(27) takes 111 steps");
+
+    run_both(&handles, &cap, &program, &[], "collatz");
+}
+
+#[test]
+fn throttling_slows_execution() {
+    use apollo_cpu::{Asm, Xr};
+    let config = CpuConfig::tiny();
+    let handles = build_cpu(&config).unwrap();
+    let cap = CapModel::default().annotate(&handles.netlist);
+
+    let cycles_for = |level: u8| {
+        let mut a = Asm::new();
+        if level > 0 {
+            a.throttle(level);
+        }
+        for _ in 0..60 {
+            a.addi(Xr(2), Xr(2), 1);
+        }
+        a.halt();
+        let mut sim = CpuSim::new(&handles, &cap, PowerConfig::default(), &a.assemble(), &[]);
+        match sim.run(100_000) {
+            RunOutcome::Quiesced { cycles } => cycles,
+            RunOutcome::OutOfCycles => panic!("did not quiesce at level {level}"),
+        }
+    };
+    let c0 = cycles_for(0);
+    let c1 = cycles_for(1);
+    let c2 = cycles_for(2);
+    assert!(c1 > c0, "level1 ({c1}) should be slower than level0 ({c0})");
+    assert!(c2 > c1, "level2 ({c2}) should be slower than level1 ({c1})");
+}

@@ -1,0 +1,102 @@
+//! Property-based tests: ISA encode/decode and RTL-vs-golden execution
+//! on randomized programs.
+
+use apollo_cpu::benchmarks::random::{random_body, wrap_body, GenWeights};
+use apollo_cpu::{
+    build_cpu, AluOp, BranchCond, CpuConfig, CpuSim, GoldenModel, GoldenOutcome, Inst, RunOutcome,
+    VecOp, Vr, Xr,
+};
+use apollo_rtl::CapModel;
+use apollo_sim::PowerConfig;
+use proptest::prelude::*;
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let xr = || (0u8..16).prop_map(Xr);
+    let vr = || (0u8..8).prop_map(Vr);
+    let alu_op = prop::sample::select(AluOp::ALL.to_vec());
+    let vec_op = prop::sample::select(VecOp::ALL.to_vec());
+    let cond = prop::sample::select(vec![BranchCond::Eq, BranchCond::Ne, BranchCond::Lt]);
+    prop_oneof![
+        Just(Inst::Nop),
+        Just(Inst::Halt),
+        (0u8..4).prop_map(|level| Inst::Throttle { level }),
+        (alu_op.clone(), xr(), xr(), xr()).prop_map(|(op, rd, ra, rb)| Inst::Alu { op, rd, ra, rb }),
+        (alu_op, xr(), xr(), 0u16..(1 << 14)).prop_map(|(op, rd, ra, imm)| Inst::AluImm { op, rd, ra, imm }),
+        (xr(), 0u16..(1 << 14)).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+        (xr(), xr(), xr()).prop_map(|(rd, ra, rb)| Inst::Mul { rd, ra, rb }),
+        (xr(), xr(), xr()).prop_map(|(rd, ra, rb)| Inst::Div { rd, ra, rb }),
+        (xr(), xr(), 0u16..(1 << 14)).prop_map(|(rd, ra, imm)| Inst::Lw { rd, ra, imm }),
+        (xr(), xr(), 0u16..(1 << 14)).prop_map(|(rb, ra, imm)| Inst::Sw { rb, ra, imm }),
+        (cond, xr(), xr(), -(1i16 << 13)..(1 << 13)).prop_map(|(cond, ra, rb, offset)| Inst::Branch { cond, ra, rb, offset }),
+        (-(1i16 << 13)..(1i16 << 13)).prop_map(|offset| Inst::Jump { offset }),
+        (vec_op, vr(), vr(), vr()).prop_map(|(op, vd, va, vb)| Inst::Vec { op, vd, va, vb }),
+        (vr(), xr(), 0u16..(1 << 14)).prop_map(|(vd, ra, imm)| Inst::Vld { vd, ra, imm }),
+        (vr(), xr(), 0u16..(1 << 14)).prop_map(|(vb, ra, imm)| Inst::Vst { vb, ra, imm }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every instruction round-trips through its 32-bit encoding.
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        prop_assert_eq!(Inst::decode(inst.encode()), inst);
+    }
+
+    /// Decoding arbitrary 32-bit words never panics, and re-encoding the
+    /// decoded instruction is a fixed point.
+    #[test]
+    fn decode_is_total_and_stable(word in any::<u32>()) {
+        let inst = Inst::decode(word);
+        let recoded = inst.encode();
+        prop_assert_eq!(Inst::decode(recoded), inst);
+    }
+}
+
+proptest! {
+    // RTL simulation is comparatively expensive: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized constrained programs behave identically on the RTL CPU
+    /// and the architectural golden model.
+    #[test]
+    fn rtl_matches_golden_on_random_programs(seed in any::<u64>(), len in 8usize..48) {
+        let config = CpuConfig::tiny();
+        // Build once per process (static) to keep the test fast.
+        use std::sync::OnceLock;
+        static HANDLES: OnceLock<(apollo_cpu::CpuHandles, apollo_rtl::CapAnnotation)> = OnceLock::new();
+        let (handles, cap) = HANDLES.get_or_init(|| {
+            let h = build_cpu(&CpuConfig::tiny()).unwrap();
+            let c = CapModel::default().annotate(&h.netlist);
+            (h, c)
+        });
+
+        let body = random_body(seed, len, &GenWeights::default());
+        let program = wrap_body(&body, 3);
+        let data: Vec<u64> = (0..config.dram_words as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) ^ seed)
+            .collect();
+
+        let mut golden = GoldenModel::new(config.dram_words as usize);
+        golden.mem.copy_from_slice(&data);
+        let out = golden.run(&program, 3_000_000);
+        prop_assert!(matches!(out, GoldenOutcome::Halted { executed: _ }), "golden did not halt");
+
+        let mut rtl = CpuSim::new(handles, cap, PowerConfig::default(), &program, &data);
+        let out = rtl.run(1_500_000);
+        prop_assert!(matches!(out, RunOutcome::Quiesced { cycles: _ }), "rtl did not quiesce");
+
+        for i in 1..16 {
+            prop_assert_eq!(rtl.xreg(i), golden.xregs[i], "x{} mismatch", i);
+        }
+        for v in 0..8 {
+            let g = golden.vregs[v];
+            prop_assert_eq!(rtl.vreg(v)[0], (g[0] as u64) | ((g[1] as u64) << 32));
+            prop_assert_eq!(rtl.vreg(v)[1], (g[2] as u64) | ((g[3] as u64) << 32));
+        }
+        for addr in (0..config.dram_words).step_by(7) {
+            prop_assert_eq!(rtl.mem_word(addr), golden.mem[addr as usize]);
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! The DSP engine RTL: a command-sequenced, multi-lane MAC datapath.
+//!
+//! Commands are preloaded into a command memory (like the CPU's program
+//! image), so workloads are self-contained and the standard trace-
+//! capture flow applies unchanged. Each command runs one FIR-style
+//! kernel: `out[k] = Σ_i sample[base + k·stride + i] · coef[i]` for
+//! `i < length`, `k < outputs`, preceded by an idle gap — giving the
+//! bursty, dataflow-dominated power profile typical of DSP engines.
+
+// Lockstep multi-array index loops are intentional throughout this
+// module; iterator zips would obscure the hardware/math being expressed.
+#![allow(clippy::needless_range_loop)]
+
+use apollo_rtl::{
+    MemId, Netlist, NetlistBuilder, NodeId, RtlError, Unit, CLOCK_ROOT,
+};
+
+/// DSP engine parameters.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DspConfig {
+    /// MAC lanes (1 ..= 8).
+    pub lanes: u8,
+    /// Sample memory words (16-bit each; power of two).
+    pub sample_words: u32,
+    /// Coefficient memory words (16-bit each; power of two).
+    pub coef_words: u32,
+    /// Output memory words (32-bit each; power of two).
+    pub out_words: u32,
+    /// Command memory words (one command each; power of two).
+    pub cmd_words: u32,
+    /// Depth of the debug staging chain on the result bus.
+    pub staging_depth: u8,
+}
+
+impl Default for DspConfig {
+    fn default() -> Self {
+        DspConfig {
+            lanes: 4,
+            sample_words: 1024,
+            coef_words: 256,
+            out_words: 256,
+            cmd_words: 64,
+            staging_depth: 2,
+        }
+    }
+}
+
+impl DspConfig {
+    /// Validates invariants.
+    ///
+    /// # Panics
+    /// Panics with a description of the violated constraint.
+    pub fn validate(&self) {
+        assert!((1..=8).contains(&self.lanes), "lanes out of range");
+        for (name, v) in [
+            ("sample_words", self.sample_words),
+            ("coef_words", self.coef_words),
+            ("out_words", self.out_words),
+            ("cmd_words", self.cmd_words),
+        ] {
+            assert!(v.is_power_of_two() && v >= 8, "{name} must be a power of two >= 8");
+        }
+    }
+}
+
+/// Command word encoding: `gap[41:30] | stride[29:26] | outputs[25:18] |
+/// length[17:10] | base[9:0]`; an all-zero word halts the sequencer.
+pub fn encode_command(base: u16, length: u8, outputs: u8, stride: u8, gap: u16) -> u64 {
+    assert!(base < 1 << 10, "base out of range");
+    assert!(gap < 1 << 12, "gap out of range");
+    assert!(stride < 1 << 4, "stride out of range");
+    (base as u64)
+        | ((length as u64) << 10)
+        | ((outputs as u64) << 18)
+        | ((stride as u64) << 26)
+        | ((gap as u64) << 30)
+}
+
+/// Handles into the built DSP netlist.
+#[derive(Clone, Debug)]
+pub struct DspHandles {
+    /// The finished netlist.
+    pub netlist: Netlist,
+    /// The configuration.
+    pub config: DspConfig,
+    /// Command memory (preload with [`encode_command`] words, zero-
+    /// terminated).
+    pub cmd_mem: MemId,
+    /// Sample memory.
+    pub sample_mem: MemId,
+    /// Coefficient memory.
+    pub coef_mem: MemId,
+    /// Output memory.
+    pub out_mem: MemId,
+    /// High once the zero command is reached.
+    pub halted: NodeId,
+    /// Completed-command counter.
+    pub commands_done: NodeId,
+    /// Completed-MAC-group counter.
+    pub mac_groups: NodeId,
+}
+
+const S_FETCH: u64 = 0;
+const S_LOAD: u64 = 1;
+const S_GAP: u64 = 2;
+const S_ISSUE: u64 = 3;
+const S_MAC: u64 = 4;
+const S_WRITE: u64 = 5;
+const S_HALT: u64 = 6;
+
+fn eq_c(b: &mut NetlistBuilder, x: NodeId, v: u64) -> NodeId {
+    let w = b.width(x);
+    let c = b.constant(v, w);
+    b.eq(x, c)
+}
+
+fn add_c(b: &mut NetlistBuilder, x: NodeId, v: u64) -> NodeId {
+    let w = b.width(x);
+    let c = b.constant(v, w);
+    b.add(x, c)
+}
+
+/// Builds the DSP engine.
+///
+/// # Errors
+/// Propagates netlist construction errors (indicating a generator bug).
+///
+/// # Panics
+/// Panics if `config` fails validation.
+pub fn build_dsp(config: &DspConfig) -> Result<DspHandles, RtlError> {
+    config.validate();
+    let c = config.clone();
+    let lanes = c.lanes as usize;
+    let mut b = NetlistBuilder::new("mac-dsp");
+
+    b.set_unit(Unit::Control);
+    let cmd_mem = b.memory(c.cmd_words, 42, "cmd_mem", Unit::Control);
+    b.set_unit(Unit::LoadStore);
+    let sample_mem = b.memory(c.sample_words, 16, "sample_mem", Unit::LoadStore);
+    let coef_mem = b.memory(c.coef_words, 16, "coef_mem", Unit::LoadStore);
+    let out_mem = b.memory(c.out_words, 32, "out_mem", Unit::LoadStore);
+
+    // ---- control state (root domain) ----------------------------------
+    b.set_unit(Unit::Control);
+    let st = b.reg(3, S_FETCH, CLOCK_ROOT, "seq/state", Unit::Control);
+    let cmd_idx = b.reg(8, 0, CLOCK_ROOT, "seq/cmd_idx", Unit::Control);
+    let gap_ctr = b.reg(12, 0, CLOCK_ROOT, "seq/gap", Unit::Control);
+    let halted = b.reg(1, 0, CLOCK_ROOT, "seq/halted", Unit::Control);
+    let commands_done = b.reg(16, 0, CLOCK_ROOT, "seq/cmds", Unit::Control);
+    // Command fields.
+    let base = b.reg(10, 0, CLOCK_ROOT, "cmd/base", Unit::Control);
+    let length = b.reg(8, 0, CLOCK_ROOT, "cmd/length", Unit::Control);
+    let outputs = b.reg(8, 0, CLOCK_ROOT, "cmd/outputs", Unit::Control);
+    let stride = b.reg(4, 0, CLOCK_ROOT, "cmd/stride", Unit::Control);
+    // Kernel indices.
+    b.set_unit(Unit::Issue);
+    let tap_idx = b.reg(16, 0, CLOCK_ROOT, "fir/tap_idx", Unit::Issue);
+    let out_idx = b.reg(8, 0, CLOCK_ROOT, "fir/out_idx", Unit::Issue);
+    let lane_act: Vec<NodeId> = (0..lanes)
+        .map(|l| b.reg(1, 0, CLOCK_ROOT, &format!("fir/lane{l}_act"), Unit::Issue))
+        .collect();
+
+    let st_fetch = eq_c(&mut b, st, S_FETCH);
+    let st_load = eq_c(&mut b, st, S_LOAD);
+    let st_gap = eq_c(&mut b, st, S_GAP);
+    let st_issue = eq_c(&mut b, st, S_ISSUE);
+    let st_mac = eq_c(&mut b, st, S_MAC);
+    let st_write = eq_c(&mut b, st, S_WRITE);
+
+    // ---- command fetch --------------------------------------------------
+    b.set_unit(Unit::Control);
+    let cmd_addr = b.zext(cmd_idx, 16);
+    let cmd_port = b.mem_read(cmd_mem, cmd_addr, st_fetch, "seq/cmd_word", Unit::Control);
+    let cmd_zero = eq_c(&mut b, cmd_port, 0);
+    let f_base = b.slice(cmd_port, 0, 10);
+    let f_length = b.slice(cmd_port, 10, 8);
+    let f_outputs = b.slice(cmd_port, 18, 8);
+    let f_stride = b.slice(cmd_port, 26, 4);
+    let f_gap = b.slice(cmd_port, 30, 12);
+
+    // ---- per-lane datapath (gated clocks) ------------------------------
+    b.set_unit(Unit::Vector);
+    let sample_base16 = {
+        let base16 = b.zext(base, 16);
+        let stride16 = b.zext(stride, 16);
+        let out16 = b.zext(out_idx, 16);
+        let shift = b.mul(stride16, out16);
+        let t = b.add(base16, shift);
+        b.add(t, tap_idx)
+    };
+    b.name(sample_base16, "fir/sample_base", Unit::Vector);
+
+    let mut lane_ports = Vec::with_capacity(lanes);
+    let mut lane_accs = Vec::with_capacity(lanes);
+    let mut lane_clocks = Vec::with_capacity(lanes);
+    for l in 0..lanes {
+        // The lane datapath is clocked while its work is in flight or
+        // being cleared.
+        let en = {
+            let active_mac = b.and(st_mac, lane_act[l]);
+            let t = b.or(active_mac, st_issue);
+            b.or(t, st_write)
+        };
+        let clk = b.clock_gate(en, &format!("clk/lane{l}"), Unit::ClockTree);
+        lane_clocks.push(clk);
+
+        let s_addr = add_c(&mut b, sample_base16, l as u64);
+        let c_addr = {
+            let t = add_c(&mut b, tap_idx, l as u64);
+            b.trunc(t, 16)
+        };
+        // Lane is active this group if tap_idx + l < length.
+        let len16 = b.zext(length, 16);
+        let idx_l = add_c(&mut b, tap_idx, l as u64);
+        let active = b.ult(idx_l, len16);
+        let issue_read = b.and(st_issue, active);
+        let sp = b.mem_read(sample_mem, s_addr, issue_read, &format!("lane{l}/sample"), Unit::Vector);
+        let cp = b.mem_read(coef_mem, c_addr, issue_read, &format!("lane{l}/coef"), Unit::Vector);
+        lane_ports.push((sp, cp));
+
+        // lane_act registers the ISSUE-time decision for the MAC cycle.
+        let act_next = b.mux(st_issue, active, lane_act[l]);
+        b.connect(lane_act[l], act_next);
+
+        // Accumulator in the gated domain.
+        let acc = b.reg(40, 0, clk, &format!("lane{l}/acc"), Unit::Vector);
+        let sp32 = b.zext(sp, 32);
+        let cp32 = b.zext(cp, 32);
+        let product = b.mul(sp32, cp32);
+        b.name(product, &format!("lane{l}/product"), Unit::Vector);
+        let prod40 = b.zext(product, 40);
+        let bumped = b.add(acc, prod40);
+        let do_mac = b.and(st_mac, lane_act[l]);
+        let kept = b.mux(do_mac, bumped, acc);
+        let zero40 = b.constant(0, 40);
+        let cleared = b.mux(st_write, zero40, kept);
+        b.connect(acc, cleared);
+        lane_accs.push(acc);
+    }
+
+    // ---- result reduction and writeback --------------------------------
+    b.set_unit(Unit::Alu);
+    let mut level = lane_accs.clone();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut i = 0;
+        while i < level.len() {
+            if i + 1 < level.len() {
+                next.push(b.add(level[i], level[i + 1]));
+            } else {
+                next.push(level[i]);
+            }
+            i += 2;
+        }
+        level = next;
+    }
+    let total = level[0];
+    let result = b.trunc(total, 32);
+    b.name(result, "fir/result", Unit::Alu);
+    let out_addr = b.zext(out_idx, 16);
+    b.mem_write(out_mem, st_write, out_addr, result);
+
+    // ---- FSM next-state -------------------------------------------------
+    b.set_unit(Unit::Control);
+    {
+        let k_fetch = b.constant(S_FETCH, 3);
+        let k_load = b.constant(S_LOAD, 3);
+        let k_gap = b.constant(S_GAP, 3);
+        let k_issue = b.constant(S_ISSUE, 3);
+        let k_mac = b.constant(S_MAC, 3);
+        let k_write = b.constant(S_WRITE, 3);
+        let k_halt = b.constant(S_HALT, 3);
+
+        let from_fetch = k_load;
+        let gap_zero = eq_c(&mut b, f_gap, 0);
+        let after_load = b.mux(gap_zero, k_issue, k_gap);
+        let from_load = b.mux(cmd_zero, k_halt, after_load);
+        let gap_done = eq_c(&mut b, gap_ctr, 1);
+        let from_gap = b.mux(gap_done, k_issue, k_gap);
+        let from_issue = k_mac;
+        // After a MAC group: next group or writeback.
+        let next_tap = add_c(&mut b, tap_idx, c.lanes as u64);
+        let len16 = b.zext(length, 16);
+        let more_taps = b.ult(next_tap, len16);
+        let from_mac = b.mux(more_taps, k_issue, k_write);
+        // After writeback: next output or next command.
+        let next_out = add_c(&mut b, out_idx, 1);
+        let more_outs = b.ult(next_out, outputs);
+        let from_write = b.mux(more_outs, k_issue, k_fetch);
+
+        let st_next = b.select(
+            st,
+            &[from_fetch, from_load, from_gap, from_issue, from_mac, from_write, k_halt, k_halt],
+        );
+        b.connect(st, st_next);
+
+        // Command registers latch at LOAD.
+        let bn = b.mux(st_load, f_base, base);
+        b.connect(base, bn);
+        let ln = b.mux(st_load, f_length, length);
+        b.connect(length, ln);
+        let on = b.mux(st_load, f_outputs, outputs);
+        b.connect(outputs, on);
+        let sn = b.mux(st_load, f_stride, stride);
+        b.connect(stride, sn);
+        let gn = {
+            let dec = add_c(&mut b, gap_ctr, (1u64 << 12) - 1); // minus one
+            let counting = b.mux(st_gap, dec, gap_ctr);
+            b.mux(st_load, f_gap, counting)
+        };
+        b.connect(gap_ctr, gn);
+
+        // Indices.
+        let tap_next = {
+            let bump = b.mux(st_mac, next_tap, tap_idx);
+            let zero16 = b.constant(0, 16);
+            let reset_w = b.mux(st_write, zero16, bump);
+            b.mux(st_load, zero16, reset_w)
+        };
+        b.connect(tap_idx, tap_next);
+        let out_next = {
+            let bump = b.mux(st_write, next_out, out_idx);
+            let zero8 = b.constant(0, 8);
+            b.mux(st_load, zero8, bump)
+        };
+        b.connect(out_idx, out_next);
+
+        // Command index advances when a command completes (or on a
+        // skipped zero command — halted anyway).
+        let cmd_complete = {
+            let no_more = b.not(more_outs);
+            b.and(st_write, no_more)
+        };
+        let ci_next = {
+            let bump = add_c(&mut b, cmd_idx, 1);
+            b.mux(cmd_complete, bump, cmd_idx)
+        };
+        b.connect(cmd_idx, ci_next);
+        let cd_next = {
+            let one16 = b.constant(1, 16);
+            let zero16 = b.constant(0, 16);
+            let inc = b.mux(cmd_complete, one16, zero16);
+            b.add(commands_done, inc)
+        };
+        b.connect(commands_done, cd_next);
+
+        let halt_now = b.and(st_load, cmd_zero);
+        let hn = {
+            let one1 = b.one();
+            b.mux(halt_now, one1, halted)
+        };
+        b.connect(halted, hn);
+    }
+
+    // MAC-group counter in a gated domain (debug/event counter).
+    b.set_unit(Unit::Issue);
+    let mac_en = b.or(st_issue, st_mac);
+    let clk_mac_dbg = b.clock_gate(mac_en, "clk/mac_dbg", Unit::ClockTree);
+    let mac_groups = b.reg(24, 0, clk_mac_dbg, "fir/mac_groups", Unit::Issue);
+    {
+        let one24 = b.constant(1, 24);
+        let zero24 = b.constant(0, 24);
+        let inc = b.mux(st_mac, one24, zero24);
+        let n = b.add(mac_groups, inc);
+        b.connect(mac_groups, n);
+    }
+    // Debug staging on the result bus.
+    if c.staging_depth > 0 {
+        let mut prev = result;
+        for s in 0..c.staging_depth {
+            let r = b.reg(32, 0, clk_mac_dbg, &format!("fir/stage{s}"), Unit::Issue);
+            b.connect(r, prev);
+            prev = r;
+        }
+    }
+    let _ = (&lane_ports, &lane_clocks, st_gap, st_fetch);
+
+    let netlist = b.build()?;
+    Ok(DspHandles {
+        netlist,
+        config: c,
+        cmd_mem,
+        sample_mem,
+        coef_mem,
+        out_mem,
+        halted,
+        commands_done,
+        mac_groups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_default_config() {
+        let h = build_dsp(&DspConfig::default()).unwrap();
+        let stats = h.netlist.stats();
+        assert!(stats.signal_bits > 800, "M = {}", stats.signal_bits);
+        assert!(stats.clock_domains >= 5, "domains = {}", stats.clock_domains);
+        assert_eq!(stats.memories, 4);
+    }
+
+    #[test]
+    fn command_encoding_fields() {
+        let w = encode_command(0x3A, 16, 4, 2, 100);
+        assert_eq!(w & 0x3FF, 0x3A);
+        assert_eq!((w >> 10) & 0xFF, 16);
+        assert_eq!((w >> 18) & 0xFF, 4);
+        assert_eq!((w >> 26) & 0xF, 2);
+        assert_eq!((w >> 30) & 0xFFF, 100);
+    }
+
+    #[test]
+    fn lane_count_scales_signals() {
+        let small = build_dsp(&DspConfig { lanes: 2, ..DspConfig::default() }).unwrap();
+        let big = build_dsp(&DspConfig { lanes: 8, ..DspConfig::default() }).unwrap();
+        assert!(big.netlist.signal_bits() > small.netlist.signal_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes out of range")]
+    fn zero_lanes_rejected() {
+        build_dsp(&DspConfig { lanes: 0, ..DspConfig::default() }).unwrap();
+    }
+}

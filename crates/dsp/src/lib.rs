@@ -1,0 +1,40 @@
+//! # apollo-dsp
+//!
+//! A non-CPU compute engine for the APOLLO reproduction: a streaming
+//! multiply-accumulate (FIR-style) DSP datapath with per-lane clock
+//! gating, built on the same [`apollo_rtl`] eDSL as the CPU.
+//!
+//! The paper argues its framework is "micro-architecture agnostic,
+//! applicable to a wide spectrum of compute-units and not just CPUs"
+//! (§1) and discusses droop metering on the Hexagon DSP (§8.2). This
+//! crate provides that second compute-unit class so the claim can be
+//! exercised: dataflow-dominated, command-driven, with long MAC bursts
+//! and idle gaps — a very different activity profile from the CPU's
+//! control-dominated pipelines.
+//!
+//! ## Example
+//!
+//! ```
+//! use apollo_dsp::{build_dsp, DspConfig, DspSim, FirCommand};
+//!
+//! let handles = build_dsp(&DspConfig::default())?;
+//! let mut sim = DspSim::new(&handles);
+//! let samples: Vec<u64> = (0..64).map(|i| (i * 37) % 251).collect();
+//! let coefs: Vec<u64> = (0..16).map(|i| i + 1).collect();
+//! sim.load_samples(&samples);
+//! sim.load_coefficients(&coefs);
+//! let out = sim.run_fir(&FirCommand { base: 0, length: 16, outputs: 4, stride: 1 }, 10_000);
+//! assert_eq!(out.len(), 4);
+//! # Ok::<(), apollo_rtl::RtlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod harness;
+mod workloads;
+
+pub use engine::{build_dsp, encode_command, DspConfig, DspHandles};
+pub use harness::{DspSim, FirCommand};
+pub use workloads::{random_commands, DspWorkload};

@@ -1,0 +1,702 @@
+//! Penalized linear regression by cyclic coordinate descent.
+//!
+//! Implements the proxy-selection machinery of the paper's §4.3–4.4:
+//! a sparse linear model over all candidate signals, trained with a
+//! sparsity-inducing penalty — Lasso (Tibshirani 1996) or the minimax
+//! concave penalty (MCP, Zhang 2010) — optimized with cyclic coordinate
+//! descent (Wright 2015), the MCP proximal operator, warm-started λ
+//! paths and active-set iteration with full KKT re-checks.
+//!
+//! Columns are standardized *implicitly*: for binary toggle columns the
+//! standardized inner products reduce to popcount-weighted sums, so no
+//! dense standardized copy of the design is ever materialized.
+
+// Lockstep multi-array index loops are intentional throughout this
+// module; iterator zips would obscure the hardware/math being expressed.
+#![allow(clippy::needless_range_loop)]
+
+use crate::design::Design;
+
+/// Penalty applied to each coefficient (in standardized coordinates).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Penalty {
+    /// `λ|w|` — uniform shrinkage (Eq. 5 of the paper).
+    Lasso {
+        /// Penalty strength λ.
+        lambda: f64,
+    },
+    /// `λ|w| − w²/2γ` capped at `γλ²/2` (Eq. 6): large weights are
+    /// left unpenalized.
+    Mcp {
+        /// Penalty strength λ.
+        lambda: f64,
+        /// Concavity threshold γ (> 1); weights above `γλ` do not
+        /// shrink.
+        gamma: f64,
+    },
+    /// `λw²/2` — no sparsity, used for relaxation/fine-tuning.
+    Ridge {
+        /// Penalty strength λ.
+        lambda: f64,
+    },
+    /// `λ1|w| + λ2 w²/2` — the elastic net (Simmani's model).
+    ElasticNet {
+        /// L1 strength.
+        lambda1: f64,
+        /// L2 strength.
+        lambda2: f64,
+    },
+}
+
+impl Penalty {
+    /// The λ used for sparsity decisions (KKT checks, path generation).
+    pub fn sparsity_lambda(self) -> f64 {
+        match self {
+            Penalty::Lasso { lambda } => lambda,
+            Penalty::Mcp { lambda, .. } => lambda,
+            Penalty::Ridge { .. } => 0.0,
+            Penalty::ElasticNet { lambda1, .. } => lambda1,
+        }
+    }
+
+    /// Re-parameterizes the penalty with a new sparsity λ (used when
+    /// walking a path).
+    pub fn with_lambda(self, new_lambda: f64) -> Penalty {
+        match self {
+            Penalty::Lasso { .. } => Penalty::Lasso { lambda: new_lambda },
+            Penalty::Mcp { gamma, .. } => Penalty::Mcp { lambda: new_lambda, gamma },
+            Penalty::Ridge { .. } => Penalty::Ridge { lambda: new_lambda },
+            Penalty::ElasticNet { lambda2, .. } => Penalty::ElasticNet {
+                lambda1: new_lambda,
+                lambda2,
+            },
+        }
+    }
+
+    /// Coordinate-wise proximal update: minimizes
+    /// `½(w − u)² + P(w)` for unit-variance coordinates.
+    fn prox(self, u: f64, nonnegative: bool) -> f64 {
+        let soft = |u: f64, l: f64| {
+            if u > l {
+                u - l
+            } else if u < -l {
+                u + l
+            } else {
+                0.0
+            }
+        };
+        let w = match self {
+            Penalty::Lasso { lambda } => soft(u, lambda),
+            Penalty::Mcp { lambda, gamma } => {
+                if u.abs() <= lambda {
+                    0.0
+                } else if u.abs() <= gamma * lambda {
+                    soft(u, lambda) / (1.0 - 1.0 / gamma)
+                } else {
+                    u
+                }
+            }
+            Penalty::Ridge { lambda } => u / (1.0 + lambda),
+            Penalty::ElasticNet { lambda1, lambda2 } => soft(u, lambda1) / (1.0 + lambda2),
+        };
+        if nonnegative {
+            w.max(0.0)
+        } else {
+            w
+        }
+    }
+}
+
+/// Options for [`coordinate_descent`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CdOptions {
+    /// Maximum active-set sweeps per KKT round.
+    pub max_sweeps: usize,
+    /// Maximum KKT (full-scan) rounds.
+    pub max_kkt_rounds: usize,
+    /// Convergence tolerance on standardized-coefficient changes,
+    /// relative to the standard deviation of `y`.
+    pub tol: f64,
+    /// Constrain coefficients to be non-negative (physically, toggling
+    /// can only add power; the paper's Table 2 lists `w ∈ R+`).
+    pub nonnegative: bool,
+}
+
+impl Default for CdOptions {
+    fn default() -> Self {
+        CdOptions {
+            max_sweeps: 200,
+            max_kkt_rounds: 8,
+            tol: 1e-4,
+            nonnegative: true,
+        }
+    }
+}
+
+/// Result of a coordinate-descent fit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CdResult {
+    /// Nonzero coefficients in *raw* (unstandardized) feature space, as
+    /// `(column, weight)` pairs sorted by column.
+    pub active: Vec<(usize, f64)>,
+    /// Intercept in raw space.
+    pub intercept: f64,
+    /// Total sweeps executed.
+    pub sweeps: usize,
+    /// Whether the final active-set pass converged.
+    pub converged: bool,
+    /// The sparsity λ the model was fit at.
+    pub lambda: f64,
+}
+
+impl CdResult {
+    /// Number of selected features.
+    pub fn n_selected(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Predicts on a design with the same column layout.
+    pub fn predict<D: Design>(&self, design: &D) -> Vec<f64> {
+        let mut out = vec![self.intercept; design.n_rows()];
+        for &(j, w) in &self.active {
+            design.col_axpy(j, w, &mut out);
+        }
+        out
+    }
+
+    /// Sum of absolute raw weights (the paper's Figure 13 quantity).
+    pub fn weight_l1(&self) -> f64 {
+        self.active.iter().map(|(_, w)| w.abs()).sum()
+    }
+}
+
+/// Internal solver state for warm-started paths.
+struct Solver<'a, D: Design> {
+    x: &'a D,
+    n: usize,
+    y_mean: f64,
+    y_std: f64,
+    /// Stored residual component (actual residual is `rs + shift`, but
+    /// the shift cancels in all standardized inner products).
+    rs: Vec<f64>,
+    /// Running sum of `rs`.
+    s: f64,
+    /// Standardized coefficients (sparse: only tracked columns).
+    w: Vec<f64>,
+    /// Per-column mean / std caches for usable columns.
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    usable: Vec<bool>,
+}
+
+impl<'a, D: Design> Solver<'a, D> {
+    fn new(x: &'a D, y: &[f64]) -> Self {
+        let n = x.n_rows();
+        assert_eq!(y.len(), n, "label length mismatch");
+        let p = x.n_cols();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let y_var = y.iter().map(|v| (v - y_mean) * (v - y_mean)).sum::<f64>() / n as f64;
+        let rs: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+        let s = rs.iter().sum();
+        let mut mean = Vec::with_capacity(p);
+        let mut std = Vec::with_capacity(p);
+        let mut usable = Vec::with_capacity(p);
+        for j in 0..p {
+            let m = x.col_mean(j);
+            let sd = x.col_std(j);
+            mean.push(m);
+            std.push(sd);
+            usable.push(sd > 1e-12);
+        }
+        Solver {
+            x,
+            n,
+            y_mean,
+            y_std: y_var.sqrt().max(1e-12),
+            rs,
+            s,
+            w: vec![0.0; p],
+            mean,
+            std,
+            usable,
+        }
+    }
+
+    /// Standardized correlation of column `j` with the current residual:
+    /// `(1/N)·x̃_j·r`.
+    #[inline]
+    fn rho(&self, j: usize) -> f64 {
+        let dot = self.x.col_dot(j, &self.rs);
+        (dot - self.mean[j] * self.s) / (self.std[j] * self.n as f64)
+    }
+
+    /// Applies `Δw̃_j`, updating the residual bookkeeping.
+    #[inline]
+    fn apply_delta(&mut self, j: usize, delta: f64) {
+        let alpha = -delta / self.std[j];
+        self.x.col_axpy(j, alpha, &mut self.rs);
+        self.s += alpha * self.mean[j] * self.n as f64;
+        self.w[j] += delta;
+    }
+
+    /// One sweep over `active`; returns the largest coefficient change.
+    fn sweep(&mut self, active: &[usize], penalty: Penalty, nonneg: bool) -> f64 {
+        let mut max_delta = 0.0f64;
+        for &j in active {
+            let u = self.rho(j) + self.w[j];
+            let w_new = penalty.prox(u, nonneg);
+            let delta = w_new - self.w[j];
+            if delta != 0.0 {
+                self.apply_delta(j, delta);
+                max_delta = max_delta.max(delta.abs());
+            }
+        }
+        max_delta
+    }
+
+    fn result(&self, lambda: f64, sweeps: usize, converged: bool) -> CdResult {
+        let mut active: Vec<(usize, f64)> = self
+            .w
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w != 0.0)
+            .map(|(j, w)| (j, w / self.std[j]))
+            .collect();
+        active.sort_by_key(|&(j, _)| j);
+        let intercept = self.y_mean
+            - active
+                .iter()
+                .map(|&(j, w)| w * self.mean[j])
+                .sum::<f64>();
+        CdResult {
+            active,
+            intercept,
+            sweeps,
+            converged,
+            lambda,
+        }
+    }
+}
+
+/// The largest λ at which every coefficient is zero (start of the path).
+pub fn lambda_max<D: Design>(x: &D, y: &[f64], nonnegative: bool) -> f64 {
+    let solver = Solver::new(x, y);
+    let mut best = 0.0f64;
+    for j in 0..x.n_cols() {
+        if !solver.usable[j] {
+            continue;
+        }
+        let rho = solver.rho(j);
+        let v = if nonnegative { rho } else { rho.abs() };
+        best = best.max(v);
+    }
+    best
+}
+
+/// Fits a penalized linear model at a single penalty setting.
+///
+/// Uses active-set coordinate descent: converge on the current active
+/// set, then scan all columns for KKT violators and repeat until no
+/// violator remains (or `max_kkt_rounds` is hit).
+pub fn coordinate_descent<D: Design>(
+    x: &D,
+    y: &[f64],
+    penalty: Penalty,
+    opts: &CdOptions,
+) -> CdResult {
+    let mut solver = Solver::new(x, y);
+    fit_warm(&mut solver, penalty, opts)
+}
+
+fn fit_warm<D: Design>(solver: &mut Solver<'_, D>, penalty: Penalty, opts: &CdOptions) -> CdResult {
+    let p = solver.x.n_cols();
+    let lambda = penalty.sparsity_lambda();
+    let mut active: Vec<usize> = (0..p).filter(|&j| solver.w[j] != 0.0).collect();
+    let mut total_sweeps = 0;
+    let mut converged = false;
+
+    // Ridge has no sparsity: every usable column is active.
+    if matches!(penalty, Penalty::Ridge { .. }) {
+        active = (0..p).filter(|&j| solver.usable[j]).collect();
+    }
+
+    for _round in 0..opts.max_kkt_rounds {
+        // Converge on the active set.
+        converged = false;
+        for _ in 0..opts.max_sweeps {
+            total_sweeps += 1;
+            let delta = solver.sweep(&active, penalty, opts.nonnegative);
+            if delta < opts.tol * solver.y_std {
+                converged = true;
+                break;
+            }
+        }
+        if matches!(penalty, Penalty::Ridge { .. }) {
+            break;
+        }
+        // Full KKT scan for violators among inactive columns.
+        let mut violators = Vec::new();
+        for j in 0..p {
+            if !solver.usable[j] || solver.w[j] != 0.0 {
+                continue;
+            }
+            let rho = solver.rho(j);
+            let v = if opts.nonnegative { rho } else { rho.abs() };
+            if v > lambda * (1.0 + 1e-9) {
+                violators.push(j);
+            }
+        }
+        if violators.is_empty() {
+            break;
+        }
+        active.extend_from_slice(&violators);
+        active.sort_unstable();
+        active.dedup();
+    }
+    solver.result(lambda, total_sweeps, converged)
+}
+
+/// A warm-started geometric λ path, largest λ first.
+///
+/// Returns one [`CdResult`] per λ. λ values must be positive and
+/// decreasing for warm starts to help (this is asserted).
+pub fn lambda_path<D: Design>(
+    x: &D,
+    y: &[f64],
+    penalty: Penalty,
+    lambdas: &[f64],
+    opts: &CdOptions,
+) -> Vec<CdResult> {
+    assert!(!lambdas.is_empty(), "empty lambda path");
+    for w in lambdas.windows(2) {
+        assert!(w[0] > w[1] && w[1] > 0.0, "lambdas must be positive and decreasing");
+    }
+    let mut solver = Solver::new(x, y);
+    lambdas
+        .iter()
+        .map(|&l| fit_warm(&mut solver, penalty.with_lambda(l), opts))
+        .collect()
+}
+
+/// Walks a λ path until roughly `q_target` features are selected;
+/// returns the result whose support size is closest to the target.
+///
+/// This is how the paper "adjusts the penalty strength λ to control the
+/// number of selected proxies Q" (§4.3).
+pub fn select_features<D: Design>(
+    x: &D,
+    y: &[f64],
+    penalty: Penalty,
+    q_target: usize,
+    opts: &CdOptions,
+) -> CdResult {
+    assert!(q_target >= 1, "q_target must be at least 1");
+    let lmax = lambda_max(x, y, opts.nonnegative);
+    let mut solver = Solver::new(x, y);
+    let mut lambda = lmax * 0.98;
+    let mut best: Option<CdResult> = None;
+    let ratio = 0.88f64;
+    for _ in 0..120 {
+        let res = fit_warm(&mut solver, penalty.with_lambda(lambda), opts);
+        let q = res.n_selected();
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                q.abs_diff(q_target) < b.n_selected().abs_diff(q_target)
+                    || (q.abs_diff(q_target) == b.n_selected().abs_diff(q_target) && q >= q_target)
+            }
+        };
+        if better {
+            best = Some(res.clone());
+        }
+        if q >= q_target {
+            break;
+        }
+        lambda *= ratio;
+        if lambda < 1e-10 * lmax {
+            break;
+        }
+    }
+    best.expect("at least one path point fitted")
+}
+
+/// Walks a single warm-started λ path and returns, for each support-size
+/// target in `q_targets`, the path point whose support is closest to it.
+///
+/// Much cheaper than calling [`select_features`] once per target: the
+/// path (the expensive part) is shared.
+///
+/// # Panics
+/// Panics if `q_targets` is empty or not strictly increasing.
+pub fn select_path_targets<D: Design>(
+    x: &D,
+    y: &[f64],
+    penalty: Penalty,
+    q_targets: &[usize],
+    opts: &CdOptions,
+) -> Vec<CdResult> {
+    assert!(!q_targets.is_empty(), "no targets");
+    for w in q_targets.windows(2) {
+        assert!(w[0] < w[1], "targets must be strictly increasing");
+    }
+    let lmax = lambda_max(x, y, opts.nonnegative);
+    let mut solver = Solver::new(x, y);
+    let mut lambda = lmax * 0.98;
+    let ratio = 0.88f64;
+    let mut best: Vec<Option<CdResult>> = vec![None; q_targets.len()];
+    let q_max = *q_targets.last().unwrap();
+    for _ in 0..200 {
+        let res = fit_warm(&mut solver, penalty.with_lambda(lambda), opts);
+        let q = res.n_selected();
+        for (slot, &target) in best.iter_mut().zip(q_targets) {
+            let better = match slot {
+                None => true,
+                Some(b) => q.abs_diff(target) < b.n_selected().abs_diff(target),
+            };
+            if better {
+                *slot = Some(res.clone());
+            }
+        }
+        if q >= q_max {
+            break;
+        }
+        lambda *= ratio;
+        if lambda < 1e-10 * lmax {
+            break;
+        }
+    }
+    best.into_iter()
+        .map(|b| b.expect("path produced at least one point"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{BitMatrix, DenseDesign};
+
+    /// y = 5 + 3*x0 + 2*x1, 40 obs, 6 noise columns.
+    fn toy_dense() -> (DenseDesign, Vec<f64>) {
+        let n = 80;
+        let p = 8;
+        let mut cols = vec![0.0; n * p];
+        let mut seed = 0x12345u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for j in 0..p {
+            for i in 0..n {
+                cols[j * n + i] = rnd();
+            }
+        }
+        let x = DenseDesign::from_columns(n, p, cols);
+        let y: Vec<f64> = (0..n)
+            .map(|i| 5.0 + 3.0 * x.value(i, 0) + 2.0 * x.value(i, 1))
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn lasso_selects_true_support() {
+        let (x, y) = toy_dense();
+        let res = coordinate_descent(
+            &x,
+            &y,
+            Penalty::Lasso { lambda: 0.05 },
+            &CdOptions::default(),
+        );
+        let support: Vec<usize> = res.active.iter().map(|&(j, _)| j).collect();
+        assert!(support.contains(&0), "support {support:?}");
+        assert!(support.contains(&1), "support {support:?}");
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn mcp_recovers_unbiased_weights() {
+        let (x, y) = toy_dense();
+        let lasso = coordinate_descent(
+            &x,
+            &y,
+            Penalty::Lasso { lambda: 0.08 },
+            &CdOptions::default(),
+        );
+        let mcp = coordinate_descent(
+            &x,
+            &y,
+            Penalty::Mcp { lambda: 0.08, gamma: 10.0 },
+            &CdOptions::default(),
+        );
+        // MCP leaves large weights unpenalized: its recovered weight for
+        // x0 should be closer to 3 than Lasso's.
+        let w0 = |r: &CdResult| r.active.iter().find(|&&(j, _)| j == 0).map(|&(_, w)| w).unwrap_or(0.0);
+        let err_mcp = (w0(&mcp) - 3.0).abs();
+        let err_lasso = (w0(&lasso) - 3.0).abs();
+        assert!(
+            err_mcp < err_lasso,
+            "mcp w0={} lasso w0={}",
+            w0(&mcp),
+            w0(&lasso)
+        );
+        // And the MCP model's total |w| is larger (Figure 13's shape).
+        assert!(mcp.weight_l1() > lasso.weight_l1());
+    }
+
+    #[test]
+    fn prediction_matches_generating_model() {
+        let (x, y) = toy_dense();
+        let res = coordinate_descent(
+            &x,
+            &y,
+            Penalty::Mcp { lambda: 0.02, gamma: 10.0 },
+            &CdOptions::default(),
+        );
+        let pred = res.predict(&x);
+        let sse: f64 = pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum();
+        assert!(sse / (y.len() as f64) < 0.05, "mse = {}", sse / y.len() as f64);
+    }
+
+    #[test]
+    fn binary_design_end_to_end() {
+        // Power-like model: y = 10 + 4*b0 + 1*b1 with correlated noise col.
+        let n = 400;
+        let mut x = BitMatrix::zeros(n, 4);
+        let mut seed = 99u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut y = vec![10.0; n];
+        for i in 0..n {
+            let r = rnd();
+            if r & 1 == 1 {
+                x.set(i, 0);
+                y[i] += 4.0;
+            }
+            if r & 2 == 2 {
+                x.set(i, 1);
+                y[i] += 1.0;
+            }
+            if r & 4 == 4 {
+                x.set(i, 2);
+            }
+            // column 3 duplicates column 0 (perfect correlation)
+            if r & 1 == 1 {
+                x.set(i, 3);
+            }
+        }
+        let res = coordinate_descent(
+            &x,
+            &y,
+            Penalty::Mcp { lambda: 0.05, gamma: 10.0 },
+            &CdOptions::default(),
+        );
+        let pred = res.predict(&x);
+        let mse: f64 = pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / n as f64;
+        assert!(mse < 0.01, "mse = {mse}");
+        // The duplicated pair contributes 4 in total.
+        let w_pair: f64 = res
+            .active
+            .iter()
+            .filter(|&&(j, _)| j == 0 || j == 3)
+            .map(|&(_, w)| w)
+            .sum();
+        assert!((w_pair - 4.0).abs() < 0.05, "w0 + w3 = {w_pair}");
+    }
+
+    #[test]
+    fn lambda_max_silences_everything() {
+        let (x, y) = toy_dense();
+        let lmax = lambda_max(&x, &y, true);
+        let res = coordinate_descent(
+            &x,
+            &y,
+            Penalty::Lasso { lambda: lmax * 1.01 },
+            &CdOptions::default(),
+        );
+        assert_eq!(res.n_selected(), 0);
+        // Just below λmax at least one feature enters.
+        let res = coordinate_descent(
+            &x,
+            &y,
+            Penalty::Lasso { lambda: lmax * 0.9 },
+            &CdOptions::default(),
+        );
+        assert!(res.n_selected() >= 1);
+    }
+
+    #[test]
+    fn select_features_hits_target() {
+        let (x, y) = toy_dense();
+        let res = select_features(
+            &x,
+            &y,
+            Penalty::Mcp { lambda: 1.0, gamma: 10.0 },
+            2,
+            &CdOptions::default(),
+        );
+        assert!(res.n_selected() >= 2, "selected {}", res.n_selected());
+        assert!(res.n_selected() <= 4);
+    }
+
+    #[test]
+    fn path_is_monotone_in_support() {
+        let (x, y) = toy_dense();
+        let lmax = lambda_max(&x, &y, true);
+        let lambdas: Vec<f64> = (1..8).map(|k| lmax * 0.8f64.powi(k)).collect();
+        let path = lambda_path(
+            &x,
+            &y,
+            Penalty::Lasso { lambda: 1.0 },
+            &lambdas,
+            &CdOptions::default(),
+        );
+        for w in path.windows(2) {
+            assert!(
+                w[1].n_selected() + 1 >= w[0].n_selected(),
+                "support should generally grow along the path"
+            );
+        }
+    }
+
+    #[test]
+    fn path_targets_match_individual_selection() {
+        let (x, y) = toy_dense();
+        let multi = select_path_targets(
+            &x,
+            &y,
+            Penalty::Mcp { lambda: 1.0, gamma: 10.0 },
+            &[1, 2],
+            &CdOptions::default(),
+        );
+        assert_eq!(multi.len(), 2);
+        assert!(multi[0].n_selected() >= 1);
+        assert!(multi[1].n_selected() >= multi[0].n_selected());
+    }
+
+    #[test]
+    fn nonnegative_constraint_respected() {
+        // y anti-correlates with x0; nonneg fit must not use it.
+        let n = 60;
+        let mut cols = vec![0.0; n * 2];
+        for i in 0..n {
+            cols[i] = (i % 2) as f64;
+            cols[n + i] = ((i / 2) % 2) as f64;
+        }
+        let x = DenseDesign::from_columns(n, 2, cols);
+        let y: Vec<f64> = (0..n).map(|i| 5.0 - 3.0 * x.value(i, 0) + 2.0 * x.value(i, 1)).collect();
+        let res = coordinate_descent(
+            &x,
+            &y,
+            Penalty::Lasso { lambda: 0.01 },
+            &CdOptions { nonnegative: true, ..CdOptions::default() },
+        );
+        for &(_, w) in &res.active {
+            assert!(w >= 0.0, "negative weight {w}");
+        }
+    }
+}

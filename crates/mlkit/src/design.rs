@@ -1,0 +1,336 @@
+//! Design-matrix abstraction for the regression solvers.
+//!
+//! Coordinate descent only needs a handful of column primitives —
+//! mean, standard deviation, raw dot products with the residual and
+//! rank-one residual updates — so the solver is generic over [`Design`].
+//! Binary toggle matrices implement these with word-level popcount
+//! scans, which is what makes commercial-scale `M` tractable in pure
+//! Rust.
+
+/// Column-oriented design matrix interface used by
+/// [`crate::coordinate_descent`].
+///
+/// Implementations must be consistent: `col_dot(j, 1)` equals
+/// `col_sum(j)`, and `col_axpy` must add `alpha` times the *raw*
+/// (unstandardized) column.
+pub trait Design {
+    /// Number of rows (observations).
+    fn n_rows(&self) -> usize;
+
+    /// Number of columns (features).
+    fn n_cols(&self) -> usize;
+
+    /// Mean of column `j`.
+    fn col_mean(&self, j: usize) -> f64;
+
+    /// Population standard deviation of column `j` (0 for constant
+    /// columns).
+    fn col_std(&self, j: usize) -> f64;
+
+    /// Raw dot product `x_j · v`.
+    ///
+    /// # Panics
+    /// Implementations may panic if `v.len() != n_rows()`.
+    fn col_dot(&self, j: usize, v: &[f64]) -> f64;
+
+    /// Rank-one update `v += alpha * x_j` (raw column).
+    fn col_axpy(&self, j: usize, alpha: f64, v: &mut [f64]);
+
+    /// Value at `(row, col)` — used by predictors, not by the solver's
+    /// hot loops.
+    fn value(&self, row: usize, col: usize) -> f64;
+
+    /// Visits every structurally nonzero entry of column `j` as
+    /// `(row, value)`.
+    fn for_each_nonzero(&self, j: usize, f: &mut dyn FnMut(usize, f64));
+}
+
+/// Dense column-major design matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseDesign {
+    n: usize,
+    p: usize,
+    /// Column-major data.
+    cols: Vec<f64>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl DenseDesign {
+    /// Creates a design from column-major data.
+    ///
+    /// # Panics
+    /// Panics if `cols.len() != n * p` or a dimension is zero.
+    pub fn from_columns(n: usize, p: usize, cols: Vec<f64>) -> Self {
+        assert!(n > 0 && p > 0, "design must be non-empty");
+        assert_eq!(cols.len(), n * p, "column data length mismatch");
+        let mut means = Vec::with_capacity(p);
+        let mut stds = Vec::with_capacity(p);
+        for j in 0..p {
+            let col = &cols[j * n..(j + 1) * n];
+            let m = col.iter().sum::<f64>() / n as f64;
+            let var = col.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+            means.push(m);
+            stds.push(var.sqrt());
+        }
+        DenseDesign { n, p, cols, means, stds }
+    }
+
+    /// Creates a design from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `rows.len() != n * p`.
+    pub fn from_rows(n: usize, p: usize, rows: &[f64]) -> Self {
+        assert_eq!(rows.len(), n * p, "row data length mismatch");
+        let mut cols = vec![0.0; n * p];
+        for i in 0..n {
+            for j in 0..p {
+                cols[j * n + i] = rows[i * p + j];
+            }
+        }
+        Self::from_columns(n, p, cols)
+    }
+
+    /// Borrow of column `j`.
+    pub fn column(&self, j: usize) -> &[f64] {
+        &self.cols[j * self.n..(j + 1) * self.n]
+    }
+}
+
+impl Design for DenseDesign {
+    fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    fn n_cols(&self) -> usize {
+        self.p
+    }
+
+    fn col_mean(&self, j: usize) -> f64 {
+        self.means[j]
+    }
+
+    fn col_std(&self, j: usize) -> f64 {
+        self.stds[j]
+    }
+
+    fn col_dot(&self, j: usize, v: &[f64]) -> f64 {
+        self.column(j).iter().zip(v).map(|(a, b)| a * b).sum()
+    }
+
+    fn col_axpy(&self, j: usize, alpha: f64, v: &mut [f64]) {
+        for (o, a) in v.iter_mut().zip(self.column(j)) {
+            *o += alpha * a;
+        }
+    }
+
+    fn value(&self, row: usize, col: usize) -> f64 {
+        self.cols[col * self.n + row]
+    }
+
+    fn for_each_nonzero(&self, j: usize, f: &mut dyn FnMut(usize, f64)) {
+        for (i, &v) in self.column(j).iter().enumerate() {
+            if v != 0.0 {
+                f(i, v);
+            }
+        }
+    }
+}
+
+/// Packed binary design matrix: `p` columns of `n` bits each
+/// (column-major words), as produced from RTL toggle traces.
+#[derive(Clone, PartialEq)]
+pub struct BitMatrix {
+    n: usize,
+    p: usize,
+    stride: usize,
+    words: Vec<u64>,
+    pops: Vec<u32>,
+}
+
+impl std::fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitMatrix({} rows x {} cols)", self.n, self.p)
+    }
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix.
+    ///
+    /// # Panics
+    /// Panics if a dimension is zero.
+    pub fn zeros(n: usize, p: usize) -> Self {
+        assert!(n > 0 && p > 0, "design must be non-empty");
+        let stride = n.div_ceil(64);
+        BitMatrix {
+            n,
+            p,
+            stride,
+            words: vec![0; stride * p],
+            pops: vec![0; p],
+        }
+    }
+
+    /// Builds a matrix from per-column packed words (each column slice
+    /// must be `ceil(n/64)` words with no stray bits above `n`).
+    ///
+    /// # Panics
+    /// Panics if the data length is inconsistent.
+    pub fn from_columns(n: usize, p: usize, words: Vec<u64>) -> Self {
+        let stride = n.div_ceil(64);
+        assert_eq!(words.len(), stride * p, "packed data length mismatch");
+        let pops = (0..p)
+            .map(|j| {
+                words[j * stride..(j + 1) * stride]
+                    .iter()
+                    .map(|w| w.count_ones())
+                    .sum()
+            })
+            .collect();
+        BitMatrix { n, p, stride, words, pops }
+    }
+
+    /// Sets bit `(row, col)`.
+    pub fn set(&mut self, row: usize, col: usize) {
+        debug_assert!(row < self.n && col < self.p);
+        let w = &mut self.words[col * self.stride + row / 64];
+        let m = 1u64 << (row % 64);
+        if *w & m == 0 {
+            *w |= m;
+            self.pops[col] += 1;
+        }
+    }
+
+    /// Reads bit `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        (self.words[col * self.stride + row / 64] >> (row % 64)) & 1 == 1
+    }
+
+    /// Packed words of one column.
+    pub fn column_words(&self, j: usize) -> &[u64] {
+        &self.words[j * self.stride..(j + 1) * self.stride]
+    }
+
+    /// Number of set bits in column `j`.
+    pub fn popcount(&self, j: usize) -> u32 {
+        self.pops[j]
+    }
+}
+
+impl Design for BitMatrix {
+    fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    fn n_cols(&self) -> usize {
+        self.p
+    }
+
+    fn col_mean(&self, j: usize) -> f64 {
+        self.pops[j] as f64 / self.n as f64
+    }
+
+    fn col_std(&self, j: usize) -> f64 {
+        let m = self.col_mean(j);
+        (m * (1.0 - m)).sqrt()
+    }
+
+    fn col_dot(&self, j: usize, v: &[f64]) -> f64 {
+        debug_assert_eq!(v.len(), self.n);
+        let mut sum = 0.0;
+        for (wi, &w) in self.column_words(j).iter().enumerate() {
+            let mut bits = w;
+            let base = wi * 64;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                sum += v[base + b];
+            }
+        }
+        sum
+    }
+
+    fn col_axpy(&self, j: usize, alpha: f64, v: &mut [f64]) {
+        for (wi, &w) in self.column_words(j).iter().enumerate() {
+            let mut bits = w;
+            let base = wi * 64;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                v[base + b] += alpha;
+            }
+        }
+    }
+
+    fn value(&self, row: usize, col: usize) -> f64 {
+        self.get(row, col) as u8 as f64
+    }
+
+    fn for_each_nonzero(&self, j: usize, f: &mut dyn FnMut(usize, f64)) {
+        for (wi, &w) in self.column_words(j).iter().enumerate() {
+            let mut bits = w;
+            let base = wi * 64;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(base + b, 1.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_column_stats() {
+        let d = DenseDesign::from_rows(4, 2, &[1.0, 0.0, 2.0, 0.0, 3.0, 1.0, 4.0, 1.0]);
+        assert_eq!(d.col_mean(0), 2.5);
+        assert_eq!(d.col_mean(1), 0.5);
+        assert!((d.col_std(1) - 0.5).abs() < 1e-12);
+        assert_eq!(d.col_dot(0, &[1.0, 1.0, 1.0, 1.0]), 10.0);
+        let mut v = vec![0.0; 4];
+        d.col_axpy(1, 2.0, &mut v);
+        assert_eq!(v, vec![0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn bit_matrix_matches_dense_semantics() {
+        let mut bm = BitMatrix::zeros(100, 3);
+        for i in (0..100).step_by(3) {
+            bm.set(i, 0);
+        }
+        for i in 0..50 {
+            bm.set(i, 1);
+        }
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let expected0: f64 = (0..100).step_by(3).map(|i| i as f64).sum();
+        assert_eq!(bm.col_dot(0, &v), expected0);
+        assert_eq!(bm.col_mean(1), 0.5);
+        assert!((bm.col_std(1) - 0.5).abs() < 1e-12);
+        assert_eq!(bm.popcount(2), 0);
+        let mut u = vec![0.0; 100];
+        bm.col_axpy(1, -1.5, &mut u);
+        assert_eq!(u[0], -1.5);
+        assert_eq!(u[49], -1.5);
+        assert_eq!(u[50], 0.0);
+    }
+
+    #[test]
+    fn bit_matrix_set_is_idempotent() {
+        let mut bm = BitMatrix::zeros(10, 1);
+        bm.set(3, 0);
+        bm.set(3, 0);
+        assert_eq!(bm.popcount(0), 1);
+    }
+
+    #[test]
+    fn from_columns_roundtrip() {
+        let mut a = BitMatrix::zeros(70, 2);
+        a.set(0, 0);
+        a.set(69, 1);
+        let b = BitMatrix::from_columns(70, 2, a.words.clone());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,334 @@
+//! Gradient-boosted regression trees (the Lee et al. \[44\] baseline
+//! family: boosting over activity features for power back-annotation).
+//!
+//! Squared-error gradient boosting over depth-limited CART trees with
+//! histogram-free exact splits (feature values here are toggle rates in
+//! `[0, 1]` or binary toggles, so candidate splits are few).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Training options for [`Gbt::fit`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct GbtOptions {
+    /// Number of boosting rounds (trees).
+    pub rounds: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Shrinkage (learning rate).
+    pub learning_rate: f64,
+    /// Minimum samples in a leaf.
+    pub min_leaf: usize,
+    /// Fraction of features considered per split (column subsampling).
+    pub feature_fraction: f64,
+    /// RNG seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbtOptions {
+    fn default() -> Self {
+        GbtOptions {
+            rounds: 80,
+            max_depth: 4,
+            learning_rate: 0.15,
+            min_leaf: 8,
+            feature_fraction: 0.7,
+            seed: 7,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// One regression tree, nodes in a flat arena.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// A gradient-boosted tree ensemble regressor.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Gbt {
+    base: f64,
+    learning_rate: f64,
+    trees: Vec<Tree>,
+    n_features: usize,
+}
+
+struct SplitResult {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+fn best_split(
+    x: &[f64],
+    d: usize,
+    rows: &[usize],
+    grad: &[f64],
+    features: &[usize],
+    min_leaf: usize,
+) -> Option<SplitResult> {
+    let total: f64 = rows.iter().map(|&r| grad[r]).sum();
+    let n = rows.len() as f64;
+    let parent_score = total * total / n;
+    let mut best: Option<SplitResult> = None;
+    let mut vals: Vec<(f64, f64)> = Vec::with_capacity(rows.len());
+    for &f in features {
+        vals.clear();
+        vals.extend(rows.iter().map(|&r| (x[r * d + f], grad[r])));
+        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut left_sum = 0.0;
+        let mut left_n = 0.0;
+        for i in 0..vals.len() - 1 {
+            left_sum += vals[i].1;
+            left_n += 1.0;
+            if vals[i].0 == vals[i + 1].0 {
+                continue; // can't split between equal values
+            }
+            if (left_n as usize) < min_leaf || rows.len() - (left_n as usize) < min_leaf {
+                continue;
+            }
+            let right_sum = total - left_sum;
+            let right_n = n - left_n;
+            let gain = left_sum * left_sum / left_n + right_sum * right_sum / right_n - parent_score;
+            if best.as_ref().map(|b| gain > b.gain).unwrap_or(gain > 1e-12) {
+                best = Some(SplitResult {
+                    feature: f,
+                    threshold: (vals[i].0 + vals[i + 1].0) / 2.0,
+                    gain,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_tree(
+    x: &[f64],
+    d: usize,
+    rows: Vec<usize>,
+    grad: &[f64],
+    depth: usize,
+    opts: &GbtOptions,
+    rng: &mut StdRng,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let mean: f64 = rows.iter().map(|&r| grad[r]).sum::<f64>() / rows.len().max(1) as f64;
+    if depth == 0 || rows.len() < 2 * opts.min_leaf {
+        nodes.push(Node::Leaf { value: mean });
+        return nodes.len() - 1;
+    }
+    // Column subsample.
+    let n_feat = ((d as f64 * opts.feature_fraction).ceil() as usize).clamp(1, d);
+    let mut features: Vec<usize> = (0..d).collect();
+    for i in (1..features.len()).rev() {
+        features.swap(i, rng.gen_range(0..=i));
+    }
+    features.truncate(n_feat);
+
+    match best_split(x, d, &rows, grad, &features, opts.min_leaf) {
+        None => {
+            nodes.push(Node::Leaf { value: mean });
+            nodes.len() - 1
+        }
+        Some(split) => {
+            let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+                .into_iter()
+                .partition(|&r| x[r * d + split.feature] <= split.threshold);
+            let placeholder = nodes.len();
+            nodes.push(Node::Leaf { value: 0.0 }); // replaced below
+            let left = build_tree(x, d, left_rows, grad, depth - 1, opts, rng, nodes);
+            let right = build_tree(x, d, right_rows, grad, depth - 1, opts, rng, nodes);
+            nodes[placeholder] = Node::Split {
+                feature: split.feature,
+                threshold: split.threshold,
+                left,
+                right,
+            };
+            placeholder
+        }
+    }
+}
+
+impl Gbt {
+    /// Fits the ensemble to row-major inputs `x` (`n × d`) and targets
+    /// `y`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or empty data.
+    pub fn fit(x: &[f64], n: usize, d: usize, y: &[f64], opts: &GbtOptions) -> Gbt {
+        assert_eq!(x.len(), n * d, "input length mismatch");
+        assert_eq!(y.len(), n, "target length mismatch");
+        assert!(n > 0 && d > 0, "empty training data");
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let base = y.iter().sum::<f64>() / n as f64;
+        let mut pred = vec![base; n];
+        let mut trees = Vec::with_capacity(opts.rounds);
+        let mut grad = vec![0.0; n];
+        for _round in 0..opts.rounds {
+            for i in 0..n {
+                grad[i] = y[i] - pred[i];
+            }
+            let mut nodes = Vec::new();
+            build_tree(
+                x,
+                d,
+                (0..n).collect(),
+                &grad,
+                opts.max_depth,
+                opts,
+                &mut rng,
+                &mut nodes,
+            );
+            let tree = Tree { nodes };
+            for i in 0..n {
+                pred[i] += opts.learning_rate * tree.predict_row(&x[i * d..(i + 1) * d]);
+            }
+            trees.push(tree);
+        }
+        Gbt {
+            base,
+            learning_rate: opts.learning_rate,
+            trees,
+            n_features: d,
+        }
+    }
+
+    /// Predicts one row-major sample.
+    ///
+    /// # Panics
+    /// Panics if the feature count differs from training.
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.n_features, "feature count mismatch");
+        self.base
+            + self.learning_rate
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict_row(row))
+                    .sum::<f64>()
+    }
+
+    /// Predicts row-major samples.
+    pub fn predict(&self, x: &[f64], n: usize) -> Vec<f64> {
+        assert_eq!(x.len(), n * self.n_features, "input length mismatch");
+        (0..n)
+            .map(|i| self.predict_one(&x[i * self.n_features..(i + 1) * self.n_features]))
+            .collect()
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    fn xor_like_data() -> (Vec<f64>, Vec<f64>, usize) {
+        // y = 10 + 5*(a XOR b) + 2*c — non-linear in (a, b).
+        let n = 400;
+        let mut x = Vec::with_capacity(n * 3);
+        let mut y = Vec::with_capacity(n);
+        let mut s = 9u64;
+        for _ in 0..n {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let a = (s & 1) as f64;
+            let b = ((s >> 1) & 1) as f64;
+            let c = ((s >> 10) & 0xff) as f64 / 255.0;
+            x.extend_from_slice(&[a, b, c]);
+            y.push(10.0 + 5.0 * ((a as u8 ^ b as u8) as f64) + 2.0 * c);
+        }
+        (x, y, n)
+    }
+
+    #[test]
+    fn learns_nonlinear_interaction() {
+        let (x, y, n) = xor_like_data();
+        let gbt = Gbt::fit(&x, n, 3, &y, &GbtOptions::default());
+        let pred = gbt.predict(&x, n);
+        let score = r2(&y, &pred);
+        assert!(score > 0.97, "R² = {score}");
+    }
+
+    #[test]
+    fn more_rounds_fit_better() {
+        let (x, y, n) = xor_like_data();
+        let short = Gbt::fit(&x, n, 3, &y, &GbtOptions { rounds: 3, ..GbtOptions::default() });
+        let long = Gbt::fit(&x, n, 3, &y, &GbtOptions { rounds: 60, ..GbtOptions::default() });
+        let r_short = r2(&y, &short.predict(&x, n));
+        let r_long = r2(&y, &long.predict(&x, n));
+        assert!(r_long > r_short, "{r_long} vs {r_short}");
+    }
+
+    #[test]
+    fn constant_target_gives_base_only() {
+        let x = vec![0.0, 1.0, 0.0, 1.0];
+        let y = vec![5.0, 5.0, 5.0, 5.0];
+        let gbt = Gbt::fit(&x, 4, 1, &y, &GbtOptions::default());
+        for v in gbt.predict(&x, 4) {
+            assert!((v - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (x, y, n) = xor_like_data();
+        let a = Gbt::fit(&x, n, 3, &y, &GbtOptions::default());
+        let b = Gbt::fit(&x, n, 3, &y, &GbtOptions::default());
+        assert_eq!(a.predict_one(&[1.0, 0.0, 0.5]), b.predict_one(&[1.0, 0.0, 0.5]));
+    }
+
+    #[test]
+    fn min_leaf_respected() {
+        // With min_leaf = n, only a root leaf can exist.
+        let (x, y, n) = xor_like_data();
+        let gbt = Gbt::fit(
+            &x,
+            n,
+            3,
+            &y,
+            &GbtOptions { min_leaf: n, rounds: 5, ..GbtOptions::default() },
+        );
+        let base = y.iter().sum::<f64>() / n as f64;
+        let p = gbt.predict_one(&[0.0, 0.0, 0.0]);
+        assert!((p - base).abs() < 1e-9);
+    }
+}

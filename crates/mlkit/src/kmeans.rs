@@ -1,0 +1,184 @@
+//! K-means clustering with k-means++ initialisation (used by the
+//! Simmani baseline to cluster signals by toggle-pattern similarity).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fitted k-means model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KMeans {
+    /// Cluster centroids, row per cluster.
+    pub centroids: Vec<Vec<f64>>,
+    /// Assignment of each input point to a cluster.
+    pub assignment: Vec<usize>,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeans {
+    /// Fits `k` clusters to `points` (each point a feature vector of
+    /// equal length) with k-means++ seeding.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, `k` is zero, or rows have unequal
+    /// lengths.
+    pub fn fit(points: &[Vec<f64>], k: usize, iters: usize, seed: u64) -> KMeans {
+        assert!(!points.is_empty(), "no points to cluster");
+        assert!(k >= 1, "need at least one cluster");
+        let dim = points[0].len();
+        assert!(points.iter().all(|p| p.len() == dim), "ragged points");
+        let k = k.min(points.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(points[rng.gen_range(0..points.len())].clone());
+        let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centroids[0])).collect();
+        while centroids.len() < k {
+            let total: f64 = d2.iter().sum();
+            let next = if total <= 0.0 {
+                rng.gen_range(0..points.len())
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut chosen = points.len() - 1;
+                for (i, &d) in d2.iter().enumerate() {
+                    target -= d;
+                    if target <= 0.0 {
+                        chosen = i;
+                        break;
+                    }
+                }
+                chosen
+            };
+            centroids.push(points[next].clone());
+            for (i, p) in points.iter().enumerate() {
+                d2[i] = d2[i].min(dist2(p, centroids.last().unwrap()));
+            }
+        }
+
+        // Lloyd iterations.
+        let mut assignment = vec![0usize; points.len()];
+        let mut inertia = f64::INFINITY;
+        for _ in 0..iters {
+            // Assign.
+            let mut new_inertia = 0.0;
+            for (i, p) in points.iter().enumerate() {
+                let (best, bd) = centroids
+                    .iter()
+                    .enumerate()
+                    .map(|(c, cent)| (c, dist2(p, cent)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .unwrap();
+                assignment[i] = best;
+                new_inertia += bd;
+            }
+            // Update.
+            let mut sums = vec![vec![0.0; dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (i, p) in points.iter().enumerate() {
+                counts[assignment[i]] += 1;
+                for (s, v) in sums[assignment[i]].iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            for (c, sum) in sums.into_iter().enumerate() {
+                if counts[c] > 0 {
+                    centroids[c] = sum.into_iter().map(|s| s / counts[c] as f64).collect();
+                } else {
+                    // Re-seed an empty cluster on the farthest point.
+                    let far = (0..points.len())
+                        .max_by(|&a, &b| {
+                            dist2(&points[a], &centroids[assignment[a]])
+                                .partial_cmp(&dist2(&points[b], &centroids[assignment[b]]))
+                                .unwrap()
+                        })
+                        .unwrap();
+                    centroids[c] = points[far].clone();
+                }
+            }
+            if (inertia - new_inertia).abs() < 1e-12 {
+                inertia = new_inertia;
+                break;
+            }
+            inertia = new_inertia;
+        }
+        KMeans {
+            centroids,
+            assignment,
+            inertia,
+        }
+    }
+
+    /// For each cluster, the index of the member point closest to the
+    /// centroid (the "representative" Simmani selects as a proxy).
+    pub fn representatives(&self, points: &[Vec<f64>]) -> Vec<usize> {
+        let k = self.centroids.len();
+        let mut best: Vec<Option<(usize, f64)>> = vec![None; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = self.assignment[i];
+            let d = dist2(p, &self.centroids[c]);
+            if best[c].map(|(_, bd)| d < bd).unwrap_or(true) {
+                best[c] = Some((i, d));
+            }
+        }
+        best.into_iter().flatten().map(|(i, _)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            pts.push(vec![10.0 - 0.01 * i as f64, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let km = KMeans::fit(&pts, 2, 50, 7);
+        // All even indices (blob A) share a cluster, odd (blob B) the other.
+        let a = km.assignment[0];
+        let b = km.assignment[1];
+        assert_ne!(a, b);
+        for i in 0..pts.len() {
+            let expect = if i % 2 == 0 { a } else { b };
+            assert_eq!(km.assignment[i], expect, "point {i}");
+        }
+    }
+
+    #[test]
+    fn representatives_are_members() {
+        let pts = two_blobs();
+        let km = KMeans::fit(&pts, 2, 50, 7);
+        let reps = km.representatives(&pts);
+        assert_eq!(reps.len(), 2);
+        for r in reps {
+            assert!(r < pts.len());
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_points() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let km = KMeans::fit(&pts, 10, 10, 1);
+        assert_eq!(km.centroids.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = two_blobs();
+        let a = KMeans::fit(&pts, 2, 50, 42);
+        let b = KMeans::fit(&pts, 2, 50, 42);
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

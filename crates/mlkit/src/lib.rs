@@ -1,0 +1,50 @@
+//! # apollo-mlkit
+//!
+//! A self-contained statistics / machine-learning kit for the APOLLO
+//! reproduction, playing the role of NumPy + scikit-learn + PyTorch in
+//! the paper's tooling:
+//!
+//! - [`Matrix`] — small dense linear algebra (Cholesky, Jacobi eigen).
+//! - [`Design`] — an abstraction over design matrices, with a dense
+//!   implementation ([`DenseDesign`]) and a packed binary one
+//!   ([`BitMatrix`]) whose coordinate-descent inner loops run on
+//!   popcounts over toggle bitmaps.
+//! - [`coordinate_descent`] / [`lambda_path`] / [`select_features`] —
+//!   penalized regression with [`Penalty::Lasso`], [`Penalty::Ridge`],
+//!   [`Penalty::ElasticNet`] and the paper's centerpiece,
+//!   [`Penalty::Mcp`] (minimax concave penalty, Zhang 2010), solved by
+//!   cyclic coordinate descent with warm-started λ paths, active sets
+//!   and strong-rule screening.
+//! - [`ols_ridge`] — closed-form (ridge) least squares.
+//! - [`KMeans`] — k-means++ clustering (the Simmani baseline).
+//! - [`Pca`] — principal component analysis via Jacobi eigendecomposition
+//!   (the PRIMAL-PCA baseline).
+//! - [`Mlp`] — a small dense neural network trained with Adam (the
+//!   PRIMAL-CNN stand-in).
+//! - [`Gbt`] — gradient-boosted regression trees (the Lee et al.
+//!   \[44\] baseline family).
+//! - [`metrics`] — R², NRMSE, NMAE, Pearson correlation and variance
+//!   inflation factors, exactly as defined in the paper's §7.1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cd;
+pub mod design;
+pub mod gbt;
+pub mod kmeans;
+pub mod linalg;
+pub mod metrics;
+pub mod nn;
+pub mod pca;
+
+pub use cd::{
+    coordinate_descent, lambda_max, lambda_path, select_features, select_path_targets, CdOptions,
+    CdResult, Penalty,
+};
+pub use design::{BitMatrix, DenseDesign, Design};
+pub use gbt::{Gbt, GbtOptions};
+pub use kmeans::KMeans;
+pub use linalg::{ols_ridge, Matrix};
+pub use nn::{Mlp, MlpOptions};
+pub use pca::Pca;

@@ -1,0 +1,400 @@
+//! Small dense linear algebra: matrices, Cholesky solves, Jacobi
+//! eigendecomposition.
+
+// Lockstep multi-array index loops are intentional throughout this
+// module; iterator zips would obscure the hardware/math being expressed.
+#![allow(clippy::needless_range_loop)]
+
+use std::fmt;
+
+/// A dense row-major `f64` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of one row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of one row.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Raw data, row-major.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transposed matrix-vector product `Aᵀ·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != rows`.
+    pub fn tr_matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            for (o, a) in out.iter_mut().zip(self.row(i)) {
+                *o += a * xi;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `A·B`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions differ");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Cholesky factorization of a symmetric positive-definite matrix:
+    /// returns lower-triangular `L` with `L·Lᵀ = A`.
+    ///
+    /// # Errors
+    /// Returns `None` if the matrix is not positive definite (or not
+    /// square).
+    pub fn cholesky(&self) -> Option<Matrix> {
+        if self.rows != self.cols {
+            return None;
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solves `A·x = b` for symmetric positive-definite `A` via
+    /// Cholesky.
+    ///
+    /// Returns `None` if the factorization fails.
+    pub fn solve_spd(&self, b: &[f64]) -> Option<Vec<f64>> {
+        let l = self.cholesky()?;
+        let n = self.rows;
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[(i, k)] * y[k];
+            }
+            y[i] = s / l[(i, i)];
+        }
+        // Back: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in i + 1..n {
+                s -= l[(k, i)] * x[k];
+            }
+            x[i] = s / l[(i, i)];
+        }
+        Some(x)
+    }
+
+    /// Jacobi eigendecomposition of a symmetric matrix.
+    ///
+    /// Returns `(eigenvalues, eigenvectors)` with eigenvectors as matrix
+    /// columns, sorted by descending eigenvalue.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn symmetric_eigen(&self) -> (Vec<f64>, Matrix) {
+        assert_eq!(self.rows, self.cols, "eigendecomposition needs a square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut v = Matrix::identity(n);
+        for _sweep in 0..100 {
+            // Largest off-diagonal magnitude.
+            let mut off = 0.0f64;
+            for i in 0..n {
+                for j in i + 1..n {
+                    off = off.max(a[(i, j)].abs());
+                }
+            }
+            if off < 1e-12 {
+                break;
+            }
+            for p in 0..n {
+                for q in p + 1..n {
+                    let apq = a[(p, q)];
+                    if apq.abs() < 1e-14 {
+                        continue;
+                    }
+                    let app = a[(p, p)];
+                    let aqq = a[(q, q)];
+                    let theta = 0.5 * (aqq - app) / apq;
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    for k in 0..n {
+                        let akp = a[(k, p)];
+                        let akq = a[(k, q)];
+                        a[(k, p)] = c * akp - s * akq;
+                        a[(k, q)] = s * akp + c * akq;
+                    }
+                    for k in 0..n {
+                        let apk = a[(p, k)];
+                        let aqk = a[(q, k)];
+                        a[(p, k)] = c * apk - s * aqk;
+                        a[(q, k)] = s * apk + c * aqk;
+                    }
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        let evals: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+        order.sort_by(|&x, &y| evals[y].partial_cmp(&evals[x]).unwrap());
+        let sorted_vals: Vec<f64> = order.iter().map(|&i| evals[i]).collect();
+        let mut sorted_vecs = Matrix::zeros(n, n);
+        for (new_j, &old_j) in order.iter().enumerate() {
+            for i in 0..n {
+                sorted_vecs[(i, new_j)] = v[(i, old_j)];
+            }
+        }
+        (sorted_vals, sorted_vecs)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Closed-form ridge regression on a dense design: minimizes
+/// `‖y − Xw − b‖² + λ‖w‖²` (intercept unpenalized) and returns
+/// `(weights, intercept)`.
+///
+/// # Panics
+/// Panics if dimensions are inconsistent or the normal equations are
+/// singular even after regularisation.
+pub fn ols_ridge(x: &Matrix, y: &[f64], lambda: f64) -> (Vec<f64>, f64) {
+    let n = x.rows();
+    let p = x.cols();
+    assert_eq!(y.len(), n, "label length mismatch");
+    // Center columns and y to handle the intercept.
+    let mut xm = vec![0.0; p];
+    for i in 0..n {
+        for (m, v) in xm.iter_mut().zip(x.row(i)) {
+            *m += v;
+        }
+    }
+    for m in xm.iter_mut() {
+        *m /= n as f64;
+    }
+    let ym: f64 = y.iter().sum::<f64>() / n as f64;
+
+    // Gram matrix of centered X plus ridge.
+    let mut gram = Matrix::zeros(p, p);
+    let mut xty = vec![0.0; p];
+    for i in 0..n {
+        let row = x.row(i);
+        let yc = y[i] - ym;
+        for a in 0..p {
+            let xa = row[a] - xm[a];
+            xty[a] += xa * yc;
+            for bcol in a..p {
+                gram[(a, bcol)] += xa * (row[bcol] - xm[bcol]);
+            }
+        }
+    }
+    for a in 0..p {
+        for bcol in 0..a {
+            gram[(a, bcol)] = gram[(bcol, a)];
+        }
+        gram[(a, a)] += lambda.max(1e-10);
+    }
+    let w = gram
+        .solve_spd(&xty)
+        .expect("ridge normal equations not positive definite");
+    let intercept = ym - w.iter().zip(&xm).map(|(wi, mi)| wi * mi).sum::<f64>();
+    (w, intercept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_and_matmul() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        let b = a.transpose();
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 14.0);
+        assert_eq!(c[(0, 1)], 32.0);
+        assert_eq!(c[(1, 1)], 77.0);
+    }
+
+    #[test]
+    fn cholesky_solves() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let x = a.solve_spd(&[8.0, 7.0]).unwrap();
+        assert!((x[0] - 1.25).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let (vals, vecs) = a.symmetric_eigen();
+        assert!((vals[0] - 3.0).abs() < 1e-9);
+        assert!((vals[1] - 2.0).abs() < 1e-9);
+        assert!((vals[2] - 1.0).abs() < 1e-9);
+        // First eigenvector is e0.
+        assert!((vecs[(0, 0)].abs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigen_of_symmetric() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let (vals, _) = a.symmetric_eigen();
+        assert!((vals[0] - 3.0).abs() < 1e-9);
+        assert!((vals[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_recovers_known_line() {
+        // y = 3 + 2a - b, noiseless.
+        let n = 50;
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = (i as f64 * 0.7).sin();
+            let b = (i as f64 * 0.3).cos();
+            data.push(a);
+            data.push(b);
+            y.push(3.0 + 2.0 * a - b);
+        }
+        let x = Matrix::from_vec(n, 2, data);
+        let (w, b0) = ols_ridge(&x, &y, 1e-8);
+        assert!((w[0] - 2.0).abs() < 1e-5, "w0 = {}", w[0]);
+        assert!((w[1] + 1.0).abs() < 1e-5, "w1 = {}", w[1]);
+        assert!((b0 - 3.0).abs() < 1e-5, "b = {b0}");
+    }
+}

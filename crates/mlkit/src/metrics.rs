@@ -1,0 +1,166 @@
+//! Accuracy metrics used throughout the paper's evaluation (§7.1):
+//! R², NRMSE, NMAE, Pearson correlation and variance inflation factors.
+
+use crate::design::Design;
+use crate::linalg::{ols_ridge, Matrix};
+
+fn check_lengths(y: &[f64], p: &[f64]) {
+    assert_eq!(y.len(), p.len(), "label/prediction length mismatch");
+    assert!(!y.is_empty(), "empty metric inputs");
+}
+
+/// Coefficient of determination `R² = 1 − SSE/SST`.
+pub fn r2(y: &[f64], pred: &[f64]) -> f64 {
+    check_lengths(y, pred);
+    let mean = y.iter().sum::<f64>() / y.len() as f64;
+    let sse: f64 = y.iter().zip(pred).map(|(a, b)| (a - b) * (a - b)).sum();
+    let sst: f64 = y.iter().map(|a| (a - mean) * (a - mean)).sum();
+    if sst == 0.0 {
+        if sse == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - sse / sst
+    }
+}
+
+/// Normalized root-mean-squared error:
+/// `(1/ȳ)·sqrt(Σ(y−p)²/N)`.
+pub fn nrmse(y: &[f64], pred: &[f64]) -> f64 {
+    check_lengths(y, pred);
+    let mean = y.iter().sum::<f64>() / y.len() as f64;
+    let mse: f64 = y.iter().zip(pred).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / y.len() as f64;
+    mse.sqrt() / mean
+}
+
+/// Normalized mean absolute error: `Σ|y−p| / Σy`.
+pub fn nmae(y: &[f64], pred: &[f64]) -> f64 {
+    check_lengths(y, pred);
+    let abs: f64 = y.iter().zip(pred).map(|(a, b)| (a - b).abs()).sum();
+    let total: f64 = y.iter().sum();
+    abs / total
+}
+
+/// Pearson's correlation coefficient.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    check_lengths(a, b);
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let dx = x - ma;
+        let dy = y - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va * vb).sqrt()
+    }
+}
+
+/// Mean variance inflation factor over a set of selected columns
+/// (the paper's Figure 14 quantity).
+///
+/// For each selected column `j`, regresses it on the other selected
+/// columns and computes `VIF_j = 1/(1 − R²_j)`; returns the average.
+/// VIFs are clamped at `cap` (collinear selections otherwise produce
+/// infinities).
+pub fn mean_vif<D: Design>(design: &D, selected: &[usize], cap: f64) -> f64 {
+    assert!(selected.len() >= 2, "VIF needs at least two columns");
+    let n = design.n_rows();
+    let q = selected.len();
+    // Materialize the selected columns densely (Q is small).
+    let mut cols = Matrix::zeros(n, q);
+    for (k, &j) in selected.iter().enumerate() {
+        let mut unit = vec![0.0; n];
+        design.col_axpy(j, 1.0, &mut unit);
+        for i in 0..n {
+            cols[(i, k)] = unit[i];
+        }
+    }
+    let mut total = 0.0;
+    for k in 0..q {
+        // Response: column k; predictors: all others.
+        let yk: Vec<f64> = (0..n).map(|i| cols[(i, k)]).collect();
+        let mut xo = Matrix::zeros(n, q - 1);
+        for i in 0..n {
+            let mut c = 0;
+            for other in 0..q {
+                if other == k {
+                    continue;
+                }
+                xo[(i, c)] = cols[(i, other)];
+                c += 1;
+            }
+        }
+        let (w, b0) = ols_ridge(&xo, &yk, 1e-8);
+        let pred: Vec<f64> = (0..n)
+            .map(|i| b0 + xo.row(i).iter().zip(&w).map(|(a, b)| a * b).sum::<f64>())
+            .collect();
+        let r = r2(&yk, &pred).clamp(0.0, 1.0 - 1e-12);
+        total += (1.0 / (1.0 - r)).min(cap);
+    }
+    total / q as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DenseDesign;
+
+    #[test]
+    fn perfect_prediction_metrics() {
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(r2(&y, &y), 1.0);
+        assert_eq!(nrmse(&y, &y), 0.0);
+        assert_eq!(nmae(&y, &y), 0.0);
+        assert!((pearson(&y, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_prediction_has_zero_r2() {
+        let y = vec![1.0, 2.0, 3.0];
+        let pred = vec![2.0, 2.0, 2.0];
+        assert!(r2(&y, &pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_and_nmae_scale_with_error() {
+        let y = vec![10.0, 10.0, 10.0, 10.0];
+        let pred = vec![11.0, 9.0, 11.0, 9.0];
+        assert!((nrmse(&y, &pred) - 0.1).abs() < 1e-12);
+        assert!((nmae(&y, &pred) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_detects_anticorrelation() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vif_high_for_correlated_low_for_orthogonal() {
+        let n = 64;
+        // col0, col1 orthogonal-ish; col2 = col0 + tiny noise.
+        let mut cols = vec![0.0; n * 3];
+        for i in 0..n {
+            cols[i] = ((i * 37) % 11) as f64;
+            cols[n + i] = ((i * 17) % 7) as f64;
+            cols[2 * n + i] = cols[i] + 0.001 * (i as f64).sin();
+        }
+        let d = DenseDesign::from_columns(n, 3, cols);
+        let vif_indep = mean_vif(&d, &[0, 1], 1e6);
+        let vif_corr = mean_vif(&d, &[0, 2], 1e6);
+        assert!(vif_indep < 2.0, "independent VIF = {vif_indep}");
+        assert!(vif_corr > 100.0, "correlated VIF = {vif_corr}");
+    }
+}

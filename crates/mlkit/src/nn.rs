@@ -1,0 +1,357 @@
+//! A small dense neural network with Adam, standing in for the
+//! PRIMAL-CNN baseline (a heavyweight model over *all* input signals).
+//!
+//! PRIMAL's point in the paper's comparison is that a deep model over
+//! every register/signal reaches APOLLO-like accuracy at orders of
+//! magnitude higher inference cost; an MLP over hashed full-signal
+//! features reproduces both sides of that trade-off.
+
+// Lockstep multi-array index loops are intentional throughout this
+// module; iterator zips would obscure the hardware/math being expressed.
+#![allow(clippy::needless_range_loop)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Training hyper-parameters for [`Mlp::fit`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MlpOptions {
+    /// Hidden-layer widths.
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+    /// RNG seed for initialisation and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpOptions {
+    fn default() -> Self {
+        MlpOptions {
+            hidden: vec![64, 32],
+            lr: 1e-3,
+            epochs: 30,
+            batch: 64,
+            weight_decay: 1e-5,
+            seed: 1,
+        }
+    }
+}
+
+struct Layer {
+    w: Vec<f64>, // out x in, row-major
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    // Adam state
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+        let scale = (2.0 / n_in as f64).sqrt();
+        let w = (0..n_in * n_out)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Layer {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            mw: vec![0.0; n_in * n_out],
+            vw: vec![0.0; n_in * n_out],
+            mb: vec![0.0; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let s: f64 = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            out.push(s + self.b[o]);
+        }
+    }
+}
+
+/// A multilayer perceptron regressor (ReLU activations, scalar output).
+pub struct Mlp {
+    layers: Vec<Layer>,
+    /// Input standardization.
+    x_mean: Vec<f64>,
+    x_std: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+    adam_t: u64,
+}
+
+impl std::fmt::Debug for Mlp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let dims: Vec<usize> = self.layers.iter().map(|l| l.n_out).collect();
+        write!(f, "Mlp(in={}, dims={:?})", self.layers[0].n_in, dims)
+    }
+}
+
+impl Mlp {
+    /// Trains an MLP on row-major inputs `x` (`n × d`) and targets `y`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or empty data.
+    pub fn fit(x: &[f64], n: usize, d: usize, y: &[f64], opts: &MlpOptions) -> Mlp {
+        assert_eq!(x.len(), n * d, "input length mismatch");
+        assert_eq!(y.len(), n, "target length mismatch");
+        assert!(n > 0 && d > 0, "empty training data");
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+
+        // Standardize inputs and target.
+        let mut x_mean = vec![0.0; d];
+        let mut x_std = vec![0.0; d];
+        for i in 0..n {
+            for j in 0..d {
+                x_mean[j] += x[i * d + j];
+            }
+        }
+        for m in x_mean.iter_mut() {
+            *m /= n as f64;
+        }
+        for i in 0..n {
+            for j in 0..d {
+                let v = x[i * d + j] - x_mean[j];
+                x_std[j] += v * v;
+            }
+        }
+        for s in x_std.iter_mut() {
+            *s = (*s / n as f64).sqrt().max(1e-9);
+        }
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let y_std = (y.iter().map(|v| (v - y_mean) * (v - y_mean)).sum::<f64>() / n as f64)
+            .sqrt()
+            .max(1e-9);
+
+        // Build layers.
+        let mut dims = vec![d];
+        dims.extend_from_slice(&opts.hidden);
+        dims.push(1);
+        let layers: Vec<Layer> = dims
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+        let mut mlp = Mlp {
+            layers,
+            x_mean,
+            x_std,
+            y_mean,
+            y_std,
+            adam_t: 0,
+        };
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut xin = vec![0.0; d];
+        for _epoch in 0..opts.epochs {
+            // Shuffle.
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for chunk in order.chunks(opts.batch) {
+                mlp.adam_t += 1;
+                // Accumulate gradients over the batch.
+                let mut grads: Vec<(Vec<f64>, Vec<f64>)> = mlp
+                    .layers
+                    .iter()
+                    .map(|l| (vec![0.0; l.w.len()], vec![0.0; l.b.len()]))
+                    .collect();
+                for &i in chunk {
+                    for j in 0..d {
+                        xin[j] = (x[i * d + j] - mlp.x_mean[j]) / mlp.x_std[j];
+                    }
+                    let yt = (y[i] - mlp.y_mean) / mlp.y_std;
+                    mlp.backprop(&xin, yt, &mut grads);
+                }
+                let scale = 1.0 / chunk.len() as f64;
+                mlp.adam_step(&grads, scale, opts);
+            }
+        }
+        mlp
+    }
+
+    /// Forward + backward for one sample; adds gradients into `grads`.
+    fn backprop(&self, x: &[f64], yt: f64, grads: &mut [(Vec<f64>, Vec<f64>)]) {
+        // Forward, keeping activations.
+        let mut acts: Vec<Vec<f64>> = vec![x.to_vec()];
+        let mut pre: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        let mut buf = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(acts.last().unwrap(), &mut buf);
+            pre.push(buf.clone());
+            let is_last = li + 1 == self.layers.len();
+            let act: Vec<f64> = if is_last {
+                buf.clone()
+            } else {
+                buf.iter().map(|v| v.max(0.0)).collect()
+            };
+            acts.push(act);
+        }
+        let pred = acts.last().unwrap()[0];
+        // dL/dpred for 0.5*(pred-y)^2
+        let mut delta = vec![pred - yt];
+        for li in (0..self.layers.len()).rev() {
+            let layer = &self.layers[li];
+            let a_in = &acts[li];
+            let (gw, gb) = &mut grads[li];
+            for o in 0..layer.n_out {
+                let dlt = delta[o];
+                gb[o] += dlt;
+                let row = &mut gw[o * layer.n_in..(o + 1) * layer.n_in];
+                for (g, a) in row.iter_mut().zip(a_in) {
+                    *g += dlt * a;
+                }
+            }
+            if li > 0 {
+                let mut next_delta = vec![0.0; layer.n_in];
+                for o in 0..layer.n_out {
+                    let dlt = delta[o];
+                    let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
+                    for (nd, w) in next_delta.iter_mut().zip(row) {
+                        *nd += dlt * w;
+                    }
+                }
+                // ReLU gate of the previous layer.
+                for (nd, p) in next_delta.iter_mut().zip(&pre[li - 1]) {
+                    if *p <= 0.0 {
+                        *nd = 0.0;
+                    }
+                }
+                delta = next_delta;
+            }
+        }
+    }
+
+    fn adam_step(&mut self, grads: &[(Vec<f64>, Vec<f64>)], scale: f64, opts: &MlpOptions) {
+        let b1: f64 = 0.9;
+        let b2: f64 = 0.999;
+        let eps = 1e-8;
+        let t = self.adam_t as f64;
+        let bc1 = 1.0 - b1.powf(t);
+        let bc2 = 1.0 - b2.powf(t);
+        for (layer, (gw, gb)) in self.layers.iter_mut().zip(grads) {
+            for k in 0..layer.w.len() {
+                let g = gw[k] * scale + opts.weight_decay * layer.w[k];
+                layer.mw[k] = b1 * layer.mw[k] + (1.0 - b1) * g;
+                layer.vw[k] = b2 * layer.vw[k] + (1.0 - b2) * g * g;
+                let mhat = layer.mw[k] / bc1;
+                let vhat = layer.vw[k] / bc2;
+                layer.w[k] -= opts.lr * mhat / (vhat.sqrt() + eps);
+            }
+            for k in 0..layer.b.len() {
+                let g = gb[k] * scale;
+                layer.mb[k] = b1 * layer.mb[k] + (1.0 - b1) * g;
+                layer.vb[k] = b2 * layer.vb[k] + (1.0 - b2) * g * g;
+                let mhat = layer.mb[k] / bc1;
+                let vhat = layer.vb[k] / bc2;
+                layer.b[k] -= opts.lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+
+    /// Predicts a single row-major sample.
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        let d = self.x_mean.len();
+        assert_eq!(x.len(), d, "feature length mismatch");
+        let mut cur: Vec<f64> = (0..d)
+            .map(|j| (x[j] - self.x_mean[j]) / self.x_std[j])
+            .collect();
+        let mut buf = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut buf);
+            let is_last = li + 1 == self.layers.len();
+            cur = if is_last {
+                buf.clone()
+            } else {
+                buf.iter().map(|v| v.max(0.0)).collect()
+            };
+        }
+        cur[0] * self.y_std + self.y_mean
+    }
+
+    /// Predicts row-major samples.
+    pub fn predict(&self, x: &[f64], n: usize) -> Vec<f64> {
+        let d = self.x_mean.len();
+        assert_eq!(x.len(), n * d, "input length mismatch");
+        (0..n).map(|i| self.predict_one(&x[i * d..(i + 1) * d])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    #[test]
+    fn learns_linear_function() {
+        let n = 400;
+        let d = 3;
+        let mut x = Vec::with_capacity(n * d);
+        let mut y = Vec::with_capacity(n);
+        let mut seed = 5u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..n {
+            let a = rnd();
+            let b = rnd();
+            let c = rnd();
+            x.extend_from_slice(&[a, b, c]);
+            y.push(2.0 * a - 3.0 * b + 0.5 * c + 1.0);
+        }
+        let mlp = Mlp::fit(&x, n, d, &y, &MlpOptions { epochs: 60, ..MlpOptions::default() });
+        let pred = mlp.predict(&x, n);
+        let score = r2(&y, &pred);
+        assert!(score > 0.98, "R² = {score}");
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let n = 600;
+        let d = 2;
+        let mut x = Vec::with_capacity(n * d);
+        let mut y = Vec::with_capacity(n);
+        let mut seed = 9u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..n {
+            let a = rnd() * 2.0 - 1.0;
+            let b = rnd() * 2.0 - 1.0;
+            x.extend_from_slice(&[a, b]);
+            y.push(a.abs() + (b * 2.0).max(0.0));
+        }
+        let mlp = Mlp::fit(&x, n, d, &y, &MlpOptions { epochs: 120, ..MlpOptions::default() });
+        let pred = mlp.predict(&x, n);
+        let score = r2(&y, &pred);
+        assert!(score > 0.9, "R² = {score}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let x = vec![0.0, 1.0, 1.0, 0.0, 0.5, 0.5];
+        let y = vec![1.0, 2.0, 1.5];
+        let a = Mlp::fit(&x, 3, 2, &y, &MlpOptions::default());
+        let b = Mlp::fit(&x, 3, 2, &y, &MlpOptions::default());
+        assert_eq!(a.predict_one(&[0.3, 0.7]), b.predict_one(&[0.3, 0.7]));
+    }
+}

@@ -1,0 +1,199 @@
+//! Principal component analysis (the PRIMAL-PCA baseline).
+//!
+//! Computed from the feature covariance via Jacobi eigendecomposition;
+//! suitable for feature dimensions up to a few hundred. Higher-
+//! dimensional inputs are first reduced with a deterministic sparse
+//! random projection (a standard Johnson–Lindenstrauss construction),
+//! mirroring how dimension-reduction baselines still need *all* input
+//! signals at inference time — the paper's key cost argument against
+//! PCA-style approaches.
+
+// Lockstep multi-array index loops are intentional throughout this
+// module; iterator zips would obscure the hardware/math being expressed.
+#![allow(clippy::needless_range_loop)]
+
+use crate::design::Design;
+use crate::linalg::Matrix;
+
+/// A fitted PCA transform.
+#[derive(Clone, Debug)]
+pub struct Pca {
+    /// Feature means subtracted before projection.
+    pub mean: Vec<f64>,
+    /// Principal axes, one per row (components × features).
+    pub components: Matrix,
+    /// Eigenvalues (explained variance), descending.
+    pub explained: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits `k` principal components to row-major samples.
+    ///
+    /// # Panics
+    /// Panics if `x` is empty or `k` is zero or larger than the feature
+    /// count.
+    pub fn fit(x: &Matrix, k: usize) -> Pca {
+        let n = x.rows();
+        let p = x.cols();
+        assert!(k >= 1 && k <= p, "k out of range");
+        let mut mean = vec![0.0; p];
+        for i in 0..n {
+            for (m, v) in mean.iter_mut().zip(x.row(i)) {
+                *m += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n as f64;
+        }
+        let mut cov = Matrix::zeros(p, p);
+        for i in 0..n {
+            let row = x.row(i);
+            for a in 0..p {
+                let da = row[a] - mean[a];
+                for bcol in a..p {
+                    cov[(a, bcol)] += da * (row[bcol] - mean[bcol]);
+                }
+            }
+        }
+        for a in 0..p {
+            for bcol in 0..a {
+                cov[(a, bcol)] = cov[(bcol, a)];
+            }
+        }
+        for a in 0..p {
+            for bcol in 0..p {
+                cov[(a, bcol)] /= n as f64;
+            }
+        }
+        let (vals, vecs) = cov.symmetric_eigen();
+        let mut components = Matrix::zeros(k, p);
+        for c in 0..k {
+            for j in 0..p {
+                components[(c, j)] = vecs[(j, c)];
+            }
+        }
+        Pca {
+            mean,
+            components,
+            explained: vals.into_iter().take(k).collect(),
+        }
+    }
+
+    /// Projects row-major samples onto the components.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        let n = x.rows();
+        let k = self.components.rows();
+        let mut out = Matrix::zeros(n, k);
+        for i in 0..n {
+            let row = x.row(i);
+            for c in 0..k {
+                let mut s = 0.0;
+                for j in 0..row.len() {
+                    s += (row[j] - self.mean[j]) * self.components[(c, j)];
+                }
+                out[(i, c)] = s;
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic sparse random projection of a (possibly binary) design
+/// into `dim` dense features, for use ahead of [`Pca::fit`] when the
+/// raw feature count is too large for a covariance eigendecomposition.
+///
+/// Each input column contributes to a few output coordinates with ±1
+/// signs derived from a hash of `(column, coordinate)`.
+pub fn random_project<D: Design>(design: &D, rows: std::ops::Range<usize>, dim: usize, seed: u64) -> Matrix {
+    let p = design.n_cols();
+    let n = rows.len();
+    let start = rows.start;
+    let end = rows.end;
+    let mut out = Matrix::zeros(n, dim);
+    for j in 0..p {
+        // Skip constant columns quickly.
+        if design.col_std(j) <= 1e-12 {
+            continue;
+        }
+        // Each column lands in 4 signed output coordinates.
+        let mut targets = [(0usize, 0.0f64); 4];
+        for (slot, t) in targets.iter_mut().enumerate() {
+            let h = hash64(seed ^ ((j as u64) << 2) ^ slot as u64);
+            *t = (
+                (h % dim as u64) as usize,
+                if h & (1 << 63) != 0 { 1.0 } else { -1.0 },
+            );
+        }
+        design.for_each_nonzero(j, &mut |row, val| {
+            if row >= start && row < end {
+                for &(target, sign) in &targets {
+                    out[(row - start, target)] += sign * val;
+                }
+            }
+        });
+    }
+    out
+}
+
+fn hash64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Points along (1, 1) with small orthogonal noise.
+        let n = 100;
+        let mut data = Vec::with_capacity(n * 2);
+        for i in 0..n {
+            let t = i as f64 / n as f64 * 10.0 - 5.0;
+            let noise = 0.01 * (i as f64 * 0.7).sin();
+            data.push(t + noise);
+            data.push(t - noise);
+        }
+        let x = Matrix::from_vec(n, 2, data);
+        let pca = Pca::fit(&x, 1);
+        let c0 = pca.components.row(0);
+        let ratio = (c0[0] / c0[1]).abs();
+        assert!((ratio - 1.0).abs() < 0.01, "components {c0:?}");
+        assert!(pca.explained[0] > 1.0);
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let x = Matrix::from_vec(4, 2, vec![1.0, 0.0, 3.0, 0.0, 1.0, 2.0, 3.0, 2.0]);
+        let pca = Pca::fit(&x, 2);
+        let t = pca.transform(&x);
+        // Projections are mean-zero.
+        for c in 0..2 {
+            let mean: f64 = (0..4).map(|i| t[(i, c)]).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_projection_shape_and_determinism() {
+        use crate::design::BitMatrix;
+        let mut bm = BitMatrix::zeros(50, 20);
+        for i in 0..50 {
+            for j in 0..20 {
+                if (i * 7 + j * 13) % 5 == 0 {
+                    bm.set(i, j);
+                }
+            }
+        }
+        let a = random_project(&bm, 0..30, 8, 1);
+        let b = random_project(&bm, 0..30, 8, 1);
+        assert_eq!(a.rows(), 30);
+        assert_eq!(a.cols(), 8);
+        assert_eq!(a.data(), b.data());
+        // Not all zero.
+        assert!(a.data().iter().any(|&v| v != 0.0));
+    }
+}

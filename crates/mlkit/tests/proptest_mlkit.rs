@@ -1,0 +1,177 @@
+//! Property-based tests for the regression and linear-algebra kit.
+
+use apollo_mlkit::metrics;
+use apollo_mlkit::{
+    coordinate_descent, lambda_max, ols_ridge, BitMatrix, CdOptions, DenseDesign, Design, Matrix,
+    Penalty,
+};
+use proptest::prelude::*;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    (-100i32..100).prop_map(|v| v as f64 / 10.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BitMatrix column primitives agree with a dense shadow.
+    #[test]
+    fn bitmatrix_matches_dense(rows in 1usize..200, seed in any::<u64>()) {
+        let cols = 5usize;
+        let mut bm = BitMatrix::zeros(rows, cols);
+        let mut dense = vec![0.0f64; rows * cols];
+        let mut s = seed | 1;
+        for r in 0..rows {
+            for c in 0..cols {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                if s & 3 == 0 {
+                    bm.set(r, c);
+                    dense[c * rows + r] = 1.0;
+                }
+            }
+        }
+        let dd = DenseDesign::from_columns(rows, cols, dense);
+        let v: Vec<f64> = (0..rows).map(|i| (i as f64 * 0.37).sin()).collect();
+        for c in 0..cols {
+            prop_assert!((bm.col_mean(c) - dd.col_mean(c)).abs() < 1e-12);
+            prop_assert!((bm.col_std(c) - dd.col_std(c)).abs() < 1e-12);
+            prop_assert!((bm.col_dot(c, &v) - dd.col_dot(c, &v)).abs() < 1e-9);
+            let mut va = v.clone();
+            let mut vb = v.clone();
+            bm.col_axpy(c, 2.5, &mut va);
+            dd.col_axpy(c, 2.5, &mut vb);
+            for (x, y) in va.iter().zip(&vb) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Above λmax the fit is empty; the KKT conditions hold at any fit.
+    #[test]
+    fn lambda_max_is_tight(seed in any::<u64>()) {
+        let n = 60;
+        let p = 6;
+        let mut s = seed | 1;
+        let mut cols = vec![0.0; n * p];
+        for v in cols.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *v = (s >> 11) as f64 / (1u64 << 53) as f64;
+        }
+        let x = DenseDesign::from_columns(n, p, cols);
+        let y: Vec<f64> = (0..n).map(|i| 1.0 + x.value(i, 0) * 2.0 + x.value(i, 1)).collect();
+        let lmax = lambda_max(&x, &y, true);
+        prop_assume!(lmax > 1e-9);
+        let above = coordinate_descent(
+            &x, &y, Penalty::Lasso { lambda: lmax * 1.001 }, &CdOptions::default());
+        prop_assert_eq!(above.n_selected(), 0);
+        let below = coordinate_descent(
+            &x, &y, Penalty::Lasso { lambda: lmax * 0.8 }, &CdOptions::default());
+        prop_assert!(below.n_selected() >= 1);
+    }
+
+    /// MCP with huge γ coincides with Lasso (the penalty limit).
+    #[test]
+    fn mcp_limits_to_lasso(seed in any::<u64>()) {
+        let n = 80;
+        let p = 5;
+        let mut s = seed | 1;
+        let mut cols = vec![0.0; n * p];
+        for v in cols.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *v = (s >> 11) as f64 / (1u64 << 53) as f64;
+        }
+        let x = DenseDesign::from_columns(n, p, cols);
+        let y: Vec<f64> = (0..n).map(|i| 3.0 * x.value(i, 0) - 0.5 + x.value(i, 2)).collect();
+        let lambda = 0.05;
+        let lasso = coordinate_descent(&x, &y, Penalty::Lasso { lambda }, &CdOptions::default());
+        let mcp = coordinate_descent(
+            &x, &y, Penalty::Mcp { lambda, gamma: 1e9 }, &CdOptions::default());
+        prop_assert_eq!(lasso.n_selected(), mcp.n_selected());
+        for (a, b) in lasso.active.iter().zip(&mcp.active) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert!((a.1 - b.1).abs() < 1e-4 * (1.0 + a.1.abs()), "{} vs {}", a.1, b.1);
+        }
+    }
+
+    /// Ridge with λ→0 on full-rank data reproduces the generating line.
+    #[test]
+    fn ridge_exact_recovery(w0 in small_f64(), w1 in small_f64(), b in small_f64()) {
+        let n = 40;
+        let mut rows = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = (i as f64 * 0.61).sin();
+            let c = (i as f64 * 0.23).cos();
+            rows.push(a);
+            rows.push(c);
+            y.push(b + w0 * a + w1 * c);
+        }
+        let x = Matrix::from_vec(n, 2, rows);
+        let (w, b_hat) = ols_ridge(&x, &y, 1e-10);
+        prop_assert!((w[0] - w0).abs() < 1e-5, "w0 {} vs {}", w[0], w0);
+        prop_assert!((w[1] - w1).abs() < 1e-5);
+        prop_assert!((b_hat - b).abs() < 1e-5);
+    }
+
+    /// Metric identities: R² of a prediction equals 1 − NRMSE²·ȳ²·N/SST.
+    #[test]
+    fn metric_identities(values in prop::collection::vec(1.0f64..100.0, 8..64)) {
+        let pred: Vec<f64> = values.iter().map(|v| v * 1.1).collect();
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let sst: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+        prop_assume!(sst > 1e-9);
+        let r2 = metrics::r2(&values, &pred);
+        let nrmse = metrics::nrmse(&values, &pred);
+        let reconstructed = 1.0 - (nrmse * mean).powi(2) * n / sst;
+        prop_assert!((r2 - reconstructed).abs() < 1e-9, "{r2} vs {reconstructed}");
+    }
+
+    /// Pearson is invariant under positive affine transforms.
+    #[test]
+    fn pearson_affine_invariance(
+        values in prop::collection::vec(-50.0f64..50.0, 8..64),
+        scale in 0.1f64..10.0,
+        shift in small_f64(),
+    ) {
+        let other: Vec<f64> = values.iter().enumerate().map(|(i, v)| v + (i as f64 * 0.7).sin()).collect();
+        let transformed: Vec<f64> = values.iter().map(|v| v * scale + shift).collect();
+        let r1 = metrics::pearson(&values, &other);
+        let r2 = metrics::pearson(&transformed, &other);
+        prop_assert!((r1 - r2).abs() < 1e-9);
+    }
+
+    /// Cholesky solve inverts SPD systems.
+    #[test]
+    fn spd_solve_roundtrip(diag in prop::collection::vec(1.0f64..10.0, 3..8), seed in any::<u64>()) {
+        let n = diag.len();
+        // A = B·Bᵀ + diag for a random B: SPD by construction.
+        let mut s = seed | 1;
+        let mut bmat = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                bmat[(i, j)] = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            }
+        }
+        let bt = bmat.transpose();
+        let mut a = bmat.matmul(&bt);
+        for i in 0..n {
+            a[(i, i)] += diag[i];
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+        let rhs = a.matvec(&x_true);
+        let x = a.solve_spd(&rhs).expect("SPD");
+        for (xa, xb) in x.iter().zip(&x_true) {
+            prop_assert!((xa - xb).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! A closed-loop power-cap governor driven by the OPM.
+//!
+//! The paper's introduction motivates runtime power introspection with
+//! DVFS-style management orchestrated from power telemetry. This module
+//! closes that loop in simulation: every `T`-cycle OPM window the
+//! governor compares the meter's reading against a power cap and steps
+//! the core's issue-throttle level up or down (the same duty-cycling
+//! actuator the `throttling_{1,2,3}` benchmarks exercise).
+//!
+//! The governor reads *only* what the hardware OPM would expose — the
+//! quantized weighted toggle sums of the proxy set — never the
+//! ground-truth power.
+
+use crate::quant::QuantizedOpm;
+use apollo_cpu::{CpuHandles, CpuSim, Inst};
+use apollo_rtl::{CapAnnotation, NodeId};
+use apollo_sim::PowerConfig;
+
+/// Governor configuration.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GovernorConfig {
+    /// Epoch length in cycles (the OPM's `T`).
+    pub epoch: usize,
+    /// Power cap in model units.
+    pub cap: f64,
+    /// Hysteresis: un-throttle when the reading drops below
+    /// `cap * low_watermark`.
+    pub low_watermark: f64,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            epoch: 32,
+            cap: 0.0,
+            low_watermark: 0.85,
+        }
+    }
+}
+
+/// Result of a governed run.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct GovernorReport {
+    /// Cycles simulated.
+    pub cycles: usize,
+    /// Mean true power with the governor active.
+    pub mean_power_governed: f64,
+    /// Mean true power of the same workload without the governor.
+    pub mean_power_free: f64,
+    /// Instructions retired with the governor.
+    pub retired_governed: u64,
+    /// Instructions retired without the governor.
+    pub retired_free: u64,
+    /// Fraction of epochs whose *true* average power exceeded the cap
+    /// while governed.
+    pub epochs_over_cap: f64,
+    /// Same fraction without the governor.
+    pub epochs_over_cap_free: f64,
+    /// Throttle level per epoch (the governor's trajectory).
+    pub throttle_trace: Vec<u8>,
+}
+
+/// Per-cycle OPM reading accumulated in software exactly as the
+/// hardware accumulates it: weighted toggles of the proxy bits.
+struct OpmShadow<'a> {
+    opm: &'a QuantizedOpm,
+    /// (node index, bit-within-node, weight) per proxy.
+    taps: Vec<(NodeId, u8, u64)>,
+}
+
+impl<'a> OpmShadow<'a> {
+    fn new(opm: &'a QuantizedOpm, netlist: &apollo_rtl::Netlist) -> Self {
+        let taps = opm
+            .bits
+            .iter()
+            .zip(&opm.weights)
+            .map(|(&bit, &w)| {
+                let (node, sub) = netlist.bit_owner(bit);
+                (node, sub, w as u64)
+            })
+            .collect();
+        OpmShadow { opm, taps }
+    }
+
+    fn sample(&self, sim: &apollo_sim::Simulator<'_>) -> u64 {
+        let mut sum = 0u64;
+        for &(node, sub, w) in &self.taps {
+            if (sim.toggle_word(node) >> sub) & 1 == 1 {
+                sum += w;
+            }
+        }
+        sum
+    }
+
+    fn descale(&self, raw_mean: f64) -> f64 {
+        self.opm.intercept + raw_mean / self.opm.scale
+    }
+}
+
+/// Runs `program` for `cycles` cycles twice — free-running and governed
+/// — and reports the cap compliance and performance cost.
+///
+/// # Panics
+/// Panics if `cycles` is not a multiple of the epoch length.
+pub fn run_governed(
+    handles: &CpuHandles,
+    cap_annotation: &CapAnnotation,
+    opm: &QuantizedOpm,
+    program: &[Inst],
+    data: &[u64],
+    cycles: usize,
+    config: &GovernorConfig,
+) -> GovernorReport {
+    assert!(config.epoch >= 4, "epoch too short");
+    assert_eq!(cycles % config.epoch, 0, "cycles must be a multiple of the epoch");
+    let shadow = OpmShadow::new(opm, &handles.netlist);
+
+    // Free-running reference.
+    let mut free = CpuSim::new(handles, cap_annotation, PowerConfig::default(), program, data);
+    let mut free_epoch_power = Vec::with_capacity(cycles / config.epoch);
+    let mut free_total = 0.0;
+    let mut acc = 0.0;
+    for c in 0..cycles {
+        free.step();
+        let p = free.sim().power().total;
+        free_total += p;
+        acc += p;
+        if (c + 1) % config.epoch == 0 {
+            free_epoch_power.push(acc / config.epoch as f64);
+            acc = 0.0;
+        }
+    }
+    let retired_free = free.retired();
+
+    // Governed run.
+    let mut gov = CpuSim::new(handles, cap_annotation, PowerConfig::default(), program, data);
+    gov.sim_mut().set_input(handles.throttle_override_en, 1);
+    gov.sim_mut().set_input(handles.throttle_override, 0);
+    let mut level = 0u8;
+    let mut throttle_trace = Vec::with_capacity(cycles / config.epoch);
+    let mut gov_epoch_power = Vec::with_capacity(cycles / config.epoch);
+    let mut gov_total = 0.0;
+    let mut true_acc = 0.0;
+    let mut raw_acc = 0u64;
+    for c in 0..cycles {
+        gov.step();
+        let p = gov.sim().power().total;
+        gov_total += p;
+        true_acc += p;
+        raw_acc += shadow.sample(gov.sim());
+        if (c + 1) % config.epoch == 0 {
+            let reading = shadow.descale(raw_acc as f64 / config.epoch as f64);
+            // Bang-bang with hysteresis on the *meter* reading.
+            if reading > config.cap && level < 3 {
+                level += 1;
+            } else if reading < config.cap * config.low_watermark && level > 0 {
+                level -= 1;
+            }
+            gov.sim_mut().set_input(handles.throttle_override, level as u64);
+            throttle_trace.push(level);
+            gov_epoch_power.push(true_acc / config.epoch as f64);
+            true_acc = 0.0;
+            raw_acc = 0;
+        }
+    }
+    let retired_governed = gov.retired();
+
+    let over = |epochs: &[f64]| {
+        epochs.iter().filter(|&&p| p > config.cap).count() as f64 / epochs.len().max(1) as f64
+    };
+    GovernorReport {
+        cycles,
+        mean_power_governed: gov_total / cycles as f64,
+        mean_power_free: free_total / cycles as f64,
+        retired_governed,
+        retired_free,
+        epochs_over_cap: over(&gov_epoch_power),
+        epochs_over_cap_free: over(&free_epoch_power),
+        throttle_trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_core::{train_per_cycle, DesignContext, FeatureSpace, TrainOptions};
+    use apollo_cpu::{benchmarks, CpuConfig};
+
+    #[test]
+    fn governor_brings_power_under_cap_at_a_performance_cost() {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        // Train a small model on hot workloads.
+        let suite = vec![
+            (benchmarks::maxpwr_cpu(), 400),
+            (benchmarks::saxpy_simd(), 400),
+            (benchmarks::dhrystone(), 300),
+        ];
+        let trace = ctx.capture_suite(&suite, 150);
+        let fs = FeatureSpace::build(&trace.toggles);
+        let model = train_per_cycle(
+            &trace,
+            ctx.netlist(),
+            &fs,
+            &TrainOptions { q_target: 20, ..TrainOptions::default() },
+        )
+        .model;
+        let opm = QuantizedOpm::from_model(&model, 10, 32);
+
+        // Cap well below the virus's free-running power.
+        let bench = benchmarks::maxpwr_cpu();
+        let free_power = ctx.mean_power(&bench.program, &bench.data, 100, 400);
+        let cap = free_power * 0.75;
+        let report = run_governed(
+            &ctx.handles,
+            &ctx.cap,
+            &opm,
+            &bench.program,
+            &bench.data,
+            1024,
+            &GovernorConfig { epoch: 32, cap, ..GovernorConfig::default() },
+        );
+        assert!(
+            report.mean_power_governed < report.mean_power_free,
+            "{report:?}"
+        );
+        assert!(
+            report.epochs_over_cap < report.epochs_over_cap_free,
+            "cap compliance should improve: {report:?}"
+        );
+        assert!(
+            report.retired_governed <= report.retired_free,
+            "throttling cannot speed the core up"
+        );
+        assert!(report.throttle_trace.iter().any(|&l| l > 0), "governor engaged");
+    }
+}

@@ -1,0 +1,323 @@
+//! OPM hardware generation (paper Figure 8) and co-simulation.
+//!
+//! The OPM netlist has three components, exactly as in the paper:
+//! an **interface** that registers the monitored signals and extracts
+//! per-cycle toggles (1-bit XOR detectors; gated-clock proxies latch the
+//! enable instead), a **power computation** stage that AND-gates the
+//! hard-wired quantized weights with the toggle bits and sums them in a
+//! balanced adder tree (no multipliers), and a **T-cycle average** stage
+//! with an accumulator and a shift-divide. Total latency: 2 cycles.
+
+// Lockstep multi-array index loops are intentional throughout this
+// module; iterator zips would obscure the hardware/math being expressed.
+#![allow(clippy::needless_range_loop)]
+
+use crate::quant::{ceil_log2, QuantizedOpm};
+use apollo_rtl::{CapModel, NetlistBuilder, NodeId, Unit, CLOCK_ROOT};
+use apollo_sim::{PowerConfig, PowerSample, Simulator, ToggleMatrix};
+
+/// A generated OPM circuit with handles to its ports.
+#[derive(Clone, Debug)]
+pub struct OpmHardware {
+    /// The OPM netlist (standalone; in a real flow it is placed inside
+    /// the CPU floorplan and wired to the proxy nets).
+    pub netlist: apollo_rtl::Netlist,
+    /// Monitored-signal inputs, one per proxy, in model order.
+    pub inputs: Vec<NodeId>,
+    /// Registered adder-tree output (valid 2 cycles after its input
+    /// cycle).
+    pub sum_reg: NodeId,
+    /// Windowed output register (updated every `T` cycles).
+    pub out_reg: NodeId,
+    /// The quantized model this hardware implements.
+    pub model: QuantizedOpm,
+}
+
+/// Builds the Figure-8 OPM circuit for a quantized model.
+///
+/// # Panics
+/// Panics if the model is empty.
+pub fn build_opm(model: &QuantizedOpm) -> OpmHardware {
+    let spec = model.spec;
+    spec.validate();
+    let q = spec.q;
+    let sum_w = spec.sum_bits();
+    let acc_w = spec.accumulator_bits();
+    let shift = ceil_log2(spec.t);
+
+    let mut b = NetlistBuilder::new("apollo-opm");
+    b.set_unit(Unit::Opm);
+
+    // ---- interface ------------------------------------------------------
+    let mut inputs = Vec::with_capacity(q);
+    let mut toggles = Vec::with_capacity(q);
+    for k in 0..q {
+        let input = b.input(1, &format!("opm/in{k}"), Unit::Opm);
+        inputs.push(input);
+        let latched = b.delay(input, 0, CLOCK_ROOT, &format!("opm/latch{k}"), Unit::Opm);
+        if model.is_clock_gate[k] {
+            // Gated clock: the latched enable *is* the toggle indicator.
+            toggles.push(latched);
+        } else {
+            let prev = b.delay(latched, 0, CLOCK_ROOT, &format!("opm/prev{k}"), Unit::Opm);
+            let t = b.xor(latched, prev);
+            b.name(t, &format!("opm/tgl{k}"), Unit::Opm);
+            toggles.push(t);
+        }
+    }
+
+    // ---- power computation ----------------------------------------------
+    // Weight AND-gating: a toggle bit selects the hard-wired weight.
+    let zero_sum = b.constant(0, sum_w);
+    let mut terms: Vec<NodeId> = Vec::with_capacity(q);
+    for k in 0..q {
+        let w = b.constant(model.weights[k] as u64, sum_w);
+        let term = b.mux(toggles[k], w, zero_sum);
+        terms.push(term);
+    }
+    // Balanced adder tree.
+    let mut level = terms;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut i = 0;
+        while i < level.len() {
+            if i + 1 < level.len() {
+                next.push(b.add(level[i], level[i + 1]));
+            } else {
+                next.push(level[i]);
+            }
+            i += 2;
+        }
+        level = next;
+    }
+    let sum = level[0];
+    b.name(sum, "opm/sum", Unit::Opm);
+    let sum_reg = b.delay(sum, 0, CLOCK_ROOT, "opm/sum_reg", Unit::Opm);
+
+    // ---- T-cycle average --------------------------------------------------
+    let out_reg = if spec.t == 1 {
+        let sum_acc = b.zext(sum_reg, acc_w);
+        b.delay(sum_acc, 0, CLOCK_ROOT, "opm/out", Unit::Opm)
+    } else {
+        let tbits = ceil_log2(spec.t);
+        // Counter aligned so that a window starts when the first valid
+        // sum (pipeline latency 2) reaches the accumulator.
+        // After k simulator steps the counter reads init+k+1; the first
+        // valid sum of window 0 sits in sum_reg at step 2, so the
+        // counter must read 0 there: init = -3 mod T.
+        let ctr_init = (2 * spec.t - 3) as u64 % spec.t as u64;
+        let ctr = b.reg(tbits, ctr_init, CLOCK_ROOT, "opm/tctr", Unit::Opm);
+        let one = b.constant(1, tbits);
+        let ctr_next = b.add(ctr, one);
+        b.connect(ctr, ctr_next);
+        let ctr_zero = {
+            let z = b.constant(0, tbits);
+            b.eq(ctr, z)
+        };
+        let ctr_last = {
+            let last = b.constant((spec.t - 1) as u64, tbits);
+            b.eq(ctr, last)
+        };
+        let acc = b.reg(acc_w, 0, CLOCK_ROOT, "opm/acc", Unit::Opm);
+        let sum_ext = b.zext(sum_reg, acc_w);
+        let zero_acc = b.constant(0, acc_w);
+        let base = b.mux(ctr_zero, zero_acc, acc);
+        let acc_next = b.add(base, sum_ext);
+        b.connect(acc, acc_next);
+        // At the last cycle of a window, capture (acc + sum) >> log2(T).
+        let shift_c = b.constant(shift as u64, acc_w);
+        let shifted = b.shr(acc_next, shift_c);
+        let out = b.reg(acc_w, 0, CLOCK_ROOT, "opm/out", Unit::Opm);
+        let hold = b.mux(ctr_last, shifted, out);
+        b.connect(out, hold);
+        out
+    };
+
+    let netlist = b.build().expect("OPM netlist construction is infallible");
+    OpmHardware {
+        netlist,
+        inputs,
+        sum_reg,
+        out_reg,
+        model: model.clone(),
+    }
+}
+
+/// Result of co-simulating the OPM hardware over a proxy toggle trace.
+#[derive(Clone, Debug)]
+pub struct OpmCosim {
+    /// Registered adder-tree outputs aligned to input cycles (entry `i`
+    /// is the hardware sum for input cycle `i`).
+    pub sums: Vec<u64>,
+    /// Window outputs, one per complete `T`-cycle window.
+    pub windows: Vec<u64>,
+    /// Mean power drawn by the OPM circuit itself (same arbitrary units
+    /// as the host CPU's power engine).
+    pub mean_power: PowerSample,
+}
+
+impl OpmHardware {
+    /// Drives the hardware with a proxy toggle trace (columns in model
+    /// order, as produced by proxy-only capture with
+    /// [`ApolloModel::bits`](apollo_core::ApolloModel::bits)) and
+    /// returns aligned outputs plus the OPM's own power.
+    ///
+    /// For ordinary proxies the monitored *values* are reconstructed as
+    /// the prefix-XOR of the toggle stream, so the interface's XOR
+    /// detectors regenerate the exact toggles; gated-clock proxies are
+    /// driven with the enable (= toggle) directly.
+    pub fn cosim(&self, proxy_toggles: &ToggleMatrix) -> OpmCosim {
+        assert_eq!(
+            proxy_toggles.m_bits(),
+            self.inputs.len(),
+            "trace columns must match proxy count"
+        );
+        let n = proxy_toggles.n_cycles();
+        let cap = CapModel::default().annotate(&self.netlist);
+        let power = PowerConfig {
+            leakage: 0.0,
+            noise_rel: 0.0,
+            ..PowerConfig::default()
+        };
+        let mut sim = Simulator::new(&self.netlist, &cap, power);
+
+        let q = self.inputs.len();
+        let mut values = vec![0u64; q];
+        let mut sums = Vec::with_capacity(n);
+        let mut windows = Vec::new();
+        let mut total_power = PowerSample::default();
+        let t = self.model.spec.t;
+
+        // Drive n input cycles plus drain cycles for the pipeline.
+        for i in 0..n + 3 {
+            for k in 0..q {
+                let bit = if i < n { proxy_toggles.get(k, i) as u64 } else { 0 };
+                let v = if self.model.is_clock_gate[k] {
+                    bit
+                } else {
+                    values[k] ^= bit;
+                    values[k]
+                };
+                sim.set_input(self.inputs[k], v);
+            }
+            sim.step();
+            total_power = total_power + sim.power();
+            // After the step of iteration `i` the simulator is in state
+            // S_i, where sum_reg holds the sum for input cycle i-2
+            // (2-cycle latency: input latch + sum register).
+            if i >= 2 && sums.len() < n {
+                sums.push(sim.value(self.sum_reg));
+            }
+            // Window w's output lands in out_reg at state S_{wT+T+2}.
+            if t > 1 && i >= 2 && (i - 2) % t == 0 && (i - 2) / t >= 1 {
+                windows.push(sim.value(self.out_reg));
+            }
+        }
+        if t == 1 {
+            windows = sums.clone();
+        } else {
+            // Collect any final complete window.
+            let complete = n / t;
+            while windows.len() > complete {
+                windows.pop();
+            }
+        }
+        let inv = 1.0 / (n as f64 + 3.0);
+        let mean_power = PowerSample {
+            total: total_power.total * inv,
+            switching: total_power.switching * inv,
+            clock: total_power.clock * inv,
+            memory: total_power.memory * inv,
+            glitch: total_power.glitch * inv,
+            short_circuit: total_power.short_circuit * inv,
+            leakage: total_power.leakage * inv,
+        };
+        OpmCosim {
+            sums,
+            windows,
+            mean_power,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::OpmSpec;
+
+    fn synthetic_model(q: usize, b: u8, t: usize, with_gate: bool) -> (QuantizedOpm, ToggleMatrix) {
+        let weights: Vec<u32> = (0..q).map(|k| ((k * 37 + 11) % (1 << b)) as u32).collect();
+        let mut is_clock_gate = vec![false; q];
+        if with_gate {
+            is_clock_gate[0] = true;
+        }
+        let model = QuantizedOpm {
+            spec: OpmSpec { q, b, t },
+            bits: (0..q).collect(),
+            is_clock_gate,
+            weights,
+            scale: 1.0,
+            intercept: 0.0,
+        };
+        let n = 64;
+        let mut m = ToggleMatrix::new(q, n);
+        let mut s = 0xACE1u64;
+        for c in 0..n {
+            for k in 0..q {
+                s ^= s << 7;
+                s ^= s >> 9;
+                if s & 3 == 0 {
+                    m.set(k, c);
+                }
+            }
+        }
+        (model, m)
+    }
+
+    #[test]
+    fn cosim_sums_match_software_reference() {
+        let (model, trace) = synthetic_model(13, 8, 1, true);
+        let hw = build_opm(&model);
+        let cosim = hw.cosim(&trace);
+        let expected = model.raw_sums(&trace);
+        assert_eq!(cosim.sums.len(), expected.len());
+        for (i, (h, s)) in cosim.sums.iter().zip(&expected).enumerate() {
+            assert_eq!(h, s, "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn cosim_windows_match_software_reference() {
+        for t in [4usize, 8, 16] {
+            let (model, trace) = synthetic_model(9, 6, t, false);
+            let hw = build_opm(&model);
+            let cosim = hw.cosim(&trace);
+            let expected = model.window_outputs(&trace);
+            assert_eq!(cosim.windows.len(), expected.len(), "T={t}");
+            for (i, (h, s)) in cosim.windows.iter().zip(&expected).enumerate() {
+                assert_eq!(h, s, "T={t} window {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn opm_netlist_has_no_multipliers() {
+        let (model, _) = synthetic_model(16, 10, 8, false);
+        let hw = build_opm(&model);
+        let mults = hw
+            .netlist
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, apollo_rtl::Op::Mul(..) | apollo_rtl::Op::Udiv(..)))
+            .count();
+        assert_eq!(mults, 0, "Figure 8 structure uses AND gates + adders only");
+    }
+
+    #[test]
+    fn opm_power_is_positive_and_small() {
+        let (model, trace) = synthetic_model(16, 10, 8, false);
+        let hw = build_opm(&model);
+        let cosim = hw.cosim(&trace);
+        assert!(cosim.mean_power.total > 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # apollo-opm
+//!
+//! The runtime on-chip power meter (OPM) side of the APOLLO
+//! reproduction (paper §6, Figure 8):
+//!
+//! - [`quant`] — B-bit fixed-point weight quantization and the
+//!   bit-exact software reference OPM;
+//! - [`hardware`] — generation of the OPM circuit (interface / power
+//!   computation / T-cycle average) as an [`apollo_rtl`] netlist, plus
+//!   co-simulation against the software reference;
+//! - [`area`] — gate-equivalent area and power-overhead estimation for
+//!   the OPM against its host CPU (Figure 15b, Table 1);
+//! - [`structure`] — hardware-structure comparison across OPM families
+//!   (Table 3: counters and multipliers per method);
+//! - [`droop`] — per-cycle ΔI analysis for proactive Ldi/dt voltage-
+//!   droop mitigation (Figure 17, §8.2), with a second-order PDN model
+//!   and an adaptive-clocking mitigation experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod droop;
+pub mod governor;
+pub mod hardware;
+pub mod quant;
+pub mod structure;
+
+pub use area::{cpu_gate_area, opm_gate_area, AreaReport};
+pub use droop::{DroopAnalysis, PdnModel};
+pub use governor::{run_governed, GovernorConfig, GovernorReport};
+pub use hardware::{build_opm, OpmHardware};
+pub use quant::{OpmSpec, QuantizedOpm};

@@ -1,0 +1,291 @@
+//! Fixed-point quantization of APOLLO models and the bit-exact software
+//! reference OPM.
+
+use apollo_core::ApolloModel;
+use apollo_sim::ToggleMatrix;
+
+/// OPM configuration: number of proxies, weight bit-width and the
+/// measurement-window size.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct OpmSpec {
+    /// Number of monitored proxies `Q`.
+    pub q: usize,
+    /// Weight bit-width `B`.
+    pub b: u8,
+    /// Measurement window `T` (power of two; 1 = per-cycle output).
+    pub t: usize,
+}
+
+impl OpmSpec {
+    /// Validates the specification.
+    ///
+    /// # Panics
+    /// Panics if `q` or `t` is zero, `t` is not a power of two, or `b`
+    /// is outside `2..=16`.
+    pub fn validate(&self) {
+        assert!(self.q >= 1, "OPM needs at least one proxy");
+        assert!(self.t >= 1 && self.t.is_power_of_two(), "T must be a power of two");
+        assert!((2..=16).contains(&self.b), "B out of range");
+    }
+
+    /// Accumulator bit-width: `B + ⌈log₂Q⌉ + ⌈log₂T⌉` (paper §6).
+    pub fn accumulator_bits(&self) -> u8 {
+        self.b + ceil_log2(self.q) + ceil_log2(self.t)
+    }
+
+    /// Adder-tree output width: `B + ⌈log₂Q⌉`.
+    pub fn sum_bits(&self) -> u8 {
+        self.b + ceil_log2(self.q)
+    }
+}
+
+/// `⌈log₂(x)⌉` for positive x, as u8.
+pub(crate) fn ceil_log2(x: usize) -> u8 {
+    let mut bits = 0u8;
+    let mut v = 1usize;
+    while v < x {
+        v <<= 1;
+        bits += 1;
+    }
+    bits
+}
+
+/// A quantized APOLLO model ready for hardware implementation.
+///
+/// Weights are unsigned `B`-bit integers (the float model is trained
+/// non-negative); the intercept is folded in digitally after the
+/// accumulator, as the paper's OPM reports current *demand* relative to
+/// the idle baseline.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QuantizedOpm {
+    /// The specification.
+    pub spec: OpmSpec,
+    /// Proxy signal bits (flat indices into the host design).
+    pub bits: Vec<usize>,
+    /// Which proxies are gated clocks (latched enables, no toggle
+    /// detector).
+    pub is_clock_gate: Vec<bool>,
+    /// Quantized weights, one per proxy, each `< 2^B`.
+    pub weights: Vec<u32>,
+    /// Scale factor: `power ≈ intercept + raw_sum / scale`.
+    pub scale: f64,
+    /// Float intercept added after de-scaling.
+    pub intercept: f64,
+}
+
+impl QuantizedOpm {
+    /// Quantizes a trained model to `b`-bit weights with window `t`.
+    ///
+    /// # Panics
+    /// Panics if the model is empty or a weight is negative.
+    pub fn from_model(model: &ApolloModel, b: u8, t: usize) -> QuantizedOpm {
+        let spec = OpmSpec {
+            q: model.q(),
+            b,
+            t,
+        };
+        spec.validate();
+        let max_w = model
+            .proxies
+            .iter()
+            .map(|p| {
+                assert!(p.weight >= 0.0, "negative weight cannot be quantized unsigned");
+                p.weight
+            })
+            .fold(0.0f64, f64::max);
+        let levels = ((1u64 << b) - 1) as f64;
+        let scale = if max_w > 0.0 { levels / max_w } else { 1.0 };
+        let weights = model
+            .proxies
+            .iter()
+            .map(|p| (p.weight * scale).round() as u32)
+            .collect();
+        QuantizedOpm {
+            spec,
+            bits: model.bits(),
+            is_clock_gate: model.proxies.iter().map(|p| p.is_clock_gate).collect(),
+            weights,
+            scale,
+            intercept: model.intercept,
+        }
+    }
+
+    fn raw_sums_with(&self, matrix: &ToggleMatrix, col_of: impl Fn(usize) -> usize) -> Vec<u64> {
+        let mut out = vec![0u64; matrix.n_cycles()];
+        for k in 0..self.bits.len() {
+            let w = self.weights[k] as u64;
+            if w == 0 {
+                continue;
+            }
+            for (wi, &word) in matrix.column(col_of(k)).iter().enumerate() {
+                let mut bits = word;
+                let base = wi * 64;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    out[base + b] += w;
+                }
+            }
+        }
+        out
+    }
+
+    /// Integer per-cycle weighted sums (adder-tree values) from a
+    /// *full-design* toggle matrix (columns indexed by flat signal bit).
+    pub fn raw_sums(&self, matrix: &ToggleMatrix) -> Vec<u64> {
+        self.raw_sums_with(matrix, |k| self.bits[k])
+    }
+
+    /// Integer per-cycle weighted sums from a *proxy-only* capture whose
+    /// column `k` is proxy `k` (model order), as produced by capturing
+    /// with [`ApolloModel::bits`](apollo_core::ApolloModel::bits).
+    pub fn raw_sums_proxy(&self, matrix: &ToggleMatrix) -> Vec<u64> {
+        assert_eq!(matrix.m_bits(), self.bits.len(), "column count must equal Q");
+        self.raw_sums_with(matrix, |k| k)
+    }
+
+    fn windows_of(&self, sums: Vec<u64>) -> Vec<u64> {
+        let t = self.spec.t;
+        let shift = ceil_log2(t);
+        sums.chunks_exact(t)
+            .map(|w| w.iter().sum::<u64>() >> shift)
+            .collect()
+    }
+
+    /// The hardware's per-window integer outputs from a full-design
+    /// matrix: accumulate `T` raw sums, then drop the low `log₂T` bits
+    /// (the paper's shift-divide).
+    pub fn window_outputs(&self, matrix: &ToggleMatrix) -> Vec<u64> {
+        self.windows_of(self.raw_sums(matrix))
+    }
+
+    /// Per-window integer outputs from a proxy-only capture.
+    pub fn window_outputs_proxy(&self, matrix: &ToggleMatrix) -> Vec<u64> {
+        self.windows_of(self.raw_sums_proxy(matrix))
+    }
+
+    /// De-scaled power estimate per window (software units).
+    pub fn predict_windows(&self, matrix: &ToggleMatrix) -> Vec<f64> {
+        self.window_outputs(matrix)
+            .iter()
+            .map(|&v| self.intercept + v as f64 / self.scale)
+            .collect()
+    }
+
+    /// De-scaled per-cycle power estimate (for `T = 1` style use) from a
+    /// full-design matrix.
+    pub fn predict_cycles(&self, matrix: &ToggleMatrix) -> Vec<f64> {
+        self.raw_sums(matrix)
+            .iter()
+            .map(|&v| self.intercept + v as f64 / self.scale)
+            .collect()
+    }
+
+    /// De-scaled per-cycle power estimate from a proxy-only capture.
+    pub fn predict_cycles_proxy(&self, matrix: &ToggleMatrix) -> Vec<f64> {
+        self.raw_sums_proxy(matrix)
+            .iter()
+            .map(|&v| self.intercept + v as f64 / self.scale)
+            .collect()
+    }
+
+    /// Worst-case absolute quantization error of a single weight, in
+    /// power units.
+    pub fn weight_quant_error(&self) -> f64 {
+        0.5 / self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_core::{ApolloModel, Proxy, SelectionPenalty};
+    use apollo_rtl::Unit;
+
+    fn fake_model(weights: &[f64]) -> ApolloModel {
+        ApolloModel {
+            design_name: "t".into(),
+            proxies: weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| Proxy {
+                    bit: i,
+                    weight: w,
+                    name: format!("s{i}"),
+                    unit: Unit::Alu,
+                    is_clock_gate: false,
+                })
+                .collect(),
+            intercept: 10.0,
+            selection_lambda: 1.0,
+            penalty: SelectionPenalty::Mcp { gamma: 10.0 },
+            candidates: 100,
+            m_bits: 1000,
+        }
+    }
+
+    #[test]
+    fn spec_widths() {
+        let spec = OpmSpec { q: 159, b: 10, t: 64 };
+        spec.validate();
+        assert_eq!(spec.sum_bits(), 10 + 8);
+        assert_eq!(spec.accumulator_bits(), 10 + 8 + 6);
+    }
+
+    #[test]
+    fn quantization_scales_to_full_range() {
+        let model = fake_model(&[1.0, 2.0, 4.0]);
+        let q = QuantizedOpm::from_model(&model, 8, 1);
+        assert_eq!(q.weights[2], 255);
+        assert_eq!(q.weights[1], 128);
+        assert_eq!(q.weights[0], 64);
+        assert!((q.intercept - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_accumulate_and_shift() {
+        let model = fake_model(&[3.0]);
+        let q = QuantizedOpm::from_model(&model, 4, 4);
+        // Proxy toggles in cycles 0, 1, 2 of a 4-cycle window.
+        let mut m = ToggleMatrix::new(1, 8);
+        m.set(0, 0);
+        m.set(0, 1);
+        m.set(0, 2);
+        let w15 = q.weights[0] as u64; // 15 at 4 bits
+        let outs = q.window_outputs(&m);
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0], (3 * w15) >> 2);
+        assert_eq!(outs[1], 0);
+    }
+
+    #[test]
+    fn high_b_matches_float_model_closely() {
+        let model = fake_model(&[0.5, 1.5, 2.5, 3.5]);
+        let q = QuantizedOpm::from_model(&model, 12, 1);
+        let mut m = ToggleMatrix::new(4, 16);
+        for c in 0..16 {
+            for bit in 0..4 {
+                if (c * (bit + 2)) % 3 == 0 {
+                    m.set(bit, c);
+                }
+            }
+        }
+        let approx = q.predict_cycles(&m);
+        // Float reference.
+        for (c, a) in approx.iter().enumerate() {
+            let mut exact = 10.0;
+            for bit in 0..4 {
+                if m.get(bit, c) {
+                    exact += model.proxies[bit].weight;
+                }
+            }
+            assert!((a - exact).abs() < 0.01, "cycle {c}: {a} vs {exact}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_t_rejected() {
+        OpmSpec { q: 4, b: 8, t: 3 }.validate();
+    }
+}

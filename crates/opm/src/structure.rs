@@ -1,0 +1,131 @@
+//! Hardware-structure comparison across power-meter families
+//! (paper Table 3): counters and multipliers required per method.
+
+use std::fmt;
+
+/// Structural cost of one monitoring approach.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct MonitorStructure {
+    /// Method / citation label.
+    pub method: String,
+    /// Number of hardware counters.
+    pub counters: usize,
+    /// Number of hardware multipliers.
+    pub multipliers: usize,
+    /// Notes.
+    pub note: String,
+}
+
+impl fmt::Display for MonitorStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} counters={:<6} multipliers={:<8} {}",
+            self.method, self.counters, self.multipliers, self.note
+        )
+    }
+}
+
+/// Reproduces the paper's Table 3 for a given design size `m` and proxy
+/// count `q`.
+pub fn table3(m: usize, q: usize) -> Vec<MonitorStructure> {
+    vec![
+        MonitorStructure {
+            method: "Yang et al. [75]".into(),
+            counters: 0,
+            multipliers: m,
+            note: "SVD instrumentation scales with all signals".into(),
+        },
+        MonitorStructure {
+            method: "Simmani [40]".into(),
+            counters: q,
+            multipliers: q * q,
+            note: "polynomial terms need Q^2 products".into(),
+        },
+        MonitorStructure {
+            method: "Coarse OPMs [23,51,80,81]".into(),
+            counters: q,
+            multipliers: q,
+            note: "counter + multiplier per proxy".into(),
+        },
+        MonitorStructure {
+            method: "Pagliari et al. [53]".into(),
+            counters: q,
+            multipliers: 1,
+            note: "time-multiplexed multiplier".into(),
+        },
+        MonitorStructure {
+            method: "APOLLO per-cycle".into(),
+            counters: 1,
+            multipliers: 0,
+            note: "AND-gated weights + adder tree".into(),
+        },
+        MonitorStructure {
+            method: "APOLLO multi-cycle".into(),
+            counters: 1,
+            multipliers: 0,
+            note: "same hardware; shift-divide by T".into(),
+        },
+    ]
+}
+
+/// Verifies a generated OPM netlist against the APOLLO row of Table 3.
+pub fn verify_apollo_structure(hw: &crate::hardware::OpmHardware) -> MonitorStructure {
+    let mut multipliers = 0usize;
+    let mut counters = 0usize;
+    for node in hw.netlist.nodes() {
+        match node.op {
+            apollo_rtl::Op::Mul(..) | apollo_rtl::Op::Udiv(..) => multipliers += 1,
+            // The T-cycle window counter and the accumulator are the only
+            // counter-like registers; identify by width > 1 register fed
+            // by an adder (conservative census: every multi-bit register).
+            apollo_rtl::Op::Reg { .. } if node.width > 1 => counters += 1,
+            _ => {}
+        }
+    }
+    MonitorStructure {
+        method: "APOLLO (generated)".into(),
+        counters,
+        multipliers,
+        note: format!("Q={} B={}", hw.inputs.len(), hw.model.spec.b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::build_opm;
+    use crate::quant::{OpmSpec, QuantizedOpm};
+
+    #[test]
+    fn table_has_expected_shape() {
+        let rows = table3(60_000, 150);
+        let apollo = rows.iter().find(|r| r.method.starts_with("APOLLO per")).unwrap();
+        assert_eq!(apollo.multipliers, 0);
+        assert_eq!(apollo.counters, 1);
+        let simmani = rows.iter().find(|r| r.method.starts_with("Simmani")).unwrap();
+        assert_eq!(simmani.multipliers, 150 * 150);
+        for r in &rows {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn generated_opm_matches_claim() {
+        let q = 24;
+        let model = QuantizedOpm {
+            spec: OpmSpec { q, b: 10, t: 16 },
+            bits: (0..q).collect(),
+            is_clock_gate: vec![false; q],
+            weights: vec![7; q],
+            scale: 1.0,
+            intercept: 0.0,
+        };
+        let hw = build_opm(&model);
+        let s = verify_apollo_structure(&hw);
+        assert_eq!(s.multipliers, 0);
+        // Window counter + accumulator + sum pipeline + output register:
+        // a handful of multi-bit registers, far from Q.
+        assert!(s.counters <= 4, "counter-like registers: {}", s.counters);
+    }
+}

@@ -1,0 +1,693 @@
+//! Incremental netlist construction.
+
+use crate::error::RtlError;
+use crate::netlist::{Memory, Netlist, WritePort};
+use crate::node::{mask, ClockId, MemId, Node, NodeId, Op, SignalMeta, Unit, MAX_WIDTH};
+
+/// Builder for a [`Netlist`].
+///
+/// Operation methods validate widths eagerly and panic on misuse (a
+/// width mismatch is a design bug, as in any HDL elaboration); structural
+/// completeness (e.g. every register connected) is checked by
+/// [`build`](NetlistBuilder::build), which returns [`RtlError`].
+///
+/// Combinational nodes may only reference already-created nodes, so the
+/// combinational graph is a DAG by construction; feedback must go through
+/// a register created up front and [`connect`](NetlistBuilder::connect)ed
+/// later.
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    design_name: String,
+    nodes: Vec<Node>,
+    meta: Vec<Option<SignalMeta>>,
+    mems: Vec<Memory>,
+    /// Gated-clock signal node for each clock domain (`None` for root).
+    clock_nodes: Vec<Option<NodeId>>,
+    connected: Vec<bool>,
+    scope: Vec<String>,
+    units: Vec<Unit>,
+    current_unit: Unit,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder for a design called `design_name`.
+    pub fn new(design_name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            design_name: design_name.into(),
+            nodes: Vec::new(),
+            meta: Vec::new(),
+            mems: Vec::new(),
+            clock_nodes: vec![None],
+            connected: Vec::new(),
+            scope: Vec::new(),
+            units: Vec::new(),
+            current_unit: Unit::Control,
+        }
+    }
+
+    /// Sets the ambient functional unit: nodes created from now on are
+    /// attributed to `unit` unless explicitly named with another one.
+    /// Returns the previous ambient unit.
+    pub fn set_unit(&mut self, unit: Unit) -> Unit {
+        std::mem::replace(&mut self.current_unit, unit)
+    }
+
+    /// Number of nodes created so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no nodes have been created.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Width of an existing node.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this builder.
+    pub fn width(&self, id: NodeId) -> u8 {
+        self.nodes[id.index()].width
+    }
+
+    /// Pushes a hierarchical scope; names created until the matching
+    /// [`pop_scope`](NetlistBuilder::pop_scope) are prefixed with
+    /// `segment/`.
+    pub fn push_scope(&mut self, segment: impl Into<String>) {
+        self.scope.push(segment.into());
+    }
+
+    /// Pops the innermost hierarchical scope.
+    ///
+    /// # Panics
+    /// Panics if no scope is active.
+    pub fn pop_scope(&mut self) {
+        self.scope.pop().expect("pop_scope without matching push_scope");
+    }
+
+    fn qualify(&self, name: &str) -> String {
+        if self.scope.is_empty() {
+            name.to_owned()
+        } else {
+            let mut s = self.scope.join("/");
+            s.push('/');
+            s.push_str(name);
+            s
+        }
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        debug_assert!(node.width >= 1 && node.width <= MAX_WIDTH);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.meta.push(None);
+        self.connected.push(false);
+        self.units.push(self.current_unit);
+        id
+    }
+
+    fn check(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    fn same_width(&self, a: NodeId, b: NodeId, what: &str) -> u8 {
+        let wa = self.check(a).width;
+        let wb = self.check(b).width;
+        assert!(
+            wa == wb,
+            "{what}: operand widths differ ({wa} vs {wb}) for {a:?}, {b:?}"
+        );
+        wa
+    }
+
+    /// Attaches a name and unit tag to an existing node.
+    ///
+    /// Re-naming overwrites the previous name.
+    pub fn name(&mut self, id: NodeId, name: &str, unit: Unit) -> NodeId {
+        let qualified = self.qualify(name);
+        self.meta[id.index()] = Some(SignalMeta {
+            name: qualified,
+            unit,
+        });
+        self.units[id.index()] = unit;
+        id
+    }
+
+    // ---- sources -------------------------------------------------------
+
+    /// Creates an external input signal.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or exceeds [`MAX_WIDTH`].
+    pub fn input(&mut self, width: u8, name: &str, unit: Unit) -> NodeId {
+        assert!((1..=MAX_WIDTH).contains(&width), "input width {width} out of range");
+        let id = self.push(Node {
+            op: Op::Input,
+            width,
+        });
+        self.name(id, name, unit)
+    }
+
+    /// Creates a constant node.
+    ///
+    /// # Panics
+    /// Panics if `value` does not fit in `width` bits or if the width is
+    /// out of range.
+    pub fn constant(&mut self, value: u64, width: u8) -> NodeId {
+        assert!((1..=MAX_WIDTH).contains(&width), "const width {width} out of range");
+        assert!(
+            value & !mask(width) == 0,
+            "constant {value:#x} does not fit in {width} bits"
+        );
+        self.push(Node {
+            op: Op::Const(value),
+            width,
+        })
+    }
+
+    /// Creates a 1-bit constant 0.
+    pub fn zero(&mut self) -> NodeId {
+        self.constant(0, 1)
+    }
+
+    /// Creates a 1-bit constant 1.
+    pub fn one(&mut self) -> NodeId {
+        self.constant(1, 1)
+    }
+
+    // ---- sequential ----------------------------------------------------
+
+    /// Creates a register bank of `width` bits with reset value `init`,
+    /// clocked by `clock`, named immediately.
+    ///
+    /// The next-state input must be provided later with
+    /// [`connect`](NetlistBuilder::connect).
+    ///
+    /// # Panics
+    /// Panics if `init` does not fit in `width` bits, the width is out of
+    /// range, or `clock` does not exist.
+    pub fn reg(&mut self, width: u8, init: u64, clock: ClockId, name: &str, unit: Unit) -> NodeId {
+        assert!((1..=MAX_WIDTH).contains(&width), "reg width {width} out of range");
+        assert!(
+            init & !mask(width) == 0,
+            "reg init {init:#x} does not fit in {width} bits"
+        );
+        assert!(
+            clock.index() < self.clock_nodes.len(),
+            "unknown clock domain {clock:?}"
+        );
+        let id = self.push(Node {
+            op: Op::Reg {
+                next: None,
+                init,
+                clock,
+            },
+            width,
+        });
+        self.name(id, name, unit)
+    }
+
+    /// Connects a register's next-state input.
+    ///
+    /// # Errors
+    /// Returns an error if `reg` is not a register, is already connected,
+    /// or the widths differ. (Returned rather than panicking so large
+    /// generated designs can surface wiring mistakes gracefully; most
+    /// callers simply `unwrap`.)
+    pub fn try_connect(&mut self, reg: NodeId, next: NodeId) -> Result<(), RtlError> {
+        let next_width = self.check(next).width;
+        let node = &mut self.nodes[reg.index()];
+        match &mut node.op {
+            Op::Reg { next: slot, .. } => {
+                if slot.is_some() {
+                    return Err(RtlError::DoubleConnect { node: reg });
+                }
+                if node.width != next_width {
+                    return Err(RtlError::WidthMismatch {
+                        node: reg,
+                        expected: node.width,
+                        found: next_width,
+                    });
+                }
+                *slot = Some(next);
+                self.connected[reg.index()] = true;
+                Ok(())
+            }
+            _ => Err(RtlError::NotAReg { node: reg }),
+        }
+    }
+
+    /// Connects a register's next-state input.
+    ///
+    /// # Panics
+    /// Panics on the error conditions of
+    /// [`try_connect`](NetlistBuilder::try_connect).
+    pub fn connect(&mut self, reg: NodeId, next: NodeId) {
+        if let Err(e) = self.try_connect(reg, next) {
+            panic!("connect failed: {e}");
+        }
+    }
+
+    /// Convenience: a register that simply delays `input` by one cycle.
+    pub fn delay(
+        &mut self,
+        input: NodeId,
+        init: u64,
+        clock: ClockId,
+        name: &str,
+        unit: Unit,
+    ) -> NodeId {
+        let w = self.check(input).width;
+        let r = self.reg(w, init, clock, name, unit);
+        self.connect(r, input);
+        r
+    }
+
+    /// Creates a gated clock domain whose registers tick only on cycles
+    /// where `enable` is 1.
+    ///
+    /// Also creates the gated-clock net itself as an observable 1-bit
+    /// signal (named `name`), mirroring how clock-gate outputs are
+    /// first-class RTL signals in the paper's proxy pool.
+    pub fn clock_gate(&mut self, enable: NodeId, name: &str, unit: Unit) -> ClockId {
+        assert_eq!(self.check(enable).width, 1, "clock-gate enable must be 1 bit");
+        let clock = ClockId(self.clock_nodes.len() as u32);
+        let id = self.push(Node {
+            op: Op::GatedClock { enable },
+            width: 1,
+        });
+        self.name(id, name, unit);
+        self.clock_nodes.push(Some(id));
+        clock
+    }
+
+    /// Creates a synchronous memory macro with `words` words of `width`
+    /// bits, initialised to all zeros.
+    ///
+    /// # Panics
+    /// Panics if `words` is 0 or `width` is out of range.
+    pub fn memory(&mut self, words: u32, width: u8, name: &str, unit: Unit) -> MemId {
+        assert!(words >= 1, "memory must have at least one word");
+        assert!((1..=MAX_WIDTH).contains(&width), "memory width {width} out of range");
+        let id = MemId(self.mems.len() as u32);
+        self.mems.push(Memory {
+            name: self.qualify(name),
+            unit,
+            words,
+            width,
+            init: Vec::new(),
+            writes: Vec::new(),
+        });
+        id
+    }
+
+    /// Sets the initial contents of a memory (used for program images).
+    ///
+    /// # Panics
+    /// Panics if `contents` is longer than the memory or a word does not
+    /// fit the memory width.
+    pub fn memory_init(&mut self, mem: MemId, contents: Vec<u64>) {
+        let m = &mut self.mems[mem.index()];
+        assert!(
+            contents.len() <= m.words as usize,
+            "init of {} words exceeds memory `{}` ({} words)",
+            contents.len(),
+            m.name,
+            m.words
+        );
+        let wmask = mask(m.width);
+        for (i, w) in contents.iter().enumerate() {
+            assert!(
+                w & !wmask == 0,
+                "init word {i} ({w:#x}) does not fit in {} bits of `{}`",
+                m.width,
+                m.name
+            );
+        }
+        m.init = contents;
+    }
+
+    /// Creates a synchronous read port on `mem`: the word addressed in
+    /// cycle `i` appears on the returned node in cycle `i + 1` when `en`
+    /// was 1, otherwise the node holds its value.
+    pub fn mem_read(&mut self, mem: MemId, addr: NodeId, en: NodeId, name: &str, unit: Unit) -> NodeId {
+        assert_eq!(self.check(en).width, 1, "mem read enable must be 1 bit");
+        let width = self.mems[mem.index()].width;
+        let id = self.push(Node {
+            op: Op::MemRead { mem, addr, en },
+            width,
+        });
+        self.name(id, name, unit)
+    }
+
+    /// Adds a write port to `mem`: when `en` is 1 at a cycle boundary,
+    /// `data` is written to `addr`.
+    ///
+    /// # Panics
+    /// Panics if `en` is not 1 bit or `data` width differs from the
+    /// memory width.
+    pub fn mem_write(&mut self, mem: MemId, en: NodeId, addr: NodeId, data: NodeId) {
+        assert_eq!(self.check(en).width, 1, "mem write enable must be 1 bit");
+        let m_width = self.mems[mem.index()].width;
+        let d_width = self.check(data).width;
+        assert!(
+            m_width == d_width,
+            "mem write data width {d_width} != memory width {m_width}"
+        );
+        self.mems[mem.index()].writes.push(WritePort { en, addr, data });
+    }
+
+    // ---- bitwise / arithmetic -----------------------------------------
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        let width = self.check(a).width;
+        self.push(Node { op: Op::Not(a), width })
+    }
+
+    /// Bitwise AND. Operands must have equal width.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let width = self.same_width(a, b, "and");
+        self.push(Node { op: Op::And(a, b), width })
+    }
+
+    /// Bitwise OR. Operands must have equal width.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let width = self.same_width(a, b, "or");
+        self.push(Node { op: Op::Or(a, b), width })
+    }
+
+    /// Bitwise XOR. Operands must have equal width.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let width = self.same_width(a, b, "xor");
+        self.push(Node { op: Op::Xor(a, b), width })
+    }
+
+    /// Wrapping addition. Operands must have equal width.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let width = self.same_width(a, b, "add");
+        self.push(Node { op: Op::Add(a, b), width })
+    }
+
+    /// Wrapping subtraction. Operands must have equal width.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let width = self.same_width(a, b, "sub");
+        self.push(Node { op: Op::Sub(a, b), width })
+    }
+
+    /// Wrapping multiplication. Operands must have equal width.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let width = self.same_width(a, b, "mul");
+        self.push(Node { op: Op::Mul(a, b), width })
+    }
+
+    /// Unsigned division (division by zero yields all-ones). Operands
+    /// must have equal width.
+    pub fn udiv(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let width = self.same_width(a, b, "udiv");
+        self.push(Node { op: Op::Udiv(a, b), width })
+    }
+
+    /// Equality comparison; result is 1 bit.
+    pub fn eq(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.same_width(a, b, "eq");
+        self.push(Node { op: Op::Eq(a, b), width: 1 })
+    }
+
+    /// Inequality comparison; result is 1 bit.
+    pub fn ne(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// Unsigned less-than; result is 1 bit.
+    pub fn ult(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.same_width(a, b, "ult");
+        self.push(Node { op: Op::Ult(a, b), width: 1 })
+    }
+
+    /// Logical shift left by a dynamic amount. Result has `a`'s width.
+    pub fn shl(&mut self, a: NodeId, amount: NodeId) -> NodeId {
+        let width = self.check(a).width;
+        self.push(Node { op: Op::Shl(a, amount), width })
+    }
+
+    /// Logical shift right by a dynamic amount. Result has `a`'s width.
+    pub fn shr(&mut self, a: NodeId, amount: NodeId) -> NodeId {
+        let width = self.check(a).width;
+        self.push(Node { op: Op::Shr(a, amount), width })
+    }
+
+    /// 2:1 multiplexer `sel ? t : f`.
+    ///
+    /// # Panics
+    /// Panics if `sel` is not 1 bit or `t`/`f` widths differ.
+    pub fn mux(&mut self, sel: NodeId, t: NodeId, f: NodeId) -> NodeId {
+        assert_eq!(self.check(sel).width, 1, "mux select must be 1 bit");
+        let width = self.same_width(t, f, "mux");
+        self.push(Node { op: Op::Mux { sel, t, f }, width })
+    }
+
+    // ---- structural ----------------------------------------------------
+
+    /// Bit-slice `src[lo .. lo + width]`.
+    ///
+    /// # Panics
+    /// Panics if the slice exceeds `src`'s width or `width` is 0.
+    pub fn slice(&mut self, src: NodeId, lo: u8, width: u8) -> NodeId {
+        let sw = self.check(src).width;
+        assert!(width >= 1, "slice width must be at least 1");
+        assert!(
+            lo + width <= sw,
+            "slice [{lo} .. {}] exceeds width {sw}",
+            lo + width
+        );
+        if lo == 0 && width == sw {
+            return src;
+        }
+        self.push(Node { op: Op::Slice { src, lo }, width })
+    }
+
+    /// Extracts a single bit.
+    pub fn bit(&mut self, src: NodeId, index: u8) -> NodeId {
+        self.slice(src, index, 1)
+    }
+
+    /// Concatenation `{hi, lo}`; `lo` occupies the least-significant bits.
+    ///
+    /// # Panics
+    /// Panics if the combined width exceeds [`MAX_WIDTH`].
+    pub fn concat(&mut self, hi: NodeId, lo: NodeId) -> NodeId {
+        let width = self.check(hi).width + self.check(lo).width;
+        assert!(width <= MAX_WIDTH, "concat width {width} exceeds {MAX_WIDTH}");
+        self.push(Node { op: Op::Concat { hi, lo }, width })
+    }
+
+    /// Zero-extends `a` to `width` bits (no-op if already that wide).
+    ///
+    /// # Panics
+    /// Panics if `width` is smaller than `a`'s width.
+    pub fn zext(&mut self, a: NodeId, width: u8) -> NodeId {
+        let aw = self.check(a).width;
+        assert!(width >= aw, "zext target {width} narrower than source {aw}");
+        if width == aw {
+            return a;
+        }
+        let pad = self.constant(0, width - aw);
+        self.concat(pad, a)
+    }
+
+    /// Truncates `a` to its low `width` bits (no-op if already that narrow).
+    pub fn trunc(&mut self, a: NodeId, width: u8) -> NodeId {
+        self.slice(a, 0, width)
+    }
+
+    /// OR-reduction of all bits to 1 bit.
+    pub fn reduce_or(&mut self, a: NodeId) -> NodeId {
+        self.push(Node { op: Op::ReduceOr(a), width: 1 })
+    }
+
+    /// AND-reduction of all bits to 1 bit.
+    pub fn reduce_and(&mut self, a: NodeId) -> NodeId {
+        self.push(Node { op: Op::ReduceAnd(a), width: 1 })
+    }
+
+    /// XOR-reduction (parity) of all bits to 1 bit.
+    pub fn reduce_xor(&mut self, a: NodeId) -> NodeId {
+        self.push(Node { op: Op::ReduceXor(a), width: 1 })
+    }
+
+    /// N-way one-hot-indexed multiplexer over equally wide `choices`,
+    /// built as a balanced mux tree over a binary `index`.
+    ///
+    /// Out-of-range indices select the last choice.
+    ///
+    /// # Panics
+    /// Panics if `choices` is empty or widths differ.
+    pub fn select(&mut self, index: NodeId, choices: &[NodeId]) -> NodeId {
+        assert!(!choices.is_empty(), "select needs at least one choice");
+        let mut level: Vec<NodeId> = choices.to_vec();
+        let mut bit_idx = 0u8;
+        let index_width = self.check(index).width;
+        while level.len() > 1 {
+            let sel = if bit_idx < index_width {
+                self.bit(index, bit_idx)
+            } else {
+                self.zero()
+            };
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut i = 0;
+            while i < level.len() {
+                if i + 1 < level.len() {
+                    let m = self.mux(sel, level[i + 1], level[i]);
+                    next.push(m);
+                } else {
+                    next.push(level[i]);
+                }
+                i += 2;
+            }
+            level = next;
+            bit_idx += 1;
+        }
+        level[0]
+    }
+
+    /// Finalizes the netlist.
+    ///
+    /// # Errors
+    /// Returns an error if the design is empty, any register is left
+    /// unconnected, or a memory port is malformed.
+    pub fn build(self) -> Result<Netlist, RtlError> {
+        if self.nodes.is_empty() {
+            return Err(RtlError::Empty);
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Op::Reg { next: None, .. } = node.op {
+                return Err(RtlError::UnconnectedReg {
+                    node: NodeId(i as u32),
+                    name: self.meta[i].as_ref().map(|m| m.name.clone()),
+                });
+            }
+        }
+        for m in &self.mems {
+            let addr_bits_needed = 32 - (m.words - 1).leading_zeros();
+            let _ = addr_bits_needed; // addresses are wrapped at simulation time
+            if m.width == 0 {
+                return Err(RtlError::BadMemPort {
+                    mem: m.name.clone(),
+                    detail: "zero width".into(),
+                });
+            }
+        }
+        Ok(Netlist::from_parts(
+            self.design_name,
+            self.nodes,
+            self.meta,
+            self.mems,
+            self.clock_nodes,
+            self.units,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::CLOCK_ROOT;
+
+    #[test]
+    fn builds_simple_counter() {
+        let mut b = NetlistBuilder::new("c");
+        let r = b.reg(4, 0, CLOCK_ROOT, "r", Unit::Control);
+        let one = b.constant(1, 4);
+        let n = b.add(r, one);
+        b.connect(r, n);
+        let nl = b.build().unwrap();
+        assert_eq!(nl.len(), 3);
+        assert_eq!(nl.design_name(), "c");
+    }
+
+    #[test]
+    fn unconnected_reg_is_an_error() {
+        let mut b = NetlistBuilder::new("c");
+        b.reg(4, 0, CLOCK_ROOT, "r", Unit::Control);
+        match b.build() {
+            Err(RtlError::UnconnectedReg { name, .. }) => {
+                assert_eq!(name.as_deref(), Some("r"));
+            }
+            other => panic!("expected UnconnectedReg, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_connect_is_an_error() {
+        let mut b = NetlistBuilder::new("c");
+        let r = b.reg(4, 0, CLOCK_ROOT, "r", Unit::Control);
+        let c = b.constant(0, 4);
+        b.connect(r, c);
+        assert_eq!(b.try_connect(r, c), Err(RtlError::DoubleConnect { node: r }));
+    }
+
+    #[test]
+    fn width_mismatch_is_an_error() {
+        let mut b = NetlistBuilder::new("c");
+        let r = b.reg(4, 0, CLOCK_ROOT, "r", Unit::Control);
+        let c = b.constant(0, 5);
+        assert!(matches!(
+            b.try_connect(r, c),
+            Err(RtlError::WidthMismatch { expected: 4, found: 5, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "operand widths differ")]
+    fn add_width_mismatch_panics() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.constant(0, 4);
+        let c = b.constant(0, 5);
+        b.add(a, c);
+    }
+
+    #[test]
+    fn scopes_qualify_names() {
+        let mut b = NetlistBuilder::new("c");
+        b.push_scope("alu0");
+        let x = b.input(1, "busy", Unit::Alu);
+        b.pop_scope();
+        let nl = {
+            let one = b.one();
+            let r = b.reg(1, 0, CLOCK_ROOT, "r", Unit::Control);
+            b.connect(r, one);
+            b.build().unwrap()
+        };
+        assert_eq!(nl.meta(x).unwrap().name, "alu0/busy");
+    }
+
+    #[test]
+    fn slice_full_width_is_identity() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.constant(3, 4);
+        assert_eq!(b.slice(a, 0, 4), a);
+        assert_ne!(b.slice(a, 0, 2), a);
+    }
+
+    #[test]
+    fn select_builds_tree() {
+        let mut b = NetlistBuilder::new("c");
+        let idx = b.input(2, "idx", Unit::Control);
+        let choices: Vec<_> = (0..4).map(|i| b.constant(i, 8)).collect();
+        let out = b.select(idx, &choices);
+        assert_eq!(b.width(out), 8);
+    }
+
+    #[test]
+    fn zext_and_trunc() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.constant(3, 4);
+        let z = b.zext(a, 8);
+        assert_eq!(b.width(z), 8);
+        assert_eq!(b.zext(a, 4), a);
+        let t = b.trunc(z, 4);
+        assert_eq!(b.width(t), 4);
+    }
+}

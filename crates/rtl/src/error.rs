@@ -1,0 +1,98 @@
+//! Error type for netlist construction and validation.
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// Errors reported by [`crate::NetlistBuilder::build`] and other fallible
+/// netlist operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtlError {
+    /// A register was created but never given a next-state input with
+    /// [`crate::NetlistBuilder::connect`].
+    UnconnectedReg {
+        /// The offending register node.
+        node: NodeId,
+        /// The register's name, if it was named.
+        name: Option<String>,
+    },
+    /// `connect` was called twice for the same register.
+    DoubleConnect {
+        /// The offending register node.
+        node: NodeId,
+    },
+    /// `connect` was called on a node that is not a register.
+    NotAReg {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// Widths of a register and its next-state input differ.
+    WidthMismatch {
+        /// The register node.
+        node: NodeId,
+        /// The register's width.
+        expected: u8,
+        /// The next-state input's width.
+        found: u8,
+    },
+    /// A memory read or write port address is too narrow or too wide for
+    /// the memory's word count.
+    BadMemPort {
+        /// The memory name.
+        mem: String,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// The netlist is empty.
+    Empty,
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::UnconnectedReg { node, name } => match name {
+                Some(n) => write!(f, "register {node:?} (`{n}`) has no next-state connection"),
+                None => write!(f, "register {node:?} has no next-state connection"),
+            },
+            RtlError::DoubleConnect { node } => {
+                write!(f, "register {node:?} connected more than once")
+            }
+            RtlError::NotAReg { node } => write!(f, "node {node:?} is not a register"),
+            RtlError::WidthMismatch {
+                node,
+                expected,
+                found,
+            } => write!(
+                f,
+                "register {node:?} has width {expected} but its next-state input has width {found}"
+            ),
+            RtlError::BadMemPort { mem, detail } => {
+                write!(f, "bad port on memory `{mem}`: {detail}")
+            }
+            RtlError::Empty => write!(f, "netlist contains no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for RtlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let e = RtlError::NotAReg {
+            node: NodeId::from_index(7),
+        };
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        assert!(s.starts_with("node"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RtlError>();
+    }
+}

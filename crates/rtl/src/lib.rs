@@ -1,0 +1,53 @@
+//! # apollo-rtl
+//!
+//! A register-transfer-level (RTL) hardware description eDSL and netlist
+//! representation, used as the design substrate for the APOLLO power
+//! modeling reproduction.
+//!
+//! A design is a flat graph of bit-vector *nodes* (1–64 bits wide). Every
+//! node is an RTL *signal*: it has a width, an optional hierarchical name,
+//! and a functional-[`Unit`] tag. Combinational nodes may only reference
+//! nodes created before them, so the combinational graph is acyclic by
+//! construction and creation order is a valid evaluation order. Sequential
+//! elements — [registers](NetlistBuilder::reg), [synchronous
+//! memories](NetlistBuilder::memory) and [gated
+//! clocks](NetlistBuilder::clock_gate) — close feedback loops.
+//!
+//! The netlist also carries synthetic *back-annotated parasitics*
+//! ([`CapAnnotation`]): per-net capacitance derived from width, fanout and
+//! unit, which the `apollo-sim` crate uses to compute ground-truth
+//! switching power in the spirit of a commercial signoff flow.
+//!
+//! ## Example
+//!
+//! ```
+//! use apollo_rtl::{NetlistBuilder, Unit, CLOCK_ROOT};
+//!
+//! let mut b = NetlistBuilder::new("counter");
+//! let en = b.input(1, "en", Unit::Control);
+//! let count = b.reg(8, 0, CLOCK_ROOT, "count", Unit::Control);
+//! let one = b.constant(1, 8);
+//! let next = b.add(count, one);
+//! let next = b.mux(en, next, count);
+//! b.connect(count, next);
+//! let netlist = b.build()?;
+//! assert_eq!(netlist.signal_bits(), 1 + 8 + 8 + 8 + 8);
+//! # Ok::<(), apollo_rtl::RtlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod cap;
+mod error;
+mod netlist;
+mod node;
+mod stats;
+
+pub use builder::NetlistBuilder;
+pub use cap::{CapAnnotation, CapModel};
+pub use error::RtlError;
+pub use netlist::{Memory, Netlist, WritePort};
+pub use node::{ClockId, MemId, Node, NodeId, Op, SignalMeta, Unit, CLOCK_ROOT, MAX_WIDTH};
+pub use stats::NetlistStats;

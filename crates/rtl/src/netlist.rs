@@ -1,0 +1,269 @@
+//! Finalized netlist representation.
+
+use crate::node::{ClockId, MemId, Node, NodeId, Op, SignalMeta, Unit};
+use crate::stats::NetlistStats;
+
+/// A memory write port: when `en` is 1 at the cycle boundary, `data` is
+/// written to word `addr` (wrapped to the memory size).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WritePort {
+    /// 1-bit write enable.
+    pub en: NodeId,
+    /// Write address.
+    pub addr: NodeId,
+    /// Write data (memory width).
+    pub data: NodeId,
+}
+
+/// A synchronous memory macro (SRAM-like).
+///
+/// Its internal bit-cells are not RTL signals — as in a real design flow,
+/// the macro is characterised by per-access energy — but its port nets
+/// (address, data, enables) are ordinary nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Memory {
+    /// Hierarchical name of the macro.
+    pub name: String,
+    /// Functional unit the macro belongs to.
+    pub unit: Unit,
+    /// Number of words.
+    pub words: u32,
+    /// Word width in bits.
+    pub width: u8,
+    /// Initial contents (missing words are zero).
+    pub init: Vec<u64>,
+    /// Write ports.
+    pub writes: Vec<WritePort>,
+}
+
+/// A validated RTL design: nodes in evaluation order, signal metadata,
+/// memories and clock domains.
+///
+/// Produced by [`crate::NetlistBuilder::build`]; immutable afterwards.
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    design_name: String,
+    nodes: Vec<Node>,
+    meta: Vec<Option<SignalMeta>>,
+    mems: Vec<Memory>,
+    clock_nodes: Vec<Option<NodeId>>,
+    fanout: Vec<u32>,
+    units: Vec<Unit>,
+    /// Starting bit offset of each node in the flattened signal-bit space,
+    /// plus a final total entry.
+    bit_offsets: Vec<u32>,
+}
+
+impl Netlist {
+    pub(crate) fn from_parts(
+        design_name: String,
+        nodes: Vec<Node>,
+        meta: Vec<Option<SignalMeta>>,
+        mems: Vec<Memory>,
+        clock_nodes: Vec<Option<NodeId>>,
+        units: Vec<Unit>,
+    ) -> Self {
+        let mut fanout = vec![0u32; nodes.len()];
+        for node in &nodes {
+            node.for_each_operand(|op| fanout[op.index()] += 1);
+        }
+        for m in &mems {
+            for w in &m.writes {
+                fanout[w.en.index()] += 1;
+                fanout[w.addr.index()] += 1;
+                fanout[w.data.index()] += 1;
+            }
+        }
+        let mut bit_offsets = Vec::with_capacity(nodes.len() + 1);
+        let mut off = 0u32;
+        for n in &nodes {
+            bit_offsets.push(off);
+            off += n.width as u32;
+        }
+        bit_offsets.push(off);
+        Netlist {
+            design_name,
+            nodes,
+            meta,
+            mems,
+            clock_nodes,
+            fanout,
+            units,
+            bit_offsets,
+        }
+    }
+
+    /// The design's name.
+    pub fn design_name(&self) -> &str {
+        &self.design_name
+    }
+
+    /// Number of nodes (RTL signals).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the netlist has no nodes (never true for built
+    /// netlists).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total number of signal *bits* — the paper's `M`.
+    pub fn signal_bits(&self) -> usize {
+        *self.bit_offsets.last().unwrap() as usize
+    }
+
+    /// The nodes in evaluation (creation) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Metadata for a node, if it was named.
+    pub fn meta(&self, id: NodeId) -> Option<&SignalMeta> {
+        self.meta[id.index()].as_ref()
+    }
+
+    /// A display name for any node: its given name, or `_t<i>`.
+    pub fn display_name(&self, id: NodeId) -> String {
+        match self.meta(id) {
+            Some(m) => m.name.clone(),
+            None => format!("_t{}", id.index()),
+        }
+    }
+
+    /// The unit tag of a node: from its name if named, otherwise the
+    /// ambient unit that was active in the builder when it was created.
+    pub fn unit(&self, id: NodeId) -> Unit {
+        self.units[id.index()]
+    }
+
+    /// All memory macros.
+    pub fn memories(&self) -> &[Memory] {
+        &self.mems
+    }
+
+    /// A memory macro by id.
+    pub fn memory(&self, id: MemId) -> &Memory {
+        &self.mems[id.index()]
+    }
+
+    /// Number of clock domains, including the root domain.
+    pub fn clock_domains(&self) -> usize {
+        self.clock_nodes.len()
+    }
+
+    /// The gated-clock signal node of a domain (`None` for the root).
+    pub fn clock_node(&self, clock: ClockId) -> Option<NodeId> {
+        self.clock_nodes[clock.index()]
+    }
+
+    /// Fanout (number of readers) of a node.
+    pub fn fanout(&self, id: NodeId) -> u32 {
+        self.fanout[id.index()]
+    }
+
+    /// Bit offset of node `id` in the flattened `M`-bit signal space.
+    pub fn bit_offset(&self, id: NodeId) -> usize {
+        self.bit_offsets[id.index()] as usize
+    }
+
+    /// Maps a flat bit index back to `(node, bit-within-node)`.
+    ///
+    /// # Panics
+    /// Panics if `bit` is out of range.
+    pub fn bit_owner(&self, bit: usize) -> (NodeId, u8) {
+        assert!(bit < self.signal_bits(), "bit {bit} out of range");
+        let bit = bit as u32;
+        let idx = match self.bit_offsets.binary_search(&bit) {
+            Ok(i) => {
+                // `bit_offsets` ends with the total; an exact match at the
+                // last entry cannot happen because bit < total.
+                // Zero-width nodes do not exist, so an exact match is the
+                // start of node i, except consecutive equal offsets are
+                // impossible for the same reason.
+                i
+            }
+            Err(i) => i - 1,
+        };
+        // Skip the sentinel if binary_search landed past real nodes.
+        let idx = idx.min(self.nodes.len() - 1);
+        let node = NodeId::from_index(idx);
+        (node, (bit - self.bit_offsets[idx]) as u8)
+    }
+
+    /// Iterates over all named signals.
+    pub fn named_signals(&self) -> impl Iterator<Item = (NodeId, &SignalMeta)> + '_ {
+        self.meta
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.as_ref().map(|m| (NodeId::from_index(i), m)))
+    }
+
+    /// Computes summary statistics for the design.
+    pub fn stats(&self) -> NetlistStats {
+        NetlistStats::compute(self)
+    }
+
+    /// Iterates over register nodes together with their clock domains.
+    pub fn registers(&self) -> impl Iterator<Item = (NodeId, ClockId)> + '_ {
+        self.nodes.iter().enumerate().filter_map(|(i, n)| match n.op {
+            Op::Reg { clock, .. } => Some((NodeId::from_index(i), clock)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::node::{Unit, CLOCK_ROOT};
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("s");
+        let r = b.reg(4, 0, CLOCK_ROOT, "r", Unit::Alu);
+        let one = b.constant(1, 4);
+        let sum = b.add(r, one);
+        b.name(sum, "sum", Unit::Alu);
+        b.connect(r, sum);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bit_offsets_and_owner() {
+        let nl = sample();
+        assert_eq!(nl.signal_bits(), 12);
+        assert_eq!(nl.bit_owner(0), (NodeId::from_index(0), 0));
+        assert_eq!(nl.bit_owner(3), (NodeId::from_index(0), 3));
+        assert_eq!(nl.bit_owner(4), (NodeId::from_index(1), 0));
+        assert_eq!(nl.bit_owner(11), (NodeId::from_index(2), 3));
+    }
+
+    #[test]
+    fn fanout_counts_readers() {
+        let nl = sample();
+        // reg feeds add; const feeds add; add feeds reg.next
+        assert_eq!(nl.fanout(NodeId::from_index(0)), 1);
+        assert_eq!(nl.fanout(NodeId::from_index(1)), 1);
+        assert_eq!(nl.fanout(NodeId::from_index(2)), 1);
+    }
+
+    #[test]
+    fn named_signals_iterates() {
+        let nl = sample();
+        let names: Vec<_> = nl.named_signals().map(|(_, m)| m.name.as_str()).collect();
+        assert_eq!(names, vec!["r", "sum"]);
+    }
+
+    #[test]
+    fn display_name_for_unnamed() {
+        let nl = sample();
+        assert_eq!(nl.display_name(NodeId::from_index(1)), "_t1");
+    }
+}

@@ -1,0 +1,391 @@
+//! Core identifiers and node definitions for the RTL graph.
+
+use std::fmt;
+
+/// Maximum width, in bits, of any RTL signal node.
+///
+/// Wider architectural values (e.g. 128-bit vector registers) are modeled
+/// as several nodes, exactly as synthesis would split them across
+/// physical bit-slices.
+pub const MAX_WIDTH: u8 = 64;
+
+/// Identifier of a node (an RTL signal) inside a [`crate::Netlist`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the raw index of this node in netlist evaluation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `NodeId` from a raw index.
+    ///
+    /// Only meaningful for indices obtained from [`NodeId::index`] on the
+    /// same netlist.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a clock domain.
+///
+/// Domain 0 ([`CLOCK_ROOT`]) is the free-running root clock; other
+/// domains are created by [`crate::NetlistBuilder::clock_gate`] and tick
+/// only on cycles where their enable evaluates to 1.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ClockId(pub(crate) u32);
+
+/// The always-on root clock domain.
+pub const CLOCK_ROOT: ClockId = ClockId(0);
+
+impl ClockId {
+    /// Returns the raw index of this clock domain.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `ClockId` from a raw index.
+    ///
+    /// Only meaningful for indices below
+    /// [`crate::Netlist::clock_domains`] of the same netlist.
+    pub fn from_index(index: usize) -> Self {
+        ClockId(index as u32)
+    }
+}
+
+impl fmt::Debug for ClockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clk{}", self.0)
+    }
+}
+
+/// Identifier of a synchronous memory macro.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct MemId(pub(crate) u32);
+
+impl MemId {
+    /// Returns the raw index of this memory.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mem{}", self.0)
+    }
+}
+
+/// Functional unit a signal belongs to.
+///
+/// Mirrors the categorisation used in the paper's Figure 15(a), where
+/// extracted power proxies are attributed to CPU functional units and the
+/// clock network.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Unit {
+    /// Instruction fetch, branch prediction and the L1 I-cache interface.
+    Fetch,
+    /// Instruction decode.
+    Decode,
+    /// Issue queue / scoreboard / dispatch.
+    Issue,
+    /// Scalar integer ALUs.
+    Alu,
+    /// Iterative multiplier / divider.
+    Multiplier,
+    /// SIMD / vector execution.
+    Vector,
+    /// Load/store unit and the L1 D-cache interface.
+    LoadStore,
+    /// L2 cache and bus interface.
+    L2,
+    /// Architectural register files.
+    RegFile,
+    /// Clock distribution and clock-gating control.
+    ClockTree,
+    /// Miscellaneous control (reset, throttling, top-level glue).
+    Control,
+    /// On-chip power meter circuitry (used when an OPM is co-synthesized).
+    Opm,
+}
+
+impl Unit {
+    /// All units, in a stable display order.
+    pub const ALL: [Unit; 12] = [
+        Unit::Fetch,
+        Unit::Decode,
+        Unit::Issue,
+        Unit::Alu,
+        Unit::Multiplier,
+        Unit::Vector,
+        Unit::LoadStore,
+        Unit::L2,
+        Unit::RegFile,
+        Unit::ClockTree,
+        Unit::Control,
+        Unit::Opm,
+    ];
+
+    /// A short human-readable label, matching the paper's Figure 15(a)
+    /// vocabulary where applicable.
+    pub fn label(self) -> &'static str {
+        match self {
+            Unit::Fetch => "Fetch",
+            Unit::Decode => "Decode",
+            Unit::Issue => "Issue",
+            Unit::Alu => "ALU",
+            Unit::Multiplier => "Multiplier",
+            Unit::Vector => "Vector Execution",
+            Unit::LoadStore => "Load Store",
+            Unit::L2 => "L2",
+            Unit::RegFile => "Register File",
+            Unit::ClockTree => "Clock Tree",
+            Unit::Control => "Control",
+            Unit::Opm => "OPM",
+        }
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Metadata attached to a named signal.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SignalMeta {
+    /// Hierarchical signal name, e.g. `"issue/grant_vec"`.
+    pub name: String,
+    /// Functional unit the signal belongs to.
+    pub unit: Unit,
+}
+
+/// Operation performed by a node.
+///
+/// All arithmetic is unsigned and wraps at the node width. Comparison
+/// and reduction nodes are 1 bit wide.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// External input, driven by the simulation harness each cycle.
+    Input,
+    /// Constant value.
+    Const(u64),
+    /// Bitwise NOT.
+    Not(NodeId),
+    /// Bitwise AND.
+    And(NodeId, NodeId),
+    /// Bitwise OR.
+    Or(NodeId, NodeId),
+    /// Bitwise XOR.
+    Xor(NodeId, NodeId),
+    /// Wrapping addition.
+    Add(NodeId, NodeId),
+    /// Wrapping subtraction.
+    Sub(NodeId, NodeId),
+    /// Wrapping multiplication.
+    Mul(NodeId, NodeId),
+    /// Unsigned division; division by zero yields all-ones.
+    Udiv(NodeId, NodeId),
+    /// Equality comparison (1-bit result).
+    Eq(NodeId, NodeId),
+    /// Unsigned less-than (1-bit result).
+    Ult(NodeId, NodeId),
+    /// Logical shift left by a dynamic amount.
+    Shl(NodeId, NodeId),
+    /// Logical shift right by a dynamic amount.
+    Shr(NodeId, NodeId),
+    /// 2:1 multiplexer: `sel ? t : f`.
+    Mux {
+        /// 1-bit select.
+        sel: NodeId,
+        /// Value when `sel == 1`.
+        t: NodeId,
+        /// Value when `sel == 0`.
+        f: NodeId,
+    },
+    /// Bit-slice `src[lo .. lo+width]`.
+    Slice {
+        /// Source node.
+        src: NodeId,
+        /// Least-significant bit of the slice.
+        lo: u8,
+    },
+    /// Concatenation `{hi, lo}` (lo in the least-significant bits).
+    Concat {
+        /// Most-significant part.
+        hi: NodeId,
+        /// Least-significant part.
+        lo: NodeId,
+    },
+    /// OR-reduction to 1 bit.
+    ReduceOr(NodeId),
+    /// AND-reduction to 1 bit.
+    ReduceAnd(NodeId),
+    /// XOR-reduction (parity) to 1 bit.
+    ReduceXor(NodeId),
+    /// D flip-flop bank. Captures `next` on each tick of `clock`.
+    Reg {
+        /// Next-state input; connected after creation via
+        /// [`crate::NetlistBuilder::connect`].
+        next: Option<NodeId>,
+        /// Reset / power-on value.
+        init: u64,
+        /// Clock domain driving this register.
+        clock: ClockId,
+    },
+    /// The gated clock net of a clock domain (1 bit).
+    ///
+    /// Physically this net toggles twice per cycle while enabled; its
+    /// per-cycle toggle feature is the latched enable, exactly as the
+    /// paper's OPM interface traces gated clocks via their enable.
+    GatedClock {
+        /// Clock-gate enable condition.
+        enable: NodeId,
+    },
+    /// Synchronous memory read port: data for the address presented in
+    /// cycle `i` appears on this node in cycle `i + 1` (SRAM-like).
+    MemRead {
+        /// The memory macro.
+        mem: MemId,
+        /// Read address.
+        addr: NodeId,
+        /// Read enable (1 bit). When 0 the port holds its previous value.
+        en: NodeId,
+    },
+}
+
+/// A single RTL signal node: an operation plus a width.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    /// The operation computing this node's value.
+    pub op: Op,
+    /// Width in bits (1 ..= [`MAX_WIDTH`]).
+    pub width: u8,
+}
+
+impl Node {
+    /// Returns `true` for sequential nodes (registers, memory read ports,
+    /// gated clocks) whose value is part of simulator state.
+    pub fn is_sequential(&self) -> bool {
+        matches!(
+            self.op,
+            Op::Reg { .. } | Op::MemRead { .. } | Op::GatedClock { .. }
+        )
+    }
+
+    /// Returns `true` if this node never toggles (constants).
+    pub fn is_const(&self) -> bool {
+        matches!(self.op, Op::Const(_))
+    }
+
+    /// Visits every node referenced by this node's operation.
+    pub fn for_each_operand(&self, mut f: impl FnMut(NodeId)) {
+        match self.op {
+            Op::Input | Op::Const(_) => {}
+            Op::Not(a) | Op::ReduceOr(a) | Op::ReduceAnd(a) | Op::ReduceXor(a) => f(a),
+            Op::Slice { src, .. } => f(src),
+            Op::And(a, b)
+            | Op::Or(a, b)
+            | Op::Xor(a, b)
+            | Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::Udiv(a, b)
+            | Op::Eq(a, b)
+            | Op::Ult(a, b)
+            | Op::Shl(a, b)
+            | Op::Shr(a, b)
+            | Op::Concat { hi: a, lo: b } => {
+                f(a);
+                f(b);
+            }
+            Op::Mux { sel, t, f: fv } => {
+                f(sel);
+                f(t);
+                f(fv);
+            }
+            Op::Reg { next, .. } => {
+                if let Some(n) = next {
+                    f(n);
+                }
+            }
+            Op::GatedClock { enable } => f(enable),
+            Op::MemRead { addr, en, .. } => {
+                f(addr);
+                f(en);
+            }
+        }
+    }
+}
+
+/// Returns a mask with the `width` low bits set.
+pub(crate) fn mask(width: u8) -> u64 {
+    debug_assert!((1..=MAX_WIDTH).contains(&width));
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(8), 0xff);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn node_sequential_classification() {
+        let reg = Node {
+            op: Op::Reg {
+                next: None,
+                init: 0,
+                clock: CLOCK_ROOT,
+            },
+            width: 4,
+        };
+        assert!(reg.is_sequential());
+        let c = Node {
+            op: Op::Const(3),
+            width: 4,
+        };
+        assert!(!c.is_sequential());
+        assert!(c.is_const());
+    }
+
+    #[test]
+    fn operand_visit_counts() {
+        let mux = Node {
+            op: Op::Mux {
+                sel: NodeId(0),
+                t: NodeId(1),
+                f: NodeId(2),
+            },
+            width: 4,
+        };
+        let mut n = 0;
+        mux.for_each_operand(|_| n += 1);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn unit_labels_are_unique() {
+        let mut labels: Vec<&str> = Unit::ALL.iter().map(|u| u.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Unit::ALL.len());
+    }
+}

@@ -1,0 +1,114 @@
+//! Design summary statistics.
+
+use crate::netlist::Netlist;
+use crate::node::{Op, Unit};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Summary statistics of a netlist, for reports and sizing checks.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct NetlistStats {
+    /// Total node count.
+    pub nodes: usize,
+    /// Total signal bits (the paper's `M`).
+    pub signal_bits: usize,
+    /// Named signal count.
+    pub named_signals: usize,
+    /// Register node count.
+    pub registers: usize,
+    /// Register bits.
+    pub register_bits: usize,
+    /// Clock domains including root.
+    pub clock_domains: usize,
+    /// Memory macro count.
+    pub memories: usize,
+    /// Total memory bits across macros.
+    pub memory_bits: usize,
+    /// Signal bits per functional unit.
+    pub bits_per_unit: BTreeMap<String, usize>,
+}
+
+impl NetlistStats {
+    pub(crate) fn compute(netlist: &Netlist) -> Self {
+        let mut registers = 0;
+        let mut register_bits = 0;
+        let mut named_signals = 0;
+        let mut bits_per_unit: BTreeMap<String, usize> = BTreeMap::new();
+        for (i, node) in netlist.nodes().iter().enumerate() {
+            let id = crate::node::NodeId::from_index(i);
+            if let Op::Reg { .. } = node.op {
+                registers += 1;
+                register_bits += node.width as usize;
+            }
+            if netlist.meta(id).is_some() {
+                named_signals += 1;
+            }
+            let unit: Unit = netlist.unit(id);
+            *bits_per_unit.entry(unit.label().to_owned()).or_insert(0) += node.width as usize;
+        }
+        NetlistStats {
+            nodes: netlist.len(),
+            signal_bits: netlist.signal_bits(),
+            named_signals,
+            registers,
+            register_bits,
+            clock_domains: netlist.clock_domains(),
+            memories: netlist.memories().len(),
+            memory_bits: netlist
+                .memories()
+                .iter()
+                .map(|m| m.words as usize * m.width as usize)
+                .sum(),
+            bits_per_unit,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "nodes={} signal_bits={} named={} regs={} ({} bits) clocks={} mems={} ({} bits)",
+            self.nodes,
+            self.signal_bits,
+            self.named_signals,
+            self.registers,
+            self.register_bits,
+            self.clock_domains,
+            self.memories,
+            self.memory_bits
+        )?;
+        for (unit, bits) in &self.bits_per_unit {
+            writeln!(f, "  {unit:<18} {bits} bits")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::NetlistBuilder;
+    use crate::node::{Unit, CLOCK_ROOT};
+
+    #[test]
+    fn stats_count_registers_and_units() {
+        let mut b = NetlistBuilder::new("s");
+        let r = b.reg(8, 0, CLOCK_ROOT, "r", Unit::Alu);
+        let c = b.constant(1, 8);
+        let s = b.add(r, c);
+        b.name(s, "sum", Unit::Vector);
+        b.connect(r, s);
+        let nl = b.build().unwrap();
+        let st = nl.stats();
+        assert_eq!(st.registers, 1);
+        assert_eq!(st.register_bits, 8);
+        assert_eq!(st.signal_bits, 24);
+        assert_eq!(st.named_signals, 2);
+        assert_eq!(st.bits_per_unit["ALU"], 8);
+        assert_eq!(st.bits_per_unit["Vector Execution"], 8);
+        // unnamed constant falls into Control
+        assert_eq!(st.bits_per_unit["Control"], 8);
+        let display = st.to_string();
+        assert!(display.contains("signal_bits=24"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests: RTL operator semantics against u64 reference
+//! arithmetic, via simulation of single-op netlists.
+
+#![allow(clippy::needless_range_loop)]
+
+use apollo_rtl::{CapModel, NetlistBuilder, NodeId, Unit, CLOCK_ROOT};
+use apollo_sim::{PowerConfig, Simulator};
+use proptest::prelude::*;
+
+/// Builds a tiny netlist computing every binary op on two inputs and
+/// returns the per-op output nodes.
+struct OpHarness {
+    netlist: apollo_rtl::Netlist,
+    a: NodeId,
+    b: NodeId,
+    outs: Vec<(&'static str, NodeId)>,
+}
+
+fn op_harness(width: u8) -> OpHarness {
+    let mut bld = NetlistBuilder::new("props");
+    let a = bld.input(width, "a", Unit::Alu);
+    let b = bld.input(width, "b", Unit::Alu);
+    let outs = vec![
+        ("and", bld.and(a, b)),
+        ("or", bld.or(a, b)),
+        ("xor", bld.xor(a, b)),
+        ("add", bld.add(a, b)),
+        ("sub", bld.sub(a, b)),
+        ("mul", bld.mul(a, b)),
+        ("udiv", bld.udiv(a, b)),
+        ("not", bld.not(a)),
+        ("eq", bld.eq(a, b)),
+        ("ult", bld.ult(a, b)),
+        ("shl", bld.shl(a, b)),
+        ("shr", bld.shr(a, b)),
+        ("ror", bld.reduce_or(a)),
+        ("rand", bld.reduce_and(a)),
+        ("rxor", bld.reduce_xor(a)),
+    ];
+    // keep at least one register so the netlist is a realistic design
+    let r = bld.reg(width, 0, CLOCK_ROOT, "r", Unit::Alu);
+    bld.connect(r, a);
+    let netlist = bld.build().unwrap();
+    OpHarness { netlist, a, b, outs }
+}
+
+fn mask(width: u8) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    }
+}
+
+fn reference(op: &str, a: u64, b: u64, width: u8) -> u64 {
+    let m = mask(width);
+    match op {
+        "and" => a & b,
+        "or" => a | b,
+        "xor" => a ^ b,
+        "add" => a.wrapping_add(b) & m,
+        "sub" => a.wrapping_sub(b) & m,
+        "mul" => a.wrapping_mul(b) & m,
+        "udiv" => a.checked_div(b).unwrap_or(m),
+        "not" => !a & m,
+        "eq" => (a == b) as u64,
+        "ult" => (a < b) as u64,
+        "shl" => {
+            if b >= width as u64 {
+                0
+            } else {
+                (a << b) & m
+            }
+        }
+        "shr" => {
+            if b >= 64 {
+                0
+            } else {
+                a >> b
+            }
+        }
+        "ror" => (a != 0) as u64,
+        "rand" => (a == m) as u64,
+        "rxor" => (a.count_ones() as u64) & 1,
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_ops_match_reference_w64(a in any::<u64>(), b in any::<u64>()) {
+        check_ops(64, a, b);
+    }
+
+    #[test]
+    fn binary_ops_match_reference_w13(a in 0u64..(1 << 13), b in 0u64..(1 << 13)) {
+        check_ops(13, a, b);
+    }
+
+    #[test]
+    fn binary_ops_match_reference_w1(a in 0u64..2, b in 0u64..2) {
+        check_ops(1, a, b);
+    }
+
+    #[test]
+    fn slice_concat_roundtrip(v in any::<u64>(), lo in 0u8..56, w in 1u8..8) {
+        let mut bld = NetlistBuilder::new("sc");
+        let input = bld.input(64, "v", Unit::Alu);
+        let sl = bld.slice(input, lo, w);
+        let hi_w = 64 - lo - w;
+        let hi = bld.slice(input, lo + w, hi_w);
+        let lo_part = if lo > 0 { Some(bld.slice(input, 0, lo)) } else { None };
+        let upper = bld.concat(hi, sl);
+        let rebuilt = match lo_part {
+            Some(lp) => bld.concat(upper, lp),
+            None => upper,
+        };
+        let r = bld.reg(1, 0, CLOCK_ROOT, "r", Unit::Alu);
+        let one = bld.one();
+        bld.connect(r, one);
+        let netlist = bld.build().unwrap();
+        let cap = CapModel::default().annotate(&netlist);
+        let mut sim = Simulator::new(&netlist, &cap, PowerConfig::default());
+        sim.set_input(input, v);
+        sim.step();
+        prop_assert_eq!(sim.value(sl), (v >> lo) & mask(w));
+        prop_assert_eq!(sim.value(rebuilt), v);
+    }
+
+    #[test]
+    fn select_matches_indexing(idx in 0u64..8, vals in prop::collection::vec(0u64..256, 8)) {
+        let mut bld = NetlistBuilder::new("sel");
+        let i = bld.input(3, "i", Unit::Control);
+        let choices: Vec<NodeId> = vals.iter().map(|&v| bld.constant(v, 8)).collect();
+        let out = bld.select(i, &choices);
+        let r = bld.reg(1, 0, CLOCK_ROOT, "r", Unit::Alu);
+        let one = bld.one();
+        bld.connect(r, one);
+        let netlist = bld.build().unwrap();
+        let cap = CapModel::default().annotate(&netlist);
+        let mut sim = Simulator::new(&netlist, &cap, PowerConfig::default());
+        sim.set_input(i, idx);
+        sim.step();
+        prop_assert_eq!(sim.value(out), vals[idx as usize]);
+    }
+
+    #[test]
+    fn bit_owner_is_inverse_of_offsets(widths in prop::collection::vec(1u8..64, 1..20)) {
+        let mut bld = NetlistBuilder::new("bo");
+        let mut nodes = Vec::new();
+        for (k, &w) in widths.iter().enumerate() {
+            nodes.push(bld.input(w, &format!("i{k}"), Unit::Alu));
+        }
+        let r = bld.reg(1, 0, CLOCK_ROOT, "r", Unit::Alu);
+        let one = bld.one();
+        bld.connect(r, one);
+        let netlist = bld.build().unwrap();
+        for &n in &nodes {
+            let off = netlist.bit_offset(n);
+            let w = netlist.node(n).width;
+            for bit in 0..w {
+                let (owner, sub) = netlist.bit_owner(off + bit as usize);
+                prop_assert_eq!(owner, n);
+                prop_assert_eq!(sub, bit);
+            }
+        }
+    }
+}
+
+fn check_ops(width: u8, a: u64, b: u64) {
+    let h = op_harness(width);
+    let cap = CapModel::default().annotate(&h.netlist);
+    let mut sim = Simulator::new(&h.netlist, &cap, PowerConfig::default());
+    sim.set_input(h.a, a & mask(width));
+    sim.set_input(h.b, b & mask(width));
+    sim.step();
+    for &(name, node) in &h.outs {
+        let expect = reference(name, a & mask(width), b & mask(width), width);
+        assert_eq!(
+            sim.value(node),
+            expect,
+            "{name}({a:#x}, {b:#x}) at width {width}"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # apollo-sim
+//!
+//! Cycle-accurate simulation of [`apollo_rtl`] netlists with per-cycle
+//! toggle extraction and a ground-truth power engine.
+//!
+//! This crate plays the role of the commercial RTL simulation + signoff
+//! power analysis flow in the APOLLO paper (VCS + PowerPro): it evaluates
+//! the design cycle by cycle, records which signal bits toggled
+//! (the paper's feature vectors `x[i] ∈ {0,1}^M`), and computes per-cycle
+//! power labels `y[i]` from back-annotated parasitics following Eq. (2)
+//! of the paper — `P_dyn[i] = ½V² Σ C` over toggling nets — plus clock
+//! tree, memory-macro, glitch, short-circuit and leakage components.
+//!
+//! ## Example
+//!
+//! ```
+//! use apollo_rtl::{NetlistBuilder, Unit, CLOCK_ROOT, CapModel};
+//! use apollo_sim::{Simulator, PowerConfig};
+//!
+//! let mut b = NetlistBuilder::new("counter");
+//! let count = b.reg(8, 0, CLOCK_ROOT, "count", Unit::Control);
+//! let one = b.constant(1, 8);
+//! let next = b.add(count, one);
+//! b.connect(count, next);
+//! let netlist = b.build()?;
+//!
+//! let cap = CapModel::default().annotate(&netlist);
+//! let mut sim = Simulator::new(&netlist, &cap, PowerConfig::default());
+//! for _ in 0..16 {
+//!     sim.step();
+//!     assert!(sim.power().total > 0.0);
+//! }
+//! # Ok::<(), apollo_rtl::RtlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod power;
+mod simulator;
+mod toggle;
+mod trace;
+mod vcd;
+
+pub use power::{PowerConfig, PowerSample};
+pub use simulator::Simulator;
+pub use toggle::ToggleMatrix;
+pub use trace::{CaptureSelection, TraceCapture, TraceData};
+pub use vcd::VcdWriter;

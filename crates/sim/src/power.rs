@@ -1,0 +1,163 @@
+//! Ground-truth per-cycle power computation.
+
+use std::fmt;
+use std::ops::Add;
+
+/// Configuration of the ground-truth power engine.
+///
+/// All values are in arbitrary-but-consistent units (the paper likewise
+/// reports scaled power).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerConfig {
+    /// Scale factor applied to switched capacitance, playing the role of
+    /// `½V²` in Eq. (2) of the paper.
+    pub half_v_squared: f64,
+    /// Fraction of an arithmetic node's capacitance dissipated as glitch
+    /// power per toggling *input* bit (spurious transitions inside carry
+    /// chains and multiplier arrays that settle within the cycle).
+    pub glitch_factor: f64,
+    /// Short-circuit power as a fraction of the cycle's switching power,
+    /// modulated per cycle by a deterministic data-dependent factor.
+    pub short_circuit_factor: f64,
+    /// Static leakage power added to every cycle (temperature/Vt are
+    /// constant over a run; see paper §4).
+    pub leakage: f64,
+    /// Relative amplitude of the deterministic residual "measurement
+    /// surface" noise applied to the dynamic component, modelling power
+    /// contributions (crowbar currents, local IR effects) that no toggle
+    /// model can express. 0 disables it.
+    pub noise_rel: f64,
+    /// Seed for the deterministic per-cycle noise.
+    pub seed: u64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            half_v_squared: 1.0,
+            glitch_factor: 0.12,
+            short_circuit_factor: 0.05,
+            leakage: 30.0,
+            noise_rel: 0.02,
+            seed: 0xF00D,
+        }
+    }
+}
+
+/// Per-cycle power breakdown produced by the simulator.
+#[derive(Copy, Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerSample {
+    /// Total power for the cycle (sum of all components).
+    pub total: f64,
+    /// Net-switching power (Eq. 2 over toggling signal bits).
+    pub switching: f64,
+    /// Clock-tree and register clock-pin power of pulsing domains.
+    pub clock: f64,
+    /// Memory-macro access energy.
+    pub memory: f64,
+    /// Glitch power from arithmetic input activity.
+    pub glitch: f64,
+    /// Short-circuit power.
+    pub short_circuit: f64,
+    /// Leakage power.
+    pub leakage: f64,
+}
+
+impl PowerSample {
+    /// Builds a sample from components, computing the total.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_components(
+        switching: f64,
+        clock: f64,
+        memory: f64,
+        glitch: f64,
+        short_circuit: f64,
+        leakage: f64,
+        noise: f64,
+    ) -> Self {
+        PowerSample {
+            total: switching + clock + memory + glitch + short_circuit + leakage + noise,
+            switching,
+            clock,
+            memory,
+            glitch,
+            short_circuit,
+            leakage,
+        }
+    }
+}
+
+impl Add for PowerSample {
+    type Output = PowerSample;
+
+    fn add(self, rhs: PowerSample) -> PowerSample {
+        PowerSample {
+            total: self.total + rhs.total,
+            switching: self.switching + rhs.switching,
+            clock: self.clock + rhs.clock,
+            memory: self.memory + rhs.memory,
+            glitch: self.glitch + rhs.glitch,
+            short_circuit: self.short_circuit + rhs.short_circuit,
+            leakage: self.leakage + rhs.leakage,
+        }
+    }
+}
+
+impl fmt::Display for PowerSample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total={:.2} (sw={:.2} clk={:.2} mem={:.2} gl={:.2} sc={:.2} lk={:.2})",
+            self.total,
+            self.switching,
+            self.clock,
+            self.memory,
+            self.glitch,
+            self.short_circuit,
+            self.leakage
+        )
+    }
+}
+
+/// Deterministic uniform value in `[0, 1)` from a 64-bit key.
+pub(crate) fn unit_hash(x: u64) -> f64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_components_totals() {
+        let s = PowerSample::from_components(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 0.5);
+        assert!((s.total - 21.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_sums_fields() {
+        let a = PowerSample::from_components(1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0);
+        let b = a + a;
+        assert!((b.total - 12.0).abs() < 1e-12);
+        assert!((b.clock - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_total() {
+        let s = PowerSample::from_components(1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+        assert!(s.to_string().contains("total=1.00"));
+    }
+
+    #[test]
+    fn unit_hash_in_range_and_deterministic() {
+        for i in 0..100 {
+            let v = unit_hash(i);
+            assert!((0.0..1.0).contains(&v));
+            assert_eq!(v, unit_hash(i));
+        }
+    }
+}

@@ -1,0 +1,842 @@
+//! The cycle-accurate netlist simulator.
+
+use crate::power::{unit_hash, PowerConfig, PowerSample};
+use apollo_rtl::{CapAnnotation, MemId, Netlist, NodeId, Op};
+
+/// Compiled per-node instruction; mirrors [`Op`] with resolved indices
+/// and pre-computed widths so the evaluation loop touches no netlist
+/// structures.
+#[derive(Clone, Debug)]
+enum Instr {
+    /// Sequential node (register or memory read port): value is state.
+    Hold,
+    /// External input: value is staged by the harness.
+    Input,
+    Const,
+    Not(u32),
+    And(u32, u32),
+    Or(u32, u32),
+    Xor(u32, u32),
+    Add(u32, u32),
+    Sub(u32, u32),
+    Mul(u32, u32),
+    Udiv(u32, u32),
+    Eq(u32, u32),
+    Ult(u32, u32),
+    Shl(u32, u32, u8),
+    Shr(u32, u32),
+    Mux(u32, u32, u32),
+    Slice(u32, u8),
+    Concat(u32, u32, u8),
+    ReduceOr(u32),
+    ReduceAnd(u32, u64),
+    ReduceXor(u32),
+    Gated(u32),
+}
+
+#[derive(Clone, Debug)]
+struct RegCommit {
+    reg: u32,
+    next: u32,
+    domain: u32,
+}
+
+#[derive(Clone, Debug)]
+struct MemPorts {
+    mem: u32,
+    words: u32,
+    /// (port node, addr node, en node)
+    reads: Vec<(u32, u32, u32)>,
+    /// (en node, addr node, data node)
+    writes: Vec<(u32, u32, u32)>,
+}
+
+/// A cycle-accurate simulator over a [`Netlist`] with built-in
+/// ground-truth power computation.
+///
+/// Each [`step`](Simulator::step) advances one clock edge and evaluates
+/// the new cycle: registers in enabled clock domains capture their
+/// next-state values, memory writes then reads retire (write-first),
+/// combinational logic settles, per-bit toggles are extracted and the
+/// cycle's [`PowerSample`] is computed.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    config: PowerConfig,
+    instrs: Vec<Instr>,
+    masks: Vec<u64>,
+    caps: Vec<f64>,
+    /// Per-node glitch energy per toggling input bit (nonzero only for
+    /// arithmetic nodes).
+    glitch: Vec<f64>,
+    /// Functional-unit index of each node (for power attribution).
+    unit_of: Vec<u8>,
+    /// Switching power of the last cycle attributed per unit.
+    unit_switching: Vec<f64>,
+    clock_caps: Vec<f64>,
+    mem_energy: Vec<f64>,
+    regs: Vec<RegCommit>,
+    mems_ports: Vec<MemPorts>,
+    /// Gated-clock signal node per domain (`u32::MAX` for root).
+    clock_nodes: Vec<u32>,
+    values: Vec<u64>,
+    prev: Vec<u64>,
+    toggles: Vec<u64>,
+    mem_data: Vec<Vec<u64>>,
+    domain_enable_prev: Vec<bool>,
+    reg_stage: Vec<u64>,
+    pending_inputs: Vec<(u32, u64)>,
+    cycle: u64,
+    last_power: PowerSample,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator in the reset state (registers hold their init
+    /// values, combinational logic settled, no toggles recorded yet).
+    pub fn new(netlist: &'a Netlist, cap: &CapAnnotation, config: PowerConfig) -> Self {
+        let n = netlist.len();
+        let mut instrs = Vec::with_capacity(n);
+        let mut masks = Vec::with_capacity(n);
+        let mut caps = Vec::with_capacity(n);
+        let mut glitch = Vec::with_capacity(n);
+        let mut regs = Vec::new();
+        let mut values = vec![0u64; n];
+
+        for (i, node) in netlist.nodes().iter().enumerate() {
+            let w = node.width;
+            let m = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            masks.push(m);
+            caps.push(cap.node_cap(i));
+            let g = match node.op {
+                Op::Add(..) | Op::Sub(..) => config.glitch_factor * cap.node_cap(i),
+                Op::Mul(..) | Op::Udiv(..) => 2.0 * config.glitch_factor * cap.node_cap(i),
+                _ => 0.0,
+            };
+            glitch.push(g);
+            let instr = match node.op {
+                Op::Input => Instr::Input,
+                Op::Const(v) => {
+                    values[i] = v;
+                    Instr::Const
+                }
+                Op::Not(a) => Instr::Not(a.index() as u32),
+                Op::And(a, b) => Instr::And(a.index() as u32, b.index() as u32),
+                Op::Or(a, b) => Instr::Or(a.index() as u32, b.index() as u32),
+                Op::Xor(a, b) => Instr::Xor(a.index() as u32, b.index() as u32),
+                Op::Add(a, b) => Instr::Add(a.index() as u32, b.index() as u32),
+                Op::Sub(a, b) => Instr::Sub(a.index() as u32, b.index() as u32),
+                Op::Mul(a, b) => Instr::Mul(a.index() as u32, b.index() as u32),
+                Op::Udiv(a, b) => Instr::Udiv(a.index() as u32, b.index() as u32),
+                Op::Eq(a, b) => Instr::Eq(a.index() as u32, b.index() as u32),
+                Op::Ult(a, b) => Instr::Ult(a.index() as u32, b.index() as u32),
+                Op::Shl(a, s) => Instr::Shl(a.index() as u32, s.index() as u32, w),
+                Op::Shr(a, s) => Instr::Shr(a.index() as u32, s.index() as u32),
+                Op::Mux { sel, t, f } => {
+                    Instr::Mux(sel.index() as u32, t.index() as u32, f.index() as u32)
+                }
+                Op::Slice { src, lo } => Instr::Slice(src.index() as u32, lo),
+                Op::Concat { hi, lo } => {
+                    let lo_w = netlist.node(lo).width;
+                    Instr::Concat(hi.index() as u32, lo.index() as u32, lo_w)
+                }
+                Op::ReduceOr(a) => Instr::ReduceOr(a.index() as u32),
+                Op::ReduceAnd(a) => {
+                    let aw = netlist.node(a).width;
+                    let am = if aw == 64 { u64::MAX } else { (1u64 << aw) - 1 };
+                    Instr::ReduceAnd(a.index() as u32, am)
+                }
+                Op::ReduceXor(a) => Instr::ReduceXor(a.index() as u32),
+                Op::Reg { next, init, clock } => {
+                    values[i] = init;
+                    regs.push(RegCommit {
+                        reg: i as u32,
+                        next: next.expect("built netlist has connected regs").index() as u32,
+                        domain: clock.index() as u32,
+                    });
+                    Instr::Hold
+                }
+                Op::GatedClock { enable } => Instr::Gated(enable.index() as u32),
+                Op::MemRead { .. } => Instr::Hold,
+            };
+            instrs.push(instr);
+        }
+
+        let mut mems_ports: Vec<MemPorts> = netlist
+            .memories()
+            .iter()
+            .enumerate()
+            .map(|(mi, m)| MemPorts {
+                mem: mi as u32,
+                words: m.words,
+                reads: Vec::new(),
+                writes: m
+                    .writes
+                    .iter()
+                    .map(|wp| {
+                        (
+                            wp.en.index() as u32,
+                            wp.addr.index() as u32,
+                            wp.data.index() as u32,
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        for (i, node) in netlist.nodes().iter().enumerate() {
+            if let Op::MemRead { mem, addr, en } = node.op {
+                mems_ports[mem.index()]
+                    .reads
+                    .push((i as u32, addr.index() as u32, en.index() as u32));
+            }
+        }
+
+        let mem_data: Vec<Vec<u64>> = netlist
+            .memories()
+            .iter()
+            .map(|m| {
+                let mut d = vec![0u64; m.words as usize];
+                d[..m.init.len()].copy_from_slice(&m.init);
+                d
+            })
+            .collect();
+
+        let clock_nodes: Vec<u32> = (0..netlist.clock_domains())
+            .map(|d| {
+                netlist
+                    .clock_node(apollo_rtl_clock_id(d))
+                    .map(|n| n.index() as u32)
+                    .unwrap_or(u32::MAX)
+            })
+            .collect();
+
+        let clock_caps = (0..netlist.clock_domains())
+            .map(|d| cap.clock_cap(apollo_rtl_clock_id(d)))
+            .collect();
+        let mem_energy = (0..netlist.memories().len())
+            .map(|m| cap.mem_energy(m))
+            .collect();
+
+        let unit_of: Vec<u8> = (0..netlist.len())
+            .map(|i| {
+                let u = netlist.unit(apollo_rtl::NodeId::from_index(i));
+                apollo_rtl::Unit::ALL.iter().position(|x| *x == u).unwrap_or(0) as u8
+            })
+            .collect();
+        let mut sim = Simulator {
+            netlist,
+            config,
+            instrs,
+            masks,
+            caps,
+            glitch,
+            unit_of,
+            unit_switching: vec![0.0; apollo_rtl::Unit::ALL.len()],
+            clock_caps,
+            mem_energy,
+            regs,
+            mems_ports,
+            clock_nodes,
+            prev: values.clone(),
+            toggles: vec![0u64; n],
+            values,
+            mem_data,
+            domain_enable_prev: vec![true; netlist.clock_domains()],
+            reg_stage: Vec::new(),
+            pending_inputs: Vec::new(),
+            cycle: 0,
+            last_power: PowerSample::default(),
+        };
+        sim.reg_stage = vec![0u64; sim.regs.len()];
+        sim.settle();
+        sim
+    }
+
+    /// Settles combinational logic from the current state without
+    /// recording toggles or power (used once at reset).
+    fn settle(&mut self) {
+        self.eval(false);
+        self.prev.copy_from_slice(&self.values);
+        self.capture_enables();
+    }
+
+    fn capture_enables(&mut self) {
+        for d in 0..self.clock_nodes.len() {
+            let gc = self.clock_nodes[d];
+            self.domain_enable_prev[d] = if gc == u32::MAX {
+                true
+            } else {
+                self.values[gc as usize] != 0
+            };
+        }
+    }
+
+    /// Stages an input value to take effect at the next
+    /// [`step`](Simulator::step).
+    ///
+    /// # Panics
+    /// Panics if `node` is not an input or `value` exceeds its width.
+    pub fn set_input(&mut self, node: NodeId, value: u64) {
+        let i = node.index();
+        assert!(
+            matches!(self.instrs[i], Instr::Input),
+            "{node:?} is not an input"
+        );
+        assert!(
+            value & !self.masks[i] == 0,
+            "input value {value:#x} exceeds width of {node:?}"
+        );
+        self.pending_inputs.push((i as u32, value));
+    }
+
+    /// Advances one clock edge and evaluates the new cycle.
+    pub fn step(&mut self) {
+        // 1. Stage register next-state values from the pre-edge state.
+        //    All sequential elements capture simultaneously at the clock
+        //    edge, so no commit may observe another commit's result
+        //    (direct register-to-register chains would otherwise
+        //    collapse).
+        for (k, rc) in self.regs.iter().enumerate() {
+            self.reg_stage[k] = if self.domain_enable_prev[rc.domain as usize] {
+                self.values[rc.next as usize] & self.masks[rc.reg as usize]
+            } else {
+                self.values[rc.reg as usize]
+            };
+        }
+
+        // 2. Memory-port commit (also pre-edge operands; runs before
+        //    register values change).
+        let mut mem_accesses = 0.0f64;
+        let mut mem_power = 0.0f64;
+        for mp in &self.mems_ports {
+            let energy = self.mem_energy[mp.mem as usize];
+            for &(en, addr, data) in &mp.writes {
+                if self.values[en as usize] != 0 {
+                    let a = (self.values[addr as usize] % mp.words as u64) as usize;
+                    self.mem_data[mp.mem as usize][a] = self.values[data as usize];
+                    mem_power += energy;
+                    mem_accesses += 1.0;
+                }
+            }
+            for &(port, addr, en) in &mp.reads {
+                if self.values[en as usize] != 0 {
+                    let a = (self.values[addr as usize] % mp.words as u64) as usize;
+                    self.values[port as usize] = self.mem_data[mp.mem as usize][a];
+                    mem_power += energy;
+                    mem_accesses += 1.0;
+                }
+            }
+        }
+        let _ = mem_accesses;
+
+        // 3. Register commit from the staged values.
+        for (k, rc) in self.regs.iter().enumerate() {
+            self.values[rc.reg as usize] = self.reg_stage[k];
+        }
+
+        // 4. Apply staged inputs.
+        for &(node, value) in &self.pending_inputs {
+            self.values[node as usize] = value;
+        }
+        self.pending_inputs.clear();
+
+        // 5. Combinational evaluation with toggle extraction and power.
+        let (switching, glitch) = self.eval(true);
+
+        // 6. Clock power for domains pulsing this cycle.
+        let mut clock_power = 0.0;
+        for d in 0..self.clock_nodes.len() {
+            let gc = self.clock_nodes[d];
+            let pulsing = gc == u32::MAX || self.values[gc as usize] != 0;
+            if pulsing {
+                clock_power += self.clock_caps[d] * self.config.half_v_squared;
+            }
+        }
+
+        // 7. Data-dependent short-circuit and residual noise.
+        let sc = self.config.short_circuit_factor
+            * switching
+            * (0.5 + unit_hash(self.config.seed ^ self.cycle.wrapping_mul(0x9E37)));
+        let dynamic = switching + clock_power + mem_power + glitch + sc;
+        let noise = self.config.noise_rel
+            * dynamic
+            * (2.0 * unit_hash(self.config.seed ^ self.cycle.wrapping_mul(0x85EB) ^ 0xC2B2) - 1.0);
+
+        self.last_power = PowerSample::from_components(
+            switching,
+            clock_power,
+            mem_power,
+            glitch,
+            sc,
+            self.config.leakage,
+            noise,
+        );
+
+        // 8. Remember this cycle's enables for the next commit.
+        self.capture_enables();
+        self.cycle += 1;
+    }
+
+    /// Evaluates all nodes in order. When `record` is true, toggles are
+    /// extracted, `prev` is updated and (switching, glitch) power returned.
+    fn eval(&mut self, record: bool) -> (f64, f64) {
+        let mut switching_cap = 0.0f64;
+        let mut glitch_power = 0.0f64;
+        if record {
+            self.unit_switching.iter_mut().for_each(|v| *v = 0.0);
+        }
+        let values = &mut self.values;
+        let prev = &mut self.prev;
+        let toggles = &mut self.toggles;
+        for i in 0..self.instrs.len() {
+            let m = self.masks[i];
+            let (v, feature_override) = match self.instrs[i] {
+                Instr::Hold | Instr::Input | Instr::Const => (values[i], None),
+                Instr::Not(a) => (!values[a as usize] & m, None),
+                Instr::And(a, b) => (values[a as usize] & values[b as usize], None),
+                Instr::Or(a, b) => (values[a as usize] | values[b as usize], None),
+                Instr::Xor(a, b) => (values[a as usize] ^ values[b as usize], None),
+                Instr::Add(a, b) => {
+                    let v = values[a as usize].wrapping_add(values[b as usize]) & m;
+                    if record {
+                        let it = toggles[a as usize] | toggles[b as usize];
+                        glitch_power += self.glitch[i] * it.count_ones() as f64;
+                    }
+                    (v, None)
+                }
+                Instr::Sub(a, b) => {
+                    let v = values[a as usize].wrapping_sub(values[b as usize]) & m;
+                    if record {
+                        let it = toggles[a as usize] | toggles[b as usize];
+                        glitch_power += self.glitch[i] * it.count_ones() as f64;
+                    }
+                    (v, None)
+                }
+                Instr::Mul(a, b) => {
+                    let v = values[a as usize].wrapping_mul(values[b as usize]) & m;
+                    if record {
+                        let it = toggles[a as usize] | toggles[b as usize];
+                        glitch_power += self.glitch[i] * it.count_ones() as f64;
+                    }
+                    (v, None)
+                }
+                Instr::Udiv(a, b) => {
+                    let bv = values[b as usize];
+                    let v = values[a as usize].checked_div(bv).unwrap_or(m);
+                    if record {
+                        let it = toggles[a as usize] | toggles[b as usize];
+                        glitch_power += self.glitch[i] * it.count_ones() as f64;
+                    }
+                    (v, None)
+                }
+                Instr::Eq(a, b) => ((values[a as usize] == values[b as usize]) as u64, None),
+                Instr::Ult(a, b) => ((values[a as usize] < values[b as usize]) as u64, None),
+                Instr::Shl(a, s, w) => {
+                    let amt = values[s as usize];
+                    let v = if amt >= w as u64 {
+                        0
+                    } else {
+                        (values[a as usize] << amt) & m
+                    };
+                    (v, None)
+                }
+                Instr::Shr(a, s) => {
+                    let amt = values[s as usize];
+                    let v = if amt >= 64 { 0 } else { values[a as usize] >> amt };
+                    (v, None)
+                }
+                Instr::Mux(sel, t, f) => {
+                    let v = if values[sel as usize] != 0 {
+                        values[t as usize]
+                    } else {
+                        values[f as usize]
+                    };
+                    (v, None)
+                }
+                Instr::Slice(src, lo) => ((values[src as usize] >> lo) & m, None),
+                Instr::Concat(hi, lo, lo_w) => {
+                    ((values[hi as usize] << lo_w) | values[lo as usize], None)
+                }
+                Instr::ReduceOr(a) => ((values[a as usize] != 0) as u64, None),
+                Instr::ReduceAnd(a, am) => ((values[a as usize] == am) as u64, None),
+                Instr::ReduceXor(a) => ((values[a as usize].count_ones() as u64) & 1, None),
+                Instr::Gated(en) => {
+                    let e = values[en as usize];
+                    // Feature semantics for gated clocks: the per-cycle
+                    // toggle bit is the enable itself (the net physically
+                    // toggles twice per enabled cycle).
+                    (e, Some(e))
+                }
+            };
+            if record {
+                let t = (v ^ prev[i]) & m;
+                prev[i] = v;
+                toggles[i] = feature_override.unwrap_or(t);
+                if t != 0 {
+                    let p = t.count_ones() as f64 * self.caps[i];
+                    switching_cap += p;
+                    self.unit_switching[self.unit_of[i] as usize] += p;
+                }
+            }
+            values[i] = v;
+        }
+        (switching_cap * self.config.half_v_squared, glitch_power)
+    }
+
+    /// Number of completed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// Current value of a node.
+    pub fn value(&self, node: NodeId) -> u64 {
+        self.values[node.index()]
+    }
+
+    /// Toggle word of a node for the last completed cycle (bit `k` set if
+    /// bit `k` of the node toggled; for gated clocks, the enable).
+    pub fn toggle_word(&self, node: NodeId) -> u64 {
+        self.toggles[node.index()]
+    }
+
+    /// Per-node toggle words for the last completed cycle.
+    pub fn toggles(&self) -> &[u64] {
+        &self.toggles
+    }
+
+    /// Ground-truth power of the last completed cycle.
+    pub fn power(&self) -> PowerSample {
+        self.last_power
+    }
+
+    /// Switching power of the last cycle attributed to each functional
+    /// unit, indexed like [`apollo_rtl::Unit::ALL`] and scaled like
+    /// [`PowerSample::switching`].
+    pub fn unit_switching(&self) -> Vec<f64> {
+        self.unit_switching
+            .iter()
+            .map(|v| v * self.config.half_v_squared)
+            .collect()
+    }
+
+    /// Reads a word from a memory macro (for test harnesses).
+    pub fn mem_word(&self, mem: MemId, addr: u32) -> u64 {
+        let words = self.mems_ports[mem.index()].words;
+        self.mem_data[mem.index()][(addr % words) as usize]
+    }
+
+    /// Writes a word directly into a memory macro (for loading data
+    /// segments in test harnesses; does not consume access energy).
+    pub fn poke_mem(&mut self, mem: MemId, addr: u32, value: u64) {
+        let words = self.mems_ports[mem.index()].words;
+        self.mem_data[mem.index()][(addr % words) as usize] = value;
+    }
+
+    /// Packs the last cycle's toggle bits into a flat `M`-bit row
+    /// (`out` must hold at least `ceil(M / 64)` words; it is zeroed).
+    pub fn toggle_row(&self, out: &mut [u64]) {
+        let words = self.netlist.signal_bits().div_ceil(64);
+        assert!(out.len() >= words, "toggle_row buffer too small");
+        out[..words].fill(0);
+        for (i, node) in self.netlist.nodes().iter().enumerate() {
+            let t = self.toggles[i];
+            if t == 0 {
+                continue;
+            }
+            let off = self
+                .netlist
+                .bit_offset(NodeId::from_index(i));
+            let w = node.width as usize;
+            let word = off / 64;
+            let shift = off % 64;
+            out[word] |= t << shift;
+            if shift + w > 64 && shift > 0 {
+                out[word + 1] |= t >> (64 - shift);
+            }
+        }
+    }
+}
+
+fn apollo_rtl_clock_id(d: usize) -> apollo_rtl::ClockId {
+    apollo_rtl::ClockId::from_index(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PowerConfig;
+    use apollo_rtl::{CapModel, NetlistBuilder, Unit, CLOCK_ROOT};
+
+    fn power_cfg() -> PowerConfig {
+        PowerConfig {
+            noise_rel: 0.0,
+            short_circuit_factor: 0.0,
+            ..PowerConfig::default()
+        }
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut b = NetlistBuilder::new("t");
+        let r = b.reg(8, 0, CLOCK_ROOT, "count", Unit::Control);
+        let one = b.constant(1, 8);
+        let n = b.add(r, one);
+        b.connect(r, n);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let mut sim = Simulator::new(&nl, &cap, power_cfg());
+        for i in 1..=300u64 {
+            sim.step();
+            assert_eq!(sim.value(r), i & 0xff);
+        }
+        assert_eq!(sim.cycle(), 300);
+    }
+
+    #[test]
+    fn inputs_and_mux() {
+        let mut b = NetlistBuilder::new("t");
+        let sel = b.input(1, "sel", Unit::Control);
+        let a = b.constant(5, 8);
+        let c = b.constant(9, 8);
+        let m = b.mux(sel, a, c);
+        let r = b.delay(m, 0, CLOCK_ROOT, "r", Unit::Control);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let mut sim = Simulator::new(&nl, &cap, power_cfg());
+        sim.set_input(sel, 1);
+        sim.step();
+        assert_eq!(sim.value(m), 5);
+        sim.step();
+        assert_eq!(sim.value(r), 5);
+        sim.set_input(sel, 0);
+        sim.step();
+        assert_eq!(sim.value(m), 9);
+        sim.step();
+        assert_eq!(sim.value(r), 9);
+    }
+
+    #[test]
+    fn gated_clock_holds_registers() {
+        let mut b = NetlistBuilder::new("t");
+        let en = b.input(1, "en", Unit::Control);
+        let gclk = b.clock_gate(en, "gclk", Unit::ClockTree);
+        let r = b.reg(8, 0, gclk, "r", Unit::Alu);
+        let one = b.constant(1, 8);
+        let n = b.add(r, one);
+        b.connect(r, n);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let mut sim = Simulator::new(&nl, &cap, power_cfg());
+        // enable off: register frozen
+        sim.set_input(en, 0);
+        sim.step();
+        sim.step();
+        assert_eq!(sim.value(r), 0);
+        // enable on at cycle i gates the edge into cycle i+1
+        sim.set_input(en, 1);
+        sim.step(); // enable seen this cycle
+        sim.step(); // edge: r <- 1
+        assert_eq!(sim.value(r), 1);
+        sim.set_input(en, 0);
+        sim.step(); // edge still enabled from previous cycle: r <- 2
+        assert_eq!(sim.value(r), 2);
+        sim.step();
+        assert_eq!(sim.value(r), 2);
+    }
+
+    #[test]
+    fn gated_clock_toggle_feature_is_enable() {
+        let mut b = NetlistBuilder::new("t");
+        let en = b.input(1, "en", Unit::Control);
+        let gclk_id = b.clock_gate(en, "gclk", Unit::ClockTree);
+        let r = b.reg(4, 0, gclk_id, "r", Unit::Alu);
+        let one = b.constant(1, 4);
+        let n = b.add(r, one);
+        b.connect(r, n);
+        let nl = b.build().unwrap();
+        let gc_node = nl.clock_node(gclk_id).unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let mut sim = Simulator::new(&nl, &cap, power_cfg());
+        sim.set_input(en, 1);
+        sim.step();
+        assert_eq!(sim.toggle_word(gc_node), 1);
+        sim.step();
+        // enable stayed 1 (no edge on the enable) but the feature stays 1
+        assert_eq!(sim.toggle_word(gc_node), 1);
+        sim.set_input(en, 0);
+        sim.step();
+        assert_eq!(sim.toggle_word(gc_node), 0);
+    }
+
+    #[test]
+    fn memory_write_then_read() {
+        let mut b = NetlistBuilder::new("t");
+        let mem = b.memory(16, 32, "m", Unit::LoadStore);
+        let waddr = b.input(4, "waddr", Unit::LoadStore);
+        let wdata = b.input(32, "wdata", Unit::LoadStore);
+        let wen = b.input(1, "wen", Unit::LoadStore);
+        let raddr = b.input(4, "raddr", Unit::LoadStore);
+        let ren = b.input(1, "ren", Unit::LoadStore);
+        let waddr_w = b.zext(waddr, 32);
+        let raddr_w = b.zext(raddr, 32);
+        b.mem_write(mem, wen, waddr_w, wdata);
+        let rport = b.mem_read(mem, raddr_w, ren, "rdata", Unit::LoadStore);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let mut sim = Simulator::new(&nl, &cap, power_cfg());
+
+        sim.set_input(waddr, 3);
+        sim.set_input(wdata, 0xDEAD);
+        sim.set_input(wen, 1);
+        sim.set_input(raddr, 3);
+        sim.set_input(ren, 1);
+        sim.step(); // write/read commands presented this cycle
+        sim.set_input(wen, 0);
+        sim.step(); // write retires at the edge, read sees it (write-first)
+        assert_eq!(sim.value(rport), 0xDEAD);
+        assert_eq!(sim.mem_word(mem, 3), 0xDEAD);
+        // read power was consumed
+        assert!(sim.power().memory > 0.0);
+    }
+
+    #[test]
+    fn mem_read_disabled_holds_value() {
+        let mut b = NetlistBuilder::new("t");
+        let mem = b.memory(4, 8, "m", Unit::LoadStore);
+        b.memory_init(mem, vec![7, 8, 9, 10]);
+        let addr = b.input(2, "addr", Unit::LoadStore);
+        let ren = b.input(1, "ren", Unit::LoadStore);
+        let addr_w = b.zext(addr, 8);
+        let rport = b.mem_read(mem, addr_w, ren, "rdata", Unit::LoadStore);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let mut sim = Simulator::new(&nl, &cap, power_cfg());
+        sim.set_input(addr, 1);
+        sim.set_input(ren, 1);
+        sim.step();
+        sim.step();
+        assert_eq!(sim.value(rport), 8);
+        sim.set_input(addr, 2);
+        sim.set_input(ren, 0);
+        sim.step();
+        sim.step();
+        assert_eq!(sim.value(rport), 8, "disabled read holds");
+    }
+
+    #[test]
+    fn shifts_handle_overflow_amounts() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input(8, "a", Unit::Alu);
+        let amt = b.input(8, "amt", Unit::Alu);
+        let l = b.shl(a, amt);
+        let r = b.shr(a, amt);
+        let rr = b.delay(l, 0, CLOCK_ROOT, "rl", Unit::Alu);
+        let rs = b.delay(r, 0, CLOCK_ROOT, "rs", Unit::Alu);
+        let _ = (rr, rs);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let mut sim = Simulator::new(&nl, &cap, power_cfg());
+        sim.set_input(a, 0b1011);
+        sim.set_input(amt, 2);
+        sim.step();
+        assert_eq!(sim.value(l), 0b101100);
+        assert_eq!(sim.value(r), 0b10);
+        sim.set_input(amt, 100);
+        sim.step();
+        assert_eq!(sim.value(l), 0);
+        assert_eq!(sim.value(r), 0);
+    }
+
+    #[test]
+    fn toggle_row_packs_across_word_boundaries() {
+        let mut b = NetlistBuilder::new("t");
+        // 60-bit register then an 8-bit one straddles the 64-bit boundary.
+        let r0 = b.reg(60, 0, CLOCK_ROOT, "r0", Unit::Alu);
+        let r1 = b.reg(8, 0, CLOCK_ROOT, "r1", Unit::Alu);
+        let ones60 = b.constant((1u64 << 60) - 1, 60);
+        let n0 = b.xor(r0, ones60);
+        let ones8 = b.constant(0xff, 8);
+        let n1 = b.xor(r1, ones8);
+        b.connect(r0, n0);
+        b.connect(r1, n1);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let mut sim = Simulator::new(&nl, &cap, power_cfg());
+        sim.step();
+        let mut row = vec![0u64; nl.signal_bits().div_ceil(64)];
+        sim.toggle_row(&mut row);
+        // r0 occupies bits 0..60 and toggled everywhere.
+        assert_eq!(row[0] & ((1u64 << 60) - 1), (1u64 << 60) - 1);
+        // r1 occupies bits 60..68: 4 bits in word 0, 4 bits in word 1.
+        assert_eq!(row[0] >> 60, 0xf);
+        assert_eq!(row[1] & 0xf, 0xf);
+    }
+
+    #[test]
+    fn power_is_deterministic() {
+        let mut b = NetlistBuilder::new("t");
+        let r = b.reg(16, 0, CLOCK_ROOT, "r", Unit::Alu);
+        let c = b.constant(0x1234, 16);
+        let n = b.add(r, c);
+        b.connect(r, n);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let run = || {
+            let mut sim = Simulator::new(&nl, &cap, PowerConfig::default());
+            (0..50).map(|_| { sim.step(); sim.power().total }).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unit_attribution_sums_to_switching() {
+        let mut b = NetlistBuilder::new("t");
+        b.set_unit(Unit::Alu);
+        let r1 = b.reg(16, 0, CLOCK_ROOT, "alu_r", Unit::Alu);
+        let n1 = b.not(r1);
+        b.connect(r1, n1);
+        b.set_unit(Unit::Vector);
+        let r2 = b.reg(16, 0, CLOCK_ROOT, "vec_r", Unit::Vector);
+        let n2 = b.not(r2);
+        b.connect(r2, n2);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let mut sim = Simulator::new(&nl, &cap, power_cfg());
+        sim.step();
+        sim.step();
+        let per_unit = sim.unit_switching();
+        let total: f64 = per_unit.iter().sum();
+        assert!((total - sim.power().switching).abs() < 1e-9);
+        // Both units toggled; their indices carry nonzero power.
+        let alu_idx = apollo_rtl::Unit::ALL.iter().position(|u| *u == Unit::Alu).unwrap();
+        let vec_idx = apollo_rtl::Unit::ALL.iter().position(|u| *u == Unit::Vector).unwrap();
+        assert!(per_unit[alu_idx] > 0.0);
+        assert!(per_unit[vec_idx] > 0.0);
+    }
+
+    #[test]
+    fn more_activity_means_more_switching_power() {
+        let mut b = NetlistBuilder::new("t");
+        let en = b.input(1, "en", Unit::Control);
+        let r = b.reg(32, 0, CLOCK_ROOT, "r", Unit::Alu);
+        let inv = b.not(r);
+        let hold = b.mux(en, inv, r);
+        b.connect(r, hold);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let mut sim = Simulator::new(&nl, &cap, power_cfg());
+        sim.set_input(en, 0);
+        sim.step();
+        sim.step();
+        let idle = sim.power().switching;
+        sim.set_input(en, 1);
+        sim.step();
+        sim.step();
+        let active = sim.power().switching;
+        assert!(active > idle, "active {active} <= idle {idle}");
+    }
+}

@@ -1,0 +1,242 @@
+//! Packed storage for per-cycle toggle activity.
+
+use std::fmt;
+
+/// A column-major packed binary matrix of toggle activity: `m_bits`
+/// columns (one per traced signal bit) by `n_cycles` rows (one per
+/// cycle).
+///
+/// Column-major layout makes the coordinate-descent inner loops of the
+/// regression solvers (dot products between a signal's toggle history
+/// and the residual) cache-friendly `popcount` scans.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ToggleMatrix {
+    m_bits: usize,
+    n_cycles: usize,
+    /// Words per column.
+    stride: usize,
+    data: Vec<u64>,
+}
+
+impl ToggleMatrix {
+    /// Creates an all-zero matrix for `m_bits` signals over `n_cycles`
+    /// cycles.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(m_bits: usize, n_cycles: usize) -> Self {
+        assert!(m_bits > 0, "toggle matrix needs at least one signal bit");
+        assert!(n_cycles > 0, "toggle matrix needs at least one cycle");
+        let stride = n_cycles.div_ceil(64);
+        ToggleMatrix {
+            m_bits,
+            n_cycles,
+            stride,
+            data: vec![0u64; m_bits * stride],
+        }
+    }
+
+    /// Number of signal-bit columns.
+    pub fn m_bits(&self) -> usize {
+        self.m_bits
+    }
+
+    /// Number of cycle rows.
+    pub fn n_cycles(&self) -> usize {
+        self.n_cycles
+    }
+
+    /// Words per column.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Sets the toggle bit for signal `bit` at `cycle`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds (debug builds index-check; release builds
+    /// panic via slice indexing).
+    #[inline]
+    pub fn set(&mut self, bit: usize, cycle: usize) {
+        debug_assert!(bit < self.m_bits && cycle < self.n_cycles);
+        self.data[bit * self.stride + cycle / 64] |= 1u64 << (cycle % 64);
+    }
+
+    /// Reads the toggle bit for signal `bit` at `cycle`.
+    #[inline]
+    pub fn get(&self, bit: usize, cycle: usize) -> bool {
+        debug_assert!(bit < self.m_bits && cycle < self.n_cycles);
+        (self.data[bit * self.stride + cycle / 64] >> (cycle % 64)) & 1 == 1
+    }
+
+    /// The packed words of one signal's toggle history.
+    #[inline]
+    pub fn column(&self, bit: usize) -> &[u64] {
+        &self.data[bit * self.stride..(bit + 1) * self.stride]
+    }
+
+    /// Mutable packed words of one signal's toggle history.
+    #[inline]
+    pub fn column_mut(&mut self, bit: usize) -> &mut [u64] {
+        &mut self.data[bit * self.stride..(bit + 1) * self.stride]
+    }
+
+    /// Number of cycles in which signal `bit` toggled.
+    pub fn popcount(&self, bit: usize) -> usize {
+        self.column(bit).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Toggle rate of signal `bit` over the captured window.
+    pub fn density(&self, bit: usize) -> f64 {
+        self.popcount(bit) as f64 / self.n_cycles as f64
+    }
+
+    /// Mean toggle density over the whole matrix.
+    pub fn mean_density(&self) -> f64 {
+        let ones: usize = self.data.iter().map(|w| w.count_ones() as usize).sum();
+        ones as f64 / (self.m_bits as f64 * self.n_cycles as f64)
+    }
+
+    /// Stores a packed `M`-bit toggle row (as produced by
+    /// [`crate::Simulator::toggle_row`]) into row `cycle`.
+    ///
+    /// # Panics
+    /// Panics if `row` holds fewer than `ceil(m_bits / 64)` words or
+    /// `cycle` is out of range.
+    pub fn store_row(&mut self, cycle: usize, row: &[u64]) {
+        assert!(cycle < self.n_cycles, "cycle {cycle} out of range");
+        let words = self.m_bits.div_ceil(64);
+        assert!(row.len() >= words, "row buffer too small");
+        let cycle_word = cycle / 64;
+        let cycle_bit = (cycle % 64) as u64;
+        for (w, &rw) in row.iter().enumerate().take(words) {
+            let mut bits = rw;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let col = w * 64 + b;
+                if col < self.m_bits {
+                    self.data[col * self.stride + cycle_word] |= 1u64 << cycle_bit;
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if two columns have identical toggle histories.
+    pub fn columns_equal(&self, a: usize, b: usize) -> bool {
+        self.column(a) == self.column(b)
+    }
+
+    /// A 64-bit hash of a column, for duplicate-group bucketing.
+    pub fn column_hash(&self, bit: usize) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &w in self.column(bit) {
+            h ^= w;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Extracts column `bit` as an `f64` vector (0.0 / 1.0 per cycle).
+    pub fn column_f64(&self, bit: usize) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.n_cycles);
+        for c in 0..self.n_cycles {
+            v.push(self.get(bit, c) as u8 as f64);
+        }
+        v
+    }
+
+    /// Mean of column `bit` over a cycle range.
+    pub fn column_mean(&self, bit: usize, range: std::ops::Range<usize>) -> f64 {
+        let mut ones = 0usize;
+        for c in range.clone() {
+            ones += self.get(bit, c) as usize;
+        }
+        ones as f64 / range.len().max(1) as f64
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+}
+
+impl fmt::Debug for ToggleMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ToggleMatrix({} bits x {} cycles, {:.1} MiB, density {:.3})",
+            self.m_bits,
+            self.n_cycles,
+            self.size_bytes() as f64 / (1 << 20) as f64,
+            self.mean_density()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = ToggleMatrix::new(10, 130);
+        m.set(3, 0);
+        m.set(3, 64);
+        m.set(9, 129);
+        assert!(m.get(3, 0));
+        assert!(m.get(3, 64));
+        assert!(!m.get(3, 1));
+        assert!(m.get(9, 129));
+        assert_eq!(m.popcount(3), 2);
+        assert_eq!(m.popcount(0), 0);
+    }
+
+    #[test]
+    fn store_row_scatters_bits() {
+        let mut m = ToggleMatrix::new(130, 8);
+        let mut row = vec![0u64; 3];
+        row[0] = 1 | (1 << 63);
+        row[1] = 1; // bit 64
+        row[2] = 1; // bit 128
+        m.store_row(5, &row);
+        assert!(m.get(0, 5));
+        assert!(m.get(63, 5));
+        assert!(m.get(64, 5));
+        assert!(m.get(128, 5));
+        assert!(!m.get(1, 5));
+        assert!(!m.get(0, 4));
+    }
+
+    #[test]
+    fn density_and_mean() {
+        let mut m = ToggleMatrix::new(2, 4);
+        m.set(0, 0);
+        m.set(0, 1);
+        assert!((m.density(0) - 0.5).abs() < 1e-12);
+        assert!((m.mean_density() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hash_distinguishes_columns() {
+        let mut m = ToggleMatrix::new(2, 100);
+        m.set(0, 10);
+        m.set(1, 11);
+        assert_ne!(m.column_hash(0), m.column_hash(1));
+        assert!(!m.columns_equal(0, 1));
+    }
+
+    #[test]
+    fn column_f64_matches_get() {
+        let mut m = ToggleMatrix::new(1, 5);
+        m.set(0, 2);
+        assert_eq!(m.column_f64(0), vec![0.0, 0.0, 1.0, 0.0, 0.0]);
+        assert!((m.column_mean(0, 0..5) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_cycles_panics() {
+        ToggleMatrix::new(4, 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Trace capture: drives a simulator and records toggle features and
+//! power labels, the raw material for model training (paper §4.2).
+
+use crate::power::PowerSample;
+use crate::simulator::Simulator;
+use crate::toggle::ToggleMatrix;
+use apollo_rtl::{Netlist, NodeId};
+use std::ops::Range;
+
+/// Which signal bits a capture records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CaptureSelection {
+    /// All `M` signal bits of the design (model training).
+    All,
+    /// An explicit subset, by flat bit index (proxy-only capture, as in
+    /// the paper's emulator-assisted flow where only `Q` proxies are
+    /// dumped).
+    Bits(Vec<usize>),
+}
+
+/// Incremental capture of toggles and power over one or more workload
+/// segments.
+///
+/// Capacity (total cycles) is fixed up front so the packed matrix is
+/// allocated once.
+#[derive(Debug)]
+pub struct TraceCapture {
+    /// For subset captures: per recorded column, the (node, bit) source.
+    subset: Option<Vec<(u32, u8)>>,
+    bit_map: Option<Vec<usize>>,
+    matrix: ToggleMatrix,
+    power: Vec<PowerSample>,
+    cursor: usize,
+    row_buf: Vec<u64>,
+    segments: Vec<(String, Range<usize>)>,
+}
+
+impl TraceCapture {
+    /// Prepares to capture all signal bits of `netlist` for up to
+    /// `capacity_cycles` cycles.
+    pub fn all(netlist: &Netlist, capacity_cycles: usize) -> Self {
+        let m = netlist.signal_bits();
+        TraceCapture {
+            subset: None,
+            bit_map: None,
+            matrix: ToggleMatrix::new(m, capacity_cycles),
+            power: Vec::with_capacity(capacity_cycles),
+            cursor: 0,
+            row_buf: vec![0u64; m.div_ceil(64)],
+            segments: Vec::new(),
+        }
+    }
+
+    /// Prepares to capture only the given flat signal bits.
+    ///
+    /// # Panics
+    /// Panics if `bits` is empty or any index is out of range.
+    pub fn bits(netlist: &Netlist, bits: &[usize], capacity_cycles: usize) -> Self {
+        assert!(!bits.is_empty(), "subset capture needs at least one bit");
+        let subset = bits
+            .iter()
+            .map(|&b| {
+                let (node, bit) = netlist.bit_owner(b);
+                (node.index() as u32, bit)
+            })
+            .collect();
+        TraceCapture {
+            subset: Some(subset),
+            bit_map: Some(bits.to_vec()),
+            matrix: ToggleMatrix::new(bits.len(), capacity_cycles),
+            power: Vec::with_capacity(capacity_cycles),
+            cursor: 0,
+            row_buf: Vec::new(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// Cycles recorded so far.
+    pub fn len(&self) -> usize {
+        self.cursor
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cursor == 0
+    }
+
+    /// Remaining capacity in cycles.
+    pub fn remaining(&self) -> usize {
+        self.matrix.n_cycles() - self.cursor
+    }
+
+    /// Steps `sim` for `cycles` cycles, recording toggles and power as a
+    /// named segment.
+    ///
+    /// # Panics
+    /// Panics if capacity would be exceeded.
+    pub fn record(&mut self, sim: &mut Simulator<'_>, cycles: usize, label: &str) {
+        assert!(
+            cycles <= self.remaining(),
+            "capture capacity exceeded: {} cycles requested, {} remaining",
+            cycles,
+            self.remaining()
+        );
+        let start = self.cursor;
+        for _ in 0..cycles {
+            sim.step();
+            match &self.subset {
+                None => {
+                    sim.toggle_row(&mut self.row_buf);
+                    self.matrix.store_row(self.cursor, &self.row_buf);
+                }
+                Some(subset) => {
+                    for (col, &(node, bit)) in subset.iter().enumerate() {
+                        let t = sim.toggle_word(NodeId::from_index(node as usize));
+                        if (t >> bit) & 1 == 1 {
+                            self.matrix.set(col, self.cursor);
+                        }
+                    }
+                }
+            }
+            self.power.push(sim.power());
+            self.cursor += 1;
+        }
+        self.segments.push((label.to_owned(), start..self.cursor));
+    }
+
+    /// Finalizes the capture.
+    ///
+    /// # Panics
+    /// Panics if the capture is empty or under-filled (capacity must be
+    /// fully used so matrix dimensions match the recorded cycle count;
+    /// size the capture exactly).
+    pub fn finish(self) -> TraceData {
+        assert!(self.cursor > 0, "empty capture");
+        assert!(
+            self.cursor == self.matrix.n_cycles(),
+            "capture under-filled: {} of {} cycles",
+            self.cursor,
+            self.matrix.n_cycles()
+        );
+        TraceData {
+            toggles: self.matrix,
+            power: self.power,
+            bit_map: self.bit_map,
+            segments: self.segments,
+        }
+    }
+}
+
+/// A finished trace: per-cycle toggle features and power labels.
+#[derive(Clone, Debug)]
+pub struct TraceData {
+    /// Toggle matrix: one column per captured signal bit, one row per
+    /// cycle.
+    pub toggles: ToggleMatrix,
+    /// Per-cycle ground-truth power breakdown.
+    pub power: Vec<PowerSample>,
+    /// For subset captures, the flat bit index each column came from.
+    pub bit_map: Option<Vec<usize>>,
+    /// Named workload segments and their cycle ranges.
+    pub segments: Vec<(String, Range<usize>)>,
+}
+
+impl TraceData {
+    /// Number of recorded cycles.
+    pub fn n_cycles(&self) -> usize {
+        self.power.len()
+    }
+
+    /// Per-cycle total-power labels (the paper's `y`).
+    pub fn labels(&self) -> Vec<f64> {
+        self.power.iter().map(|p| p.total).collect()
+    }
+
+    /// The cycle range of a named segment, if present.
+    pub fn segment(&self, label: &str) -> Option<Range<usize>> {
+        self.segments
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, r)| r.clone())
+    }
+
+    /// Mean total power over all cycles.
+    pub fn mean_power(&self) -> f64 {
+        if self.power.is_empty() {
+            return 0.0;
+        }
+        self.power.iter().map(|p| p.total).sum::<f64>() / self.power.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PowerConfig;
+    use apollo_rtl::{CapModel, NetlistBuilder, Unit, CLOCK_ROOT};
+
+    fn counter_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("c");
+        let r = b.reg(8, 0, CLOCK_ROOT, "count", Unit::Control);
+        let one = b.constant(1, 8);
+        let n = b.add(r, one);
+        b.name(n, "next", Unit::Control);
+        b.connect(r, n);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_capture_records_counter_toggles() {
+        let nl = counter_netlist();
+        let cap = CapModel::default().annotate(&nl);
+        let mut sim = Simulator::new(&nl, &cap, PowerConfig::default());
+        let mut tc = TraceCapture::all(&nl, 8);
+        tc.record(&mut sim, 8, "count");
+        let data = tc.finish();
+        assert_eq!(data.n_cycles(), 8);
+        // Counter bit 0 toggles every cycle: column at the reg's offset.
+        let reg_bit0 = 0; // reg is node 0, offset 0
+        for c in 0..8 {
+            assert!(data.toggles.get(reg_bit0, c), "cycle {c}");
+        }
+        assert!(data.mean_power() > 0.0);
+        assert_eq!(data.segment("count"), Some(0..8));
+    }
+
+    #[test]
+    fn subset_capture_matches_full() {
+        let nl = counter_netlist();
+        let cap = CapModel::default().annotate(&nl);
+        let cfg = PowerConfig::default();
+
+        let mut sim = Simulator::new(&nl, &cap, cfg.clone());
+        let mut full = TraceCapture::all(&nl, 16);
+        full.record(&mut sim, 16, "w");
+        let full = full.finish();
+
+        let bits: Vec<usize> = vec![0, 1, 2, 9];
+        let mut sim2 = Simulator::new(&nl, &cap, cfg);
+        let mut sub = TraceCapture::bits(&nl, &bits, 16);
+        sub.record(&mut sim2, 16, "w");
+        let sub = sub.finish();
+
+        for (col, &bit) in bits.iter().enumerate() {
+            for c in 0..16 {
+                assert_eq!(sub.toggles.get(col, c), full.toggles.get(bit, c));
+            }
+        }
+        assert_eq!(sub.labels(), full.labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exceeded")]
+    fn over_capacity_panics() {
+        let nl = counter_netlist();
+        let cap = CapModel::default().annotate(&nl);
+        let mut sim = Simulator::new(&nl, &cap, PowerConfig::default());
+        let mut tc = TraceCapture::all(&nl, 4);
+        tc.record(&mut sim, 5, "too long");
+    }
+}

@@ -1,0 +1,92 @@
+//! The full automated design-time flow of the paper (Figure 2):
+//! GA-generated training data → proxy selection → emulator-assisted
+//! per-cycle power introspection of a long workload.
+//!
+//! Run with: `cargo run --release --example design_time_flow`
+
+use apollo_suite::core::{
+    benchgen::GaConfig, run_emulator_flow, run_ga, train_per_cycle, DesignContext, FeatureSpace,
+    TrainOptions,
+};
+use apollo_suite::cpu::{benchmarks, CpuConfig};
+use apollo_suite::mlkit::metrics;
+
+fn main() {
+    let config = CpuConfig::tiny();
+    let ctx = DesignContext::new(&config);
+
+    // --- 1. Automatic training-data generation (paper §4.1) -----------
+    // A genetic algorithm evolves instruction sequences toward a power
+    // virus; the union of all generations spans a wide power range.
+    let ga = run_ga(
+        &ctx,
+        &GaConfig {
+            population: 12,
+            generations: 8,
+            body_len_min: 10,
+            body_len_max: 64,
+            reps: 8,
+            fitness_cycles: 300,
+            ..GaConfig::default()
+        },
+    );
+    println!(
+        "GA: {} micro-benchmarks, power spread {:.2}x, best-per-generation {:?}",
+        ga.individuals.len(),
+        ga.power_spread(),
+        ga.best_per_gen.iter().map(|p| p.round()).collect::<Vec<_>>()
+    );
+
+    // --- 2. Feature/label collection + model construction -------------
+    let suite = ga.training_suite(24, 100, config.dram_words);
+    let trace = ctx.capture_suite(&suite, 40);
+    let fs = FeatureSpace::build(&trace.toggles);
+    let trained = train_per_cycle(
+        &trace,
+        ctx.netlist(),
+        &fs,
+        &TrainOptions {
+            q_target: 24,
+            ..TrainOptions::default()
+        },
+    );
+    let model = trained.model;
+    println!(
+        "model: Q = {} of {} candidate signals (M = {} bits)",
+        model.q(),
+        fs.n_candidates(),
+        model.m_bits
+    );
+
+    // --- 3. Emulator-assisted long-workload introspection (paper §5) --
+    // Only the Q proxy bits are dumped per cycle, so multi-million-cycle
+    // workloads fit in memory; the linear model infers power in seconds.
+    let workload = benchmarks::hmmer_like(&config, 12);
+    let report = run_emulator_flow(&ctx, &model, &workload, 20_000, 50);
+    println!(
+        "emulator flow: {} cycles, proxy trace {:.2} MiB vs full dump {:.1} MiB ({:.0}x smaller)",
+        report.cycles,
+        report.proxy_trace_bytes as f64 / (1 << 20) as f64,
+        report.full_trace_bytes as f64 / (1 << 20) as f64,
+        report.reduction_factor()
+    );
+    println!(
+        "inference: {:.1} Mcycles/s ({:.0} s per billion cycles)",
+        report.inference_cycles_per_second() / 1e6,
+        report.seconds_per_billion_cycles()
+    );
+    println!(
+        "accuracy on the long trace: R2 = {:.3}",
+        metrics::r2(&report.ground_truth, &report.power_trace)
+    );
+
+    // Print a small piece of the power trace (the paper's Figure 16).
+    println!("\nper-cycle power excerpt (truth vs APOLLO):");
+    for c in (4000..4200).step_by(20) {
+        let bar = "#".repeat((report.power_trace[c] / 120.0) as usize);
+        println!(
+            "  cycle {:>5}  truth {:>7.0}  apollo {:>7.0}  {bar}",
+            c, report.ground_truth[c], report.power_trace[c]
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Multi-cycle power tracing for DVFS-style management (paper §4.5):
+//! train an APOLLOτ model on interval-averaged data and read power at
+//! coarse window sizes with the same per-cycle hardware (Eq. 9).
+//!
+//! Run with: `cargo run --release --example multicycle_dvfs`
+
+use apollo_suite::core::{
+    train_per_cycle, train_tau, window_average, window_nrmse, DesignContext, FeatureSpace,
+    TrainOptions,
+};
+use apollo_suite::cpu::{benchmarks, CpuConfig};
+
+fn main() {
+    let config = CpuConfig::tiny();
+    let ctx = DesignContext::new(&config);
+    let train: Vec<_> = vec![
+        (benchmarks::dhrystone(), 512),
+        (benchmarks::maxpwr_cpu(), 512),
+        (benchmarks::daxpy(), 512),
+        (benchmarks::memcpy_l2(&config), 512),
+    ];
+    let trace = ctx.capture_suite(&train, 30);
+    let fs = FeatureSpace::build(&trace.toggles);
+    let opts = TrainOptions { q_target: 20, ..TrainOptions::default() };
+
+    // Per-cycle model (window prediction = average of per-cycle ones)
+    // versus APOLLOτ trained at τ = 8 (the paper's best interval).
+    let per_cycle = train_per_cycle(&trace, ctx.netlist(), &fs, &opts).model;
+    let tau8 = train_tau(&trace, ctx.netlist(), &fs, 8, &opts);
+    println!(
+        "per-cycle model Q = {}, APOLLO-tau(8) Q = {}",
+        per_cycle.q(),
+        tau8.q()
+    );
+
+    // Held-out workload; score both at several window sizes.
+    let test = ctx.capture_suite(&[(benchmarks::saxpy_simd(), 1024)], 30);
+    let labels = test.labels();
+    let pc_pred = per_cycle.predict_full(&test.toggles);
+
+    println!("\nNRMSE by measurement window (held-out `saxpy_simd`):");
+    println!("  T      per-cycle-avg   APOLLO-tau(8)");
+    for t in [4usize, 8, 16, 32, 64] {
+        let avg = window_average(&pc_pred, t);
+        let e_avg = window_nrmse(&avg, &labels, t);
+        let tau_pred = tau8.predict_windows(&test.toggles, t);
+        let e_tau = window_nrmse(&tau_pred, &labels, t);
+        println!("  {:<5}  {:>10.1}%   {:>10.1}%", t, 100.0 * e_avg, 100.0 * e_tau);
+    }
+
+    // A DVFS governor view: 64-cycle power epochs over the workload.
+    let epochs = tau8.predict_windows(&test.toggles, 64);
+    let truth = window_average(&labels, 64);
+    println!("\n64-cycle power epochs (what an OS governor would read):");
+    for (k, (p, t)) in epochs.iter().zip(&truth).take(8).enumerate() {
+        println!("  epoch {:>2}: estimated {:>8.1}  true {:>8.1}", k, p, t);
+    }
+}

@@ -1,0 +1,87 @@
+//! Runtime side of APOLLO: quantize a trained model to B-bit weights,
+//! generate the on-chip power meter hardware (paper Figure 8),
+//! co-simulate it bit-exactly, and use its per-cycle output for
+//! proactive Ldi/dt voltage-droop mitigation (paper §8.2).
+//!
+//! Run with: `cargo run --release --example opm_droop`
+
+use apollo_suite::core::{train_per_cycle, DesignContext, FeatureSpace, TrainOptions};
+use apollo_suite::cpu::{benchmarks, CpuConfig};
+use apollo_suite::opm::droop::{mitigate, DroopAnalysis, PdnModel};
+use apollo_suite::opm::{build_opm, AreaReport, QuantizedOpm};
+
+fn main() {
+    // Train a model (see `quickstart` for details).
+    let config = CpuConfig::tiny();
+    let ctx = DesignContext::new(&config);
+    let train: Vec<_> = vec![
+        (benchmarks::maxpwr_cpu(), 400),
+        (benchmarks::dhrystone(), 400),
+        (benchmarks::saxpy_simd(), 400),
+        (benchmarks::cache_miss(&config), 300),
+    ];
+    let trace = ctx.capture_suite(&train, 30);
+    let fs = FeatureSpace::build(&trace.toggles);
+    let model = train_per_cycle(
+        &trace,
+        ctx.netlist(),
+        &fs,
+        &TrainOptions { q_target: 24, ..TrainOptions::default() },
+    )
+    .model;
+
+    // --- Quantize to a hardware spec (Q proxies, B-bit weights, T) ----
+    let quant = QuantizedOpm::from_model(&model, 10, 8);
+    println!(
+        "OPM spec: Q = {}, B = {} bits, T = {} cycles; accumulator {} bits",
+        quant.spec.q,
+        quant.spec.b,
+        quant.spec.t,
+        quant.spec.accumulator_bits()
+    );
+
+    // --- Generate the Figure-8 hardware and measure its cost ----------
+    let hw = build_opm(&quant);
+    let report = AreaReport::from_areas(&hw, ctx.netlist());
+    println!(
+        "OPM hardware: {} netlist nodes, {:.0} gate-equivalents ({:.2}% of the host CPU)",
+        hw.netlist.len(),
+        report.opm_ge,
+        100.0 * report.area_overhead
+    );
+
+    // --- Bit-exact co-simulation against the software model -----------
+    let bench = benchmarks::throttling(1);
+    let proxy_trace = ctx.capture_bits(&bench, &model.bits(), 600, 30);
+    let cosim = hw.cosim(&proxy_trace.toggles);
+    let reference = quant.window_outputs_proxy(&proxy_trace.toggles);
+    assert_eq!(cosim.windows, reference, "hardware == software, bit for bit");
+    println!(
+        "co-simulation: {} windows match the software reference exactly; OPM power {:.1} units",
+        cosim.windows.len(),
+        cosim.mean_power.total
+    );
+
+    // --- Per-cycle ΔI for droop prediction (Figure 17) ----------------
+    let full = ctx.capture_suite(&[(benchmarks::maxpwr_l2(&config), 800)], 30);
+    let est = quant.predict_cycles(&full.toggles);
+    let truth = full.labels();
+    let analysis = DroopAnalysis::analyze(&est, &truth, 0.95);
+    println!(
+        "delta-I agreement: Pearson {:.3}, droop-precursor recall {:.0}%",
+        analysis.pearson,
+        100.0 * analysis.droop_recall
+    );
+
+    // --- Close the loop: OPM-triggered adaptive clocking ---------------
+    let pdn = PdnModel::default();
+    let mitigation = mitigate(&pdn, &est, &truth, 0.12, 0.03, 10, 0.93);
+    println!(
+        "droop mitigation: Vmin {:.3} -> {:.3} V, violations {} -> {} ({} throttled cycles)",
+        mitigation.vmin_baseline,
+        mitigation.vmin_mitigated,
+        mitigation.violations_baseline,
+        mitigation.violations_mitigated,
+        mitigation.throttled_cycles
+    );
+}

@@ -1,0 +1,55 @@
+//! Runtime power management with the OPM: a bang-bang power-cap
+//! governor that throttles the core's issue rate from meter readings
+//! alone — the paper's DVFS-style runtime-management use case.
+//!
+//! Run with: `cargo run --release --example power_cap_governor`
+
+use apollo_suite::core::{train_per_cycle, DesignContext, FeatureSpace, TrainOptions};
+use apollo_suite::cpu::{benchmarks, CpuConfig};
+use apollo_suite::opm::{run_governed, GovernorConfig, QuantizedOpm};
+
+fn main() {
+    let ctx = DesignContext::new(&CpuConfig::tiny());
+    let suite = vec![
+        (benchmarks::maxpwr_cpu(), 400),
+        (benchmarks::saxpy_simd(), 400),
+        (benchmarks::dhrystone(), 300),
+    ];
+    let trace = ctx.capture_suite(&suite, 150);
+    let fs = FeatureSpace::build(&trace.toggles);
+    let model = train_per_cycle(
+        &trace,
+        ctx.netlist(),
+        &fs,
+        &TrainOptions { q_target: 20, ..TrainOptions::default() },
+    )
+    .model;
+    let opm = QuantizedOpm::from_model(&model, 10, 32);
+
+    let bench = benchmarks::maxpwr_cpu();
+    let free_power = ctx.mean_power(&bench.program, &bench.data, 100, 400);
+    println!("free-running power-virus mean power: {free_power:.0}");
+
+    for cap_frac in [0.9, 0.75, 0.6] {
+        let cap = free_power * cap_frac;
+        let r = run_governed(
+            &ctx.handles,
+            &ctx.cap,
+            &opm,
+            &bench.program,
+            &bench.data,
+            1024,
+            &GovernorConfig { epoch: 32, cap, ..GovernorConfig::default() },
+        );
+        println!(
+            "cap {:>6.0}: governed power {:>6.0} ({} of {} epochs over cap; free: {}), IPC ratio {:.2}, throttle levels {:?}",
+            cap,
+            r.mean_power_governed,
+            (r.epochs_over_cap * r.throttle_trace.len() as f64).round() as usize,
+            r.throttle_trace.len(),
+            (r.epochs_over_cap_free * r.throttle_trace.len() as f64).round() as usize,
+            r.retired_governed as f64 / r.retired_free.max(1) as f64,
+            &r.throttle_trace[..8.min(r.throttle_trace.len())]
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Quickstart: train an APOLLO power model for a CPU design and use it
+//! for per-cycle power prediction on an unseen workload.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use apollo_suite::core::{
+    train_per_cycle, DesignContext, FeatureSpace, SelectionPenalty, TrainOptions,
+};
+use apollo_suite::cpu::{benchmarks, CpuConfig};
+use apollo_suite::mlkit::metrics;
+
+fn main() {
+    // 1. Build a CPU design and annotate parasitics. `tiny()` keeps the
+    //    example fast; use `CpuConfig::neoverse_like()` for the
+    //    evaluation-scale core.
+    let config = CpuConfig::tiny();
+    let ctx = DesignContext::new(&config);
+    println!(
+        "design `{}`: {} RTL nodes, M = {} signal bits",
+        config.name,
+        ctx.netlist().len(),
+        ctx.m_bits()
+    );
+
+    // 2. Capture training data: per-cycle signal toggles (features) and
+    //    ground-truth power (labels) over a few workloads. The full
+    //    framework generates these workloads automatically with a
+    //    genetic algorithm (see the `design_time_flow` example).
+    let train_suite: Vec<_> = vec![
+        (benchmarks::dhrystone(), 400),
+        (benchmarks::maxpwr_cpu(), 400),
+        (benchmarks::daxpy(), 400),
+        (benchmarks::memcpy_l2(&config), 400),
+    ];
+    let trace = ctx.capture_suite(&train_suite, 30);
+    println!(
+        "training trace: {} cycles x {} signal bits",
+        trace.n_cycles(),
+        trace.toggles.m_bits()
+    );
+
+    // 3. Select power proxies with MCP regression and train the linear
+    //    model (selection + ridge relaxation).
+    let fs = FeatureSpace::build(&trace.toggles);
+    let trained = train_per_cycle(
+        &trace,
+        ctx.netlist(),
+        &fs,
+        &TrainOptions {
+            q_target: 24,
+            penalty: SelectionPenalty::Mcp { gamma: 10.0 },
+            ..TrainOptions::default()
+        },
+    );
+    let model = &trained.model;
+    println!(
+        "selected Q = {} proxies ({:.3}% of all signals); intercept {:.1}",
+        model.q(),
+        100.0 * model.monitored_fraction(),
+        model.intercept
+    );
+    for proxy in model.proxies.iter().take(5) {
+        println!(
+            "  proxy {:<28} unit {:<16} weight {:.1}",
+            proxy.name,
+            proxy.unit.label(),
+            proxy.weight
+        );
+    }
+
+    // 4. Predict per-cycle power on an unseen workload and score it.
+    let test_suite: Vec<_> = vec![(benchmarks::saxpy_simd(), 500)];
+    let test = ctx.capture_suite(&test_suite, 30);
+    let pred = model.predict_full(&test.toggles);
+    let truth = test.labels();
+    println!(
+        "held-out `saxpy_simd`: R2 = {:.3}, NRMSE = {:.1}%, NMAE = {:.1}%",
+        metrics::r2(&truth, &pred),
+        100.0 * metrics::nrmse(&truth, &pred),
+        100.0 * metrics::nmae(&truth, &pred)
+    );
+    for cycle in (0..20).step_by(4) {
+        println!(
+            "  cycle {:>3}: truth {:>8.1}  predicted {:>8.1}",
+            cycle, truth[cycle], pred[cycle]
+        );
+    }
+}

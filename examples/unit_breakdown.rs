@@ -1,0 +1,53 @@
+//! Per-unit power attribution: where does each benchmark's power go?
+//!
+//! The ground-truth engine attributes switching power to functional
+//! units, which is the design-side insight behind the paper's Figure
+//! 15(a) (power proxies concentrate in the units that burn the power).
+//!
+//! Run with: `cargo run --release --example unit_breakdown`
+
+use apollo_suite::core::DesignContext;
+use apollo_suite::cpu::{benchmarks, CpuConfig};
+use apollo_suite::rtl::Unit;
+
+fn main() {
+    let config = CpuConfig::tiny();
+    let ctx = DesignContext::new(&config);
+
+    let suite = vec![
+        benchmarks::dhrystone(),
+        benchmarks::maxpwr_cpu(),
+        benchmarks::saxpy_simd(),
+        benchmarks::cache_miss(&config),
+    ];
+
+    println!(
+        "{:<14} {}",
+        "benchmark",
+        Unit::ALL
+            .iter()
+            .map(|u| format!("{:>9.9}", u.label()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for bench in suite {
+        let mut sim = ctx.simulate(&bench.program, &bench.data);
+        for _ in 0..100 {
+            sim.step();
+        }
+        let mut totals = vec![0.0f64; Unit::ALL.len()];
+        let cycles = 400;
+        for _ in 0..cycles {
+            sim.step();
+            for (t, u) in totals.iter_mut().zip(sim.sim().unit_switching()) {
+                *t += u;
+            }
+        }
+        let row: Vec<String> = totals
+            .iter()
+            .map(|t| format!("{:>9.0}", t / cycles as f64))
+            .collect();
+        println!("{:<14} {}", bench.name, row.join(" "));
+    }
+    println!("\n(values are mean switching power per cycle attributed to each unit)");
+}

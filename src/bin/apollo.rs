@@ -1,0 +1,237 @@
+//! `apollo` — command-line interface to the APOLLO reproduction.
+//!
+//! ```text
+//! apollo design --config <tiny|n1|a77>
+//! apollo train  --config <tiny|n1|a77> --q <N> [--ga-generations <N>] [--out model.json]
+//! apollo eval   --config <tiny|n1|a77> --model model.json
+//! apollo opm    --model model.json [--bits <B>] [--window <T>]
+//! apollo trace  --config <tiny|n1|a77> --model model.json [--cycles <N>] [--out trace.json]
+//! ```
+
+use apollo_suite::core::{
+    benchgen::GaConfig, run_emulator_flow, run_ga, train_per_cycle, ApolloModel, DesignContext,
+    FeatureSpace, TrainOptions,
+};
+use apollo_suite::cpu::{benchmarks, CpuConfig};
+use apollo_suite::mlkit::metrics;
+use apollo_suite::opm::{build_opm, AreaReport, QuantizedOpm};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         apollo design --config <tiny|n1|a77>\n  \
+         apollo train  --config <tiny|n1|a77> --q <N> [--ga-generations <N>] [--out model.json]\n  \
+         apollo eval   --config <tiny|n1|a77> --model model.json\n  \
+         apollo opm    --model model.json [--bits <B>] [--window <T>]\n  \
+         apollo trace  --config <tiny|n1|a77> --model model.json [--cycles <N>] [--out trace.json]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag.strip_prefix("--")?;
+        let value = it.next()?;
+        out.insert(key.to_owned(), value.clone());
+    }
+    Some(out)
+}
+
+fn design_of(name: &str) -> Option<CpuConfig> {
+    match name {
+        "tiny" => Some(CpuConfig::tiny()),
+        "n1" | "neoverse" | "n1-like" => Some(CpuConfig::neoverse_like()),
+        "a77" | "cortex" | "a77-like" => Some(CpuConfig::cortex_like()),
+        _ => None,
+    }
+}
+
+fn load_model(path: &str) -> Result<ApolloModel, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Some(flags) = parse_flags(rest) else {
+        return usage();
+    };
+    let get = |k: &str| flags.get(k).cloned();
+
+    match cmd.as_str() {
+        "design" => {
+            let Some(cfg) = get("config").and_then(|c| design_of(&c)) else {
+                return usage();
+            };
+            let ctx = DesignContext::new(&cfg);
+            println!("design `{}`", cfg.name);
+            print!("{}", ctx.netlist().stats());
+            ExitCode::SUCCESS
+        }
+        "train" => {
+            let Some(cfg) = get("config").and_then(|c| design_of(&c)) else {
+                return usage();
+            };
+            let q: usize = get("q").and_then(|v| v.parse().ok()).unwrap_or(64);
+            let generations: usize = get("ga-generations")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(12);
+            let ctx = DesignContext::new(&cfg);
+            eprintln!("generating training data ({generations} GA generations)...");
+            let ga = run_ga(
+                &ctx,
+                &GaConfig {
+                    population: 16,
+                    generations,
+                    ..GaConfig::default()
+                },
+            );
+            eprintln!(
+                "GA: {} individuals, power spread {:.2}x",
+                ga.individuals.len(),
+                ga.power_spread()
+            );
+            let suite = ga.training_suite(120, 100, cfg.dram_words);
+            let trace = ctx.capture_suite(&suite, 400);
+            let fs = FeatureSpace::build(&trace.toggles);
+            eprintln!(
+                "training on {} cycles, {} candidate signals",
+                trace.n_cycles(),
+                fs.n_candidates()
+            );
+            let model = train_per_cycle(
+                &trace,
+                ctx.netlist(),
+                &fs,
+                &TrainOptions { q_target: q, ..TrainOptions::default() },
+            )
+            .model;
+            let train_pred = model.predict_full(&trace.toggles);
+            println!(
+                "trained: Q = {} ({:.3}% of {} signal bits), train R2 = {:.3}",
+                model.q(),
+                100.0 * model.monitored_fraction(),
+                model.m_bits,
+                metrics::r2(&trace.labels(), &train_pred)
+            );
+            if let Some(path) = get("out") {
+                std::fs::write(&path, serde_json::to_string_pretty(&model).unwrap())
+                    .expect("write model");
+                println!("model saved to {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        "eval" => {
+            let (Some(cfg), Some(model_path)) =
+                (get("config").and_then(|c| design_of(&c)), get("model"))
+            else {
+                return usage();
+            };
+            let model = match load_model(&model_path) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let ctx = DesignContext::new(&cfg);
+            let suite = ctx.test_suite(1.0);
+            let trace = ctx.capture_suite(&suite, 400);
+            let pred = model.predict_full(&trace.toggles);
+            let y = trace.labels();
+            println!(
+                "Table-4 suite: R2 = {:.3}, NRMSE = {:.1}%, NMAE = {:.1}%",
+                metrics::r2(&y, &pred),
+                100.0 * metrics::nrmse(&y, &pred),
+                100.0 * metrics::nmae(&y, &pred)
+            );
+            for (name, range) in &trace.segments {
+                println!(
+                    "  {:<14} NRMSE {:>5.1}%",
+                    name,
+                    100.0 * metrics::nrmse(&y[range.clone()], &pred[range.clone()])
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "opm" => {
+            let Some(model_path) = get("model") else {
+                return usage();
+            };
+            let model = match load_model(&model_path) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let b: u8 = get("bits").and_then(|v| v.parse().ok()).unwrap_or(10);
+            let t: usize = get("window").and_then(|v| v.parse().ok()).unwrap_or(8);
+            let quant = QuantizedOpm::from_model(&model, b, t);
+            let hw = build_opm(&quant);
+            println!(
+                "OPM: Q = {}, B = {b}, T = {t}; accumulator {} bits; {} netlist nodes",
+                quant.spec.q,
+                quant.spec.accumulator_bits(),
+                hw.netlist.len()
+            );
+            // Host for the overhead ratio: rebuild the design the model
+            // names (fall back to tiny for unknown names).
+            let host = design_of(&model.design_name).unwrap_or_else(CpuConfig::tiny);
+            let ctx = DesignContext::new(&host);
+            let report = AreaReport::from_areas(&hw, ctx.netlist());
+            println!(
+                "gate area: OPM {:.0} GE vs host {:.0} GE = {:.3}% overhead",
+                report.opm_ge,
+                report.cpu_ge,
+                100.0 * report.area_overhead
+            );
+            ExitCode::SUCCESS
+        }
+        "trace" => {
+            let (Some(cfg), Some(model_path)) =
+                (get("config").and_then(|c| design_of(&c)), get("model"))
+            else {
+                return usage();
+            };
+            let model = match load_model(&model_path) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cycles: usize = get("cycles").and_then(|v| v.parse().ok()).unwrap_or(100_000);
+            let ctx = DesignContext::new(&cfg);
+            let phases = (cycles / 2500).clamp(2, 600) as u16;
+            let bench = benchmarks::hmmer_like(&ctx.handles.config, phases);
+            let report = run_emulator_flow(&ctx, &model, &bench, cycles, 400);
+            println!(
+                "{} cycles: proxy trace {:.2} MiB ({:.0}x smaller than a full dump), \
+                 inference {:.1} Mcycles/s, R2 vs ground truth {:.3}",
+                report.cycles,
+                report.proxy_trace_bytes as f64 / (1 << 20) as f64,
+                report.reduction_factor(),
+                report.inference_cycles_per_second() / 1e6,
+                metrics::r2(&report.ground_truth, &report.power_trace)
+            );
+            if let Some(path) = get("out") {
+                std::fs::write(
+                    &path,
+                    serde_json::to_string(&report.power_trace).unwrap(),
+                )
+                .expect("write trace");
+                println!("power trace saved to {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

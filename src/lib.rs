@@ -1,0 +1,24 @@
+//! # apollo-suite
+//!
+//! Umbrella crate for the APOLLO (MICRO 2021) reproduction: re-exports
+//! every subsystem crate so examples and integration tests can use a
+//! single dependency.
+//!
+//! - [`rtl`] — RTL eDSL and netlist representation.
+//! - [`sim`] — cycle-accurate simulator and ground-truth power engine.
+//! - [`cpu`] — the synthetic microprocessor designs, ISA and benchmarks.
+//! - [`dsp`] — a non-CPU compute engine (streaming MAC/FIR DSP).
+//! - [`mlkit`] — penalized regression (MCP/Lasso/Ridge/ElasticNet),
+//!   clustering, PCA, a small neural network, and metrics.
+//! - [`core`] — the APOLLO framework: training-data generation, proxy
+//!   selection, per-cycle and multi-cycle power models, baselines.
+//! - [`opm`] — on-chip power meter generation, quantization, overhead
+//!   modeling and voltage-droop analysis.
+
+pub use apollo_core as core;
+pub use apollo_cpu as cpu;
+pub use apollo_dsp as dsp;
+pub use apollo_mlkit as mlkit;
+pub use apollo_opm as opm;
+pub use apollo_rtl as rtl;
+pub use apollo_sim as sim;

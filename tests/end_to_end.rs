@@ -1,0 +1,231 @@
+//! Cross-crate integration tests: the full APOLLO pipeline from RTL
+//! design to trained model, OPM hardware, and droop analysis.
+
+use apollo_suite::core::{
+    benchgen::GaConfig, run_emulator_flow, run_ga, train_per_cycle, train_tau, window_nrmse,
+    DesignContext, FeatureSpace, SelectionPenalty, TrainOptions,
+};
+use apollo_suite::cpu::{benchmarks, CpuConfig};
+use apollo_suite::mlkit::metrics;
+use apollo_suite::opm::droop::DroopAnalysis;
+use apollo_suite::opm::{build_opm, AreaReport, QuantizedOpm};
+
+/// The full automated flow of the paper's Figure 2, end to end on the
+/// tiny design: GA data generation → feature collection → MCP selection
+/// → per-cycle model → quantized OPM hardware → co-simulation.
+#[test]
+fn full_pipeline_ga_to_opm() {
+    let config = CpuConfig::tiny();
+    let ctx = DesignContext::new(&config);
+
+    // 1. GA training data.
+    let ga = run_ga(
+        &ctx,
+        &GaConfig {
+            population: 10,
+            generations: 5,
+            body_len_min: 10,
+            body_len_max: 48,
+            reps: 8,
+            warmup: 150,
+            fitness_cycles: 200,
+            threads: 2,
+            ..GaConfig::default()
+        },
+    );
+    assert!(ga.power_spread() > 1.5, "GA spread {}", ga.power_spread());
+
+    // 2. Capture + train.
+    let suite = ga.training_suite(20, 100, config.dram_words);
+    let trace = ctx.capture_suite(&suite, 150);
+    let fs = FeatureSpace::build(&trace.toggles);
+    assert!(fs.n_candidates() > 100, "candidates {}", fs.n_candidates());
+    let trained = train_per_cycle(
+        &trace,
+        ctx.netlist(),
+        &fs,
+        &TrainOptions {
+            q_target: 24,
+            ..TrainOptions::default()
+        },
+    );
+    let model = trained.model;
+    assert!(model.q() >= 12);
+    assert!(model.monitored_fraction() < 0.01);
+
+    // 3. Held-out accuracy.
+    let test = ctx.capture_suite(&[(benchmarks::maxpwr_cpu(), 400)], 150);
+    let pred = model.predict_full(&test.toggles);
+    let y = test.labels();
+    let r2 = metrics::r2(&y, &pred);
+    assert!(r2 > 0.5, "held-out R² = {r2}");
+
+    // 4. Quantize, build the OPM, co-simulate bit-exactly.
+    let quant = QuantizedOpm::from_model(&model, 10, 8);
+    let hw = build_opm(&quant);
+    let proxy = ctx.capture_bits(&benchmarks::maxpwr_cpu(), &model.bits(), 256, 150);
+    let cosim = hw.cosim(&proxy.toggles);
+    assert_eq!(cosim.sums, quant.raw_sums_proxy(&proxy.toggles));
+    assert_eq!(cosim.windows, quant.window_outputs_proxy(&proxy.toggles));
+
+    // 5. Hardware cost is small relative to the host.
+    let report = AreaReport::from_areas(&hw, ctx.netlist());
+    assert!(report.area_overhead < 0.08, "area {}", report.area_overhead);
+}
+
+/// MCP selection must beat Lasso selection at equal Q on a shared test
+/// set (the paper's central claim, Figure 10's shape).
+#[test]
+fn mcp_beats_lasso_at_equal_q() {
+    let config = CpuConfig::tiny();
+    let ctx = DesignContext::new(&config);
+    let mut suite = vec![
+        (benchmarks::dhrystone(), 300),
+        (benchmarks::maxpwr_cpu(), 300),
+        (benchmarks::daxpy(), 300),
+    ];
+    // Random coverage like the GA set.
+    use apollo_suite::cpu::benchmarks::random::{random_body, wrap_body, GenWeights};
+    for seed in 0..10u64 {
+        suite.push((
+            benchmarks::Benchmark {
+                name: format!("r{seed}"),
+                program: wrap_body(&random_body(seed, 60, &GenWeights::default()), 8),
+                data: vec![0xA5A5_5A5A; 128],
+                cycles: 150,
+            },
+            150,
+        ));
+    }
+    let trace = ctx.capture_suite(&suite, 150);
+    let fs = FeatureSpace::build(&trace.toggles);
+    let test = ctx.capture_suite(
+        &[(benchmarks::saxpy_simd(), 400), (benchmarks::memcpy_l2(&config), 400)],
+        150,
+    );
+    let y = test.labels();
+
+    let eval = |penalty| {
+        let m = train_per_cycle(
+            &trace,
+            ctx.netlist(),
+            &fs,
+            &TrainOptions {
+                q_target: 20,
+                penalty,
+                ..TrainOptions::default()
+            },
+        )
+        .model;
+        let pred = m.predict_full(&test.toggles);
+        (m.q(), metrics::nrmse(&y, &pred))
+    };
+    let (q_mcp, e_mcp) = eval(SelectionPenalty::Mcp { gamma: 10.0 });
+    let (q_lasso, e_lasso) = eval(SelectionPenalty::Lasso);
+    assert!(q_mcp.abs_diff(q_lasso) <= 8, "q {q_mcp} vs {q_lasso}");
+    assert!(
+        e_mcp <= e_lasso * 1.15,
+        "MCP NRMSE {e_mcp:.3} should not be much worse than Lasso {e_lasso:.3}"
+    );
+}
+
+/// The multi-cycle APOLLOτ model must beat naive per-cycle averaging at
+/// large windows (Figure 11's shape), and window error must fall as T
+/// grows.
+#[test]
+fn multicycle_model_shape() {
+    let config = CpuConfig::tiny();
+    let ctx = DesignContext::new(&config);
+    let suite = vec![
+        (benchmarks::dhrystone(), 512),
+        (benchmarks::maxpwr_cpu(), 512),
+        (benchmarks::daxpy(), 512),
+        (benchmarks::saxpy_simd(), 512),
+    ];
+    let trace = ctx.capture_suite(&suite, 150);
+    let fs = FeatureSpace::build(&trace.toggles);
+    let opts = TrainOptions {
+        q_target: 20,
+        ..TrainOptions::default()
+    };
+    let per_cycle = train_per_cycle(&trace, ctx.netlist(), &fs, &opts).model;
+    let tau8 = train_tau(&trace, ctx.netlist(), &fs, 8, &opts);
+
+    let test = ctx.capture_suite(&[(benchmarks::memcpy_l2(&config), 1024)], 150);
+    let labels = test.labels();
+    let pc_pred = per_cycle.predict_full(&test.toggles);
+
+    let e1 = window_nrmse(&pc_pred, &labels, 1);
+    let avg64 = apollo_suite::core::window_average(&pc_pred, 64);
+    let e64_avg = window_nrmse(&avg64, &labels, 64);
+    let tau64 = tau8.predict_windows(&test.toggles, 64);
+    let e64_tau = window_nrmse(&tau64, &labels, 64);
+
+    assert!(e64_avg < e1, "averaging helps: {e64_avg} < {e1}");
+    assert!(
+        e64_tau < e64_avg * 1.1,
+        "APOLLOτ(8) at T=64 ({e64_tau:.3}) should be at least comparable to averaging ({e64_avg:.3})"
+    );
+}
+
+/// Emulator-assisted flow + droop analysis on a long workload.
+#[test]
+fn emulator_flow_and_droop() {
+    let config = CpuConfig::tiny();
+    let ctx = DesignContext::new(&config);
+    let suite = vec![
+        (benchmarks::maxpwr_cpu(), 400),
+        (benchmarks::dhrystone(), 400),
+        (benchmarks::cache_miss(&config), 300),
+        (benchmarks::saxpy_simd(), 400),
+    ];
+    let trace = ctx.capture_suite(&suite, 150);
+    let fs = FeatureSpace::build(&trace.toggles);
+    let model = train_per_cycle(
+        &trace,
+        ctx.netlist(),
+        &fs,
+        &TrainOptions {
+            q_target: 24,
+            ..TrainOptions::default()
+        },
+    )
+    .model;
+
+    let long = benchmarks::hmmer_like(&config, 6);
+    let report = run_emulator_flow(&ctx, &model, &long, 4_000, 150);
+    assert!(report.reduction_factor() > 50.0);
+    assert!(report.inference_cycles_per_second() > 1e6);
+    let r2 = metrics::r2(&report.ground_truth, &report.power_trace);
+    assert!(r2 > 0.6, "long-trace R² = {r2}");
+
+    // ΔI agreement between the (float) model trace and ground truth.
+    let analysis = DroopAnalysis::analyze(&report.power_trace, &report.ground_truth, 0.95);
+    assert!(analysis.pearson > 0.6, "ΔI Pearson = {}", analysis.pearson);
+}
+
+/// Models survive serialization (deploy/reload cycle).
+#[test]
+fn model_persistence_roundtrip() {
+    let config = CpuConfig::tiny();
+    let ctx = DesignContext::new(&config);
+    let trace = ctx.capture_suite(&[(benchmarks::maxpwr_cpu(), 500)], 150);
+    let fs = FeatureSpace::build(&trace.toggles);
+    let model = train_per_cycle(
+        &trace,
+        ctx.netlist(),
+        &fs,
+        &TrainOptions {
+            q_target: 12,
+            ..TrainOptions::default()
+        },
+    )
+    .model;
+    let json = serde_json::to_string(&model).unwrap();
+    let back: apollo_suite::core::ApolloModel = serde_json::from_str(&json).unwrap();
+    let a = model.predict_full(&trace.toggles);
+    let b = back.predict_full(&trace.toggles);
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-9);
+    }
+}
