@@ -1,0 +1,297 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Implements the measurement surface the workspace benches use
+//! (`benchmark_group`, `bench_function`, `iter`, `iter_batched`,
+//! `Throughput`, the `criterion_group!`/`criterion_main!` macros) with a
+//! simple wall-clock harness: each benchmark is warmed up, then timed
+//! over `sample_size` samples with per-sample iteration counts chosen so
+//! a sample takes a measurable amount of time. Results (mean, min,
+//! median, throughput) are printed to stdout. There is no HTML report,
+//! baseline storage, or statistical outlier analysis.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units processed per benchmark iteration (for rate reporting).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The compat harness always
+/// runs setup once per iteration and subtracts nothing, so the variants
+/// only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares units processed per iteration so results include a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// `iter` / `iter_batched` exactly once per invocation.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up, growing the per-sample iteration count until one
+        // sample is long enough to time reliably.
+        let warm_up_start = Instant::now();
+        loop {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if warm_up_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+            if bencher.elapsed < Duration::from_millis(2) && bencher.iters < (1 << 20) {
+                bencher.iters *= 2;
+            }
+        }
+
+        // Measurement: fixed iteration count per sample.
+        let per_sample_target = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        if bencher.elapsed.as_secs_f64() > 0.0 {
+            let scale = per_sample_target / (bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+            bencher.iters = (scale.max(1.0) as u64).min(1 << 24);
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        print!(
+            "bench {}/{:<32} time: [min {} median {} mean {}]",
+            self.name,
+            id,
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean)
+        );
+        if let Some(tp) = self.throughput {
+            let (units, label) = match tp {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            print!("  thrpt: {:.4e} {label}", units as f64 / median);
+        }
+        println!();
+        self
+    }
+
+    /// Ends the group (parity with criterion; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Times the routine under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` with fresh per-iteration input from `setup`;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Declares a benchmark group runner. Both the struct form
+/// (`name = ...; config = ...; targets = ...`) and the simple form
+/// (`criterion_group!(benches, f1, f2)`) are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(10));
+        let mut calls = 0u64;
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            calls += 1;
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+        assert!(calls >= 4, "warm-up plus samples should call the closure repeatedly");
+    }
+
+    #[test]
+    fn group_macros_compile() {
+        fn bench_a(c: &mut Criterion) {
+            let mut g = c.benchmark_group("a");
+            g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            g.finish();
+        }
+        criterion_group! {
+            name = benches;
+            config = Criterion::default()
+                .sample_size(2)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(4));
+            targets = bench_a
+        }
+        benches();
+    }
+}

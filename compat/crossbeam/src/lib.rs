@@ -1,0 +1,79 @@
+//! Offline, API-compatible subset of the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` and `Scope::spawn` are provided — the
+//! surface the workspace uses for fork/join fan-out — implemented on top
+//! of `std::thread::scope` (stable since Rust 1.63, which makes the real
+//! crossbeam implementation unnecessary here).
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle passed to [`scope`] closures and spawned workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the worker closure
+        /// receives the scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; joins them all before returning.
+    ///
+    /// Unlike crossbeam, worker panics propagate out of `scope` directly
+    /// (std semantics) rather than being collected into the `Err` variant
+    /// — callers that `.expect()` the result observe a panic either way.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_workers() {
+        let counter = AtomicUsize::new(0);
+        let out = vec![0usize; 8];
+        let mut out = out;
+        crate::thread::scope(|s| {
+            for (i, slot) in out.chunks_mut(2).enumerate() {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    for v in slot.iter_mut() {
+                        *v = i;
+                    }
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        assert_eq!(out, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn nested_spawn_from_worker() {
+        let n = crate::thread::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21usize);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,893 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Covers the surface the workspace tests use: the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` / `prop_oneof!`
+//! macros, `any::<T>()`, range strategies, `Just`, `prop::sample::select`,
+//! `prop::collection::vec`, tuple strategies, and `.prop_map`.
+//!
+//! Shrinking is implemented with lazy value trees: every strategy
+//! produces a [`strategy::Tree`] whose children enumerate progressively
+//! simpler candidate inputs (integers binary-search toward the range
+//! low bound, vectors drop elements then shrink survivors, `select`
+//! walks toward index 0, mapped/tuple trees shrink componentwise). The
+//! runner greedily descends into the simplest child that still fails,
+//! so reported counterexamples are locally minimal.
+//!
+//! Case generation is deterministic (fixed seed per test function), so
+//! failures reproduce without persistence files.
+
+pub mod strategy {
+    use std::fmt::Debug;
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generated value plus a lazy enumeration of simpler candidates
+    /// (simplest first).
+    pub struct Tree<V> {
+        /// The concrete value for this node.
+        pub value: V,
+        children: Rc<dyn Fn() -> Vec<Tree<V>>>,
+    }
+
+    impl<V: Clone> Clone for Tree<V> {
+        fn clone(&self) -> Self {
+            Tree {
+                value: self.value.clone(),
+                children: Rc::clone(&self.children),
+            }
+        }
+    }
+
+    impl<V: 'static> Tree<V> {
+        /// A leaf with no simpler candidates.
+        pub fn leaf(value: V) -> Self {
+            Tree {
+                value,
+                children: Rc::new(Vec::new),
+            }
+        }
+
+        /// A node whose shrink candidates are produced lazily.
+        pub fn with_children(value: V, children: impl Fn() -> Vec<Tree<V>> + 'static) -> Self {
+            Tree {
+                value,
+                children: Rc::new(children),
+            }
+        }
+
+        /// Materializes the shrink candidates for this node.
+        pub fn children(&self) -> Vec<Tree<V>> {
+            (self.children)()
+        }
+    }
+
+    /// Maps a tree through `f`, preserving its shrink structure.
+    pub fn map_tree<V, U, F>(tree: Tree<V>, f: F) -> Tree<U>
+    where
+        V: Clone + 'static,
+        U: 'static,
+        F: Fn(V) -> U + Clone + 'static,
+    {
+        let value = f(tree.value.clone());
+        Tree::with_children(value, move || {
+            let f = f.clone();
+            tree.children()
+                .into_iter()
+                .map(move |c| map_tree(c, f.clone()))
+                .collect()
+        })
+    }
+
+    /// A generator of shrinkable values.
+    pub trait Strategy: Clone {
+        /// The type of values this strategy produces.
+        type Value: Clone + Debug + 'static;
+
+        /// Draws a fresh value tree.
+        fn new_tree(&self, rng: &mut TestRng) -> Tree<Self::Value>;
+
+        /// Transforms produced values (shrinks still happen in the
+        /// source domain, then map through `f`).
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            U: Clone + Debug + 'static,
+            F: Fn(Self::Value) -> U + Clone + 'static,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type; used by `prop_oneof!` so
+        /// heterogeneous arms with a common value type can be unioned.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Rc::new(self)
+        }
+    }
+
+    /// Type-erased strategy handle (see [`Strategy::boxed`]).
+    pub type BoxedStrategy<V> = Rc<dyn DynStrategy<V>>;
+
+    /// Object-safe strategy facade used by [`Union`] (`prop_oneof!`).
+    pub trait DynStrategy<V> {
+        /// Draws a fresh value tree.
+        fn dyn_new_tree(&self, rng: &mut TestRng) -> Tree<V>;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_new_tree(&self, rng: &mut TestRng) -> Tree<S::Value> {
+            self.new_tree(rng)
+        }
+    }
+
+    /// Strategy that always yields one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<V>(pub V);
+
+    impl<V: Clone + Debug + 'static> Strategy for Just<V> {
+        type Value = V;
+        fn new_tree(&self, _rng: &mut TestRng) -> Tree<V> {
+            Tree::leaf(self.0.clone())
+        }
+    }
+
+    /// `.prop_map` adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: Clone + Debug + 'static,
+        F: Fn(S::Value) -> U + Clone + 'static,
+    {
+        type Value = U;
+        fn new_tree(&self, rng: &mut TestRng) -> Tree<U> {
+            map_tree(self.inner.new_tree(rng), self.f.clone())
+        }
+    }
+
+    /// `prop_oneof!` support: picks one of several same-valued
+    /// strategies uniformly; shrinking stays within the chosen arm.
+    pub struct Union<V> {
+        arms: Rc<Vec<Rc<dyn DynStrategy<V>>>>,
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: Rc::clone(&self.arms),
+            }
+        }
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union from type-erased arms.
+        pub fn new(arms: Vec<Rc<dyn DynStrategy<V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union {
+                arms: Rc::new(arms),
+            }
+        }
+    }
+
+    impl<V: Clone + Debug + 'static> Strategy for Union<V> {
+        type Value = V;
+        fn new_tree(&self, rng: &mut TestRng) -> Tree<V> {
+            let idx = rng.inner.gen_range(0..self.arms.len());
+            self.arms[idx].dyn_new_tree(rng)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_tree(&self, rng: &mut TestRng) -> Tree<$t> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let v = rng.inner.gen_range(self.clone());
+                    int_tree(self.start, v)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_tree(&self, rng: &mut TestRng) -> Tree<$t> {
+                    let v = rng.inner.gen_range(self.clone());
+                    int_tree(*self.start(), v)
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Integer shrink tree: candidates are the low bound, the midpoint
+    /// toward the low bound, and the predecessor — recursively.
+    pub fn int_tree<T>(low: T, v: T) -> Tree<T>
+    where
+        T: IntShrink + Clone + Debug + 'static,
+    {
+        Tree::with_children(v.clone(), move || {
+            let mut out = Vec::new();
+            let mut push = |cand: T| {
+                if cand != v && !out.iter().any(|t: &Tree<T>| t.value == cand) {
+                    out.push(int_tree(low.clone(), cand));
+                }
+            };
+            if low != v {
+                push(low.clone());
+                push(T::midpoint(&low, &v));
+                push(v.step_toward(&low));
+            }
+            out
+        })
+    }
+
+    /// Midpoint/step arithmetic needed by integer shrinking.
+    pub trait IntShrink: PartialEq {
+        /// Value halfway between `low` and `self` (rounded toward `low`).
+        fn midpoint(low: &Self, v: &Self) -> Self;
+        /// `self` moved one step toward `low`.
+        fn step_toward(&self, low: &Self) -> Self;
+    }
+
+    macro_rules! int_shrink {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl IntShrink for $t {
+                fn midpoint(low: &Self, v: &Self) -> Self {
+                    let l = *low as $wide;
+                    let h = *v as $wide;
+                    (l + (h - l) / 2) as $t
+                }
+                fn step_toward(&self, low: &Self) -> Self {
+                    if self > low { self - 1 } else { self + 1 }
+                }
+            }
+        )*};
+    }
+    int_shrink!(u8 => i128, u16 => i128, u32 => i128, u64 => i128, usize => i128,
+                i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128);
+
+    macro_rules! float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_tree(&self, rng: &mut TestRng) -> Tree<$t> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let v = rng.inner.gen_range(self.clone());
+                    float_tree(self.start as f64, v as f64)
+                }
+            }
+        )*};
+    }
+    float_strategy!(f32, f64);
+
+    fn float_tree<T>(low: f64, v: f64) -> Tree<T>
+    where
+        T: Clone + Debug + 'static + FromF64,
+    {
+        Tree::with_children(T::from_f64(v), move || {
+            let mut out = Vec::new();
+            if v != low {
+                out.push(float_tree(low, low));
+                let mid = low + (v - low) / 2.0;
+                if mid != low && mid != v {
+                    out.push(float_tree(low, mid));
+                }
+            }
+            out
+        })
+    }
+
+    /// Narrowing used by the shared float shrink tree.
+    pub trait FromF64 {
+        /// Converts from the f64 shrink domain.
+        fn from_f64(v: f64) -> Self;
+    }
+    impl FromF64 for f64 {
+        fn from_f64(v: f64) -> Self {
+            v
+        }
+    }
+    impl FromF64 for f32 {
+        fn from_f64(v: f64) -> Self {
+            v as f32
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($tree_fn:ident : ($($s:ident / $v:ident : $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_tree(&self, rng: &mut TestRng) -> Tree<Self::Value> {
+                    $(let $v = self.$idx.new_tree(rng);)+
+                    $tree_fn(($($v,)+))
+                }
+            }
+
+            #[allow(non_snake_case)]
+            fn $tree_fn<$($s: Clone + Debug + 'static),+>(
+                trees: ($(Tree<$s>,)+),
+            ) -> Tree<($($s,)+)> {
+                let value = ($(trees.$idx.value.clone(),)+);
+                Tree::with_children(value, move || {
+                    let mut out = Vec::new();
+                    $(
+                        for child in trees.$idx.children() {
+                            let mut next = trees.clone();
+                            next.$idx = child;
+                            out.push($tree_fn(next));
+                        }
+                    )+
+                    out
+                })
+            }
+        )*};
+    }
+    tuple_strategy! {
+        tuple_tree1: (A1/a1: 0)
+        tuple_tree2: (A2/a2: 0, B2/b2: 1)
+        tuple_tree3: (A3/a3: 0, B3/b3: 1, C3/c3: 2)
+        tuple_tree4: (A4/a4: 0, B4/b4: 1, C4/c4: 2, D4/d4: 3)
+        tuple_tree5: (A5/a5: 0, B5/b5: 1, C5/c5: 2, D5/d5: 3, E5/e5: 4)
+        tuple_tree6: (A6/a6: 0, B6/b6: 1, C6/c6: 2, D6/d6: 3, E6/e6: 4, F6/f6: 5)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::{int_tree, Strategy, Tree};
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// `any::<T>()` — the full-domain strategy for `T`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    /// Full-domain integer strategy (shrinks toward zero).
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyInt<T>(std::marker::PhantomData<T>);
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyInt<$t> {
+                type Value = $t;
+                fn new_tree(&self, rng: &mut TestRng) -> Tree<$t> {
+                    int_tree(0, rng.inner.gen::<$t>())
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyInt<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyInt(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Full-domain bool strategy (shrinks toward `false`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn new_tree(&self, rng: &mut TestRng) -> Tree<bool> {
+            let v = rng.inner.gen::<bool>();
+            if v {
+                Tree::with_children(true, || vec![Tree::leaf(false)])
+            } else {
+                Tree::leaf(false)
+            }
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> Self::Strategy {
+            AnyBool
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::{Strategy, Tree};
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::rc::Rc;
+
+    /// Uniformly selects one of the given items; shrinks toward the
+    /// first item.
+    pub fn select<T: Clone + Debug + 'static>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select requires a non-empty list");
+        Select {
+            items: Rc::new(items),
+        }
+    }
+
+    /// Strategy returned by [`select`].
+    #[derive(Clone)]
+    pub struct Select<T> {
+        items: Rc<Vec<T>>,
+    }
+
+    impl<T: Clone + Debug + 'static> Strategy for Select<T> {
+        type Value = T;
+        fn new_tree(&self, rng: &mut TestRng) -> Tree<T> {
+            let idx = rng.inner.gen_range(0..self.items.len());
+            select_tree(Rc::clone(&self.items), idx)
+        }
+    }
+
+    fn select_tree<T: Clone + Debug + 'static>(items: Rc<Vec<T>>, idx: usize) -> Tree<T> {
+        Tree::with_children(items[idx].clone(), move || {
+            let mut out = Vec::new();
+            let mut push = |cand: usize| {
+                if cand != idx && !out.iter().any(|&(i, _)| i == cand) {
+                    out.push((cand, select_tree(Rc::clone(&items), cand)));
+                }
+            };
+            if idx > 0 {
+                push(0);
+                push(idx / 2);
+                push(idx - 1);
+            }
+            out.into_iter().map(|(_, t)| t).collect()
+        })
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, Tree};
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// Element-count specification for [`vec`]: an exact size or a
+    /// half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub min: usize,
+        /// Maximum length (inclusive).
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Generates vectors of values from `element`; shrinking drops
+    /// elements (respecting the minimum length) and simplifies the
+    /// survivors.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_tree(&self, rng: &mut TestRng) -> Tree<Self::Value> {
+            let len = rng.inner.gen_range(self.size.min..=self.size.max);
+            let elems: Vec<Tree<S::Value>> =
+                (0..len).map(|_| self.element.new_tree(rng)).collect();
+            vec_tree(elems, self.size.min)
+        }
+    }
+
+    fn vec_tree<V: Clone + Debug + 'static>(elems: Vec<Tree<V>>, min: usize) -> Tree<Vec<V>> {
+        let value: Vec<V> = elems.iter().map(|t| t.value.clone()).collect();
+        Tree::with_children(value, move || {
+            let mut out = Vec::new();
+            let len = elems.len();
+            // Structural shrinks: drop down to the minimum, halve, drop
+            // single elements from the back.
+            if len > min {
+                out.push(vec_tree(elems[..min].to_vec(), min));
+                let half = (len + min) / 2;
+                if half != min && half != len {
+                    out.push(vec_tree(elems[..half].to_vec(), min));
+                }
+                if len - 1 != min && len - 1 != (len + min) / 2 {
+                    out.push(vec_tree(elems[..len - 1].to_vec(), min));
+                }
+            }
+            // Element shrinks (a few candidates per slot keeps the
+            // greedy descent bounded).
+            for (i, elem) in elems.iter().enumerate() {
+                for child in elem.children().into_iter().take(3) {
+                    let mut next = elems.clone();
+                    next[i] = child;
+                    out.push(vec_tree(next, min));
+                }
+            }
+            out
+        })
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::{Strategy, Tree};
+    use std::fmt::Debug;
+    use std::panic::AssertUnwindSafe;
+
+    /// Deterministic RNG used for case generation.
+    pub struct TestRng {
+        pub(crate) inner: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        /// A deterministic generator (fixed seed: failures reproduce
+        /// run-to-run without persistence files).
+        pub fn deterministic() -> Self {
+            use rand::SeedableRng;
+            TestRng {
+                inner: rand::rngs::StdRng::seed_from_u64(0x41504F4C4C4F5054),
+            }
+        }
+    }
+
+    /// Per-test configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Max `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+        /// Max shrink candidates examined after a failure.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 4096,
+                max_shrink_iters: 4096,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config with a specific case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    /// Failure raised by `prop_assert!` / `prop_assume!`.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property does not hold for this input.
+        Fail(String),
+        /// The input does not satisfy a `prop_assume!` precondition.
+        Reject(String),
+    }
+
+    /// Result type the `proptest!`-generated closure returns.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    enum Outcome {
+        Pass,
+        Reject,
+        Fail(String),
+    }
+
+    fn exec<V, F>(test: &F, value: V) -> Outcome
+    where
+        F: Fn(V) -> TestCaseResult,
+    {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) => Outcome::Pass,
+            Ok(Err(TestCaseError::Reject(_))) => Outcome::Reject,
+            Ok(Err(TestCaseError::Fail(msg))) => Outcome::Fail(msg),
+            Err(payload) => Outcome::Fail(panic_message(payload)),
+        }
+    }
+
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            format!("panic: {s}")
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            format!("panic: {s}")
+        } else {
+            "panic (non-string payload)".to_owned()
+        }
+    }
+
+    /// Greedy descent: repeatedly move to the simplest child that still
+    /// fails, within the shrink budget.
+    fn shrink<V, F>(mut tree: Tree<V>, test: &F, mut budget: u32, msg: String) -> (V, String)
+    where
+        V: Clone + 'static,
+        F: Fn(V) -> TestCaseResult,
+    {
+        let mut msg = msg;
+        'descend: while budget > 0 {
+            for child in tree.children() {
+                if budget == 0 {
+                    break 'descend;
+                }
+                budget -= 1;
+                if let Outcome::Fail(m) = exec(test, child.value.clone()) {
+                    msg = m;
+                    tree = child;
+                    continue 'descend;
+                }
+            }
+            break;
+        }
+        (tree.value, msg)
+    }
+
+    /// Runs `cfg.cases` random cases of `test` over `strategy`,
+    /// shrinking and panicking on the first failure.
+    pub fn run<S, F>(cfg: &ProptestConfig, strategy: S, test: F)
+    where
+        S: Strategy,
+        S::Value: Debug,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let mut rng = TestRng::deterministic();
+        let mut rejects = 0u32;
+        let mut passed = 0u32;
+        while passed < cfg.cases {
+            let tree = strategy.new_tree(&mut rng);
+            match exec(&test, tree.value.clone()) {
+                Outcome::Pass => passed += 1,
+                Outcome::Reject => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= cfg.max_global_rejects,
+                        "proptest: too many prop_assume! rejections ({rejects})"
+                    );
+                }
+                Outcome::Fail(msg) => {
+                    let (min, min_msg) = shrink(tree, &test, cfg.max_shrink_iters, msg);
+                    panic!(
+                        "proptest: test failed after {passed} passing case(s)\n\
+                         minimal failing input: {min:?}\n{min_msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// Namespace mirror of the crate root (`prop::collection::vec`,
+    /// `prop::sample::select`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over random inputs, shrinking
+/// failures.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let strat = ($($strat,)+);
+            $crate::test_runner::run(&cfg, strat, move |($($arg,)+)| {
+                $body
+                Ok(())
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (failure triggers
+/// shrinking rather than aborting the test binary).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        $crate::prop_assert_eq!($left, $right, "")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    let extra = format!($($fmt)*);
+                    let sep = if extra.is_empty() { "" } else { ": " };
+                    return Err($crate::test_runner::TestCaseError::Fail(format!(
+                        "assertion failed: `{} == {}`{}{}\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right), sep, extra, l, r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value
+/// type; shrinking stays within the selected arm.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+        use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        fn ranges_respect_bounds(a in 3u8..17, b in -5i16..6, x in 0.5f64..2.0) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..6).contains(&b));
+            prop_assert!((0.5..2.0).contains(&x));
+        }
+
+        fn vec_sizes(v in prop::collection::vec(0u32..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        fn assume_discards(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn shrinks_to_minimal_failure() {
+        // Property "n < 40" fails for n >= 40; minimal counterexample
+        // under binary shrinking toward 0 is exactly 40.
+        let cfg = ProptestConfig::with_cases(256);
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run(&cfg, (0u32..1000,), |(n,)| {
+                if n >= 40 {
+                    return Err(TestCaseError::Fail(format!("{n} too big")));
+                }
+                Ok(())
+            });
+        });
+        let msg = match result {
+            Err(payload) => *payload.downcast::<String>().expect("panic message"),
+            Ok(()) => panic!("runner should have failed"),
+        };
+        assert!(
+            msg.contains("minimal failing input: (40,)"),
+            "unexpected message: {msg}"
+        );
+    }
+
+    #[test]
+    fn oneof_and_select_generate_all_arms() {
+        let strat = prop_oneof![
+            Just(0u8),
+            1u8..4,
+            crate::sample::select(vec![9u8, 10u8]),
+        ];
+        let mut rng = TestRng::deterministic();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.new_tree(&mut rng).value);
+        }
+        assert!(seen.contains(&0));
+        assert!(seen.iter().any(|&v| (1..4).contains(&v)));
+        assert!(seen.contains(&9) || seen.contains(&10));
+    }
+
+    #[test]
+    fn prop_map_shrinks_through_mapping() {
+        // Map doubles the value; failing predicate "v < 80" on doubled
+        // values shrinks the *source*, so the minimal failure is 80.
+        let strat = ((0u32..1000).prop_map(|v| v * 2),);
+        let cfg = ProptestConfig::with_cases(256);
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run(&cfg, strat, |(v,)| {
+                if v >= 80 {
+                    return Err(TestCaseError::Fail("too big".into()));
+                }
+                Ok(())
+            });
+        });
+        let msg = match result {
+            Err(payload) => *payload.downcast::<String>().expect("panic message"),
+            Ok(()) => panic!("runner should have failed"),
+        };
+        assert!(
+            msg.contains("minimal failing input: (80,)"),
+            "unexpected message: {msg}"
+        );
+    }
+}

@@ -1,0 +1,423 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The real serde's serializer-generic architecture is replaced by a
+//! concrete value tree ([`Value`]): `Serialize` renders into a `Value`,
+//! `Deserialize` reads back out of one, and the companion `serde_json`
+//! compat crate converts values to and from JSON text. The
+//! `#[derive(Serialize, Deserialize)]` macros come from the local
+//! `serde_derive` proc-macro crate and follow serde's conventions
+//! (structs as objects, newtypes transparent, enums externally tagged),
+//! so existing derive annotations in the workspace compile unchanged.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the single data model all
+/// serialization in this workspace flows through).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered map (field order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the requested shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Convenience constructor.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 { Value::Int(v as i64) } else { Value::UInt(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw: u64 = match *v {
+                    Value::Int(i) if i >= 0 => i as u64,
+                    Value::UInt(u) => u,
+                    Value::Float(f) if f >= 0.0 && f.fract() == 0.0 => f as u64,
+                    ref other => return Err(DeError::msg(format!(
+                        "expected unsigned integer, got {other:?}"))),
+                };
+                <$t>::try_from(raw).map_err(|_| DeError::msg(
+                    format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match *v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u)
+                        .map_err(|_| DeError::msg(format!("{u} exceeds i64")))?,
+                    Value::Float(f) if f.fract() == 0.0 => f as i64,
+                    ref other => return Err(DeError::msg(format!(
+                        "expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(raw).map_err(|_| DeError::msg(
+                    format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    ref other => Err(DeError::msg(format!(
+                        "expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::msg(format!("expected {N} elements, got {n}")))
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => {
+                        let mut it = items.iter();
+                        let out = ($(
+                            $name::from_value(it.next().ok_or_else(|| {
+                                DeError::msg("tuple too short")
+                            })?)?,
+                        )+);
+                        if it.next().is_some() {
+                            return Err(DeError::msg("tuple too long"));
+                        }
+                        Ok(out)
+                    }
+                    other => Err(DeError::msg(format!("expected tuple array, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl<K: fmt::Display + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: fmt::Display + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort by rendered key.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for std::ops::Range<usize> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("start".to_owned(), self.start.to_value()),
+            ("end".to_owned(), self.end.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for std::ops::Range<usize> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let start = usize::from_value(v.get("start").ok_or_else(|| DeError::msg("range.start"))?)?;
+        let end = usize::from_value(v.get("end").ok_or_else(|| DeError::msg("range.end"))?)?;
+        Ok(start..end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i16::from_value(&(-7i16).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.5)];
+        let rt = Vec::<(u32, f64)>::from_value(&v.to_value()).unwrap();
+        assert_eq!(rt, v);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_owned(), 1usize);
+        m.insert("b".to_owned(), 2usize);
+        assert_eq!(BTreeMap::from_value(&m.to_value()).unwrap(), m);
+
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn large_u64_uses_uint() {
+        let big = u64::MAX;
+        assert_eq!(big.to_value(), Value::UInt(big));
+        assert_eq!(u64::from_value(&Value::UInt(big)).unwrap(), big);
+    }
+
+    #[test]
+    fn type_mismatch_is_error() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(bool::from_value(&Value::Int(1)).is_err());
+    }
+}

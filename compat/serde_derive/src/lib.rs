@@ -1,0 +1,467 @@
+//! `#[derive(Serialize, Deserialize)]` for the local serde compat crate.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are not
+//! available offline, so this macro parses the item declaration directly
+//! from the token stream (attributes, visibility, generics, fields) and
+//! emits the impl as source text. Supported shapes — all the workspace
+//! uses — are: structs with named fields, tuple/newtype structs, unit
+//! structs, and enums whose variants are unit, tuple, or struct-like.
+//! Representation conventions follow serde: structs become objects,
+//! newtypes are transparent, enums are externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Raw generics with bounds, e.g. `<P: serde::Serialize>` (empty if
+    /// the item is not generic).
+    generics_decl: String,
+    /// Bare parameter list, e.g. `<P>`.
+    generics_use: String,
+    kind: ItemKind,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Consumes leading `#[...]` attributes and `pub` / `pub(...)`
+/// visibility from `tts[*pos..]`.
+fn skip_attrs_and_vis(tts: &[TokenTree], pos: &mut usize) {
+    loop {
+        if *pos < tts.len() && is_punct(&tts[*pos], '#') {
+            *pos += 1; // '#'
+            if *pos < tts.len() && matches!(&tts[*pos], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+            {
+                *pos += 1;
+                continue;
+            }
+            panic!("serde_derive: malformed attribute");
+        }
+        if *pos < tts.len() && is_ident(&tts[*pos], "pub") {
+            *pos += 1;
+            if *pos < tts.len()
+                && matches!(&tts[*pos], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                *pos += 1;
+            }
+            continue;
+        }
+        break;
+    }
+}
+
+/// Advances past a type (or expression) to the next top-level comma,
+/// tracking `<`/`>` nesting so commas inside generics don't terminate
+/// early. Leaves `pos` at the comma (or end).
+fn skip_to_top_level_comma(tts: &[TokenTree], pos: &mut usize) {
+    let mut angle: i32 = 0;
+    while *pos < tts.len() {
+        match &tts[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+/// Parses `ident : Type ,` lists inside a brace group.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tts: Vec<TokenTree> = group.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tts.len() {
+        skip_attrs_and_vis(&tts, &mut pos);
+        if pos >= tts.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tts[pos] else {
+            panic!("serde_derive: expected field name, got {:?}", tts[pos]);
+        };
+        fields.push(name.to_string());
+        pos += 1;
+        assert!(
+            pos < tts.len() && is_punct(&tts[pos], ':'),
+            "serde_derive: expected `:` after field name"
+        );
+        pos += 1;
+        skip_to_top_level_comma(&tts, &mut pos);
+        pos += 1; // consume the comma (or run off the end)
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tts: Vec<TokenTree> = group.into_iter().collect();
+    if tts.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut n = 0;
+    while pos < tts.len() {
+        skip_attrs_and_vis(&tts, &mut pos);
+        if pos >= tts.len() {
+            break;
+        }
+        n += 1;
+        skip_to_top_level_comma(&tts, &mut pos);
+        pos += 1;
+    }
+    n
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tts: Vec<TokenTree> = group.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tts.len() {
+        skip_attrs_and_vis(&tts, &mut pos);
+        if pos >= tts.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tts[pos] else {
+            panic!("serde_derive: expected variant name, got {:?}", tts[pos]);
+        };
+        let name = name.to_string();
+        pos += 1;
+        let shape = if pos < tts.len() {
+            match &tts[pos] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let s = Shape::Named(parse_named_fields(g.stream()));
+                    pos += 1;
+                    s
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let s = Shape::Tuple(count_tuple_fields(g.stream()));
+                    pos += 1;
+                    s
+                }
+                _ => Shape::Unit,
+            }
+        } else {
+            Shape::Unit
+        };
+        // Skip an optional discriminant (`= expr`) up to the separating
+        // comma.
+        skip_to_top_level_comma(&tts, &mut pos);
+        pos += 1;
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tts, &mut pos);
+    let is_enum = if is_ident(&tts[pos], "struct") {
+        false
+    } else if is_ident(&tts[pos], "enum") {
+        true
+    } else {
+        panic!("serde_derive: only structs and enums are supported");
+    };
+    pos += 1;
+    let TokenTree::Ident(name) = &tts[pos] else {
+        panic!("serde_derive: expected item name");
+    };
+    let name = name.to_string();
+    pos += 1;
+
+    // Generics, captured verbatim for the impl header.
+    let mut generics_decl = String::new();
+    let mut generics_use = String::new();
+    if pos < tts.len() && is_punct(&tts[pos], '<') {
+        let mut depth = 0i32;
+        let mut decl = String::from("<");
+        let mut params: Vec<String> = Vec::new();
+        let mut expect_param = true;
+        pos += 1;
+        depth += 1;
+        while pos < tts.len() && depth > 0 {
+            match &tts[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    decl.push('<');
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    decl.push('>');
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    decl.push(',');
+                    expect_param = true;
+                }
+                tt => {
+                    if expect_param {
+                        if let TokenTree::Ident(i) = tt {
+                            params.push(i.to_string());
+                            expect_param = false;
+                        }
+                    }
+                    decl.push_str(&tt.to_string());
+                    // No space after punctuation so joint tokens like
+                    // `::` survive the round-trip through text.
+                    if !matches!(tt, TokenTree::Punct(_)) {
+                        decl.push(' ');
+                    }
+                }
+            }
+            pos += 1;
+        }
+        generics_decl = decl;
+        generics_use = format!("<{}>", params.join(", "));
+    }
+
+    // Body: `;`, `( ... ) ;`, or `{ ... }`.
+    let kind = loop {
+        match &tts[pos] {
+            TokenTree::Punct(p) if p.as_char() == ';' => break ItemKind::Struct(Shape::Unit),
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                break ItemKind::Struct(Shape::Tuple(count_tuple_fields(g.stream())));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                break if is_enum {
+                    ItemKind::Enum(parse_variants(g.stream()))
+                } else {
+                    ItemKind::Struct(Shape::Named(parse_named_fields(g.stream())))
+                };
+            }
+            // `where` clauses and trailing generics debris are skipped.
+            _ => pos += 1,
+        }
+    };
+
+    Item {
+        name,
+        generics_decl,
+        generics_use,
+        kind,
+    }
+}
+
+fn serialize_impl(item: &Item) -> String {
+    let head = format!(
+        "impl{} serde::Serialize for {}{}",
+        item.generics_decl, item.name, item.generics_use
+    );
+    let body = match &item.kind {
+        ItemKind::Struct(Shape::Unit) => "serde::Value::Null".to_owned(),
+        ItemKind::Struct(Shape::Tuple(1)) => "serde::Serialize::to_value(&self.0)".to_owned(),
+        ItemKind::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        ItemKind::Struct(Shape::Named(fields)) => {
+            let elems: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_owned(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Object(vec![{}])", elems.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let ty = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{ty}::{vn} => serde::Value::Str({vn:?}.to_owned()),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{ty}::{vn}(x0) => serde::Value::Object(vec![({vn:?}.to_owned(), \
+                             serde::Serialize::to_value(x0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{ty}::{vn}({}) => serde::Value::Object(vec![({vn:?}.to_owned(), \
+                                 serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let elems: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_owned(), serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{ty}::{vn} {{ {} }} => serde::Value::Object(vec![({vn:?}.to_owned(), \
+                                 serde::Value::Object(vec![{}]))]),",
+                                fields.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "{head} {{ fn to_value(&self) -> serde::Value {{ {body} }} }}"
+    )
+}
+
+fn deserialize_impl(item: &Item) -> String {
+    assert!(
+        item.generics_decl.is_empty(),
+        "serde_derive: Deserialize on generic items is not supported by the compat derive"
+    );
+    let ty = &item.name;
+    let head = format!("impl serde::Deserialize for {ty}");
+    let body = match &item.kind {
+        ItemKind::Struct(Shape::Unit) => format!("{{ let _ = v; Ok({ty}) }}"),
+        ItemKind::Struct(Shape::Tuple(1)) => {
+            format!("{{ Ok({ty}(serde::Deserialize::from_value(v)?)) }}")
+        }
+        ItemKind::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                         serde::DeError::msg(\"{ty}: tuple too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ match v {{ serde::Value::Array(items) => Ok({ty}({})), other => \
+                 Err(serde::DeError::msg(format!(\"{ty}: expected array, got {{other:?}}\"))) }} }}",
+                elems.join(", ")
+            )
+        }
+        ItemKind::Struct(Shape::Named(fields)) => {
+            let elems: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(v.get({f:?}).ok_or_else(|| \
+                         serde::DeError::msg(\"{ty}: missing field `{f}`\"))?)?"
+                    )
+                })
+                .collect();
+            format!("{{ Ok({ty} {{ {} }}) }}", elems.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => Ok({ty}::{vn}),\n"));
+                    }
+                    Shape::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "{vn:?} => Ok({ty}::{vn}(serde::Deserialize::from_value(inner)?)),\n"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                                     serde::DeError::msg(\"{ty}::{vn}: tuple too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => match inner {{ serde::Value::Array(items) => \
+                             Ok({ty}::{vn}({})), other => Err(serde::DeError::msg(format!(\
+                             \"{ty}::{vn}: expected array, got {{other:?}}\"))) }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let elems: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(inner.get({f:?})\
+                                     .ok_or_else(|| serde::DeError::msg(\
+                                     \"{ty}::{vn}: missing field `{f}`\"))?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => Ok({ty}::{vn} {{ {} }}),\n",
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{{ match v {{\n\
+                 serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(serde::DeError::msg(format!(\"{ty}: unknown variant `{{other}}`\"))),\n\
+                 }},\n\
+                 serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (tag, inner) = &fields[0];\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => Err(serde::DeError::msg(format!(\"{ty}: unknown variant `{{other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(serde::DeError::msg(format!(\"{ty}: unexpected value {{other:?}}\"))),\n\
+                 }} }}"
+            )
+        }
+    };
+    format!(
+        "{head} {{ fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {body} }}"
+    )
+}
+
+/// Derives `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    serialize_impl(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl did not parse")
+}
+
+/// Derives `serde::Deserialize` (value-tree reconstruction).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    deserialize_impl(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl did not parse")
+}

@@ -1,0 +1,505 @@
+//! Offline, API-compatible subset of `serde_json`.
+//!
+//! Converts the local serde compat crate's [`serde::Value`] tree to and
+//! from JSON text. Provides the surface the workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], and the [`json!`]
+//! macro (string-literal keys, arbitrary `Serialize` expressions as
+//! values).
+
+use serde::{DeError, Deserialize, Serialize};
+
+/// Re-export of the shared value tree under serde_json's usual name.
+pub type Value = serde::Value;
+
+/// JSON (de)serialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Converts any `Serialize` type into a [`Value`] (infallible in this
+/// compat implementation).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+#[doc(hidden)]
+pub use serde::Serialize as __Serialize;
+
+/// Builds a [`Value`] from JSON-like syntax. Keys must be string
+/// literals; values may be `null`, nested `{...}` / `[...]`, or any
+/// expression implementing `serde::Serialize`.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+/// Token-muncher behind [`json!`] (exported for macro hygiene only).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- array elements ----------------------------------------
+    (@array [$($elems:expr,)*]) => { vec![$($elems,)*] };
+    (@array [$($elems:expr),*]) => { vec![$($elems),*] };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($arr)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::__Serialize::to_value(&$next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        vec![$($elems,)* $crate::__Serialize::to_value(&$last)]
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ---- object entries (string-literal keys) ------------------
+    (@object [$($fields:expr,)*]) => { vec![$($fields,)*] };
+    (@object [$($fields:expr),*]) => { vec![$($fields),*] };
+    (@object [$($fields:expr,)*] $key:literal : null $($rest:tt)*) => {
+        $crate::json_internal!(@object [$($fields,)*
+            (($key).to_owned(), $crate::Value::Null)] $($rest)*)
+    };
+    (@object [$($fields:expr,)*] $key:literal : [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@object [$($fields,)*
+            (($key).to_owned(), $crate::json_internal!([$($arr)*]))] $($rest)*)
+    };
+    (@object [$($fields:expr,)*] $key:literal : {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@object [$($fields,)*
+            (($key).to_owned(), $crate::json_internal!({$($map)*}))] $($rest)*)
+    };
+    (@object [$($fields:expr,)*] $key:literal : $val:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@object [$($fields,)*
+            (($key).to_owned(), $crate::__Serialize::to_value(&$val)),] $($rest)*)
+    };
+    (@object [$($fields:expr,)*] $key:literal : $val:expr) => {
+        vec![$($fields,)* (($key).to_owned(), $crate::__Serialize::to_value(&$val))]
+    };
+    (@object [$($fields:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@object [$($fields,)*] $($rest)*)
+    };
+
+    // ---- top-level value forms ---------------------------------
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(vec![]) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_internal!(@array [] $($tt)+)) };
+    ({}) => { $crate::Value::Object(vec![]) };
+    ({ $($tt:tt)+ }) => { $crate::Value::Object($crate::json_internal!(@object [] $($tt)+)) };
+    ($other:expr) => { $crate::__Serialize::to_value(&$other) };
+}
+
+// ---------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{:?}` gives Rust's shortest round-trippable rendering, which
+        // always includes a decimal point or exponent — valid JSON.
+        out.push_str(&format!("{f:?}"));
+    } else {
+        // serde_json maps non-finite floats to null.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_literal("\\u") {
+                                    return Err(Error("lone high surrogate".into()));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error("invalid low surrogate".into()));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid \\u escape".into()))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 character verbatim.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error("truncated \\u escape".into()));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error("invalid \\u escape".into()))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error("invalid \\u escape".into()))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact() {
+        let v = json!({
+            "name": "apollo",
+            "q": 159u32,
+            "r2": 0.95f64,
+            "tags": ["a", "b"],
+            "none": null,
+        });
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_is_indented_and_parses_back(){
+        let v = json!({"a": [1u8, 2u8], "b": {"c": true}});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\n  \"a\": ["));
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let data = vec![(1u32, 0.5f64), (2, 1.5)];
+        let s = to_string(&data).unwrap();
+        assert_eq!(s, "[[1,0.5],[2,1.5]]");
+        let back: Vec<(u32, f64)> = from_str(&s).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Value::Str("a\"b\\c\nd\u{1F600}".to_owned());
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        let esc: Value = from_str("\"\\u0041\\ud83d\\ude00\"").unwrap();
+        assert_eq!(esc, Value::Str("A\u{1F600}".to_owned()));
+    }
+
+    #[test]
+    fn float_precision_roundtrips() {
+        let x = 0.123_456_789_012_345_68_f64;
+        let s = to_string(&x).unwrap();
+        let back: f64 = from_str(&s).unwrap();
+        assert_eq!(back, x);
+    }
+}

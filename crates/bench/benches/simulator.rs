@@ -43,9 +43,46 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sequential vs. parallel levelized engine on the neoverse-like core
+/// (the design the paper's speedup claims are judged on). Results are
+/// bit-identical across thread counts; only wall-clock should differ.
+fn bench_parallel_engine(c: &mut Criterion) {
+    let handles = build_cpu(&CpuConfig::neoverse_like()).unwrap();
+    let cap = CapModel::default().annotate(&handles.netlist);
+    let bench = benchmarks::maxpwr_cpu();
+    const CYCLES: u64 = 200;
+
+    let mut g = c.benchmark_group("parallel_engine_n1");
+    g.throughput(Throughput::Elements(CYCLES));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("cycles_{CYCLES}_threads_{threads}"), |b| {
+            b.iter_batched(
+                || {
+                    CpuSim::with_threads(
+                        &handles,
+                        &cap,
+                        PowerConfig::default(),
+                        &bench.program,
+                        &bench.data,
+                        threads,
+                    )
+                },
+                |mut sim| {
+                    for _ in 0..CYCLES {
+                        sim.step();
+                    }
+                    sim.sim().power().total
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_simulator
+    targets = bench_simulator, bench_parallel_engine
 }
 criterion_main!(benches);

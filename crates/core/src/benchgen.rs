@@ -174,25 +174,19 @@ pub fn training_data_pattern(words: usize) -> Vec<u64> {
         .collect()
 }
 
-/// Evaluates fitness (average power) for a set of bodies in parallel.
+/// Evaluates fitness (average power) for a set of bodies across the
+/// simulation pool. Results come back in population order, so the GA
+/// trajectory is independent of the thread count.
 fn evaluate(ctx: &DesignContext, cfg: &GaConfig, bodies: &[Vec<Inst>]) -> Vec<f64> {
     let data = training_data_pattern(ctx.handles.config.dram_words.min(4096) as usize);
-    let mut out = vec![0.0f64; bodies.len()];
-    let threads = cfg.threads.clamp(1, bodies.len().max(1));
-    let chunk = bodies.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (slot, work) in bodies.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            let data = &data;
-            scope.spawn(move |_| {
-                for (body, res) in slot.iter().zip(work.iter_mut()) {
-                    let program = wrap_body(body, cfg.reps);
-                    *res = ctx.mean_power(&program, data, cfg.warmup, cfg.fitness_cycles);
-                }
-            });
-        }
-    })
-    .expect("fitness worker panicked");
-    out
+    let programs: Vec<Vec<Inst>> = bodies.iter().map(|b| wrap_body(b, cfg.reps)).collect();
+    crate::pool::SimPool::new(cfg.threads).mean_powers(
+        ctx,
+        &programs,
+        &data,
+        cfg.warmup,
+        cfg.fitness_cycles,
+    )
 }
 
 /// Scales each instruction-class weight by a log-uniform factor in

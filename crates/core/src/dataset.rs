@@ -16,6 +16,12 @@ pub struct DesignContext {
     pub cap: CapAnnotation,
     /// Ground-truth power engine configuration.
     pub power: PowerConfig,
+    /// Simulation worker threads (1 = fully sequential). Single-workload
+    /// runs use them inside the netlist evaluation; multi-workload
+    /// collection ([`DesignContext::capture_suite`]) uses them across
+    /// workloads via [`crate::pool::SimPool`]. Either way results are
+    /// bit-identical to `threads = 1`.
+    pub threads: usize,
 }
 
 impl DesignContext {
@@ -25,12 +31,19 @@ impl DesignContext {
     /// Panics if the configuration is invalid (CPU generation is
     /// infallible for valid configs).
     pub fn new(config: &CpuConfig) -> Self {
+        Self::with_threads(config, 1)
+    }
+
+    /// Like [`DesignContext::new`], but simulations may use up to
+    /// `threads` worker threads.
+    pub fn with_threads(config: &CpuConfig, threads: usize) -> Self {
         let handles = build_cpu(config).expect("CPU generation failed");
         let cap = CapModel::default().annotate(&handles.netlist);
         DesignContext {
             handles,
             cap,
             power: PowerConfig::default(),
+            threads: threads.max(1),
         }
     }
 
@@ -44,9 +57,24 @@ impl DesignContext {
         self.netlist().signal_bits()
     }
 
-    /// Creates a fresh simulator with a program loaded.
+    /// Creates a fresh simulator with a program loaded, using the
+    /// context's thread count for netlist-level parallelism.
     pub fn simulate(&self, program: &[Inst], data: &[u64]) -> CpuSim<'_> {
-        CpuSim::new(&self.handles, &self.cap, self.power.clone(), program, data)
+        self.simulate_with(program, data, self.threads)
+    }
+
+    /// Creates a fresh simulator with an explicit thread count (the
+    /// [`crate::pool::SimPool`] workers pass 1 so trace-level and
+    /// netlist-level parallelism do not oversubscribe each other).
+    pub fn simulate_with(&self, program: &[Inst], data: &[u64], threads: usize) -> CpuSim<'_> {
+        CpuSim::with_threads(
+            &self.handles,
+            &self.cap,
+            self.power.clone(),
+            program,
+            data,
+            threads,
+        )
     }
 
     /// Mean total power of a program over `cycles` cycles after
@@ -66,18 +94,10 @@ impl DesignContext {
 
     /// Captures full toggle traces for a set of workloads, each recorded
     /// for its own cycle window after `warmup` un-recorded cycles.
+    /// Workloads run in parallel across the context's thread count; the
+    /// result is bit-identical to a sequential capture.
     pub fn capture_suite(&self, suite: &[(Benchmark, usize)], warmup: usize) -> TraceData {
-        let total: usize = suite.iter().map(|(_, c)| c).sum();
-        assert!(total > 0, "empty capture request");
-        let mut cap = TraceCapture::all(self.netlist(), total);
-        for (bench, cycles) in suite {
-            let mut sim = self.simulate(&bench.program, &bench.data);
-            for _ in 0..warmup {
-                sim.step();
-            }
-            cap.record(sim.sim_mut(), *cycles, &bench.name);
-        }
-        cap.finish()
+        crate::pool::SimPool::new(self.threads).capture_suite(self, suite, warmup)
     }
 
     /// Captures only the given flat signal bits (the emulator-assisted

@@ -32,6 +32,7 @@ pub mod emuflow;
 pub mod features;
 pub mod model;
 pub mod multicycle;
+pub mod pool;
 pub mod report;
 pub mod validation;
 
@@ -44,4 +45,5 @@ pub use model::{
     TrainedPerCycle,
 };
 pub use multicycle::{train_tau, window_nrmse, ApolloTau};
+pub use pool::SimPool;
 pub use validation::{tune_relax_lambda, tune_tau, SweepResult};

@@ -1,0 +1,180 @@
+//! Trace-level parallelism: a pool running independent workloads on
+//! per-thread simulator instances.
+//!
+//! The simulator in `apollo-sim` parallelizes *within* one netlist
+//! evaluation (levelized shards); this module parallelizes *across*
+//! workloads, which is the natural axis for dataset collection and GA
+//! fitness — every benchmark already gets its own fresh simulator, so
+//! the runs share nothing. Workers pull workload indices from a shared
+//! queue, run a single-threaded simulator each, and the results are
+//! merged back **by workload index**, so toggle matrices, power labels
+//! and fitness vectors are byte-identical to a sequential run no matter
+//! how the scheduler interleaves the workers.
+
+use crate::dataset::DesignContext;
+use apollo_cpu::benchmarks::Benchmark;
+use apollo_cpu::Inst;
+use apollo_sim::{PowerSample, ToggleMatrix, TraceCapture, TraceData};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A pool of simulation workers for independent workloads.
+#[derive(Clone, Copy, Debug)]
+pub struct SimPool {
+    threads: usize,
+}
+
+impl SimPool {
+    /// Creates a pool of `threads` workers (clamped to at least 1; 1
+    /// means run on the calling thread).
+    pub fn new(threads: usize) -> Self {
+        SimPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Captures full toggle traces for a set of workloads, each recorded
+    /// for its own cycle window after `warmup` un-recorded cycles, and
+    /// stitches them into one [`TraceData`] in suite order.
+    ///
+    /// Bit-identical to recording the suite sequentially into a single
+    /// capture: every workload runs on a fresh single-threaded simulator
+    /// either way, and the merge is ordered by suite index.
+    pub fn capture_suite(
+        &self,
+        ctx: &DesignContext,
+        suite: &[(Benchmark, usize)],
+        warmup: usize,
+    ) -> TraceData {
+        let total: usize = suite.iter().map(|(_, c)| c).sum();
+        assert!(total > 0, "empty capture request");
+        let shards: Vec<TraceData> = self.run_indexed(suite.len(), |idx| {
+            let (bench, cycles) = &suite[idx];
+            capture_one(ctx, bench, *cycles, warmup)
+        });
+
+        let mut toggles = ToggleMatrix::new(ctx.m_bits(), total);
+        let mut power: Vec<PowerSample> = Vec::with_capacity(total);
+        let mut segments: Vec<(String, Range<usize>)> = Vec::with_capacity(suite.len());
+        let mut cursor = 0usize;
+        for ((bench, cycles), shard) in suite.iter().zip(shards) {
+            debug_assert_eq!(shard.n_cycles(), *cycles);
+            toggles.merge_at(&shard.toggles, cursor);
+            power.extend(shard.power);
+            segments.push((bench.name.clone(), cursor..cursor + cycles));
+            cursor += cycles;
+        }
+        TraceData {
+            toggles,
+            power,
+            bit_map: None,
+            segments,
+        }
+    }
+
+    /// Mean total power of each program over `cycles` cycles after
+    /// `warmup` cycles — the batched GA fitness function. All programs
+    /// share the same preloaded `data` image. The returned vector is in
+    /// program order regardless of worker scheduling.
+    pub fn mean_powers(
+        &self,
+        ctx: &DesignContext,
+        programs: &[Vec<Inst>],
+        data: &[u64],
+        warmup: u64,
+        cycles: u64,
+    ) -> Vec<f64> {
+        self.run_indexed(programs.len(), |idx| {
+            let mut sim = ctx.simulate_with(&programs[idx], data, 1);
+            for _ in 0..warmup {
+                sim.step();
+            }
+            let mut total = 0.0;
+            for _ in 0..cycles {
+                sim.step();
+                total += sim.sim().power().total;
+            }
+            total / cycles as f64
+        })
+    }
+
+    /// Runs `job(0..n)` across the pool and returns the results in index
+    /// order. Workers pull indices from a shared queue (dynamic load
+    /// balance for uneven workloads); results are scattered back by
+    /// index, so ordering never depends on scheduling.
+    fn run_indexed<T, F>(&self, n: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(job).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let result = job(idx);
+                    done.lock().unwrap().push((idx, result));
+                });
+            }
+        });
+        let mut pairs = done.into_inner().unwrap();
+        pairs.sort_by_key(|&(i, _)| i);
+        debug_assert_eq!(pairs.len(), n);
+        pairs.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Records one benchmark on a fresh single-threaded simulator.
+fn capture_one(ctx: &DesignContext, bench: &Benchmark, cycles: usize, warmup: usize) -> TraceData {
+    let mut cap = TraceCapture::all(ctx.netlist(), cycles);
+    let mut sim = ctx.simulate_with(&bench.program, &bench.data, 1);
+    for _ in 0..warmup {
+        sim.step();
+    }
+    cap.record(sim.sim_mut(), cycles, &bench.name);
+    cap.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_cpu::CpuConfig;
+
+    #[test]
+    fn run_indexed_preserves_order() {
+        let pool = SimPool::new(4);
+        let out = pool.run_indexed(37, |i| i * i);
+        assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_capture_matches_sequential() {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let suite = vec![
+            (apollo_cpu::benchmarks::dhrystone(), 90),
+            (apollo_cpu::benchmarks::maxpwr_cpu(), 70),
+            (apollo_cpu::benchmarks::dcache_miss(&ctx.handles.config), 110),
+        ];
+        let seq = SimPool::new(1).capture_suite(&ctx, &suite, 8);
+        let par = SimPool::new(4).capture_suite(&ctx, &suite, 8);
+        assert_eq!(seq.toggles, par.toggles);
+        assert_eq!(seq.segments, par.segments);
+        assert_eq!(seq.power.len(), par.power.len());
+        for (a, b) in seq.power.iter().zip(&par.power) {
+            assert_eq!(a.total.to_bits(), b.total.to_bits());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Determinism of trace-level parallelism: the `SimPool` must be a pure
+//! speedup. Two parallel runs are byte-identical, a parallel run equals
+//! the sequential reference, and the GA's fitness trajectory does not
+//! depend on the thread count.
+
+use apollo_core::{run_ga, DesignContext, GaConfig, SimPool};
+use apollo_cpu::CpuConfig;
+use apollo_sim::TraceData;
+
+fn assert_traces_identical(a: &TraceData, b: &TraceData) {
+    // ToggleMatrix is PartialEq over its packed words: byte-identical.
+    assert_eq!(a.toggles, b.toggles, "toggle matrices differ");
+    assert_eq!(a.segments, b.segments, "segments differ");
+    assert_eq!(a.power.len(), b.power.len());
+    for (i, (x, y)) in a.power.iter().zip(&b.power).enumerate() {
+        for (name, u, v) in [
+            ("total", x.total, y.total),
+            ("switching", x.switching, y.switching),
+            ("clock", x.clock, y.clock),
+            ("memory", x.memory, y.memory),
+            ("glitch", x.glitch, y.glitch),
+            ("short_circuit", x.short_circuit, y.short_circuit),
+            ("leakage", x.leakage, y.leakage),
+        ] {
+            assert_eq!(
+                u.to_bits(),
+                v.to_bits(),
+                "cycle {i}: power component `{name}` differs"
+            );
+        }
+    }
+}
+
+fn tiny_suite(ctx: &DesignContext) -> Vec<(apollo_cpu::benchmarks::Benchmark, usize)> {
+    vec![
+        (apollo_cpu::benchmarks::dhrystone(), 120),
+        (apollo_cpu::benchmarks::maxpwr_cpu(), 90),
+        (apollo_cpu::benchmarks::dcache_miss(&ctx.handles.config), 75),
+        (apollo_cpu::benchmarks::saxpy_simd(), 110),
+    ]
+}
+
+#[test]
+fn parallel_capture_equals_sequential_reference() {
+    let ctx = DesignContext::new(&CpuConfig::tiny());
+    let suite = tiny_suite(&ctx);
+    let seq = SimPool::new(1).capture_suite(&ctx, &suite, 10);
+    for threads in [2, 4, 8] {
+        let par = SimPool::new(threads).capture_suite(&ctx, &suite, 10);
+        assert_traces_identical(&seq, &par);
+    }
+}
+
+#[test]
+fn two_parallel_captures_are_byte_identical() {
+    let ctx = DesignContext::new(&CpuConfig::tiny());
+    let suite = tiny_suite(&ctx);
+    let a = SimPool::new(4).capture_suite(&ctx, &suite, 10);
+    let b = SimPool::new(4).capture_suite(&ctx, &suite, 10);
+    assert_traces_identical(&a, &b);
+}
+
+#[test]
+fn design_context_thread_count_does_not_change_captures() {
+    // The same suite through a multi-threaded context (which also uses
+    // netlist-level parallelism for single-sim paths) matches the
+    // sequential context bit for bit.
+    let seq_ctx = DesignContext::new(&CpuConfig::tiny());
+    let par_ctx = DesignContext::with_threads(&CpuConfig::tiny(), 4);
+    let suite = tiny_suite(&seq_ctx);
+    let seq = seq_ctx.capture_suite(&suite, 10);
+    let par = par_ctx.capture_suite(&suite, 10);
+    assert_traces_identical(&seq, &par);
+    // Single-workload fitness path: netlist-level parallel sim.
+    let hot = apollo_cpu::benchmarks::maxpwr_cpu();
+    let p1 = seq_ctx.mean_power(&hot.program, &hot.data, 10, 150);
+    let p4 = par_ctx.mean_power(&hot.program, &hot.data, 10, 150);
+    assert_eq!(p1.to_bits(), p4.to_bits());
+}
+
+#[test]
+fn ga_fitness_trajectory_is_thread_count_invariant() {
+    let ctx = DesignContext::new(&CpuConfig::tiny());
+    let base = GaConfig {
+        population: 6,
+        generations: 3,
+        body_len_min: 8,
+        body_len_max: 32,
+        reps: 6,
+        warmup: 40,
+        fitness_cycles: 120,
+        threads: 1,
+        ..GaConfig::default()
+    };
+    let seq = run_ga(&ctx, &base);
+    let par = run_ga(
+        &ctx,
+        &GaConfig {
+            threads: 4,
+            ..base.clone()
+        },
+    );
+    assert_eq!(seq.best_per_gen.len(), par.best_per_gen.len());
+    for (g, (a, b)) in seq.best_per_gen.iter().zip(&par.best_per_gen).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "generation {g}: best fitness differs");
+    }
+    for (a, b) in seq.individuals.iter().zip(&par.individuals) {
+        assert_eq!(a.avg_power.to_bits(), b.avg_power.to_bits());
+        assert_eq!(a.body, b.body);
+    }
+}

@@ -452,7 +452,7 @@ pub mod random {
         let vr = |rng: &mut StdRng| Vr(rng.gen_range(0..8));
         x -= w.alu;
         if x < 0.0 {
-            let op = AluOp::ALL[rng.gen_range(0..8)];
+            let op = AluOp::ALL[rng.gen_range(0..8usize)];
             if rng.gen_bool(0.5) {
                 return Inst::Alu { op, rd: xr_nz(rng), ra: xr(rng), rb: xr(rng) };
             }
@@ -476,7 +476,7 @@ pub mod random {
         }
         x -= w.vec;
         if x < 0.0 {
-            let op = VecOp::ALL[rng.gen_range(0..4)];
+            let op = VecOp::ALL[rng.gen_range(0..4usize)];
             return Inst::Vec { op, vd: vr(rng), va: vr(rng), vb: vr(rng) };
         }
         x -= w.vmem;

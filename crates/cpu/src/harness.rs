@@ -44,6 +44,20 @@ impl<'a> CpuSim<'a> {
         program: &[Inst],
         data: &[u64],
     ) -> Self {
+        Self::with_threads(handles, cap, power, program, data, 1)
+    }
+
+    /// Like [`CpuSim::new`], but evaluates the netlist with `threads`
+    /// simulator worker threads (see [`Simulator::with_threads`]);
+    /// results are bit-identical to the sequential engine.
+    pub fn with_threads(
+        handles: &'a CpuHandles,
+        cap: &CapAnnotation,
+        power: PowerConfig,
+        program: &[Inst],
+        data: &[u64],
+        threads: usize,
+    ) -> Self {
         assert!(
             program.len() <= handles.config.imem_words as usize,
             "program of {} instructions exceeds imem ({} words)",
@@ -56,7 +70,7 @@ impl<'a> CpuSim<'a> {
             data.len(),
             handles.config.dram_words
         );
-        let mut sim = Simulator::new(&handles.netlist, cap, power);
+        let mut sim = Simulator::with_threads(&handles.netlist, cap, power, threads);
         for (i, inst) in program.iter().enumerate() {
             sim.poke_mem(handles.imem, i as u32, inst.encode() as u64);
         }

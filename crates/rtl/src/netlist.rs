@@ -52,6 +52,10 @@ pub struct Netlist {
     /// Starting bit offset of each node in the flattened signal-bit space,
     /// plus a final total entry.
     bit_offsets: Vec<u32>,
+    /// Topological level of each node in the combinational graph (see
+    /// [`Netlist::level`]).
+    levels: Vec<u32>,
+    n_levels: u32,
 }
 
 impl Netlist {
@@ -81,6 +85,28 @@ impl Netlist {
             off += n.width as u32;
         }
         bit_offsets.push(off);
+        // Topological levels of the within-cycle combinational graph.
+        // Sequential nodes (registers, memory read ports) and primary
+        // inputs/constants hold their value at the start of evaluation and
+        // sit at level 0; every combinational node sits one level above
+        // its deepest operand. `Reg.next` is a cycle-boundary edge, not a
+        // combinational one, so it does not contribute. Nodes are in
+        // creation order with operands preceding their readers, so one
+        // forward pass suffices.
+        let mut levels = vec![0u32; nodes.len()];
+        let mut n_levels = 1u32;
+        for (i, node) in nodes.iter().enumerate() {
+            let level = match node.op {
+                Op::Input | Op::Const(_) | Op::Reg { .. } | Op::MemRead { .. } => 0,
+                _ => {
+                    let mut max = 0u32;
+                    node.for_each_operand(|op| max = max.max(levels[op.index()]));
+                    max + 1
+                }
+            };
+            levels[i] = level;
+            n_levels = n_levels.max(level + 1);
+        }
         Netlist {
             design_name,
             nodes,
@@ -90,6 +116,8 @@ impl Netlist {
             fanout,
             units,
             bit_offsets,
+            levels,
+            n_levels,
         }
     }
 
@@ -205,6 +233,21 @@ impl Netlist {
             .filter_map(|(i, m)| m.as_ref().map(|m| (NodeId::from_index(i), m)))
     }
 
+    /// Topological level of a node within one cycle's combinational
+    /// evaluation: level 0 holds state and inputs (registers, memory read
+    /// ports, primary inputs, constants); a combinational node is one
+    /// level above its deepest operand. All operands of a node at level
+    /// `l > 0` have levels `< l`, so nodes of equal level never depend on
+    /// each other — the property the parallel simulator schedules on.
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// Number of distinct combinational levels (logic depth + 1).
+    pub fn n_levels(&self) -> usize {
+        self.n_levels as usize
+    }
+
     /// Computes summary statistics for the design.
     pub fn stats(&self) -> NetlistStats {
         NetlistStats::compute(self)
@@ -265,5 +308,29 @@ mod tests {
     fn display_name_for_unnamed() {
         let nl = sample();
         assert_eq!(nl.display_name(NodeId::from_index(1)), "_t1");
+    }
+
+    #[test]
+    fn levels_follow_combinational_depth() {
+        let mut b = NetlistBuilder::new("lv");
+        let r = b.reg(4, 0, CLOCK_ROOT, "r", Unit::Alu); // level 0
+        let one = b.constant(1, 4); // level 0
+        let sum = b.add(r, one); // level 1
+        let twice = b.add(sum, sum); // level 2
+        b.connect(r, twice); // cycle-boundary edge: no level effect
+        let nl = b.build().unwrap();
+        assert_eq!(nl.level(r), 0);
+        assert_eq!(nl.level(one), 0);
+        assert_eq!(nl.level(sum), 1);
+        assert_eq!(nl.level(twice), 2);
+        assert_eq!(nl.n_levels(), 3);
+        // Equal-level nodes never feed each other.
+        for (i, node) in nl.nodes().iter().enumerate() {
+            let lvl = nl.level(NodeId::from_index(i));
+            if let crate::node::Op::Reg { .. } = node.op {
+                continue;
+            }
+            node.for_each_operand(|op| assert!(nl.level(op) < lvl || lvl == 0));
+        }
     }
 }

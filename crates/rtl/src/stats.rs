@@ -26,6 +26,13 @@ pub struct NetlistStats {
     pub memory_bits: usize,
     /// Signal bits per functional unit.
     pub bits_per_unit: BTreeMap<String, usize>,
+    /// Combinational levels (logic depth + 1); parallel simulation
+    /// synchronises once per level, so shallow-and-wide designs scale
+    /// best.
+    pub comb_levels: usize,
+    /// Mean node count per combinational level (available width for the
+    /// parallel scheduler).
+    pub mean_level_width: f64,
 }
 
 impl NetlistStats {
@@ -60,6 +67,8 @@ impl NetlistStats {
                 .map(|m| m.words as usize * m.width as usize)
                 .sum(),
             bits_per_unit,
+            comb_levels: netlist.n_levels(),
+            mean_level_width: netlist.len() as f64 / netlist.n_levels() as f64,
         }
     }
 }
@@ -68,7 +77,7 @@ impl fmt::Display for NetlistStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "nodes={} signal_bits={} named={} regs={} ({} bits) clocks={} mems={} ({} bits)",
+            "nodes={} signal_bits={} named={} regs={} ({} bits) clocks={} mems={} ({} bits) levels={} (mean width {:.1})",
             self.nodes,
             self.signal_bits,
             self.named_signals,
@@ -76,7 +85,9 @@ impl fmt::Display for NetlistStats {
             self.register_bits,
             self.clock_domains,
             self.memories,
-            self.memory_bits
+            self.memory_bits,
+            self.comb_levels,
+            self.mean_level_width
         )?;
         for (unit, bits) in &self.bits_per_unit {
             writeln!(f, "  {unit:<18} {bits} bits")?;

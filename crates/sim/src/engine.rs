@@ -1,0 +1,335 @@
+//! Shared evaluation engine behind [`crate::Simulator`].
+//!
+//! Holds the compiled per-node instruction stream and the value/prev/
+//! toggle arrays as `AtomicU64` words inside an [`Arc`], so a pool of
+//! persistent worker threads can evaluate disjoint shards of one level
+//! concurrently (nodes of equal level never depend on each other; see
+//! [`crate::schedule`]). All element accesses are `Relaxed` — the
+//! per-level barrier provides the acquire/release edges that order one
+//! level's writes before the next level's reads. Power accumulation is
+//! deliberately *not* done here: the simulator runs a serial
+//! netlist-order pass afterwards so float summation order — and thus
+//! every power figure — is bit-identical across thread counts.
+
+use crate::schedule::LevelSchedule;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Compiled per-node instruction; mirrors [`apollo_rtl::Op`] with
+/// resolved indices and pre-computed widths so the evaluation loop
+/// touches no netlist structures.
+#[derive(Clone, Debug)]
+pub(crate) enum Instr {
+    /// Sequential node (register or memory read port): value is state.
+    Hold,
+    /// External input: value is staged by the harness.
+    Input,
+    Const,
+    Not(u32),
+    And(u32, u32),
+    Or(u32, u32),
+    Xor(u32, u32),
+    Add(u32, u32),
+    Sub(u32, u32),
+    Mul(u32, u32),
+    Udiv(u32, u32),
+    Eq(u32, u32),
+    Ult(u32, u32),
+    Shl(u32, u32, u8),
+    Shr(u32, u32),
+    Mux(u32, u32, u32),
+    Slice(u32, u8),
+    Concat(u32, u32, u8),
+    ReduceOr(u32),
+    ReduceAnd(u32, u64),
+    ReduceXor(u32),
+    Gated(u32),
+}
+
+/// State shared between the owning simulator and its worker threads.
+#[derive(Debug)]
+pub(crate) struct SharedState {
+    pub(crate) instrs: Vec<Instr>,
+    pub(crate) masks: Vec<u64>,
+    pub(crate) schedule: LevelSchedule,
+    /// Current node values.
+    pub(crate) values: Vec<AtomicU64>,
+    /// Previous-cycle values (for toggle extraction).
+    pub(crate) prev: Vec<AtomicU64>,
+    /// Per-node feature toggles (gated clocks report their enable).
+    pub(crate) feat: Vec<AtomicU64>,
+    /// Per-node raw toggles `(v ^ prev) & mask` (for power).
+    pub(crate) raw: Vec<AtomicU64>,
+}
+
+impl SharedState {
+    pub(crate) fn new(
+        instrs: Vec<Instr>,
+        masks: Vec<u64>,
+        schedule: LevelSchedule,
+        initial_values: &[u64],
+    ) -> Self {
+        let atomic = |src: &[u64]| src.iter().map(|&v| AtomicU64::new(v)).collect();
+        let zeros = vec![0u64; initial_values.len()];
+        SharedState {
+            instrs,
+            masks,
+            schedule,
+            values: atomic(initial_values),
+            prev: atomic(initial_values),
+            feat: atomic(&zeros),
+            raw: atomic(&zeros),
+        }
+    }
+}
+
+#[inline]
+fn ld(v: &[AtomicU64], i: u32) -> u64 {
+    v[i as usize].load(Ordering::Relaxed)
+}
+
+/// Evaluates one node from the current values; returns the new value
+/// and, for gated clocks, the feature-toggle override.
+#[inline]
+fn eval_node(sh: &SharedState, i: usize, m: u64) -> (u64, Option<u64>) {
+    let values = &sh.values;
+    match sh.instrs[i] {
+        Instr::Hold | Instr::Input | Instr::Const => (values[i].load(Ordering::Relaxed), None),
+        Instr::Not(a) => (!ld(values, a) & m, None),
+        Instr::And(a, b) => (ld(values, a) & ld(values, b), None),
+        Instr::Or(a, b) => (ld(values, a) | ld(values, b), None),
+        Instr::Xor(a, b) => (ld(values, a) ^ ld(values, b), None),
+        Instr::Add(a, b) => (ld(values, a).wrapping_add(ld(values, b)) & m, None),
+        Instr::Sub(a, b) => (ld(values, a).wrapping_sub(ld(values, b)) & m, None),
+        Instr::Mul(a, b) => (ld(values, a).wrapping_mul(ld(values, b)) & m, None),
+        Instr::Udiv(a, b) => (ld(values, a).checked_div(ld(values, b)).unwrap_or(m), None),
+        Instr::Eq(a, b) => ((ld(values, a) == ld(values, b)) as u64, None),
+        Instr::Ult(a, b) => ((ld(values, a) < ld(values, b)) as u64, None),
+        Instr::Shl(a, s, w) => {
+            let amt = ld(values, s);
+            let v = if amt >= w as u64 {
+                0
+            } else {
+                (ld(values, a) << amt) & m
+            };
+            (v, None)
+        }
+        Instr::Shr(a, s) => {
+            let amt = ld(values, s);
+            let v = if amt >= 64 { 0 } else { ld(values, a) >> amt };
+            (v, None)
+        }
+        Instr::Mux(sel, t, f) => {
+            let v = if ld(values, sel) != 0 {
+                ld(values, t)
+            } else {
+                ld(values, f)
+            };
+            (v, None)
+        }
+        Instr::Slice(src, lo) => ((ld(values, src) >> lo) & m, None),
+        Instr::Concat(hi, lo, lo_w) => ((ld(values, hi) << lo_w) | ld(values, lo), None),
+        Instr::ReduceOr(a) => ((ld(values, a) != 0) as u64, None),
+        Instr::ReduceAnd(a, am) => ((ld(values, a) == am) as u64, None),
+        Instr::ReduceXor(a) => ((ld(values, a).count_ones() as u64) & 1, None),
+        Instr::Gated(en) => {
+            let e = ld(values, en);
+            // Feature semantics for gated clocks: the per-cycle toggle
+            // bit is the enable itself (the net physically toggles
+            // twice per enabled cycle).
+            (e, Some(e))
+        }
+    }
+}
+
+/// Evaluates one shard. A shard disjoint from the dirty set is skipped:
+/// none of its source groups changed, so every node keeps its value and
+/// only the toggle words need clearing (gated clocks report their —
+/// unchanged — enable as the feature).
+fn run_shard(sh: &SharedState, shard_idx: usize, record: bool, dirty: u64) {
+    let shard = &sh.schedule.shards()[shard_idx];
+    let nodes = &sh.schedule.order()[shard.start as usize..shard.end as usize];
+    if record && shard.influence & dirty == 0 {
+        for &ni in nodes {
+            let i = ni as usize;
+            let f = match sh.instrs[i] {
+                Instr::Gated(_) => sh.values[i].load(Ordering::Relaxed),
+                _ => 0,
+            };
+            sh.feat[i].store(f, Ordering::Relaxed);
+            sh.raw[i].store(0, Ordering::Relaxed);
+        }
+        return;
+    }
+    for &ni in nodes {
+        let i = ni as usize;
+        let m = sh.masks[i];
+        let (v, feature_override) = eval_node(sh, i, m);
+        if record {
+            let t = (v ^ sh.prev[i].load(Ordering::Relaxed)) & m;
+            sh.prev[i].store(v, Ordering::Relaxed);
+            sh.raw[i].store(t, Ordering::Relaxed);
+            sh.feat[i].store(feature_override.unwrap_or(t), Ordering::Relaxed);
+        }
+        sh.values[i].store(v, Ordering::Relaxed);
+    }
+}
+
+/// Single-threaded value pass: shards in (level, index) order.
+pub(crate) fn run_pass_seq(sh: &SharedState, record: bool, dirty: u64) {
+    for idx in 0..sh.schedule.shards().len() {
+        run_shard(sh, idx, record, dirty);
+    }
+}
+
+/// One participant (main thread or worker) of the parallel value pass.
+/// Shards of each level are dealt round-robin by participant index;
+/// every participant crosses the same `n_levels` barriers.
+fn run_pass_parallel(
+    sh: &SharedState,
+    ctl: &Ctl,
+    participant: usize,
+    local_gen: &mut u64,
+    record: bool,
+    dirty: u64,
+) {
+    let n = ctl.n_threads;
+    for level in 0..sh.schedule.n_levels() {
+        let (lo, hi) = sh.schedule.level_shard_range(level);
+        let mut s = lo as usize + participant;
+        while s < hi as usize {
+            run_shard(sh, s, record, dirty);
+            s += n;
+        }
+        barrier(ctl, local_gen);
+    }
+}
+
+/// Sense-counting spin barrier. The generation counter is monotonic, so
+/// a `< target` comparison tolerates racing past several barriers.
+fn barrier(ctl: &Ctl, local_gen: &mut u64) {
+    let target = *local_gen + 1;
+    let arrived = ctl.arrivals.fetch_add(1, Ordering::AcqRel) + 1;
+    if arrived == ctl.n_threads {
+        ctl.arrivals.store(0, Ordering::Relaxed);
+        ctl.gen.fetch_add(1, Ordering::Release);
+    } else {
+        let mut spins = 0u32;
+        while ctl.gen.load(Ordering::Acquire) < target {
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+    *local_gen = target;
+}
+
+#[derive(Debug)]
+struct Job {
+    epoch: u64,
+    record: bool,
+    dirty: u64,
+    shutdown: bool,
+}
+
+/// Control block shared by the pool's participants.
+#[derive(Debug)]
+struct Ctl {
+    job: Mutex<Job>,
+    wake: Condvar,
+    arrivals: AtomicUsize,
+    gen: AtomicU64,
+    /// Total participants: the owning thread plus the workers.
+    n_threads: usize,
+}
+
+/// Persistent worker pool. Workers sleep on a condvar between cycles
+/// and spin-then-yield at the per-level barriers within one.
+#[derive(Debug)]
+pub(crate) struct Pool {
+    ctl: Arc<Ctl>,
+    handles: Vec<JoinHandle<()>>,
+    /// The owning thread's barrier generation.
+    main_gen: u64,
+}
+
+impl Pool {
+    /// Spawns `threads - 1` workers (the owning thread is the remaining
+    /// participant).
+    pub(crate) fn spawn(shared: Arc<SharedState>, threads: usize) -> Pool {
+        assert!(threads >= 2);
+        let ctl = Arc::new(Ctl {
+            job: Mutex::new(Job {
+                epoch: 0,
+                record: false,
+                dirty: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            arrivals: AtomicUsize::new(0),
+            gen: AtomicU64::new(0),
+            n_threads: threads,
+        });
+        let handles = (1..threads)
+            .map(|participant| {
+                let shared = Arc::clone(&shared);
+                let ctl = Arc::clone(&ctl);
+                std::thread::spawn(move || worker_loop(&shared, &ctl, participant))
+            })
+            .collect();
+        Pool {
+            ctl,
+            handles,
+            main_gen: 0,
+        }
+    }
+
+    /// Runs one value pass across the pool, returning when all shards
+    /// of all levels are done.
+    pub(crate) fn run(&mut self, shared: &SharedState, record: bool, dirty: u64) {
+        {
+            let mut job = self.ctl.job.lock().unwrap();
+            job.epoch += 1;
+            job.record = record;
+            job.dirty = dirty;
+        }
+        self.ctl.wake.notify_all();
+        run_pass_parallel(shared, &self.ctl, 0, &mut self.main_gen, record, dirty);
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut job = self.ctl.job.lock().unwrap();
+            job.shutdown = true;
+        }
+        self.ctl.wake.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &SharedState, ctl: &Ctl, participant: usize) {
+    let mut last_epoch = 0u64;
+    let mut local_gen = 0u64;
+    loop {
+        let (record, dirty) = {
+            let mut job = ctl.job.lock().unwrap();
+            while job.epoch == last_epoch && !job.shutdown {
+                job = ctl.wake.wait(job).unwrap();
+            }
+            if job.shutdown {
+                return;
+            }
+            last_epoch = job.epoch;
+            (job.record, job.dirty)
+        };
+        run_pass_parallel(shared, ctl, participant, &mut local_gen, record, dirty);
+    }
+}

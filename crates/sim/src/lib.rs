@@ -36,7 +36,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod power;
+mod schedule;
 mod simulator;
 mod toggle;
 mod trace;

@@ -1,38 +1,11 @@
 //! The cycle-accurate netlist simulator.
 
+use crate::engine::{self, Instr, Pool, SharedState};
 use crate::power::{unit_hash, PowerConfig, PowerSample};
+use crate::schedule::LevelSchedule;
 use apollo_rtl::{CapAnnotation, MemId, Netlist, NodeId, Op};
-
-/// Compiled per-node instruction; mirrors [`Op`] with resolved indices
-/// and pre-computed widths so the evaluation loop touches no netlist
-/// structures.
-#[derive(Clone, Debug)]
-enum Instr {
-    /// Sequential node (register or memory read port): value is state.
-    Hold,
-    /// External input: value is staged by the harness.
-    Input,
-    Const,
-    Not(u32),
-    And(u32, u32),
-    Or(u32, u32),
-    Xor(u32, u32),
-    Add(u32, u32),
-    Sub(u32, u32),
-    Mul(u32, u32),
-    Udiv(u32, u32),
-    Eq(u32, u32),
-    Ult(u32, u32),
-    Shl(u32, u32, u8),
-    Shr(u32, u32),
-    Mux(u32, u32, u32),
-    Slice(u32, u8),
-    Concat(u32, u32, u8),
-    ReduceOr(u32),
-    ReduceAnd(u32, u64),
-    ReduceXor(u32),
-    Gated(u32),
-}
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 #[derive(Clone, Debug)]
 struct RegCommit {
@@ -51,6 +24,16 @@ struct MemPorts {
     writes: Vec<(u32, u32, u32)>,
 }
 
+/// Arithmetic node needing glitch power: operands `a`/`b` and energy
+/// per toggling input bit. Sorted by node index.
+#[derive(Clone, Debug)]
+struct GlitchEntry {
+    node: u32,
+    a: u32,
+    b: u32,
+    energy: f64,
+}
+
 /// A cycle-accurate simulator over a [`Netlist`] with built-in
 /// ground-truth power computation.
 ///
@@ -59,16 +42,26 @@ struct MemPorts {
 /// next-state values, memory writes then reads retire (write-first),
 /// combinational logic settles, per-bit toggles are extracted and the
 /// cycle's [`PowerSample`] is computed.
+///
+/// Combinational evaluation runs over a levelized schedule (see the
+/// `schedule` module): nodes of equal topological level are
+/// independent, so [`Simulator::with_threads`] can evaluate each
+/// level's shards on a persistent worker pool. Power is always
+/// accumulated by a serial netlist-order pass afterwards, which makes
+/// every observable — register values, toggle words, per-cycle power —
+/// **bit-identical across thread counts**. Shards whose source groups
+/// (inputs, clock domains, memories) saw no change this cycle are
+/// skipped wholesale, so gated-off clock domains cost almost nothing in
+/// either mode.
 #[derive(Debug)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
     config: PowerConfig,
-    instrs: Vec<Instr>,
-    masks: Vec<u64>,
+    shared: Arc<SharedState>,
+    pool: Option<Pool>,
+    threads: usize,
     caps: Vec<f64>,
-    /// Per-node glitch energy per toggling input bit (nonzero only for
-    /// arithmetic nodes).
-    glitch: Vec<f64>,
+    glitch_list: Vec<GlitchEntry>,
     /// Functional-unit index of each node (for power attribution).
     unit_of: Vec<u8>,
     /// Switching power of the last cycle attributed per unit.
@@ -79,26 +72,45 @@ pub struct Simulator<'a> {
     mems_ports: Vec<MemPorts>,
     /// Gated-clock signal node per domain (`u32::MAX` for root).
     clock_nodes: Vec<u32>,
-    values: Vec<u64>,
-    prev: Vec<u64>,
-    toggles: Vec<u64>,
+    /// Plain copy of the feature-toggle words, refreshed by the serial
+    /// power pass each cycle (the slice handed out by
+    /// [`Simulator::toggles`]).
+    toggles_mirror: Vec<u64>,
     mem_data: Vec<Vec<u64>>,
     domain_enable_prev: Vec<bool>,
     reg_stage: Vec<u64>,
+    /// Per-cycle staging of enabled memory reads `(port, value, mem)`,
+    /// committed only after every port has sampled pre-edge state.
+    mem_stage: Vec<(u32, u64, u32)>,
     pending_inputs: Vec<(u32, u64)>,
     cycle: u64,
     last_power: PowerSample,
 }
 
 impl<'a> Simulator<'a> {
-    /// Creates a simulator in the reset state (registers hold their init
-    /// values, combinational logic settled, no toggles recorded yet).
+    /// Creates a single-threaded simulator in the reset state (registers
+    /// hold their init values, combinational logic settled, no toggles
+    /// recorded yet).
     pub fn new(netlist: &'a Netlist, cap: &CapAnnotation, config: PowerConfig) -> Self {
+        Self::with_threads(netlist, cap, config, 1)
+    }
+
+    /// Creates a simulator whose combinational evaluation is spread
+    /// over `threads` participants (the calling thread plus
+    /// `threads - 1` persistent workers). `threads <= 1` selects the
+    /// sequential reference path. Results are bit-identical for every
+    /// thread count.
+    pub fn with_threads(
+        netlist: &'a Netlist,
+        cap: &CapAnnotation,
+        config: PowerConfig,
+        threads: usize,
+    ) -> Self {
         let n = netlist.len();
         let mut instrs = Vec::with_capacity(n);
         let mut masks = Vec::with_capacity(n);
         let mut caps = Vec::with_capacity(n);
-        let mut glitch = Vec::with_capacity(n);
+        let mut glitch_list = Vec::new();
         let mut regs = Vec::new();
         let mut values = vec![0u64; n];
 
@@ -107,12 +119,21 @@ impl<'a> Simulator<'a> {
             let m = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
             masks.push(m);
             caps.push(cap.node_cap(i));
-            let g = match node.op {
-                Op::Add(..) | Op::Sub(..) => config.glitch_factor * cap.node_cap(i),
-                Op::Mul(..) | Op::Udiv(..) => 2.0 * config.glitch_factor * cap.node_cap(i),
-                _ => 0.0,
-            };
-            glitch.push(g);
+            match node.op {
+                Op::Add(a, b) | Op::Sub(a, b) => glitch_list.push(GlitchEntry {
+                    node: i as u32,
+                    a: a.index() as u32,
+                    b: b.index() as u32,
+                    energy: config.glitch_factor * cap.node_cap(i),
+                }),
+                Op::Mul(a, b) | Op::Udiv(a, b) => glitch_list.push(GlitchEntry {
+                    node: i as u32,
+                    a: a.index() as u32,
+                    b: b.index() as u32,
+                    energy: 2.0 * config.glitch_factor * cap.node_cap(i),
+                }),
+                _ => {}
+            }
             let instr = match node.op {
                 Op::Input => Instr::Input,
                 Op::Const(v) => {
@@ -222,13 +243,24 @@ impl<'a> Simulator<'a> {
                 apollo_rtl::Unit::ALL.iter().position(|x| *x == u).unwrap_or(0) as u8
             })
             .collect();
+
+        let schedule = LevelSchedule::build(netlist);
+        let shared = Arc::new(SharedState::new(instrs, masks, schedule, &values));
+        let threads = threads.max(1);
+        let pool = if threads > 1 {
+            Some(Pool::spawn(Arc::clone(&shared), threads))
+        } else {
+            None
+        };
+
         let mut sim = Simulator {
             netlist,
             config,
-            instrs,
-            masks,
+            shared,
+            pool,
+            threads,
             caps,
-            glitch,
+            glitch_list,
             unit_of,
             unit_switching: vec![0.0; apollo_rtl::Unit::ALL.len()],
             clock_caps,
@@ -236,12 +268,11 @@ impl<'a> Simulator<'a> {
             regs,
             mems_ports,
             clock_nodes,
-            prev: values.clone(),
-            toggles: vec![0u64; n],
-            values,
+            toggles_mirror: vec![0u64; n],
             mem_data,
             domain_enable_prev: vec![true; netlist.clock_domains()],
             reg_stage: Vec::new(),
+            mem_stage: Vec::new(),
             pending_inputs: Vec::new(),
             cycle: 0,
             last_power: PowerSample::default(),
@@ -251,12 +282,29 @@ impl<'a> Simulator<'a> {
         sim
     }
 
+    /// Number of evaluation participants (1 = sequential reference).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Settles combinational logic from the current state without
     /// recording toggles or power (used once at reset).
     fn settle(&mut self) {
-        self.eval(false);
-        self.prev.copy_from_slice(&self.values);
+        self.run_value_pass(false, u64::MAX);
+        for i in 0..self.shared.values.len() {
+            let v = self.shared.values[i].load(Ordering::Relaxed);
+            self.shared.prev[i].store(v, Ordering::Relaxed);
+        }
         self.capture_enables();
+    }
+
+    /// Runs one combinational value/toggle pass over the level schedule,
+    /// sequentially or across the worker pool.
+    fn run_value_pass(&mut self, record: bool, dirty: u64) {
+        match &mut self.pool {
+            None => engine::run_pass_seq(&self.shared, record, dirty),
+            Some(pool) => pool.run(&self.shared, record, dirty),
+        }
     }
 
     fn capture_enables(&mut self) {
@@ -265,7 +313,7 @@ impl<'a> Simulator<'a> {
             self.domain_enable_prev[d] = if gc == u32::MAX {
                 true
             } else {
-                self.values[gc as usize] != 0
+                self.shared.values[gc as usize].load(Ordering::Relaxed) != 0
             };
         }
     }
@@ -278,11 +326,11 @@ impl<'a> Simulator<'a> {
     pub fn set_input(&mut self, node: NodeId, value: u64) {
         let i = node.index();
         assert!(
-            matches!(self.instrs[i], Instr::Input),
+            matches!(self.shared.instrs[i], Instr::Input),
             "{node:?} is not an input"
         );
         assert!(
-            value & !self.masks[i] == 0,
+            value & !self.shared.masks[i] == 0,
             "input value {value:#x} exceeds width of {node:?}"
         );
         self.pending_inputs.push((i as u32, value));
@@ -290,6 +338,12 @@ impl<'a> Simulator<'a> {
 
     /// Advances one clock edge and evaluates the new cycle.
     pub fn step(&mut self) {
+        let schedule = &self.shared.schedule;
+        // Dirty set over source groups: set as state/input changes are
+        // observed in phases 2–4, consumed by the value pass to skip
+        // shards whose transitive sources are all clean.
+        let mut dirty = 0u64;
+
         // 1. Stage register next-state values from the pre-edge state.
         //    All sequential elements capture simultaneously at the clock
         //    edge, so no commit may observe another commit's result
@@ -297,56 +351,87 @@ impl<'a> Simulator<'a> {
         //    collapse).
         for (k, rc) in self.regs.iter().enumerate() {
             self.reg_stage[k] = if self.domain_enable_prev[rc.domain as usize] {
-                self.values[rc.next as usize] & self.masks[rc.reg as usize]
+                self.shared.values[rc.next as usize].load(Ordering::Relaxed)
+                    & self.shared.masks[rc.reg as usize]
             } else {
-                self.values[rc.reg as usize]
+                self.shared.values[rc.reg as usize].load(Ordering::Relaxed)
             };
         }
 
         // 2. Memory-port commit (also pre-edge operands; runs before
-        //    register values change).
-        let mut mem_accesses = 0.0f64;
+        //    register values change). All write ports of all memories
+        //    apply first, then all read ports sample the post-write
+        //    arrays: a write whose data/addr/enable comes from another
+        //    memory's read port must see that port's pre-edge value,
+        //    not the value it commits this edge.
         let mut mem_power = 0.0f64;
         for mp in &self.mems_ports {
             let energy = self.mem_energy[mp.mem as usize];
             for &(en, addr, data) in &mp.writes {
-                if self.values[en as usize] != 0 {
-                    let a = (self.values[addr as usize] % mp.words as u64) as usize;
-                    self.mem_data[mp.mem as usize][a] = self.values[data as usize];
+                if self.shared.values[en as usize].load(Ordering::Relaxed) != 0 {
+                    let a = (self.shared.values[addr as usize].load(Ordering::Relaxed)
+                        % mp.words as u64) as usize;
+                    self.mem_data[mp.mem as usize][a] =
+                        self.shared.values[data as usize].load(Ordering::Relaxed);
                     mem_power += energy;
-                    mem_accesses += 1.0;
-                }
-            }
-            for &(port, addr, en) in &mp.reads {
-                if self.values[en as usize] != 0 {
-                    let a = (self.values[addr as usize] % mp.words as u64) as usize;
-                    self.values[port as usize] = self.mem_data[mp.mem as usize][a];
-                    mem_power += energy;
-                    mem_accesses += 1.0;
                 }
             }
         }
-        let _ = mem_accesses;
+        // Stage every enabled read from pre-edge addresses/enables (a
+        // port's address may itself be another read port), then commit.
+        self.mem_stage.clear();
+        for mp in &self.mems_ports {
+            let energy = self.mem_energy[mp.mem as usize];
+            for &(port, addr, en) in &mp.reads {
+                if self.shared.values[en as usize].load(Ordering::Relaxed) != 0 {
+                    let a = (self.shared.values[addr as usize].load(Ordering::Relaxed)
+                        % mp.words as u64) as usize;
+                    let new = self.mem_data[mp.mem as usize][a];
+                    self.mem_stage.push((port, new, mp.mem));
+                    mem_power += energy;
+                }
+            }
+        }
+        for &(port, new, mem) in &self.mem_stage {
+            let port = port as usize;
+            if self.shared.values[port].load(Ordering::Relaxed) != new {
+                dirty |= schedule.mem_bit(mem as usize);
+                self.shared.values[port].store(new, Ordering::Relaxed);
+            }
+        }
 
         // 3. Register commit from the staged values.
         for (k, rc) in self.regs.iter().enumerate() {
-            self.values[rc.reg as usize] = self.reg_stage[k];
+            let reg = rc.reg as usize;
+            let new = self.reg_stage[k];
+            if self.shared.values[reg].load(Ordering::Relaxed) != new {
+                dirty |= schedule.domain_bit(rc.domain as usize);
+                self.shared.values[reg].store(new, Ordering::Relaxed);
+            }
         }
 
         // 4. Apply staged inputs.
         for &(node, value) in &self.pending_inputs {
-            self.values[node as usize] = value;
+            let node = node as usize;
+            if self.shared.values[node].load(Ordering::Relaxed) != value {
+                dirty |= schedule.input_bit();
+                self.shared.values[node].store(value, Ordering::Relaxed);
+            }
         }
         self.pending_inputs.clear();
 
-        // 5. Combinational evaluation with toggle extraction and power.
-        let (switching, glitch) = self.eval(true);
+        // 5. Combinational evaluation with toggle extraction, then the
+        //    serial netlist-order power pass (bit-exact across thread
+        //    counts).
+        self.run_value_pass(true, dirty);
+        let (switching, glitch) = self.power_pass();
 
         // 6. Clock power for domains pulsing this cycle.
         let mut clock_power = 0.0;
         for d in 0..self.clock_nodes.len() {
             let gc = self.clock_nodes[d];
-            let pulsing = gc == u32::MAX || self.values[gc as usize] != 0;
+            let pulsing = gc == u32::MAX
+                || self.shared.values[gc as usize].load(Ordering::Relaxed) != 0;
             if pulsing {
                 clock_power += self.clock_caps[d] * self.config.half_v_squared;
             }
@@ -376,108 +461,33 @@ impl<'a> Simulator<'a> {
         self.cycle += 1;
     }
 
-    /// Evaluates all nodes in order. When `record` is true, toggles are
-    /// extracted, `prev` is updated and (switching, glitch) power returned.
-    fn eval(&mut self, record: bool) -> (f64, f64) {
+    /// Serial netlist-order accumulation of switching and glitch power
+    /// from the toggle words the value pass produced. Always runs on
+    /// the calling thread in node order, so float summation order — and
+    /// thus every power figure — is independent of the thread count.
+    /// Also refreshes the plain toggle mirror behind
+    /// [`Simulator::toggles`].
+    fn power_pass(&mut self) -> (f64, f64) {
         let mut switching_cap = 0.0f64;
         let mut glitch_power = 0.0f64;
-        if record {
-            self.unit_switching.iter_mut().for_each(|v| *v = 0.0);
-        }
-        let values = &mut self.values;
-        let prev = &mut self.prev;
-        let toggles = &mut self.toggles;
-        for i in 0..self.instrs.len() {
-            let m = self.masks[i];
-            let (v, feature_override) = match self.instrs[i] {
-                Instr::Hold | Instr::Input | Instr::Const => (values[i], None),
-                Instr::Not(a) => (!values[a as usize] & m, None),
-                Instr::And(a, b) => (values[a as usize] & values[b as usize], None),
-                Instr::Or(a, b) => (values[a as usize] | values[b as usize], None),
-                Instr::Xor(a, b) => (values[a as usize] ^ values[b as usize], None),
-                Instr::Add(a, b) => {
-                    let v = values[a as usize].wrapping_add(values[b as usize]) & m;
-                    if record {
-                        let it = toggles[a as usize] | toggles[b as usize];
-                        glitch_power += self.glitch[i] * it.count_ones() as f64;
-                    }
-                    (v, None)
-                }
-                Instr::Sub(a, b) => {
-                    let v = values[a as usize].wrapping_sub(values[b as usize]) & m;
-                    if record {
-                        let it = toggles[a as usize] | toggles[b as usize];
-                        glitch_power += self.glitch[i] * it.count_ones() as f64;
-                    }
-                    (v, None)
-                }
-                Instr::Mul(a, b) => {
-                    let v = values[a as usize].wrapping_mul(values[b as usize]) & m;
-                    if record {
-                        let it = toggles[a as usize] | toggles[b as usize];
-                        glitch_power += self.glitch[i] * it.count_ones() as f64;
-                    }
-                    (v, None)
-                }
-                Instr::Udiv(a, b) => {
-                    let bv = values[b as usize];
-                    let v = values[a as usize].checked_div(bv).unwrap_or(m);
-                    if record {
-                        let it = toggles[a as usize] | toggles[b as usize];
-                        glitch_power += self.glitch[i] * it.count_ones() as f64;
-                    }
-                    (v, None)
-                }
-                Instr::Eq(a, b) => ((values[a as usize] == values[b as usize]) as u64, None),
-                Instr::Ult(a, b) => ((values[a as usize] < values[b as usize]) as u64, None),
-                Instr::Shl(a, s, w) => {
-                    let amt = values[s as usize];
-                    let v = if amt >= w as u64 {
-                        0
-                    } else {
-                        (values[a as usize] << amt) & m
-                    };
-                    (v, None)
-                }
-                Instr::Shr(a, s) => {
-                    let amt = values[s as usize];
-                    let v = if amt >= 64 { 0 } else { values[a as usize] >> amt };
-                    (v, None)
-                }
-                Instr::Mux(sel, t, f) => {
-                    let v = if values[sel as usize] != 0 {
-                        values[t as usize]
-                    } else {
-                        values[f as usize]
-                    };
-                    (v, None)
-                }
-                Instr::Slice(src, lo) => ((values[src as usize] >> lo) & m, None),
-                Instr::Concat(hi, lo, lo_w) => {
-                    ((values[hi as usize] << lo_w) | values[lo as usize], None)
-                }
-                Instr::ReduceOr(a) => ((values[a as usize] != 0) as u64, None),
-                Instr::ReduceAnd(a, am) => ((values[a as usize] == am) as u64, None),
-                Instr::ReduceXor(a) => ((values[a as usize].count_ones() as u64) & 1, None),
-                Instr::Gated(en) => {
-                    let e = values[en as usize];
-                    // Feature semantics for gated clocks: the per-cycle
-                    // toggle bit is the enable itself (the net physically
-                    // toggles twice per enabled cycle).
-                    (e, Some(e))
-                }
-            };
-            if record {
-                let t = (v ^ prev[i]) & m;
-                prev[i] = v;
-                toggles[i] = feature_override.unwrap_or(t);
-                if t != 0 {
-                    let p = t.count_ones() as f64 * self.caps[i];
-                    switching_cap += p;
-                    self.unit_switching[self.unit_of[i] as usize] += p;
-                }
+        self.unit_switching.iter_mut().for_each(|v| *v = 0.0);
+        let shared = &self.shared;
+        let mut gk = 0usize;
+        for i in 0..shared.instrs.len() {
+            if gk < self.glitch_list.len() && self.glitch_list[gk].node as usize == i {
+                let e = &self.glitch_list[gk];
+                let it = shared.feat[e.a as usize].load(Ordering::Relaxed)
+                    | shared.feat[e.b as usize].load(Ordering::Relaxed);
+                glitch_power += e.energy * it.count_ones() as f64;
+                gk += 1;
             }
-            values[i] = v;
+            let t = shared.raw[i].load(Ordering::Relaxed);
+            self.toggles_mirror[i] = shared.feat[i].load(Ordering::Relaxed);
+            if t != 0 {
+                let p = t.count_ones() as f64 * self.caps[i];
+                switching_cap += p;
+                self.unit_switching[self.unit_of[i] as usize] += p;
+            }
         }
         (switching_cap * self.config.half_v_squared, glitch_power)
     }
@@ -494,18 +504,18 @@ impl<'a> Simulator<'a> {
 
     /// Current value of a node.
     pub fn value(&self, node: NodeId) -> u64 {
-        self.values[node.index()]
+        self.shared.values[node.index()].load(Ordering::Relaxed)
     }
 
     /// Toggle word of a node for the last completed cycle (bit `k` set if
     /// bit `k` of the node toggled; for gated clocks, the enable).
     pub fn toggle_word(&self, node: NodeId) -> u64 {
-        self.toggles[node.index()]
+        self.toggles_mirror[node.index()]
     }
 
     /// Per-node toggle words for the last completed cycle.
     pub fn toggles(&self) -> &[u64] {
-        &self.toggles
+        &self.toggles_mirror
     }
 
     /// Ground-truth power of the last completed cycle.
@@ -543,13 +553,11 @@ impl<'a> Simulator<'a> {
         assert!(out.len() >= words, "toggle_row buffer too small");
         out[..words].fill(0);
         for (i, node) in self.netlist.nodes().iter().enumerate() {
-            let t = self.toggles[i];
+            let t = self.toggles_mirror[i];
             if t == 0 {
                 continue;
             }
-            let off = self
-                .netlist
-                .bit_offset(NodeId::from_index(i));
+            let off = self.netlist.bit_offset(NodeId::from_index(i));
             let w = node.width as usize;
             let word = off / 64;
             let shift = off % 64;
@@ -838,5 +846,63 @@ mod tests {
         sim.step();
         let active = sim.power().switching;
         assert!(active > idle, "active {active} <= idle {idle}");
+    }
+
+    #[test]
+    fn parallel_counter_matches_sequential() {
+        let mut b = NetlistBuilder::new("t");
+        let r = b.reg(8, 0, CLOCK_ROOT, "count", Unit::Control);
+        let one = b.constant(1, 8);
+        let n = b.add(r, one);
+        b.connect(r, n);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let mut seq = Simulator::new(&nl, &cap, PowerConfig::default());
+        let mut par = Simulator::with_threads(&nl, &cap, PowerConfig::default(), 3);
+        assert_eq!(par.threads(), 3);
+        for _ in 0..64 {
+            seq.step();
+            par.step();
+            assert_eq!(seq.value(r), par.value(r));
+            assert_eq!(seq.toggles(), par.toggles());
+            assert_eq!(seq.power(), par.power());
+        }
+    }
+
+    #[test]
+    fn gated_off_domain_skips_but_stays_exact() {
+        // A gated domain plus a free-running counter: with the enable
+        // low the gated cone's shards are skipped, and everything must
+        // still match a fresh full evaluation cycle-for-cycle.
+        let build = || {
+            let mut b = NetlistBuilder::new("t");
+            let en = b.input(1, "en", Unit::Control);
+            let gclk = b.clock_gate(en, "gclk", Unit::ClockTree);
+            let rg = b.reg(16, 0, gclk, "rg", Unit::Vector);
+            let one16 = b.constant(1, 16);
+            let ng = b.add(rg, one16);
+            b.connect(rg, ng);
+            let rf = b.reg(8, 0, CLOCK_ROOT, "rf", Unit::Alu);
+            let one8 = b.constant(1, 8);
+            let nf = b.add(rf, one8);
+            b.connect(rf, nf);
+            (b.build().unwrap(), en, rg, rf)
+        };
+        let (nl, en, rg, rf) = build();
+        let cap = CapModel::default().annotate(&nl);
+        let mut a = Simulator::new(&nl, &cap, PowerConfig::default());
+        let mut c = Simulator::with_threads(&nl, &cap, PowerConfig::default(), 2);
+        let drive = [1u64, 1, 0, 0, 0, 1, 0, 1, 1, 0, 0, 0, 0, 1];
+        for &e in &drive {
+            a.set_input(en, e);
+            c.set_input(en, e);
+            a.step();
+            c.step();
+            assert_eq!(a.value(rg), c.value(rg));
+            assert_eq!(a.value(rf), c.value(rf));
+            assert_eq!(a.toggles(), c.toggles());
+            assert_eq!(a.power(), c.power());
+            assert_eq!(a.unit_switching(), c.unit_switching());
+        }
     }
 }

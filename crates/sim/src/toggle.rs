@@ -122,6 +122,45 @@ impl ToggleMatrix {
         }
     }
 
+    /// Copies all of `src`'s cycles into this matrix starting at row
+    /// `at_cycle` (bitwise OR, so the destination rows are normally
+    /// all-zero). Used to stitch per-workload shards captured on
+    /// separate simulator instances into one trace.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ or the source does not fit.
+    pub fn merge_at(&mut self, src: &ToggleMatrix, at_cycle: usize) {
+        assert_eq!(src.m_bits, self.m_bits, "column count mismatch");
+        assert!(
+            at_cycle + src.n_cycles <= self.n_cycles,
+            "merge of {} cycles at {} exceeds {} total",
+            src.n_cycles,
+            at_cycle,
+            self.n_cycles
+        );
+        let word0 = at_cycle / 64;
+        let shift = at_cycle % 64;
+        for bit in 0..self.m_bits {
+            let scol = &src.data[bit * src.stride..(bit + 1) * src.stride];
+            let dcol = &mut self.data[bit * self.stride..(bit + 1) * self.stride];
+            if shift == 0 {
+                for (w, &sw) in scol.iter().enumerate() {
+                    dcol[word0 + w] |= sw;
+                }
+            } else {
+                // Words past `src.n_cycles` are zero, so the spill-over
+                // word is only touched when real bits land there.
+                for (w, &sw) in scol.iter().enumerate() {
+                    dcol[word0 + w] |= sw << shift;
+                    let hi = sw >> (64 - shift);
+                    if hi != 0 {
+                        dcol[word0 + w + 1] |= hi;
+                    }
+                }
+            }
+        }
+    }
+
     /// Returns `true` if two columns have identical toggle histories.
     pub fn columns_equal(&self, a: usize, b: usize) -> bool {
         self.column(a) == self.column(b)
@@ -238,5 +277,34 @@ mod tests {
     #[should_panic(expected = "at least one cycle")]
     fn zero_cycles_panics() {
         ToggleMatrix::new(4, 0);
+    }
+
+    #[test]
+    fn merge_at_matches_direct_recording() {
+        // Build a reference 3x150 matrix directly, then the same content
+        // as three shards merged at unaligned offsets.
+        let pick = |bit: usize, cycle: usize| (cycle * 7 + bit * 13).is_multiple_of(3);
+        let mut whole = ToggleMatrix::new(3, 150);
+        for bit in 0..3 {
+            for c in 0..150 {
+                if pick(bit, c) {
+                    whole.set(bit, c);
+                }
+            }
+        }
+        let mut merged = ToggleMatrix::new(3, 150);
+        let bounds = [(0usize, 70usize), (70, 133), (133, 150)];
+        for &(lo, hi) in &bounds {
+            let mut shard = ToggleMatrix::new(3, hi - lo);
+            for bit in 0..3 {
+                for c in lo..hi {
+                    if pick(bit, c) {
+                        shard.set(bit, c - lo);
+                    }
+                }
+            }
+            merged.merge_at(&shard, lo);
+        }
+        assert_eq!(merged, whole);
     }
 }

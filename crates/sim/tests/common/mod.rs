@@ -1,0 +1,197 @@
+//! Shared random-netlist generator for the differential test suites
+//! (`fuzz_netlist` and `parallel_differential`).
+
+use apollo_rtl::{Netlist, NetlistBuilder, NodeId, Unit, CLOCK_ROOT};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn mask_of(w: u8) -> u64 {
+    if w == 64 {
+        u64::MAX
+    } else {
+        (1 << w) - 1
+    }
+}
+
+/// Generates a random but well-formed netlist with `n_nodes` random
+/// combinational nodes, `n_domains` gated clock domains (enables drawn
+/// from input 0's low bits) and `n_mems` SRAM macros, each with one or
+/// two read ports and one or two write ports. Registers round-robin
+/// over the root clock and every gated domain. Returns the netlist and
+/// its primary inputs.
+pub fn random_netlist(
+    seed: u64,
+    n_nodes: usize,
+    n_domains: usize,
+    n_mems: usize,
+) -> (Netlist, Vec<NodeId>) {
+    assert!((1..=8).contains(&n_domains));
+    assert!((1..=4).contains(&n_mems));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new("fuzz");
+    let mut nodes: Vec<NodeId> = Vec::new();
+    let mut inputs = Vec::new();
+    let mut regs: Vec<NodeId> = Vec::new();
+
+    // Seed inputs. Input 0 feeds the domain enables and inputs 1/2 the
+    // memory-port enables, so they need enough low bits to tap.
+    for k in 0..3 {
+        let w = rng.gen_range(8..=64);
+        let i = b.input(w, &format!("in{k}"), Unit::Control);
+        nodes.push(i);
+        inputs.push(i);
+    }
+    // Gated domains driven by input 0's low bits.
+    let mut clocks = vec![CLOCK_ROOT];
+    for d in 0..n_domains {
+        let en = b.bit(inputs[0], d as u8);
+        nodes.push(en);
+        clocks.push(b.clock_gate(en, &format!("gclk{d}"), Unit::ClockTree));
+    }
+
+    // Up-front registers (their nexts are connected at the end),
+    // round-robin over all clock domains.
+    for k in 0..(2 * (n_domains + 1)) {
+        let w = rng.gen_range(1..=64);
+        let clock = clocks[k % clocks.len()];
+        let r = b.reg(
+            w,
+            rng.gen::<u64>() & mask_of(w),
+            clock,
+            &format!("r{k}"),
+            Unit::Alu,
+        );
+        nodes.push(r);
+        regs.push(r);
+    }
+    // Memory macros with one or two read ports each (write ports are
+    // attached at the end, once data sources exist).
+    let mut mems = Vec::new();
+    for mi in 0..n_mems {
+        let mem = b.memory(16, 16, &format!("m{mi}"), Unit::LoadStore);
+        for p in 0..rng.gen_range(1..=2usize) {
+            let addr_src = nodes[rng.gen_range(0..nodes.len())];
+            let addr = b.trunc(addr_src, b.width(addr_src).min(8));
+            let en_bit = b.bit(inputs[1], ((2 * mi + p) % 8) as u8);
+            let port = b.mem_read(mem, addr, en_bit, &format!("rp{mi}_{p}"), Unit::LoadStore);
+            nodes.push(port);
+        }
+        mems.push(mem);
+    }
+
+    // Random combinational ops.
+    for _ in 0..n_nodes {
+        let pick = |rng: &mut StdRng, nodes: &Vec<NodeId>| nodes[rng.gen_range(0..nodes.len())];
+        let a = pick(&mut rng, &nodes);
+        let n = match rng.gen_range(0..14) {
+            0 => b.not(a),
+            1..=6 => {
+                // width-matched binary op
+                let wa = b.width(a);
+                let other = pick(&mut rng, &nodes);
+                let bb = if b.width(other) == wa {
+                    other
+                } else if b.width(other) < wa {
+                    b.zext(other, wa)
+                } else {
+                    b.trunc(other, wa)
+                };
+                match rng.gen_range(0..7) {
+                    0 => b.and(a, bb),
+                    1 => b.or(a, bb),
+                    2 => b.xor(a, bb),
+                    3 => b.add(a, bb),
+                    4 => b.sub(a, bb),
+                    5 => b.mul(a, bb),
+                    _ => b.udiv(a, bb),
+                }
+            }
+            7 => {
+                let wa = b.width(a);
+                let other = pick(&mut rng, &nodes);
+                let bb = if b.width(other) == wa {
+                    other
+                } else {
+                    let bit0 = b.bit(other, 0);
+                    b.zext(bit0, wa)
+                };
+                b.eq(a, bb)
+            }
+            8 => {
+                let amt = pick(&mut rng, &nodes);
+                let amt6 = b.trunc(amt, b.width(amt).min(6));
+                let amt_w = b.zext(amt6, b.width(a).clamp(6, 64));
+                let amt_m = b.trunc(amt_w, b.width(a).min(b.width(amt_w)));
+                if rng.gen_bool(0.5) {
+                    b.shl(a, amt_m)
+                } else {
+                    b.shr(a, amt_m)
+                }
+            }
+            9 => {
+                let wa = b.width(a);
+                let lo = rng.gen_range(0..wa);
+                let w = rng.gen_range(1..=wa - lo);
+                b.slice(a, lo, w)
+            }
+            10 => {
+                let other = pick(&mut rng, &nodes);
+                if b.width(a) + b.width(other) <= 64 {
+                    b.concat(a, other)
+                } else {
+                    b.reduce_or(a)
+                }
+            }
+            11 => {
+                let sel_src = pick(&mut rng, &nodes);
+                let sel = b.bit(sel_src, 0);
+                let t = pick(&mut rng, &nodes);
+                let wt = b.width(t);
+                let f0 = pick(&mut rng, &nodes);
+                let f = if b.width(f0) == wt {
+                    f0
+                } else if b.width(f0) < wt {
+                    b.zext(f0, wt)
+                } else {
+                    b.trunc(f0, wt)
+                };
+                b.mux(sel, t, f)
+            }
+            12 => b.reduce_and(a),
+            _ => b.reduce_xor(a),
+        };
+        nodes.push(n);
+    }
+    // Connect register nexts to random width-matched nodes.
+    for &r in &regs {
+        let wr = b.width(r);
+        let src = nodes[rng.gen_range(0..nodes.len())];
+        let n = if b.width(src) == wr {
+            src
+        } else if b.width(src) < wr {
+            b.zext(src, wr)
+        } else {
+            b.trunc(src, wr)
+        };
+        b.connect(r, n);
+    }
+    // Write ports driven by random nodes (enables from input 2's bits).
+    for (mi, &mem) in mems.iter().enumerate() {
+        for p in 0..rng.gen_range(1..=2usize) {
+            let wen = b.bit(inputs[2], ((2 * mi + p) % 8) as u8);
+            let waddr_src = nodes[rng.gen_range(0..nodes.len())];
+            let waddr = b.trunc(waddr_src, b.width(waddr_src).min(8));
+            let wdata_src = nodes[rng.gen_range(0..nodes.len())];
+            let wdata = if b.width(wdata_src) == 16 {
+                wdata_src
+            } else if b.width(wdata_src) < 16 {
+                b.zext(wdata_src, 16)
+            } else {
+                b.trunc(wdata_src, 16)
+            };
+            b.mem_write(mem, wen, waddr, wdata);
+        }
+    }
+
+    (b.build().unwrap(), inputs)
+}

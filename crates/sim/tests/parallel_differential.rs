@@ -1,0 +1,261 @@
+//! Differential test of the parallel levelized engine against the
+//! sequential reference engine.
+//!
+//! The contract is *bit-exactness*: for any netlist and any stimulus,
+//! a simulator with 2, 4 or 8 worker threads must report exactly the
+//! same register values, toggle bits and per-cycle power breakdown as
+//! the single-threaded engine, every cycle. Value/toggle evaluation is
+//! order-independent (disjoint writes, level barriers) and the float
+//! accumulation runs in a serial netlist-order pass, so even the noise
+//! and short-circuit terms match to the last bit.
+
+mod common;
+
+use apollo_rtl::{CapModel, NetlistBuilder, NodeId, Op, Unit, CLOCK_ROOT};
+use apollo_sim::{PowerConfig, PowerSample, Simulator};
+use common::{mask_of, random_netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THREADS: [usize; 3] = [2, 4, 8];
+
+fn assert_power_eq(a: &PowerSample, b: &PowerSample, what: &str) {
+    let pairs = [
+        ("total", a.total, b.total),
+        ("switching", a.switching, b.switching),
+        ("clock", a.clock, b.clock),
+        ("memory", a.memory, b.memory),
+        ("glitch", a.glitch, b.glitch),
+        ("short_circuit", a.short_circuit, b.short_circuit),
+        ("leakage", a.leakage, b.leakage),
+    ];
+    for (name, x, y) in pairs {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: power component `{name}` differs ({x} vs {y})"
+        );
+    }
+}
+
+/// Drives `seq` and `par` in lockstep with the same stimulus and checks
+/// every observable every cycle.
+fn lockstep(
+    seq: &mut Simulator<'_>,
+    par: &mut Simulator<'_>,
+    inputs: &[NodeId],
+    cycles: usize,
+    stim_seed: u64,
+) {
+    let netlist = seq.netlist();
+    let n_threads = par.threads();
+    let mut rng = StdRng::seed_from_u64(stim_seed);
+    let mut row_seq = vec![0u64; netlist.signal_bits().div_ceil(64)];
+    let mut row_par = vec![0u64; netlist.signal_bits().div_ceil(64)];
+    for cycle in 0..cycles {
+        for &i in inputs {
+            let w = netlist.node(i).width;
+            let v = rng.gen::<u64>() & mask_of(w);
+            seq.set_input(i, v);
+            par.set_input(i, v);
+        }
+        seq.step();
+        par.step();
+        for i in 0..netlist.len() {
+            let id = NodeId::from_index(i);
+            assert_eq!(
+                seq.value(id),
+                par.value(id),
+                "cycle {cycle}, {n_threads} threads: value of node {} ({:?})",
+                netlist.display_name(id),
+                netlist.node(id).op
+            );
+            assert_eq!(
+                seq.toggle_word(id),
+                par.toggle_word(id),
+                "cycle {cycle}, {n_threads} threads: toggles of node {} ({:?})",
+                netlist.display_name(id),
+                netlist.node(id).op
+            );
+        }
+        assert_eq!(seq.toggles(), par.toggles());
+        seq.toggle_row(&mut row_seq);
+        par.toggle_row(&mut row_par);
+        assert_eq!(row_seq, row_par, "cycle {cycle}: packed toggle rows");
+        assert_power_eq(
+            &seq.power(),
+            &par.power(),
+            &format!("cycle {cycle}, {n_threads} threads"),
+        );
+        let us = seq.unit_switching();
+        let up = par.unit_switching();
+        for (k, (x, y)) in us.iter().zip(&up).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "cycle {cycle}: unit {k} switching"
+            );
+        }
+    }
+}
+
+/// Random netlists with several gated domains and multi-port SRAMs:
+/// every thread count matches the sequential engine exactly.
+#[test]
+fn random_netlists_bit_exact_across_thread_counts() {
+    for (seed, n_nodes, n_domains, n_mems) in
+        [(1u64, 90, 3, 2), (42, 140, 4, 3), (0xA110, 60, 1, 1), (0xF00D, 200, 2, 2)]
+    {
+        let (netlist, inputs) = random_netlist(seed, n_nodes, n_domains, n_mems);
+        let cap = CapModel::default().annotate(&netlist);
+        for threads in THREADS {
+            let mut seq = Simulator::new(&netlist, &cap, PowerConfig::default());
+            let mut par = Simulator::with_threads(&netlist, &cap, PowerConfig::default(), threads);
+            assert_eq!(par.threads(), threads);
+            lockstep(&mut seq, &mut par, &inputs, 80, seed ^ 0xBEEF);
+        }
+    }
+}
+
+/// Register file semantics under parallel evaluation: a design dominated
+/// by registers (level-0 two-phase commit) with a gated-off domain that
+/// exercises the dirty-set skip path.
+#[test]
+fn register_chains_and_gated_domains_bit_exact() {
+    let mut b = NetlistBuilder::new("chains");
+    let en = b.input(1, "en", Unit::Control);
+    let gclk = b.clock_gate(en, "gclk", Unit::ClockTree);
+    // A free-running counter in the root domain feeding a 4-deep
+    // register chain in the gated domain.
+    let count = b.reg(16, 0, CLOCK_ROOT, "count", Unit::Control);
+    let one = b.constant(1, 16);
+    let next = b.add(count, one);
+    b.connect(count, next);
+    let mut stage = count;
+    for k in 0..4 {
+        let r = b.reg(16, 0, gclk, &format!("stage{k}"), Unit::Alu);
+        b.connect(r, stage);
+        stage = r;
+    }
+    let sum = b.add(stage, count);
+    b.name(sum, "sum", Unit::Alu);
+    let netlist = b.build().unwrap();
+    let cap = CapModel::default().annotate(&netlist);
+    let inputs = vec![en];
+    for threads in THREADS {
+        let mut seq = Simulator::new(&netlist, &cap, PowerConfig::default());
+        let mut par = Simulator::with_threads(&netlist, &cap, PowerConfig::default(), threads);
+        lockstep(&mut seq, &mut par, &inputs, 120, 7);
+    }
+}
+
+/// Two parallel runs of the same netlist and stimulus are deterministic:
+/// identical values, toggle rows and power bits cycle by cycle.
+#[test]
+fn parallel_runs_are_deterministic() {
+    let (netlist, inputs) = random_netlist(99, 120, 3, 2);
+    let cap = CapModel::default().annotate(&netlist);
+    let mut a = Simulator::with_threads(&netlist, &cap, PowerConfig::default(), 4);
+    let mut b = Simulator::with_threads(&netlist, &cap, PowerConfig::default(), 4);
+    lockstep(&mut a, &mut b, &inputs, 100, 0x5EED);
+}
+
+/// Real CPU workloads on the tiny core: architectural state, toggle
+/// bits and per-cycle power match the sequential engine at every
+/// thread count, every cycle.
+#[test]
+fn tiny_cpu_workloads_bit_exact_across_thread_counts() {
+    use apollo_cpu::{benchmarks, build_cpu, CpuConfig, CpuSim};
+
+    let config = CpuConfig::tiny();
+    let handles = build_cpu(&config).expect("tiny CPU build");
+    let cap = CapModel::default().annotate(&handles.netlist);
+    let workloads = [
+        benchmarks::dhrystone(),
+        benchmarks::maxpwr_cpu(),
+        benchmarks::dcache_miss(&config),
+    ];
+    for bench in &workloads {
+        for threads in THREADS {
+            let mut seq = CpuSim::new(
+                &handles,
+                &cap,
+                PowerConfig::default(),
+                &bench.program,
+                &bench.data,
+            );
+            let mut par = CpuSim::with_threads(
+                &handles,
+                &cap,
+                PowerConfig::default(),
+                &bench.program,
+                &bench.data,
+                threads,
+            );
+            for cycle in 0..200 {
+                seq.step();
+                par.step();
+                for x in 0..16 {
+                    assert_eq!(
+                        seq.xreg(x),
+                        par.xreg(x),
+                        "{}: cycle {cycle}, {threads} threads: x{x}",
+                        bench.name
+                    );
+                }
+                assert_eq!(seq.retired(), par.retired());
+                assert_eq!(seq.halted(), par.halted());
+                assert_eq!(
+                    seq.sim().toggles(),
+                    par.sim().toggles(),
+                    "{}: cycle {cycle}, {threads} threads: toggle words",
+                    bench.name
+                );
+                assert_power_eq(
+                    &seq.sim().power(),
+                    &par.sim().power(),
+                    &format!("{} cycle {cycle}, {threads} threads", bench.name),
+                );
+            }
+        }
+    }
+}
+
+/// The register-value observables specifically (the architectural state
+/// a CPU harness reads back) survive long runs at every thread count.
+#[test]
+fn register_state_matches_over_long_run() {
+    let (netlist, inputs) = random_netlist(0xCAFE, 100, 2, 2);
+    let cap = CapModel::default().annotate(&netlist);
+    let regs: Vec<NodeId> = netlist
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n.op, Op::Reg { .. }))
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect();
+    assert!(!regs.is_empty());
+    for threads in THREADS {
+        let mut seq = Simulator::new(&netlist, &cap, PowerConfig::default());
+        let mut par = Simulator::with_threads(&netlist, &cap, PowerConfig::default(), threads);
+        let mut rng = StdRng::seed_from_u64(0xD1CE);
+        for cycle in 0..400 {
+            for &i in &inputs {
+                let w = netlist.node(i).width;
+                let v = rng.gen::<u64>() & mask_of(w);
+                seq.set_input(i, v);
+                par.set_input(i, v);
+            }
+            seq.step();
+            par.step();
+            for &r in &regs {
+                assert_eq!(
+                    seq.value(r),
+                    par.value(r),
+                    "cycle {cycle}, {threads} threads: register {}",
+                    netlist.display_name(r)
+                );
+            }
+        }
+    }
+}

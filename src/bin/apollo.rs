@@ -2,10 +2,13 @@
 //!
 //! ```text
 //! apollo design --config <tiny|n1|a77>
-//! apollo train  --config <tiny|n1|a77> --q <N> [--ga-generations <N>] [--out model.json]
-//! apollo eval   --config <tiny|n1|a77> --model model.json
+//! apollo train  --config <tiny|n1|a77> --q <N> [--ga-generations <N>] [--threads <N>] [--out model.json]
+//! apollo eval   --config <tiny|n1|a77> --model model.json [--threads <N>]
 //! apollo opm    --model model.json [--bits <B>] [--window <T>]
-//! apollo trace  --config <tiny|n1|a77> --model model.json [--cycles <N>] [--out trace.json]
+//! apollo trace  --config <tiny|n1|a77> --model model.json [--cycles <N>] [--threads <N>] [--out trace.json]
+//!
+//! `--threads N` runs simulations on N worker threads (bit-identical
+//! results; defaults to 1).
 //! ```
 
 use apollo_suite::core::{
@@ -22,10 +25,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          apollo design --config <tiny|n1|a77>\n  \
-         apollo train  --config <tiny|n1|a77> --q <N> [--ga-generations <N>] [--out model.json]\n  \
-         apollo eval   --config <tiny|n1|a77> --model model.json\n  \
+         apollo train  --config <tiny|n1|a77> --q <N> [--ga-generations <N>] [--threads <N>] [--out model.json]\n  \
+         apollo eval   --config <tiny|n1|a77> --model model.json [--threads <N>]\n  \
          apollo opm    --model model.json [--bits <B>] [--window <T>]\n  \
-         apollo trace  --config <tiny|n1|a77> --model model.json [--cycles <N>] [--out trace.json]"
+         apollo trace  --config <tiny|n1|a77> --model model.json [--cycles <N>] [--threads <N>] [--out trace.json]"
     );
     ExitCode::from(2)
 }
@@ -64,6 +67,10 @@ fn main() -> ExitCode {
         return usage();
     };
     let get = |k: &str| flags.get(k).cloned();
+    let threads: usize = get("threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
 
     match cmd.as_str() {
         "design" => {
@@ -83,13 +90,14 @@ fn main() -> ExitCode {
             let generations: usize = get("ga-generations")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(12);
-            let ctx = DesignContext::new(&cfg);
+            let ctx = DesignContext::with_threads(&cfg, threads);
             eprintln!("generating training data ({generations} GA generations)...");
             let ga = run_ga(
                 &ctx,
                 &GaConfig {
                     population: 16,
                     generations,
+                    threads,
                     ..GaConfig::default()
                 },
             );
@@ -141,7 +149,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let ctx = DesignContext::new(&cfg);
+            let ctx = DesignContext::with_threads(&cfg, threads);
             let suite = ctx.test_suite(1.0);
             let trace = ctx.capture_suite(&suite, 400);
             let pred = model.predict_full(&trace.toggles);
@@ -209,7 +217,7 @@ fn main() -> ExitCode {
                 }
             };
             let cycles: usize = get("cycles").and_then(|v| v.parse().ok()).unwrap_or(100_000);
-            let ctx = DesignContext::new(&cfg);
+            let ctx = DesignContext::with_threads(&cfg, threads);
             let phases = (cycles / 2500).clamp(2, 600) as u16;
             let bench = benchmarks::hmmer_like(&ctx.handles.config, phases);
             let report = run_emulator_flow(&ctx, &model, &bench, cycles, 400);
