@@ -44,15 +44,15 @@ fn bench_ga(c: &mut Criterion) {
 fn bench_opm(c: &mut Criterion) {
     let p = pipe();
     let model = p.model(16, SelectionPenalty::Mcp { gamma: 10.0 }).model;
-    let quant = QuantizedOpm::from_model(&model, 10, 8);
+    let quant = QuantizedOpm::from_model(&model, 10, 8).expect("quantization");
     let bench = apollo_cpu::benchmarks::maxpwr_cpu();
     let proxy = p.ctx.capture_bits(&bench, &model.bits(), 256, 150);
 
     let mut g = c.benchmark_group("opm");
     g.bench_function("build_hardware", |b| {
-        b.iter(|| opm_gate_area(&build_opm(&quant)))
+        b.iter(|| opm_gate_area(&build_opm(&quant).expect("build_opm")))
     });
-    let hw = build_opm(&quant);
+    let hw = build_opm(&quant).expect("build_opm");
     g.bench_function("cosim_256_cycles", |b| {
         b.iter(|| hw.cosim(&proxy.toggles).windows.len())
     });

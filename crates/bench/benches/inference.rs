@@ -26,7 +26,7 @@ fn bench_inference(c: &mut Criterion) {
     g.bench_function("apollo_linear", |b| {
         b.iter(|| model.predict_full(&test.toggles).len())
     });
-    let quant = QuantizedOpm::from_model(&model, 10, 8);
+    let quant = QuantizedOpm::from_model(&model, 10, 8).expect("quantization");
     g.bench_function("apollo_opm_fixed_point", |b| {
         b.iter(|| quant.window_outputs(&test.toggles).len())
     });

@@ -1,0 +1,279 @@
+//! Fault-rate sweeps: estimation fidelity and governor safety under
+//! deterministic fault injection (the robustness companion to the
+//! paper's accuracy results).
+//!
+//! Three sweeps, all seeded and bit-reproducible:
+//!
+//! 1. **Silicon faults** — netlist-level transient upsets at increasing
+//!    rates; the (healthy) OPM is scored against the faulted design's
+//!    true per-epoch power (R², per-epoch MAPE).
+//! 2. **Meter faults** — counter upsets / ROM corruption / dropped
+//!    epochs inside the meter itself, `Single` vs `MedianOfThree`
+//!    redundancy, scored against the healthy design's true power.
+//! 3. **Governed meter faults** — the fail-safe governor driving a
+//!    power cap from a faulty meter: cap violations, flagged epochs and
+//!    time spent in fail-safe mode.
+//!
+//! Results land in `results/repro_fault.json`. `APOLLO_QUICK=1` runs
+//! the tiny configuration.
+
+use apollo_bench::pipeline::{progress, save_json, sustained_virus, Pipeline, PipelineConfig};
+use apollo_cpu::benchmarks::Benchmark;
+use apollo_mlkit::metrics;
+use apollo_opm::{
+    run_governed_resilient, Envelope, GovernorConfig, HardenedOpm, MeterFaultPlan, QuantizedOpm,
+    Redundancy, ResilientGovernorConfig,
+};
+use apollo_sim::{FaultPlan, TraceData};
+
+/// Window size of every OPM in this binary (matches the governed epoch).
+const T: usize = 32;
+
+/// One row of the silicon-fault sweep.
+#[derive(serde::Serialize)]
+struct SiliconFaultRow {
+    flip_rate: f64,
+    reg_flips: u64,
+    mem_flips: u64,
+    r2: f64,
+    mape: f64,
+}
+
+/// One row of the meter-fault sweep.
+#[derive(serde::Serialize)]
+struct MeterFaultRow {
+    counter_flip_rate: f64,
+    rom_flip_rate: f64,
+    drop_rate: f64,
+    redundancy: String,
+    injected_events: usize,
+    flagged_readings: usize,
+    r2: f64,
+    mape: f64,
+}
+
+/// One row of the governed sweep.
+#[derive(serde::Serialize)]
+struct GovernedFaultRow {
+    drop_rate: f64,
+    counter_flip_rate: f64,
+    cap: f64,
+    epochs_over_cap: f64,
+    epochs_over_cap_free: f64,
+    flagged_epochs: usize,
+    failsafe_epochs: u64,
+    stuck_detections: u64,
+    relative_ipc: f64,
+    mean_power_governed: f64,
+}
+
+#[derive(serde::Serialize)]
+struct FaultReproReport {
+    config: String,
+    opm_q: usize,
+    opm_b: u8,
+    opm_t: usize,
+    silicon: Vec<SiliconFaultRow>,
+    meter: Vec<MeterFaultRow>,
+    governed: Vec<GovernedFaultRow>,
+}
+
+/// True mean power of each full T-cycle epoch in a trace.
+fn epoch_truth(trace: &TraceData) -> Vec<f64> {
+    let y = trace.labels();
+    y.chunks_exact(T).map(|w| w.iter().sum::<f64>() / T as f64).collect()
+}
+
+/// Mean absolute percentage error, guarding near-zero truth.
+fn mape(truth: &[f64], est: &[f64]) -> f64 {
+    let n = truth.len().min(est.len());
+    assert!(n > 0, "empty epoch series");
+    let mut acc = 0.0;
+    for i in 0..n {
+        let denom = truth[i].abs().max(1e-9);
+        acc += (est[i] - truth[i]).abs() / denom;
+    }
+    acc / n as f64
+}
+
+/// Scores hardened readings against per-epoch ground truth.
+fn score(hard: &HardenedOpm, trace: &TraceData, plan: &MeterFaultPlan) -> (f64, f64, usize, usize) {
+    let run = hard.run(&trace.toggles, plan).expect("hardened run");
+    let truth = epoch_truth(trace);
+    let est: Vec<f64> = run.readings.iter().map(|r| hard.descale(r.value)).collect();
+    let n = truth.len().min(est.len());
+    let flagged = run.readings.iter().filter(|r| r.flagged).count();
+    (
+        metrics::r2(&truth[..n], &est[..n]),
+        mape(&truth[..n], &est[..n]),
+        run.report.events.len(),
+        flagged,
+    )
+}
+
+fn main() {
+    let quick = std::env::var("APOLLO_QUICK").is_ok();
+    let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::neoverse() };
+    let name = cfg.design.name.clone();
+    let p = Pipeline::new(cfg);
+    let model = p.main_model();
+    let opm = QuantizedOpm::from_model(&model, 10, T).expect("quantization");
+    let spec = opm.spec;
+
+    let (program, data) = sustained_virus();
+    let bench = Benchmark {
+        name: "sustained_virus".into(),
+        program: program.clone(),
+        data: data.clone(),
+        cycles: 2048,
+    };
+    let cycles = 2048;
+    let warmup = 64;
+
+    // A healthy capture anchors the plausibility envelope and the
+    // meter-fault sweep's ground truth.
+    let (clean, _) = p
+        .ctx
+        .capture_faulted(&bench, cycles, warmup, &FaultPlan::empty())
+        .expect("clean capture");
+    let envelope = Envelope::calibrate(&opm, &clean.toggles, 1.0);
+    progress(&format!(
+        "calibrated envelope [{}, {}] (structural max {})",
+        envelope.min,
+        envelope.max,
+        Envelope::structural(&opm).max
+    ));
+
+    // Sweep 1: transient upsets in the monitored silicon; the meter
+    // itself is healthy, so this measures how well the model tracks a
+    // faulty design's true power.
+    println!("\n== silicon transient-upset sweep (healthy meter) ==");
+    println!("  flip rate   reg flips   mem flips      R2     MAPE");
+    let mut silicon = Vec::new();
+    for (i, &rate) in [0.0, 1e-4, 1e-3, 1e-2, 5e-2].iter().enumerate() {
+        let plan = FaultPlan {
+            seed: 0xFA01_7000 + i as u64,
+            stuck_at: vec![],
+            reg_flip_rate: rate,
+            mem_flip_rate: rate,
+        };
+        let (trace, report) = p
+            .ctx
+            .capture_faulted(&bench, cycles, warmup, &plan)
+            .expect("faulted capture");
+        let hard = HardenedOpm::new(opm.clone()).with_envelope(envelope);
+        let (r2, err, _, _) = score(&hard, &trace, &MeterFaultPlan::empty());
+        println!(
+            "  {:>9.0e}   {:>9}   {:>9}   {:>5.3}   {:>5.1}%",
+            rate, report.reg_flips, report.mem_flips, r2, 100.0 * err
+        );
+        silicon.push(SiliconFaultRow {
+            flip_rate: rate,
+            reg_flips: report.reg_flips,
+            mem_flips: report.mem_flips,
+            r2,
+            mape: err,
+        });
+    }
+
+    // Sweep 2: faults inside the meter, against the healthy design.
+    println!("\n== meter-local fault sweep (healthy silicon) ==");
+    println!("  cnt/rom/drop rate   redundancy      events  flagged      R2     MAPE");
+    let mut meter = Vec::new();
+    for (i, &rate) in [0.0, 0.01, 0.05, 0.2].iter().enumerate() {
+        let plan = MeterFaultPlan {
+            seed: 0x4D45_5400 + i as u64,
+            counter_flip_rate: rate,
+            rom_flip_rate: rate / 4.0,
+            drop_rate: rate / 2.0,
+        };
+        for redundancy in [Redundancy::Single, Redundancy::MedianOfThree] {
+            let hard = HardenedOpm::new(opm.clone())
+                .with_envelope(envelope)
+                .with_redundancy(redundancy);
+            let (r2, err, events, flagged) = score(&hard, &clean, &plan);
+            let rname = format!("{redundancy:?}");
+            println!(
+                "  {:>17.3}   {:<13} {:>7}  {:>7}   {:>5.3}   {:>5.1}%",
+                rate, rname, events, flagged, r2, 100.0 * err
+            );
+            meter.push(MeterFaultRow {
+                counter_flip_rate: plan.counter_flip_rate,
+                rom_flip_rate: plan.rom_flip_rate,
+                drop_rate: plan.drop_rate,
+                redundancy: rname,
+                injected_events: events,
+                flagged_readings: flagged,
+                r2,
+                mape: err,
+            });
+        }
+    }
+
+    // Sweep 3: the fail-safe governor holding a cap from a faulty meter.
+    let free_power = p.ctx.mean_power(&program, &data, warmup as u64, cycles as u64);
+    let cap = free_power * 0.8;
+    progress(&format!("free-running virus power {free_power:.0}, cap {cap:.0}"));
+    println!("\n== fail-safe governor under meter faults (cap = 80% of free) ==");
+    println!("  drop rate   over-cap (free)   flagged  failsafe  rel IPC");
+    let mut governed = Vec::new();
+    for (i, &drop) in [0.0, 0.05, 0.25, 1.0].iter().enumerate() {
+        let plan = MeterFaultPlan {
+            seed: 0x474F_5600 + i as u64,
+            counter_flip_rate: drop / 10.0,
+            rom_flip_rate: 0.0,
+            drop_rate: drop,
+        };
+        let hard = HardenedOpm::new(opm.clone()).with_envelope(envelope);
+        let config = ResilientGovernorConfig {
+            base: GovernorConfig { epoch: T, cap, ..GovernorConfig::default() },
+            ..ResilientGovernorConfig::default()
+        };
+        let report = run_governed_resilient(
+            &p.ctx.handles,
+            &p.ctx.cap,
+            &hard,
+            &program,
+            &data,
+            cycles,
+            &config,
+            None,
+            &plan,
+        )
+        .expect("governed run");
+        println!(
+            "  {:>9.2}   {:>5.1}% ({:>5.1}%)   {:>7}  {:>8}   {:>6.2}",
+            drop,
+            100.0 * report.base.epochs_over_cap,
+            100.0 * report.base.epochs_over_cap_free,
+            report.flagged_epochs.len(),
+            report.failsafe_epochs,
+            report.base.retired_governed as f64 / report.base.retired_free.max(1) as f64
+        );
+        governed.push(GovernedFaultRow {
+            drop_rate: plan.drop_rate,
+            counter_flip_rate: plan.counter_flip_rate,
+            cap,
+            epochs_over_cap: report.base.epochs_over_cap,
+            epochs_over_cap_free: report.base.epochs_over_cap_free,
+            flagged_epochs: report.flagged_epochs.len(),
+            failsafe_epochs: report.failsafe_epochs,
+            stuck_detections: report.stuck_detections,
+            relative_ipc: report.base.retired_governed as f64
+                / report.base.retired_free.max(1) as f64,
+            mean_power_governed: report.base.mean_power_governed,
+        });
+    }
+
+    let out = FaultReproReport {
+        config: name,
+        opm_q: spec.q,
+        opm_b: spec.b,
+        opm_t: spec.t,
+        silicon,
+        meter,
+        governed,
+    };
+    let path = save_json("repro_fault", &out);
+    progress(&format!("wrote {}", path.display()));
+}

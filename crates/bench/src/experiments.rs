@@ -527,10 +527,10 @@ pub fn fig15b(p: &Pipeline, qs: &[usize], bs: &[u8]) -> Fig15b {
         let float_pred = trained.model.predict_full(&test.toggles);
         let float_nrmse = metrics::nrmse(&y, &float_pred);
         for &b in bs {
-            let quant = QuantizedOpm::from_model(&trained.model, b, 1);
+            let quant = QuantizedOpm::from_model(&trained.model, b, 1).expect("quantization");
             let pred = quant.predict_cycles(&test.toggles);
             let nrmse = metrics::nrmse(&y, &pred);
-            let hw = build_opm(&quant);
+            let hw = build_opm(&quant).expect("build_opm");
             let report = AreaReport::from_areas(&hw, p.ctx.netlist());
             points.push(OpmPoint {
                 q: trained.model.q(),
@@ -546,8 +546,8 @@ pub fn fig15b(p: &Pipeline, qs: &[usize], bs: &[u8]) -> Fig15b {
     // proxy trace of one benchmark and compare against CPU power.
     progress("fig15b: headline OPM power co-simulation");
     let model = p.main_model();
-    let quant = QuantizedOpm::from_model(&model, 10, 8);
-    let hw = build_opm(&quant);
+    let quant = QuantizedOpm::from_model(&model, 10, 8).expect("quantization");
+    let hw = build_opm(&quant).expect("build_opm");
     let bench = apollo_cpu::benchmarks::maxpwr_cpu();
     let proxy_trace = p
         .ctx
@@ -675,7 +675,7 @@ pub struct Fig17 {
 /// Runs the droop experiments with the hardware-quantized OPM.
 pub fn fig17(p: &Pipeline) -> Fig17 {
     let model = p.main_model();
-    let quant = QuantizedOpm::from_model(&model, 10, 1);
+    let quant = QuantizedOpm::from_model(&model, 10, 1).expect("quantization");
     let test = p.test_trace();
     let est = quant.predict_cycles(&test.toggles);
     let truth = test.labels();
@@ -723,8 +723,8 @@ pub fn fig17(p: &Pipeline) -> Fig17 {
 /// literature survey reproduced in EXPERIMENTS.md).
 pub fn table1(p: &Pipeline) -> AreaReport {
     let model = p.main_model();
-    let quant = QuantizedOpm::from_model(&model, 10, 8);
-    let hw = build_opm(&quant);
+    let quant = QuantizedOpm::from_model(&model, 10, 8).expect("quantization");
+    let hw = build_opm(&quant).expect("build_opm");
     let report = AreaReport::from_areas(&hw, p.ctx.netlist());
     println!("\n== Table 1 (APOLLO row): design-time model + runtime monitor ==");
     println!(
@@ -744,8 +744,8 @@ pub fn table1(p: &Pipeline) -> AreaReport {
 /// Prints Table 3 plus the generated-hardware verification row.
 pub fn table3(p: &Pipeline) -> Vec<MonitorStructure> {
     let model = p.main_model();
-    let quant = QuantizedOpm::from_model(&model, 10, 8);
-    let hw = build_opm(&quant);
+    let quant = QuantizedOpm::from_model(&model, 10, 8).expect("quantization");
+    let hw = build_opm(&quant).expect("build_opm");
     let mut rows = opm_table3(p.ctx.m_bits(), model.q());
     rows.push(verify_apollo_structure(&hw));
     println!("\n== Table 3: hardware structures (Q = {}) ==", model.q());

@@ -245,3 +245,36 @@ pub fn save_json<T: serde::Serialize>(name: &str, value: &T) -> std::path::PathB
     std::fs::write(&path, json).expect("write result file");
     path
 }
+
+/// A sustained power virus: the maxpwr_cpu inner mix looped far past a
+/// governed window (the stock Table-4 benchmark halts after a few
+/// hundred cycles, which would let a governor off the hook). Shared by
+/// the governor-style repro binaries.
+pub fn sustained_virus() -> (Vec<apollo_cpu::Inst>, Vec<u64>) {
+    use apollo_cpu::{Asm, VecOp, Vr, Xr};
+    let mut a = Asm::new();
+    a.addi(Xr(2), Xr(0), 0);
+    a.vld(Vr(0), Xr(2), 0);
+    a.vld(Vr(1), Xr(2), 2);
+    a.vld(Vr(2), Xr(2), 4);
+    a.load_const(Xr(3), 0xA5A5_5A5A_DEAD_BEEF);
+    a.load_const(Xr(4), 0x0123_4567_89AB_CDEF);
+    a.addi(Xr(1), Xr(0), 8000);
+    a.addi(Xr(15), Xr(0), 1);
+    let top = a.label();
+    a.vec(VecOp::VMac, Vr(2), Vr(0), Vr(1));
+    a.mul(Xr(5), Xr(3), Xr(4));
+    a.xor(Xr(6), Xr(3), Xr(4));
+    a.add(Xr(7), Xr(5), Xr(6));
+    a.vec(VecOp::VMul, Vr(3), Vr(1), Vr(2));
+    a.sub(Xr(8), Xr(7), Xr(3));
+    a.lw(Xr(9), Xr(0), 1);
+    a.shri(Xr(10), Xr(8), 7);
+    a.vec(VecOp::VAdd, Vr(4), Vr(2), Vr(3));
+    a.or(Xr(3), Xr(10), Xr(9));
+    a.sub(Xr(1), Xr(1), Xr(15));
+    a.bne(Xr(1), Xr(0), top);
+    a.halt();
+    let data: Vec<u64> = (0..64).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1).collect();
+    (a.assemble(), data)
+}

@@ -1,10 +1,11 @@
 //! Design context and trace-capture helpers: the glue between the CPU
 //! substrate, the simulator, and model training.
 
+use crate::error::ApolloError;
 use apollo_cpu::benchmarks::Benchmark;
 use apollo_cpu::{build_cpu, CpuConfig, CpuHandles, CpuSim, Inst};
 use apollo_rtl::{CapAnnotation, CapModel, Netlist};
-use apollo_sim::{PowerConfig, TraceCapture, TraceData};
+use apollo_sim::{FaultPlan, FaultReport, PowerConfig, TraceCapture, TraceData};
 
 /// A CPU design prepared for power-model work: netlist, annotated
 /// parasitics and ground-truth power configuration.
@@ -77,6 +78,31 @@ impl DesignContext {
         )
     }
 
+    /// Creates a fresh simulator with a deterministic fault plan
+    /// injected into the underlying netlist simulation (silicon-grade
+    /// fault tolerance experiments — see `apollo_sim::fault`).
+    ///
+    /// # Errors
+    /// Returns [`ApolloError::FaultPlan`] if the plan names unknown
+    /// signals, out-of-range bits, or invalid rates/windows.
+    pub fn simulate_faulted(
+        &self,
+        program: &[Inst],
+        data: &[u64],
+        plan: &FaultPlan,
+    ) -> Result<CpuSim<'_>, ApolloError> {
+        CpuSim::with_faults(
+            &self.handles,
+            &self.cap,
+            self.power.clone(),
+            program,
+            data,
+            self.threads,
+            Some(plan),
+        )
+        .map_err(ApolloError::from)
+    }
+
     /// Mean total power of a program over `cycles` cycles after
     /// `warmup` cycles (the GA fitness function).
     pub fn mean_power(&self, program: &[Inst], data: &[u64], warmup: u64, cycles: u64) -> f64 {
@@ -116,6 +142,37 @@ impl DesignContext {
         }
         cap.record(sim.sim_mut(), cycles, &bench.name);
         cap.finish()
+    }
+
+    /// Captures a full toggle trace of one workload under a
+    /// deterministic fault plan, returning the trace and the simulator's
+    /// fault report (what was injected, where and when).
+    ///
+    /// Capture is sequential: fault injection is bit-reproducible at any
+    /// netlist-level thread count, so the context's thread count is used
+    /// inside the simulator as usual.
+    ///
+    /// # Errors
+    /// Returns [`ApolloError::FaultPlan`] if the plan does not compile
+    /// against the design netlist.
+    pub fn capture_faulted(
+        &self,
+        bench: &Benchmark,
+        cycles: usize,
+        warmup: usize,
+        plan: &FaultPlan,
+    ) -> Result<(TraceData, FaultReport), ApolloError> {
+        let mut cap = TraceCapture::all(self.netlist(), cycles);
+        let mut sim = self.simulate_faulted(&bench.program, &bench.data, plan)?;
+        for _ in 0..warmup {
+            sim.step();
+        }
+        cap.record(sim.sim_mut(), cycles, &bench.name);
+        let report = sim
+            .sim()
+            .fault_report()
+            .expect("a plan was attached at construction");
+        Ok((cap.finish(), report))
     }
 
     /// The Table-4 testing suite with the paper's per-benchmark window

@@ -1,0 +1,127 @@
+//! The framework-wide error type.
+//!
+//! Library crates in the workspace report recoverable failures through
+//! [`ApolloError`] instead of panicking: a bad OPM specification, a
+//! model that cannot be quantized, an invalid fault plan, a netlist
+//! construction error, or file I/O in the pipeline. Binaries convert it
+//! to a nonzero exit with a contextual message; library callers can
+//! match on the variant.
+
+use apollo_rtl::RtlError;
+use apollo_sim::FaultPlanError;
+use std::fmt;
+
+/// Errors surfaced by the APOLLO pipeline and runtime-meter crates.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ApolloError {
+    /// An OPM specification is invalid (zero proxies, non-power-of-two
+    /// window, weight width out of range, ...).
+    Spec {
+        /// Description of the violated constraint.
+        detail: String,
+    },
+    /// A trained model cannot be quantized to the requested format.
+    Quantization {
+        /// Description of the problem (negative weight, overflow, ...).
+        detail: String,
+    },
+    /// A fault plan failed to compile against the target netlist.
+    FaultPlan(FaultPlanError),
+    /// An underlying netlist construction or validation error.
+    Rtl(RtlError),
+    /// A file could not be read or written.
+    Io {
+        /// Path of the offending file.
+        path: String,
+        /// The OS-level or parse-level failure description.
+        detail: String,
+    },
+}
+
+impl ApolloError {
+    /// Convenience constructor for [`ApolloError::Spec`].
+    pub fn spec(detail: impl Into<String>) -> Self {
+        ApolloError::Spec {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`ApolloError::Quantization`].
+    pub fn quantization(detail: impl Into<String>) -> Self {
+        ApolloError::Quantization {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`ApolloError::Io`].
+    pub fn io(path: impl Into<String>, detail: impl fmt::Display) -> Self {
+        ApolloError::Io {
+            path: path.into(),
+            detail: detail.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ApolloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApolloError::Spec { detail } => write!(f, "invalid OPM spec: {detail}"),
+            ApolloError::Quantization { detail } => write!(f, "quantization failed: {detail}"),
+            ApolloError::FaultPlan(e) => write!(f, "fault plan rejected: {e}"),
+            ApolloError::Rtl(e) => write!(f, "netlist error: {e}"),
+            ApolloError::Io { path, detail } => write!(f, "I/O error on `{path}`: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ApolloError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApolloError::FaultPlan(e) => Some(e),
+            ApolloError::Rtl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultPlanError> for ApolloError {
+    fn from(e: FaultPlanError) -> Self {
+        ApolloError::FaultPlan(e)
+    }
+}
+
+impl From<RtlError> for ApolloError {
+    fn from(e: RtlError) -> Self {
+        ApolloError::Rtl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = ApolloError::spec("Q must be >= 1");
+        assert_eq!(e.to_string(), "invalid OPM spec: Q must be >= 1");
+        let e = ApolloError::io("/tmp/x.json", "permission denied");
+        assert!(e.to_string().contains("/tmp/x.json"));
+        assert!(e.to_string().contains("permission denied"));
+    }
+
+    #[test]
+    fn wraps_sources() {
+        use std::error::Error;
+        let e = ApolloError::from(RtlError::Empty);
+        assert!(e.source().is_some());
+        let e = ApolloError::quantization("negative weight");
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ApolloError>();
+    }
+}

@@ -29,6 +29,7 @@ pub mod baselines;
 pub mod benchgen;
 pub mod dataset;
 pub mod emuflow;
+pub mod error;
 pub mod features;
 pub mod model;
 pub mod multicycle;
@@ -39,6 +40,7 @@ pub mod validation;
 pub use benchgen::{run_ga, GaConfig, GaRun, Individual};
 pub use dataset::{window_average, DesignContext};
 pub use emuflow::{run_emulator_flow, EmuFlowReport};
+pub use error::ApolloError;
 pub use features::{average_labels, AveragedDesign, FeatureSpace, TraceDesign};
 pub use model::{
     train_per_cycle, train_per_cycle_multi, ApolloModel, Proxy, SelectionPenalty, TrainOptions,

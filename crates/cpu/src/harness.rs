@@ -4,7 +4,7 @@
 use crate::isa::Inst;
 use crate::uarch::CpuHandles;
 use apollo_rtl::{CapAnnotation, CapModel};
-use apollo_sim::{PowerConfig, Simulator};
+use apollo_sim::{FaultPlan, FaultPlanError, PowerConfig, Simulator};
 
 /// Outcome of running a program on the RTL CPU.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -58,6 +58,29 @@ impl<'a> CpuSim<'a> {
         data: &[u64],
         threads: usize,
     ) -> Self {
+        match Self::with_faults(handles, cap, power, program, data, threads, None) {
+            Ok(sim) => sim,
+            Err(e) => unreachable!("no fault plan, so compilation cannot fail: {e}"),
+        }
+    }
+
+    /// Like [`CpuSim::with_threads`], with an optional fault plan
+    /// injected into the underlying simulator (see
+    /// [`Simulator::with_faults`]).
+    ///
+    /// # Errors
+    /// Returns the [`FaultPlanError`] if the plan does not compile
+    /// against the design netlist.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_faults(
+        handles: &'a CpuHandles,
+        cap: &CapAnnotation,
+        power: PowerConfig,
+        program: &[Inst],
+        data: &[u64],
+        threads: usize,
+        plan: Option<&FaultPlan>,
+    ) -> Result<Self, FaultPlanError> {
         assert!(
             program.len() <= handles.config.imem_words as usize,
             "program of {} instructions exceeds imem ({} words)",
@@ -70,14 +93,14 @@ impl<'a> CpuSim<'a> {
             data.len(),
             handles.config.dram_words
         );
-        let mut sim = Simulator::with_threads(&handles.netlist, cap, power, threads);
+        let mut sim = Simulator::with_faults(&handles.netlist, cap, power, threads, plan)?;
         for (i, inst) in program.iter().enumerate() {
             sim.poke_mem(handles.imem, i as u32, inst.encode() as u64);
         }
         for (i, &w) in data.iter().enumerate() {
             sim.poke_mem(handles.dram, i as u32, w);
         }
-        CpuSim { handles, sim }
+        Ok(CpuSim { handles, sim })
     }
 
     /// Creates a simulator with the default parasitic annotation.

@@ -136,7 +136,7 @@ mod tests {
             scale: 1.0,
             intercept: 0.0,
         };
-        build_opm(&model)
+        build_opm(&model).unwrap()
     }
 
     #[test]

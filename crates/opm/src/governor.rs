@@ -12,9 +12,11 @@
 //! ground-truth power.
 
 use crate::quant::QuantizedOpm;
+use crate::resilience::{HardenedMeter, HardenedOpm, MeterFaultPlan, MeterFaultReport};
+use apollo_core::ApolloError;
 use apollo_cpu::{CpuHandles, CpuSim, Inst};
 use apollo_rtl::{CapAnnotation, NodeId};
-use apollo_sim::PowerConfig;
+use apollo_sim::{FaultPlan, FaultReport, PowerConfig};
 
 /// Governor configuration.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -180,6 +182,233 @@ pub fn run_governed(
     }
 }
 
+/// Configuration of the fail-safe governor.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ResilientGovernorConfig {
+    /// The underlying bang-bang governor settings (epoch, cap,
+    /// hysteresis watermark).
+    pub base: GovernorConfig,
+    /// Throttle floor while the meter is distrusted (fail-safe mode).
+    pub conservative_level: u8,
+    /// Consecutive trusted epochs required before leaving fail-safe
+    /// mode (hysteresis on recovery).
+    pub recovery_epochs: usize,
+    /// A reading repeated this many consecutive epochs is treated as a
+    /// stuck meter and distrusted.
+    pub stuck_epochs: usize,
+}
+
+impl Default for ResilientGovernorConfig {
+    fn default() -> Self {
+        ResilientGovernorConfig {
+            base: GovernorConfig::default(),
+            conservative_level: 3,
+            recovery_epochs: 3,
+            stuck_epochs: 8,
+        }
+    }
+}
+
+/// Result of a fail-safe governed run: the base report plus everything
+/// the fault layers injected and how the governor responded.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct ResilientGovernorReport {
+    /// The base governed-vs-free comparison.
+    pub base: GovernorReport,
+    /// Epoch indices whose reading was distrusted (flagged implausible,
+    /// all lanes dropped, or stuck).
+    pub flagged_epochs: Vec<u64>,
+    /// Epochs spent in fail-safe mode (throttle held at or above the
+    /// conservative level).
+    pub failsafe_epochs: u64,
+    /// Stuck-meter detections (distinct epochs the stuck heuristic
+    /// fired).
+    pub stuck_detections: u64,
+    /// Every meter-local fault the plan injected.
+    pub meter_faults: MeterFaultReport,
+    /// Every netlist-level fault injected into the governed silicon,
+    /// if a sim plan was attached.
+    pub sim_faults: Option<FaultReport>,
+}
+
+/// Runs `program` free (clean silicon, ungoverned) and governed (with
+/// optional netlist faults and meter faults), steering from *hardened*
+/// meter readings with a fail-safe state machine:
+///
+/// - A distrusted reading — flagged by the envelope, all lanes
+///   dropped, or stuck for [`ResilientGovernorConfig::stuck_epochs`] —
+///   immediately raises the throttle to at least
+///   [`ResilientGovernorConfig::conservative_level`] and enters
+///   fail-safe mode. The core is **never** left unthrottled while the
+///   meter cannot be trusted.
+/// - Fail-safe mode persists until
+///   [`ResilientGovernorConfig::recovery_epochs`] consecutive trusted
+///   readings arrive; only then does ordinary bang-bang control (with
+///   its own hysteresis) resume and gradually unwind the throttle.
+///
+/// # Errors
+/// Returns [`ApolloError::FaultPlan`] if the sim plan does not compile
+/// against the design and [`ApolloError::Spec`] if the meter plan or
+/// OPM spec is invalid, or if the OPM window does not match the
+/// governor epoch.
+///
+/// # Panics
+/// Panics if `cycles` is not a multiple of the epoch length (same
+/// contract as [`run_governed`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_governed_resilient(
+    handles: &CpuHandles,
+    cap_annotation: &CapAnnotation,
+    opm: &HardenedOpm,
+    program: &[Inst],
+    data: &[u64],
+    cycles: usize,
+    config: &ResilientGovernorConfig,
+    sim_plan: Option<&FaultPlan>,
+    meter_plan: &MeterFaultPlan,
+) -> Result<ResilientGovernorReport, ApolloError> {
+    let epoch = config.base.epoch;
+    assert!(epoch >= 4, "epoch too short");
+    assert_eq!(cycles % epoch, 0, "cycles must be a multiple of the epoch");
+    if opm.quant.spec.t != epoch {
+        return Err(ApolloError::spec(format!(
+            "OPM window T = {} must equal the governor epoch {epoch}",
+            opm.quant.spec.t
+        )));
+    }
+    // (node, bit-within-node) per proxy; the hardened meter holds the
+    // weights (per lane, so ROM corruption stays lane-local).
+    let taps: Vec<(NodeId, u8)> = opm
+        .quant
+        .bits
+        .iter()
+        .map(|&bit| handles.netlist.bit_owner(bit))
+        .collect();
+    let mut meter = HardenedMeter::new(&opm.quant, opm.envelope, opm.redundancy, meter_plan)?;
+
+    // Free-running clean reference.
+    let mut free = CpuSim::new(handles, cap_annotation, PowerConfig::default(), program, data);
+    let mut free_epoch_power = Vec::with_capacity(cycles / epoch);
+    let mut free_total = 0.0;
+    let mut acc = 0.0;
+    for c in 0..cycles {
+        free.step();
+        let p = free.sim().power().total;
+        free_total += p;
+        acc += p;
+        if (c + 1) % epoch == 0 {
+            free_epoch_power.push(acc / epoch as f64);
+            acc = 0.0;
+        }
+    }
+    let retired_free = free.retired();
+
+    // Governed run, optionally on faulted silicon.
+    let mut gov = CpuSim::with_faults(
+        handles,
+        cap_annotation,
+        PowerConfig::default(),
+        program,
+        data,
+        1,
+        sim_plan,
+    )
+    .map_err(ApolloError::from)?;
+    gov.sim_mut().set_input(handles.throttle_override_en, 1);
+    gov.sim_mut().set_input(handles.throttle_override, 0);
+
+    let mut level = 0u8;
+    let mut in_failsafe = false;
+    let mut clean_streak = 0usize;
+    let mut last_value = u64::MAX;
+    let mut same_count = 0usize;
+    let mut flagged_epochs = Vec::new();
+    let mut failsafe_epochs = 0u64;
+    let mut stuck_detections = 0u64;
+    let mut throttle_trace = Vec::with_capacity(cycles / epoch);
+    let mut gov_epoch_power = Vec::with_capacity(cycles / epoch);
+    let mut gov_total = 0.0;
+    let mut true_acc = 0.0;
+    for _ in 0..cycles {
+        gov.step();
+        let p = gov.sim().power().total;
+        gov_total += p;
+        true_acc += p;
+        let reading = {
+            let sim = gov.sim();
+            meter.step(|k| {
+                let (node, sub) = taps[k];
+                (sim.toggle_word(node) >> sub) & 1 == 1
+            })
+        };
+        if let Some(r) = reading {
+            if r.value == last_value {
+                same_count += 1;
+            } else {
+                last_value = r.value;
+                same_count = 1;
+            }
+            let stuck = same_count >= config.stuck_epochs;
+            if stuck {
+                stuck_detections += 1;
+            }
+            if r.flagged || stuck {
+                // Fail-safe: the meter cannot be trusted, so throttle
+                // conservatively no matter what it reads.
+                flagged_epochs.push(r.epoch);
+                in_failsafe = true;
+                clean_streak = 0;
+                level = level.max(config.conservative_level);
+            } else if in_failsafe {
+                // Hold the conservative level until enough consecutive
+                // trusted readings accumulate.
+                clean_streak += 1;
+                if clean_streak >= config.recovery_epochs {
+                    in_failsafe = false;
+                }
+            } else {
+                let descaled = opm.descale(r.value);
+                if descaled > config.base.cap && level < 3 {
+                    level += 1;
+                } else if descaled < config.base.cap * config.base.low_watermark && level > 0 {
+                    level -= 1;
+                }
+            }
+            if in_failsafe {
+                failsafe_epochs += 1;
+            }
+            gov.sim_mut().set_input(handles.throttle_override, level as u64);
+            throttle_trace.push(level);
+            gov_epoch_power.push(true_acc / epoch as f64);
+            true_acc = 0.0;
+        }
+    }
+    let retired_governed = gov.retired();
+    let sim_faults = gov.sim().fault_report();
+
+    let over = |epochs: &[f64]| {
+        epochs.iter().filter(|&&p| p > config.base.cap).count() as f64
+            / epochs.len().max(1) as f64
+    };
+    Ok(ResilientGovernorReport {
+        base: GovernorReport {
+            cycles,
+            mean_power_governed: gov_total / cycles as f64,
+            mean_power_free: free_total / cycles as f64,
+            retired_governed,
+            retired_free,
+            epochs_over_cap: over(&gov_epoch_power),
+            epochs_over_cap_free: over(&free_epoch_power),
+            throttle_trace,
+        },
+        flagged_epochs,
+        failsafe_epochs,
+        stuck_detections,
+        meter_faults: meter.report(),
+        sim_faults,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,7 +433,7 @@ mod tests {
             &TrainOptions { q_target: 20, ..TrainOptions::default() },
         )
         .model;
-        let opm = QuantizedOpm::from_model(&model, 10, 32);
+        let opm = QuantizedOpm::from_model(&model, 10, 32).unwrap();
 
         // Cap well below the virus's free-running power.
         let bench = benchmarks::maxpwr_cpu();
@@ -232,5 +461,123 @@ mod tests {
             "throttling cannot speed the core up"
         );
         assert!(report.throttle_trace.iter().any(|&l| l > 0), "governor engaged");
+    }
+
+    fn synthetic_opm_for(ctx: &DesignContext, q: usize, t: usize) -> QuantizedOpm {
+        QuantizedOpm {
+            spec: crate::quant::OpmSpec { q, b: 8, t },
+            bits: (0..q).collect(),
+            is_clock_gate: vec![false; q],
+            weights: (0..q).map(|k| (k as u32 * 13 + 7) % 256).collect(),
+            scale: 1.0,
+            intercept: ctx.power.leakage,
+        }
+    }
+
+    #[test]
+    fn failsafe_governor_never_trusts_a_dead_meter() {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let opm = HardenedOpm::new(synthetic_opm_for(&ctx, 8, 32));
+        let bench = benchmarks::maxpwr_cpu();
+        let config = ResilientGovernorConfig {
+            base: GovernorConfig { epoch: 32, cap: 1e9, ..GovernorConfig::default() },
+            ..ResilientGovernorConfig::default()
+        };
+        // Every epoch readout dropped: the meter is dead. Despite the
+        // absurdly high cap (an un-governed run would never throttle),
+        // the fail-safe must keep the core at the conservative level.
+        let meter_plan = MeterFaultPlan {
+            seed: 5,
+            counter_flip_rate: 0.0,
+            rom_flip_rate: 0.0,
+            drop_rate: 1.0,
+        };
+        let report = run_governed_resilient(
+            &ctx.handles,
+            &ctx.cap,
+            &opm,
+            &bench.program,
+            &bench.data,
+            1024,
+            &config,
+            None,
+            &meter_plan,
+        )
+        .unwrap();
+        let epochs = 1024 / 32;
+        assert_eq!(report.base.throttle_trace.len(), epochs);
+        assert_eq!(report.flagged_epochs.len(), epochs, "{report:?}");
+        assert_eq!(report.failsafe_epochs, epochs as u64);
+        // Invariant: a flagged reading never leaves the core
+        // unthrottled.
+        for &e in &report.flagged_epochs {
+            assert!(
+                report.base.throttle_trace[e as usize] >= config.conservative_level,
+                "epoch {e} flagged but throttle {} < {}",
+                report.base.throttle_trace[e as usize],
+                config.conservative_level
+            );
+        }
+        assert_eq!(
+            report.meter_faults.dropped_epochs,
+            epochs as u64,
+            "single lane, every epoch dropped"
+        );
+        assert!(
+            report.base.retired_governed < report.base.retired_free,
+            "fail-safe throttling must cost performance: {report:?}"
+        );
+    }
+
+    #[test]
+    fn failsafe_governor_recovers_after_transient_distrust() {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let opm = HardenedOpm::new(synthetic_opm_for(&ctx, 8, 32));
+        let bench = benchmarks::maxpwr_cpu();
+        let config = ResilientGovernorConfig {
+            base: GovernorConfig { epoch: 32, cap: 1e9, ..GovernorConfig::default() },
+            recovery_epochs: 2,
+            stuck_epochs: 1000,
+            ..ResilientGovernorConfig::default()
+        };
+        // Occasional drops: single-lane drops flag their epoch, then a
+        // busy workload's varying readings recover trust and the huge
+        // cap unwinds the throttle.
+        let meter_plan = MeterFaultPlan {
+            seed: 21,
+            counter_flip_rate: 0.0,
+            rom_flip_rate: 0.0,
+            drop_rate: 0.2,
+        };
+        let report = run_governed_resilient(
+            &ctx.handles,
+            &ctx.cap,
+            &opm,
+            &bench.program,
+            &bench.data,
+            2048,
+            &config,
+            None,
+            &meter_plan,
+        )
+        .unwrap();
+        assert!(!report.flagged_epochs.is_empty(), "drops must flag: {report:?}");
+        assert!(
+            (report.failsafe_epochs as usize) < report.base.throttle_trace.len(),
+            "governor must leave fail-safe mode between faults: {report:?}"
+        );
+        for &e in &report.flagged_epochs {
+            assert!(
+                report.base.throttle_trace[e as usize] >= config.conservative_level,
+                "flagged epoch {e} left under-throttled"
+            );
+        }
+        // After recovery the enormous cap lets the throttle unwind all
+        // the way back to zero at some point past the first flag.
+        let first_flagged = report.flagged_epochs[0] as usize;
+        assert!(
+            report.base.throttle_trace[first_flagged..].contains(&0),
+            "throttle never unwound after recovery: {report:?}"
+        );
     }
 }

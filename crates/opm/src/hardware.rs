@@ -13,6 +13,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::quant::{ceil_log2, QuantizedOpm};
+use apollo_core::ApolloError;
 use apollo_rtl::{CapModel, NetlistBuilder, NodeId, Unit, CLOCK_ROOT};
 use apollo_sim::{PowerConfig, PowerSample, Simulator, ToggleMatrix};
 
@@ -35,11 +36,13 @@ pub struct OpmHardware {
 
 /// Builds the Figure-8 OPM circuit for a quantized model.
 ///
-/// # Panics
-/// Panics if the model is empty.
-pub fn build_opm(model: &QuantizedOpm) -> OpmHardware {
+/// # Errors
+/// Returns [`ApolloError::Spec`] if the model's specification is invalid
+/// (e.g. the model is empty) and [`ApolloError::Rtl`] if netlist
+/// construction fails.
+pub fn build_opm(model: &QuantizedOpm) -> Result<OpmHardware, ApolloError> {
     let spec = model.spec;
-    spec.validate();
+    spec.validate()?;
     let q = spec.q;
     let sum_w = spec.sum_bits();
     let acc_w = spec.accumulator_bits();
@@ -133,14 +136,14 @@ pub fn build_opm(model: &QuantizedOpm) -> OpmHardware {
         out
     };
 
-    let netlist = b.build().expect("OPM netlist construction is infallible");
-    OpmHardware {
+    let netlist = b.build()?;
+    Ok(OpmHardware {
         netlist,
         inputs,
         sum_reg,
         out_reg,
         model: model.clone(),
-    }
+    })
 }
 
 /// Result of co-simulating the OPM hardware over a proxy toggle trace.
@@ -277,7 +280,7 @@ mod tests {
     #[test]
     fn cosim_sums_match_software_reference() {
         let (model, trace) = synthetic_model(13, 8, 1, true);
-        let hw = build_opm(&model);
+        let hw = build_opm(&model).unwrap();
         let cosim = hw.cosim(&trace);
         let expected = model.raw_sums(&trace);
         assert_eq!(cosim.sums.len(), expected.len());
@@ -290,7 +293,7 @@ mod tests {
     fn cosim_windows_match_software_reference() {
         for t in [4usize, 8, 16] {
             let (model, trace) = synthetic_model(9, 6, t, false);
-            let hw = build_opm(&model);
+            let hw = build_opm(&model).unwrap();
             let cosim = hw.cosim(&trace);
             let expected = model.window_outputs(&trace);
             assert_eq!(cosim.windows.len(), expected.len(), "T={t}");
@@ -303,7 +306,7 @@ mod tests {
     #[test]
     fn opm_netlist_has_no_multipliers() {
         let (model, _) = synthetic_model(16, 10, 8, false);
-        let hw = build_opm(&model);
+        let hw = build_opm(&model).unwrap();
         let mults = hw
             .netlist
             .nodes()
@@ -316,7 +319,7 @@ mod tests {
     #[test]
     fn opm_power_is_positive_and_small() {
         let (model, trace) = synthetic_model(16, 10, 8, false);
-        let hw = build_opm(&model);
+        let hw = build_opm(&model).unwrap();
         let cosim = hw.cosim(&trace);
         assert!(cosim.mean_power.total > 0.0);
     }

@@ -14,7 +14,14 @@
 //!   (Table 3: counters and multipliers per method);
 //! - [`droop`] — per-cycle ΔI analysis for proactive Ldi/dt voltage-
 //!   droop mitigation (Figure 17, §8.2), with a second-order PDN model
-//!   and an adaptive-clocking mitigation experiment.
+//!   and an adaptive-clocking mitigation experiment;
+//! - [`resilience`] — meter-local fault injection (counter upsets,
+//!   weight-ROM corruption, dropped epochs) and the hardened estimator:
+//!   saturating accumulators, a plausibility envelope and optional
+//!   median-of-3 redundancy;
+//! - [`governor`] — closed-loop power capping from OPM readings, with a
+//!   fail-safe mode that throttles conservatively on flagged or stuck
+//!   meter readings.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,10 +31,18 @@ pub mod droop;
 pub mod governor;
 pub mod hardware;
 pub mod quant;
+pub mod resilience;
 pub mod structure;
 
 pub use area::{cpu_gate_area, opm_gate_area, AreaReport};
 pub use droop::{DroopAnalysis, PdnModel};
-pub use governor::{run_governed, GovernorConfig, GovernorReport};
+pub use governor::{
+    run_governed, run_governed_resilient, GovernorConfig, GovernorReport,
+    ResilientGovernorConfig, ResilientGovernorReport,
+};
 pub use hardware::{build_opm, OpmHardware};
 pub use quant::{OpmSpec, QuantizedOpm};
+pub use resilience::{
+    Envelope, HardenedMeter, HardenedOpm, HardenedRun, MeterFaultEvent, MeterFaultPlan,
+    MeterFaultReport, MeterReading, Redundancy,
+};

@@ -1,7 +1,7 @@
 //! Fixed-point quantization of APOLLO models and the bit-exact software
 //! reference OPM.
 
-use apollo_core::ApolloModel;
+use apollo_core::{ApolloError, ApolloModel};
 use apollo_sim::ToggleMatrix;
 
 /// OPM configuration: number of proxies, weight bit-width and the
@@ -19,13 +19,26 @@ pub struct OpmSpec {
 impl OpmSpec {
     /// Validates the specification.
     ///
-    /// # Panics
-    /// Panics if `q` or `t` is zero, `t` is not a power of two, or `b`
-    /// is outside `2..=16`.
-    pub fn validate(&self) {
-        assert!(self.q >= 1, "OPM needs at least one proxy");
-        assert!(self.t >= 1 && self.t.is_power_of_two(), "T must be a power of two");
-        assert!((2..=16).contains(&self.b), "B out of range");
+    /// # Errors
+    /// Returns [`ApolloError::Spec`] if `q` or `t` is zero, `t` is not a
+    /// power of two, or `b` is outside `2..=16`.
+    pub fn validate(&self) -> Result<(), ApolloError> {
+        if self.q < 1 {
+            return Err(ApolloError::spec("OPM needs at least one proxy (Q >= 1)"));
+        }
+        if self.t < 1 || !self.t.is_power_of_two() {
+            return Err(ApolloError::spec(format!(
+                "window T = {} must be a power of two",
+                self.t
+            )));
+        }
+        if !(2..=16).contains(&self.b) {
+            return Err(ApolloError::spec(format!(
+                "weight width B = {} out of range 2..=16",
+                self.b
+            )));
+        }
+        Ok(())
     }
 
     /// Accumulator bit-width: `B + ⌈log₂Q⌉ + ⌈log₂T⌉` (paper §6).
@@ -76,38 +89,53 @@ pub struct QuantizedOpm {
 impl QuantizedOpm {
     /// Quantizes a trained model to `b`-bit weights with window `t`.
     ///
-    /// # Panics
-    /// Panics if the model is empty or a weight is negative.
-    pub fn from_model(model: &ApolloModel, b: u8, t: usize) -> QuantizedOpm {
+    /// # Errors
+    /// Returns [`ApolloError::Spec`] if the derived specification is
+    /// invalid (e.g. the model is empty) and [`ApolloError::Quantization`]
+    /// if a weight is negative, non-finite, or does not fit in the
+    /// hardware's `u32` weight ROM after scaling.
+    pub fn from_model(model: &ApolloModel, b: u8, t: usize) -> Result<QuantizedOpm, ApolloError> {
         let spec = OpmSpec {
             q: model.q(),
             b,
             t,
         };
-        spec.validate();
-        let max_w = model
-            .proxies
-            .iter()
-            .map(|p| {
-                assert!(p.weight >= 0.0, "negative weight cannot be quantized unsigned");
-                p.weight
-            })
-            .fold(0.0f64, f64::max);
+        spec.validate()?;
+        let mut max_w = 0.0f64;
+        for p in &model.proxies {
+            if !p.weight.is_finite() || p.weight < 0.0 {
+                return Err(ApolloError::quantization(format!(
+                    "proxy `{}` has weight {} — unsigned quantization needs finite, \
+                     non-negative weights",
+                    p.name, p.weight
+                )));
+            }
+            max_w = max_w.max(p.weight);
+        }
         let levels = ((1u64 << b) - 1) as f64;
         let scale = if max_w > 0.0 { levels / max_w } else { 1.0 };
         let weights = model
             .proxies
             .iter()
-            .map(|p| (p.weight * scale).round() as u32)
-            .collect();
-        QuantizedOpm {
+            .map(|p| {
+                let q = (p.weight * scale).round();
+                if !(0.0..=u32::MAX as f64).contains(&q) {
+                    return Err(ApolloError::quantization(format!(
+                        "scaled weight {q} for proxy `{}` does not fit in u32",
+                        p.name
+                    )));
+                }
+                Ok(q as u32)
+            })
+            .collect::<Result<Vec<u32>, ApolloError>>()?;
+        Ok(QuantizedOpm {
             spec,
             bits: model.bits(),
             is_clock_gate: model.proxies.iter().map(|p| p.is_clock_gate).collect(),
             weights,
             scale,
             intercept: model.intercept,
-        }
+        })
     }
 
     fn raw_sums_with(&self, matrix: &ToggleMatrix, col_of: impl Fn(usize) -> usize) -> Vec<u64> {
@@ -227,7 +255,7 @@ mod tests {
     #[test]
     fn spec_widths() {
         let spec = OpmSpec { q: 159, b: 10, t: 64 };
-        spec.validate();
+        spec.validate().unwrap();
         assert_eq!(spec.sum_bits(), 10 + 8);
         assert_eq!(spec.accumulator_bits(), 10 + 8 + 6);
     }
@@ -235,7 +263,7 @@ mod tests {
     #[test]
     fn quantization_scales_to_full_range() {
         let model = fake_model(&[1.0, 2.0, 4.0]);
-        let q = QuantizedOpm::from_model(&model, 8, 1);
+        let q = QuantizedOpm::from_model(&model, 8, 1).unwrap();
         assert_eq!(q.weights[2], 255);
         assert_eq!(q.weights[1], 128);
         assert_eq!(q.weights[0], 64);
@@ -245,7 +273,7 @@ mod tests {
     #[test]
     fn windows_accumulate_and_shift() {
         let model = fake_model(&[3.0]);
-        let q = QuantizedOpm::from_model(&model, 4, 4);
+        let q = QuantizedOpm::from_model(&model, 4, 4).unwrap();
         // Proxy toggles in cycles 0, 1, 2 of a 4-cycle window.
         let mut m = ToggleMatrix::new(1, 8);
         m.set(0, 0);
@@ -261,7 +289,7 @@ mod tests {
     #[test]
     fn high_b_matches_float_model_closely() {
         let model = fake_model(&[0.5, 1.5, 2.5, 3.5]);
-        let q = QuantizedOpm::from_model(&model, 12, 1);
+        let q = QuantizedOpm::from_model(&model, 12, 1).unwrap();
         let mut m = ToggleMatrix::new(4, 16);
         for c in 0..16 {
             for bit in 0..4 {
@@ -284,8 +312,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
     fn bad_t_rejected() {
-        OpmSpec { q: 4, b: 8, t: 3 }.validate();
+        let err = OpmSpec { q: 4, b: 8, t: 3 }.validate().unwrap_err();
+        assert!(err.to_string().contains("power of two"), "{err}");
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let model = fake_model(&[1.0, -0.25]);
+        let err = QuantizedOpm::from_model(&model, 8, 1).unwrap_err();
+        assert!(
+            matches!(err, ApolloError::Quantization { .. }),
+            "wrong variant: {err:?}"
+        );
+    }
+
+    #[test]
+    fn empty_model_rejected() {
+        let model = fake_model(&[]);
+        let err = QuantizedOpm::from_model(&model, 8, 1).unwrap_err();
+        assert!(matches!(err, ApolloError::Spec { .. }), "wrong variant: {err:?}");
     }
 }

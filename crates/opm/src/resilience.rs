@@ -1,0 +1,660 @@
+//! Meter-local fault injection and the hardened OPM estimator.
+//!
+//! The netlist-level injector (`apollo_sim::fault`) upsets the *host*
+//! design; this module upsets the *meter itself* — the accumulator, the
+//! weight ROM and the epoch readout — and hardens the estimator against
+//! those upsets:
+//!
+//! - **Saturating accumulators.** The paper sizes the accumulator at
+//!   `B + ⌈log₂Q⌉ + ⌈log₂T⌉` bits, so a fault-free accumulation never
+//!   reaches `2^acc_bits`. The hardened meter saturates at
+//!   `2^acc_bits − 1` instead of wrapping: bit-exact when healthy, and
+//!   a corrupted high bit can no longer alias a huge reading into a
+//!   small one.
+//! - **Plausibility envelope.** Window outputs have hard structural
+//!   bounds (`0 ..= ΣWᵢ`) and, after calibration on a trace, much
+//!   tighter empirical bounds. Readings outside the envelope are
+//!   *flagged*, never silently consumed.
+//! - **Median-of-3 redundancy.** Optionally three meter lanes with
+//!   independent ROM copies and accumulators; the reading is the
+//!   median, so any single-lane upset is outvoted.
+//!
+//! Fault decisions follow the same counter-based determinism contract
+//! as the netlist injector: every decision is
+//! `mix3(seed, epoch, site)`, so a seeded [`MeterFaultPlan`] replays
+//! byte-identically, and an **empty** plan leaves the hardened meter
+//! bit-exact with the baseline [`QuantizedOpm`].
+
+use crate::quant::{ceil_log2, OpmSpec, QuantizedOpm};
+use apollo_core::ApolloError;
+use apollo_sim::fault::{mix3, rate_to_threshold};
+use apollo_sim::ToggleMatrix;
+
+/// Site salts for meter fault decisions (disjoint from the netlist
+/// injector's `REG`/`MEM` salts).
+const SITE_ACC: u64 = 0x4143_4300;
+const SITE_ROM: u64 = 0x524F_4D00;
+const SITE_DROP: u64 = 0x4452_5000;
+
+/// A seeded, deterministic plan of faults inside the meter itself.
+///
+/// All rates are per **lane** per **epoch** probabilities in `[0, 1]`.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MeterFaultPlan {
+    /// Seed for all meter fault decisions.
+    pub seed: u64,
+    /// Probability of a single-bit upset in a lane's accumulator at the
+    /// end of an epoch (before the shift-divide).
+    pub counter_flip_rate: f64,
+    /// Probability of a *persistent* single-bit corruption of one
+    /// (hash-chosen) weight-ROM entry of a lane.
+    pub rom_flip_rate: f64,
+    /// Probability that a lane's epoch readout is dropped (the lane
+    /// holds its previous output, as a stuck readout register would).
+    pub drop_rate: f64,
+}
+
+impl MeterFaultPlan {
+    /// A plan that injects nothing (all rates zero).
+    pub fn empty() -> Self {
+        MeterFaultPlan {
+            seed: 0,
+            counter_flip_rate: 0.0,
+            rom_flip_rate: 0.0,
+            drop_rate: 0.0,
+        }
+    }
+
+    /// `true` if the plan can never inject a fault.
+    pub fn is_empty(&self) -> bool {
+        self.counter_flip_rate <= 0.0 && self.rom_flip_rate <= 0.0 && self.drop_rate <= 0.0
+    }
+
+    /// Validates the rates.
+    ///
+    /// # Errors
+    /// Returns [`ApolloError::Spec`] if any rate is not a probability.
+    pub fn validate(&self) -> Result<(), ApolloError> {
+        for (name, r) in [
+            ("counter_flip_rate", self.counter_flip_rate),
+            ("rom_flip_rate", self.rom_flip_rate),
+            ("drop_rate", self.drop_rate),
+        ] {
+            if !(0.0..=1.0).contains(&r) || r.is_nan() {
+                return Err(ApolloError::spec(format!(
+                    "meter fault {name} = {r} is not a probability in [0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One injected meter fault, in deterministic order.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum MeterFaultEvent {
+    /// A transient accumulator bit flip at the end of `epoch`.
+    CounterFlip {
+        /// Epoch index (0-based).
+        epoch: u64,
+        /// Meter lane.
+        lane: u8,
+        /// Flipped accumulator bit.
+        bit: u8,
+    },
+    /// A persistent weight-ROM corruption applied at the start of
+    /// `epoch`.
+    RomFlip {
+        /// Epoch index (0-based).
+        epoch: u64,
+        /// Meter lane.
+        lane: u8,
+        /// Corrupted proxy index (ROM word).
+        proxy: u32,
+        /// Flipped weight bit (within `B`).
+        bit: u8,
+    },
+    /// A lane's epoch readout was dropped; it holds the previous value.
+    DroppedEpoch {
+        /// Epoch index (0-based).
+        epoch: u64,
+        /// Meter lane.
+        lane: u8,
+    },
+}
+
+/// Summary of everything a [`MeterFaultPlan`] injected.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MeterFaultReport {
+    /// The plan's seed.
+    pub seed: u64,
+    /// Epochs processed.
+    pub epochs: u64,
+    /// Transient accumulator flips injected.
+    pub counter_flips: u64,
+    /// Persistent ROM corruptions applied.
+    pub rom_flips: u64,
+    /// Dropped lane readouts.
+    pub dropped_epochs: u64,
+    /// Every event, in deterministic order.
+    pub events: Vec<MeterFaultEvent>,
+}
+
+/// Plausibility bounds on a window output.
+///
+/// [`Envelope::structural`] is always sound: a window output is a
+/// shift-divided average of per-cycle sums, each at most `ΣWᵢ`.
+/// [`Envelope::calibrate`] tightens it from observed healthy outputs
+/// with a symmetric margin.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Envelope {
+    /// Smallest plausible window output.
+    pub min: u64,
+    /// Largest plausible window output.
+    pub max: u64,
+}
+
+impl Envelope {
+    /// The loosest sound envelope: `0 ..= ΣWᵢ`.
+    pub fn structural(opm: &QuantizedOpm) -> Self {
+        let max = opm.weights.iter().map(|&w| w as u64).sum();
+        Envelope { min: 0, max }
+    }
+
+    /// Calibrates from the healthy window outputs of a trace: the
+    /// observed range widened by `margin` (e.g. `0.5` = ±50%), clamped
+    /// to the structural bounds.
+    pub fn calibrate(opm: &QuantizedOpm, matrix: &ToggleMatrix, margin: f64) -> Self {
+        let outs = opm.window_outputs(matrix);
+        let structural = Self::structural(opm);
+        let (Some(&lo), Some(&hi)) = (outs.iter().min(), outs.iter().max()) else {
+            return structural;
+        };
+        let m = margin.max(0.0);
+        let min = ((lo as f64) * (1.0 - m)).floor().max(0.0) as u64;
+        let max = (((hi as f64) * (1.0 + m)).ceil() as u64).min(structural.max);
+        Envelope { min, max }
+    }
+
+    /// `true` if `v` is inside the envelope.
+    pub fn contains(&self, v: u64) -> bool {
+        (self.min..=self.max).contains(&v)
+    }
+}
+
+/// Redundancy mode of the hardened meter.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Redundancy {
+    /// One meter lane (area-neutral hardening only).
+    Single,
+    /// Three lanes with independent ROM copies and accumulators; the
+    /// reading is the median.
+    MedianOfThree,
+}
+
+impl Redundancy {
+    fn lanes(self) -> usize {
+        match self {
+            Redundancy::Single => 1,
+            Redundancy::MedianOfThree => 3,
+        }
+    }
+}
+
+/// One epoch's hardened reading.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MeterReading {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// The selected (single-lane or median) window output.
+    pub value: u64,
+    /// `true` if the reading is untrustworthy: outside the plausibility
+    /// envelope, or every lane's readout was dropped this epoch.
+    pub flagged: bool,
+}
+
+struct Lane {
+    rom: Vec<u64>,
+    acc: u64,
+    last_output: u64,
+}
+
+/// An online, fault-tolerant software meter: per-cycle accumulation
+/// with saturating arithmetic, per-epoch plausibility checks, optional
+/// median-of-3 lanes, and deterministic meter-local fault injection.
+///
+/// Feed it one cycle at a time with [`HardenedMeter::step`]; it yields
+/// a [`MeterReading`] every `T` cycles. With an empty plan its readings
+/// are bit-exact with [`QuantizedOpm::window_outputs`] over the same
+/// toggle stream.
+pub struct HardenedMeter {
+    spec: OpmSpec,
+    envelope: Envelope,
+    lanes: Vec<Lane>,
+    acc_max: u64,
+    weight_mask: u64,
+    shift: u8,
+    seed: u64,
+    acc_threshold: u64,
+    rom_threshold: u64,
+    drop_threshold: u64,
+    cycle_in_epoch: usize,
+    epoch: u64,
+    counter_flips: u64,
+    rom_flips: u64,
+    dropped_epochs: u64,
+    events: Vec<MeterFaultEvent>,
+}
+
+impl HardenedMeter {
+    /// Builds a hardened meter over a quantized model.
+    ///
+    /// # Errors
+    /// Returns [`ApolloError::Spec`] if the model's spec or the plan's
+    /// rates are invalid.
+    pub fn new(
+        opm: &QuantizedOpm,
+        envelope: Envelope,
+        redundancy: Redundancy,
+        plan: &MeterFaultPlan,
+    ) -> Result<Self, ApolloError> {
+        opm.spec.validate()?;
+        plan.validate()?;
+        let rom: Vec<u64> = opm.weights.iter().map(|&w| w as u64).collect();
+        let lanes = (0..redundancy.lanes())
+            .map(|_| Lane {
+                rom: rom.clone(),
+                acc: 0,
+                last_output: 0,
+            })
+            .collect();
+        let acc_bits = opm.spec.accumulator_bits();
+        let acc_max = if acc_bits >= 64 { u64::MAX } else { (1u64 << acc_bits) - 1 };
+        Ok(HardenedMeter {
+            spec: opm.spec,
+            envelope,
+            lanes,
+            acc_max,
+            weight_mask: (1u64 << opm.spec.b) - 1,
+            shift: ceil_log2(opm.spec.t),
+            seed: plan.seed,
+            acc_threshold: rate_to_threshold(plan.counter_flip_rate),
+            rom_threshold: rate_to_threshold(plan.rom_flip_rate),
+            drop_threshold: rate_to_threshold(plan.drop_rate),
+            cycle_in_epoch: 0,
+            epoch: 0,
+            counter_flips: 0,
+            rom_flips: 0,
+            dropped_epochs: 0,
+            events: Vec::new(),
+        })
+    }
+
+    /// Accumulator saturation ceiling (`2^acc_bits − 1`). A fault-free
+    /// accumulation never reaches it — see the module docs.
+    pub fn acc_max(&self) -> u64 {
+        self.acc_max
+    }
+
+    /// Feeds one cycle of proxy toggles (`toggled(k)` = proxy `k`
+    /// toggled this cycle) and returns the epoch reading when the
+    /// window completes.
+    pub fn step(&mut self, toggled: impl Fn(usize) -> bool) -> Option<MeterReading> {
+        if self.cycle_in_epoch == 0 {
+            self.corrupt_roms();
+        }
+        let q = self.spec.q;
+        let mut sums = [0u64; 3];
+        for (li, lane) in self.lanes.iter().enumerate() {
+            let mut s = 0u64;
+            for k in 0..q {
+                if toggled(k) {
+                    s += lane.rom[k];
+                }
+            }
+            sums[li] = s;
+        }
+        for (li, lane) in self.lanes.iter_mut().enumerate() {
+            lane.acc = lane.acc.saturating_add(sums[li]).min(self.acc_max);
+        }
+        self.cycle_in_epoch += 1;
+        if self.cycle_in_epoch < self.spec.t {
+            return None;
+        }
+        self.cycle_in_epoch = 0;
+        Some(self.finish_epoch())
+    }
+
+    /// Applies persistent ROM corruption decisions at an epoch start.
+    fn corrupt_roms(&mut self) {
+        if self.rom_threshold == 0 {
+            return;
+        }
+        for li in 0..self.lanes.len() {
+            let h = mix3(self.seed, self.epoch, SITE_ROM ^ li as u64);
+            if h < self.rom_threshold {
+                let pick = mix3(self.seed, self.epoch, SITE_ROM ^ li as u64 ^ 0x100);
+                let proxy = (pick % self.spec.q as u64) as u32;
+                let bit = ((pick >> 32) % self.spec.b as u64) as u8;
+                let lane = &mut self.lanes[li];
+                lane.rom[proxy as usize] = (lane.rom[proxy as usize] ^ (1 << bit)) & self.weight_mask;
+                self.rom_flips += 1;
+                self.events.push(MeterFaultEvent::RomFlip {
+                    epoch: self.epoch,
+                    lane: li as u8,
+                    proxy,
+                    bit,
+                });
+            }
+        }
+    }
+
+    /// Ends the current epoch: injects counter flips and drops, reads
+    /// out each lane, selects the reading and checks the envelope.
+    fn finish_epoch(&mut self) -> MeterReading {
+        let acc_bits = self.spec.accumulator_bits().min(63);
+        let mut outputs = [0u64; 3];
+        let mut all_dropped = true;
+        let (seed, epoch) = (self.seed, self.epoch);
+        let events = &mut self.events;
+        for (li, lane) in self.lanes.iter_mut().enumerate() {
+            if self.acc_threshold > 0 {
+                let h = mix3(seed, epoch, SITE_ACC ^ li as u64);
+                if h < self.acc_threshold {
+                    let bit =
+                        (mix3(seed, epoch, SITE_ACC ^ li as u64 ^ 0x100) % acc_bits as u64) as u8;
+                    lane.acc ^= 1 << bit;
+                    self.counter_flips += 1;
+                    events.push(MeterFaultEvent::CounterFlip {
+                        epoch,
+                        lane: li as u8,
+                        bit,
+                    });
+                }
+            }
+            let dropped = self.drop_threshold > 0
+                && mix3(seed, epoch, SITE_DROP ^ li as u64) < self.drop_threshold;
+            if dropped {
+                self.dropped_epochs += 1;
+                events.push(MeterFaultEvent::DroppedEpoch {
+                    epoch,
+                    lane: li as u8,
+                });
+            } else {
+                lane.last_output = (lane.acc & self.acc_max) >> self.shift;
+                all_dropped = false;
+            }
+            outputs[li] = lane.last_output;
+            lane.acc = 0;
+        }
+        let value = match self.lanes.len() {
+            1 => outputs[0],
+            _ => {
+                let mut v = [outputs[0], outputs[1], outputs[2]];
+                v.sort_unstable();
+                v[1]
+            }
+        };
+        let flagged = all_dropped || !self.envelope.contains(value);
+        let reading = MeterReading {
+            epoch: self.epoch,
+            value,
+            flagged,
+        };
+        self.epoch += 1;
+        reading
+    }
+
+    /// Everything injected so far, in deterministic order.
+    pub fn report(&self) -> MeterFaultReport {
+        MeterFaultReport {
+            seed: self.seed,
+            epochs: self.epoch,
+            counter_flips: self.counter_flips,
+            rom_flips: self.rom_flips,
+            dropped_epochs: self.dropped_epochs,
+            events: self.events.clone(),
+        }
+    }
+}
+
+/// Result of running the hardened meter offline over a toggle matrix.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HardenedRun {
+    /// One reading per complete window.
+    pub readings: Vec<MeterReading>,
+    /// What the plan injected.
+    pub report: MeterFaultReport,
+}
+
+/// A hardened software OPM: the baseline [`QuantizedOpm`] plus an
+/// envelope and a redundancy mode, runnable offline over captured
+/// toggle matrices.
+#[derive(Clone, Debug)]
+pub struct HardenedOpm {
+    /// The underlying quantized model.
+    pub quant: QuantizedOpm,
+    /// Plausibility envelope for window outputs.
+    pub envelope: Envelope,
+    /// Redundancy mode.
+    pub redundancy: Redundancy,
+}
+
+impl HardenedOpm {
+    /// Wraps a quantized model with its structural envelope and no
+    /// redundancy.
+    pub fn new(quant: QuantizedOpm) -> Self {
+        let envelope = Envelope::structural(&quant);
+        HardenedOpm {
+            quant,
+            envelope,
+            redundancy: Redundancy::Single,
+        }
+    }
+
+    /// Sets the redundancy mode.
+    pub fn with_redundancy(mut self, redundancy: Redundancy) -> Self {
+        self.redundancy = redundancy;
+        self
+    }
+
+    /// Sets the plausibility envelope.
+    pub fn with_envelope(mut self, envelope: Envelope) -> Self {
+        self.envelope = envelope;
+        self
+    }
+
+    /// Runs the hardened meter over a *full-design* toggle matrix
+    /// (columns indexed by flat signal bit, like
+    /// [`QuantizedOpm::window_outputs`]), injecting `plan`.
+    ///
+    /// With an empty plan the reading values are bit-exact with
+    /// [`QuantizedOpm::window_outputs`] and nothing is flagged under
+    /// the structural envelope.
+    ///
+    /// # Errors
+    /// Returns [`ApolloError::Spec`] on an invalid spec or plan.
+    pub fn run(
+        &self,
+        matrix: &ToggleMatrix,
+        plan: &MeterFaultPlan,
+    ) -> Result<HardenedRun, ApolloError> {
+        let mut meter = HardenedMeter::new(&self.quant, self.envelope, self.redundancy, plan)?;
+        let bits = &self.quant.bits;
+        let mut readings = Vec::with_capacity(matrix.n_cycles() / self.quant.spec.t);
+        for c in 0..matrix.n_cycles() {
+            if let Some(r) = meter.step(|k| matrix.get(bits[k], c)) {
+                readings.push(r);
+            }
+        }
+        Ok(HardenedRun {
+            readings,
+            report: meter.report(),
+        })
+    }
+
+    /// De-scales a window output into power units.
+    pub fn descale(&self, value: u64) -> f64 {
+        self.quant.intercept + value as f64 / self.quant.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::OpmSpec;
+
+    fn synthetic(q: usize, b: u8, t: usize) -> (QuantizedOpm, ToggleMatrix) {
+        let quant = QuantizedOpm {
+            spec: OpmSpec { q, b, t },
+            bits: (0..q).collect(),
+            is_clock_gate: vec![false; q],
+            weights: (0..q).map(|k| ((k * 31 + 5) % (1 << b)) as u32).collect(),
+            scale: 1.0,
+            intercept: 0.0,
+        };
+        let n = 256;
+        let mut m = ToggleMatrix::new(q, n);
+        let mut s = 0x1234_5678u64;
+        for c in 0..n {
+            for k in 0..q {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                if s & 3 == 0 {
+                    m.set(k, c);
+                }
+            }
+        }
+        (quant, m)
+    }
+
+    #[test]
+    fn empty_plan_is_bit_exact_with_baseline() {
+        for redundancy in [Redundancy::Single, Redundancy::MedianOfThree] {
+            let (quant, m) = synthetic(11, 8, 8);
+            let expected = quant.window_outputs(&m);
+            let hard = HardenedOpm::new(quant).with_redundancy(redundancy);
+            let run = hard.run(&m, &MeterFaultPlan::empty()).unwrap();
+            assert_eq!(run.readings.len(), expected.len());
+            for (r, &e) in run.readings.iter().zip(&expected) {
+                assert_eq!(r.value, e, "epoch {}", r.epoch);
+                assert!(!r.flagged);
+            }
+            assert!(run.report.events.is_empty());
+        }
+    }
+
+    #[test]
+    fn seeded_plan_replays_byte_identically() {
+        let (quant, m) = synthetic(9, 6, 8);
+        let plan = MeterFaultPlan {
+            seed: 0xFEED,
+            counter_flip_rate: 0.3,
+            rom_flip_rate: 0.2,
+            drop_rate: 0.1,
+        };
+        let hard = HardenedOpm::new(quant).with_redundancy(Redundancy::MedianOfThree);
+        let a = hard.run(&m, &plan).unwrap();
+        let b = hard.run(&m, &plan).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        assert!(a.report.counter_flips > 0 || a.report.rom_flips > 0);
+    }
+
+    #[test]
+    fn median_of_three_outvotes_single_lane_upsets() {
+        // Counter flips only, single-lane probability 0.25: with three
+        // lanes the chance that two+ lanes are hit in the same epoch is
+        // small, so the median tracks the baseline far better than a
+        // single lane does.
+        let (quant, m) = synthetic(13, 8, 8);
+        let expected = quant.window_outputs(&m);
+        let plan = MeterFaultPlan {
+            seed: 7,
+            counter_flip_rate: 0.25,
+            rom_flip_rate: 0.0,
+            drop_rate: 0.0,
+        };
+        let single = HardenedOpm::new(quant.clone()).run(&m, &plan).unwrap();
+        let tmr = HardenedOpm::new(quant)
+            .with_redundancy(Redundancy::MedianOfThree)
+            .run(&m, &plan)
+            .unwrap();
+        let errs = |run: &HardenedRun| {
+            run.readings
+                .iter()
+                .zip(&expected)
+                .filter(|(r, &e)| r.value != e)
+                .count()
+        };
+        assert!(single.report.counter_flips > 0, "plan must actually inject");
+        assert!(
+            errs(&tmr) < errs(&single),
+            "median-of-3 {} errors vs single {} errors",
+            errs(&tmr),
+            errs(&single)
+        );
+    }
+
+    #[test]
+    fn saturation_never_engages_fault_free_and_caps_under_faults() {
+        let (quant, _m) = synthetic(5, 4, 4);
+        let meter =
+            HardenedMeter::new(&quant, Envelope::structural(&quant), Redundancy::Single, &MeterFaultPlan::empty())
+                .unwrap();
+        // Worst case: every proxy toggles every cycle for T cycles.
+        let max_cycle_sum: u64 = quant.weights.iter().map(|&w| w as u64).sum();
+        assert!(
+            max_cycle_sum * quant.spec.t as u64 <= meter.acc_max(),
+            "paper-width accumulator must hold the worst case"
+        );
+    }
+
+    #[test]
+    fn envelope_calibration_tightens_and_flags_outliers() {
+        let (quant, m) = synthetic(11, 8, 8);
+        let structural = Envelope::structural(&quant);
+        let calibrated = Envelope::calibrate(&quant, &m, 0.5);
+        assert!(calibrated.max <= structural.max);
+        // An absurd reading (beyond calibrated max) is outside.
+        assert!(!calibrated.contains(structural.max.max(calibrated.max + 1)));
+        // All healthy outputs stay inside.
+        for v in quant.window_outputs(&m) {
+            assert!(calibrated.contains(v), "healthy output {v} flagged");
+        }
+    }
+
+    #[test]
+    fn dropped_epochs_hold_and_all_dropped_flags() {
+        let (quant, m) = synthetic(7, 6, 8);
+        let plan = MeterFaultPlan {
+            seed: 11,
+            counter_flip_rate: 0.0,
+            rom_flip_rate: 0.0,
+            drop_rate: 1.0,
+        };
+        let hard = HardenedOpm::new(quant);
+        let run = hard.run(&m, &plan).unwrap();
+        // Every epoch dropped: every reading flagged and stuck at the
+        // initial held value (0).
+        for r in &run.readings {
+            assert!(r.flagged, "all-dropped epoch must be flagged");
+            assert_eq!(r.value, 0);
+        }
+        assert_eq!(run.report.dropped_epochs, run.readings.len() as u64);
+    }
+
+    #[test]
+    fn bad_rates_rejected() {
+        let plan = MeterFaultPlan {
+            seed: 0,
+            counter_flip_rate: 1.5,
+            rom_flip_rate: 0.0,
+            drop_rate: 0.0,
+        };
+        assert!(plan.validate().is_err());
+    }
+}

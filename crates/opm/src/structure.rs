@@ -121,7 +121,7 @@ mod tests {
             scale: 1.0,
             intercept: 0.0,
         };
-        let hw = build_opm(&model);
+        let hw = build_opm(&model).unwrap();
         let s = verify_apollo_structure(&hw);
         assert_eq!(s.multipliers, 0);
         // Window counter + accumulator + sum pipeline + output register:

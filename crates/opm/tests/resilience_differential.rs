@@ -1,0 +1,162 @@
+//! Property-based differential tests for the hardened OPM and the
+//! deterministic fault layers.
+//!
+//! Properties:
+//! 1. Under an **empty** meter fault plan the hardened estimator —
+//!    saturating accumulators, envelope, any redundancy mode — is
+//!    bit-exact with the baseline [`QuantizedOpm`] window outputs, for
+//!    arbitrary specs and toggle streams.
+//! 2. A seeded meter fault plan replays **byte-identically** (serialized
+//!    report and readings), for arbitrary seeds and rates.
+//! 3. A seeded netlist [`FaultPlan`] produces byte-identical fault
+//!    reports at 1 and 2 simulator threads, for arbitrary seeds.
+
+use apollo_opm::{HardenedOpm, MeterFaultPlan, OpmSpec, QuantizedOpm, Redundancy};
+use apollo_rtl::{CapModel, NetlistBuilder, Unit, CLOCK_ROOT};
+use apollo_sim::{FaultPlan, PowerConfig, Simulator, StuckAtFault, ToggleMatrix};
+use proptest::prelude::*;
+
+fn synthetic_opm(q: usize, b: u8, t: usize, wseed: u64) -> QuantizedOpm {
+    let mut s = wseed | 1;
+    let weights = (0..q)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % (1 << b)) as u32
+        })
+        .collect();
+    QuantizedOpm {
+        spec: OpmSpec { q, b, t },
+        bits: (0..q).collect(),
+        is_clock_gate: vec![false; q],
+        weights,
+        scale: 1.0,
+        intercept: 0.0,
+    }
+}
+
+fn random_toggles(q: usize, cycles: usize, seed: u64) -> ToggleMatrix {
+    let mut m = ToggleMatrix::new(q, cycles);
+    let mut s = seed | 1;
+    for c in 0..cycles {
+        for k in 0..q {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if s & 3 == 0 {
+                m.set(k, c);
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Property 1: zero-fault hardened == baseline, bit for bit.
+    #[test]
+    fn hardened_is_bit_exact_with_baseline_under_empty_plan(
+        q in 1usize..24,
+        b in 2u8..13,
+        t_exp in 0u32..6,
+        wseed in any::<u64>(),
+        tseed in any::<u64>(),
+        tmr in any::<bool>(),
+    ) {
+        let t = 1usize << t_exp;
+        let quant = synthetic_opm(q, b, t, wseed);
+        let m = random_toggles(q, t * 8, tseed);
+        let expected = quant.window_outputs(&m);
+        let redundancy = if tmr { Redundancy::MedianOfThree } else { Redundancy::Single };
+        let run = HardenedOpm::new(quant)
+            .with_redundancy(redundancy)
+            .run(&m, &MeterFaultPlan::empty())
+            .unwrap();
+        prop_assert_eq!(run.readings.len(), expected.len());
+        for (r, &e) in run.readings.iter().zip(&expected) {
+            prop_assert_eq!(r.value, e, "epoch {}", r.epoch);
+            prop_assert!(!r.flagged, "healthy reading flagged at epoch {}", r.epoch);
+        }
+        prop_assert!(run.report.events.is_empty());
+    }
+
+    /// Property 2: seeded meter plans replay byte-identically.
+    #[test]
+    fn seeded_meter_plan_replays_byte_identically(
+        seed in any::<u64>(),
+        counter_pm in 0u32..400,
+        rom_pm in 0u32..400,
+        drop_pm in 0u32..400,
+        wseed in any::<u64>(),
+        tseed in any::<u64>(),
+    ) {
+        let quant = synthetic_opm(11, 8, 8, wseed);
+        let m = random_toggles(11, 64, tseed);
+        let plan = MeterFaultPlan {
+            seed,
+            counter_flip_rate: counter_pm as f64 / 1000.0,
+            rom_flip_rate: rom_pm as f64 / 1000.0,
+            drop_rate: drop_pm as f64 / 1000.0,
+        };
+        let hard = HardenedOpm::new(quant).with_redundancy(Redundancy::MedianOfThree);
+        let a = hard.run(&m, &plan).unwrap();
+        let b = hard.run(&m, &plan).unwrap();
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    /// Property 3: netlist fault reports are byte-identical across
+    /// simulator thread counts.
+    #[test]
+    fn sim_fault_reports_identical_across_thread_counts(
+        seed in any::<u64>(),
+        reg_pm in 0u32..200,
+        mem_pm in 0u32..200,
+        stuck_bit in 0u8..8,
+    ) {
+        let mut b = NetlistBuilder::new("t");
+        let r0 = b.reg(8, 0, CLOCK_ROOT, "r0", Unit::Control);
+        let r1 = b.reg(8, 3, CLOCK_ROOT, "r1", Unit::Alu);
+        let one = b.constant(1, 8);
+        let n0 = b.add(r0, one);
+        let n1 = b.add(r1, r0);
+        b.connect(r0, n0);
+        b.connect(r1, n1);
+        let addr = b.reg(4, 0, CLOCK_ROOT, "addr", Unit::LoadStore);
+        let addr_one = b.constant(1, 4);
+        let addr_next = b.add(addr, addr_one);
+        b.connect(addr, addr_next);
+        let mem = b.memory(16, 8, "m0", Unit::LoadStore);
+        let en = b.constant(1, 1);
+        b.mem_write(mem, en, addr, r1);
+        let _rd = b.mem_read(mem, addr, en, "rd", Unit::LoadStore);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let plan = FaultPlan {
+            seed,
+            stuck_at: vec![StuckAtFault {
+                signal: "r0".into(),
+                bit: stuck_bit,
+                value: true,
+                from_cycle: 3,
+                to_cycle: 40,
+            }],
+            reg_flip_rate: reg_pm as f64 / 1000.0,
+            mem_flip_rate: mem_pm as f64 / 1000.0,
+        };
+        let run = |threads: usize| {
+            let mut sim =
+                Simulator::with_faults(&nl, &cap, PowerConfig::default(), threads, Some(&plan))
+                    .unwrap();
+            for _ in 0..64 {
+                sim.step();
+            }
+            serde_json::to_string(&sim.fault_report().unwrap()).unwrap()
+        };
+        prop_assert_eq!(run(1), run(2));
+    }
+}

@@ -225,6 +225,15 @@ impl Netlist {
         (node, (bit - self.bit_offsets[idx]) as u8)
     }
 
+    /// Looks up a named signal by its hierarchical name — the hook
+    /// fault-injection plans use to resolve stuck-at sites. Linear in
+    /// the node count; resolve once and cache the [`NodeId`].
+    pub fn find_signal(&self, name: &str) -> Option<NodeId> {
+        self.named_signals()
+            .find(|(_, m)| m.name == name)
+            .map(|(id, _)| id)
+    }
+
     /// Iterates over all named signals.
     pub fn named_signals(&self) -> impl Iterator<Item = (NodeId, &SignalMeta)> + '_ {
         self.meta

@@ -47,6 +47,28 @@ pub(crate) enum Instr {
     Gated(u32),
 }
 
+/// Per-node stuck-at force masks, allocated only for fault-injecting
+/// simulators: every stored value becomes `(v & and) | or`. Neutral
+/// masks (`and = !0`, `or = 0`) leave values untouched, so a compiled
+/// plan whose stuck-at window is inactive is value-identical to the
+/// fault-free engine. Updated serially by the simulator between value
+/// passes (workers sleep on the job condvar then); the pass's own
+/// synchronization orders the updates before worker reads.
+#[derive(Debug)]
+pub(crate) struct ForceMasks {
+    pub(crate) and: Vec<AtomicU64>,
+    pub(crate) or: Vec<AtomicU64>,
+}
+
+impl ForceMasks {
+    pub(crate) fn neutral(n: usize) -> Self {
+        ForceMasks {
+            and: (0..n).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            or: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
 /// State shared between the owning simulator and its worker threads.
 #[derive(Debug)]
 pub(crate) struct SharedState {
@@ -61,6 +83,9 @@ pub(crate) struct SharedState {
     pub(crate) feat: Vec<AtomicU64>,
     /// Per-node raw toggles `(v ^ prev) & mask` (for power).
     pub(crate) raw: Vec<AtomicU64>,
+    /// Stuck-at force masks; `None` outside fault injection, keeping
+    /// the fault-free hot path a single branch.
+    pub(crate) forces: Option<ForceMasks>,
 }
 
 impl SharedState {
@@ -69,9 +94,11 @@ impl SharedState {
         masks: Vec<u64>,
         schedule: LevelSchedule,
         initial_values: &[u64],
+        with_forces: bool,
     ) -> Self {
         let atomic = |src: &[u64]| src.iter().map(|&v| AtomicU64::new(v)).collect();
         let zeros = vec![0u64; initial_values.len()];
+        let n = initial_values.len();
         SharedState {
             instrs,
             masks,
@@ -80,6 +107,7 @@ impl SharedState {
             prev: atomic(initial_values),
             feat: atomic(&zeros),
             raw: atomic(&zeros),
+            forces: with_forces.then(|| ForceMasks::neutral(n)),
         }
     }
 }
@@ -165,7 +193,14 @@ fn run_shard(sh: &SharedState, shard_idx: usize, record: bool, dirty: u64) {
     for &ni in nodes {
         let i = ni as usize;
         let m = sh.masks[i];
-        let (v, feature_override) = eval_node(sh, i, m);
+        let (mut v, mut feature_override) = eval_node(sh, i, m);
+        if let Some(f) = &sh.forces {
+            v = (v & f.and[i].load(Ordering::Relaxed)) | f.or[i].load(Ordering::Relaxed);
+            // A forced gated clock reports its forced enable.
+            if feature_override.is_some() {
+                feature_override = Some(v);
+            }
+        }
         if record {
             let t = (v ^ sh.prev[i].load(Ordering::Relaxed)) & m;
             sh.prev[i].store(v, Ordering::Relaxed);

@@ -1,0 +1,556 @@
+//! Deterministic fault injection for netlist simulation.
+//!
+//! A [`FaultPlan`] describes silicon-style faults — stuck-at-0/1 on
+//! named signal bits over cycle windows, and seeded transient bit-flips
+//! in registers and SRAM words — that a [`crate::Simulator`] applies
+//! while it runs. The design goals, in order:
+//!
+//! 1. **Determinism.** Every fault decision is a pure function of
+//!    `(seed, cycle, site)` via a counter-based hash, never a stateful
+//!    RNG stream, so the same plan replays bit-identically regardless
+//!    of evaluation order — including under the parallel levelized
+//!    engine at any thread count.
+//! 2. **A pristine fault-free path.** A simulator constructed without a
+//!    plan shares no per-node overhead with fault injection (the engine
+//!    checks a single `Option`), and an *empty* plan (no stuck-at
+//!    entries, zero flip rates) produces values, toggles and power that
+//!    are bit-identical to a plan-less simulator.
+//! 3. **Observable faults.** Every injected fault is recorded as a
+//!    [`FaultEvent`] in deterministic order; [`FaultReport`] serializes
+//!    byte-identically across runs and thread counts.
+
+use apollo_rtl::{Netlist, Op};
+use std::fmt;
+
+/// A stuck-at fault: one bit of a named signal forced to a constant
+/// over a cycle window.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StuckAtFault {
+    /// Hierarchical signal name, as reported by
+    /// [`Netlist::display_name`] (named signals only).
+    pub signal: String,
+    /// Bit within the signal (must be `< width`).
+    pub bit: u8,
+    /// Forced value: `false` = stuck-at-0, `true` = stuck-at-1.
+    pub value: bool,
+    /// First simulation cycle (0-based) at which the force is active.
+    pub from_cycle: u64,
+    /// First cycle at which the force is released (exclusive;
+    /// `u64::MAX` keeps it active forever).
+    pub to_cycle: u64,
+}
+
+/// A seeded, fully deterministic fault-injection plan.
+///
+/// Transient flip decisions are Bernoulli draws per site per cycle,
+/// derived from `hash(seed, cycle, site)` — see the module docs for the
+/// determinism contract.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FaultPlan {
+    /// Seed for all transient-fault decisions.
+    pub seed: u64,
+    /// Stuck-at faults on named signal bits.
+    pub stuck_at: Vec<StuckAtFault>,
+    /// Per-register, per-cycle probability of a single-bit upset in
+    /// that register (a random bit of its staged next value flips).
+    pub reg_flip_rate: f64,
+    /// Per-memory, per-cycle probability of a single-bit upset in one
+    /// (hash-chosen) word of that SRAM macro.
+    pub mem_flip_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing. Simulating under an empty plan is
+    /// machine-checked to be bit-exact with the fault-free engine.
+    pub fn empty() -> Self {
+        FaultPlan {
+            seed: 0,
+            stuck_at: Vec::new(),
+            reg_flip_rate: 0.0,
+            mem_flip_rate: 0.0,
+        }
+    }
+
+    /// `true` if the plan can never inject a fault.
+    pub fn is_empty(&self) -> bool {
+        self.stuck_at.is_empty() && self.reg_flip_rate <= 0.0 && self.mem_flip_rate <= 0.0
+    }
+
+    /// Resolves the plan against a netlist, validating signal names,
+    /// bit indices and rates.
+    pub fn compile(&self, netlist: &Netlist) -> Result<CompiledFaults, FaultPlanError> {
+        for (label, rate) in [
+            ("reg_flip_rate", self.reg_flip_rate),
+            ("mem_flip_rate", self.mem_flip_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+                return Err(FaultPlanError::BadRate {
+                    which: label,
+                    rate,
+                });
+            }
+        }
+        let mut stuck = Vec::with_capacity(self.stuck_at.len());
+        for f in &self.stuck_at {
+            let Some((node, width)) = netlist
+                .find_signal(&f.signal)
+                .map(|id| (id, netlist.node(id).width))
+            else {
+                return Err(FaultPlanError::UnknownSignal {
+                    signal: f.signal.clone(),
+                });
+            };
+            if f.bit >= width {
+                return Err(FaultPlanError::BitOutOfRange {
+                    signal: f.signal.clone(),
+                    bit: f.bit,
+                    width,
+                });
+            }
+            if f.from_cycle >= f.to_cycle {
+                return Err(FaultPlanError::EmptyWindow {
+                    signal: f.signal.clone(),
+                });
+            }
+            stuck.push(CompiledStuck {
+                node: node.index() as u32,
+                signal: f.signal.clone(),
+                bit: f.bit,
+                value: f.value,
+                from: f.from_cycle,
+                to: f.to_cycle,
+                active: false,
+            });
+        }
+        // Register sites in netlist order; SRAM sites in memory order.
+        let regs: Vec<RegSite> = netlist
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n.op {
+                Op::Reg { .. } => Some(RegSite {
+                    node: i as u32,
+                    width: n.width,
+                }),
+                _ => None,
+            })
+            .collect();
+        let mems: Vec<MemSite> = netlist
+            .memories()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| MemSite {
+                mem: i as u32,
+                words: m.words,
+                width: m.width,
+                name: m.name.clone(),
+            })
+            .collect();
+        Ok(CompiledFaults {
+            seed: self.seed,
+            stuck,
+            reg_threshold: rate_to_threshold(self.reg_flip_rate),
+            mem_threshold: rate_to_threshold(self.mem_flip_rate),
+            regs,
+            mems,
+            netlist_names: netlist
+                .nodes()
+                .iter()
+                .enumerate()
+                .map(|(i, _)| netlist.display_name(apollo_rtl::NodeId::from_index(i)))
+                .collect(),
+        })
+    }
+}
+
+/// Errors from resolving a [`FaultPlan`] against a netlist.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum FaultPlanError {
+    /// A stuck-at fault names a signal the netlist does not contain.
+    UnknownSignal {
+        /// The unresolved name.
+        signal: String,
+    },
+    /// A stuck-at fault's bit index exceeds the signal's width.
+    BitOutOfRange {
+        /// The signal name.
+        signal: String,
+        /// The offending bit.
+        bit: u8,
+        /// The signal's actual width.
+        width: u8,
+    },
+    /// A stuck-at window is empty (`from_cycle >= to_cycle`).
+    EmptyWindow {
+        /// The signal name.
+        signal: String,
+    },
+    /// A flip rate is outside `[0, 1]` or NaN.
+    BadRate {
+        /// Which rate field.
+        which: &'static str,
+        /// The offending value.
+        rate: f64,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::UnknownSignal { signal } => {
+                write!(f, "fault plan names unknown signal `{signal}`")
+            }
+            FaultPlanError::BitOutOfRange { signal, bit, width } => {
+                write!(f, "fault on `{signal}` bit {bit} exceeds width {width}")
+            }
+            FaultPlanError::EmptyWindow { signal } => {
+                write!(f, "fault on `{signal}` has an empty cycle window")
+            }
+            FaultPlanError::BadRate { which, rate } => {
+                write!(f, "fault plan {which} = {rate} is not in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// One injected fault, recorded as it happens.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FaultEvent {
+    /// A stuck-at force became active this cycle.
+    StuckActivated {
+        /// Cycle of activation.
+        cycle: u64,
+        /// Signal name.
+        signal: String,
+        /// Forced bit.
+        bit: u8,
+        /// Forced value.
+        value: bool,
+    },
+    /// A stuck-at force was released this cycle.
+    StuckReleased {
+        /// Cycle of release.
+        cycle: u64,
+        /// Signal name.
+        signal: String,
+        /// Forced bit.
+        bit: u8,
+    },
+    /// A transient single-bit upset in a register.
+    RegFlip {
+        /// Cycle of the upset.
+        cycle: u64,
+        /// Register signal name.
+        signal: String,
+        /// Flipped bit.
+        bit: u8,
+    },
+    /// A transient single-bit upset in an SRAM word.
+    MemFlip {
+        /// Cycle of the upset.
+        cycle: u64,
+        /// Memory macro name.
+        mem: String,
+        /// Affected word.
+        word: u32,
+        /// Flipped bit.
+        bit: u8,
+    },
+}
+
+/// Summary of all faults a simulator injected, in deterministic order.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultReport {
+    /// The plan's seed.
+    pub seed: u64,
+    /// Cycles simulated when the report was taken.
+    pub cycles: u64,
+    /// Number of register upsets injected.
+    pub reg_flips: u64,
+    /// Number of SRAM upsets injected.
+    pub mem_flips: u64,
+    /// Total node-cycles spent under an active stuck-at force.
+    pub stuck_cycles: u64,
+    /// Every fault event, in injection order (cycle-major, then
+    /// stuck-at edges, SRAM upsets, register upsets, each in netlist
+    /// order — independent of thread count).
+    pub events: Vec<FaultEvent>,
+}
+
+#[derive(Clone, Debug)]
+struct CompiledStuck {
+    node: u32,
+    signal: String,
+    bit: u8,
+    value: bool,
+    from: u64,
+    to: u64,
+    active: bool,
+}
+
+#[derive(Clone, Debug)]
+struct RegSite {
+    node: u32,
+    width: u8,
+}
+
+#[derive(Clone, Debug)]
+struct MemSite {
+    mem: u32,
+    words: u32,
+    width: u8,
+    name: String,
+}
+
+/// A [`FaultPlan`] resolved against a netlist, plus the event log the
+/// simulator appends to as it injects.
+#[derive(Clone, Debug)]
+pub struct CompiledFaults {
+    seed: u64,
+    stuck: Vec<CompiledStuck>,
+    reg_threshold: u64,
+    mem_threshold: u64,
+    regs: Vec<RegSite>,
+    mems: Vec<MemSite>,
+    netlist_names: Vec<String>,
+}
+
+impl CompiledFaults {
+    /// `(node, and_mask, or_mask)` of every stuck-at force active at
+    /// `cycle`, plus whether the active set changed relative to the
+    /// stored activation state (an edge requires a full re-evaluation
+    /// because skipped shards would otherwise keep stale values).
+    /// Updates activation state and appends edge events to `events`.
+    pub(crate) fn stuck_forces_at(
+        &mut self,
+        cycle: u64,
+        events: &mut Vec<FaultEvent>,
+    ) -> (Vec<(u32, u64, u64)>, bool) {
+        let mut forces = Vec::new();
+        let mut edge = false;
+        for s in &mut self.stuck {
+            let now = cycle >= s.from && cycle < s.to;
+            if now != s.active {
+                edge = true;
+                events.push(if now {
+                    FaultEvent::StuckActivated {
+                        cycle,
+                        signal: s.signal.clone(),
+                        bit: s.bit,
+                        value: s.value,
+                    }
+                } else {
+                    FaultEvent::StuckReleased {
+                        cycle,
+                        signal: s.signal.clone(),
+                        bit: s.bit,
+                    }
+                });
+                s.active = now;
+            }
+            if now {
+                let bit = 1u64 << s.bit;
+                if s.value {
+                    forces.push((s.node, u64::MAX, bit));
+                } else {
+                    forces.push((s.node, !bit, 0));
+                }
+            }
+        }
+        (forces, edge)
+    }
+
+    /// Number of stuck-at forces active at `cycle` (for the report's
+    /// `stuck_cycles` tally) without mutating activation state.
+    pub(crate) fn active_stuck_count(&self, cycle: u64) -> u64 {
+        self.stuck
+            .iter()
+            .filter(|s| cycle >= s.from && cycle < s.to)
+            .count() as u64
+    }
+
+    /// Register upsets for `cycle`: `(site index into the simulator's
+    /// register list is NOT used — the node id is)` as
+    /// `(node, flip_mask)` in netlist order, with events appended.
+    pub(crate) fn reg_flips_at(&self, cycle: u64, events: &mut Vec<FaultEvent>) -> Vec<(u32, u64)> {
+        if self.reg_threshold == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for site in &self.regs {
+            let h = mix3(self.seed, cycle, 0x5245_4700 ^ site.node as u64);
+            if h < self.reg_threshold {
+                let bit = (mix3(self.seed, cycle, 0x5245_4701 ^ site.node as u64)
+                    % site.width as u64) as u8;
+                events.push(FaultEvent::RegFlip {
+                    cycle,
+                    signal: self.netlist_names[site.node as usize].clone(),
+                    bit,
+                });
+                out.push((site.node, 1u64 << bit));
+            }
+        }
+        out
+    }
+
+    /// SRAM upsets for `cycle` as `(mem, word, flip_mask)` in memory
+    /// order, with events appended.
+    pub(crate) fn mem_flips_at(
+        &self,
+        cycle: u64,
+        events: &mut Vec<FaultEvent>,
+    ) -> Vec<(u32, u32, u64)> {
+        if self.mem_threshold == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for site in &self.mems {
+            let h = mix3(self.seed, cycle, 0x4D45_4D00 ^ site.mem as u64);
+            if h < self.mem_threshold {
+                let word =
+                    (mix3(self.seed, cycle, 0x4D45_4D01 ^ site.mem as u64) % site.words as u64) as u32;
+                let bit = (mix3(self.seed, cycle, 0x4D45_4D02 ^ site.mem as u64)
+                    % site.width as u64) as u8;
+                events.push(FaultEvent::MemFlip {
+                    cycle,
+                    mem: site.name.clone(),
+                    word,
+                    bit,
+                });
+                out.push((site.mem, word, 1u64 << bit));
+            }
+        }
+        out
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Maps a probability to a threshold on a uniform `u64` hash. `p = 1`
+/// maps to `u64::MAX` (an `h < t` test then fires with probability
+/// `1 - 2⁻⁶⁴`, indistinguishable in practice).
+///
+/// Public so meter-local fault injection (`apollo-opm`) shares the same
+/// Bernoulli convention as the netlist-level injector.
+pub fn rate_to_threshold(p: f64) -> u64 {
+    if p <= 0.0 {
+        0
+    } else if p >= 1.0 {
+        u64::MAX
+    } else {
+        (p * u64::MAX as f64) as u64
+    }
+}
+
+/// Counter-based mix (splitmix64 finalizer over three words): a pure
+/// function of its inputs, so fault decisions are independent of
+/// evaluation order and thread count.
+///
+/// Public as the workspace-wide fault-decision hash: `apollo-opm`'s
+/// meter-local injector uses the same function with `(seed, epoch,
+/// site)` so its reports replay identically too.
+pub fn mix3(seed: u64, cycle: u64, site: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(cycle.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(site.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_rtl::{NetlistBuilder, Unit, CLOCK_ROOT};
+
+    fn tiny_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let r = b.reg(8, 0, CLOCK_ROOT, "count", Unit::Control);
+        let one = b.constant(1, 8);
+        let n = b.add(r, one);
+        b.connect(r, n);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn compile_rejects_unknown_signal() {
+        let nl = tiny_netlist();
+        let plan = FaultPlan {
+            stuck_at: vec![StuckAtFault {
+                signal: "no_such".into(),
+                bit: 0,
+                value: true,
+                from_cycle: 0,
+                to_cycle: u64::MAX,
+            }],
+            ..FaultPlan::empty()
+        };
+        assert!(matches!(
+            plan.compile(&nl),
+            Err(FaultPlanError::UnknownSignal { .. })
+        ));
+    }
+
+    #[test]
+    fn compile_rejects_wide_bit_and_bad_rate() {
+        let nl = tiny_netlist();
+        let plan = FaultPlan {
+            stuck_at: vec![StuckAtFault {
+                signal: "count".into(),
+                bit: 8,
+                value: true,
+                from_cycle: 0,
+                to_cycle: 10,
+            }],
+            ..FaultPlan::empty()
+        };
+        assert!(matches!(
+            plan.compile(&nl),
+            Err(FaultPlanError::BitOutOfRange { width: 8, .. })
+        ));
+        let plan = FaultPlan {
+            reg_flip_rate: 1.5,
+            ..FaultPlan::empty()
+        };
+        assert!(matches!(plan.compile(&nl), Err(FaultPlanError::BadRate { .. })));
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix3(1, 2, 3), mix3(1, 2, 3));
+        assert_ne!(mix3(1, 2, 3), mix3(1, 2, 4));
+        assert_ne!(mix3(1, 2, 3), mix3(2, 2, 3));
+        // Empirical rate sanity: threshold at 10% fires ~10% of draws.
+        let t = rate_to_threshold(0.1);
+        let hits = (0..10_000).filter(|&c| mix3(7, c, 42) < t).count();
+        assert!((700..1300).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let plan = FaultPlan {
+            seed: 42,
+            stuck_at: vec![StuckAtFault {
+                signal: "count".into(),
+                bit: 3,
+                value: false,
+                from_cycle: 10,
+                to_cycle: 90,
+            }],
+            reg_flip_rate: 1e-3,
+            mem_flip_rate: 1e-4,
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod fault;
 mod power;
 mod schedule;
 mod simulator;
@@ -44,6 +45,7 @@ mod toggle;
 mod trace;
 mod vcd;
 
+pub use fault::{FaultEvent, FaultPlan, FaultPlanError, FaultReport, StuckAtFault};
 pub use power::{PowerConfig, PowerSample};
 pub use simulator::Simulator;
 pub use toggle::ToggleMatrix;

@@ -1,6 +1,7 @@
 //! The cycle-accurate netlist simulator.
 
 use crate::engine::{self, Instr, Pool, SharedState};
+use crate::fault::{CompiledFaults, FaultEvent, FaultPlan, FaultPlanError, FaultReport};
 use crate::power::{unit_hash, PowerConfig, PowerSample};
 use crate::schedule::LevelSchedule;
 use apollo_rtl::{CapAnnotation, MemId, Netlist, NodeId, Op};
@@ -85,6 +86,15 @@ pub struct Simulator<'a> {
     pending_inputs: Vec<(u32, u64)>,
     cycle: u64,
     last_power: PowerSample,
+    /// Compiled fault plan, if this simulator injects faults.
+    faults: Option<CompiledFaults>,
+    /// Every injected fault, in deterministic order.
+    fault_events: Vec<FaultEvent>,
+    /// Node indices currently carrying a non-neutral force mask.
+    forced_nodes: Vec<u32>,
+    reg_flip_count: u64,
+    mem_flip_count: u64,
+    stuck_cycle_count: u64,
 }
 
 impl<'a> Simulator<'a> {
@@ -106,6 +116,29 @@ impl<'a> Simulator<'a> {
         config: PowerConfig,
         threads: usize,
     ) -> Self {
+        match Self::with_faults(netlist, cap, config, threads, None) {
+            Ok(sim) => sim,
+            // Unreachable: only a fault plan can fail to compile.
+            Err(e) => unreachable!("fault-free construction failed: {e}"),
+        }
+    }
+
+    /// Creates a simulator that injects the given [`FaultPlan`] while
+    /// it runs (see the [`crate::fault`] module for the determinism
+    /// contract). `plan = None` is exactly [`Simulator::with_threads`];
+    /// an **empty** plan is bit-identical to it in every observable.
+    ///
+    /// # Errors
+    /// Returns [`FaultPlanError`] if the plan names unknown signals,
+    /// out-of-range bits, empty windows or invalid rates.
+    pub fn with_faults(
+        netlist: &'a Netlist,
+        cap: &CapAnnotation,
+        config: PowerConfig,
+        threads: usize,
+        plan: Option<&FaultPlan>,
+    ) -> Result<Self, FaultPlanError> {
+        let faults = plan.map(|p| p.compile(netlist)).transpose()?;
         let n = netlist.len();
         let mut instrs = Vec::with_capacity(n);
         let mut masks = Vec::with_capacity(n);
@@ -245,7 +278,13 @@ impl<'a> Simulator<'a> {
             .collect();
 
         let schedule = LevelSchedule::build(netlist);
-        let shared = Arc::new(SharedState::new(instrs, masks, schedule, &values));
+        let shared = Arc::new(SharedState::new(
+            instrs,
+            masks,
+            schedule,
+            &values,
+            faults.is_some(),
+        ));
         let threads = threads.max(1);
         let pool = if threads > 1 {
             Some(Pool::spawn(Arc::clone(&shared), threads))
@@ -276,10 +315,20 @@ impl<'a> Simulator<'a> {
             pending_inputs: Vec::new(),
             cycle: 0,
             last_power: PowerSample::default(),
+            faults,
+            fault_events: Vec::new(),
+            forced_nodes: Vec::new(),
+            reg_flip_count: 0,
+            mem_flip_count: 0,
+            stuck_cycle_count: 0,
         };
         sim.reg_stage = vec![0u64; sim.regs.len()];
+        // Forces active at cycle 0 apply to the reset settle too, so
+        // the first step already observes them (activation events are
+        // logged here; the first step sees no edge and re-logs nothing).
+        sim.update_forces(0);
         sim.settle();
-        sim
+        Ok(sim)
     }
 
     /// Number of evaluation participants (1 = sequential reference).
@@ -336,13 +385,67 @@ impl<'a> Simulator<'a> {
         self.pending_inputs.push((i as u32, value));
     }
 
+    /// Refreshes the engine's stuck-at force masks for `cycle`.
+    /// Returns the dirty contribution: everything on an activation or
+    /// release edge (a skipped shard would otherwise hold a stale
+    /// value across the edge), nothing while the active set is stable.
+    fn update_forces(&mut self, cycle: u64) -> u64 {
+        let Some(f) = &mut self.faults else {
+            return 0;
+        };
+        let mut events = std::mem::take(&mut self.fault_events);
+        let (forces, edge) = f.stuck_forces_at(cycle, &mut events);
+        self.fault_events = events;
+        if !edge {
+            return 0;
+        }
+        let fm = self
+            .shared
+            .forces
+            .as_ref()
+            .expect("fault-injecting simulators allocate force masks");
+        for &node in &self.forced_nodes {
+            fm.and[node as usize].store(u64::MAX, Ordering::Relaxed);
+            fm.or[node as usize].store(0, Ordering::Relaxed);
+        }
+        self.forced_nodes.clear();
+        // Merge, so several stuck bits on one node compose.
+        for (node, and, or) in forces {
+            let i = node as usize;
+            let new_and = fm.and[i].load(Ordering::Relaxed) & and;
+            let new_or = fm.or[i].load(Ordering::Relaxed) | or;
+            fm.and[i].store(new_and, Ordering::Relaxed);
+            fm.or[i].store(new_or, Ordering::Relaxed);
+            self.forced_nodes.push(node);
+        }
+        u64::MAX
+    }
+
     /// Advances one clock edge and evaluates the new cycle.
     pub fn step(&mut self) {
-        let schedule = &self.shared.schedule;
         // Dirty set over source groups: set as state/input changes are
         // observed in phases 2–4, consumed by the value pass to skip
         // shards whose transitive sources are all clean.
         let mut dirty = 0u64;
+
+        // 0. Fault injection for this cycle: refresh stuck-at forces
+        //    and land SRAM upsets before the memory ports sample (a
+        //    read of the upset word then observes it through the normal
+        //    dirty-tracking path). Register upsets land on the staged
+        //    values below, after phase 1.
+        dirty |= self.update_forces(self.cycle);
+        if let Some(f) = &self.faults {
+            let mut events = std::mem::take(&mut self.fault_events);
+            let flips = f.mem_flips_at(self.cycle, &mut events);
+            self.fault_events = events;
+            self.stuck_cycle_count += f.active_stuck_count(self.cycle);
+            for (mem, word, mask) in flips {
+                self.mem_data[mem as usize][word as usize] ^= mask;
+                self.mem_flip_count += 1;
+            }
+        }
+
+        let schedule = &self.shared.schedule;
 
         // 1. Stage register next-state values from the pre-edge state.
         //    All sequential elements capture simultaneously at the clock
@@ -356,6 +459,21 @@ impl<'a> Simulator<'a> {
             } else {
                 self.shared.values[rc.reg as usize].load(Ordering::Relaxed)
             };
+        }
+
+        // 1b. Transient register upsets flip bits of the *staged*
+        //     values, so the commit in phase 3 handles dirty tracking
+        //     and toggle extraction exactly like a functional change.
+        if let Some(f) = &self.faults {
+            let mut events = std::mem::take(&mut self.fault_events);
+            let flips = f.reg_flips_at(self.cycle, &mut events);
+            self.fault_events = events;
+            for (node, mask) in flips {
+                if let Ok(k) = self.regs.binary_search_by_key(&node, |rc| rc.reg) {
+                    self.reg_stage[k] ^= mask;
+                    self.reg_flip_count += 1;
+                }
+            }
         }
 
         // 2. Memory-port commit (also pre-edge operands; runs before
@@ -495,6 +613,26 @@ impl<'a> Simulator<'a> {
     /// Number of completed cycles.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Every fault injected so far, in deterministic order (empty for
+    /// fault-free simulators).
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.fault_events
+    }
+
+    /// Fault-injection summary, or `None` for a simulator built
+    /// without a plan. Identical seeds produce byte-identical reports
+    /// across runs and thread counts.
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.faults.as_ref().map(|f| FaultReport {
+            seed: f.seed(),
+            cycles: self.cycle,
+            reg_flips: self.reg_flip_count,
+            mem_flips: self.mem_flip_count,
+            stuck_cycles: self.stuck_cycle_count,
+            events: self.fault_events.clone(),
+        })
     }
 
     /// The netlist being simulated.

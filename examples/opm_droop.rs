@@ -31,7 +31,7 @@ fn main() {
     .model;
 
     // --- Quantize to a hardware spec (Q proxies, B-bit weights, T) ----
-    let quant = QuantizedOpm::from_model(&model, 10, 8);
+    let quant = QuantizedOpm::from_model(&model, 10, 8).expect("quantization");
     println!(
         "OPM spec: Q = {}, B = {} bits, T = {} cycles; accumulator {} bits",
         quant.spec.q,
@@ -41,7 +41,7 @@ fn main() {
     );
 
     // --- Generate the Figure-8 hardware and measure its cost ----------
-    let hw = build_opm(&quant);
+    let hw = build_opm(&quant).expect("build_opm");
     let report = AreaReport::from_areas(&hw, ctx.netlist());
     println!(
         "OPM hardware: {} netlist nodes, {:.0} gate-equivalents ({:.2}% of the host CPU)",

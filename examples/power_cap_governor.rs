@@ -24,7 +24,7 @@ fn main() {
         &TrainOptions { q_target: 20, ..TrainOptions::default() },
     )
     .model;
-    let opm = QuantizedOpm::from_model(&model, 10, 32);
+    let opm = QuantizedOpm::from_model(&model, 10, 32).expect("quantization");
 
     let bench = benchmarks::maxpwr_cpu();
     let free_power = ctx.mean_power(&bench.program, &bench.data, 100, 400);

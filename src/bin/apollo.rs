@@ -3,7 +3,7 @@
 //! ```text
 //! apollo design --config <tiny|n1|a77>
 //! apollo train  --config <tiny|n1|a77> --q <N> [--ga-generations <N>] [--threads <N>] [--out model.json]
-//! apollo eval   --config <tiny|n1|a77> --model model.json [--threads <N>]
+//! apollo eval   --config <tiny|n1|a77> --model model.json [--threads <N>] [--fault-plan plan.json]
 //! apollo opm    --model model.json [--bits <B>] [--window <T>]
 //! apollo trace  --config <tiny|n1|a77> --model model.json [--cycles <N>] [--threads <N>] [--out trace.json]
 //!
@@ -18,6 +18,7 @@ use apollo_suite::core::{
 use apollo_suite::cpu::{benchmarks, CpuConfig};
 use apollo_suite::mlkit::metrics;
 use apollo_suite::opm::{build_opm, AreaReport, QuantizedOpm};
+use apollo_suite::sim::FaultPlan;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -26,7 +27,7 @@ fn usage() -> ExitCode {
         "usage:\n  \
          apollo design --config <tiny|n1|a77>\n  \
          apollo train  --config <tiny|n1|a77> --q <N> [--ga-generations <N>] [--threads <N>] [--out model.json]\n  \
-         apollo eval   --config <tiny|n1|a77> --model model.json [--threads <N>]\n  \
+         apollo eval   --config <tiny|n1|a77> --model model.json [--threads <N>] [--fault-plan plan.json]\n  \
          apollo opm    --model model.json [--bits <B>] [--window <T>]\n  \
          apollo trace  --config <tiny|n1|a77> --model model.json [--cycles <N>] [--threads <N>] [--out trace.json]"
     );
@@ -56,6 +57,17 @@ fn design_of(name: &str) -> Option<CpuConfig> {
 fn load_model(path: &str) -> Result<ApolloModel, String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn load_fault_plan(path: &str) -> Result<FaultPlan, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parse fault plan {path}: {e}"))
+}
+
+/// Writes `json` to `path`, reporting the path in any error instead of
+/// panicking mid-write.
+fn save_text(path: &str, text: &str, what: &str) -> Result<(), String> {
+    std::fs::write(path, text).map_err(|e| format!("write {what} to {path}: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -130,8 +142,17 @@ fn main() -> ExitCode {
                 metrics::r2(&trace.labels(), &train_pred)
             );
             if let Some(path) = get("out") {
-                std::fs::write(&path, serde_json::to_string_pretty(&model).unwrap())
-                    .expect("write model");
+                let json = match serde_json::to_string_pretty(&model) {
+                    Ok(j) => j,
+                    Err(e) => {
+                        eprintln!("serialize model: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Err(e) = save_text(&path, &json, "model") {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
                 println!("model saved to {path}");
             }
             ExitCode::SUCCESS
@@ -167,6 +188,37 @@ fn main() -> ExitCode {
                     100.0 * metrics::nrmse(&y[range.clone()], &pred[range.clone()])
                 );
             }
+            if let Some(plan_path) = get("fault-plan") {
+                let plan = match load_fault_plan(&plan_path) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let bench = apollo_suite::cpu::benchmarks::maxpwr_cpu();
+                let cycles = 2000;
+                let (faulted, report) = match ctx.capture_faulted(&bench, cycles, 100, &plan) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let fy = faulted.labels();
+                let fpred = model.predict_full(&faulted.toggles);
+                println!(
+                    "fault plan `{plan_path}` (seed {}): {} reg flips, {} mem flips, \
+                     {} stuck-bit cycles over {cycles} cycles",
+                    report.seed, report.reg_flips, report.mem_flips, report.stuck_cycles
+                );
+                println!(
+                    "  under faults: R2 = {:.3}, NRMSE = {:.1}% (model tracks the \
+                     faulted silicon's true power)",
+                    metrics::r2(&fy, &fpred),
+                    100.0 * metrics::nrmse(&fy, &fpred)
+                );
+            }
             ExitCode::SUCCESS
         }
         "opm" => {
@@ -182,8 +234,20 @@ fn main() -> ExitCode {
             };
             let b: u8 = get("bits").and_then(|v| v.parse().ok()).unwrap_or(10);
             let t: usize = get("window").and_then(|v| v.parse().ok()).unwrap_or(8);
-            let quant = QuantizedOpm::from_model(&model, b, t);
-            let hw = build_opm(&quant);
+            let quant = match QuantizedOpm::from_model(&model, b, t) {
+                Ok(q) => q,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let hw = match build_opm(&quant) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             println!(
                 "OPM: Q = {}, B = {b}, T = {t}; accumulator {} bits; {} netlist nodes",
                 quant.spec.q,
@@ -231,11 +295,17 @@ fn main() -> ExitCode {
                 metrics::r2(&report.ground_truth, &report.power_trace)
             );
             if let Some(path) = get("out") {
-                std::fs::write(
-                    &path,
-                    serde_json::to_string(&report.power_trace).unwrap(),
-                )
-                .expect("write trace");
+                let json = match serde_json::to_string(&report.power_trace) {
+                    Ok(j) => j,
+                    Err(e) => {
+                        eprintln!("serialize trace: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Err(e) = save_text(&path, &json, "power trace") {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
                 println!("power trace saved to {path}");
             }
             ExitCode::SUCCESS

@@ -61,8 +61,8 @@ fn full_pipeline_ga_to_opm() {
     assert!(r2 > 0.5, "held-out R² = {r2}");
 
     // 4. Quantize, build the OPM, co-simulate bit-exactly.
-    let quant = QuantizedOpm::from_model(&model, 10, 8);
-    let hw = build_opm(&quant);
+    let quant = QuantizedOpm::from_model(&model, 10, 8).expect("quantization");
+    let hw = build_opm(&quant).expect("build_opm");
     let proxy = ctx.capture_bits(&benchmarks::maxpwr_cpu(), &model.bits(), 256, 150);
     let cosim = hw.cosim(&proxy.toggles);
     assert_eq!(cosim.sums, quant.raw_sums_proxy(&proxy.toggles));
