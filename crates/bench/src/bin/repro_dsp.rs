@@ -11,6 +11,7 @@ use apollo_mlkit::metrics;
 use apollo_sim::TraceCapture;
 
 fn main() {
+    apollo_bench::init_cli_verbosity();
     let quick = std::env::var("APOLLO_QUICK").is_ok();
     let config = DspConfig { lanes: 6, ..DspConfig::default() };
     let handles = build_dsp(&config).unwrap();

@@ -112,6 +112,7 @@ fn score(hard: &HardenedOpm, trace: &TraceData, plan: &MeterFaultPlan) -> (f64, 
 }
 
 fn main() {
+    apollo_bench::init_cli_verbosity();
     let quick = std::env::var("APOLLO_QUICK").is_ok();
     let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::neoverse() };
     let name = cfg.design.name.clone();

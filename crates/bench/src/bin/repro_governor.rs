@@ -5,6 +5,7 @@ use apollo_bench::pipeline::{progress, save_json, sustained_virus, Pipeline, Pip
 use apollo_opm::{run_governed, GovernorConfig, QuantizedOpm};
 
 fn main() {
+    apollo_bench::init_cli_verbosity();
     let quick = std::env::var("APOLLO_QUICK").is_ok();
     let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::neoverse() };
     let p = Pipeline::new(cfg);

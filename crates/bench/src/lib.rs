@@ -15,4 +15,4 @@
 pub mod experiments;
 pub mod pipeline;
 
-pub use pipeline::{Pipeline, PipelineConfig};
+pub use pipeline::{init_cli_verbosity, Pipeline, PipelineConfig};

@@ -114,9 +114,26 @@ pub struct Pipeline {
     models: Mutex<HashMap<(usize, bool), TrainedPerCycle>>,
 }
 
-/// Prints a timestamped progress line to stderr.
+/// Reports a timestamped progress line: printed to stderr unless the
+/// telemetry verbosity is `Quiet`, and recorded as a `Message` event
+/// when a trace sink is installed.
 pub fn progress(msg: &str) {
-    eprintln!("[{:>8.1?}] {msg}", START.elapsed());
+    apollo_telemetry::diag(&format!("[{:>8.1?}] {msg}", START.elapsed()));
+}
+
+/// Sets the global telemetry verbosity from the process arguments
+/// (`--quiet`/`-q`, `--verbose`/`-v`); repro binaries call this first
+/// thing in `main`. Unknown arguments are left for the caller.
+pub fn init_cli_verbosity() {
+    let mut v = apollo_telemetry::Verbosity::Normal;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--quiet" | "-q" => v = apollo_telemetry::Verbosity::Quiet,
+            "--verbose" | "-v" => v = apollo_telemetry::Verbosity::Verbose,
+            _ => {}
+        }
+    }
+    apollo_telemetry::set_verbosity(v);
 }
 
 static START: LazyLock<Instant> = LazyLock::new(Instant::now);

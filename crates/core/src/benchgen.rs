@@ -16,6 +16,7 @@ use apollo_cpu::benchmarks::Benchmark;
 use apollo_cpu::Inst;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// GA configuration.
 #[derive(Clone, Debug, PartialEq)]
@@ -227,12 +228,29 @@ pub fn run_ga(ctx: &DesignContext, cfg: &GaConfig) -> GaRun {
 
     let mut all = Vec::with_capacity(cfg.population * cfg.generations);
     let mut best_per_gen = Vec::with_capacity(cfg.generations);
+    let ga_span = apollo_telemetry::span("ga.run");
 
     for generation in 0..cfg.generations {
+        let t_fit = Instant::now();
         let fitness = evaluate(ctx, cfg, &population);
+        let fitness_ns = t_fit.elapsed().as_nanos() as u64;
+        let t_sel = Instant::now();
         let mut ranked: Vec<usize> = (0..population.len()).collect();
         ranked.sort_by(|&a, &b| fitness[b].partial_cmp(&fitness[a]).unwrap());
         best_per_gen.push(fitness[ranked[0]]);
+        let mean = fitness.iter().sum::<f64>() / fitness.len() as f64;
+        if apollo_telemetry::timing_enabled() {
+            apollo_telemetry::profile::record_phase("ga.run/fitness", 1, fitness_ns);
+        }
+        apollo_telemetry::counter("ga.individuals_evaluated").add(population.len() as u64);
+        apollo_telemetry::emit_event(
+            "ga.generation",
+            &[
+                ("gen", apollo_telemetry::FieldValue::from(generation)),
+                ("best", apollo_telemetry::FieldValue::from(fitness[ranked[0]])),
+                ("mean", apollo_telemetry::FieldValue::from(mean)),
+            ],
+        );
         for (body, &fit) in population.iter().zip(&fitness) {
             all.push(Individual {
                 body: body.clone(),
@@ -273,8 +291,16 @@ pub fn run_ga(ctx: &DesignContext, cfg: &GaConfig) -> GaRun {
             next.push(child);
         }
         population = next;
+        if apollo_telemetry::timing_enabled() {
+            apollo_telemetry::profile::record_phase(
+                "ga.run/selection",
+                1,
+                t_sel.elapsed().as_nanos() as u64,
+            );
+        }
     }
 
+    drop(ga_span);
     GaRun {
         individuals: all,
         best_per_gen,

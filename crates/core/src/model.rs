@@ -249,11 +249,16 @@ pub fn train_per_cycle(
         nonnegative: opts.nonnegative,
         ..opts.cd.clone()
     };
-    let selection = select_features(&design, &y, penalty, opts.q_target, &cd_opts);
+    let _train_span = apollo_telemetry::span("train.per_cycle");
+    let selection = {
+        let _span = apollo_telemetry::span("select");
+        select_features(&design, &y, penalty, opts.q_target, &cd_opts)
+    };
     let cols: Vec<usize> = selection.active.iter().map(|&(j, _)| j).collect();
     assert!(!cols.is_empty(), "selection produced an empty model");
 
     // Relaxation: ridge refit from scratch on the selected proxies.
+    let _span = apollo_telemetry::span("relax");
     let dense = dense_selected(&design, &cols);
     let relaxed = coordinate_descent(
         &dense,
@@ -266,6 +271,13 @@ pub fn train_per_cycle(
             max_sweeps: 400,
             ..CdOptions::default()
         },
+    );
+    apollo_telemetry::emit_event(
+        "train.model",
+        &[
+            ("q", apollo_telemetry::FieldValue::from(cols.len())),
+            ("lambda", apollo_telemetry::FieldValue::from(selection.lambda)),
+        ],
     );
     let mut weights = vec![0.0; cols.len()];
     for &(k, w) in &relaxed.active {

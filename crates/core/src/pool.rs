@@ -18,6 +18,7 @@ use apollo_sim::{PowerSample, ToggleMatrix, TraceCapture, TraceData};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A pool of simulation workers for independent workloads.
 #[derive(Clone, Copy, Debug)]
@@ -54,22 +55,42 @@ impl SimPool {
     ) -> TraceData {
         let total: usize = suite.iter().map(|(_, c)| c).sum();
         assert!(total > 0, "empty capture request");
-        let shards: Vec<TraceData> = self.run_indexed(suite.len(), |idx| {
+        let _span = apollo_telemetry::span("core.capture_suite");
+        // Per-benchmark wall clock is measured inside the (possibly
+        // parallel) jobs but reported only after the index-ordered
+        // merge below, so span records come out in suite order no
+        // matter how workers interleave.
+        let shards: Vec<(TraceData, u64)> = self.run_indexed(suite.len(), |idx| {
             let (bench, cycles) = &suite[idx];
-            capture_one(ctx, bench, *cycles, warmup)
+            let t0 = Instant::now();
+            let trace = capture_one(ctx, bench, *cycles, warmup);
+            (trace, t0.elapsed().as_nanos() as u64)
         });
 
         let mut toggles = ToggleMatrix::new(ctx.m_bits(), total);
         let mut power: Vec<PowerSample> = Vec::with_capacity(total);
         let mut segments: Vec<(String, Range<usize>)> = Vec::with_capacity(suite.len());
         let mut cursor = 0usize;
-        for ((bench, cycles), shard) in suite.iter().zip(shards) {
+        let timing = apollo_telemetry::timing_enabled();
+        let events = apollo_telemetry::events_enabled();
+        for ((bench, cycles), (shard, bench_ns)) in suite.iter().zip(shards) {
             debug_assert_eq!(shard.n_cycles(), *cycles);
             toggles.merge_at(&shard.toggles, cursor);
             power.extend(shard.power);
             segments.push((bench.name.clone(), cursor..cursor + cycles));
             cursor += cycles;
+            if timing {
+                apollo_telemetry::profile::record_phase("core.capture_suite/bench", 1, bench_ns);
+            }
+            if events {
+                apollo_telemetry::emit_span(
+                    &format!("core.capture_suite/bench:{}", bench.name),
+                    bench_ns,
+                );
+            }
         }
+        apollo_telemetry::counter("core.benchmarks_captured").add(suite.len() as u64);
+        apollo_telemetry::counter("core.cycles_captured").add(total as u64);
         TraceData {
             toggles,
             power,

@@ -181,9 +181,11 @@ pub struct CoreHandles {
 /// # Panics
 /// Panics if `config` fails [`CpuConfig::validate`].
 pub fn build_cpu(config: &CpuConfig) -> Result<CpuHandles, RtlError> {
+    let _span = apollo_telemetry::span("cpu.build");
     let mut b = NetlistBuilder::new(config.name.clone());
     let core = build_core(&mut b, config);
     let netlist = b.build()?;
+    apollo_telemetry::gauge("cpu.netlist_nodes").set(netlist.len() as f64);
     Ok(CpuHandles {
         netlist,
         config: config.clone(),

@@ -107,12 +107,15 @@ impl<'a> DspSim<'a> {
     /// Steps until the sequencer halts or `max_cycles` elapse; returns
     /// the cycles executed, or `None` on timeout.
     pub fn run_to_halt(&mut self, max_cycles: u64) -> Option<u64> {
+        let _span = apollo_telemetry::span("dsp.run_to_halt");
         for cycle in 1..=max_cycles {
             self.sim.step();
             if self.sim.value(self.handles.halted) == 1 {
+                apollo_telemetry::counter("dsp.commands_run").inc();
                 return Some(cycle);
             }
         }
+        apollo_telemetry::counter("dsp.timeouts").inc();
         None
     }
 

@@ -305,7 +305,10 @@ pub fn coordinate_descent<D: Design>(
     opts: &CdOptions,
 ) -> CdResult {
     let mut solver = Solver::new(x, y);
-    fit_warm(&mut solver, penalty, opts)
+    let result = fit_warm(&mut solver, penalty, opts);
+    apollo_telemetry::counter("mlkit.cd_fits").inc();
+    apollo_telemetry::counter("mlkit.cd_sweeps").add(result.sweeps as u64);
+    result
 }
 
 fn fit_warm<D: Design>(solver: &mut Solver<'_, D>, penalty: Penalty, opts: &CdOptions) -> CdResult {

@@ -18,6 +18,22 @@ use apollo_cpu::{CpuHandles, CpuSim, Inst};
 use apollo_rtl::{CapAnnotation, NodeId};
 use apollo_sim::{FaultPlan, FaultReport, PowerConfig};
 
+/// Emits a typed `governor.throttle` transition event (no-op without a
+/// sink). Governed runs are serial, so emission order is the epoch
+/// order and deterministic.
+fn emit_throttle_event(epoch: u64, from: u8, to: u8, reading: f64) {
+    apollo_telemetry::emit_event(
+        "governor.throttle",
+        &[
+            ("epoch", apollo_telemetry::FieldValue::from(epoch)),
+            ("from", apollo_telemetry::FieldValue::from(from)),
+            ("to", apollo_telemetry::FieldValue::from(to)),
+            ("reading", apollo_telemetry::FieldValue::from(reading)),
+        ],
+    );
+    apollo_telemetry::counter("governor.throttle_changes").inc();
+}
+
 /// Governor configuration.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct GovernorConfig {
@@ -153,10 +169,14 @@ pub fn run_governed(
         if (c + 1) % config.epoch == 0 {
             let reading = shadow.descale(raw_acc as f64 / config.epoch as f64);
             // Bang-bang with hysteresis on the *meter* reading.
+            let prev_level = level;
             if reading > config.cap && level < 3 {
                 level += 1;
             } else if reading < config.cap * config.low_watermark && level > 0 {
                 level -= 1;
+            }
+            if level != prev_level {
+                emit_throttle_event(throttle_trace.len() as u64, prev_level, level, reading);
             }
             gov.sim_mut().set_input(handles.throttle_override, level as u64);
             throttle_trace.push(level);
@@ -165,6 +185,7 @@ pub fn run_governed(
             raw_acc = 0;
         }
     }
+    apollo_telemetry::counter("governor.epochs").add(throttle_trace.len() as u64);
     let retired_governed = gov.retired();
 
     let over = |epochs: &[f64]| {
@@ -352,6 +373,8 @@ pub fn run_governed_resilient(
             if stuck {
                 stuck_detections += 1;
             }
+            let prev_level = level;
+            let was_failsafe = in_failsafe;
             if r.flagged || stuck {
                 // Fail-safe: the meter cannot be trusted, so throttle
                 // conservatively no matter what it reads.
@@ -359,6 +382,14 @@ pub fn run_governed_resilient(
                 in_failsafe = true;
                 clean_streak = 0;
                 level = level.max(config.conservative_level);
+                apollo_telemetry::emit_event(
+                    "governor.flagged",
+                    &[
+                        ("epoch", apollo_telemetry::FieldValue::from(r.epoch)),
+                        ("value", apollo_telemetry::FieldValue::from(r.value)),
+                        ("stuck", apollo_telemetry::FieldValue::from(stuck)),
+                    ],
+                );
             } else if in_failsafe {
                 // Hold the conservative level until enough consecutive
                 // trusted readings accumulate.
@@ -374,6 +405,16 @@ pub fn run_governed_resilient(
                     level -= 1;
                 }
             }
+            if in_failsafe != was_failsafe {
+                apollo_telemetry::emit_event(
+                    if in_failsafe { "governor.failsafe_enter" } else { "governor.failsafe_exit" },
+                    &[("epoch", apollo_telemetry::FieldValue::from(r.epoch))],
+                );
+                apollo_telemetry::counter("governor.failsafe_transitions").inc();
+            }
+            if level != prev_level {
+                emit_throttle_event(r.epoch, prev_level, level, opm.descale(r.value));
+            }
             if in_failsafe {
                 failsafe_epochs += 1;
             }
@@ -383,6 +424,7 @@ pub fn run_governed_resilient(
             true_acc = 0.0;
         }
     }
+    apollo_telemetry::counter("governor.epochs").add(throttle_trace.len() as u64);
     let retired_governed = gov.retired();
     let sim_faults = gov.sim().fault_report();
 

@@ -123,6 +123,41 @@ pub enum MeterFaultEvent {
     },
 }
 
+/// Mirrors one meter fault to telemetry the moment it is injected.
+/// Before this hook, events only left the meter through an end-of-run
+/// [`HardenedMeter::report`] call — runs that never requested a report
+/// dropped them silently.
+fn emit_meter_event(ev: &MeterFaultEvent) {
+    use apollo_telemetry::FieldValue;
+    apollo_telemetry::counter("opm.meter.fault_events").inc();
+    if !apollo_telemetry::events_enabled() {
+        return;
+    }
+    match ev {
+        MeterFaultEvent::CounterFlip { epoch, lane, bit } => apollo_telemetry::emit_event(
+            "opm.meter.counter_flip",
+            &[
+                ("epoch", FieldValue::from(*epoch)),
+                ("lane", FieldValue::from(*lane)),
+                ("bit", FieldValue::from(*bit)),
+            ],
+        ),
+        MeterFaultEvent::RomFlip { epoch, lane, proxy, bit } => apollo_telemetry::emit_event(
+            "opm.meter.rom_flip",
+            &[
+                ("epoch", FieldValue::from(*epoch)),
+                ("lane", FieldValue::from(*lane)),
+                ("proxy", FieldValue::from(*proxy)),
+                ("bit", FieldValue::from(*bit)),
+            ],
+        ),
+        MeterFaultEvent::DroppedEpoch { epoch, lane } => apollo_telemetry::emit_event(
+            "opm.meter.dropped_epoch",
+            &[("epoch", FieldValue::from(*epoch)), ("lane", FieldValue::from(*lane))],
+        ),
+    }
+}
+
 /// Summary of everything a [`MeterFaultPlan`] injected.
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct MeterFaultReport {
@@ -339,12 +374,14 @@ impl HardenedMeter {
                 let lane = &mut self.lanes[li];
                 lane.rom[proxy as usize] = (lane.rom[proxy as usize] ^ (1 << bit)) & self.weight_mask;
                 self.rom_flips += 1;
-                self.events.push(MeterFaultEvent::RomFlip {
+                let ev = MeterFaultEvent::RomFlip {
                     epoch: self.epoch,
                     lane: li as u8,
                     proxy,
                     bit,
-                });
+                };
+                emit_meter_event(&ev);
+                self.events.push(ev);
             }
         }
     }
@@ -365,21 +402,25 @@ impl HardenedMeter {
                         (mix3(seed, epoch, SITE_ACC ^ li as u64 ^ 0x100) % acc_bits as u64) as u8;
                     lane.acc ^= 1 << bit;
                     self.counter_flips += 1;
-                    events.push(MeterFaultEvent::CounterFlip {
+                    let ev = MeterFaultEvent::CounterFlip {
                         epoch,
                         lane: li as u8,
                         bit,
-                    });
+                    };
+                    emit_meter_event(&ev);
+                    events.push(ev);
                 }
             }
             let dropped = self.drop_threshold > 0
                 && mix3(seed, epoch, SITE_DROP ^ li as u64) < self.drop_threshold;
             if dropped {
                 self.dropped_epochs += 1;
-                events.push(MeterFaultEvent::DroppedEpoch {
+                let ev = MeterFaultEvent::DroppedEpoch {
                     epoch,
                     lane: li as u8,
-                });
+                };
+                emit_meter_event(&ev);
+                events.push(ev);
             } else {
                 lane.last_output = (lane.acc & self.acc_max) >> self.shift;
                 all_dropped = false;
@@ -396,6 +437,17 @@ impl HardenedMeter {
             }
         };
         let flagged = all_dropped || !self.envelope.contains(value);
+        if flagged {
+            apollo_telemetry::counter("opm.meter.flagged_epochs").inc();
+            apollo_telemetry::emit_event(
+                "opm.meter.flagged",
+                &[
+                    ("epoch", apollo_telemetry::FieldValue::from(self.epoch)),
+                    ("value", apollo_telemetry::FieldValue::from(value)),
+                    ("all_dropped", apollo_telemetry::FieldValue::from(all_dropped)),
+                ],
+            );
+        }
         let reading = MeterReading {
             epoch: self.epoch,
             value,

@@ -558,6 +558,7 @@ impl NetlistBuilder {
     /// Returns an error if the design is empty, any register is left
     /// unconnected, or a memory port is malformed.
     pub fn build(self) -> Result<Netlist, RtlError> {
+        apollo_telemetry::counter("rtl.netlists_built").inc();
         if self.nodes.is_empty() {
             return Err(RtlError::Empty);
         }

@@ -12,9 +12,31 @@
 //! every power figure — is bit-identical across thread counts.
 
 use crate::schedule::LevelSchedule;
+use apollo_telemetry::{counter, histogram, timing_enabled, Counter, Histogram};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, LazyLock, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Engine metrics, interned once. Shard totals are deterministic across
+/// thread counts (shard skipping depends only on the dirty set);
+/// `_ns`-suffixed wall-clock metrics are collected only while
+/// [`apollo_telemetry::timing_enabled`].
+struct EngineMetrics {
+    shards_evaluated: &'static Counter,
+    shards_skipped: &'static Counter,
+    level_eval_ns: &'static Histogram,
+    worker_pass_ns: &'static Counter,
+    worker_idle_ns: &'static Counter,
+}
+
+static METRICS: LazyLock<EngineMetrics> = LazyLock::new(|| EngineMetrics {
+    shards_evaluated: counter("sim.shards_evaluated"),
+    shards_skipped: counter("sim.shards_skipped"),
+    level_eval_ns: histogram("sim.level_eval_ns"),
+    worker_pass_ns: counter("sim.worker.pass_ns"),
+    worker_idle_ns: counter("sim.worker.idle_ns"),
+});
 
 /// Compiled per-node instruction; mirrors [`apollo_rtl::Op`] with
 /// resolved indices and pre-computed widths so the evaluation loop
@@ -175,7 +197,8 @@ fn eval_node(sh: &SharedState, i: usize, m: u64) -> (u64, Option<u64>) {
 /// none of its source groups changed, so every node keeps its value and
 /// only the toggle words need clearing (gated clocks report their —
 /// unchanged — enable as the feature).
-fn run_shard(sh: &SharedState, shard_idx: usize, record: bool, dirty: u64) {
+/// Returns `true` when the shard was evaluated, `false` when skipped.
+fn run_shard(sh: &SharedState, shard_idx: usize, record: bool, dirty: u64) -> bool {
     let shard = &sh.schedule.shards()[shard_idx];
     let nodes = &sh.schedule.order()[shard.start as usize..shard.end as usize];
     if record && shard.influence & dirty == 0 {
@@ -188,7 +211,7 @@ fn run_shard(sh: &SharedState, shard_idx: usize, record: bool, dirty: u64) {
             sh.feat[i].store(f, Ordering::Relaxed);
             sh.raw[i].store(0, Ordering::Relaxed);
         }
-        return;
+        return false;
     }
     for &ni in nodes {
         let i = ni as usize;
@@ -209,13 +232,33 @@ fn run_shard(sh: &SharedState, shard_idx: usize, record: bool, dirty: u64) {
         }
         sh.values[i].store(v, Ordering::Relaxed);
     }
+    true
 }
 
-/// Single-threaded value pass: shards in (level, index) order.
+/// Single-threaded value pass: shards in (level, index) order. Walks
+/// levels explicitly (same shard order — shards are stored
+/// level-contiguously) so per-level wall clock can be observed while
+/// timing is on.
 pub(crate) fn run_pass_seq(sh: &SharedState, record: bool, dirty: u64) {
-    for idx in 0..sh.schedule.shards().len() {
-        run_shard(sh, idx, record, dirty);
+    let timing = timing_enabled();
+    let mut evaluated = 0u64;
+    let mut skipped = 0u64;
+    for level in 0..sh.schedule.n_levels() {
+        let t0 = timing.then(Instant::now);
+        let (lo, hi) = sh.schedule.level_shard_range(level);
+        for idx in lo as usize..hi as usize {
+            if run_shard(sh, idx, record, dirty) {
+                evaluated += 1;
+            } else {
+                skipped += 1;
+            }
+        }
+        if let Some(t0) = t0 {
+            METRICS.level_eval_ns.observe(t0.elapsed().as_nanos() as u64);
+        }
     }
+    METRICS.shards_evaluated.add(evaluated);
+    METRICS.shards_skipped.add(skipped);
 }
 
 /// One participant (main thread or worker) of the parallel value pass.
@@ -230,14 +273,37 @@ fn run_pass_parallel(
     dirty: u64,
 ) {
     let n = ctl.n_threads;
+    let timing = timing_enabled();
+    let pass_start = timing.then(Instant::now);
+    let mut idle_ns = 0u64;
+    let mut evaluated = 0u64;
+    let mut skipped = 0u64;
     for level in 0..sh.schedule.n_levels() {
         let (lo, hi) = sh.schedule.level_shard_range(level);
         let mut s = lo as usize + participant;
         while s < hi as usize {
-            run_shard(sh, s, record, dirty);
+            if run_shard(sh, s, record, dirty) {
+                evaluated += 1;
+            } else {
+                skipped += 1;
+            }
             s += n;
         }
-        barrier(ctl, local_gen);
+        if let Some(wait_start) = timing.then(Instant::now) {
+            barrier(ctl, local_gen);
+            idle_ns += wait_start.elapsed().as_nanos() as u64;
+        } else {
+            barrier(ctl, local_gen);
+        }
+    }
+    // One commutative flush per participant per pass: totals are
+    // independent of the round-robin split, so the counters stay
+    // bit-identical across thread counts.
+    METRICS.shards_evaluated.add(evaluated);
+    METRICS.shards_skipped.add(skipped);
+    if let Some(t0) = pass_start {
+        METRICS.worker_pass_ns.add(t0.elapsed().as_nanos() as u64);
+        METRICS.worker_idle_ns.add(idle_ns);
     }
 }
 

@@ -7,6 +7,7 @@ use crate::schedule::LevelSchedule;
 use apollo_rtl::{CapAnnotation, MemId, Netlist, NodeId, Op};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 #[derive(Clone, Debug)]
 struct RegCommit {
@@ -95,6 +96,51 @@ pub struct Simulator<'a> {
     reg_flip_count: u64,
     mem_flip_count: u64,
     stuck_cycle_count: u64,
+    /// Batched instrumentation state (one atomic bump per step when
+    /// telemetry is idle; see [`SimTelemetry`]).
+    telem: SimTelemetry,
+}
+
+/// Per-simulator instrumentation: interned counter handles (bumped with
+/// commutative `fetch_add`, so totals stay deterministic when many
+/// simulators run in parallel), step-phase wall clock accumulated
+/// locally and flushed to the profile table on drop, and a cursor over
+/// `fault_events` so injected faults reach the event sink as they
+/// happen instead of only through an end-of-run report.
+#[derive(Debug)]
+struct SimTelemetry {
+    cycles: &'static apollo_telemetry::Counter,
+    fault_events: &'static apollo_telemetry::Counter,
+    /// Index into `Simulator::fault_events` already flushed.
+    emitted: usize,
+    /// Accumulated `[commit, eval, power]` nanoseconds while timing is
+    /// enabled.
+    phase_ns: [u64; 3],
+    steps_timed: u64,
+}
+
+impl SimTelemetry {
+    fn new() -> Self {
+        SimTelemetry {
+            cycles: apollo_telemetry::counter("sim.cycles"),
+            fault_events: apollo_telemetry::counter("sim.fault_events"),
+            emitted: 0,
+            phase_ns: [0; 3],
+            steps_timed: 0,
+        }
+    }
+}
+
+impl Drop for Simulator<'_> {
+    fn drop(&mut self) {
+        if self.telem.steps_timed > 0 {
+            let [commit, eval, power] = self.telem.phase_ns;
+            let steps = self.telem.steps_timed;
+            apollo_telemetry::profile::record_phase("sim.step/commit", steps, commit);
+            apollo_telemetry::profile::record_phase("sim.step/eval", steps, eval);
+            apollo_telemetry::profile::record_phase("sim.step/power", steps, power);
+        }
+    }
 }
 
 impl<'a> Simulator<'a> {
@@ -321,6 +367,7 @@ impl<'a> Simulator<'a> {
             reg_flip_count: 0,
             mem_flip_count: 0,
             stuck_cycle_count: 0,
+            telem: SimTelemetry::new(),
         };
         sim.reg_stage = vec![0u64; sim.regs.len()];
         // Forces active at cycle 0 apply to the reset settle too, so
@@ -428,6 +475,12 @@ impl<'a> Simulator<'a> {
         // shards whose transitive sources are all clean.
         let mut dirty = 0u64;
 
+        // With telemetry idle this instrumentation costs one relaxed
+        // load here plus one `fetch_add` at the end of the step (the
+        // overhead budget `repro_telemetry` measures).
+        let timing = apollo_telemetry::timing_enabled();
+        let t0 = timing.then(Instant::now);
+
         // 0. Fault injection for this cycle: refresh stuck-at forces
         //    and land SRAM upsets before the memory ports sample (a
         //    read of the upset word then observes it through the normal
@@ -444,8 +497,6 @@ impl<'a> Simulator<'a> {
                 self.mem_flip_count += 1;
             }
         }
-
-        let schedule = &self.shared.schedule;
 
         // 1. Stage register next-state values from the pre-edge state.
         //    All sequential elements capture simultaneously at the clock
@@ -475,6 +526,13 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
+
+        // All of this cycle's injections have landed: surface them
+        // through telemetry at injection time (previously they were
+        // only observable via an end-of-run `fault_report()`).
+        self.flush_fault_telemetry();
+
+        let schedule = &self.shared.schedule;
 
         // 2. Memory-port commit (also pre-edge operands; runs before
         //    register values change). All write ports of all memories
@@ -538,10 +596,13 @@ impl<'a> Simulator<'a> {
         }
         self.pending_inputs.clear();
 
+        let t_commit = timing.then(Instant::now);
+
         // 5. Combinational evaluation with toggle extraction, then the
         //    serial netlist-order power pass (bit-exact across thread
         //    counts).
         self.run_value_pass(true, dirty);
+        let t_eval = timing.then(Instant::now);
         let (switching, glitch) = self.power_pass();
 
         // 6. Clock power for domains pulsing this cycle.
@@ -577,6 +638,76 @@ impl<'a> Simulator<'a> {
         // 8. Remember this cycle's enables for the next commit.
         self.capture_enables();
         self.cycle += 1;
+        self.telem.cycles.inc();
+        if let (Some(t0), Some(tc), Some(te)) = (t0, t_commit, t_eval) {
+            self.telem.phase_ns[0] += (tc - t0).as_nanos() as u64;
+            self.telem.phase_ns[1] += (te - tc).as_nanos() as u64;
+            self.telem.phase_ns[2] += te.elapsed().as_nanos() as u64;
+            self.telem.steps_timed += 1;
+        }
+    }
+
+    /// Counts (and, when a sink is installed, emits as typed
+    /// `sim.fault.*` events) every fault event appended since the last
+    /// flush. Emission order is deterministic: fault-injecting
+    /// simulators step on one thread and events are recorded
+    /// cycle-major in netlist order.
+    fn flush_fault_telemetry(&mut self) {
+        use apollo_telemetry::FieldValue;
+        if self.fault_events.len() == self.telem.emitted {
+            return;
+        }
+        let new = &self.fault_events[self.telem.emitted..];
+        self.telem.fault_events.add(new.len() as u64);
+        if apollo_telemetry::events_enabled() {
+            for ev in new {
+                match ev {
+                    FaultEvent::StuckActivated { cycle, signal, bit, value } => {
+                        apollo_telemetry::emit_event(
+                            "sim.fault.stuck_on",
+                            &[
+                                ("cycle", FieldValue::from(*cycle)),
+                                ("signal", FieldValue::from(signal.as_str())),
+                                ("bit", FieldValue::from(*bit)),
+                                ("value", FieldValue::from(*value)),
+                            ],
+                        );
+                    }
+                    FaultEvent::StuckReleased { cycle, signal, bit } => {
+                        apollo_telemetry::emit_event(
+                            "sim.fault.stuck_off",
+                            &[
+                                ("cycle", FieldValue::from(*cycle)),
+                                ("signal", FieldValue::from(signal.as_str())),
+                                ("bit", FieldValue::from(*bit)),
+                            ],
+                        );
+                    }
+                    FaultEvent::RegFlip { cycle, signal, bit } => {
+                        apollo_telemetry::emit_event(
+                            "sim.fault.reg_flip",
+                            &[
+                                ("cycle", FieldValue::from(*cycle)),
+                                ("signal", FieldValue::from(signal.as_str())),
+                                ("bit", FieldValue::from(*bit)),
+                            ],
+                        );
+                    }
+                    FaultEvent::MemFlip { cycle, mem, word, bit } => {
+                        apollo_telemetry::emit_event(
+                            "sim.fault.mem_flip",
+                            &[
+                                ("cycle", FieldValue::from(*cycle)),
+                                ("mem", FieldValue::from(mem.as_str())),
+                                ("word", FieldValue::from(*word)),
+                                ("bit", FieldValue::from(*bit)),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+        self.telem.emitted = self.fault_events.len();
     }
 
     /// Serial netlist-order accumulation of switching and glitch power

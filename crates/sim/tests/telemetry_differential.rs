@@ -1,0 +1,181 @@
+//! Differential tests for the telemetry determinism contract.
+//!
+//! Three machine-checked properties (see `apollo_telemetry`'s crate
+//! docs):
+//!
+//! 1. metric *values* (after [`MetricsSnapshot::without_timing`]) are
+//!    identical across worker-thread counts;
+//! 2. the *event stream* (after [`Record::strip_timing`]) is identical
+//!    across worker-thread counts, including under fault injection;
+//! 3. enabling telemetry (span timing + an installed sink) leaves every
+//!    simulation observable bit-exact against a fully disabled run.
+//!
+//! Telemetry state is process-global, so every test serializes on one
+//! mutex and resets the world before and after.
+
+mod common;
+
+use apollo_rtl::{CapAnnotation, CapModel, Netlist, NodeId};
+use apollo_sim::{FaultPlan, PowerConfig, Simulator, StuckAtFault};
+use apollo_telemetry::{Record, VecSink};
+use common::{mask_of, random_netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
+
+/// Serializes tests that touch the global telemetry state.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn lock_global() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn reset_telemetry() {
+    apollo_telemetry::clear_sink();
+    apollo_telemetry::set_timing(false);
+    apollo_telemetry::reset_metrics();
+    apollo_telemetry::reset_phases();
+}
+
+/// A plan with every fault class active (`r0` is always a named
+/// register in `random_netlist`'s output).
+fn busy_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 0xFA_07,
+        stuck_at: vec![StuckAtFault {
+            signal: "r0".into(),
+            bit: 0,
+            value: true,
+            from_cycle: 10,
+            to_cycle: 40,
+        }],
+        reg_flip_rate: 0.03,
+        mem_flip_rate: 0.03,
+    }
+}
+
+/// Runs `cycles` of seeded random stimulus and returns a bit-exact
+/// digest of every observable: all node values, the packed toggle row
+/// and the power breakdown.
+fn run_digest(
+    netlist: &Netlist,
+    cap: &CapAnnotation,
+    inputs: &[NodeId],
+    threads: usize,
+    cycles: usize,
+    plan: Option<&FaultPlan>,
+) -> Vec<u64> {
+    let mut sim =
+        Simulator::with_faults(netlist, cap, PowerConfig::default(), threads, plan).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let mut row = vec![0u64; netlist.signal_bits().div_ceil(64)];
+    let mut digest = Vec::new();
+    for _ in 0..cycles {
+        for &i in inputs {
+            let w = netlist.node(i).width;
+            sim.set_input(i, rng.gen::<u64>() & mask_of(w));
+        }
+        sim.step();
+        for i in 0..netlist.len() {
+            digest.push(sim.value(NodeId::from_index(i)));
+        }
+        sim.toggle_row(&mut row);
+        digest.extend_from_slice(&row);
+        let p = sim.power();
+        for f in [p.total, p.switching, p.clock, p.memory, p.glitch, p.short_circuit, p.leakage] {
+            digest.push(f.to_bits());
+        }
+    }
+    digest
+}
+
+/// Counter and gauge values must not depend on the worker-thread
+/// count; only `_ns`-suffixed timing metrics may (and those are
+/// excluded by `without_timing`).
+#[test]
+fn metric_values_identical_across_thread_counts() {
+    let _g = lock_global();
+    let (netlist, inputs) = random_netlist(31, 120, 3, 2);
+    let cap = CapModel::default().annotate(&netlist);
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 4] {
+        reset_telemetry();
+        run_digest(&netlist, &cap, &inputs, threads, 60, None);
+        let snap = apollo_telemetry::snapshot().without_timing();
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(
+            json.contains("sim.cycles"),
+            "snapshot should include the step counter: {json}"
+        );
+        match &reference {
+            None => reference = Some(json),
+            Some(want) => assert_eq!(
+                &json, want,
+                "{threads}-thread metric values diverge from 1-thread"
+            ),
+        }
+    }
+    reset_telemetry();
+}
+
+/// The typed event stream — here fault-injection events, the richest
+/// source — is identical across thread counts once wall-clock fields
+/// are stripped: same records, same order, same sequence numbers.
+#[test]
+fn event_stream_identical_across_thread_counts_under_faults() {
+    let _g = lock_global();
+    let (netlist, inputs) = random_netlist(77, 100, 2, 2);
+    let cap = CapModel::default().annotate(&netlist);
+    let plan = busy_plan();
+    let mut reference: Option<Vec<Record>> = None;
+    for threads in [1usize, 2, 4] {
+        reset_telemetry();
+        let sink = Arc::new(VecSink::default());
+        apollo_telemetry::install_sink(sink.clone());
+        run_digest(&netlist, &cap, &inputs, threads, 80, Some(&plan));
+        apollo_telemetry::clear_sink();
+        let records: Vec<Record> = sink.take().iter().map(Record::strip_timing).collect();
+        assert!(
+            records.iter().any(|r| r.to_jsonl().contains("sim.fault.")),
+            "plan should generate fault events"
+        );
+        for (k, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, k as u64, "dense sequence numbers");
+        }
+        match &reference {
+            None => reference = Some(records),
+            Some(want) => assert_eq!(
+                &records, want,
+                "{threads}-thread event stream diverges from 1-thread"
+            ),
+        }
+    }
+    reset_telemetry();
+}
+
+/// Turning the full observability stack on (span timing plus a live
+/// sink) must not perturb a single bit of simulation output, with and
+/// without fault injection.
+#[test]
+fn enabled_telemetry_is_bit_exact_with_disabled() {
+    let _g = lock_global();
+    let (netlist, inputs) = random_netlist(123, 110, 3, 2);
+    let cap = CapModel::default().annotate(&netlist);
+    let plan = busy_plan();
+    for (threads, plan) in [(1usize, None), (4, None), (1, Some(&plan)), (4, Some(&plan))] {
+        reset_telemetry();
+        let baseline = run_digest(&netlist, &cap, &inputs, threads, 60, plan);
+
+        apollo_telemetry::set_timing(true);
+        apollo_telemetry::install_sink(Arc::new(VecSink::default()));
+        let observed = run_digest(&netlist, &cap, &inputs, threads, 60, plan);
+        reset_telemetry();
+
+        assert_eq!(
+            baseline, observed,
+            "telemetry on/off digests differ ({threads} threads, faults: {})",
+            plan.is_some()
+        );
+    }
+    reset_telemetry();
+}

@@ -1,0 +1,46 @@
+//! Verbosity-gated diagnostics.
+//!
+//! Library crates call [`diag`] instead of printing; the line goes to
+//! stderr at `Normal` verbosity and above, and is mirrored to the
+//! event sink as a `Message` record whenever one is installed (so
+//! `--quiet --trace t.jsonl` still captures every diagnostic).
+
+use crate::sink::emit_message;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Output levels for bench/CLI binaries (`--quiet` / `-v`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// Suppress diagnostics and result prints (machine consumers read
+    /// the JSON artifacts / trace instead).
+    Quiet,
+    /// Diagnostics and results (the default).
+    Normal,
+    /// Additionally dump metrics and phase tables at exit.
+    Verbose,
+}
+
+static VERBOSITY: AtomicU8 = AtomicU8::new(1);
+
+/// Sets the process-global verbosity.
+pub fn set_verbosity(v: Verbosity) {
+    VERBOSITY.store(v as u8, Ordering::Relaxed);
+}
+
+/// Current process-global verbosity.
+pub fn verbosity() -> Verbosity {
+    match VERBOSITY.load(Ordering::Relaxed) {
+        0 => Verbosity::Quiet,
+        1 => Verbosity::Normal,
+        _ => Verbosity::Verbose,
+    }
+}
+
+/// Emits one diagnostic line: stderr unless `Quiet`, plus a `Message`
+/// record when a sink is installed.
+pub fn diag(text: &str) {
+    if verbosity() > Verbosity::Quiet {
+        eprintln!("{text}");
+    }
+    emit_message("info", text);
+}

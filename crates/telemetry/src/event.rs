@@ -1,0 +1,191 @@
+//! The JSONL wire schema.
+//!
+//! Every line a sink writes is one [`Record`], serialized with the
+//! workspace `serde_json` (externally-tagged enums, shortest
+//! round-trippable floats). The schema is frozen per `v`:
+//!
+//! ```json
+//! {"v":1,"seq":12,"ts_ns":88211,
+//!  "body":{"Event":{"name":"ga.generation",
+//!                   "fields":[["gen",{"U64":3}],["best",{"F64":0.5}]]}}}
+//! ```
+//!
+//! * `v` — schema version ([`SCHEMA_VERSION`]); readers must reject
+//!   versions they do not know.
+//! * `seq` — dense per-sink sequence number (0, 1, 2, …) assigned in
+//!   emission order; deterministic across runs and thread counts.
+//! * `ts_ns` — nanoseconds since the sink was installed. The only
+//!   top-level field allowed to differ between identical runs.
+//! * `body` — one of three externally-tagged variants:
+//!   `Event` (a named point event with ordered typed fields),
+//!   `Span` (a closed phase: slash-joined `path` + `dur_ns`), or
+//!   `Message` (a verbosity-gated diagnostic line).
+
+use serde::{Deserialize, Serialize};
+
+/// Version stamped into every record's `v` field.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A typed event field value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FieldValue {
+    /// Unsigned integer (cycle numbers, counts, bit indices).
+    U64(u64),
+    /// Signed integer (deltas, throttle-level changes).
+    I64(i64),
+    /// Float (fitness, power, readings). Non-finite values are
+    /// forbidden: JSON cannot round-trip them.
+    F64(f64),
+    /// String (signal names, benchmark names, enum tags).
+    Str(String),
+    /// Boolean flags.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<u8> for FieldValue {
+    fn from(v: u8) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// A named point event with ordered `(key, value)` fields.
+///
+/// Field order is part of the payload: two runs are equivalent only if
+/// their events carry the same fields in the same order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Dotted event name, e.g. `sim.fault.reg_flip`.
+    pub name: String,
+    /// Ordered typed fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// The payload of a [`Record`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RecordBody {
+    /// A point event.
+    Event(Event),
+    /// A closed span.
+    Span {
+        /// Slash-joined hierarchical phase path, e.g.
+        /// `core.capture_suite/bench:dhry_like`.
+        path: String,
+        /// Wall-clock duration; zeroed by [`Record::strip_timing`].
+        dur_ns: u64,
+    },
+    /// A diagnostic line (mirrored `diag::diag` output).
+    Message {
+        /// Verbosity level name (`info` or `debug`).
+        level: String,
+        /// The message text.
+        text: String,
+    },
+}
+
+/// One JSONL line: schema version, sequence number, timestamp, body.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub v: u32,
+    /// Dense per-sink emission index.
+    pub seq: u64,
+    /// Nanoseconds since sink install. Timing-only: excluded from
+    /// determinism comparisons.
+    pub ts_ns: u64,
+    /// Payload.
+    pub body: RecordBody,
+}
+
+impl Record {
+    /// Serializes to a single JSON line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("Record serialization is infallible")
+    }
+
+    /// Copy with all wall-clock data zeroed, for differential
+    /// comparisons across thread counts or runs.
+    pub fn strip_timing(&self) -> Record {
+        let mut r = self.clone();
+        r.ts_ns = 0;
+        if let RecordBody::Span { dur_ns, .. } = &mut r.body {
+            *dur_ns = 0;
+        }
+        r
+    }
+}
+
+/// Parses and validates one JSONL line against the schema.
+///
+/// Checks that the line is valid JSON for [`Record`], that `v` matches
+/// [`SCHEMA_VERSION`], that float fields are finite, and that the
+/// record re-serializes to an equivalent value (round-trip closure).
+pub fn validate_line(line: &str) -> Result<Record, String> {
+    let rec: Record = serde_json::from_str(line).map_err(|e| format!("malformed record: {e}"))?;
+    if rec.v != SCHEMA_VERSION {
+        return Err(format!(
+            "schema version {} (this reader understands {})",
+            rec.v, SCHEMA_VERSION
+        ));
+    }
+    if let RecordBody::Event(ev) = &rec.body {
+        if ev.name.is_empty() {
+            return Err("empty event name".into());
+        }
+        for (k, v) in &ev.fields {
+            if k.is_empty() {
+                return Err(format!("empty field key in event `{}`", ev.name));
+            }
+            if let FieldValue::F64(f) = v {
+                if !f.is_finite() {
+                    return Err(format!("non-finite field `{k}` in event `{}`", ev.name));
+                }
+            }
+        }
+    }
+    let reparsed: Record = serde_json::from_str(&rec.to_jsonl())
+        .map_err(|e| format!("record does not round-trip: {e}"))?;
+    if reparsed != rec {
+        return Err("record does not round-trip to an equal value".into());
+    }
+    Ok(rec)
+}

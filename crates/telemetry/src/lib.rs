@@ -1,0 +1,56 @@
+//! Observability layer for the APOLLO reproduction.
+//!
+//! Four coordinated facilities, all process-global so instrumented
+//! crates never have to thread a handle through their APIs:
+//!
+//! * **Metrics** ([`metrics`]): named counters, gauges, and
+//!   power-of-two histograms backed by relaxed atomics. With no sink
+//!   installed and timing off, an instrumented hot loop pays one
+//!   relaxed load plus (for counters it bumps) one relaxed
+//!   `fetch_add` — the "near-zero-cost when disabled" budget the
+//!   `step` overhead bench enforces.
+//! * **Spans** ([`span`]): hierarchical wall-clock phases. Guards are
+//!   inert unless timing or an event sink is enabled; closed spans
+//!   accumulate into the [`profile`] phase table and (optionally)
+//!   emit `span` records to the sink.
+//! * **Events** ([`event`], [`sink`]): typed, schema-versioned JSONL
+//!   records. `Record` is the single wire type; `validate_line`
+//!   re-parses and round-trips a line so CI can machine-check traces.
+//! * **Diagnostics** ([`diag`]): verbosity-gated progress lines that
+//!   replace ad-hoc `eprintln!` in library crates, mirrored to the
+//!   event sink as `message` records when one is installed.
+//!
+//! # Determinism contract
+//!
+//! Recorded *values* — counter totals, event payloads, and event order
+//! — must be identical across worker-thread counts. Wall-clock data is
+//! confined to metrics whose names end in `_ns` (excluded by
+//! [`metrics::MetricsSnapshot::without_timing`]) and to the `ts_ns` /
+//! `dur_ns` fields of records (cleared by [`event::Record::strip_timing`]).
+//! Instrumented crates uphold the contract by bumping counters only
+//! with commutative `fetch_add` and emitting events only from serial
+//! points of their pipelines; `crates/sim/tests/telemetry_differential.rs`
+//! machine-checks it at 1/2/4 threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod event;
+pub mod metrics;
+pub mod profile;
+pub mod sink;
+pub mod span;
+
+pub use diag::{diag, set_verbosity, verbosity, Verbosity};
+pub use event::{validate_line, Event, FieldValue, Record, RecordBody, SCHEMA_VERSION};
+pub use metrics::{
+    counter, gauge, histogram, prometheus_text, reset_metrics, snapshot, Counter, Gauge,
+    Histogram, MetricsSnapshot,
+};
+pub use profile::{phase_report, render_phase_table, reset_phases, PhaseStat};
+pub use sink::{
+    clear_sink, emit_event, emit_span, events_enabled, install_sink, EventSink, JsonlSink,
+    VecSink,
+};
+pub use span::{set_timing, span, timing_enabled, SpanGuard};

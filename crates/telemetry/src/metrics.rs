@@ -1,0 +1,321 @@
+//! Named counters, gauges, and histograms.
+//!
+//! Handles are `&'static` references interned in a global registry, so
+//! instrumented code looks a metric up once (e.g. in a constructor or
+//! a `LazyLock`) and afterwards touches only its atomic.
+//!
+//! **Naming convention:** metrics holding wall-clock data end in
+//! `_ns`. [`MetricsSnapshot::without_timing`] drops them, leaving only
+//! values required to be bit-identical across thread counts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{LazyLock, Mutex};
+
+/// Monotonically increasing counter (relaxed `AtomicU64`).
+///
+/// `fetch_add` is commutative, so totals are deterministic even when
+/// bumped from parallel workers in arbitrary order.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins `f64` gauge (stored as bits in an `AtomicU64`).
+///
+/// Deterministic only when set from serial code; parallel writers
+/// would race on the final value, so instrumented crates set gauges
+/// exclusively from coordinator threads.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 if never set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of power-of-two histogram buckets: bucket `i` counts values
+/// with bit length `i` (0, 1, 2–3, 4–7, …), so 65 covers all of `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Power-of-two-bucketed histogram of `u64` observations.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        let bucket = (64 - v.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+static REGISTRY: LazyLock<Mutex<BTreeMap<String, Metric>>> =
+    LazyLock::new(|| Mutex::new(BTreeMap::new()));
+
+fn intern<T, F: FnOnce() -> (&'static T, Metric)>(
+    name: &str,
+    make: F,
+    pick: fn(&Metric) -> Option<&'static T>,
+) -> &'static T {
+    let mut reg = REGISTRY.lock().unwrap();
+    if let Some(m) = reg.get(name) {
+        return pick(m).unwrap_or_else(|| {
+            panic!("metric `{name}` already registered with a different type")
+        });
+    }
+    let (handle, metric) = make();
+    reg.insert(name.to_owned(), metric);
+    handle
+}
+
+/// Returns (registering on first use) the counter named `name`.
+pub fn counter(name: &str) -> &'static Counter {
+    intern(
+        name,
+        || {
+            let c: &'static Counter = Box::leak(Box::new(Counter::default()));
+            (c, Metric::Counter(c))
+        },
+        |m| match m {
+            Metric::Counter(c) => Some(c),
+            _ => None,
+        },
+    )
+}
+
+/// Returns (registering on first use) the gauge named `name`.
+pub fn gauge(name: &str) -> &'static Gauge {
+    intern(
+        name,
+        || {
+            let g: &'static Gauge = Box::leak(Box::new(Gauge::default()));
+            (g, Metric::Gauge(g))
+        },
+        |m| match m {
+            Metric::Gauge(g) => Some(g),
+            _ => None,
+        },
+    )
+}
+
+/// Returns (registering on first use) the histogram named `name`.
+pub fn histogram(name: &str) -> &'static Histogram {
+    intern(
+        name,
+        || {
+            let h: &'static Histogram = Box::leak(Box::new(Histogram::default()));
+            (h, Metric::Histogram(h))
+        },
+        |m| match m {
+            Metric::Histogram(h) => Some(h),
+            _ => None,
+        },
+    )
+}
+
+/// Zeroes every registered metric (tests; `reset` between profile
+/// runs). Handles stay valid.
+pub fn reset_metrics() {
+    for m in REGISTRY.lock().unwrap().values() {
+        match m {
+            Metric::Counter(c) => c.reset(),
+            Metric::Gauge(g) => g.reset(),
+            Metric::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+/// A counter sample in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Total at snapshot time.
+    pub value: u64,
+}
+
+/// A gauge sample in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: f64,
+}
+
+/// A histogram sample in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: u64,
+    /// Per-bucket counts, trailing zero buckets trimmed.
+    pub buckets: Vec<u64>,
+}
+
+/// Point-in-time copy of every registered metric, name-sorted.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters.
+    pub counters: Vec<CounterSample>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// Copy with every `_ns`-suffixed (wall-clock) metric removed:
+    /// what remains must be bit-identical across thread counts.
+    pub fn without_timing(&self) -> MetricsSnapshot {
+        let keep = |name: &String| !name.ends_with("_ns");
+        MetricsSnapshot {
+            counters: self.counters.iter().filter(|s| keep(&s.name)).cloned().collect(),
+            gauges: self.gauges.iter().filter(|s| keep(&s.name)).cloned().collect(),
+            histograms: self.histograms.iter().filter(|s| keep(&s.name)).cloned().collect(),
+        }
+    }
+}
+
+/// Snapshots every registered metric (sorted by name — the registry is
+/// a `BTreeMap`).
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = REGISTRY.lock().unwrap();
+    let mut snap = MetricsSnapshot::default();
+    for (name, m) in reg.iter() {
+        match m {
+            Metric::Counter(c) => {
+                snap.counters.push(CounterSample { name: name.clone(), value: c.get() })
+            }
+            Metric::Gauge(g) => {
+                snap.gauges.push(GaugeSample { name: name.clone(), value: g.get() })
+            }
+            Metric::Histogram(h) => {
+                let mut buckets: Vec<u64> =
+                    h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+                while buckets.last() == Some(&0) {
+                    buckets.pop();
+                }
+                snap.histograms.push(HistogramSample {
+                    name: name.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets,
+                })
+            }
+        }
+    }
+    snap
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (counters as `counter`, gauges as `gauge`, histograms as
+/// cumulative `_bucket{le=…}`/`_sum`/`_count` series).
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for c in &snap.counters {
+        let n = sanitize(&c.name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {}\n", c.value));
+    }
+    for g in &snap.gauges {
+        let n = sanitize(&g.name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {:?}\n", g.value));
+    }
+    for h in &snap.histograms {
+        let n = sanitize(&h.name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, b) in h.buckets.iter().enumerate() {
+            cumulative += b;
+            // Bucket i counts values of bit length i: upper bound 2^i - 1.
+            let le = if i == 0 { 0 } else { (1u128 << i) - 1 };
+            out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!(
+            "{n}_bucket{{le=\"+Inf\"}} {}\n{n}_sum {}\n{n}_count {}\n",
+            h.count, h.sum, h.count
+        ));
+    }
+    out
+}

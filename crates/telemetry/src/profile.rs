@@ -1,0 +1,106 @@
+//! The phase table behind `apollo profile`: accumulated wall-clock
+//! per slash-joined span path, rendered as a call-count / total-time /
+//! percentage table.
+
+use std::collections::BTreeMap;
+use std::sync::{LazyLock, Mutex};
+
+static PHASES: LazyLock<Mutex<BTreeMap<String, (u64, u64)>>> =
+    LazyLock::new(|| Mutex::new(BTreeMap::new()));
+
+/// Accumulated statistics for one span path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseStat {
+    /// Slash-joined span path.
+    pub path: String,
+    /// Number of closed spans (or externally-counted units).
+    pub count: u64,
+    /// Total wall-clock nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Adds `count` closures totalling `ns` to phase `path`. Called by
+/// [`crate::span::SpanGuard`] on drop, and directly by code that
+/// batches its timing (e.g. once per simulator instead of once per
+/// step).
+pub fn record_phase(path: &str, count: u64, ns: u64) {
+    let mut phases = PHASES.lock().unwrap();
+    let entry = phases.entry(path.to_owned()).or_insert((0, 0));
+    entry.0 += count;
+    entry.1 += ns;
+}
+
+/// Clears the phase table.
+pub fn reset_phases() {
+    PHASES.lock().unwrap().clear();
+}
+
+/// Snapshot of the phase table, path-sorted (so children follow their
+/// parents).
+pub fn phase_report() -> Vec<PhaseStat> {
+    PHASES
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(path, &(count, total_ns))| PhaseStat { path: path.clone(), count, total_ns })
+        .collect()
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Renders the phase table. `total_ns` is the wall clock of the whole
+/// profiled run and the denominator of the `%` column; a nested path
+/// is indented under its parent only when the parent has its own row
+/// (otherwise the full path is shown, so `sim.step/eval` never looks
+/// like a child of an unrelated preceding row).
+pub fn render_phase_table(stats: &[PhaseStat], total_ns: u64) -> String {
+    let paths: std::collections::BTreeSet<&str> =
+        stats.iter().map(|s| s.path.as_str()).collect();
+    let label_of = |path: &str| -> String {
+        match path.rsplit_once('/') {
+            Some((parent, leaf)) if paths.contains(parent) => {
+                let depth = path.matches('/').count();
+                format!("{}{leaf}", "  ".repeat(depth))
+            }
+            _ => path.to_owned(),
+        }
+    };
+    let width = stats
+        .iter()
+        .map(|s| label_of(&s.path).len())
+        .max()
+        .unwrap_or(5)
+        .max(10);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<width$}  {:>9}  {:>11}  {:>6}\n",
+        "phase", "calls", "total", "%"
+    ));
+    for s in stats {
+        let label = label_of(&s.path);
+        let pct = if total_ns > 0 { 100.0 * s.total_ns as f64 / total_ns as f64 } else { 0.0 };
+        out.push_str(&format!(
+            "{label:<width$}  {:>9}  {:>11}  {pct:>5.1}%\n",
+            s.count,
+            fmt_ns(s.total_ns),
+        ));
+    }
+    out.push_str(&format!(
+        "{:<width$}  {:>9}  {:>11}  {:>5.1}%\n",
+        "wall clock",
+        "",
+        fmt_ns(total_ns),
+        100.0
+    ));
+    out
+}

@@ -1,0 +1,155 @@
+//! Event sinks and the process-global emission gate.
+//!
+//! The fast path is a single relaxed [`AtomicBool`]: with no sink
+//! installed, [`emit_event`] is one load and a branch. Installing a
+//! sink flips the gate; emission then serializes through one mutex so
+//! `seq` assignment and sink writes cannot interleave (record order in
+//! the output always matches `seq` order).
+
+use crate::event::{Event, FieldValue, Record, RecordBody, SCHEMA_VERSION};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Receiver for emitted records.
+pub trait EventSink: Send + Sync {
+    /// Consumes one record. Called under the global emission lock, in
+    /// `seq` order.
+    fn emit(&self, record: &Record);
+    /// Flushes buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+struct SinkState {
+    sink: Arc<dyn EventSink>,
+    epoch: Instant,
+    next_seq: u64,
+}
+
+static EVENTS_ON: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<SinkState>> = Mutex::new(None);
+
+/// True when a sink is installed (one relaxed load).
+#[inline]
+pub fn events_enabled() -> bool {
+    EVENTS_ON.load(Ordering::Relaxed)
+}
+
+/// Installs `sink` as the process-global event sink, resetting the
+/// sequence counter and timestamp epoch. Replaces (and flushes) any
+/// previous sink.
+pub fn install_sink(sink: Arc<dyn EventSink>) {
+    let mut guard = SINK.lock().unwrap();
+    if let Some(old) = guard.take() {
+        old.sink.flush();
+    }
+    *guard = Some(SinkState { sink, epoch: Instant::now(), next_seq: 0 });
+    EVENTS_ON.store(true, Ordering::Relaxed);
+}
+
+/// Removes and flushes the global sink, returning it if one was
+/// installed.
+pub fn clear_sink() -> Option<Arc<dyn EventSink>> {
+    let mut guard = SINK.lock().unwrap();
+    EVENTS_ON.store(false, Ordering::Relaxed);
+    guard.take().map(|state| {
+        state.sink.flush();
+        state.sink
+    })
+}
+
+fn emit_body(body: RecordBody) {
+    let mut guard = SINK.lock().unwrap();
+    if let Some(state) = guard.as_mut() {
+        let rec = Record {
+            v: SCHEMA_VERSION,
+            seq: state.next_seq,
+            ts_ns: state.epoch.elapsed().as_nanos() as u64,
+            body,
+        };
+        state.next_seq += 1;
+        state.sink.emit(&rec);
+    }
+}
+
+/// Emits a named point event. No-op (one relaxed load) without a sink.
+pub fn emit_event(name: &str, fields: &[(&str, FieldValue)]) {
+    if !events_enabled() {
+        return;
+    }
+    emit_body(RecordBody::Event(Event {
+        name: name.to_owned(),
+        fields: fields.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+    }));
+}
+
+/// Emits a closed-span record for an externally-timed phase (used when
+/// durations are measured off-thread and reported from a serial point,
+/// e.g. per-benchmark capture times after the deterministic merge).
+pub fn emit_span(path: &str, dur_ns: u64) {
+    if !events_enabled() {
+        return;
+    }
+    emit_body(RecordBody::Span { path: path.to_owned(), dur_ns });
+}
+
+/// Emits a diagnostic message record (used by [`crate::diag`]).
+pub fn emit_message(level: &str, text: &str) {
+    if !events_enabled() {
+        return;
+    }
+    emit_body(RecordBody::Message { level: level.to_owned(), text: text.to_owned() });
+}
+
+/// Sink writing one JSON line per record through a buffered file.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink { out: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, record: &Record) {
+        let mut out = self.out.lock().unwrap();
+        // Trace I/O is best-effort: a full disk must not abort the
+        // instrumented computation.
+        let _ = writeln!(out, "{}", record.to_jsonl());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+/// In-memory sink for tests and differential comparisons.
+#[derive(Default)]
+pub struct VecSink {
+    records: Mutex<Vec<Record>>,
+}
+
+impl VecSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains and returns all records captured so far.
+    pub fn take(&self) -> Vec<Record> {
+        std::mem::take(&mut self.records.lock().unwrap())
+    }
+}
+
+impl EventSink for VecSink {
+    fn emit(&self, record: &Record) {
+        self.records.lock().unwrap().push(record.clone());
+    }
+}

@@ -1,0 +1,81 @@
+//! Hierarchical timed spans.
+//!
+//! [`span`] returns a guard; while alive, nested spans extend its
+//! slash-joined path through a thread-local stack. On drop, the span
+//! accumulates into the [`crate::profile`] phase table (when timing is
+//! on) and emits a `Span` record (when a sink is installed). With
+//! neither enabled the guard is fully inert — no clock reads, no
+//! allocation.
+
+use crate::profile::record_phase;
+use crate::sink::{emit_span, events_enabled};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+static TIMING: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables wall-clock collection (phase table + `_ns`
+/// metrics in instrumented crates).
+pub fn set_timing(on: bool) {
+    TIMING.store(on, Ordering::Relaxed);
+}
+
+/// True when wall-clock collection is on (one relaxed load).
+#[inline]
+pub fn timing_enabled() -> bool {
+    TIMING.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    static PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// RAII guard for an open span; see [`span`].
+pub struct SpanGuard {
+    start: Option<Instant>,
+    /// Byte length of the thread-local path before this span pushed
+    /// its component (0 lengths never truncate: path is empty or this
+    /// guard is inert).
+    saved_len: usize,
+    active: bool,
+}
+
+/// Opens a span named `name` under the current thread's span path.
+///
+/// Inert unless timing or an event sink is enabled at entry.
+pub fn span(name: &str) -> SpanGuard {
+    let active = timing_enabled() || events_enabled();
+    if !active {
+        return SpanGuard { start: None, saved_len: 0, active: false };
+    }
+    let saved_len = PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        let saved = p.len();
+        if !p.is_empty() {
+            p.push('/');
+        }
+        p.push_str(name);
+        saved
+    });
+    SpanGuard { start: Some(Instant::now()), saved_len, active: true }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let dur_ns = self.start.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            if timing_enabled() {
+                record_phase(&p, 1, dur_ns);
+            }
+            if events_enabled() {
+                emit_span(&p, dur_ns);
+            }
+            p.truncate(self.saved_len);
+        });
+    }
+}

@@ -1,0 +1,183 @@
+//! JSONL schema round-trip and exposition-format tests.
+//!
+//! These tests share process-global telemetry state (registry, sink),
+//! so every test that touches it serializes on `GLOBAL`.
+
+use apollo_telemetry::{
+    counter, gauge, histogram, prometheus_text, reset_metrics, snapshot, validate_line,
+    Event, FieldValue, Record, RecordBody, SCHEMA_VERSION,
+};
+use std::sync::{Arc, Mutex};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn sample_records() -> Vec<Record> {
+    vec![
+        Record {
+            v: SCHEMA_VERSION,
+            seq: 0,
+            ts_ns: 12,
+            body: RecordBody::Event(Event {
+                name: "ga.generation".into(),
+                fields: vec![
+                    ("gen".into(), FieldValue::U64(3)),
+                    ("best".into(), FieldValue::F64(0.6180339887498949)),
+                    ("delta".into(), FieldValue::I64(-7)),
+                    ("bench".into(), FieldValue::Str("maxpwr".into())),
+                    ("elite".into(), FieldValue::Bool(true)),
+                ],
+            }),
+        },
+        Record {
+            v: SCHEMA_VERSION,
+            seq: 1,
+            ts_ns: 99,
+            body: RecordBody::Span { path: "core.capture_suite/bench:dhry".into(), dur_ns: 1234 },
+        },
+        Record {
+            v: SCHEMA_VERSION,
+            seq: 2,
+            ts_ns: 100,
+            body: RecordBody::Message { level: "info".into(), text: "design ready".into() },
+        },
+    ]
+}
+
+#[test]
+fn every_body_variant_round_trips_exactly() {
+    for rec in sample_records() {
+        let line = rec.to_jsonl();
+        assert!(!line.contains('\n'), "JSONL lines must be single-line: {line}");
+        let back = validate_line(&line).expect("valid line");
+        assert_eq!(back, rec);
+    }
+}
+
+#[test]
+fn float_payloads_survive_shortest_repr() {
+    // Irrational-ish doubles must survive serialize → parse bit-exactly
+    // (the writer uses Rust's shortest round-trippable rendering).
+    for f in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -0.0] {
+        let rec = Record {
+            v: SCHEMA_VERSION,
+            seq: 0,
+            ts_ns: 0,
+            body: RecordBody::Event(Event {
+                name: "t".into(),
+                fields: vec![("x".into(), FieldValue::F64(f))],
+            }),
+        };
+        let back = validate_line(&rec.to_jsonl()).unwrap();
+        match back.body {
+            RecordBody::Event(ev) => match ev.fields[0].1 {
+                FieldValue::F64(g) => assert_eq!(g.to_bits(), f.to_bits()),
+                ref other => panic!("wrong field type: {other:?}"),
+            },
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn validate_rejects_bad_lines() {
+    assert!(validate_line("not json").is_err());
+    assert!(validate_line("{}").is_err());
+    // Wrong schema version.
+    let mut rec = sample_records().remove(0);
+    rec.v = SCHEMA_VERSION + 1;
+    assert!(validate_line(&rec.to_jsonl()).unwrap_err().contains("schema version"));
+    // Non-finite floats cannot round-trip through JSON.
+    let nan = Record {
+        v: SCHEMA_VERSION,
+        seq: 0,
+        ts_ns: 0,
+        body: RecordBody::Event(Event {
+            name: "t".into(),
+            fields: vec![("x".into(), FieldValue::F64(f64::NAN))],
+        }),
+    };
+    assert!(validate_line(&nan.to_jsonl()).is_err());
+}
+
+#[test]
+fn strip_timing_zeroes_only_clock_fields() {
+    for rec in sample_records() {
+        let stripped = rec.strip_timing();
+        assert_eq!(stripped.ts_ns, 0);
+        assert_eq!(stripped.seq, rec.seq);
+        match (&stripped.body, &rec.body) {
+            (RecordBody::Span { dur_ns, path }, RecordBody::Span { path: p0, .. }) => {
+                assert_eq!(*dur_ns, 0);
+                assert_eq!(path, p0);
+            }
+            (a, b) => assert_eq!(a, b),
+        }
+    }
+}
+
+#[test]
+fn jsonl_sink_writes_validatable_lines() {
+    let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!("apollo-telemetry-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let sink = apollo_telemetry::JsonlSink::create(&path).unwrap();
+    apollo_telemetry::install_sink(Arc::new(sink));
+    apollo_telemetry::emit_event("unit.test", &[("k", FieldValue::U64(7))]);
+    apollo_telemetry::emit_span("unit.phase", 42);
+    {
+        let _span = apollo_telemetry::span("outer");
+        let _inner = apollo_telemetry::span("inner");
+    }
+    apollo_telemetry::clear_sink();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let recs: Vec<Record> =
+        text.lines().map(|l| validate_line(l).expect("schema-valid line")).collect();
+    // seq is dense and in file order.
+    for (i, r) in recs.iter().enumerate() {
+        assert_eq!(r.seq, i as u64);
+    }
+    assert_eq!(recs.len(), 4);
+    // Nested guard closes before its parent, with the full path.
+    match (&recs[2].body, &recs[3].body) {
+        (RecordBody::Span { path: inner, .. }, RecordBody::Span { path: outer, .. }) => {
+            assert_eq!(inner, "outer/inner");
+            assert_eq!(outer, "outer");
+        }
+        other => panic!("expected span records, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_snapshot_and_exposition() {
+    let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    reset_metrics();
+    counter("unit.cycles").add(41);
+    counter("unit.cycles").inc();
+    counter("unit.busy_ns").add(999); // timing: must be filtered
+    gauge("unit.spread").set(2.5);
+    let h = histogram("unit.shards");
+    h.observe(0);
+    h.observe(1);
+    h.observe(5);
+    let snap = snapshot();
+    let cycles = snap.counters.iter().find(|c| c.name == "unit.cycles").unwrap();
+    assert_eq!(cycles.value, 42);
+    let hs = snap.histograms.iter().find(|h| h.name == "unit.shards").unwrap();
+    assert_eq!((hs.count, hs.sum), (3, 6));
+    // 0 → bucket 0, 1 → bucket 1, 5 (3 bits) → bucket 3.
+    assert_eq!(hs.buckets, vec![1, 1, 0, 1]);
+
+    let filtered = snap.without_timing();
+    assert!(filtered.counters.iter().all(|c| !c.name.ends_with("_ns")));
+    assert!(filtered.counters.iter().any(|c| c.name == "unit.cycles"));
+
+    let text = prometheus_text(&snap);
+    assert!(text.contains("# TYPE unit_cycles counter"));
+    assert!(text.contains("unit_cycles 42"));
+    assert!(text.contains("unit_spread 2.5"));
+    assert!(text.contains("unit_shards_count 3"));
+    assert!(text.contains("unit_shards_bucket{le=\"+Inf\"} 3"));
+    reset_metrics();
+}

@@ -6,9 +6,23 @@
 //! apollo eval   --config <tiny|n1|a77> --model model.json [--threads <N>] [--fault-plan plan.json]
 //! apollo opm    --model model.json [--bits <B>] [--window <T>]
 //! apollo trace  --config <tiny|n1|a77> --model model.json [--cycles <N>] [--threads <N>] [--out trace.json]
+//! apollo ga     --config <tiny|n1|a77> [--ga-generations <N>] [--population <N>] [--threads <N>]
+//! apollo profile <subcommand> [flags...]
+//! apollo trace-lint --in trace.jsonl
 //!
 //! `--threads N` runs simulations on N worker threads (bit-identical
 //! results; defaults to 1).
+//!
+//! Observability flags (any subcommand):
+//!   --trace <out.jsonl>  write schema-versioned telemetry records
+//!   --metrics            print a Prometheus-style metrics snapshot on exit
+//!   --quiet              suppress diagnostics
+//!   -v | --verbose       additionally dump metrics at exit
+//!
+//! `apollo profile <sub>` runs `<sub>` with span timing enabled and
+//! prints a per-phase wall-clock/percentage table. `--preset` is an
+//! alias for `--config` there (e.g. `apollo profile ga --preset
+//! neoverse_like`).
 //! ```
 
 use apollo_suite::core::{
@@ -19,8 +33,11 @@ use apollo_suite::cpu::{benchmarks, CpuConfig};
 use apollo_suite::mlkit::metrics;
 use apollo_suite::opm::{build_opm, AreaReport, QuantizedOpm};
 use apollo_suite::sim::FaultPlan;
+use apollo_telemetry::Verbosity;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -29,18 +46,34 @@ fn usage() -> ExitCode {
          apollo train  --config <tiny|n1|a77> --q <N> [--ga-generations <N>] [--threads <N>] [--out model.json]\n  \
          apollo eval   --config <tiny|n1|a77> --model model.json [--threads <N>] [--fault-plan plan.json]\n  \
          apollo opm    --model model.json [--bits <B>] [--window <T>]\n  \
-         apollo trace  --config <tiny|n1|a77> --model model.json [--cycles <N>] [--threads <N>] [--out trace.json]"
+         apollo trace  --config <tiny|n1|a77> --model model.json [--cycles <N>] [--threads <N>] [--out trace.json]\n  \
+         apollo ga     --config <tiny|n1|a77> [--ga-generations <N>] [--population <N>] [--threads <N>]\n  \
+         apollo profile <design|ga|train|eval|capture> [--preset <name>] [flags...]\n  \
+         apollo trace-lint --in trace.jsonl\n\n\
+         observability flags on any subcommand:\n  \
+         --trace <out.jsonl>   --metrics   --quiet   -v|--verbose"
     );
     ExitCode::from(2)
 }
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["metrics", "quiet", "verbose"];
 
 fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
     let mut out = HashMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let key = flag.strip_prefix("--")?;
-        let value = it.next()?;
-        out.insert(key.to_owned(), value.clone());
+        let key = match flag.strip_prefix("--") {
+            Some(k) => k,
+            None if flag == "-v" => "verbose",
+            None => return None,
+        };
+        if BOOL_FLAGS.contains(&key) {
+            out.insert(key.to_owned(), "true".to_owned());
+        } else {
+            let value = it.next()?;
+            out.insert(key.to_owned(), value.clone());
+        }
     }
     Some(out)
 }
@@ -48,10 +81,19 @@ fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
 fn design_of(name: &str) -> Option<CpuConfig> {
     match name {
         "tiny" => Some(CpuConfig::tiny()),
-        "n1" | "neoverse" | "n1-like" => Some(CpuConfig::neoverse_like()),
-        "a77" | "cortex" | "a77-like" => Some(CpuConfig::cortex_like()),
+        "n1" | "neoverse" | "n1-like" | "neoverse_like" => Some(CpuConfig::neoverse_like()),
+        "a77" | "cortex" | "a77-like" | "cortex_like" => Some(CpuConfig::cortex_like()),
         _ => None,
     }
+}
+
+/// The design named by `--config` (or its `--preset` alias, used by
+/// `apollo profile`).
+fn design_from_flags(flags: &HashMap<String, String>) -> Option<CpuConfig> {
+    flags
+        .get("config")
+        .or_else(|| flags.get("preset"))
+        .and_then(|c| design_of(c))
 }
 
 fn load_model(path: &str) -> Result<ApolloModel, String> {
@@ -75,18 +117,66 @@ fn main() -> ExitCode {
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
     };
+    // `profile <sub>` nests a command: peel the extra positional.
+    let (cmd, profiling, rest) = if cmd == "profile" {
+        match rest.split_first() {
+            Some((sub, rest)) => (sub, true, rest),
+            None => return usage(),
+        }
+    } else {
+        (cmd, false, rest)
+    };
     let Some(flags) = parse_flags(rest) else {
         return usage();
     };
+
+    if flags.contains_key("quiet") {
+        apollo_telemetry::set_verbosity(Verbosity::Quiet);
+    } else if flags.contains_key("verbose") {
+        apollo_telemetry::set_verbosity(Verbosity::Verbose);
+    }
+    if let Some(path) = flags.get("trace") {
+        match apollo_telemetry::JsonlSink::create(path) {
+            Ok(sink) => apollo_telemetry::install_sink(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if profiling {
+        apollo_telemetry::set_timing(true);
+        apollo_telemetry::reset_phases();
+    }
+
+    let t0 = Instant::now();
+    let code = run_command(cmd, &flags);
+    let total_ns = t0.elapsed().as_nanos() as u64;
+
+    if profiling {
+        let report = apollo_telemetry::phase_report();
+        println!("\nprofile `{cmd}`:");
+        print!("{}", apollo_telemetry::render_phase_table(&report, total_ns));
+    }
+    if flags.contains_key("metrics")
+        || apollo_telemetry::verbosity() == Verbosity::Verbose
+    {
+        print!("{}", apollo_telemetry::prometheus_text(&apollo_telemetry::snapshot()));
+    }
+    apollo_telemetry::clear_sink();
+    code
+}
+
+fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
     let get = |k: &str| flags.get(k).cloned();
     let threads: usize = get("threads")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
         .max(1);
 
-    match cmd.as_str() {
+    match cmd {
         "design" => {
-            let Some(cfg) = get("config").and_then(|c| design_of(&c)) else {
+            let Some(cfg) = design_from_flags(flags) else {
                 return usage();
             };
             let ctx = DesignContext::new(&cfg);
@@ -94,8 +184,42 @@ fn main() -> ExitCode {
             print!("{}", ctx.netlist().stats());
             ExitCode::SUCCESS
         }
+        "ga" => {
+            // Training-data generation alone (also the `profile ga`
+            // target): deliberately small defaults so a profile run
+            // answers "where does the time go" in seconds.
+            let Some(cfg) = design_from_flags(flags) else {
+                return usage();
+            };
+            let generations: usize = get("ga-generations")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(3);
+            // run_ga asserts population >= 4.
+            let population: usize = get("population")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(8)
+                .max(4);
+            let ctx = DesignContext::with_threads(&cfg, threads);
+            let ga = run_ga(
+                &ctx,
+                &GaConfig {
+                    population,
+                    generations,
+                    threads,
+                    ..GaConfig::default()
+                },
+            );
+            println!(
+                "GA on `{}`: {} individuals over {} generations, power spread {:.2}x",
+                cfg.name,
+                ga.individuals.len(),
+                generations,
+                ga.power_spread()
+            );
+            ExitCode::SUCCESS
+        }
         "train" => {
-            let Some(cfg) = get("config").and_then(|c| design_of(&c)) else {
+            let Some(cfg) = design_from_flags(flags) else {
                 return usage();
             };
             let q: usize = get("q").and_then(|v| v.parse().ok()).unwrap_or(64);
@@ -103,7 +227,9 @@ fn main() -> ExitCode {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(12);
             let ctx = DesignContext::with_threads(&cfg, threads);
-            eprintln!("generating training data ({generations} GA generations)...");
+            apollo_telemetry::diag(&format!(
+                "generating training data ({generations} GA generations)..."
+            ));
             let ga = run_ga(
                 &ctx,
                 &GaConfig {
@@ -113,19 +239,19 @@ fn main() -> ExitCode {
                     ..GaConfig::default()
                 },
             );
-            eprintln!(
+            apollo_telemetry::diag(&format!(
                 "GA: {} individuals, power spread {:.2}x",
                 ga.individuals.len(),
                 ga.power_spread()
-            );
+            ));
             let suite = ga.training_suite(120, 100, cfg.dram_words);
             let trace = ctx.capture_suite(&suite, 400);
             let fs = FeatureSpace::build(&trace.toggles);
-            eprintln!(
+            apollo_telemetry::diag(&format!(
                 "training on {} cycles, {} candidate signals",
                 trace.n_cycles(),
                 fs.n_candidates()
-            );
+            ));
             let model = train_per_cycle(
                 &trace,
                 ctx.netlist(),
@@ -157,10 +283,25 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "capture" => {
+            // Capture the Table-4 test suite (the `profile capture`
+            // target) without needing a trained model.
+            let Some(cfg) = design_from_flags(flags) else {
+                return usage();
+            };
+            let scale: f64 = get("scale").and_then(|v| v.parse().ok()).unwrap_or(0.25);
+            let ctx = DesignContext::with_threads(&cfg, threads);
+            let suite = ctx.test_suite(scale);
+            let trace = ctx.capture_suite(&suite, 400);
+            println!(
+                "captured {} benchmarks, {} cycles total",
+                trace.segments.len(),
+                trace.n_cycles()
+            );
+            ExitCode::SUCCESS
+        }
         "eval" => {
-            let (Some(cfg), Some(model_path)) =
-                (get("config").and_then(|c| design_of(&c)), get("model"))
-            else {
+            let (Some(cfg), Some(model_path)) = (design_from_flags(flags), get("model")) else {
                 return usage();
             };
             let model = match load_model(&model_path) {
@@ -268,9 +409,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "trace" => {
-            let (Some(cfg), Some(model_path)) =
-                (get("config").and_then(|c| design_of(&c)), get("model"))
-            else {
+            let (Some(cfg), Some(model_path)) = (design_from_flags(flags), get("model")) else {
                 return usage();
             };
             let model = match load_model(&model_path) {
@@ -308,6 +447,44 @@ fn main() -> ExitCode {
                 }
                 println!("power trace saved to {path}");
             }
+            ExitCode::SUCCESS
+        }
+        "trace-lint" => {
+            let Some(path) = get("in") else {
+                return usage();
+            };
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut n = 0u64;
+            let mut last_seq: Option<u64> = None;
+            for (lineno, line) in text.lines().enumerate() {
+                match apollo_telemetry::validate_line(line) {
+                    Ok(rec) => {
+                        // seq must be dense and in file order.
+                        let expected = last_seq.map(|s| s + 1).unwrap_or(rec.seq);
+                        if rec.seq != expected {
+                            eprintln!(
+                                "{path}:{}: seq {} out of order (expected {expected})",
+                                lineno + 1,
+                                rec.seq
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                        last_seq = Some(rec.seq);
+                        n += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("{path}:{}: {e}", lineno + 1);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            println!("{path}: {n} records, schema v{} OK", apollo_telemetry::SCHEMA_VERSION);
             ExitCode::SUCCESS
         }
         _ => usage(),
