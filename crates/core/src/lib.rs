@@ -36,6 +36,7 @@ pub mod multicycle;
 pub mod pool;
 pub mod report;
 pub mod validation;
+pub mod windowed;
 
 pub use benchgen::{run_ga, GaConfig, GaRun, Individual};
 pub use dataset::{window_average, DesignContext};
@@ -49,3 +50,4 @@ pub use model::{
 pub use multicycle::{train_tau, window_nrmse, ApolloTau};
 pub use pool::SimPool;
 pub use validation::{tune_relax_lambda, tune_tau, SweepResult};
+pub use windowed::{windowed_eval, windowed_eval_proxy, EvalWindow, WindowedEval};

@@ -1,0 +1,156 @@
+//! Windowed model evaluation over captured traces.
+//!
+//! The runtime introspection pipeline reasons in `T`-cycle OPM windows,
+//! not single cycles. This module rolls a captured [`TraceData`] up to
+//! that granularity: per window, the float model's mean per-cycle
+//! prediction and the ground-truth mean power, plus summary residual
+//! statistics. It is the offline mirror of the online monitor — the
+//! same windows the streaming pipeline publishes, computed in one pass
+//! from a trace, which is what the differential tests diff against.
+
+use crate::model::ApolloModel;
+use apollo_sim::TraceData;
+
+/// One `T`-cycle window of a windowed evaluation.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize)]
+pub struct EvalWindow {
+    /// Zero-based window index.
+    pub index: u64,
+    /// Mean per-cycle float-model prediction over the window.
+    pub predicted: f64,
+    /// Mean per-cycle ground-truth power over the window.
+    pub truth: f64,
+}
+
+impl EvalWindow {
+    /// Signed residual `predicted − truth`.
+    pub fn residual(&self) -> f64 {
+        self.predicted - self.truth
+    }
+}
+
+/// A full-trace windowed evaluation: the per-window series plus
+/// residual summary statistics.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct WindowedEval {
+    /// Window length `T` in cycles.
+    pub t: usize,
+    /// Per-window prediction / truth pairs (incomplete tail dropped).
+    pub windows: Vec<EvalWindow>,
+    /// Mean absolute residual across windows.
+    pub mae: f64,
+    /// Root-mean-square residual across windows.
+    pub rmse: f64,
+    /// RMSE normalized by the truth range (the paper's NRMSE metric at
+    /// window granularity); 0 when the truth is constant.
+    pub nrmse: f64,
+}
+
+/// Evaluates `model` over `data` at window length `t`: per-cycle
+/// float predictions and ground-truth labels are averaged into
+/// consecutive `t`-cycle windows (incomplete tail dropped) and
+/// compared.
+///
+/// Cycle order is trace order, so the result is bit-identical for any
+/// capture thread count (captures already are, by the engine's
+/// determinism contract).
+///
+/// # Panics
+/// Panics if `t` is zero.
+pub fn windowed_eval(model: &ApolloModel, data: &TraceData, t: usize) -> WindowedEval {
+    let predicted = crate::dataset::window_average(&model.predict_full(&data.toggles), t);
+    let truth = crate::dataset::window_average(&data.labels(), t);
+    build_eval(t, predicted, truth)
+}
+
+/// Like [`windowed_eval`] but over a proxy-only capture (the
+/// emulator-assisted flow of paper §5): the trace must carry a
+/// `bit_map` covering every proxy bit.
+///
+/// # Panics
+/// Panics if `t` is zero or the capture lacks a proxy bit.
+pub fn windowed_eval_proxy(model: &ApolloModel, data: &TraceData, t: usize) -> WindowedEval {
+    let predicted = crate::dataset::window_average(&model.predict_proxy_trace(data), t);
+    let truth = crate::dataset::window_average(&data.labels(), t);
+    build_eval(t, predicted, truth)
+}
+
+fn build_eval(t: usize, predicted: Vec<f64>, truth: Vec<f64>) -> WindowedEval {
+    debug_assert_eq!(predicted.len(), truth.len());
+    let windows: Vec<EvalWindow> = predicted
+        .into_iter()
+        .zip(truth)
+        .enumerate()
+        .map(|(i, (p, y))| EvalWindow {
+            index: i as u64,
+            predicted: p,
+            truth: y,
+        })
+        .collect();
+    let n = windows.len().max(1) as f64;
+    let mae = windows.iter().map(|w| w.residual().abs()).sum::<f64>() / n;
+    let rmse = (windows.iter().map(|w| w.residual().powi(2)).sum::<f64>() / n).sqrt();
+    let (lo, hi) = windows.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), w| {
+        (lo.min(w.truth), hi.max(w.truth))
+    });
+    let range = hi - lo;
+    let nrmse = if windows.is_empty() || range <= 0.0 {
+        0.0
+    } else {
+        rmse / range
+    };
+    WindowedEval {
+        t,
+        windows,
+        mae,
+        rmse,
+        nrmse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DesignContext;
+    use crate::features::FeatureSpace;
+    use crate::model::{train_per_cycle, TrainOptions};
+    use apollo_cpu::{benchmarks, CpuConfig};
+
+    #[test]
+    fn windowed_eval_matches_manual_window_average() {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let suite = vec![(benchmarks::dhrystone(), 160)];
+        let trace = ctx.capture_suite(&suite, 20);
+        let fs = FeatureSpace::build(&trace.toggles);
+        let model = train_per_cycle(
+            &trace,
+            ctx.netlist(),
+            &fs,
+            &TrainOptions { q_target: 12, ..TrainOptions::default() },
+        )
+        .model;
+
+        let eval = windowed_eval(&model, &trace, 32);
+        assert_eq!(eval.windows.len(), 160 / 32);
+        let manual_pred = crate::dataset::window_average(&model.predict_full(&trace.toggles), 32);
+        let manual_truth = crate::dataset::window_average(&trace.labels(), 32);
+        for (w, (p, y)) in eval.windows.iter().zip(manual_pred.iter().zip(&manual_truth)) {
+            assert_eq!(w.predicted, *p, "bit-identical to the manual path");
+            assert_eq!(w.truth, *y);
+        }
+        assert!(eval.rmse >= eval.mae, "RMSE dominates MAE: {eval:?}");
+        assert!(eval.nrmse >= 0.0, "{eval:?}");
+    }
+
+    #[test]
+    fn empty_and_constant_truth_are_safe() {
+        let eval = build_eval(4, vec![], vec![]);
+        assert!(eval.windows.is_empty());
+        assert_eq!(eval.mae, 0.0);
+        assert_eq!(eval.nrmse, 0.0);
+
+        let flat = build_eval(2, vec![1.0, 1.0], vec![3.0, 3.0]);
+        assert_eq!(flat.nrmse, 0.0, "constant truth: no range normalization");
+        assert_eq!(flat.mae, 2.0);
+    }
+}

@@ -47,6 +47,7 @@ mod harness;
 mod isa;
 mod soc;
 mod uarch;
+pub mod units;
 
 pub use asm::{Asm, Label};
 pub use config::CpuConfig;

@@ -1,0 +1,114 @@
+//! The CPU's functional-unit hierarchy, exported for per-unit power
+//! attribution.
+//!
+//! [`apollo_rtl::Unit`] tags every netlist node with the fine-grained
+//! functional unit it belongs to. Runtime introspection wants both
+//! that fine decomposition (fetch / decode / issue / ALU / vector /
+//! LSU / L2 …) and a coarse pipeline-stage rollup a dashboard can show
+//! at a glance. This module pins the rollup for the synthetic cores
+//! built by [`crate::build_cpu`]: every [`Unit`] maps to exactly one
+//! [`UnitGroup`], so attribution folded onto groups still sums to the
+//! same total.
+
+use apollo_rtl::Unit;
+
+/// A named rollup of functional units (one pipeline region).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct UnitGroup {
+    /// Stable lower-case group name (used in metric/event field names).
+    pub name: &'static str,
+    /// The functional units the group covers.
+    pub units: &'static [Unit],
+}
+
+/// The pipeline-region rollup of the synthetic cores. Every
+/// [`Unit`] appears in exactly one group (checked by a test).
+pub const UNIT_HIERARCHY: &[UnitGroup] = &[
+    UnitGroup {
+        name: "frontend",
+        units: &[Unit::Fetch, Unit::Decode],
+    },
+    UnitGroup {
+        name: "issue",
+        units: &[Unit::Issue],
+    },
+    UnitGroup {
+        name: "ex_scalar",
+        units: &[Unit::Alu, Unit::Multiplier, Unit::RegFile],
+    },
+    UnitGroup {
+        name: "ex_vector",
+        units: &[Unit::Vector],
+    },
+    UnitGroup {
+        name: "memory",
+        units: &[Unit::LoadStore, Unit::L2],
+    },
+    UnitGroup {
+        name: "clocks",
+        units: &[Unit::ClockTree],
+    },
+    UnitGroup {
+        name: "uncore",
+        units: &[Unit::Control, Unit::Opm],
+    },
+];
+
+/// The group a functional unit rolls up into.
+pub fn group_of(unit: Unit) -> &'static UnitGroup {
+    UNIT_HIERARCHY
+        .iter()
+        .find(|g| g.units.contains(&unit))
+        .expect("UNIT_HIERARCHY covers every Unit")
+}
+
+/// Stable lower-case metric label for a functional unit (ASCII
+/// alphanumerics only, usable in metric names and event field keys).
+pub fn unit_label(unit: Unit) -> &'static str {
+    match unit {
+        Unit::Fetch => "fetch",
+        Unit::Decode => "decode",
+        Unit::Issue => "issue",
+        Unit::Alu => "alu",
+        Unit::Multiplier => "mul",
+        Unit::Vector => "vec",
+        Unit::LoadStore => "lsu",
+        Unit::L2 => "l2",
+        Unit::RegFile => "regfile",
+        Unit::ClockTree => "clock",
+        Unit::Control => "control",
+        Unit::Opm => "opm",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_partitions_all_units() {
+        for unit in Unit::ALL {
+            let owners: Vec<_> = UNIT_HIERARCHY
+                .iter()
+                .filter(|g| g.units.contains(&unit))
+                .collect();
+            assert_eq!(owners.len(), 1, "unit {unit:?} must be in exactly one group");
+            assert!(group_of(unit).units.contains(&unit));
+        }
+    }
+
+    #[test]
+    fn labels_are_metric_safe_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for unit in Unit::ALL {
+            let l = unit_label(unit);
+            assert!(l.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(seen.insert(l), "duplicate label {l}");
+        }
+        let mut names = std::collections::BTreeSet::new();
+        for g in UNIT_HIERARCHY {
+            assert!(g.name.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+            assert!(names.insert(g.name), "duplicate group {}", g.name);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Fan-out hub between the monitor loop and streaming subscribers.
+//!
+//! The monitor publishes one [`RecordBody`] per completed window (plus
+//! lifecycle events); each `/events` subscriber owns a bounded queue.
+//! Publishing **never blocks**: when a subscriber's queue is full the
+//! oldest body is dropped and that subscriber's drop counter bumps —
+//! a slow reader can lose history but can never stall the simulation
+//! loop. Sequence numbers are assigned per subscriber *at send time*
+//! (after any drops), so every delivered stream has dense `seq` and
+//! passes `trace-lint` regardless of backpressure.
+
+use apollo_telemetry::RecordBody;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+struct SubState {
+    id: u64,
+    queue: VecDeque<RecordBody>,
+    dropped: u64,
+}
+
+struct HubInner {
+    subs: Vec<SubState>,
+    next_id: u64,
+    closed: bool,
+    total_dropped: u64,
+    peak_subs: usize,
+}
+
+/// Broadcast hub with per-subscriber bounded queues.
+pub struct MonitorHub {
+    inner: Mutex<HubInner>,
+    cv: Condvar,
+    queue_cap: usize,
+}
+
+impl MonitorHub {
+    /// New hub whose subscriber queues hold at most `queue_cap` bodies.
+    ///
+    /// # Panics
+    /// Panics if `queue_cap` is zero.
+    pub fn new(queue_cap: usize) -> Arc<Self> {
+        assert!(queue_cap >= 1, "queue capacity must be at least 1");
+        Arc::new(MonitorHub {
+            inner: Mutex::new(HubInner {
+                subs: Vec::new(),
+                next_id: 0,
+                closed: false,
+                total_dropped: 0,
+                peak_subs: 0,
+            }),
+            cv: Condvar::new(),
+            queue_cap,
+        })
+    }
+
+    /// Publishes one body to every live subscriber (drop-oldest on a
+    /// full queue). Never blocks beyond the hub mutex.
+    pub fn publish(&self, body: &RecordBody) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.subs.is_empty() {
+            return;
+        }
+        let cap = self.queue_cap;
+        let mut dropped_now = 0u64;
+        for sub in &mut inner.subs {
+            if sub.queue.len() == cap {
+                sub.queue.pop_front();
+                sub.dropped += 1;
+                dropped_now += 1;
+            }
+            sub.queue.push_back(body.clone());
+        }
+        inner.total_dropped += dropped_now;
+        if dropped_now > 0 {
+            apollo_telemetry::counter("introspect.hub.dropped").add(dropped_now);
+        }
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Registers a subscriber; returns its handle and the live count
+    /// after the registration.
+    pub fn subscribe(self: &Arc<Self>) -> (Subscriber, usize) {
+        let mut inner = self.inner.lock().unwrap();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.subs.push(SubState { id, queue: VecDeque::new(), dropped: 0 });
+        let active = inner.subs.len();
+        inner.peak_subs = inner.peak_subs.max(active);
+        (Subscriber { hub: Arc::clone(self), id }, active)
+    }
+
+    /// Closes the hub: wakes every blocked subscriber, which then
+    /// drains its queue and sees end-of-stream.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// True once [`MonitorHub::close`] ran.
+    pub fn closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Live subscriber count.
+    pub fn active(&self) -> usize {
+        self.inner.lock().unwrap().subs.len()
+    }
+
+    /// Highest concurrent subscriber count seen.
+    pub fn peak_subscribers(&self) -> usize {
+        self.inner.lock().unwrap().peak_subs
+    }
+
+    /// Bodies dropped across all subscribers by backpressure.
+    pub fn total_dropped(&self) -> u64 {
+        self.inner.lock().unwrap().total_dropped
+    }
+}
+
+/// What a subscriber poll returned.
+pub enum Poll {
+    /// One body, in publish order.
+    Body(Box<RecordBody>),
+    /// Nothing arrived within the timeout; the stream is still live.
+    Timeout,
+    /// The hub closed and the queue is drained: end of stream.
+    Closed,
+}
+
+/// One `/events` consumer's handle onto the hub.
+pub struct Subscriber {
+    hub: Arc<MonitorHub>,
+    id: u64,
+}
+
+impl Subscriber {
+    /// Waits up to `timeout` for the next body.
+    pub fn poll(&self, timeout: Duration) -> Poll {
+        let mut inner = self.hub.inner.lock().unwrap();
+        loop {
+            let closed = inner.closed;
+            if let Some(sub) = inner.subs.iter_mut().find(|s| s.id == self.id) {
+                if let Some(body) = sub.queue.pop_front() {
+                    return Poll::Body(Box::new(body));
+                }
+                if closed {
+                    return Poll::Closed;
+                }
+            } else {
+                return Poll::Closed;
+            }
+            let (guard, wait) = self.hub.cv.wait_timeout(inner, timeout).unwrap();
+            inner = guard;
+            if wait.timed_out() {
+                // One last drain check before reporting the timeout.
+                if let Some(sub) = inner.subs.iter_mut().find(|s| s.id == self.id) {
+                    if let Some(body) = sub.queue.pop_front() {
+                        return Poll::Body(Box::new(body));
+                    }
+                    return if inner.closed { Poll::Closed } else { Poll::Timeout };
+                }
+                return Poll::Closed;
+            }
+        }
+    }
+
+    /// Bodies this subscriber lost to backpressure.
+    pub fn dropped(&self) -> u64 {
+        let inner = self.hub.inner.lock().unwrap();
+        inner
+            .subs
+            .iter()
+            .find(|s| s.id == self.id)
+            .map_or(0, |s| s.dropped)
+    }
+}
+
+impl Drop for Subscriber {
+    fn drop(&mut self) {
+        let mut inner = self.hub.inner.lock().unwrap();
+        inner.subs.retain(|s| s.id != self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_telemetry::RecordBody;
+
+    fn msg(i: u64) -> RecordBody {
+        RecordBody::Message { level: "info".into(), text: format!("m{i}") }
+    }
+
+    fn text_of(p: Poll) -> String {
+        match p {
+            Poll::Body(b) => match *b {
+                RecordBody::Message { text, .. } => text,
+                other => panic!("unexpected body {other:?}"),
+            },
+            Poll::Timeout => "<timeout>".into(),
+            Poll::Closed => "<closed>".into(),
+        }
+    }
+
+    #[test]
+    fn publish_without_subscribers_is_free() {
+        let hub = MonitorHub::new(4);
+        for i in 0..100 {
+            hub.publish(&msg(i));
+        }
+        assert_eq!(hub.total_dropped(), 0);
+        assert_eq!(hub.active(), 0);
+    }
+
+    #[test]
+    fn slow_subscriber_drops_oldest_never_blocks() {
+        let hub = MonitorHub::new(3);
+        let (sub, active) = hub.subscribe();
+        assert_eq!(active, 1);
+        for i in 0..10 {
+            hub.publish(&msg(i));
+        }
+        // Queue holds the newest 3; 7 dropped.
+        assert_eq!(sub.dropped(), 7);
+        assert_eq!(hub.total_dropped(), 7);
+        for expect in 7..10 {
+            assert_eq!(text_of(sub.poll(Duration::from_millis(10))), format!("m{expect}"));
+        }
+        assert!(matches!(sub.poll(Duration::from_millis(1)), Poll::Timeout));
+    }
+
+    #[test]
+    fn close_drains_then_ends_stream() {
+        let hub = MonitorHub::new(8);
+        let (sub, _) = hub.subscribe();
+        hub.publish(&msg(0));
+        hub.close();
+        assert_eq!(text_of(sub.poll(Duration::from_millis(10))), "m0");
+        assert!(matches!(sub.poll(Duration::from_millis(10)), Poll::Closed));
+    }
+
+    #[test]
+    fn dropped_subscriber_deregisters() {
+        let hub = MonitorHub::new(2);
+        {
+            let (_sub, active) = hub.subscribe();
+            assert_eq!(active, 1);
+        }
+        assert_eq!(hub.active(), 0);
+        assert_eq!(hub.peak_subscribers(), 1);
+    }
+
+    #[test]
+    fn cross_thread_delivery_in_order() {
+        let hub = MonitorHub::new(64);
+        let (sub, _) = hub.subscribe();
+        let h2 = Arc::clone(&hub);
+        let t = std::thread::spawn(move || {
+            for i in 0..50 {
+                h2.publish(&msg(i));
+            }
+            h2.close();
+        });
+        let mut got = Vec::new();
+        loop {
+            match sub.poll(Duration::from_millis(200)) {
+                Poll::Body(b) => {
+                    if let RecordBody::Message { text, .. } = *b {
+                        got.push(text);
+                    }
+                }
+                Poll::Timeout => continue,
+                Poll::Closed => break,
+            }
+        }
+        t.join().unwrap();
+        assert_eq!(got.len(), 50, "fast reader loses nothing");
+        assert_eq!(got[0], "m0");
+        assert_eq!(got[49], "m49");
+    }
+}

@@ -1,0 +1,44 @@
+//! # apollo-introspect
+//!
+//! Runtime power introspection service for the APOLLO reproduction:
+//! the paper's motivating use case — "runtime power introspection in
+//! high-volume commercial microprocessors" — turned into a long-lived
+//! observable pipeline:
+//!
+//! * [`monitor`] — drives a workload through the simulator, reads the
+//!   quantized OPM every `T`-cycle window, decomposes the estimate
+//!   per functional unit ([`apollo_opm::attribution`]), tracks model
+//!   health with EWMA/CUSUM drift detectors ([`apollo_opm::drift`]),
+//!   and can arm the fail-safe throttle actuator on sustained drift;
+//! * [`ring`] — bounded drop-oldest window history with exact
+//!   full-stream aggregates (mean / peak / cumulative energy);
+//! * [`hub`] — non-blocking fan-out to streaming subscribers with
+//!   bounded per-subscriber queues (drop-oldest plus drop counters:
+//!   a slow reader never stalls the simulation loop);
+//! * [`server`] — zero-dependency TCP endpoint speaking Prometheus
+//!   text on `/metrics` and schema-versioned JSONL on `/events`, with
+//!   `/shutdown` for signal-free termination.
+//!
+//! # Determinism contract
+//!
+//! All published *values* — attribution, drift state, window series,
+//! the final [`MonitorReport`] — are computed in cycle order from the
+//! serial monitor loop and are bit-identical across simulator thread
+//! counts. Wall-clock data is confined to `ts_ns` record fields and
+//! `_ns` metrics, exactly as in `apollo-telemetry`. With no
+//! subscribers attached, the pipeline's outputs are bit-exact with an
+//! offline capture + [`apollo_opm::QuantizedOpm::predict_windows`] /
+//! [`apollo_core::windowed_eval`] over the same cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hub;
+pub mod monitor;
+pub mod ring;
+pub mod server;
+
+pub use hub::{MonitorHub, Poll, Subscriber};
+pub use monitor::{run_monitor, MonitorConfig, MonitorReport};
+pub use ring::{History, HistoryStats, WindowRecord};
+pub use server::{http_get_lines, serve, ServerHandle};

@@ -1,0 +1,390 @@
+//! The runtime introspection pipeline.
+//!
+//! [`run_monitor`] drives a workload through the cycle-accurate
+//! simulator and, every `T`-cycle OPM window, produces:
+//!
+//! * the quantized OPM estimate (bit-exact with
+//!   [`apollo_opm::QuantizedOpm::predict_windows`] on an offline
+//!   capture of the same cycles),
+//! * the float proxy-model prediction (bit-exact with
+//!   [`apollo_core::windowed_eval`] on the same capture),
+//! * the ground-truth simulated mean power,
+//! * exact per-functional-unit attribution
+//!   ([`apollo_opm::attribution`]),
+//! * drift-detector updates ([`apollo_opm::drift`]) on the
+//!   quantization residual (`est − float`) and the model residual
+//!   (`est − truth`), optionally armed onto the core's throttle
+//!   actuator,
+//! * a typed `introspect.window` telemetry event, gauges/counters/
+//!   histograms in the global registry, a [`History`] ring entry, and
+//!   a broadcast to the serving hub.
+//!
+//! Everything except wall-clock timestamps is computed in cycle order
+//! from this serial loop, so the whole report is bit-identical across
+//! simulator thread counts, and with no hub subscribers the pipeline
+//! is observationally identical to an offline `apollo eval`.
+
+use crate::hub::MonitorHub;
+use crate::ring::{History, HistoryStats, WindowRecord};
+use apollo_core::{ApolloError, ApolloModel, DesignContext};
+use apollo_cpu::benchmarks::Benchmark;
+use apollo_opm::{
+    ArmConfig, AttributionAccumulator, AttributionMap, DriftConfig, DriftDetector, FailSafeArm,
+    ProxyTaps, QuantizedOpm,
+};
+use apollo_sim::WindowTap;
+use apollo_telemetry::{Event, FieldValue, RecordBody};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Monitor pipeline configuration.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MonitorConfig {
+    /// OPM window length `T` in cycles (power of two ≥ 4).
+    pub window_t: usize,
+    /// Weight quantization bits `B`.
+    pub bits: u8,
+    /// Total cycles to run; 0 = run until the stop flag rises.
+    pub cycles: u64,
+    /// Ring-buffer history capacity in windows.
+    pub history: usize,
+    /// Drift-detector settings (shared by both monitors).
+    pub drift: DriftConfig,
+    /// When set, drift alarms arm the fail-safe throttle floor on the
+    /// core's issue-throttle actuator.
+    pub arm: Option<ArmConfig>,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            window_t: 32,
+            bits: 10,
+            cycles: 0,
+            history: 256,
+            drift: DriftConfig::default(),
+            arm: None,
+        }
+    }
+}
+
+/// Final state of a monitor run, bit-identical across simulator thread
+/// counts for the same inputs.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct MonitorReport {
+    /// Completed OPM windows.
+    pub windows: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Workload runs (1 + restarts after halt).
+    pub runs: u64,
+    /// Full-stream mean estimated power.
+    pub mean_est: f64,
+    /// Full-stream peak estimated power.
+    pub peak_est: f64,
+    /// Full-stream mean ground-truth power.
+    pub mean_true: f64,
+    /// Cumulative estimated energy (power · cycles).
+    pub energy: f64,
+    /// Aggregates over the last retained history windows.
+    pub tail: HistoryStats,
+    /// Attribution class labels, in stable class order.
+    pub unit_labels: Vec<String>,
+    /// Cumulative estimated energy attributed per class (above the
+    /// intercept baseline).
+    pub unit_energy: Vec<f64>,
+    /// Alarms from the quantization-residual monitor (`est − float`).
+    pub quant_alarms: u64,
+    /// Alarms from the model-residual monitor (`est − truth`).
+    pub truth_alarms: u64,
+    /// Windows spent with the fail-safe throttle floor armed.
+    pub armed_windows: u64,
+    /// Throttle level at the end of the run.
+    pub final_throttle: u8,
+    /// Windows evicted from the bounded history ring.
+    pub history_dropped: u64,
+}
+
+/// Runs the introspection pipeline for `bench` on `ctx`'s design.
+///
+/// `hub` receives one `introspect.window` body per window (the same
+/// body emitted to the global event sink); `stop` ends the run at the
+/// next cycle boundary (the serving layer's `/shutdown` raises it).
+///
+/// # Errors
+/// Returns [`ApolloError::Spec`] for an invalid OPM spec (bad window /
+/// bit-width) or a model the quantizer rejects.
+pub fn run_monitor(
+    ctx: &DesignContext,
+    model: &ApolloModel,
+    bench: &Benchmark,
+    cfg: &MonitorConfig,
+    hub: Option<&MonitorHub>,
+    stop: &AtomicBool,
+) -> Result<MonitorReport, ApolloError> {
+    let opm = QuantizedOpm::from_model(model, cfg.bits, cfg.window_t)?;
+    let map = AttributionMap::from_model(model);
+    let taps = ProxyTaps::new(ctx.netlist(), &opm.bits);
+    let mut acc = AttributionAccumulator::new(&opm, &map);
+    let mut wtap = WindowTap::new(cfg.window_t);
+    let mut quant_drift = DriftDetector::new("quant", cfg.drift.clone());
+    let mut truth_drift = DriftDetector::new("truth", cfg.drift.clone());
+    let mut arm = cfg.arm.map(FailSafeArm::new);
+    let mut history = History::new(cfg.history);
+    let unit_fields: Vec<String> =
+        map.classes.iter().map(|c| format!("unit.{}", c.label)).collect();
+    let unit_gauges: Vec<String> = map
+        .classes
+        .iter()
+        .map(|c| format!("introspect.unit.{}", c.label))
+        .collect();
+    let mut unit_energy = vec![0.0f64; map.n_classes()];
+    let q = opm.bits.len();
+    let t = cfg.window_t;
+
+    apollo_telemetry::emit_event(
+        "introspect.start",
+        &[
+            ("design", FieldValue::from(model.design_name.as_str())),
+            ("bench", FieldValue::from(bench.name.as_str())),
+            ("q", FieldValue::from(q)),
+            ("window_t", FieldValue::from(t)),
+        ],
+    );
+
+    let mut sim = ctx.simulate(&bench.program, &bench.data);
+    let mut throttle = 0u8;
+    if cfg.arm.is_some() {
+        sim.sim_mut().set_input(ctx.handles.throttle_override_en, 1);
+        sim.sim_mut().set_input(ctx.handles.throttle_override, 0);
+    }
+
+    let mut cycle = 0u64;
+    let mut runs = 1u64;
+    let mut toggled = vec![false; q];
+    let mut float_acc = 0.0f64;
+    let mut energy = 0.0f64;
+
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if cfg.cycles > 0 && cycle >= cfg.cycles {
+            break;
+        }
+        if sim.halted() {
+            runs += 1;
+            apollo_telemetry::emit_event(
+                "introspect.restart",
+                &[("cycle", FieldValue::from(cycle)), ("runs", FieldValue::from(runs))],
+            );
+            apollo_telemetry::counter("introspect.restarts").inc();
+            sim = ctx.simulate(&bench.program, &bench.data);
+            if cfg.arm.is_some() {
+                sim.sim_mut().set_input(ctx.handles.throttle_override_en, 1);
+                sim.sim_mut().set_input(ctx.handles.throttle_override, throttle as u64);
+            }
+        }
+        sim.step();
+        cycle += 1;
+
+        let power = sim.sim().power();
+        {
+            let s = sim.sim();
+            for (k, slot) in toggled.iter_mut().enumerate() {
+                *slot = taps.toggled(s, k);
+            }
+        }
+        // Float proxy model, in the exact FP order of
+        // `ApolloModel::predict_full`: intercept first, then proxies
+        // in model order.
+        let mut pred = model.intercept;
+        for (k, p) in model.proxies.iter().enumerate() {
+            if toggled[k] {
+                pred += p.weight;
+            }
+        }
+        float_acc += pred;
+
+        let window_attr = acc.cycle(|k| toggled[k]);
+        let window_true = wtap.push(&power);
+
+        let Some(attr) = window_attr else {
+            continue;
+        };
+        let truth = window_true.expect("attribution and power windows share T");
+        let est = acc.est_power(&attr);
+        let float_power = float_acc / t as f64;
+        float_acc = 0.0;
+        energy += est * t as f64;
+        for (i, e) in unit_energy.iter_mut().enumerate() {
+            *e += acc.unit_power(&attr, i) * t as f64;
+        }
+
+        // Model-health monitors.
+        let qs = quant_drift.observe(est - float_power);
+        let ts = truth_drift.observe(est - truth.mean.total);
+        if let Some(arm) = arm.as_mut() {
+            let monitor = if ts.alarm { "truth" } else { "quant" };
+            let floor = arm.update(qs.alarm || ts.alarm, attr.window, monitor);
+            if floor != throttle {
+                throttle = floor;
+                sim.sim_mut().set_input(ctx.handles.throttle_override, throttle as u64);
+            }
+        }
+
+        // Registry metrics.
+        apollo_telemetry::counter("introspect.windows").inc();
+        apollo_telemetry::gauge("introspect.est_power").set(est);
+        apollo_telemetry::gauge("introspect.float_power").set(float_power);
+        apollo_telemetry::gauge("introspect.true_power").set(truth.mean.total);
+        apollo_telemetry::gauge("introspect.energy").set(energy);
+        apollo_telemetry::gauge("introspect.throttle").set(throttle as f64);
+        apollo_telemetry::gauge("introspect.drift.quant.ewma").set(qs.ewma);
+        apollo_telemetry::gauge("introspect.drift.truth.ewma").set(ts.ewma);
+        apollo_telemetry::histogram("introspect.window_power_milli")
+            .observe((est.max(0.0) * 1000.0) as u64);
+        for (i, g) in unit_gauges.iter().enumerate() {
+            apollo_telemetry::gauge(g).set(acc.unit_power(&attr, i));
+        }
+
+        // The typed window event: one body, shared by the global sink
+        // and the serving hub.
+        let mut fields: Vec<(String, FieldValue)> = vec![
+            ("window".to_owned(), FieldValue::from(attr.window)),
+            ("cycle".to_owned(), FieldValue::from(cycle)),
+            ("raw".to_owned(), FieldValue::from(attr.total)),
+            ("out".to_owned(), FieldValue::from(attr.output)),
+            ("est_power".to_owned(), FieldValue::from(est)),
+            ("float_power".to_owned(), FieldValue::from(float_power)),
+            ("true_power".to_owned(), FieldValue::from(truth.mean.total)),
+            ("energy".to_owned(), FieldValue::from(energy)),
+            ("throttle".to_owned(), FieldValue::from(throttle)),
+        ];
+        for (i, name) in unit_fields.iter().enumerate() {
+            fields.push((name.clone(), FieldValue::from(attr.raw[i])));
+        }
+        if apollo_telemetry::events_enabled() {
+            let refs: Vec<(&str, FieldValue)> =
+                fields.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+            apollo_telemetry::emit_event("introspect.window", &refs);
+        }
+        if let Some(hub) = hub {
+            hub.publish(&RecordBody::Event(Event {
+                name: "introspect.window".to_owned(),
+                fields: fields.clone(),
+            }));
+        }
+
+        history.push(WindowRecord {
+            window: attr.window,
+            cycle,
+            raw: attr.total,
+            out: attr.output,
+            est_power: est,
+            float_power,
+            true_power: truth.mean.total,
+            energy,
+            throttle,
+            unit_raw: attr.raw,
+        });
+    }
+
+    let windows = history.total_windows();
+    apollo_telemetry::emit_event(
+        "introspect.shutdown",
+        &[
+            ("windows", FieldValue::from(windows)),
+            ("cycles", FieldValue::from(cycle)),
+        ],
+    );
+
+    Ok(MonitorReport {
+        windows,
+        cycles: cycle,
+        runs,
+        mean_est: history.mean_est(),
+        peak_est: history.peak_est(),
+        mean_true: history.mean_true(),
+        energy,
+        tail: history.tail_stats(64),
+        unit_labels: map.classes.iter().map(|c| c.label.clone()).collect(),
+        unit_energy,
+        quant_alarms: quant_drift.alarms(),
+        truth_alarms: truth_drift.alarms(),
+        armed_windows: arm.as_ref().map_or(0, |a| a.armed_windows),
+        final_throttle: throttle,
+        history_dropped: history.dropped(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_core::{train_per_cycle, FeatureSpace, TrainOptions};
+    use apollo_cpu::{benchmarks, CpuConfig};
+
+    fn trained_model(ctx: &DesignContext) -> ApolloModel {
+        let suite = vec![(benchmarks::dhrystone(), 200), (benchmarks::maxpwr_cpu(), 200)];
+        let trace = ctx.capture_suite(&suite, 50);
+        let fs = FeatureSpace::build(&trace.toggles);
+        train_per_cycle(
+            &trace,
+            ctx.netlist(),
+            &fs,
+            &TrainOptions { q_target: 16, ..TrainOptions::default() },
+        )
+        .model
+    }
+
+    #[test]
+    fn monitor_runs_and_attribution_sums_per_window() {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let model = trained_model(&ctx);
+        let cfg = MonitorConfig { cycles: 256, window_t: 32, ..MonitorConfig::default() };
+        let stop = AtomicBool::new(false);
+        let report =
+            run_monitor(&ctx, &model, &benchmarks::dhrystone(), &cfg, None, &stop).unwrap();
+        assert_eq!(report.cycles, 256);
+        assert_eq!(report.windows, 8);
+        assert_eq!(report.runs, 1);
+        assert!(report.mean_est > 0.0, "{report:?}");
+        assert!(report.mean_true > 0.0);
+        assert!(report.energy > 0.0);
+        assert_eq!(report.unit_labels.len(), report.unit_energy.len());
+        assert!(!report.unit_labels.is_empty());
+    }
+
+    #[test]
+    fn stop_flag_ends_an_unbounded_run() {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let model = trained_model(&ctx);
+        let cfg = MonitorConfig { cycles: 0, window_t: 16, ..MonitorConfig::default() };
+        let stop = AtomicBool::new(true); // raised before the first cycle
+        let report =
+            run_monitor(&ctx, &model, &benchmarks::dhrystone(), &cfg, None, &stop).unwrap();
+        assert_eq!(report.cycles, 0);
+        assert_eq!(report.windows, 0);
+        assert_eq!(report.mean_est, 0.0, "empty run is all zeros, no NaN");
+    }
+
+    #[test]
+    fn short_workload_restarts_and_keeps_window_cadence() {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let model = trained_model(&ctx);
+        // A trivial program halts almost immediately, forcing restarts.
+        let mut a = apollo_cpu::Asm::new();
+        a.addi(apollo_cpu::Xr(1), apollo_cpu::Xr(0), 1);
+        a.halt();
+        let bench = Benchmark {
+            name: "tiny_halt".into(),
+            program: a.assemble(),
+            data: vec![],
+            cycles: 16,
+        };
+        let cfg = MonitorConfig { cycles: 128, window_t: 16, ..MonitorConfig::default() };
+        let stop = AtomicBool::new(false);
+        let report = run_monitor(&ctx, &model, &bench, &cfg, None, &stop).unwrap();
+        assert!(report.runs > 1, "workload must restart: {report:?}");
+        assert_eq!(report.windows, 8, "restarts must not skew window cadence");
+    }
+}

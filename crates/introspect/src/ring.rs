@@ -1,0 +1,248 @@
+//! Bounded window history with sliding-window aggregation.
+//!
+//! The monitor keeps the last `capacity` completed windows in a ring:
+//! pushes never block and never grow the buffer — when full, the
+//! oldest record is dropped and a drop counter bumps, mirroring the
+//! serving layer's drop-oldest backpressure policy. Aggregations
+//! (mean / peak / cumulative energy) run over the full stream, not
+//! just the retained tail, so they are exact regardless of capacity.
+
+use std::collections::VecDeque;
+
+/// One completed OPM window as the serving layer publishes it.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct WindowRecord {
+    /// Zero-based window index.
+    pub window: u64,
+    /// Cycle count at window close (monotonic across restarts).
+    pub cycle: u64,
+    /// Raw (pre-shift) OPM window accumulator.
+    pub raw: u64,
+    /// Hardware window output (`raw >> log2(T)`).
+    pub out: u64,
+    /// De-scaled OPM power estimate.
+    pub est_power: f64,
+    /// Float proxy-model mean power over the window.
+    pub float_power: f64,
+    /// Ground-truth simulated mean power over the window.
+    pub true_power: f64,
+    /// Cumulative estimated energy (power · cycles) through this
+    /// window.
+    pub energy: f64,
+    /// Throttle level applied during the window.
+    pub throttle: u8,
+    /// Raw integer contribution per attribution class (sums to `raw`).
+    pub unit_raw: Vec<u64>,
+}
+
+/// Aggregate statistics over the retained window history tail.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize)]
+pub struct HistoryStats {
+    /// Windows in the tail.
+    pub windows: usize,
+    /// Mean estimated power over the tail.
+    pub mean_est: f64,
+    /// Peak estimated power over the tail.
+    pub peak_est: f64,
+    /// Mean ground-truth power over the tail.
+    pub mean_true: f64,
+}
+
+/// Drop-oldest bounded ring of [`WindowRecord`]s plus exact
+/// full-stream aggregates.
+#[derive(Clone, Debug)]
+pub struct History {
+    buf: VecDeque<WindowRecord>,
+    capacity: usize,
+    dropped: u64,
+    // Full-stream aggregates (exact, capacity-independent).
+    total_windows: u64,
+    sum_est: f64,
+    sum_true: f64,
+    peak_est: f64,
+    energy: f64,
+}
+
+impl History {
+    /// New history retaining at most `capacity` windows.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "history capacity must be at least 1");
+        History {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+            total_windows: 0,
+            sum_est: 0.0,
+            sum_true: 0.0,
+            peak_est: f64::NEG_INFINITY,
+            energy: 0.0,
+        }
+    }
+
+    /// Appends one window, dropping the oldest when full. Never
+    /// blocks, never reallocates past capacity.
+    pub fn push(&mut self, rec: WindowRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.total_windows += 1;
+        self.sum_est += rec.est_power;
+        self.sum_true += rec.true_power;
+        self.peak_est = self.peak_est.max(rec.est_power);
+        self.energy = rec.energy;
+        self.buf.push_back(rec);
+    }
+
+    /// Retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &WindowRecord> {
+        self.buf.iter()
+    }
+
+    /// Most recent record, if any.
+    pub fn latest(&self) -> Option<&WindowRecord> {
+        self.buf.back()
+    }
+
+    /// Retained window count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Windows evicted by the drop-oldest policy.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Windows observed over the full stream.
+    pub fn total_windows(&self) -> u64 {
+        self.total_windows
+    }
+
+    /// Full-stream mean estimated power (0 before the first window).
+    pub fn mean_est(&self) -> f64 {
+        if self.total_windows == 0 {
+            0.0
+        } else {
+            self.sum_est / self.total_windows as f64
+        }
+    }
+
+    /// Full-stream mean ground-truth power (0 before the first window).
+    pub fn mean_true(&self) -> f64 {
+        if self.total_windows == 0 {
+            0.0
+        } else {
+            self.sum_true / self.total_windows as f64
+        }
+    }
+
+    /// Full-stream peak estimated power (0 before the first window).
+    pub fn peak_est(&self) -> f64 {
+        if self.total_windows == 0 {
+            0.0
+        } else {
+            self.peak_est
+        }
+    }
+
+    /// Cumulative estimated energy through the latest window.
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Aggregates over the last `n` retained windows (all retained
+    /// windows when `n` exceeds the tail).
+    pub fn tail_stats(&self, n: usize) -> HistoryStats {
+        let take = n.min(self.buf.len());
+        let tail = self.buf.iter().skip(self.buf.len() - take);
+        let mut sum_est = 0.0;
+        let mut sum_true = 0.0;
+        let mut peak = f64::NEG_INFINITY;
+        for r in tail {
+            sum_est += r.est_power;
+            sum_true += r.true_power;
+            peak = peak.max(r.est_power);
+        }
+        if take == 0 {
+            HistoryStats { windows: 0, mean_est: 0.0, peak_est: 0.0, mean_true: 0.0 }
+        } else {
+            HistoryStats {
+                windows: take,
+                mean_est: sum_est / take as f64,
+                peak_est: peak,
+                mean_true: sum_true / take as f64,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(window: u64, est: f64) -> WindowRecord {
+        WindowRecord {
+            window,
+            cycle: (window + 1) * 32,
+            raw: 100,
+            out: 3,
+            est_power: est,
+            float_power: est + 0.1,
+            true_power: est + 0.2,
+            energy: est * 32.0 * (window + 1) as f64,
+            throttle: 0,
+            unit_raw: vec![60, 40],
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_keeps_exact_aggregates() {
+        let mut h = History::new(3);
+        for i in 0..5 {
+            h.push(rec(i, i as f64));
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.dropped(), 2);
+        assert_eq!(h.total_windows(), 5);
+        let windows: Vec<u64> = h.iter().map(|r| r.window).collect();
+        assert_eq!(windows, vec![2, 3, 4], "oldest evicted first");
+        // Aggregates cover all 5 pushes, not just the retained 3.
+        assert!((h.mean_est() - 2.0).abs() < 1e-12);
+        assert_eq!(h.peak_est(), 4.0);
+        assert_eq!(h.latest().unwrap().window, 4);
+    }
+
+    #[test]
+    fn tail_stats_cover_requested_span() {
+        let mut h = History::new(8);
+        for i in 0..6 {
+            h.push(rec(i, i as f64));
+        }
+        let s = h.tail_stats(2);
+        assert_eq!(s.windows, 2);
+        assert!((s.mean_est - 4.5).abs() < 1e-12);
+        assert_eq!(s.peak_est, 5.0);
+        let all = h.tail_stats(100);
+        assert_eq!(all.windows, 6);
+        assert!((all.mean_est - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_history_is_safe() {
+        let h = History::new(4);
+        assert!(h.is_empty());
+        assert_eq!(h.mean_est(), 0.0);
+        assert_eq!(h.peak_est(), 0.0);
+        assert_eq!(h.tail_stats(10).windows, 0);
+        assert!(h.latest().is_none());
+    }
+}

@@ -1,0 +1,376 @@
+//! Zero-dependency TCP serving layer.
+//!
+//! A small HTTP/1.1 server on `std::net` (no external crates, no
+//! unsafe):
+//!
+//! * `GET /metrics` — Prometheus text exposition of the process-global
+//!   telemetry registry ([`apollo_telemetry::prometheus_text`]).
+//! * `GET /events`  — streaming schema-versioned JSONL: one
+//!   [`apollo_telemetry::Record`] per line, fed from the
+//!   [`MonitorHub`](crate::hub::MonitorHub) with per-subscriber dense
+//!   `seq` (re-stamped at send time, after any backpressure drops, so
+//!   every delivered stream passes `trace-lint`).
+//! * `GET /shutdown` — requests a clean monitor shutdown by setting
+//!   the shared stop flag.
+//! * `GET /` — a short plain-text index.
+//!
+//! The accept loop is non-blocking and polls the stop flag, so the
+//! server winds down without signal handlers; connection handlers are
+//! joined on [`ServerHandle::stop`].
+
+use crate::hub::{MonitorHub, Poll};
+use apollo_telemetry::{FieldValue, Record, SCHEMA_VERSION};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Running server: bound address plus lifecycle control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    hub: Arc<MonitorHub>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server: sets the shared stop flag, closes the hub
+    /// (ending every `/events` stream), and joins all server threads.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.hub.close();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in conns {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `listen` (e.g. `127.0.0.1:9100`; port 0 picks a free port)
+/// and serves until `stop` becomes true.
+///
+/// # Errors
+/// Returns the bind error if the address is unavailable.
+pub fn serve(
+    listen: &str,
+    hub: Arc<MonitorHub>,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(listen)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let hub = Arc::clone(&hub);
+        let conns = Arc::clone(&conns);
+        std::thread::spawn(move || {
+            accept_loop(&listener, &hub, &stop, &conns);
+        })
+    };
+    Ok(ServerHandle { addr, stop, hub, accept: Some(accept), conns })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    hub: &Arc<MonitorHub>,
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let hub = Arc::clone(hub);
+                let stop = Arc::clone(stop);
+                let handle = std::thread::spawn(move || {
+                    // Per-connection errors (reset peers, parse noise)
+                    // must not take the server down.
+                    let _ = handle_connection(stream, &hub, &stop);
+                });
+                conns.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    hub: &Arc<MonitorHub>,
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers up to the blank line; bodies are not supported.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut out = stream;
+    if method != "GET" {
+        return respond(&mut out, "405 Method Not Allowed", "text/plain", "GET only\n");
+    }
+    match path {
+        "/" => respond(
+            &mut out,
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "apollo monitor: /metrics (Prometheus), /events (JSONL stream), /shutdown\n",
+        ),
+        "/metrics" => {
+            let body = apollo_telemetry::prometheus_text(&apollo_telemetry::snapshot());
+            counter_scrapes();
+            respond(&mut out, "200 OK", "text/plain; version=0.0.4", &body)
+        }
+        "/events" => stream_events(&mut out, hub, stop),
+        "/shutdown" => {
+            stop.store(true, Ordering::Relaxed);
+            respond(&mut out, "200 OK", "text/plain", "shutting down\n")
+        }
+        _ => respond(&mut out, "404 Not Found", "text/plain", "unknown path\n"),
+    }
+}
+
+fn counter_scrapes() {
+    apollo_telemetry::counter("introspect.scrapes").inc();
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Streams hub bodies as schema-versioned JSONL until the hub closes,
+/// the stop flag rises, or the client goes away.
+fn stream_events(
+    stream: &mut TcpStream,
+    hub: &Arc<MonitorHub>,
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    let (sub, active) = hub.subscribe();
+    apollo_telemetry::gauge("introspect.subscribers").set(active as f64);
+    apollo_telemetry::emit_event(
+        "introspect.subscriber",
+        &[
+            ("action", FieldValue::from("connect")),
+            ("active", FieldValue::from(active)),
+        ],
+    );
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    // Per-subscriber wire framing: dense seq from 0 and a local
+    // timestamp epoch, assigned at send time (drops happen earlier, in
+    // the hub queue, so delivered seq never has gaps).
+    let epoch = Instant::now();
+    let mut seq = 0u64;
+    let result = loop {
+        if stop.load(Ordering::Relaxed) && hub.closed() {
+            break Ok(());
+        }
+        match sub.poll(Duration::from_millis(100)) {
+            Poll::Body(body) => {
+                let rec = Record {
+                    v: SCHEMA_VERSION,
+                    seq,
+                    ts_ns: epoch.elapsed().as_nanos() as u64,
+                    body: *body,
+                };
+                seq += 1;
+                if writeln!(stream, "{}", rec.to_jsonl()).and_then(|()| stream.flush()).is_err() {
+                    break Ok(()); // client went away
+                }
+            }
+            Poll::Timeout => continue,
+            Poll::Closed => break Ok(()),
+        }
+    };
+    drop(sub);
+    let active = hub.active();
+    apollo_telemetry::gauge("introspect.subscribers").set(active as f64);
+    apollo_telemetry::emit_event(
+        "introspect.subscriber",
+        &[
+            ("action", FieldValue::from("disconnect")),
+            ("active", FieldValue::from(active)),
+        ],
+    );
+    result
+}
+
+/// Minimal HTTP GET client for tests, CI smoke checks and the
+/// `apollo scrape` subcommand: fetches `http://host:port/path` and
+/// returns up to `max_lines` body lines (`None` = the whole body,
+/// reading until the server closes the stream).
+///
+/// # Errors
+/// Returns connection or read errors; non-2xx statuses are returned as
+/// `InvalidData`.
+pub fn http_get_lines(
+    addr: &str,
+    path: &str,
+    max_lines: Option<usize>,
+) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut out = stream.try_clone()?;
+    write!(out, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    out.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status = String::new();
+    reader.read_line(&mut status)?;
+    if !status.contains("200") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("HTTP error: {}", status.trim()),
+        ));
+    }
+    // Skip headers.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 || line.trim().is_empty() {
+            break;
+        }
+    }
+    let mut lines = Vec::new();
+    loop {
+        if let Some(cap) = max_lines {
+            if lines.len() >= cap {
+                break;
+            }
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let trimmed = line.trim_end_matches(['\r', '\n']);
+                if !trimmed.is_empty() {
+                    lines.push(trimmed.to_owned());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_telemetry::RecordBody;
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        apollo_telemetry::counter("introspect.test.metric").add(3);
+        let hub = MonitorHub::new(8);
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = serve("127.0.0.1:0", Arc::clone(&hub), Arc::clone(&stop)).unwrap();
+        let addr = server.addr().to_string();
+        let lines = http_get_lines(&addr, "/metrics", None).unwrap();
+        assert!(
+            lines.iter().any(|l| l.contains("introspect_test_metric") || l.contains("introspect.test.metric")),
+            "metric missing from exposition: {lines:?}"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn events_endpoint_streams_dense_seq_jsonl() {
+        let hub = MonitorHub::new(64);
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = serve("127.0.0.1:0", Arc::clone(&hub), Arc::clone(&stop)).unwrap();
+        let addr = server.addr().to_string();
+
+        let publisher = {
+            let hub = Arc::clone(&hub);
+            std::thread::spawn(move || {
+                // Give the client a moment to subscribe, then publish
+                // and close.
+                std::thread::sleep(Duration::from_millis(150));
+                for i in 0..5u64 {
+                    hub.publish(&RecordBody::Message {
+                        level: "info".into(),
+                        text: format!("w{i}"),
+                    });
+                }
+                hub.close();
+            })
+        };
+        let lines = http_get_lines(&addr, "/events", Some(5)).unwrap();
+        publisher.join().unwrap();
+        assert_eq!(lines.len(), 5, "{lines:?}");
+        for (i, l) in lines.iter().enumerate() {
+            let rec = apollo_telemetry::validate_line(l).unwrap_or_else(|e| panic!("line {i}: {e}"));
+            assert_eq!(rec.seq, i as u64, "dense per-subscriber seq");
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn shutdown_endpoint_raises_stop_flag() {
+        let hub = MonitorHub::new(8);
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = serve("127.0.0.1:0", Arc::clone(&hub), Arc::clone(&stop)).unwrap();
+        let addr = server.addr().to_string();
+        let lines = http_get_lines(&addr, "/shutdown", None).unwrap();
+        assert!(lines.iter().any(|l| l.contains("shutting down")), "{lines:?}");
+        assert!(stop.load(Ordering::Relaxed));
+        server.stop();
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_post_is_405() {
+        let hub = MonitorHub::new(8);
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = serve("127.0.0.1:0", Arc::clone(&hub), Arc::clone(&stop)).unwrap();
+        let addr = server.addr().to_string();
+        let err = http_get_lines(&addr, "/nope", None).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        let mut s = TcpStream::connect(&addr).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        r.read_line(&mut resp).unwrap();
+        assert!(resp.contains("405"), "{resp}");
+        server.stop();
+    }
+}

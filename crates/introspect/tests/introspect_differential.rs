@@ -1,0 +1,182 @@
+//! Differential tests for the introspection pipeline's determinism
+//! contract:
+//!
+//! * the [`MonitorReport`] — attribution, drift state, aggregates —
+//!   is bit-identical across simulator thread counts 1/2/4/8;
+//! * every published `introspect.window` event decomposes exactly:
+//!   the per-unit raw fields sum to the OPM raw accumulator;
+//! * with no subscribers, the online pipeline is bit-exact with the
+//!   offline path: a proxy-only capture of the same cycles pushed
+//!   through [`QuantizedOpm::window_outputs_proxy`] and
+//!   [`apollo_core::windowed_eval_proxy`].
+
+use apollo_core::{
+    train_per_cycle, windowed_eval_proxy, ApolloModel, DesignContext, FeatureSpace, TrainOptions,
+};
+use apollo_cpu::{benchmarks, CpuConfig};
+use apollo_introspect::{run_monitor, MonitorConfig, MonitorHub, Poll};
+use apollo_opm::QuantizedOpm;
+use apollo_telemetry::{FieldValue, RecordBody};
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+const CYCLES: u64 = 256;
+const WINDOW_T: usize = 32;
+
+fn trained_model(ctx: &DesignContext) -> ApolloModel {
+    let suite = vec![(benchmarks::dhrystone(), 200), (benchmarks::maxpwr_cpu(), 200)];
+    let trace = ctx.capture_suite(&suite, 50);
+    let fs = FeatureSpace::build(&trace.toggles);
+    train_per_cycle(
+        &trace,
+        ctx.netlist(),
+        &fs,
+        &TrainOptions { q_target: 16, ..TrainOptions::default() },
+    )
+    .model
+}
+
+fn monitor_cfg(arm: bool) -> MonitorConfig {
+    MonitorConfig {
+        cycles: CYCLES,
+        window_t: WINDOW_T,
+        // Arming drives the throttle-override inputs, which the plain
+        // offline capture does not — only the thread-differential run
+        // exercises it.
+        arm: arm.then(apollo_opm::ArmConfig::default),
+        ..MonitorConfig::default()
+    }
+}
+
+/// One published window, decoded from an `introspect.window` body.
+#[derive(Debug, PartialEq)]
+struct Window {
+    out: u64,
+    raw: u64,
+    est: f64,
+    float: f64,
+    truth: f64,
+    unit_raw_sum: u64,
+}
+
+fn decode_windows(sub: &mut apollo_introspect::Subscriber) -> Vec<Window> {
+    let mut out = Vec::new();
+    loop {
+        match sub.poll(Duration::from_millis(200)) {
+            Poll::Body(body) => {
+                let RecordBody::Event(ev) = *body else { continue };
+                if ev.name != "introspect.window" {
+                    continue;
+                }
+                let u64_of = |key: &str| -> u64 {
+                    match ev.fields.iter().find(|(k, _)| k == key) {
+                        Some((_, FieldValue::U64(v))) => *v,
+                        other => panic!("missing u64 field {key}: {other:?}"),
+                    }
+                };
+                let f64_of = |key: &str| -> f64 {
+                    match ev.fields.iter().find(|(k, _)| k == key) {
+                        Some((_, FieldValue::F64(v))) => *v,
+                        other => panic!("missing f64 field {key}: {other:?}"),
+                    }
+                };
+                let unit_raw_sum = ev
+                    .fields
+                    .iter()
+                    .filter(|(k, _)| k.starts_with("unit."))
+                    .map(|(k, v)| match v {
+                        FieldValue::U64(v) => *v,
+                        other => panic!("unit field {k} must be u64, got {other:?}"),
+                    })
+                    .sum();
+                out.push(Window {
+                    out: u64_of("out"),
+                    raw: u64_of("raw"),
+                    est: f64_of("est_power"),
+                    float: f64_of("float_power"),
+                    truth: f64_of("true_power"),
+                    unit_raw_sum,
+                });
+            }
+            Poll::Closed => break,
+            Poll::Timeout => panic!("hub closed before draining"),
+        }
+    }
+    out
+}
+
+#[test]
+fn report_is_bit_identical_across_thread_counts() {
+    let base = DesignContext::new(&CpuConfig::tiny());
+    let model = trained_model(&base);
+    let bench = benchmarks::dhrystone();
+    let cfg = monitor_cfg(true);
+
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let ctx = DesignContext::with_threads(&CpuConfig::tiny(), threads);
+        let stop = AtomicBool::new(false);
+        let report = run_monitor(&ctx, &model, &bench, &cfg, None, &stop).unwrap();
+        assert_eq!(report.cycles, CYCLES);
+        assert_eq!(report.windows, CYCLES / WINDOW_T as u64);
+        reports.push((threads, report));
+    }
+    let (_, reference) = &reports[0];
+    for (threads, report) in &reports[1..] {
+        assert_eq!(
+            report, reference,
+            "MonitorReport must be bit-identical at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn published_windows_decompose_exactly_and_match_offline_capture() {
+    let ctx = DesignContext::new(&CpuConfig::tiny());
+    let model = trained_model(&ctx);
+    let bench = benchmarks::dhrystone();
+    let cfg = monitor_cfg(false);
+
+    // Online run with one streaming subscriber.
+    let hub = MonitorHub::new(1024);
+    let (mut sub, _) = hub.subscribe();
+    let stop = AtomicBool::new(false);
+    let streamed = run_monitor(&ctx, &model, &bench, &cfg, Some(&hub), &stop).unwrap();
+    hub.close();
+    let windows = decode_windows(&mut sub);
+    assert_eq!(windows.len() as u64, streamed.windows);
+
+    // 1. Exact decomposition: per-unit raw fields sum to the total.
+    for (i, w) in windows.iter().enumerate() {
+        assert_eq!(w.unit_raw_sum, w.raw, "window {i}: unit fields must sum to raw");
+        assert_eq!(w.out, w.raw >> WINDOW_T.trailing_zeros(), "window {i} shift-divide");
+    }
+
+    // 2. The subscriber must not perturb the pipeline: a second run
+    //    with no hub yields the identical report.
+    let stop = AtomicBool::new(false);
+    let silent = run_monitor(&ctx, &model, &bench, &cfg, None, &stop).unwrap();
+    assert_eq!(silent, streamed, "no-subscriber path must be bit-exact");
+
+    // 3. Offline mirror: capture the proxies over the same cycles and
+    //    push them through the reference OPM + windowed evaluator.
+    let opm = QuantizedOpm::from_model(&model, cfg.bits, cfg.window_t).unwrap();
+    let trace = ctx.capture_bits(&bench, &model.bits(), CYCLES as usize, 0);
+    let outs = opm.window_outputs_proxy(&trace.toggles);
+    let eval = windowed_eval_proxy(&model, &trace, WINDOW_T);
+    assert_eq!(outs.len(), windows.len());
+    assert_eq!(eval.windows.len(), windows.len());
+    let mut energy = 0.0f64;
+    let mut sum_est = 0.0f64;
+    for ((w, &out), ew) in windows.iter().zip(&outs).zip(&eval.windows) {
+        assert_eq!(w.out, out, "window output bit-exact with offline capture");
+        let est = opm.intercept + out as f64 / opm.scale;
+        assert_eq!(w.est, est, "descaled estimate bit-exact");
+        assert_eq!(w.float, ew.predicted, "float model bit-exact with windowed_eval");
+        assert_eq!(w.truth, ew.truth, "ground truth bit-exact with windowed_eval");
+        energy += est * WINDOW_T as f64;
+        sum_est += est;
+    }
+    assert_eq!(streamed.energy, energy, "cumulative energy bit-exact");
+    assert_eq!(streamed.mean_est, sum_est / windows.len() as f64, "mean bit-exact");
+}

@@ -1,0 +1,346 @@
+//! Per-functional-unit power attribution over the quantized OPM.
+//!
+//! The OPM's window output is a single weighted toggle sum. Because
+//! the sum is linear, it decomposes exactly: fold each proxy's
+//! weighted contribution onto the functional unit that owns the proxy
+//! signal (fetch / decode / issue / ALU / vector / LSU / L2 …, with
+//! gated-clock proxies in their own class) and the per-class integer
+//! accumulators sum to the OPM's raw window accumulator *bit-exactly*
+//! — no float redistribution, no rounding slack. The readings a
+//! dashboard shows per unit therefore provably add up to the total
+//! prediction.
+//!
+//! Everything here is integer arithmetic on the same `u64` raw sums
+//! the hardware reference ([`crate::quant::QuantizedOpm`]) uses, so
+//! attribution inherits the simulator's thread-count determinism.
+
+use crate::quant::{ceil_log2, QuantizedOpm};
+use apollo_core::ApolloModel;
+use apollo_cpu::units::{group_of, unit_label};
+use apollo_rtl::{Netlist, NodeId, Unit};
+
+/// Pre-resolved `(node, bit)` taps for the proxy set, the shared
+/// sampling primitive of the governor and the introspection monitor.
+#[derive(Clone, Debug)]
+pub struct ProxyTaps {
+    taps: Vec<(NodeId, u8)>,
+}
+
+impl ProxyTaps {
+    /// Resolves flat proxy bit indices against `netlist`.
+    pub fn new(netlist: &Netlist, bits: &[usize]) -> Self {
+        ProxyTaps {
+            taps: bits.iter().map(|&b| netlist.bit_owner(b)).collect(),
+        }
+    }
+
+    /// Number of proxies.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Returns `true` when there are no taps.
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// Whether proxy `k` toggled this cycle.
+    #[inline]
+    pub fn toggled(&self, sim: &apollo_sim::Simulator<'_>, k: usize) -> bool {
+        let (node, sub) = self.taps[k];
+        (sim.toggle_word(node) >> sub) & 1 == 1
+    }
+}
+
+/// One attribution class: a functional unit (or the gated-clock
+/// bucket) that owns at least one proxy.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct AttributionClass {
+    /// Stable label, e.g. `alu`, `fetch`, `gated`.
+    pub label: String,
+    /// Pipeline-region rollup (from [`apollo_cpu::units::UNIT_HIERARCHY`]).
+    pub group: &'static str,
+    /// Number of proxies folded into this class.
+    pub proxies: usize,
+}
+
+/// Maps each proxy of a model to its attribution class.
+///
+/// Classes are the functional units of [`Unit::ALL`] (in that stable
+/// order) plus a final `gated` class for gated-clock proxies; classes
+/// owning no proxy are dropped, so the class list is deterministic
+/// for a given model.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct AttributionMap {
+    /// Surviving classes, in stable order.
+    pub classes: Vec<AttributionClass>,
+    /// Per proxy (model order), index into `classes`.
+    pub class_of: Vec<u16>,
+}
+
+impl AttributionMap {
+    /// Builds the map from a trained model's proxy metadata.
+    pub fn from_model(model: &ApolloModel) -> Self {
+        // Dense class index per (unit, gated) key before compaction.
+        let gated_slot = Unit::ALL.len();
+        let slot_of = |p: &apollo_core::Proxy| {
+            if p.is_clock_gate {
+                gated_slot
+            } else {
+                Unit::ALL.iter().position(|&u| u == p.unit).expect("unit in ALL")
+            }
+        };
+        let mut count = vec![0usize; gated_slot + 1];
+        for p in &model.proxies {
+            count[slot_of(p)] += 1;
+        }
+        let mut slot_to_class = vec![u16::MAX; gated_slot + 1];
+        let mut classes = Vec::new();
+        for (slot, &n) in count.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            slot_to_class[slot] = classes.len() as u16;
+            if slot == gated_slot {
+                classes.push(AttributionClass {
+                    label: "gated".to_owned(),
+                    group: "clocks",
+                    proxies: n,
+                });
+            } else {
+                let unit = Unit::ALL[slot];
+                classes.push(AttributionClass {
+                    label: unit_label(unit).to_owned(),
+                    group: group_of(unit).name,
+                    proxies: n,
+                });
+            }
+        }
+        let class_of = model.proxies.iter().map(|p| slot_to_class[slot_of(p)]).collect();
+        AttributionMap { classes, class_of }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// One completed window of per-unit attribution.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct WindowAttribution {
+    /// Zero-based window index.
+    pub window: u64,
+    /// Raw (pre-shift) integer contribution per class; sums to
+    /// `total` exactly.
+    pub raw: Vec<u64>,
+    /// The OPM's raw window accumulator (Σ over cycles of the weighted
+    /// toggle sum) — equals `raw.iter().sum()` bit-exactly.
+    pub total: u64,
+    /// The hardware's window output: `total >> log2(T)` (the paper's
+    /// shift-divide), identical to
+    /// [`QuantizedOpm::window_outputs`](crate::quant::QuantizedOpm::window_outputs).
+    pub output: u64,
+}
+
+impl WindowAttribution {
+    /// Fraction of the raw accumulator attributed to class `i`
+    /// (0 for an all-idle window — no division by zero).
+    pub fn share(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.raw[i] as f64 / self.total as f64
+        }
+    }
+}
+
+/// Streaming per-cycle accumulator producing [`WindowAttribution`]s.
+///
+/// Mirrors the hardware exactly: per cycle each toggled proxy adds its
+/// quantized weight both to its class accumulator and (implicitly) to
+/// the window total; after `T` cycles the window closes.
+#[derive(Clone, Debug)]
+pub struct AttributionAccumulator {
+    weights: Vec<u64>,
+    class_of: Vec<u16>,
+    t: usize,
+    shift: u8,
+    scale: f64,
+    intercept: f64,
+    filled: usize,
+    next_window: u64,
+    raw: Vec<u64>,
+    total: u64,
+}
+
+impl AttributionAccumulator {
+    /// Builds the accumulator for a quantized OPM and its attribution
+    /// map (from the same model: lengths must agree).
+    ///
+    /// # Panics
+    /// Panics if `map.class_of` does not cover the OPM's proxies.
+    pub fn new(opm: &QuantizedOpm, map: &AttributionMap) -> Self {
+        assert_eq!(
+            map.class_of.len(),
+            opm.weights.len(),
+            "attribution map and OPM must come from the same model"
+        );
+        AttributionAccumulator {
+            weights: opm.weights.iter().map(|&w| w as u64).collect(),
+            class_of: map.class_of.clone(),
+            t: opm.spec.t,
+            shift: ceil_log2(opm.spec.t),
+            scale: opm.scale,
+            intercept: opm.intercept,
+            filled: 0,
+            next_window: 0,
+            raw: vec![0; map.n_classes()],
+            total: 0,
+        }
+    }
+
+    /// Window length `T` in cycles.
+    pub fn window_cycles(&self) -> usize {
+        self.t
+    }
+
+    /// Feeds one cycle; `toggled(k)` reports whether proxy `k` toggled.
+    /// Returns the finished window when this cycle completes it.
+    pub fn cycle(&mut self, toggled: impl Fn(usize) -> bool) -> Option<WindowAttribution> {
+        for (k, &w) in self.weights.iter().enumerate() {
+            if w != 0 && toggled(k) {
+                self.raw[self.class_of[k] as usize] += w;
+                self.total += w;
+            }
+        }
+        self.filled += 1;
+        if self.filled < self.t {
+            return None;
+        }
+        let n_classes = self.raw.len();
+        let out = WindowAttribution {
+            window: self.next_window,
+            raw: std::mem::replace(&mut self.raw, vec![0; n_classes]),
+            total: self.total,
+            output: self.total >> self.shift,
+        };
+        self.total = 0;
+        self.filled = 0;
+        self.next_window += 1;
+        Some(out)
+    }
+
+    /// De-scaled window power estimate — identical to
+    /// [`QuantizedOpm::predict_windows`](crate::quant::QuantizedOpm::predict_windows)
+    /// for the same window.
+    pub fn est_power(&self, w: &WindowAttribution) -> f64 {
+        self.intercept + w.output as f64 / self.scale
+    }
+
+    /// Mean per-cycle power attributed to class `i` over the window
+    /// (above the intercept baseline). `scale` is always positive
+    /// ([`QuantizedOpm::from_model`] uses 1.0 for degenerate all-zero
+    /// models), so this never divides by zero.
+    pub fn unit_power(&self, w: &WindowAttribution, i: usize) -> f64 {
+        w.raw[i] as f64 / (self.t as f64 * self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_core::{Proxy, SelectionPenalty};
+
+    fn model_with_units(specs: &[(f64, Unit, bool)]) -> ApolloModel {
+        ApolloModel {
+            design_name: "t".into(),
+            proxies: specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(w, unit, gated))| Proxy {
+                    bit: i,
+                    weight: w,
+                    name: format!("s{i}"),
+                    unit,
+                    is_clock_gate: gated,
+                })
+                .collect(),
+            intercept: 5.0,
+            selection_lambda: 1.0,
+            penalty: SelectionPenalty::Mcp { gamma: 10.0 },
+            candidates: 10,
+            m_bits: 100,
+        }
+    }
+
+    #[test]
+    fn map_folds_units_and_gated_clocks() {
+        let model = model_with_units(&[
+            (1.0, Unit::Alu, false),
+            (2.0, Unit::Fetch, false),
+            (3.0, Unit::Alu, false),
+            (4.0, Unit::ClockTree, true),
+        ]);
+        let map = AttributionMap::from_model(&model);
+        let labels: Vec<&str> = map.classes.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, vec!["fetch", "alu", "gated"]);
+        assert_eq!(map.classes[1].proxies, 2);
+        assert_eq!(map.classes[2].group, "clocks");
+        assert_eq!(map.class_of, vec![1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn window_attribution_sums_exactly_and_matches_reference() {
+        let model = model_with_units(&[
+            (1.5, Unit::Alu, false),
+            (0.5, Unit::Fetch, false),
+            (2.5, Unit::Vector, false),
+        ]);
+        let quant = QuantizedOpm::from_model(&model, 8, 4).unwrap();
+        let map = AttributionMap::from_model(&model);
+        let mut acc = AttributionAccumulator::new(&quant, &map);
+
+        // Deterministic toggle pattern over 8 cycles (2 windows).
+        let mut m = apollo_sim::ToggleMatrix::new(3, 8);
+        for c in 0..8 {
+            for k in 0..3 {
+                if (c * 3 + k * 5) % 4 != 0 {
+                    m.set(k, c);
+                }
+            }
+        }
+        let reference = quant.window_outputs(&m);
+        let mut windows = Vec::new();
+        for c in 0..8 {
+            if let Some(w) = acc.cycle(|k| m.get(k, c)) {
+                windows.push(w);
+            }
+        }
+        assert_eq!(windows.len(), 2);
+        for (w, &r) in windows.iter().zip(&reference) {
+            assert_eq!(w.raw.iter().sum::<u64>(), w.total, "exact integer sum");
+            assert_eq!(w.output, r, "window output must match the hardware reference");
+            let est = acc.est_power(w);
+            let pred = quant.intercept + r as f64 / quant.scale;
+            assert!((est - pred).abs() == 0.0, "descale must be identical");
+        }
+    }
+
+    #[test]
+    fn idle_window_has_zero_shares_without_nan() {
+        let model = model_with_units(&[(0.0, Unit::Alu, false), (0.0, Unit::L2, false)]);
+        let quant = QuantizedOpm::from_model(&model, 8, 2).unwrap();
+        assert_eq!(quant.scale, 1.0, "degenerate model gets unit scale");
+        let map = AttributionMap::from_model(&model);
+        let mut acc = AttributionAccumulator::new(&quant, &map);
+        assert!(acc.cycle(|_| true).is_none(), "window t=2 closes on the second cycle");
+        let w = acc.cycle(|_| true).unwrap();
+        assert_eq!(w.total, 0);
+        for i in 0..map.n_classes() {
+            assert_eq!(w.share(i), 0.0);
+            assert_eq!(acc.unit_power(&w, i), 0.0);
+        }
+        assert!(acc.est_power(&w).is_finite());
+    }
+}

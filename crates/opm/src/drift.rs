@@ -1,0 +1,395 @@
+//! Streaming model-health monitors: EWMA residual tracking and
+//! two-sided CUSUM drift detection over per-window OPM residuals.
+//!
+//! The introspection pipeline feeds each detector one residual per
+//! OPM window — `est − reference`, where the reference is either the
+//! full float per-cycle model (quantization health) or the
+//! ground-truth simulated power (model health). The detector:
+//!
+//! 1. **Calibrates** during a warmup of `warmup` windows, estimating
+//!    the residual's baseline mean μ and standard deviation σ with
+//!    Welford's algorithm (serial, deterministic).
+//! 2. **Tracks** the EWMA of the residual,
+//!    `ewma ← α·r + (1−α)·ewma`.
+//! 3. **Detects** drift with a standard two-sided CUSUM on the
+//!    standardized residual `z = (r − μ)/σ`:
+//!    `S⁺ ← max(0, S⁺ + z − k)`, `S⁻ ← max(0, S⁻ − z − k)`;
+//!    an alarm fires when either side exceeds `h`, after which that
+//!    side resets (so persistent drift re-alarms).
+//!
+//! Alarms emit typed `opm.drift.alarm` telemetry events (validated by
+//! `trace-lint` against [`apollo_telemetry::known`]); the optional
+//! [`FailSafeArm`] turns alarms into a throttle floor for the PR-2
+//! fail-safe governor actuator, with hysteresis on release.
+//!
+//! All state is `f64` arithmetic applied in window order from a serial
+//! point, so detector state is bit-identical across simulator thread
+//! counts.
+
+use apollo_telemetry::FieldValue;
+
+/// Drift-detector configuration.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DriftConfig {
+    /// EWMA smoothing factor α in `(0, 1]`.
+    pub ewma_alpha: f64,
+    /// CUSUM slack `k` (standard deviations) absorbed per window.
+    pub cusum_k: f64,
+    /// CUSUM alarm threshold `h` (standard deviations).
+    pub cusum_h: f64,
+    /// Calibration windows before alarms may fire (≥ 2).
+    pub warmup: u64,
+    /// Floor on the calibrated σ, as a fraction of |μ| (guards the
+    /// degenerate zero-variance warmup — never divides by zero).
+    pub min_sigma_rel: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            ewma_alpha: 0.2,
+            cusum_k: 0.5,
+            cusum_h: 8.0,
+            warmup: 16,
+            min_sigma_rel: 1e-3,
+        }
+    }
+}
+
+/// What one window's observation did to a detector.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize)]
+pub struct DriftSignal {
+    /// Window index (detector-local, starting at 0).
+    pub window: u64,
+    /// The observed residual.
+    pub residual: f64,
+    /// EWMA after this window.
+    pub ewma: f64,
+    /// Positive-side CUSUM after this window (pre-reset value when
+    /// `alarm` is set).
+    pub cusum_pos: f64,
+    /// Negative-side CUSUM after this window (pre-reset value when
+    /// `alarm` is set).
+    pub cusum_neg: f64,
+    /// Whether a drift alarm fired this window.
+    pub alarm: bool,
+    /// Whether the detector is still calibrating.
+    pub warming_up: bool,
+}
+
+/// Streaming EWMA + two-sided CUSUM drift detector.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct DriftDetector {
+    /// Monitor name, used in emitted `opm.drift.*` events.
+    pub name: String,
+    cfg: DriftConfig,
+    windows: u64,
+    // Welford calibration state.
+    warm_mean: f64,
+    warm_m2: f64,
+    // Frozen baseline after warmup.
+    mu: f64,
+    sigma: f64,
+    ewma: f64,
+    cusum_pos: f64,
+    cusum_neg: f64,
+    alarms: u64,
+    since_alarm: bool,
+}
+
+impl DriftDetector {
+    /// New detector named `name` (e.g. `quant` or `truth`).
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (α outside `(0, 1]`,
+    /// non-positive `k`/`h`, or `warmup < 2`).
+    pub fn new(name: &str, cfg: DriftConfig) -> Self {
+        assert!(cfg.ewma_alpha > 0.0 && cfg.ewma_alpha <= 1.0, "alpha in (0,1]");
+        assert!(cfg.cusum_k >= 0.0 && cfg.cusum_h > 0.0, "k >= 0, h > 0");
+        assert!(cfg.warmup >= 2, "warmup needs at least 2 windows");
+        DriftDetector {
+            name: name.to_owned(),
+            cfg,
+            windows: 0,
+            warm_mean: 0.0,
+            warm_m2: 0.0,
+            mu: 0.0,
+            sigma: 0.0,
+            ewma: 0.0,
+            cusum_pos: 0.0,
+            cusum_neg: 0.0,
+            alarms: 0,
+            since_alarm: false,
+        }
+    }
+
+    /// Windows observed.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Alarms fired so far.
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Current EWMA of the residual.
+    pub fn ewma(&self) -> f64 {
+        self.ewma
+    }
+
+    /// Calibrated baseline `(μ, σ)` (zeros while warming up).
+    pub fn baseline(&self) -> (f64, f64) {
+        (self.mu, self.sigma)
+    }
+
+    /// Feeds one window's residual; updates state, emits `opm.drift.*`
+    /// events on transitions, and returns the signal.
+    pub fn observe(&mut self, residual: f64) -> DriftSignal {
+        let window = self.windows;
+        self.windows += 1;
+        if window == 0 {
+            self.ewma = residual;
+        } else {
+            let a = self.cfg.ewma_alpha;
+            self.ewma = a * residual + (1.0 - a) * self.ewma;
+        }
+
+        if window < self.cfg.warmup {
+            // Welford update.
+            let n = (window + 1) as f64;
+            let delta = residual - self.warm_mean;
+            self.warm_mean += delta / n;
+            self.warm_m2 += delta * (residual - self.warm_mean);
+            if window + 1 == self.cfg.warmup {
+                self.mu = self.warm_mean;
+                let var = self.warm_m2 / (n - 1.0);
+                let floor = (self.mu.abs() * self.cfg.min_sigma_rel).max(f64::MIN_POSITIVE);
+                self.sigma = var.sqrt().max(floor);
+            }
+            return DriftSignal {
+                window,
+                residual,
+                ewma: self.ewma,
+                cusum_pos: 0.0,
+                cusum_neg: 0.0,
+                alarm: false,
+                warming_up: true,
+            };
+        }
+
+        let z = (residual - self.mu) / self.sigma;
+        self.cusum_pos = (self.cusum_pos + z - self.cfg.cusum_k).max(0.0);
+        self.cusum_neg = (self.cusum_neg - z - self.cfg.cusum_k).max(0.0);
+        let alarm = self.cusum_pos > self.cfg.cusum_h || self.cusum_neg > self.cfg.cusum_h;
+        let signal = DriftSignal {
+            window,
+            residual,
+            ewma: self.ewma,
+            cusum_pos: self.cusum_pos,
+            cusum_neg: self.cusum_neg,
+            alarm,
+            warming_up: false,
+        };
+        if alarm {
+            self.alarms += 1;
+            self.since_alarm = true;
+            apollo_telemetry::emit_event(
+                "opm.drift.alarm",
+                &[
+                    ("monitor", FieldValue::from(self.name.as_str())),
+                    ("window", FieldValue::from(window)),
+                    ("residual", FieldValue::from(residual)),
+                    ("ewma", FieldValue::from(self.ewma)),
+                    ("cusum_pos", FieldValue::from(self.cusum_pos)),
+                    ("cusum_neg", FieldValue::from(self.cusum_neg)),
+                ],
+            );
+            apollo_telemetry::counter("opm.drift.alarms").inc();
+            // Reset the tripped side(s) so persistent drift re-alarms.
+            if self.cusum_pos > self.cfg.cusum_h {
+                self.cusum_pos = 0.0;
+            }
+            if self.cusum_neg > self.cfg.cusum_h {
+                self.cusum_neg = 0.0;
+            }
+        } else if self.since_alarm
+            && self.cusum_pos < self.cfg.cusum_h / 2.0
+            && self.cusum_neg < self.cfg.cusum_h / 2.0
+        {
+            self.since_alarm = false;
+            apollo_telemetry::emit_event(
+                "opm.drift.clear",
+                &[
+                    ("monitor", FieldValue::from(self.name.as_str())),
+                    ("window", FieldValue::from(window)),
+                ],
+            );
+        }
+        signal
+    }
+}
+
+/// Fail-safe arming configuration: how drift alarms translate into a
+/// throttle floor for the governor actuator.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ArmConfig {
+    /// Throttle floor applied while armed (the PR-2 fail-safe
+    /// conservative level).
+    pub conservative_level: u8,
+    /// Windows the floor is held after the last alarm (hysteresis).
+    pub hold_windows: u64,
+}
+
+impl Default for ArmConfig {
+    fn default() -> Self {
+        ArmConfig {
+            conservative_level: 3,
+            hold_windows: 8,
+        }
+    }
+}
+
+/// Drift → governor wiring: latches drift alarms into a held throttle
+/// floor, mirroring the fail-safe governor's "distrusted ⇒ throttled"
+/// invariant for model-health distrust.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct FailSafeArm {
+    cfg: ArmConfig,
+    hold: u64,
+    /// Windows spent armed.
+    pub armed_windows: u64,
+}
+
+impl FailSafeArm {
+    /// New, disarmed.
+    pub fn new(cfg: ArmConfig) -> Self {
+        FailSafeArm {
+            cfg,
+            hold: 0,
+            armed_windows: 0,
+        }
+    }
+
+    /// Whether the floor is currently applied.
+    pub fn armed(&self) -> bool {
+        self.hold > 0
+    }
+
+    /// Feeds one window's alarm state (`monitor` names the triggering
+    /// detector in emitted events); returns the throttle floor to
+    /// apply this window (0 when disarmed).
+    pub fn update(&mut self, alarm: bool, window: u64, monitor: &str) -> u8 {
+        let was_armed = self.armed();
+        if alarm {
+            self.hold = self.cfg.hold_windows;
+        } else if self.hold > 0 {
+            self.hold -= 1;
+        }
+        if self.armed() && !was_armed {
+            apollo_telemetry::emit_event(
+                "opm.drift.armed",
+                &[
+                    ("monitor", FieldValue::from(monitor)),
+                    ("window", FieldValue::from(window)),
+                    ("level", FieldValue::from(self.cfg.conservative_level)),
+                ],
+            );
+        } else if !self.armed() && was_armed {
+            apollo_telemetry::emit_event(
+                "opm.drift.disarmed",
+                &[
+                    ("monitor", FieldValue::from(monitor)),
+                    ("window", FieldValue::from(window)),
+                ],
+            );
+        }
+        if self.armed() {
+            self.armed_windows += 1;
+            self.cfg.conservative_level
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(det: &mut DriftDetector, residuals: impl IntoIterator<Item = f64>) -> Vec<DriftSignal> {
+        residuals.into_iter().map(|r| det.observe(r)).collect()
+    }
+
+    #[test]
+    fn stationary_residuals_never_alarm() {
+        let mut det = DriftDetector::new("quant", DriftConfig::default());
+        // Deterministic small oscillation around 0.1.
+        let signals = drive(
+            &mut det,
+            (0..200).map(|i| 0.1 + 0.01 * ((i % 7) as f64 - 3.0)),
+        );
+        assert!(signals.iter().all(|s| !s.alarm), "no alarms on stationary input");
+        assert_eq!(det.alarms(), 0);
+        let (mu, sigma) = det.baseline();
+        assert!((mu - 0.1).abs() < 0.02, "baseline mean ≈ 0.1, got {mu}");
+        assert!(sigma > 0.0);
+    }
+
+    #[test]
+    fn mean_shift_alarms_and_persists() {
+        let mut det = DriftDetector::new("truth", DriftConfig::default());
+        let warm: Vec<f64> = (0..32).map(|i| 0.01 * ((i % 5) as f64 - 2.0)).collect();
+        drive(&mut det, warm);
+        assert_eq!(det.alarms(), 0);
+        // A sustained +10σ-ish shift must alarm quickly and re-alarm.
+        let shifted = drive(&mut det, std::iter::repeat_n(0.5, 100));
+        let first = shifted.iter().position(|s| s.alarm);
+        assert!(first.is_some(), "shift must alarm");
+        assert!(first.unwrap() < 30, "alarm should fire quickly, got {first:?}");
+        assert!(det.alarms() >= 2, "persistent drift must re-alarm: {}", det.alarms());
+    }
+
+    #[test]
+    fn negative_shift_trips_the_negative_side() {
+        let mut det = DriftDetector::new("truth", DriftConfig::default());
+        drive(&mut det, (0..32).map(|i| 0.01 * ((i % 5) as f64 - 2.0)));
+        let shifted = drive(&mut det, std::iter::repeat_n(-0.5, 50));
+        let alarm = shifted.iter().find(|s| s.alarm).expect("negative drift alarms");
+        assert!(alarm.cusum_neg > alarm.cusum_pos);
+    }
+
+    #[test]
+    fn constant_warmup_does_not_divide_by_zero() {
+        let mut det = DriftDetector::new("quant", DriftConfig { warmup: 4, ..DriftConfig::default() });
+        let signals = drive(&mut det, std::iter::repeat_n(2.0, 50));
+        assert!(signals.iter().all(|s| s.cusum_pos.is_finite() && s.cusum_neg.is_finite()));
+        assert_eq!(det.alarms(), 0, "identical residuals are not drift");
+        let (_, sigma) = det.baseline();
+        assert!(sigma > 0.0, "sigma floored, not zero");
+    }
+
+    #[test]
+    fn detector_state_is_deterministic() {
+        let run = || {
+            let mut det = DriftDetector::new("quant", DriftConfig::default());
+            drive(&mut det, (0..100).map(|i| ((i * 37) % 11) as f64 * 0.03));
+            det
+        };
+        assert_eq!(run(), run(), "identical inputs give bit-identical state");
+    }
+
+    #[test]
+    fn failsafe_arm_holds_and_releases() {
+        let cfg = ArmConfig { conservative_level: 2, hold_windows: 3 };
+        let mut arm = FailSafeArm::new(cfg);
+        assert_eq!(arm.update(false, 0, "quant"), 0);
+        assert_eq!(arm.update(true, 1, "quant"), 2);
+        assert!(arm.armed());
+        assert_eq!(arm.update(false, 2, "quant"), 2);
+        assert_eq!(arm.update(false, 3, "quant"), 2);
+        assert_eq!(arm.update(false, 4, "quant"), 0, "hold expires");
+        assert!(!arm.armed());
+        assert_eq!(arm.armed_windows, 3);
+    }
+}

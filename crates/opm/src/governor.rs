@@ -11,11 +11,12 @@
 //! quantized weighted toggle sums of the proxy set — never the
 //! ground-truth power.
 
+use crate::attribution::ProxyTaps;
 use crate::quant::QuantizedOpm;
 use crate::resilience::{HardenedMeter, HardenedOpm, MeterFaultPlan, MeterFaultReport};
 use apollo_core::ApolloError;
 use apollo_cpu::{CpuHandles, CpuSim, Inst};
-use apollo_rtl::{CapAnnotation, NodeId};
+use apollo_rtl::CapAnnotation;
 use apollo_sim::{FaultPlan, FaultReport, PowerConfig};
 
 /// Emits a typed `governor.throttle` transition event (no-op without a
@@ -82,29 +83,22 @@ pub struct GovernorReport {
 /// hardware accumulates it: weighted toggles of the proxy bits.
 struct OpmShadow<'a> {
     opm: &'a QuantizedOpm,
-    /// (node index, bit-within-node, weight) per proxy.
-    taps: Vec<(NodeId, u8, u64)>,
+    taps: ProxyTaps,
 }
 
 impl<'a> OpmShadow<'a> {
     fn new(opm: &'a QuantizedOpm, netlist: &apollo_rtl::Netlist) -> Self {
-        let taps = opm
-            .bits
-            .iter()
-            .zip(&opm.weights)
-            .map(|(&bit, &w)| {
-                let (node, sub) = netlist.bit_owner(bit);
-                (node, sub, w as u64)
-            })
-            .collect();
-        OpmShadow { opm, taps }
+        OpmShadow {
+            opm,
+            taps: ProxyTaps::new(netlist, &opm.bits),
+        }
     }
 
     fn sample(&self, sim: &apollo_sim::Simulator<'_>) -> u64 {
         let mut sum = 0u64;
-        for &(node, sub, w) in &self.taps {
-            if (sim.toggle_word(node) >> sub) & 1 == 1 {
-                sum += w;
+        for (k, &w) in self.opm.weights.iter().enumerate() {
+            if w != 0 && self.taps.toggled(sim, k) {
+                sum += w as u64;
             }
         }
         sum
@@ -299,12 +293,7 @@ pub fn run_governed_resilient(
     }
     // (node, bit-within-node) per proxy; the hardened meter holds the
     // weights (per lane, so ROM corruption stays lane-local).
-    let taps: Vec<(NodeId, u8)> = opm
-        .quant
-        .bits
-        .iter()
-        .map(|&bit| handles.netlist.bit_owner(bit))
-        .collect();
+    let taps = ProxyTaps::new(&handles.netlist, &opm.quant.bits);
     let mut meter = HardenedMeter::new(&opm.quant, opm.envelope, opm.redundancy, meter_plan)?;
 
     // Free-running clean reference.
@@ -357,10 +346,7 @@ pub fn run_governed_resilient(
         true_acc += p;
         let reading = {
             let sim = gov.sim();
-            meter.step(|k| {
-                let (node, sub) = taps[k];
-                (sim.toggle_word(node) >> sub) & 1 == 1
-            })
+            meter.step(|k| taps.toggled(sim, k))
         };
         if let Some(r) = reading {
             if r.value == last_value {

@@ -21,12 +21,20 @@
 //!   median-of-3 redundancy;
 //! - [`governor`] — closed-loop power capping from OPM readings, with a
 //!   fail-safe mode that throttles conservatively on flagged or stuck
-//!   meter readings.
+//!   meter readings;
+//! - [`attribution`] — exact per-functional-unit decomposition of each
+//!   OPM window (the linear weighted toggle sum folded onto the CPU's
+//!   unit hierarchy, summing bit-exactly to the window total);
+//! - [`drift`] — streaming model-health monitors: EWMA residual
+//!   tracking, two-sided CUSUM drift alarms and the fail-safe arming
+//!   latch that translates sustained drift into a throttle floor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod attribution;
+pub mod drift;
 pub mod droop;
 pub mod governor;
 pub mod hardware;
@@ -35,6 +43,10 @@ pub mod resilience;
 pub mod structure;
 
 pub use area::{cpu_gate_area, opm_gate_area, AreaReport};
+pub use attribution::{
+    AttributionAccumulator, AttributionClass, AttributionMap, ProxyTaps, WindowAttribution,
+};
+pub use drift::{ArmConfig, DriftConfig, DriftDetector, DriftSignal, FailSafeArm};
 pub use droop::{DroopAnalysis, PdnModel};
 pub use governor::{
     run_governed, run_governed_resilient, GovernorConfig, GovernorReport,

@@ -1,0 +1,157 @@
+//! Property-based invariants of per-unit power attribution.
+//!
+//! The load-bearing claim of the introspection dashboard is that the
+//! per-unit readings *provably* sum to the OPM's total prediction.
+//! These properties pin it for arbitrary models and toggle patterns:
+//!
+//! 1. per-class raw accumulators sum bit-exactly (integer arithmetic)
+//!    to the OPM's raw window accumulator, and the derived window
+//!    output matches [`QuantizedOpm::window_outputs`] exactly;
+//! 2. the de-scaled estimate matches `predict_windows` exactly;
+//! 3. degenerate models (all-zero weights, single proxy, all-idle
+//!    windows) produce finite shares and never divide by zero.
+
+use apollo_core::{ApolloModel, Proxy, SelectionPenalty};
+use apollo_opm::{AttributionAccumulator, AttributionMap, QuantizedOpm};
+use apollo_rtl::Unit;
+use apollo_sim::ToggleMatrix;
+use proptest::prelude::*;
+
+fn model_from(weights: &[f64], unit_picks: &[u8], gated: &[bool]) -> ApolloModel {
+    ApolloModel {
+        design_name: "prop".into(),
+        proxies: weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Proxy {
+                bit: i,
+                weight: w,
+                name: format!("p{i}"),
+                unit: Unit::ALL[unit_picks[i] as usize % Unit::ALL.len()],
+                is_clock_gate: gated[i],
+            })
+            .collect(),
+        intercept: 7.5,
+        selection_lambda: 1.0,
+        penalty: SelectionPenalty::Mcp { gamma: 10.0 },
+        candidates: weights.len(),
+        m_bits: weights.len().max(1) * 10,
+    }
+}
+
+/// Deterministic toggle pattern from a seed (xorshift).
+fn toggles(q: usize, cycles: usize, seed: u64) -> ToggleMatrix {
+    let mut m = ToggleMatrix::new(q, cycles);
+    let mut s = seed | 1;
+    for c in 0..cycles {
+        for k in 0..q {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if s & 3 == 0 {
+                m.set(k, c);
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-class contributions sum exactly to the OPM raw accumulator,
+    /// and output/descale are bit-exact with the hardware reference.
+    #[test]
+    fn attribution_sums_exactly_for_arbitrary_models(
+        weights in proptest::collection::vec(0u32..2000, 1..24),
+        seed in any::<u64>(),
+        t_log in 2u32..6,
+        b in 4u8..12,
+    ) {
+        let t = 1usize << t_log;
+        let q = weights.len();
+        let fweights: Vec<f64> = weights.iter().map(|&w| w as f64 / 16.0).collect();
+        let unit_picks: Vec<u8> = (0..q).map(|i| (seed.rotate_left(i as u32) & 0xff) as u8).collect();
+        let gated: Vec<bool> = (0..q).map(|i| (seed >> (i % 60)) & 1 == 1).collect();
+        let model = model_from(&fweights, &unit_picks, &gated);
+        let opm = QuantizedOpm::from_model(&model, b, t).unwrap();
+        let map = AttributionMap::from_model(&model);
+        let mut acc = AttributionAccumulator::new(&opm, &map);
+
+        let cycles = t * 3;
+        let m = toggles(q, cycles, seed);
+        let reference = opm.window_outputs(&m);
+        let ref_raw = opm.raw_sums(&m);
+
+        let mut windows = Vec::new();
+        for c in 0..cycles {
+            if let Some(w) = acc.cycle(|k| m.get(k, c)) {
+                windows.push(w);
+            }
+        }
+        prop_assert_eq!(windows.len(), 3);
+        for (i, w) in windows.iter().enumerate() {
+            // 1. exact integer decomposition
+            prop_assert_eq!(w.raw.iter().sum::<u64>(), w.total);
+            // against the per-cycle reference accumulator
+            let expect_total: u64 = ref_raw[i * t..(i + 1) * t].iter().sum();
+            prop_assert_eq!(w.total, expect_total);
+            // 2. hardware window output + descale bit-exact
+            prop_assert_eq!(w.output, reference[i]);
+            let est = acc.est_power(w);
+            let pred = opm.intercept + reference[i] as f64 / opm.scale;
+            prop_assert!(est == pred, "descale must be identical: {est} vs {pred}");
+            // shares are finite and in [0, 1]
+            for cls in 0..map.n_classes() {
+                let s = w.share(cls);
+                prop_assert!(s.is_finite() && (0.0..=1.0).contains(&s));
+                prop_assert!(acc.unit_power(w, cls).is_finite());
+            }
+        }
+    }
+
+    /// Degenerate models — zero weights and/or all-idle windows —
+    /// never divide by zero and keep every reading finite.
+    #[test]
+    fn degenerate_models_stay_finite(
+        q in 1usize..8,
+        zero_weights in any::<bool>(),
+        idle in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let weights: Vec<f64> = if zero_weights {
+            vec![0.0; q]
+        } else {
+            (0..q).map(|i| i as f64).collect() // first weight still 0
+        };
+        let unit_picks: Vec<u8> = (0..q).map(|i| i as u8).collect();
+        let gated = vec![false; q];
+        let model = model_from(&weights, &unit_picks, &gated);
+        let opm = QuantizedOpm::from_model(&model, 8, 4).unwrap();
+        prop_assert!(opm.scale > 0.0, "scale is always positive");
+        let map = AttributionMap::from_model(&model);
+        let mut acc = AttributionAccumulator::new(&opm, &map);
+
+        let m = if idle {
+            ToggleMatrix::new(q, 8) // nothing ever toggles
+        } else {
+            toggles(q, 8, seed)
+        };
+        for c in 0..8 {
+            if let Some(w) = acc.cycle(|k| m.get(k, c)) {
+                prop_assert_eq!(w.raw.iter().sum::<u64>(), w.total);
+                prop_assert!(acc.est_power(&w).is_finite());
+                for cls in 0..map.n_classes() {
+                    prop_assert!(w.share(cls).is_finite());
+                    prop_assert!(acc.unit_power(&w, cls).is_finite());
+                }
+                if idle || zero_weights {
+                    prop_assert_eq!(w.total, 0);
+                    for cls in 0..map.n_classes() {
+                        prop_assert_eq!(w.share(cls), 0.0);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -46,7 +46,7 @@ mod trace;
 mod vcd;
 
 pub use fault::{FaultEvent, FaultPlan, FaultPlanError, FaultReport, StuckAtFault};
-pub use power::{PowerConfig, PowerSample};
+pub use power::{PowerConfig, PowerSample, WindowPower, WindowTap};
 pub use simulator::Simulator;
 pub use toggle::ToggleMatrix;
 pub use trace::{CaptureSelection, TraceCapture, TraceData};

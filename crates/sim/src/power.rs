@@ -119,6 +119,87 @@ impl fmt::Display for PowerSample {
     }
 }
 
+/// Mean per-cycle power of one completed `T`-cycle window, the
+/// ground-truth tap the runtime introspection pipeline compares the
+/// OPM against.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WindowPower {
+    /// Zero-based window index.
+    pub index: u64,
+    /// Cycle count of the window (`T`).
+    pub cycles: usize,
+    /// Mean per-cycle power breakdown over the window.
+    pub mean: PowerSample,
+}
+
+/// Accumulates per-cycle [`PowerSample`]s into fixed-size windows.
+///
+/// Summation order is cycle order, so window means are bit-identical
+/// for any netlist-level thread count (per-cycle samples already are,
+/// by the parallel engine's determinism contract).
+#[derive(Clone, Debug)]
+pub struct WindowTap {
+    t: usize,
+    acc: PowerSample,
+    filled: usize,
+    next_index: u64,
+}
+
+impl WindowTap {
+    /// New tap with window length `t` (cycles).
+    ///
+    /// # Panics
+    /// Panics if `t` is zero.
+    pub fn new(t: usize) -> Self {
+        assert!(t >= 1, "window must be at least 1 cycle");
+        WindowTap {
+            t,
+            acc: PowerSample::default(),
+            filled: 0,
+            next_index: 0,
+        }
+    }
+
+    /// Window length in cycles.
+    pub fn window(&self) -> usize {
+        self.t
+    }
+
+    /// Completed windows so far.
+    pub fn completed(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Adds one cycle's sample; returns the finished window when this
+    /// cycle completes it.
+    pub fn push(&mut self, sample: &PowerSample) -> Option<WindowPower> {
+        self.acc = self.acc + *sample;
+        self.filled += 1;
+        if self.filled < self.t {
+            return None;
+        }
+        let n = self.t as f64;
+        let mean = PowerSample {
+            total: self.acc.total / n,
+            switching: self.acc.switching / n,
+            clock: self.acc.clock / n,
+            memory: self.acc.memory / n,
+            glitch: self.acc.glitch / n,
+            short_circuit: self.acc.short_circuit / n,
+            leakage: self.acc.leakage / n,
+        };
+        let out = WindowPower {
+            index: self.next_index,
+            cycles: self.t,
+            mean,
+        };
+        self.acc = PowerSample::default();
+        self.filled = 0;
+        self.next_index += 1;
+        Some(out)
+    }
+}
+
 /// Deterministic uniform value in `[0, 1)` from a 64-bit key.
 pub(crate) fn unit_hash(x: u64) -> f64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -150,6 +231,25 @@ mod tests {
     fn display_mentions_total() {
         let s = PowerSample::from_components(1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
         assert!(s.to_string().contains("total=1.00"));
+    }
+
+    #[test]
+    fn window_tap_means_match_manual_average() {
+        let mut tap = WindowTap::new(4);
+        let mut out = Vec::new();
+        for c in 0..12u64 {
+            let s = PowerSample::from_components(c as f64, 1.0, 0.0, 0.0, 0.0, 2.0, 0.0);
+            if let Some(w) = tap.push(&s) {
+                out.push(w);
+            }
+        }
+        assert_eq!(out.len(), 3);
+        assert_eq!(tap.completed(), 3);
+        // Window 1 covers cycles 4..8: mean switching (4+5+6+7)/4.
+        assert_eq!(out[1].index, 1);
+        assert!((out[1].mean.switching - 5.5).abs() < 1e-12);
+        assert!((out[1].mean.total - (5.5 + 3.0)).abs() < 1e-12);
+        assert_eq!(out[1].cycles, 4);
     }
 
     #[test]

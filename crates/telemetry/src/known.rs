@@ -1,0 +1,303 @@
+//! Registry of known typed event bodies.
+//!
+//! The JSONL schema ([`crate::event`]) is intentionally open: any
+//! crate may emit any event name. For event families that downstream
+//! tooling consumes programmatically — today the `opm.drift.*` and
+//! `introspect.*` kinds published by the runtime introspection
+//! pipeline, plus the `governor.*` fail-safe transitions — this module
+//! pins the required fields and their types so `trace-lint` (and any
+//! other reader) can reject malformed bodies instead of silently
+//! mis-parsing them.
+//!
+//! A known-event spec lists *required* fields: each must be present
+//! with the given [`FieldKind`]. Extra fields are allowed as long as
+//! they obey the registered dynamic prefixes (per-unit attribution
+//! fields like `unit.alu`, whose names depend on the trained model).
+//! Events whose names match no spec validate trivially.
+
+use crate::event::{Event, FieldValue};
+
+/// The type a known field must carry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FieldKind {
+    /// [`FieldValue::U64`].
+    U64,
+    /// [`FieldValue::I64`].
+    I64,
+    /// [`FieldValue::F64`].
+    F64,
+    /// [`FieldValue::Str`].
+    Str,
+    /// [`FieldValue::Bool`].
+    Bool,
+}
+
+impl FieldKind {
+    fn matches(self, v: &FieldValue) -> bool {
+        matches!(
+            (self, v),
+            (FieldKind::U64, FieldValue::U64(_))
+                | (FieldKind::I64, FieldValue::I64(_))
+                | (FieldKind::F64, FieldValue::F64(_))
+                | (FieldKind::Str, FieldValue::Str(_))
+                | (FieldKind::Bool, FieldValue::Bool(_))
+        )
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            FieldKind::U64 => "U64",
+            FieldKind::I64 => "I64",
+            FieldKind::F64 => "F64",
+            FieldKind::Str => "Str",
+            FieldKind::Bool => "Bool",
+        }
+    }
+}
+
+/// Schema of one known event kind.
+#[derive(Copy, Clone, Debug)]
+pub struct KnownEvent {
+    /// Exact event name.
+    pub name: &'static str,
+    /// Required `(field, kind)` pairs; order is not constrained.
+    pub required: &'static [(&'static str, FieldKind)],
+    /// Allowed dynamic field-name prefixes and the kind every field
+    /// under them must carry (e.g. per-unit attribution columns).
+    pub dynamic: &'static [(&'static str, FieldKind)],
+}
+
+/// Every event kind with a pinned body schema.
+pub const KNOWN_EVENTS: &[KnownEvent] = &[
+    KnownEvent {
+        name: "opm.drift.alarm",
+        required: &[
+            ("monitor", FieldKind::Str),
+            ("window", FieldKind::U64),
+            ("residual", FieldKind::F64),
+            ("ewma", FieldKind::F64),
+            ("cusum_pos", FieldKind::F64),
+            ("cusum_neg", FieldKind::F64),
+        ],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "opm.drift.clear",
+        required: &[("monitor", FieldKind::Str), ("window", FieldKind::U64)],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "opm.drift.armed",
+        required: &[
+            ("monitor", FieldKind::Str),
+            ("window", FieldKind::U64),
+            ("level", FieldKind::U64),
+        ],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "opm.drift.disarmed",
+        required: &[("monitor", FieldKind::Str), ("window", FieldKind::U64)],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "introspect.window",
+        required: &[
+            ("window", FieldKind::U64),
+            ("cycle", FieldKind::U64),
+            ("raw", FieldKind::U64),
+            ("out", FieldKind::U64),
+            ("est_power", FieldKind::F64),
+            ("float_power", FieldKind::F64),
+            ("true_power", FieldKind::F64),
+            ("energy", FieldKind::F64),
+            ("throttle", FieldKind::U64),
+        ],
+        dynamic: &[("unit.", FieldKind::U64), ("group.", FieldKind::U64)],
+    },
+    KnownEvent {
+        name: "introspect.start",
+        required: &[
+            ("design", FieldKind::Str),
+            ("bench", FieldKind::Str),
+            ("q", FieldKind::U64),
+            ("window_t", FieldKind::U64),
+        ],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "introspect.restart",
+        required: &[("cycle", FieldKind::U64), ("runs", FieldKind::U64)],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "introspect.shutdown",
+        required: &[("windows", FieldKind::U64), ("cycles", FieldKind::U64)],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "introspect.subscriber",
+        required: &[("action", FieldKind::Str), ("active", FieldKind::U64)],
+        dynamic: &[],
+    },
+];
+
+/// Looks up the pinned schema for an event name, if any.
+pub fn known_event(name: &str) -> Option<&'static KnownEvent> {
+    KNOWN_EVENTS.iter().find(|k| k.name == name)
+}
+
+/// Validates an event body against the known-event registry.
+///
+/// Events with unregistered names pass. For registered names, every
+/// required field must be present exactly once with the right kind,
+/// and any extra field must fall under a registered dynamic prefix
+/// with the right kind.
+///
+/// # Errors
+/// Returns a human-readable description of the first violation.
+pub fn validate_known(event: &Event) -> Result<(), String> {
+    let Some(spec) = known_event(&event.name) else {
+        return Ok(());
+    };
+    for &(name, kind) in spec.required {
+        let mut found = 0usize;
+        for (k, v) in &event.fields {
+            if k == name {
+                found += 1;
+                if !kind.matches(v) {
+                    return Err(format!(
+                        "event `{}`: field `{name}` must be {}",
+                        event.name,
+                        kind.label()
+                    ));
+                }
+            }
+        }
+        match found {
+            0 => {
+                return Err(format!(
+                    "event `{}`: missing required field `{name}`",
+                    event.name
+                ))
+            }
+            1 => {}
+            n => {
+                return Err(format!(
+                    "event `{}`: field `{name}` appears {n} times",
+                    event.name
+                ))
+            }
+        }
+    }
+    for (k, v) in &event.fields {
+        if spec.required.iter().any(|&(name, _)| name == k) {
+            continue;
+        }
+        let Some(&(_, kind)) = spec.dynamic.iter().find(|(p, _)| k.starts_with(p)) else {
+            return Err(format!(
+                "event `{}`: unexpected field `{k}` (not required, no dynamic prefix)",
+                event.name
+            ));
+        };
+        if !kind.matches(v) {
+            return Err(format!(
+                "event `{}`: dynamic field `{k}` must be {}",
+                event.name,
+                kind.label()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, fields: Vec<(&str, FieldValue)>) -> Event {
+        Event {
+            name: name.to_owned(),
+            fields: fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+        }
+    }
+
+    #[test]
+    fn unknown_names_pass() {
+        let e = ev("totally.custom", vec![("x", FieldValue::U64(1))]);
+        assert!(validate_known(&e).is_ok());
+    }
+
+    #[test]
+    fn drift_alarm_requires_all_fields() {
+        let e = ev(
+            "opm.drift.alarm",
+            vec![
+                ("monitor", FieldValue::Str("quant".into())),
+                ("window", FieldValue::U64(7)),
+                ("residual", FieldValue::F64(0.5)),
+                ("ewma", FieldValue::F64(0.4)),
+                ("cusum_pos", FieldValue::F64(3.0)),
+                ("cusum_neg", FieldValue::F64(0.0)),
+            ],
+        );
+        assert!(validate_known(&e).is_ok());
+        let missing = ev("opm.drift.alarm", vec![("window", FieldValue::U64(7))]);
+        let err = validate_known(&missing).unwrap_err();
+        assert!(err.contains("missing required field"), "{err}");
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let e = ev(
+            "opm.drift.clear",
+            vec![
+                ("monitor", FieldValue::Str("truth".into())),
+                ("window", FieldValue::F64(1.0)),
+            ],
+        );
+        let err = validate_known(&e).unwrap_err();
+        assert!(err.contains("must be U64"), "{err}");
+    }
+
+    #[test]
+    fn dynamic_unit_fields_allowed_with_right_kind() {
+        let mut fields = vec![
+            ("window", FieldValue::U64(0)),
+            ("cycle", FieldValue::U64(64)),
+            ("raw", FieldValue::U64(100)),
+            ("out", FieldValue::U64(1)),
+            ("est_power", FieldValue::F64(2.0)),
+            ("float_power", FieldValue::F64(2.1)),
+            ("true_power", FieldValue::F64(2.2)),
+            ("energy", FieldValue::F64(128.0)),
+            ("throttle", FieldValue::U64(0)),
+        ];
+        fields.push(("unit.alu", FieldValue::U64(40)));
+        fields.push(("unit.fetch", FieldValue::U64(60)));
+        assert!(validate_known(&ev("introspect.window", fields.clone())).is_ok());
+
+        fields.push(("unit.vec", FieldValue::F64(1.0)));
+        let err = validate_known(&ev("introspect.window", fields.clone())).unwrap_err();
+        assert!(err.contains("dynamic field `unit.vec` must be U64"), "{err}");
+
+        fields.pop();
+        fields.push(("surprise", FieldValue::U64(1)));
+        let err = validate_known(&ev("introspect.window", fields)).unwrap_err();
+        assert!(err.contains("unexpected field"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_required_field_rejected() {
+        let e = ev(
+            "opm.drift.clear",
+            vec![
+                ("monitor", FieldValue::Str("a".into())),
+                ("window", FieldValue::U64(1)),
+                ("window", FieldValue::U64(2)),
+            ],
+        );
+        let err = validate_known(&e).unwrap_err();
+        assert!(err.contains("appears 2 times"), "{err}");
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod diag;
 pub mod event;
+pub mod known;
 pub mod metrics;
 pub mod profile;
 pub mod sink;
@@ -44,6 +45,7 @@ pub mod span;
 
 pub use diag::{diag, set_verbosity, verbosity, Verbosity};
 pub use event::{validate_line, Event, FieldValue, Record, RecordBody, SCHEMA_VERSION};
+pub use known::{known_event, validate_known, FieldKind, KnownEvent, KNOWN_EVENTS};
 pub use metrics::{
     counter, gauge, histogram, prometheus_text, reset_metrics, snapshot, Counter, Gauge,
     Histogram, MetricsSnapshot,

@@ -230,6 +230,34 @@ pub struct HistogramSample {
     pub buckets: Vec<u64>,
 }
 
+impl HistogramSample {
+    /// Approximate quantile from the pow2 buckets: the upper bound of
+    /// the bucket containing the `q`-th observation (`q` in `0..=1`).
+    /// Returns `None` for an empty histogram. The answer is exact to
+    /// within the bucket's power-of-two resolution — good enough for
+    /// p50/p95/p99 dashboards without storing raw observations.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= rank {
+                // Bucket i counts values of bit length i: upper bound 2^i - 1.
+                return Some(if i == 0 { 0 } else { ((1u128 << i) - 1).min(u64::MAX as u128) as u64 });
+            }
+        }
+        // Trailing buckets were trimmed: the rank falls in the last
+        // non-empty bucket.
+        Some(match self.buckets.len() {
+            0 => 0,
+            n => ((1u128 << n) - 1).min(u64::MAX as u128) as u64,
+        })
+    }
+}
+
 /// Point-in-time copy of every registered metric, name-sorted.
 #[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {

@@ -9,6 +9,9 @@
 //! apollo ga     --config <tiny|n1|a77> [--ga-generations <N>] [--population <N>] [--threads <N>]
 //! apollo profile <subcommand> [flags...]
 //! apollo trace-lint --in trace.jsonl
+//! apollo monitor --config <tiny|n1|a77> --model model.json [--listen 127.0.0.1:9100]
+//!                [--cycles <N>] [--window <T>] [--bits <B>] [--bench <name>] [--arm] [--threads <N>]
+//! apollo scrape  --addr 127.0.0.1:9100 [--path /metrics|/events] [--lines <N>] [--out file]
 //!
 //! `--threads N` runs simulations on N worker threads (bit-identical
 //! results; defaults to 1).
@@ -23,6 +26,12 @@
 //! prints a per-phase wall-clock/percentage table. `--preset` is an
 //! alias for `--config` there (e.g. `apollo profile ga --preset
 //! neoverse_like`).
+//!
+//! `apollo monitor` runs the runtime introspection service: per-window
+//! OPM estimates with per-unit attribution, drift monitors, and (with
+//! `--listen`) a TCP endpoint serving Prometheus text on `/metrics`
+//! and streaming JSONL on `/events`; `GET /shutdown` ends the run
+//! cleanly. `apollo scrape` is the matching zero-dependency client.
 //! ```
 
 use apollo_suite::core::{
@@ -30,6 +39,8 @@ use apollo_suite::core::{
     FeatureSpace, TrainOptions,
 };
 use apollo_suite::cpu::{benchmarks, CpuConfig};
+use apollo_suite::introspect as apollo_introspect;
+use apollo_suite::introspect::{MonitorConfig, MonitorHub};
 use apollo_suite::mlkit::metrics;
 use apollo_suite::opm::{build_opm, AreaReport, QuantizedOpm};
 use apollo_suite::sim::FaultPlan;
@@ -48,8 +59,11 @@ fn usage() -> ExitCode {
          apollo opm    --model model.json [--bits <B>] [--window <T>]\n  \
          apollo trace  --config <tiny|n1|a77> --model model.json [--cycles <N>] [--threads <N>] [--out trace.json]\n  \
          apollo ga     --config <tiny|n1|a77> [--ga-generations <N>] [--population <N>] [--threads <N>]\n  \
-         apollo profile <design|ga|train|eval|capture> [--preset <name>] [flags...]\n  \
-         apollo trace-lint --in trace.jsonl\n\n\
+         apollo profile <design|ga|train|eval|capture|monitor> [--preset <name>] [flags...]\n  \
+         apollo trace-lint --in trace.jsonl\n  \
+         apollo monitor --config <tiny|n1|a77> --model model.json [--listen 127.0.0.1:9100]\n  \
+         \x20       [--cycles <N>] [--window <T>] [--bits <B>] [--bench <name>] [--arm] [--threads <N>]\n  \
+         apollo scrape  --addr 127.0.0.1:9100 [--path /metrics|/events] [--lines <N>] [--out file]\n\n\
          observability flags on any subcommand:\n  \
          --trace <out.jsonl>   --metrics   --quiet   -v|--verbose"
     );
@@ -57,25 +71,27 @@ fn usage() -> ExitCode {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["metrics", "quiet", "verbose"];
+const BOOL_FLAGS: &[&str] = &["metrics", "quiet", "verbose", "arm"];
 
-fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let key = match flag.strip_prefix("--") {
             Some(k) => k,
             None if flag == "-v" => "verbose",
-            None => return None,
+            None => return Err(format!("unexpected argument `{flag}` (flags start with --)")),
         };
         if BOOL_FLAGS.contains(&key) {
             out.insert(key.to_owned(), "true".to_owned());
         } else {
-            let value = it.next()?;
+            let Some(value) = it.next() else {
+                return Err(format!("--{key} requires a value"));
+            };
             out.insert(key.to_owned(), value.clone());
         }
     }
-    Some(out)
+    Ok(out)
 }
 
 fn design_of(name: &str) -> Option<CpuConfig> {
@@ -126,8 +142,12 @@ fn main() -> ExitCode {
     } else {
         (cmd, false, rest)
     };
-    let Some(flags) = parse_flags(rest) else {
-        return usage();
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
     };
 
     if flags.contains_key("quiet") {
@@ -462,6 +482,8 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
             };
             let mut n = 0u64;
             let mut last_seq: Option<u64> = None;
+            let mut kinds: std::collections::BTreeMap<String, u64> =
+                std::collections::BTreeMap::new();
             for (lineno, line) in text.lines().enumerate() {
                 match apollo_telemetry::validate_line(line) {
                     Ok(rec) => {
@@ -477,6 +499,21 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                         }
                         last_seq = Some(rec.seq);
                         n += 1;
+                        let kind = match &rec.body {
+                            apollo_telemetry::RecordBody::Event(ev) => {
+                                // Known event families (opm.drift.*,
+                                // introspect.*, governor.*) must carry
+                                // their pinned typed bodies.
+                                if let Err(e) = apollo_telemetry::validate_known(ev) {
+                                    eprintln!("{path}:{}: {e}", lineno + 1);
+                                    return ExitCode::FAILURE;
+                                }
+                                format!("event:{}", ev.name)
+                            }
+                            apollo_telemetry::RecordBody::Span { .. } => "span".to_owned(),
+                            apollo_telemetry::RecordBody::Message { .. } => "message".to_owned(),
+                        };
+                        *kinds.entry(kind).or_default() += 1;
                     }
                     Err(e) => {
                         eprintln!("{path}:{}: {e}", lineno + 1);
@@ -485,7 +522,126 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                 }
             }
             println!("{path}: {n} records, schema v{} OK", apollo_telemetry::SCHEMA_VERSION);
+            for (kind, count) in &kinds {
+                println!("  {kind:<40} {count}");
+            }
             ExitCode::SUCCESS
+        }
+        "monitor" => {
+            let (Some(cfg), Some(model_path)) = (design_from_flags(flags), get("model")) else {
+                return usage();
+            };
+            let model = match load_model(&model_path) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mcfg = MonitorConfig {
+                window_t: get("window").and_then(|v| v.parse().ok()).unwrap_or(32),
+                bits: get("bits").and_then(|v| v.parse().ok()).unwrap_or(10),
+                cycles: get("cycles").and_then(|v| v.parse().ok()).unwrap_or(0),
+                history: get("history").and_then(|v| v.parse().ok()).unwrap_or(256),
+                arm: flags.contains_key("arm").then(Default::default),
+                ..MonitorConfig::default()
+            };
+            let ctx = DesignContext::with_threads(&cfg, threads);
+            let bench_name = get("bench").unwrap_or_else(|| "dhrystone".to_owned());
+            let Some(bench) = benchmarks::table4_suite(&cfg)
+                .into_iter()
+                .find(|b| b.name == bench_name)
+            else {
+                eprintln!(
+                    "unknown benchmark `{bench_name}`; available: {}",
+                    benchmarks::table4_suite(&cfg)
+                        .iter()
+                        .map(|b| b.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::FAILURE;
+            };
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let hub = MonitorHub::new(1024);
+            let server = if let Some(listen) = get("listen") {
+                match apollo_introspect::serve(&listen, Arc::clone(&hub), Arc::clone(&stop)) {
+                    Ok(s) => {
+                        println!(
+                            "monitor serving on http://{}/ (/metrics, /events, /shutdown)",
+                            s.addr()
+                        );
+                        Some(s)
+                    }
+                    Err(e) => {
+                        eprintln!("bind {listen}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                None
+            };
+            let result =
+                apollo_introspect::run_monitor(&ctx, &model, &bench, &mcfg, Some(&hub), &stop);
+            hub.close();
+            if let Some(s) = server {
+                s.stop();
+            }
+            match result {
+                Ok(r) => {
+                    println!(
+                        "monitor `{}` on `{}`: {} windows over {} cycles ({} runs)",
+                        bench.name, cfg.name, r.windows, r.cycles, r.runs
+                    );
+                    println!(
+                        "  est power mean {:.2} / peak {:.2} (truth mean {:.2}), energy {:.1}",
+                        r.mean_est, r.peak_est, r.mean_true, r.energy
+                    );
+                    let total_unit: f64 = r.unit_energy.iter().sum();
+                    for (label, e) in r.unit_labels.iter().zip(&r.unit_energy) {
+                        let share = if total_unit > 0.0 { 100.0 * e / total_unit } else { 0.0 };
+                        println!("  unit {label:<8} energy {e:>12.1} ({share:>5.1}%)");
+                    }
+                    println!(
+                        "  drift alarms: quant {} / truth {}; armed {} windows, final throttle {}",
+                        r.quant_alarms, r.truth_alarms, r.armed_windows, r.final_throttle
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "scrape" => {
+            let Some(addr) = get("addr") else {
+                return usage();
+            };
+            let path = get("path").unwrap_or_else(|| "/metrics".to_owned());
+            let max_lines: Option<usize> = get("lines").and_then(|v| v.parse().ok());
+            match apollo_introspect::http_get_lines(&addr, &path, max_lines) {
+                Ok(lines) => {
+                    if let Some(out) = get("out") {
+                        let mut text = lines.join("\n");
+                        text.push('\n');
+                        if let Err(e) = save_text(&out, &text, "scrape") {
+                            eprintln!("{e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("{} lines from {addr}{path} saved to {out}", lines.len());
+                    } else {
+                        for l in &lines {
+                            println!("{l}");
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("scrape {addr}{path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         _ => usage(),
     }

@@ -14,11 +14,16 @@
 //!   selection, per-cycle and multi-cycle power models, baselines.
 //! - [`opm`] — on-chip power meter generation, quantization, overhead
 //!   modeling and voltage-droop analysis.
+//! - [`telemetry`] — metrics, spans and schema-versioned JSONL events.
+//! - [`introspect`] — the runtime power introspection service:
+//!   per-unit attribution, drift monitors and the streaming endpoint.
 
 pub use apollo_core as core;
 pub use apollo_cpu as cpu;
 pub use apollo_dsp as dsp;
+pub use apollo_introspect as introspect;
 pub use apollo_mlkit as mlkit;
 pub use apollo_opm as opm;
 pub use apollo_rtl as rtl;
 pub use apollo_sim as sim;
+pub use apollo_telemetry as telemetry;

@@ -1,0 +1,107 @@
+//! Exit-code contract of the `apollo` binary.
+//!
+//! CI scripts and the smoke jobs script against these codes: `0` on
+//! success, `1` for runtime failures (missing model, unreachable
+//! endpoint), `2` for usage errors. Every failure here must surface
+//! *before* any heavy work starts, so the whole suite is fast.
+
+use std::process::{Command, Output};
+
+fn apollo(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_apollo"))
+        .args(args)
+        .output()
+        .expect("spawn apollo")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("no exit code (killed by signal?)")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    let out = apollo(&[]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_subcommand_is_a_usage_error() {
+    let out = apollo(&["frobnicate"]);
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn trailing_value_flag_is_a_named_error() {
+    // Regression: `parse_flags` used to swallow a trailing value flag
+    // silently, turning `--model` into a missing-flag usage error with
+    // no hint. It must name the flag.
+    let out = apollo(&["eval", "--config", "tiny", "--model"]);
+    assert_eq!(code(&out), 2);
+    assert!(
+        stderr(&out).contains("--model requires a value"),
+        "must name the flag: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn bare_positional_argument_is_rejected() {
+    let out = apollo(&["eval", "tiny"]);
+    assert_eq!(code(&out), 2);
+    assert!(
+        stderr(&out).contains("unexpected argument `tiny`"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn eval_with_missing_model_fails_with_code_1() {
+    let out = apollo(&["eval", "--config", "tiny", "--model", "/nonexistent/model.json"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("/nonexistent/model.json"),
+        "error must name the path: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn profile_wrapper_propagates_nested_failure() {
+    // `profile eval` wraps the command; the wrapper must not replace
+    // the nested failure with success.
+    let out = apollo(&["profile", "eval", "--config", "tiny", "--model", "/nonexistent/model.json"]);
+    assert_eq!(code(&out), 1, "profile must propagate the inner exit code");
+}
+
+#[test]
+fn monitor_with_missing_model_fails_with_code_1() {
+    let out = apollo(&["monitor", "--config", "tiny", "--model", "/nonexistent/model.json"]);
+    assert_eq!(code(&out), 1);
+}
+
+#[test]
+fn monitor_without_model_is_a_usage_error() {
+    let out = apollo(&["monitor", "--config", "tiny"]);
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn scrape_of_unreachable_endpoint_fails_with_code_1() {
+    // Port 9 (discard) is never bound in the test environment, so the
+    // connection is refused immediately.
+    let out = apollo(&["scrape", "--addr", "127.0.0.1:9", "--path", "/metrics"]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("scrape"), "{}", stderr(&out));
+}
+
+#[test]
+fn trace_lint_with_missing_input_fails_with_code_1() {
+    let out = apollo(&["trace-lint", "--in", "/nonexistent/trace.jsonl"]);
+    assert_eq!(code(&out), 1);
+}
