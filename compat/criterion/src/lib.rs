@@ -274,7 +274,10 @@ mod tests {
             );
         });
         g.finish();
-        assert!(calls >= 4, "warm-up plus samples should call the closure repeatedly");
+        assert!(
+            calls >= 4,
+            "warm-up plus samples should call the closure repeatedly"
+        );
     }
 
     #[test]

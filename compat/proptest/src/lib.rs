@@ -514,8 +514,7 @@ pub mod collection {
         type Value = Vec<S::Value>;
         fn new_tree(&self, rng: &mut TestRng) -> Tree<Self::Value> {
             let len = rng.inner.gen_range(self.size.min..=self.size.max);
-            let elems: Vec<Tree<S::Value>> =
-                (0..len).map(|_| self.element.new_tree(rng)).collect();
+            let elems: Vec<Tree<S::Value>> = (0..len).map(|_| self.element.new_tree(rng)).collect();
             vec_tree(elems, self.size.min)
         }
     }
@@ -806,7 +805,7 @@ macro_rules! prop_oneof {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
-        use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
@@ -852,11 +851,7 @@ mod tests {
 
     #[test]
     fn oneof_and_select_generate_all_arms() {
-        let strat = prop_oneof![
-            Just(0u8),
-            1u8..4,
-            crate::sample::select(vec![9u8, 10u8]),
-        ];
+        let strat = prop_oneof![Just(0u8), 1u8..4, crate::sample::select(vec![9u8, 10u8]),];
         let mut rng = TestRng::deterministic();
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..200 {

@@ -55,7 +55,8 @@ fn skip_attrs_and_vis(tts: &[TokenTree], pos: &mut usize) {
     loop {
         if *pos < tts.len() && is_punct(&tts[*pos], '#') {
             *pos += 1; // '#'
-            if *pos < tts.len() && matches!(&tts[*pos], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+            if *pos < tts.len()
+                && matches!(&tts[*pos], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
             {
                 *pos += 1;
                 continue;
@@ -335,9 +336,7 @@ fn serialize_impl(item: &Item) -> String {
             format!("match self {{ {} }}", arms.join("\n"))
         }
     };
-    format!(
-        "{head} {{ fn to_value(&self) -> serde::Value {{ {body} }} }}"
-    )
+    format!("{head} {{ fn to_value(&self) -> serde::Value {{ {body} }} }}")
 }
 
 fn deserialize_impl(item: &Item) -> String {
@@ -443,9 +442,7 @@ fn deserialize_impl(item: &Item) -> String {
             )
         }
     };
-    format!(
-        "{head} {{ fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {body} }}"
-    )
+    format!("{head} {{ fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {body} }}")
 }
 
 /// Derives `serde::Serialize` (value-tree rendering).

@@ -468,7 +468,7 @@ mod tests {
     }
 
     #[test]
-    fn pretty_is_indented_and_parses_back(){
+    fn pretty_is_indented_and_parses_back() {
         let v = json!({"a": [1u8, 2u8], "b": {"c": true}});
         let s = to_string_pretty(&v).unwrap();
         assert!(s.contains("\n  \"a\": ["));

@@ -35,7 +35,11 @@ fn bench_inference(c: &mut Criterion) {
         p.feature_space(),
         &PrimalOptions {
             hash_dim: 128,
-            mlp: MlpOptions { hidden: vec![32], epochs: 2, ..MlpOptions::default() },
+            mlp: MlpOptions {
+                hidden: vec![32],
+                epochs: 2,
+                ..MlpOptions::default()
+            },
             ..PrimalOptions::default()
         },
     );

@@ -22,7 +22,10 @@ fn bench_multicycle(c: &mut Criterion) {
                 p.ctx.netlist(),
                 p.feature_space(),
                 8,
-                &TrainOptions { q_target: 12, ..TrainOptions::default() },
+                &TrainOptions {
+                    q_target: 12,
+                    ..TrainOptions::default()
+                },
             )
             .q()
         })
@@ -32,7 +35,10 @@ fn bench_multicycle(c: &mut Criterion) {
         p.ctx.netlist(),
         p.feature_space(),
         8,
-        &TrainOptions { q_target: 12, ..TrainOptions::default() },
+        &TrainOptions {
+            q_target: 12,
+            ..TrainOptions::default()
+        },
     );
     let test = p.test_trace();
     g.bench_function("predict_windows_t32", |b| {

@@ -16,7 +16,15 @@ fn bench_simulator(c: &mut Criterion) {
     g.throughput(Throughput::Elements(500));
     g.bench_function("cycles_500_tiny", |b| {
         b.iter_batched(
-            || CpuSim::new(&handles, &cap, PowerConfig::default(), &bench.program, &bench.data),
+            || {
+                CpuSim::new(
+                    &handles,
+                    &cap,
+                    PowerConfig::default(),
+                    &bench.program,
+                    &bench.data,
+                )
+            },
             |mut sim| {
                 for _ in 0..500 {
                     sim.step();
@@ -28,7 +36,15 @@ fn bench_simulator(c: &mut Criterion) {
     });
     g.bench_function("capture_500_tiny", |b| {
         b.iter_batched(
-            || CpuSim::new(&handles, &cap, PowerConfig::default(), &bench.program, &bench.data),
+            || {
+                CpuSim::new(
+                    &handles,
+                    &cap,
+                    PowerConfig::default(),
+                    &bench.program,
+                    &bench.data,
+                )
+            },
             |mut sim| {
                 let mut tc = TraceCapture::all(&handles.netlist, 500);
                 tc.record(sim.sim_mut(), 500, "w");

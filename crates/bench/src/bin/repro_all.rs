@@ -8,14 +8,22 @@ use apollo_bench::{experiments as ex, Pipeline, PipelineConfig};
 fn main() {
     apollo_bench::init_cli_verbosity();
     let quick = std::env::var("APOLLO_QUICK").is_ok();
-    let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::neoverse() };
+    let cfg = if quick {
+        PipelineConfig::quick()
+    } else {
+        PipelineConfig::neoverse()
+    };
     let p = Pipeline::new(cfg);
 
     ex::table4(&p);
     ex::table5();
     ex::fig3(&p);
     ex::fig9(&p);
-    let q_sweep: Vec<usize> = if quick { vec![8, 16, 32] } else { vec![25, 50, 100, 159, 250, 400] };
+    let q_sweep: Vec<usize> = if quick {
+        vec![8, 16, 32]
+    } else {
+        vec![25, 50, 100, 159, 250, 400]
+    };
     ex::fig10(&p, &q_sweep, "10");
     if quick {
         ex::fig11(&p, 12, 24);
@@ -39,9 +47,17 @@ fn main() {
     ex::ablation(&p, if quick { 16 } else { 159 });
 
     // Figure 12: the Cortex-like design.
-    let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::cortex() };
+    let cfg = if quick {
+        PipelineConfig::quick()
+    } else {
+        PipelineConfig::cortex()
+    };
     let p2 = Pipeline::new(cfg);
-    let q_sweep2: Vec<usize> = if quick { vec![8, 16] } else { vec![50, 100, 200, 300, 500] };
+    let q_sweep2: Vec<usize> = if quick {
+        vec![8, 16]
+    } else {
+        vec![50, 100, 200, 300, 500]
+    };
     ex::fig10(&p2, &q_sweep2, "12");
 
     println!("\nAll experiments complete; JSON results under results/.");

@@ -13,7 +13,10 @@ use apollo_sim::TraceCapture;
 fn main() {
     apollo_bench::init_cli_verbosity();
     let quick = std::env::var("APOLLO_QUICK").is_ok();
-    let config = DspConfig { lanes: 6, ..DspConfig::default() };
+    let config = DspConfig {
+        lanes: 6,
+        ..DspConfig::default()
+    };
     let handles = build_dsp(&config).unwrap();
     progress(&format!(
         "DSP engine: {} nodes, M = {} signal bits",
@@ -83,7 +86,10 @@ fn main() {
         model.q(),
         100.0 * model.monitored_fraction()
     );
-    println!("  held-out per-cycle accuracy: R2 = {r2:.3}, NRMSE = {:.1}%", 100.0 * nrmse);
+    println!(
+        "  held-out per-cycle accuracy: R2 = {r2:.3}, NRMSE = {:.1}%",
+        100.0 * nrmse
+    );
     let dist = apollo_core::report::proxy_distribution(&model);
     for (unit, n) in &dist {
         println!("    {unit:<18} {n}");

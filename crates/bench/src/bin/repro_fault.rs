@@ -81,7 +81,9 @@ struct FaultReproReport {
 /// True mean power of each full T-cycle epoch in a trace.
 fn epoch_truth(trace: &TraceData) -> Vec<f64> {
     let y = trace.labels();
-    y.chunks_exact(T).map(|w| w.iter().sum::<f64>() / T as f64).collect()
+    y.chunks_exact(T)
+        .map(|w| w.iter().sum::<f64>() / T as f64)
+        .collect()
 }
 
 /// Mean absolute percentage error, guarding near-zero truth.
@@ -114,7 +116,11 @@ fn score(hard: &HardenedOpm, trace: &TraceData, plan: &MeterFaultPlan) -> (f64, 
 fn main() {
     apollo_bench::init_cli_verbosity();
     let quick = std::env::var("APOLLO_QUICK").is_ok();
-    let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::neoverse() };
+    let cfg = if quick {
+        PipelineConfig::quick()
+    } else {
+        PipelineConfig::neoverse()
+    };
     let name = cfg.design.name.clone();
     let p = Pipeline::new(cfg);
     let model = p.main_model();
@@ -166,7 +172,11 @@ fn main() {
         let (r2, err, _, _) = score(&hard, &trace, &MeterFaultPlan::empty());
         println!(
             "  {:>9.0e}   {:>9}   {:>9}   {:>5.3}   {:>5.1}%",
-            rate, report.reg_flips, report.mem_flips, r2, 100.0 * err
+            rate,
+            report.reg_flips,
+            report.mem_flips,
+            r2,
+            100.0 * err
         );
         silicon.push(SiliconFaultRow {
             flip_rate: rate,
@@ -196,7 +206,12 @@ fn main() {
             let rname = format!("{redundancy:?}");
             println!(
                 "  {:>17.3}   {:<13} {:>7}  {:>7}   {:>5.3}   {:>5.1}%",
-                rate, rname, events, flagged, r2, 100.0 * err
+                rate,
+                rname,
+                events,
+                flagged,
+                r2,
+                100.0 * err
             );
             meter.push(MeterFaultRow {
                 counter_flip_rate: plan.counter_flip_rate,
@@ -212,9 +227,13 @@ fn main() {
     }
 
     // Sweep 3: the fail-safe governor holding a cap from a faulty meter.
-    let free_power = p.ctx.mean_power(&program, &data, warmup as u64, cycles as u64);
+    let free_power = p
+        .ctx
+        .mean_power(&program, &data, warmup as u64, cycles as u64);
     let cap = free_power * 0.8;
-    progress(&format!("free-running virus power {free_power:.0}, cap {cap:.0}"));
+    progress(&format!(
+        "free-running virus power {free_power:.0}, cap {cap:.0}"
+    ));
     println!("\n== fail-safe governor under meter faults (cap = 80% of free) ==");
     println!("  drop rate   over-cap (free)   flagged  failsafe  rel IPC");
     let mut governed = Vec::new();
@@ -227,7 +246,11 @@ fn main() {
         };
         let hard = HardenedOpm::new(opm.clone()).with_envelope(envelope);
         let config = ResilientGovernorConfig {
-            base: GovernorConfig { epoch: T, cap, ..GovernorConfig::default() },
+            base: GovernorConfig {
+                epoch: T,
+                cap,
+                ..GovernorConfig::default()
+            },
             ..ResilientGovernorConfig::default()
         };
         let report = run_governed_resilient(

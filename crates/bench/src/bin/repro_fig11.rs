@@ -6,7 +6,11 @@ use apollo_bench::{experiments as ex, Pipeline, PipelineConfig};
 fn main() {
     apollo_bench::init_cli_verbosity();
     let quick = std::env::var("APOLLO_QUICK").is_ok();
-    let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::neoverse() };
+    let cfg = if quick {
+        PipelineConfig::quick()
+    } else {
+        PipelineConfig::neoverse()
+    };
     let p = Pipeline::new(cfg);
     ex::fig11(&p, 100, 200);
 }

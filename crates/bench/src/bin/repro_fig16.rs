@@ -5,7 +5,11 @@ use apollo_bench::{experiments as ex, Pipeline, PipelineConfig};
 fn main() {
     apollo_bench::init_cli_verbosity();
     let quick = std::env::var("APOLLO_QUICK").is_ok();
-    let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::neoverse() };
+    let cfg = if quick {
+        PipelineConfig::quick()
+    } else {
+        PipelineConfig::neoverse()
+    };
     let cycles = if quick { 5_000 } else { 1_000_000 };
     let p = Pipeline::new(cfg);
     ex::fig16(&p, cycles);

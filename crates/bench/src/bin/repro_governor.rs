@@ -7,7 +7,11 @@ use apollo_opm::{run_governed, GovernorConfig, QuantizedOpm};
 fn main() {
     apollo_bench::init_cli_verbosity();
     let quick = std::env::var("APOLLO_QUICK").is_ok();
-    let cfg = if quick { PipelineConfig::quick() } else { PipelineConfig::neoverse() };
+    let cfg = if quick {
+        PipelineConfig::quick()
+    } else {
+        PipelineConfig::neoverse()
+    };
     let p = Pipeline::new(cfg);
     let model = p.main_model();
     let opm = QuantizedOpm::from_model(&model, 10, 32).expect("quantization");
@@ -27,7 +31,11 @@ fn main() {
             &program,
             &data,
             4096,
-            &GovernorConfig { epoch: 32, cap, ..GovernorConfig::default() },
+            &GovernorConfig {
+                epoch: 32,
+                cap,
+                ..GovernorConfig::default()
+            },
         );
         println!(
             "  {:>5.0}  {:>9.0}    {:>5.1}% (free {:>4.1}%)   {:.2}",
@@ -37,6 +45,9 @@ fn main() {
             100.0 * report.epochs_over_cap_free,
             report.retired_governed as f64 / report.retired_free.max(1) as f64
         );
-        save_json(&format!("governor_cap{}", (cap_frac * 100.0) as u32), &report);
+        save_json(
+            &format!("governor_cap{}", (cap_frac * 100.0) as u32),
+            &report,
+        );
     }
 }

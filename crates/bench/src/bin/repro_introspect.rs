@@ -114,21 +114,31 @@ fn main() -> ExitCode {
     let (cycles, reps) = if quick { (8_000u64, 3) } else { (32_000u64, 7) };
 
     let ctx = DesignContext::new(&CpuConfig::tiny());
-    let suite = vec![(benchmarks::dhrystone(), 300), (benchmarks::maxpwr_cpu(), 300)];
+    let suite = vec![
+        (benchmarks::dhrystone(), 300),
+        (benchmarks::maxpwr_cpu(), 300),
+    ];
     let trace = ctx.capture_suite(&suite, 50);
     let fs = FeatureSpace::build(&trace.toggles);
     let model = train_per_cycle(
         &trace,
         ctx.netlist(),
         &fs,
-        &TrainOptions { q_target: 16, ..TrainOptions::default() },
+        &TrainOptions {
+            q_target: 16,
+            ..TrainOptions::default()
+        },
     )
     .model;
     let bench = benchmarks::maxpwr_cpu();
     // T = 256 is at the small end of the paper's OPM window range
     // (2^7..2^17 cycles); serving cost is per-window, so the budget is
     // stated against a realistic window, not a stress-test T.
-    let cfg = MonitorConfig { cycles, window_t: 256, ..MonitorConfig::default() };
+    let cfg = MonitorConfig {
+        cycles,
+        window_t: 256,
+        ..MonitorConfig::default()
+    };
 
     // One unmeasured warmup run to settle lazy init and caches.
     monitor_ns_per_cycle(&ctx, &model, &bench, &cfg, None);

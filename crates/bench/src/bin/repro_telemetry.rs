@@ -59,7 +59,12 @@ struct TelemetryOverhead {
     pass: bool,
 }
 
-fn measure(ctx: &DesignContext, bench: &benchmarks::Benchmark, cycles: u64, reps: usize) -> TelemetryOverhead {
+fn measure(
+    ctx: &DesignContext,
+    bench: &benchmarks::Benchmark,
+    cycles: u64,
+    reps: usize,
+) -> TelemetryOverhead {
     // Interleave the two disabled sets so slow drift (frequency
     // scaling, cache warmth) hits both equally.
     let mut a = Vec::with_capacity(reps);

@@ -84,7 +84,11 @@ pub fn fig3(p: &Pipeline) -> Fig3 {
     );
     let gens = ga.best_per_gen.len();
     for g in [0, gens / 2, gens - 1] {
-        outln!("  generation {:>3}: best power {:.1}", g, ga.best_per_gen[g]);
+        outln!(
+            "  generation {:>3}: best power {:.1}",
+            g,
+            ga.best_per_gen[g]
+        );
     }
     save_json("fig3_ga", &out);
     out
@@ -278,7 +282,11 @@ pub fn fig10(p: &Pipeline, q_targets: &[usize], label: &str) -> Fig10 {
         primal,
         pca,
     };
-    outln!("\n== Figure {label}: accuracy vs Q on `{}` (M = {}) ==", out.design, out.m_bits);
+    outln!(
+        "\n== Figure {label}: accuracy vs Q on `{}` (M = {}) ==",
+        out.design,
+        out.m_bits
+    );
     for s in &out.series {
         outln!("  {}:", s.method);
         for (q, acc) in &s.points {
@@ -467,11 +475,13 @@ pub fn fig13_14(p: &Pipeline, q: usize) -> Fig13_14 {
     outln!("\n== Figure 13: sum of absolute weights (Q = {q}) ==");
     outln!(
         "  selection stage: MCP {:.1} vs Lasso {:.1}  (paper: MCP larger)",
-        out.selection_l1_mcp, out.selection_l1_lasso
+        out.selection_l1_mcp,
+        out.selection_l1_lasso
     );
     outln!(
         "  final models:    MCP {:.1} vs Lasso {:.1}",
-        out.weight_l1_mcp, out.weight_l1_lasso
+        out.weight_l1_mcp,
+        out.weight_l1_lasso
     );
     outln!("\n== Figure 14: mean variance inflation factors ==");
     outln!(
@@ -490,7 +500,10 @@ pub fn fig13_14(p: &Pipeline, q: usize) -> Fig13_14 {
 pub fn fig15a(p: &Pipeline) -> BTreeMap<String, usize> {
     let model = p.main_model();
     let dist = apollo_core::report::proxy_distribution(&model);
-    outln!("\n== Figure 15(a): distribution of the {} proxies ==", model.q());
+    outln!(
+        "\n== Figure 15(a): distribution of the {} proxies ==",
+        model.q()
+    );
     for (unit, count) in &dist {
         outln!("  {:<18} {:>4}", unit, count);
     }
@@ -560,9 +573,7 @@ pub fn fig15b(p: &Pipeline, qs: &[usize], bs: &[u8]) -> Fig15b {
     let quant = QuantizedOpm::from_model(&model, 10, 8).expect("quantization");
     let hw = build_opm(&quant).expect("build_opm");
     let bench = apollo_cpu::benchmarks::maxpwr_cpu();
-    let proxy_trace = p
-        .ctx
-        .capture_bits(&bench, &model.bits(), 512, p.cfg.warmup);
+    let proxy_trace = p.ctx.capture_bits(&bench, &model.bits(), 512, p.cfg.warmup);
     let cosim = hw.cosim(&proxy_trace.toggles);
     let cpu_power = proxy_trace.mean_power();
     let report = AreaReport::from_areas(&hw, p.ctx.netlist()).with_power(
@@ -770,10 +781,7 @@ pub fn table3(p: &Pipeline) -> Vec<MonitorStructure> {
 /// Prints Table 4 (the testing suite actually used, with windows).
 pub fn table4(p: &Pipeline) -> Vec<(String, usize)> {
     let suite = p.ctx.test_suite(p.cfg.test_scale);
-    let rows: Vec<(String, usize)> = suite
-        .iter()
-        .map(|(b, c)| (b.name.clone(), *c))
-        .collect();
+    let rows: Vec<(String, usize)> = suite.iter().map(|(b, c)| (b.name.clone(), *c)).collect();
     outln!("\n== Table 4: designer-handcrafted testing benchmarks ==");
     for row in rows.chunks(4) {
         let names: Vec<String> = row.iter().map(|(n, c)| format!("{n} ({c})")).collect();
@@ -802,7 +810,9 @@ pub fn speed(p: &Pipeline) -> Vec<apollo_core::report::InferenceCost> {
     for c in &costs {
         outln!(
             "  {:<14} observes {:>7} signals, {:>12.0} ops/cycle",
-            c.method, c.signals_observed, c.ops_per_cycle
+            c.method,
+            c.signals_observed,
+            c.ops_per_cycle
         );
     }
     save_json("speed_costs", &costs);
@@ -839,9 +849,8 @@ pub fn ablation(p: &Pipeline, q: usize) -> Ablation {
     let fs = p.feature_space();
     let mut rows = Vec::new();
 
-    let eval_model = |m: &apollo_core::ApolloModel| {
-        Accuracy::of(&y, &m.predict_full(&test.toggles))
-    };
+    let eval_model =
+        |m: &apollo_core::ApolloModel| Accuracy::of(&y, &m.predict_full(&test.toggles));
 
     // Reference: MCP gamma=10 + nonneg + ridge relaxation.
     let reference = p.model(q, SelectionPenalty::Mcp { gamma: 10.0 });
@@ -936,7 +945,10 @@ pub fn ablation(p: &Pipeline, q: usize) -> Ablation {
             n,
             d,
             &ytrain,
-            &apollo_mlkit::GbtOptions { rounds: 60, ..apollo_mlkit::GbtOptions::default() },
+            &apollo_mlkit::GbtOptions {
+                rounds: 60,
+                ..apollo_mlkit::GbtOptions::default()
+            },
         );
         let xtest = to_rows(test);
         let pred = gbt.predict(&xtest, test.n_cycles());

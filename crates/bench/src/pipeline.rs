@@ -7,9 +7,9 @@ use apollo_core::{
 };
 use apollo_cpu::CpuConfig;
 use apollo_sim::TraceData;
+use std::collections::HashMap;
 use std::sync::Mutex;
 use std::sync::OnceLock;
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// Top-level knobs of a reproduction run.
@@ -229,7 +229,9 @@ impl Pipeline {
         if let Some(m) = self.models.lock().unwrap().get(&key) {
             return m.clone();
         }
-        progress(&format!("training per-cycle model: Q target {q}, {penalty:?}"));
+        progress(&format!(
+            "training per-cycle model: Q target {q}, {penalty:?}"
+        ));
         let trained = train_per_cycle(
             self.train_trace(),
             self.ctx.netlist(),
@@ -292,6 +294,8 @@ pub fn sustained_virus() -> (Vec<apollo_cpu::Inst>, Vec<u64>) {
     a.sub(Xr(1), Xr(1), Xr(15));
     a.bne(Xr(1), Xr(0), top);
     a.halt();
-    let data: Vec<u64> = (0..64).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1).collect();
+    let data: Vec<u64> = (0..64)
+        .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1)
+        .collect();
     (a.assemble(), data)
 }

@@ -151,11 +151,7 @@ fn signatures(matrix: &ToggleMatrix, reps: &[usize], windows: usize) -> Vec<Vec<
 /// Trains a Simmani-style model: unsupervised K-means clustering of
 /// signal toggle-density signatures, one representative proxy per
 /// cluster, then an elastic-net fit over proxies and sampled AND terms.
-pub fn train_simmani(
-    trace: &TraceData,
-    fs: &FeatureSpace,
-    opts: &SimmaniOptions,
-) -> SimmaniModel {
+pub fn train_simmani(trace: &TraceData, fs: &FeatureSpace, opts: &SimmaniOptions) -> SimmaniModel {
     // Strided subsample of candidates for clustering tractability.
     let stride = (fs.reps.len() / opts.max_candidates.max(1)).max(1);
     let cluster_reps: Vec<usize> = fs.reps.iter().copied().step_by(stride).collect();
@@ -295,7 +291,16 @@ pub fn train_primal(trace: &TraceData, fs: &FeatureSpace, opts: &PrimalOptions) 
         bucket_of,
         multiplicity,
         hash_dim: opts.hash_dim,
-        mlp: Mlp::fit(&[0.0], 1, 1, &[0.0], &MlpOptions { epochs: 0, ..MlpOptions::default() }),
+        mlp: Mlp::fit(
+            &[0.0],
+            1,
+            1,
+            &[0.0],
+            &MlpOptions {
+                epochs: 0,
+                ..MlpOptions::default()
+            },
+        ),
     };
     let x = model.encode(&trace.toggles, &fs.reps);
     let y = trace.labels();
@@ -344,7 +349,13 @@ impl PcaModel {
 }
 
 /// Trains the PCA + linear baseline.
-pub fn train_pca(trace: &TraceData, fs: &FeatureSpace, proj_dim: usize, components: usize, seed: u64) -> PcaModel {
+pub fn train_pca(
+    trace: &TraceData,
+    fs: &FeatureSpace,
+    proj_dim: usize,
+    components: usize,
+    seed: u64,
+) -> PcaModel {
     let design = TraceDesign::new(&trace.toggles, &fs.reps);
     let projected = random_project(&design, 0..trace.n_cycles(), proj_dim, seed);
     let pca = Pca::fit(&projected, components.min(proj_dim));
@@ -474,7 +485,11 @@ mod tests {
         let model = train_simmani(
             &trace,
             &fs,
-            &SimmaniOptions { q: 32, pair_terms: 80, ..SimmaniOptions::default() },
+            &SimmaniOptions {
+                q: 32,
+                pair_terms: 80,
+                ..SimmaniOptions::default()
+            },
         );
         assert!(model.q() >= 12, "q = {}", model.q());
         let pred = model.predict(&test_trace.toggles);
@@ -490,7 +505,11 @@ mod tests {
             &fs,
             &PrimalOptions {
                 hash_dim: 128,
-                mlp: MlpOptions { hidden: vec![48], epochs: 12, ..MlpOptions::default() },
+                mlp: MlpOptions {
+                    hidden: vec![48],
+                    epochs: 12,
+                    ..MlpOptions::default()
+                },
                 ..PrimalOptions::default()
             },
         );
@@ -515,7 +534,11 @@ mod tests {
         let base = train_simmani(
             &trace,
             &fs,
-            &SimmaniOptions { q: 32, pair_terms: 40, ..SimmaniOptions::default() },
+            &SimmaniOptions {
+                q: 32,
+                pair_terms: 40,
+                ..SimmaniOptions::default()
+            },
         );
         let wm = train_simmani_window(&trace, &base, 16, 1.0);
         let pred = wm.predict_windows(&test_trace.toggles);

@@ -247,7 +247,10 @@ pub fn run_ga(ctx: &DesignContext, cfg: &GaConfig) -> GaRun {
             "ga.generation",
             &[
                 ("gen", apollo_telemetry::FieldValue::from(generation)),
-                ("best", apollo_telemetry::FieldValue::from(fitness[ranked[0]])),
+                (
+                    "best",
+                    apollo_telemetry::FieldValue::from(fitness[ranked[0]]),
+                ),
                 ("mean", apollo_telemetry::FieldValue::from(mean)),
             ],
         );
@@ -263,8 +266,10 @@ pub fn run_ga(ctx: &DesignContext, cfg: &GaConfig) -> GaRun {
         }
         // Parents: top fraction by power.
         let n_parents = ((cfg.population as f64 * cfg.parent_fraction) as usize).max(2);
-        let parents: Vec<&Vec<Inst>> =
-            ranked[..n_parents].iter().map(|&i| &population[i]).collect();
+        let parents: Vec<&Vec<Inst>> = ranked[..n_parents]
+            .iter()
+            .map(|&i| &population[i])
+            .collect();
         // Children: crossover + mutation; elitism keeps the best as-is.
         let mut next: Vec<Vec<Inst>> = vec![population[ranked[0]].clone()];
         while next.len() < cfg.population {
@@ -347,10 +352,21 @@ mod tests {
         let run = run_ga(&ctx, &small_cfg());
         let sel = run.select_uniform(6);
         assert!(sel.len() >= 3);
-        let lo = sel.iter().map(|i| i.avg_power).fold(f64::INFINITY, f64::min);
+        let lo = sel
+            .iter()
+            .map(|i| i.avg_power)
+            .fold(f64::INFINITY, f64::min);
         let hi = sel.iter().map(|i| i.avg_power).fold(0.0, f64::max);
-        let all_lo = run.individuals.iter().map(|i| i.avg_power).fold(f64::INFINITY, f64::min);
-        let all_hi = run.individuals.iter().map(|i| i.avg_power).fold(0.0, f64::max);
+        let all_lo = run
+            .individuals
+            .iter()
+            .map(|i| i.avg_power)
+            .fold(f64::INFINITY, f64::min);
+        let all_hi = run
+            .individuals
+            .iter()
+            .map(|i| i.avg_power)
+            .fold(0.0, f64::max);
         assert!(lo <= all_lo + 0.2 * (all_hi - all_lo));
         assert!(hi >= all_hi - 0.2 * (all_hi - all_lo));
     }

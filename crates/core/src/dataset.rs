@@ -5,7 +5,7 @@ use crate::error::ApolloError;
 use apollo_cpu::benchmarks::Benchmark;
 use apollo_cpu::{build_cpu, CpuConfig, CpuHandles, CpuSim, Inst};
 use apollo_rtl::{CapAnnotation, CapModel, Netlist};
-use apollo_sim::{FaultPlan, FaultReport, PowerConfig, TraceCapture, TraceData};
+use apollo_sim::{EngineKind, FaultPlan, FaultReport, PowerConfig, TraceCapture, TraceData};
 
 /// A CPU design prepared for power-model work: netlist, annotated
 /// parasitics and ground-truth power configuration.
@@ -23,6 +23,12 @@ pub struct DesignContext {
     /// workloads via [`crate::pool::SimPool`]. Either way results are
     /// bit-identical to `threads = 1`.
     pub threads: usize,
+    /// Which simulation kernel multi-workload collection uses. With
+    /// [`EngineKind::Bitslice`], [`DesignContext::capture_suite`] and
+    /// the GA fitness path pack up to 64 workloads into one bit-sliced
+    /// netlist pass; results are machine-checked bit-identical to the
+    /// scalar engine (see `crates/sim/tests/bitslice_differential.rs`).
+    pub engine: EngineKind,
 }
 
 impl DesignContext {
@@ -36,8 +42,14 @@ impl DesignContext {
     }
 
     /// Like [`DesignContext::new`], but simulations may use up to
-    /// `threads` worker threads.
+    /// `threads` worker threads (scalar engine).
     pub fn with_threads(config: &CpuConfig, threads: usize) -> Self {
+        Self::with_engine(config, threads, EngineKind::Scalar)
+    }
+
+    /// Like [`DesignContext::with_threads`], selecting the simulation
+    /// kernel used for batched collection (capture, GA fitness).
+    pub fn with_engine(config: &CpuConfig, threads: usize, engine: EngineKind) -> Self {
         let handles = build_cpu(config).expect("CPU generation failed");
         let cap = CapModel::default().annotate(&handles.netlist);
         DesignContext {
@@ -45,6 +57,7 @@ impl DesignContext {
             cap,
             power: PowerConfig::default(),
             threads: threads.max(1),
+            engine,
         }
     }
 

@@ -108,7 +108,10 @@ mod tests {
             &trace,
             ctx.netlist(),
             &fs,
-            &TrainOptions { q_target: 20, ..TrainOptions::default() },
+            &TrainOptions {
+                q_target: 20,
+                ..TrainOptions::default()
+            },
         );
         let long = apollo_cpu::benchmarks::hmmer_like(&ctx.handles.config, 4);
         let report = run_emulator_flow(&ctx, &trained.model, &long, 2_000, 8);

@@ -40,7 +40,10 @@ impl FeatureSpace {
                 constant_bits += 1;
                 continue;
             }
-            buckets.entry(matrix.column_hash(bit)).or_default().push(bit);
+            buckets
+                .entry(matrix.column_hash(bit))
+                .or_default()
+                .push(bit);
         }
         let mut reps = Vec::new();
         let mut groups = Vec::new();

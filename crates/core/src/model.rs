@@ -276,7 +276,10 @@ pub fn train_per_cycle(
         "train.model",
         &[
             ("q", apollo_telemetry::FieldValue::from(cols.len())),
-            ("lambda", apollo_telemetry::FieldValue::from(selection.lambda)),
+            (
+                "lambda",
+                apollo_telemetry::FieldValue::from(selection.lambda),
+            ),
         ],
     );
     let mut weights = vec![0.0; cols.len()];
@@ -330,7 +333,9 @@ pub fn train_per_cycle_multi(
             let relaxed = coordinate_descent(
                 &dense,
                 &y,
-                Penalty::Ridge { lambda: opts.relax_lambda },
+                Penalty::Ridge {
+                    lambda: opts.relax_lambda,
+                },
                 &CdOptions {
                     nonnegative: opts.nonnegative,
                     max_sweeps: 400,

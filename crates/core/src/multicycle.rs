@@ -63,9 +63,7 @@ impl ApolloTau {
                 }
             }
         }
-        acc.iter()
-            .map(|a| self.intercept + a / t as f64)
-            .collect()
+        acc.iter().map(|a| self.intercept + a / t as f64).collect()
     }
 }
 
@@ -96,7 +94,9 @@ pub fn train_tau(
     let relaxed = coordinate_descent(
         &dense,
         &y,
-        Penalty::Ridge { lambda: opts.relax_lambda },
+        Penalty::Ridge {
+            lambda: opts.relax_lambda,
+        },
         &CdOptions {
             nonnegative: opts.nonnegative,
             max_sweeps: 400,
@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn window_prediction_matches_interval_math() {
         let (ctx, trace, fs) = tiny_training();
-        let opts = TrainOptions { q_target: 12, ..TrainOptions::default() };
+        let opts = TrainOptions {
+            q_target: 12,
+            ..TrainOptions::default()
+        };
         let tau = train_tau(&trace, ctx.netlist(), &fs, 4, &opts);
         // Eq. 9 check: predicting windows of t = 1 equals the per-cycle
         // weighted-toggle sum.
@@ -198,7 +201,10 @@ mod tests {
     #[test]
     fn multicycle_accuracy_improves_with_window_size() {
         let (ctx, trace, fs) = tiny_training();
-        let opts = TrainOptions { q_target: 16, ..TrainOptions::default() };
+        let opts = TrainOptions {
+            q_target: 16,
+            ..TrainOptions::default()
+        };
         let trained = train_per_cycle(&trace, ctx.netlist(), &fs, &opts);
         let test: Vec<_> = vec![(apollo_cpu::benchmarks::memcpy_l2(&ctx.handles.config), 512)];
         let test_trace = ctx.capture_suite(&test, 16);

@@ -13,8 +13,9 @@
 
 use crate::dataset::DesignContext;
 use apollo_cpu::benchmarks::Benchmark;
-use apollo_cpu::Inst;
-use apollo_sim::{PowerSample, ToggleMatrix, TraceCapture, TraceData};
+use apollo_cpu::{CpuBatch, Inst};
+use apollo_rtl::NodeId;
+use apollo_sim::{transpose64, EngineKind, PowerSample, ToggleMatrix, TraceCapture, TraceData};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -60,12 +61,21 @@ impl SimPool {
         // parallel) jobs but reported only after the index-ordered
         // merge below, so span records come out in suite order no
         // matter how workers interleave.
-        let shards: Vec<(TraceData, u64)> = self.run_indexed(suite.len(), |idx| {
-            let (bench, cycles) = &suite[idx];
-            let t0 = Instant::now();
-            let trace = capture_one(ctx, bench, *cycles, warmup);
-            (trace, t0.elapsed().as_nanos() as u64)
-        });
+        let shards: Vec<(TraceData, u64)> = match ctx.engine {
+            EngineKind::Scalar => self.run_indexed(suite.len(), |idx| {
+                let (bench, cycles) = &suite[idx];
+                let t0 = Instant::now();
+                let trace = capture_one(ctx, bench, *cycles, warmup);
+                (trace, t0.elapsed().as_nanos() as u64)
+            }),
+            // Bitslice collapses trace-level parallelism: up to 64
+            // workloads share each netlist pass, so chunks run
+            // sequentially with the pool's threads inside the kernel.
+            EngineKind::Bitslice => suite
+                .chunks(64)
+                .flat_map(|chunk| capture_chunk_bitslice(ctx, chunk, warmup, self.threads))
+                .collect(),
+        };
 
         let mut toggles = ToggleMatrix::new(ctx.m_bits(), total);
         let mut power: Vec<PowerSample> = Vec::with_capacity(total);
@@ -99,6 +109,64 @@ impl SimPool {
         }
     }
 
+    /// Captures proxy-only toggle traces for a set of workloads: the
+    /// returned matrix `i` covers workload `i`'s cycle window (after
+    /// `warmup` un-recorded cycles), with column `k` holding the
+    /// toggle history of flat signal bit `bits[k]` — the layout
+    /// `QuantizedOpm::window_outputs_proxy` and friends consume, with
+    /// `bits` in model order (see `ApolloModel::bits`).
+    ///
+    /// This is the runtime-introspection deployment path: no
+    /// ground-truth power is computed at all. Both engines step in
+    /// toggles-only mode ([`apollo_sim::SimEngine::step_toggles`]);
+    /// the bitslice engine additionally skips its lane-major row
+    /// transpose, because a toggle-plane read *is* the 64-lane proxy
+    /// vector — per cycle the whole chunk costs `Q` plane loads plus
+    /// one 64×64 block transpose per proxy per 64 cycles.
+    ///
+    /// Bit-identical across engines and thread counts: lane `k` of a
+    /// bitslice chunk replays workload `k`'s scalar toggle stream
+    /// exactly, and columns are extracted from the same feature-toggle
+    /// planes the full capture packs into rows.
+    pub fn capture_proxy_suite(
+        &self,
+        ctx: &DesignContext,
+        suite: &[(Benchmark, usize)],
+        bits: &[usize],
+        warmup: usize,
+    ) -> Vec<ToggleMatrix> {
+        assert!(!bits.is_empty(), "empty proxy set");
+        let _span = apollo_telemetry::span("core.capture_proxy_suite");
+        let owners: Vec<(NodeId, u8)> = bits.iter().map(|&b| ctx.netlist().bit_owner(b)).collect();
+        let out: Vec<ToggleMatrix> = match ctx.engine {
+            EngineKind::Scalar => self.run_indexed(suite.len(), |idx| {
+                let (bench, cycles) = &suite[idx];
+                let mut sim = ctx.simulate_with(&bench.program, &bench.data, 1);
+                for _ in 0..warmup {
+                    sim.step_toggles();
+                }
+                let mut matrix = ToggleMatrix::new(owners.len(), *cycles);
+                for cycle in 0..*cycles {
+                    sim.step_toggles();
+                    for (k, &(node, bit)) in owners.iter().enumerate() {
+                        if (sim.sim().toggle_word(node) >> bit) & 1 == 1 {
+                            matrix.set(k, cycle);
+                        }
+                    }
+                }
+                matrix
+            }),
+            EngineKind::Bitslice => suite
+                .chunks(64)
+                .flat_map(|chunk| {
+                    capture_proxy_chunk_bitslice(ctx, chunk, &owners, warmup, self.threads)
+                })
+                .collect(),
+        };
+        apollo_telemetry::counter("core.proxy_benchmarks_captured").add(suite.len() as u64);
+        out
+    }
+
     /// Mean total power of each program over `cycles` cycles after
     /// `warmup` cycles — the batched GA fitness function. All programs
     /// share the same preloaded `data` image. The returned vector is in
@@ -111,6 +179,33 @@ impl SimPool {
         warmup: u64,
         cycles: u64,
     ) -> Vec<f64> {
+        if ctx.engine == EngineKind::Bitslice {
+            return programs
+                .chunks(64)
+                .flat_map(|chunk| {
+                    let workloads: Vec<(Vec<Inst>, Vec<u64>)> =
+                        chunk.iter().map(|p| (p.clone(), data.to_vec())).collect();
+                    let mut batch = CpuBatch::with_threads(
+                        &ctx.handles,
+                        &ctx.cap,
+                        ctx.power.clone(),
+                        &workloads,
+                        self.threads,
+                    );
+                    for _ in 0..warmup {
+                        batch.step();
+                    }
+                    let mut totals = vec![0.0f64; chunk.len()];
+                    for _ in 0..cycles {
+                        batch.step();
+                        for (lane, t) in totals.iter_mut().enumerate() {
+                            *t += batch.sim().power(lane).total;
+                        }
+                    }
+                    totals.into_iter().map(move |t| t / cycles as f64)
+                })
+                .collect();
+        }
         self.run_indexed(programs.len(), |idx| {
             let mut sim = ctx.simulate_with(&programs[idx], data, 1);
             for _ in 0..warmup {
@@ -158,6 +253,163 @@ impl SimPool {
     }
 }
 
+/// Records one chunk of up to 64 benchmarks in a single bitslice pass:
+/// each benchmark occupies one lane, so every netlist evaluation
+/// advances the whole chunk by a cycle. Per-lane toggles and power are
+/// bit-identical to [`capture_one`]; lanes whose window has ended keep
+/// stepping (harmlessly) until the chunk's longest window closes.
+///
+/// One wall clock covers the whole pass, so the per-benchmark timing
+/// reported upstream is the chunk's elapsed time split evenly — the
+/// lanes genuinely share the work.
+fn capture_chunk_bitslice(
+    ctx: &DesignContext,
+    chunk: &[(Benchmark, usize)],
+    warmup: usize,
+    threads: usize,
+) -> Vec<(TraceData, u64)> {
+    let t0 = Instant::now();
+    let workloads: Vec<(Vec<Inst>, Vec<u64>)> = chunk
+        .iter()
+        .map(|(b, _)| (b.program.clone(), b.data.clone()))
+        .collect();
+    let mut batch = CpuBatch::with_threads(
+        &ctx.handles,
+        &ctx.cap,
+        ctx.power.clone(),
+        &workloads,
+        threads,
+    );
+    for _ in 0..warmup {
+        batch.step();
+    }
+    let m = ctx.m_bits();
+    let mut row = vec![0u64; m.div_ceil(64)];
+    let mut shards: Vec<(ToggleMatrix, Vec<PowerSample>)> = chunk
+        .iter()
+        .map(|(_, cycles)| (ToggleMatrix::new(m, *cycles), Vec::with_capacity(*cycles)))
+        .collect();
+    let longest = chunk.iter().map(|(_, c)| *c).max().unwrap_or(0);
+    let timing = apollo_telemetry::timing_enabled();
+    let mut record_ns = 0u64;
+    for cycle in 0..longest {
+        batch.step();
+        let r0 = timing.then(Instant::now);
+        for (lane, (matrix, power)) in shards.iter_mut().enumerate() {
+            if cycle < chunk[lane].1 {
+                batch.sim().toggle_row(lane, &mut row);
+                matrix.store_row(cycle, &row);
+                power.push(batch.sim().power(lane));
+            }
+        }
+        if let Some(r0) = r0 {
+            record_ns += r0.elapsed().as_nanos() as u64;
+        }
+    }
+    if timing {
+        apollo_telemetry::profile::record_phase(
+            "core.capture_chunk/record",
+            longest as u64,
+            record_ns,
+        );
+    }
+    let per_bench_ns = t0.elapsed().as_nanos() as u64 / chunk.len() as u64;
+    chunk
+        .iter()
+        .zip(shards)
+        .map(|((bench, cycles), (toggles, power))| {
+            (
+                TraceData {
+                    toggles,
+                    power,
+                    bit_map: None,
+                    segments: vec![(bench.name.clone(), 0..*cycles)],
+                },
+                per_bench_ns,
+            )
+        })
+        .collect()
+}
+
+/// Records one chunk of up to 64 benchmarks' proxy toggles in a single
+/// toggles-only bitslice pass. Per cycle the extraction reads one
+/// toggle plane per proxy (each plane word already is the 64-lane
+/// toggle vector); every 64 cycles the buffered plane words are turned
+/// into per-lane cycle words with one 64×64 block transpose per proxy
+/// and OR-ed into the per-lane matrices as whole words, so no
+/// bit-scatter happens anywhere on this path.
+fn capture_proxy_chunk_bitslice(
+    ctx: &DesignContext,
+    chunk: &[(Benchmark, usize)],
+    owners: &[(NodeId, u8)],
+    warmup: usize,
+    threads: usize,
+) -> Vec<ToggleMatrix> {
+    let workloads: Vec<(Vec<Inst>, Vec<u64>)> = chunk
+        .iter()
+        .map(|(b, _)| (b.program.clone(), b.data.clone()))
+        .collect();
+    let mut batch = CpuBatch::with_threads(
+        &ctx.handles,
+        &ctx.cap,
+        ctx.power.clone(),
+        &workloads,
+        threads,
+    );
+    for _ in 0..warmup {
+        batch.step_toggles();
+    }
+    let mut matrices: Vec<ToggleMatrix> = chunk
+        .iter()
+        .map(|(_, cycles)| ToggleMatrix::new(owners.len(), *cycles))
+        .collect();
+    // planes[k][c] = 64-lane toggle vector of proxy `k` at cycle `c` of
+    // the current 64-cycle block.
+    let mut planes = vec![[0u64; 64]; owners.len()];
+    fn flush(planes: &mut [[u64; 64]], matrices: &mut [ToggleMatrix], block: usize, filled: usize) {
+        for (k, blk) in planes.iter_mut().enumerate() {
+            blk[filled..].fill(0);
+            transpose64(blk);
+            for (lane, m) in matrices.iter_mut().enumerate() {
+                // Lanes whose window closed in an earlier block are
+                // done; ragged bits inside the last block are masked by
+                // `store_column_word`.
+                if block * 64 < m.n_cycles() {
+                    m.store_column_word(k, block, blk[lane]);
+                }
+            }
+        }
+    }
+    let longest = chunk.iter().map(|(_, c)| *c).max().unwrap_or(0);
+    let timing = apollo_telemetry::timing_enabled();
+    let mut record_ns = 0u64;
+    for cycle in 0..longest {
+        batch.step_toggles();
+        let r0 = timing.then(Instant::now);
+        let c = cycle % 64;
+        for (k, &(node, bit)) in owners.iter().enumerate() {
+            planes[k][c] = batch.sim().toggle_plane(node, bit as usize);
+        }
+        if c == 63 {
+            flush(&mut planes, &mut matrices, cycle / 64, 64);
+        }
+        if let Some(r0) = r0 {
+            record_ns += r0.elapsed().as_nanos() as u64;
+        }
+    }
+    if longest % 64 != 0 {
+        flush(&mut planes, &mut matrices, longest / 64, longest % 64);
+    }
+    if timing {
+        apollo_telemetry::profile::record_phase(
+            "core.capture_proxy_chunk/record",
+            longest as u64,
+            record_ns,
+        );
+    }
+    matrices
+}
+
 /// Records one benchmark on a fresh single-threaded simulator.
 fn capture_one(ctx: &DesignContext, bench: &Benchmark, cycles: usize, warmup: usize) -> TraceData {
     let mut cap = TraceCapture::all(ctx.netlist(), cycles);
@@ -182,12 +434,68 @@ mod tests {
     }
 
     #[test]
+    fn bitslice_fitness_matches_scalar() {
+        let scalar = DesignContext::new(&CpuConfig::tiny());
+        let bits = DesignContext::with_engine(&CpuConfig::tiny(), 1, EngineKind::Bitslice);
+        let programs: Vec<Vec<Inst>> = vec![
+            apollo_cpu::benchmarks::dhrystone().program,
+            apollo_cpu::benchmarks::maxpwr_cpu().program,
+            apollo_cpu::benchmarks::daxpy().program,
+        ];
+        let data = crate::benchgen::training_data_pattern(64);
+        let a = SimPool::new(1).mean_powers(&scalar, &programs, &data, 20, 100);
+        let b = SimPool::new(2).mean_powers(&bits, &programs, &data, 20, 100);
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "program {i}: fitness differs");
+        }
+    }
+
+    #[test]
+    fn proxy_capture_matches_engines_and_full_capture() {
+        let cfg = CpuConfig::tiny();
+        let scalar = DesignContext::new(&cfg);
+        let bits_ctx = DesignContext::with_engine(&cfg, 1, EngineKind::Bitslice);
+        let suite = vec![
+            (apollo_cpu::benchmarks::dhrystone(), 70),
+            (apollo_cpu::benchmarks::maxpwr_cpu(), 64),
+            (apollo_cpu::benchmarks::daxpy(), 90),
+        ];
+        let m = scalar.m_bits();
+        // A spread of proxy bits across the design, deliberately not
+        // word-aligned.
+        let bits: Vec<usize> = (0..17).map(|k| (k * m / 17 + 3) % m).collect();
+        let a = SimPool::new(1).capture_proxy_suite(&scalar, &suite, &bits, 10);
+        let b = SimPool::new(2).capture_proxy_suite(&bits_ctx, &suite, &bits, 10);
+        assert_eq!(a, b, "proxy capture differs across engines");
+        // Column k of the proxy capture must equal column bits[k] of
+        // the stitched full capture, workload by workload.
+        let full = SimPool::new(1).capture_suite(&scalar, &suite, 10);
+        let mut cursor = 0usize;
+        for (w, (_, cycles)) in suite.iter().enumerate() {
+            for (k, &bit) in bits.iter().enumerate() {
+                for c in 0..*cycles {
+                    assert_eq!(
+                        a[w].get(k, c),
+                        full.toggles.get(bit, cursor + c),
+                        "workload {w} proxy {k} cycle {c}"
+                    );
+                }
+            }
+            cursor += cycles;
+        }
+    }
+
+    #[test]
     fn parallel_capture_matches_sequential() {
         let ctx = DesignContext::new(&CpuConfig::tiny());
         let suite = vec![
             (apollo_cpu::benchmarks::dhrystone(), 90),
             (apollo_cpu::benchmarks::maxpwr_cpu(), 70),
-            (apollo_cpu::benchmarks::dcache_miss(&ctx.handles.config), 110),
+            (
+                apollo_cpu::benchmarks::dcache_miss(&ctx.handles.config),
+                110,
+            ),
         ];
         let seq = SimPool::new(1).capture_suite(&ctx, &suite, 8);
         let par = SimPool::new(4).capture_suite(&ctx, &suite, 8);

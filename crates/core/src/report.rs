@@ -121,7 +121,10 @@ mod tests {
             &trace,
             ctx.netlist(),
             &fs,
-            &TrainOptions { q_target: 16, ..TrainOptions::default() },
+            &TrainOptions {
+                q_target: 16,
+                ..TrainOptions::default()
+            },
         );
         let dist = proxy_distribution(&trained.model);
         let total: usize = dist.values().sum();
@@ -142,7 +145,10 @@ mod tests {
             &trace,
             ctx.netlist(),
             &fs,
-            &TrainOptions { q_target: 16, ..TrainOptions::default() },
+            &TrainOptions {
+                q_target: 16,
+                ..TrainOptions::default()
+            },
         );
         let lasso = train_per_cycle(
             &trace,

@@ -170,6 +170,9 @@ mod tests {
         assert_eq!(model.tau, sweep.best_param());
         // Scores should vary across τ (not all identical).
         let first = sweep.candidates[0].1;
-        assert!(sweep.candidates.iter().any(|(_, s)| (s - first).abs() > 1e-9));
+        assert!(sweep
+            .candidates
+            .iter()
+            .any(|(_, s)| (s - first).abs() > 1e-9));
     }
 }

@@ -90,9 +90,11 @@ fn build_eval(t: usize, predicted: Vec<f64>, truth: Vec<f64>) -> WindowedEval {
     let n = windows.len().max(1) as f64;
     let mae = windows.iter().map(|w| w.residual().abs()).sum::<f64>() / n;
     let rmse = (windows.iter().map(|w| w.residual().powi(2)).sum::<f64>() / n).sqrt();
-    let (lo, hi) = windows.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), w| {
-        (lo.min(w.truth), hi.max(w.truth))
-    });
+    let (lo, hi) = windows
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), w| {
+            (lo.min(w.truth), hi.max(w.truth))
+        });
     let range = hi - lo;
     let nrmse = if windows.is_empty() || range <= 0.0 {
         0.0
@@ -126,7 +128,10 @@ mod tests {
             &trace,
             ctx.netlist(),
             &fs,
-            &TrainOptions { q_target: 12, ..TrainOptions::default() },
+            &TrainOptions {
+                q_target: 12,
+                ..TrainOptions::default()
+            },
         )
         .model;
 
@@ -134,7 +139,11 @@ mod tests {
         assert_eq!(eval.windows.len(), 160 / 32);
         let manual_pred = crate::dataset::window_average(&model.predict_full(&trace.toggles), 32);
         let manual_truth = crate::dataset::window_average(&trace.labels(), 32);
-        for (w, (p, y)) in eval.windows.iter().zip(manual_pred.iter().zip(&manual_truth)) {
+        for (w, (p, y)) in eval
+            .windows
+            .iter()
+            .zip(manual_pred.iter().zip(&manual_truth))
+        {
             assert_eq!(w.predicted, *p, "bit-identical to the manual path");
             assert_eq!(w.truth, *y);
         }

@@ -5,7 +5,7 @@
 
 use apollo_core::{run_ga, DesignContext, GaConfig, SimPool};
 use apollo_cpu::CpuConfig;
-use apollo_sim::TraceData;
+use apollo_sim::{EngineKind, TraceData};
 
 fn assert_traces_identical(a: &TraceData, b: &TraceData) {
     // ToggleMatrix is PartialEq over its packed words: byte-identical.
@@ -79,6 +79,71 @@ fn design_context_thread_count_does_not_change_captures() {
 }
 
 #[test]
+fn capture_identical_across_engines_and_thread_counts() {
+    // The captured ToggleMatrix and power labels must not depend on the
+    // engine or the thread count: scalar at 1 thread is the reference,
+    // bitslice at 1/2/4/8 threads must reproduce it bit for bit.
+    let scalar_ctx = DesignContext::new(&CpuConfig::tiny());
+    let bitslice_ctx = DesignContext::with_engine(&CpuConfig::tiny(), 1, EngineKind::Bitslice);
+    assert_eq!(bitslice_ctx.engine, EngineKind::Bitslice);
+    let suite = tiny_suite(&scalar_ctx);
+    let reference = SimPool::new(1).capture_suite(&scalar_ctx, &suite, 10);
+    for threads in [1, 2, 4, 8] {
+        let got = SimPool::new(threads).capture_suite(&bitslice_ctx, &suite, 10);
+        assert_traces_identical(&reference, &got);
+    }
+}
+
+#[test]
+fn ga_trajectory_identical_across_engines_and_thread_counts() {
+    // The GA must follow the same trajectory — same individuals, same
+    // fitness bits, same winners — on either engine at any thread
+    // count. Fitness batches route whole populations through single
+    // bitslice passes, so this exercises the lane-packed path end to
+    // end.
+    let base = GaConfig {
+        population: 6,
+        generations: 2,
+        body_len_min: 8,
+        body_len_max: 24,
+        reps: 5,
+        warmup: 30,
+        fitness_cycles: 100,
+        threads: 1,
+        ..GaConfig::default()
+    };
+    let scalar_ctx = DesignContext::new(&CpuConfig::tiny());
+    let bitslice_ctx = DesignContext::with_engine(&CpuConfig::tiny(), 1, EngineKind::Bitslice);
+    let reference = run_ga(&scalar_ctx, &base);
+    for threads in [1usize, 2, 4, 8] {
+        let run = run_ga(
+            &bitslice_ctx,
+            &GaConfig {
+                threads,
+                ..base.clone()
+            },
+        );
+        assert_eq!(reference.best_per_gen.len(), run.best_per_gen.len());
+        for (g, (a, b)) in reference
+            .best_per_gen
+            .iter()
+            .zip(&run.best_per_gen)
+            .enumerate()
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "generation {g}: best fitness differs from scalar at {threads} threads"
+            );
+        }
+        for (a, b) in reference.individuals.iter().zip(&run.individuals) {
+            assert_eq!(a.avg_power.to_bits(), b.avg_power.to_bits());
+            assert_eq!(a.body, b.body);
+        }
+    }
+}
+
+#[test]
 fn ga_fitness_trajectory_is_thread_count_invariant() {
     let ctx = DesignContext::new(&CpuConfig::tiny());
     let base = GaConfig {
@@ -102,7 +167,11 @@ fn ga_fitness_trajectory_is_thread_count_invariant() {
     );
     assert_eq!(seq.best_per_gen.len(), par.best_per_gen.len());
     for (g, (a, b)) in seq.best_per_gen.iter().zip(&par.best_per_gen).enumerate() {
-        assert_eq!(a.to_bits(), b.to_bits(), "generation {g}: best fitness differs");
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "generation {g}: best fitness differs"
+        );
     }
     for (a, b) in seq.individuals.iter().zip(&par.individuals) {
         assert_eq!(a.avg_power.to_bits(), b.avg_power.to_bits());

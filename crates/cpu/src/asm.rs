@@ -33,8 +33,15 @@ pub struct Asm {
 #[derive(Clone, Debug)]
 enum PendingInst {
     Fixed(Inst),
-    Branch { cond: BranchCond, ra: Xr, rb: Xr, target: Label },
-    Jump { target: Label },
+    Branch {
+        cond: BranchCond,
+        ra: Xr,
+        rb: Xr,
+        target: Label,
+    },
+    Jump {
+        target: Label,
+    },
 }
 
 impl Asm {
@@ -93,27 +100,52 @@ impl Asm {
 
     /// `rd = ra + rb`.
     pub fn add(&mut self, rd: Xr, ra: Xr, rb: Xr) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Add, rd, ra, rb })
+        self.push(Inst::Alu {
+            op: AluOp::Add,
+            rd,
+            ra,
+            rb,
+        })
     }
 
     /// `rd = ra - rb`.
     pub fn sub(&mut self, rd: Xr, ra: Xr, rb: Xr) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Sub, rd, ra, rb })
+        self.push(Inst::Alu {
+            op: AluOp::Sub,
+            rd,
+            ra,
+            rb,
+        })
     }
 
     /// `rd = ra ^ rb`.
     pub fn xor(&mut self, rd: Xr, ra: Xr, rb: Xr) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Xor, rd, ra, rb })
+        self.push(Inst::Alu {
+            op: AluOp::Xor,
+            rd,
+            ra,
+            rb,
+        })
     }
 
     /// `rd = ra & rb`.
     pub fn and(&mut self, rd: Xr, ra: Xr, rb: Xr) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::And, rd, ra, rb })
+        self.push(Inst::Alu {
+            op: AluOp::And,
+            rd,
+            ra,
+            rb,
+        })
     }
 
     /// `rd = ra | rb`.
     pub fn or(&mut self, rd: Xr, ra: Xr, rb: Xr) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Or, rd, ra, rb })
+        self.push(Inst::Alu {
+            op: AluOp::Or,
+            rd,
+            ra,
+            rb,
+        })
     }
 
     /// Generic register ALU op.
@@ -123,22 +155,42 @@ impl Asm {
 
     /// `rd = ra + imm`.
     pub fn addi(&mut self, rd: Xr, ra: Xr, imm: u16) -> &mut Self {
-        self.push(Inst::AluImm { op: AluOp::Add, rd, ra, imm })
+        self.push(Inst::AluImm {
+            op: AluOp::Add,
+            rd,
+            ra,
+            imm,
+        })
     }
 
     /// `rd = ra ^ imm`.
     pub fn xori(&mut self, rd: Xr, ra: Xr, imm: u16) -> &mut Self {
-        self.push(Inst::AluImm { op: AluOp::Xor, rd, ra, imm })
+        self.push(Inst::AluImm {
+            op: AluOp::Xor,
+            rd,
+            ra,
+            imm,
+        })
     }
 
     /// `rd = ra << imm`.
     pub fn shli(&mut self, rd: Xr, ra: Xr, imm: u16) -> &mut Self {
-        self.push(Inst::AluImm { op: AluOp::Shl, rd, ra, imm })
+        self.push(Inst::AluImm {
+            op: AluOp::Shl,
+            rd,
+            ra,
+            imm,
+        })
     }
 
     /// `rd = ra >> imm`.
     pub fn shri(&mut self, rd: Xr, ra: Xr, imm: u16) -> &mut Self {
-        self.push(Inst::AluImm { op: AluOp::Shr, rd, ra, imm })
+        self.push(Inst::AluImm {
+            op: AluOp::Shr,
+            rd,
+            ra,
+            imm,
+        })
     }
 
     /// `rd = imm << 14`.
@@ -168,19 +220,34 @@ impl Asm {
 
     /// Branch if equal.
     pub fn beq(&mut self, ra: Xr, rb: Xr, target: Label) -> &mut Self {
-        self.insts.push(PendingInst::Branch { cond: BranchCond::Eq, ra, rb, target });
+        self.insts.push(PendingInst::Branch {
+            cond: BranchCond::Eq,
+            ra,
+            rb,
+            target,
+        });
         self
     }
 
     /// Branch if not equal.
     pub fn bne(&mut self, ra: Xr, rb: Xr, target: Label) -> &mut Self {
-        self.insts.push(PendingInst::Branch { cond: BranchCond::Ne, ra, rb, target });
+        self.insts.push(PendingInst::Branch {
+            cond: BranchCond::Ne,
+            ra,
+            rb,
+            target,
+        });
         self
     }
 
     /// Branch if unsigned less-than.
     pub fn blt(&mut self, ra: Xr, rb: Xr, target: Label) -> &mut Self {
-        self.insts.push(PendingInst::Branch { cond: BranchCond::Lt, ra, rb, target });
+        self.insts.push(PendingInst::Branch {
+            cond: BranchCond::Lt,
+            ra,
+            rb,
+            target,
+        });
         self
     }
 
@@ -223,10 +290,20 @@ impl Asm {
         self.shri(rd, rd, 14); // LUI put chunk at [27:14]; normalize to low bits
         for shift in [36u8, 22, 8] {
             self.shli(rd, rd, 14);
-            self.push(Inst::AluImm { op: AluOp::Or, rd, ra: rd, imm: ((value >> shift) & 0x3FFF) as u16 });
+            self.push(Inst::AluImm {
+                op: AluOp::Or,
+                rd,
+                ra: rd,
+                imm: ((value >> shift) & 0x3FFF) as u16,
+            });
         }
         self.shli(rd, rd, 8);
-        self.push(Inst::AluImm { op: AluOp::Or, rd, ra: rd, imm: (value & 0xFF) as u16 });
+        self.push(Inst::AluImm {
+            op: AluOp::Or,
+            rd,
+            ra: rd,
+            imm: (value & 0xFF) as u16,
+        });
         self
     }
 
@@ -241,17 +318,35 @@ impl Asm {
             .enumerate()
             .map(|(pc, p)| match p {
                 PendingInst::Fixed(i) => *i,
-                PendingInst::Branch { cond, ra, rb, target } => {
+                PendingInst::Branch {
+                    cond,
+                    ra,
+                    rb,
+                    target,
+                } => {
                     let t = *self.labels.get(target).expect("unplaced label");
                     let offset = t as i64 - pc as i64;
-                    assert!((-(1 << 13)..(1 << 13)).contains(&offset), "branch offset {offset} out of range");
-                    Inst::Branch { cond: *cond, ra: *ra, rb: *rb, offset: offset as i16 }
+                    assert!(
+                        (-(1 << 13)..(1 << 13)).contains(&offset),
+                        "branch offset {offset} out of range"
+                    );
+                    Inst::Branch {
+                        cond: *cond,
+                        ra: *ra,
+                        rb: *rb,
+                        offset: offset as i16,
+                    }
                 }
                 PendingInst::Jump { target } => {
                     let t = *self.labels.get(target).expect("unplaced label");
                     let offset = t as i64 - pc as i64;
-                    assert!((-(1 << 13)..(1 << 13)).contains(&offset), "jump offset {offset} out of range");
-                    Inst::Jump { offset: offset as i16 }
+                    assert!(
+                        (-(1 << 13)..(1 << 13)).contains(&offset),
+                        "jump offset {offset} out of range"
+                    );
+                    Inst::Jump {
+                        offset: offset as i16,
+                    }
                 }
             })
             .collect()
@@ -310,7 +405,13 @@ mod tests {
     #[test]
     fn load_const_roundtrip_through_golden_model() {
         use crate::golden::GoldenModel;
-        for value in [0u64, 1, 0xDEAD_BEEF_CAFE_F00D, u64::MAX, 0x8000_0000_0000_0001] {
+        for value in [
+            0u64,
+            1,
+            0xDEAD_BEEF_CAFE_F00D,
+            u64::MAX,
+            0x8000_0000_0000_0001,
+        ] {
             let mut a = Asm::new();
             a.load_const(Xr(5), value);
             a.halt();

@@ -444,8 +444,7 @@ pub mod random {
 
     /// Draws one random body instruction.
     pub fn random_inst(rng: &mut StdRng, w: &GenWeights) -> Inst {
-        let total =
-            w.alu + w.mul + w.div + w.load + w.store + w.vec + w.vmem + w.nop + w.throttle;
+        let total = w.alu + w.mul + w.div + w.load + w.store + w.vec + w.vmem + w.nop + w.throttle;
         let mut x = rng.gen_range(0.0..total);
         let xr = |rng: &mut StdRng| Xr(rng.gen_range(0..16));
         let xr_nz = |rng: &mut StdRng| Xr(rng.gen_range(1..16));
@@ -454,43 +453,84 @@ pub mod random {
         if x < 0.0 {
             let op = AluOp::ALL[rng.gen_range(0..8usize)];
             if rng.gen_bool(0.5) {
-                return Inst::Alu { op, rd: xr_nz(rng), ra: xr(rng), rb: xr(rng) };
+                return Inst::Alu {
+                    op,
+                    rd: xr_nz(rng),
+                    ra: xr(rng),
+                    rb: xr(rng),
+                };
             }
-            return Inst::AluImm { op, rd: xr_nz(rng), ra: xr(rng), imm: rng.gen_range(0..1 << 14) };
+            return Inst::AluImm {
+                op,
+                rd: xr_nz(rng),
+                ra: xr(rng),
+                imm: rng.gen_range(0..1 << 14),
+            };
         }
         x -= w.mul;
         if x < 0.0 {
-            return Inst::Mul { rd: xr_nz(rng), ra: xr(rng), rb: xr(rng) };
+            return Inst::Mul {
+                rd: xr_nz(rng),
+                ra: xr(rng),
+                rb: xr(rng),
+            };
         }
         x -= w.div;
         if x < 0.0 {
-            return Inst::Div { rd: xr_nz(rng), ra: xr(rng), rb: xr(rng) };
+            return Inst::Div {
+                rd: xr_nz(rng),
+                ra: xr(rng),
+                rb: xr(rng),
+            };
         }
         x -= w.load;
         if x < 0.0 {
-            return Inst::Lw { rd: xr_nz(rng), ra: xr(rng), imm: rng.gen_range(0..256) };
+            return Inst::Lw {
+                rd: xr_nz(rng),
+                ra: xr(rng),
+                imm: rng.gen_range(0..256),
+            };
         }
         x -= w.store;
         if x < 0.0 {
-            return Inst::Sw { rb: xr(rng), ra: xr(rng), imm: rng.gen_range(0..256) };
+            return Inst::Sw {
+                rb: xr(rng),
+                ra: xr(rng),
+                imm: rng.gen_range(0..256),
+            };
         }
         x -= w.vec;
         if x < 0.0 {
             let op = VecOp::ALL[rng.gen_range(0..4usize)];
-            return Inst::Vec { op, vd: vr(rng), va: vr(rng), vb: vr(rng) };
+            return Inst::Vec {
+                op,
+                vd: vr(rng),
+                va: vr(rng),
+                vb: vr(rng),
+            };
         }
         x -= w.vmem;
         if x < 0.0 {
             if rng.gen_bool(0.5) {
-                return Inst::Vld { vd: vr(rng), ra: xr(rng), imm: rng.gen_range(0..128) };
+                return Inst::Vld {
+                    vd: vr(rng),
+                    ra: xr(rng),
+                    imm: rng.gen_range(0..128),
+                };
             }
-            return Inst::Vst { vb: vr(rng), ra: xr(rng), imm: rng.gen_range(0..128) };
+            return Inst::Vst {
+                vb: vr(rng),
+                ra: xr(rng),
+                imm: rng.gen_range(0..128),
+            };
         }
         x -= w.nop;
         if x < 0.0 {
             return Inst::Nop;
         }
-        Inst::Throttle { level: rng.gen_range(0..4) }
+        Inst::Throttle {
+            level: rng.gen_range(0..4),
+        }
     }
 
     /// Generates a random straight-line body of `len` instructions.
@@ -529,12 +569,34 @@ pub mod random {
     fn remap_away_from(inst: Inst) -> Inst {
         let fix = |r: Xr| if r == Xr(1) || r == Xr(15) { Xr(2) } else { r };
         match inst {
-            Inst::Alu { op, rd, ra, rb } => Inst::Alu { op, rd: fix(rd), ra, rb },
-            Inst::AluImm { op, rd, ra, imm } => Inst::AluImm { op, rd: fix(rd), ra, imm },
+            Inst::Alu { op, rd, ra, rb } => Inst::Alu {
+                op,
+                rd: fix(rd),
+                ra,
+                rb,
+            },
+            Inst::AluImm { op, rd, ra, imm } => Inst::AluImm {
+                op,
+                rd: fix(rd),
+                ra,
+                imm,
+            },
             Inst::Lui { rd, imm } => Inst::Lui { rd: fix(rd), imm },
-            Inst::Mul { rd, ra, rb } => Inst::Mul { rd: fix(rd), ra, rb },
-            Inst::Div { rd, ra, rb } => Inst::Div { rd: fix(rd), ra, rb },
-            Inst::Lw { rd, ra, imm } => Inst::Lw { rd: fix(rd), ra, imm },
+            Inst::Mul { rd, ra, rb } => Inst::Mul {
+                rd: fix(rd),
+                ra,
+                rb,
+            },
+            Inst::Div { rd, ra, rb } => Inst::Div {
+                rd: fix(rd),
+                ra,
+                rb,
+            },
+            Inst::Lw { rd, ra, imm } => Inst::Lw {
+                rd: fix(rd),
+                ra,
+                imm,
+            },
             other => other,
         }
     }
@@ -566,9 +628,18 @@ mod tests {
         assert_eq!(suite.len(), 12);
         let names: Vec<&str> = suite.iter().map(|b| b.name.as_str()).collect();
         for expected in [
-            "dhrystone", "maxpwr_cpu", "dcache_miss", "saxpy_simd",
-            "maxpwr_l2", "icache_miss", "cache_miss", "daxpy",
-            "memcpy_l2", "throttling_1", "throttling_2", "throttling_3",
+            "dhrystone",
+            "maxpwr_cpu",
+            "dcache_miss",
+            "saxpy_simd",
+            "maxpwr_l2",
+            "icache_miss",
+            "cache_miss",
+            "daxpy",
+            "memcpy_l2",
+            "throttling_1",
+            "throttling_2",
+            "throttling_3",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
@@ -603,6 +674,9 @@ mod tests {
     #[test]
     fn random_generation_is_deterministic() {
         let w = random::GenWeights::default();
-        assert_eq!(random::random_body(7, 30, &w), random::random_body(7, 30, &w));
+        assert_eq!(
+            random::random_body(7, 30, &w),
+            random::random_body(7, 30, &w)
+        );
     }
 }

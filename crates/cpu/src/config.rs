@@ -112,8 +112,14 @@ impl CpuConfig {
     /// # Panics
     /// Panics with a description of the violated constraint.
     pub fn validate(&self) {
-        assert!(self.imem_words.is_power_of_two(), "imem_words must be a power of two");
-        assert!(self.dram_words.is_power_of_two(), "dram_words must be a power of two");
+        assert!(
+            self.imem_words.is_power_of_two(),
+            "imem_words must be a power of two"
+        );
+        assert!(
+            self.dram_words.is_power_of_two(),
+            "dram_words must be a power of two"
+        );
         assert!(self.icache_lines.is_power_of_two() && self.icache_lines >= 4);
         assert!(self.dcache_lines.is_power_of_two() && self.dcache_lines >= 4);
         assert!(self.l2_lines.is_power_of_two() && self.l2_lines >= 8);

@@ -93,7 +93,12 @@ impl GoldenModel {
                 let addr = self.wrap_addr(self.xregs[ra.0 as usize].wrapping_add(imm as u64));
                 self.mem[addr] = self.xregs[rb.0 as usize];
             }
-            Inst::Branch { cond, ra, rb, offset } => {
+            Inst::Branch {
+                cond,
+                ra,
+                rb,
+                offset,
+            } => {
                 if cond.taken(self.xregs[ra.0 as usize], self.xregs[rb.0 as usize]) {
                     next_pc = self.pc.wrapping_add_signed(offset as i64);
                 }
@@ -115,12 +120,8 @@ impl GoldenModel {
                 let base = self.xregs[ra.0 as usize].wrapping_add(imm as u64);
                 let w0 = self.mem[self.wrap_addr(base)];
                 let w1 = self.mem[self.wrap_addr(base.wrapping_add(1))];
-                self.vregs[vd.0 as usize] = [
-                    w0 as u32,
-                    (w0 >> 32) as u32,
-                    w1 as u32,
-                    (w1 >> 32) as u32,
-                ];
+                self.vregs[vd.0 as usize] =
+                    [w0 as u32, (w0 >> 32) as u32, w1 as u32, (w1 >> 32) as u32];
             }
             Inst::Vst { vb, ra, imm } => {
                 let base = self.xregs[ra.0 as usize].wrapping_add(imm as u64);

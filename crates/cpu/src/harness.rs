@@ -4,7 +4,7 @@
 use crate::isa::Inst;
 use crate::uarch::CpuHandles;
 use apollo_rtl::{CapAnnotation, CapModel};
-use apollo_sim::{FaultPlan, FaultPlanError, PowerConfig, Simulator};
+use apollo_sim::{BitsliceSimulator, FaultPlan, FaultPlanError, PowerConfig, Simulator};
 
 /// Outcome of running a program on the RTL CPU.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -104,9 +104,16 @@ impl<'a> CpuSim<'a> {
     }
 
     /// Creates a simulator with the default parasitic annotation.
-    pub fn with_default_power(handles: &'a CpuHandles, program: &[Inst], data: &[u64]) -> (CapAnnotation, PowerConfig) {
+    pub fn with_default_power(
+        handles: &'a CpuHandles,
+        program: &[Inst],
+        data: &[u64],
+    ) -> (CapAnnotation, PowerConfig) {
         let _ = (handles, program, data);
-        (CapModel::default().annotate(&handles.netlist), PowerConfig::default())
+        (
+            CapModel::default().annotate(&handles.netlist),
+            PowerConfig::default(),
+        )
     }
 
     /// The underlying simulator.
@@ -127,6 +134,12 @@ impl<'a> CpuSim<'a> {
     /// Steps one cycle.
     pub fn step(&mut self) {
         self.sim.step();
+    }
+
+    /// Steps one cycle in toggles-only mode (no power pass); see
+    /// [`Simulator::step_toggles`].
+    pub fn step_toggles(&mut self) {
+        self.sim.step_toggles();
     }
 
     /// Runs until the core quiesces or `max_cycles` elapse.
@@ -171,5 +184,226 @@ impl<'a> CpuSim<'a> {
     /// Whether the core has halted.
     pub fn halted(&self) -> bool {
         self.sim.value(self.handles.halted) == 1
+    }
+}
+
+/// A batch of up to 64 independent program runs on one design, evaluated
+/// together by the bitslice engine: each workload occupies one lane of a
+/// [`BitsliceSimulator`], so a single netlist pass advances every
+/// program by one cycle.
+///
+/// Per-lane observables (registers, memory, power, retirement) are
+/// bit-identical to running each workload alone through [`CpuSim`] —
+/// the scalar engine is the differential oracle.
+#[derive(Debug)]
+pub struct CpuBatch<'a> {
+    handles: &'a CpuHandles,
+    sim: BitsliceSimulator<'a>,
+}
+
+impl<'a> CpuBatch<'a> {
+    /// Creates a batch with each `(program, data)` workload loaded into
+    /// its own lane's instruction and data memories.
+    ///
+    /// # Panics
+    /// Panics if `workloads` is empty or longer than 64, or if any
+    /// program/data image exceeds the design's memories.
+    pub fn new(
+        handles: &'a CpuHandles,
+        cap: &CapAnnotation,
+        power: PowerConfig,
+        workloads: &[(Vec<Inst>, Vec<u64>)],
+    ) -> Self {
+        Self::with_threads(handles, cap, power, workloads, 1)
+    }
+
+    /// Like [`CpuBatch::new`] with `threads` level-parallel workers
+    /// under the bitslice kernel.
+    pub fn with_threads(
+        handles: &'a CpuHandles,
+        cap: &CapAnnotation,
+        power: PowerConfig,
+        workloads: &[(Vec<Inst>, Vec<u64>)],
+        threads: usize,
+    ) -> Self {
+        assert!(
+            (1..=64).contains(&workloads.len()),
+            "a CpuBatch holds 1..=64 workloads, got {}",
+            workloads.len()
+        );
+        let mut sim =
+            BitsliceSimulator::with_threads(&handles.netlist, cap, power, workloads.len(), threads);
+        for (lane, (program, data)) in workloads.iter().enumerate() {
+            assert!(
+                program.len() <= handles.config.imem_words as usize,
+                "lane {lane}: program of {} instructions exceeds imem ({} words)",
+                program.len(),
+                handles.config.imem_words
+            );
+            assert!(
+                data.len() <= handles.config.dram_words as usize,
+                "lane {lane}: data of {} words exceeds dram ({} words)",
+                data.len(),
+                handles.config.dram_words
+            );
+            for (i, inst) in program.iter().enumerate() {
+                sim.poke_mem(lane, handles.imem, i as u32, inst.encode() as u64);
+            }
+            for (i, &w) in data.iter().enumerate() {
+                sim.poke_mem(lane, handles.dram, i as u32, w);
+            }
+        }
+        CpuBatch { handles, sim }
+    }
+
+    /// Number of active lanes (= workloads).
+    pub fn lanes(&self) -> usize {
+        self.sim.lanes()
+    }
+
+    /// The underlying bitslice simulator.
+    pub fn sim(&self) -> &BitsliceSimulator<'a> {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying simulator (stepping, power).
+    pub fn sim_mut(&mut self) -> &mut BitsliceSimulator<'a> {
+        &mut self.sim
+    }
+
+    /// Steps every lane by one cycle.
+    pub fn step(&mut self) {
+        self.sim.step();
+    }
+
+    /// Steps every lane by one cycle in toggles-only mode (no power
+    /// pass, no row transpose); see
+    /// [`BitsliceSimulator::step_toggles`].
+    pub fn step_toggles(&mut self) {
+        self.sim.step_toggles();
+    }
+
+    /// Runs until every lane's core quiesces or `max_cycles` elapse,
+    /// returning each lane's outcome. Quiesced cores hold their
+    /// architectural state, so early finishers idle while stragglers
+    /// drain.
+    pub fn run(&mut self, max_cycles: u64) -> Vec<RunOutcome> {
+        let lanes = self.lanes();
+        let mut outcomes = vec![RunOutcome::OutOfCycles; lanes];
+        for cycle in 1..=max_cycles {
+            self.sim.step();
+            let mut all_done = true;
+            for (lane, out) in outcomes.iter_mut().enumerate() {
+                if matches!(out, RunOutcome::OutOfCycles) {
+                    if self.sim.value(lane, self.handles.quiesced) == 1 {
+                        *out = RunOutcome::Quiesced { cycles: cycle };
+                    } else {
+                        all_done = false;
+                    }
+                }
+            }
+            if all_done {
+                break;
+            }
+        }
+        outcomes
+    }
+
+    /// Architectural value of scalar register `i` on `lane`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 16` or `lane` is out of range.
+    pub fn xreg(&self, lane: usize, i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            self.sim.value(lane, self.handles.xregs[i - 1])
+        }
+    }
+
+    /// Architectural value of vector register `i` on `lane` as
+    /// `[lo64, hi64]`.
+    pub fn vreg(&self, lane: usize, i: usize) -> [u64; 2] {
+        let h = self.handles.vregs[i];
+        [self.sim.value(lane, h[0]), self.sim.value(lane, h[1])]
+    }
+
+    /// Reads a data-memory word on `lane`.
+    pub fn mem_word(&self, lane: usize, addr: u32) -> u64 {
+        self.sim.mem_word(lane, self.handles.dram, addr)
+    }
+
+    /// The retired-instruction counter on `lane`.
+    pub fn retired(&self, lane: usize) -> u64 {
+        self.sim.value(lane, self.handles.retired)
+    }
+
+    /// Whether `lane`'s core has halted.
+    pub fn halted(&self, lane: usize) -> bool {
+        self.sim.value(lane, self.handles.halted) == 1
+    }
+
+    /// Whether `lane`'s core has halted *and* fully drained.
+    pub fn quiesced(&self, lane: usize) -> bool {
+        self.sim.value(lane, self.handles.quiesced) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::uarch::build_cpu;
+    use crate::CpuConfig;
+
+    /// A mixed batch (scalar, vector, memory-bound workloads) must be
+    /// lane-for-lane bit-identical to one scalar `CpuSim` per program:
+    /// same quiesce cycle, registers, vector state and final memory.
+    #[test]
+    fn batch_matches_per_program_scalar_runs() {
+        let handles = build_cpu(&CpuConfig::tiny()).unwrap();
+        let cap = CapModel::default().annotate(&handles.netlist);
+        let workloads: Vec<(Vec<Inst>, Vec<u64>)> = [
+            benchmarks::dhrystone(),
+            benchmarks::maxpwr_cpu(),
+            benchmarks::daxpy(),
+        ]
+        .into_iter()
+        .map(|b| (b.program, b.data))
+        .collect();
+
+        let mut batch = CpuBatch::new(&handles, &cap, PowerConfig::default(), &workloads);
+        let mut singles: Vec<CpuSim<'_>> = workloads
+            .iter()
+            .map(|(p, d)| CpuSim::new(&handles, &cap, PowerConfig::default(), p, d))
+            .collect();
+        let single_outcomes: Vec<RunOutcome> = singles.iter_mut().map(|s| s.run(20_000)).collect();
+        let batch_outcomes = batch.run(20_000);
+
+        for (lane, single) in singles.iter().enumerate() {
+            assert_eq!(
+                batch_outcomes[lane], single_outcomes[lane],
+                "lane {lane}: outcome"
+            );
+            assert!(batch.quiesced(lane) && batch.halted(lane));
+            assert_eq!(
+                batch.retired(lane),
+                single.retired(),
+                "lane {lane}: retired"
+            );
+            for i in 0..16 {
+                assert_eq!(batch.xreg(lane, i), single.xreg(i), "lane {lane}: x{i}");
+            }
+            for v in 0..8 {
+                assert_eq!(batch.vreg(lane, v), single.vreg(v), "lane {lane}: v{v}");
+            }
+            for addr in 0..handles.config.dram_words {
+                assert_eq!(
+                    batch.mem_word(lane, addr),
+                    single.mem_word(addr),
+                    "lane {lane}: mem[{addr}]"
+                );
+            }
+        }
     }
 }

@@ -21,7 +21,9 @@ pub const NUM_VREGS: usize = 8;
 pub const VEC_LANES: usize = 4;
 
 /// A scalar register index (`x0` ..= `x15`).
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Xr(pub u8);
 
 impl Xr {
@@ -42,7 +44,9 @@ impl fmt::Debug for Xr {
 }
 
 /// A vector register index (`v0` ..= `v7`).
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Vr(pub u8);
 
 impl Vr {
@@ -367,7 +371,10 @@ fn fields(op: u8, rd: u8, ra: u8, rb: u8, imm: u16) -> u32 {
 
 /// Encodes a signed 14-bit offset.
 fn enc_offset(offset: i16) -> u16 {
-    debug_assert!((-(1 << 13)..(1 << 13)).contains(&(offset as i32)), "offset {offset} out of range");
+    debug_assert!(
+        (-(1 << 13)..(1 << 13)).contains(&(offset as i32)),
+        "offset {offset} out of range"
+    );
     (offset as u16) & IMM_MASK as u16
 }
 
@@ -390,7 +397,12 @@ impl Inst {
             Inst::Div { rd, ra, rb } => fields(DIV, rd.0, ra.0, rb.0, 0),
             Inst::Lw { rd, ra, imm } => fields(LW, rd.0, ra.0, 0, imm),
             Inst::Sw { rb, ra, imm } => fields(SW, 0, ra.0, rb.0, imm),
-            Inst::Branch { cond, ra, rb, offset } => {
+            Inst::Branch {
+                cond,
+                ra,
+                rb,
+                offset,
+            } => {
                 let op = match cond {
                     BranchCond::Eq => BEQ,
                     BranchCond::Ne => BNE,
@@ -430,24 +442,67 @@ impl Inst {
                 imm,
             },
             LUI => Inst::Lui { rd: Xr(rd), imm },
-            MUL => Inst::Mul { rd: Xr(rd), ra: Xr(ra), rb: Xr(rb) },
-            DIV => Inst::Div { rd: Xr(rd), ra: Xr(ra), rb: Xr(rb) },
-            LW => Inst::Lw { rd: Xr(rd), ra: Xr(ra), imm },
-            SW => Inst::Sw { rb: Xr(rb), ra: Xr(ra), imm },
-            BEQ => Inst::Branch { cond: BranchCond::Eq, ra: Xr(ra), rb: Xr(rb), offset: dec_offset(imm) },
-            BNE => Inst::Branch { cond: BranchCond::Ne, ra: Xr(ra), rb: Xr(rb), offset: dec_offset(imm) },
-            BLT => Inst::Branch { cond: BranchCond::Lt, ra: Xr(ra), rb: Xr(rb), offset: dec_offset(imm) },
-            J => Inst::Jump { offset: dec_offset(imm) },
+            MUL => Inst::Mul {
+                rd: Xr(rd),
+                ra: Xr(ra),
+                rb: Xr(rb),
+            },
+            DIV => Inst::Div {
+                rd: Xr(rd),
+                ra: Xr(ra),
+                rb: Xr(rb),
+            },
+            LW => Inst::Lw {
+                rd: Xr(rd),
+                ra: Xr(ra),
+                imm,
+            },
+            SW => Inst::Sw {
+                rb: Xr(rb),
+                ra: Xr(ra),
+                imm,
+            },
+            BEQ => Inst::Branch {
+                cond: BranchCond::Eq,
+                ra: Xr(ra),
+                rb: Xr(rb),
+                offset: dec_offset(imm),
+            },
+            BNE => Inst::Branch {
+                cond: BranchCond::Ne,
+                ra: Xr(ra),
+                rb: Xr(rb),
+                offset: dec_offset(imm),
+            },
+            BLT => Inst::Branch {
+                cond: BranchCond::Lt,
+                ra: Xr(ra),
+                rb: Xr(rb),
+                offset: dec_offset(imm),
+            },
+            J => Inst::Jump {
+                offset: dec_offset(imm),
+            },
             o if (VEC_BASE..VEC_BASE + 4).contains(&o) => Inst::Vec {
                 op: VecOp::from_code(o - VEC_BASE),
                 vd: Vr(rd & 7),
                 va: Vr(ra & 7),
                 vb: Vr(rb & 7),
             },
-            VLD => Inst::Vld { vd: Vr(rd & 7), ra: Xr(ra), imm },
-            VST => Inst::Vst { vb: Vr(rb & 7), ra: Xr(ra), imm },
+            VLD => Inst::Vld {
+                vd: Vr(rd & 7),
+                ra: Xr(ra),
+                imm,
+            },
+            VST => Inst::Vst {
+                vb: Vr(rb & 7),
+                ra: Xr(ra),
+                imm,
+            },
             HALT => Inst::Halt,
-            THROTTLE => Inst::Throttle { level: (imm & 3) as u8 },
+            THROTTLE => Inst::Throttle {
+                level: (imm & 3) as u8,
+            },
             _ => Inst::Nop,
         }
     }
@@ -467,25 +522,77 @@ mod tests {
             Inst::Nop,
             Inst::Halt,
             Inst::Throttle { level: 2 },
-            Inst::Lui { rd: Xr(3), imm: 0x3FF },
-            Inst::Mul { rd: Xr(1), ra: Xr(2), rb: Xr(3) },
-            Inst::Div { rd: Xr(4), ra: Xr(5), rb: Xr(6) },
-            Inst::Lw { rd: Xr(7), ra: Xr(8), imm: 100 },
-            Inst::Sw { rb: Xr(9), ra: Xr(10), imm: 200 },
+            Inst::Lui {
+                rd: Xr(3),
+                imm: 0x3FF,
+            },
+            Inst::Mul {
+                rd: Xr(1),
+                ra: Xr(2),
+                rb: Xr(3),
+            },
+            Inst::Div {
+                rd: Xr(4),
+                ra: Xr(5),
+                rb: Xr(6),
+            },
+            Inst::Lw {
+                rd: Xr(7),
+                ra: Xr(8),
+                imm: 100,
+            },
+            Inst::Sw {
+                rb: Xr(9),
+                ra: Xr(10),
+                imm: 200,
+            },
             Inst::Jump { offset: -5 },
-            Inst::Vld { vd: Vr(3), ra: Xr(2), imm: 8 },
-            Inst::Vst { vb: Vr(4), ra: Xr(1), imm: 16 },
+            Inst::Vld {
+                vd: Vr(3),
+                ra: Xr(2),
+                imm: 8,
+            },
+            Inst::Vst {
+                vb: Vr(4),
+                ra: Xr(1),
+                imm: 16,
+            },
         ];
         for op in AluOp::ALL {
-            v.push(Inst::Alu { op, rd: Xr(1), ra: Xr(2), rb: Xr(3) });
-            v.push(Inst::AluImm { op, rd: Xr(4), ra: Xr(5), imm: 77 });
+            v.push(Inst::Alu {
+                op,
+                rd: Xr(1),
+                ra: Xr(2),
+                rb: Xr(3),
+            });
+            v.push(Inst::AluImm {
+                op,
+                rd: Xr(4),
+                ra: Xr(5),
+                imm: 77,
+            });
         }
         for op in VecOp::ALL {
-            v.push(Inst::Vec { op, vd: Vr(1), va: Vr(2), vb: Vr(3) });
+            v.push(Inst::Vec {
+                op,
+                vd: Vr(1),
+                va: Vr(2),
+                vb: Vr(3),
+            });
         }
         for cond in [BranchCond::Eq, BranchCond::Ne, BranchCond::Lt] {
-            v.push(Inst::Branch { cond, ra: Xr(1), rb: Xr(2), offset: -100 });
-            v.push(Inst::Branch { cond, ra: Xr(3), rb: Xr(4), offset: 100 });
+            v.push(Inst::Branch {
+                cond,
+                ra: Xr(1),
+                rb: Xr(2),
+                offset: -100,
+            });
+            v.push(Inst::Branch {
+                cond,
+                ra: Xr(3),
+                rb: Xr(4),
+                offset: 100,
+            });
         }
         v
     }

@@ -52,7 +52,7 @@ pub mod units;
 pub use asm::{Asm, Label};
 pub use config::CpuConfig;
 pub use golden::{GoldenModel, GoldenOutcome};
-pub use harness::{CpuSim, RunOutcome};
+pub use harness::{CpuBatch, CpuSim, RunOutcome};
 pub use isa::{opcode, AluOp, BranchCond, Inst, VecOp, Vr, Xr, NUM_VREGS, NUM_XREGS, VEC_LANES};
 pub use soc::{build_soc, SocConfig, SocHandles, SocSim};
 pub use uarch::{build_core, build_cpu, CoreHandles, CpuHandles, ADDR_W, PC_W};

@@ -197,12 +197,7 @@ mod tests {
 
     #[test]
     fn dual_core_runs_independent_programs() {
-        let soc = build_soc(&SocConfig::homogeneous(
-            "duo",
-            CpuConfig::tiny(),
-            2,
-        ))
-        .unwrap();
+        let soc = build_soc(&SocConfig::homogeneous("duo", CpuConfig::tiny(), 2)).unwrap();
         assert!(soc.netlist.signal_bits() > 2 * 10_000);
         // Names are namespaced per core.
         assert!(soc
@@ -214,10 +209,7 @@ mod tests {
             .named_signals()
             .any(|(_, m)| m.name == "core1/fetch/pc"));
 
-        let workloads = vec![
-            (sum_program(10), vec![]),
-            (sum_program(20), vec![]),
-        ];
+        let workloads = vec![(sum_program(10), vec![]), (sum_program(20), vec![])];
         let (_cap, mut sim) = SocSim::with_defaults(&soc, &workloads);
         let out = sim.run(100_000);
         assert!(matches!(out, RunOutcome::Quiesced { .. }), "{out:?}");

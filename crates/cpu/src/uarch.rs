@@ -299,7 +299,15 @@ pub fn build_core(b: &mut NetlistBuilder, config: &CpuConfig) -> CoreHandles {
 
     b.set_unit(Unit::Fetch);
     let itag: Vec<NodeId> = (0..c.icache_lines)
-        .map(|i| b.reg(itag_w + 1, 0, clk_icache, &format!("fetch/itag{i}"), Unit::Fetch))
+        .map(|i| {
+            b.reg(
+                itag_w + 1,
+                0,
+                clk_icache,
+                &format!("fetch/itag{i}"),
+                Unit::Fetch,
+            )
+        })
         .collect();
     let idata: Vec<NodeId> = (0..c.icache_lines)
         .map(|i| b.reg(32, 0, clk_icache, &format!("fetch/idata{i}"), Unit::Fetch))
@@ -322,7 +330,15 @@ pub fn build_core(b: &mut NetlistBuilder, config: &CpuConfig) -> CoreHandles {
     // the LSU is active, which covers every fill).
     b.set_unit(Unit::LoadStore);
     let dtag: Vec<NodeId> = (0..c.dcache_lines)
-        .map(|i| b.reg(dtag_w + 1, 0, clk_dtag, &format!("lsu/dtag{i}"), Unit::LoadStore))
+        .map(|i| {
+            b.reg(
+                dtag_w + 1,
+                0,
+                clk_dtag,
+                &format!("lsu/dtag{i}"),
+                Unit::LoadStore,
+            )
+        })
         .collect();
     b.set_unit(Unit::L2);
     let l2tag: Vec<NodeId> = (0..c.l2_lines)
@@ -346,8 +362,18 @@ pub fn build_core(b: &mut NetlistBuilder, config: &CpuConfig) -> CoreHandles {
     let va3 = b.slice(head_instr, 18, 3);
     let vb3 = b.slice(head_instr, 14, 3);
 
-    let is_alu_rr = in_range(&mut *b, op6, opcode::ALU_BASE as u64, (opcode::ALU_BASE + 7) as u64);
-    let is_alu_imm = in_range(&mut *b, op6, opcode::ALUI_BASE as u64, (opcode::ALUI_BASE + 7) as u64);
+    let is_alu_rr = in_range(
+        &mut *b,
+        op6,
+        opcode::ALU_BASE as u64,
+        (opcode::ALU_BASE + 7) as u64,
+    );
+    let is_alu_imm = in_range(
+        &mut *b,
+        op6,
+        opcode::ALUI_BASE as u64,
+        (opcode::ALUI_BASE + 7) as u64,
+    );
     let is_lui = eq_const(&mut *b, op6, opcode::LUI as u64);
     let is_mul = eq_const(&mut *b, op6, opcode::MUL as u64);
     let is_div = eq_const(&mut *b, op6, opcode::DIV as u64);
@@ -357,7 +383,12 @@ pub fn build_core(b: &mut NetlistBuilder, config: &CpuConfig) -> CoreHandles {
     let is_bne = eq_const(&mut *b, op6, opcode::BNE as u64);
     let is_blt = eq_const(&mut *b, op6, opcode::BLT as u64);
     let is_j = eq_const(&mut *b, op6, opcode::J as u64);
-    let is_vec = in_range(&mut *b, op6, opcode::VEC_BASE as u64, (opcode::VEC_BASE + 3) as u64);
+    let is_vec = in_range(
+        &mut *b,
+        op6,
+        opcode::VEC_BASE as u64,
+        (opcode::VEC_BASE + 3) as u64,
+    );
     let is_vld = eq_const(&mut *b, op6, opcode::VLD as u64);
     let is_vst = eq_const(&mut *b, op6, opcode::VST as u64);
     let is_halt = eq_const(&mut *b, op6, opcode::HALT as u64);
@@ -902,7 +933,13 @@ pub fn build_core(b: &mut NetlistBuilder, config: &CpuConfig) -> CoreHandles {
     let addr_issue_index = b.slice(addr_issue, 0, db);
     let dc_read_addr_src = b.mux(accept_read, addr_issue_index, dindex);
     let dc_read_addr = b.zext(dc_read_addr_src, phys_w.max(db));
-    let dc_port = b.mem_read(dcache_data, dc_read_addr, dc_read_en, "lsu/dc_rdata", Unit::LoadStore);
+    let dc_port = b.mem_read(
+        dcache_data,
+        dc_read_addr,
+        dc_read_en,
+        "lsu/dc_rdata",
+        Unit::LoadStore,
+    );
 
     b.set_unit(Unit::L2);
     let l2_read_en = and3(&mut *b, st_l2wait, ctr_one, l2hit);
@@ -1046,7 +1083,13 @@ pub fn build_core(b: &mut NetlistBuilder, config: &CpuConfig) -> CoreHandles {
     let mctr_zero = eq_const(&mut *b, miss_ctr, 0);
     let imem_read_en = b.and(fmiss, mctr_one);
     let imem_addr = b.zext(pc, 32.min(PC_W + 1));
-    let imem_port = b.mem_read(imem, imem_addr, imem_read_en, "fetch/imem_rdata", Unit::Fetch);
+    let imem_port = b.mem_read(
+        imem,
+        imem_addr,
+        imem_read_en,
+        "fetch/imem_rdata",
+        Unit::Fetch,
+    );
 
     let miss_deliver = and3(&mut *b, fmiss, mctr_zero, f_can_run);
     let push = b.or(hit_fetch, miss_deliver);
@@ -1060,7 +1103,7 @@ pub fn build_core(b: &mut NetlistBuilder, config: &CpuConfig) -> CoreHandles {
     let pc_inc = add_const(&mut *b, pc, 1);
     let pc_next = {
         let adv = b.mux(push, pc_inc, pc);
-        
+
         b.mux(flush, br_target, adv)
     };
     b.connect(pc, pc_next);
@@ -1396,16 +1439,62 @@ pub fn build_core(b: &mut NetlistBuilder, config: &CpuConfig) -> CoreHandles {
         let mut v: Vec<(Fu, NodeId, &str, Unit)> = Vec::new();
         for i in 0..n_alus {
             v.push((
-                Fu { valid: alu_v[i], clock: alu_clock[i], grant: grant_alu[i] },
+                Fu {
+                    valid: alu_v[i],
+                    clock: alu_clock[i],
+                    grant: grant_alu[i],
+                },
                 alu_result[i],
-                if i == 0 { "alu0" } else if i == 1 { "alu1" } else { "alu2" },
+                if i == 0 {
+                    "alu0"
+                } else if i == 1 {
+                    "alu1"
+                } else {
+                    "alu2"
+                },
                 Unit::Alu,
             ));
         }
-        v.push((Fu { valid: mul_v, clock: clk_mul, grant: grant_mul }, mul_result, "mul", Unit::Multiplier));
-        v.push((Fu { valid: div_v, clock: clk_div, grant: grant_div }, div_result, "div", Unit::Multiplier));
-        v.push((Fu { valid: vec_v, clock: clk_vec, grant: grant_vec }, vec_res_lo, "vec", Unit::Vector));
-        v.push((Fu { valid: lsu_active, clock: clk_lsu, grant: grant_lsu }, lsu_result, "lsu", Unit::LoadStore));
+        v.push((
+            Fu {
+                valid: mul_v,
+                clock: clk_mul,
+                grant: grant_mul,
+            },
+            mul_result,
+            "mul",
+            Unit::Multiplier,
+        ));
+        v.push((
+            Fu {
+                valid: div_v,
+                clock: clk_div,
+                grant: grant_div,
+            },
+            div_result,
+            "div",
+            Unit::Multiplier,
+        ));
+        v.push((
+            Fu {
+                valid: vec_v,
+                clock: clk_vec,
+                grant: grant_vec,
+            },
+            vec_res_lo,
+            "vec",
+            Unit::Vector,
+        ));
+        v.push((
+            Fu {
+                valid: lsu_active,
+                clock: clk_lsu,
+                grant: grant_lsu,
+            },
+            lsu_result,
+            "lsu",
+            Unit::LoadStore,
+        ));
         v
     };
     if c.staging_depth > 0 {
@@ -1413,7 +1502,13 @@ pub fn build_core(b: &mut NetlistBuilder, config: &CpuConfig) -> CoreHandles {
             b.set_unit(*unit);
             let mut prev = *bus;
             for s in 0..c.staging_depth {
-                let r = b.reg(64.min(b.width(prev)), 0, fu.clock, &format!("{name}/stage{s}"), *unit);
+                let r = b.reg(
+                    64.min(b.width(prev)),
+                    0,
+                    fu.clock,
+                    &format!("{name}/stage{s}"),
+                    *unit,
+                );
                 b.connect(r, prev);
                 prev = r;
             }

@@ -92,7 +92,11 @@ mod tests {
                 .iter()
                 .filter(|g| g.units.contains(&unit))
                 .collect();
-            assert_eq!(owners.len(), 1, "unit {unit:?} must be in exactly one group");
+            assert_eq!(
+                owners.len(),
+                1,
+                "unit {unit:?} must be in exactly one group"
+            );
             assert!(group_of(unit).units.contains(&unit));
         }
     }
@@ -102,7 +106,9 @@ mod tests {
         let mut seen = std::collections::BTreeSet::new();
         for unit in Unit::ALL {
             let l = unit_label(unit);
-            assert!(l.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(l
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
             assert!(seen.insert(l), "duplicate label {l}");
         }
         let mut names = std::collections::BTreeSet::new();

@@ -84,7 +84,9 @@ fn random_programs_match_golden_model() {
     for seed in 0..25u64 {
         let body = random::random_body(seed, 30, &weights);
         let program = random::wrap_body(&body, 3);
-        let data: Vec<u64> = (0..config.dram_words as u64).map(|i| i.wrapping_mul(0x2545F4914F6CDD1D) ^ seed).collect();
+        let data: Vec<u64> = (0..config.dram_words as u64)
+            .map(|i| i.wrapping_mul(0x2545F4914F6CDD1D) ^ seed)
+            .collect();
         run_both(&handles, &cap, &program, &data, &format!("random{seed}"));
     }
 }
@@ -121,7 +123,10 @@ fn branch_heavy_program_matches() {
     let program = a.assemble();
 
     let mut golden = GoldenModel::new(config.dram_words as usize);
-    assert!(matches!(golden.run(&program, 1_000_000), GoldenOutcome::Halted { .. }));
+    assert!(matches!(
+        golden.run(&program, 1_000_000),
+        GoldenOutcome::Halted { .. }
+    ));
     assert_eq!(golden.xregs[1], 1);
     assert_eq!(golden.xregs[7], 111, "collatz(27) takes 111 steps");
 

@@ -20,14 +20,31 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         Just(Inst::Nop),
         Just(Inst::Halt),
         (0u8..4).prop_map(|level| Inst::Throttle { level }),
-        (alu_op.clone(), xr(), xr(), xr()).prop_map(|(op, rd, ra, rb)| Inst::Alu { op, rd, ra, rb }),
-        (alu_op, xr(), xr(), 0u16..(1 << 14)).prop_map(|(op, rd, ra, imm)| Inst::AluImm { op, rd, ra, imm }),
+        (alu_op.clone(), xr(), xr(), xr()).prop_map(|(op, rd, ra, rb)| Inst::Alu {
+            op,
+            rd,
+            ra,
+            rb
+        }),
+        (alu_op, xr(), xr(), 0u16..(1 << 14)).prop_map(|(op, rd, ra, imm)| Inst::AluImm {
+            op,
+            rd,
+            ra,
+            imm
+        }),
         (xr(), 0u16..(1 << 14)).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
         (xr(), xr(), xr()).prop_map(|(rd, ra, rb)| Inst::Mul { rd, ra, rb }),
         (xr(), xr(), xr()).prop_map(|(rd, ra, rb)| Inst::Div { rd, ra, rb }),
         (xr(), xr(), 0u16..(1 << 14)).prop_map(|(rd, ra, imm)| Inst::Lw { rd, ra, imm }),
         (xr(), xr(), 0u16..(1 << 14)).prop_map(|(rb, ra, imm)| Inst::Sw { rb, ra, imm }),
-        (cond, xr(), xr(), -(1i16 << 13)..(1 << 13)).prop_map(|(cond, ra, rb, offset)| Inst::Branch { cond, ra, rb, offset }),
+        (cond, xr(), xr(), -(1i16 << 13)..(1 << 13)).prop_map(|(cond, ra, rb, offset)| {
+            Inst::Branch {
+                cond,
+                ra,
+                rb,
+                offset,
+            }
+        }),
         (-(1i16 << 13)..(1i16 << 13)).prop_map(|offset| Inst::Jump { offset }),
         (vec_op, vr(), vr(), vr()).prop_map(|(op, vd, va, vb)| Inst::Vec { op, vd, va, vb }),
         (vr(), xr(), 0u16..(1 << 14)).prop_map(|(vd, ra, imm)| Inst::Vld { vd, ra, imm }),

@@ -11,9 +11,7 @@
 // module; iterator zips would obscure the hardware/math being expressed.
 #![allow(clippy::needless_range_loop)]
 
-use apollo_rtl::{
-    MemId, Netlist, NetlistBuilder, NodeId, RtlError, Unit, CLOCK_ROOT,
-};
+use apollo_rtl::{MemId, Netlist, NetlistBuilder, NodeId, RtlError, Unit, CLOCK_ROOT};
 
 /// DSP engine parameters.
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -58,7 +56,10 @@ impl DspConfig {
             ("out_words", self.out_words),
             ("cmd_words", self.cmd_words),
         ] {
-            assert!(v.is_power_of_two() && v >= 8, "{name} must be a power of two >= 8");
+            assert!(
+                v.is_power_of_two() && v >= 8,
+                "{name} must be a power of two >= 8"
+            );
         }
     }
 }
@@ -214,8 +215,20 @@ pub fn build_dsp(config: &DspConfig) -> Result<DspHandles, RtlError> {
         let idx_l = add_c(&mut b, tap_idx, l as u64);
         let active = b.ult(idx_l, len16);
         let issue_read = b.and(st_issue, active);
-        let sp = b.mem_read(sample_mem, s_addr, issue_read, &format!("lane{l}/sample"), Unit::Vector);
-        let cp = b.mem_read(coef_mem, c_addr, issue_read, &format!("lane{l}/coef"), Unit::Vector);
+        let sp = b.mem_read(
+            sample_mem,
+            s_addr,
+            issue_read,
+            &format!("lane{l}/sample"),
+            Unit::Vector,
+        );
+        let cp = b.mem_read(
+            coef_mem,
+            c_addr,
+            issue_read,
+            &format!("lane{l}/coef"),
+            Unit::Vector,
+        );
         lane_ports.push((sp, cp));
 
         // lane_act registers the ISSUE-time decision for the MAC cycle.
@@ -290,7 +303,9 @@ pub fn build_dsp(config: &DspConfig) -> Result<DspHandles, RtlError> {
 
         let st_next = b.select(
             st,
-            &[from_fetch, from_load, from_gap, from_issue, from_mac, from_write, k_halt, k_halt],
+            &[
+                from_fetch, from_load, from_gap, from_issue, from_mac, from_write, k_halt, k_halt,
+            ],
         );
         b.connect(st, st_next);
 
@@ -398,7 +413,11 @@ mod tests {
         let h = build_dsp(&DspConfig::default()).unwrap();
         let stats = h.netlist.stats();
         assert!(stats.signal_bits > 800, "M = {}", stats.signal_bits);
-        assert!(stats.clock_domains >= 5, "domains = {}", stats.clock_domains);
+        assert!(
+            stats.clock_domains >= 5,
+            "domains = {}",
+            stats.clock_domains
+        );
         assert_eq!(stats.memories, 4);
     }
 
@@ -414,14 +433,26 @@ mod tests {
 
     #[test]
     fn lane_count_scales_signals() {
-        let small = build_dsp(&DspConfig { lanes: 2, ..DspConfig::default() }).unwrap();
-        let big = build_dsp(&DspConfig { lanes: 8, ..DspConfig::default() }).unwrap();
+        let small = build_dsp(&DspConfig {
+            lanes: 2,
+            ..DspConfig::default()
+        })
+        .unwrap();
+        let big = build_dsp(&DspConfig {
+            lanes: 8,
+            ..DspConfig::default()
+        })
+        .unwrap();
         assert!(big.netlist.signal_bits() > small.netlist.signal_bits());
     }
 
     #[test]
     #[should_panic(expected = "lanes out of range")]
     fn zero_lanes_rejected() {
-        build_dsp(&DspConfig { lanes: 0, ..DspConfig::default() }).unwrap();
+        build_dsp(&DspConfig {
+            lanes: 0,
+            ..DspConfig::default()
+        })
+        .unwrap();
     }
 }

@@ -161,10 +161,30 @@ mod tests {
         let samples = pattern(256, 11);
         let coefs = pattern(64, 22);
         for (cmd_idx, cmd) in [
-            FirCommand { base: 0, length: 16, outputs: 4, stride: 1 },
-            FirCommand { base: 10, length: 7, outputs: 3, stride: 2 },  // partial lane group
-            FirCommand { base: 100, length: 1, outputs: 5, stride: 0 }, // degenerate
-            FirCommand { base: 5, length: 33, outputs: 2, stride: 3 },
+            FirCommand {
+                base: 0,
+                length: 16,
+                outputs: 4,
+                stride: 1,
+            },
+            FirCommand {
+                base: 10,
+                length: 7,
+                outputs: 3,
+                stride: 2,
+            }, // partial lane group
+            FirCommand {
+                base: 100,
+                length: 1,
+                outputs: 5,
+                stride: 0,
+            }, // degenerate
+            FirCommand {
+                base: 5,
+                length: 33,
+                outputs: 2,
+                stride: 3,
+            },
         ]
         .iter()
         .enumerate()
@@ -186,7 +206,13 @@ mod tests {
         sim.load_coefficients(&pattern(64, 4));
         let cmds: Vec<u64> = (0..5)
             .map(|k| {
-                FirCommand { base: 8 * k, length: 12, outputs: 2, stride: 1 }.encode(20 * k)
+                FirCommand {
+                    base: 8 * k,
+                    length: 12,
+                    outputs: 2,
+                    stride: 1,
+                }
+                .encode(20 * k)
             })
             .collect();
         sim.load_commands(&cmds);
@@ -203,7 +229,15 @@ mod tests {
             sim.load_samples(&pattern(512, 3));
             sim.load_coefficients(&pattern(64, 4));
             let cmds: Vec<u64> = (0..4)
-                .map(|k| FirCommand { base: k, length: 32, outputs: 4, stride: 1 }.encode(gap))
+                .map(|k| {
+                    FirCommand {
+                        base: k,
+                        length: 32,
+                        outputs: 4,
+                        stride: 1,
+                    }
+                    .encode(gap)
+                })
                 .collect();
             sim.load_commands(&cmds);
             let mut total = 0.0;

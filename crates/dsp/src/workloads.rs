@@ -32,7 +32,11 @@ pub fn random_commands(seed: u64, n_commands: usize, max_gap: u16) -> DspWorkloa
                 outputs: rng.gen_range(1..12),
                 stride: rng.gen_range(0..8),
             };
-            let gap = if max_gap == 0 { 0 } else { rng.gen_range(0..max_gap) };
+            let gap = if max_gap == 0 {
+                0
+            } else {
+                rng.gen_range(0..max_gap)
+            };
             cmd.encode(gap)
         })
         .collect();

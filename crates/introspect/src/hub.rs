@@ -86,10 +86,20 @@ impl MonitorHub {
         let mut inner = self.inner.lock().unwrap();
         let id = inner.next_id;
         inner.next_id += 1;
-        inner.subs.push(SubState { id, queue: VecDeque::new(), dropped: 0 });
+        inner.subs.push(SubState {
+            id,
+            queue: VecDeque::new(),
+            dropped: 0,
+        });
         let active = inner.subs.len();
         inner.peak_subs = inner.peak_subs.max(active);
-        (Subscriber { hub: Arc::clone(self), id }, active)
+        (
+            Subscriber {
+                hub: Arc::clone(self),
+                id,
+            },
+            active,
+        )
     }
 
     /// Closes the hub: wakes every blocked subscriber, which then
@@ -160,7 +170,11 @@ impl Subscriber {
                     if let Some(body) = sub.queue.pop_front() {
                         return Poll::Body(Box::new(body));
                     }
-                    return if inner.closed { Poll::Closed } else { Poll::Timeout };
+                    return if inner.closed {
+                        Poll::Closed
+                    } else {
+                        Poll::Timeout
+                    };
                 }
                 return Poll::Closed;
             }
@@ -191,7 +205,10 @@ mod tests {
     use apollo_telemetry::RecordBody;
 
     fn msg(i: u64) -> RecordBody {
-        RecordBody::Message { level: "info".into(), text: format!("m{i}") }
+        RecordBody::Message {
+            level: "info".into(),
+            text: format!("m{i}"),
+        }
     }
 
     fn text_of(p: Poll) -> String {
@@ -227,7 +244,10 @@ mod tests {
         assert_eq!(sub.dropped(), 7);
         assert_eq!(hub.total_dropped(), 7);
         for expect in 7..10 {
-            assert_eq!(text_of(sub.poll(Duration::from_millis(10))), format!("m{expect}"));
+            assert_eq!(
+                text_of(sub.poll(Duration::from_millis(10))),
+                format!("m{expect}")
+            );
         }
         assert!(matches!(sub.poll(Duration::from_millis(1)), Poll::Timeout));
     }

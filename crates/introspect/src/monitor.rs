@@ -130,8 +130,11 @@ pub fn run_monitor(
     let mut truth_drift = DriftDetector::new("truth", cfg.drift.clone());
     let mut arm = cfg.arm.map(FailSafeArm::new);
     let mut history = History::new(cfg.history);
-    let unit_fields: Vec<String> =
-        map.classes.iter().map(|c| format!("unit.{}", c.label)).collect();
+    let unit_fields: Vec<String> = map
+        .classes
+        .iter()
+        .map(|c| format!("unit.{}", c.label))
+        .collect();
     let unit_gauges: Vec<String> = map
         .classes
         .iter()
@@ -175,13 +178,17 @@ pub fn run_monitor(
             runs += 1;
             apollo_telemetry::emit_event(
                 "introspect.restart",
-                &[("cycle", FieldValue::from(cycle)), ("runs", FieldValue::from(runs))],
+                &[
+                    ("cycle", FieldValue::from(cycle)),
+                    ("runs", FieldValue::from(runs)),
+                ],
             );
             apollo_telemetry::counter("introspect.restarts").inc();
             sim = ctx.simulate(&bench.program, &bench.data);
             if cfg.arm.is_some() {
                 sim.sim_mut().set_input(ctx.handles.throttle_override_en, 1);
-                sim.sim_mut().set_input(ctx.handles.throttle_override, throttle as u64);
+                sim.sim_mut()
+                    .set_input(ctx.handles.throttle_override, throttle as u64);
             }
         }
         sim.step();
@@ -228,7 +235,8 @@ pub fn run_monitor(
             let floor = arm.update(qs.alarm || ts.alarm, attr.window, monitor);
             if floor != throttle {
                 throttle = floor;
-                sim.sim_mut().set_input(ctx.handles.throttle_override, throttle as u64);
+                sim.sim_mut()
+                    .set_input(ctx.handles.throttle_override, throttle as u64);
             }
         }
 
@@ -264,8 +272,10 @@ pub fn run_monitor(
             fields.push((name.clone(), FieldValue::from(attr.raw[i])));
         }
         if apollo_telemetry::events_enabled() {
-            let refs: Vec<(&str, FieldValue)> =
-                fields.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+            let refs: Vec<(&str, FieldValue)> = fields
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.clone()))
+                .collect();
             apollo_telemetry::emit_event("introspect.window", &refs);
         }
         if let Some(hub) = hub {
@@ -324,14 +334,20 @@ mod tests {
     use apollo_cpu::{benchmarks, CpuConfig};
 
     fn trained_model(ctx: &DesignContext) -> ApolloModel {
-        let suite = vec![(benchmarks::dhrystone(), 200), (benchmarks::maxpwr_cpu(), 200)];
+        let suite = vec![
+            (benchmarks::dhrystone(), 200),
+            (benchmarks::maxpwr_cpu(), 200),
+        ];
         let trace = ctx.capture_suite(&suite, 50);
         let fs = FeatureSpace::build(&trace.toggles);
         train_per_cycle(
             &trace,
             ctx.netlist(),
             &fs,
-            &TrainOptions { q_target: 16, ..TrainOptions::default() },
+            &TrainOptions {
+                q_target: 16,
+                ..TrainOptions::default()
+            },
         )
         .model
     }
@@ -340,7 +356,11 @@ mod tests {
     fn monitor_runs_and_attribution_sums_per_window() {
         let ctx = DesignContext::new(&CpuConfig::tiny());
         let model = trained_model(&ctx);
-        let cfg = MonitorConfig { cycles: 256, window_t: 32, ..MonitorConfig::default() };
+        let cfg = MonitorConfig {
+            cycles: 256,
+            window_t: 32,
+            ..MonitorConfig::default()
+        };
         let stop = AtomicBool::new(false);
         let report =
             run_monitor(&ctx, &model, &benchmarks::dhrystone(), &cfg, None, &stop).unwrap();
@@ -358,7 +378,11 @@ mod tests {
     fn stop_flag_ends_an_unbounded_run() {
         let ctx = DesignContext::new(&CpuConfig::tiny());
         let model = trained_model(&ctx);
-        let cfg = MonitorConfig { cycles: 0, window_t: 16, ..MonitorConfig::default() };
+        let cfg = MonitorConfig {
+            cycles: 0,
+            window_t: 16,
+            ..MonitorConfig::default()
+        };
         let stop = AtomicBool::new(true); // raised before the first cycle
         let report =
             run_monitor(&ctx, &model, &benchmarks::dhrystone(), &cfg, None, &stop).unwrap();
@@ -381,7 +405,11 @@ mod tests {
             data: vec![],
             cycles: 16,
         };
-        let cfg = MonitorConfig { cycles: 128, window_t: 16, ..MonitorConfig::default() };
+        let cfg = MonitorConfig {
+            cycles: 128,
+            window_t: 16,
+            ..MonitorConfig::default()
+        };
         let stop = AtomicBool::new(false);
         let report = run_monitor(&ctx, &model, &bench, &cfg, None, &stop).unwrap();
         assert!(report.runs > 1, "workload must restart: {report:?}");

@@ -173,7 +173,12 @@ impl History {
             peak = peak.max(r.est_power);
         }
         if take == 0 {
-            HistoryStats { windows: 0, mean_est: 0.0, peak_est: 0.0, mean_true: 0.0 }
+            HistoryStats {
+                windows: 0,
+                mean_est: 0.0,
+                peak_est: 0.0,
+                mean_true: 0.0,
+            }
         } else {
             HistoryStats {
                 windows: take,

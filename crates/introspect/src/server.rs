@@ -79,7 +79,13 @@ pub fn serve(
             accept_loop(&listener, &hub, &stop, &conns);
         })
     };
-    Ok(ServerHandle { addr, stop, hub, accept: Some(accept), conns })
+    Ok(ServerHandle {
+        addr,
+        stop,
+        hub,
+        accept: Some(accept),
+        conns,
+    })
 }
 
 fn accept_loop(
@@ -131,7 +137,12 @@ fn handle_connection(
     let path = parts.next().unwrap_or("");
     let mut out = stream;
     if method != "GET" {
-        return respond(&mut out, "405 Method Not Allowed", "text/plain", "GET only\n");
+        return respond(
+            &mut out,
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        );
     }
     match path {
         "/" => respond(
@@ -211,7 +222,10 @@ fn stream_events(
                     body: *body,
                 };
                 seq += 1;
-                if writeln!(stream, "{}", rec.to_jsonl()).and_then(|()| stream.flush()).is_err() {
+                if writeln!(stream, "{}", rec.to_jsonl())
+                    .and_then(|()| stream.flush())
+                    .is_err()
+                {
                     break Ok(()); // client went away
                 }
             }
@@ -248,7 +262,10 @@ pub fn http_get_lines(
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     let mut out = stream.try_clone()?;
-    write!(out, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    write!(
+        out,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
     out.flush()?;
     let mut reader = BufReader::new(stream);
     let mut status = String::new();
@@ -306,7 +323,10 @@ mod tests {
         let addr = server.addr().to_string();
         let lines = http_get_lines(&addr, "/metrics", None).unwrap();
         assert!(
-            lines.iter().any(|l| l.contains("introspect_test_metric") || l.contains("introspect.test.metric")),
+            lines
+                .iter()
+                .any(|l| l.contains("introspect_test_metric")
+                    || l.contains("introspect.test.metric")),
             "metric missing from exposition: {lines:?}"
         );
         server.stop();
@@ -338,7 +358,8 @@ mod tests {
         publisher.join().unwrap();
         assert_eq!(lines.len(), 5, "{lines:?}");
         for (i, l) in lines.iter().enumerate() {
-            let rec = apollo_telemetry::validate_line(l).unwrap_or_else(|e| panic!("line {i}: {e}"));
+            let rec =
+                apollo_telemetry::validate_line(l).unwrap_or_else(|e| panic!("line {i}: {e}"));
             assert_eq!(rec.seq, i as u64, "dense per-subscriber seq");
         }
         server.stop();
@@ -351,7 +372,10 @@ mod tests {
         let server = serve("127.0.0.1:0", Arc::clone(&hub), Arc::clone(&stop)).unwrap();
         let addr = server.addr().to_string();
         let lines = http_get_lines(&addr, "/shutdown", None).unwrap();
-        assert!(lines.iter().any(|l| l.contains("shutting down")), "{lines:?}");
+        assert!(
+            lines.iter().any(|l| l.contains("shutting down")),
+            "{lines:?}"
+        );
         assert!(stop.load(Ordering::Relaxed));
         server.stop();
     }

@@ -24,14 +24,20 @@ const CYCLES: u64 = 256;
 const WINDOW_T: usize = 32;
 
 fn trained_model(ctx: &DesignContext) -> ApolloModel {
-    let suite = vec![(benchmarks::dhrystone(), 200), (benchmarks::maxpwr_cpu(), 200)];
+    let suite = vec![
+        (benchmarks::dhrystone(), 200),
+        (benchmarks::maxpwr_cpu(), 200),
+    ];
     let trace = ctx.capture_suite(&suite, 50);
     let fs = FeatureSpace::build(&trace.toggles);
     train_per_cycle(
         &trace,
         ctx.netlist(),
         &fs,
-        &TrainOptions { q_target: 16, ..TrainOptions::default() },
+        &TrainOptions {
+            q_target: 16,
+            ..TrainOptions::default()
+        },
     )
     .model
 }
@@ -64,7 +70,9 @@ fn decode_windows(sub: &mut apollo_introspect::Subscriber) -> Vec<Window> {
     loop {
         match sub.poll(Duration::from_millis(200)) {
             Poll::Body(body) => {
-                let RecordBody::Event(ev) = *body else { continue };
+                let RecordBody::Event(ev) = *body else {
+                    continue;
+                };
                 if ev.name != "introspect.window" {
                     continue;
                 }
@@ -148,8 +156,15 @@ fn published_windows_decompose_exactly_and_match_offline_capture() {
 
     // 1. Exact decomposition: per-unit raw fields sum to the total.
     for (i, w) in windows.iter().enumerate() {
-        assert_eq!(w.unit_raw_sum, w.raw, "window {i}: unit fields must sum to raw");
-        assert_eq!(w.out, w.raw >> WINDOW_T.trailing_zeros(), "window {i} shift-divide");
+        assert_eq!(
+            w.unit_raw_sum, w.raw,
+            "window {i}: unit fields must sum to raw"
+        );
+        assert_eq!(
+            w.out,
+            w.raw >> WINDOW_T.trailing_zeros(),
+            "window {i} shift-divide"
+        );
     }
 
     // 2. The subscriber must not perturb the pipeline: a second run
@@ -172,11 +187,21 @@ fn published_windows_decompose_exactly_and_match_offline_capture() {
         assert_eq!(w.out, out, "window output bit-exact with offline capture");
         let est = opm.intercept + out as f64 / opm.scale;
         assert_eq!(w.est, est, "descaled estimate bit-exact");
-        assert_eq!(w.float, ew.predicted, "float model bit-exact with windowed_eval");
-        assert_eq!(w.truth, ew.truth, "ground truth bit-exact with windowed_eval");
+        assert_eq!(
+            w.float, ew.predicted,
+            "float model bit-exact with windowed_eval"
+        );
+        assert_eq!(
+            w.truth, ew.truth,
+            "ground truth bit-exact with windowed_eval"
+        );
         energy += est * WINDOW_T as f64;
         sum_est += est;
     }
     assert_eq!(streamed.energy, energy, "cumulative energy bit-exact");
-    assert_eq!(streamed.mean_est, sum_est / windows.len() as f64, "mean bit-exact");
+    assert_eq!(
+        streamed.mean_est,
+        sum_est / windows.len() as f64,
+        "mean bit-exact"
+    );
 }

@@ -64,7 +64,10 @@ impl Penalty {
     pub fn with_lambda(self, new_lambda: f64) -> Penalty {
         match self {
             Penalty::Lasso { .. } => Penalty::Lasso { lambda: new_lambda },
-            Penalty::Mcp { gamma, .. } => Penalty::Mcp { lambda: new_lambda, gamma },
+            Penalty::Mcp { gamma, .. } => Penalty::Mcp {
+                lambda: new_lambda,
+                gamma,
+            },
             Penalty::Ridge { .. } => Penalty::Ridge { lambda: new_lambda },
             Penalty::ElasticNet { lambda2, .. } => Penalty::ElasticNet {
                 lambda1: new_lambda,
@@ -263,11 +266,7 @@ impl<'a, D: Design> Solver<'a, D> {
             .map(|(j, w)| (j, w / self.std[j]))
             .collect();
         active.sort_by_key(|&(j, _)| j);
-        let intercept = self.y_mean
-            - active
-                .iter()
-                .map(|&(j, w)| w * self.mean[j])
-                .sum::<f64>();
+        let intercept = self.y_mean - active.iter().map(|&(j, w)| w * self.mean[j]).sum::<f64>();
         CdResult {
             active,
             intercept,
@@ -372,7 +371,10 @@ pub fn lambda_path<D: Design>(
 ) -> Vec<CdResult> {
     assert!(!lambdas.is_empty(), "empty lambda path");
     for w in lambdas.windows(2) {
-        assert!(w[0] > w[1] && w[1] > 0.0, "lambdas must be positive and decreasing");
+        assert!(
+            w[0] > w[1] && w[1] > 0.0,
+            "lambdas must be positive and decreasing"
+        );
     }
     let mut solver = Solver::new(x, y);
     lambdas
@@ -529,12 +531,21 @@ mod tests {
         let mcp = coordinate_descent(
             &x,
             &y,
-            Penalty::Mcp { lambda: 0.08, gamma: 10.0 },
+            Penalty::Mcp {
+                lambda: 0.08,
+                gamma: 10.0,
+            },
             &CdOptions::default(),
         );
         // MCP leaves large weights unpenalized: its recovered weight for
         // x0 should be closer to 3 than Lasso's.
-        let w0 = |r: &CdResult| r.active.iter().find(|&&(j, _)| j == 0).map(|&(_, w)| w).unwrap_or(0.0);
+        let w0 = |r: &CdResult| {
+            r.active
+                .iter()
+                .find(|&&(j, _)| j == 0)
+                .map(|&(_, w)| w)
+                .unwrap_or(0.0)
+        };
         let err_mcp = (w0(&mcp) - 3.0).abs();
         let err_lasso = (w0(&lasso) - 3.0).abs();
         assert!(
@@ -553,12 +564,19 @@ mod tests {
         let res = coordinate_descent(
             &x,
             &y,
-            Penalty::Mcp { lambda: 0.02, gamma: 10.0 },
+            Penalty::Mcp {
+                lambda: 0.02,
+                gamma: 10.0,
+            },
             &CdOptions::default(),
         );
         let pred = res.predict(&x);
         let sse: f64 = pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum();
-        assert!(sse / (y.len() as f64) < 0.05, "mse = {}", sse / y.len() as f64);
+        assert!(
+            sse / (y.len() as f64) < 0.05,
+            "mse = {}",
+            sse / y.len() as f64
+        );
     }
 
     #[test]
@@ -595,11 +613,19 @@ mod tests {
         let res = coordinate_descent(
             &x,
             &y,
-            Penalty::Mcp { lambda: 0.05, gamma: 10.0 },
+            Penalty::Mcp {
+                lambda: 0.05,
+                gamma: 10.0,
+            },
             &CdOptions::default(),
         );
         let pred = res.predict(&x);
-        let mse: f64 = pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / n as f64;
+        let mse: f64 = pred
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / n as f64;
         assert!(mse < 0.01, "mse = {mse}");
         // The duplicated pair contributes 4 in total.
         let w_pair: f64 = res
@@ -618,7 +644,9 @@ mod tests {
         let res = coordinate_descent(
             &x,
             &y,
-            Penalty::Lasso { lambda: lmax * 1.01 },
+            Penalty::Lasso {
+                lambda: lmax * 1.01,
+            },
             &CdOptions::default(),
         );
         assert_eq!(res.n_selected(), 0);
@@ -638,7 +666,10 @@ mod tests {
         let res = select_features(
             &x,
             &y,
-            Penalty::Mcp { lambda: 1.0, gamma: 10.0 },
+            Penalty::Mcp {
+                lambda: 1.0,
+                gamma: 10.0,
+            },
             2,
             &CdOptions::default(),
         );
@@ -672,7 +703,10 @@ mod tests {
         let multi = select_path_targets(
             &x,
             &y,
-            Penalty::Mcp { lambda: 1.0, gamma: 10.0 },
+            Penalty::Mcp {
+                lambda: 1.0,
+                gamma: 10.0,
+            },
             &[1, 2],
             &CdOptions::default(),
         );
@@ -691,12 +725,17 @@ mod tests {
             cols[n + i] = ((i / 2) % 2) as f64;
         }
         let x = DenseDesign::from_columns(n, 2, cols);
-        let y: Vec<f64> = (0..n).map(|i| 5.0 - 3.0 * x.value(i, 0) + 2.0 * x.value(i, 1)).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 5.0 - 3.0 * x.value(i, 0) + 2.0 * x.value(i, 1))
+            .collect();
         let res = coordinate_descent(
             &x,
             &y,
             Penalty::Lasso { lambda: 0.01 },
-            &CdOptions { nonnegative: true, ..CdOptions::default() },
+            &CdOptions {
+                nonnegative: true,
+                ..CdOptions::default()
+            },
         );
         for &(_, w) in &res.active {
             assert!(w >= 0.0, "negative weight {w}");

@@ -73,7 +73,13 @@ impl DenseDesign {
             means.push(m);
             stds.push(var.sqrt());
         }
-        DenseDesign { n, p, cols, means, stds }
+        DenseDesign {
+            n,
+            p,
+            cols,
+            means,
+            stds,
+        }
     }
 
     /// Creates a design from row-major data.
@@ -187,7 +193,13 @@ impl BitMatrix {
                     .sum()
             })
             .collect();
-        BitMatrix { n, p, stride, words, pops }
+        BitMatrix {
+            n,
+            p,
+            stride,
+            words,
+            pops,
+        }
     }
 
     /// Sets bit `(row, col)`.

@@ -69,7 +69,11 @@ impl Tree {
                     left,
                     right,
                 } => {
-                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -121,7 +125,8 @@ fn best_split(
             }
             let right_sum = total - left_sum;
             let right_n = n - left_n;
-            let gain = left_sum * left_sum / left_n + right_sum * right_sum / right_n - parent_score;
+            let gain =
+                left_sum * left_sum / left_n + right_sum * right_sum / right_n - parent_score;
             if best.as_ref().map(|b| gain > b.gain).unwrap_or(gain > 1e-12) {
                 best = Some(SplitResult {
                     feature: f,
@@ -232,13 +237,7 @@ impl Gbt {
     /// Panics if the feature count differs from training.
     pub fn predict_one(&self, row: &[f64]) -> f64 {
         assert_eq!(row.len(), self.n_features, "feature count mismatch");
-        self.base
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict_row(row))
-                    .sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
     }
 
     /// Predicts row-major samples.
@@ -291,8 +290,26 @@ mod tests {
     #[test]
     fn more_rounds_fit_better() {
         let (x, y, n) = xor_like_data();
-        let short = Gbt::fit(&x, n, 3, &y, &GbtOptions { rounds: 3, ..GbtOptions::default() });
-        let long = Gbt::fit(&x, n, 3, &y, &GbtOptions { rounds: 60, ..GbtOptions::default() });
+        let short = Gbt::fit(
+            &x,
+            n,
+            3,
+            &y,
+            &GbtOptions {
+                rounds: 3,
+                ..GbtOptions::default()
+            },
+        );
+        let long = Gbt::fit(
+            &x,
+            n,
+            3,
+            &y,
+            &GbtOptions {
+                rounds: 60,
+                ..GbtOptions::default()
+            },
+        );
         let r_short = r2(&y, &short.predict(&x, n));
         let r_long = r2(&y, &long.predict(&x, n));
         assert!(r_long > r_short, "{r_long} vs {r_short}");
@@ -313,7 +330,10 @@ mod tests {
         let (x, y, n) = xor_like_data();
         let a = Gbt::fit(&x, n, 3, &y, &GbtOptions::default());
         let b = Gbt::fit(&x, n, 3, &y, &GbtOptions::default());
-        assert_eq!(a.predict_one(&[1.0, 0.0, 0.5]), b.predict_one(&[1.0, 0.0, 0.5]));
+        assert_eq!(
+            a.predict_one(&[1.0, 0.0, 0.5]),
+            b.predict_one(&[1.0, 0.0, 0.5])
+        );
     }
 
     #[test]
@@ -325,7 +345,11 @@ mod tests {
             n,
             3,
             &y,
-            &GbtOptions { min_leaf: n, rounds: 5, ..GbtOptions::default() },
+            &GbtOptions {
+                min_leaf: n,
+                rounds: 5,
+                ..GbtOptions::default()
+            },
         );
         let base = y.iter().sum::<f64>() / n as f64;
         let p = gbt.predict_one(&[0.0, 0.0, 0.0]);

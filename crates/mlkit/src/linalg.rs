@@ -204,7 +204,10 @@ impl Matrix {
     /// # Panics
     /// Panics if the matrix is not square.
     pub fn symmetric_eigen(&self) -> (Vec<f64>, Matrix) {
-        assert_eq!(self.rows, self.cols, "eigendecomposition needs a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "eigendecomposition needs a square matrix"
+        );
         let n = self.rows;
         let mut a = self.clone();
         let mut v = Matrix::identity(n);

@@ -31,7 +31,12 @@ pub fn r2(y: &[f64], pred: &[f64]) -> f64 {
 pub fn nrmse(y: &[f64], pred: &[f64]) -> f64 {
     check_lengths(y, pred);
     let mean = y.iter().sum::<f64>() / y.len() as f64;
-    let mse: f64 = y.iter().zip(pred).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / y.len() as f64;
+    let mse: f64 = y
+        .iter()
+        .zip(pred)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / y.len() as f64;
     mse.sqrt() / mean
 }
 

@@ -286,7 +286,9 @@ impl Mlp {
     pub fn predict(&self, x: &[f64], n: usize) -> Vec<f64> {
         let d = self.x_mean.len();
         assert_eq!(x.len(), n * d, "input length mismatch");
-        (0..n).map(|i| self.predict_one(&x[i * d..(i + 1) * d])).collect()
+        (0..n)
+            .map(|i| self.predict_one(&x[i * d..(i + 1) * d]))
+            .collect()
     }
 }
 
@@ -315,7 +317,16 @@ mod tests {
             x.extend_from_slice(&[a, b, c]);
             y.push(2.0 * a - 3.0 * b + 0.5 * c + 1.0);
         }
-        let mlp = Mlp::fit(&x, n, d, &y, &MlpOptions { epochs: 60, ..MlpOptions::default() });
+        let mlp = Mlp::fit(
+            &x,
+            n,
+            d,
+            &y,
+            &MlpOptions {
+                epochs: 60,
+                ..MlpOptions::default()
+            },
+        );
         let pred = mlp.predict(&x, n);
         let score = r2(&y, &pred);
         assert!(score > 0.98, "R² = {score}");
@@ -340,7 +351,16 @@ mod tests {
             x.extend_from_slice(&[a, b]);
             y.push(a.abs() + (b * 2.0).max(0.0));
         }
-        let mlp = Mlp::fit(&x, n, d, &y, &MlpOptions { epochs: 120, ..MlpOptions::default() });
+        let mlp = Mlp::fit(
+            &x,
+            n,
+            d,
+            &y,
+            &MlpOptions {
+                epochs: 120,
+                ..MlpOptions::default()
+            },
+        );
         let pred = mlp.predict(&x, n);
         let score = r2(&y, &pred);
         assert!(score > 0.9, "R² = {score}");

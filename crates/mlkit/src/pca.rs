@@ -104,7 +104,12 @@ impl Pca {
 ///
 /// Each input column contributes to a few output coordinates with ±1
 /// signs derived from a hash of `(column, coordinate)`.
-pub fn random_project<D: Design>(design: &D, rows: std::ops::Range<usize>, dim: usize, seed: u64) -> Matrix {
+pub fn random_project<D: Design>(
+    design: &D,
+    rows: std::ops::Range<usize>,
+    dim: usize,
+    seed: u64,
+) -> Matrix {
     let p = design.n_cols();
     let n = rows.len();
     let start = rows.start;

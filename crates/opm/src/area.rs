@@ -18,17 +18,17 @@ fn ge_per_bit(op: &Op) -> f64 {
         Op::Not(_) => 0.6,
         Op::And(..) | Op::Or(..) => 1.0,
         Op::Xor(..) => 2.2,
-        Op::Add(..) | Op::Sub(..) => 5.5,   // full adder per bit
-        Op::Mul(..) => 28.0,                // array multiplier per output bit
+        Op::Add(..) | Op::Sub(..) => 5.5, // full adder per bit
+        Op::Mul(..) => 28.0,              // array multiplier per output bit
         Op::Udiv(..) => 40.0,
         Op::Eq(..) | Op::Ult(..) => 3.0,
-        Op::Shl(..) | Op::Shr(..) => 6.0,   // barrel shifter stage cost
+        Op::Shl(..) | Op::Shr(..) => 6.0, // barrel shifter stage cost
         Op::Mux { .. } => 2.0,
         Op::Slice { .. } | Op::Concat { .. } => 0.0, // wiring only
         Op::ReduceOr(_) | Op::ReduceAnd(_) | Op::ReduceXor(_) => 1.2,
-        Op::Reg { .. } => 4.5,              // DFF
-        Op::GatedClock { .. } => 2.5,       // ICG cell
-        Op::MemRead { .. } => 0.5,          // port mux share
+        Op::Reg { .. } => 4.5,        // DFF
+        Op::GatedClock { .. } => 2.5, // ICG cell
+        Op::MemRead { .. } => 0.5,    // port mux share
     }
 }
 
@@ -113,7 +113,12 @@ impl AreaReport {
     /// high-strength buffers that drive proxies across the floorplan
     /// (the paper attributes 0.4% of CPU power to them; expressed here
     /// as a fraction of OPM power added on top).
-    pub fn with_power(mut self, opm_power: f64, cpu_power: f64, buffer_overhead_of_cpu: f64) -> Self {
+    pub fn with_power(
+        mut self,
+        opm_power: f64,
+        cpu_power: f64,
+        buffer_overhead_of_cpu: f64,
+    ) -> Self {
         self.opm_power = Some(opm_power);
         self.cpu_power = Some(cpu_power);
         self.power_overhead = Some(opm_power / cpu_power + buffer_overhead_of_cpu);

@@ -87,7 +87,10 @@ impl AttributionMap {
             if p.is_clock_gate {
                 gated_slot
             } else {
-                Unit::ALL.iter().position(|&u| u == p.unit).expect("unit in ALL")
+                Unit::ALL
+                    .iter()
+                    .position(|&u| u == p.unit)
+                    .expect("unit in ALL")
             }
         };
         let mut count = vec![0usize; gated_slot + 1];
@@ -116,7 +119,11 @@ impl AttributionMap {
                 });
             }
         }
-        let class_of = model.proxies.iter().map(|p| slot_to_class[slot_of(p)]).collect();
+        let class_of = model
+            .proxies
+            .iter()
+            .map(|p| slot_to_class[slot_of(p)])
+            .collect();
         AttributionMap { classes, class_of }
     }
 
@@ -320,7 +327,10 @@ mod tests {
         assert_eq!(windows.len(), 2);
         for (w, &r) in windows.iter().zip(&reference) {
             assert_eq!(w.raw.iter().sum::<u64>(), w.total, "exact integer sum");
-            assert_eq!(w.output, r, "window output must match the hardware reference");
+            assert_eq!(
+                w.output, r,
+                "window output must match the hardware reference"
+            );
             let est = acc.est_power(w);
             let pred = quant.intercept + r as f64 / quant.scale;
             assert!((est - pred).abs() == 0.0, "descale must be identical");
@@ -334,7 +344,10 @@ mod tests {
         assert_eq!(quant.scale, 1.0, "degenerate model gets unit scale");
         let map = AttributionMap::from_model(&model);
         let mut acc = AttributionAccumulator::new(&quant, &map);
-        assert!(acc.cycle(|_| true).is_none(), "window t=2 closes on the second cycle");
+        assert!(
+            acc.cycle(|_| true).is_none(),
+            "window t=2 closes on the second cycle"
+        );
         let w = acc.cycle(|_| true).unwrap();
         assert_eq!(w.total, 0);
         for i in 0..map.n_classes() {

@@ -104,7 +104,10 @@ impl DriftDetector {
     /// Panics on an invalid configuration (α outside `(0, 1]`,
     /// non-positive `k`/`h`, or `warmup < 2`).
     pub fn new(name: &str, cfg: DriftConfig) -> Self {
-        assert!(cfg.ewma_alpha > 0.0 && cfg.ewma_alpha <= 1.0, "alpha in (0,1]");
+        assert!(
+            cfg.ewma_alpha > 0.0 && cfg.ewma_alpha <= 1.0,
+            "alpha in (0,1]"
+        );
         assert!(cfg.cusum_k >= 0.0 && cfg.cusum_h > 0.0, "k >= 0, h > 0");
         assert!(cfg.warmup >= 2, "warmup needs at least 2 windows");
         DriftDetector {
@@ -317,7 +320,10 @@ impl FailSafeArm {
 mod tests {
     use super::*;
 
-    fn drive(det: &mut DriftDetector, residuals: impl IntoIterator<Item = f64>) -> Vec<DriftSignal> {
+    fn drive(
+        det: &mut DriftDetector,
+        residuals: impl IntoIterator<Item = f64>,
+    ) -> Vec<DriftSignal> {
         residuals.into_iter().map(|r| det.observe(r)).collect()
     }
 
@@ -329,7 +335,10 @@ mod tests {
             &mut det,
             (0..200).map(|i| 0.1 + 0.01 * ((i % 7) as f64 - 3.0)),
         );
-        assert!(signals.iter().all(|s| !s.alarm), "no alarms on stationary input");
+        assert!(
+            signals.iter().all(|s| !s.alarm),
+            "no alarms on stationary input"
+        );
         assert_eq!(det.alarms(), 0);
         let (mu, sigma) = det.baseline();
         assert!((mu - 0.1).abs() < 0.02, "baseline mean ≈ 0.1, got {mu}");
@@ -346,8 +355,15 @@ mod tests {
         let shifted = drive(&mut det, std::iter::repeat_n(0.5, 100));
         let first = shifted.iter().position(|s| s.alarm);
         assert!(first.is_some(), "shift must alarm");
-        assert!(first.unwrap() < 30, "alarm should fire quickly, got {first:?}");
-        assert!(det.alarms() >= 2, "persistent drift must re-alarm: {}", det.alarms());
+        assert!(
+            first.unwrap() < 30,
+            "alarm should fire quickly, got {first:?}"
+        );
+        assert!(
+            det.alarms() >= 2,
+            "persistent drift must re-alarm: {}",
+            det.alarms()
+        );
     }
 
     #[test]
@@ -355,15 +371,26 @@ mod tests {
         let mut det = DriftDetector::new("truth", DriftConfig::default());
         drive(&mut det, (0..32).map(|i| 0.01 * ((i % 5) as f64 - 2.0)));
         let shifted = drive(&mut det, std::iter::repeat_n(-0.5, 50));
-        let alarm = shifted.iter().find(|s| s.alarm).expect("negative drift alarms");
+        let alarm = shifted
+            .iter()
+            .find(|s| s.alarm)
+            .expect("negative drift alarms");
         assert!(alarm.cusum_neg > alarm.cusum_pos);
     }
 
     #[test]
     fn constant_warmup_does_not_divide_by_zero() {
-        let mut det = DriftDetector::new("quant", DriftConfig { warmup: 4, ..DriftConfig::default() });
+        let mut det = DriftDetector::new(
+            "quant",
+            DriftConfig {
+                warmup: 4,
+                ..DriftConfig::default()
+            },
+        );
         let signals = drive(&mut det, std::iter::repeat_n(2.0, 50));
-        assert!(signals.iter().all(|s| s.cusum_pos.is_finite() && s.cusum_neg.is_finite()));
+        assert!(signals
+            .iter()
+            .all(|s| s.cusum_pos.is_finite() && s.cusum_neg.is_finite()));
         assert_eq!(det.alarms(), 0, "identical residuals are not drift");
         let (_, sigma) = det.baseline();
         assert!(sigma > 0.0, "sigma floored, not zero");
@@ -381,7 +408,10 @@ mod tests {
 
     #[test]
     fn failsafe_arm_holds_and_releases() {
-        let cfg = ArmConfig { conservative_level: 2, hold_windows: 3 };
+        let cfg = ArmConfig {
+            conservative_level: 2,
+            hold_windows: 3,
+        };
         let mut arm = FailSafeArm::new(cfg);
         assert_eq!(arm.update(false, 0, "quant"), 0);
         assert_eq!(arm.update(true, 1, "quant"), 2);

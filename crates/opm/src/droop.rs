@@ -246,7 +246,9 @@ mod tests {
 
     #[test]
     fn perfect_estimate_has_unit_pearson_and_full_recall() {
-        let truth: Vec<f64> = (0..200).map(|i| ((i as f64) * 0.3).sin() * 10.0 + 50.0).collect();
+        let truth: Vec<f64> = (0..200)
+            .map(|i| ((i as f64) * 0.3).sin() * 10.0 + 50.0)
+            .collect();
         let a = DroopAnalysis::analyze(&truth, &truth, 0.9);
         assert!((a.pearson - 1.0).abs() < 1e-9);
         assert_eq!(a.droop_recall, 1.0);
@@ -255,7 +257,9 @@ mod tests {
 
     #[test]
     fn noisy_estimate_degrades_gracefully() {
-        let truth: Vec<f64> = (0..400).map(|i| ((i as f64) * 0.5).sin() * 10.0 + 50.0).collect();
+        let truth: Vec<f64> = (0..400)
+            .map(|i| ((i as f64) * 0.5).sin() * 10.0 + 50.0)
+            .collect();
         let noisy: Vec<f64> = truth
             .iter()
             .enumerate()
@@ -266,7 +270,11 @@ mod tests {
         // Random ranking would give ~0.1 recall at the 0.9 quantile; a
         // mildly noisy estimate must do far better.
         assert!(a.droop_recall > 0.4, "droop recall = {}", a.droop_recall);
-        assert!(a.overshoot_recall > 0.4, "overshoot recall = {}", a.overshoot_recall);
+        assert!(
+            a.overshoot_recall > 0.4,
+            "overshoot recall = {}",
+            a.overshoot_recall
+        );
     }
 
     #[test]
@@ -275,7 +283,10 @@ mod tests {
         let load = vec![1.0; 2000];
         let v = pdn.simulate(&load);
         let settled = v[1999];
-        assert!((settled - (pdn.vdd - pdn.r)).abs() < 0.01, "settled {settled}");
+        assert!(
+            (settled - (pdn.vdd - pdn.r)).abs() < 0.01,
+            "settled {settled}"
+        );
     }
 
     #[test]

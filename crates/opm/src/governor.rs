@@ -124,11 +124,21 @@ pub fn run_governed(
     config: &GovernorConfig,
 ) -> GovernorReport {
     assert!(config.epoch >= 4, "epoch too short");
-    assert_eq!(cycles % config.epoch, 0, "cycles must be a multiple of the epoch");
+    assert_eq!(
+        cycles % config.epoch,
+        0,
+        "cycles must be a multiple of the epoch"
+    );
     let shadow = OpmShadow::new(opm, &handles.netlist);
 
     // Free-running reference.
-    let mut free = CpuSim::new(handles, cap_annotation, PowerConfig::default(), program, data);
+    let mut free = CpuSim::new(
+        handles,
+        cap_annotation,
+        PowerConfig::default(),
+        program,
+        data,
+    );
     let mut free_epoch_power = Vec::with_capacity(cycles / config.epoch);
     let mut free_total = 0.0;
     let mut acc = 0.0;
@@ -145,7 +155,13 @@ pub fn run_governed(
     let retired_free = free.retired();
 
     // Governed run.
-    let mut gov = CpuSim::new(handles, cap_annotation, PowerConfig::default(), program, data);
+    let mut gov = CpuSim::new(
+        handles,
+        cap_annotation,
+        PowerConfig::default(),
+        program,
+        data,
+    );
     gov.sim_mut().set_input(handles.throttle_override_en, 1);
     gov.sim_mut().set_input(handles.throttle_override, 0);
     let mut level = 0u8;
@@ -172,7 +188,8 @@ pub fn run_governed(
             if level != prev_level {
                 emit_throttle_event(throttle_trace.len() as u64, prev_level, level, reading);
             }
-            gov.sim_mut().set_input(handles.throttle_override, level as u64);
+            gov.sim_mut()
+                .set_input(handles.throttle_override, level as u64);
             throttle_trace.push(level);
             gov_epoch_power.push(true_acc / config.epoch as f64);
             true_acc = 0.0;
@@ -297,7 +314,13 @@ pub fn run_governed_resilient(
     let mut meter = HardenedMeter::new(&opm.quant, opm.envelope, opm.redundancy, meter_plan)?;
 
     // Free-running clean reference.
-    let mut free = CpuSim::new(handles, cap_annotation, PowerConfig::default(), program, data);
+    let mut free = CpuSim::new(
+        handles,
+        cap_annotation,
+        PowerConfig::default(),
+        program,
+        data,
+    );
     let mut free_epoch_power = Vec::with_capacity(cycles / epoch);
     let mut free_total = 0.0;
     let mut acc = 0.0;
@@ -393,7 +416,11 @@ pub fn run_governed_resilient(
             }
             if in_failsafe != was_failsafe {
                 apollo_telemetry::emit_event(
-                    if in_failsafe { "governor.failsafe_enter" } else { "governor.failsafe_exit" },
+                    if in_failsafe {
+                        "governor.failsafe_enter"
+                    } else {
+                        "governor.failsafe_exit"
+                    },
                     &[("epoch", apollo_telemetry::FieldValue::from(r.epoch))],
                 );
                 apollo_telemetry::counter("governor.failsafe_transitions").inc();
@@ -404,7 +431,8 @@ pub fn run_governed_resilient(
             if in_failsafe {
                 failsafe_epochs += 1;
             }
-            gov.sim_mut().set_input(handles.throttle_override, level as u64);
+            gov.sim_mut()
+                .set_input(handles.throttle_override, level as u64);
             throttle_trace.push(level);
             gov_epoch_power.push(true_acc / epoch as f64);
             true_acc = 0.0;
@@ -415,8 +443,7 @@ pub fn run_governed_resilient(
     let sim_faults = gov.sim().fault_report();
 
     let over = |epochs: &[f64]| {
-        epochs.iter().filter(|&&p| p > config.base.cap).count() as f64
-            / epochs.len().max(1) as f64
+        epochs.iter().filter(|&&p| p > config.base.cap).count() as f64 / epochs.len().max(1) as f64
     };
     Ok(ResilientGovernorReport {
         base: GovernorReport {
@@ -458,7 +485,10 @@ mod tests {
             &trace,
             ctx.netlist(),
             &fs,
-            &TrainOptions { q_target: 20, ..TrainOptions::default() },
+            &TrainOptions {
+                q_target: 20,
+                ..TrainOptions::default()
+            },
         )
         .model;
         let opm = QuantizedOpm::from_model(&model, 10, 32).unwrap();
@@ -474,7 +504,11 @@ mod tests {
             &bench.program,
             &bench.data,
             1024,
-            &GovernorConfig { epoch: 32, cap, ..GovernorConfig::default() },
+            &GovernorConfig {
+                epoch: 32,
+                cap,
+                ..GovernorConfig::default()
+            },
         );
         assert!(
             report.mean_power_governed < report.mean_power_free,
@@ -488,7 +522,10 @@ mod tests {
             report.retired_governed <= report.retired_free,
             "throttling cannot speed the core up"
         );
-        assert!(report.throttle_trace.iter().any(|&l| l > 0), "governor engaged");
+        assert!(
+            report.throttle_trace.iter().any(|&l| l > 0),
+            "governor engaged"
+        );
     }
 
     fn synthetic_opm_for(ctx: &DesignContext, q: usize, t: usize) -> QuantizedOpm {
@@ -508,7 +545,11 @@ mod tests {
         let opm = HardenedOpm::new(synthetic_opm_for(&ctx, 8, 32));
         let bench = benchmarks::maxpwr_cpu();
         let config = ResilientGovernorConfig {
-            base: GovernorConfig { epoch: 32, cap: 1e9, ..GovernorConfig::default() },
+            base: GovernorConfig {
+                epoch: 32,
+                cap: 1e9,
+                ..GovernorConfig::default()
+            },
             ..ResilientGovernorConfig::default()
         };
         // Every epoch readout dropped: the meter is dead. Despite the
@@ -547,8 +588,7 @@ mod tests {
             );
         }
         assert_eq!(
-            report.meter_faults.dropped_epochs,
-            epochs as u64,
+            report.meter_faults.dropped_epochs, epochs as u64,
             "single lane, every epoch dropped"
         );
         assert!(
@@ -563,7 +603,11 @@ mod tests {
         let opm = HardenedOpm::new(synthetic_opm_for(&ctx, 8, 32));
         let bench = benchmarks::maxpwr_cpu();
         let config = ResilientGovernorConfig {
-            base: GovernorConfig { epoch: 32, cap: 1e9, ..GovernorConfig::default() },
+            base: GovernorConfig {
+                epoch: 32,
+                cap: 1e9,
+                ..GovernorConfig::default()
+            },
             recovery_epochs: 2,
             stuck_epochs: 1000,
             ..ResilientGovernorConfig::default()
@@ -589,7 +633,10 @@ mod tests {
             &meter_plan,
         )
         .unwrap();
-        assert!(!report.flagged_epochs.is_empty(), "drops must flag: {report:?}");
+        assert!(
+            !report.flagged_epochs.is_empty(),
+            "drops must flag: {report:?}"
+        );
         assert!(
             (report.failsafe_epochs as usize) < report.base.throttle_trace.len(),
             "governor must leave fail-safe mode between faults: {report:?}"

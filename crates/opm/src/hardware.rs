@@ -15,7 +15,7 @@
 use crate::quant::{ceil_log2, QuantizedOpm};
 use apollo_core::ApolloError;
 use apollo_rtl::{CapModel, NetlistBuilder, NodeId, Unit, CLOCK_ROOT};
-use apollo_sim::{PowerConfig, PowerSample, Simulator, ToggleMatrix};
+use apollo_sim::{BitsliceSimulator, PowerConfig, PowerSample, Simulator, ToggleMatrix};
 
 /// A generated OPM circuit with handles to its ports.
 #[derive(Clone, Debug)]
@@ -194,7 +194,11 @@ impl OpmHardware {
         // Drive n input cycles plus drain cycles for the pipeline.
         for i in 0..n + 3 {
             for k in 0..q {
-                let bit = if i < n { proxy_toggles.get(k, i) as u64 } else { 0 };
+                let bit = if i < n {
+                    proxy_toggles.get(k, i) as u64
+                } else {
+                    0
+                };
                 let v = if self.model.is_clock_gate[k] {
                     bit
                 } else {
@@ -240,6 +244,104 @@ impl OpmHardware {
             windows,
             mean_power,
         }
+    }
+
+    /// Like [`OpmHardware::cosim`] for up to 64 proxy traces at once:
+    /// each trace occupies one lane of a [`BitsliceSimulator`], so a
+    /// single netlist pass advances every co-simulation by a cycle —
+    /// the windowed evaluation path for validation sweeps that replay
+    /// many captured segments through the same OPM.
+    ///
+    /// Traces may have different lengths; lane `k` drives zeros after
+    /// its trace ends and its outputs and power stop accumulating at
+    /// its own drain point, so every entry of the returned vector is
+    /// bit-identical to `self.cosim(traces[k])`.
+    pub fn cosim_batch(&self, traces: &[&ToggleMatrix]) -> Vec<OpmCosim> {
+        assert!(
+            (1..=64).contains(&traces.len()),
+            "cosim_batch takes 1..=64 traces, got {}",
+            traces.len()
+        );
+        let q = self.inputs.len();
+        for tr in traces {
+            assert_eq!(tr.m_bits(), q, "trace columns must match proxy count");
+        }
+        let lanes = traces.len();
+        let cap = CapModel::default().annotate(&self.netlist);
+        let power = PowerConfig {
+            leakage: 0.0,
+            noise_rel: 0.0,
+            ..PowerConfig::default()
+        };
+        let mut sim = BitsliceSimulator::new(&self.netlist, &cap, power, lanes);
+
+        let t = self.model.spec.t;
+        let mut values = vec![vec![0u64; q]; lanes];
+        let mut sums: Vec<Vec<u64>> = traces
+            .iter()
+            .map(|tr| Vec::with_capacity(tr.n_cycles()))
+            .collect();
+        let mut windows: Vec<Vec<u64>> = vec![Vec::new(); lanes];
+        let mut totals = vec![PowerSample::default(); lanes];
+        let longest = traces.iter().map(|tr| tr.n_cycles()).max().unwrap();
+        for i in 0..longest + 3 {
+            for (lane, tr) in traces.iter().enumerate() {
+                let n = tr.n_cycles();
+                for k in 0..q {
+                    let bit = if i < n { tr.get(k, i) as u64 } else { 0 };
+                    let v = if self.model.is_clock_gate[k] {
+                        bit
+                    } else {
+                        values[lane][k] ^= bit;
+                        values[lane][k]
+                    };
+                    sim.set_input(lane, self.inputs[k], v);
+                }
+            }
+            sim.step();
+            for (lane, tr) in traces.iter().enumerate() {
+                let n = tr.n_cycles();
+                if i < n + 3 {
+                    totals[lane] = totals[lane] + sim.power(lane);
+                }
+                if i >= 2 && sums[lane].len() < n {
+                    sums[lane].push(sim.value(lane, self.sum_reg));
+                }
+                if t > 1 && i < n + 3 && i >= 2 && (i - 2) % t == 0 && (i - 2) / t >= 1 {
+                    windows[lane].push(sim.value(lane, self.out_reg));
+                }
+            }
+        }
+        traces
+            .iter()
+            .enumerate()
+            .map(|(lane, tr)| {
+                let n = tr.n_cycles();
+                let sums = std::mem::take(&mut sums[lane]);
+                let windows = if t == 1 {
+                    sums.clone()
+                } else {
+                    let mut w = std::mem::take(&mut windows[lane]);
+                    w.truncate(n / t);
+                    w
+                };
+                let total = totals[lane];
+                let inv = 1.0 / (n as f64 + 3.0);
+                OpmCosim {
+                    sums,
+                    windows,
+                    mean_power: PowerSample {
+                        total: total.total * inv,
+                        switching: total.switching * inv,
+                        clock: total.clock * inv,
+                        memory: total.memory * inv,
+                        glitch: total.glitch * inv,
+                        short_circuit: total.short_circuit * inv,
+                        leakage: total.leakage * inv,
+                    },
+                }
+            })
+            .collect()
     }
 }
 
@@ -314,6 +416,48 @@ mod tests {
             .filter(|n| matches!(n.op, apollo_rtl::Op::Mul(..) | apollo_rtl::Op::Udiv(..)))
             .count();
         assert_eq!(mults, 0, "Figure 8 structure uses AND gates + adders only");
+    }
+
+    #[test]
+    fn cosim_batch_matches_scalar_cosim() {
+        for (t, with_gate) in [(1usize, true), (8, false)] {
+            let (model, _) = synthetic_model(11, 8, t, with_gate);
+            let hw = build_opm(&model).unwrap();
+            // Ragged trace lengths, including a window-misaligned one.
+            let traces: Vec<ToggleMatrix> = [64usize, 40, 33, 17]
+                .iter()
+                .enumerate()
+                .map(|(j, &n)| {
+                    let mut m = ToggleMatrix::new(11, n);
+                    let mut s = 0xBEEF ^ (j as u64) << 13;
+                    for c in 0..n {
+                        for k in 0..11 {
+                            s ^= s << 7;
+                            s ^= s >> 9;
+                            if s & 3 == 0 {
+                                m.set(k, c);
+                            }
+                        }
+                    }
+                    m
+                })
+                .collect();
+            let refs: Vec<&ToggleMatrix> = traces.iter().collect();
+            let batch = hw.cosim_batch(&refs);
+            for (lane, tr) in traces.iter().enumerate() {
+                let single = hw.cosim(tr);
+                assert_eq!(batch[lane].sums, single.sums, "T={t} lane {lane}: sums");
+                assert_eq!(
+                    batch[lane].windows, single.windows,
+                    "T={t} lane {lane}: windows"
+                );
+                assert_eq!(
+                    batch[lane].mean_power.total.to_bits(),
+                    single.mean_power.total.to_bits(),
+                    "T={t} lane {lane}: mean power"
+                );
+            }
+        }
     }
 
     #[test]

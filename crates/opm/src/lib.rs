@@ -49,8 +49,8 @@ pub use attribution::{
 pub use drift::{ArmConfig, DriftConfig, DriftDetector, DriftSignal, FailSafeArm};
 pub use droop::{DroopAnalysis, PdnModel};
 pub use governor::{
-    run_governed, run_governed_resilient, GovernorConfig, GovernorReport,
-    ResilientGovernorConfig, ResilientGovernorReport,
+    run_governed, run_governed_resilient, GovernorConfig, GovernorReport, ResilientGovernorConfig,
+    ResilientGovernorReport,
 };
 pub use hardware::{build_opm, OpmHardware};
 pub use quant::{OpmSpec, QuantizedOpm};

@@ -95,11 +95,7 @@ impl QuantizedOpm {
     /// if a weight is negative, non-finite, or does not fit in the
     /// hardware's `u32` weight ROM after scaling.
     pub fn from_model(model: &ApolloModel, b: u8, t: usize) -> Result<QuantizedOpm, ApolloError> {
-        let spec = OpmSpec {
-            q: model.q(),
-            b,
-            t,
-        };
+        let spec = OpmSpec { q: model.q(), b, t };
         spec.validate()?;
         let mut max_w = 0.0f64;
         for p in &model.proxies {
@@ -168,7 +164,11 @@ impl QuantizedOpm {
     /// column `k` is proxy `k` (model order), as produced by capturing
     /// with [`ApolloModel::bits`](apollo_core::ApolloModel::bits).
     pub fn raw_sums_proxy(&self, matrix: &ToggleMatrix) -> Vec<u64> {
-        assert_eq!(matrix.m_bits(), self.bits.len(), "column count must equal Q");
+        assert_eq!(
+            matrix.m_bits(),
+            self.bits.len(),
+            "column count must equal Q"
+        );
         self.raw_sums_with(matrix, |k| k)
     }
 
@@ -254,7 +254,11 @@ mod tests {
 
     #[test]
     fn spec_widths() {
-        let spec = OpmSpec { q: 159, b: 10, t: 64 };
+        let spec = OpmSpec {
+            q: 159,
+            b: 10,
+            t: 64,
+        };
         spec.validate().unwrap();
         assert_eq!(spec.sum_bits(), 10 + 8);
         assert_eq!(spec.accumulator_bits(), 10 + 8 + 6);
@@ -331,6 +335,9 @@ mod tests {
     fn empty_model_rejected() {
         let model = fake_model(&[]);
         let err = QuantizedOpm::from_model(&model, 8, 1).unwrap_err();
-        assert!(matches!(err, ApolloError::Spec { .. }), "wrong variant: {err:?}");
+        assert!(
+            matches!(err, ApolloError::Spec { .. }),
+            "wrong variant: {err:?}"
+        );
     }
 }

@@ -142,7 +142,12 @@ fn emit_meter_event(ev: &MeterFaultEvent) {
                 ("bit", FieldValue::from(*bit)),
             ],
         ),
-        MeterFaultEvent::RomFlip { epoch, lane, proxy, bit } => apollo_telemetry::emit_event(
+        MeterFaultEvent::RomFlip {
+            epoch,
+            lane,
+            proxy,
+            bit,
+        } => apollo_telemetry::emit_event(
             "opm.meter.rom_flip",
             &[
                 ("epoch", FieldValue::from(*epoch)),
@@ -153,7 +158,10 @@ fn emit_meter_event(ev: &MeterFaultEvent) {
         ),
         MeterFaultEvent::DroppedEpoch { epoch, lane } => apollo_telemetry::emit_event(
             "opm.meter.dropped_epoch",
-            &[("epoch", FieldValue::from(*epoch)), ("lane", FieldValue::from(*lane))],
+            &[
+                ("epoch", FieldValue::from(*epoch)),
+                ("lane", FieldValue::from(*lane)),
+            ],
         ),
     }
 }
@@ -304,7 +312,11 @@ impl HardenedMeter {
             })
             .collect();
         let acc_bits = opm.spec.accumulator_bits();
-        let acc_max = if acc_bits >= 64 { u64::MAX } else { (1u64 << acc_bits) - 1 };
+        let acc_max = if acc_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << acc_bits) - 1
+        };
         Ok(HardenedMeter {
             spec: opm.spec,
             envelope,
@@ -372,7 +384,8 @@ impl HardenedMeter {
                 let proxy = (pick % self.spec.q as u64) as u32;
                 let bit = ((pick >> 32) % self.spec.b as u64) as u8;
                 let lane = &mut self.lanes[li];
-                lane.rom[proxy as usize] = (lane.rom[proxy as usize] ^ (1 << bit)) & self.weight_mask;
+                lane.rom[proxy as usize] =
+                    (lane.rom[proxy as usize] ^ (1 << bit)) & self.weight_mask;
                 self.rom_flips += 1;
                 let ev = MeterFaultEvent::RomFlip {
                     epoch: self.epoch,
@@ -444,7 +457,10 @@ impl HardenedMeter {
                 &[
                     ("epoch", apollo_telemetry::FieldValue::from(self.epoch)),
                     ("value", apollo_telemetry::FieldValue::from(value)),
-                    ("all_dropped", apollo_telemetry::FieldValue::from(all_dropped)),
+                    (
+                        "all_dropped",
+                        apollo_telemetry::FieldValue::from(all_dropped),
+                    ),
                 ],
             );
         }
@@ -654,9 +670,13 @@ mod tests {
     #[test]
     fn saturation_never_engages_fault_free_and_caps_under_faults() {
         let (quant, _m) = synthetic(5, 4, 4);
-        let meter =
-            HardenedMeter::new(&quant, Envelope::structural(&quant), Redundancy::Single, &MeterFaultPlan::empty())
-                .unwrap();
+        let meter = HardenedMeter::new(
+            &quant,
+            Envelope::structural(&quant),
+            Redundancy::Single,
+            &MeterFaultPlan::empty(),
+        )
+        .unwrap();
         // Worst case: every proxy toggles every cycle for T cycles.
         let max_cycle_sum: u64 = quant.weights.iter().map(|&w| w as u64).sum();
         assert!(

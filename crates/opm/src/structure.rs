@@ -100,10 +100,16 @@ mod tests {
     #[test]
     fn table_has_expected_shape() {
         let rows = table3(60_000, 150);
-        let apollo = rows.iter().find(|r| r.method.starts_with("APOLLO per")).unwrap();
+        let apollo = rows
+            .iter()
+            .find(|r| r.method.starts_with("APOLLO per"))
+            .unwrap();
         assert_eq!(apollo.multipliers, 0);
         assert_eq!(apollo.counters, 1);
-        let simmani = rows.iter().find(|r| r.method.starts_with("Simmani")).unwrap();
+        let simmani = rows
+            .iter()
+            .find(|r| r.method.starts_with("Simmani"))
+            .unwrap();
         assert_eq!(simmani.multipliers, 150 * 150);
         for r in &rows {
             assert!(!r.to_string().is_empty());

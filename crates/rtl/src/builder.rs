@@ -82,7 +82,9 @@ impl NetlistBuilder {
     /// # Panics
     /// Panics if no scope is active.
     pub fn pop_scope(&mut self) {
-        self.scope.pop().expect("pop_scope without matching push_scope");
+        self.scope
+            .pop()
+            .expect("pop_scope without matching push_scope");
     }
 
     fn qualify(&self, name: &str) -> String {
@@ -140,7 +142,10 @@ impl NetlistBuilder {
     /// # Panics
     /// Panics if `width` is 0 or exceeds [`MAX_WIDTH`].
     pub fn input(&mut self, width: u8, name: &str, unit: Unit) -> NodeId {
-        assert!((1..=MAX_WIDTH).contains(&width), "input width {width} out of range");
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "input width {width} out of range"
+        );
         let id = self.push(Node {
             op: Op::Input,
             width,
@@ -154,7 +159,10 @@ impl NetlistBuilder {
     /// Panics if `value` does not fit in `width` bits or if the width is
     /// out of range.
     pub fn constant(&mut self, value: u64, width: u8) -> NodeId {
-        assert!((1..=MAX_WIDTH).contains(&width), "const width {width} out of range");
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "const width {width} out of range"
+        );
         assert!(
             value & !mask(width) == 0,
             "constant {value:#x} does not fit in {width} bits"
@@ -187,7 +195,10 @@ impl NetlistBuilder {
     /// Panics if `init` does not fit in `width` bits, the width is out of
     /// range, or `clock` does not exist.
     pub fn reg(&mut self, width: u8, init: u64, clock: ClockId, name: &str, unit: Unit) -> NodeId {
-        assert!((1..=MAX_WIDTH).contains(&width), "reg width {width} out of range");
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "reg width {width} out of range"
+        );
         assert!(
             init & !mask(width) == 0,
             "reg init {init:#x} does not fit in {width} bits"
@@ -270,7 +281,11 @@ impl NetlistBuilder {
     /// signal (named `name`), mirroring how clock-gate outputs are
     /// first-class RTL signals in the paper's proxy pool.
     pub fn clock_gate(&mut self, enable: NodeId, name: &str, unit: Unit) -> ClockId {
-        assert_eq!(self.check(enable).width, 1, "clock-gate enable must be 1 bit");
+        assert_eq!(
+            self.check(enable).width,
+            1,
+            "clock-gate enable must be 1 bit"
+        );
         let clock = ClockId(self.clock_nodes.len() as u32);
         let id = self.push(Node {
             op: Op::GatedClock { enable },
@@ -288,7 +303,10 @@ impl NetlistBuilder {
     /// Panics if `words` is 0 or `width` is out of range.
     pub fn memory(&mut self, words: u32, width: u8, name: &str, unit: Unit) -> MemId {
         assert!(words >= 1, "memory must have at least one word");
-        assert!((1..=MAX_WIDTH).contains(&width), "memory width {width} out of range");
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "memory width {width} out of range"
+        );
         let id = MemId(self.mems.len() as u32);
         self.mems.push(Memory {
             name: self.qualify(name),
@@ -330,7 +348,14 @@ impl NetlistBuilder {
     /// Creates a synchronous read port on `mem`: the word addressed in
     /// cycle `i` appears on the returned node in cycle `i + 1` when `en`
     /// was 1, otherwise the node holds its value.
-    pub fn mem_read(&mut self, mem: MemId, addr: NodeId, en: NodeId, name: &str, unit: Unit) -> NodeId {
+    pub fn mem_read(
+        &mut self,
+        mem: MemId,
+        addr: NodeId,
+        en: NodeId,
+        name: &str,
+        unit: Unit,
+    ) -> NodeId {
         assert_eq!(self.check(en).width, 1, "mem read enable must be 1 bit");
         let width = self.mems[mem.index()].width;
         let id = self.push(Node {
@@ -354,7 +379,9 @@ impl NetlistBuilder {
             m_width == d_width,
             "mem write data width {d_width} != memory width {m_width}"
         );
-        self.mems[mem.index()].writes.push(WritePort { en, addr, data });
+        self.mems[mem.index()]
+            .writes
+            .push(WritePort { en, addr, data });
     }
 
     // ---- bitwise / arithmetic -----------------------------------------
@@ -362,56 +389,83 @@ impl NetlistBuilder {
     /// Bitwise NOT.
     pub fn not(&mut self, a: NodeId) -> NodeId {
         let width = self.check(a).width;
-        self.push(Node { op: Op::Not(a), width })
+        self.push(Node {
+            op: Op::Not(a),
+            width,
+        })
     }
 
     /// Bitwise AND. Operands must have equal width.
     pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let width = self.same_width(a, b, "and");
-        self.push(Node { op: Op::And(a, b), width })
+        self.push(Node {
+            op: Op::And(a, b),
+            width,
+        })
     }
 
     /// Bitwise OR. Operands must have equal width.
     pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let width = self.same_width(a, b, "or");
-        self.push(Node { op: Op::Or(a, b), width })
+        self.push(Node {
+            op: Op::Or(a, b),
+            width,
+        })
     }
 
     /// Bitwise XOR. Operands must have equal width.
     pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let width = self.same_width(a, b, "xor");
-        self.push(Node { op: Op::Xor(a, b), width })
+        self.push(Node {
+            op: Op::Xor(a, b),
+            width,
+        })
     }
 
     /// Wrapping addition. Operands must have equal width.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let width = self.same_width(a, b, "add");
-        self.push(Node { op: Op::Add(a, b), width })
+        self.push(Node {
+            op: Op::Add(a, b),
+            width,
+        })
     }
 
     /// Wrapping subtraction. Operands must have equal width.
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let width = self.same_width(a, b, "sub");
-        self.push(Node { op: Op::Sub(a, b), width })
+        self.push(Node {
+            op: Op::Sub(a, b),
+            width,
+        })
     }
 
     /// Wrapping multiplication. Operands must have equal width.
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let width = self.same_width(a, b, "mul");
-        self.push(Node { op: Op::Mul(a, b), width })
+        self.push(Node {
+            op: Op::Mul(a, b),
+            width,
+        })
     }
 
     /// Unsigned division (division by zero yields all-ones). Operands
     /// must have equal width.
     pub fn udiv(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let width = self.same_width(a, b, "udiv");
-        self.push(Node { op: Op::Udiv(a, b), width })
+        self.push(Node {
+            op: Op::Udiv(a, b),
+            width,
+        })
     }
 
     /// Equality comparison; result is 1 bit.
     pub fn eq(&mut self, a: NodeId, b: NodeId) -> NodeId {
         self.same_width(a, b, "eq");
-        self.push(Node { op: Op::Eq(a, b), width: 1 })
+        self.push(Node {
+            op: Op::Eq(a, b),
+            width: 1,
+        })
     }
 
     /// Inequality comparison; result is 1 bit.
@@ -423,19 +477,28 @@ impl NetlistBuilder {
     /// Unsigned less-than; result is 1 bit.
     pub fn ult(&mut self, a: NodeId, b: NodeId) -> NodeId {
         self.same_width(a, b, "ult");
-        self.push(Node { op: Op::Ult(a, b), width: 1 })
+        self.push(Node {
+            op: Op::Ult(a, b),
+            width: 1,
+        })
     }
 
     /// Logical shift left by a dynamic amount. Result has `a`'s width.
     pub fn shl(&mut self, a: NodeId, amount: NodeId) -> NodeId {
         let width = self.check(a).width;
-        self.push(Node { op: Op::Shl(a, amount), width })
+        self.push(Node {
+            op: Op::Shl(a, amount),
+            width,
+        })
     }
 
     /// Logical shift right by a dynamic amount. Result has `a`'s width.
     pub fn shr(&mut self, a: NodeId, amount: NodeId) -> NodeId {
         let width = self.check(a).width;
-        self.push(Node { op: Op::Shr(a, amount), width })
+        self.push(Node {
+            op: Op::Shr(a, amount),
+            width,
+        })
     }
 
     /// 2:1 multiplexer `sel ? t : f`.
@@ -445,7 +508,10 @@ impl NetlistBuilder {
     pub fn mux(&mut self, sel: NodeId, t: NodeId, f: NodeId) -> NodeId {
         assert_eq!(self.check(sel).width, 1, "mux select must be 1 bit");
         let width = self.same_width(t, f, "mux");
-        self.push(Node { op: Op::Mux { sel, t, f }, width })
+        self.push(Node {
+            op: Op::Mux { sel, t, f },
+            width,
+        })
     }
 
     // ---- structural ----------------------------------------------------
@@ -465,7 +531,10 @@ impl NetlistBuilder {
         if lo == 0 && width == sw {
             return src;
         }
-        self.push(Node { op: Op::Slice { src, lo }, width })
+        self.push(Node {
+            op: Op::Slice { src, lo },
+            width,
+        })
     }
 
     /// Extracts a single bit.
@@ -479,8 +548,14 @@ impl NetlistBuilder {
     /// Panics if the combined width exceeds [`MAX_WIDTH`].
     pub fn concat(&mut self, hi: NodeId, lo: NodeId) -> NodeId {
         let width = self.check(hi).width + self.check(lo).width;
-        assert!(width <= MAX_WIDTH, "concat width {width} exceeds {MAX_WIDTH}");
-        self.push(Node { op: Op::Concat { hi, lo }, width })
+        assert!(
+            width <= MAX_WIDTH,
+            "concat width {width} exceeds {MAX_WIDTH}"
+        );
+        self.push(Node {
+            op: Op::Concat { hi, lo },
+            width,
+        })
     }
 
     /// Zero-extends `a` to `width` bits (no-op if already that wide).
@@ -504,17 +579,26 @@ impl NetlistBuilder {
 
     /// OR-reduction of all bits to 1 bit.
     pub fn reduce_or(&mut self, a: NodeId) -> NodeId {
-        self.push(Node { op: Op::ReduceOr(a), width: 1 })
+        self.push(Node {
+            op: Op::ReduceOr(a),
+            width: 1,
+        })
     }
 
     /// AND-reduction of all bits to 1 bit.
     pub fn reduce_and(&mut self, a: NodeId) -> NodeId {
-        self.push(Node { op: Op::ReduceAnd(a), width: 1 })
+        self.push(Node {
+            op: Op::ReduceAnd(a),
+            width: 1,
+        })
     }
 
     /// XOR-reduction (parity) of all bits to 1 bit.
     pub fn reduce_xor(&mut self, a: NodeId) -> NodeId {
-        self.push(Node { op: Op::ReduceXor(a), width: 1 })
+        self.push(Node {
+            op: Op::ReduceXor(a),
+            width: 1,
+        })
     }
 
     /// N-way one-hot-indexed multiplexer over equally wide `choices`,
@@ -626,7 +710,10 @@ mod tests {
         let r = b.reg(4, 0, CLOCK_ROOT, "r", Unit::Control);
         let c = b.constant(0, 4);
         b.connect(r, c);
-        assert_eq!(b.try_connect(r, c), Err(RtlError::DoubleConnect { node: r }));
+        assert_eq!(
+            b.try_connect(r, c),
+            Err(RtlError::DoubleConnect { node: r })
+        );
     }
 
     #[test]
@@ -636,7 +723,11 @@ mod tests {
         let c = b.constant(0, 5);
         assert!(matches!(
             b.try_connect(r, c),
-            Err(RtlError::WidthMismatch { expected: 4, found: 5, .. })
+            Err(RtlError::WidthMismatch {
+                expected: 4,
+                found: 5,
+                ..
+            })
         ));
     }
 

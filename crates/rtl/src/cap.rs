@@ -79,9 +79,8 @@ impl CapModel {
             let fanout = netlist.fanout(id) as f64;
             let unit = netlist.unit(id);
             let jit = 1.0 + self.jitter * (2.0 * splitmix_unit(self.seed ^ (i as u64)) - 1.0);
-            let cap = (self.base_cap + self.fanout_cap * fanout)
-                * Self::unit_scale(unit)
-                * jit.max(0.05);
+            let cap =
+                (self.base_cap + self.fanout_cap * fanout) * Self::unit_scale(unit) * jit.max(0.05);
             // Constants never toggle; annotate zero to keep sums exact.
             let cap = if node.is_const() { 0.0 } else { cap };
             per_bit_cap.push(cap);
@@ -224,8 +223,16 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let nl = sample();
-        let a = CapModel { seed: 1, ..CapModel::default() }.annotate(&nl);
-        let b = CapModel { seed: 2, ..CapModel::default() }.annotate(&nl);
+        let a = CapModel {
+            seed: 1,
+            ..CapModel::default()
+        }
+        .annotate(&nl);
+        let b = CapModel {
+            seed: 2,
+            ..CapModel::default()
+        }
+        .annotate(&nl);
         assert_ne!(a, b);
     }
 }

@@ -264,10 +264,13 @@ impl Netlist {
 
     /// Iterates over register nodes together with their clock domains.
     pub fn registers(&self) -> impl Iterator<Item = (NodeId, ClockId)> + '_ {
-        self.nodes.iter().enumerate().filter_map(|(i, n)| match n.op {
-            Op::Reg { clock, .. } => Some((NodeId::from_index(i), clock)),
-            _ => None,
-        })
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n.op {
+                Op::Reg { clock, .. } => Some((NodeId::from_index(i), clock)),
+                _ => None,
+            })
     }
 }
 

@@ -10,7 +10,9 @@ use std::fmt;
 pub const MAX_WIDTH: u8 = 64;
 
 /// Identifier of a node (an RTL signal) inside a [`crate::Netlist`].
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
@@ -39,7 +41,9 @@ impl fmt::Debug for NodeId {
 /// Domain 0 ([`CLOCK_ROOT`]) is the free-running root clock; other
 /// domains are created by [`crate::NetlistBuilder::clock_gate`] and tick
 /// only on cycles where their enable evaluates to 1.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ClockId(pub(crate) u32);
 
 /// The always-on root clock domain.
@@ -67,7 +71,9 @@ impl fmt::Debug for ClockId {
 }
 
 /// Identifier of a synchronous memory macro.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct MemId(pub(crate) u32);
 
 impl MemId {
@@ -88,7 +94,9 @@ impl fmt::Debug for MemId {
 /// Mirrors the categorisation used in the paper's Figure 15(a), where
 /// extracted power proxies are attributed to CPU functional units and the
 /// clock network.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub enum Unit {
     /// Instruction fetch, branch prediction and the L1 I-cache interface.
     Fetch,

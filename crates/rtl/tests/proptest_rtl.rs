@@ -41,7 +41,12 @@ fn op_harness(width: u8) -> OpHarness {
     let r = bld.reg(width, 0, CLOCK_ROOT, "r", Unit::Alu);
     bld.connect(r, a);
     let netlist = bld.build().unwrap();
-    OpHarness { netlist, a, b, outs }
+    OpHarness {
+        netlist,
+        a,
+        b,
+        outs,
+    }
 }
 
 fn mask(width: u8) -> u64 {

@@ -1,0 +1,1613 @@
+//! Bit-sliced (SIMD-within-a-register) simulation kernel.
+//!
+//! ## Lane layout
+//!
+//! The scalar engine stores one `u64` *value* per node and evaluates
+//! one trace vector per pass. This engine transposes that layout: each
+//! signal **bit** of the netlist's flat `M`-bit feature space owns one
+//! `u64` *plane* word whose bit `l` is that signal bit's value on lane
+//! `l`. Up to 64 independent trace vectors (capture workloads, GA
+//! individuals' stimuli) are packed into the lanes and evaluated
+//! together: one AND over two plane words computes that gate bit for
+//! all 64 vectors at once. Planes are indexed by
+//! [`Netlist::bit_offset`], so the plane array lines up exactly with
+//! the packed toggle rows the capture pipeline stores.
+//!
+//! Cheap ops (logic, add/sub ripple-carry, compares, mux, slices,
+//! reductions) are evaluated directly on planes. Expensive ops (mul,
+//! udiv, shifts) escape through a 64×64 bit-matrix transpose
+//! ([`transpose64`]) to per-lane scalar values and back. Toggles are
+//! the XOR of consecutive plane states; per-lane toggle rows fall out
+//! of block-wise transposes of the toggle planes, and per-lane counts
+//! via `popcnt` on the extracted row bits.
+//!
+//! ## Ragged tail
+//!
+//! A batch may hold any `1..=64` lanes. Inactive lanes are initialized
+//! to the same reset state, receive no stimulus and are simply never
+//! read out; memory ports skip them. Per-lane observables depend only
+//! on that lane's stimulus, so the tail costs nothing in correctness.
+//!
+//! ## Oracle discipline
+//!
+//! The scalar levelized engine remains the differential oracle: lane
+//! `k` of a bitslice batch must be **bit-identical** — node values,
+//! toggle words, packed rows, every `f64` of the power breakdown — to
+//! a scalar [`crate::Simulator`] driven with lane `k`'s stimulus, including
+//! under fault injection (fault decisions are pure functions of
+//! `(seed, cycle, site)` and therefore broadcast across lanes). The
+//! per-lane power pass replays the scalar engine's float accumulation
+//! in exact netlist order; see `tests/bitslice_differential.rs` for
+//! the machine-checked contract.
+
+use crate::engine::{
+    self, EngineKind, ForceMasks, Instr, LevelPass, MemPorts, PassMetrics, Pool, RegCommit,
+    SimEngine,
+};
+use crate::fault::{CompiledFaults, FaultEvent, FaultPlan, FaultPlanError, FaultReport};
+use crate::power::{unit_hash, PowerConfig, PowerSample};
+use crate::schedule::LevelSchedule;
+use apollo_rtl::{CapAnnotation, MemId, Netlist, NodeId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Transposes a 64×64 bit matrix in place (Hacker's Delight 7-3):
+/// afterwards bit `c` of `a[r]` equals bit `r` of the old `a[c]`.
+/// The transform is an involution, so the same routine converts plane
+/// words to per-lane values and back. Public so block writers (the
+/// proxy-capture path in `apollo-core`) can turn 64 cycle-plane words
+/// into 64 per-lane cycle words without re-deriving the kernel.
+pub fn transpose64(a: &mut [u64; 64]) {
+    // LSB-first variant: block-swap the high half-bits of the low words
+    // with the low half-bits of the high words, recursively halving.
+    let mut j = 32usize;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Extracts `w` bits starting at flat offset `off` from a lane's packed
+/// toggle row.
+#[inline]
+fn extract_row_bits(row: &[u64], off: usize, w: usize) -> u64 {
+    let word = off / 64;
+    let sh = off % 64;
+    let mut v = row[word] >> sh;
+    if sh + w > 64 {
+        v |= row[word + 1] << (64 - sh);
+    }
+    if w < 64 {
+        v &= (1u64 << w) - 1;
+    }
+    v
+}
+
+/// Branchless variant of [`extract_row_bits`] for the power pass inner
+/// loop: `row` must carry a zero pad word so `word + 1` is always in
+/// bounds, and the double shift handles `sh == 0` without a shift by
+/// 64 (`x << 63 << 1 == 0`).
+#[inline]
+fn extract_at(row: &[u64], word: usize, sh: u32, mask: u64) -> u64 {
+    ((row[word] >> sh) | ((row[word + 1] << (63 - sh)) << 1)) & mask
+}
+
+/// Precomputed per-node extraction plan for the power pass: row word,
+/// shift and width mask resolved once at construction so the per-cycle
+/// inner loop is a branch-light sequential sweep over one flat array.
+#[derive(Clone, Copy, Debug)]
+struct PowerNode {
+    /// Row word of the node's first bit — or, for gated nodes, the
+    /// node's raw toggle-plane index (switching counts the raw value
+    /// toggle there, not the feature override the rows carry).
+    word: u32,
+    /// Bit offset within that row word (unused for gated nodes).
+    sh: u8,
+    /// Compiled to [`Instr::Gated`].
+    gated: bool,
+    /// `(1 << width) - 1` (all-ones at width 64).
+    mask: u64,
+    /// Switching capacitance.
+    cap: f64,
+}
+
+/// Precomputed glitch-pair extraction plan (same resolution as
+/// [`PowerNode`], for the two source operands).
+#[derive(Clone, Copy, Debug)]
+struct GlitchPlan {
+    /// Node index the entry is keyed to in the scalar float order.
+    node: u32,
+    a_word: u32,
+    b_word: u32,
+    a_sh: u8,
+    b_sh: u8,
+    a_mask: u64,
+    b_mask: u64,
+    energy: f64,
+}
+
+/// Plane-array state shared between a [`BitsliceSimulator`] and its
+/// worker pool. Mirrors [`crate::engine::SharedState`] but holds one
+/// atomic word per signal *bit* (plane) instead of per node.
+#[derive(Debug)]
+pub(crate) struct BitsliceState {
+    instrs: Vec<Instr>,
+    masks: Vec<u64>,
+    widths: Vec<u8>,
+    /// Flat plane offset of each node (== `Netlist::bit_offset`).
+    offs: Vec<u32>,
+    schedule: LevelSchedule,
+    /// Current value planes, one word per signal bit.
+    planes: Vec<AtomicU64>,
+    /// Previous-cycle planes (for toggle extraction).
+    prev: Vec<AtomicU64>,
+    /// Toggle planes `planes ^ prev`.
+    raw: Vec<AtomicU64>,
+    /// Stuck-at force masks (per node, broadcast across lanes).
+    forces: Option<ForceMasks>,
+}
+
+impl BitsliceState {
+    /// Plane `b` of node `a`, or 0 beyond the node's width (matching
+    /// the scalar engine's masked-value semantics).
+    #[inline]
+    fn plane(&self, a: u32, b: usize) -> u64 {
+        let a = a as usize;
+        if b < self.widths[a] as usize {
+            self.planes[self.offs[a] as usize + b].load(Ordering::Relaxed)
+        } else {
+            0
+        }
+    }
+
+    /// All planes of node `a` as one slice. The eval hot loops iterate
+    /// these directly — one width/offset lookup per *operand* instead
+    /// of per plane, with the slice length carrying the width check.
+    /// Planes past the slice read as 0 (the [`BitsliceState::plane`]
+    /// fallback handles ragged tails).
+    #[inline]
+    fn planes_of(&self, a: u32) -> &[AtomicU64] {
+        let i = a as usize;
+        let off = self.offs[i] as usize;
+        &self.planes[off..off + self.widths[i] as usize]
+    }
+
+    /// Lane word with bit `l` set iff node `a`'s value on lane `l` is
+    /// nonzero (the scalar `value != 0` test, vectorized).
+    #[inline]
+    fn nonzero(&self, a: u32) -> u64 {
+        self.planes_of(a)
+            .iter()
+            .fold(0u64, |acc, p| acc | p.load(Ordering::Relaxed))
+    }
+
+    /// Gathers node `a`'s per-lane values: `out[l]` = value on lane `l`.
+    #[inline]
+    fn gather(&self, a: u32, out: &mut [u64; 64]) {
+        let pa = self.planes_of(a);
+        for (o, p) in out.iter_mut().zip(pa) {
+            *o = p.load(Ordering::Relaxed);
+        }
+        out[pa.len()..].fill(0);
+        transpose64(out);
+    }
+
+    /// Evaluates node `i` into `tmp[..width]` (one plane word per bit).
+    fn eval_into(&self, i: usize, tmp: &mut [u64; 64]) {
+        let w = self.widths[i] as usize;
+        match self.instrs[i] {
+            Instr::Hold | Instr::Input | Instr::Const => {
+                let off = self.offs[i] as usize;
+                for (b, t) in tmp[..w].iter_mut().enumerate() {
+                    *t = self.planes[off + b].load(Ordering::Relaxed);
+                }
+            }
+            Instr::Not(a) => {
+                let pa = self.planes_of(a);
+                let n = w.min(pa.len());
+                for (t, x) in tmp[..n].iter_mut().zip(pa) {
+                    *t = !x.load(Ordering::Relaxed);
+                }
+                tmp[n..w].fill(u64::MAX);
+            }
+            Instr::And(a, b) => {
+                // Beyond either operand's width one side reads 0, so
+                // the tail is all-zero.
+                let (pa, pb) = (self.planes_of(a), self.planes_of(b));
+                let n = w.min(pa.len()).min(pb.len());
+                for ((t, x), y) in tmp[..n].iter_mut().zip(pa).zip(pb) {
+                    *t = x.load(Ordering::Relaxed) & y.load(Ordering::Relaxed);
+                }
+                tmp[n..w].fill(0);
+            }
+            Instr::Or(a, b) => {
+                let (pa, pb) = (self.planes_of(a), self.planes_of(b));
+                let n = w.min(pa.len()).min(pb.len());
+                for ((t, x), y) in tmp[..n].iter_mut().zip(pa).zip(pb) {
+                    *t = x.load(Ordering::Relaxed) | y.load(Ordering::Relaxed);
+                }
+                // Tail: whichever operand still has planes passes through.
+                for (k, t) in tmp[..w].iter_mut().enumerate().skip(n) {
+                    *t = self.plane(a, k) | self.plane(b, k);
+                }
+            }
+            Instr::Xor(a, b) => {
+                let (pa, pb) = (self.planes_of(a), self.planes_of(b));
+                let n = w.min(pa.len()).min(pb.len());
+                for ((t, x), y) in tmp[..n].iter_mut().zip(pa).zip(pb) {
+                    *t = x.load(Ordering::Relaxed) ^ y.load(Ordering::Relaxed);
+                }
+                for (k, t) in tmp[..w].iter_mut().enumerate().skip(n) {
+                    *t = self.plane(a, k) ^ self.plane(b, k);
+                }
+            }
+            Instr::Add(a, b) => {
+                // Lane-parallel ripple carry: each bit position is one
+                // full-adder over plane words.
+                let (pa, pb) = (self.planes_of(a), self.planes_of(b));
+                let n = w.min(pa.len()).min(pb.len());
+                let mut c = 0u64;
+                for ((t, x), y) in tmp[..n].iter_mut().zip(pa).zip(pb) {
+                    let x = x.load(Ordering::Relaxed);
+                    let y = y.load(Ordering::Relaxed);
+                    *t = x ^ y ^ c;
+                    c = (x & y) | (c & (x ^ y));
+                }
+                for (k, t) in tmp[..w].iter_mut().enumerate().skip(n) {
+                    let x = self.plane(a, k);
+                    let y = self.plane(b, k);
+                    *t = x ^ y ^ c;
+                    c = (x & y) | (c & (x ^ y));
+                }
+            }
+            Instr::Sub(a, b) => {
+                // a - b = a + !b + 1: carry-in all-ones, complement b
+                // (planes beyond b's width complement to all-ones,
+                // matching two's-complement truncation).
+                let (pa, pb) = (self.planes_of(a), self.planes_of(b));
+                let n = w.min(pa.len()).min(pb.len());
+                let mut c = u64::MAX;
+                for ((t, x), y) in tmp[..n].iter_mut().zip(pa).zip(pb) {
+                    let x = x.load(Ordering::Relaxed);
+                    let y = !y.load(Ordering::Relaxed);
+                    *t = x ^ y ^ c;
+                    c = (x & y) | (c & (x ^ y));
+                }
+                for (k, t) in tmp[..w].iter_mut().enumerate().skip(n) {
+                    let x = self.plane(a, k);
+                    let y = !self.plane(b, k);
+                    *t = x ^ y ^ c;
+                    c = (x & y) | (c & (x ^ y));
+                }
+            }
+            Instr::Mul(a, b) => {
+                let m = self.masks[i];
+                let mut va = [0u64; 64];
+                let mut vb = [0u64; 64];
+                self.gather(a, &mut va);
+                self.gather(b, &mut vb);
+                for (x, &y) in va.iter_mut().zip(vb.iter()) {
+                    *x = x.wrapping_mul(y) & m;
+                }
+                transpose64(&mut va);
+                tmp[..w].copy_from_slice(&va[..w]);
+            }
+            Instr::Udiv(a, b) => {
+                let m = self.masks[i];
+                let mut va = [0u64; 64];
+                let mut vb = [0u64; 64];
+                self.gather(a, &mut va);
+                self.gather(b, &mut vb);
+                for (x, &y) in va.iter_mut().zip(vb.iter()) {
+                    *x = x.checked_div(y).unwrap_or(m);
+                }
+                transpose64(&mut va);
+                tmp[..w].copy_from_slice(&va[..w]);
+            }
+            Instr::Eq(a, b) => {
+                let (pa, pb) = (self.planes_of(a), self.planes_of(b));
+                let mut acc = u64::MAX;
+                for (x, y) in pa.iter().zip(pb) {
+                    acc &= !(x.load(Ordering::Relaxed) ^ y.load(Ordering::Relaxed));
+                }
+                // The longer operand compares its excess planes to 0.
+                let n = pa.len().min(pb.len());
+                let longer = if pa.len() >= pb.len() { pa } else { pb };
+                for x in &longer[n..] {
+                    acc &= !x.load(Ordering::Relaxed);
+                }
+                tmp[0] = acc;
+            }
+            Instr::Ult(a, b) => {
+                // LSB-to-MSB borrow chain: higher bits override lower.
+                let (pa, pb) = (self.planes_of(a), self.planes_of(b));
+                let wm = pa.len().max(pb.len());
+                let mut lt = 0u64;
+                for k in 0..wm {
+                    let x = pa.get(k).map_or(0, |p| p.load(Ordering::Relaxed));
+                    let y = pb.get(k).map_or(0, |p| p.load(Ordering::Relaxed));
+                    lt = (!x & y) | (!(x ^ y) & lt);
+                }
+                tmp[0] = lt;
+            }
+            Instr::Shl(a, s, wn) => {
+                let m = self.masks[i];
+                let mut va = [0u64; 64];
+                let mut vs = [0u64; 64];
+                self.gather(a, &mut va);
+                self.gather(s, &mut vs);
+                for (x, &amt) in va.iter_mut().zip(vs.iter()) {
+                    *x = if amt >= wn as u64 { 0 } else { (*x << amt) & m };
+                }
+                transpose64(&mut va);
+                tmp[..w].copy_from_slice(&va[..w]);
+            }
+            Instr::Shr(a, s) => {
+                let mut va = [0u64; 64];
+                let mut vs = [0u64; 64];
+                self.gather(a, &mut va);
+                self.gather(s, &mut vs);
+                for (x, &amt) in va.iter_mut().zip(vs.iter()) {
+                    *x = if amt >= 64 { 0 } else { *x >> amt };
+                }
+                transpose64(&mut va);
+                tmp[..w].copy_from_slice(&va[..w]);
+            }
+            Instr::Mux(sel, t_in, f_in) => {
+                let s = self.nonzero(sel);
+                let (pa, pb) = (self.planes_of(t_in), self.planes_of(f_in));
+                let n = w.min(pa.len()).min(pb.len());
+                for ((t, x), y) in tmp[..n].iter_mut().zip(pa).zip(pb) {
+                    *t = (x.load(Ordering::Relaxed) & s) | (y.load(Ordering::Relaxed) & !s);
+                }
+                for (k, t) in tmp[..w].iter_mut().enumerate().skip(n) {
+                    *t = (self.plane(t_in, k) & s) | (self.plane(f_in, k) & !s);
+                }
+            }
+            Instr::Slice(src, lo) => {
+                let pa = self.planes_of(src);
+                let lo = lo as usize;
+                let n = w.min(pa.len().saturating_sub(lo));
+                for (t, x) in tmp[..n].iter_mut().zip(&pa[lo..]) {
+                    *t = x.load(Ordering::Relaxed);
+                }
+                tmp[n..w].fill(0);
+            }
+            Instr::Concat(hi, lo, lo_w) => {
+                let lo_w = lo_w as usize;
+                let (ph, pl) = (self.planes_of(hi), self.planes_of(lo));
+                let nl = w.min(lo_w).min(pl.len());
+                for (t, x) in tmp[..nl].iter_mut().zip(pl) {
+                    *t = x.load(Ordering::Relaxed);
+                }
+                tmp[nl..w.min(lo_w)].fill(0);
+                if w > lo_w {
+                    let nh = (w - lo_w).min(ph.len());
+                    for (t, x) in tmp[lo_w..lo_w + nh].iter_mut().zip(ph) {
+                        *t = x.load(Ordering::Relaxed);
+                    }
+                    tmp[lo_w + nh..w].fill(0);
+                }
+            }
+            Instr::ReduceOr(a) => {
+                tmp[0] = self.nonzero(a);
+            }
+            Instr::ReduceAnd(a, _am) => {
+                tmp[0] = self
+                    .planes_of(a)
+                    .iter()
+                    .fold(u64::MAX, |acc, p| acc & p.load(Ordering::Relaxed));
+            }
+            Instr::ReduceXor(a) => {
+                tmp[0] = self
+                    .planes_of(a)
+                    .iter()
+                    .fold(0u64, |acc, p| acc ^ p.load(Ordering::Relaxed));
+            }
+            Instr::Gated(en) => {
+                // Builder asserts 1-bit enables; the value is the enable.
+                tmp[0] = self.plane(en, 0);
+            }
+        }
+    }
+}
+
+impl LevelPass for BitsliceState {
+    fn schedule(&self) -> &LevelSchedule {
+        &self.schedule
+    }
+
+    fn metrics(&self) -> &'static PassMetrics {
+        &engine::BITSLICE_METRICS
+    }
+
+    fn run_shard(&self, shard_idx: usize, record: bool, dirty: u64) -> bool {
+        let shard = &self.schedule.shards()[shard_idx];
+        let nodes = &self.schedule.order()[shard.start as usize..shard.end as usize];
+        if record && shard.influence & dirty == 0 {
+            // Clean shard: values hold, toggle planes clear (gated
+            // clocks report their — unchanged — enable at extraction).
+            for &ni in nodes {
+                let i = ni as usize;
+                let off = self.offs[i] as usize;
+                for b in 0..self.widths[i] as usize {
+                    self.raw[off + b].store(0, Ordering::Relaxed);
+                }
+            }
+            return false;
+        }
+        let mut tmp = [0u64; 64];
+        for &ni in nodes {
+            let i = ni as usize;
+            let w = self.widths[i] as usize;
+            self.eval_into(i, &mut tmp);
+            if let Some(f) = &self.forces {
+                let and = f.and[i].load(Ordering::Relaxed);
+                let or = f.or[i].load(Ordering::Relaxed);
+                if and != u64::MAX || or != 0 {
+                    // (v & and) | or per lane: a forced-high bit's plane
+                    // becomes all-ones, a forced-low bit's all-zeros.
+                    for (b, t) in tmp[..w].iter_mut().enumerate() {
+                        if (or >> b) & 1 == 1 {
+                            *t = u64::MAX;
+                        } else if (and >> b) & 1 == 0 {
+                            *t = 0;
+                        }
+                    }
+                }
+            }
+            let off = self.offs[i] as usize;
+            for (b, &v) in tmp[..w].iter().enumerate() {
+                let p = off + b;
+                if record {
+                    let t = v ^ self.prev[p].load(Ordering::Relaxed);
+                    self.prev[p].store(v, Ordering::Relaxed);
+                    self.raw[p].store(t, Ordering::Relaxed);
+                }
+                self.planes[p].store(v, Ordering::Relaxed);
+            }
+        }
+        true
+    }
+}
+
+/// One staged memory read: per-lane sampled values awaiting commit.
+#[derive(Clone)]
+struct ReadStage {
+    port: u32,
+    mem: u32,
+    /// Enabled active lanes.
+    en: u64,
+    vals: [u64; 64],
+}
+
+/// Batched instrumentation, mirroring the scalar `SimTelemetry`:
+/// `sim.cycles` advances by the active lane count per step (so N lanes
+/// account like N scalar simulators), fault events flush through the
+/// same typed-event path, and step phases land under
+/// `sim.bitslice.step/*`.
+#[derive(Debug)]
+struct BitsliceTelemetry {
+    cycles: &'static apollo_telemetry::Counter,
+    fault_events: &'static apollo_telemetry::Counter,
+    emitted: usize,
+    phase_ns: [u64; 4],
+    steps_timed: u64,
+}
+
+impl BitsliceTelemetry {
+    fn new() -> Self {
+        BitsliceTelemetry {
+            cycles: apollo_telemetry::counter("sim.cycles"),
+            fault_events: apollo_telemetry::counter("sim.fault_events"),
+            emitted: 0,
+            phase_ns: [0; 4],
+            steps_timed: 0,
+        }
+    }
+}
+
+/// A lane-packed simulator evaluating up to 64 independent trace
+/// vectors per pass (see the module docs for the lane layout and the
+/// oracle discipline). Public observables take a `lane` index; lane `k`
+/// is bit-identical to a scalar [`crate::Simulator`] driven with lane
+/// `k`'s stimulus.
+pub struct BitsliceSimulator<'a> {
+    netlist: &'a Netlist,
+    config: PowerConfig,
+    lanes: usize,
+    shared: Arc<BitsliceState>,
+    pool: Option<Pool<BitsliceState>>,
+    threads: usize,
+    caps: Vec<f64>,
+    power_plan: Vec<PowerNode>,
+    glitch_plan: Vec<GlitchPlan>,
+    unit_of: Vec<u8>,
+    clock_caps: Vec<f64>,
+    mem_energy: Vec<f64>,
+    regs: Vec<RegCommit>,
+    mems_ports: Vec<MemPorts>,
+    clock_nodes: Vec<u32>,
+    /// Nodes compiled to [`Instr::Gated`] (feature override sites).
+    gated_nodes: Vec<u32>,
+    /// Per-memory per-lane backing store: `mem_data[mem][lane*words + w]`.
+    mem_data: Vec<Vec<u64>>,
+    /// Last cycle's per-domain enable lane words (root = all-ones).
+    domain_enable_prev: Vec<u64>,
+    /// Staged register planes, reg-major at `reg_stage_off[k]`.
+    reg_stage: Vec<u64>,
+    reg_stage_off: Vec<u32>,
+    read_stage: Vec<ReadStage>,
+    /// Staged `(node, lane, value)` inputs.
+    pending_inputs: Vec<(u32, u32, u64)>,
+    cycle: u64,
+    /// Lane-major packed feature rows of the last cycle
+    /// (`rows[lane*row_stride..]`), refreshed by the power pass. Each
+    /// lane's strip carries one trailing zero pad word so
+    /// [`extract_at`] never branches on word boundaries.
+    rows: Vec<u64>,
+    row_words: usize,
+    row_stride: usize,
+    last_power: Vec<PowerSample>,
+    /// Per-lane scratch accumulators (always 64 wide).
+    mem_power: Vec<f64>,
+    switch_cap: Vec<f64>,
+    glitch_acc: Vec<f64>,
+    faults: Option<CompiledFaults>,
+    fault_events: Vec<FaultEvent>,
+    forced_nodes: Vec<u32>,
+    reg_flip_count: u64,
+    mem_flip_count: u64,
+    stuck_cycle_count: u64,
+    telem: BitsliceTelemetry,
+}
+
+impl Drop for BitsliceSimulator<'_> {
+    fn drop(&mut self) {
+        if self.telem.steps_timed > 0 {
+            let [commit, eval, power, rows] = self.telem.phase_ns;
+            let steps = self.telem.steps_timed;
+            apollo_telemetry::profile::record_phase("sim.bitslice.step/commit", steps, commit);
+            apollo_telemetry::profile::record_phase("sim.bitslice.step/eval", steps, eval);
+            apollo_telemetry::profile::record_phase("sim.bitslice.step/power", steps, power);
+            apollo_telemetry::profile::record_phase("sim.bitslice.step/power/rows", steps, rows);
+        }
+    }
+}
+
+impl<'a> BitsliceSimulator<'a> {
+    /// Creates a single-threaded bitslice simulator with `lanes` active
+    /// lanes (1..=64), every lane in the reset state.
+    pub fn new(
+        netlist: &'a Netlist,
+        cap: &CapAnnotation,
+        config: PowerConfig,
+        lanes: usize,
+    ) -> Self {
+        Self::with_threads(netlist, cap, config, lanes, 1)
+    }
+
+    /// Creates a bitslice simulator whose value passes are spread over
+    /// `threads` participants of the shared level-parallel pool.
+    pub fn with_threads(
+        netlist: &'a Netlist,
+        cap: &CapAnnotation,
+        config: PowerConfig,
+        lanes: usize,
+        threads: usize,
+    ) -> Self {
+        match Self::with_faults(netlist, cap, config, lanes, threads, None) {
+            Ok(sim) => sim,
+            // Unreachable: only a fault plan can fail to compile.
+            Err(e) => unreachable!("fault-free construction failed: {e}"),
+        }
+    }
+
+    /// Creates a fault-injecting bitslice simulator. Fault decisions
+    /// are pure functions of `(seed, cycle, site)`, so every lane sees
+    /// the same injections — lane `k` equals a scalar
+    /// [`crate::Simulator::with_faults`] on the same plan.
+    ///
+    /// # Errors
+    /// Returns [`FaultPlanError`] if the plan does not compile against
+    /// the netlist.
+    ///
+    /// # Panics
+    /// Panics if `lanes` is outside `1..=64`.
+    pub fn with_faults(
+        netlist: &'a Netlist,
+        cap: &CapAnnotation,
+        config: PowerConfig,
+        lanes: usize,
+        threads: usize,
+        plan: Option<&FaultPlan>,
+    ) -> Result<Self, FaultPlanError> {
+        assert!(
+            (1..=64).contains(&lanes),
+            "bitslice lanes must be in 1..=64, got {lanes}"
+        );
+        let faults = plan.map(|p| p.compile(netlist)).transpose()?;
+        let c = engine::compile(netlist, cap, &config);
+        let m_bits = netlist.signal_bits();
+
+        let mut widths = Vec::with_capacity(netlist.len());
+        let mut offs = Vec::with_capacity(netlist.len());
+        let mut gated_nodes = Vec::new();
+        for (i, node) in netlist.nodes().iter().enumerate() {
+            widths.push(node.width);
+            offs.push(netlist.bit_offset(NodeId::from_index(i)) as u32);
+            if matches!(c.instrs[i], Instr::Gated(_)) {
+                gated_nodes.push(i as u32);
+            }
+        }
+
+        // Broadcast every node's init value across all 64 lanes.
+        let mut planes = vec![0u64; m_bits];
+        for (i, &v) in c.init_values.iter().enumerate() {
+            if v != 0 {
+                let off = offs[i] as usize;
+                for b in 0..widths[i] as usize {
+                    if (v >> b) & 1 == 1 {
+                        planes[off + b] = u64::MAX;
+                    }
+                }
+            }
+        }
+        let power_plan: Vec<PowerNode> = (0..netlist.len())
+            .map(|i| {
+                let off = netlist.bit_offset(NodeId::from_index(i));
+                if gated_nodes.binary_search(&(i as u32)).is_ok() {
+                    PowerNode {
+                        word: off as u32,
+                        sh: 0,
+                        gated: true,
+                        mask: 1,
+                        cap: c.caps[i],
+                    }
+                } else {
+                    PowerNode {
+                        word: (off / 64) as u32,
+                        sh: (off % 64) as u8,
+                        gated: false,
+                        mask: c.masks[i],
+                        cap: c.caps[i],
+                    }
+                }
+            })
+            .collect();
+        let glitch_plan: Vec<GlitchPlan> = c
+            .glitch_list
+            .iter()
+            .map(|e| {
+                let oa = netlist.bit_offset(NodeId::from_index(e.a as usize));
+                let ob = netlist.bit_offset(NodeId::from_index(e.b as usize));
+                GlitchPlan {
+                    node: e.node,
+                    a_word: (oa / 64) as u32,
+                    b_word: (ob / 64) as u32,
+                    a_sh: (oa % 64) as u8,
+                    b_sh: (ob % 64) as u8,
+                    a_mask: c.masks[e.a as usize],
+                    b_mask: c.masks[e.b as usize],
+                    energy: e.energy,
+                }
+            })
+            .collect();
+
+        let atomic = |src: &[u64]| src.iter().map(|&v| AtomicU64::new(v)).collect();
+        let zeros = vec![0u64; m_bits];
+        let shared = Arc::new(BitsliceState {
+            instrs: c.instrs,
+            masks: c.masks,
+            widths,
+            offs,
+            schedule: c.schedule,
+            planes: atomic(&planes),
+            prev: atomic(&planes),
+            raw: atomic(&zeros),
+            forces: faults.is_some().then(|| ForceMasks::neutral(netlist.len())),
+        });
+        let threads = threads.max(1);
+        let pool = if threads > 1 {
+            Some(Pool::spawn(Arc::clone(&shared), threads))
+        } else {
+            None
+        };
+
+        // Per-lane memory images (active lanes only: inactive lanes
+        // never issue pokes or port accesses that are read back).
+        let mem_data: Vec<Vec<u64>> = c
+            .mem_init
+            .iter()
+            .map(|init| {
+                let mut d = Vec::with_capacity(init.len() * lanes);
+                for _ in 0..lanes {
+                    d.extend_from_slice(init);
+                }
+                d
+            })
+            .collect();
+
+        let mut reg_stage_off = Vec::with_capacity(c.regs.len());
+        let mut total = 0u32;
+        for rc in &c.regs {
+            reg_stage_off.push(total);
+            total += netlist.node(NodeId::from_index(rc.reg as usize)).width as u32;
+        }
+
+        let row_words = m_bits.div_ceil(64);
+        let row_stride = row_words + 1;
+        let mut sim = BitsliceSimulator {
+            netlist,
+            config,
+            lanes,
+            shared,
+            pool,
+            threads,
+            caps: c.caps,
+            power_plan,
+            glitch_plan,
+            unit_of: c.unit_of,
+            clock_caps: c.clock_caps,
+            mem_energy: c.mem_energy,
+            regs: c.regs,
+            mems_ports: c.mems_ports,
+            clock_nodes: c.clock_nodes,
+            gated_nodes,
+            mem_data,
+            domain_enable_prev: vec![u64::MAX; netlist.clock_domains()],
+            reg_stage: vec![0u64; total as usize],
+            reg_stage_off,
+            read_stage: Vec::new(),
+            pending_inputs: Vec::new(),
+            cycle: 0,
+            rows: vec![0u64; 64 * row_stride],
+            row_words,
+            row_stride,
+            last_power: vec![PowerSample::default(); lanes],
+            mem_power: vec![0.0; 64],
+            switch_cap: vec![0.0; 64],
+            glitch_acc: vec![0.0; 64],
+            faults,
+            fault_events: Vec::new(),
+            forced_nodes: Vec::new(),
+            reg_flip_count: 0,
+            mem_flip_count: 0,
+            stuck_cycle_count: 0,
+            telem: BitsliceTelemetry::new(),
+        };
+        sim.update_forces(0);
+        sim.settle();
+        Ok(sim)
+    }
+
+    /// Number of active lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of evaluation participants (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of completed cycles (per lane).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    fn settle(&mut self) {
+        self.run_value_pass(false, u64::MAX);
+        for p in 0..self.shared.planes.len() {
+            let v = self.shared.planes[p].load(Ordering::Relaxed);
+            self.shared.prev[p].store(v, Ordering::Relaxed);
+        }
+        self.capture_enables();
+    }
+
+    fn run_value_pass(&mut self, record: bool, dirty: u64) {
+        match &mut self.pool {
+            None => engine::run_pass_seq(&*self.shared, record, dirty),
+            Some(pool) => pool.run(&self.shared, record, dirty),
+        }
+    }
+
+    fn capture_enables(&mut self) {
+        for d in 0..self.clock_nodes.len() {
+            let gc = self.clock_nodes[d];
+            self.domain_enable_prev[d] = if gc == u32::MAX {
+                u64::MAX
+            } else {
+                self.shared.nonzero(gc)
+            };
+        }
+    }
+
+    /// Stages an input value on `lane` for the next step.
+    ///
+    /// # Panics
+    /// Panics if `lane` is inactive, `node` is not an input or `value`
+    /// exceeds its width.
+    pub fn set_input(&mut self, lane: usize, node: NodeId, value: u64) {
+        let i = node.index();
+        assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+        assert!(
+            matches!(self.shared.instrs[i], Instr::Input),
+            "{node:?} is not an input"
+        );
+        assert!(
+            value & !self.shared.masks[i] == 0,
+            "input value {value:#x} exceeds width of {node:?}"
+        );
+        self.pending_inputs.push((i as u32, lane as u32, value));
+    }
+
+    /// Refreshes stuck-at force masks for `cycle` (identical logic to
+    /// the scalar engine; forces broadcast across lanes).
+    fn update_forces(&mut self, cycle: u64) -> u64 {
+        let Some(f) = &mut self.faults else {
+            return 0;
+        };
+        let mut events = std::mem::take(&mut self.fault_events);
+        let (forces, edge) = f.stuck_forces_at(cycle, &mut events);
+        self.fault_events = events;
+        if !edge {
+            return 0;
+        }
+        let fm = self
+            .shared
+            .forces
+            .as_ref()
+            .expect("fault-injecting simulators allocate force masks");
+        for &node in &self.forced_nodes {
+            fm.and[node as usize].store(u64::MAX, Ordering::Relaxed);
+            fm.or[node as usize].store(0, Ordering::Relaxed);
+        }
+        self.forced_nodes.clear();
+        for (node, and, or) in forces {
+            let i = node as usize;
+            let new_and = fm.and[i].load(Ordering::Relaxed) & and;
+            let new_or = fm.or[i].load(Ordering::Relaxed) | or;
+            fm.and[i].store(new_and, Ordering::Relaxed);
+            fm.or[i].store(new_or, Ordering::Relaxed);
+            self.forced_nodes.push(node);
+        }
+        u64::MAX
+    }
+
+    fn flush_fault_telemetry(&mut self) {
+        if self.fault_events.len() == self.telem.emitted {
+            return;
+        }
+        let new = &self.fault_events[self.telem.emitted..];
+        self.telem.fault_events.add(new.len() as u64);
+        crate::fault::emit_events(new);
+        self.telem.emitted = self.fault_events.len();
+    }
+
+    /// Advances one clock edge on every lane. Phase order mirrors the
+    /// scalar engine exactly; see [`crate::Simulator::step`].
+    pub fn step(&mut self) {
+        self.step_impl(true);
+    }
+
+    /// Advances one clock edge on every lane evaluating values and
+    /// toggle planes only, skipping the power pass (including the
+    /// lane-major row transpose) and the clock/short-circuit/noise
+    /// bookkeeping. Mirrors [`crate::Simulator::step_toggles`]:
+    /// functional state advances exactly as in
+    /// [`BitsliceSimulator::step`], and the toggle planes behind
+    /// [`BitsliceSimulator::toggle_plane`] are fresh, but the
+    /// row-based accessors ([`BitsliceSimulator::toggle_word`],
+    /// [`BitsliceSimulator::toggle_row`]) and the power accessors keep
+    /// reporting the last full step. This is the proxy-trace
+    /// extraction mode: a plane read *is* the 64-lane toggle vector,
+    /// so no transpose is needed at all.
+    pub fn step_toggles(&mut self) {
+        self.step_impl(false);
+    }
+
+    fn step_impl(&mut self, with_power: bool) {
+        let mut dirty = 0u64;
+        let timing = apollo_telemetry::timing_enabled();
+        let t0 = timing.then(Instant::now);
+
+        // 0. Fault injection: stuck-at forces and SRAM upsets (upsets
+        //    land in every lane's array — decisions are lane-blind).
+        dirty |= self.update_forces(self.cycle);
+        if let Some(f) = &self.faults {
+            let mut events = std::mem::take(&mut self.fault_events);
+            let flips = f.mem_flips_at(self.cycle, &mut events);
+            self.fault_events = events;
+            self.stuck_cycle_count += f.active_stuck_count(self.cycle);
+            for (mem, word, mask) in flips {
+                let words = self.mems_ports[mem as usize].words as usize;
+                for l in 0..self.lanes {
+                    self.mem_data[mem as usize][l * words + word as usize] ^= mask;
+                }
+                self.mem_flip_count += 1;
+            }
+        }
+
+        // 1. Stage register next-state planes from the pre-edge state,
+        //    blending per lane on the previous cycle's domain enable.
+        for (k, rc) in self.regs.iter().enumerate() {
+            let en = self.domain_enable_prev[rc.domain as usize];
+            let so = self.reg_stage_off[k] as usize;
+            let w = self.shared.widths[rc.reg as usize] as usize;
+            let roff = self.shared.offs[rc.reg as usize] as usize;
+            for b in 0..w {
+                let next_b = self.shared.plane(rc.next, b);
+                let reg_b = self.shared.planes[roff + b].load(Ordering::Relaxed);
+                self.reg_stage[so + b] = (next_b & en) | (reg_b & !en);
+            }
+        }
+
+        // 1b. Register upsets flip the staged bit on every lane.
+        if let Some(f) = &self.faults {
+            let mut events = std::mem::take(&mut self.fault_events);
+            let flips = f.reg_flips_at(self.cycle, &mut events);
+            self.fault_events = events;
+            for (node, mask) in flips {
+                if let Ok(k) = self.regs.binary_search_by_key(&node, |rc| rc.reg) {
+                    let so = self.reg_stage_off[k] as usize;
+                    let w = self.shared.widths[node as usize] as usize;
+                    for b in 0..w {
+                        if (mask >> b) & 1 == 1 {
+                            self.reg_stage[so + b] ^= u64::MAX;
+                        }
+                    }
+                    self.reg_flip_count += 1;
+                }
+            }
+        }
+        self.flush_fault_telemetry();
+
+        let schedule = &self.shared.schedule;
+
+        // 2. Memory-port commit: all writes of all memories first, then
+        //    all reads sample the post-write arrays, then staged reads
+        //    commit to the port planes (write-first; same pre-edge
+        //    operand discipline as the scalar engine).
+        self.mem_power[..self.lanes].fill(0.0);
+        let lane_mask = if self.lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.lanes) - 1
+        };
+        for mp in &self.mems_ports {
+            let energy = self.mem_energy[mp.mem as usize];
+            let words = mp.words as usize;
+            for &(en, addr, data) in &mp.writes {
+                let en_w = self.shared.nonzero(en) & lane_mask;
+                if en_w == 0 {
+                    continue;
+                }
+                let mut av = [0u64; 64];
+                let mut dv = [0u64; 64];
+                self.shared.gather(addr, &mut av);
+                self.shared.gather(data, &mut dv);
+                for l in 0..self.lanes {
+                    if (en_w >> l) & 1 == 1 {
+                        let a = (av[l] % mp.words as u64) as usize;
+                        self.mem_data[mp.mem as usize][l * words + a] = dv[l];
+                        self.mem_power[l] += energy;
+                    }
+                }
+            }
+        }
+        self.read_stage.clear();
+        for mp in &self.mems_ports {
+            let energy = self.mem_energy[mp.mem as usize];
+            let words = mp.words as usize;
+            for &(port, addr, en) in &mp.reads {
+                let en_w = self.shared.nonzero(en) & lane_mask;
+                if en_w == 0 {
+                    continue;
+                }
+                let mut av = [0u64; 64];
+                self.shared.gather(addr, &mut av);
+                let mut vals = [0u64; 64];
+                for l in 0..self.lanes {
+                    if (en_w >> l) & 1 == 1 {
+                        let a = (av[l] % mp.words as u64) as usize;
+                        vals[l] = self.mem_data[mp.mem as usize][l * words + a];
+                        self.mem_power[l] += energy;
+                    }
+                }
+                self.read_stage.push(ReadStage {
+                    port,
+                    mem: mp.mem,
+                    en: en_w,
+                    vals,
+                });
+            }
+        }
+        for rs in &self.read_stage {
+            let mut cur = [0u64; 64];
+            self.shared.gather(rs.port, &mut cur);
+            let mut changed = false;
+            for (l, c) in cur.iter_mut().enumerate().take(self.lanes) {
+                if (rs.en >> l) & 1 == 1 && *c != rs.vals[l] {
+                    *c = rs.vals[l];
+                    changed = true;
+                }
+            }
+            if changed {
+                dirty |= schedule.mem_bit(rs.mem as usize);
+                // Scatter back, preserving disabled/inactive lanes.
+                transpose64(&mut cur);
+                let off = self.shared.offs[rs.port as usize] as usize;
+                let w = self.shared.widths[rs.port as usize] as usize;
+                for (plane, &word) in self.shared.planes[off..off + w].iter().zip(&cur) {
+                    plane.store(word, Ordering::Relaxed);
+                }
+            }
+        }
+
+        // 3. Register commit from the staged planes.
+        for (k, rc) in self.regs.iter().enumerate() {
+            let so = self.reg_stage_off[k] as usize;
+            let roff = self.shared.offs[rc.reg as usize] as usize;
+            let w = self.shared.widths[rc.reg as usize] as usize;
+            for b in 0..w {
+                let new = self.reg_stage[so + b];
+                if self.shared.planes[roff + b].load(Ordering::Relaxed) != new {
+                    dirty |= schedule.domain_bit(rc.domain as usize);
+                    self.shared.planes[roff + b].store(new, Ordering::Relaxed);
+                }
+            }
+        }
+
+        // 4. Apply staged inputs per (node, lane).
+        for &(node, lane, value) in &self.pending_inputs {
+            let i = node as usize;
+            let off = self.shared.offs[i] as usize;
+            for b in 0..self.shared.widths[i] as usize {
+                let p = off + b;
+                let old = self.shared.planes[p].load(Ordering::Relaxed);
+                let new = (old & !(1u64 << lane)) | (((value >> b) & 1) << lane);
+                if new != old {
+                    dirty |= schedule.input_bit();
+                    self.shared.planes[p].store(new, Ordering::Relaxed);
+                }
+            }
+        }
+        self.pending_inputs.clear();
+
+        let t_commit = timing.then(Instant::now);
+
+        // 5. Combinational evaluation with toggle extraction, then the
+        //    per-lane power pass in exact scalar float order.
+        self.run_value_pass(true, dirty);
+        let t_eval = timing.then(Instant::now);
+        if with_power {
+            self.power_pass();
+
+            // 6. Clock power for domains pulsing this cycle, per lane.
+            let half_v_squared = self.config.half_v_squared;
+            let mut clock_acc = [0.0f64; 64];
+            for d in 0..self.clock_nodes.len() {
+                let gc = self.clock_nodes[d];
+                let pulse = if gc == u32::MAX {
+                    u64::MAX
+                } else {
+                    self.shared.nonzero(gc)
+                };
+                let p = self.clock_caps[d] * half_v_squared;
+                for (l, acc) in clock_acc[..self.lanes].iter_mut().enumerate() {
+                    if (pulse >> l) & 1 == 1 {
+                        *acc += p;
+                    }
+                }
+            }
+
+            // 7. Short-circuit and residual noise (the hash multipliers
+            //    depend only on the cycle, so they broadcast across
+            //    lanes).
+            let h_sc = 0.5 + unit_hash(self.config.seed ^ self.cycle.wrapping_mul(0x9E37));
+            let h_noise =
+                2.0 * unit_hash(self.config.seed ^ self.cycle.wrapping_mul(0x85EB) ^ 0xC2B2) - 1.0;
+            for (l, &clk) in clock_acc.iter().enumerate().take(self.lanes) {
+                let switching = self.switch_cap[l] * half_v_squared;
+                let glitch = self.glitch_acc[l];
+                let sc = self.config.short_circuit_factor * switching * h_sc;
+                let dynamic = switching + clk + self.mem_power[l] + glitch + sc;
+                let noise = self.config.noise_rel * dynamic * h_noise;
+                self.last_power[l] = PowerSample::from_components(
+                    switching,
+                    clk,
+                    self.mem_power[l],
+                    glitch,
+                    sc,
+                    self.config.leakage,
+                    noise,
+                );
+            }
+        }
+
+        // 8. Remember this cycle's enables for the next commit.
+        self.capture_enables();
+        self.cycle += 1;
+        self.telem.cycles.add(self.lanes as u64);
+        if let (Some(t0), Some(tc), Some(te)) = (t0, t_commit, t_eval) {
+            self.telem.phase_ns[0] += (tc - t0).as_nanos() as u64;
+            self.telem.phase_ns[1] += (te - tc).as_nanos() as u64;
+            self.telem.phase_ns[2] += te.elapsed().as_nanos() as u64;
+            self.telem.steps_timed += 1;
+        }
+    }
+
+    /// Rebuilds the lane-major packed feature rows from the toggle
+    /// planes via 64×64 block transposes, then patches gated-clock
+    /// bits with their enable (the feature-toggle override).
+    fn refresh_rows(&mut self) {
+        let rw = self.row_stride;
+        let m = self.netlist.signal_bits();
+        let lanes = self.lanes;
+        let mut blk = [0u64; 64];
+        for wi in 0..self.row_words {
+            let base = wi * 64;
+            let hi = (m - base).min(64);
+            let mut any = 0u64;
+            for (b, x) in blk.iter_mut().enumerate() {
+                *x = if b < hi {
+                    self.shared.raw[base + b].load(Ordering::Relaxed)
+                } else {
+                    0
+                };
+                any |= *x;
+            }
+            // Blocks with no toggle in any lane skip the transpose;
+            // the rows still need the zero written (they may be stale).
+            if any == 0 {
+                for l in 0..lanes {
+                    self.rows[l * rw + wi] = 0;
+                }
+                continue;
+            }
+            transpose64(&mut blk);
+            // Rows past the active lane count are never read.
+            for (l, &w) in blk.iter().enumerate().take(lanes) {
+                self.rows[l * rw + wi] = w;
+            }
+        }
+        for &gc in &self.gated_nodes {
+            let off = self.shared.offs[gc as usize] as usize;
+            let word = off / 64;
+            let sh = off % 64;
+            let en = self.shared.planes[off].load(Ordering::Relaxed);
+            for l in 0..lanes {
+                let w = &mut self.rows[l * rw + word];
+                *w = (*w & !(1u64 << sh)) | (((en >> l) & 1) << sh);
+            }
+        }
+    }
+
+    /// Per-lane switching/glitch accumulation replaying the scalar
+    /// engine's float order: nodes ascending, glitch entries
+    /// interleaved at their node index, per-lane accumulators. The
+    /// node loop is outermost (one [`PowerNode`] plan load per node)
+    /// and the lane loop innermost; each lane only ever adds terms in
+    /// its own node-ascending order, so the per-lane float sums stay
+    /// bit-identical to the scalar engine no matter the loop nesting.
+    fn power_pass(&mut self) {
+        let t0 = apollo_telemetry::timing_enabled().then(Instant::now);
+        self.refresh_rows();
+        if let Some(t0) = t0 {
+            self.telem.phase_ns[3] += t0.elapsed().as_nanos() as u64;
+        }
+        let stride = self.row_stride;
+        let lanes = self.lanes;
+        self.switch_cap[..lanes].fill(0.0);
+        self.glitch_acc[..lanes].fill(0.0);
+        let rows = &self.rows[..lanes * stride];
+        let mut gk = 0usize;
+        for (i, pn) in self.power_plan.iter().enumerate() {
+            if gk < self.glitch_plan.len() && self.glitch_plan[gk].node as usize == i {
+                let g = &self.glitch_plan[gk];
+                for (strip, acc) in rows.chunks_exact(stride).zip(&mut self.glitch_acc[..lanes]) {
+                    let it = extract_at(strip, g.a_word as usize, g.a_sh as u32, g.a_mask)
+                        | extract_at(strip, g.b_word as usize, g.b_sh as u32, g.b_mask);
+                    *acc += g.energy * it.count_ones() as f64;
+                }
+                gk += 1;
+            }
+            if pn.gated {
+                // Switching counts the raw value toggle, not the
+                // feature override the rows carry.
+                let t_plane = self.shared.raw[pn.word as usize].load(Ordering::Relaxed);
+                for (l, acc) in self.switch_cap[..lanes].iter_mut().enumerate() {
+                    *acc += ((t_plane >> l) & 1) as f64 * pn.cap;
+                }
+            } else {
+                // Unconditional: a zero toggle word adds exactly
+                // `+0.0`, which cannot change the accumulator bits, and
+                // the 64 branch-free per-lane add chains are
+                // independent, so they pipeline instead of serializing
+                // on `f64` add latency.
+                let (word, sh, mask) = (pn.word as usize, pn.sh as u32, pn.mask);
+                for (strip, acc) in rows.chunks_exact(stride).zip(&mut self.switch_cap[..lanes]) {
+                    let t = extract_at(strip, word, sh, mask);
+                    *acc += t.count_ones() as f64 * pn.cap;
+                }
+            }
+        }
+    }
+
+    /// Current value of a node on `lane`, reassembled from its planes.
+    pub fn value(&self, lane: usize, node: NodeId) -> u64 {
+        assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+        let i = node.index();
+        let off = self.shared.offs[i] as usize;
+        let mut v = 0u64;
+        for b in 0..self.shared.widths[i] as usize {
+            v |= ((self.shared.planes[off + b].load(Ordering::Relaxed) >> lane) & 1) << b;
+        }
+        v
+    }
+
+    /// Feature-toggle word of a node on `lane` for the last cycle
+    /// (gated clocks report their enable).
+    pub fn toggle_word(&self, lane: usize, node: NodeId) -> u64 {
+        assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+        let i = node.index();
+        extract_row_bits(
+            &self.rows[lane * self.row_stride..(lane + 1) * self.row_stride],
+            self.shared.offs[i] as usize,
+            self.shared.widths[i] as usize,
+        )
+    }
+
+    /// Packs `lane`'s last-cycle toggle bits into a flat `M`-bit row
+    /// (same layout as [`crate::Simulator::toggle_row`]).
+    pub fn toggle_row(&self, lane: usize, out: &mut [u64]) {
+        assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+        assert!(out.len() >= self.row_words, "toggle_row buffer too small");
+        let base = lane * self.row_stride;
+        out[..self.row_words].copy_from_slice(&self.rows[base..base + self.row_words]);
+    }
+
+    /// The 64-lane feature-toggle plane of one signal bit for the last
+    /// cycle: bit `l` of the returned word is lane `l`'s toggle of
+    /// `node` bit `bit` (gated clocks report their enable, matching
+    /// [`BitsliceSimulator::toggle_word`]). Unlike the row-based
+    /// accessors this reads the toggle planes directly — no transpose,
+    /// fresh after [`BitsliceSimulator::step_toggles`] — which makes
+    /// per-cycle proxy extraction O(Q) plane loads for all 64 lanes.
+    ///
+    /// # Panics
+    /// Panics if `bit` is not below the node's width.
+    pub fn toggle_plane(&self, node: NodeId, bit: usize) -> u64 {
+        let i = node.index();
+        assert!(
+            bit < self.shared.widths[i] as usize,
+            "bit {bit} out of width {} for node {i}",
+            self.shared.widths[i]
+        );
+        let off = self.shared.offs[i] as usize;
+        if self.gated_nodes.binary_search(&(i as u32)).is_ok() {
+            // Feature override: a gated clock's "toggle" is its enable.
+            self.shared.planes[off].load(Ordering::Relaxed)
+        } else {
+            self.shared.raw[off + bit].load(Ordering::Relaxed)
+        }
+    }
+
+    /// Ground-truth power of the last completed cycle on `lane`.
+    pub fn power(&self, lane: usize) -> PowerSample {
+        self.last_power[lane]
+    }
+
+    /// Switching power of the last cycle on `lane` attributed per
+    /// functional unit (computed on demand; bit-identical to the scalar
+    /// engine's [`crate::Simulator::unit_switching`]).
+    pub fn unit_switching(&self, lane: usize) -> Vec<f64> {
+        assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+        let mut unit = vec![0.0f64; apollo_rtl::Unit::ALL.len()];
+        let row = &self.rows[lane * self.row_stride..(lane + 1) * self.row_stride];
+        let mut gated_k = 0usize;
+        for i in 0..self.shared.instrs.len() {
+            let is_gated =
+                gated_k < self.gated_nodes.len() && self.gated_nodes[gated_k] as usize == i;
+            let t = if is_gated {
+                gated_k += 1;
+                (self.shared.raw[self.shared.offs[i] as usize].load(Ordering::Relaxed) >> lane) & 1
+            } else {
+                extract_row_bits(
+                    row,
+                    self.shared.offs[i] as usize,
+                    self.shared.widths[i] as usize,
+                )
+            };
+            if t != 0 {
+                unit[self.unit_of[i] as usize] += t.count_ones() as f64 * self.caps[i];
+            }
+        }
+        for u in &mut unit {
+            *u *= self.config.half_v_squared;
+        }
+        unit
+    }
+
+    /// Reads a word from `lane`'s copy of a memory macro.
+    pub fn mem_word(&self, lane: usize, mem: MemId, addr: u32) -> u64 {
+        assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+        let words = self.mems_ports[mem.index()].words;
+        self.mem_data[mem.index()][lane * words as usize + (addr % words) as usize]
+    }
+
+    /// Writes a word directly into `lane`'s copy of a memory macro
+    /// (for loading per-lane program/data images; no access energy).
+    pub fn poke_mem(&mut self, lane: usize, mem: MemId, addr: u32, value: u64) {
+        assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+        let words = self.mems_ports[mem.index()].words;
+        self.mem_data[mem.index()][lane * words as usize + (addr % words) as usize] = value;
+    }
+
+    /// Every fault injected so far (once per batch step, not per lane).
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.fault_events
+    }
+
+    /// Fault-injection summary, or `None` without a plan. Identical to
+    /// a scalar simulator's report over the same plan and cycle count.
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.faults.as_ref().map(|f| FaultReport {
+            seed: f.seed(),
+            cycles: self.cycle,
+            reg_flips: self.reg_flip_count,
+            mem_flips: self.mem_flip_count,
+            stuck_cycles: self.stuck_cycle_count,
+            events: self.fault_events.clone(),
+        })
+    }
+}
+
+impl std::fmt::Debug for BitsliceSimulator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BitsliceSimulator({} lanes, {} threads, cycle {})",
+            self.lanes, self.threads, self.cycle
+        )
+    }
+}
+
+impl SimEngine for BitsliceSimulator<'_> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Bitslice
+    }
+
+    fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn set_input(&mut self, lane: usize, node: NodeId, value: u64) {
+        BitsliceSimulator::set_input(self, lane, node, value);
+    }
+
+    fn step(&mut self) {
+        BitsliceSimulator::step(self);
+    }
+
+    fn step_toggles(&mut self) {
+        BitsliceSimulator::step_toggles(self);
+    }
+
+    fn cycle(&self) -> u64 {
+        BitsliceSimulator::cycle(self)
+    }
+
+    fn value(&self, lane: usize, node: NodeId) -> u64 {
+        BitsliceSimulator::value(self, lane, node)
+    }
+
+    fn toggle_word(&self, lane: usize, node: NodeId) -> u64 {
+        BitsliceSimulator::toggle_word(self, lane, node)
+    }
+
+    fn toggle_row(&self, lane: usize, out: &mut [u64]) {
+        BitsliceSimulator::toggle_row(self, lane, out);
+    }
+
+    fn power(&self, lane: usize) -> PowerSample {
+        BitsliceSimulator::power(self, lane)
+    }
+
+    fn unit_switching(&self, lane: usize) -> Vec<f64> {
+        BitsliceSimulator::unit_switching(self, lane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::Simulator;
+    use apollo_rtl::{CapModel, NetlistBuilder, Unit, CLOCK_ROOT};
+
+    #[test]
+    fn transpose64_moves_single_bits() {
+        // Element (r, c): bit c of word r lands at bit r of word c —
+        // including the corners and lane 63.
+        for (r, c) in [(0, 0), (0, 63), (63, 0), (63, 63), (5, 41), (41, 5)] {
+            let mut a = [0u64; 64];
+            a[r] = 1u64 << c;
+            transpose64(&mut a);
+            for (k, &w) in a.iter().enumerate() {
+                let want = if k == c { 1u64 << r } else { 0 };
+                assert_eq!(w, want, "({r},{c}) word {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose64_is_an_involution() {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut a = [0u64; 64];
+        for w in &mut a {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *w = x;
+        }
+        let orig = a;
+        transpose64(&mut a);
+        assert_ne!(a, orig, "transpose of a random matrix should differ");
+        transpose64(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn transpose64_all_ones_fixed_point() {
+        let mut a = [u64::MAX; 64];
+        transpose64(&mut a);
+        assert_eq!(a, [u64::MAX; 64], "all-toggle lanes are a fixed point");
+    }
+
+    #[test]
+    fn extract_row_bits_handles_word_boundaries() {
+        // Node of width 8 at offset 60: 4 bits in word 0, 4 in word 1.
+        let row = [0xAu64 << 60, 0x5, 0x0];
+        assert_eq!(extract_row_bits(&row, 60, 8), 0x5A);
+        // Full 64-bit node at an aligned offset.
+        assert_eq!(extract_row_bits(&row, 64, 64), 0x5);
+        // Width-1 extraction at the top bit of a word (0xA = 0b1010).
+        assert_eq!(extract_row_bits(&row, 63, 1), 1);
+        assert_eq!(extract_row_bits(&row, 62, 1), 0);
+        assert_eq!(extract_row_bits(&row, 61, 1), 1);
+    }
+
+    #[test]
+    fn lane_packing_roundtrip_through_planes() {
+        // A 64-lane counter: lane l is poked to value l via inputs and
+        // read back exactly, exercising lane 0 and lane 63.
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input(8, "x", Unit::Control);
+        let r = b.delay(x, 0, CLOCK_ROOT, "r", Unit::Alu);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let mut sim = BitsliceSimulator::new(&nl, &cap, PowerConfig::default(), 64);
+        for l in 0..64 {
+            sim.set_input(l, x, (l as u64 * 3 + 1) & 0xFF);
+        }
+        sim.step();
+        for l in 0..64 {
+            assert_eq!(sim.value(l, x), (l as u64 * 3 + 1) & 0xFF, "lane {l}");
+        }
+        sim.step();
+        for l in 0..64 {
+            assert_eq!(sim.value(l, r), (l as u64 * 3 + 1) & 0xFF, "lane {l} reg");
+        }
+    }
+
+    #[test]
+    fn popcnt_toggle_accumulation_all_toggle_lanes() {
+        // Every lane flips all 16 bits every cycle: each lane's
+        // switching power must equal a scalar run's, and the toggle
+        // word must be all-ones on every lane including lane 63.
+        let mut b = NetlistBuilder::new("t");
+        let r = b.reg(16, 0, CLOCK_ROOT, "r", Unit::Alu);
+        let ones = b.constant(0xFFFF, 16);
+        let n = b.xor(r, ones);
+        b.connect(r, n);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let cfg = PowerConfig::default();
+        let mut bs = BitsliceSimulator::new(&nl, &cap, cfg.clone(), 64);
+        let mut sc = Simulator::new(&nl, &cap, cfg);
+        for _ in 0..5 {
+            bs.step();
+            sc.step();
+            for l in [0usize, 1, 31, 63] {
+                assert_eq!(bs.toggle_word(l, r), 0xFFFF, "lane {l}");
+                assert_eq!(
+                    bs.power(l).switching.to_bits(),
+                    sc.power().switching.to_bits(),
+                    "lane {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_tail_single_lane_matches_scalar() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input(32, "a", Unit::Alu);
+        let c = b.input(32, "c", Unit::Alu);
+        let s = b.add(a, c);
+        let p = b.mul(a, c);
+        let q = b.udiv(s, c);
+        let r = b.delay(p, 0, CLOCK_ROOT, "rp", Unit::Alu);
+        let r2 = b.delay(q, 0, CLOCK_ROOT, "rq", Unit::Alu);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let cfg = PowerConfig::default();
+        let mut bs = BitsliceSimulator::new(&nl, &cap, cfg.clone(), 1);
+        let mut sc = Simulator::new(&nl, &cap, cfg);
+        let stim = [(7u64, 3u64), (1000, 0), (0xFFFF_FFFF, 2), (12, 12), (5, 9)];
+        for &(x, y) in &stim {
+            bs.set_input(0, a, x);
+            bs.set_input(0, c, y);
+            sc.set_input(a, x);
+            sc.set_input(c, y);
+            bs.step();
+            sc.step();
+            for node in [a, c, s, p, q, r, r2] {
+                assert_eq!(bs.value(0, node), sc.value(node), "value of {node:?}");
+                assert_eq!(
+                    bs.toggle_word(0, node),
+                    sc.toggle_word(node),
+                    "toggles of {node:?}"
+                );
+            }
+            assert_eq!(bs.power(0), sc.power());
+        }
+    }
+
+    #[test]
+    fn toggle_rows_wrap_at_window_boundaries() {
+        // 60-bit + 8-bit registers straddle the 64-bit row boundary;
+        // rows must match the scalar packing on every lane.
+        let mut b = NetlistBuilder::new("t");
+        let r0 = b.reg(60, 0, CLOCK_ROOT, "r0", Unit::Alu);
+        let r1 = b.reg(8, 0, CLOCK_ROOT, "r1", Unit::Alu);
+        let ones60 = b.constant((1u64 << 60) - 1, 60);
+        let n0 = b.xor(r0, ones60);
+        let ones8 = b.constant(0xff, 8);
+        let n1 = b.xor(r1, ones8);
+        b.connect(r0, n0);
+        b.connect(r1, n1);
+        let nl = b.build().unwrap();
+        let cap = CapModel::default().annotate(&nl);
+        let cfg = PowerConfig::default();
+        let mut bs = BitsliceSimulator::new(&nl, &cap, cfg.clone(), 3);
+        let mut sc = Simulator::new(&nl, &cap, cfg);
+        let words = nl.signal_bits().div_ceil(64);
+        let mut row_b = vec![0u64; words];
+        let mut row_s = vec![0u64; words];
+        for _ in 0..3 {
+            bs.step();
+            sc.step();
+            sc.toggle_row(&mut row_s);
+            for l in 0..3 {
+                bs.toggle_row(l, &mut row_b);
+                assert_eq!(row_b, row_s, "lane {l}");
+            }
+        }
+    }
+}

@@ -1,4 +1,5 @@
-//! Shared evaluation engine behind [`crate::Simulator`].
+//! Shared evaluation engine behind [`crate::Simulator`] and
+//! [`crate::BitsliceSimulator`].
 //!
 //! Holds the compiled per-node instruction stream and the value/prev/
 //! toggle arrays as `AtomicU64` words inside an [`Arc`], so a pool of
@@ -10,19 +11,110 @@
 //! deliberately *not* done here: the simulator runs a serial
 //! netlist-order pass afterwards so float summation order — and thus
 //! every power figure — is bit-identical across thread counts.
+//!
+//! The level-parallel machinery (shard scheduling, worker pool,
+//! barriers) is generic over [`LevelPass`], so the scalar engine and
+//! the bit-sliced engine share one pool implementation and differ only
+//! in how a shard is evaluated.
 
+use crate::power::{PowerConfig, PowerSample};
 use crate::schedule::LevelSchedule;
+use apollo_rtl::{CapAnnotation, Netlist, NodeId, Op};
 use apollo_telemetry::{counter, histogram, timing_enabled, Counter, Histogram};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, LazyLock, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Engine metrics, interned once. Shard totals are deterministic across
-/// thread counts (shard skipping depends only on the dirty set);
-/// `_ns`-suffixed wall-clock metrics are collected only while
-/// [`apollo_telemetry::timing_enabled`].
-struct EngineMetrics {
+/// Which simulation kernel evaluates the netlist.
+///
+/// The scalar levelized engine is the reference oracle: one trace
+/// vector per instance, one gate at a time. The bitslice engine packs
+/// up to 64 independent trace vectors into one `u64` lane word per
+/// signal bit and evaluates all of them per gate op; it is
+/// machine-checked bit-identical to the scalar engine per lane (see
+/// `tests/bitslice_differential.rs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// One vector per pass — the differential oracle.
+    #[default]
+    Scalar,
+    /// 64 lane-packed vectors per pass (SIMD within a register).
+    Bitslice,
+}
+
+impl EngineKind {
+    /// Canonical lower-case name (`"scalar"` / `"bitslice"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::Scalar => "scalar",
+            EngineKind::Bitslice => "bitslice",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(EngineKind::Scalar),
+            "bitslice" => Ok(EngineKind::Bitslice),
+            other => Err(format!(
+                "unknown engine `{other}` (expected `scalar` or `bitslice`)"
+            )),
+        }
+    }
+}
+
+/// Common per-lane observables of a simulation engine.
+///
+/// [`crate::Simulator`] implements this with a single lane (lane 0);
+/// [`crate::BitsliceSimulator`] with up to 64. The differential tests
+/// and batch capture helpers drive either engine through this trait;
+/// lane `k` of a bitslice instance must be bit-identical to a scalar
+/// instance driven with lane `k`'s stimulus.
+pub trait SimEngine {
+    /// Which kernel this engine runs.
+    fn kind(&self) -> EngineKind;
+    /// Number of active lanes (1 for the scalar engine).
+    fn lanes(&self) -> usize;
+    /// Stages an input value for `lane` to take effect at the next step.
+    fn set_input(&mut self, lane: usize, node: NodeId, value: u64);
+    /// Advances one clock edge on every lane.
+    fn step(&mut self);
+    /// Advances one clock edge on every lane without computing power
+    /// (the proxy-trace extraction mode). Engines that cannot skip the
+    /// power pass may fall back to [`SimEngine::step`]; either way the
+    /// functional state and toggle planes advance identically.
+    fn step_toggles(&mut self) {
+        self.step();
+    }
+    /// Completed cycles per lane.
+    fn cycle(&self) -> u64;
+    /// Current value of a node on `lane`.
+    fn value(&self, lane: usize, node: NodeId) -> u64;
+    /// Feature-toggle word of a node on `lane` for the last cycle.
+    fn toggle_word(&self, lane: usize, node: NodeId) -> u64;
+    /// Packs `lane`'s last-cycle toggle bits into a flat `M`-bit row.
+    fn toggle_row(&self, lane: usize, out: &mut [u64]);
+    /// Ground-truth power of the last cycle on `lane`.
+    fn power(&self, lane: usize) -> PowerSample;
+    /// Per-unit switching power of the last cycle on `lane`.
+    fn unit_switching(&self, lane: usize) -> Vec<f64>;
+}
+
+/// Engine metrics, interned once per kernel. Shard totals are
+/// deterministic across thread counts (shard skipping depends only on
+/// the dirty set); `_ns`-suffixed wall-clock metrics are collected only
+/// while [`apollo_telemetry::timing_enabled`].
+pub(crate) struct PassMetrics {
     shards_evaluated: &'static Counter,
     shards_skipped: &'static Counter,
     level_eval_ns: &'static Histogram,
@@ -30,10 +122,21 @@ struct EngineMetrics {
     worker_idle_ns: &'static Counter,
 }
 
-static METRICS: LazyLock<EngineMetrics> = LazyLock::new(|| EngineMetrics {
+static SCALAR_METRICS: LazyLock<PassMetrics> = LazyLock::new(|| PassMetrics {
     shards_evaluated: counter("sim.shards_evaluated"),
     shards_skipped: counter("sim.shards_skipped"),
     level_eval_ns: histogram("sim.level_eval_ns"),
+    worker_pass_ns: counter("sim.worker.pass_ns"),
+    worker_idle_ns: counter("sim.worker.idle_ns"),
+});
+
+/// The bitslice engine evaluates each shard once per 64-lane batch, so
+/// its shard totals can never equal the scalar engine's; they get their
+/// own namespace to keep cross-engine metric comparisons meaningful.
+pub(crate) static BITSLICE_METRICS: LazyLock<PassMetrics> = LazyLock::new(|| PassMetrics {
+    shards_evaluated: counter("sim.bitslice.shards_evaluated"),
+    shards_skipped: counter("sim.bitslice.shards_skipped"),
+    level_eval_ns: histogram("sim.bitslice.level_eval_ns"),
     worker_pass_ns: counter("sim.worker.pass_ns"),
     worker_idle_ns: counter("sim.worker.idle_ns"),
 });
@@ -69,6 +172,222 @@ pub(crate) enum Instr {
     Gated(u32),
 }
 
+/// A register's commit wiring: the holding node, its next-state source
+/// and its clock domain.
+#[derive(Clone, Debug)]
+pub(crate) struct RegCommit {
+    pub(crate) reg: u32,
+    pub(crate) next: u32,
+    pub(crate) domain: u32,
+}
+
+/// One memory macro's ports, with node indices resolved.
+#[derive(Clone, Debug)]
+pub(crate) struct MemPorts {
+    pub(crate) mem: u32,
+    pub(crate) words: u32,
+    /// (port node, addr node, en node)
+    pub(crate) reads: Vec<(u32, u32, u32)>,
+    /// (en node, addr node, data node)
+    pub(crate) writes: Vec<(u32, u32, u32)>,
+}
+
+/// Arithmetic node needing glitch power: operands `a`/`b` and energy
+/// per toggling input bit. Sorted by node index.
+#[derive(Clone, Debug)]
+pub(crate) struct GlitchEntry {
+    pub(crate) node: u32,
+    pub(crate) a: u32,
+    pub(crate) b: u32,
+    pub(crate) energy: f64,
+}
+
+/// Everything both engines derive from a netlist + capacitance
+/// annotation: the instruction stream, per-node masks/caps, sequential
+/// element wiring, per-domain/memory energy tables and the levelized
+/// schedule. Built once per simulator by [`compile`].
+pub(crate) struct Compiled {
+    pub(crate) instrs: Vec<Instr>,
+    pub(crate) masks: Vec<u64>,
+    pub(crate) caps: Vec<f64>,
+    pub(crate) glitch_list: Vec<GlitchEntry>,
+    pub(crate) regs: Vec<RegCommit>,
+    pub(crate) init_values: Vec<u64>,
+    pub(crate) mems_ports: Vec<MemPorts>,
+    pub(crate) mem_init: Vec<Vec<u64>>,
+    /// Gated-clock signal node per domain (`u32::MAX` for root).
+    pub(crate) clock_nodes: Vec<u32>,
+    pub(crate) clock_caps: Vec<f64>,
+    pub(crate) mem_energy: Vec<f64>,
+    /// Functional-unit index of each node (for power attribution).
+    pub(crate) unit_of: Vec<u8>,
+    pub(crate) schedule: LevelSchedule,
+}
+
+fn apollo_rtl_clock_id(d: usize) -> apollo_rtl::ClockId {
+    apollo_rtl::ClockId::from_index(d)
+}
+
+/// Compiles a netlist into the engine-neutral [`Compiled`] tables.
+pub(crate) fn compile(netlist: &Netlist, cap: &CapAnnotation, config: &PowerConfig) -> Compiled {
+    let n = netlist.len();
+    let mut instrs = Vec::with_capacity(n);
+    let mut masks = Vec::with_capacity(n);
+    let mut caps = Vec::with_capacity(n);
+    let mut glitch_list = Vec::new();
+    let mut regs = Vec::new();
+    let mut values = vec![0u64; n];
+
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        let w = node.width;
+        let m = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        masks.push(m);
+        caps.push(cap.node_cap(i));
+        match node.op {
+            Op::Add(a, b) | Op::Sub(a, b) => glitch_list.push(GlitchEntry {
+                node: i as u32,
+                a: a.index() as u32,
+                b: b.index() as u32,
+                energy: config.glitch_factor * cap.node_cap(i),
+            }),
+            Op::Mul(a, b) | Op::Udiv(a, b) => glitch_list.push(GlitchEntry {
+                node: i as u32,
+                a: a.index() as u32,
+                b: b.index() as u32,
+                energy: 2.0 * config.glitch_factor * cap.node_cap(i),
+            }),
+            _ => {}
+        }
+        let instr = match node.op {
+            Op::Input => Instr::Input,
+            Op::Const(v) => {
+                values[i] = v;
+                Instr::Const
+            }
+            Op::Not(a) => Instr::Not(a.index() as u32),
+            Op::And(a, b) => Instr::And(a.index() as u32, b.index() as u32),
+            Op::Or(a, b) => Instr::Or(a.index() as u32, b.index() as u32),
+            Op::Xor(a, b) => Instr::Xor(a.index() as u32, b.index() as u32),
+            Op::Add(a, b) => Instr::Add(a.index() as u32, b.index() as u32),
+            Op::Sub(a, b) => Instr::Sub(a.index() as u32, b.index() as u32),
+            Op::Mul(a, b) => Instr::Mul(a.index() as u32, b.index() as u32),
+            Op::Udiv(a, b) => Instr::Udiv(a.index() as u32, b.index() as u32),
+            Op::Eq(a, b) => Instr::Eq(a.index() as u32, b.index() as u32),
+            Op::Ult(a, b) => Instr::Ult(a.index() as u32, b.index() as u32),
+            Op::Shl(a, s) => Instr::Shl(a.index() as u32, s.index() as u32, w),
+            Op::Shr(a, s) => Instr::Shr(a.index() as u32, s.index() as u32),
+            Op::Mux { sel, t, f } => {
+                Instr::Mux(sel.index() as u32, t.index() as u32, f.index() as u32)
+            }
+            Op::Slice { src, lo } => Instr::Slice(src.index() as u32, lo),
+            Op::Concat { hi, lo } => {
+                let lo_w = netlist.node(lo).width;
+                Instr::Concat(hi.index() as u32, lo.index() as u32, lo_w)
+            }
+            Op::ReduceOr(a) => Instr::ReduceOr(a.index() as u32),
+            Op::ReduceAnd(a) => {
+                let aw = netlist.node(a).width;
+                let am = if aw == 64 { u64::MAX } else { (1u64 << aw) - 1 };
+                Instr::ReduceAnd(a.index() as u32, am)
+            }
+            Op::ReduceXor(a) => Instr::ReduceXor(a.index() as u32),
+            Op::Reg { next, init, clock } => {
+                values[i] = init;
+                regs.push(RegCommit {
+                    reg: i as u32,
+                    next: next.expect("built netlist has connected regs").index() as u32,
+                    domain: clock.index() as u32,
+                });
+                Instr::Hold
+            }
+            Op::GatedClock { enable } => Instr::Gated(enable.index() as u32),
+            Op::MemRead { .. } => Instr::Hold,
+        };
+        instrs.push(instr);
+    }
+
+    let mut mems_ports: Vec<MemPorts> = netlist
+        .memories()
+        .iter()
+        .enumerate()
+        .map(|(mi, m)| MemPorts {
+            mem: mi as u32,
+            words: m.words,
+            reads: Vec::new(),
+            writes: m
+                .writes
+                .iter()
+                .map(|wp| {
+                    (
+                        wp.en.index() as u32,
+                        wp.addr.index() as u32,
+                        wp.data.index() as u32,
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        if let Op::MemRead { mem, addr, en } = node.op {
+            mems_ports[mem.index()]
+                .reads
+                .push((i as u32, addr.index() as u32, en.index() as u32));
+        }
+    }
+
+    let mem_init: Vec<Vec<u64>> = netlist
+        .memories()
+        .iter()
+        .map(|m| {
+            let mut d = vec![0u64; m.words as usize];
+            d[..m.init.len()].copy_from_slice(&m.init);
+            d
+        })
+        .collect();
+
+    let clock_nodes: Vec<u32> = (0..netlist.clock_domains())
+        .map(|d| {
+            netlist
+                .clock_node(apollo_rtl_clock_id(d))
+                .map(|n| n.index() as u32)
+                .unwrap_or(u32::MAX)
+        })
+        .collect();
+
+    let clock_caps = (0..netlist.clock_domains())
+        .map(|d| cap.clock_cap(apollo_rtl_clock_id(d)))
+        .collect();
+    let mem_energy = (0..netlist.memories().len())
+        .map(|m| cap.mem_energy(m))
+        .collect();
+
+    let unit_of: Vec<u8> = (0..netlist.len())
+        .map(|i| {
+            let u = netlist.unit(NodeId::from_index(i));
+            apollo_rtl::Unit::ALL
+                .iter()
+                .position(|x| *x == u)
+                .unwrap_or(0) as u8
+        })
+        .collect();
+
+    Compiled {
+        instrs,
+        masks,
+        caps,
+        glitch_list,
+        regs,
+        init_values: values,
+        mems_ports,
+        mem_init,
+        clock_nodes,
+        clock_caps,
+        mem_energy,
+        unit_of,
+        schedule: LevelSchedule::build(netlist),
+    }
+}
+
 /// Per-node stuck-at force masks, allocated only for fault-injecting
 /// simulators: every stored value becomes `(v & and) | or`. Neutral
 /// masks (`and = !0`, `or = 0`) leave values untouched, so a compiled
@@ -91,7 +410,20 @@ impl ForceMasks {
     }
 }
 
-/// State shared between the owning simulator and its worker threads.
+/// One kernel's view of a levelized value pass: the shared schedule
+/// plus the ability to evaluate (or skip) a single shard. The pool and
+/// the sequential pass driver are generic over this, so the scalar and
+/// bitslice engines reuse the same round-robin split, per-level
+/// barriers and metric flushing.
+pub(crate) trait LevelPass: Send + Sync + 'static {
+    fn schedule(&self) -> &LevelSchedule;
+    fn metrics(&self) -> &'static PassMetrics;
+    /// Evaluates one shard; returns `true` when evaluated, `false`
+    /// when skipped against the dirty set.
+    fn run_shard(&self, shard_idx: usize, record: bool, dirty: u64) -> bool;
+}
+
+/// State shared between the owning scalar simulator and its workers.
 #[derive(Debug)]
 pub(crate) struct SharedState {
     pub(crate) instrs: Vec<Instr>,
@@ -131,6 +463,20 @@ impl SharedState {
             raw: atomic(&zeros),
             forces: with_forces.then(|| ForceMasks::neutral(n)),
         }
+    }
+}
+
+impl LevelPass for SharedState {
+    fn schedule(&self) -> &LevelSchedule {
+        &self.schedule
+    }
+
+    fn metrics(&self) -> &'static PassMetrics {
+        &SCALAR_METRICS
+    }
+
+    fn run_shard(&self, shard_idx: usize, record: bool, dirty: u64) -> bool {
+        run_shard(self, shard_idx, record, dirty)
     }
 }
 
@@ -239,33 +585,36 @@ fn run_shard(sh: &SharedState, shard_idx: usize, record: bool, dirty: u64) -> bo
 /// levels explicitly (same shard order — shards are stored
 /// level-contiguously) so per-level wall clock can be observed while
 /// timing is on.
-pub(crate) fn run_pass_seq(sh: &SharedState, record: bool, dirty: u64) {
+pub(crate) fn run_pass_seq<S: LevelPass>(sh: &S, record: bool, dirty: u64) {
     let timing = timing_enabled();
+    let metrics = sh.metrics();
     let mut evaluated = 0u64;
     let mut skipped = 0u64;
-    for level in 0..sh.schedule.n_levels() {
+    for level in 0..sh.schedule().n_levels() {
         let t0 = timing.then(Instant::now);
-        let (lo, hi) = sh.schedule.level_shard_range(level);
+        let (lo, hi) = sh.schedule().level_shard_range(level);
         for idx in lo as usize..hi as usize {
-            if run_shard(sh, idx, record, dirty) {
+            if sh.run_shard(idx, record, dirty) {
                 evaluated += 1;
             } else {
                 skipped += 1;
             }
         }
         if let Some(t0) = t0 {
-            METRICS.level_eval_ns.observe(t0.elapsed().as_nanos() as u64);
+            metrics
+                .level_eval_ns
+                .observe(t0.elapsed().as_nanos() as u64);
         }
     }
-    METRICS.shards_evaluated.add(evaluated);
-    METRICS.shards_skipped.add(skipped);
+    metrics.shards_evaluated.add(evaluated);
+    metrics.shards_skipped.add(skipped);
 }
 
 /// One participant (main thread or worker) of the parallel value pass.
 /// Shards of each level are dealt round-robin by participant index;
 /// every participant crosses the same `n_levels` barriers.
-fn run_pass_parallel(
-    sh: &SharedState,
+fn run_pass_parallel<S: LevelPass>(
+    sh: &S,
     ctl: &Ctl,
     participant: usize,
     local_gen: &mut u64,
@@ -274,15 +623,16 @@ fn run_pass_parallel(
 ) {
     let n = ctl.n_threads;
     let timing = timing_enabled();
+    let metrics = sh.metrics();
     let pass_start = timing.then(Instant::now);
     let mut idle_ns = 0u64;
     let mut evaluated = 0u64;
     let mut skipped = 0u64;
-    for level in 0..sh.schedule.n_levels() {
-        let (lo, hi) = sh.schedule.level_shard_range(level);
+    for level in 0..sh.schedule().n_levels() {
+        let (lo, hi) = sh.schedule().level_shard_range(level);
         let mut s = lo as usize + participant;
         while s < hi as usize {
-            if run_shard(sh, s, record, dirty) {
+            if sh.run_shard(s, record, dirty) {
                 evaluated += 1;
             } else {
                 skipped += 1;
@@ -299,11 +649,11 @@ fn run_pass_parallel(
     // One commutative flush per participant per pass: totals are
     // independent of the round-robin split, so the counters stay
     // bit-identical across thread counts.
-    METRICS.shards_evaluated.add(evaluated);
-    METRICS.shards_skipped.add(skipped);
+    metrics.shards_evaluated.add(evaluated);
+    metrics.shards_skipped.add(skipped);
     if let Some(t0) = pass_start {
-        METRICS.worker_pass_ns.add(t0.elapsed().as_nanos() as u64);
-        METRICS.worker_idle_ns.add(idle_ns);
+        metrics.worker_pass_ns.add(t0.elapsed().as_nanos() as u64);
+        metrics.worker_idle_ns.add(idle_ns);
     }
 }
 
@@ -348,20 +698,22 @@ struct Ctl {
     n_threads: usize,
 }
 
-/// Persistent worker pool. Workers sleep on a condvar between cycles
-/// and spin-then-yield at the per-level barriers within one.
+/// Persistent worker pool, generic over the kernel's [`LevelPass`].
+/// Workers sleep on a condvar between cycles and spin-then-yield at
+/// the per-level barriers within one.
 #[derive(Debug)]
-pub(crate) struct Pool {
+pub(crate) struct Pool<S> {
     ctl: Arc<Ctl>,
     handles: Vec<JoinHandle<()>>,
     /// The owning thread's barrier generation.
     main_gen: u64,
+    _marker: std::marker::PhantomData<fn(&S)>,
 }
 
-impl Pool {
+impl<S: LevelPass> Pool<S> {
     /// Spawns `threads - 1` workers (the owning thread is the remaining
     /// participant).
-    pub(crate) fn spawn(shared: Arc<SharedState>, threads: usize) -> Pool {
+    pub(crate) fn spawn(shared: Arc<S>, threads: usize) -> Pool<S> {
         assert!(threads >= 2);
         let ctl = Arc::new(Ctl {
             job: Mutex::new(Job {
@@ -379,19 +731,20 @@ impl Pool {
             .map(|participant| {
                 let shared = Arc::clone(&shared);
                 let ctl = Arc::clone(&ctl);
-                std::thread::spawn(move || worker_loop(&shared, &ctl, participant))
+                std::thread::spawn(move || worker_loop(&*shared, &ctl, participant))
             })
             .collect();
         Pool {
             ctl,
             handles,
             main_gen: 0,
+            _marker: std::marker::PhantomData,
         }
     }
 
     /// Runs one value pass across the pool, returning when all shards
     /// of all levels are done.
-    pub(crate) fn run(&mut self, shared: &SharedState, record: bool, dirty: u64) {
+    pub(crate) fn run(&mut self, shared: &S, record: bool, dirty: u64) {
         {
             let mut job = self.ctl.job.lock().unwrap();
             job.epoch += 1;
@@ -403,7 +756,7 @@ impl Pool {
     }
 }
 
-impl Drop for Pool {
+impl<S> Drop for Pool<S> {
     fn drop(&mut self) {
         {
             let mut job = self.ctl.job.lock().unwrap();
@@ -416,7 +769,7 @@ impl Drop for Pool {
     }
 }
 
-fn worker_loop(shared: &SharedState, ctl: &Ctl, participant: usize) {
+fn worker_loop<S: LevelPass>(shared: &S, ctl: &Ctl, participant: usize) {
     let mut last_epoch = 0u64;
     let mut local_gen = 0u64;
     loop {

@@ -84,10 +84,7 @@ impl FaultPlan {
             ("mem_flip_rate", self.mem_flip_rate),
         ] {
             if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
-                return Err(FaultPlanError::BadRate {
-                    which: label,
-                    rate,
-                });
+                return Err(FaultPlanError::BadRate { which: label, rate });
             }
         }
         let mut stuck = Vec::with_capacity(self.stuck_at.len());
@@ -410,8 +407,8 @@ impl CompiledFaults {
         for site in &self.mems {
             let h = mix3(self.seed, cycle, 0x4D45_4D00 ^ site.mem as u64);
             if h < self.mem_threshold {
-                let word =
-                    (mix3(self.seed, cycle, 0x4D45_4D01 ^ site.mem as u64) % site.words as u64) as u32;
+                let word = (mix3(self.seed, cycle, 0x4D45_4D01 ^ site.mem as u64)
+                    % site.words as u64) as u32;
                 let bit = (mix3(self.seed, cycle, 0x4D45_4D02 ^ site.mem as u64)
                     % site.width as u64) as u8;
                 events.push(FaultEvent::MemFlip {
@@ -429,6 +426,75 @@ impl CompiledFaults {
     /// The plan's seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+}
+
+/// Emits fault events through the telemetry sink as typed
+/// `sim.fault.*` events (counting is the caller's concern). Shared by
+/// the scalar and bitslice engines so both surface injections
+/// identically; emission order is deterministic because fault-injecting
+/// simulators step on one thread and record events cycle-major in
+/// netlist order.
+pub(crate) fn emit_events(new: &[FaultEvent]) {
+    use apollo_telemetry::FieldValue;
+    if !apollo_telemetry::events_enabled() {
+        return;
+    }
+    for ev in new {
+        match ev {
+            FaultEvent::StuckActivated {
+                cycle,
+                signal,
+                bit,
+                value,
+            } => {
+                apollo_telemetry::emit_event(
+                    "sim.fault.stuck_on",
+                    &[
+                        ("cycle", FieldValue::from(*cycle)),
+                        ("signal", FieldValue::from(signal.as_str())),
+                        ("bit", FieldValue::from(*bit)),
+                        ("value", FieldValue::from(*value)),
+                    ],
+                );
+            }
+            FaultEvent::StuckReleased { cycle, signal, bit } => {
+                apollo_telemetry::emit_event(
+                    "sim.fault.stuck_off",
+                    &[
+                        ("cycle", FieldValue::from(*cycle)),
+                        ("signal", FieldValue::from(signal.as_str())),
+                        ("bit", FieldValue::from(*bit)),
+                    ],
+                );
+            }
+            FaultEvent::RegFlip { cycle, signal, bit } => {
+                apollo_telemetry::emit_event(
+                    "sim.fault.reg_flip",
+                    &[
+                        ("cycle", FieldValue::from(*cycle)),
+                        ("signal", FieldValue::from(signal.as_str())),
+                        ("bit", FieldValue::from(*bit)),
+                    ],
+                );
+            }
+            FaultEvent::MemFlip {
+                cycle,
+                mem,
+                word,
+                bit,
+            } => {
+                apollo_telemetry::emit_event(
+                    "sim.fault.mem_flip",
+                    &[
+                        ("cycle", FieldValue::from(*cycle)),
+                        ("mem", FieldValue::from(mem.as_str())),
+                        ("word", FieldValue::from(*word)),
+                        ("bit", FieldValue::from(*bit)),
+                    ],
+                );
+            }
+        }
     }
 }
 
@@ -521,7 +587,10 @@ mod tests {
             reg_flip_rate: 1.5,
             ..FaultPlan::empty()
         };
-        assert!(matches!(plan.compile(&nl), Err(FaultPlanError::BadRate { .. })));
+        assert!(matches!(
+            plan.compile(&nl),
+            Err(FaultPlanError::BadRate { .. })
+        ));
     }
 
     #[test]

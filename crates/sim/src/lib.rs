@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitslice;
 mod engine;
 pub mod fault;
 mod power;
@@ -45,6 +46,8 @@ mod toggle;
 mod trace;
 mod vcd;
 
+pub use bitslice::{transpose64, BitsliceSimulator};
+pub use engine::{EngineKind, SimEngine};
 pub use fault::{FaultEvent, FaultPlan, FaultPlanError, FaultReport, StuckAtFault};
 pub use power::{PowerConfig, PowerSample, WindowPower, WindowTap};
 pub use simulator::Simulator;

@@ -1,40 +1,14 @@
 //! The cycle-accurate netlist simulator.
 
-use crate::engine::{self, Instr, Pool, SharedState};
+use crate::engine::{
+    self, EngineKind, GlitchEntry, Instr, MemPorts, Pool, RegCommit, SharedState, SimEngine,
+};
 use crate::fault::{CompiledFaults, FaultEvent, FaultPlan, FaultPlanError, FaultReport};
 use crate::power::{unit_hash, PowerConfig, PowerSample};
-use crate::schedule::LevelSchedule;
-use apollo_rtl::{CapAnnotation, MemId, Netlist, NodeId, Op};
+use apollo_rtl::{CapAnnotation, MemId, Netlist, NodeId};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
-
-#[derive(Clone, Debug)]
-struct RegCommit {
-    reg: u32,
-    next: u32,
-    domain: u32,
-}
-
-#[derive(Clone, Debug)]
-struct MemPorts {
-    mem: u32,
-    words: u32,
-    /// (port node, addr node, en node)
-    reads: Vec<(u32, u32, u32)>,
-    /// (en node, addr node, data node)
-    writes: Vec<(u32, u32, u32)>,
-}
-
-/// Arithmetic node needing glitch power: operands `a`/`b` and energy
-/// per toggling input bit. Sorted by node index.
-#[derive(Clone, Debug)]
-struct GlitchEntry {
-    node: u32,
-    a: u32,
-    b: u32,
-    energy: f64,
-}
 
 /// A cycle-accurate simulator over a [`Netlist`] with built-in
 /// ground-truth power computation.
@@ -60,7 +34,7 @@ pub struct Simulator<'a> {
     netlist: &'a Netlist,
     config: PowerConfig,
     shared: Arc<SharedState>,
-    pool: Option<Pool>,
+    pool: Option<Pool<SharedState>>,
     threads: usize,
     caps: Vec<f64>,
     glitch_list: Vec<GlitchEntry>,
@@ -186,149 +160,12 @@ impl<'a> Simulator<'a> {
     ) -> Result<Self, FaultPlanError> {
         let faults = plan.map(|p| p.compile(netlist)).transpose()?;
         let n = netlist.len();
-        let mut instrs = Vec::with_capacity(n);
-        let mut masks = Vec::with_capacity(n);
-        let mut caps = Vec::with_capacity(n);
-        let mut glitch_list = Vec::new();
-        let mut regs = Vec::new();
-        let mut values = vec![0u64; n];
-
-        for (i, node) in netlist.nodes().iter().enumerate() {
-            let w = node.width;
-            let m = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
-            masks.push(m);
-            caps.push(cap.node_cap(i));
-            match node.op {
-                Op::Add(a, b) | Op::Sub(a, b) => glitch_list.push(GlitchEntry {
-                    node: i as u32,
-                    a: a.index() as u32,
-                    b: b.index() as u32,
-                    energy: config.glitch_factor * cap.node_cap(i),
-                }),
-                Op::Mul(a, b) | Op::Udiv(a, b) => glitch_list.push(GlitchEntry {
-                    node: i as u32,
-                    a: a.index() as u32,
-                    b: b.index() as u32,
-                    energy: 2.0 * config.glitch_factor * cap.node_cap(i),
-                }),
-                _ => {}
-            }
-            let instr = match node.op {
-                Op::Input => Instr::Input,
-                Op::Const(v) => {
-                    values[i] = v;
-                    Instr::Const
-                }
-                Op::Not(a) => Instr::Not(a.index() as u32),
-                Op::And(a, b) => Instr::And(a.index() as u32, b.index() as u32),
-                Op::Or(a, b) => Instr::Or(a.index() as u32, b.index() as u32),
-                Op::Xor(a, b) => Instr::Xor(a.index() as u32, b.index() as u32),
-                Op::Add(a, b) => Instr::Add(a.index() as u32, b.index() as u32),
-                Op::Sub(a, b) => Instr::Sub(a.index() as u32, b.index() as u32),
-                Op::Mul(a, b) => Instr::Mul(a.index() as u32, b.index() as u32),
-                Op::Udiv(a, b) => Instr::Udiv(a.index() as u32, b.index() as u32),
-                Op::Eq(a, b) => Instr::Eq(a.index() as u32, b.index() as u32),
-                Op::Ult(a, b) => Instr::Ult(a.index() as u32, b.index() as u32),
-                Op::Shl(a, s) => Instr::Shl(a.index() as u32, s.index() as u32, w),
-                Op::Shr(a, s) => Instr::Shr(a.index() as u32, s.index() as u32),
-                Op::Mux { sel, t, f } => {
-                    Instr::Mux(sel.index() as u32, t.index() as u32, f.index() as u32)
-                }
-                Op::Slice { src, lo } => Instr::Slice(src.index() as u32, lo),
-                Op::Concat { hi, lo } => {
-                    let lo_w = netlist.node(lo).width;
-                    Instr::Concat(hi.index() as u32, lo.index() as u32, lo_w)
-                }
-                Op::ReduceOr(a) => Instr::ReduceOr(a.index() as u32),
-                Op::ReduceAnd(a) => {
-                    let aw = netlist.node(a).width;
-                    let am = if aw == 64 { u64::MAX } else { (1u64 << aw) - 1 };
-                    Instr::ReduceAnd(a.index() as u32, am)
-                }
-                Op::ReduceXor(a) => Instr::ReduceXor(a.index() as u32),
-                Op::Reg { next, init, clock } => {
-                    values[i] = init;
-                    regs.push(RegCommit {
-                        reg: i as u32,
-                        next: next.expect("built netlist has connected regs").index() as u32,
-                        domain: clock.index() as u32,
-                    });
-                    Instr::Hold
-                }
-                Op::GatedClock { enable } => Instr::Gated(enable.index() as u32),
-                Op::MemRead { .. } => Instr::Hold,
-            };
-            instrs.push(instr);
-        }
-
-        let mut mems_ports: Vec<MemPorts> = netlist
-            .memories()
-            .iter()
-            .enumerate()
-            .map(|(mi, m)| MemPorts {
-                mem: mi as u32,
-                words: m.words,
-                reads: Vec::new(),
-                writes: m
-                    .writes
-                    .iter()
-                    .map(|wp| {
-                        (
-                            wp.en.index() as u32,
-                            wp.addr.index() as u32,
-                            wp.data.index() as u32,
-                        )
-                    })
-                    .collect(),
-            })
-            .collect();
-        for (i, node) in netlist.nodes().iter().enumerate() {
-            if let Op::MemRead { mem, addr, en } = node.op {
-                mems_ports[mem.index()]
-                    .reads
-                    .push((i as u32, addr.index() as u32, en.index() as u32));
-            }
-        }
-
-        let mem_data: Vec<Vec<u64>> = netlist
-            .memories()
-            .iter()
-            .map(|m| {
-                let mut d = vec![0u64; m.words as usize];
-                d[..m.init.len()].copy_from_slice(&m.init);
-                d
-            })
-            .collect();
-
-        let clock_nodes: Vec<u32> = (0..netlist.clock_domains())
-            .map(|d| {
-                netlist
-                    .clock_node(apollo_rtl_clock_id(d))
-                    .map(|n| n.index() as u32)
-                    .unwrap_or(u32::MAX)
-            })
-            .collect();
-
-        let clock_caps = (0..netlist.clock_domains())
-            .map(|d| cap.clock_cap(apollo_rtl_clock_id(d)))
-            .collect();
-        let mem_energy = (0..netlist.memories().len())
-            .map(|m| cap.mem_energy(m))
-            .collect();
-
-        let unit_of: Vec<u8> = (0..netlist.len())
-            .map(|i| {
-                let u = netlist.unit(apollo_rtl::NodeId::from_index(i));
-                apollo_rtl::Unit::ALL.iter().position(|x| *x == u).unwrap_or(0) as u8
-            })
-            .collect();
-
-        let schedule = LevelSchedule::build(netlist);
+        let c = engine::compile(netlist, cap, &config);
         let shared = Arc::new(SharedState::new(
-            instrs,
-            masks,
-            schedule,
-            &values,
+            c.instrs,
+            c.masks,
+            c.schedule,
+            &c.init_values,
             faults.is_some(),
         ));
         let threads = threads.max(1);
@@ -344,17 +181,17 @@ impl<'a> Simulator<'a> {
             shared,
             pool,
             threads,
-            caps,
-            glitch_list,
-            unit_of,
+            caps: c.caps,
+            glitch_list: c.glitch_list,
+            unit_of: c.unit_of,
             unit_switching: vec![0.0; apollo_rtl::Unit::ALL.len()],
-            clock_caps,
-            mem_energy,
-            regs,
-            mems_ports,
-            clock_nodes,
+            clock_caps: c.clock_caps,
+            mem_energy: c.mem_energy,
+            regs: c.regs,
+            mems_ports: c.mems_ports,
+            clock_nodes: c.clock_nodes,
             toggles_mirror: vec![0u64; n],
-            mem_data,
+            mem_data: c.mem_init,
             domain_enable_prev: vec![true; netlist.clock_domains()],
             reg_stage: Vec::new(),
             mem_stage: Vec::new(),
@@ -398,7 +235,7 @@ impl<'a> Simulator<'a> {
     /// sequentially or across the worker pool.
     fn run_value_pass(&mut self, record: bool, dirty: u64) {
         match &mut self.pool {
-            None => engine::run_pass_seq(&self.shared, record, dirty),
+            None => engine::run_pass_seq(&*self.shared, record, dirty),
             Some(pool) => pool.run(&self.shared, record, dirty),
         }
     }
@@ -470,6 +307,24 @@ impl<'a> Simulator<'a> {
 
     /// Advances one clock edge and evaluates the new cycle.
     pub fn step(&mut self) {
+        self.step_impl(true);
+    }
+
+    /// Advances one clock edge evaluating values and toggles only,
+    /// skipping the serial power pass and the clock/short-circuit/noise
+    /// bookkeeping. Functional state and the toggle mirror behind
+    /// [`Simulator::toggle_word`] / [`Simulator::toggle_row`] advance
+    /// exactly as in [`Simulator::step`] (power never feeds back into
+    /// state), but [`Simulator::power`] and
+    /// [`Simulator::unit_switching`] keep reporting the last full
+    /// step's figures. This is the stepping mode for proxy-trace
+    /// extraction, where the runtime OPM — not the simulator — produces
+    /// the power estimate.
+    pub fn step_toggles(&mut self) {
+        self.step_impl(false);
+    }
+
+    fn step_impl(&mut self, with_power: bool) {
         // Dirty set over source groups: set as state/input changes are
         // observed in phases 2–4, consumed by the value pass to skip
         // shards whose transitive sources are all clean.
@@ -603,37 +458,47 @@ impl<'a> Simulator<'a> {
         //    counts).
         self.run_value_pass(true, dirty);
         let t_eval = timing.then(Instant::now);
-        let (switching, glitch) = self.power_pass();
+        if with_power {
+            let (switching, glitch) = self.power_pass();
 
-        // 6. Clock power for domains pulsing this cycle.
-        let mut clock_power = 0.0;
-        for d in 0..self.clock_nodes.len() {
-            let gc = self.clock_nodes[d];
-            let pulsing = gc == u32::MAX
-                || self.shared.values[gc as usize].load(Ordering::Relaxed) != 0;
-            if pulsing {
-                clock_power += self.clock_caps[d] * self.config.half_v_squared;
+            // 6. Clock power for domains pulsing this cycle.
+            let mut clock_power = 0.0;
+            for d in 0..self.clock_nodes.len() {
+                let gc = self.clock_nodes[d];
+                let pulsing =
+                    gc == u32::MAX || self.shared.values[gc as usize].load(Ordering::Relaxed) != 0;
+                if pulsing {
+                    clock_power += self.clock_caps[d] * self.config.half_v_squared;
+                }
+            }
+
+            // 7. Data-dependent short-circuit and residual noise.
+            let sc = self.config.short_circuit_factor
+                * switching
+                * (0.5 + unit_hash(self.config.seed ^ self.cycle.wrapping_mul(0x9E37)));
+            let dynamic = switching + clock_power + mem_power + glitch + sc;
+            let noise = self.config.noise_rel
+                * dynamic
+                * (2.0 * unit_hash(self.config.seed ^ self.cycle.wrapping_mul(0x85EB) ^ 0xC2B2)
+                    - 1.0);
+
+            self.last_power = PowerSample::from_components(
+                switching,
+                clock_power,
+                mem_power,
+                glitch,
+                sc,
+                self.config.leakage,
+                noise,
+            );
+        } else {
+            // Toggle-only stepping still refreshes the mirror behind
+            // `toggle_word`/`toggle_row`; the power accumulators and
+            // `last_power` hold the last full step's figures.
+            for (m, f) in self.toggles_mirror.iter_mut().zip(&self.shared.feat) {
+                *m = f.load(Ordering::Relaxed);
             }
         }
-
-        // 7. Data-dependent short-circuit and residual noise.
-        let sc = self.config.short_circuit_factor
-            * switching
-            * (0.5 + unit_hash(self.config.seed ^ self.cycle.wrapping_mul(0x9E37)));
-        let dynamic = switching + clock_power + mem_power + glitch + sc;
-        let noise = self.config.noise_rel
-            * dynamic
-            * (2.0 * unit_hash(self.config.seed ^ self.cycle.wrapping_mul(0x85EB) ^ 0xC2B2) - 1.0);
-
-        self.last_power = PowerSample::from_components(
-            switching,
-            clock_power,
-            mem_power,
-            glitch,
-            sc,
-            self.config.leakage,
-            noise,
-        );
 
         // 8. Remember this cycle's enables for the next commit.
         self.capture_enables();
@@ -653,60 +518,12 @@ impl<'a> Simulator<'a> {
     /// simulators step on one thread and events are recorded
     /// cycle-major in netlist order.
     fn flush_fault_telemetry(&mut self) {
-        use apollo_telemetry::FieldValue;
         if self.fault_events.len() == self.telem.emitted {
             return;
         }
         let new = &self.fault_events[self.telem.emitted..];
         self.telem.fault_events.add(new.len() as u64);
-        if apollo_telemetry::events_enabled() {
-            for ev in new {
-                match ev {
-                    FaultEvent::StuckActivated { cycle, signal, bit, value } => {
-                        apollo_telemetry::emit_event(
-                            "sim.fault.stuck_on",
-                            &[
-                                ("cycle", FieldValue::from(*cycle)),
-                                ("signal", FieldValue::from(signal.as_str())),
-                                ("bit", FieldValue::from(*bit)),
-                                ("value", FieldValue::from(*value)),
-                            ],
-                        );
-                    }
-                    FaultEvent::StuckReleased { cycle, signal, bit } => {
-                        apollo_telemetry::emit_event(
-                            "sim.fault.stuck_off",
-                            &[
-                                ("cycle", FieldValue::from(*cycle)),
-                                ("signal", FieldValue::from(signal.as_str())),
-                                ("bit", FieldValue::from(*bit)),
-                            ],
-                        );
-                    }
-                    FaultEvent::RegFlip { cycle, signal, bit } => {
-                        apollo_telemetry::emit_event(
-                            "sim.fault.reg_flip",
-                            &[
-                                ("cycle", FieldValue::from(*cycle)),
-                                ("signal", FieldValue::from(signal.as_str())),
-                                ("bit", FieldValue::from(*bit)),
-                            ],
-                        );
-                    }
-                    FaultEvent::MemFlip { cycle, mem, word, bit } => {
-                        apollo_telemetry::emit_event(
-                            "sim.fault.mem_flip",
-                            &[
-                                ("cycle", FieldValue::from(*cycle)),
-                                ("mem", FieldValue::from(mem.as_str())),
-                                ("word", FieldValue::from(*word)),
-                                ("bit", FieldValue::from(*bit)),
-                            ],
-                        );
-                    }
-                }
-            }
-        }
+        crate::fault::emit_events(new);
         self.telem.emitted = self.fault_events.len();
     }
 
@@ -818,28 +635,60 @@ impl<'a> Simulator<'a> {
     /// Packs the last cycle's toggle bits into a flat `M`-bit row
     /// (`out` must hold at least `ceil(M / 64)` words; it is zeroed).
     pub fn toggle_row(&self, out: &mut [u64]) {
-        let words = self.netlist.signal_bits().div_ceil(64);
-        assert!(out.len() >= words, "toggle_row buffer too small");
-        out[..words].fill(0);
-        for (i, node) in self.netlist.nodes().iter().enumerate() {
-            let t = self.toggles_mirror[i];
-            if t == 0 {
-                continue;
-            }
-            let off = self.netlist.bit_offset(NodeId::from_index(i));
-            let w = node.width as usize;
-            let word = off / 64;
-            let shift = off % 64;
-            out[word] |= t << shift;
-            if shift + w > 64 && shift > 0 {
-                out[word + 1] |= t >> (64 - shift);
-            }
-        }
+        crate::toggle::pack_row(self.netlist, &self.toggles_mirror, out);
     }
 }
 
-fn apollo_rtl_clock_id(d: usize) -> apollo_rtl::ClockId {
-    apollo_rtl::ClockId::from_index(d)
+impl SimEngine for Simulator<'_> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Scalar
+    }
+
+    fn lanes(&self) -> usize {
+        1
+    }
+
+    fn set_input(&mut self, lane: usize, node: NodeId, value: u64) {
+        assert_eq!(lane, 0, "scalar engine has a single lane");
+        Simulator::set_input(self, node, value);
+    }
+
+    fn step(&mut self) {
+        Simulator::step(self);
+    }
+
+    fn step_toggles(&mut self) {
+        Simulator::step_toggles(self);
+    }
+
+    fn cycle(&self) -> u64 {
+        Simulator::cycle(self)
+    }
+
+    fn value(&self, lane: usize, node: NodeId) -> u64 {
+        assert_eq!(lane, 0, "scalar engine has a single lane");
+        Simulator::value(self, node)
+    }
+
+    fn toggle_word(&self, lane: usize, node: NodeId) -> u64 {
+        assert_eq!(lane, 0, "scalar engine has a single lane");
+        Simulator::toggle_word(self, node)
+    }
+
+    fn toggle_row(&self, lane: usize, out: &mut [u64]) {
+        assert_eq!(lane, 0, "scalar engine has a single lane");
+        Simulator::toggle_row(self, out);
+    }
+
+    fn power(&self, lane: usize) -> PowerSample {
+        assert_eq!(lane, 0, "scalar engine has a single lane");
+        Simulator::power(self)
+    }
+
+    fn unit_switching(&self, lane: usize) -> Vec<f64> {
+        assert_eq!(lane, 0, "scalar engine has a single lane");
+        Simulator::unit_switching(self)
+    }
 }
 
 #[cfg(test)]
@@ -1064,7 +913,12 @@ mod tests {
         let cap = CapModel::default().annotate(&nl);
         let run = || {
             let mut sim = Simulator::new(&nl, &cap, PowerConfig::default());
-            (0..50).map(|_| { sim.step(); sim.power().total }).collect::<Vec<_>>()
+            (0..50)
+                .map(|_| {
+                    sim.step();
+                    sim.power().total
+                })
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }
@@ -1089,8 +943,14 @@ mod tests {
         let total: f64 = per_unit.iter().sum();
         assert!((total - sim.power().switching).abs() < 1e-9);
         // Both units toggled; their indices carry nonzero power.
-        let alu_idx = apollo_rtl::Unit::ALL.iter().position(|u| *u == Unit::Alu).unwrap();
-        let vec_idx = apollo_rtl::Unit::ALL.iter().position(|u| *u == Unit::Vector).unwrap();
+        let alu_idx = apollo_rtl::Unit::ALL
+            .iter()
+            .position(|u| *u == Unit::Alu)
+            .unwrap();
+        let vec_idx = apollo_rtl::Unit::ALL
+            .iter()
+            .position(|u| *u == Unit::Vector)
+            .unwrap();
         assert!(per_unit[alu_idx] > 0.0);
         assert!(per_unit[vec_idx] > 0.0);
     }

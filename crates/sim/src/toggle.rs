@@ -1,6 +1,33 @@
 //! Packed storage for per-cycle toggle activity.
 
+use apollo_rtl::{Netlist, NodeId};
 use std::fmt;
+
+/// Packs per-node feature-toggle words into a flat `M`-bit row laid out
+/// by [`Netlist::bit_offset`] (`out` must hold at least `ceil(M / 64)`
+/// words; it is zeroed first). Shared by the scalar simulator's
+/// `toggle_row` and the differential tests; the bitslice engine
+/// produces the same layout via 64×64 block transposes of its toggle
+/// planes.
+pub(crate) fn pack_row(netlist: &Netlist, toggles: &[u64], out: &mut [u64]) {
+    let words = netlist.signal_bits().div_ceil(64);
+    assert!(out.len() >= words, "toggle_row buffer too small");
+    out[..words].fill(0);
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        let t = toggles[i];
+        if t == 0 {
+            continue;
+        }
+        let off = netlist.bit_offset(NodeId::from_index(i));
+        let w = node.width as usize;
+        let word = off / 64;
+        let shift = off % 64;
+        out[word] |= t << shift;
+        if shift + w > 64 && shift > 0 {
+            out[word + 1] |= t >> (64 - shift);
+        }
+    }
+}
 
 /// A column-major packed binary matrix of toggle activity: `m_bits`
 /// columns (one per traced signal bit) by `n_cycles` rows (one per
@@ -83,7 +110,10 @@ impl ToggleMatrix {
 
     /// Number of cycles in which signal `bit` toggled.
     pub fn popcount(&self, bit: usize) -> usize {
-        self.column(bit).iter().map(|w| w.count_ones() as usize).sum()
+        self.column(bit)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
     /// Toggle rate of signal `bit` over the captured window.
@@ -120,6 +150,30 @@ impl ToggleMatrix {
                 }
             }
         }
+    }
+
+    /// ORs a whole packed cycle-word into one column: bit `c` of
+    /// `word` is the toggle at cycle `cycle_word * 64 + c`. Bits past
+    /// `n_cycles` are masked off, so block writers (the bitslice
+    /// proxy-capture path flushes 64 cycles per column at a time) can
+    /// pass a full transpose word at a ragged tail.
+    ///
+    /// # Panics
+    /// Panics if `bit` or `cycle_word` is out of range.
+    #[inline]
+    pub fn store_column_word(&mut self, bit: usize, cycle_word: usize, word: u64) {
+        assert!(bit < self.m_bits, "bit {bit} out of range");
+        assert!(
+            cycle_word < self.stride,
+            "cycle word {cycle_word} out of range"
+        );
+        let valid = self.n_cycles - cycle_word * 64;
+        let mask = if valid >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << valid) - 1
+        };
+        self.data[bit * self.stride + cycle_word] |= word & mask;
     }
 
     /// Copies all of `src`'s cycles into this matrix starting at row

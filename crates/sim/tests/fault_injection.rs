@@ -18,10 +18,19 @@ use common::{mask_of, random_netlist};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn drive_random(seed: u64, cycles: usize, sims: &mut [&mut Simulator<'_>], inputs: &[apollo_rtl::NodeId], widths: &[u8]) {
+fn drive_random(
+    seed: u64,
+    cycles: usize,
+    sims: &mut [&mut Simulator<'_>],
+    inputs: &[apollo_rtl::NodeId],
+    widths: &[u8],
+) {
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..cycles {
-        let stimulus: Vec<u64> = widths.iter().map(|&w| rng.gen::<u64>() & mask_of(w)).collect();
+        let stimulus: Vec<u64> = widths
+            .iter()
+            .map(|&w| rng.gen::<u64>() & mask_of(w))
+            .collect();
         for sim in sims.iter_mut() {
             for (k, &i) in inputs.iter().enumerate() {
                 sim.set_input(i, stimulus[k]);
@@ -46,7 +55,10 @@ fn empty_plan_is_bit_exact_with_planless_sim() {
 
         let mut rng = StdRng::seed_from_u64(7 + seed);
         for cycle in 0..100 {
-            let stim: Vec<u64> = widths.iter().map(|&w| rng.gen::<u64>() & mask_of(w)).collect();
+            let stim: Vec<u64> = widths
+                .iter()
+                .map(|&w| rng.gen::<u64>() & mask_of(w))
+                .collect();
             for sim in [&mut plain, &mut faulted, &mut faulted_mt] {
                 for (k, &i) in inputs.iter().enumerate() {
                     sim.set_input(i, stim[k]);
@@ -124,7 +136,10 @@ fn seeded_plan_replays_identically_across_runs_and_threads() {
 
     // The plan is non-trivial: it actually injected something.
     let report: apollo_sim::FaultReport = serde_json::from_str(&report_1).unwrap();
-    assert!(report.reg_flips > 0, "no register flips at 2% over 120 cycles");
+    assert!(
+        report.reg_flips > 0,
+        "no register flips at 2% over 120 cycles"
+    );
     assert!(report.stuck_cycles > 0);
     assert!(!report.events.is_empty());
 }
@@ -153,7 +168,11 @@ fn stuck_at_pins_bit_over_window_and_releases() {
     for cycle in 0..20u64 {
         sim.step();
         if (4..12).contains(&cycle) {
-            assert_eq!(sim.value(r) & 1, 0, "bit 0 must be pinned low at cycle {cycle}");
+            assert_eq!(
+                sim.value(r) & 1,
+                0,
+                "bit 0 must be pinned low at cycle {cycle}"
+            );
         }
     }
     // After release the counter increments freely again: odd values
@@ -161,10 +180,17 @@ fn stuck_at_pins_bit_over_window_and_releases() {
     let v0 = sim.value(r);
     sim.step();
     let v1 = sim.value(r);
-    assert!(v0 & 1 == 1 || v1 & 1 == 1, "bit 0 never recovered: {v0} {v1}");
+    assert!(
+        v0 & 1 == 1 || v1 & 1 == 1,
+        "bit 0 never recovered: {v0} {v1}"
+    );
     let report = sim.fault_report().unwrap();
     assert_eq!(report.stuck_cycles, 8);
-    assert_eq!(report.events.len(), 2, "one activation + one release: {report:?}");
+    assert_eq!(
+        report.events.len(),
+        2,
+        "one activation + one release: {report:?}"
+    );
 }
 
 #[test]
@@ -196,8 +222,16 @@ fn stuck_at_one_forces_gated_clock_feature() {
     sim.set_input(en, 0);
     sim.step();
     sim.step();
-    assert_eq!(sim.value(r), 2, "stuck-at-1 clock must keep the domain running");
-    assert_eq!(sim.toggle_word(gc_node), 1, "forced gated clock reports its enable");
+    assert_eq!(
+        sim.value(r),
+        2,
+        "stuck-at-1 clock must keep the domain running"
+    );
+    assert_eq!(
+        sim.toggle_word(gc_node),
+        1,
+        "forced gated clock reports its enable"
+    );
 }
 
 #[test]

@@ -130,21 +130,19 @@ impl<'a> Reference<'a> {
         let mut staged: Vec<(usize, u64)> = Vec::new();
         for (i, node) in self.netlist.nodes().iter().enumerate() {
             match node.op {
-                Op::Reg { next, clock, .. }
-                    if enables[clock.index()] => {
-                        let nv = self.val(next.unwrap()) & mask_of(node.width);
-                        staged.push((i, nv));
-                    }
-                Op::MemRead { mem, addr, en }
-                    if self.val(en) != 0 => {
-                        let words = self.netlist.memory(mem).words as u64;
-                        let a = (self.val(addr) % words) as usize;
-                        // Write-first: apply writes below before reads —
-                        // stage the *post-write* word by computing writes
-                        // first. Collect now, fix later.
-                        staged.push((i, u64::MAX)); // placeholder, resolved after writes
-                        let _ = a;
-                    }
+                Op::Reg { next, clock, .. } if enables[clock.index()] => {
+                    let nv = self.val(next.unwrap()) & mask_of(node.width);
+                    staged.push((i, nv));
+                }
+                Op::MemRead { mem, addr, en } if self.val(en) != 0 => {
+                    let words = self.netlist.memory(mem).words as u64;
+                    let a = (self.val(addr) % words) as usize;
+                    // Write-first: apply writes below before reads —
+                    // stage the *post-write* word by computing writes
+                    // first. Collect now, fix later.
+                    staged.push((i, u64::MAX)); // placeholder, resolved after writes
+                    let _ = a;
+                }
                 _ => {}
             }
         }

@@ -103,9 +103,12 @@ fn lockstep(
 /// every thread count matches the sequential engine exactly.
 #[test]
 fn random_netlists_bit_exact_across_thread_counts() {
-    for (seed, n_nodes, n_domains, n_mems) in
-        [(1u64, 90, 3, 2), (42, 140, 4, 3), (0xA110, 60, 1, 1), (0xF00D, 200, 2, 2)]
-    {
+    for (seed, n_nodes, n_domains, n_mems) in [
+        (1u64, 90, 3, 2),
+        (42, 140, 4, 3),
+        (0xA110, 60, 1, 1),
+        (0xF00D, 200, 2, 2),
+    ] {
         let (netlist, inputs) = random_netlist(seed, n_nodes, n_domains, n_mems);
         let cap = CapModel::default().annotate(&netlist);
         for threads in THREADS {

@@ -16,7 +16,7 @@
 mod common;
 
 use apollo_rtl::{CapAnnotation, CapModel, Netlist, NodeId};
-use apollo_sim::{FaultPlan, PowerConfig, Simulator, StuckAtFault};
+use apollo_sim::{BitsliceSimulator, FaultPlan, PowerConfig, Simulator, StuckAtFault};
 use apollo_telemetry::{Record, VecSink};
 use common::{mask_of, random_netlist};
 use rand::rngs::StdRng;
@@ -82,7 +82,15 @@ fn run_digest(
         sim.toggle_row(&mut row);
         digest.extend_from_slice(&row);
         let p = sim.power();
-        for f in [p.total, p.switching, p.clock, p.memory, p.glitch, p.short_circuit, p.leakage] {
+        for f in [
+            p.total,
+            p.switching,
+            p.clock,
+            p.memory,
+            p.glitch,
+            p.short_circuit,
+            p.leakage,
+        ] {
             digest.push(f.to_bits());
         }
     }
@@ -153,6 +161,103 @@ fn event_stream_identical_across_thread_counts_under_faults() {
     reset_telemetry();
 }
 
+/// Like [`run_digest`] but through a one-lane [`BitsliceSimulator`]
+/// with the same stimulus seed, so the two engines' telemetry output
+/// is directly comparable.
+fn run_digest_bitslice(
+    netlist: &Netlist,
+    cap: &CapAnnotation,
+    inputs: &[NodeId],
+    cycles: usize,
+    plan: Option<&FaultPlan>,
+) -> Vec<u64> {
+    let mut sim =
+        BitsliceSimulator::with_faults(netlist, cap, PowerConfig::default(), 1, 1, plan).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let mut row = vec![0u64; netlist.signal_bits().div_ceil(64)];
+    let mut digest = Vec::new();
+    for _ in 0..cycles {
+        for &i in inputs {
+            let w = netlist.node(i).width;
+            sim.set_input(0, i, rng.gen::<u64>() & mask_of(w));
+        }
+        sim.step();
+        for i in 0..netlist.len() {
+            digest.push(sim.value(0, NodeId::from_index(i)));
+        }
+        sim.toggle_row(0, &mut row);
+        digest.extend_from_slice(&row);
+        let p = sim.power(0);
+        for f in [
+            p.total,
+            p.switching,
+            p.clock,
+            p.memory,
+            p.glitch,
+            p.short_circuit,
+            p.leakage,
+        ] {
+            digest.push(f.to_bits());
+        }
+    }
+    digest
+}
+
+/// The bitslice path must emit the same non-timing telemetry as the
+/// scalar oracle: an identical typed event stream (fault events are the
+/// richest source) and identical counter values — `sim.cycles` and
+/// `sim.fault_events` in particular — once the engine-private shard
+/// partitioning counters (`sim.shards_*` vs `sim.bitslice.shards_*`)
+/// are set aside.
+#[test]
+fn bitslice_emits_identical_nontiming_telemetry() {
+    let _g = lock_global();
+    let (netlist, inputs) = random_netlist(55, 90, 2, 2);
+    let cap = CapModel::default().annotate(&netlist);
+    let plan = busy_plan();
+    let shared_counters = |snap: &apollo_telemetry::MetricsSnapshot| {
+        snap.without_timing()
+            .counters
+            .iter()
+            .filter(|c| !c.name.contains("shards"))
+            .map(|c| (c.name.clone(), c.value))
+            .collect::<Vec<_>>()
+    };
+
+    reset_telemetry();
+    let sink = Arc::new(VecSink::default());
+    apollo_telemetry::install_sink(sink.clone());
+    let scalar_digest = run_digest(&netlist, &cap, &inputs, 1, 80, Some(&plan));
+    apollo_telemetry::clear_sink();
+    let scalar_records: Vec<Record> = sink.take().iter().map(Record::strip_timing).collect();
+    let scalar_counters = shared_counters(&apollo_telemetry::snapshot());
+
+    reset_telemetry();
+    let sink = Arc::new(VecSink::default());
+    apollo_telemetry::install_sink(sink.clone());
+    let bitslice_digest = run_digest_bitslice(&netlist, &cap, &inputs, 80, Some(&plan));
+    apollo_telemetry::clear_sink();
+    let bitslice_records: Vec<Record> = sink.take().iter().map(Record::strip_timing).collect();
+    let bitslice_counters = shared_counters(&apollo_telemetry::snapshot());
+    reset_telemetry();
+
+    assert_eq!(scalar_digest, bitslice_digest, "simulation observables");
+    assert!(
+        scalar_records
+            .iter()
+            .any(|r| r.to_jsonl().contains("sim.fault.")),
+        "plan should generate fault events"
+    );
+    assert_eq!(scalar_records, bitslice_records, "typed event streams");
+    assert!(
+        scalar_counters
+            .iter()
+            .any(|(n, v)| n == "sim.cycles" && *v == 80),
+        "step counter should be visible and engine-independent: {scalar_counters:?}"
+    );
+    assert_eq!(scalar_counters, bitslice_counters, "shared counter values");
+}
+
 /// Turning the full observability stack on (span timing plus a live
 /// sink) must not perturb a single bit of simulation output, with and
 /// without fault injection.
@@ -162,7 +267,12 @@ fn enabled_telemetry_is_bit_exact_with_disabled() {
     let (netlist, inputs) = random_netlist(123, 110, 3, 2);
     let cap = CapModel::default().annotate(&netlist);
     let plan = busy_plan();
-    for (threads, plan) in [(1usize, None), (4, None), (1, Some(&plan)), (4, Some(&plan))] {
+    for (threads, plan) in [
+        (1usize, None),
+        (4, None),
+        (1, Some(&plan)),
+        (4, Some(&plan)),
+    ] {
         reset_telemetry();
         let baseline = run_digest(&netlist, &cap, &inputs, threads, 60, plan);
 
@@ -172,7 +282,8 @@ fn enabled_telemetry_is_bit_exact_with_disabled() {
         reset_telemetry();
 
         assert_eq!(
-            baseline, observed,
+            baseline,
+            observed,
             "telemetry on/off digests differ ({threads} threads, faults: {})",
             plan.is_some()
         );

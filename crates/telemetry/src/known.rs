@@ -279,7 +279,10 @@ mod tests {
 
         fields.push(("unit.vec", FieldValue::F64(1.0)));
         let err = validate_known(&ev("introspect.window", fields.clone())).unwrap_err();
-        assert!(err.contains("dynamic field `unit.vec` must be U64"), "{err}");
+        assert!(
+            err.contains("dynamic field `unit.vec` must be U64"),
+            "{err}"
+        );
 
         fields.pop();
         fields.push(("surprise", FieldValue::U64(1)));

@@ -47,12 +47,11 @@ pub use diag::{diag, set_verbosity, verbosity, Verbosity};
 pub use event::{validate_line, Event, FieldValue, Record, RecordBody, SCHEMA_VERSION};
 pub use known::{known_event, validate_known, FieldKind, KnownEvent, KNOWN_EVENTS};
 pub use metrics::{
-    counter, gauge, histogram, prometheus_text, reset_metrics, snapshot, Counter, Gauge,
-    Histogram, MetricsSnapshot,
+    counter, gauge, histogram, prometheus_text, reset_metrics, snapshot, Counter, Gauge, Histogram,
+    MetricsSnapshot,
 };
 pub use profile::{phase_report, render_phase_table, reset_phases, PhaseStat};
 pub use sink::{
-    clear_sink, emit_event, emit_span, events_enabled, install_sink, EventSink, JsonlSink,
-    VecSink,
+    clear_sink, emit_event, emit_span, events_enabled, install_sink, EventSink, JsonlSink, VecSink,
 };
 pub use span::{set_timing, span, timing_enabled, SpanGuard};

@@ -133,9 +133,8 @@ fn intern<T, F: FnOnce() -> (&'static T, Metric)>(
 ) -> &'static T {
     let mut reg = REGISTRY.lock().unwrap();
     if let Some(m) = reg.get(name) {
-        return pick(m).unwrap_or_else(|| {
-            panic!("metric `{name}` already registered with a different type")
-        });
+        return pick(m)
+            .unwrap_or_else(|| panic!("metric `{name}` already registered with a different type"));
     }
     let (handle, metric) = make();
     reg.insert(name.to_owned(), metric);
@@ -246,7 +245,11 @@ impl HistogramSample {
             cumulative += b;
             if cumulative >= rank {
                 // Bucket i counts values of bit length i: upper bound 2^i - 1.
-                return Some(if i == 0 { 0 } else { ((1u128 << i) - 1).min(u64::MAX as u128) as u64 });
+                return Some(if i == 0 {
+                    0
+                } else {
+                    ((1u128 << i) - 1).min(u64::MAX as u128) as u64
+                });
             }
         }
         // Trailing buckets were trimmed: the rank falls in the last
@@ -275,9 +278,24 @@ impl MetricsSnapshot {
     pub fn without_timing(&self) -> MetricsSnapshot {
         let keep = |name: &String| !name.ends_with("_ns");
         MetricsSnapshot {
-            counters: self.counters.iter().filter(|s| keep(&s.name)).cloned().collect(),
-            gauges: self.gauges.iter().filter(|s| keep(&s.name)).cloned().collect(),
-            histograms: self.histograms.iter().filter(|s| keep(&s.name)).cloned().collect(),
+            counters: self
+                .counters
+                .iter()
+                .filter(|s| keep(&s.name))
+                .cloned()
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|s| keep(&s.name))
+                .cloned()
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|s| keep(&s.name))
+                .cloned()
+                .collect(),
         }
     }
 }
@@ -289,15 +307,20 @@ pub fn snapshot() -> MetricsSnapshot {
     let mut snap = MetricsSnapshot::default();
     for (name, m) in reg.iter() {
         match m {
-            Metric::Counter(c) => {
-                snap.counters.push(CounterSample { name: name.clone(), value: c.get() })
-            }
-            Metric::Gauge(g) => {
-                snap.gauges.push(GaugeSample { name: name.clone(), value: g.get() })
-            }
+            Metric::Counter(c) => snap.counters.push(CounterSample {
+                name: name.clone(),
+                value: c.get(),
+            }),
+            Metric::Gauge(g) => snap.gauges.push(GaugeSample {
+                name: name.clone(),
+                value: g.get(),
+            }),
             Metric::Histogram(h) => {
-                let mut buckets: Vec<u64> =
-                    h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+                let mut buckets: Vec<u64> = h
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect();
                 while buckets.last() == Some(&0) {
                     buckets.pop();
                 }
@@ -314,7 +337,9 @@ pub fn snapshot() -> MetricsSnapshot {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 /// Renders a snapshot in the Prometheus text exposition format

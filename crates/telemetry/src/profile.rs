@@ -42,7 +42,11 @@ pub fn phase_report() -> Vec<PhaseStat> {
         .lock()
         .unwrap()
         .iter()
-        .map(|(path, &(count, total_ns))| PhaseStat { path: path.clone(), count, total_ns })
+        .map(|(path, &(count, total_ns))| PhaseStat {
+            path: path.clone(),
+            count,
+            total_ns,
+        })
         .collect()
 }
 
@@ -64,8 +68,7 @@ fn fmt_ns(ns: u64) -> String {
 /// (otherwise the full path is shown, so `sim.step/eval` never looks
 /// like a child of an unrelated preceding row).
 pub fn render_phase_table(stats: &[PhaseStat], total_ns: u64) -> String {
-    let paths: std::collections::BTreeSet<&str> =
-        stats.iter().map(|s| s.path.as_str()).collect();
+    let paths: std::collections::BTreeSet<&str> = stats.iter().map(|s| s.path.as_str()).collect();
     let label_of = |path: &str| -> String {
         match path.rsplit_once('/') {
             Some((parent, leaf)) if paths.contains(parent) => {
@@ -88,7 +91,11 @@ pub fn render_phase_table(stats: &[PhaseStat], total_ns: u64) -> String {
     ));
     for s in stats {
         let label = label_of(&s.path);
-        let pct = if total_ns > 0 { 100.0 * s.total_ns as f64 / total_ns as f64 } else { 0.0 };
+        let pct = if total_ns > 0 {
+            100.0 * s.total_ns as f64 / total_ns as f64
+        } else {
+            0.0
+        };
         out.push_str(&format!(
             "{label:<width$}  {:>9}  {:>11}  {pct:>5.1}%\n",
             s.count,

@@ -46,7 +46,11 @@ pub fn install_sink(sink: Arc<dyn EventSink>) {
     if let Some(old) = guard.take() {
         old.sink.flush();
     }
-    *guard = Some(SinkState { sink, epoch: Instant::now(), next_seq: 0 });
+    *guard = Some(SinkState {
+        sink,
+        epoch: Instant::now(),
+        next_seq: 0,
+    });
     EVENTS_ON.store(true, Ordering::Relaxed);
 }
 
@@ -82,7 +86,10 @@ pub fn emit_event(name: &str, fields: &[(&str, FieldValue)]) {
     }
     emit_body(RecordBody::Event(Event {
         name: name.to_owned(),
-        fields: fields.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+        fields: fields
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect(),
     }));
 }
 
@@ -93,7 +100,10 @@ pub fn emit_span(path: &str, dur_ns: u64) {
     if !events_enabled() {
         return;
     }
-    emit_body(RecordBody::Span { path: path.to_owned(), dur_ns });
+    emit_body(RecordBody::Span {
+        path: path.to_owned(),
+        dur_ns,
+    });
 }
 
 /// Emits a diagnostic message record (used by [`crate::diag`]).
@@ -101,7 +111,10 @@ pub fn emit_message(level: &str, text: &str) {
     if !events_enabled() {
         return;
     }
-    emit_body(RecordBody::Message { level: level.to_owned(), text: text.to_owned() });
+    emit_body(RecordBody::Message {
+        level: level.to_owned(),
+        text: text.to_owned(),
+    });
 }
 
 /// Sink writing one JSON line per record through a buffered file.
@@ -113,7 +126,9 @@ impl JsonlSink {
     /// Creates (truncating) the trace file at `path`.
     pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
         let file = File::create(path)?;
-        Ok(JsonlSink { out: Mutex::new(BufWriter::new(file)) })
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(file)),
+        })
     }
 }
 

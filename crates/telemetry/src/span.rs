@@ -47,7 +47,11 @@ pub struct SpanGuard {
 pub fn span(name: &str) -> SpanGuard {
     let active = timing_enabled() || events_enabled();
     if !active {
-        return SpanGuard { start: None, saved_len: 0, active: false };
+        return SpanGuard {
+            start: None,
+            saved_len: 0,
+            active: false,
+        };
     }
     let saved_len = PATH.with(|p| {
         let mut p = p.borrow_mut();
@@ -58,7 +62,11 @@ pub fn span(name: &str) -> SpanGuard {
         p.push_str(name);
         saved
     });
-    SpanGuard { start: Some(Instant::now()), saved_len, active: true }
+    SpanGuard {
+        start: Some(Instant::now()),
+        saved_len,
+        active: true,
+    }
 }
 
 impl Drop for SpanGuard {
@@ -66,7 +74,10 @@ impl Drop for SpanGuard {
         if !self.active {
             return;
         }
-        let dur_ns = self.start.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        let dur_ns = self
+            .start
+            .map(|t| t.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
         PATH.with(|p| {
             let mut p = p.borrow_mut();
             if timing_enabled() {

@@ -4,8 +4,8 @@
 //! so every test that touches it serializes on `GLOBAL`.
 
 use apollo_telemetry::{
-    counter, gauge, histogram, prometheus_text, reset_metrics, snapshot, validate_line,
-    Event, FieldValue, Record, RecordBody, SCHEMA_VERSION,
+    counter, gauge, histogram, prometheus_text, reset_metrics, snapshot, validate_line, Event,
+    FieldValue, Record, RecordBody, SCHEMA_VERSION,
 };
 use std::sync::{Arc, Mutex};
 
@@ -32,13 +32,19 @@ fn sample_records() -> Vec<Record> {
             v: SCHEMA_VERSION,
             seq: 1,
             ts_ns: 99,
-            body: RecordBody::Span { path: "core.capture_suite/bench:dhry".into(), dur_ns: 1234 },
+            body: RecordBody::Span {
+                path: "core.capture_suite/bench:dhry".into(),
+                dur_ns: 1234,
+            },
         },
         Record {
             v: SCHEMA_VERSION,
             seq: 2,
             ts_ns: 100,
-            body: RecordBody::Message { level: "info".into(), text: "design ready".into() },
+            body: RecordBody::Message {
+                level: "info".into(),
+                text: "design ready".into(),
+            },
         },
     ]
 }
@@ -47,7 +53,10 @@ fn sample_records() -> Vec<Record> {
 fn every_body_variant_round_trips_exactly() {
     for rec in sample_records() {
         let line = rec.to_jsonl();
-        assert!(!line.contains('\n'), "JSONL lines must be single-line: {line}");
+        assert!(
+            !line.contains('\n'),
+            "JSONL lines must be single-line: {line}"
+        );
         let back = validate_line(&line).expect("valid line");
         assert_eq!(back, rec);
     }
@@ -85,7 +94,9 @@ fn validate_rejects_bad_lines() {
     // Wrong schema version.
     let mut rec = sample_records().remove(0);
     rec.v = SCHEMA_VERSION + 1;
-    assert!(validate_line(&rec.to_jsonl()).unwrap_err().contains("schema version"));
+    assert!(validate_line(&rec.to_jsonl())
+        .unwrap_err()
+        .contains("schema version"));
     // Non-finite floats cannot round-trip through JSON.
     let nan = Record {
         v: SCHEMA_VERSION,
@@ -131,8 +142,10 @@ fn jsonl_sink_writes_validatable_lines() {
     }
     apollo_telemetry::clear_sink();
     let text = std::fs::read_to_string(&path).unwrap();
-    let recs: Vec<Record> =
-        text.lines().map(|l| validate_line(l).expect("schema-valid line")).collect();
+    let recs: Vec<Record> = text
+        .lines()
+        .map(|l| validate_line(l).expect("schema-valid line"))
+        .collect();
     // seq is dense and in file order.
     for (i, r) in recs.iter().enumerate() {
         assert_eq!(r.seq, i as u64);
@@ -162,9 +175,17 @@ fn metrics_snapshot_and_exposition() {
     h.observe(1);
     h.observe(5);
     let snap = snapshot();
-    let cycles = snap.counters.iter().find(|c| c.name == "unit.cycles").unwrap();
+    let cycles = snap
+        .counters
+        .iter()
+        .find(|c| c.name == "unit.cycles")
+        .unwrap();
     assert_eq!(cycles.value, 42);
-    let hs = snap.histograms.iter().find(|h| h.name == "unit.shards").unwrap();
+    let hs = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "unit.shards")
+        .unwrap();
     assert_eq!((hs.count, hs.sum), (3, 6));
     // 0 → bucket 0, 1 → bucket 1, 5 (3 bits) → bucket 3.
     assert_eq!(hs.buckets, vec![1, 1, 0, 1]);

@@ -34,7 +34,10 @@ fn main() {
         "GA: {} micro-benchmarks, power spread {:.2}x, best-per-generation {:?}",
         ga.individuals.len(),
         ga.power_spread(),
-        ga.best_per_gen.iter().map(|p| p.round()).collect::<Vec<_>>()
+        ga.best_per_gen
+            .iter()
+            .map(|p| p.round())
+            .collect::<Vec<_>>()
     );
 
     // --- 2. Feature/label collection + model construction -------------

@@ -21,7 +21,10 @@ fn main() {
     ];
     let trace = ctx.capture_suite(&train, 30);
     let fs = FeatureSpace::build(&trace.toggles);
-    let opts = TrainOptions { q_target: 20, ..TrainOptions::default() };
+    let opts = TrainOptions {
+        q_target: 20,
+        ..TrainOptions::default()
+    };
 
     // Per-cycle model (window prediction = average of per-cycle ones)
     // versus APOLLOτ trained at τ = 8 (the paper's best interval).
@@ -45,7 +48,12 @@ fn main() {
         let e_avg = window_nrmse(&avg, &labels, t);
         let tau_pred = tau8.predict_windows(&test.toggles, t);
         let e_tau = window_nrmse(&tau_pred, &labels, t);
-        println!("  {:<5}  {:>10.1}%   {:>10.1}%", t, 100.0 * e_avg, 100.0 * e_tau);
+        println!(
+            "  {:<5}  {:>10.1}%   {:>10.1}%",
+            t,
+            100.0 * e_avg,
+            100.0 * e_tau
+        );
     }
 
     // A DVFS governor view: 64-cycle power epochs over the workload.

@@ -26,7 +26,10 @@ fn main() {
         &trace,
         ctx.netlist(),
         &fs,
-        &TrainOptions { q_target: 24, ..TrainOptions::default() },
+        &TrainOptions {
+            q_target: 24,
+            ..TrainOptions::default()
+        },
     )
     .model;
 
@@ -55,7 +58,10 @@ fn main() {
     let proxy_trace = ctx.capture_bits(&bench, &model.bits(), 600, 30);
     let cosim = hw.cosim(&proxy_trace.toggles);
     let reference = quant.window_outputs_proxy(&proxy_trace.toggles);
-    assert_eq!(cosim.windows, reference, "hardware == software, bit for bit");
+    assert_eq!(
+        cosim.windows, reference,
+        "hardware == software, bit for bit"
+    );
     println!(
         "co-simulation: {} windows match the software reference exactly; OPM power {:.1} units",
         cosim.windows.len(),

@@ -21,7 +21,10 @@ fn main() {
         &trace,
         ctx.netlist(),
         &fs,
-        &TrainOptions { q_target: 20, ..TrainOptions::default() },
+        &TrainOptions {
+            q_target: 20,
+            ..TrainOptions::default()
+        },
     )
     .model;
     let opm = QuantizedOpm::from_model(&model, 10, 32).expect("quantization");
@@ -39,7 +42,11 @@ fn main() {
             &bench.program,
             &bench.data,
             1024,
-            &GovernorConfig { epoch: 32, cap, ..GovernorConfig::default() },
+            &GovernorConfig {
+                epoch: 32,
+                cap,
+                ..GovernorConfig::default()
+            },
         );
         println!(
             "cap {:>6.0}: governed power {:>6.0} ({} of {} epochs over cap; free: {}), IPC ratio {:.2}, throttle levels {:?}",

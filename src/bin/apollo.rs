@@ -16,6 +16,14 @@
 //! `--threads N` runs simulations on N worker threads (bit-identical
 //! results; defaults to 1).
 //!
+//! `--engine scalar|bitslice` (on `ga`, `train`, `capture`, `eval`)
+//! selects the batched simulation kernel: `bitslice` packs up to 64
+//! workloads into one SWAR netlist pass; results are bit-identical to
+//! `scalar` (the differential oracle), typically several times faster
+//! for multi-workload collection. `apollo profile capture --engine
+//! bitslice` vs `--engine scalar` reports the two kernels side by
+//! side.
+//!
 //! Observability flags (any subcommand):
 //!   --trace <out.jsonl>  write schema-versioned telemetry records
 //!   --metrics            print a Prometheus-style metrics snapshot on exit
@@ -43,7 +51,7 @@ use apollo_suite::introspect as apollo_introspect;
 use apollo_suite::introspect::{MonitorConfig, MonitorHub};
 use apollo_suite::mlkit::metrics;
 use apollo_suite::opm::{build_opm, AreaReport, QuantizedOpm};
-use apollo_suite::sim::FaultPlan;
+use apollo_suite::sim::{EngineKind, FaultPlan};
 use apollo_telemetry::Verbosity;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -65,7 +73,9 @@ fn usage() -> ExitCode {
          \x20       [--cycles <N>] [--window <T>] [--bits <B>] [--bench <name>] [--arm] [--threads <N>]\n  \
          apollo scrape  --addr 127.0.0.1:9100 [--path /metrics|/events] [--lines <N>] [--out file]\n\n\
          observability flags on any subcommand:\n  \
-         --trace <out.jsonl>   --metrics   --quiet   -v|--verbose"
+         --trace <out.jsonl>   --metrics   --quiet   -v|--verbose\n\n\
+         `ga`, `train`, `capture` and `eval` also take --engine <scalar|bitslice>\n  \
+         (bitslice packs up to 64 workloads per netlist pass; bit-identical results)"
     );
     ExitCode::from(2)
 }
@@ -80,7 +90,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = match flag.strip_prefix("--") {
             Some(k) => k,
             None if flag == "-v" => "verbose",
-            None => return Err(format!("unexpected argument `{flag}` (flags start with --)")),
+            None => {
+                return Err(format!(
+                    "unexpected argument `{flag}` (flags start with --)"
+                ))
+            }
         };
         if BOOL_FLAGS.contains(&key) {
             out.insert(key.to_owned(), "true".to_owned());
@@ -176,12 +190,16 @@ fn main() -> ExitCode {
     if profiling {
         let report = apollo_telemetry::phase_report();
         println!("\nprofile `{cmd}`:");
-        print!("{}", apollo_telemetry::render_phase_table(&report, total_ns));
+        print!(
+            "{}",
+            apollo_telemetry::render_phase_table(&report, total_ns)
+        );
     }
-    if flags.contains_key("metrics")
-        || apollo_telemetry::verbosity() == Verbosity::Verbose
-    {
-        print!("{}", apollo_telemetry::prometheus_text(&apollo_telemetry::snapshot()));
+    if flags.contains_key("metrics") || apollo_telemetry::verbosity() == Verbosity::Verbose {
+        print!(
+            "{}",
+            apollo_telemetry::prometheus_text(&apollo_telemetry::snapshot())
+        );
     }
     apollo_telemetry::clear_sink();
     code
@@ -193,6 +211,14 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
         .max(1);
+    let engine = match flags.get("engine").map(|v| v.parse::<EngineKind>()) {
+        None => EngineKind::default(),
+        Some(Ok(e)) => e,
+        Some(Err(e)) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
 
     match cmd {
         "design" => {
@@ -219,7 +245,7 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(8)
                 .max(4);
-            let ctx = DesignContext::with_threads(&cfg, threads);
+            let ctx = DesignContext::with_engine(&cfg, threads, engine);
             let ga = run_ga(
                 &ctx,
                 &GaConfig {
@@ -230,7 +256,8 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                 },
             );
             println!(
-                "GA on `{}`: {} individuals over {} generations, power spread {:.2}x",
+                "GA on `{}` ({engine} engine): {} individuals over {} generations, \
+                 power spread {:.2}x",
                 cfg.name,
                 ga.individuals.len(),
                 generations,
@@ -246,7 +273,7 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
             let generations: usize = get("ga-generations")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(12);
-            let ctx = DesignContext::with_threads(&cfg, threads);
+            let ctx = DesignContext::with_engine(&cfg, threads, engine);
             apollo_telemetry::diag(&format!(
                 "generating training data ({generations} GA generations)..."
             ));
@@ -276,7 +303,10 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                 &trace,
                 ctx.netlist(),
                 &fs,
-                &TrainOptions { q_target: q, ..TrainOptions::default() },
+                &TrainOptions {
+                    q_target: q,
+                    ..TrainOptions::default()
+                },
             )
             .model;
             let train_pred = model.predict_full(&trace.toggles);
@@ -310,11 +340,11 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                 return usage();
             };
             let scale: f64 = get("scale").and_then(|v| v.parse().ok()).unwrap_or(0.25);
-            let ctx = DesignContext::with_threads(&cfg, threads);
+            let ctx = DesignContext::with_engine(&cfg, threads, engine);
             let suite = ctx.test_suite(scale);
             let trace = ctx.capture_suite(&suite, 400);
             println!(
-                "captured {} benchmarks, {} cycles total",
+                "captured {} benchmarks, {} cycles total ({engine} engine)",
                 trace.segments.len(),
                 trace.n_cycles()
             );
@@ -331,7 +361,7 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let ctx = DesignContext::with_threads(&cfg, threads);
+            let ctx = DesignContext::with_engine(&cfg, threads, engine);
             let suite = ctx.test_suite(1.0);
             let trace = ctx.capture_suite(&suite, 400);
             let pred = model.predict_full(&trace.toggles);
@@ -439,7 +469,9 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let cycles: usize = get("cycles").and_then(|v| v.parse().ok()).unwrap_or(100_000);
+            let cycles: usize = get("cycles")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100_000);
             let ctx = DesignContext::with_threads(&cfg, threads);
             let phases = (cycles / 2500).clamp(2, 600) as u16;
             let bench = benchmarks::hmmer_like(&ctx.handles.config, phases);
@@ -521,7 +553,10 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                     }
                 }
             }
-            println!("{path}: {n} records, schema v{} OK", apollo_telemetry::SCHEMA_VERSION);
+            println!(
+                "{path}: {n} records, schema v{} OK",
+                apollo_telemetry::SCHEMA_VERSION
+            );
             for (kind, count) in &kinds {
                 println!("  {kind:<40} {count}");
             }
@@ -599,7 +634,11 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                     );
                     let total_unit: f64 = r.unit_energy.iter().sum();
                     for (label, e) in r.unit_labels.iter().zip(&r.unit_energy) {
-                        let share = if total_unit > 0.0 { 100.0 * e / total_unit } else { 0.0 };
+                        let share = if total_unit > 0.0 {
+                            100.0 * e / total_unit
+                        } else {
+                            0.0
+                        };
                         println!("  unit {label:<8} energy {e:>12.1} ({share:>5.1}%)");
                     }
                     println!(

@@ -62,7 +62,13 @@ fn bare_positional_argument_is_rejected() {
 
 #[test]
 fn eval_with_missing_model_fails_with_code_1() {
-    let out = apollo(&["eval", "--config", "tiny", "--model", "/nonexistent/model.json"]);
+    let out = apollo(&[
+        "eval",
+        "--config",
+        "tiny",
+        "--model",
+        "/nonexistent/model.json",
+    ]);
     assert_eq!(code(&out), 1);
     assert!(
         stderr(&out).contains("/nonexistent/model.json"),
@@ -75,13 +81,26 @@ fn eval_with_missing_model_fails_with_code_1() {
 fn profile_wrapper_propagates_nested_failure() {
     // `profile eval` wraps the command; the wrapper must not replace
     // the nested failure with success.
-    let out = apollo(&["profile", "eval", "--config", "tiny", "--model", "/nonexistent/model.json"]);
+    let out = apollo(&[
+        "profile",
+        "eval",
+        "--config",
+        "tiny",
+        "--model",
+        "/nonexistent/model.json",
+    ]);
     assert_eq!(code(&out), 1, "profile must propagate the inner exit code");
 }
 
 #[test]
 fn monitor_with_missing_model_fails_with_code_1() {
-    let out = apollo(&["monitor", "--config", "tiny", "--model", "/nonexistent/model.json"]);
+    let out = apollo(&[
+        "monitor",
+        "--config",
+        "tiny",
+        "--model",
+        "/nonexistent/model.json",
+    ]);
     assert_eq!(code(&out), 1);
 }
 

@@ -100,7 +100,10 @@ fn mcp_beats_lasso_at_equal_q() {
     let trace = ctx.capture_suite(&suite, 150);
     let fs = FeatureSpace::build(&trace.toggles);
     let test = ctx.capture_suite(
-        &[(benchmarks::saxpy_simd(), 400), (benchmarks::memcpy_l2(&config), 400)],
+        &[
+            (benchmarks::saxpy_simd(), 400),
+            (benchmarks::memcpy_l2(&config), 400),
+        ],
         150,
     );
     let y = test.labels();
