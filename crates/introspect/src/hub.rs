@@ -8,16 +8,63 @@
 //! loop. Sequence numbers are assigned per subscriber *at send time*
 //! (after any drops), so every delivered stream has dense `seq` and
 //! passes `trace-lint` regardless of backpressure.
+//!
+//! # Adaptive downsampling
+//!
+//! Drop-oldest alone degrades a persistently slow subscriber into a
+//! *random* subsample of the stream. With a [`DownsampleConfig`]
+//! (see [`MonitorHub::with_downsample`]) the hub instead degrades
+//! *gracefully*: once a subscriber's recent drops cross
+//! `trigger_drops`, its delivery rate is halved (stride 1 → 2 → 4 …
+//! up to `max_stride`) so it receives a regular 1-in-`stride`
+//! thinning instead of bursty gaps. Hysteresis re-promotes: after
+//! `promote_after` consecutive clean (drop-free) deliveries the
+//! stride halves back. Every stride change emits a typed
+//! `hub.downsample` event and bumps `introspect.hub.downsample`.
 
-use apollo_telemetry::RecordBody;
+use crate::sync::plock;
+use apollo_telemetry::{FieldValue, RecordBody};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+/// Per-subscriber adaptive-downsampling policy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DownsampleConfig {
+    /// Drops since the last stride change that demote the subscriber
+    /// (halve its delivery rate).
+    pub trigger_drops: u64,
+    /// Consecutive clean (drop-free) deliveries that re-promote the
+    /// subscriber (double its delivery rate) — the hysteresis that
+    /// keeps a borderline reader from flapping.
+    pub promote_after: u64,
+    /// Stride ceiling (power of two): at most 1 body in `max_stride`
+    /// is delivered to a chronically slow subscriber.
+    pub max_stride: u32,
+}
+
+impl Default for DownsampleConfig {
+    fn default() -> Self {
+        DownsampleConfig {
+            trigger_drops: 32,
+            promote_after: 64,
+            max_stride: 16,
+        }
+    }
+}
 
 struct SubState {
     id: u64,
     queue: VecDeque<RecordBody>,
     dropped: u64,
+    /// Deliver 1 body in `stride` (1 = full rate).
+    stride: u32,
+    /// Publish tick, for stride phase.
+    tick: u64,
+    /// Bodies withheld by downsampling (not counted as drops).
+    downsampled: u64,
+    drops_since_adjust: u64,
+    clean_streak: u64,
 }
 
 struct HubInner {
@@ -33,14 +80,39 @@ pub struct MonitorHub {
     inner: Mutex<HubInner>,
     cv: Condvar,
     queue_cap: usize,
+    downsample: Option<DownsampleConfig>,
 }
 
 impl MonitorHub {
-    /// New hub whose subscriber queues hold at most `queue_cap` bodies.
+    /// New hub whose subscriber queues hold at most `queue_cap` bodies
+    /// (drop-oldest only, no adaptive downsampling).
     ///
     /// # Panics
     /// Panics if `queue_cap` is zero.
     pub fn new(queue_cap: usize) -> Arc<Self> {
+        Self::build(queue_cap, None)
+    }
+
+    /// New hub with per-subscriber adaptive downsampling on top of the
+    /// drop-oldest queues.
+    ///
+    /// # Panics
+    /// Panics if `queue_cap` is zero, or if the config's `max_stride`
+    /// is not a power of two ≥ 2 or `promote_after`/`trigger_drops`
+    /// is zero.
+    pub fn with_downsample(queue_cap: usize, cfg: DownsampleConfig) -> Arc<Self> {
+        assert!(
+            cfg.max_stride >= 2 && cfg.max_stride.is_power_of_two(),
+            "max_stride must be a power of two >= 2"
+        );
+        assert!(
+            cfg.trigger_drops >= 1 && cfg.promote_after >= 1,
+            "downsample thresholds must be >= 1"
+        );
+        Self::build(queue_cap, Some(cfg))
+    }
+
+    fn build(queue_cap: usize, downsample: Option<DownsampleConfig>) -> Arc<Self> {
         assert!(queue_cap >= 1, "queue capacity must be at least 1");
         Arc::new(MonitorHub {
             inner: Mutex::new(HubInner {
@@ -52,44 +124,87 @@ impl MonitorHub {
             }),
             cv: Condvar::new(),
             queue_cap,
+            downsample,
         })
     }
 
     /// Publishes one body to every live subscriber (drop-oldest on a
-    /// full queue). Never blocks beyond the hub mutex.
+    /// full queue, adaptive stride thinning when configured). Never
+    /// blocks beyond the hub mutex.
     pub fn publish(&self, body: &RecordBody) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = plock(&self.inner);
         if inner.closed || inner.subs.is_empty() {
             return;
         }
         let cap = self.queue_cap;
         let mut dropped_now = 0u64;
+        // Stride changes, reported after the lock drops.
+        let mut adjusted: Vec<(u64, u32, u64)> = Vec::new();
         for sub in &mut inner.subs {
+            let phase = sub.tick;
+            sub.tick += 1;
+            if sub.stride > 1 && phase % sub.stride as u64 != 0 {
+                sub.downsampled += 1;
+                continue;
+            }
             if sub.queue.len() == cap {
                 sub.queue.pop_front();
                 sub.dropped += 1;
                 dropped_now += 1;
+                sub.drops_since_adjust += 1;
+                sub.clean_streak = 0;
+            } else {
+                sub.clean_streak += 1;
             }
             sub.queue.push_back(body.clone());
+            if let Some(ds) = &self.downsample {
+                if sub.drops_since_adjust >= ds.trigger_drops && sub.stride < ds.max_stride {
+                    sub.stride *= 2;
+                    sub.drops_since_adjust = 0;
+                    sub.clean_streak = 0;
+                    adjusted.push((sub.id, sub.stride, sub.dropped));
+                } else if sub.clean_streak >= ds.promote_after && sub.stride > 1 {
+                    sub.stride /= 2;
+                    sub.clean_streak = 0;
+                    sub.drops_since_adjust = 0;
+                    adjusted.push((sub.id, sub.stride, sub.dropped));
+                }
+            }
         }
         inner.total_dropped += dropped_now;
+        drop(inner);
         if dropped_now > 0 {
             apollo_telemetry::counter("introspect.hub.dropped").add(dropped_now);
         }
-        drop(inner);
+        for (id, stride, dropped) in adjusted {
+            apollo_telemetry::counter("introspect.hub.downsample").inc();
+            apollo_telemetry::emit_event(
+                "hub.downsample",
+                &[
+                    ("subscriber", FieldValue::from(id)),
+                    ("stride", FieldValue::from(stride as u64)),
+                    ("dropped", FieldValue::from(dropped)),
+                ],
+            );
+        }
         self.cv.notify_all();
     }
 
     /// Registers a subscriber; returns its handle and the live count
     /// after the registration.
     pub fn subscribe(self: &Arc<Self>) -> (Subscriber, usize) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = plock(&self.inner);
         let id = inner.next_id;
         inner.next_id += 1;
         inner.subs.push(SubState {
             id,
             queue: VecDeque::new(),
             dropped: 0,
+            stride: 1,
+            tick: 0,
+            downsampled: 0,
+            drops_since_adjust: 0,
+            clean_streak: 0,
         });
         let active = inner.subs.len();
         inner.peak_subs = inner.peak_subs.max(active);
@@ -105,28 +220,28 @@ impl MonitorHub {
     /// Closes the hub: wakes every blocked subscriber, which then
     /// drains its queue and sees end-of-stream.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        plock(&self.inner).closed = true;
         self.cv.notify_all();
     }
 
     /// True once [`MonitorHub::close`] ran.
     pub fn closed(&self) -> bool {
-        self.inner.lock().unwrap().closed
+        plock(&self.inner).closed
     }
 
     /// Live subscriber count.
     pub fn active(&self) -> usize {
-        self.inner.lock().unwrap().subs.len()
+        plock(&self.inner).subs.len()
     }
 
     /// Highest concurrent subscriber count seen.
     pub fn peak_subscribers(&self) -> usize {
-        self.inner.lock().unwrap().peak_subs
+        plock(&self.inner).peak_subs
     }
 
     /// Bodies dropped across all subscribers by backpressure.
     pub fn total_dropped(&self) -> u64 {
-        self.inner.lock().unwrap().total_dropped
+        plock(&self.inner).total_dropped
     }
 }
 
@@ -149,7 +264,7 @@ pub struct Subscriber {
 impl Subscriber {
     /// Waits up to `timeout` for the next body.
     pub fn poll(&self, timeout: Duration) -> Poll {
-        let mut inner = self.hub.inner.lock().unwrap();
+        let mut inner = plock(&self.hub.inner);
         loop {
             let closed = inner.closed;
             if let Some(sub) = inner.subs.iter_mut().find(|s| s.id == self.id) {
@@ -162,7 +277,11 @@ impl Subscriber {
             } else {
                 return Poll::Closed;
             }
-            let (guard, wait) = self.hub.cv.wait_timeout(inner, timeout).unwrap();
+            let (guard, wait) = self
+                .hub
+                .cv
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             inner = guard;
             if wait.timed_out() {
                 // One last drain check before reporting the timeout.
@@ -183,18 +302,39 @@ impl Subscriber {
 
     /// Bodies this subscriber lost to backpressure.
     pub fn dropped(&self) -> u64 {
-        let inner = self.hub.inner.lock().unwrap();
+        let inner = plock(&self.hub.inner);
         inner
             .subs
             .iter()
             .find(|s| s.id == self.id)
             .map_or(0, |s| s.dropped)
     }
+
+    /// Current delivery stride (1 = full rate; 2ⁿ = 1 body in 2ⁿ).
+    pub fn stride(&self) -> u32 {
+        let inner = plock(&self.hub.inner);
+        inner
+            .subs
+            .iter()
+            .find(|s| s.id == self.id)
+            .map_or(1, |s| s.stride)
+    }
+
+    /// Bodies withheld from this subscriber by adaptive downsampling
+    /// (regular thinning — distinct from backpressure drops).
+    pub fn downsampled(&self) -> u64 {
+        let inner = plock(&self.hub.inner);
+        inner
+            .subs
+            .iter()
+            .find(|s| s.id == self.id)
+            .map_or(0, |s| s.downsampled)
+    }
 }
 
 impl Drop for Subscriber {
     fn drop(&mut self) {
-        let mut inner = self.hub.inner.lock().unwrap();
+        let mut inner = plock(&self.hub.inner);
         inner.subs.retain(|s| s.id != self.id);
     }
 }
@@ -271,6 +411,84 @@ mod tests {
         }
         assert_eq!(hub.active(), 0);
         assert_eq!(hub.peak_subscribers(), 1);
+    }
+
+    #[test]
+    fn stalled_subscriber_escalates_stride_to_cap() {
+        let cfg = DownsampleConfig {
+            trigger_drops: 2,
+            promote_after: 4,
+            max_stride: 4,
+        };
+        let hub = MonitorHub::with_downsample(1, cfg);
+        let (sub, _) = hub.subscribe();
+        // Never poll: every delivered publish past the first drops one.
+        for i in 0..64 {
+            hub.publish(&msg(i));
+        }
+        assert_eq!(sub.stride(), 4, "stride escalates to the cap");
+        assert!(sub.downsampled() > 0, "thinning withheld some bodies");
+        // At stride 4 only 1 in 4 publishes even reaches the queue, so
+        // drops grow ~4x slower than without downsampling.
+        assert!(
+            sub.dropped() < 40,
+            "downsampling curbed drops, got {}",
+            sub.dropped()
+        );
+    }
+
+    #[test]
+    fn recovered_subscriber_repromotes_with_hysteresis() {
+        let cfg = DownsampleConfig {
+            trigger_drops: 2,
+            promote_after: 3,
+            max_stride: 8,
+        };
+        let hub = MonitorHub::with_downsample(1, cfg);
+        let (sub, _) = hub.subscribe();
+        for i in 0..32 {
+            hub.publish(&msg(i));
+        }
+        assert!(sub.stride() > 1, "stalled reader was demoted");
+        // Drain the backlog, then consume promptly after each publish:
+        // every delivered body is clean, so hysteresis walks the stride
+        // back down to 1.
+        while matches!(sub.poll(Duration::from_millis(1)), Poll::Body(_)) {}
+        let mut i = 32u64;
+        while sub.stride() > 1 {
+            hub.publish(&msg(i));
+            i += 1;
+            while matches!(sub.poll(Duration::from_millis(1)), Poll::Body(_)) {}
+            assert!(i < 2048, "stride must re-promote, stuck at {}", sub.stride());
+        }
+        assert_eq!(sub.stride(), 1);
+    }
+
+    #[test]
+    fn downsampled_delivery_is_regular_not_bursty() {
+        let cfg = DownsampleConfig {
+            trigger_drops: 1,
+            promote_after: u64::MAX / 2, // never re-promote in this test
+            max_stride: 2,
+        };
+        let hub = MonitorHub::with_downsample(1, cfg);
+        let (sub, _) = hub.subscribe();
+        // Force one drop to demote to stride 2.
+        hub.publish(&msg(0));
+        hub.publish(&msg(1));
+        assert_eq!(sub.stride(), 2);
+        while matches!(sub.poll(Duration::from_millis(1)), Poll::Body(_)) {}
+        // Now consume promptly: exactly every other publish arrives.
+        let mut got = Vec::new();
+        for i in 2..12 {
+            hub.publish(&msg(i));
+            while let Poll::Body(b) = sub.poll(Duration::from_millis(1)) {
+                if let RecordBody::Message { text, .. } = *b {
+                    got.push(text);
+                }
+            }
+        }
+        assert_eq!(got.len(), 5, "stride 2 delivers 1 in 2: {got:?}");
     }
 
     #[test]

@@ -17,7 +17,16 @@
 //!   a slow reader never stalls the simulation loop);
 //! * [`server`] — zero-dependency TCP endpoint speaking Prometheus
 //!   text on `/metrics` and schema-versioned JSONL on `/events`, with
-//!   `/shutdown` for signal-free termination.
+//!   `/shutdown` for signal-free termination; hardened against
+//!   malformed, stalled, and excess peers ([`server::ServerOptions`]);
+//! * [`supervisor`] — fleet supervision with panic isolation,
+//!   deterministic exponential backoff, checkpoint-driven resume and
+//!   a circuit breaker into a `Degraded` state exported on `/metrics`;
+//! * [`checkpoint`] — versioned, CRC-guarded, atomically-written
+//!   snapshots of the monitor's durable state;
+//! * [`chaos`] — seeded, replayable fault plans plus the client-side
+//!   drivers the chaos differential tests and `repro_chaos` share;
+//! * [`sync`] — poison-proof locking for the serving layer.
 //!
 //! # Determinism contract
 //!
@@ -33,12 +42,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod hub;
 pub mod monitor;
 pub mod ring;
 pub mod server;
+pub mod supervisor;
+pub mod sync;
 
-pub use hub::{MonitorHub, Poll, Subscriber};
-pub use monitor::{run_monitor, MonitorConfig, MonitorReport};
-pub use ring::{History, HistoryStats, WindowRecord};
-pub use server::{http_get_lines, serve, ServerHandle};
+pub use chaos::{ChaosPlan, ChaosRng, MalformedKind, ServiceFault};
+pub use checkpoint::{CheckpointError, CheckpointPolicy, MonitorSnapshot};
+pub use hub::{DownsampleConfig, MonitorHub, Poll, Subscriber};
+pub use monitor::{run_monitor, run_monitor_with, MonitorConfig, MonitorReport, RunOptions};
+pub use ring::{History, HistoryAggregates, HistoryStats, WindowRecord};
+pub use server::{http_get_lines, serve, serve_with, ServerHandle, ServerOptions};
+pub use supervisor::{
+    fleet_specs, run_supervised, BackoffPolicy, Decision, InjectedPanic, PipelineOutcome,
+    PipelineSpec, PipelineState, SupervisorConfig, SupervisorReport,
+};

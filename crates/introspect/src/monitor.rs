@@ -24,6 +24,10 @@
 //! simulator thread counts, and with no hub subscribers the pipeline
 //! is observationally identical to an offline `apollo eval`.
 
+use crate::checkpoint::{
+    check_compatible, load_snapshot, write_snapshot, CheckpointError, CheckpointPolicy,
+    MonitorSnapshot, CHECKPOINT_VERSION,
+};
 use crate::hub::MonitorHub;
 use crate::ring::{History, HistoryStats, WindowRecord};
 use apollo_core::{ApolloError, ApolloModel, DesignContext};
@@ -67,6 +71,37 @@ impl Default for MonitorConfig {
     }
 }
 
+/// Per-run options orthogonal to the steady-state [`MonitorConfig`]:
+/// supervision identity, checkpointing, resume, and deterministic
+/// chaos injection.
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Pipeline id: names the checkpoint file, tags every published
+    /// `introspect.window` body with a `pipeline` field (so a fleet
+    /// multiplexed onto one hub stays attributable), and labels
+    /// supervisor events. `None` = untagged single pipeline.
+    pub pipeline: Option<String>,
+    /// When set, a [`MonitorSnapshot`] is written atomically every
+    /// `every_windows` completed windows.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Attempt to resume from the checkpoint file before starting. A
+    /// missing, corrupt, or configuration-mismatched checkpoint falls
+    /// back to a fresh start (corruption is counted and logged, never
+    /// trusted).
+    pub resume: bool,
+    /// Chaos hook: panic (deterministically) immediately after
+    /// completing each listed global window index. Used by the
+    /// supervisor chaos harness; empty in production.
+    pub panic_at_windows: Vec<u64>,
+}
+
+impl RunOptions {
+    /// The pipeline id, defaulting to `monitor`.
+    pub fn pipeline_id(&self) -> &str {
+        self.pipeline.as_deref().unwrap_or("monitor")
+    }
+}
+
 /// Final state of a monitor run, bit-identical across simulator thread
 /// counts for the same inputs.
 #[derive(Clone, Debug, PartialEq, serde::Serialize)]
@@ -102,6 +137,10 @@ pub struct MonitorReport {
     pub final_throttle: u8,
     /// Windows evicted from the bounded history ring.
     pub history_dropped: u64,
+    /// Window index this run resumed from (`None` = fresh start).
+    pub resumed_from: Option<u64>,
+    /// Checkpoints written during this run.
+    pub checkpoints: u64,
 }
 
 /// Runs the introspection pipeline for `bench` on `ctx`'s design.
@@ -120,6 +159,36 @@ pub fn run_monitor(
     cfg: &MonitorConfig,
     hub: Option<&MonitorHub>,
     stop: &AtomicBool,
+) -> Result<MonitorReport, ApolloError> {
+    run_monitor_with(ctx, model, bench, cfg, hub, stop, &RunOptions::default())
+}
+
+/// [`run_monitor`] with supervision options: checkpointing, resume,
+/// pipeline tagging, and deterministic chaos injection.
+///
+/// Resume restores the durable pipeline state (counters, drift
+/// detectors, arm state, energy and history aggregates) from the
+/// checkpoint, then reconstructs the exact simulator state by
+/// replaying `cycle_in_run` cycles of the deterministic workload from
+/// a fresh simulation — so, absent mid-run throttle changes, the
+/// post-resume window stream is bit-identical to the uninterrupted
+/// run's stream from the checkpoint window onward (machine-checked by
+/// `tests/chaos_differential.rs`).
+///
+/// # Errors
+/// Returns [`ApolloError::Spec`] for an invalid OPM spec or a model
+/// the quantizer rejects. Checkpoint problems never fail the run: a
+/// bad checkpoint falls back to a fresh start, a failed checkpoint
+/// write is counted (`introspect.checkpoint.write_errors`) and
+/// skipped.
+pub fn run_monitor_with(
+    ctx: &DesignContext,
+    model: &ApolloModel,
+    bench: &Benchmark,
+    cfg: &MonitorConfig,
+    hub: Option<&MonitorHub>,
+    stop: &AtomicBool,
+    opts: &RunOptions,
 ) -> Result<MonitorReport, ApolloError> {
     let opm = QuantizedOpm::from_model(model, cfg.bits, cfg.window_t)?;
     let map = AttributionMap::from_model(model);
@@ -154,18 +223,107 @@ pub fn run_monitor(
         ],
     );
 
-    let mut sim = ctx.simulate(&bench.program, &bench.data);
-    let mut throttle = 0u8;
-    if cfg.arm.is_some() {
-        sim.sim_mut().set_input(ctx.handles.throttle_override_en, 1);
-        sim.sim_mut().set_input(ctx.handles.throttle_override, 0);
-    }
+    let pipeline_id = opts.pipeline_id().to_owned();
+    let ckpt_file = opts
+        .checkpoint
+        .as_ref()
+        .map(|p| (p.file(&pipeline_id), p.every_windows));
 
+    // Durable state, possibly restored from a checkpoint below.
     let mut cycle = 0u64;
     let mut runs = 1u64;
+    let mut cycle_in_run = 0u64;
+    let mut throttle = 0u8;
+    let mut energy = 0.0f64;
+    let mut checkpoints = 0u64;
+    let mut resumed_from: Option<u64> = None;
+
+    if opts.resume {
+        if let Some((file, _)) = &ckpt_file {
+            match load_snapshot(file).and_then(|snap| {
+                check_compatible(
+                    &snap,
+                    &pipeline_id,
+                    &model.design_name,
+                    &bench.name,
+                    cfg.window_t,
+                    cfg.bits,
+                )?;
+                if snap.unit_energy.len() != map.n_classes() {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "{} attribution classes != {}",
+                        snap.unit_energy.len(),
+                        map.n_classes()
+                    )));
+                }
+                Ok(snap)
+            }) {
+                Ok(snap) => {
+                    acc.resume_at(snap.windows);
+                    quant_drift = snap.quant_drift;
+                    truth_drift = snap.truth_drift;
+                    if cfg.arm.is_some() {
+                        if let Some(a) = snap.arm {
+                            arm = Some(a);
+                        }
+                    }
+                    history = History::resume(cfg.history, &snap.history);
+                    energy = snap.energy;
+                    unit_energy = snap.unit_energy;
+                    cycle = snap.cycle;
+                    runs = snap.runs;
+                    cycle_in_run = snap.cycle_in_run;
+                    throttle = snap.throttle;
+                    resumed_from = Some(snap.windows);
+                    apollo_telemetry::counter("introspect.checkpoint.resumes").inc();
+                    apollo_telemetry::emit_event(
+                        "introspect.checkpoint.resume",
+                        &[
+                            ("pipeline", FieldValue::from(pipeline_id.as_str())),
+                            ("window", FieldValue::from(snap.windows)),
+                            ("cycle", FieldValue::from(snap.cycle)),
+                        ],
+                    );
+                }
+                Err(CheckpointError::Missing) => {}
+                Err(e) => {
+                    // Corrupt or mismatched state is never trusted:
+                    // count it, log it, start fresh.
+                    apollo_telemetry::counter("introspect.checkpoint.rejected").inc();
+                    apollo_telemetry::diag(&format!(
+                        "pipeline `{pipeline_id}`: checkpoint rejected ({e}), starting fresh"
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut sim = ctx.simulate(&bench.program, &bench.data);
+    if cfg.arm.is_some() {
+        sim.sim_mut().set_input(ctx.handles.throttle_override_en, 1);
+        sim.sim_mut()
+            .set_input(ctx.handles.throttle_override, throttle as u64);
+    }
+    // Reconstruct the simulator state at the checkpoint: the sim is
+    // deterministic, so stepping `cycle_in_run` cycles of a fresh
+    // workload replays the exact machine state the uninterrupted run
+    // had. Replayed cycles feed no accumulators — their windows were
+    // already accounted before the snapshot.
+    for _ in 0..cycle_in_run {
+        debug_assert!(!sim.halted(), "cycle_in_run spans a single workload run");
+        if sim.halted() {
+            sim = ctx.simulate(&bench.program, &bench.data);
+            if cfg.arm.is_some() {
+                sim.sim_mut().set_input(ctx.handles.throttle_override_en, 1);
+                sim.sim_mut()
+                    .set_input(ctx.handles.throttle_override, throttle as u64);
+            }
+        }
+        sim.step();
+    }
+
     let mut toggled = vec![false; q];
     let mut float_acc = 0.0f64;
-    let mut energy = 0.0f64;
 
     loop {
         if stop.load(Ordering::Relaxed) {
@@ -185,6 +343,7 @@ pub fn run_monitor(
             );
             apollo_telemetry::counter("introspect.restarts").inc();
             sim = ctx.simulate(&bench.program, &bench.data);
+            cycle_in_run = 0;
             if cfg.arm.is_some() {
                 sim.sim_mut().set_input(ctx.handles.throttle_override_en, 1);
                 sim.sim_mut()
@@ -193,6 +352,7 @@ pub fn run_monitor(
         }
         sim.step();
         cycle += 1;
+        cycle_in_run += 1;
 
         let power = sim.sim().power();
         {
@@ -256,7 +416,8 @@ pub fn run_monitor(
         }
 
         // The typed window event: one body, shared by the global sink
-        // and the serving hub.
+        // and the serving hub. Supervised pipelines tag every body so
+        // a fleet multiplexed onto one hub stays attributable.
         let mut fields: Vec<(String, FieldValue)> = vec![
             ("window".to_owned(), FieldValue::from(attr.window)),
             ("cycle".to_owned(), FieldValue::from(cycle)),
@@ -270,6 +431,9 @@ pub fn run_monitor(
         ];
         for (i, name) in unit_fields.iter().enumerate() {
             fields.push((name.clone(), FieldValue::from(attr.raw[i])));
+        }
+        if let Some(tag) = &opts.pipeline {
+            fields.push(("pipeline".to_owned(), FieldValue::from(tag.as_str())));
         }
         if apollo_telemetry::events_enabled() {
             let refs: Vec<(&str, FieldValue)> = fields
@@ -297,6 +461,64 @@ pub fn run_monitor(
             throttle,
             unit_raw: attr.raw,
         });
+
+        // Checkpoint at the configured window cadence. The window just
+        // closed, so every per-window partial (attribution fill, float
+        // accumulator, truth tap) is empty and the snapshot is a pure
+        // window-boundary state.
+        if let Some((file, every)) = &ckpt_file {
+            if (attr.window + 1) % every == 0 {
+                let snap = MonitorSnapshot {
+                    v: CHECKPOINT_VERSION,
+                    pipeline: pipeline_id.clone(),
+                    design: model.design_name.clone(),
+                    bench: bench.name.clone(),
+                    window_t: cfg.window_t,
+                    bits: cfg.bits,
+                    windows: attr.window + 1,
+                    cycle,
+                    runs,
+                    cycle_in_run,
+                    throttle,
+                    energy,
+                    unit_energy: unit_energy.clone(),
+                    history: history.aggregates(),
+                    quant_drift: quant_drift.clone(),
+                    truth_drift: truth_drift.clone(),
+                    arm: arm.clone(),
+                };
+                match write_snapshot(file, &snap) {
+                    Ok(bytes) => {
+                        checkpoints += 1;
+                        apollo_telemetry::counter("introspect.checkpoint.writes").inc();
+                        apollo_telemetry::emit_event(
+                            "introspect.checkpoint.write",
+                            &[
+                                ("pipeline", FieldValue::from(pipeline_id.as_str())),
+                                ("window", FieldValue::from(attr.window + 1)),
+                                ("bytes", FieldValue::from(bytes)),
+                            ],
+                        );
+                    }
+                    Err(e) => {
+                        // Best-effort durability: a failed write skips
+                        // this checkpoint, it never stops monitoring.
+                        apollo_telemetry::counter("introspect.checkpoint.write_errors").inc();
+                        apollo_telemetry::diag(&format!(
+                            "pipeline `{pipeline_id}`: checkpoint write failed: {e}"
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Chaos hook: a seeded fault plan may demand a panic right
+        // after this window's effects became visible (publish +
+        // checkpoint), exercising the supervisor's recovery path at a
+        // deterministic point.
+        if opts.panic_at_windows.contains(&attr.window) {
+            panic!("chaos: injected panic at window {}", attr.window);
+        }
     }
 
     let windows = history.total_windows();
@@ -324,6 +546,8 @@ pub fn run_monitor(
         armed_windows: arm.as_ref().map_or(0, |a| a.armed_windows),
         final_throttle: throttle,
         history_dropped: history.dropped(),
+        resumed_from,
+        checkpoints,
     })
 }
 

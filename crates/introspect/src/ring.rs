@@ -48,6 +48,29 @@ pub struct HistoryStats {
     pub mean_true: f64,
 }
 
+/// The exact full-stream aggregate state of a [`History`], detached
+/// from the retained ring so a checkpointed pipeline can resume its
+/// lifetime statistics without replaying the stream.
+///
+/// `peak_est` is stored as [`f64::NEG_INFINITY`]'s sentinel `None`
+/// only implicitly: aggregates are only ever captured after at least
+/// one window, when the peak is finite (JSON cannot carry ±inf).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistoryAggregates {
+    /// Windows observed over the full stream.
+    pub total_windows: u64,
+    /// Sum of estimated power over the full stream.
+    pub sum_est: f64,
+    /// Sum of ground-truth power over the full stream.
+    pub sum_true: f64,
+    /// Full-stream peak estimated power.
+    pub peak_est: f64,
+    /// Cumulative estimated energy through the latest window.
+    pub energy: f64,
+    /// Windows evicted by the drop-oldest policy.
+    pub dropped: u64,
+}
+
 /// Drop-oldest bounded ring of [`WindowRecord`]s plus exact
 /// full-stream aggregates.
 #[derive(Clone, Debug)]
@@ -79,6 +102,45 @@ impl History {
             sum_true: 0.0,
             peak_est: f64::NEG_INFINITY,
             energy: 0.0,
+        }
+    }
+
+    /// New history primed with the full-stream aggregates of an
+    /// earlier run (the ring itself starts empty: retained records are
+    /// volatile, aggregates are durable).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn resume(capacity: usize, agg: &HistoryAggregates) -> Self {
+        let mut h = History::new(capacity);
+        h.total_windows = agg.total_windows;
+        h.sum_est = agg.sum_est;
+        h.sum_true = agg.sum_true;
+        h.peak_est = if agg.total_windows == 0 {
+            f64::NEG_INFINITY
+        } else {
+            agg.peak_est
+        };
+        h.energy = agg.energy;
+        h.dropped = agg.dropped;
+        h
+    }
+
+    /// The exact full-stream aggregate state, for checkpointing.
+    pub fn aggregates(&self) -> HistoryAggregates {
+        HistoryAggregates {
+            total_windows: self.total_windows,
+            sum_est: self.sum_est,
+            sum_true: self.sum_true,
+            // Keep the serialized form finite; `resume` restores the
+            // identity-element sentinel for an empty stream.
+            peak_est: if self.total_windows == 0 {
+                0.0
+            } else {
+                self.peak_est
+            },
+            energy: self.energy,
+            dropped: self.dropped,
         }
     }
 
@@ -239,6 +301,30 @@ mod tests {
         let all = h.tail_stats(100);
         assert_eq!(all.windows, 6);
         assert!((all.mean_est - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates_roundtrip_through_resume() {
+        let mut h = History::new(3);
+        for i in 0..5 {
+            h.push(rec(i, i as f64));
+        }
+        let agg = h.aggregates();
+        let mut r = History::resume(3, &agg);
+        assert!(r.is_empty(), "retained records are volatile");
+        assert_eq!(r.total_windows(), 5);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.mean_est(), h.mean_est());
+        assert_eq!(r.peak_est(), h.peak_est());
+        assert_eq!(r.energy(), h.energy());
+        // Resumed pushes keep extending the same stream.
+        r.push(rec(5, 10.0));
+        assert_eq!(r.total_windows(), 6);
+        assert_eq!(r.peak_est(), 10.0);
+        // An empty-stream aggregate restores the peak sentinel.
+        let empty = History::new(2).aggregates();
+        let r2 = History::resume(2, &empty);
+        assert_eq!(r2.peak_est(), 0.0);
     }
 
     #[test]

@@ -17,15 +17,67 @@
 //! The accept loop is non-blocking and polls the stop flag, so the
 //! server winds down without signal handlers; connection handlers are
 //! joined on [`ServerHandle::stop`].
+//!
+//! # Hardening
+//!
+//! The server assumes hostile or broken peers and degrades instead of
+//! failing:
+//!
+//! * **Bounded parsing** — request and header lines are read through a
+//!   byte cap ([`ServerOptions::max_line_bytes`]); an oversized or
+//!   structurally malformed request gets `400`, a zero-length read is
+//!   a clean close. No input can panic a handler or grow memory
+//!   unboundedly.
+//! * **Timeouts both ways** — every served connection carries a read
+//!   *and* a write timeout. A peer that stalls mid-request gets `408`;
+//!   a `/events` client that stops draining its socket is evicted once
+//!   a write times out (`introspect.http.slow_evicted`).
+//! * **Connection cap** — at most [`ServerOptions::max_conns`] live
+//!   handlers; excess connections are shed with `503`
+//!   (`introspect.http.shed`). Finished handler threads are reaped on
+//!   every accept.
+//! * **Panic isolation** — shared serving state is locked through
+//!   [`plock`](crate::sync::plock), so a panicking handler thread can
+//!   never poison the accept loop or `stop()` into a cascade.
 
 use crate::hub::{MonitorHub, Poll};
+use crate::sync::plock;
 use apollo_telemetry::{FieldValue, Record, SCHEMA_VERSION};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Serving-layer robustness knobs (see module docs).
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// Per-connection read timeout (stalled request ⇒ `408`).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout (stalled `/events` client ⇒
+    /// eviction; stalled response write ⇒ drop).
+    pub write_timeout: Duration,
+    /// Maximum concurrent connection handlers; excess peers get `503`.
+    pub max_conns: usize,
+    /// Byte cap on any single request or header line (`400` beyond).
+    pub max_line_bytes: usize,
+    /// Test-only chaos hook: a GET on this exact path panics inside
+    /// the handler thread, exercising panic isolation end to end.
+    pub chaos_panic_path: Option<String>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_conns: 64,
+            max_line_bytes: 8 * 1024,
+            chaos_panic_path: None,
+        }
+    }
+}
 
 /// Running server: bound address plus lifecycle control.
 pub struct ServerHandle {
@@ -50,7 +102,7 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        let conns = std::mem::take(&mut *plock(&self.conns));
         for h in conns {
             let _ = h.join();
         }
@@ -58,7 +110,8 @@ impl ServerHandle {
 }
 
 /// Binds `listen` (e.g. `127.0.0.1:9100`; port 0 picks a free port)
-/// and serves until `stop` becomes true.
+/// and serves with default [`ServerOptions`] until `stop` becomes
+/// true.
 ///
 /// # Errors
 /// Returns the bind error if the address is unavailable.
@@ -66,6 +119,19 @@ pub fn serve(
     listen: &str,
     hub: Arc<MonitorHub>,
     stop: Arc<AtomicBool>,
+) -> std::io::Result<ServerHandle> {
+    serve_with(listen, hub, stop, ServerOptions::default())
+}
+
+/// [`serve`] with explicit robustness options.
+///
+/// # Errors
+/// Returns the bind error if the address is unavailable.
+pub fn serve_with(
+    listen: &str,
+    hub: Arc<MonitorHub>,
+    stop: Arc<AtomicBool>,
+    opts: ServerOptions,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(listen)?;
     listener.set_nonblocking(true)?;
@@ -76,7 +142,7 @@ pub fn serve(
         let hub = Arc::clone(&hub);
         let conns = Arc::clone(&conns);
         std::thread::spawn(move || {
-            accept_loop(&listener, &hub, &stop, &conns);
+            accept_loop(&listener, &hub, &stop, &conns, &opts);
         })
     };
     Ok(ServerHandle {
@@ -93,18 +159,45 @@ fn accept_loop(
     hub: &Arc<MonitorHub>,
     stop: &Arc<AtomicBool>,
     conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    opts: &ServerOptions,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
+                let live = {
+                    let mut guard = plock(conns);
+                    // Reap finished handler threads so the registry
+                    // tracks *live* connections, not lifetime totals.
+                    let (done, alive): (Vec<_>, Vec<_>) =
+                        std::mem::take(&mut *guard).into_iter().partition(JoinHandle::is_finished);
+                    *guard = alive;
+                    drop(guard);
+                    for h in done {
+                        let _ = h.join();
+                    }
+                    plock(conns).len()
+                };
+                if live >= opts.max_conns {
+                    // Shed load instead of queueing unboundedly.
+                    apollo_telemetry::counter("introspect.http.shed").inc();
+                    let _ = stream.set_write_timeout(Some(opts.write_timeout));
+                    let _ = respond(
+                        &mut stream,
+                        "503 Service Unavailable",
+                        "text/plain",
+                        "connection limit reached\n",
+                    );
+                    continue;
+                }
                 let hub = Arc::clone(hub);
                 let stop = Arc::clone(stop);
+                let opts = opts.clone();
                 let handle = std::thread::spawn(move || {
                     // Per-connection errors (reset peers, parse noise)
                     // must not take the server down.
-                    let _ = handle_connection(stream, &hub, &stop);
+                    let _ = handle_connection(stream, &hub, &stop, &opts);
                 });
-                conns.lock().unwrap().push(handle);
+                plock(conns).push(handle);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
@@ -114,28 +207,127 @@ fn accept_loop(
     }
 }
 
+/// One line read through the byte cap.
+enum LineRead {
+    /// A complete line (terminator stripped, lossy UTF-8).
+    Line(String),
+    /// Peer closed before sending anything on this line.
+    Eof,
+    /// The line exceeded the cap without a terminating `\n`.
+    Oversize,
+}
+
+/// Reads one `\n`-terminated line, never buffering more than
+/// `cap + 1` bytes regardless of what the peer sends.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    cap: usize,
+) -> std::io::Result<LineRead> {
+    let mut buf = Vec::new();
+    let n = reader.take(cap as u64 + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if !buf.ends_with(b"\n") && buf.len() > cap {
+        return Ok(LineRead::Oversize);
+    }
+    let text = String::from_utf8_lossy(&buf)
+        .trim_end_matches(['\r', '\n'])
+        .to_owned();
+    Ok(LineRead::Line(text))
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 fn handle_connection(
     stream: TcpStream,
     hub: &Arc<MonitorHub>,
     stop: &Arc<AtomicBool>,
+    opts: &ServerOptions,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_read_timeout(Some(opts.read_timeout))?;
+    stream.set_write_timeout(Some(opts.write_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
+    let mut out = stream;
+    let request_line = match read_line_bounded(&mut reader, opts.max_line_bytes) {
+        Ok(LineRead::Line(l)) => l,
+        // Zero-length read: peer connected and went away. Clean drop.
+        Ok(LineRead::Eof) => return Ok(()),
+        Ok(LineRead::Oversize) => {
+            apollo_telemetry::counter("introspect.http.bad_requests").inc();
+            return respond(
+                &mut out,
+                "400 Bad Request",
+                "text/plain",
+                "request line too long\n",
+            );
+        }
+        Err(e) if is_timeout(&e) => {
+            apollo_telemetry::counter("introspect.http.timeouts").inc();
+            return respond(
+                &mut out,
+                "408 Request Timeout",
+                "text/plain",
+                "request not received in time\n",
+            );
+        }
+        Err(e) => return Err(e),
+    };
     // Drain headers up to the blank line; bodies are not supported.
-    let mut header = String::new();
     loop {
-        header.clear();
-        let n = reader.read_line(&mut header)?;
-        if n == 0 || header.trim().is_empty() {
-            break;
+        match read_line_bounded(&mut reader, opts.max_line_bytes) {
+            Ok(LineRead::Line(h)) if h.is_empty() => break,
+            Ok(LineRead::Line(_)) => continue,
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::Oversize) => {
+                apollo_telemetry::counter("introspect.http.bad_requests").inc();
+                return respond(
+                    &mut out,
+                    "400 Bad Request",
+                    "text/plain",
+                    "header line too long\n",
+                );
+            }
+            Err(e) if is_timeout(&e) => {
+                apollo_telemetry::counter("introspect.http.timeouts").inc();
+                return respond(
+                    &mut out,
+                    "408 Request Timeout",
+                    "text/plain",
+                    "headers not received in time\n",
+                );
+            }
+            Err(e) => return Err(e),
         }
     }
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let mut out = stream;
+    let (method, path, version) = (parts.next(), parts.next(), parts.next());
+    let (Some(method), Some(path)) = (method, path) else {
+        apollo_telemetry::counter("introspect.http.bad_requests").inc();
+        return respond(
+            &mut out,
+            "400 Bad Request",
+            "text/plain",
+            "malformed request line\n",
+        );
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase())
+        || !path.starts_with('/')
+        || !version.is_some_and(|v| v.starts_with("HTTP/"))
+    {
+        apollo_telemetry::counter("introspect.http.bad_requests").inc();
+        return respond(
+            &mut out,
+            "400 Bad Request",
+            "text/plain",
+            "malformed request line\n",
+        );
+    }
     if method != "GET" {
         return respond(
             &mut out,
@@ -143,6 +335,9 @@ fn handle_connection(
             "text/plain",
             "GET only\n",
         );
+    }
+    if opts.chaos_panic_path.as_deref() == Some(path) {
+        panic!("chaos: injected handler panic on {path}");
     }
     match path {
         "/" => respond(
@@ -184,7 +379,8 @@ fn respond(
 }
 
 /// Streams hub bodies as schema-versioned JSONL until the hub closes,
-/// the stop flag rises, or the client goes away.
+/// the stop flag rises, the client goes away, or a write times out
+/// (slow-client eviction).
 fn stream_events(
     stream: &mut TcpStream,
     hub: &Arc<MonitorHub>,
@@ -222,11 +418,14 @@ fn stream_events(
                     body: *body,
                 };
                 seq += 1;
-                if writeln!(stream, "{}", rec.to_jsonl())
-                    .and_then(|()| stream.flush())
-                    .is_err()
+                if let Err(e) = writeln!(stream, "{}", rec.to_jsonl()).and_then(|()| stream.flush())
                 {
-                    break Ok(()); // client went away
+                    if is_timeout(&e) {
+                        // The peer stopped draining: evict rather than
+                        // let its socket backpressure pin this thread.
+                        apollo_telemetry::counter("introspect.http.slow_evicted").inc();
+                    }
+                    break Ok(()); // client went away or stalled out
                 }
             }
             Poll::Timeout => continue,
@@ -261,6 +460,7 @@ pub fn http_get_lines(
 ) -> std::io::Result<Vec<String>> {
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
     let mut out = stream.try_clone()?;
     write!(
         out,
@@ -313,6 +513,26 @@ pub fn http_get_lines(
 mod tests {
     use super::*;
     use apollo_telemetry::RecordBody;
+
+    fn start(opts: ServerOptions) -> (ServerHandle, String, Arc<MonitorHub>, Arc<AtomicBool>) {
+        let hub = MonitorHub::new(8);
+        let stop = Arc::new(AtomicBool::new(false));
+        let server =
+            serve_with("127.0.0.1:0", Arc::clone(&hub), Arc::clone(&stop), opts).unwrap();
+        let addr = server.addr().to_string();
+        (server, addr, hub, stop)
+    }
+
+    fn raw_status(addr: &str, payload: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(payload).unwrap();
+        s.flush().unwrap();
+        let mut r = BufReader::new(s);
+        let mut status = String::new();
+        r.read_line(&mut status).unwrap();
+        status
+    }
 
     #[test]
     fn metrics_endpoint_serves_prometheus_text() {
@@ -382,19 +602,114 @@ mod tests {
 
     #[test]
     fn unknown_path_is_404_and_post_is_405() {
-        let hub = MonitorHub::new(8);
-        let stop = Arc::new(AtomicBool::new(false));
-        let server = serve("127.0.0.1:0", Arc::clone(&hub), Arc::clone(&stop)).unwrap();
-        let addr = server.addr().to_string();
+        let (server, addr, _hub, _stop) = start(ServerOptions::default());
         let err = http_get_lines(&addr, "/nope", None).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
-
-        let mut s = TcpStream::connect(&addr).unwrap();
-        write!(s, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
-        let mut resp = String::new();
-        let mut r = BufReader::new(s.try_clone().unwrap());
-        r.read_line(&mut resp).unwrap();
+        let resp = raw_status(&addr, b"POST /metrics HTTP/1.1\r\n\r\n");
         assert!(resp.contains("405"), "{resp}");
+        server.stop();
+    }
+
+    #[test]
+    fn oversized_request_line_gets_400() {
+        let opts = ServerOptions {
+            max_line_bytes: 256,
+            ..ServerOptions::default()
+        };
+        let (server, addr, _hub, _stop) = start(opts);
+        let mut payload = b"GET /".to_vec();
+        payload.extend(vec![b'a'; 4096]);
+        let resp = raw_status(&addr, &payload);
+        assert!(resp.contains("400"), "{resp}");
+        server.stop();
+    }
+
+    #[test]
+    fn garbage_bytes_get_400_and_server_survives() {
+        let (server, addr, _hub, _stop) = start(ServerOptions::default());
+        let resp = raw_status(&addr, b"\x00\xff\xfe garbage \x01\x02\n\r\n");
+        assert!(resp.contains("400"), "{resp}");
+        // The server still answers well-formed requests afterwards.
+        let lines = http_get_lines(&addr, "/", None).unwrap();
+        assert!(!lines.is_empty());
+        server.stop();
+    }
+
+    #[test]
+    fn zero_length_read_is_a_clean_drop() {
+        let (server, addr, _hub, _stop) = start(ServerOptions::default());
+        // Connect and immediately close without sending a byte.
+        for _ in 0..4 {
+            let s = TcpStream::connect(&addr).unwrap();
+            drop(s);
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let lines = http_get_lines(&addr, "/", None).unwrap();
+        assert!(!lines.is_empty(), "server alive after empty connections");
+        server.stop();
+    }
+
+    #[test]
+    fn stalled_request_gets_408() {
+        let opts = ServerOptions {
+            read_timeout: Duration::from_millis(150),
+            ..ServerOptions::default()
+        };
+        let (server, addr, _hub, _stop) = start(opts);
+        // Open, send half a request line, never finish it.
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"GET /met").unwrap();
+        s.flush().unwrap();
+        let mut r = BufReader::new(s);
+        let mut status = String::new();
+        r.read_line(&mut status).unwrap();
+        assert!(status.contains("408"), "{status}");
+        server.stop();
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_503() {
+        let opts = ServerOptions {
+            max_conns: 1,
+            ..ServerOptions::default()
+        };
+        let (server, addr, hub, _stop) = start(opts);
+        // Occupy the single slot with a long-lived /events stream.
+        let streamer = {
+            let addr = addr.clone();
+            std::thread::spawn(move || http_get_lines(&addr, "/events", Some(1)))
+        };
+        std::thread::sleep(Duration::from_millis(200));
+        // Second connection must be shed.
+        let resp = raw_status(&addr, b"GET / HTTP/1.1\r\n\r\n");
+        assert!(resp.contains("503"), "{resp}");
+        hub.publish(&RecordBody::Message {
+            level: "info".into(),
+            text: "unblock".into(),
+        });
+        hub.close();
+        let _ = streamer.join().unwrap();
+        server.stop();
+    }
+
+    #[test]
+    fn handler_panic_does_not_poison_the_server() {
+        let opts = ServerOptions {
+            chaos_panic_path: Some("/chaos-panic".into()),
+            ..ServerOptions::default()
+        };
+        let (server, addr, _hub, _stop) = start(opts);
+        // The panicking handler drops the connection mid-flight …
+        let res = http_get_lines(&addr, "/chaos-panic", None);
+        assert!(res.is_err(), "panicking handler cannot answer");
+        // … and the server keeps accepting, handling, and stopping
+        // cleanly afterwards (regression: a poisoned conns mutex used
+        // to cascade `lock().unwrap()` panics into the accept loop).
+        for _ in 0..3 {
+            let lines = http_get_lines(&addr, "/metrics", None).unwrap();
+            assert!(!lines.is_empty());
+        }
         server.stop();
     }
 }

@@ -1,0 +1,453 @@
+//! Pipeline supervision: panic isolation, deterministic backoff,
+//! circuit breaking, and checkpoint-driven recovery.
+//!
+//! A [`Supervisor`]-style run ([`run_supervised`]) owns a fleet of
+//! monitor pipelines (one OS thread each, mixed [`MonitorConfig`]
+//! presets over different workloads — the registry shape for
+//! fleet-scale serving). Each pipeline executes
+//! [`run_monitor_with`](crate::monitor::run_monitor_with) inside
+//! `catch_unwind`, so a panicking pipeline is *isolated*: its thread
+//! survives, siblings and the serving layer never notice.
+//!
+//! Recovery policy, in order:
+//!
+//! 1. **Restart with deterministic backoff.** After the `n`-th
+//!    consecutive failure the pipeline waits
+//!    [`BackoffPolicy::delay_ms`]`(n)` — a pure function of `n` (no
+//!    wall-clock sampling, no jitter), so supervision *decisions* are
+//!    byte-identical across reruns of the same fault plan. Restarts
+//!    resume from the pipeline's checkpoint when one exists.
+//! 2. **Circuit-break to `Degraded`.** After
+//!    [`BackoffPolicy::give_up`] consecutive failures the pipeline
+//!    stops retrying, emits `introspect.supervisor.degraded`, and
+//!    raises the `introspect.supervisor.degraded` gauge exported on
+//!    `/metrics` — a scrape sees partial-fleet operation directly.
+//!
+//! Every supervision step is recorded as a typed [`Decision`]; the
+//! per-pipeline decision log serializes to JSON and is the object the
+//! chaos differential tests compare byte-for-byte.
+
+use crate::checkpoint::CheckpointPolicy;
+use crate::hub::MonitorHub;
+use crate::monitor::{run_monitor_with, MonitorConfig, MonitorReport, RunOptions};
+use crate::sync::plock;
+use apollo_core::{ApolloModel, DesignContext};
+use apollo_cpu::benchmarks::{self, Benchmark};
+use apollo_telemetry::FieldValue;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Deterministic exponential backoff + circuit breaker.
+///
+/// The delay before restart attempt `n` (1-based consecutive failure
+/// count) is `min(base_ms · factor^(n−1), max_ms)` — a pure function
+/// of `n` with no randomness, so two supervisors replaying the same
+/// fault plan produce identical decision logs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BackoffPolicy {
+    /// Delay before the first restart, in milliseconds.
+    pub base_ms: u64,
+    /// Multiplier applied per additional consecutive failure.
+    pub factor: u64,
+    /// Delay ceiling in milliseconds.
+    pub max_ms: u64,
+    /// Consecutive failures that trip the circuit breaker into
+    /// [`PipelineState::Degraded`].
+    pub give_up: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base_ms: 50,
+            factor: 2,
+            max_ms: 2_000,
+            give_up: 4,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Delay before restart after the `n`-th consecutive failure
+    /// (`n ≥ 1`). Pure and total: saturates at `max_ms`.
+    pub fn delay_ms(&self, n: u32) -> u64 {
+        let mut d = self.base_ms;
+        for _ in 1..n {
+            d = d.saturating_mul(self.factor);
+            if d >= self.max_ms {
+                return self.max_ms;
+            }
+        }
+        d.min(self.max_ms)
+    }
+}
+
+/// A deterministic fault to inject into one pipeline: panic right
+/// after window `window` completes, but only during run attempt
+/// `attempt` (0-based). Attempt scoping is what lets the *resumed* run
+/// sail past the window that killed its predecessor.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct InjectedPanic {
+    /// 0-based run attempt the fault applies to.
+    pub attempt: u32,
+    /// Global window index after which the pipeline panics.
+    pub window: u64,
+}
+
+/// One pipeline in the supervised fleet.
+#[derive(Clone, Debug)]
+pub struct PipelineSpec {
+    /// Stable pipeline id (also names the checkpoint file).
+    pub id: String,
+    /// Workload this pipeline monitors.
+    pub bench: Benchmark,
+    /// Monitor preset (window, bits, cycles, drift, arm).
+    pub cfg: MonitorConfig,
+    /// Deterministic chaos faults, attempt-scoped; empty in
+    /// production.
+    pub faults: Vec<InjectedPanic>,
+}
+
+/// Supervisor-level options shared by the whole fleet.
+#[derive(Clone, Debug, Default)]
+pub struct SupervisorConfig {
+    /// Restart/backoff/circuit-breaker policy.
+    pub backoff: BackoffPolicy,
+    /// Checkpoint cadence; `None` disables durability (every restart
+    /// is then a fresh start).
+    pub checkpoint: Option<CheckpointPolicy>,
+}
+
+/// Lifecycle state a pipeline ended in.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PipelineState {
+    /// The monitor run returned normally.
+    Completed,
+    /// The circuit breaker tripped: failures reached
+    /// [`BackoffPolicy::give_up`].
+    Degraded,
+}
+
+/// One supervision decision, in per-pipeline program order. The
+/// decision log is deterministic for a fixed spec + fault plan; the
+/// chaos harness compares its JSON serialization byte-for-byte across
+/// reruns.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Decision {
+    /// Run attempt `attempt` started (`resume` = from checkpoint).
+    Start {
+        /// 0-based run attempt.
+        attempt: u32,
+        /// Whether this attempt asked to resume from a checkpoint.
+        resume: bool,
+    },
+    /// Attempt `attempt` failed (panic or error).
+    Failed {
+        /// 0-based run attempt.
+        attempt: u32,
+        /// Normalized failure reason (panic payload or error text).
+        reason: String,
+    },
+    /// Backoff of `delay_ms` before the next attempt.
+    Backoff {
+        /// Consecutive failure count driving the delay.
+        failures: u32,
+        /// The deterministic delay.
+        delay_ms: u64,
+    },
+    /// The circuit breaker tripped.
+    Degraded {
+        /// Consecutive failures at the trip point.
+        failures: u32,
+    },
+    /// The run returned normally after `attempt` attempts.
+    Completed {
+        /// 0-based run attempt that succeeded.
+        attempt: u32,
+        /// Total completed windows reported by the monitor.
+        windows: u64,
+    },
+}
+
+/// Final outcome of one supervised pipeline.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct PipelineOutcome {
+    /// Pipeline id.
+    pub id: String,
+    /// Terminal state.
+    pub state: PipelineState,
+    /// Run attempts (1 = no failures).
+    pub attempts: u32,
+    /// The successful run's report, if the pipeline completed.
+    pub report: Option<MonitorReport>,
+    /// Full supervision decision log, in order.
+    pub decisions: Vec<Decision>,
+}
+
+/// Final outcome of a supervised fleet run.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct SupervisorReport {
+    /// Per-pipeline outcomes, in spec order (deterministic).
+    pub pipelines: Vec<PipelineOutcome>,
+}
+
+impl SupervisorReport {
+    /// Pipelines that ended [`PipelineState::Degraded`].
+    pub fn degraded(&self) -> usize {
+        self.pipelines
+            .iter()
+            .filter(|p| p.state == PipelineState::Degraded)
+            .count()
+    }
+
+    /// The concatenated decision logs in spec order, serialized to
+    /// JSON — the byte-comparable supervision transcript.
+    pub fn decision_transcript(&self) -> String {
+        let logs: Vec<(&str, &Vec<Decision>)> = self
+            .pipelines
+            .iter()
+            .map(|p| (p.id.as_str(), &p.decisions))
+            .collect();
+        serde_json::to_string(&logs).expect("decision log serializes")
+    }
+}
+
+/// A mixed-preset fleet over the built-in workloads: `n` pipelines
+/// cycling through the four benchmarks with varied window/bit presets
+/// derived from `base`. This is the registry shape fleet-scale serving
+/// will load from configuration; tests and the CLI use it directly.
+pub fn fleet_specs(n: usize, base: &MonitorConfig) -> Vec<PipelineSpec> {
+    let benches = [
+        benchmarks::dhrystone(),
+        benchmarks::maxpwr_cpu(),
+        benchmarks::saxpy_simd(),
+        benchmarks::daxpy(),
+    ];
+    (0..n)
+        .map(|i| {
+            let bench = benches[i % benches.len()].clone();
+            let mut cfg = base.clone();
+            // Mixed presets: alternate window length and quantization
+            // width so the fleet exercises heterogeneous configs.
+            if i % 2 == 1 {
+                cfg.window_t = (base.window_t * 2).max(4);
+            }
+            if i % 3 == 2 {
+                cfg.bits = base.bits.saturating_sub(2).max(4);
+            }
+            PipelineSpec {
+                id: format!("p{}-{}", i, bench.name),
+                bench,
+                cfg,
+                faults: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+/// Runs `specs` as a supervised fleet: one thread per pipeline, panic
+/// isolation, deterministic backoff, checkpoint-driven resume, and
+/// circuit breaking (see module docs). Blocks until every pipeline
+/// completes or degrades; `stop` requests a cooperative early stop.
+///
+/// All pipelines publish into the same `hub` (bodies are tagged with
+/// their pipeline id) and the same global telemetry registry.
+pub fn run_supervised(
+    ctx: &Arc<DesignContext>,
+    model: &Arc<ApolloModel>,
+    specs: &[PipelineSpec],
+    sup: &SupervisorConfig,
+    hub: Option<&Arc<MonitorHub>>,
+    stop: &Arc<AtomicBool>,
+) -> SupervisorReport {
+    let degraded_count = Arc::new(AtomicU64::new(0));
+    apollo_telemetry::gauge("introspect.supervisor.degraded").set(0.0);
+    apollo_telemetry::gauge("introspect.supervisor.pipelines").set(specs.len() as f64);
+    let outcomes: Arc<Mutex<Vec<Option<PipelineOutcome>>>> =
+        Arc::new(Mutex::new(vec![None; specs.len()]));
+    let mut threads = Vec::with_capacity(specs.len());
+    for (slot, spec) in specs.iter().enumerate() {
+        let ctx = Arc::clone(ctx);
+        let model = Arc::clone(model);
+        let spec = spec.clone();
+        let sup = sup.clone();
+        let hub = hub.map(Arc::clone);
+        let stop = Arc::clone(stop);
+        let degraded_count = Arc::clone(&degraded_count);
+        let outcomes = Arc::clone(&outcomes);
+        threads.push(std::thread::spawn(move || {
+            let outcome = supervise_one(&ctx, &model, &spec, &sup, hub.as_deref(), &stop, &degraded_count);
+            plock(&outcomes)[slot] = Some(outcome);
+        }));
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+    let pipelines = plock(&outcomes)
+        .iter_mut()
+        .map(|o| o.take().expect("every pipeline reports an outcome"))
+        .collect();
+    SupervisorReport { pipelines }
+}
+
+fn supervise_one(
+    ctx: &DesignContext,
+    model: &ApolloModel,
+    spec: &PipelineSpec,
+    sup: &SupervisorConfig,
+    hub: Option<&MonitorHub>,
+    stop: &Arc<AtomicBool>,
+    degraded_count: &AtomicU64,
+) -> PipelineOutcome {
+    let mut decisions = Vec::new();
+    let mut failures = 0u32;
+    let mut attempt = 0u32;
+    loop {
+        let faults: Vec<u64> = spec
+            .faults
+            .iter()
+            .filter(|f| f.attempt == attempt)
+            .map(|f| f.window)
+            .collect();
+        let opts = RunOptions {
+            pipeline: Some(spec.id.clone()),
+            checkpoint: sup.checkpoint.clone(),
+            // Attempt 0 also resumes when a checkpoint file exists —
+            // that is exactly the kill-the-process recovery path. A
+            // missing file is a silent fresh start.
+            resume: sup.checkpoint.is_some(),
+            panic_at_windows: faults,
+        };
+        decisions.push(Decision::Start {
+            attempt,
+            resume: opts.resume,
+        });
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_monitor_with(ctx, model, &spec.bench, &spec.cfg, hub, stop, &opts)
+        }));
+        let reason = match result {
+            Ok(Ok(report)) => {
+                decisions.push(Decision::Completed {
+                    attempt,
+                    windows: report.windows,
+                });
+                return PipelineOutcome {
+                    id: spec.id.clone(),
+                    state: PipelineState::Completed,
+                    attempts: attempt + 1,
+                    report: Some(report),
+                    decisions,
+                };
+            }
+            Ok(Err(e)) => format!("error: {e}"),
+            Err(payload) => format!("panic: {}", panic_text(payload.as_ref())),
+        };
+        failures += 1;
+        decisions.push(Decision::Failed {
+            attempt,
+            reason: reason.clone(),
+        });
+        if failures >= sup.backoff.give_up {
+            decisions.push(Decision::Degraded { failures });
+            let now = degraded_count.fetch_add(1, Ordering::Relaxed) + 1;
+            apollo_telemetry::gauge("introspect.supervisor.degraded").set(now as f64);
+            apollo_telemetry::counter("introspect.supervisor.degradations").inc();
+            apollo_telemetry::emit_event(
+                "introspect.supervisor.degraded",
+                &[
+                    ("pipeline", FieldValue::from(spec.id.as_str())),
+                    ("failures", FieldValue::from(u64::from(failures))),
+                ],
+            );
+            return PipelineOutcome {
+                id: spec.id.clone(),
+                state: PipelineState::Degraded,
+                attempts: attempt + 1,
+                report: None,
+                decisions,
+            };
+        }
+        let delay_ms = sup.backoff.delay_ms(failures);
+        decisions.push(Decision::Backoff {
+            failures,
+            delay_ms,
+        });
+        apollo_telemetry::counter("introspect.supervisor.restarts").inc();
+        apollo_telemetry::emit_event(
+            "introspect.supervisor.restart",
+            &[
+                ("pipeline", FieldValue::from(spec.id.as_str())),
+                ("attempt", FieldValue::from(u64::from(attempt + 1))),
+                ("delay_ms", FieldValue::from(delay_ms)),
+                ("reason", FieldValue::from(reason.as_str())),
+            ],
+        );
+        // Sleep in short slices so a stop request cuts the backoff.
+        let mut left = delay_ms;
+        while left > 0 && !stop.load(Ordering::Relaxed) {
+            let slice = left.min(20);
+            std::thread::sleep(Duration::from_millis(slice));
+            left -= slice;
+        }
+        attempt += 1;
+    }
+}
+
+/// Extracts a stable text from a panic payload (`&str` / `String`
+/// payloads; anything else gets a fixed placeholder so decision logs
+/// stay deterministic).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_saturates() {
+        let b = BackoffPolicy {
+            base_ms: 10,
+            factor: 3,
+            max_ms: 200,
+            give_up: 5,
+        };
+        assert_eq!(b.delay_ms(1), 10);
+        assert_eq!(b.delay_ms(2), 30);
+        assert_eq!(b.delay_ms(3), 90);
+        assert_eq!(b.delay_ms(4), 200, "capped");
+        assert_eq!(b.delay_ms(40), 200, "no overflow at large n");
+        // Pure: same input, same output.
+        assert_eq!(b.delay_ms(3), b.delay_ms(3));
+    }
+
+    #[test]
+    fn fleet_specs_mix_presets_over_all_benchmarks() {
+        let specs = fleet_specs(4, &MonitorConfig::default());
+        assert_eq!(specs.len(), 4);
+        let names: std::collections::HashSet<&str> =
+            specs.iter().map(|s| s.bench.name.as_str()).collect();
+        assert_eq!(names.len(), 4, "four distinct workloads");
+        let ids: std::collections::HashSet<&String> = specs.iter().map(|s| &s.id).collect();
+        assert_eq!(ids.len(), 4, "unique pipeline ids");
+        assert_ne!(
+            specs[0].cfg.window_t, specs[1].cfg.window_t,
+            "presets are heterogeneous"
+        );
+    }
+
+    #[test]
+    fn panic_text_normalizes_payloads() {
+        assert_eq!(panic_text(&"boom"), "boom");
+        assert_eq!(panic_text(&String::from("boom")), "boom");
+        assert_eq!(panic_text(&42u32), "<non-string panic payload>");
+    }
+}

@@ -1,0 +1,50 @@
+//! Poison-proof locking for the serving layer.
+//!
+//! `std::sync::Mutex` poisons itself when a thread panics while
+//! holding the guard, and every later `lock().unwrap()` then panics
+//! too — so one panicking connection thread could cascade into the
+//! accept loop and take the whole endpoint down. The serving layer's
+//! shared state (connection registry, hub subscriber table) is always
+//! valid at mutation boundaries: each critical section either fully
+//! applies or the data it touched is still structurally sound, so the
+//! right recovery is to take the guard anyway and keep serving.
+//!
+//! [`plock`] does exactly that: lock, and on poison recover the inner
+//! guard instead of propagating the panic.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+///
+/// Use for serving-layer state where the invariant "structurally
+/// valid at every await-free mutation boundary" holds; never for
+/// state with multi-step invariants that a mid-section panic could
+/// tear.
+pub fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn plock_recovers_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        // Poison: panic while holding the guard.
+        let t = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison the mutex");
+        });
+        assert!(t.join().is_err());
+        assert!(m.is_poisoned(), "mutex must actually be poisoned");
+        // A plain unwrap would now panic; plock recovers the value.
+        let mut g = plock(&m);
+        assert_eq!(*g, 7);
+        *g += 1;
+        drop(g);
+        assert_eq!(*plock(&m), 8, "lock keeps working after recovery");
+    }
+}

@@ -1,0 +1,497 @@
+//! Chaos differential tests: the supervision/recovery subsystem's
+//! determinism and robustness contract.
+//!
+//! * **Decision determinism** — rerunning the same seeded fault plan
+//!   produces a byte-identical supervision decision transcript
+//!   (deterministic backoff, attempt-scoped faults, no wall-clock
+//!   randomness in any decision).
+//! * **Kill/resume differential** — a pipeline killed at window `W`
+//!   and resumed from its checkpoint converges to the *uninterrupted*
+//!   run: identical final report values (windows, energy, attribution,
+//!   drift-alarm counts) and a bit-identical post-resume window
+//!   stream.
+//! * **Σ attribution invariant** — every published window decomposes
+//!   exactly (`Σ unit.* == raw`) across restarts, resumes, and fleet
+//!   multiplexing.
+//! * **Corrupt checkpoints** are rejected and fall back to a fresh
+//!   start (never resumed from garbage).
+//! * **Wire chaos** — the live endpoint survives the malformed-input
+//!   battery, connection churn, and stalled subscribers while serving
+//!   lint-clean, dense-`seq` `/events` streams.
+
+use apollo_core::{train_per_cycle, ApolloModel, DesignContext, FeatureSpace, TrainOptions};
+use apollo_cpu::{benchmarks, CpuConfig};
+use apollo_introspect::{
+    chaos, fleet_specs, run_monitor_with, run_supervised, serve_with, ChaosPlan, CheckpointPolicy,
+    DownsampleConfig, InjectedPanic, MonitorConfig, MonitorHub, PipelineState, Poll, RunOptions,
+    ServerOptions, ServiceFault, SupervisorConfig,
+};
+use apollo_telemetry::{FieldValue, RecordBody};
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn trained_model(ctx: &DesignContext) -> ApolloModel {
+    let suite = vec![
+        (benchmarks::dhrystone(), 200),
+        (benchmarks::maxpwr_cpu(), 200),
+    ];
+    let trace = ctx.capture_suite(&suite, 50);
+    let fs = FeatureSpace::build(&trace.toggles);
+    train_per_cycle(
+        &trace,
+        ctx.netlist(),
+        &fs,
+        &TrainOptions {
+            q_target: 16,
+            ..TrainOptions::default()
+        },
+    )
+    .model
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("apollo_chaos_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One published window, fully decoded for bit-exact comparison.
+#[derive(Debug, Clone, PartialEq)]
+struct Window {
+    pipeline: Option<String>,
+    window: u64,
+    cycle: u64,
+    raw: u64,
+    out: u64,
+    est: f64,
+    float: f64,
+    truth: f64,
+    energy: f64,
+    unit_raw: Vec<u64>,
+}
+
+fn decode_windows(sub: &apollo_introspect::Subscriber) -> Vec<Window> {
+    let mut out = Vec::new();
+    loop {
+        match sub.poll(Duration::from_millis(300)) {
+            Poll::Body(body) => {
+                let RecordBody::Event(ev) = *body else {
+                    continue;
+                };
+                if ev.name != "introspect.window" {
+                    continue;
+                }
+                let u64_of = |key: &str| -> u64 {
+                    match ev.fields.iter().find(|(k, _)| k == key) {
+                        Some((_, FieldValue::U64(v))) => *v,
+                        other => panic!("missing u64 field {key}: {other:?}"),
+                    }
+                };
+                let f64_of = |key: &str| -> f64 {
+                    match ev.fields.iter().find(|(k, _)| k == key) {
+                        Some((_, FieldValue::F64(v))) => *v,
+                        other => panic!("missing f64 field {key}: {other:?}"),
+                    }
+                };
+                let pipeline = ev.fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                    ("pipeline", FieldValue::Str(s)) => Some(s.clone()),
+                    _ => None,
+                });
+                let unit_raw: Vec<u64> = ev
+                    .fields
+                    .iter()
+                    .filter(|(k, _)| k.starts_with("unit."))
+                    .map(|(k, v)| match v {
+                        FieldValue::U64(v) => *v,
+                        other => panic!("unit field {k} must be u64, got {other:?}"),
+                    })
+                    .collect();
+                out.push(Window {
+                    pipeline,
+                    window: u64_of("window"),
+                    cycle: u64_of("cycle"),
+                    raw: u64_of("raw"),
+                    out: u64_of("out"),
+                    est: f64_of("est_power"),
+                    float: f64_of("float_power"),
+                    truth: f64_of("true_power"),
+                    energy: f64_of("energy"),
+                    unit_raw,
+                });
+            }
+            Poll::Closed => break,
+            Poll::Timeout => panic!("hub closed before draining"),
+        }
+    }
+    out
+}
+
+fn assert_sum_invariant(windows: &[Window]) {
+    for w in windows {
+        assert_eq!(
+            w.unit_raw.iter().sum::<u64>(),
+            w.raw,
+            "window {} of {:?}: Σ unit attribution must equal raw",
+            w.window,
+            w.pipeline
+        );
+    }
+}
+
+#[test]
+fn supervisor_decisions_are_byte_identical_across_reruns() {
+    let ctx = Arc::new(DesignContext::new(&CpuConfig::tiny()));
+    let model = Arc::new(trained_model(&ctx));
+    let base = MonitorConfig {
+        cycles: 256,
+        window_t: 16,
+        ..MonitorConfig::default()
+    };
+    // Seeded plan over the 4-pipeline fleet; the shortest preset
+    // completes 8 windows, so cap fault windows below that.
+    let plan = ChaosPlan::generate(0xC0FFEE, 4, 8, 12);
+    assert!(
+        plan.faults
+            .iter()
+            .any(|f| matches!(f, ServiceFault::PipelinePanic { .. })),
+        "seed must inject at least one pipeline panic: {plan:?}"
+    );
+    let mut transcripts = Vec::new();
+    let mut restarts = 0usize;
+    for rerun in 0..2 {
+        let dir = scratch_dir(&format!("decisions_{rerun}"));
+        let mut specs = fleet_specs(4, &base);
+        for (i, spec) in specs.iter_mut().enumerate() {
+            spec.faults = plan.panics_for(i);
+        }
+        let sup = SupervisorConfig {
+            checkpoint: Some(CheckpointPolicy::new(&dir, 4)),
+            ..SupervisorConfig::default()
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let report = run_supervised(&ctx, &model, &specs, &sup, None, &stop);
+        assert_eq!(report.pipelines.len(), 4);
+        for p in &report.pipelines {
+            assert_eq!(
+                p.state,
+                PipelineState::Completed,
+                "attempt-scoped faults must not trip the breaker: {p:?}"
+            );
+        }
+        restarts = report
+            .pipelines
+            .iter()
+            .map(|p| p.attempts as usize - 1)
+            .sum();
+        transcripts.push(report.decision_transcript());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(restarts > 0, "the plan must actually force restarts");
+    assert_eq!(
+        transcripts[0], transcripts[1],
+        "supervision decisions must be byte-identical across reruns"
+    );
+}
+
+#[test]
+fn kill_and_resume_converges_to_the_uninterrupted_run() {
+    let ctx = Arc::new(DesignContext::new(&CpuConfig::tiny()));
+    let model = Arc::new(trained_model(&ctx));
+    let cfg = MonitorConfig {
+        cycles: 512,
+        window_t: 32,
+        ..MonitorConfig::default()
+    };
+    // 16 windows, checkpoint every 4 → snapshots at windows 4/8/12/16.
+    const KILL_AT: u64 = 9; // between the window-8 and window-12 snapshots
+    const RESUME_FROM: u64 = 8;
+
+    // Uninterrupted reference run.
+    let hub_u = MonitorHub::new(2048);
+    let (sub_u, _) = hub_u.subscribe();
+    let dir_u = scratch_dir("uninterrupted");
+    let stop = AtomicBool::new(false);
+    let opts_u = RunOptions {
+        pipeline: Some("diff".into()),
+        checkpoint: Some(CheckpointPolicy::new(&dir_u, 4)),
+        resume: false,
+        panic_at_windows: vec![],
+    };
+    let report_u = run_monitor_with(
+        &ctx,
+        &model,
+        &benchmarks::dhrystone(),
+        &cfg,
+        Some(&hub_u),
+        &stop,
+        &opts_u,
+    )
+    .unwrap();
+    hub_u.close();
+    let windows_u = decode_windows(&sub_u);
+    assert_eq!(windows_u.len(), 16);
+    assert_sum_invariant(&windows_u);
+
+    // Killed-and-resumed run, same config, own checkpoint dir.
+    let hub_k = MonitorHub::new(2048);
+    let (sub_k, _) = hub_k.subscribe();
+    let dir_k = scratch_dir("killed");
+    let spec = apollo_introspect::PipelineSpec {
+        id: "diff".into(),
+        bench: benchmarks::dhrystone(),
+        cfg: cfg.clone(),
+        faults: vec![InjectedPanic {
+            attempt: 0,
+            window: KILL_AT,
+        }],
+    };
+    let sup = SupervisorConfig {
+        checkpoint: Some(CheckpointPolicy::new(&dir_k, 4)),
+        ..SupervisorConfig::default()
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let report_k = run_supervised(&ctx, &model, &[spec], &sup, Some(&hub_k), &stop);
+    hub_k.close();
+    let windows_k = decode_windows(&sub_k);
+    assert_sum_invariant(&windows_k);
+
+    let outcome = &report_k.pipelines[0];
+    assert_eq!(outcome.state, PipelineState::Completed);
+    assert_eq!(outcome.attempts, 2, "one panic, one successful resume");
+    let final_k = outcome.report.as_ref().unwrap();
+    assert_eq!(final_k.resumed_from, Some(RESUME_FROM));
+
+    // The killed run streamed: windows 0..=KILL_AT (attempt 0), then
+    // windows RESUME_FROM..16 again (attempt 1).
+    assert_eq!(
+        windows_k.len() as u64,
+        (KILL_AT + 1) + (16 - RESUME_FROM),
+        "{windows_k:?}"
+    );
+    // Post-resume stream is bit-identical to the uninterrupted run's
+    // stream from the checkpoint window onward — every field.
+    let resumed = &windows_k[(KILL_AT + 1) as usize..];
+    let reference = &windows_u[RESUME_FROM as usize..];
+    assert_eq!(resumed.len(), reference.len());
+    for (r, u) in resumed.iter().zip(reference) {
+        assert_eq!(r, u, "post-resume window must be bit-identical");
+    }
+
+    // And the terminal decisions converge: same windows, cycles,
+    // energy, attribution, and drift-alarm counts as never failing.
+    assert_eq!(final_k.windows, report_u.windows);
+    assert_eq!(final_k.cycles, report_u.cycles);
+    assert_eq!(final_k.energy, report_u.energy, "energy bit-exact");
+    assert_eq!(final_k.mean_est, report_u.mean_est);
+    assert_eq!(final_k.unit_energy, report_u.unit_energy);
+    assert_eq!(
+        final_k.quant_alarms, report_u.quant_alarms,
+        "drift decisions must survive kill/resume"
+    );
+    assert_eq!(final_k.truth_alarms, report_u.truth_alarms);
+    assert_eq!(final_k.final_throttle, report_u.final_throttle);
+
+    let _ = std::fs::remove_dir_all(&dir_u);
+    let _ = std::fs::remove_dir_all(&dir_k);
+}
+
+#[test]
+fn corrupt_checkpoint_falls_back_to_a_fresh_start() {
+    let ctx = Arc::new(DesignContext::new(&CpuConfig::tiny()));
+    let model = Arc::new(trained_model(&ctx));
+    let cfg = MonitorConfig {
+        cycles: 256,
+        window_t: 32,
+        ..MonitorConfig::default()
+    };
+    let dir = scratch_dir("corrupt");
+    let policy = CheckpointPolicy::new(&dir, 4);
+    let opts = RunOptions {
+        pipeline: Some("corrupt-me".into()),
+        checkpoint: Some(policy.clone()),
+        resume: false,
+        panic_at_windows: vec![],
+    };
+    let stop = AtomicBool::new(false);
+    let first = run_monitor_with(
+        &ctx,
+        &model,
+        &benchmarks::dhrystone(),
+        &cfg,
+        None,
+        &stop,
+        &opts,
+    )
+    .unwrap();
+    assert!(first.checkpoints >= 1);
+
+    // Flip one byte in the middle of the checkpoint body.
+    let file = policy.file("corrupt-me");
+    let mut bytes = std::fs::read(&file).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x41;
+    std::fs::write(&file, &bytes).unwrap();
+
+    let stop = AtomicBool::new(false);
+    let resumed = run_monitor_with(
+        &ctx,
+        &model,
+        &benchmarks::dhrystone(),
+        &cfg,
+        None,
+        &stop,
+        &RunOptions {
+            resume: true,
+            ..opts.clone()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        resumed.resumed_from, None,
+        "corrupt state must never be resumed from"
+    );
+    // The fresh run still reaches the same final state.
+    assert_eq!(resumed.windows, first.windows);
+    assert_eq!(resumed.energy, first.energy);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_battery_never_kills_the_endpoint() {
+    let hub = MonitorHub::new(64);
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = serve_with(
+        "127.0.0.1:0",
+        Arc::clone(&hub),
+        Arc::clone(&stop),
+        ServerOptions::default(),
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    for kind in chaos::MalformedKind::ALL {
+        // Several rounds of each payload, interleaved with churn.
+        for _ in 0..3 {
+            let status = chaos::send_malformed(&addr, kind);
+            match kind {
+                chaos::MalformedKind::OversizedLine | chaos::MalformedKind::GarbageBytes => {
+                    let s = status.unwrap_or_default();
+                    assert!(s.contains("400"), "{kind:?} must get 400, got {s:?}");
+                }
+                // ZeroLength gets no response by construction; bare-\n
+                // framing is tolerated (lenient parse) — the only
+                // contract is a sane response or a clean drop.
+                chaos::MalformedKind::ZeroLength | chaos::MalformedKind::MissingCrlf => {}
+            }
+        }
+        chaos::churn_connections(&addr, 4);
+        // The endpoint keeps answering well-formed requests.
+        let lines = apollo_introspect::http_get_lines(&addr, "/metrics", None).unwrap();
+        assert!(!lines.is_empty(), "endpoint dead after {kind:?}");
+    }
+    server.stop();
+}
+
+#[test]
+fn chaos_storm_streams_stay_lint_clean_and_decomposed() {
+    let ctx = Arc::new(DesignContext::new(&CpuConfig::tiny()));
+    let model = Arc::new(trained_model(&ctx));
+    let base = MonitorConfig {
+        cycles: 256,
+        window_t: 16,
+        ..MonitorConfig::default()
+    };
+    let plan = ChaosPlan::generate(0xDEAD_BEEF, 4, 8, 10);
+    let dir = scratch_dir("storm");
+    let mut specs = fleet_specs(4, &base);
+    for (i, spec) in specs.iter_mut().enumerate() {
+        spec.faults = plan.panics_for(i);
+    }
+    let sup = SupervisorConfig {
+        checkpoint: Some(CheckpointPolicy::new(&dir, 4)),
+        ..SupervisorConfig::default()
+    };
+    let hub = MonitorHub::with_downsample(4096, DownsampleConfig::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = serve_with(
+        "127.0.0.1:0",
+        Arc::clone(&hub),
+        Arc::clone(&stop),
+        ServerOptions {
+            max_conns: 16,
+            write_timeout: Duration::from_millis(500),
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    // A clean subscriber collects the full stream over HTTP.
+    let clean = {
+        let addr = addr.clone();
+        std::thread::spawn(move || apollo_introspect::http_get_lines(&addr, "/events", None))
+    };
+    // Chaos drivers replay the wire faults from the plan.
+    let wire_chaos = {
+        let addr = addr.clone();
+        let faults = plan.faults.clone();
+        std::thread::spawn(move || {
+            for f in faults {
+                match f {
+                    ServiceFault::SubscriberStall { hold_ms } => {
+                        let _ = chaos::stall_subscriber(&addr, hold_ms);
+                    }
+                    ServiceFault::ConnChurn { count } => chaos::churn_connections(&addr, count),
+                    ServiceFault::MalformedRequest { kind } => {
+                        let _ = chaos::send_malformed(&addr, kind);
+                    }
+                    ServiceFault::PipelinePanic { .. } => {} // injected in-spec
+                }
+            }
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100)); // let the clean client attach
+    let report = run_supervised(&ctx, &model, &specs, &sup, Some(&hub), &stop);
+    wire_chaos.join().unwrap();
+    hub.close();
+    let lines = clean.join().unwrap().unwrap();
+    server.stop();
+
+    for p in &report.pipelines {
+        assert_eq!(p.state, PipelineState::Completed, "{p:?}");
+    }
+    // The clean stream is lint-clean: schema-valid lines, dense seq,
+    // known-event bodies, exact attribution decomposition.
+    assert!(!lines.is_empty(), "clean subscriber saw the stream");
+    for (i, line) in lines.iter().enumerate() {
+        let rec = apollo_telemetry::validate_line(line)
+            .unwrap_or_else(|e| panic!("line {i} invalid under chaos: {e}"));
+        assert_eq!(rec.seq, i as u64, "seq must stay dense under chaos");
+        if let RecordBody::Event(ev) = &rec.body {
+            apollo_telemetry::validate_known(ev)
+                .unwrap_or_else(|e| panic!("line {i} fails known-event lint: {e}"));
+            if ev.name == "introspect.window" {
+                let raw = ev
+                    .fields
+                    .iter()
+                    .find_map(|(k, v)| match (k.as_str(), v) {
+                        ("raw", FieldValue::U64(n)) => Some(*n),
+                        _ => None,
+                    })
+                    .expect("window has raw");
+                let unit_sum: u64 = ev
+                    .fields
+                    .iter()
+                    .filter(|(k, _)| k.starts_with("unit."))
+                    .map(|(_, v)| match v {
+                        FieldValue::U64(n) => *n,
+                        other => panic!("unit field must be u64: {other:?}"),
+                    })
+                    .sum();
+                assert_eq!(unit_sum, raw, "line {i}: Σ unit == raw under chaos");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

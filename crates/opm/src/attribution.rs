@@ -212,6 +212,16 @@ impl AttributionAccumulator {
         self.t
     }
 
+    /// Restarts window numbering at `window` with an empty cadence
+    /// phase, for resuming a checkpointed pipeline at a window
+    /// boundary. Any partially filled window is discarded.
+    pub fn resume_at(&mut self, window: u64) {
+        self.next_window = window;
+        self.filled = 0;
+        self.total = 0;
+        self.raw.iter_mut().for_each(|r| *r = 0);
+    }
+
     /// Feeds one cycle; `toggled(k)` reports whether proxy `k` toggled.
     /// Returns the finished window when this cycle completes it.
     pub fn cycle(&mut self, toggled: impl Fn(usize) -> bool) -> Option<WindowAttribution> {

@@ -78,7 +78,11 @@ pub struct DriftSignal {
 }
 
 /// Streaming EWMA + two-sided CUSUM drift detector.
-#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+///
+/// The full state (including the frozen baseline and both CUSUM
+/// sides) round-trips through serde, so a checkpointed detector
+/// resumes bit-exactly instead of re-warming.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DriftDetector {
     /// Monitor name, used in emitted `opm.drift.*` events.
     pub name: String,
@@ -256,7 +260,7 @@ impl Default for ArmConfig {
 /// Drift → governor wiring: latches drift alarms into a held throttle
 /// floor, mirroring the fail-safe governor's "distrusted ⇒ throttled"
 /// invariant for model-health distrust.
-#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FailSafeArm {
     cfg: ArmConfig,
     hold: u64,

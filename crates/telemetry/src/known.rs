@@ -113,7 +113,12 @@ pub const KNOWN_EVENTS: &[KnownEvent] = &[
             ("energy", FieldKind::F64),
             ("throttle", FieldKind::U64),
         ],
-        dynamic: &[("unit.", FieldKind::U64), ("group.", FieldKind::U64)],
+        dynamic: &[
+            ("unit.", FieldKind::U64),
+            ("group.", FieldKind::U64),
+            // Supervised fleets tag each window with its pipeline id.
+            ("pipeline", FieldKind::Str),
+        ],
     },
     KnownEvent {
         name: "introspect.start",
@@ -138,6 +143,48 @@ pub const KNOWN_EVENTS: &[KnownEvent] = &[
     KnownEvent {
         name: "introspect.subscriber",
         required: &[("action", FieldKind::Str), ("active", FieldKind::U64)],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "introspect.supervisor.restart",
+        required: &[
+            ("pipeline", FieldKind::Str),
+            ("attempt", FieldKind::U64),
+            ("delay_ms", FieldKind::U64),
+            ("reason", FieldKind::Str),
+        ],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "introspect.supervisor.degraded",
+        required: &[("pipeline", FieldKind::Str), ("failures", FieldKind::U64)],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "introspect.checkpoint.write",
+        required: &[
+            ("pipeline", FieldKind::Str),
+            ("window", FieldKind::U64),
+            ("bytes", FieldKind::U64),
+        ],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "introspect.checkpoint.resume",
+        required: &[
+            ("pipeline", FieldKind::Str),
+            ("window", FieldKind::U64),
+            ("cycle", FieldKind::U64),
+        ],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "hub.downsample",
+        required: &[
+            ("subscriber", FieldKind::U64),
+            ("stride", FieldKind::U64),
+            ("dropped", FieldKind::U64),
+        ],
         dynamic: &[],
     },
 ];
@@ -288,6 +335,105 @@ mod tests {
         fields.push(("surprise", FieldValue::U64(1)));
         let err = validate_known(&ev("introspect.window", fields)).unwrap_err();
         assert!(err.contains("unexpected field"), "{err}");
+    }
+
+    #[test]
+    fn supervision_events_roundtrip_the_wire_format() {
+        use crate::event::{Record, RecordBody};
+        use crate::validate_line;
+        let bodies = vec![
+            ev(
+                "introspect.supervisor.restart",
+                vec![
+                    ("pipeline", FieldValue::Str("p0-dhrystone".into())),
+                    ("attempt", FieldValue::U64(2)),
+                    ("delay_ms", FieldValue::U64(100)),
+                    ("reason", FieldValue::Str("panic: chaos".into())),
+                ],
+            ),
+            ev(
+                "introspect.supervisor.degraded",
+                vec![
+                    ("pipeline", FieldValue::Str("p1-maxpwr_cpu".into())),
+                    ("failures", FieldValue::U64(4)),
+                ],
+            ),
+            ev(
+                "introspect.checkpoint.write",
+                vec![
+                    ("pipeline", FieldValue::Str("p0-dhrystone".into())),
+                    ("window", FieldValue::U64(64)),
+                    ("bytes", FieldValue::U64(1234)),
+                ],
+            ),
+            ev(
+                "introspect.checkpoint.resume",
+                vec![
+                    ("pipeline", FieldValue::Str("p0-dhrystone".into())),
+                    ("window", FieldValue::U64(64)),
+                    ("cycle", FieldValue::U64(2048)),
+                ],
+            ),
+            ev(
+                "hub.downsample",
+                vec![
+                    ("subscriber", FieldValue::U64(3)),
+                    ("stride", FieldValue::U64(4)),
+                    ("dropped", FieldValue::U64(40)),
+                ],
+            ),
+        ];
+        for (seq, body) in bodies.into_iter().enumerate() {
+            assert!(validate_known(&body).is_ok(), "{}", body.name);
+            // Missing any one required field must fail.
+            for drop_idx in 0..body.fields.len() {
+                let mut broken = body.clone();
+                broken.fields.remove(drop_idx);
+                assert!(
+                    validate_known(&broken).is_err(),
+                    "{} without `{}` must fail",
+                    body.name,
+                    body.fields[drop_idx].0
+                );
+            }
+            // And the full record survives the JSONL wire format.
+            let rec = Record {
+                v: crate::SCHEMA_VERSION,
+                seq: seq as u64,
+                ts_ns: 1,
+                body: RecordBody::Event(body.clone()),
+            };
+            let parsed = validate_line(&rec.to_jsonl()).unwrap();
+            match parsed.body {
+                RecordBody::Event(e) => {
+                    assert_eq!(e, body, "byte-lossless event roundtrip")
+                }
+                other => panic!("unexpected body {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_tag_is_a_valid_window_dynamic_field() {
+        let fields = vec![
+            ("window", FieldValue::U64(0)),
+            ("cycle", FieldValue::U64(64)),
+            ("raw", FieldValue::U64(100)),
+            ("out", FieldValue::U64(1)),
+            ("est_power", FieldValue::F64(2.0)),
+            ("float_power", FieldValue::F64(2.1)),
+            ("true_power", FieldValue::F64(2.2)),
+            ("energy", FieldValue::F64(128.0)),
+            ("throttle", FieldValue::U64(0)),
+            ("pipeline", FieldValue::Str("p2-saxpy_simd".into())),
+        ];
+        assert!(validate_known(&ev("introspect.window", fields.clone())).is_ok());
+        // Wrong kind under the prefix is still rejected.
+        let mut bad = fields;
+        bad.pop();
+        bad.push(("pipeline", FieldValue::U64(2)));
+        let err = validate_known(&ev("introspect.window", bad)).unwrap_err();
+        assert!(err.contains("must be Str"), "{err}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! apollo trace-lint --in trace.jsonl
 //! apollo monitor --config <tiny|n1|a77> --model model.json [--listen 127.0.0.1:9100]
 //!                [--cycles <N>] [--window <T>] [--bits <B>] [--bench <name>] [--arm] [--threads <N>]
+//!                [--checkpoint <dir>] [--checkpoint-every <M>] [--supervise] [--pipelines <N>]
 //! apollo scrape  --addr 127.0.0.1:9100 [--path /metrics|/events] [--lines <N>] [--out file]
 //!
 //! `--threads N` runs simulations on N worker threads (bit-identical
@@ -40,6 +41,13 @@
 //! `--listen`) a TCP endpoint serving Prometheus text on `/metrics`
 //! and streaming JSONL on `/events`; `GET /shutdown` ends the run
 //! cleanly. `apollo scrape` is the matching zero-dependency client.
+//!
+//! `--checkpoint <dir>` makes the monitor durable: it snapshots its
+//! state to `<dir>` every `--checkpoint-every` windows (default 64)
+//! and resumes from the snapshot on the next start. `--supervise`
+//! runs a supervised fleet of `--pipelines` (default 4) mixed-preset
+//! pipelines with panic isolation, deterministic backoff, and a
+//! circuit breaker exported on `/metrics`.
 //! ```
 
 use apollo_suite::core::{
@@ -71,6 +79,7 @@ fn usage() -> ExitCode {
          apollo trace-lint --in trace.jsonl\n  \
          apollo monitor --config <tiny|n1|a77> --model model.json [--listen 127.0.0.1:9100]\n  \
          \x20       [--cycles <N>] [--window <T>] [--bits <B>] [--bench <name>] [--arm] [--threads <N>]\n  \
+         \x20       [--checkpoint <dir>] [--checkpoint-every <M>] [--supervise] [--pipelines <N>]\n  \
          apollo scrape  --addr 127.0.0.1:9100 [--path /metrics|/events] [--lines <N>] [--out file]\n\n\
          observability flags on any subcommand:\n  \
          --trace <out.jsonl>   --metrics   --quiet   -v|--verbose\n\n\
@@ -81,7 +90,7 @@ fn usage() -> ExitCode {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["metrics", "quiet", "verbose", "arm"];
+const BOOL_FLAGS: &[&str] = &["metrics", "quiet", "verbose", "arm", "supervise"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -597,6 +606,19 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                 );
                 return ExitCode::FAILURE;
             };
+            let checkpoint = match get("checkpoint") {
+                Some(dir) => {
+                    let every: u64 = get("checkpoint-every")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(64);
+                    if every == 0 {
+                        eprintln!("--checkpoint-every must be >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                    Some(apollo_introspect::CheckpointPolicy::new(dir, every))
+                }
+                None => None,
+            };
             let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
             let hub = MonitorHub::new(1024);
             let server = if let Some(listen) = get("listen") {
@@ -616,8 +638,68 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
             } else {
                 None
             };
-            let result =
-                apollo_introspect::run_monitor(&ctx, &model, &bench, &mcfg, Some(&hub), &stop);
+            if flags.contains_key("supervise") {
+                // Supervised fleet: N mixed-preset pipelines over the
+                // built-in workloads, panic isolation + deterministic
+                // backoff + circuit breaker, multiplexed onto one hub.
+                let n: usize = get("pipelines").and_then(|v| v.parse().ok()).unwrap_or(4);
+                let specs = apollo_introspect::fleet_specs(n.max(1), &mcfg);
+                let sup = apollo_introspect::SupervisorConfig {
+                    checkpoint,
+                    ..Default::default()
+                };
+                let ctx = Arc::new(ctx);
+                let model = Arc::new(model);
+                let report =
+                    apollo_introspect::run_supervised(&ctx, &model, &specs, &sup, Some(&hub), &stop);
+                hub.close();
+                if let Some(s) = server {
+                    s.stop();
+                }
+                println!(
+                    "supervised fleet on `{}`: {} pipelines, {} degraded",
+                    cfg.name,
+                    report.pipelines.len(),
+                    report.degraded()
+                );
+                for p in &report.pipelines {
+                    match (&p.state, &p.report) {
+                        (apollo_introspect::PipelineState::Completed, Some(r)) => println!(
+                            "  {:<24} completed: {} windows / {} cycles, {} attempts{}",
+                            p.id,
+                            r.windows,
+                            r.cycles,
+                            p.attempts,
+                            r.resumed_from
+                                .map(|w| format!(" (resumed from window {w})"))
+                                .unwrap_or_default()
+                        ),
+                        _ => println!(
+                            "  {:<24} DEGRADED after {} attempts",
+                            p.id, p.attempts
+                        ),
+                    }
+                }
+                return if report.degraded() == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
+            let opts = apollo_introspect::RunOptions {
+                resume: checkpoint.is_some(),
+                checkpoint,
+                ..Default::default()
+            };
+            let result = apollo_introspect::run_monitor_with(
+                &ctx,
+                &model,
+                &bench,
+                &mcfg,
+                Some(&hub),
+                &stop,
+                &opts,
+            );
             hub.close();
             if let Some(s) = server {
                 s.stop();
@@ -628,6 +710,15 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                         "monitor `{}` on `{}`: {} windows over {} cycles ({} runs)",
                         bench.name, cfg.name, r.windows, r.cycles, r.runs
                     );
+                    if r.resumed_from.is_some() || r.checkpoints > 0 {
+                        println!(
+                            "  checkpoints: {} written{}",
+                            r.checkpoints,
+                            r.resumed_from
+                                .map(|w| format!(", resumed from window {w}"))
+                                .unwrap_or_default()
+                        );
+                    }
                     println!(
                         "  est power mean {:.2} / peak {:.2} (truth mean {:.2}), energy {:.1}",
                         r.mean_est, r.peak_est, r.mean_true, r.energy
