@@ -18,8 +18,9 @@
 //!    byte-identical supervision decision transcripts and completes
 //!    with zero degraded pipelines.
 //!
-//! Writes `results/repro_chaos.json`. Set `APOLLO_QUICK=1` for a
-//! smoke run.
+//! Budgets come from `budgets.toml` (default 3%). Writes
+//! `results/repro_chaos.json` and appends a run record to the results
+//! store. Set `APOLLO_QUICK=1` for a smoke run.
 
 use apollo_bench::pipeline::save_json;
 use apollo_core::{train_per_cycle, DesignContext, FeatureSpace, TrainOptions};
@@ -33,7 +34,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const BUDGET_PCT: f64 = 3.0;
+const DEFAULT_BUDGET_PCT: f64 = 3.0;
 const ATTEMPTS: usize = 3;
 const SEED: u64 = 0xA11_0C8A05; // "all-o-chaos"
 
@@ -166,6 +167,11 @@ fn main() -> ExitCode {
     apollo_bench::init_cli_verbosity();
     let quick = std::env::var("APOLLO_QUICK").is_ok();
     let (cycles, reps) = if quick { (16_000u64, 5) } else { (32_000u64, 7) };
+    let budget_pct = apollo_results::budget_max_or(
+        "repro_chaos",
+        "chaos_overhead_pct",
+        DEFAULT_BUDGET_PCT,
+    );
 
     let ctx = DesignContext::new(&CpuConfig::tiny());
     let suite = vec![
@@ -209,7 +215,7 @@ fn main() -> ExitCode {
     };
     let mut best = measure_overhead(&ctx, &model, &bench, &cfg, &plan, reps);
     for attempt in 1..ATTEMPTS {
-        if pct_of(&best) < BUDGET_PCT {
+        if pct_of(&best) < budget_pct {
             break;
         }
         eprintln!(
@@ -279,11 +285,11 @@ fn main() -> ExitCode {
         clean_noise_pct: 100.0 * (oa - ob).abs() / baseline,
         chaos_serving_ns_per_cycle: serving,
         chaos_overhead_pct: overhead_pct,
-        budget_pct: BUDGET_PCT,
+        budget_pct,
         fleet_restarts: restarts,
         fleet_degraded: degraded,
         decisions_deterministic: deterministic,
-        pass: overhead_pct < BUDGET_PCT && deterministic && degraded == 0,
+        pass: overhead_pct < budget_pct && deterministic && degraded == 0,
     };
 
     println!("== Monitor serving overhead under wire chaos ==");
@@ -292,7 +298,7 @@ fn main() -> ExitCode {
         baseline, oa, ob, out.clean_noise_pct
     );
     println!(
-        "under chaos:   {:.1} ns/cycle ({:+.2}%, budget {BUDGET_PCT}%) with {wire_faults} wire faults/rep",
+        "under chaos:   {:.1} ns/cycle ({:+.2}%, budget {budget_pct}%) with {wire_faults} wire faults/rep",
         serving, overhead_pct
     );
     println!(
@@ -304,11 +310,16 @@ fn main() -> ExitCode {
         }
     );
     save_json("repro_chaos", &out);
+    apollo_results::record_bench_run_soft(
+        "repro_chaos",
+        &out,
+        &[("quick", if quick { "1" } else { "0" })],
+    );
     if out.pass {
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "FAIL: overhead {overhead_pct:.2}% (budget {BUDGET_PCT}%), deterministic={deterministic}, degraded={degraded}"
+            "FAIL: overhead {overhead_pct:.2}% (budget {budget_pct}%), deterministic={deterministic}, degraded={degraded}"
         );
         ExitCode::FAILURE
     }

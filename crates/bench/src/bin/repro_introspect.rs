@@ -6,7 +6,9 @@
 //! `/events` subscriber draining the stream). The serving overhead
 //! must stay under the 3% budget: the endpoint is sampled from the
 //! hot loop only once per `T`-cycle window and never blocks on a slow
-//! reader. Writes `results/repro_introspect.json`.
+//! reader (budget from `budgets.toml`, default 3%). Writes
+//! `results/repro_introspect.json` and appends a run record to the
+//! results store.
 //!
 //! Set `APOLLO_QUICK=1` for a smoke run.
 
@@ -19,7 +21,7 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Instant;
 
-const BUDGET_PCT: f64 = 3.0;
+const DEFAULT_BUDGET_PCT: f64 = 3.0;
 const ATTEMPTS: usize = 3;
 
 fn monitor_ns_per_cycle(
@@ -65,6 +67,7 @@ fn measure(
     bench: &benchmarks::Benchmark,
     cfg: &MonitorConfig,
     reps: usize,
+    budget_pct: f64,
 ) -> IntrospectOverhead {
     // Interleave offline and serving reps so slow drift (frequency
     // scaling, cache warmth) hits both configurations equally.
@@ -103,7 +106,7 @@ fn measure(
         serving_ns_per_cycle: serving,
         serving_overhead_pct: 100.0 * (serving - offline) / offline,
         windows_per_rep: cfg.cycles / cfg.window_t as u64,
-        budget_pct: BUDGET_PCT,
+        budget_pct,
         pass: false,
     }
 }
@@ -112,6 +115,11 @@ fn main() -> ExitCode {
     apollo_bench::init_cli_verbosity();
     let quick = std::env::var("APOLLO_QUICK").is_ok();
     let (cycles, reps) = if quick { (8_000u64, 3) } else { (32_000u64, 7) };
+    let budget_pct = apollo_results::budget_max_or(
+        "repro_introspect",
+        "serving_overhead_pct",
+        DEFAULT_BUDGET_PCT,
+    );
 
     let ctx = DesignContext::new(&CpuConfig::tiny());
     let suite = vec![
@@ -143,18 +151,18 @@ fn main() -> ExitCode {
     // One unmeasured warmup run to settle lazy init and caches.
     monitor_ns_per_cycle(&ctx, &model, &bench, &cfg, None);
 
-    let mut out = measure(&ctx, &model, &bench, &cfg, reps);
+    let mut out = measure(&ctx, &model, &bench, &cfg, reps, budget_pct);
     for attempt in 1..ATTEMPTS {
-        if out.serving_overhead_pct < BUDGET_PCT {
+        if out.serving_overhead_pct < budget_pct {
             break;
         }
         eprintln!(
             "attempt {attempt}: serving overhead {:.2}% over budget (noise {:.2}%), remeasuring",
             out.serving_overhead_pct, out.offline_noise_pct
         );
-        out = measure(&ctx, &model, &bench, &cfg, reps);
+        out = measure(&ctx, &model, &bench, &cfg, reps, budget_pct);
     }
-    out.pass = out.serving_overhead_pct < BUDGET_PCT;
+    out.pass = out.serving_overhead_pct < budget_pct;
 
     println!("== Introspection serving overhead on the monitor loop ==");
     println!(
@@ -165,14 +173,19 @@ fn main() -> ExitCode {
         out.offline_noise_pct
     );
     println!(
-        "serving:  {:.1} ns/cycle ({:+.2}%, budget {BUDGET_PCT}%) over {} windows/rep",
+        "serving:  {:.1} ns/cycle ({:+.2}%, budget {budget_pct}%) over {} windows/rep",
         out.serving_ns_per_cycle, out.serving_overhead_pct, out.windows_per_rep
     );
     save_json("repro_introspect", &out);
+    apollo_results::record_bench_run_soft(
+        "repro_introspect",
+        &out,
+        &[("quick", if quick { "1" } else { "0" })],
+    );
     if out.pass {
         ExitCode::SUCCESS
     } else {
-        eprintln!("FAIL: serving overhead exceeds {BUDGET_PCT}%");
+        eprintln!("FAIL: serving overhead exceeds {budget_pct}%");
         ExitCode::FAILURE
     }
 }

@@ -5,8 +5,10 @@
 //! observability layer cannot be compiled out, so the disabled-path
 //! cost is bounded by the A/B pass-to-pass delta), with span timing
 //! enabled, and with timing plus a JSONL sink attached. Writes
-//! `results/repro_telemetry.json` and exits non-zero if the disabled
-//! A/B delta exceeds the 2% budget on every attempt.
+//! `results/repro_telemetry.json`, appends a run record to the
+//! results store, and exits non-zero if the disabled A/B delta
+//! exceeds the budget (from `budgets.toml`, default 2%) on every
+//! attempt.
 //!
 //! Set `APOLLO_QUICK=1` for a smoke run.
 
@@ -18,7 +20,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 const WARMUP: u64 = 200;
-const BUDGET_PCT: f64 = 2.0;
+const DEFAULT_BUDGET_PCT: f64 = 2.0;
 const ATTEMPTS: usize = 3;
 
 fn ns_per_step(ctx: &DesignContext, bench: &benchmarks::Benchmark, cycles: u64) -> f64 {
@@ -64,6 +66,7 @@ fn measure(
     bench: &benchmarks::Benchmark,
     cycles: u64,
     reps: usize,
+    budget_pct: f64,
 ) -> TelemetryOverhead {
     // Interleave the two disabled sets so slow drift (frequency
     // scaling, cache warmth) hits both equally.
@@ -107,7 +110,7 @@ fn measure(
         timing_overhead_pct: pct(timing),
         sink_ns_per_step: sink_ns,
         sink_overhead_pct: pct(sink_ns),
-        budget_pct: BUDGET_PCT,
+        budget_pct,
         pass: false,
     }
 }
@@ -116,25 +119,30 @@ fn main() -> ExitCode {
     apollo_bench::init_cli_verbosity();
     let quick = std::env::var("APOLLO_QUICK").is_ok();
     let (cycles, reps) = if quick { (2_000, 5) } else { (10_000, 7) };
+    let budget_pct = apollo_results::budget_max_or(
+        "repro_telemetry",
+        "disabled_overhead_pct",
+        DEFAULT_BUDGET_PCT,
+    );
     let ctx = DesignContext::new(&CpuConfig::tiny());
     let bench = benchmarks::maxpwr_cpu();
 
-    let mut out = measure(&ctx, &bench, cycles, reps);
+    let mut out = measure(&ctx, &bench, cycles, reps, budget_pct);
     for attempt in 1..ATTEMPTS {
-        if out.disabled_overhead_pct < BUDGET_PCT {
+        if out.disabled_overhead_pct < budget_pct {
             break;
         }
         eprintln!(
             "attempt {attempt}: disabled A/B delta {:.2}% over budget, remeasuring",
             out.disabled_overhead_pct
         );
-        out = measure(&ctx, &bench, cycles, reps);
+        out = measure(&ctx, &bench, cycles, reps, budget_pct);
     }
-    out.pass = out.disabled_overhead_pct < BUDGET_PCT;
+    out.pass = out.disabled_overhead_pct < budget_pct;
 
     println!("== Telemetry overhead on the step() hot loop ==");
     println!(
-        "disabled:      {:.1} ns/step (A {:.1}, B {:.1}; A/B delta {:.2}%, budget {BUDGET_PCT}%)",
+        "disabled:      {:.1} ns/step (A {:.1}, B {:.1}; A/B delta {:.2}%, budget {budget_pct}%)",
         out.disabled_a_ns_per_step.min(out.disabled_b_ns_per_step),
         out.disabled_a_ns_per_step,
         out.disabled_b_ns_per_step,
@@ -149,10 +157,15 @@ fn main() -> ExitCode {
         out.sink_ns_per_step, out.sink_overhead_pct
     );
     save_json("repro_telemetry", &out);
+    apollo_results::record_bench_run_soft(
+        "repro_telemetry",
+        &out,
+        &[("quick", if quick { "1" } else { "0" })],
+    );
     if out.pass {
         ExitCode::SUCCESS
     } else {
-        eprintln!("FAIL: disabled-telemetry overhead bound exceeds {BUDGET_PCT}%");
+        eprintln!("FAIL: disabled-telemetry overhead bound exceeds {budget_pct}%");
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,273 @@
+//! The checked-in budget file (`budgets.toml`).
+//!
+//! Budgets used to live as constants inside each bench bin and as env
+//! assertions in CI; this module moves them into data so the sentinel,
+//! the bins, and CI all read one source of truth. The file is the TOML
+//! subset of [`crate::minitoml`]:
+//!
+//! ```toml
+//! [sentinel]
+//! history_window = 5
+//!
+//! [[budget]]
+//! suite = "repro_telemetry"
+//! metric = "disabled_overhead_pct"
+//! max = 2.0
+//! label = "telemetry disabled-path overhead"
+//!
+//! [[trajectory]]
+//! suite = "repro_bitslice"
+//! metric = "rows.capture_proxy64.speedup"
+//! out = "BENCH_bitslice.json"
+//! ```
+//!
+//! A budget may bound a metric absolutely (`min` / `max`) and/or
+//! relative to history (`max_regress_pct` against the median of the
+//! prior window). Trajectories name headline metrics the sentinel
+//! mirrors into append-safe `BENCH_*.json` files.
+
+use std::path::Path;
+
+use crate::minitoml::{self, TomlValue};
+
+/// One budget rule for `suite`/`metric`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Budget {
+    /// Suite whose latest run is checked.
+    pub suite: String,
+    /// Flattened metric key inside the suite's records.
+    pub metric: String,
+    /// Absolute floor (inclusive).
+    pub min: Option<f64>,
+    /// Absolute ceiling (inclusive).
+    pub max: Option<f64>,
+    /// Maximum tolerated regression (percent, in the "worse"
+    /// direction) of the latest value vs the median of the prior
+    /// window. "Worse" means up when `max` bounds the metric, down
+    /// when `min` does.
+    pub max_regress_pct: Option<f64>,
+    /// Human label for rendered tables.
+    pub label: String,
+}
+
+/// A headline metric mirrored into a `BENCH_*.json` trajectory file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trajectory {
+    /// Source suite.
+    pub suite: String,
+    /// Flattened metric key.
+    pub metric: String,
+    /// Output file name, relative to the repo root.
+    pub out: String,
+}
+
+/// Parsed budgets file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Budgets {
+    /// Prior-run window for regression baselines.
+    pub history_window: usize,
+    /// All budget rules, file order.
+    pub budgets: Vec<Budget>,
+    /// All trajectory mirrors, file order.
+    pub trajectories: Vec<Trajectory>,
+}
+
+/// Default budgets path relative to the repo root.
+pub const DEFAULT_BUDGETS_PATH: &str = "budgets.toml";
+
+/// Env var overriding the budgets path (used by bins run from other
+/// working directories).
+pub const BUDGETS_ENV: &str = "APOLLO_BUDGETS";
+
+impl Budgets {
+    /// Parses a budgets document.
+    pub fn parse(text: &str) -> Result<Budgets, String> {
+        let mut out = Budgets {
+            history_window: 5,
+            ..Budgets::default()
+        };
+        for table in minitoml::parse(text)? {
+            match (table.name.as_str(), table.is_array) {
+                ("sentinel", false) => {
+                    if let Some(v) = table.get("history_window") {
+                        let w = v
+                            .as_f64()
+                            .filter(|w| *w >= 1.0)
+                            .ok_or("sentinel.history_window must be a positive integer")?;
+                        out.history_window = w as usize;
+                    }
+                }
+                ("budget", true) => {
+                    let suite = req_str(&table, "suite")?;
+                    let metric = req_str(&table, "metric")?;
+                    let budget = Budget {
+                        label: table
+                            .get("label")
+                            .and_then(TomlValue::as_str)
+                            .unwrap_or("")
+                            .to_string(),
+                        min: opt_f64(&table, "min")?,
+                        max: opt_f64(&table, "max")?,
+                        max_regress_pct: opt_f64(&table, "max_regress_pct")?,
+                        suite,
+                        metric,
+                    };
+                    if budget.min.is_none()
+                        && budget.max.is_none()
+                        && budget.max_regress_pct.is_none()
+                    {
+                        return Err(format!(
+                            "budget {}/{} declares no bound (min/max/max_regress_pct)",
+                            budget.suite, budget.metric
+                        ));
+                    }
+                    out.budgets.push(budget);
+                }
+                ("trajectory", true) => out.trajectories.push(Trajectory {
+                    suite: req_str(&table, "suite")?,
+                    metric: req_str(&table, "metric")?,
+                    out: req_str(&table, "out")?,
+                }),
+                (other, _) => {
+                    return Err(format!(
+                        "unknown budgets table `{other}` (sentinel|budget|trajectory)"
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Loads and parses a budgets file.
+    pub fn load(path: &Path) -> Result<Budgets, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        Budgets::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Loads from `$APOLLO_BUDGETS` or `./budgets.toml`; `Ok(None)`
+    /// when neither exists (callers fall back to built-in defaults).
+    pub fn load_default() -> Result<Option<Budgets>, String> {
+        let path = std::env::var(BUDGETS_ENV)
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|_| std::path::PathBuf::from(DEFAULT_BUDGETS_PATH));
+        if !path.exists() {
+            return Ok(None);
+        }
+        Budgets::load(&path).map(Some)
+    }
+
+    /// Budget rules for one suite, file order.
+    pub fn for_suite(&self, suite: &str) -> Vec<&Budget> {
+        self.budgets.iter().filter(|b| b.suite == suite).collect()
+    }
+
+    /// The declared ceiling for `suite`/`metric`, if any — the lookup
+    /// bench bins use in place of their old `BUDGET_PCT` constants.
+    pub fn declared_max(&self, suite: &str, metric: &str) -> Option<f64> {
+        self.budgets
+            .iter()
+            .find(|b| b.suite == suite && b.metric == metric)
+            .and_then(|b| b.max)
+    }
+
+    /// The declared floor for `suite`/`metric`, if any.
+    pub fn declared_min(&self, suite: &str, metric: &str) -> Option<f64> {
+        self.budgets
+            .iter()
+            .find(|b| b.suite == suite && b.metric == metric)
+            .and_then(|b| b.min)
+    }
+}
+
+/// One-call helper for bench bins: the budget ceiling for
+/// `suite`/`metric` from the default budgets file, or `fallback` when
+/// the file (or the rule) is absent.
+pub fn budget_max_or(suite: &str, metric: &str, fallback: f64) -> f64 {
+    Budgets::load_default()
+        .ok()
+        .flatten()
+        .and_then(|b| b.declared_max(suite, metric))
+        .unwrap_or(fallback)
+}
+
+/// One-call helper for bench bins: the budget floor for
+/// `suite`/`metric`, or `fallback`.
+pub fn budget_min_or(suite: &str, metric: &str, fallback: f64) -> f64 {
+    Budgets::load_default()
+        .ok()
+        .flatten()
+        .and_then(|b| b.declared_min(suite, metric))
+        .unwrap_or(fallback)
+}
+
+fn req_str(table: &minitoml::TomlTable, key: &str) -> Result<String, String> {
+    table
+        .get(key)
+        .and_then(TomlValue::as_str)
+        .map(str::to_string)
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| format!("[[{}]] missing string key `{key}`", table.name))
+}
+
+fn opt_f64(table: &minitoml::TomlTable, key: &str) -> Result<Option<f64>, String> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("[[{}]] key `{key}` must be numeric", table.name)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"
+[sentinel]
+history_window = 3
+
+[[budget]]
+suite = "repro_telemetry"
+metric = "disabled_overhead_pct"
+max = 2.0
+label = "disabled-path overhead"
+
+[[budget]]
+suite = "repro_bitslice"
+metric = "rows.capture_proxy64.speedup"
+min = 4.0
+max_regress_pct = 20
+
+[[trajectory]]
+suite = "repro_bitslice"
+metric = "rows.capture_proxy64.speedup"
+out = "BENCH_bitslice.json"
+"#;
+
+    #[test]
+    fn parses_full_document() {
+        let b = Budgets::parse(DOC).unwrap();
+        assert_eq!(b.history_window, 3);
+        assert_eq!(b.budgets.len(), 2);
+        assert_eq!(b.trajectories.len(), 1);
+        assert_eq!(b.declared_max("repro_telemetry", "disabled_overhead_pct"), Some(2.0));
+        assert_eq!(b.declared_min("repro_bitslice", "rows.capture_proxy64.speedup"), Some(4.0));
+        assert_eq!(b.budgets[1].max_regress_pct, Some(20.0));
+        assert_eq!(b.for_suite("repro_telemetry").len(), 1);
+        assert_eq!(b.for_suite("nope").len(), 0);
+    }
+
+    #[test]
+    fn boundless_budget_is_rejected() {
+        let doc = "[[budget]]\nsuite = \"s\"\nmetric = \"m\"\nlabel = \"no bound\"";
+        let err = Budgets::parse(doc).unwrap_err();
+        assert!(err.contains("declares no bound"), "{err}");
+    }
+
+    #[test]
+    fn unknown_table_is_rejected() {
+        assert!(Budgets::parse("[mystery]\nx = 1").is_err());
+    }
+}

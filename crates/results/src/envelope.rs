@@ -1,0 +1,288 @@
+//! The run-record wire schema.
+//!
+//! Every line a store segment holds is one [`RunRecord`], framed
+//! exactly like the telemetry event stream (shared machinery in
+//! [`apollo_telemetry::framing`]):
+//!
+//! ```json
+//! {"v":1,"seq":2,"ts_ns":1754650000000000000,
+//!  "run_id":"5f21c407d1e8","git_rev":"fc2332d9a1b2","suite":"repro_telemetry",
+//!  "metrics":[["disabled_overhead_pct",{"F64":0.70}],["reps",{"U64":7}]],
+//!  "tags":[["quick","0"],["source","bench"]]}
+//! ```
+//!
+//! * `v` — schema version ([`RESULT_SCHEMA_VERSION`]); readers must
+//!   reject versions they do not know.
+//! * `seq` — dense per-suite sequence number assigned by the store at
+//!   append time.
+//! * `ts_ns` — nanoseconds since the UNIX epoch at append time.
+//! * `run_id` — opaque per-process run identity.
+//! * `git_rev` — the repository revision the run was produced at
+//!   (`unknown` outside a checkout).
+//! * `suite` — the segment name; one JSONL file per suite.
+//! * `metrics` — ordered `[key, typed value]` pairs (telemetry
+//!   [`FieldValue`]s), sorted strictly ascending by key.
+//! * `tags` — ordered `[key, string]` pairs, sorted strictly
+//!   ascending by key.
+//!
+//! # Determinism contract
+//!
+//! `ts_ns` and `run_id` are the only fields allowed to differ between
+//! two appends of the same logical run; [`RunRecord::strip_timing`]
+//! clears both — the same contract as the telemetry
+//! `Record::strip_timing`. Query and sentinel renderings never print
+//! either field, so their outputs are byte-deterministic given equal
+//! stored values.
+
+use apollo_telemetry::framing::{self, Framed};
+use apollo_telemetry::FieldValue;
+use serde::{Deserialize, Serialize};
+
+/// Version stamped into every run record's `v` field.
+pub const RESULT_SCHEMA_VERSION: u32 = 1;
+
+/// One store line: framing fields, run identity, and the flattened
+/// metric/tag payload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Schema version ([`RESULT_SCHEMA_VERSION`]).
+    pub v: u32,
+    /// Dense per-suite append index (store-assigned).
+    pub seq: u64,
+    /// Nanoseconds since the UNIX epoch at append time. Timing-only:
+    /// excluded from determinism comparisons.
+    pub ts_ns: u64,
+    /// Opaque per-process run identity. Excluded from determinism
+    /// comparisons alongside `ts_ns`.
+    pub run_id: String,
+    /// Repository revision the run was produced at.
+    pub git_rev: String,
+    /// Suite name (also the segment file stem).
+    pub suite: String,
+    /// Flattened numeric/bool payload, sorted strictly ascending by
+    /// key.
+    pub metrics: Vec<(String, FieldValue)>,
+    /// String payload (configs, modes), sorted strictly ascending by
+    /// key.
+    pub tags: Vec<(String, String)>,
+}
+
+impl Framed for RunRecord {
+    const VERSION: u32 = RESULT_SCHEMA_VERSION;
+
+    fn version(&self) -> u32 {
+        self.v
+    }
+
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn check_payload(&self) -> Result<(), String> {
+        if self.suite.is_empty() {
+            return Err("empty suite name".into());
+        }
+        if self
+            .suite
+            .chars()
+            .any(|c| !(c.is_ascii_alphanumeric() || c == '_' || c == '-'))
+        {
+            return Err(format!("suite `{}` is not a clean segment name", self.suite));
+        }
+        let mut prev: Option<&str> = None;
+        for (k, v) in &self.metrics {
+            if k.is_empty() {
+                return Err("empty metric key".into());
+            }
+            if let Some(p) = prev {
+                if p >= k.as_str() {
+                    return Err(format!("metric keys not strictly sorted at `{k}`"));
+                }
+            }
+            prev = Some(k);
+            if let FieldValue::F64(f) = v {
+                if !f.is_finite() {
+                    return Err(format!("non-finite metric `{k}`"));
+                }
+            }
+        }
+        let mut prev: Option<&str> = None;
+        for (k, _) in &self.tags {
+            if k.is_empty() {
+                return Err("empty tag key".into());
+            }
+            if let Some(p) = prev {
+                if p >= k.as_str() {
+                    return Err(format!("tag keys not strictly sorted at `{k}`"));
+                }
+            }
+            prev = Some(k);
+        }
+        Ok(())
+    }
+}
+
+impl RunRecord {
+    /// Builds a record in canonical form: metrics and tags sorted by
+    /// key with duplicates dropped (first occurrence wins), `v` set,
+    /// `seq` left 0 for the store to assign.
+    pub fn new(
+        suite: impl Into<String>,
+        mut metrics: Vec<(String, FieldValue)>,
+        mut tags: Vec<(String, String)>,
+    ) -> RunRecord {
+        metrics.sort_by(|a, b| a.0.cmp(&b.0));
+        metrics.dedup_by(|b, a| a.0 == b.0);
+        tags.sort_by(|a, b| a.0.cmp(&b.0));
+        tags.dedup_by(|b, a| a.0 == b.0);
+        RunRecord {
+            v: RESULT_SCHEMA_VERSION,
+            seq: 0,
+            ts_ns: 0,
+            run_id: String::new(),
+            git_rev: String::new(),
+            suite: suite.into(),
+            metrics,
+            tags,
+        }
+    }
+
+    /// Serializes to a single JSON line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        framing::to_jsonl(self)
+    }
+
+    /// Copy with the wall-clock/identity fields cleared (`ts_ns`,
+    /// `run_id`) for differential comparisons — the results-store
+    /// mirror of the telemetry `Record::strip_timing` contract.
+    pub fn strip_timing(&self) -> RunRecord {
+        let mut r = self.clone();
+        r.ts_ns = 0;
+        r.run_id = String::new();
+        r
+    }
+
+    /// Looks up a metric by exact key.
+    pub fn metric(&self, key: &str) -> Option<&FieldValue> {
+        self.metrics
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.metrics[i].1)
+    }
+
+    /// Looks up a metric and widens it to `f64` (bools as 0/1).
+    pub fn metric_f64(&self, key: &str) -> Option<f64> {
+        self.metric(key).and_then(field_f64)
+    }
+
+    /// Looks up a tag by exact key.
+    pub fn tag(&self, key: &str) -> Option<&str> {
+        self.tags
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.tags[i].1.as_str())
+    }
+}
+
+/// Widens a numeric/bool field value to `f64` (strings have no numeric
+/// reading and return `None`).
+pub fn field_f64(v: &FieldValue) -> Option<f64> {
+    match v {
+        FieldValue::U64(u) => Some(*u as f64),
+        FieldValue::I64(i) => Some(*i as f64),
+        FieldValue::F64(f) => Some(*f),
+        FieldValue::Bool(b) => Some(u8::from(*b) as f64),
+        FieldValue::Str(_) => None,
+    }
+}
+
+/// Renders a field value the way the JSON wire format would — floats
+/// with shortest round-trip formatting, so a printed metric matches
+/// the legacy blob byte-for-byte.
+pub fn field_text(v: &FieldValue) -> String {
+    match v {
+        FieldValue::U64(u) => u.to_string(),
+        FieldValue::I64(i) => i.to_string(),
+        FieldValue::F64(f) => {
+            serde_json::to_string(f).expect("finite float serialization is infallible")
+        }
+        FieldValue::Bool(b) => b.to_string(),
+        FieldValue::Str(s) => s.clone(),
+    }
+}
+
+/// Parses and validates one store line (shared framing checks plus the
+/// run-record payload rules).
+pub fn validate_result_line(line: &str) -> Result<RunRecord, String> {
+    framing::validate_framed(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> RunRecord {
+        let mut r = RunRecord::new(
+            "demo_suite",
+            vec![
+                ("b.speed".into(), FieldValue::F64(4.5)),
+                ("a.count".into(), FieldValue::U64(7)),
+            ],
+            vec![("quick".into(), "0".into())],
+        );
+        r.seq = 3;
+        r.ts_ns = 123;
+        r.run_id = "abc".into();
+        r.git_rev = "deadbeef".into();
+        r
+    }
+
+    #[test]
+    fn canonical_form_and_roundtrip() {
+        let r = rec();
+        assert_eq!(r.metrics[0].0, "a.count"); // sorted at construction
+        let line = r.to_jsonl();
+        assert_eq!(validate_result_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let line = rec().to_jsonl().replace("\"v\":1", "\"v\":2");
+        let err = validate_result_line(&line).unwrap_err();
+        assert!(err.contains("schema version 2"), "{err}");
+    }
+
+    #[test]
+    fn unsorted_metrics_are_rejected() {
+        let mut r = rec();
+        r.metrics.swap(0, 1);
+        let err = validate_result_line(&r.to_jsonl()).unwrap_err();
+        assert!(err.contains("not strictly sorted"), "{err}");
+    }
+
+    #[test]
+    fn strip_timing_clears_only_identity() {
+        let r = rec();
+        let s = r.strip_timing();
+        assert_eq!(s.ts_ns, 0);
+        assert_eq!(s.run_id, "");
+        assert_eq!(s.git_rev, r.git_rev);
+        assert_eq!(s.metrics, r.metrics);
+    }
+
+    #[test]
+    fn lookups() {
+        let r = rec();
+        assert_eq!(r.metric_f64("a.count"), Some(7.0));
+        assert_eq!(r.metric_f64("b.speed"), Some(4.5));
+        assert_eq!(r.metric("nope"), None);
+        assert_eq!(r.tag("quick"), Some("0"));
+    }
+
+    #[test]
+    fn field_text_matches_json_wire_format() {
+        assert_eq!(field_text(&FieldValue::F64(0.7046803509863809)), "0.7046803509863809");
+        assert_eq!(field_text(&FieldValue::U64(10000)), "10000");
+        assert_eq!(field_text(&FieldValue::Bool(true)), "true");
+    }
+}

@@ -1,0 +1,331 @@
+//! Backfill: turning legacy `results/*.json` blobs into store records.
+//!
+//! Each blob becomes one [`RunRecord`] via a deterministic flattening
+//! of its JSON tree — numbers and bools become metrics at dotted
+//! paths, strings become tags. The same flattening backs the live
+//! writer ([`crate::writer`]), so a value queried from the store is
+//! the *same `f64` bits* the legacy blob carried: both go through the
+//! one `Value → FieldValue` code path.
+//!
+//! # Flattening rules
+//!
+//! * Objects recurse with `.`-joined keys.
+//! * Arrays of objects that carry a name-ish key (`name`, `method`,
+//!   `variant`, `bench`) flatten keyed by that (sanitized) name.
+//! * Arrays whose elements are `[string, ...]` pairs flatten keyed by
+//!   the string.
+//! * Other arrays flatten by index up to [`MAX_ARRAY_FLATTEN`]
+//!   elements; longer ones record only their length at `<path>.n`
+//!   (e.g. the 200k-sample GA trace, the 4096-step throttle trace).
+//! * `null` and non-finite floats are skipped.
+
+use std::path::Path;
+
+use apollo_telemetry::FieldValue;
+use serde_json::Value;
+
+use crate::envelope::RunRecord;
+use crate::store::ResultStore;
+
+/// Arrays longer than this flatten to a length metric only.
+pub const MAX_ARRAY_FLATTEN: usize = 32;
+
+/// Keys that name the rows of a table-like array of objects.
+const NAME_KEYS: [&str; 4] = ["name", "method", "variant", "bench"];
+
+/// Flattened payload: metric columns, then tag columns.
+pub type Flattened = (Vec<(String, FieldValue)>, Vec<(String, String)>);
+
+/// Flattens a JSON tree into `(metrics, tags)` per the module rules.
+pub fn flatten(value: &Value) -> Flattened {
+    let mut metrics = Vec::new();
+    let mut tags = Vec::new();
+    walk(value, "", &mut metrics, &mut tags);
+    (metrics, tags)
+}
+
+fn join(prefix: &str, key: &str) -> String {
+    if prefix.is_empty() {
+        key.to_string()
+    } else {
+        format!("{prefix}.{key}")
+    }
+}
+
+/// Keeps `[A-Za-z0-9_-]`, mapping runs of anything else to one `_`.
+pub fn sanitize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_us = false;
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+            out.push(c);
+            last_us = false;
+        } else if !last_us {
+            out.push('_');
+            last_us = true;
+        }
+    }
+    out.trim_matches('_').to_string()
+}
+
+fn walk(
+    v: &Value,
+    prefix: &str,
+    metrics: &mut Vec<(String, FieldValue)>,
+    tags: &mut Vec<(String, String)>,
+) {
+    match v {
+        Value::Null => {}
+        Value::Bool(b) => metrics.push((prefix.to_string(), FieldValue::Bool(*b))),
+        Value::Int(i) => {
+            let fv = if *i < 0 {
+                FieldValue::I64(*i)
+            } else {
+                FieldValue::U64(*i as u64)
+            };
+            metrics.push((prefix.to_string(), fv));
+        }
+        Value::UInt(u) => metrics.push((prefix.to_string(), FieldValue::U64(*u))),
+        Value::Float(f) => {
+            if f.is_finite() {
+                metrics.push((prefix.to_string(), FieldValue::F64(*f)));
+            }
+        }
+        Value::Str(s) => tags.push((prefix.to_string(), s.clone())),
+        Value::Object(fields) => {
+            for (k, item) in fields {
+                walk(item, &join(prefix, &sanitize(k)), metrics, tags);
+            }
+        }
+        Value::Array(items) => walk_array(items, prefix, metrics, tags),
+    }
+}
+
+fn walk_array(
+    items: &[Value],
+    prefix: &str,
+    metrics: &mut Vec<(String, FieldValue)>,
+    tags: &mut Vec<(String, String)>,
+) {
+    if items.is_empty() {
+        return;
+    }
+    // Table shape: every element an object carrying the same name key.
+    if let Some(name_key) = NAME_KEYS.iter().find(|nk| {
+        items.iter().all(|it| match it {
+            Value::Object(fields) => fields.iter().any(|(k, v)| k == *nk && matches!(v, Value::Str(_))),
+            _ => false,
+        })
+    }) {
+        for it in items {
+            let Value::Object(fields) = it else { unreachable!("checked above") };
+            let row_name = fields
+                .iter()
+                .find_map(|(k, v)| match (k == *name_key, v) {
+                    (true, Value::Str(s)) => Some(sanitize(s)),
+                    _ => None,
+                })
+                .expect("name key present per the shape check");
+            let row_prefix = join(prefix, &row_name);
+            for (k, v) in fields {
+                if k != *name_key {
+                    walk(v, &join(&row_prefix, &sanitize(k)), metrics, tags);
+                }
+            }
+        }
+        return;
+    }
+    // Keyed-pair shape: every element `[string, ...]`.
+    let keyed = items.iter().all(|it| {
+        matches!(it, Value::Array(inner) if inner.len() >= 2 && matches!(inner[0], Value::Str(_)))
+    });
+    if keyed {
+        for it in items {
+            let Value::Array(inner) = it else { unreachable!("checked above") };
+            let Value::Str(key) = &inner[0] else { unreachable!("checked above") };
+            let row_prefix = join(prefix, &sanitize(key));
+            if inner.len() == 2 {
+                walk(&inner[1], &row_prefix, metrics, tags);
+            } else {
+                for (i, v) in inner[1..].iter().enumerate() {
+                    walk(v, &join(&row_prefix, &i.to_string()), metrics, tags);
+                }
+            }
+        }
+        return;
+    }
+    // Positional shape, bounded; beyond the bound only the length is
+    // meaningful (sample traces, waveforms).
+    if items.len() > MAX_ARRAY_FLATTEN {
+        metrics.push((join(prefix, "n"), FieldValue::U64(items.len() as u64)));
+        return;
+    }
+    for (i, it) in items.iter().enumerate() {
+        walk(it, &join(prefix, &i.to_string()), metrics, tags);
+    }
+}
+
+/// Builds the store record for one legacy blob: flatten, then layer
+/// adapter tags derived from the file stem.
+pub fn record_for_blob(stem: &str, value: &Value) -> RunRecord {
+    let (metrics, mut tags) = flatten(value);
+    tags.push(("source".into(), "legacy_import".into()));
+    let kind = if stem.starts_with("repro_") {
+        "bench"
+    } else if stem.starts_with("fig") {
+        "figure"
+    } else if stem.starts_with("table") {
+        "table"
+    } else {
+        "experiment"
+    };
+    tags.push(("kind".into(), kind.into()));
+    // governor_cap_<pct> blobs encode their cap in the file name.
+    if let Some(cap) = stem.strip_prefix("governor_cap_") {
+        tags.push(("cap".into(), cap.to_string()));
+    }
+    let mut rec = RunRecord::new(sanitize(stem), metrics, tags);
+    rec.git_rev = crate::writer::current_git_rev();
+    rec.run_id = crate::writer::new_run_id();
+    rec
+}
+
+/// Outcome of an [`import_dir`] pass.
+#[derive(Debug, Default)]
+pub struct ImportReport {
+    /// Suites written, with their metric counts.
+    pub imported: Vec<(String, usize)>,
+    /// Suites skipped because their segment already exists.
+    pub skipped: Vec<String>,
+}
+
+/// Imports every `*.json` blob under `results_dir` into the store, one
+/// record per file, suite named after the file stem.
+///
+/// Idempotent by default: a suite whose segment already holds records
+/// is skipped unless `force` (which appends another record — history,
+/// not overwrite; the store never rewrites).
+pub fn import_dir(results_dir: &Path, store: &ResultStore, force: bool) -> Result<ImportReport, String> {
+    let mut report = ImportReport::default();
+    let mut stems = Vec::new();
+    let entries = std::fs::read_dir(results_dir)
+        .map_err(|e| format!("read {}: {e}", results_dir.display()))?;
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.extension().and_then(|x| x.to_str()) == Some("json")
+            && p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| !n.starts_with("BENCH_"))
+        {
+            if let Some(stem) = p.file_stem().and_then(|s| s.to_str()) {
+                stems.push((stem.to_string(), p.clone()));
+            }
+        }
+    }
+    stems.sort();
+    for (stem, path) in stems {
+        let suite = sanitize(&stem);
+        if !force && !store.read_suite(&suite)?.records.is_empty() {
+            report.skipped.push(suite);
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        let value: Value = serde_json::from_str(&text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let rec = record_for_blob(&stem, &value);
+        let n = rec.metrics.len();
+        store.append(&rec)?;
+        report.imported.push((suite, n));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn scalars_and_nesting() {
+        let v = json!({
+            "overhead_pct": 0.7046803509863809,
+            "reps": 7u64,
+            "pass": true,
+            "design": "riscv_mini",
+            "inner": {"depth": -2i64, "skip": null},
+        });
+        let (metrics, tags) = flatten(&v);
+        let m: std::collections::BTreeMap<_, _> = metrics.into_iter().collect();
+        assert_eq!(m["overhead_pct"], FieldValue::F64(0.7046803509863809));
+        assert_eq!(m["reps"], FieldValue::U64(7));
+        assert_eq!(m["pass"], FieldValue::Bool(true));
+        assert_eq!(m["inner.depth"], FieldValue::I64(-2));
+        assert!(!m.contains_key("inner.skip"));
+        assert_eq!(tags, vec![("design".to_string(), "riscv_mini".to_string())]);
+    }
+
+    #[test]
+    fn named_row_tables_flatten_by_name() {
+        let v = json!({
+            "rows": [
+                {"name": "capture_proxy64", "speedup": 5.68, "lanes": 64u64},
+                {"name": "ripes (DSP)", "speedup": 2.4},
+            ],
+        });
+        let (metrics, _) = flatten(&v);
+        let m: std::collections::BTreeMap<_, _> = metrics.into_iter().collect();
+        assert_eq!(m["rows.capture_proxy64.speedup"], FieldValue::F64(5.68));
+        assert_eq!(m["rows.capture_proxy64.lanes"], FieldValue::U64(64));
+        assert_eq!(m["rows.ripes_DSP.speedup"], FieldValue::F64(2.4));
+    }
+
+    #[test]
+    fn keyed_pairs_and_long_arrays() {
+        let v = json!({
+            "pairs": [["dhry", 1000u64], ["matmul", 2000u64]],
+            "trace": (0..100u64).collect::<Vec<u64>>(),
+            "small": [1.0, 2.0],
+        });
+        let (metrics, _) = flatten(&v);
+        let m: std::collections::BTreeMap<_, _> = metrics.into_iter().collect();
+        assert_eq!(m["pairs.dhry"], FieldValue::U64(1000));
+        assert_eq!(m["pairs.matmul"], FieldValue::U64(2000));
+        assert_eq!(m["trace.n"], FieldValue::U64(100));
+        assert!(!m.contains_key("trace.0"));
+        assert_eq!(m["small.0"], FieldValue::F64(1.0));
+        assert_eq!(m["small.1"], FieldValue::F64(2.0));
+    }
+
+    #[test]
+    fn triple_keyed_rows_use_positions() {
+        // fig9-style: [[name, cycles, {metrics}], ...]
+        let v = json!({
+            "per_benchmark": [
+                ["dhry_like", 40000u64, {"r2": 0.97}],
+            ],
+        });
+        let (metrics, _) = flatten(&v);
+        let m: std::collections::BTreeMap<_, _> = metrics.into_iter().collect();
+        assert_eq!(m["per_benchmark.dhry_like.0"], FieldValue::U64(40000));
+        assert_eq!(m["per_benchmark.dhry_like.1.r2"], FieldValue::F64(0.97));
+    }
+
+    #[test]
+    fn sanitize_collapses_junk() {
+        assert_eq!(sanitize("ripes (DSP)"), "ripes_DSP");
+        assert_eq!(sanitize("fig3_ga"), "fig3_ga");
+        assert_eq!(sanitize("a//b"), "a_b");
+    }
+
+    #[test]
+    fn blob_record_carries_adapter_tags() {
+        let rec = record_for_blob("governor_cap_50", &json!({"throttle_pct": 12.5}));
+        assert_eq!(rec.suite, "governor_cap_50");
+        assert_eq!(rec.tag("cap"), Some("50"));
+        assert_eq!(rec.tag("source"), Some("legacy_import"));
+        assert_eq!(rec.tag("kind"), Some("experiment"));
+        let rec = record_for_blob("repro_bitslice", &json!({"quick": false}));
+        assert_eq!(rec.tag("kind"), Some("bench"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Queryable results store for the APOLLO reproduction.
+//!
+//! Every bench, accuracy, and overhead run in this repo used to leave
+//! behind a point-in-time JSON blob (`results/<name>.json`) that the
+//! next run overwrote. This crate gives those numbers a history:
+//!
+//! * **Envelope** ([`envelope`]): one schema-versioned [`RunRecord`]
+//!   per run — `{v, seq, ts_ns, run_id, git_rev, suite, metrics,
+//!   tags}` — framed and validated exactly like the telemetry event
+//!   stream (shared machinery in `apollo_telemetry::framing`).
+//! * **Store** ([`store`]): append-only JSONL segments, one file per
+//!   suite under `results/store/`. Corrupt tails are skipped with a
+//!   counter and clipped on the next append; mid-file corruption is a
+//!   hard error.
+//! * **View** ([`view`]): a columnar in-memory transpose for queries —
+//!   latest-N, per-metric history, group-by tag/suite, min / median /
+//!   latest / delta aggregations.
+//! * **Query & render** ([`query`], [`render`]): the table shapes
+//!   behind `apollo results`, rendered as unicode table, JSON, CSV, or
+//!   markdown — byte-deterministic given equal stored values.
+//! * **Budgets & sentinel** ([`budgets`], [`sentinel`]): regression
+//!   gating against the checked-in `budgets.toml` (absolute floors /
+//!   ceilings plus percent-regression vs the prior-window median) with
+//!   a rendered verdict table, and append-safe `BENCH_*.json`
+//!   trajectory mirrors.
+//! * **Import & writer** ([`import`], [`writer`]): backfill adapters
+//!   for legacy blobs and the live append path bench bins call — both
+//!   flatten through one code path, so stored values match blob values
+//!   bit-for-bit.
+//!
+//! # Determinism contract
+//!
+//! `ts_ns` and `run_id` are the only record fields that may differ
+//! between identical runs ([`RunRecord::strip_timing`] clears both).
+//! No query, history, or sentinel rendering includes either, so equal
+//! stored values produce byte-equal output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budgets;
+pub mod envelope;
+pub mod import;
+pub mod minitoml;
+pub mod query;
+pub mod render;
+pub mod sentinel;
+pub mod store;
+pub mod view;
+pub mod writer;
+
+pub use budgets::{budget_max_or, budget_min_or, Budget, Budgets, Trajectory};
+pub use envelope::{
+    field_f64, field_text, validate_result_line, RunRecord, RESULT_SCHEMA_VERSION,
+};
+pub use import::{flatten, import_dir, ImportReport};
+pub use render::{sparkline, Format, Table};
+pub use sentinel::{emit_trajectories, run_sentinel, SentinelReport, Status};
+pub use store::{ResultStore, SegmentRead};
+pub use view::{Agg, ResultsView, SuiteView};
+pub use writer::{default_store, record_bench_run, record_bench_run_soft};

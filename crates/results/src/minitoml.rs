@@ -1,0 +1,227 @@
+//! Hand-rolled parser for the TOML subset `budgets.toml` uses.
+//!
+//! The build environment has no registry access, so rather than a
+//! full TOML implementation this covers exactly what a budgets file
+//! needs: comments, `[table]` headers, `[[array-of-table]]` headers,
+//! and `key = value` pairs with string / integer / float / boolean
+//! values. Anything outside the subset is a parse error, not a silent
+//! skip — a malformed budgets file must fail the sentinel loudly.
+
+/// A scalar value in the TOML subset.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TomlValue {
+    /// `"quoted"` string (basic strings, common escapes).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+}
+
+impl TomlValue {
+    /// Numeric reading (ints widen to f64).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            TomlValue::Int(i) => Some(*i as f64),
+            TomlValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String reading.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed table: header path (empty for the implicit root table)
+/// and its key/value pairs in file order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TomlTable {
+    /// Header text inside the brackets (e.g. `sentinel`).
+    pub name: String,
+    /// Whether the header used `[[...]]` (array-of-tables entry).
+    pub is_array: bool,
+    /// Key/value pairs in file order.
+    pub pairs: Vec<(String, TomlValue)>,
+}
+
+impl TomlTable {
+    /// Looks up a key in this table.
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Parses a document into its tables, file order preserved. Root-level
+/// pairs (before any header) land in a table named `""`.
+pub fn parse(text: &str) -> Result<Vec<TomlTable>, String> {
+    let mut tables = vec![TomlTable {
+        name: String::new(),
+        is_array: false,
+        pairs: Vec::new(),
+    }];
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("budgets line {}: {msg}: `{raw}`", lineno + 1);
+        if let Some(inner) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            let name = inner.trim();
+            if name.is_empty() {
+                return Err(err("empty table name"));
+            }
+            tables.push(TomlTable {
+                name: name.to_string(),
+                is_array: true,
+                pairs: Vec::new(),
+            });
+        } else if let Some(inner) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let name = inner.trim();
+            if name.is_empty() {
+                return Err(err("empty table name"));
+            }
+            tables.push(TomlTable {
+                name: name.to_string(),
+                is_array: false,
+                pairs: Vec::new(),
+            });
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim();
+            let val = line[eq + 1..].trim();
+            if key.is_empty() {
+                return Err(err("empty key"));
+            }
+            let value = parse_value(val).map_err(|m| err(&m))?;
+            tables
+                .last_mut()
+                .expect("root table always present")
+                .pairs
+                .push((key.to_string(), value));
+        } else {
+            return Err(err("expected `[table]`, `[[table]]`, or `key = value`"));
+        }
+    }
+    // Drop an unused empty root so iteration sees only real tables.
+    if tables[0].pairs.is_empty() {
+        tables.remove(0);
+    }
+    Ok(tables)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` starts a comment unless inside a quoted string.
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_value(s: &str) -> Result<TomlValue, String> {
+    if let Some(body) = s.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| "unterminated string".to_string())?;
+        let mut out = String::new();
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    other => return Err(format!("unsupported escape `\\{:?}`", other)),
+                }
+            } else if c == '"' {
+                return Err("stray quote inside string".into());
+            } else {
+                out.push(c);
+            }
+        }
+        return Ok(TomlValue::Str(out));
+    }
+    match s {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    if s.contains(['.', 'e', 'E']) {
+        if let Ok(f) = s.parse::<f64>() {
+            if f.is_finite() {
+                return Ok(TomlValue::Float(f));
+            }
+        }
+    } else if let Ok(i) = s.parse::<i64>() {
+        return Ok(TomlValue::Int(i));
+    }
+    Err(format!("unsupported value `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_budgets_shape() {
+        let doc = r#"
+# sentinel config
+[sentinel]
+history_window = 5  # runs
+
+[[budget]]
+suite = "repro_telemetry"
+metric = "disabled_overhead_pct"
+max = 2.0
+
+[[budget]]
+suite = "repro_bitslice"
+metric = "rows.capture_proxy64.speedup"
+min = 4.0
+strict = true
+"#;
+        let tables = parse(doc).unwrap();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].name, "sentinel");
+        assert!(!tables[0].is_array);
+        assert_eq!(tables[0].get("history_window"), Some(&TomlValue::Int(5)));
+        assert!(tables[1].is_array);
+        assert_eq!(tables[1].get("max").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            tables[2].get("metric").unwrap().as_str(),
+            Some("rows.capture_proxy64.speedup")
+        );
+        assert_eq!(tables[2].get("strict"), Some(&TomlValue::Bool(true)));
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let tables = parse("label = \"r2 # floor\" # trailing").unwrap();
+        assert_eq!(tables[0].get("label").unwrap().as_str(), Some("r2 # floor"));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_location() {
+        let err = parse("[ok]\nwhat is this").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(parse("x = nope").is_err());
+        assert!(parse("[]").is_err());
+    }
+}

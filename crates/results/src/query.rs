@@ -1,0 +1,282 @@
+//! Query shapes behind `apollo results query` / `history`.
+//!
+//! Each function turns view data into a renderer-ready [`Table`];
+//! the CLI only parses flags and picks a shape. All shapes exclude
+//! `ts_ns` and `run_id` (the determinism contract), so identical
+//! stored values render to identical bytes in every format.
+
+use crate::envelope::field_text;
+use crate::render::{num, sparkline, Table};
+use crate::view::{Agg, ResultsView, SuiteView};
+
+/// Two-column `metric | value` table for a suite's latest run — the
+/// shape embedded into EXPERIMENTS.md. `metrics` filters (exact names,
+/// empty = all).
+pub fn latest_table(view: &ResultsView, suite: &str, metrics: &[String]) -> Result<Table, String> {
+    let sv = require_suite(view, suite)?;
+    if sv.is_empty() {
+        return Err(format!("suite `{suite}` holds no runs"));
+    }
+    let mut t = Table::new(format!("{suite} (latest run, git {})", short_rev(sv)), &["metric", "value"]);
+    for name in sv.metric_names() {
+        if !metrics.is_empty() && !metrics.iter().any(|m| m == name) {
+            continue;
+        }
+        if let Some(v) = sv.latest(name) {
+            t.push_row(vec![name.to_string(), field_text(v)]);
+        }
+    }
+    if t.rows.is_empty() {
+        return Err(format!("no matching metrics in suite `{suite}`"));
+    }
+    Ok(t)
+}
+
+/// Run-per-row comparison table over the last `n` runs: one column per
+/// requested metric (empty = all observed metrics).
+pub fn runs_table(
+    view: &ResultsView,
+    suite: &str,
+    metrics: &[String],
+    last_n: usize,
+) -> Result<Table, String> {
+    let sv = require_suite(view, suite)?;
+    let names: Vec<String> = if metrics.is_empty() {
+        sv.metric_names().iter().map(|s| s.to_string()).collect()
+    } else {
+        metrics.to_vec()
+    };
+    let mut header: Vec<&str> = vec!["seq", "git_rev"];
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    header.extend(&name_refs);
+    let mut t = Table::new(format!("{suite} (last {} runs)", last_n.min(sv.len())), &header);
+    for row in sv.latest_rows(last_n) {
+        let mut cells = vec![sv.seqs[row].to_string(), shorten(&sv.git_revs[row])];
+        for name in &names {
+            let cell = sv
+                .metrics
+                .get(name)
+                .and_then(|col| col[row].as_ref())
+                .map(field_text)
+                .unwrap_or_else(|| "-".into());
+            cells.push(cell);
+        }
+        t.push_row(cells);
+    }
+    Ok(t)
+}
+
+/// Group-by table: rows are groups of a tag column (or whole suites
+/// when `tag` is `None`), columns are the aggregations of one metric.
+pub fn group_table(
+    view: &ResultsView,
+    suite: Option<&str>,
+    tag: Option<&str>,
+    metric: &str,
+    aggs: &[Agg],
+) -> Result<Table, String> {
+    let mut header = vec![if tag.is_some() { "group" } else { "suite" }];
+    header.extend(aggs.iter().map(Agg::label));
+    let title = match tag {
+        Some(tagname) => format!("{} by {tagname}: {metric}", suite.unwrap_or("all")),
+        None => format!("by suite: {metric}"),
+    };
+    let mut t = Table::new(title, &header);
+
+    let mut push_group = |name: String, sv: &SuiteView, rows: &[usize]| {
+        let mut cells = vec![name];
+        for agg in aggs {
+            cells.push(
+                sv.aggregate(metric, rows, *agg)
+                    .map(num)
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        t.push_row(cells);
+    };
+
+    match (suite, tag) {
+        (Some(s), Some(tagname)) => {
+            let sv = require_suite(view, s)?;
+            for (group, rows) in sv.group_by_tag(tagname) {
+                push_group(group, sv, &rows);
+            }
+        }
+        (Some(s), None) => {
+            let sv = require_suite(view, s)?;
+            let rows: Vec<usize> = (0..sv.len()).collect();
+            push_group(s.to_string(), sv, &rows);
+        }
+        (None, _) => {
+            // Cross-suite: group per suite (tag grouping needs a suite
+            // to anchor column semantics).
+            for (name, sv) in &view.suites {
+                if sv.metrics.contains_key(metric) {
+                    let rows: Vec<usize> = (0..sv.len()).collect();
+                    push_group(name.clone(), sv, &rows);
+                }
+            }
+        }
+    }
+    if t.rows.is_empty() {
+        return Err(format!("no data for metric `{metric}`"));
+    }
+    Ok(t)
+}
+
+/// History table for `apollo results history <suite> <metric>`: one row
+/// per run reporting the metric, plus a sparkline/delta summary line
+/// returned alongside.
+pub fn history_table(
+    view: &ResultsView,
+    suite: &str,
+    metric: &str,
+) -> Result<(Table, String), String> {
+    let sv = require_suite(view, suite)?;
+    let hist = sv.history(metric);
+    if hist.is_empty() {
+        return Err(format!("no history for `{metric}` in suite `{suite}`"));
+    }
+    let mut t = Table::new(
+        format!("{suite}: {metric}"),
+        &["seq", "git_rev", "value", "delta%"],
+    );
+    let mut prev: Option<f64> = None;
+    for (seq, v) in &hist {
+        let row_idx = sv.seqs.iter().position(|s| s == seq).unwrap_or(0);
+        let delta = match prev {
+            Some(p) if p != 0.0 => format!("{:+.2}", 100.0 * (v - p) / p.abs()),
+            _ => "-".into(),
+        };
+        t.push_row(vec![
+            seq.to_string(),
+            shorten(&sv.git_revs[row_idx]),
+            num(*v),
+            delta,
+        ]);
+        prev = Some(*v);
+    }
+    let vals: Vec<f64> = hist.iter().map(|(_, v)| *v).collect();
+    let first = vals[0];
+    let last = *vals.last().unwrap();
+    let overall = if first != 0.0 {
+        format!("{:+.2}%", 100.0 * (last - first) / first.abs())
+    } else {
+        "-".into()
+    };
+    let summary = format!(
+        "{} runs  {}  first {}  latest {}  overall {}",
+        vals.len(),
+        sparkline(&vals),
+        num(first),
+        num(last),
+        overall
+    );
+    Ok((t, summary))
+}
+
+/// Store overview: one row per suite with run counts and health.
+pub fn suites_table(view: &ResultsView) -> Table {
+    let mut t = Table::new("results store", &["suite", "runs", "metrics", "latest git_rev", "tail"]);
+    for (name, sv) in &view.suites {
+        t.push_row(vec![
+            name.clone(),
+            sv.len().to_string(),
+            sv.metrics.len().to_string(),
+            sv.git_revs.last().map(|r| shorten(r)).unwrap_or_else(|| "-".into()),
+            if sv.tail_skipped { "skipped" } else { "ok" }.to_string(),
+        ]);
+    }
+    t
+}
+
+fn require_suite<'v>(view: &'v ResultsView, suite: &str) -> Result<&'v SuiteView, String> {
+    view.suite(suite).ok_or_else(|| {
+        let known = view
+            .suites
+            .keys()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("unknown suite `{suite}` (stored: {known})")
+    })
+}
+
+fn shorten(rev: &str) -> String {
+    rev.chars().take(12).collect()
+}
+
+fn short_rev(sv: &SuiteView) -> String {
+    sv.git_revs.last().map(|r| shorten(r)).unwrap_or_else(|| "-".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::RunRecord;
+    use crate::store::SegmentRead;
+    use apollo_telemetry::FieldValue;
+
+    fn view() -> ResultsView {
+        let mut read = SegmentRead::default();
+        for (i, (v, mode)) in [(4.0, "quick"), (5.0, "full"), (5.5, "full")].iter().enumerate() {
+            let mut r = RunRecord::new(
+                "bench",
+                vec![
+                    ("speedup".into(), FieldValue::F64(*v)),
+                    ("reps".into(), FieldValue::U64(7)),
+                ],
+                vec![("mode".into(), mode.to_string())],
+            );
+            r.seq = i as u64;
+            r.git_rev = format!("rev{i}abcdefabcdef");
+            read.records.push(r);
+        }
+        let mut v = ResultsView::default();
+        v.add_suite("bench", &read);
+        v
+    }
+
+    #[test]
+    fn latest_table_filters_metrics() {
+        let t = latest_table(&view(), "bench", &[]).unwrap();
+        assert_eq!(t.rows.len(), 2);
+        let t = latest_table(&view(), "bench", &["speedup".to_string()]).unwrap();
+        assert_eq!(t.rows, vec![vec!["speedup".to_string(), "5.5".to_string()]]);
+        assert!(latest_table(&view(), "nope", &[]).is_err());
+    }
+
+    #[test]
+    fn runs_table_last_n() {
+        let t = runs_table(&view(), "bench", &["speedup".to_string()], 2).unwrap();
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], "1");
+        assert_eq!(t.rows[1][2], "5.5");
+    }
+
+    #[test]
+    fn group_table_by_tag_and_by_suite() {
+        let t = group_table(&view(), Some("bench"), Some("mode"), "speedup", &[Agg::Count, Agg::Median]).unwrap();
+        assert_eq!(t.rows.len(), 2); // full, quick
+        assert_eq!(t.rows[0], vec!["full".to_string(), "2".to_string(), "5".to_string()]);
+        let t = group_table(&view(), None, None, "speedup", &[Agg::Latest]).unwrap();
+        assert_eq!(t.rows, vec![vec!["bench".to_string(), "5.5".to_string()]]);
+    }
+
+    #[test]
+    fn history_has_deltas_and_sparkline() {
+        let (t, summary) = history_table(&view(), "bench", "speedup").unwrap();
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[1][3], "+25.00");
+        assert!(summary.contains("3 runs"));
+        assert!(summary.contains('█'));
+        assert!(summary.contains("+37.50%"));
+    }
+
+    #[test]
+    fn suites_overview() {
+        let t = suites_table(&view());
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][1], "3");
+    }
+}

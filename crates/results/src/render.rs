@@ -1,0 +1,267 @@
+//! Table rendering for `apollo results` output.
+//!
+//! One [`Table`] model, four output formats. The unicode table follows
+//! the comfy-table `UTF8_HORIZONTAL_ONLY` preset look (top/bottom
+//! rules, double rule under the header, no vertical borders) so CLI
+//! output matches the ecosystem idiom without carrying the dependency.
+//! All formats are byte-deterministic given equal cell text.
+
+/// Output format selector for the CLI's `--format` flag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Unicode box table (default, human-facing).
+    Table,
+    /// JSON array of row objects keyed by header.
+    Json,
+    /// RFC-4180-style CSV with a header row.
+    Csv,
+    /// GitHub-flavored markdown pipe table.
+    Markdown,
+}
+
+impl Format {
+    /// Parses a CLI format name.
+    pub fn parse(s: &str) -> Result<Format, String> {
+        Ok(match s {
+            "table" => Format::Table,
+            "json" => Format::Json,
+            "csv" => Format::Csv,
+            "markdown" | "md" => Format::Markdown,
+            other => return Err(format!("unknown format `{other}` (table|json|csv|markdown)")),
+        })
+    }
+}
+
+/// A rendered-format-agnostic table: title, header, text rows.
+#[derive(Debug, Default)]
+pub struct Table {
+    /// Optional title line printed above the table (blank to omit).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Row-major cell text.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Builds a table from string-ish parts.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (padded/truncated to the header width).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders in the requested format.
+    pub fn render(&self, format: Format) -> String {
+        match format {
+            Format::Table => self.render_unicode(),
+            Format::Json => self.render_json(),
+            Format::Csv => self.render_csv(),
+            Format::Markdown => self.render_markdown(),
+        }
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if let Some(slot) = w.get_mut(i) {
+                    *slot = (*slot).max(cell.chars().count());
+                }
+            }
+        }
+        w
+    }
+
+    fn render_unicode(&self) -> String {
+        let w = self.widths();
+        let rule = |c: char| -> String {
+            let total: usize = w.iter().sum::<usize>() + 2 * w.len().saturating_sub(1);
+            c.to_string().repeat(total)
+        };
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = w[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        out.push_str(&rule('─'));
+        out.push('\n');
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        out.push_str(&rule('═'));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out.push_str(&rule('─'));
+        out.push('\n');
+        out
+    }
+
+    fn render_json(&self) -> String {
+        let rows: Vec<serde_json::Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let obj: Vec<(String, serde_json::Value)> = self
+                    .header
+                    .iter()
+                    .zip(row)
+                    .map(|(h, c)| (h.clone(), serde_json::Value::Str(c.clone())))
+                    .collect();
+                serde_json::Value::Object(obj)
+            })
+            .collect();
+        let mut s =
+            serde_json::to_string_pretty(&serde_json::Value::Array(rows)).unwrap_or_default();
+        s.push('\n');
+        s
+    }
+
+    fn render_csv(&self) -> String {
+        let quote = |c: &str| -> String {
+            if c.contains([',', '"', '\n']) {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("**{}**\n\n", self.title));
+        }
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.header.iter().map(|_| " --- |").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Renders a numeric series as a unicode sparkline (`▁▂▃▄▅▆▇█`).
+/// Flat series render as all-low blocks; empty series as "".
+pub fn sparkline(vals: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if vals.is_empty() {
+        return String::new();
+    }
+    let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    vals.iter()
+        .map(|v| {
+            let idx = if span > 0.0 {
+                (((v - min) / span) * 7.0).round() as usize
+            } else {
+                0
+            };
+            BLOCKS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Formats an f64 for table cells: integral values without a trailing
+/// `.0`, others in shortest round-trip form (matching the JSON wire
+/// format, so displayed metrics compare bit-for-bit against blobs).
+pub fn num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        serde_json::to_string(&v).unwrap_or_else(|_| v.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        let mut t = Table::new("demo", &["suite", "value"]);
+        t.push_row(vec!["repro_x".into(), "4.5".into()]);
+        t.push_row(vec!["repro_y".into(), "0.7".into()]);
+        t
+    }
+
+    #[test]
+    fn unicode_table_shape() {
+        let s = t().render(Format::Table);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "demo");
+        assert!(lines[1].starts_with('─'));
+        assert!(lines[2].starts_with("suite"));
+        assert!(lines[3].starts_with('═'));
+        assert!(lines.last().unwrap().starts_with('─'));
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "plain".into()]);
+        let s = t.render(Format::Csv);
+        assert_eq!(s, "a,b\n\"x,y\",plain\n");
+    }
+
+    #[test]
+    fn markdown_and_json_forms() {
+        let md = t().render(Format::Markdown);
+        assert!(md.contains("| suite | value |"));
+        assert!(md.contains("| --- | --- |"));
+        let js = t().render(Format::Json);
+        let v = serde_json::from_str::<serde_json::Value>(&js).unwrap();
+        match v {
+            serde_json::Value::Array(rows) => assert_eq!(rows.len(), 2),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sparkline_spans_blocks() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0, 5.0]), "▁▁");
+    }
+
+    #[test]
+    fn num_formatting() {
+        assert_eq!(num(4.0), "4");
+        assert_eq!(num(0.7046803509863809), "0.7046803509863809");
+    }
+}

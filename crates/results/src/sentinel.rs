@@ -1,0 +1,382 @@
+//! The CI regression sentinel.
+//!
+//! Diffs each suite's **latest** stored run against (a) the absolute
+//! bounds declared in `budgets.toml` and (b) the median of the prior
+//! history window for relative-regression rules. Renders one table of
+//! check rows; any `FAIL` row makes the run a failure (exit nonzero)
+//! unless the caller asked for `--check` dry mode.
+//!
+//! Output is deterministic given equal stored values: no timestamps or
+//! run ids appear in the table (the [`crate::envelope`] strip-timing
+//! contract applied to reporting).
+
+use std::path::Path;
+
+use crate::budgets::{Budget, Budgets};
+use crate::render::{num, Format, Table};
+use crate::view::ResultsView;
+
+/// Verdict of one budget check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Within bounds.
+    Pass,
+    /// Out of bounds — the sentinel fails.
+    Fail,
+    /// The suite or metric has no stored data to check. Not a failure
+    /// (a budget for a suite that hasn't run yet must not block CI),
+    /// but reported so coverage gaps stay visible.
+    Missing,
+}
+
+impl Status {
+    fn text(self) -> &'static str {
+        match self {
+            Status::Pass => "PASS",
+            Status::Fail => "FAIL",
+            Status::Missing => "MISSING",
+        }
+    }
+}
+
+/// One evaluated budget rule.
+#[derive(Clone, Debug)]
+pub struct CheckRow {
+    /// Suite checked.
+    pub suite: String,
+    /// Metric checked.
+    pub metric: String,
+    /// Latest stored value, if present.
+    pub value: Option<f64>,
+    /// Rendered bound text (e.g. `<= 2`, `>= 4`).
+    pub bound: String,
+    /// Prior-window median baseline, when history exists.
+    pub baseline: Option<f64>,
+    /// Percent change vs baseline (sign preserved).
+    pub delta_pct: Option<f64>,
+    /// Verdict.
+    pub status: Status,
+    /// Failure detail (empty on pass).
+    pub detail: String,
+}
+
+/// The full sentinel outcome.
+#[derive(Debug, Default)]
+pub struct SentinelReport {
+    /// One row per declared budget (suite-filtered callers see the
+    /// filtered subset).
+    pub rows: Vec<CheckRow>,
+}
+
+impl SentinelReport {
+    /// Whether any rule failed.
+    pub fn failed(&self) -> bool {
+        self.rows.iter().any(|r| r.status == Status::Fail)
+    }
+
+    /// Renders the verdict table.
+    pub fn render(&self, format: Format) -> String {
+        let mut t = Table::new(
+            "regression sentinel",
+            &["status", "suite", "metric", "value", "bound", "baseline", "delta%", "detail"],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.status.text().to_string(),
+                r.suite.clone(),
+                r.metric.clone(),
+                r.value.map(num).unwrap_or_else(|| "-".into()),
+                r.bound.clone(),
+                r.baseline.map(num).unwrap_or_else(|| "-".into()),
+                r.delta_pct
+                    .map(|d| format!("{d:+.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                r.detail.clone(),
+            ]);
+        }
+        t.render(format)
+    }
+}
+
+/// Evaluates every budget (optionally restricted to one suite) against
+/// the loaded view.
+pub fn run_sentinel(view: &ResultsView, budgets: &Budgets, suite_filter: Option<&str>) -> SentinelReport {
+    let mut report = SentinelReport::default();
+    for budget in &budgets.budgets {
+        if let Some(f) = suite_filter {
+            if budget.suite != f {
+                continue;
+            }
+        }
+        report.rows.push(check_one(view, budgets, budget));
+    }
+    report
+}
+
+fn check_one(view: &ResultsView, budgets: &Budgets, budget: &Budget) -> CheckRow {
+    let mut row = CheckRow {
+        suite: budget.suite.clone(),
+        metric: budget.metric.clone(),
+        value: None,
+        bound: bound_text(budget),
+        baseline: None,
+        delta_pct: None,
+        status: Status::Missing,
+        detail: String::new(),
+    };
+    let Some(sv) = view.suite(&budget.suite) else {
+        row.detail = "no stored runs".into();
+        return row;
+    };
+    let Some(value) = sv.latest_f64(&budget.metric) else {
+        row.detail = if sv.is_empty() {
+            "no stored runs".into()
+        } else {
+            "latest run lacks metric".into()
+        };
+        return row;
+    };
+    row.value = Some(value);
+    row.baseline = sv.median_of_prior(&budget.metric, budgets.history_window);
+    if let Some(base) = row.baseline {
+        if base != 0.0 {
+            row.delta_pct = Some(100.0 * (value - base) / base.abs());
+        }
+    }
+
+    let mut failures = Vec::new();
+    if let Some(max) = budget.max {
+        if value > max {
+            failures.push(format!("{} > max {}", num(value), num(max)));
+        }
+    }
+    if let Some(min) = budget.min {
+        if value < min {
+            failures.push(format!("{} < min {}", num(value), num(min)));
+        }
+    }
+    if let (Some(limit), Some(delta)) = (budget.max_regress_pct, row.delta_pct) {
+        // "Worse" is up for ceiling-bounded metrics, down for
+        // floor-bounded ones; a budget with both treats up as worse.
+        let worse = if budget.max.is_some() { delta } else { -delta };
+        if worse > limit {
+            failures.push(format!(
+                "regressed {:+.2}% vs prior median (limit {}%)",
+                delta,
+                num(limit)
+            ));
+        }
+    }
+    if failures.is_empty() {
+        row.status = Status::Pass;
+    } else {
+        row.status = Status::Fail;
+        row.detail = failures.join("; ");
+    }
+    row
+}
+
+fn bound_text(b: &Budget) -> String {
+    let mut parts = Vec::new();
+    if let Some(max) = b.max {
+        parts.push(format!("<= {}", num(max)));
+    }
+    if let Some(min) = b.min {
+        parts.push(format!(">= {}", num(min)));
+    }
+    if let Some(r) = b.max_regress_pct {
+        parts.push(format!("regress <= {}%", num(r)));
+    }
+    parts.join(", ")
+}
+
+/// Mirrors each trajectory's headline metric into its `BENCH_*.json`
+/// file under `root`, appending one point for the suite's latest run.
+///
+/// Append-safe: if the file's last point already carries the latest
+/// run's `(seq, run_id)`, nothing is written — re-running the sentinel
+/// never duplicates points. Returns the paths actually updated.
+pub fn emit_trajectories(
+    view: &ResultsView,
+    budgets: &Budgets,
+    root: &Path,
+    suite_filter: Option<&str>,
+) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut updated = Vec::new();
+    for traj in &budgets.trajectories {
+        if let Some(f) = suite_filter {
+            if traj.suite != f {
+                continue;
+            }
+        }
+        let Some(sv) = view.suite(&traj.suite) else {
+            continue;
+        };
+        let (Some(value), Some(&seq)) = (sv.latest_f64(&traj.metric), sv.seqs.last()) else {
+            continue;
+        };
+        let run_id = sv.run_ids.last().cloned().unwrap_or_default();
+        let git_rev = sv.git_revs.last().cloned().unwrap_or_default();
+
+        let path = root.join(&traj.out);
+        let mut points: Vec<serde_json::Value> = Vec::new();
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            let existing: serde_json::Value = serde_json::from_str(&text)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            if let serde_json::Value::Object(fields) = existing {
+                for (k, v) in fields {
+                    if k == "points" {
+                        if let serde_json::Value::Array(p) = v {
+                            points = p;
+                        }
+                    }
+                }
+            }
+        }
+        let already = points.last().is_some_and(|p| {
+            point_field(p, "seq") == Some(serde_json::Value::Int(seq as i64))
+                && point_field(p, "run_id") == Some(serde_json::Value::Str(run_id.clone()))
+        });
+        if already {
+            continue;
+        }
+        points.push(serde_json::json!({
+            "seq": seq,
+            "run_id": run_id,
+            "git_rev": git_rev,
+            "value": value,
+        }));
+        let doc = serde_json::json!({
+            "suite": traj.suite,
+            "metric": traj.metric,
+            "points": points,
+        });
+        let text = serde_json::to_string_pretty(&doc)
+            .map_err(|e| format!("serialize trajectory: {e}"))?;
+        std::fs::write(&path, text + "\n").map_err(|e| format!("write {}: {e}", path.display()))?;
+        updated.push(path);
+    }
+    Ok(updated)
+}
+
+fn point_field(p: &serde_json::Value, key: &str) -> Option<serde_json::Value> {
+    if let serde_json::Value::Object(fields) = p {
+        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::RunRecord;
+    use crate::store::SegmentRead;
+    use apollo_telemetry::FieldValue;
+
+    fn view_with(suite: &str, metric: &str, vals: &[f64]) -> ResultsView {
+        let mut read = SegmentRead::default();
+        for (i, v) in vals.iter().enumerate() {
+            let mut r = RunRecord::new(
+                suite,
+                vec![(metric.to_string(), FieldValue::F64(*v))],
+                vec![],
+            );
+            r.seq = i as u64;
+            r.run_id = format!("run{i}");
+            r.git_rev = "rev".into();
+            read.records.push(r);
+        }
+        let mut view = ResultsView::default();
+        view.add_suite(suite, &read);
+        view
+    }
+
+    fn budgets(doc: &str) -> Budgets {
+        Budgets::parse(doc).unwrap()
+    }
+
+    #[test]
+    fn ceiling_pass_and_fail() {
+        let b = budgets("[[budget]]\nsuite = \"s\"\nmetric = \"m\"\nmax = 2.0");
+        let pass = run_sentinel(&view_with("s", "m", &[1.5]), &b, None);
+        assert!(!pass.failed());
+        assert_eq!(pass.rows[0].status, Status::Pass);
+
+        let fail = run_sentinel(&view_with("s", "m", &[2.5]), &b, None);
+        assert!(fail.failed());
+        assert!(fail.rows[0].detail.contains("> max 2"), "{}", fail.rows[0].detail);
+    }
+
+    #[test]
+    fn floor_and_regression_rules() {
+        let b = budgets(
+            "[[budget]]\nsuite = \"s\"\nmetric = \"m\"\nmin = 4.0\nmax_regress_pct = 10",
+        );
+        // Floor ok, but a >10% drop vs the prior median fails.
+        let r = run_sentinel(&view_with("s", "m", &[6.0, 6.0, 4.5]), &b, None);
+        assert!(r.failed());
+        assert!(r.rows[0].detail.contains("regressed"), "{}", r.rows[0].detail);
+        // Small drop passes both rules.
+        let r = run_sentinel(&view_with("s", "m", &[6.0, 6.0, 5.7]), &b, None);
+        assert!(!r.failed());
+        // Floor violation alone.
+        let r = run_sentinel(&view_with("s", "m", &[3.0]), &b, None);
+        assert!(r.failed());
+        assert!(r.rows[0].detail.contains("< min 4"));
+    }
+
+    #[test]
+    fn missing_data_reports_but_does_not_fail() {
+        let b = budgets("[[budget]]\nsuite = \"absent\"\nmetric = \"m\"\nmax = 1.0");
+        let r = run_sentinel(&view_with("s", "m", &[0.5]), &b, None);
+        assert!(!r.failed());
+        assert_eq!(r.rows[0].status, Status::Missing);
+    }
+
+    #[test]
+    fn suite_filter_narrows_rows() {
+        let b = budgets(
+            "[[budget]]\nsuite = \"a\"\nmetric = \"m\"\nmax = 1.0\n\n[[budget]]\nsuite = \"b\"\nmetric = \"m\"\nmax = 1.0",
+        );
+        let r = run_sentinel(&view_with("a", "m", &[0.5]), &b, Some("a"));
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].suite, "a");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_timestamps_free() {
+        let b = budgets("[[budget]]\nsuite = \"s\"\nmetric = \"m\"\nmax = 2.0");
+        let v = view_with("s", "m", &[1.5]);
+        let a = run_sentinel(&v, &b, None).render(Format::Table);
+        let c = run_sentinel(&v, &b, None).render(Format::Table);
+        assert_eq!(a, c);
+        assert!(!a.contains("run0"));
+    }
+
+    #[test]
+    fn trajectories_append_once_per_run() {
+        let dir = std::env::temp_dir().join(format!(
+            "apollo_results_traj_{}_{}",
+            std::process::id(),
+            crate::store::now_ns()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let b = budgets(
+            "[[trajectory]]\nsuite = \"s\"\nmetric = \"m\"\nout = \"BENCH_s.json\"",
+        );
+        let v = view_with("s", "m", &[4.0, 5.0]);
+        let first = emit_trajectories(&v, &b, &dir, None).unwrap();
+        assert_eq!(first.len(), 1);
+        let again = emit_trajectories(&v, &b, &dir, None).unwrap();
+        assert!(again.is_empty(), "re-run must not duplicate points");
+
+        let text = std::fs::read_to_string(dir.join("BENCH_s.json")).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let serde_json::Value::Object(fields) = doc else { panic!() };
+        let points = fields.iter().find(|(k, _)| k == "points").unwrap();
+        let serde_json::Value::Array(pts) = &points.1 else { panic!() };
+        assert_eq!(pts.len(), 1); // one point per latest run, not per history row
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

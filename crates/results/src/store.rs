@@ -1,0 +1,324 @@
+//! The on-disk segment store.
+//!
+//! One JSONL file per suite under a store directory (default
+//! `results/store/`). Appends are strictly additive: the store never
+//! rewrites history, only adds lines — with one exception: a torn
+//! final line (crash mid-write, truncated copy) is clipped before the
+//! next append so the segment stays machine-valid.
+//!
+//! # Corrupt-tail policy
+//!
+//! Mirrors the introspection checkpoint's CRC fallback: damage at the
+//! *end* of a segment is recoverable (the last line is skipped on
+//! read, counted in `results.store.tail_skipped`, and truncated away
+//! on the next append); damage in the *middle* means the file was
+//! edited or interleaved and is a hard error.
+
+use std::fs;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::envelope::{validate_result_line, RunRecord};
+use apollo_telemetry::SeqCheck;
+
+/// Handle to a store directory. Creating one performs no IO.
+#[derive(Clone, Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+/// The outcome of reading one segment.
+#[derive(Debug, Default)]
+pub struct SegmentRead {
+    /// Valid records in file order.
+    pub records: Vec<RunRecord>,
+    /// Whether an invalid final line was skipped.
+    pub tail_skipped: bool,
+    /// Byte length of the valid prefix (the offset a repairing append
+    /// truncates to).
+    pub valid_bytes: u64,
+}
+
+impl ResultStore {
+    /// Opens a store rooted at `dir` (need not exist yet).
+    pub fn open(dir: impl Into<PathBuf>) -> ResultStore {
+        ResultStore { dir: dir.into() }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the segment file backing `suite`.
+    pub fn segment_path(&self, suite: &str) -> PathBuf {
+        self.dir.join(format!("{suite}.jsonl"))
+    }
+
+    /// Sorted list of suites with a segment file present.
+    pub fn suites(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.extension().and_then(|x| x.to_str()) == Some("jsonl") {
+                    if let Some(stem) = p.file_stem().and_then(|s| s.to_str()) {
+                        out.push(stem.to_string());
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Reads and validates a suite's segment.
+    ///
+    /// Every line must validate ([`validate_result_line`]), name the
+    /// suite matching the file stem, and carry a dense `seq`. An
+    /// invalid **last** line is skipped (tail-corruption recovery); an
+    /// invalid line anywhere else is an error. A missing file reads as
+    /// an empty segment.
+    pub fn read_suite(&self, suite: &str) -> Result<SegmentRead, String> {
+        let path = self.segment_path(suite);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(SegmentRead::default())
+            }
+            Err(e) => return Err(format!("read {}: {e}", path.display())),
+        };
+
+        let mut read = SegmentRead::default();
+        let mut seqs = SeqCheck::new();
+        // Walk physical lines, tracking each line's end offset so a
+        // repairing append knows where the valid prefix stops.
+        let mut lines: Vec<(&str, u64)> = Vec::new();
+        let mut offset = 0u64;
+        for line in text.split_inclusive('\n') {
+            let content = line.strip_suffix('\n').unwrap_or(line);
+            offset += line.len() as u64;
+            if !content.trim().is_empty() {
+                lines.push((content, offset));
+            }
+        }
+        // A final line without its newline is always suspect (torn
+        // write) even if it happens to parse; treat only complete
+        // lines as committed.
+        let last_complete = text.ends_with('\n');
+
+        let n = lines.len();
+        for (i, (content, end)) in lines.iter().enumerate() {
+            let is_last = i + 1 == n;
+            let verdict = validate_result_line(content).and_then(|rec| {
+                if rec.suite != suite {
+                    return Err(format!("record for suite `{}` in segment `{suite}`", rec.suite));
+                }
+                seqs.check(rec.seq)?;
+                Ok(rec)
+            });
+            match verdict {
+                Ok(rec) if !is_last || last_complete => {
+                    read.records.push(rec);
+                    read.valid_bytes = *end;
+                }
+                Ok(_) | Err(_) if is_last => {
+                    // Torn or invalid tail: recoverable.
+                    read.tail_skipped = true;
+                    apollo_telemetry::counter("results.store.tail_skipped").inc();
+                }
+                Err(e) => {
+                    return Err(format!("{}: line {}: {e}", path.display(), i + 1));
+                }
+                Ok(_) => unreachable!("non-last Ok arms handled above"),
+            }
+        }
+        Ok(read)
+    }
+
+    /// Appends one record to its suite's segment.
+    ///
+    /// Assigns the next dense `seq`, stamps `ts_ns` (unless already
+    /// nonzero — import backfill pre-stamps), clips a corrupt tail
+    /// left by a torn write, and writes the line + newline. Returns
+    /// the record as stored.
+    pub fn append(&self, rec: &RunRecord) -> Result<RunRecord, String> {
+        let existing = self.read_suite(&rec.suite)?;
+        fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("create {}: {e}", self.dir.display()))?;
+        let path = self.segment_path(&rec.suite);
+
+        let mut stored = rec.clone();
+        stored.v = crate::envelope::RESULT_SCHEMA_VERSION;
+        stored.seq = existing.records.last().map(|r| r.seq + 1).unwrap_or(0);
+        if stored.ts_ns == 0 {
+            stored.ts_ns = now_ns();
+        }
+        // Validate before touching the file so a malformed record can
+        // never poison a segment.
+        let line = stored.to_jsonl();
+        validate_result_line(&line).map_err(|e| format!("refusing to append: {e}"))?;
+
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)
+            .map_err(|e| format!("open {}: {e}", path.display()))?;
+        if existing.tail_skipped {
+            f.set_len(existing.valid_bytes)
+                .map_err(|e| format!("truncate {}: {e}", path.display()))?;
+        }
+        f.seek(SeekFrom::End(0))
+            .map_err(|e| format!("seek {}: {e}", path.display()))?;
+        f.write_all(line.as_bytes())
+            .and_then(|()| f.write_all(b"\n"))
+            .map_err(|e| format!("append {}: {e}", path.display()))?;
+        Ok(stored)
+    }
+
+    /// Reads every segment into the columnar query view.
+    pub fn load_view(&self) -> Result<crate::view::ResultsView, String> {
+        let mut view = crate::view::ResultsView::default();
+        for suite in self.suites() {
+            let read = self.read_suite(&suite)?;
+            view.add_suite(&suite, &read);
+        }
+        Ok(view)
+    }
+}
+
+/// Wall-clock nanoseconds since the UNIX epoch (0 if the clock is
+/// before the epoch, which only a broken clock reports).
+pub fn now_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_telemetry::FieldValue;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "apollo_results_store_{tag}_{}_{}",
+            std::process::id(),
+            now_ns()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn rec(suite: &str, val: f64) -> RunRecord {
+        let mut r = RunRecord::new(
+            suite,
+            vec![("metric".into(), FieldValue::F64(val))],
+            vec![],
+        );
+        r.git_rev = "testrev".into();
+        r
+    }
+
+    #[test]
+    fn append_assigns_dense_seq_and_roundtrips() {
+        let dir = tmpdir("dense");
+        let store = ResultStore::open(&dir);
+        let a = store.append(&rec("suite_a", 1.0)).unwrap();
+        let b = store.append(&rec("suite_a", 2.0)).unwrap();
+        assert_eq!((a.seq, b.seq), (0, 1));
+        assert!(a.ts_ns > 0);
+
+        let read = store.read_suite("suite_a").unwrap();
+        assert_eq!(read.records.len(), 2);
+        assert!(!read.tail_skipped);
+        assert_eq!(read.records[1].metric_f64("metric"), Some(2.0));
+        assert_eq!(store.suites(), vec!["suite_a".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_counted_and_repaired() {
+        let dir = tmpdir("tail");
+        let store = ResultStore::open(&dir);
+        store.append(&rec("suite_t", 1.0)).unwrap();
+        store.append(&rec("suite_t", 2.0)).unwrap();
+
+        // Tear the final line mid-JSON (no trailing newline).
+        let path = store.segment_path("suite_t");
+        let text = fs::read_to_string(&path).unwrap();
+        let keep = text.match_indices('\n').next().unwrap().0 + 1;
+        fs::write(&path, &text[..keep + 20]).unwrap();
+
+        let before = apollo_telemetry::counter("results.store.tail_skipped").get();
+        let read = store.read_suite("suite_t").unwrap();
+        assert!(read.tail_skipped);
+        assert_eq!(read.records.len(), 1);
+        assert_eq!(read.valid_bytes, keep as u64);
+        assert!(apollo_telemetry::counter("results.store.tail_skipped").get() > before);
+
+        // The next append clips the torn bytes and continues densely.
+        let c = store.append(&rec("suite_t", 3.0)).unwrap();
+        assert_eq!(c.seq, 1);
+        let read = store.read_suite("suite_t").unwrap();
+        assert!(!read.tail_skipped);
+        assert_eq!(read.records.len(), 2);
+        assert_eq!(read.records[1].metric_f64("metric"), Some(3.0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_that_still_parses_is_not_committed() {
+        // A complete JSON line with no trailing newline is treated as
+        // torn: the writer always terminates lines.
+        let dir = tmpdir("noterm");
+        let store = ResultStore::open(&dir);
+        store.append(&rec("suite_n", 1.0)).unwrap();
+        let path = store.segment_path("suite_n");
+        let mut text = fs::read_to_string(&path).unwrap();
+        let stored = store.append(&rec("suite_n", 2.0)).unwrap();
+        text.push_str(&stored.to_jsonl()); // no '\n'
+        fs::write(&path, &text).unwrap();
+
+        let read = store.read_suite("suite_n").unwrap();
+        assert!(read.tail_skipped);
+        assert_eq!(read.records.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_hard_error() {
+        let dir = tmpdir("mid");
+        let store = ResultStore::open(&dir);
+        store.append(&rec("suite_m", 1.0)).unwrap();
+        store.append(&rec("suite_m", 2.0)).unwrap();
+        let path = store.segment_path("suite_m");
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, format!("garbage\n{text}")).unwrap();
+        let err = store.read_suite("suite_m").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_suite_in_segment_is_rejected() {
+        let dir = tmpdir("wrong");
+        let store = ResultStore::open(&dir);
+        store.append(&rec("suite_x", 1.0)).unwrap();
+        let other = store.append(&rec("suite_y", 2.0)).unwrap();
+        // Splice suite_y's line into suite_x's segment (mid-file, so
+        // hard error; as tail it would be skip-with-counter).
+        let path = store.segment_path("suite_x");
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str(&other.to_jsonl());
+        text.push('\n');
+        fs::write(&path, &text).unwrap();
+        // It's the (complete) last line: recoverable skip.
+        let read = store.read_suite("suite_x").unwrap();
+        assert!(read.tail_skipped);
+        assert_eq!(read.records.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,313 @@
+//! Columnar in-memory query view over the segment store.
+//!
+//! [`ResultsView`] transposes each suite's record stream into columns
+//! (one `Vec<Option<...>>` per metric/tag key, row-aligned with the
+//! run axis) so queries — latest-N, history, group-by, aggregation —
+//! are cheap scans rather than repeated record walks.
+
+use std::collections::BTreeMap;
+
+use apollo_telemetry::FieldValue;
+
+use crate::envelope::field_f64;
+use crate::store::SegmentRead;
+
+/// All loaded suites, keyed by name (sorted iteration for free).
+#[derive(Debug, Default)]
+pub struct ResultsView {
+    /// Per-suite columnar data.
+    pub suites: BTreeMap<String, SuiteView>,
+}
+
+/// One suite's runs, column-major.
+///
+/// Row `i` across all columns describes the suite's `i`-th stored run
+/// (file order == seq order). Metric/tag columns hold `None` where a
+/// run did not report that key, so schema drift between runs is
+/// queryable rather than fatal.
+#[derive(Debug, Default)]
+pub struct SuiteView {
+    /// Sequence numbers, dense and ascending.
+    pub seqs: Vec<u64>,
+    /// Append timestamps (ns since epoch).
+    pub ts_ns: Vec<u64>,
+    /// Run identities.
+    pub run_ids: Vec<String>,
+    /// Repository revisions.
+    pub git_revs: Vec<String>,
+    /// Metric columns, keyed by metric name.
+    pub metrics: BTreeMap<String, Vec<Option<FieldValue>>>,
+    /// Tag columns, keyed by tag name.
+    pub tags: BTreeMap<String, Vec<Option<String>>>,
+    /// Whether the segment read skipped a corrupt tail line.
+    pub tail_skipped: bool,
+}
+
+/// An aggregation over one metric column of a row group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Agg {
+    /// Number of runs reporting the metric.
+    Count,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Median (lower-middle for even counts — deterministic, no
+    /// interpolation).
+    Median,
+    /// Value of the latest run reporting the metric.
+    Latest,
+    /// Percent change of the latest value vs the median of the prior
+    /// window (`100 * (latest - prior_median) / |prior_median|`).
+    DeltaPct,
+}
+
+impl Agg {
+    /// Parses a CLI aggregation name.
+    pub fn parse(s: &str) -> Result<Agg, String> {
+        Ok(match s {
+            "count" | "n" => Agg::Count,
+            "min" => Agg::Min,
+            "max" => Agg::Max,
+            "median" => Agg::Median,
+            "latest" => Agg::Latest,
+            "delta" | "delta_pct" => Agg::DeltaPct,
+            other => return Err(format!("unknown aggregation `{other}` (count|min|max|median|latest|delta)")),
+        })
+    }
+
+    /// Short column label for rendered tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Agg::Count => "n",
+            Agg::Min => "min",
+            Agg::Max => "max",
+            Agg::Median => "median",
+            Agg::Latest => "latest",
+            Agg::DeltaPct => "delta%",
+        }
+    }
+}
+
+impl ResultsView {
+    /// Ingests one suite's segment read (store glue).
+    pub fn add_suite(&mut self, suite: &str, read: &SegmentRead) {
+        let sv = self.suites.entry(suite.to_string()).or_default();
+        sv.tail_skipped = read.tail_skipped;
+        for rec in &read.records {
+            let row = sv.seqs.len();
+            sv.seqs.push(rec.seq);
+            sv.ts_ns.push(rec.ts_ns);
+            sv.run_ids.push(rec.run_id.clone());
+            sv.git_revs.push(rec.git_rev.clone());
+            for (k, v) in &rec.metrics {
+                let col = sv.metrics.entry(k.clone()).or_default();
+                col.resize(row, None);
+                col.push(Some(v.clone()));
+            }
+            for (k, v) in &rec.tags {
+                let col = sv.tags.entry(k.clone()).or_default();
+                col.resize(row, None);
+                col.push(Some(v.clone()));
+            }
+        }
+        // Right-pad columns a late run stopped reporting.
+        let n = sv.seqs.len();
+        for col in sv.metrics.values_mut() {
+            col.resize(n, None);
+        }
+        for col in sv.tags.values_mut() {
+            col.resize(n, None);
+        }
+    }
+
+    /// The named suite, if loaded.
+    pub fn suite(&self, name: &str) -> Option<&SuiteView> {
+        self.suites.get(name)
+    }
+}
+
+impl SuiteView {
+    /// Number of stored runs.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Whether the suite holds no runs.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Sorted metric names observed across all runs.
+    pub fn metric_names(&self) -> Vec<&str> {
+        self.metrics.keys().map(String::as_str).collect()
+    }
+
+    /// Metric value at `row`, widened to `f64`.
+    pub fn metric_at(&self, metric: &str, row: usize) -> Option<f64> {
+        self.metrics
+            .get(metric)?
+            .get(row)?
+            .as_ref()
+            .and_then(field_f64)
+    }
+
+    /// The latest run's value for `metric` (typed).
+    pub fn latest(&self, metric: &str) -> Option<&FieldValue> {
+        self.metrics.get(metric)?.last()?.as_ref()
+    }
+
+    /// The latest run's value for `metric` as `f64`.
+    pub fn latest_f64(&self, metric: &str) -> Option<f64> {
+        self.latest(metric).and_then(field_f64)
+    }
+
+    /// Row indices of the last `n` runs, oldest first.
+    pub fn latest_rows(&self, n: usize) -> std::ops::Range<usize> {
+        self.len().saturating_sub(n)..self.len()
+    }
+
+    /// `(seq, value)` history of a metric across runs that report it,
+    /// oldest first.
+    pub fn history(&self, metric: &str) -> Vec<(u64, f64)> {
+        let Some(col) = self.metrics.get(metric) else {
+            return Vec::new();
+        };
+        col.iter()
+            .enumerate()
+            .filter_map(|(i, v)| Some((self.seqs[i], field_f64(v.as_ref()?)?)))
+            .collect()
+    }
+
+    /// Median of the metric over up to `window` runs *before* the
+    /// latest one — the sentinel's regression baseline. `None` until
+    /// at least one prior run reports the metric.
+    pub fn median_of_prior(&self, metric: &str, window: usize) -> Option<f64> {
+        let hist = self.history(metric);
+        if hist.len() < 2 || window == 0 {
+            return None;
+        }
+        let prior = &hist[..hist.len() - 1];
+        let start = prior.len().saturating_sub(window);
+        let mut vals: Vec<f64> = prior[start..].iter().map(|(_, v)| *v).collect();
+        median_in_place(&mut vals)
+    }
+
+    /// Applies one aggregation to the metric over the given rows.
+    pub fn aggregate(&self, metric: &str, rows: &[usize], agg: Agg) -> Option<f64> {
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter_map(|&r| self.metric_at(metric, r))
+            .collect();
+        match agg {
+            Agg::Count => Some(vals.len() as f64),
+            Agg::Min => vals.iter().copied().reduce(f64::min),
+            Agg::Max => vals.iter().copied().reduce(f64::max),
+            Agg::Median => {
+                let mut v = vals;
+                median_in_place(&mut v)
+            }
+            Agg::Latest => vals.last().copied(),
+            Agg::DeltaPct => {
+                if vals.len() < 2 {
+                    return None;
+                }
+                let latest = *vals.last().unwrap();
+                let mut prior: Vec<f64> = vals[..vals.len() - 1].to_vec();
+                let base = median_in_place(&mut prior)?;
+                if base == 0.0 {
+                    return None;
+                }
+                Some(100.0 * (latest - base) / base.abs())
+            }
+        }
+    }
+
+    /// Groups rows by the values of a tag column (rows without the tag
+    /// fall into the `"-"` group). Returns sorted `(group, rows)`.
+    pub fn group_by_tag(&self, tag: &str) -> Vec<(String, Vec<usize>)> {
+        let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let col = self.tags.get(tag);
+        for row in 0..self.len() {
+            let key = col
+                .and_then(|c| c.get(row))
+                .and_then(|v| v.clone())
+                .unwrap_or_else(|| "-".to_string());
+            groups.entry(key).or_default().push(row);
+        }
+        groups.into_iter().collect()
+    }
+}
+
+/// Deterministic median: sorts (total order via `total_cmp`) and takes
+/// the lower-middle element, so the result is always a stored value.
+pub fn median_in_place(vals: &mut [f64]) -> Option<f64> {
+    if vals.is_empty() {
+        return None;
+    }
+    vals.sort_by(f64::total_cmp);
+    Some(vals[(vals.len() - 1) / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::RunRecord;
+
+    fn read_of(vals: &[(&str, f64)]) -> SegmentRead {
+        let mut read = SegmentRead::default();
+        for (i, (tag, v)) in vals.iter().enumerate() {
+            let mut r = RunRecord::new(
+                "s",
+                vec![("m".into(), FieldValue::F64(*v))],
+                vec![("mode".into(), tag.to_string())],
+            );
+            r.seq = i as u64;
+            read.records.push(r);
+        }
+        read
+    }
+
+    #[test]
+    fn columns_align_and_queries_work() {
+        let mut view = ResultsView::default();
+        view.add_suite("s", &read_of(&[("a", 1.0), ("b", 3.0), ("a", 2.0)]));
+        let sv = view.suite("s").unwrap();
+        assert_eq!(sv.len(), 3);
+        assert_eq!(sv.latest_f64("m"), Some(2.0));
+        assert_eq!(sv.history("m"), vec![(0, 1.0), (1, 3.0), (2, 2.0)]);
+        assert_eq!(sv.median_of_prior("m", 5), Some(1.0)); // median of [1,3] = lower-middle
+        let groups = sv.group_by_tag("mode");
+        assert_eq!(groups, vec![("a".into(), vec![0, 2]), ("b".into(), vec![1])]);
+        let rows: Vec<usize> = (0..3).collect();
+        assert_eq!(sv.aggregate("m", &rows, Agg::Min), Some(1.0));
+        assert_eq!(sv.aggregate("m", &rows, Agg::Max), Some(3.0));
+        assert_eq!(sv.aggregate("m", &rows, Agg::Median), Some(2.0));
+        assert_eq!(sv.aggregate("m", &rows, Agg::Count), Some(3.0));
+    }
+
+    #[test]
+    fn missing_metrics_pad_with_none() {
+        let mut read = read_of(&[("a", 1.0)]);
+        let mut extra = RunRecord::new("s", vec![("other".into(), FieldValue::U64(9))], vec![]);
+        extra.seq = 1;
+        read.records.push(extra);
+        let mut view = ResultsView::default();
+        view.add_suite("s", &read);
+        let sv = view.suite("s").unwrap();
+        assert_eq!(sv.metrics["m"].len(), 2);
+        assert_eq!(sv.metrics["m"][1], None);
+        assert_eq!(sv.metrics["other"][0], None);
+        assert_eq!(sv.latest("m"), None); // latest run didn't report it
+        assert_eq!(sv.metric_at("other", 1), Some(9.0));
+    }
+
+    #[test]
+    fn delta_pct_vs_prior_median() {
+        let mut view = ResultsView::default();
+        view.add_suite("s", &read_of(&[("a", 10.0), ("a", 10.0), ("a", 12.0)]));
+        let sv = view.suite("s").unwrap();
+        let rows: Vec<usize> = (0..3).collect();
+        assert_eq!(sv.aggregate("m", &rows, Agg::DeltaPct), Some(20.0));
+    }
+}

@@ -1,0 +1,140 @@
+//! Live-writer glue for bench bins.
+//!
+//! A bin that already serializes its legacy `results/<name>.json` blob
+//! calls [`record_bench_run`] with the same value; the record is the
+//! blob flattened through the exact code path the importer uses, so
+//! store queries reproduce the blob's numbers bit-for-bit.
+
+use std::path::PathBuf;
+
+use crate::envelope::RunRecord;
+use crate::import::flatten;
+use crate::store::ResultStore;
+use serde::Serialize;
+
+/// Env var overriding the store directory (tests and CI point it at
+/// scratch space so quick-mode runs don't pollute checked-in history).
+pub const STORE_ENV: &str = "APOLLO_RESULTS_STORE";
+
+/// Env var overriding the recorded git revision (CI sets it to the
+/// commit under test; otherwise `.git/HEAD` is resolved).
+pub const GIT_REV_ENV: &str = "APOLLO_GIT_REV";
+
+/// The store bins and the CLI write to by default:
+/// `$APOLLO_RESULTS_STORE` or `results/store`.
+pub fn default_store() -> ResultStore {
+    let dir = std::env::var(STORE_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results").join("store"));
+    ResultStore::open(dir)
+}
+
+/// A practically-unique run identity: hex of wall-clock nanos mixed
+/// with the process id. Opaque by contract — consumers only ever
+/// compare it for equality.
+pub fn new_run_id() -> String {
+    let ns = crate::store::now_ns();
+    let pid = std::process::id() as u64;
+    format!("{:016x}", ns ^ pid.rotate_left(40))
+}
+
+/// The current repository revision: `$APOLLO_GIT_REV`, else resolved
+/// from `.git/HEAD` (following one level of ref indirection, including
+/// packed refs), else `"unknown"`.
+pub fn current_git_rev() -> String {
+    if let Ok(rev) = std::env::var(GIT_REV_ENV) {
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    resolve_git_head().unwrap_or_else(|| "unknown".to_string())
+}
+
+fn resolve_git_head() -> Option<String> {
+    // Walk up from the CWD so bins run from crate subdirectories still
+    // find the repository root.
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            return read_head(&git);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn read_head(git: &std::path::Path) -> Option<String> {
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref: ") {
+        if let Ok(text) = std::fs::read_to_string(git.join(refname)) {
+            return Some(text.trim().to_string());
+        }
+        // Packed ref fallback.
+        let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+        for line in packed.lines() {
+            if let Some(hash) = line.strip_suffix(refname) {
+                return Some(hash.trim().to_string());
+            }
+        }
+        return None;
+    }
+    (!head.is_empty()).then(|| head.to_string())
+}
+
+/// Appends one run record for a bench bin's output value.
+///
+/// `out` is the same struct the bin writes as its legacy JSON blob;
+/// it is flattened with the importer's rules, tagged with
+/// `source=bench` plus `extra_tags`, stamped with run identity, and
+/// appended to the default store. Returns the stored record.
+pub fn record_bench_run<T: Serialize>(
+    suite: &str,
+    out: &T,
+    extra_tags: &[(&str, &str)],
+) -> Result<RunRecord, String> {
+    let value = serde_json::to_value(out).map_err(|e| format!("serialize {suite}: {e}"))?;
+    let (metrics, mut tags) = flatten(&value);
+    tags.push(("source".into(), "bench".into()));
+    for (k, v) in extra_tags {
+        tags.push(((*k).to_string(), (*v).to_string()));
+    }
+    let mut rec = RunRecord::new(suite, metrics, tags);
+    rec.run_id = new_run_id();
+    rec.git_rev = current_git_rev();
+    default_store().append(&rec)
+}
+
+/// [`record_bench_run`] for bins: warn on stderr instead of failing —
+/// a benchmark must never die because the results store is unwritable.
+pub fn record_bench_run_soft<T: Serialize>(suite: &str, out: &T, extra_tags: &[(&str, &str)]) {
+    if let Err(e) = record_bench_run(suite, out, extra_tags) {
+        eprintln!("warning: results store append failed for {suite}: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_ids_are_unique_enough() {
+        let a = new_run_id();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = new_run_id();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn head_resolution_reads_repo_rev() {
+        // The workspace is a git repo; HEAD resolution should find
+        // *some* rev rather than nothing. (Env override is covered by
+        // the CLI smoke paths; mutating env vars in parallel unit
+        // tests races.)
+        let rev = resolve_git_head();
+        assert!(rev.map(|r| !r.is_empty()).unwrap_or(true));
+    }
+}

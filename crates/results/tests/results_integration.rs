@@ -1,0 +1,391 @@
+//! Integration tests for the results store: write→read→query
+//! round-trips, schema evolution, corrupt-tail recovery, the import
+//! adapters over the real checked-in `results/*.json` blobs, and the
+//! sentinel's regression gate.
+
+use apollo_results::import::record_for_blob;
+use apollo_results::{
+    flatten, import_dir, run_sentinel, validate_result_line, Budgets, ResultStore, RunRecord,
+    Status,
+};
+use apollo_telemetry::FieldValue;
+use proptest::prelude::*;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "apollo_results_it_{tag}_{}_{}",
+        std::process::id(),
+        apollo_results::store::now_ns()
+    ));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+/// Path to the repo's checked-in legacy result blobs.
+fn repo_results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+fn rec(suite: &str, metrics: Vec<(String, FieldValue)>, tags: Vec<(String, String)>) -> RunRecord {
+    let mut r = RunRecord::new(suite, metrics, tags);
+    r.git_rev = "itest".into();
+    r.run_id = "deadbeef00000000".into();
+    r
+}
+
+// --- proptest: write → read → query equality ------------------------
+
+fn field_value() -> impl Strategy<Value = FieldValue> {
+    prop_oneof![
+        (-1.0e9f64..1.0e9).prop_map(FieldValue::F64),
+        any::<u64>().prop_map(FieldValue::U64),
+        any::<i64>().prop_map(FieldValue::I64),
+        any::<bool>().prop_map(FieldValue::Bool),
+        (0u32..1000).prop_map(|n| FieldValue::Str(format!("s{n}"))),
+    ]
+}
+
+fn metric_key() -> impl Strategy<Value = String> {
+    // Dotted paths like the flattened blob keys, drawn from a small
+    // pool so duplicate-key canonicalization gets exercised too.
+    (0usize..24, 0usize..4).prop_map(|(i, d)| {
+        if d == 0 {
+            format!("metric_{i}")
+        } else {
+            format!("group{d}.metric_{i}")
+        }
+    })
+}
+
+fn metric_set() -> impl Strategy<Value = Vec<(String, FieldValue)>> {
+    prop::collection::vec((metric_key(), field_value()), 1..8)
+}
+
+fn tag_set() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec(
+        ((0usize..6).prop_map(|i| format!("tag{i}")), (0u32..40).prop_map(|v| format!("v{v}"))),
+        0..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Appending arbitrary records and reading them back yields the
+    /// same payloads (modulo ts_ns/run_id), dense seqs, and a view
+    /// whose latest/history queries agree with the in-memory records.
+    #[test]
+    fn roundtrip_write_read_query(
+        runs in prop::collection::vec((metric_set(), tag_set()), 1..6),
+        case in any::<u64>(),
+    ) {
+        let dir = tmpdir(&format!("prop{case}"));
+        let store = ResultStore::open(&dir);
+        let mut expected = Vec::new();
+        for (metrics, tags) in &runs {
+            let r = rec("prop_suite", metrics.clone(), tags.clone());
+            let appended = store.append(&r).unwrap();
+            expected.push(appended);
+        }
+        let read = store.read_suite("prop_suite").unwrap();
+        prop_assert!(!read.tail_skipped);
+        prop_assert_eq!(read.records.len(), expected.len());
+        for (i, (got, want)) in read.records.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(got.seq, i as u64);
+            prop_assert_eq!(got.strip_timing(), want.strip_timing());
+        }
+
+        // The columnar view reports exactly what the last record holds.
+        let view = store.load_view().unwrap();
+        let sv = view.suite("prop_suite").unwrap();
+        let last = expected.last().unwrap();
+        for (k, v) in &last.metrics {
+            prop_assert_eq!(sv.latest(k), Some(v));
+        }
+        for (k, v) in &last.tags {
+            let col = sv.tags.get(k).unwrap();
+            prop_assert_eq!(col.last().unwrap().as_deref(), Some(v.as_str()));
+        }
+        // History over any metric only surfaces rows where it was
+        // present, in seq order.
+        for (k, _) in &last.metrics {
+            let hist = sv.history(k);
+            let mut prev = None;
+            for (seq, _) in &hist {
+                prop_assert!(prev.map(|p| p < *seq).unwrap_or(true));
+                prev = Some(*seq);
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+// --- schema evolution -----------------------------------------------
+
+#[test]
+fn v1_reader_rejects_unknown_schema_version() {
+    let good = rec(
+        "evo",
+        vec![("m".into(), FieldValue::F64(1.0))],
+        vec![],
+    );
+    let mut line: serde_json::Value = serde_json::from_str(&good.to_jsonl()).unwrap();
+    if let serde_json::Value::Object(pairs) = &mut line {
+        for (k, v) in pairs.iter_mut() {
+            if k == "v" {
+                *v = serde_json::Value::UInt(2);
+            }
+        }
+    }
+    let future = serde_json::to_string(&line).unwrap();
+    let err = validate_result_line(&future).unwrap_err();
+    assert!(
+        err.contains("schema version 2") && err.contains("this reader understands 1"),
+        "unexpected error: {err}"
+    );
+
+    // In a segment: a future-version line mid-file is a hard error (no
+    // silent data loss); as the very last line it is a recoverable
+    // torn tail.
+    let dir = tmpdir("evo");
+    let store = ResultStore::open(&dir);
+    let a = store.append(&good).unwrap();
+    let seg = store.segment_path("evo");
+    let mut f = fs::OpenOptions::new().append(true).open(&seg).unwrap();
+    let mut future_next: serde_json::Value = serde_json::from_str(&a.to_jsonl()).unwrap();
+    if let serde_json::Value::Object(pairs) = &mut future_next {
+        for (k, v) in pairs.iter_mut() {
+            if k == "v" {
+                *v = serde_json::Value::UInt(2);
+            } else if k == "seq" {
+                *v = serde_json::Value::UInt(1);
+            }
+        }
+    }
+    writeln!(f, "{}", serde_json::to_string(&future_next).unwrap()).unwrap();
+    let read = store.read_suite("evo").unwrap();
+    assert_eq!((read.records.len(), read.tail_skipped), (1, true));
+
+    // Same future line followed by a valid one: now it is mid-file.
+    writeln!(f, "{}", a.to_jsonl()).unwrap();
+    drop(f);
+    let err = store.read_suite("evo").unwrap_err();
+    assert!(err.contains("schema version 2"), "unexpected error: {err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// --- corrupt-tail recovery ------------------------------------------
+
+#[test]
+fn truncated_tail_is_skipped_and_repaired_on_append() {
+    let dir = tmpdir("tail");
+    let store = ResultStore::open(&dir);
+    for i in 0..3 {
+        store
+            .append(&rec(
+                "tail",
+                vec![("m".into(), FieldValue::U64(i))],
+                vec![],
+            ))
+            .unwrap();
+    }
+    // Tear the last line in half, as a crashed writer would.
+    let seg = store.segment_path("tail");
+    let text = fs::read_to_string(&seg).unwrap();
+    let keep = text.len() - 20;
+    fs::write(&seg, &text.as_bytes()[..keep]).unwrap();
+
+    let read = store.read_suite("tail").unwrap();
+    assert_eq!(read.records.len(), 2);
+    assert!(read.tail_skipped);
+    assert_eq!(read.records[1].metric_f64("m"), Some(1.0));
+
+    // The next append truncates the torn bytes and lands at seq 2.
+    let fixed = store
+        .append(&rec(
+            "tail",
+            vec![("m".into(), FieldValue::U64(9))],
+            vec![],
+        ))
+        .unwrap();
+    assert_eq!(fixed.seq, 2);
+    let read = store.read_suite("tail").unwrap();
+    assert_eq!((read.records.len(), read.tail_skipped), (3, false));
+    assert_eq!(read.records[2].metric_f64("m"), Some(9.0));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// --- import adapters over the checked-in blobs ----------------------
+
+#[test]
+fn import_matches_checked_in_blobs_bit_for_bit() {
+    let results_dir = repo_results_dir();
+    assert!(
+        results_dir.join("repro_telemetry.json").exists(),
+        "checked-in fixtures missing at {}",
+        results_dir.display()
+    );
+    let dir = tmpdir("import");
+    let store = ResultStore::open(&dir);
+    let report = import_dir(&results_dir, &store, false).unwrap();
+    assert!(
+        report.imported.len() >= 4,
+        "expected at least the four repro suites, got {:?}",
+        report.imported
+    );
+
+    // Every imported record must carry exactly the values `flatten`
+    // derives from the source blob — bit-for-bit for floats.
+    let view = store.load_view().unwrap();
+    for (suite, _) in &report.imported {
+        let blob_path = results_dir.join(format!("{suite}.json"));
+        let text = fs::read_to_string(&blob_path).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let want = record_for_blob(suite, &value);
+        let sv = view
+            .suite(suite)
+            .unwrap_or_else(|| panic!("suite {suite} missing from store"));
+        for (k, v) in &want.metrics {
+            let got = sv
+                .latest(k)
+                .unwrap_or_else(|| panic!("{suite}: metric {k} missing"));
+            match (got, v) {
+                (FieldValue::F64(a), FieldValue::F64(b)) => assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{suite}.{k}: {a} != {b}"
+                ),
+                (a, b) => assert_eq!(a, b, "{suite}.{k}"),
+            }
+        }
+        assert_eq!(sv.tags.get("source").and_then(|c| c.last().cloned()).flatten(),
+            Some("legacy_import".to_string()));
+    }
+
+    // A second import without --force is a no-op.
+    let again = import_dir(&results_dir, &store, false).unwrap();
+    assert!(again.imported.is_empty());
+    assert_eq!(again.skipped.len(), report.imported.len() + report.skipped.len());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The live bench writer and the importer share one flatten path, so
+/// a record written from a deserialized blob equals the imported one.
+#[test]
+fn live_writer_and_importer_flatten_identically() {
+    let results_dir = repo_results_dir();
+    let text = fs::read_to_string(results_dir.join("repro_telemetry.json")).unwrap();
+    let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let (metrics, tags) = flatten(&value);
+    let imported = record_for_blob("repro_telemetry", &value);
+    for (k, v) in &metrics {
+        assert_eq!(imported.metric(k), Some(v), "metric {k}");
+    }
+    for (k, v) in &tags {
+        assert_eq!(imported.tag(k), Some(v.as_str()), "tag {k}");
+    }
+}
+
+// --- sentinel gate ---------------------------------------------------
+
+const GATE_BUDGETS: &str = r#"
+[sentinel]
+history_window = 5
+
+[[budget]]
+suite = "repro_bitslice"
+metric = "speedup"
+min = 4.0
+label = "proxy capture speedup"
+
+[[budget]]
+suite = "repro_telemetry"
+metric = "overhead_pct"
+max = 2.0
+label = "disabled-path overhead"
+"#;
+
+fn speed_rec(suite: &str, key: &str, val: f64) -> RunRecord {
+    rec(suite, vec![(key.into(), FieldValue::F64(val))], vec![])
+}
+
+#[test]
+fn sentinel_fails_on_synthetic_regression_and_passes_on_good_data() {
+    let budgets = Budgets::parse(GATE_BUDGETS).unwrap();
+
+    // Healthy history: floors and ceilings respected.
+    let dir = tmpdir("sent_ok");
+    let store = ResultStore::open(&dir);
+    for v in [5.2, 5.4, 5.3] {
+        store.append(&speed_rec("repro_bitslice", "speedup", v)).unwrap();
+    }
+    store
+        .append(&speed_rec("repro_telemetry", "overhead_pct", 0.4))
+        .unwrap();
+    let view = store.load_view().unwrap();
+    let report = run_sentinel(&view, &budgets, None);
+    assert!(!report.failed(), "healthy data must pass:\n{:?}", report.rows);
+    let _ = fs::remove_dir_all(&dir);
+
+    // Inject a regression: latest speedup drops below the 4.0 floor.
+    let dir = tmpdir("sent_bad");
+    let store = ResultStore::open(&dir);
+    for v in [5.2, 5.4, 3.0] {
+        store.append(&speed_rec("repro_bitslice", "speedup", v)).unwrap();
+    }
+    store
+        .append(&speed_rec("repro_telemetry", "overhead_pct", 0.4))
+        .unwrap();
+    let view = store.load_view().unwrap();
+    let report = run_sentinel(&view, &budgets, None);
+    assert!(report.failed(), "3.0 < min 4.0 must fail");
+    let fail_rows: Vec<_> = report
+        .rows
+        .iter()
+        .filter(|r| r.status == Status::Fail)
+        .collect();
+    assert_eq!(fail_rows.len(), 1);
+    assert_eq!(fail_rows[0].metric, "speedup");
+    let _ = fs::remove_dir_all(&dir);
+
+    // A suite named in budgets but absent from the store reports
+    // Missing without failing the gate.
+    let dir = tmpdir("sent_missing");
+    let store = ResultStore::open(&dir);
+    store
+        .append(&speed_rec("repro_telemetry", "overhead_pct", 0.4))
+        .unwrap();
+    let view = store.load_view().unwrap();
+    let report = run_sentinel(&view, &budgets, None);
+    assert!(!report.failed());
+    assert!(report.rows.iter().any(|r| r.status == Status::Missing));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The checked-in budgets.toml must pass against the imported
+/// checked-in history — the exact combination CI's sentinel runs.
+#[test]
+fn sentinel_passes_on_checked_in_history_with_repo_budgets() {
+    let root = repo_results_dir().join("..");
+    let budgets_path = root.join("budgets.toml");
+    let budgets = Budgets::load(&budgets_path).unwrap();
+    let dir = tmpdir("sent_repo");
+    let store = ResultStore::open(&dir);
+    import_dir(&repo_results_dir(), &store, false).unwrap();
+    let view = store.load_view().unwrap();
+    let report = run_sentinel(&view, &budgets, None);
+    for row in &report.rows {
+        assert_ne!(
+            row.status,
+            Status::Fail,
+            "checked-in history violates budget {}.{}: {}",
+            row.suite,
+            row.metric,
+            row.detail
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

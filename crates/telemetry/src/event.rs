@@ -21,6 +21,7 @@
 //!   `Span` (a closed phase: slash-joined `path` + `dur_ns`), or
 //!   `Message` (a verbosity-gated diagnostic line).
 
+use crate::framing::{self, Framed};
 use serde::{Deserialize, Serialize};
 
 /// Version stamped into every record's `v` field.
@@ -136,10 +137,41 @@ pub struct Record {
     pub body: RecordBody,
 }
 
+impl Framed for Record {
+    const VERSION: u32 = SCHEMA_VERSION;
+
+    fn version(&self) -> u32 {
+        self.v
+    }
+
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn check_payload(&self) -> Result<(), String> {
+        if let RecordBody::Event(ev) = &self.body {
+            if ev.name.is_empty() {
+                return Err("empty event name".into());
+            }
+            for (k, v) in &ev.fields {
+                if k.is_empty() {
+                    return Err(format!("empty field key in event `{}`", ev.name));
+                }
+                if let FieldValue::F64(f) = v {
+                    if !f.is_finite() {
+                        return Err(format!("non-finite field `{k}` in event `{}`", ev.name));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 impl Record {
     /// Serializes to a single JSON line (no trailing newline).
     pub fn to_jsonl(&self) -> String {
-        serde_json::to_string(self).expect("Record serialization is infallible")
+        framing::to_jsonl(self)
     }
 
     /// Copy with all wall-clock data zeroed, for differential
@@ -158,34 +190,8 @@ impl Record {
 ///
 /// Checks that the line is valid JSON for [`Record`], that `v` matches
 /// [`SCHEMA_VERSION`], that float fields are finite, and that the
-/// record re-serializes to an equivalent value (round-trip closure).
+/// record re-serializes to an equivalent value (round-trip closure) —
+/// the shared framing contract of [`crate::framing`].
 pub fn validate_line(line: &str) -> Result<Record, String> {
-    let rec: Record = serde_json::from_str(line).map_err(|e| format!("malformed record: {e}"))?;
-    if rec.v != SCHEMA_VERSION {
-        return Err(format!(
-            "schema version {} (this reader understands {})",
-            rec.v, SCHEMA_VERSION
-        ));
-    }
-    if let RecordBody::Event(ev) = &rec.body {
-        if ev.name.is_empty() {
-            return Err("empty event name".into());
-        }
-        for (k, v) in &ev.fields {
-            if k.is_empty() {
-                return Err(format!("empty field key in event `{}`", ev.name));
-            }
-            if let FieldValue::F64(f) = v {
-                if !f.is_finite() {
-                    return Err(format!("non-finite field `{k}` in event `{}`", ev.name));
-                }
-            }
-        }
-    }
-    let reparsed: Record = serde_json::from_str(&rec.to_jsonl())
-        .map_err(|e| format!("record does not round-trip: {e}"))?;
-    if reparsed != rec {
-        return Err("record does not round-trip to an equal value".into());
-    }
-    Ok(rec)
+    framing::validate_framed(line)
 }

@@ -1,0 +1,162 @@
+//! Shared v1 JSONL framing, factored out of [`crate::event`] so other
+//! record families (telemetry events, the `apollo-results` run store)
+//! validate their wire format through one code path.
+//!
+//! A *framed* line is a JSON object carrying at least:
+//!
+//! * `v` — schema version; readers must reject versions they do not
+//!   know,
+//! * `seq` — dense per-segment sequence number (0, 1, 2, …) assigned
+//!   in emission order,
+//! * `ts_ns` — wall-clock data, the only field allowed to differ
+//!   between otherwise identical runs (stripped before differential
+//!   comparisons).
+//!
+//! [`validate_framed`] performs the three checks every framed reader
+//! agrees on: the line parses, the version matches, and the record
+//! re-serializes to an equal value (round-trip closure). Family-
+//! specific payload rules plug in through [`Framed::check_payload`].
+//! [`SeqCheck`] enforces the dense-sequence contract across a stream
+//! of lines the way `apollo trace-lint` always has.
+
+use serde::{Deserialize, Serialize};
+
+/// A schema-versioned JSONL record family.
+pub trait Framed: Serialize + Deserialize + PartialEq + Clone {
+    /// The schema version this reader understands.
+    const VERSION: u32;
+
+    /// The record's `v` field.
+    fn version(&self) -> u32;
+
+    /// The record's dense per-segment sequence number.
+    fn seq(&self) -> u64;
+
+    /// Family-specific payload validation (field keys, finite floats,
+    /// …). The framing checks of [`validate_framed`] run regardless.
+    fn check_payload(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Serializes a framed record to a single JSON line (no trailing
+/// newline).
+pub fn to_jsonl<T: Framed>(rec: &T) -> String {
+    serde_json::to_string(rec).expect("framed record serialization is infallible")
+}
+
+/// Parses and validates one JSONL line of a framed record family.
+///
+/// Checks that the line is valid JSON for `T`, that `v` matches
+/// [`Framed::VERSION`], that the family's payload rules hold, and that
+/// the record re-serializes to an equivalent value (round-trip
+/// closure).
+pub fn validate_framed<T: Framed>(line: &str) -> Result<T, String> {
+    let rec: T = serde_json::from_str(line).map_err(|e| format!("malformed record: {e}"))?;
+    if rec.version() != T::VERSION {
+        return Err(format!(
+            "schema version {} (this reader understands {})",
+            rec.version(),
+            T::VERSION
+        ));
+    }
+    rec.check_payload()?;
+    let reparsed: T = serde_json::from_str(&to_jsonl(&rec))
+        .map_err(|e| format!("record does not round-trip: {e}"))?;
+    if reparsed != rec {
+        return Err("record does not round-trip to an equal value".into());
+    }
+    Ok(rec)
+}
+
+/// Dense-sequence validator: the first record may start anywhere, every
+/// subsequent one must increment by exactly 1.
+#[derive(Debug, Default)]
+pub struct SeqCheck {
+    last: Option<u64>,
+}
+
+impl SeqCheck {
+    /// Fresh checker (no records seen).
+    pub fn new() -> Self {
+        SeqCheck::default()
+    }
+
+    /// Feeds the next record's `seq`; errors unless it is dense.
+    pub fn check(&mut self, seq: u64) -> Result<(), String> {
+        let expected = self.last.map(|s| s + 1).unwrap_or(seq);
+        if seq != expected {
+            return Err(format!("seq {seq} out of order (expected {expected})"));
+        }
+        self.last = Some(seq);
+        Ok(())
+    }
+
+    /// The last accepted sequence number, if any.
+    pub fn last(&self) -> Option<u64> {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+    struct Toy {
+        v: u32,
+        seq: u64,
+        ts_ns: u64,
+        val: f64,
+    }
+
+    impl Framed for Toy {
+        const VERSION: u32 = 7;
+        fn version(&self) -> u32 {
+            self.v
+        }
+        fn seq(&self) -> u64 {
+            self.seq
+        }
+        fn check_payload(&self) -> Result<(), String> {
+            if !self.val.is_finite() {
+                return Err("non-finite val".into());
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_version_gate() {
+        let t = Toy {
+            v: 7,
+            seq: 3,
+            ts_ns: 99,
+            val: 1.5,
+        };
+        let line = to_jsonl(&t);
+        assert_eq!(validate_framed::<Toy>(&line).unwrap(), t);
+
+        let wrong = line.replace("\"v\":7", "\"v\":8");
+        let err = validate_framed::<Toy>(&wrong).unwrap_err();
+        assert!(err.contains("schema version 8"), "{err}");
+    }
+
+    #[test]
+    fn payload_rules_apply() {
+        let bad = "{\"v\":7,\"seq\":0,\"ts_ns\":0,\"val\":null}";
+        // Compat serde maps JSON null to f64::NAN; the payload check
+        // must reject it.
+        let err = validate_framed::<Toy>(bad).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn dense_seq() {
+        let mut c = SeqCheck::new();
+        c.check(5).unwrap();
+        c.check(6).unwrap();
+        assert!(c.check(8).is_err());
+        assert_eq!(c.last(), Some(6));
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod diag;
 pub mod event;
+pub mod framing;
 pub mod known;
 pub mod metrics;
 pub mod profile;
@@ -45,6 +46,7 @@ pub mod span;
 
 pub use diag::{diag, set_verbosity, verbosity, Verbosity};
 pub use event::{validate_line, Event, FieldValue, Record, RecordBody, SCHEMA_VERSION};
+pub use framing::{validate_framed, Framed, SeqCheck};
 pub use known::{known_event, validate_known, FieldKind, KnownEvent, KNOWN_EVENTS};
 pub use metrics::{
     counter, gauge, histogram, prometheus_text, reset_metrics, snapshot, Counter, Gauge, Histogram,

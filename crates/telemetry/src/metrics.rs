@@ -369,6 +369,81 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
             "{n}_bucket{{le=\"+Inf\"}} {}\n{n}_sum {}\n{n}_count {}\n",
             h.count, h.sum, h.count
         ));
+        // Approximate quantiles, computed at scrape time from the
+        // pow2 buckets (exact to within a bucket's resolution) — the
+        // hot observe() path is untouched.
+        for (suffix, q) in [("p50", 0.5), ("p99", 0.99), ("p999", 0.999)] {
+            if let Some(v) = h.quantile(q) {
+                out.push_str(&format!("# TYPE {n}_{suffix} gauge\n{n}_{suffix} {v}\n"));
+            }
+        }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(buckets: &[u64]) -> HistogramSample {
+        HistogramSample {
+            name: "t".into(),
+            count: buckets.iter().sum(),
+            sum: 0,
+            buckets: buckets.to_vec(),
+        }
+    }
+
+    #[test]
+    fn quantile_bucket_math_is_pinned() {
+        // Bucket i counts values of bit length i; its reported value
+        // is the bucket's upper bound 2^i - 1. 10 observations spread
+        // one per bucket 0..9: the k-th observation (1-indexed) sits
+        // in bucket k-1.
+        let h = sample(&[1; 10]);
+        assert_eq!(h.quantile(0.0), Some(0)); // rank clamps to 1 -> bucket 0
+        assert_eq!(h.quantile(0.1), Some(0)); // rank 1 -> bucket 0, bound 0
+        assert_eq!(h.quantile(0.5), Some(15)); // rank 5 -> bucket 4, bound 2^4-1
+        assert_eq!(h.quantile(0.99), Some(511)); // rank 10 -> bucket 9
+        assert_eq!(h.quantile(1.0), Some(511));
+
+        // Heavy tail: 99 observations in bucket 3, one in bucket 7.
+        let h = sample(&[0, 0, 0, 99, 0, 0, 0, 1]);
+        assert_eq!(h.quantile(0.5), Some(7)); // 2^3 - 1
+        assert_eq!(h.quantile(0.99), Some(7)); // rank 99 still bucket 3
+        assert_eq!(h.quantile(0.999), Some(127)); // rank 100 -> bucket 7
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(sample(&[]).quantile(0.5), None); // empty histogram
+        let h = sample(&[0, 5]); // five observations of value 1
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(0.999), Some(1));
+        // Rank past the trimmed tail falls into the last stored bucket.
+        let h = HistogramSample {
+            name: "t".into(),
+            count: 8,
+            sum: 0,
+            buckets: vec![0, 4], // 4 more observations live in trimmed buckets
+        };
+        assert_eq!(h.quantile(0.999), Some(3)); // 2^2 - 1, len = 2
+    }
+
+    #[test]
+    fn exposition_carries_quantile_lines() {
+        let h = histogram("test.expo.latency");
+        h.reset();
+        for v in [1u64, 2, 3, 200, 300] {
+            h.observe(v);
+        }
+        let text = prometheus_text(&snapshot());
+        // p50: rank 3 of 5 -> value 3 has bit length 2 -> bucket 2,
+        // upper bound 3. p99/p999: rank 5 -> 200/300 have bit length
+        // 9 -> bucket 9, upper bound 511.
+        assert!(text.contains("test_expo_latency_p50 3\n"), "{text}");
+        assert!(text.contains("test_expo_latency_p99 511\n"), "{text}");
+        assert!(text.contains("test_expo_latency_p999 511\n"), "{text}");
+        h.reset();
+    }
 }

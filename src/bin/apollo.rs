@@ -13,6 +13,12 @@
 //!                [--cycles <N>] [--window <T>] [--bits <B>] [--bench <name>] [--arm] [--threads <N>]
 //!                [--checkpoint <dir>] [--checkpoint-every <M>] [--supervise] [--pipelines <N>]
 //! apollo scrape  --addr 127.0.0.1:9100 [--path /metrics|/events] [--lines <N>] [--out file]
+//! apollo results import   [--dir results] [--store results/store] [--force]
+//! apollo results query    [--suite <s>] [--metric a,b] [--last <N>]
+//!                         [--group-by <tag>] [--agg count,median,...]
+//!                         [--format table|json|csv|markdown] [--markdown]
+//! apollo results history  <suite> <metric> [--format ...]
+//! apollo results sentinel [--budgets budgets.toml] [--store <dir>] [--suite <s>] [--check]
 //!
 //! `--threads N` runs simulations on N worker threads (bit-identical
 //! results; defaults to 1).
@@ -35,6 +41,13 @@
 //! prints a per-phase wall-clock/percentage table. `--preset` is an
 //! alias for `--config` there (e.g. `apollo profile ga --preset
 //! neoverse_like`).
+//!
+//! `apollo results` queries the append-only run-record store
+//! (`results/store/*.jsonl`, overridable with `--store` or
+//! `$APOLLO_RESULTS_STORE`): `import` backfills legacy `results/*.json`
+//! blobs, `query`/`history` render comparison tables, and `sentinel`
+//! gates CI against the checked-in `budgets.toml` (exit 1 on any
+//! regression; `--check` parses and reports without failing).
 //!
 //! `apollo monitor` runs the runtime introspection service: per-window
 //! OPM estimates with per-unit attribution, drift monitors, and (with
@@ -59,6 +72,7 @@ use apollo_suite::introspect as apollo_introspect;
 use apollo_suite::introspect::{MonitorConfig, MonitorHub};
 use apollo_suite::mlkit::metrics;
 use apollo_suite::opm::{build_opm, AreaReport, QuantizedOpm};
+use apollo_suite::results as apollo_results;
 use apollo_suite::sim::{EngineKind, FaultPlan};
 use apollo_telemetry::Verbosity;
 use std::collections::HashMap;
@@ -80,7 +94,12 @@ fn usage() -> ExitCode {
          apollo monitor --config <tiny|n1|a77> --model model.json [--listen 127.0.0.1:9100]\n  \
          \x20       [--cycles <N>] [--window <T>] [--bits <B>] [--bench <name>] [--arm] [--threads <N>]\n  \
          \x20       [--checkpoint <dir>] [--checkpoint-every <M>] [--supervise] [--pipelines <N>]\n  \
-         apollo scrape  --addr 127.0.0.1:9100 [--path /metrics|/events] [--lines <N>] [--out file]\n\n\
+         apollo scrape  --addr 127.0.0.1:9100 [--path /metrics|/events] [--lines <N>] [--out file]\n  \
+         apollo results import   [--dir results] [--store results/store] [--force]\n  \
+         apollo results query    [--suite <s>] [--metric a,b] [--last <N>] [--group-by <tag>]\n  \
+         \x20       [--agg count,min,max,median,latest,delta] [--format table|json|csv|markdown]\n  \
+         apollo results history  <suite> <metric> [--format ...]\n  \
+         apollo results sentinel [--budgets budgets.toml] [--store <dir>] [--suite <s>] [--check]\n\n\
          observability flags on any subcommand:\n  \
          --trace <out.jsonl>   --metrics   --quiet   -v|--verbose\n\n\
          `ga`, `train`, `capture` and `eval` also take --engine <scalar|bitslice>\n  \
@@ -90,7 +109,16 @@ fn usage() -> ExitCode {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["metrics", "quiet", "verbose", "arm", "supervise"];
+const BOOL_FLAGS: &[&str] = &[
+    "metrics",
+    "quiet",
+    "verbose",
+    "arm",
+    "supervise",
+    "force",
+    "check",
+    "markdown",
+];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -156,6 +184,11 @@ fn main() -> ExitCode {
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
     };
+    // `results <sub>` is its own family with positional operands
+    // (`history <suite> <metric>`); route before the flag parser.
+    if cmd == "results" {
+        return run_results(rest);
+    }
     // `profile <sub>` nests a command: peel the extra positional.
     let (cmd, profiling, rest) = if cmd == "profile" {
         match rest.split_first() {
@@ -771,6 +804,220 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                     eprintln!("scrape {addr}{path}: {e}");
                     ExitCode::FAILURE
                 }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// The store named by `--store`, else `$APOLLO_RESULTS_STORE`, else
+/// `results/store`.
+fn store_from_flags(flags: &HashMap<String, String>) -> apollo_results::ResultStore {
+    match flags.get("store") {
+        Some(dir) => apollo_results::ResultStore::open(dir),
+        None => apollo_results::default_store(),
+    }
+}
+
+fn format_from_flags(flags: &HashMap<String, String>) -> Result<apollo_results::Format, String> {
+    if flags.contains_key("markdown") {
+        return Ok(apollo_results::Format::Markdown);
+    }
+    match flags.get("format") {
+        Some(f) => apollo_results::Format::parse(f),
+        None => Ok(apollo_results::Format::Table),
+    }
+}
+
+fn comma_list(flags: &HashMap<String, String>, key: &str) -> Vec<String> {
+    flags
+        .get(key)
+        .map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// `apollo results <import|query|history|sentinel>`.
+fn run_results(args: &[String]) -> ExitCode {
+    let Some((sub, rest)) = args.split_first() else {
+        return usage();
+    };
+    // `history` takes two positional operands before its flags.
+    let (positionals, rest): (Vec<String>, &[String]) = if sub == "history" {
+        if rest.len() < 2 || rest[0].starts_with('-') || rest[1].starts_with('-') {
+            eprintln!("results history requires `<suite> <metric>`");
+            return usage();
+        }
+        (rest[..2].to_vec(), &rest[2..])
+    } else {
+        (Vec::new(), rest)
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let fail = |e: String| -> ExitCode {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    };
+
+    match sub.as_str() {
+        "import" => {
+            let dir = flags.get("dir").cloned().unwrap_or_else(|| "results".into());
+            let store = store_from_flags(&flags);
+            let report = match apollo_results::import_dir(
+                std::path::Path::new(&dir),
+                &store,
+                flags.contains_key("force"),
+            ) {
+                Ok(r) => r,
+                Err(e) => return fail(e),
+            };
+            for (suite, n) in &report.imported {
+                println!("imported {suite} ({n} metrics)");
+            }
+            if !report.skipped.is_empty() {
+                println!(
+                    "skipped {} suites already in the store (use --force to append anyway)",
+                    report.skipped.len()
+                );
+            }
+            println!(
+                "store {}: {} imported, {} skipped",
+                store.dir().display(),
+                report.imported.len(),
+                report.skipped.len()
+            );
+            ExitCode::SUCCESS
+        }
+        "query" => {
+            let store = store_from_flags(&flags);
+            let view = match store.load_view() {
+                Ok(v) => v,
+                Err(e) => return fail(e),
+            };
+            let format = match format_from_flags(&flags) {
+                Ok(f) => f,
+                Err(e) => return fail(e),
+            };
+            let suite = flags.get("suite").map(String::as_str);
+            let metrics = comma_list(&flags, "metric");
+            let table = if let Some(tag) = flags.get("group-by") {
+                let [metric] = metrics.as_slice() else {
+                    return fail("--group-by requires exactly one --metric <name>".into());
+                };
+                let aggs = if flags.contains_key("agg") {
+                    let mut parsed = Vec::new();
+                    for a in comma_list(&flags, "agg") {
+                        match apollo_results::Agg::parse(&a) {
+                            Ok(agg) => parsed.push(agg),
+                            Err(e) => return fail(e),
+                        }
+                    }
+                    parsed
+                } else {
+                    vec![
+                        apollo_results::Agg::Count,
+                        apollo_results::Agg::Median,
+                        apollo_results::Agg::Latest,
+                        apollo_results::Agg::DeltaPct,
+                    ]
+                };
+                let tag_filter = (tag != "suite").then_some(tag.as_str());
+                apollo_results::query::group_table(&view, suite, tag_filter, metric, &aggs)
+            } else {
+                match (suite, flags.get("last")) {
+                    (Some(s), Some(n)) => {
+                        let Ok(n) = n.parse::<usize>() else {
+                            return fail(format!("--last must be a count, got `{n}`"));
+                        };
+                        apollo_results::query::runs_table(&view, s, &metrics, n.max(1))
+                    }
+                    (Some(s), None) => apollo_results::query::latest_table(&view, s, &metrics),
+                    (None, _) => Ok(apollo_results::query::suites_table(&view)),
+                }
+            };
+            match table {
+                Ok(t) => {
+                    print!("{}", t.render(format));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "history" => {
+            let store = store_from_flags(&flags);
+            let view = match store.load_view() {
+                Ok(v) => v,
+                Err(e) => return fail(e),
+            };
+            let format = match format_from_flags(&flags) {
+                Ok(f) => f,
+                Err(e) => return fail(e),
+            };
+            match apollo_results::query::history_table(&view, &positionals[0], &positionals[1]) {
+                Ok((t, summary)) => {
+                    print!("{}", t.render(format));
+                    println!("{summary}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "sentinel" => {
+            let budgets_path = flags
+                .get("budgets")
+                .cloned()
+                .or_else(|| std::env::var(apollo_results::budgets::BUDGETS_ENV).ok())
+                .unwrap_or_else(|| apollo_results::budgets::DEFAULT_BUDGETS_PATH.into());
+            let budgets = match apollo_results::Budgets::load(std::path::Path::new(&budgets_path)) {
+                Ok(b) => b,
+                Err(e) => return fail(e),
+            };
+            let store = store_from_flags(&flags);
+            let view = match store.load_view() {
+                Ok(v) => v,
+                Err(e) => return fail(e),
+            };
+            let format = match format_from_flags(&flags) {
+                Ok(f) => f,
+                Err(e) => return fail(e),
+            };
+            let suite = flags.get("suite").map(String::as_str);
+            let check_only = flags.contains_key("check");
+            let report = apollo_results::run_sentinel(&view, &budgets, suite);
+            print!("{}", report.render(format));
+            if !check_only {
+                match apollo_results::emit_trajectories(
+                    &view,
+                    &budgets,
+                    std::path::Path::new("."),
+                    suite,
+                ) {
+                    Ok(updated) => {
+                        for p in updated {
+                            println!("trajectory updated: {}", p.display());
+                        }
+                    }
+                    Err(e) => return fail(e),
+                }
+            }
+            if report.failed() && !check_only {
+                eprintln!("sentinel: regression detected");
+                ExitCode::FAILURE
+            } else {
+                if report.failed() {
+                    println!("sentinel: failures present (ignored in --check mode)");
+                }
+                ExitCode::SUCCESS
             }
         }
         _ => usage(),

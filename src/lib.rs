@@ -17,6 +17,8 @@
 //! - [`telemetry`] — metrics, spans and schema-versioned JSONL events.
 //! - [`introspect`] — the runtime power introspection service:
 //!   per-unit attribution, drift monitors and the streaming endpoint.
+//! - [`results`] — the append-only run-record store, query views, and
+//!   the budgets.toml regression sentinel behind `apollo results`.
 
 pub use apollo_core as core;
 pub use apollo_cpu as cpu;
@@ -24,6 +26,7 @@ pub use apollo_dsp as dsp;
 pub use apollo_introspect as introspect;
 pub use apollo_mlkit as mlkit;
 pub use apollo_opm as opm;
+pub use apollo_results as results;
 pub use apollo_rtl as rtl;
 pub use apollo_sim as sim;
 pub use apollo_telemetry as telemetry;
