@@ -1,0 +1,335 @@
+//! Fleet health surface: the shared registry behind `/healthz` and
+//! `/status`.
+//!
+//! The monitor loop, the supervisor, and the serving layer all write
+//! into one [`HealthRegistry`]; the introspect server reads it to
+//! answer two endpoints:
+//!
+//! * `/healthz` — liveness/readiness in one cheap check:
+//!   `200 ok` while no pipeline is degraded, `503 degraded` otherwise.
+//! * `/status` — a versioned JSON [`StatusSnapshot`] with
+//!   per-pipeline supervisor state (restart counts, backoff stage),
+//!   checkpoint age, drift/fail-safe arming, window publish rate, and
+//!   per-subscriber hub queue state.
+//!
+//! `StatusSnapshot` is a [`Framed`] record family (its own
+//! [`STATUS_VERSION`]), so `apollo trace-lint`'s machinery —
+//! version gate, payload rules, round-trip closure — applies to the
+//! health surface exactly as it does to trace records.
+
+use crate::sync::plock;
+use apollo_telemetry::{validate_framed, Framed};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Schema version stamped into every [`StatusSnapshot`].
+pub const STATUS_VERSION: u32 = 1;
+
+/// Supervisor-visible lifecycle states a pipeline can report.
+pub const PIPELINE_STATES: [&str; 5] = ["starting", "running", "backoff", "degraded", "completed"];
+
+/// One pipeline's health row in a [`StatusSnapshot`].
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PipelineHealth {
+    /// Pipeline id (`RunOptions::pipeline_id`).
+    pub pipeline: String,
+    /// Lifecycle state, one of [`PIPELINE_STATES`].
+    pub state: String,
+    /// Supervisor restarts performed so far.
+    pub restarts: u64,
+    /// Current backoff stage (0 = not backing off).
+    pub backoff_stage: u64,
+    /// Windows published by the current incarnation.
+    pub windows: u64,
+    /// Windows elapsed since the last durable checkpoint (equals
+    /// `windows` when checkpointing is off).
+    pub checkpoint_age_windows: u64,
+    /// Drift alarms raised so far.
+    pub drift_alarms: u64,
+    /// True while the fail-safe throttle actuator is armed.
+    pub armed: bool,
+    /// Current throttle level.
+    pub throttle: u64,
+}
+
+impl PipelineHealth {
+    /// A fresh `starting` row for `pipeline`.
+    pub fn starting(pipeline: &str) -> PipelineHealth {
+        PipelineHealth {
+            pipeline: pipeline.to_owned(),
+            state: "starting".to_owned(),
+            restarts: 0,
+            backoff_stage: 0,
+            windows: 0,
+            checkpoint_age_windows: 0,
+            drift_alarms: 0,
+            armed: false,
+            throttle: 0,
+        }
+    }
+}
+
+/// One hub subscriber's queue state in a [`StatusSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SubscriberStatus {
+    /// Hub-assigned subscriber id.
+    pub id: u64,
+    /// Records currently queued.
+    pub depth: u64,
+    /// Records dropped (queue overflow) so far.
+    pub dropped: u64,
+    /// Current downsample stride (1 = every record).
+    pub stride: u64,
+    /// Records thinned by downsampling so far.
+    pub downsampled: u64,
+}
+
+/// Versioned `/status` payload: the whole fleet's health in one framed
+/// JSON object.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StatusSnapshot {
+    /// Schema version ([`STATUS_VERSION`]).
+    pub v: u32,
+    /// Dense per-registry snapshot sequence number.
+    pub seq: u64,
+    /// Nanoseconds since the registry was created. Timing-only.
+    pub ts_ns: u64,
+    /// False when any pipeline is degraded (mirrors `/healthz`).
+    pub healthy: bool,
+    /// Total windows published across all pipelines.
+    pub uptime_windows: u64,
+    /// Aggregate window publish rate since registry creation
+    /// (windows/s; 0 until enough wall-clock has elapsed).
+    pub window_rate_per_s: f64,
+    /// Per-pipeline health rows, ordered by first report.
+    pub pipelines: Vec<PipelineHealth>,
+    /// Per-subscriber hub queue state at snapshot time.
+    pub subscribers: Vec<SubscriberStatus>,
+}
+
+impl Framed for StatusSnapshot {
+    const VERSION: u32 = STATUS_VERSION;
+
+    fn version(&self) -> u32 {
+        self.v
+    }
+
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn check_payload(&self) -> Result<(), String> {
+        if !self.window_rate_per_s.is_finite() || self.window_rate_per_s < 0.0 {
+            return Err(format!(
+                "window_rate_per_s {} is not a finite non-negative rate",
+                self.window_rate_per_s
+            ));
+        }
+        for p in &self.pipelines {
+            if p.pipeline.is_empty() {
+                return Err("empty pipeline id".into());
+            }
+            if !PIPELINE_STATES.contains(&p.state.as_str()) {
+                return Err(format!(
+                    "pipeline `{}`: unknown state `{}`",
+                    p.pipeline, p.state
+                ));
+            }
+        }
+        if self.healthy && self.pipelines.iter().any(|p| p.state == "degraded") {
+            return Err("healthy snapshot contains a degraded pipeline".into());
+        }
+        Ok(())
+    }
+}
+
+impl StatusSnapshot {
+    /// Serializes to a single JSON line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        apollo_telemetry::framing::to_jsonl(self)
+    }
+
+    /// Parses and validates one `/status` line (version gate, payload
+    /// rules, round-trip closure).
+    ///
+    /// # Errors
+    /// Returns a description of the first framing violation.
+    pub fn validate_line(line: &str) -> Result<StatusSnapshot, String> {
+        validate_framed(line)
+    }
+}
+
+/// Shared, thread-safe fleet health state. Cheap to update from the
+/// monitor loop (one short mutex hold per window) and cheap to read
+/// for `/healthz` (one lock + scan of a handful of rows).
+#[derive(Debug)]
+pub struct HealthRegistry {
+    rows: Mutex<Vec<PipelineHealth>>,
+    next_seq: AtomicU64,
+    started: Instant,
+}
+
+impl Default for HealthRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HealthRegistry {
+    /// Empty registry; the creation instant anchors `ts_ns` and the
+    /// publish-rate denominator.
+    pub fn new() -> HealthRegistry {
+        HealthRegistry {
+            rows: Mutex::new(Vec::new()),
+            next_seq: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    fn upsert(&self, pipeline: &str, f: impl FnOnce(&mut PipelineHealth)) {
+        let mut rows = plock(&self.rows);
+        match rows.iter_mut().find(|r| r.pipeline == pipeline) {
+            Some(row) => f(row),
+            None => {
+                let mut row = PipelineHealth::starting(pipeline);
+                f(&mut row);
+                rows.push(row);
+            }
+        }
+    }
+
+    /// Records a supervisor lifecycle transition for `pipeline`.
+    /// Window-level fields are preserved across restarts.
+    pub fn report_state(&self, pipeline: &str, state: &str, restarts: u64, backoff_stage: u64) {
+        debug_assert!(PIPELINE_STATES.contains(&state), "unknown state `{state}`");
+        self.upsert(pipeline, |row| {
+            row.state = state.to_owned();
+            row.restarts = restarts;
+            row.backoff_stage = backoff_stage;
+        });
+    }
+
+    /// Records one published window for `pipeline` (called from the
+    /// monitor loop at window close).
+    pub fn report_window(
+        &self,
+        pipeline: &str,
+        windows: u64,
+        checkpoint_age_windows: u64,
+        drift_alarms: u64,
+        armed: bool,
+        throttle: u64,
+    ) {
+        self.upsert(pipeline, |row| {
+            if row.state == "starting" {
+                row.state = "running".to_owned();
+            }
+            row.windows = windows;
+            row.checkpoint_age_windows = checkpoint_age_windows;
+            row.drift_alarms = drift_alarms;
+            row.armed = armed;
+            row.throttle = throttle;
+        });
+    }
+
+    /// True while no pipeline is degraded — the whole `/healthz`
+    /// decision.
+    pub fn healthy(&self) -> bool {
+        plock(&self.rows).iter().all(|r| r.state != "degraded")
+    }
+
+    /// Builds the next `/status` snapshot, merging in the hub's
+    /// per-subscriber queue state. Each call consumes one `seq`.
+    pub fn snapshot(&self, subscribers: Vec<SubscriberStatus>) -> StatusSnapshot {
+        let pipelines = plock(&self.rows).clone();
+        let uptime_windows: u64 = pipelines.iter().map(|p| p.windows).sum();
+        let elapsed = self.started.elapsed();
+        let secs = elapsed.as_secs_f64();
+        let window_rate_per_s = if secs > 1e-3 {
+            uptime_windows as f64 / secs
+        } else {
+            0.0
+        };
+        StatusSnapshot {
+            v: STATUS_VERSION,
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            ts_ns: elapsed.as_nanos() as u64,
+            healthy: pipelines.iter().all(|p| p.state != "degraded"),
+            uptime_windows,
+            window_rate_per_s,
+            pipelines,
+            subscribers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_rows_track_reports_and_roundtrip_the_wire() {
+        let reg = HealthRegistry::new();
+        reg.report_window("p0", 5, 1, 0, false, 0);
+        reg.report_state("p1", "backoff", 2, 3);
+        let snap = reg.snapshot(vec![SubscriberStatus {
+            id: 1,
+            depth: 4,
+            dropped: 0,
+            stride: 2,
+            downsampled: 8,
+        }]);
+        assert!(snap.healthy);
+        assert_eq!(snap.uptime_windows, 5);
+        assert_eq!(snap.pipelines.len(), 2);
+        assert_eq!(snap.pipelines[0].state, "running");
+        assert_eq!(snap.pipelines[1].backoff_stage, 3);
+        let back = StatusSnapshot::validate_line(&snap.to_jsonl()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn degraded_pipeline_flips_healthz_and_snapshot() {
+        let reg = HealthRegistry::new();
+        reg.report_window("p0", 1, 0, 0, false, 0);
+        assert!(reg.healthy());
+        reg.report_state("p0", "degraded", 4, 0);
+        assert!(!reg.healthy());
+        let snap = reg.snapshot(Vec::new());
+        assert!(!snap.healthy);
+        // Window-level progress survives the state transition.
+        assert_eq!(snap.pipelines[0].windows, 1);
+        assert_eq!(snap.pipelines[0].restarts, 4);
+        StatusSnapshot::validate_line(&snap.to_jsonl()).unwrap();
+    }
+
+    #[test]
+    fn snapshot_seq_is_dense() {
+        let reg = HealthRegistry::new();
+        let mut check = apollo_telemetry::SeqCheck::new();
+        for _ in 0..3 {
+            let snap = reg.snapshot(Vec::new());
+            check.check(snap.seq()).unwrap();
+        }
+    }
+
+    #[test]
+    fn lint_rejects_inconsistent_and_unversioned_snapshots() {
+        let reg = HealthRegistry::new();
+        reg.report_state("p0", "degraded", 1, 0);
+        let mut snap = reg.snapshot(Vec::new());
+        // A snapshot claiming health while degraded must not lint.
+        snap.healthy = true;
+        let err = StatusSnapshot::validate_line(&snap.to_jsonl()).unwrap_err();
+        assert!(err.contains("degraded"), "{err}");
+        snap.healthy = false;
+        snap.v = STATUS_VERSION + 1;
+        let err = StatusSnapshot::validate_line(&snap.to_jsonl()).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+        snap.v = STATUS_VERSION;
+        snap.pipelines[0].state = "zombie".to_owned();
+        let err = StatusSnapshot::validate_line(&snap.to_jsonl()).unwrap_err();
+        assert!(err.contains("unknown state"), "{err}");
+    }
+}

@@ -22,11 +22,28 @@
 //! stride halves back. Every stride change emits a typed
 //! `hub.downsample` event and bumps `introspect.hub.downsample`.
 
+use crate::health::SubscriberStatus;
 use crate::sync::plock;
 use apollo_telemetry::{FieldValue, RecordBody};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+/// A published body plus the causal identity of the window (or
+/// lifecycle point) that produced it. The hub snapshots the
+/// publishing thread's trace context at publish time, so delivery —
+/// which happens on subscriber connection threads — can still parent
+/// its records under the producing span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Traced {
+    /// Trace of the producing pipeline (0 = untraced).
+    pub trace_id: u64,
+    /// Span open on the publishing thread at publish time (the window
+    /// span for window bodies).
+    pub parent_id: u64,
+    /// The published record body.
+    pub body: RecordBody,
+}
 
 /// Per-subscriber adaptive-downsampling policy.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -55,7 +72,7 @@ impl Default for DownsampleConfig {
 
 struct SubState {
     id: u64,
-    queue: VecDeque<RecordBody>,
+    queue: VecDeque<Traced>,
     dropped: u64,
     /// Deliver 1 body in `stride` (1 = full rate).
     stride: u32,
@@ -130,8 +147,16 @@ impl MonitorHub {
 
     /// Publishes one body to every live subscriber (drop-oldest on a
     /// full queue, adaptive stride thinning when configured). Never
-    /// blocks beyond the hub mutex.
+    /// blocks beyond the hub mutex. The calling thread's trace
+    /// context is captured into the queued item, so deliveries stay
+    /// attributable to the producing window.
     pub fn publish(&self, body: &RecordBody) {
+        let ctx = apollo_telemetry::current();
+        let item = Traced {
+            trace_id: ctx.trace_id,
+            parent_id: ctx.span_id,
+            body: body.clone(),
+        };
         let mut inner = plock(&self.inner);
         if inner.closed || inner.subs.is_empty() {
             return;
@@ -156,7 +181,7 @@ impl MonitorHub {
             } else {
                 sub.clean_streak += 1;
             }
-            sub.queue.push_back(body.clone());
+            sub.queue.push_back(item.clone());
             if let Some(ds) = &self.downsample {
                 if sub.drops_since_adjust >= ds.trigger_drops && sub.stride < ds.max_stride {
                     sub.stride *= 2;
@@ -243,12 +268,30 @@ impl MonitorHub {
     pub fn total_dropped(&self) -> u64 {
         plock(&self.inner).total_dropped
     }
+
+    /// Per-subscriber queue state for the `/status` surface and the
+    /// labeled `/metrics` gauges (one row per live subscriber, in
+    /// registration order).
+    pub fn subscriber_stats(&self) -> Vec<SubscriberStatus> {
+        let inner = plock(&self.inner);
+        inner
+            .subs
+            .iter()
+            .map(|s| SubscriberStatus {
+                id: s.id,
+                depth: s.queue.len() as u64,
+                dropped: s.dropped,
+                stride: u64::from(s.stride),
+                downsampled: s.downsampled,
+            })
+            .collect()
+    }
 }
 
 /// What a subscriber poll returned.
 pub enum Poll {
-    /// One body, in publish order.
-    Body(Box<RecordBody>),
+    /// One traced body, in publish order.
+    Body(Box<Traced>),
     /// Nothing arrived within the timeout; the stream is still live.
     Timeout,
     /// The hub closed and the queue is drained: end of stream.
@@ -262,6 +305,12 @@ pub struct Subscriber {
 }
 
 impl Subscriber {
+    /// Hub-assigned subscriber id (stable for the subscription's
+    /// lifetime; used to label gauges and derive delivery-span ids).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Waits up to `timeout` for the next body.
     pub fn poll(&self, timeout: Duration) -> Poll {
         let mut inner = plock(&self.hub.inner);
@@ -353,7 +402,7 @@ mod tests {
 
     fn text_of(p: Poll) -> String {
         match p {
-            Poll::Body(b) => match *b {
+            Poll::Body(b) => match b.body {
                 RecordBody::Message { text, .. } => text,
                 other => panic!("unexpected body {other:?}"),
             },
@@ -483,12 +532,52 @@ mod tests {
         for i in 2..12 {
             hub.publish(&msg(i));
             while let Poll::Body(b) = sub.poll(Duration::from_millis(1)) {
-                if let RecordBody::Message { text, .. } = *b {
+                if let RecordBody::Message { text, .. } = b.body {
                     got.push(text);
                 }
             }
         }
         assert_eq!(got.len(), 5, "stride 2 delivers 1 in 2: {got:?}");
+    }
+
+    #[test]
+    fn publish_captures_the_producing_trace_context() {
+        let hub = MonitorHub::new(4);
+        let (sub, _) = hub.subscribe();
+        // Untraced publish: ids stay zero.
+        hub.publish(&msg(0));
+        // Traced publish: the queued item snapshots trace + open span.
+        let root = apollo_telemetry::TraceCtx::root(apollo_telemetry::intern("hub-test"), 0);
+        {
+            let _ctx = apollo_telemetry::enter(root);
+            hub.publish(&msg(1));
+        }
+        let a = match sub.poll(Duration::from_millis(10)) {
+            Poll::Body(b) => *b,
+            _ => panic!("expected first body"),
+        };
+        assert_eq!((a.trace_id, a.parent_id), (0, 0));
+        let b = match sub.poll(Duration::from_millis(10)) {
+            Poll::Body(b) => *b,
+            _ => panic!("expected second body"),
+        };
+        assert_eq!((b.trace_id, b.parent_id), (root.trace_id, root.span_id));
+    }
+
+    #[test]
+    fn subscriber_stats_reflect_queue_state() {
+        let hub = MonitorHub::new(3);
+        let (sub, _) = hub.subscribe();
+        for i in 0..5 {
+            hub.publish(&msg(i));
+        }
+        let stats = hub.subscriber_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].depth, 3, "queue holds the newest cap bodies");
+        assert_eq!(stats[0].dropped, 2);
+        assert_eq!(stats[0].stride, 1);
+        drop(sub);
+        assert!(hub.subscriber_stats().is_empty());
     }
 
     #[test]
@@ -506,7 +595,7 @@ mod tests {
         loop {
             match sub.poll(Duration::from_millis(200)) {
                 Poll::Body(b) => {
-                    if let RecordBody::Message { text, .. } = *b {
+                    if let RecordBody::Message { text, .. } = b.body {
                         got.push(text);
                     }
                 }

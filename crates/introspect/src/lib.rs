@@ -19,6 +19,10 @@
 //!   text on `/metrics` and schema-versioned JSONL on `/events`, with
 //!   `/shutdown` for signal-free termination; hardened against
 //!   malformed, stalled, and excess peers ([`server::ServerOptions`]);
+//! * [`health`] — the fleet health surface behind the server's
+//!   `/healthz` and `/status` endpoints: a shared registry the
+//!   monitor and supervisor write into, snapshotted as a versioned,
+//!   lintable [`health::StatusSnapshot`];
 //! * [`supervisor`] — fleet supervision with panic isolation,
 //!   deterministic exponential backoff, checkpoint-driven resume and
 //!   a circuit breaker into a `Degraded` state exported on `/metrics`;
@@ -44,6 +48,7 @@
 
 pub mod chaos;
 pub mod checkpoint;
+pub mod health;
 pub mod hub;
 pub mod monitor;
 pub mod ring;
@@ -53,7 +58,10 @@ pub mod sync;
 
 pub use chaos::{ChaosPlan, ChaosRng, MalformedKind, ServiceFault};
 pub use checkpoint::{CheckpointError, CheckpointPolicy, MonitorSnapshot};
-pub use hub::{DownsampleConfig, MonitorHub, Poll, Subscriber};
+pub use health::{
+    HealthRegistry, PipelineHealth, StatusSnapshot, SubscriberStatus, STATUS_VERSION,
+};
+pub use hub::{DownsampleConfig, MonitorHub, Poll, Subscriber, Traced};
 pub use monitor::{run_monitor, run_monitor_with, MonitorConfig, MonitorReport, RunOptions};
 pub use ring::{History, HistoryAggregates, HistoryStats, WindowRecord};
 pub use server::{http_get_lines, serve, serve_with, ServerHandle, ServerOptions};

@@ -28,6 +28,7 @@ use crate::checkpoint::{
     check_compatible, load_snapshot, write_snapshot, CheckpointError, CheckpointPolicy,
     MonitorSnapshot, CHECKPOINT_VERSION,
 };
+use crate::health::HealthRegistry;
 use crate::hub::MonitorHub;
 use crate::ring::{History, HistoryStats, WindowRecord};
 use apollo_core::{ApolloError, ApolloModel, DesignContext};
@@ -39,6 +40,8 @@ use apollo_opm::{
 use apollo_sim::WindowTap;
 use apollo_telemetry::{Event, FieldValue, RecordBody};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Monitor pipeline configuration.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -93,6 +96,11 @@ pub struct RunOptions {
     /// completing each listed global window index. Used by the
     /// supervisor chaos harness; empty in production.
     pub panic_at_windows: Vec<u64>,
+    /// Fleet health registry: when set, the loop reports one
+    /// [`HealthRegistry::report_window`] row per closed window
+    /// (windows, checkpoint age, drift alarms, arm state, throttle)
+    /// for the server's `/healthz` + `/status` surface.
+    pub health: Option<Arc<HealthRegistry>>,
 }
 
 impl RunOptions {
@@ -190,6 +198,19 @@ pub fn run_monitor_with(
     stop: &AtomicBool,
     opts: &RunOptions,
 ) -> Result<MonitorReport, ApolloError> {
+    // Causal tracing: adopt the caller's context (the supervisor
+    // enters a per-attempt root before calling) or derive this
+    // pipeline's own deterministic root. The pipeline span is the
+    // ancestor every window span and delivery span walks back to.
+    let _root_ctx = if apollo_telemetry::current().is_active() {
+        None
+    } else {
+        Some(apollo_telemetry::enter(apollo_telemetry::TraceCtx::root(
+            apollo_telemetry::intern(opts.pipeline_id()),
+            0,
+        )))
+    };
+    let _pipeline_span = apollo_telemetry::span("introspect.pipeline");
     let opm = QuantizedOpm::from_model(model, cfg.bits, cfg.window_t)?;
     let map = AttributionMap::from_model(model);
     let taps = ProxyTaps::new(ctx.netlist(), &opm.bits);
@@ -237,6 +258,7 @@ pub fn run_monitor_with(
     let mut energy = 0.0f64;
     let mut checkpoints = 0u64;
     let mut resumed_from: Option<u64> = None;
+    let mut last_ckpt_window = 0u64;
 
     if opts.resume {
         if let Some((file, _)) = &ckpt_file {
@@ -275,6 +297,7 @@ pub fn run_monitor_with(
                     cycle_in_run = snap.cycle_in_run;
                     throttle = snap.throttle;
                     resumed_from = Some(snap.windows);
+                    last_ckpt_window = snap.windows;
                     apollo_telemetry::counter("introspect.checkpoint.resumes").inc();
                     apollo_telemetry::emit_event(
                         "introspect.checkpoint.resume",
@@ -325,6 +348,18 @@ pub fn run_monitor_with(
     let mut toggled = vec![false; q];
     let mut float_acc = 0.0f64;
 
+    // Per-window latency attribution: wall-clock reads only while
+    // timing is enabled (`None` marks keep the disabled path free of
+    // `Instant` syscalls), accumulated per phase and observed into
+    // `introspect.window.*_ns` histograms at window close. `_ns`
+    // metrics are excluded from determinism comparisons by contract.
+    fn mark() -> Option<Instant> {
+        apollo_telemetry::timing_enabled().then(Instant::now)
+    }
+    let mut win_span: Option<apollo_telemetry::SpanGuard> = None;
+    let mut sim_ns = 0u64;
+    let mut opm_ns = 0u64;
+
     loop {
         if stop.load(Ordering::Relaxed) {
             break;
@@ -350,6 +385,12 @@ pub fn run_monitor_with(
                     .set_input(ctx.handles.throttle_override, throttle as u64);
             }
         }
+        // One span per OPM window, opened lazily at the window's first
+        // cycle and closed after the window's effects are visible.
+        if win_span.is_none() {
+            win_span = Some(apollo_telemetry::span("introspect.window"));
+        }
+        let t0 = mark();
         sim.step();
         cycle += 1;
         cycle_in_run += 1;
@@ -360,6 +401,10 @@ pub fn run_monitor_with(
             for (k, slot) in toggled.iter_mut().enumerate() {
                 *slot = taps.toggled(s, k);
             }
+        }
+        let t1 = mark();
+        if let (Some(a), Some(b)) = (t0, t1) {
+            sim_ns += b.duration_since(a).as_nanos() as u64;
         }
         // Float proxy model, in the exact FP order of
         // `ApolloModel::predict_full`: intercept first, then proxies
@@ -374,6 +419,10 @@ pub fn run_monitor_with(
 
         let window_attr = acc.cycle(|k| toggled[k]);
         let window_true = wtap.push(&power);
+        let t2 = mark();
+        if let (Some(a), Some(b)) = (t1, t2) {
+            opm_ns += b.duration_since(a).as_nanos() as u64;
+        }
 
         let Some(attr) = window_attr else {
             continue;
@@ -435,6 +484,7 @@ pub fn run_monitor_with(
         if let Some(tag) = &opts.pipeline {
             fields.push(("pipeline".to_owned(), FieldValue::from(tag.as_str())));
         }
+        let t3 = mark();
         if apollo_telemetry::events_enabled() {
             let refs: Vec<(&str, FieldValue)> = fields
                 .iter()
@@ -448,6 +498,17 @@ pub fn run_monitor_with(
                 fields: fields.clone(),
             }));
         }
+        let t4 = mark();
+        if let (Some(a), Some(b), Some(c)) = (t2, t3, t4) {
+            apollo_telemetry::histogram("introspect.window.sim_ns").observe(sim_ns);
+            apollo_telemetry::histogram("introspect.window.opm_ns").observe(opm_ns);
+            apollo_telemetry::histogram("introspect.window.attrib_ns")
+                .observe(b.duration_since(a).as_nanos() as u64);
+            apollo_telemetry::histogram("introspect.window.publish_ns")
+                .observe(c.duration_since(b).as_nanos() as u64);
+        }
+        sim_ns = 0;
+        opm_ns = 0;
 
         history.push(WindowRecord {
             window: attr.window,
@@ -490,6 +551,7 @@ pub fn run_monitor_with(
                 match write_snapshot(file, &snap) {
                     Ok(bytes) => {
                         checkpoints += 1;
+                        last_ckpt_window = attr.window + 1;
                         apollo_telemetry::counter("introspect.checkpoint.writes").inc();
                         apollo_telemetry::emit_event(
                             "introspect.checkpoint.write",
@@ -512,6 +574,21 @@ pub fn run_monitor_with(
             }
         }
 
+        if let Some(health) = &opts.health {
+            health.report_window(
+                &pipeline_id,
+                attr.window + 1,
+                (attr.window + 1).saturating_sub(last_ckpt_window),
+                quant_drift.alarms() + truth_drift.alarms(),
+                arm.as_ref().is_some_and(FailSafeArm::armed),
+                u64::from(throttle),
+            );
+        }
+
+        // The window's effects (publish, history, checkpoint, health)
+        // are all visible: close its span.
+        win_span = None;
+
         // Chaos hook: a seeded fault plan may demand a panic right
         // after this window's effects became visible (publish +
         // checkpoint), exercising the supervisor's recovery path at a
@@ -520,6 +597,7 @@ pub fn run_monitor_with(
             panic!("chaos: injected panic at window {}", attr.window);
         }
     }
+    drop(win_span);
 
     let windows = history.total_windows();
     apollo_telemetry::emit_event(

@@ -40,6 +40,7 @@
 //!   [`plock`](crate::sync::plock), so a panicking handler thread can
 //!   never poison the accept loop or `stop()` into a cascade.
 
+use crate::health::HealthRegistry;
 use crate::hub::{MonitorHub, Poll};
 use crate::sync::plock;
 use apollo_telemetry::{FieldValue, Record, SCHEMA_VERSION};
@@ -65,6 +66,11 @@ pub struct ServerOptions {
     /// Test-only chaos hook: a GET on this exact path panics inside
     /// the handler thread, exercising panic isolation end to end.
     pub chaos_panic_path: Option<String>,
+    /// Fleet health registry behind `/healthz` and `/status`. `None`
+    /// gets a private empty registry at serve time: `/healthz` then
+    /// answers pure liveness (`200 ok`) and `/status` reports an
+    /// empty fleet plus live hub subscriber state.
+    pub health: Option<Arc<HealthRegistry>>,
 }
 
 impl Default for ServerOptions {
@@ -75,6 +81,7 @@ impl Default for ServerOptions {
             max_conns: 64,
             max_line_bytes: 8 * 1024,
             chaos_panic_path: None,
+            health: None,
         }
     }
 }
@@ -133,6 +140,10 @@ pub fn serve_with(
     stop: Arc<AtomicBool>,
     opts: ServerOptions,
 ) -> std::io::Result<ServerHandle> {
+    let mut opts = opts;
+    if opts.health.is_none() {
+        opts.health = Some(Arc::new(HealthRegistry::new()));
+    }
     let listener = TcpListener::bind(listen)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -344,14 +355,52 @@ fn handle_connection(
             &mut out,
             "200 OK",
             "text/plain; charset=utf-8",
-            "apollo monitor: /metrics (Prometheus), /events (JSONL stream), /shutdown\n",
+            "apollo monitor: /metrics (Prometheus), /events (JSONL stream), /healthz, /status, /shutdown\n",
         ),
         "/metrics" => {
-            let body = apollo_telemetry::prometheus_text(&apollo_telemetry::snapshot());
+            let mut body = apollo_telemetry::prometheus_text(&apollo_telemetry::snapshot());
+            body.push_str(&subscriber_gauges(hub));
             counter_scrapes();
             respond(&mut out, "200 OK", "text/plain; version=0.0.4", &body)
         }
         "/events" => stream_events(&mut out, hub, stop),
+        "/healthz" => {
+            let healthy = opts.health.as_ref().is_none_or(|h| h.healthy());
+            apollo_telemetry::counter("introspect.healthz.scrapes").inc();
+            apollo_telemetry::emit_event(
+                "introspect.healthz",
+                &[("healthy", FieldValue::from(healthy))],
+            );
+            if healthy {
+                respond(&mut out, "200 OK", "text/plain", "ok\n")
+            } else {
+                respond(&mut out, "503 Service Unavailable", "text/plain", "degraded\n")
+            }
+        }
+        "/status" => {
+            // `serve_with` guarantees a registry; handle the bare
+            // default anyway (options built by hand in tests).
+            let snap = match &opts.health {
+                Some(h) => h.snapshot(hub.subscriber_stats()),
+                None => HealthRegistry::new().snapshot(hub.subscriber_stats()),
+            };
+            apollo_telemetry::counter("introspect.status.scrapes").inc();
+            apollo_telemetry::emit_event(
+                "introspect.status",
+                &[
+                    ("healthy", FieldValue::from(snap.healthy)),
+                    ("pipelines", FieldValue::from(snap.pipelines.len())),
+                    ("subscribers", FieldValue::from(snap.subscribers.len())),
+                ],
+            );
+            let status = if snap.healthy {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            let body = format!("{}\n", snap.to_jsonl());
+            respond(&mut out, status, "application/json", &body)
+        }
         "/shutdown" => {
             stop.store(true, Ordering::Relaxed);
             respond(&mut out, "200 OK", "text/plain", "shutting down\n")
@@ -362,6 +411,33 @@ fn handle_connection(
 
 fn counter_scrapes() {
     apollo_telemetry::counter("introspect.scrapes").inc();
+}
+
+/// Hand-rendered labeled gauges for per-subscriber hub state (the
+/// registry's exposition is label-free, so the serving layer appends
+/// these rows itself).
+fn subscriber_gauges(hub: &Arc<MonitorHub>) -> String {
+    use crate::health::SubscriberStatus;
+    use std::fmt::Write as _;
+    let stats = hub.subscriber_stats();
+    if stats.is_empty() {
+        return String::new();
+    }
+    type Field = (&'static str, fn(&SubscriberStatus) -> u64);
+    let fields: [Field; 4] = [
+        ("introspect_hub_subscriber_queue_depth", |s| s.depth),
+        ("introspect_hub_subscriber_dropped", |s| s.dropped),
+        ("introspect_hub_subscriber_stride", |s| s.stride),
+        ("introspect_hub_subscriber_downsampled", |s| s.downsampled),
+    ];
+    let mut out = String::new();
+    for (metric, value) in fields {
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        for s in &stats {
+            let _ = writeln!(out, "{metric}{{subscriber=\"{}\"}} {}", s.id, value(s));
+        }
+    }
+    out
 }
 
 fn respond(
@@ -410,14 +486,20 @@ fn stream_events(
             break Ok(());
         }
         match sub.poll(Duration::from_millis(100)) {
-            Poll::Body(body) => {
+            Poll::Body(item) => {
+                // Delivered records keep the producing window's causal
+                // identity (captured by the hub at publish time).
                 let rec = Record {
                     v: SCHEMA_VERSION,
                     seq,
                     ts_ns: epoch.elapsed().as_nanos() as u64,
-                    body: *body,
+                    trace_id: item.trace_id,
+                    span_id: 0,
+                    parent_id: item.parent_id,
+                    body: item.body,
                 };
                 seq += 1;
+                let t0 = apollo_telemetry::timing_enabled().then(Instant::now);
                 if let Err(e) = writeln!(stream, "{}", rec.to_jsonl()).and_then(|()| stream.flush())
                 {
                     if is_timeout(&e) {
@@ -426,6 +508,30 @@ fn stream_events(
                         apollo_telemetry::counter("introspect.http.slow_evicted").inc();
                     }
                     break Ok(()); // client went away or stalled out
+                }
+                let dur_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                if t0.is_some() {
+                    apollo_telemetry::histogram("introspect.window.deliver_ns").observe(dur_ns);
+                }
+                // One delivery span per traced delivery, parented
+                // under the producing window's span. The id crosses
+                // the thread boundary by value: a pure function of
+                // (trace, window span, subscriber, delivery seq), so
+                // the trace tree is identical on every rerun.
+                if item.trace_id != 0 {
+                    let raw = apollo_telemetry::mix3(
+                        item.trace_id ^ item.parent_id,
+                        apollo_telemetry::intern("introspect.deliver") ^ sub.id(),
+                        rec.seq,
+                    ) & apollo_telemetry::ID_MASK;
+                    let span_id = if raw == 0 { 1 } else { raw };
+                    apollo_telemetry::emit_span_ids(
+                        "introspect.deliver",
+                        dur_ns,
+                        item.trace_id,
+                        span_id,
+                        item.parent_id,
+                    );
                 }
             }
             Poll::Timeout => continue,

@@ -28,6 +28,7 @@
 //! chaos differential tests compare byte-for-byte.
 
 use crate::checkpoint::CheckpointPolicy;
+use crate::health::HealthRegistry;
 use crate::hub::MonitorHub;
 use crate::monitor::{run_monitor_with, MonitorConfig, MonitorReport, RunOptions};
 use crate::sync::plock;
@@ -118,6 +119,10 @@ pub struct SupervisorConfig {
     /// Checkpoint cadence; `None` disables durability (every restart
     /// is then a fresh start).
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Fleet health registry: when set, every supervision transition
+    /// (start, backoff, degraded, completed) and every monitored
+    /// window is reported for the `/healthz` + `/status` surface.
+    pub health: Option<Arc<HealthRegistry>>,
 }
 
 /// Lifecycle state a pipeline ended in.
@@ -319,12 +324,23 @@ fn supervise_one(
             // missing file is a silent fresh start.
             resume: sup.checkpoint.is_some(),
             panic_at_windows: faults,
+            health: sup.health.clone(),
         };
         decisions.push(Decision::Start {
             attempt,
             resume: opts.resume,
         });
+        if let Some(h) = &sup.health {
+            h.report_state(&spec.id, "starting", u64::from(attempt), 0);
+        }
         let result = catch_unwind(AssertUnwindSafe(|| {
+            // Each attempt is one trace: root ids are pure functions
+            // of (pipeline id, attempt), so a rerun of the same fault
+            // plan produces byte-identical per-pipeline trace streams.
+            let _trace = apollo_telemetry::enter(apollo_telemetry::TraceCtx::root(
+                apollo_telemetry::intern(&spec.id),
+                u64::from(attempt),
+            ));
             run_monitor_with(ctx, model, &spec.bench, &spec.cfg, hub, stop, &opts)
         }));
         let reason = match result {
@@ -333,6 +349,9 @@ fn supervise_one(
                     attempt,
                     windows: report.windows,
                 });
+                if let Some(h) = &sup.health {
+                    h.report_state(&spec.id, "completed", u64::from(attempt), 0);
+                }
                 return PipelineOutcome {
                     id: spec.id.clone(),
                     state: PipelineState::Completed,
@@ -351,6 +370,9 @@ fn supervise_one(
         });
         if failures >= sup.backoff.give_up {
             decisions.push(Decision::Degraded { failures });
+            if let Some(h) = &sup.health {
+                h.report_state(&spec.id, "degraded", u64::from(attempt), 0);
+            }
             let now = degraded_count.fetch_add(1, Ordering::Relaxed) + 1;
             apollo_telemetry::gauge("introspect.supervisor.degraded").set(now as f64);
             apollo_telemetry::counter("introspect.supervisor.degradations").inc();
@@ -374,6 +396,9 @@ fn supervise_one(
             failures,
             delay_ms,
         });
+        if let Some(h) = &sup.health {
+            h.report_state(&spec.id, "backoff", u64::from(attempt + 1), u64::from(failures));
+        }
         apollo_telemetry::counter("introspect.supervisor.restarts").inc();
         apollo_telemetry::emit_event(
             "introspect.supervisor.restart",

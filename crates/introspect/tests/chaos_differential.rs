@@ -77,7 +77,7 @@ fn decode_windows(sub: &apollo_introspect::Subscriber) -> Vec<Window> {
     loop {
         match sub.poll(Duration::from_millis(300)) {
             Poll::Body(body) => {
-                let RecordBody::Event(ev) = *body else {
+                let RecordBody::Event(ev) = body.body else {
                     continue;
                 };
                 if ev.name != "introspect.window" {
@@ -218,6 +218,7 @@ fn kill_and_resume_converges_to_the_uninterrupted_run() {
         checkpoint: Some(CheckpointPolicy::new(&dir_u, 4)),
         resume: false,
         panic_at_windows: vec![],
+        health: None,
     };
     let report_u = run_monitor_with(
         &ctx,
@@ -313,6 +314,7 @@ fn corrupt_checkpoint_falls_back_to_a_fresh_start() {
         checkpoint: Some(policy.clone()),
         resume: false,
         panic_at_windows: vec![],
+        health: None,
     };
     let stop = AtomicBool::new(false);
     let first = run_monitor_with(

@@ -70,7 +70,7 @@ fn decode_windows(sub: &mut apollo_introspect::Subscriber) -> Vec<Window> {
     loop {
         match sub.poll(Duration::from_millis(200)) {
             Poll::Body(body) => {
-                let RecordBody::Event(ev) = *body else {
+                let RecordBody::Event(ev) = body.body else {
                     continue;
                 };
                 if ev.name != "introspect.window" {

@@ -1,0 +1,298 @@
+//! Integration tests for the causal-tracing and fleet-health surface:
+//!
+//! * the id triple (`trace_id`/`span_id`/`parent_id`) stamped on every
+//!   record is bit-identical across simulator thread counts — trace
+//!   identity is a pure function of (pipeline, attempt, structure),
+//!   never of scheduling;
+//! * a supervised fleet under fault injection produces byte-identical
+//!   per-pipeline record streams across reruns, including the restart
+//!   attempt's fresh trace root;
+//! * the Chrome trace export of a traced run is structurally valid:
+//!   every `introspect.window` span walks its `parent_id` links back
+//!   to an `introspect.pipeline` root;
+//! * `/healthz` and `/status` reflect registry state end to end, and
+//!   `/status` bodies survive the `Framed` lint round trip.
+
+use apollo_core::{train_per_cycle, ApolloModel, DesignContext, FeatureSpace, TrainOptions};
+use apollo_cpu::{benchmarks, CpuConfig};
+use apollo_introspect::{
+    fleet_specs, run_monitor_with, run_supervised, serve_with, HealthRegistry, InjectedPanic,
+    MonitorConfig, MonitorHub, PipelineState, RunOptions, ServerOptions, StatusSnapshot,
+    SupervisorConfig,
+};
+use apollo_telemetry::{clear_sink, install_sink, Record, RecordBody, VecSink};
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex, OnceLock};
+
+const CYCLES: u64 = 256;
+const WINDOW_T: usize = 32;
+
+/// The event sink is process-global; tests that install one must not
+/// run concurrently with each other.
+fn sink_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn trained_model(ctx: &DesignContext) -> ApolloModel {
+    let suite = vec![
+        (benchmarks::dhrystone(), 200),
+        (benchmarks::maxpwr_cpu(), 200),
+    ];
+    let trace = ctx.capture_suite(&suite, 50);
+    let fs = FeatureSpace::build(&trace.toggles);
+    train_per_cycle(
+        &trace,
+        ctx.netlist(),
+        &fs,
+        &TrainOptions {
+            q_target: 16,
+            ..TrainOptions::default()
+        },
+    )
+    .model
+}
+
+fn monitor_cfg() -> MonitorConfig {
+    MonitorConfig {
+        cycles: CYCLES,
+        window_t: WINDOW_T,
+        ..MonitorConfig::default()
+    }
+}
+
+/// Strips wall-clock data (ids are kept — they are part of the
+/// determinism contract) and the global emission seq, which encodes
+/// cross-thread interleaving rather than per-pipeline causality.
+fn cleaned(records: Vec<Record>) -> Vec<Record> {
+    records
+        .into_iter()
+        .map(|r| {
+            let mut r = r.strip_timing();
+            r.seq = 0;
+            r
+        })
+        .collect()
+}
+
+/// Groups a multi-pipeline capture by trace id, preserving emission
+/// order within each trace.
+fn by_trace(records: Vec<Record>) -> BTreeMap<u64, Vec<Record>> {
+    let mut groups: BTreeMap<u64, Vec<Record>> = BTreeMap::new();
+    for r in cleaned(records) {
+        groups.entry(r.trace_id).or_default().push(r);
+    }
+    groups
+}
+
+#[test]
+fn trace_ids_are_bit_identical_across_thread_counts() {
+    let _guard = sink_lock();
+    let model = trained_model(&DesignContext::new(&CpuConfig::tiny()));
+    let cfg = monitor_cfg();
+
+    let mut streams = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let ctx = DesignContext::with_threads(&CpuConfig::tiny(), threads);
+        let sink = Arc::new(VecSink::new());
+        install_sink(sink.clone());
+        let stop = AtomicBool::new(false);
+        let opts = RunOptions {
+            pipeline: Some("traced".into()),
+            ..RunOptions::default()
+        };
+        run_monitor_with(
+            &ctx,
+            &model,
+            &benchmarks::dhrystone(),
+            &cfg,
+            None,
+            &stop,
+            &opts,
+        )
+        .unwrap();
+        clear_sink();
+        streams.push((threads, cleaned(sink.take())));
+    }
+
+    let (_, reference) = &streams[0];
+    assert!(!reference.is_empty(), "a traced run must emit records");
+    let root_trace = reference[0].trace_id;
+    assert_ne!(root_trace, 0, "monitor must derive a trace root");
+    assert!(
+        reference.iter().all(|r| r.trace_id == root_trace),
+        "single-pipeline run must stay in one trace"
+    );
+    assert!(
+        reference
+            .iter()
+            .any(|r| matches!(&r.body, RecordBody::Span { path, .. } if path.ends_with("introspect.window"))),
+        "window spans must be emitted"
+    );
+    for (threads, stream) in &streams[1..] {
+        assert_eq!(
+            stream, reference,
+            "record stream (incl. id triple) must be bit-identical at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn supervised_fleet_traces_are_identical_across_reruns() {
+    let _guard = sink_lock();
+    let base = monitor_cfg();
+    let ctx = Arc::new(DesignContext::new(&CpuConfig::tiny()));
+    let model = Arc::new(trained_model(&ctx));
+
+    let mut captures = Vec::new();
+    for _rerun in 0..2 {
+        let mut specs = fleet_specs(3, &base);
+        // Fault-inject the middle pipeline: panic once on attempt 0,
+        // forcing a backoff + restart whose second attempt must open a
+        // fresh (but deterministic) trace root.
+        specs[1].faults = vec![InjectedPanic {
+            attempt: 0,
+            window: 2,
+        }];
+        let sink = Arc::new(VecSink::new());
+        install_sink(sink.clone());
+        let stop = Arc::new(AtomicBool::new(false));
+        let report = run_supervised(&ctx, &model, &specs, &SupervisorConfig::default(), None, &stop);
+        clear_sink();
+        for p in &report.pipelines {
+            assert_eq!(p.state, PipelineState::Completed, "{p:?}");
+        }
+        assert_eq!(report.pipelines[1].attempts, 2, "the fault must fire");
+        captures.push(by_trace(sink.take()));
+    }
+
+    let (a, b) = (&captures[0], &captures[1]);
+    assert_eq!(
+        a.keys().collect::<Vec<_>>(),
+        b.keys().collect::<Vec<_>>(),
+        "the set of trace roots must be identical across reruns"
+    );
+    // 3 pipelines + one extra attempt for the faulted one.
+    assert_eq!(
+        a.keys().filter(|&&t| t != 0).count(),
+        4,
+        "each (pipeline, attempt) gets its own trace"
+    );
+    for (trace, stream) in a {
+        if *trace == 0 {
+            // Supervisor-level records (emitted outside any attempt
+            // context) interleave across pipeline threads: compare as
+            // a multiset, not a sequence.
+            let sorted = |s: &[Record]| {
+                let mut v: Vec<String> = s.iter().map(Record::to_jsonl).collect();
+                v.sort();
+                v
+            };
+            assert_eq!(sorted(stream), sorted(&b[trace]), "untraced multiset");
+        } else {
+            assert_eq!(
+                stream, &b[trace],
+                "per-pipeline stream for trace {trace:#x} must be byte-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn chrome_export_links_every_window_to_its_pipeline_root() {
+    let _guard = sink_lock();
+    let ctx = Arc::new(DesignContext::new(&CpuConfig::tiny()));
+    let model = Arc::new(trained_model(&ctx));
+
+    let sink = Arc::new(VecSink::new());
+    install_sink(sink.clone());
+    let stop = Arc::new(AtomicBool::new(false));
+    let specs = fleet_specs(2, &monitor_cfg());
+    run_supervised(&ctx, &model, &specs, &SupervisorConfig::default(), None, &stop);
+    clear_sink();
+    let records = sink.take();
+
+    let json = apollo_telemetry::chrome_trace(&records);
+    let stats = apollo_telemetry::validate_chrome(&json).expect("export must validate");
+    assert!(stats.window_spans >= CYCLES as usize / WINDOW_T);
+    assert_eq!(stats.processes, 2, "one trace lane per pipeline");
+
+    let folded = apollo_telemetry::flamegraph_folded(&records);
+    assert!(
+        folded
+            .lines()
+            .any(|l| l.starts_with("introspect.pipeline;introspect.window ")),
+        "flamegraph must contain the pipeline/window stack: {folded}"
+    );
+}
+
+#[test]
+fn health_endpoints_reflect_registry_state() {
+    // The /status handler emits telemetry events: hold the sink lock
+    // so those never leak into a concurrent capture test's VecSink.
+    let _guard = sink_lock();
+    let health = Arc::new(HealthRegistry::new());
+    let hub = Arc::new(MonitorHub::new(64));
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = serve_with(
+        "127.0.0.1:0",
+        Arc::clone(&hub),
+        Arc::clone(&stop),
+        ServerOptions {
+            health: Some(Arc::clone(&health)),
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    // Healthy fleet: both endpoints answer 200 and /status lints.
+    health.report_state("p0", "starting", 0, 0);
+    health.report_window("p0", 4, 1, 0, false, 0);
+    let ok = apollo_introspect::http_get_lines(&addr, "/healthz", None).unwrap();
+    assert_eq!(ok, vec!["ok".to_owned()]);
+    let status = apollo_introspect::http_get_lines(&addr, "/status", None).unwrap();
+    assert_eq!(status.len(), 1, "one JSONL snapshot: {status:?}");
+    let snap = StatusSnapshot::validate_line(&status[0]).expect("snapshot must lint");
+    assert!(snap.healthy);
+    assert_eq!(snap.pipelines.len(), 1);
+    assert_eq!(snap.pipelines[0].state, "running");
+    assert_eq!(snap.pipelines[0].windows, 4);
+
+    // Snapshot seqs are dense across scrapes.
+    let again = apollo_introspect::http_get_lines(&addr, "/status", None).unwrap();
+    let snap2 = StatusSnapshot::validate_line(&again[0]).unwrap();
+    assert_eq!(snap2.seq, snap.seq + 1, "status seq must be dense");
+
+    // Degraded fleet: both endpoints flip to 503 (surfaced by
+    // http_get_lines as InvalidData — the same signal `apollo scrape`
+    // turns into a nonzero exit).
+    health.report_state("p0", "degraded", 3, 0);
+    let err = apollo_introspect::http_get_lines(&addr, "/healthz", None).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("503"), "{err}");
+    let err = apollo_introspect::http_get_lines(&addr, "/status", None).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    server.stop();
+}
+
+#[test]
+fn status_lines_pass_the_generic_framed_lint() {
+    let health = HealthRegistry::new();
+    health.report_state("a", "starting", 0, 0);
+    health.report_window("a", 2, 0, 0, false, 0);
+    health.report_state("b", "backoff", 1, 2);
+    let mut seqs = apollo_telemetry::SeqCheck::new();
+    for _ in 0..3 {
+        let line = health.snapshot(Vec::new()).to_jsonl();
+        let snap = apollo_telemetry::validate_framed::<StatusSnapshot>(&line)
+            .expect("every snapshot line must pass the generic lint");
+        seqs.check(snap.seq).expect("snapshot seqs must be dense");
+        assert_eq!(snap.pipelines.len(), 2);
+    }
+}

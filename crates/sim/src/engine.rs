@@ -727,11 +727,19 @@ impl<S: LevelPass> Pool<S> {
             gen: AtomicU64::new(0),
             n_threads: threads,
         });
+        // Workers inherit a deterministic per-shard trace context from
+        // the spawning thread so anything they might emit stays
+        // attributable to the owning pipeline (inert when no trace is
+        // active).
+        let parent = apollo_telemetry::current();
         let handles = (1..threads)
             .map(|participant| {
                 let shared = Arc::clone(&shared);
                 let ctl = Arc::clone(&ctl);
-                std::thread::spawn(move || worker_loop(&*shared, &ctl, participant))
+                std::thread::spawn(move || {
+                    let _ctx = apollo_telemetry::enter(parent.worker(participant as u64));
+                    worker_loop(&*shared, &ctl, participant)
+                })
             })
             .collect();
         Pool {

@@ -1,0 +1,306 @@
+//! Deterministic causal trace context.
+//!
+//! Every emitted [`Record`](crate::event::Record) carries three ids —
+//! `trace_id`, `span_id`, `parent_id` — that link it into a causal
+//! tree: a monitor pipeline's root, the per-window span under it, the
+//! window event under that, and (on the serving side) each subscriber
+//! delivery. The ids are **pure functions of the computation's
+//! structure**, never of the clock:
+//!
+//! * a root context is `mix3(seed, site, SALT)` where `seed` is an
+//!   [`intern`]ed pipeline id and `site` a restart-attempt index,
+//! * a child span id is `mix3(trace_id ^ parent_span_id,
+//!   intern(path), k)` where `k` is the parent's running child count.
+//!
+//! Two runs of the same pipeline therefore produce byte-identical ids
+//! regardless of worker-thread count, rerun, or host — the same
+//! replayability contract `sim::fault::mix3` gives fault injection.
+//! Ids are masked to 48 bits so they survive JSON readers that route
+//! numbers through an `f64` (Chrome's trace viewer among them);
+//! `0` is reserved for "no context".
+//!
+//! # Propagation
+//!
+//! The context lives in a thread-local; it crosses thread boundaries
+//! explicitly:
+//!
+//! * [`enter`] installs a context on the current thread (guard-scoped)
+//!   — used by monitor runs, supervisor pipeline threads, and endpoint
+//!   connection handlers;
+//! * [`TraceCtx::worker`] derives the deterministic per-worker child
+//!   context a level-parallel sim shard enters at spawn;
+//! * the hub snapshots [`current`] at publish time so every delivered
+//!   body keeps its producing window's identity.
+//!
+//! Spans opened while a context is active derive their ids through
+//! this module (see [`crate::span::span`]); with no context entered,
+//! all ids stay `0` and nothing changes on the wire but three zero
+//! fields.
+
+use std::cell::Cell;
+
+/// Ids fit in 48 bits: exactly representable in an `f64`, so JSON
+/// tooling that lacks 64-bit integers cannot corrupt them.
+pub const ID_MASK: u64 = (1 << 48) - 1;
+
+const SALT_TRACE: u64 = 0x5452_4143_4500; // "TRACE"
+const SALT_ROOT: u64 = 0x0052_4f4f_5400; // "ROOT"
+const SALT_WORKER: u64 = 0x0057_4f52_4b00; // "WORK"
+
+/// A splitmix64-style avalanche of three words — the same pure-hash
+/// idiom `apollo-sim` uses for replayable fault sites. Stable: these
+/// constants are part of the trace-id derivation contract.
+pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(b.rotate_left(23))
+        .wrapping_add(c.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// FNV-1a hash of a path or pipeline id — the "path intern id" used as
+/// a derivation input, so ids depend on *names*, not on allocation
+/// order.
+pub fn intern(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+fn id_of(x: u64) -> u64 {
+    let m = x & ID_MASK;
+    if m == 0 {
+        1
+    } else {
+        m
+    }
+}
+
+/// A trace identity: which trace, and which span within it is the
+/// current causal parent. `trace_id == 0` means "no active trace".
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace the current work belongs to (0 = none).
+    pub trace_id: u64,
+    /// Span id of the innermost open span (0 = none).
+    pub span_id: u64,
+}
+
+/// The inert "no trace" context.
+pub const NO_CTX: TraceCtx = TraceCtx {
+    trace_id: 0,
+    span_id: 0,
+};
+
+impl TraceCtx {
+    /// Deterministic root context for a pipeline incarnation:
+    /// `seed` names the pipeline (use [`intern`]), `site`
+    /// distinguishes restart attempts.
+    pub fn root(seed: u64, site: u64) -> TraceCtx {
+        let trace_id = id_of(mix3(seed, site, SALT_TRACE));
+        let span_id = id_of(mix3(trace_id, site, SALT_ROOT));
+        TraceCtx { trace_id, span_id }
+    }
+
+    /// Deterministic child context for parallel worker `index` — what
+    /// a level-parallel sim shard enters at spawn so any record it
+    /// might ever emit stays attributable to its owner. Inert contexts
+    /// propagate inert.
+    pub fn worker(&self, index: u64) -> TraceCtx {
+        if !self.is_active() {
+            return NO_CTX;
+        }
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id: id_of(mix3(self.trace_id ^ self.span_id, SALT_WORKER, index)),
+        }
+    }
+
+    /// True when this context carries a live trace.
+    pub fn is_active(&self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+/// Thread-local derivation state: the current context plus the running
+/// child counter of the innermost open span (the `seq` input of child
+/// derivation).
+#[derive(Copy, Clone)]
+struct State {
+    ctx: TraceCtx,
+    next_child: u64,
+}
+
+const IDLE: State = State {
+    ctx: NO_CTX,
+    next_child: 0,
+};
+
+thread_local! {
+    static CURRENT: Cell<State> = const { Cell::new(IDLE) };
+}
+
+/// The calling thread's current trace context (the innermost open span
+/// is the causal parent for anything emitted now).
+pub fn current() -> TraceCtx {
+    CURRENT.with(|c| c.get().ctx)
+}
+
+/// Guard restoring the previous thread context on drop; see [`enter`].
+pub struct CtxGuard {
+    saved: State,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.saved));
+    }
+}
+
+/// Installs `ctx` as the calling thread's trace context until the
+/// returned guard drops. Entering [`NO_CTX`] is allowed and inert —
+/// thread entry points can propagate unconditionally.
+pub fn enter(ctx: TraceCtx) -> CtxGuard {
+    let saved = CURRENT.with(|c| {
+        let saved = c.get();
+        c.set(State { ctx, next_child: 0 });
+        saved
+    });
+    CtxGuard { saved }
+}
+
+/// Ids of one opened span: its own identity plus its parent's.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) struct SpanIds {
+    pub trace_id: u64,
+    pub span_id: u64,
+    pub parent_id: u64,
+}
+
+pub(crate) const NO_SPAN_IDS: SpanIds = SpanIds {
+    trace_id: 0,
+    span_id: 0,
+    parent_id: 0,
+};
+
+/// Derives the next child-span id under the current context and makes
+/// it current. Called by the span guard with the full slash-joined
+/// path; paired with [`close_span`]. With no active trace the state is
+/// untouched and all ids are 0.
+pub(crate) fn open_span(path: &str) -> SpanIds {
+    CURRENT.with(|c| {
+        let st = c.get();
+        if !st.ctx.is_active() {
+            return NO_SPAN_IDS;
+        }
+        let span_id = id_of(mix3(
+            st.ctx.trace_id ^ st.ctx.span_id,
+            intern(path),
+            st.next_child,
+        ));
+        c.set(State {
+            ctx: TraceCtx {
+                trace_id: st.ctx.trace_id,
+                span_id,
+            },
+            next_child: 0,
+        });
+        SpanIds {
+            trace_id: st.ctx.trace_id,
+            span_id,
+            parent_id: st.ctx.span_id,
+        }
+    })
+}
+
+/// Closes the span opened as `ids`: restores the parent as current and
+/// advances its child counter so sibling spans get distinct ids.
+pub(crate) fn close_span(ids: SpanIds) {
+    if ids.trace_id == 0 {
+        return;
+    }
+    CURRENT.with(|c| {
+        let st = c.get();
+        c.set(State {
+            ctx: TraceCtx {
+                trace_id: ids.trace_id,
+                span_id: ids.parent_id,
+            },
+            next_child: st.next_child.wrapping_add(1),
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_are_pure_and_distinct() {
+        let a = TraceCtx::root(intern("p0"), 0);
+        assert_eq!(a, TraceCtx::root(intern("p0"), 0), "pure function");
+        assert_ne!(a, TraceCtx::root(intern("p1"), 0), "pipeline id matters");
+        assert_ne!(a, TraceCtx::root(intern("p0"), 1), "attempt matters");
+        assert!(a.is_active());
+        assert!(a.trace_id <= ID_MASK && a.span_id <= ID_MASK);
+    }
+
+    #[test]
+    fn worker_children_are_deterministic() {
+        let root = TraceCtx::root(intern("m"), 0);
+        assert_eq!(root.worker(3), root.worker(3));
+        assert_ne!(root.worker(1), root.worker(2));
+        assert_eq!(root.worker(1).trace_id, root.trace_id);
+        assert_eq!(NO_CTX.worker(5), NO_CTX, "inert propagates inert");
+    }
+
+    #[test]
+    fn span_stack_derives_unique_sibling_ids() {
+        let root = TraceCtx::root(intern("m"), 0);
+        let _g = enter(root);
+        let a = open_span("outer");
+        assert_eq!(a.parent_id, root.span_id);
+        let a1 = open_span("outer/inner");
+        assert_eq!(a1.parent_id, a.span_id);
+        close_span(a1);
+        let a2 = open_span("outer/inner");
+        close_span(a2);
+        assert_ne!(a1.span_id, a2.span_id, "siblings differ by child seq");
+        assert_eq!(a1.parent_id, a2.parent_id);
+        close_span(a);
+        assert_eq!(current(), root);
+    }
+
+    #[test]
+    fn reentry_restores_previous_context() {
+        assert_eq!(current(), NO_CTX);
+        {
+            let _g = enter(TraceCtx::root(intern("x"), 0));
+            assert!(current().is_active());
+            {
+                let inner = TraceCtx::root(intern("y"), 0);
+                let _g2 = enter(inner);
+                assert_eq!(current(), inner);
+            }
+            assert_eq!(current().trace_id, TraceCtx::root(intern("x"), 0).trace_id);
+        }
+        assert_eq!(current(), NO_CTX);
+    }
+
+    #[test]
+    fn no_context_is_free_of_ids() {
+        assert_eq!(current(), NO_CTX);
+        let ids = open_span("anything");
+        assert_eq!(ids, NO_SPAN_IDS);
+        close_span(ids);
+        assert_eq!(current(), NO_CTX);
+    }
+}

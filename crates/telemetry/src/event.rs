@@ -5,7 +5,8 @@
 //! round-trippable floats). The schema is frozen per `v`:
 //!
 //! ```json
-//! {"v":1,"seq":12,"ts_ns":88211,
+//! {"v":2,"seq":12,"ts_ns":88211,
+//!  "trace_id":201968741997188,"span_id":33981992516312,"parent_id":77812373356456,
 //!  "body":{"Event":{"name":"ga.generation",
 //!                   "fields":[["gen",{"U64":3}],["best",{"F64":0.5}]]}}}
 //! ```
@@ -16,6 +17,13 @@
 //!   emission order; deterministic across runs and thread counts.
 //! * `ts_ns` — nanoseconds since the sink was installed. The only
 //!   top-level field allowed to differ between identical runs.
+//! * `trace_id` / `span_id` / `parent_id` — causal identity (v2, see
+//!   [`crate::context`]): the trace this record belongs to, the
+//!   record's own span id (`Span` bodies only — 0 for events and
+//!   messages), and the id of the enclosing (parent) span. All three
+//!   are pure functions of the computation's structure — never of the
+//!   clock — so they take part in determinism comparisons; `0` means
+//!   "no context".
 //! * `body` — one of three externally-tagged variants:
 //!   `Event` (a named point event with ordered typed fields),
 //!   `Span` (a closed phase: slash-joined `path` + `dur_ns`), or
@@ -24,8 +32,9 @@
 use crate::framing::{self, Framed};
 use serde::{Deserialize, Serialize};
 
-/// Version stamped into every record's `v` field.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version stamped into every record's `v` field. v2 added the causal
+/// `trace_id`/`span_id`/`parent_id` triple.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A typed event field value.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -133,6 +142,15 @@ pub struct Record {
     /// Nanoseconds since sink install. Timing-only: excluded from
     /// determinism comparisons.
     pub ts_ns: u64,
+    /// Trace this record belongs to (0 = no active trace). Derived
+    /// deterministically by [`crate::context`].
+    pub trace_id: u64,
+    /// For `Span` bodies, the closed span's own id; 0 for events and
+    /// messages (they are points, not spans).
+    pub span_id: u64,
+    /// Id of the enclosing span when this record was produced (0 =
+    /// top level).
+    pub parent_id: u64,
     /// Payload.
     pub body: RecordBody,
 }
@@ -149,6 +167,18 @@ impl Framed for Record {
     }
 
     fn check_payload(&self) -> Result<(), String> {
+        for (name, id) in [
+            ("trace_id", self.trace_id),
+            ("span_id", self.span_id),
+            ("parent_id", self.parent_id),
+        ] {
+            if id > crate::context::ID_MASK {
+                return Err(format!("{name} {id} exceeds the 48-bit id space"));
+            }
+        }
+        if self.trace_id == 0 && (self.span_id != 0 || self.parent_id != 0) {
+            return Err("span/parent ids without a trace_id".into());
+        }
         if let RecordBody::Event(ev) = &self.body {
             if ev.name.is_empty() {
                 return Err("empty event name".into());
@@ -175,7 +205,9 @@ impl Record {
     }
 
     /// Copy with all wall-clock data zeroed, for differential
-    /// comparisons across thread counts or runs.
+    /// comparisons across thread counts or runs. The causal id triple
+    /// is *kept*: trace/span/parent ids are derived deterministically
+    /// and must themselves be bit-identical across thread counts.
     pub fn strip_timing(&self) -> Record {
         let mut r = self.clone();
         r.ts_ns = 0;

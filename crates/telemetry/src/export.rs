@@ -1,0 +1,401 @@
+//! Profile exporters over recorded JSONL traces.
+//!
+//! Converts a slice of [`Record`]s (as read back from a `--trace`
+//! JSONL file) into two standard artifacts:
+//!
+//! * [`chrome_trace`] — Chrome trace-event JSON (`{"traceEvents":
+//!   [...]}` with `ph:"X"` complete events), loadable in
+//!   `about://tracing` and Perfetto. One *process* per `trace_id`
+//!   (i.e. per pipeline incarnation), one *thread* lane per top-level
+//!   span family; span/parent ids ride in `args` so the causal tree
+//!   survives the format.
+//! * [`flamegraph_folded`] — collapsed-stack ("folded") text, one
+//!   `a;b;c weight` line per span path with *self* nanoseconds as the
+//!   weight, directly consumable by standard flamegraph tooling.
+//!
+//! [`validate_chrome`] re-parses an exported Chrome JSON and checks
+//! the structural contract CI relies on: well-formed events, and every
+//! `introspect.window` span reachable from its pipeline root span
+//! through `parent_id` links.
+
+use crate::event::{FieldValue, Record, RecordBody};
+use serde::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn field_text(v: &FieldValue) -> String {
+    match v {
+        FieldValue::U64(x) => x.to_string(),
+        FieldValue::I64(x) => x.to_string(),
+        FieldValue::F64(x) => format!("{x:?}"),
+        FieldValue::Str(s) => s.clone(),
+        FieldValue::Bool(b) => b.to_string(),
+    }
+}
+
+fn leaf(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+fn top(path: &str) -> &str {
+    path.split('/').next().unwrap_or(path)
+}
+
+/// Lane registry: processes keyed by `trace_id` (0 = untraced work),
+/// thread lanes keyed by the top span-path segment within a process.
+#[derive(Default)]
+struct Lanes {
+    pids: BTreeMap<u64, u64>,
+    tids: BTreeMap<(u64, String), u64>,
+}
+
+impl Lanes {
+    fn pid(&mut self, trace_id: u64) -> u64 {
+        let next = self.pids.len() as u64 + 1;
+        *self.pids.entry(trace_id).or_insert(next)
+    }
+
+    fn tid(&mut self, pid: u64, family: &str) -> u64 {
+        let next = self.tids.len() as u64 + 1;
+        *self.tids.entry((pid, family.to_owned())).or_insert(next)
+    }
+}
+
+/// Renders `records` as Chrome trace-event JSON (see module docs).
+/// Spans become `ph:"X"` complete events (timestamps in microseconds,
+/// start reconstructed as `ts_ns − dur_ns`), point events become
+/// `ph:"i"` instants, messages are skipped. Deterministic for a given
+/// record slice.
+pub fn chrome_trace(records: &[Record]) -> String {
+    let mut lanes = Lanes::default();
+    // (sort key ns, rendered event)
+    let mut events: Vec<(u64, String)> = Vec::new();
+    for rec in records {
+        match &rec.body {
+            RecordBody::Span { path, dur_ns } => {
+                let pid = lanes.pid(rec.trace_id);
+                let tid = lanes.tid(pid, top(path));
+                let start_ns = rec.ts_ns.saturating_sub(*dur_ns);
+                let e = format!(
+                    "{{\"name\":\"{}\",\"cat\":\"apollo\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"path\":\"{}\",\"seq\":{},\"trace_id\":{},\"span_id\":{},\"parent_id\":{}}}}}",
+                    json_escape(leaf(path)),
+                    start_ns as f64 / 1e3,
+                    *dur_ns as f64 / 1e3,
+                    json_escape(path),
+                    rec.seq,
+                    rec.trace_id,
+                    rec.span_id,
+                    rec.parent_id,
+                );
+                events.push((start_ns, e));
+            }
+            RecordBody::Event(ev) => {
+                let pid = lanes.pid(rec.trace_id);
+                let tid = lanes.tid(pid, top(&ev.name));
+                let mut args = format!(
+                    "\"trace_id\":{},\"parent_id\":{}",
+                    rec.trace_id, rec.parent_id
+                );
+                for (k, v) in &ev.fields {
+                    let _ = write!(
+                        args,
+                        ",\"{}\":\"{}\"",
+                        json_escape(k),
+                        json_escape(&field_text(v))
+                    );
+                }
+                let e = format!(
+                    "{{\"name\":\"{}\",\"cat\":\"apollo\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":{pid},\"tid\":{tid},\"args\":{{{args}}}}}",
+                    json_escape(&ev.name),
+                    rec.ts_ns as f64 / 1e3,
+                );
+                events.push((rec.ts_ns, e));
+            }
+            RecordBody::Message { .. } => {}
+        }
+    }
+    events.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let mut parts: Vec<String> = Vec::with_capacity(events.len() + lanes.pids.len() * 2);
+    for (trace_id, pid) in &lanes.pids {
+        let pname = if *trace_id == 0 {
+            "untraced".to_owned()
+        } else {
+            format!("trace {trace_id:012x}")
+        };
+        parts.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{pname}\"}}}}"
+        ));
+    }
+    for ((pid, family), tid) in &lanes.tids {
+        parts.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(family)
+        ));
+    }
+    parts.extend(events.into_iter().map(|(_, e)| e));
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+        parts.join(",\n")
+    )
+}
+
+/// Renders `records` as collapsed-stack ("folded") flamegraph text:
+/// one `a;b;c weight` line per span path, weighted by *self* time in
+/// nanoseconds (total minus direct children, clamped at zero).
+/// Path-sorted, so output is deterministic.
+pub fn flamegraph_folded(records: &[Record]) -> String {
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for rec in records {
+        if let RecordBody::Span { path, dur_ns } = &rec.body {
+            *totals.entry(path.clone()).or_insert(0) += dur_ns;
+        }
+    }
+    let mut out = String::new();
+    for (path, total) in &totals {
+        let prefix = format!("{path}/");
+        let child_sum: u64 = totals
+            .range(prefix.clone()..)
+            .take_while(|(p, _)| p.starts_with(&prefix))
+            .filter(|(p, _)| !p[prefix.len()..].contains('/'))
+            .map(|(_, ns)| *ns)
+            .sum();
+        let self_ns = total.saturating_sub(child_sum);
+        if self_ns > 0 {
+            let _ = writeln!(out, "{} {self_ns}", path.replace('/', ";"));
+        }
+    }
+    out
+}
+
+/// Structural summary of a validated Chrome export.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChromeStats {
+    /// `ph:"X"` complete (span) events.
+    pub spans: usize,
+    /// `ph:"i"` instant (point) events.
+    pub instants: usize,
+    /// Distinct processes (= traces, including the untraced lane).
+    pub processes: usize,
+    /// Spans named `introspect.window`.
+    pub window_spans: usize,
+}
+
+fn u64_of(v: Option<&Value>) -> Option<u64> {
+    match v {
+        Some(Value::Int(i)) if *i >= 0 => Some(*i as u64),
+        Some(Value::UInt(u)) => Some(*u),
+        Some(Value::Float(f)) if *f >= 0.0 && f.fract() == 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+fn str_of(v: Option<&Value>) -> Option<&str> {
+    match v {
+        Some(Value::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// Parses an exported Chrome trace JSON and verifies the structural
+/// contract: `traceEvents` is a non-empty array, every event carries
+/// `name`/`ph`/`pid`, every span event carries `ts`/`dur` and an id
+/// triple in `args`, and **every `introspect.window` span is reachable
+/// from an `introspect.pipeline` root span** through `parent_id`
+/// links.
+///
+/// # Errors
+/// Returns a description of the first violation.
+pub fn validate_chrome(json: &str) -> Result<ChromeStats, String> {
+    let root: Value =
+        serde_json::from_str(json).map_err(|e| format!("chrome export is not valid JSON: {e}"))?;
+    let Some(Value::Array(events)) = root.get("traceEvents") else {
+        return Err("missing traceEvents array".into());
+    };
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+    let mut stats = ChromeStats {
+        spans: 0,
+        instants: 0,
+        processes: 0,
+        window_spans: 0,
+    };
+    let mut pids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    // span_id -> (name, parent_id), per trace_id.
+    let mut span_tree: BTreeMap<(u64, u64), (String, u64)> = BTreeMap::new();
+    let mut windows: Vec<(u64, u64)> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let name =
+            str_of(ev.get("name")).ok_or_else(|| format!("event {i}: missing name"))?;
+        let ph = str_of(ev.get("ph")).ok_or_else(|| format!("event {i}: missing ph"))?;
+        let pid = u64_of(ev.get("pid")).ok_or_else(|| format!("event {i}: missing pid"))?;
+        match ph {
+            "M" => continue,
+            "i" => {
+                pids.insert(pid);
+                stats.instants += 1;
+            }
+            "X" => {
+                pids.insert(pid);
+                stats.spans += 1;
+                if ev.get("ts").is_none() || ev.get("dur").is_none() {
+                    return Err(format!("span event {i} ({name}): missing ts/dur"));
+                }
+                let args = ev
+                    .get("args")
+                    .ok_or_else(|| format!("span event {i} ({name}): missing args"))?;
+                let trace_id = u64_of(args.get("trace_id"))
+                    .ok_or_else(|| format!("span event {i} ({name}): missing args.trace_id"))?;
+                let span_id = u64_of(args.get("span_id"))
+                    .ok_or_else(|| format!("span event {i} ({name}): missing args.span_id"))?;
+                let parent_id = u64_of(args.get("parent_id"))
+                    .ok_or_else(|| format!("span event {i} ({name}): missing args.parent_id"))?;
+                if trace_id != 0 {
+                    span_tree.insert((trace_id, span_id), (name.to_owned(), parent_id));
+                }
+                if name == "introspect.window" {
+                    stats.window_spans += 1;
+                    windows.push((trace_id, span_id));
+                }
+            }
+            other => return Err(format!("event {i} ({name}): unknown ph `{other}`")),
+        }
+    }
+    stats.processes = pids.len();
+    for (trace_id, span_id) in windows {
+        if trace_id == 0 {
+            return Err("introspect.window span without a trace_id".into());
+        }
+        let mut cur = span_id;
+        let mut hops = 0usize;
+        let reachable = loop {
+            let Some((name, parent)) = span_tree.get(&(trace_id, cur)) else {
+                break false;
+            };
+            if name == "introspect.pipeline" {
+                break true;
+            }
+            cur = *parent;
+            hops += 1;
+            if hops > 1024 {
+                break false; // cycle guard
+            }
+        };
+        if !reachable {
+            return Err(format!(
+                "introspect.window span {span_id} (trace {trace_id}) is not reachable from its pipeline root span"
+            ));
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Record, RecordBody, SCHEMA_VERSION};
+
+    fn span_rec(seq: u64, ts: u64, dur: u64, path: &str, ids: (u64, u64, u64)) -> Record {
+        Record {
+            v: SCHEMA_VERSION,
+            seq,
+            ts_ns: ts,
+            trace_id: ids.0,
+            span_id: ids.1,
+            parent_id: ids.2,
+            body: RecordBody::Span {
+                path: path.to_owned(),
+                dur_ns: dur,
+            },
+        }
+    }
+
+    fn sample() -> Vec<Record> {
+        vec![
+            span_rec(2, 900, 200, "introspect.pipeline/introspect.window", (7, 21, 20)),
+            Record {
+                v: SCHEMA_VERSION,
+                seq: 3,
+                ts_ns: 850,
+                trace_id: 7,
+                span_id: 0,
+                parent_id: 21,
+                body: RecordBody::Event(Event {
+                    name: "introspect.window".into(),
+                    fields: vec![("window".into(), FieldValue::U64(0))],
+                }),
+            },
+            span_rec(4, 1000, 900, "introspect.pipeline", (7, 20, 19)),
+        ]
+    }
+
+    #[test]
+    fn chrome_export_roundtrips_and_links_windows_to_roots() {
+        let json = chrome_trace(&sample());
+        let stats = validate_chrome(&json).unwrap();
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.window_spans, 1);
+        assert_eq!(stats.processes, 1);
+    }
+
+    #[test]
+    fn orphan_window_span_is_rejected() {
+        // Window span whose parent chain never reaches a pipeline root.
+        let recs = vec![span_rec(
+            0,
+            900,
+            200,
+            "introspect.pipeline/introspect.window",
+            (7, 21, 999),
+        )];
+        let json = chrome_trace(&recs);
+        let err = validate_chrome(&json).unwrap_err();
+        assert!(err.contains("not reachable"), "{err}");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = chrome_trace(&sample());
+        let b = chrome_trace(&sample());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flamegraph_weights_are_self_time() {
+        let folded = flamegraph_folded(&sample());
+        // pipeline total 900, window child 200 -> self 700.
+        assert!(
+            folded.contains("introspect.pipeline 700"),
+            "parent self-time subtracts children: {folded}"
+        );
+        assert!(
+            folded.contains("introspect.pipeline;introspect.window 200"),
+            "{folded}"
+        );
+    }
+
+    #[test]
+    fn empty_export_is_an_error() {
+        let json = chrome_trace(&[]);
+        assert!(validate_chrome(&json).is_err());
+    }
+}

@@ -187,6 +187,20 @@ pub const KNOWN_EVENTS: &[KnownEvent] = &[
         ],
         dynamic: &[],
     },
+    KnownEvent {
+        name: "introspect.status",
+        required: &[
+            ("healthy", FieldKind::Bool),
+            ("pipelines", FieldKind::U64),
+            ("subscribers", FieldKind::U64),
+        ],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "introspect.healthz",
+        required: &[("healthy", FieldKind::Bool)],
+        dynamic: &[],
+    },
 ];
 
 /// Looks up the pinned schema for an event name, if any.
@@ -401,6 +415,9 @@ mod tests {
                 v: crate::SCHEMA_VERSION,
                 seq: seq as u64,
                 ts_ns: 1,
+                trace_id: 0,
+                span_id: 0,
+                parent_id: 0,
                 body: RecordBody::Event(body.clone()),
             };
             let parsed = validate_line(&rec.to_jsonl()).unwrap();

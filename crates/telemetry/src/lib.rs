@@ -19,24 +19,35 @@
 //! * **Diagnostics** ([`diag`]): verbosity-gated progress lines that
 //!   replace ad-hoc `eprintln!` in library crates, mirrored to the
 //!   event sink as `message` records when one is installed.
+//! * **Trace context** ([`context`]): deterministic causal identity.
+//!   Every record carries a `trace_id`/`span_id`/`parent_id` triple
+//!   derived purely from the computation's structure (interned names +
+//!   child sequence, never the clock), so one published window's trace
+//!   walks sim-step → OPM eval → attribution → publish → delivery.
+//!   [`export`] turns recorded traces into Chrome trace-event JSON and
+//!   collapsed-stack flamegraphs.
 //!
 //! # Determinism contract
 //!
-//! Recorded *values* — counter totals, event payloads, and event order
-//! — must be identical across worker-thread counts. Wall-clock data is
-//! confined to metrics whose names end in `_ns` (excluded by
-//! [`metrics::MetricsSnapshot::without_timing`]) and to the `ts_ns` /
-//! `dur_ns` fields of records (cleared by [`event::Record::strip_timing`]).
-//! Instrumented crates uphold the contract by bumping counters only
-//! with commutative `fetch_add` and emitting events only from serial
-//! points of their pipelines; `crates/sim/tests/telemetry_differential.rs`
-//! machine-checks it at 1/2/4 threads.
+//! Recorded *values* — counter totals, event payloads, event order,
+//! and the causal id triple — must be identical across worker-thread
+//! counts. Wall-clock data is confined to metrics whose names end in
+//! `_ns` (excluded by [`metrics::MetricsSnapshot::without_timing`])
+//! and to the `ts_ns` / `dur_ns` fields of records (cleared by
+//! [`event::Record::strip_timing`]; the id triple is deliberately
+//! *kept*). Instrumented crates uphold the contract by bumping
+//! counters only with commutative `fetch_add` and emitting events only
+//! from serial points of their pipelines;
+//! `crates/sim/tests/telemetry_differential.rs` machine-checks it at
+//! 1/2/4 threads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod diag;
 pub mod event;
+pub mod export;
 pub mod framing;
 pub mod known;
 pub mod metrics;
@@ -44,8 +55,10 @@ pub mod profile;
 pub mod sink;
 pub mod span;
 
+pub use context::{current, enter, intern, mix3, CtxGuard, TraceCtx, ID_MASK, NO_CTX};
 pub use diag::{diag, set_verbosity, verbosity, Verbosity};
 pub use event::{validate_line, Event, FieldValue, Record, RecordBody, SCHEMA_VERSION};
+pub use export::{chrome_trace, flamegraph_folded, validate_chrome, ChromeStats};
 pub use framing::{validate_framed, Framed, SeqCheck};
 pub use known::{known_event, validate_known, FieldKind, KnownEvent, KNOWN_EVENTS};
 pub use metrics::{
@@ -54,6 +67,7 @@ pub use metrics::{
 };
 pub use profile::{phase_report, render_phase_table, reset_phases, PhaseStat};
 pub use sink::{
-    clear_sink, emit_event, emit_span, events_enabled, install_sink, EventSink, JsonlSink, VecSink,
+    clear_sink, emit_event, emit_span, emit_span_ids, events_enabled, install_sink, EventSink,
+    JsonlSink, VecSink,
 };
 pub use span::{set_timing, span, timing_enabled, SpanGuard};

@@ -6,6 +6,7 @@
 //! `seq` assignment and sink writes cannot interleave (record order in
 //! the output always matches `seq` order).
 
+use crate::context;
 use crate::event::{Event, FieldValue, Record, RecordBody, SCHEMA_VERSION};
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -65,13 +66,16 @@ pub fn clear_sink() -> Option<Arc<dyn EventSink>> {
     })
 }
 
-fn emit_body(body: RecordBody) {
+fn emit_body(body: RecordBody, trace_id: u64, span_id: u64, parent_id: u64) {
     let mut guard = SINK.lock().unwrap();
     if let Some(state) = guard.as_mut() {
         let rec = Record {
             v: SCHEMA_VERSION,
             seq: state.next_seq,
             ts_ns: state.epoch.elapsed().as_nanos() as u64,
+            trace_id,
+            span_id,
+            parent_id,
             body,
         };
         state.next_seq += 1;
@@ -79,42 +83,76 @@ fn emit_body(body: RecordBody) {
     }
 }
 
-/// Emits a named point event. No-op (one relaxed load) without a sink.
+/// Emits a named point event, stamped with the calling thread's trace
+/// context (parented under the innermost open span). No-op (one
+/// relaxed load) without a sink.
 pub fn emit_event(name: &str, fields: &[(&str, FieldValue)]) {
     if !events_enabled() {
         return;
     }
-    emit_body(RecordBody::Event(Event {
-        name: name.to_owned(),
-        fields: fields
-            .iter()
-            .map(|(k, v)| ((*k).to_owned(), v.clone()))
-            .collect(),
-    }));
+    let ctx = context::current();
+    emit_body(
+        RecordBody::Event(Event {
+            name: name.to_owned(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+        }),
+        ctx.trace_id,
+        0,
+        ctx.span_id,
+    );
 }
 
 /// Emits a closed-span record for an externally-timed phase (used when
 /// durations are measured off-thread and reported from a serial point,
 /// e.g. per-benchmark capture times after the deterministic merge).
+/// Stamped with the calling thread's trace context; the span gets no
+/// id of its own — use [`emit_span_ids`] when the caller derived one.
 pub fn emit_span(path: &str, dur_ns: u64) {
     if !events_enabled() {
         return;
     }
-    emit_body(RecordBody::Span {
-        path: path.to_owned(),
-        dur_ns,
-    });
+    let ctx = context::current();
+    emit_span_ids(path, dur_ns, ctx.trace_id, 0, ctx.span_id);
 }
 
-/// Emits a diagnostic message record (used by [`crate::diag`]).
+/// Emits a closed-span record with an explicitly derived id triple.
+/// Used where span identity crosses a thread boundary by value instead
+/// of through the thread-local stack (e.g. per-subscriber delivery
+/// spans, whose parent is the published window's span).
+pub fn emit_span_ids(path: &str, dur_ns: u64, trace_id: u64, span_id: u64, parent_id: u64) {
+    if !events_enabled() {
+        return;
+    }
+    emit_body(
+        RecordBody::Span {
+            path: path.to_owned(),
+            dur_ns,
+        },
+        trace_id,
+        span_id,
+        parent_id,
+    );
+}
+
+/// Emits a diagnostic message record (used by [`crate::diag`]),
+/// stamped with the calling thread's trace context.
 pub fn emit_message(level: &str, text: &str) {
     if !events_enabled() {
         return;
     }
-    emit_body(RecordBody::Message {
-        level: level.to_owned(),
-        text: text.to_owned(),
-    });
+    let ctx = context::current();
+    emit_body(
+        RecordBody::Message {
+            level: level.to_owned(),
+            text: text.to_owned(),
+        },
+        ctx.trace_id,
+        0,
+        ctx.span_id,
+    );
 }
 
 /// Sink writing one JSON line per record through a buffered file.

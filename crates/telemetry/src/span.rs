@@ -7,8 +7,9 @@
 //! neither enabled the guard is fully inert — no clock reads, no
 //! allocation.
 
+use crate::context::{self, SpanIds, NO_SPAN_IDS};
 use crate::profile::record_phase;
-use crate::sink::{emit_span, events_enabled};
+use crate::sink::{emit_span_ids, events_enabled};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -38,33 +39,40 @@ pub struct SpanGuard {
     /// its component (0 lengths never truncate: path is empty or this
     /// guard is inert).
     saved_len: usize,
+    /// Deterministic causal identity derived at open (all zeros with
+    /// no active trace context).
+    ids: SpanIds,
     active: bool,
 }
 
 /// Opens a span named `name` under the current thread's span path.
 ///
-/// Inert unless timing or an event sink is enabled at entry.
+/// Inert unless timing or an event sink is enabled at entry. When a
+/// trace context is active ([`crate::context::enter`]), the span
+/// derives a deterministic `span_id` under the innermost open span.
 pub fn span(name: &str) -> SpanGuard {
     let active = timing_enabled() || events_enabled();
     if !active {
         return SpanGuard {
             start: None,
             saved_len: 0,
+            ids: NO_SPAN_IDS,
             active: false,
         };
     }
-    let saved_len = PATH.with(|p| {
+    let (saved_len, ids) = PATH.with(|p| {
         let mut p = p.borrow_mut();
         let saved = p.len();
         if !p.is_empty() {
             p.push('/');
         }
         p.push_str(name);
-        saved
+        (saved, context::open_span(&p))
     });
     SpanGuard {
         start: Some(Instant::now()),
         saved_len,
+        ids,
         active: true,
     }
 }
@@ -84,9 +92,16 @@ impl Drop for SpanGuard {
                 record_phase(&p, 1, dur_ns);
             }
             if events_enabled() {
-                emit_span(&p, dur_ns);
+                emit_span_ids(
+                    &p,
+                    dur_ns,
+                    self.ids.trace_id,
+                    self.ids.span_id,
+                    self.ids.parent_id,
+                );
             }
             p.truncate(self.saved_len);
         });
+        context::close_span(self.ids);
     }
 }

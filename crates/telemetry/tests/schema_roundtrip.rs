@@ -17,6 +17,9 @@ fn sample_records() -> Vec<Record> {
             v: SCHEMA_VERSION,
             seq: 0,
             ts_ns: 12,
+            trace_id: 0x1234_5678_9abc,
+            span_id: 0,
+            parent_id: 0xfeed_beef_0001,
             body: RecordBody::Event(Event {
                 name: "ga.generation".into(),
                 fields: vec![
@@ -32,6 +35,9 @@ fn sample_records() -> Vec<Record> {
             v: SCHEMA_VERSION,
             seq: 1,
             ts_ns: 99,
+            trace_id: 0x1234_5678_9abc,
+            span_id: 0xfeed_beef_0002,
+            parent_id: 0xfeed_beef_0001,
             body: RecordBody::Span {
                 path: "core.capture_suite/bench:dhry".into(),
                 dur_ns: 1234,
@@ -41,6 +47,9 @@ fn sample_records() -> Vec<Record> {
             v: SCHEMA_VERSION,
             seq: 2,
             ts_ns: 100,
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
             body: RecordBody::Message {
                 level: "info".into(),
                 text: "design ready".into(),
@@ -71,6 +80,9 @@ fn float_payloads_survive_shortest_repr() {
             v: SCHEMA_VERSION,
             seq: 0,
             ts_ns: 0,
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
             body: RecordBody::Event(Event {
                 name: "t".into(),
                 fields: vec![("x".into(), FieldValue::F64(f))],
@@ -102,12 +114,27 @@ fn validate_rejects_bad_lines() {
         v: SCHEMA_VERSION,
         seq: 0,
         ts_ns: 0,
+        trace_id: 0,
+        span_id: 0,
+        parent_id: 0,
         body: RecordBody::Event(Event {
             name: "t".into(),
             fields: vec![("x".into(), FieldValue::F64(f64::NAN))],
         }),
     };
     assert!(validate_line(&nan.to_jsonl()).is_err());
+    // Ids above the 48-bit space are rejected (f64-safety contract).
+    let mut wide = sample_records().remove(0);
+    wide.trace_id = 1 << 48;
+    assert!(validate_line(&wide.to_jsonl())
+        .unwrap_err()
+        .contains("48-bit"));
+    // Span/parent ids without a trace are rejected.
+    let mut orphan = sample_records().remove(2);
+    orphan.parent_id = 7;
+    assert!(validate_line(&orphan.to_jsonl())
+        .unwrap_err()
+        .contains("without a trace_id"));
 }
 
 #[test]
@@ -116,6 +143,11 @@ fn strip_timing_zeroes_only_clock_fields() {
         let stripped = rec.strip_timing();
         assert_eq!(stripped.ts_ns, 0);
         assert_eq!(stripped.seq, rec.seq);
+        // The causal id triple is deterministic data, not timing.
+        assert_eq!(
+            (stripped.trace_id, stripped.span_id, stripped.parent_id),
+            (rec.trace_id, rec.span_id, rec.parent_id)
+        );
         match (&stripped.body, &rec.body) {
             (RecordBody::Span { dur_ns, path }, RecordBody::Span { path: p0, .. }) => {
                 assert_eq!(*dur_ns, 0);
@@ -160,6 +192,44 @@ fn jsonl_sink_writes_validatable_lines() {
         other => panic!("expected span records, got {other:?}"),
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_context_stamps_records_deterministically() {
+    let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let run = || {
+        let sink = Arc::new(apollo_telemetry::VecSink::new());
+        apollo_telemetry::install_sink(sink.clone());
+        let root = apollo_telemetry::TraceCtx::root(apollo_telemetry::intern("pipe"), 0);
+        {
+            let _ctx = apollo_telemetry::enter(root);
+            let _outer = apollo_telemetry::span("outer");
+            apollo_telemetry::emit_event("unit.test", &[("k", FieldValue::U64(1))]);
+            let _inner = apollo_telemetry::span("inner");
+        }
+        apollo_telemetry::clear_sink();
+        sink.take()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), 3, "event + two span closes");
+    // Every record belongs to the root trace.
+    assert!(a.iter().all(|r| r.trace_id == a[0].trace_id));
+    // The event's parent is the outer span, which in turn closes with
+    // the root context's span as parent.
+    let (event, inner, outer) = (&a[0], &a[1], &a[2]);
+    assert!(matches!(event.body, RecordBody::Event(_)));
+    assert_eq!(event.span_id, 0, "events are points, not spans");
+    assert_eq!(event.parent_id, outer.span_id);
+    assert_eq!(inner.parent_id, outer.span_id);
+    assert_ne!(inner.span_id, outer.span_id);
+    // Byte-identical across sink reinstalls: pure derivation.
+    let strip = |v: &[Record]| v.iter().map(Record::strip_timing).collect::<Vec<_>>();
+    assert_eq!(strip(&a), strip(&b));
+    // And every line passes full schema validation (48-bit ids etc.).
+    for r in &a {
+        validate_line(&r.to_jsonl()).unwrap();
+    }
 }
 
 #[test]

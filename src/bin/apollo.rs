@@ -91,10 +91,12 @@ fn usage() -> ExitCode {
          apollo ga     --config <tiny|n1|a77> [--ga-generations <N>] [--population <N>] [--threads <N>]\n  \
          apollo profile <design|ga|train|eval|capture|monitor> [--preset <name>] [flags...]\n  \
          apollo trace-lint --in trace.jsonl\n  \
+         apollo trace-export --in trace.jsonl [--chrome out.json] [--flamegraph out.folded] [--check]\n  \
          apollo monitor --config <tiny|n1|a77> --model model.json [--listen 127.0.0.1:9100]\n  \
          \x20       [--cycles <N>] [--window <T>] [--bits <B>] [--bench <name>] [--arm] [--threads <N>]\n  \
          \x20       [--checkpoint <dir>] [--checkpoint-every <M>] [--supervise] [--pipelines <N>]\n  \
-         apollo scrape  --addr 127.0.0.1:9100 [--path /metrics|/events] [--lines <N>] [--out file]\n  \
+         apollo scrape  --addr 127.0.0.1:9100 [--path /metrics|/events] [--status] [--healthz]\n  \
+         \x20       [--lines <N>] [--out file]\n  \
          apollo results import   [--dir results] [--store results/store] [--force]\n  \
          apollo results query    [--suite <s>] [--metric a,b] [--last <N>] [--group-by <tag>]\n  \
          \x20       [--agg count,min,max,median,latest,delta] [--format table|json|csv|markdown]\n  \
@@ -118,6 +120,8 @@ const BOOL_FLAGS: &[&str] = &[
     "force",
     "check",
     "markdown",
+    "status",
+    "healthz",
 ];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -604,6 +608,73 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "trace-export" => {
+            let Some(path) = get("in") else {
+                return usage();
+            };
+            let (chrome_out, folded_out, check) = (
+                get("chrome"),
+                get("flamegraph"),
+                flags.contains_key("check"),
+            );
+            if chrome_out.is_none() && folded_out.is_none() && !check {
+                eprintln!("trace-export: pass --chrome, --flamegraph, and/or --check");
+                return usage();
+            }
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut records = Vec::new();
+            for (lineno, line) in text.lines().enumerate() {
+                match apollo_telemetry::validate_line(line) {
+                    Ok(rec) => records.push(rec),
+                    Err(e) => {
+                        eprintln!("{path}:{}: {e}", lineno + 1);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if records.is_empty() {
+                eprintln!("{path}: no records to export");
+                return ExitCode::FAILURE;
+            }
+            let json = apollo_telemetry::chrome_trace(&records);
+            if check {
+                match apollo_telemetry::validate_chrome(&json) {
+                    Ok(stats) => println!(
+                        "trace ok: {} spans ({} windows) + {} instants across {} trace(s)",
+                        stats.spans, stats.window_spans, stats.instants, stats.processes
+                    ),
+                    Err(e) => {
+                        eprintln!("{path}: invalid trace export: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Some(out) = chrome_out {
+                if let Err(e) = save_text(&out, &json, "chrome trace") {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("{} records exported to {out} (chrome://tracing / Perfetto)", records.len());
+            }
+            if let Some(out) = folded_out {
+                let folded = apollo_telemetry::flamegraph_folded(&records);
+                if let Err(e) = save_text(&out, &folded, "folded stacks") {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "{} folded stack lines written to {out} (flamegraph.pl / speedscope)",
+                    folded.lines().count()
+                );
+            }
+            ExitCode::SUCCESS
+        }
         "monitor" => {
             let (Some(cfg), Some(model_path)) = (design_from_flags(flags), get("model")) else {
                 return usage();
@@ -654,11 +725,19 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
             };
             let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
             let hub = MonitorHub::new(1024);
+            // One registry shared by the pipeline(s) and the server's
+            // /healthz + /status endpoints.
+            let health = Arc::new(apollo_introspect::HealthRegistry::new());
             let server = if let Some(listen) = get("listen") {
-                match apollo_introspect::serve(&listen, Arc::clone(&hub), Arc::clone(&stop)) {
+                let sopts = apollo_introspect::ServerOptions {
+                    health: Some(Arc::clone(&health)),
+                    ..Default::default()
+                };
+                match apollo_introspect::serve_with(&listen, Arc::clone(&hub), Arc::clone(&stop), sopts)
+                {
                     Ok(s) => {
                         println!(
-                            "monitor serving on http://{}/ (/metrics, /events, /shutdown)",
+                            "monitor serving on http://{}/ (/metrics, /events, /healthz, /status, /shutdown)",
                             s.addr()
                         );
                         Some(s)
@@ -679,6 +758,7 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                 let specs = apollo_introspect::fleet_specs(n.max(1), &mcfg);
                 let sup = apollo_introspect::SupervisorConfig {
                     checkpoint,
+                    health: Some(Arc::clone(&health)),
                     ..Default::default()
                 };
                 let ctx = Arc::new(ctx);
@@ -722,6 +802,7 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
             let opts = apollo_introspect::RunOptions {
                 resume: checkpoint.is_some(),
                 checkpoint,
+                health: Some(Arc::clone(&health)),
                 ..Default::default()
             };
             let result = apollo_introspect::run_monitor_with(
@@ -781,7 +862,16 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
             let Some(addr) = get("addr") else {
                 return usage();
             };
-            let path = get("path").unwrap_or_else(|| "/metrics".to_owned());
+            // --healthz / --status are path shorthands; a degraded
+            // fleet answers 503, which http_get_lines surfaces as an
+            // error → nonzero exit (fit for CI gates and probes).
+            let path = if flags.contains_key("healthz") {
+                "/healthz".to_owned()
+            } else if flags.contains_key("status") {
+                "/status".to_owned()
+            } else {
+                get("path").unwrap_or_else(|| "/metrics".to_owned())
+            };
             let max_lines: Option<usize> = get("lines").and_then(|v| v.parse().ok());
             match apollo_introspect::http_get_lines(&addr, &path, max_lines) {
                 Ok(lines) => {
