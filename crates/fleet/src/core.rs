@@ -1,0 +1,280 @@
+//! One monitored core as a resumable per-window state machine.
+//!
+//! The introspect monitor ([`apollo_introspect::run_monitor`]) owns
+//! its whole loop: it runs a pipeline to completion on the calling
+//! thread. A fleet shard instead interleaves *many* cores window by
+//! window, so [`CoreMonitor`] re-expresses the same per-cycle loop —
+//! simulate, tap proxies, accumulate exact integer attribution,
+//! window the ground truth, update drift detectors — as
+//! [`CoreMonitor::step_window`]: advance one core until its next OPM
+//! window closes and return the window row. Values produced this way
+//! are computed in cycle order from the same serial recurrence as the
+//! monitor, so they are bit-identical across reruns, shard counts and
+//! core→shard assignments.
+
+use apollo_core::{ApolloError, ApolloModel, DesignContext};
+use apollo_cpu::benchmarks::{self, Benchmark};
+use apollo_cpu::CpuSim;
+use apollo_opm::{
+    AttributionAccumulator, AttributionMap, DriftConfig, DriftDetector, ProxyTaps, QuantizedOpm,
+};
+use apollo_sim::WindowTap;
+
+/// Configuration of one monitored core in the fleet.
+#[derive(Clone, Debug)]
+pub struct CoreSpec {
+    /// Stable core id (routing key for `/cores/<id>/…`).
+    pub id: String,
+    /// The workload this core runs (restarted when it halts).
+    pub bench: Benchmark,
+    /// OPM window length `T` in cycles (power of two ≥ 4).
+    pub window_t: usize,
+    /// Weight quantization bits `B`.
+    pub bits: u8,
+    /// Drift-detector settings (shared by both residual monitors).
+    pub drift: DriftConfig,
+}
+
+impl CoreSpec {
+    /// A mixed-preset fleet of `n` cores mirroring the supervisor's
+    /// [`apollo_introspect::fleet_specs`] recipe: benchmarks cycle
+    /// through the Table-4 vocabulary, every second core doubles its
+    /// window and every third drops quantization bits, so shards
+    /// exercise heterogeneous window cadences and meter widths.
+    #[must_use]
+    pub fn fleet(n: usize, window_t: usize, bits: u8) -> Vec<CoreSpec> {
+        let benches = [
+            benchmarks::dhrystone(),
+            benchmarks::maxpwr_cpu(),
+            benchmarks::saxpy_simd(),
+            benchmarks::daxpy(),
+        ];
+        (0..n)
+            .map(|i| {
+                let bench = benches[i % benches.len()].clone();
+                let window_t = if i % 2 == 1 { window_t * 2 } else { window_t };
+                let bits = if i % 3 == 2 { bits.saturating_sub(2).max(4) } else { bits };
+                CoreSpec {
+                    id: format!("c{i}-{}", bench.name),
+                    bench,
+                    window_t,
+                    bits,
+                    drift: DriftConfig::default(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One closed OPM window from one core. Cumulative fields (`energy`,
+/// `alarms`) carry the core's full-stream state so the aggregation
+/// tier needs no per-core history.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoreWindow {
+    /// Zero-based window index for this core.
+    pub window: u64,
+    /// De-scaled quantized OPM estimate for the window.
+    pub est_power: f64,
+    /// Ground-truth simulated mean power for the window.
+    pub true_power: f64,
+    /// Raw integer window accumulator (Σ per-unit raw, bit-exact).
+    pub raw: u64,
+    /// Hardware window output (`raw >> log2(T)`).
+    pub out: u64,
+    /// Cumulative drift alarms (quantization + model residual).
+    pub alarms: u64,
+    /// Cumulative estimated energy (power · cycles).
+    pub energy: f64,
+    /// Raw integer attribution per class, in the core's class order.
+    pub unit_raw: Vec<u64>,
+}
+
+/// The per-core pipeline state. Borrows the shared [`DesignContext`]
+/// (the simulator holds netlist references), so monitors are
+/// constructed inside their shard thread's scope.
+pub struct CoreMonitor<'a> {
+    ctx: &'a DesignContext,
+    model: &'a ApolloModel,
+    bench: Benchmark,
+    sim: CpuSim<'a>,
+    taps: ProxyTaps,
+    acc: AttributionAccumulator,
+    wtap: WindowTap,
+    quant_drift: DriftDetector,
+    truth_drift: DriftDetector,
+    unit_labels: Vec<String>,
+    toggled: Vec<bool>,
+    float_acc: f64,
+    window_t: usize,
+    cycle: u64,
+    energy: f64,
+    alarms: u64,
+}
+
+impl<'a> CoreMonitor<'a> {
+    /// Builds the monitor for `spec` against a shared design context
+    /// and model.
+    ///
+    /// # Errors
+    /// Returns [`ApolloError::Spec`] for an invalid OPM spec (bad
+    /// window / bit-width) or a model the quantizer rejects.
+    pub fn new(
+        ctx: &'a DesignContext,
+        model: &'a ApolloModel,
+        spec: &CoreSpec,
+    ) -> Result<Self, ApolloError> {
+        let opm = QuantizedOpm::from_model(model, spec.bits, spec.window_t)?;
+        let map = AttributionMap::from_model(model);
+        let taps = ProxyTaps::new(ctx.netlist(), &opm.bits);
+        let acc = AttributionAccumulator::new(&opm, &map);
+        let q = opm.bits.len();
+        let sim = ctx.simulate(&spec.bench.program, &spec.bench.data);
+        Ok(CoreMonitor {
+            ctx,
+            model,
+            bench: spec.bench.clone(),
+            sim,
+            taps,
+            acc,
+            wtap: WindowTap::new(spec.window_t),
+            quant_drift: DriftDetector::new("quant", spec.drift.clone()),
+            truth_drift: DriftDetector::new("truth", spec.drift.clone()),
+            unit_labels: map.classes.iter().map(|c| c.label.clone()).collect(),
+            toggled: vec![false; q],
+            float_acc: 0.0,
+            window_t: spec.window_t,
+            cycle: 0,
+            energy: 0.0,
+            alarms: 0,
+        })
+    }
+
+    /// Attribution class labels, in the core's stable class order.
+    #[must_use]
+    pub fn unit_labels(&self) -> &[String] {
+        &self.unit_labels
+    }
+
+    /// Cycles simulated so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances the core until its next OPM window closes and returns
+    /// the window row. The workload restarts transparently when it
+    /// halts (fleet cores are unbounded by design; the shard decides
+    /// how many windows to take).
+    pub fn step_window(&mut self) -> CoreWindow {
+        loop {
+            if self.sim.halted() {
+                self.sim = self.ctx.simulate(&self.bench.program, &self.bench.data);
+            }
+            self.sim.step();
+            self.cycle += 1;
+            let power = self.sim.sim().power();
+            {
+                let s = self.sim.sim();
+                for (k, slot) in self.toggled.iter_mut().enumerate() {
+                    *slot = self.taps.toggled(s, k);
+                }
+            }
+            // Float proxy model, in the exact FP order of
+            // `ApolloModel::predict_full`: intercept, then proxies in
+            // model order — the quantization-drift reference.
+            let mut pred = self.model.intercept;
+            for (k, p) in self.model.proxies.iter().enumerate() {
+                if self.toggled[k] {
+                    pred += p.weight;
+                }
+            }
+            self.float_acc += pred;
+
+            let window_attr = self.acc.cycle(|k| self.toggled[k]);
+            let window_true = self.wtap.push(&power);
+            let Some(attr) = window_attr else {
+                continue;
+            };
+            let truth = window_true.expect("attribution and power windows share T");
+            let est = self.acc.est_power(&attr);
+            let float_power = self.float_acc / self.window_t as f64;
+            self.float_acc = 0.0;
+            self.energy += est * self.window_t as f64;
+            let qs = self.quant_drift.observe(est - float_power);
+            let ts = self.truth_drift.observe(est - truth.mean.total);
+            self.alarms += u64::from(qs.alarm) + u64::from(ts.alarm);
+            return CoreWindow {
+                window: attr.window,
+                est_power: est,
+                true_power: truth.mean.total,
+                raw: attr.total,
+                out: attr.output,
+                alarms: self.alarms,
+                energy: self.energy,
+                unit_raw: attr.raw,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_core::{train_per_cycle, FeatureSpace, TrainOptions};
+    use apollo_cpu::CpuConfig;
+
+    fn tiny_model(ctx: &DesignContext) -> ApolloModel {
+        let suite = vec![(benchmarks::dhrystone(), 200)];
+        let trace = ctx.capture_suite(&suite, 40);
+        let fs = FeatureSpace::build(&trace.toggles);
+        train_per_cycle(
+            &trace,
+            ctx.netlist(),
+            &fs,
+            &TrainOptions {
+                q_target: 8,
+                ..TrainOptions::default()
+            },
+        )
+        .model
+    }
+
+    #[test]
+    fn step_window_is_deterministic_and_sum_exact() {
+        let ctx = DesignContext::new(&CpuConfig::tiny());
+        let model = tiny_model(&ctx);
+        let spec = CoreSpec {
+            id: "c0".into(),
+            bench: benchmarks::maxpwr_cpu(),
+            window_t: 16,
+            bits: 8,
+            drift: DriftConfig::default(),
+        };
+        let run = |spec: &CoreSpec| {
+            let mut m = CoreMonitor::new(&ctx, &model, spec).unwrap();
+            (0..6).map(|_| m.step_window()).collect::<Vec<_>>()
+        };
+        let a = run(&spec);
+        let b = run(&spec);
+        assert_eq!(a, b, "window stream must be bit-identical across reruns");
+        for (i, w) in a.iter().enumerate() {
+            assert_eq!(w.window, i as u64, "dense per-core windows");
+            assert_eq!(
+                w.unit_raw.iter().sum::<u64>(),
+                w.raw,
+                "per-unit attribution must sum bit-exactly"
+            );
+            assert!(w.est_power.is_finite() && w.true_power.is_finite());
+        }
+    }
+
+    #[test]
+    fn fleet_specs_mix_windows_and_bits() {
+        let specs = CoreSpec::fleet(6, 16, 10);
+        assert_eq!(specs.len(), 6);
+        assert!(specs.iter().any(|s| s.window_t == 32));
+        assert!(specs.iter().any(|s| s.bits == 8));
+        let ids: std::collections::BTreeSet<_> = specs.iter().map(|s| s.id.clone()).collect();
+        assert_eq!(ids.len(), 6, "core ids must be unique");
+    }
+}

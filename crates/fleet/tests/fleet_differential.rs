@@ -1,0 +1,285 @@
+//! Fleet chaos differentials and aggregation fan-in properties.
+//!
+//! The executor's determinism contract is byte-level: batch streams
+//! and aggregation reports are pure functions of the core specs and
+//! the seeded kill plan (wall clock confined to `ts_ns`, which the
+//! collected transcripts strip). Three differentials pin it on real
+//! simulated cores — rerun identity, kill-vs-absent bulkhead identity,
+//! and recovery identity — and proptests pin the aggregation tier's
+//! independence from shard count and core→shard assignment on
+//! synthetic batches.
+
+use apollo_core::{train_per_cycle, ApolloModel, DesignContext, FeatureSpace, TrainOptions};
+use apollo_cpu::{benchmarks, CpuConfig};
+use apollo_fleet::core::CoreWindow;
+use apollo_fleet::{
+    run_fleet, shard_cores, CoreSpec, FleetAggregator, FleetConfig, FleetReport, ShardKill,
+    ShardRuntime, WindowBatch,
+};
+use apollo_introspect::{BackoffPolicy, PipelineState};
+use proptest::prelude::*;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+fn tiny_fleet() -> (Arc<DesignContext>, Arc<ApolloModel>) {
+    let ctx = Arc::new(DesignContext::new(&CpuConfig::tiny()));
+    let suite = vec![(benchmarks::dhrystone(), 200)];
+    let trace = ctx.capture_suite(&suite, 40);
+    let fs = FeatureSpace::build(&trace.toggles);
+    let model = train_per_cycle(
+        &trace,
+        ctx.netlist(),
+        &fs,
+        &TrainOptions {
+            q_target: 8,
+            ..TrainOptions::default()
+        },
+    )
+    .model;
+    (ctx, Arc::new(model))
+}
+
+fn run(
+    ctx: &Arc<DesignContext>,
+    model: &Arc<ApolloModel>,
+    shards: &[Vec<CoreSpec>],
+    cfg: &FleetConfig,
+) -> FleetReport {
+    let runtime = ShardRuntime::new(shards, cfg);
+    let stop = Arc::new(AtomicBool::new(false));
+    run_fleet(ctx, model, shards, cfg, &runtime, &stop)
+}
+
+fn fast_backoff(give_up: u32) -> BackoffPolicy {
+    BackoffPolicy {
+        base_ms: 1,
+        factor: 2,
+        max_ms: 4,
+        give_up,
+    }
+}
+
+#[test]
+fn seeded_kill_reruns_are_byte_identical_and_degrade_one_shard() {
+    let (ctx, model) = tiny_fleet();
+    let shards = shard_cores(CoreSpec::fleet(4, 8, 8), 2);
+    let cfg = FleetConfig {
+        windows: 4,
+        backoff: fast_backoff(2),
+        kills: vec![
+            ShardKill { shard: 1, window: 1, attempt: 0 },
+            ShardKill { shard: 1, window: 3, attempt: 1 },
+        ],
+        collect_batches: true,
+        ..FleetConfig::default()
+    };
+    let a = run(&ctx, &model, &shards, &cfg);
+    let b = run(&ctx, &model, &shards, &cfg);
+    assert_eq!(a.decision_transcript(), b.decision_transcript());
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.batches, y.batches, "shard {} stream diverged", x.shard);
+    }
+    assert_eq!(a.degraded(), 1, "the kill plan must park exactly shard 1");
+    assert_eq!(a.outcomes[1].state, PipelineState::Degraded);
+    assert_eq!(a.outcomes[0].state, PipelineState::Completed);
+    assert_eq!(a.outcomes[0].windows, 4, "sibling shard must finish every round");
+}
+
+#[test]
+fn killed_shard_leaves_survivors_identical_to_absence() {
+    let (ctx, model) = tiny_fleet();
+    let shards = shard_cores(CoreSpec::fleet(4, 8, 8), 2);
+    let kill_cfg = FleetConfig {
+        windows: 4,
+        backoff: fast_backoff(2),
+        kills: vec![
+            ShardKill { shard: 1, window: 1, attempt: 0 },
+            ShardKill { shard: 1, window: 3, attempt: 1 },
+        ],
+        collect_batches: true,
+        ..FleetConfig::default()
+    };
+    let killed = run(&ctx, &model, &shards, &kill_cfg);
+
+    // Same layout, but the killed shard's cores never existed: its
+    // slot stays so surviving shard indices (and batch `shard` fields)
+    // line up.
+    let mut absent_shards = shards.clone();
+    absent_shards[1] = Vec::new();
+    let absent_cfg = FleetConfig {
+        windows: 4,
+        backoff: fast_backoff(2),
+        collect_batches: true,
+        ..FleetConfig::default()
+    };
+    let absent = run(&ctx, &model, &absent_shards, &absent_cfg);
+
+    assert_eq!(
+        killed.outcomes[0].batches, absent.outcomes[0].batches,
+        "survivor stream must be byte-identical to the absent-core run"
+    );
+    assert_eq!(
+        killed.aggregate.comparable().to_jsonl(),
+        absent.aggregate.comparable().to_jsonl(),
+        "survivor aggregate must be byte-identical to the absent-core run"
+    );
+    assert_eq!(killed.aggregate.shards_degraded, 1);
+    assert_eq!(absent.aggregate.shards_degraded, 0);
+    assert_eq!(killed.aggregate.cores_reporting, 2);
+}
+
+#[test]
+fn recovered_shard_stream_equals_never_killed_stream() {
+    let (ctx, model) = tiny_fleet();
+    let shards = shard_cores(CoreSpec::fleet(4, 8, 8), 2);
+    let recover_cfg = FleetConfig {
+        windows: 4,
+        backoff: fast_backoff(4),
+        kills: vec![ShardKill { shard: 1, window: 1, attempt: 0 }],
+        collect_batches: true,
+        ..FleetConfig::default()
+    };
+    let clean_cfg = FleetConfig {
+        kills: Vec::new(),
+        ..recover_cfg.clone()
+    };
+    let recovered = run(&ctx, &model, &shards, &recover_cfg);
+    let clean = run(&ctx, &model, &shards, &clean_cfg);
+
+    assert_eq!(recovered.degraded(), 0, "one kill under give_up=4 must recover");
+    assert_eq!(recovered.outcomes[1].attempts, 2);
+    assert_eq!(
+        recovered.outcomes[1].batches, clean.outcomes[1].batches,
+        "replay suppression must make the recovered stream byte-identical"
+    );
+    assert_eq!(
+        recovered.aggregate.comparable().to_jsonl(),
+        clean.aggregate.comparable().to_jsonl()
+    );
+    // Dense seq across the restart: the published stream is 0..4.
+    let seqs: Vec<u64> = recovered.outcomes[1]
+        .batches
+        .iter()
+        .map(|line| {
+            let b: WindowBatch = apollo_telemetry::framing::validate_framed(line).unwrap();
+            b.seq
+        })
+        .collect();
+    assert_eq!(seqs, vec![0, 1, 2, 3]);
+}
+
+// --- aggregation fan-in properties over synthetic batches -----------
+
+/// One synthetic core: id index, per-window powers and raw
+/// attribution over a 3-label vocabulary.
+#[derive(Clone, Debug)]
+struct SynthCore {
+    power: Vec<f64>,
+    raw: Vec<[u64; 3]>,
+}
+
+const LABELS: [&str; 3] = ["alu", "fetch", "lsu"];
+
+fn synth_cores(windows: usize) -> impl Strategy<Value = Vec<SynthCore>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0.01f64..100.0, windows),
+            prop::collection::vec(
+                (0u64..1000, 0u64..1000, 0u64..1000).prop_map(|(a, b, c)| [a, b, c]),
+                windows,
+            ),
+        )
+            .prop_map(|(power, raw)| SynthCore { power, raw }),
+        1..8,
+    )
+}
+
+/// Ingest the same per-core window rows under an arbitrary core→shard
+/// assignment and snapshot the aggregate.
+fn aggregate_under(
+    cores: &[SynthCore],
+    windows: usize,
+    assign: &[usize],
+    n_shards: usize,
+) -> apollo_fleet::FleetAggregate {
+    let mut agg = FleetAggregator::new(cores.len(), u64::MAX);
+    for w in 0..windows {
+        for shard in 0..n_shards {
+            let rows: Vec<(String, Vec<String>, CoreWindow)> = cores
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| assign[*i] % n_shards == shard)
+                .map(|(i, c)| {
+                    let raw: u64 = c.raw[w].iter().sum();
+                    (
+                        format!("core{i:03}"),
+                        LABELS.iter().map(|l| (*l).to_owned()).collect(),
+                        CoreWindow {
+                            window: w as u64,
+                            est_power: c.power[w],
+                            true_power: c.power[w],
+                            raw,
+                            out: raw >> 2,
+                            alarms: w as u64,
+                            energy: c.power[w] * 8.0,
+                            unit_raw: c.raw[w].to_vec(),
+                        },
+                    )
+                })
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
+            agg.ingest(&WindowBatch::from_rows(shard as u64, w as u64, w as u64, &rows));
+        }
+    }
+    agg.snapshot(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fleet p50/p99/mean and the per-unit rollup are independent of
+    /// shard count (1/2/4) and of the core→shard assignment: every
+    /// sharding of the same per-core rows yields a byte-identical
+    /// comparable aggregate.
+    #[test]
+    fn aggregate_is_invariant_under_sharding(
+        cores in synth_cores(3),
+        assign_seed in prop::collection::vec(0usize..64, 8),
+    ) {
+        let windows = 3;
+        let assign: Vec<usize> = (0..cores.len()).map(|i| assign_seed[i % assign_seed.len()]).collect();
+        let reference = aggregate_under(&cores, windows, &vec![0; cores.len()], 1);
+        for n_shards in [1usize, 2, 4] {
+            let sharded = aggregate_under(&cores, windows, &assign, n_shards);
+            prop_assert_eq!(
+                sharded.comparable().to_jsonl(),
+                reference.comparable().to_jsonl(),
+                "aggregate diverged under {} shards", n_shards
+            );
+        }
+    }
+
+    /// Σ per-core raw attribution equals the fleet rollup bit-for-bit,
+    /// label by label, under any sharding.
+    #[test]
+    fn rollup_sums_cores_bit_exactly(
+        cores in synth_cores(2),
+        n_shards in prop::sample::select(vec![1usize, 2, 4]),
+        assign_seed in prop::collection::vec(0usize..64, 8),
+    ) {
+        let windows = 2;
+        let assign: Vec<usize> = (0..cores.len()).map(|i| assign_seed[i % assign_seed.len()]).collect();
+        let snap = aggregate_under(&cores, windows, &assign, n_shards);
+        prop_assert_eq!(snap.unit_labels.len(), LABELS.len());
+        for (j, label) in snap.unit_labels.iter().enumerate() {
+            let k = LABELS.iter().position(|l| l == label).unwrap();
+            let want: u64 = cores.iter().flat_map(|c| c.raw.iter().map(|r| r[k])).sum();
+            prop_assert_eq!(snap.unit_raw[j], want, "label {} rollup", label);
+        }
+        // Coverage: every core reported its latest window.
+        prop_assert_eq!(snap.cores_reporting, cores.len() as u64);
+        prop_assert_eq!(snap.window, windows as u64 - 1);
+    }
+}

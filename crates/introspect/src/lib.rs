@@ -30,6 +30,9 @@
 //!   snapshots of the monitor's durable state;
 //! * [`chaos`] — seeded, replayable fault plans plus the client-side
 //!   drivers the chaos differential tests and `repro_chaos` share;
+//! * [`client`] — retrying HTTP client with jitter-free deterministic
+//!   backoff and `Retry-After` awareness, used by `apollo scrape` and
+//!   the fleet smoke harnesses;
 //! * [`sync`] — poison-proof locking for the serving layer.
 //!
 //! # Determinism contract
@@ -48,6 +51,7 @@
 
 pub mod chaos;
 pub mod checkpoint;
+pub mod client;
 pub mod health;
 pub mod hub;
 pub mod monitor;
@@ -58,14 +62,18 @@ pub mod sync;
 
 pub use chaos::{ChaosPlan, ChaosRng, MalformedKind, ServiceFault};
 pub use checkpoint::{CheckpointError, CheckpointPolicy, MonitorSnapshot};
+pub use client::{http_get, http_get_lines_retry, HttpResponse, RetryPolicy};
 pub use health::{
     HealthRegistry, PipelineHealth, StatusSnapshot, SubscriberStatus, STATUS_VERSION,
 };
 pub use hub::{DownsampleConfig, MonitorHub, Poll, Subscriber, Traced};
 pub use monitor::{run_monitor, run_monitor_with, MonitorConfig, MonitorReport, RunOptions};
 pub use ring::{History, HistoryAggregates, HistoryStats, WindowRecord};
-pub use server::{http_get_lines, serve, serve_with, ServerHandle, ServerOptions};
+pub use server::{
+    http_get_lines, is_timeout, read_line_bounded, read_request_head, respond,
+    respond_with_headers, serve, serve_with, LineRead, ServerHandle, ServerOptions,
+};
 pub use supervisor::{
-    fleet_specs, run_supervised, BackoffPolicy, Decision, InjectedPanic, PipelineOutcome,
-    PipelineSpec, PipelineState, SupervisorConfig, SupervisorReport,
+    fleet_specs, panic_text, run_supervised, BackoffPolicy, Decision, InjectedPanic,
+    PipelineOutcome, PipelineSpec, PipelineState, SupervisorConfig, SupervisorReport,
 };

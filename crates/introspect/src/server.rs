@@ -219,7 +219,7 @@ fn accept_loop(
 }
 
 /// One line read through the byte cap.
-enum LineRead {
+pub enum LineRead {
     /// A complete line (terminator stripped, lossy UTF-8).
     Line(String),
     /// Peer closed before sending anything on this line.
@@ -230,7 +230,10 @@ enum LineRead {
 
 /// Reads one `\n`-terminated line, never buffering more than
 /// `cap + 1` bytes regardless of what the peer sends.
-fn read_line_bounded(
+///
+/// # Errors
+/// Propagates socket read errors (including timeouts).
+pub fn read_line_bounded(
     reader: &mut BufReader<TcpStream>,
     cap: usize,
 ) -> std::io::Result<LineRead> {
@@ -248,11 +251,96 @@ fn read_line_bounded(
     Ok(LineRead::Line(text))
 }
 
-fn is_timeout(e: &std::io::Error) -> bool {
+/// True for the error kinds a blocking socket read/write reports on
+/// timeout (`WouldBlock` on Unix, `TimedOut` on Windows).
+pub fn is_timeout(e: &std::io::Error) -> bool {
     matches!(
         e.kind(),
         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
     )
+}
+
+/// Reads and validates one HTTP request head (request line plus
+/// headers, bounded by `max_line_bytes` per line), answering protocol
+/// errors (`400`, `405`, `408`) on `out` directly. Returns
+/// `Some(path)` for a well-formed `GET`, `None` when the request was
+/// already answered or the peer went away cleanly.
+///
+/// Shared by this server and the `apollo-fleet` serving layer so both
+/// present identical hardening behaviour at the protocol edge.
+///
+/// # Errors
+/// Propagates non-timeout socket errors.
+pub fn read_request_head(
+    reader: &mut BufReader<TcpStream>,
+    out: &mut TcpStream,
+    max_line_bytes: usize,
+) -> std::io::Result<Option<String>> {
+    let request_line = match read_line_bounded(reader, max_line_bytes) {
+        Ok(LineRead::Line(l)) => l,
+        // Zero-length read: peer connected and went away. Clean drop.
+        Ok(LineRead::Eof) => return Ok(None),
+        Ok(LineRead::Oversize) => {
+            apollo_telemetry::counter("introspect.http.bad_requests").inc();
+            respond(out, "400 Bad Request", "text/plain", "request line too long\n")?;
+            return Ok(None);
+        }
+        Err(e) if is_timeout(&e) => {
+            apollo_telemetry::counter("introspect.http.timeouts").inc();
+            respond(
+                out,
+                "408 Request Timeout",
+                "text/plain",
+                "request not received in time\n",
+            )?;
+            return Ok(None);
+        }
+        Err(e) => return Err(e),
+    };
+    // Drain headers up to the blank line; bodies are not supported.
+    loop {
+        match read_line_bounded(reader, max_line_bytes) {
+            Ok(LineRead::Line(h)) if h.is_empty() => break,
+            Ok(LineRead::Line(_)) => continue,
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::Oversize) => {
+                apollo_telemetry::counter("introspect.http.bad_requests").inc();
+                respond(out, "400 Bad Request", "text/plain", "header line too long\n")?;
+                return Ok(None);
+            }
+            Err(e) if is_timeout(&e) => {
+                apollo_telemetry::counter("introspect.http.timeouts").inc();
+                respond(
+                    out,
+                    "408 Request Timeout",
+                    "text/plain",
+                    "headers not received in time\n",
+                )?;
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = (parts.next(), parts.next(), parts.next());
+    let (Some(method), Some(path)) = (method, path) else {
+        apollo_telemetry::counter("introspect.http.bad_requests").inc();
+        respond(out, "400 Bad Request", "text/plain", "malformed request line\n")?;
+        return Ok(None);
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase())
+        || !path.starts_with('/')
+        || !version.is_some_and(|v| v.starts_with("HTTP/"))
+    {
+        apollo_telemetry::counter("introspect.http.bad_requests").inc();
+        respond(out, "400 Bad Request", "text/plain", "malformed request line\n")?;
+        return Ok(None);
+    }
+    if method != "GET" {
+        respond(out, "405 Method Not Allowed", "text/plain", "GET only\n")?;
+        return Ok(None);
+    }
+    Ok(Some(path.to_owned()))
 }
 
 fn handle_connection(
@@ -265,88 +353,10 @@ fn handle_connection(
     stream.set_write_timeout(Some(opts.write_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = stream;
-    let request_line = match read_line_bounded(&mut reader, opts.max_line_bytes) {
-        Ok(LineRead::Line(l)) => l,
-        // Zero-length read: peer connected and went away. Clean drop.
-        Ok(LineRead::Eof) => return Ok(()),
-        Ok(LineRead::Oversize) => {
-            apollo_telemetry::counter("introspect.http.bad_requests").inc();
-            return respond(
-                &mut out,
-                "400 Bad Request",
-                "text/plain",
-                "request line too long\n",
-            );
-        }
-        Err(e) if is_timeout(&e) => {
-            apollo_telemetry::counter("introspect.http.timeouts").inc();
-            return respond(
-                &mut out,
-                "408 Request Timeout",
-                "text/plain",
-                "request not received in time\n",
-            );
-        }
-        Err(e) => return Err(e),
+    let Some(path) = read_request_head(&mut reader, &mut out, opts.max_line_bytes)? else {
+        return Ok(());
     };
-    // Drain headers up to the blank line; bodies are not supported.
-    loop {
-        match read_line_bounded(&mut reader, opts.max_line_bytes) {
-            Ok(LineRead::Line(h)) if h.is_empty() => break,
-            Ok(LineRead::Line(_)) => continue,
-            Ok(LineRead::Eof) => break,
-            Ok(LineRead::Oversize) => {
-                apollo_telemetry::counter("introspect.http.bad_requests").inc();
-                return respond(
-                    &mut out,
-                    "400 Bad Request",
-                    "text/plain",
-                    "header line too long\n",
-                );
-            }
-            Err(e) if is_timeout(&e) => {
-                apollo_telemetry::counter("introspect.http.timeouts").inc();
-                return respond(
-                    &mut out,
-                    "408 Request Timeout",
-                    "text/plain",
-                    "headers not received in time\n",
-                );
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    let mut parts = request_line.split_whitespace();
-    let (method, path, version) = (parts.next(), parts.next(), parts.next());
-    let (Some(method), Some(path)) = (method, path) else {
-        apollo_telemetry::counter("introspect.http.bad_requests").inc();
-        return respond(
-            &mut out,
-            "400 Bad Request",
-            "text/plain",
-            "malformed request line\n",
-        );
-    };
-    if !method.bytes().all(|b| b.is_ascii_uppercase())
-        || !path.starts_with('/')
-        || !version.is_some_and(|v| v.starts_with("HTTP/"))
-    {
-        apollo_telemetry::counter("introspect.http.bad_requests").inc();
-        return respond(
-            &mut out,
-            "400 Bad Request",
-            "text/plain",
-            "malformed request line\n",
-        );
-    }
-    if method != "GET" {
-        return respond(
-            &mut out,
-            "405 Method Not Allowed",
-            "text/plain",
-            "GET only\n",
-        );
-    }
+    let path = path.as_str();
     if opts.chaos_panic_path.as_deref() == Some(path) {
         panic!("chaos: injected handler panic on {path}");
     }
@@ -440,15 +450,39 @@ fn subscriber_gauges(hub: &Arc<MonitorHub>) -> String {
     out
 }
 
-fn respond(
+/// Writes a complete `Connection: close` HTTP/1.1 response.
+///
+/// # Errors
+/// Propagates socket write errors.
+pub fn respond(
     stream: &mut TcpStream,
     status: &str,
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
+    respond_with_headers(stream, status, content_type, &[], body)
+}
+
+/// [`respond`] with extra response headers (e.g. `Retry-After` on a
+/// load-shedding `503`). Each pair renders as `name: value`.
+///
+/// # Errors
+/// Propagates socket write errors.
+pub fn respond_with_headers(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut headers = String::new();
+    for (name, value) in extra {
+        use std::fmt::Write as _;
+        let _ = write!(headers, "{name}: {value}\r\n");
+    }
     write!(
         stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{headers}Connection: close\r\n\r\n{body}",
         body.len()
     )?;
     stream.flush()

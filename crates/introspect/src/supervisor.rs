@@ -422,8 +422,8 @@ fn supervise_one(
 
 /// Extracts a stable text from a panic payload (`&str` / `String`
 /// payloads; anything else gets a fixed placeholder so decision logs
-/// stay deterministic).
-fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+/// stay deterministic). Shared with the `apollo-fleet` shard bulkheads.
+pub fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
     if let Some(s) = payload.downcast_ref::<&str>() {
         s
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -264,6 +264,64 @@ impl AttributionAccumulator {
     }
 }
 
+/// Order-independent fleet-scope rollup of per-unit raw attribution.
+///
+/// Keyed by class label in a sorted map, so folding per-core window
+/// attributions in *any* order — any core→shard assignment, any shard
+/// count, any merge tree — produces identical contents (`u64`
+/// addition is associative and commutative, and the label set fixes
+/// the iteration order). This extends the window-level integer
+/// invariant to fleet scope: the rollup's `total` equals the sum of
+/// every ingested window's raw accumulator bit-exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct AttributionRollup {
+    /// Raw integer attribution per class label, label-sorted.
+    pub raw: std::collections::BTreeMap<String, u64>,
+    /// Grand total: Σ of every ingested raw vector.
+    pub total: u64,
+}
+
+impl AttributionRollup {
+    /// An empty rollup.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one labeled raw vector in (e.g. one core's window row
+    /// from a fleet batch). Lengths must agree.
+    ///
+    /// # Panics
+    /// Panics if `labels` and `raw` differ in length.
+    pub fn ingest(&mut self, labels: &[String], raw: &[u64]) {
+        assert_eq!(labels.len(), raw.len(), "labels and raw must align");
+        for (label, &r) in labels.iter().zip(raw) {
+            if r != 0 {
+                *self.raw.entry(label.clone()).or_insert(0) += r;
+            }
+            self.total += r;
+        }
+    }
+
+    /// Folds one window's attribution in, labeling classes via `map`
+    /// (which must come from the same model as the window).
+    pub fn ingest_window(&mut self, map: &AttributionMap, w: &WindowAttribution) {
+        for (class, &r) in map.classes.iter().zip(&w.raw) {
+            if r != 0 {
+                *self.raw.entry(class.label.clone()).or_insert(0) += r;
+            }
+            self.total += r;
+        }
+    }
+
+    /// Merges another rollup in (label-wise integer sums).
+    pub fn merge(&mut self, other: &AttributionRollup) {
+        for (label, &r) in &other.raw {
+            *self.raw.entry(label.clone()).or_insert(0) += r;
+        }
+        self.total += other.total;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +403,68 @@ mod tests {
             let pred = quant.intercept + r as f64 / quant.scale;
             assert!((est - pred).abs() == 0.0, "descale must be identical");
         }
+    }
+
+    #[test]
+    fn rollup_is_order_independent_and_sum_exact() {
+        let model = model_with_units(&[
+            (1.5, Unit::Alu, false),
+            (0.5, Unit::Fetch, false),
+            (2.5, Unit::Vector, false),
+        ]);
+        let quant = QuantizedOpm::from_model(&model, 8, 4).unwrap();
+        let map = AttributionMap::from_model(&model);
+        let mut acc = AttributionAccumulator::new(&quant, &map);
+        let mut m = apollo_sim::ToggleMatrix::new(3, 16);
+        for c in 0..16 {
+            for k in 0..3 {
+                if (c * 7 + k * 3) % 5 != 0 {
+                    m.set(k, c);
+                }
+            }
+        }
+        let mut windows = Vec::new();
+        for c in 0..16 {
+            if let Some(w) = acc.cycle(|k| m.get(k, c)) {
+                windows.push(w);
+            }
+        }
+        assert_eq!(windows.len(), 4);
+
+        // Forward, reverse, and split-then-merged ingestion must all
+        // produce bit-identical contents.
+        let mut fwd = AttributionRollup::new();
+        for w in &windows {
+            fwd.ingest_window(&map, w);
+        }
+        let mut rev = AttributionRollup::new();
+        for w in windows.iter().rev() {
+            rev.ingest_window(&map, w);
+        }
+        assert_eq!(fwd, rev);
+        let mut a = AttributionRollup::new();
+        let mut b = AttributionRollup::new();
+        a.ingest_window(&map, &windows[0]);
+        a.ingest_window(&map, &windows[3]);
+        b.ingest_window(&map, &windows[2]);
+        b.ingest_window(&map, &windows[1]);
+        let mut merged = AttributionRollup::new();
+        merged.merge(&b);
+        merged.merge(&a);
+        assert_eq!(fwd, merged);
+
+        // Fleet-scope integer invariant: rollup total == Σ window totals.
+        let want: u64 = windows.iter().map(|w| w.total).sum();
+        assert_eq!(fwd.total, want);
+        assert_eq!(fwd.raw.values().sum::<u64>(), want);
+
+        // The labeled path matches the map path.
+        let labels: Vec<String> = map.classes.iter().map(|c| c.label.clone()).collect();
+        let mut labeled = AttributionRollup::new();
+        for w in &windows {
+            labeled.ingest(&labels, &w.raw);
+        }
+        assert_eq!(fwd, labeled);
     }
 
     #[test]

@@ -44,7 +44,8 @@ pub mod structure;
 
 pub use area::{cpu_gate_area, opm_gate_area, AreaReport};
 pub use attribution::{
-    AttributionAccumulator, AttributionClass, AttributionMap, ProxyTaps, WindowAttribution,
+    AttributionAccumulator, AttributionClass, AttributionMap, AttributionRollup, ProxyTaps,
+    WindowAttribution,
 };
 pub use drift::{ArmConfig, DriftConfig, DriftDetector, DriftSignal, FailSafeArm};
 pub use droop::{DroopAnalysis, PdnModel};

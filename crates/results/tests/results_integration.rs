@@ -365,6 +365,70 @@ fn sentinel_fails_on_synthetic_regression_and_passes_on_good_data() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// The checked-in budgets.toml activates relative-regression rules
+/// (`max_regress_pct`) for the introspect overhead ceiling and the
+/// bitslice speedup floor. This test pins both: the declarations must
+/// exist, and the rules must actually fire against synthetic
+/// regressing histories (and stay quiet on drifts inside the limit).
+#[test]
+fn repo_budgets_activate_max_regress_rules() {
+    let budgets = Budgets::load(&repo_results_dir().join("../budgets.toml")).unwrap();
+    let regress_limit = |suite: &str, metric: &str| {
+        budgets
+            .budgets
+            .iter()
+            .find(|b| b.suite == suite && b.metric == metric)
+            .unwrap_or_else(|| panic!("budgets.toml lacks {suite}.{metric}"))
+            .max_regress_pct
+            .unwrap_or_else(|| panic!("{suite}.{metric} lacks max_regress_pct"))
+    };
+    let overhead_limit = regress_limit("repro_introspect", "serving_overhead_pct");
+    let speedup_limit = regress_limit("repro_bitslice", "rows.capture_proxy64.speedup");
+
+    // Ceiling-bounded metric: "worse" is up. A latest value inside the
+    // absolute max but far above the prior median must fail; the same
+    // history with a drift inside the limit must pass.
+    let run = |suite: &str, metric: &str, vals: &[f64]| {
+        let dir = tmpdir("regress");
+        let store = ResultStore::open(&dir);
+        for v in vals {
+            store.append(&speed_rec(suite, metric, *v)).unwrap();
+        }
+        let view = store.load_view().unwrap();
+        let report = run_sentinel(&view, &budgets, Some(suite));
+        let _ = fs::remove_dir_all(&dir);
+        report
+    };
+    let bad_up = 1.0 * (1.0 + (overhead_limit + 50.0) / 100.0);
+    let report = run("repro_introspect", "serving_overhead_pct", &[1.0, 1.0, bad_up]);
+    assert!(report.failed(), "+{:.0}% overhead jump must trip the rule", overhead_limit + 50.0);
+    assert!(
+        report.rows.iter().any(|r| r.detail.contains("regressed")),
+        "{:?}",
+        report.rows
+    );
+    let ok_up = 1.0 * (1.0 + (overhead_limit - 50.0).max(0.0) / 100.0);
+    let report = run("repro_introspect", "serving_overhead_pct", &[1.0, 1.0, ok_up]);
+    assert!(!report.failed(), "drift inside the limit must pass: {:?}", report.rows);
+
+    // Floor-bounded metric: "worse" is down. A speedup still above the
+    // absolute min but collapsed vs the prior median must fail.
+    let bad_down = 8.0 * (1.0 - (speedup_limit + 10.0) / 100.0);
+    assert!(bad_down > 4.0, "regression case must isolate the relative rule");
+    let report = run(
+        "repro_bitslice",
+        "rows.capture_proxy64.speedup",
+        &[8.0, 8.0, bad_down],
+    );
+    assert!(report.failed(), "speedup collapse must trip the rule");
+    let report = run(
+        "repro_bitslice",
+        "rows.capture_proxy64.speedup",
+        &[8.0, 8.0, 7.9],
+    );
+    assert!(!report.failed(), "small drop must pass: {:?}", report.rows);
+}
+
 /// The checked-in budgets.toml must pass against the imported
 /// checked-in history — the exact combination CI's sentinel runs.
 #[test]

@@ -201,6 +201,38 @@ pub const KNOWN_EVENTS: &[KnownEvent] = &[
         required: &[("healthy", FieldKind::Bool)],
         dynamic: &[],
     },
+    KnownEvent {
+        name: "fleet.shard.restart",
+        required: &[
+            ("shard", FieldKind::U64),
+            ("attempt", FieldKind::U64),
+            ("delay_ms", FieldKind::U64),
+            ("reason", FieldKind::Str),
+        ],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "fleet.shard.degraded",
+        required: &[("shard", FieldKind::U64), ("failures", FieldKind::U64)],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "fleet.shed",
+        required: &[
+            ("reason", FieldKind::Str),
+            ("retry_after_ms", FieldKind::U64),
+        ],
+        dynamic: &[],
+    },
+    KnownEvent {
+        name: "fleet.coverage",
+        required: &[
+            ("window", FieldKind::U64),
+            ("cores_reporting", FieldKind::U64),
+            ("cores_total", FieldKind::U64),
+        ],
+        dynamic: &[],
+    },
 ];
 
 /// Looks up the pinned schema for an event name, if any.
@@ -451,6 +483,56 @@ mod tests {
         bad.push(("pipeline", FieldValue::U64(2)));
         let err = validate_known(&ev("introspect.window", bad)).unwrap_err();
         assert!(err.contains("must be Str"), "{err}");
+    }
+
+    #[test]
+    fn fleet_events_are_pinned() {
+        let bodies = vec![
+            ev(
+                "fleet.shard.restart",
+                vec![
+                    ("shard", FieldValue::U64(2)),
+                    ("attempt", FieldValue::U64(1)),
+                    ("delay_ms", FieldValue::U64(100)),
+                    ("reason", FieldValue::Str("panic: chaos".into())),
+                ],
+            ),
+            ev(
+                "fleet.shard.degraded",
+                vec![
+                    ("shard", FieldValue::U64(2)),
+                    ("failures", FieldValue::U64(4)),
+                ],
+            ),
+            ev(
+                "fleet.shed",
+                vec![
+                    ("reason", FieldValue::Str("watermark".into())),
+                    ("retry_after_ms", FieldValue::U64(1000)),
+                ],
+            ),
+            ev(
+                "fleet.coverage",
+                vec![
+                    ("window", FieldValue::U64(9)),
+                    ("cores_reporting", FieldValue::U64(24)),
+                    ("cores_total", FieldValue::U64(32)),
+                ],
+            ),
+        ];
+        for body in bodies {
+            assert!(validate_known(&body).is_ok(), "{}", body.name);
+            for drop_idx in 0..body.fields.len() {
+                let mut broken = body.clone();
+                broken.fields.remove(drop_idx);
+                assert!(
+                    validate_known(&broken).is_err(),
+                    "{} without `{}` must fail",
+                    body.name,
+                    body.fields[drop_idx].0
+                );
+            }
+        }
     }
 
     #[test]

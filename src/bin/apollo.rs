@@ -12,7 +12,12 @@
 //! apollo monitor --config <tiny|n1|a77> --model model.json [--listen 127.0.0.1:9100]
 //!                [--cycles <N>] [--window <T>] [--bits <B>] [--bench <name>] [--arm] [--threads <N>]
 //!                [--checkpoint <dir>] [--checkpoint-every <M>] [--supervise] [--pipelines <N>]
+//! apollo fleet   --config <tiny|n1|a77> --model model.json [--cores <N>] [--shards <K>]
+//!                [--windows <W>] [--window <T>] [--bits <B>] [--listen 127.0.0.1:9200]
+//!                [--pace-ms <M>] [--watermark <D>] [--backoff-ms <B>]
+//!                [--kill shard@window[@attempt],...]
 //! apollo scrape  --addr 127.0.0.1:9100 [--path /metrics|/events] [--lines <N>] [--out file]
+//!                [--retries <N>] [--backoff-ms <B>] [--deadline-ms <D>]
 //! apollo results import   [--dir results] [--store results/store] [--force]
 //! apollo results query    [--suite <s>] [--metric a,b] [--last <N>]
 //!                         [--group-by <tag>] [--agg count,median,...]
@@ -53,7 +58,20 @@
 //! OPM estimates with per-unit attribution, drift monitors, and (with
 //! `--listen`) a TCP endpoint serving Prometheus text on `/metrics`
 //! and streaming JSONL on `/events`; `GET /shutdown` ends the run
-//! cleanly. `apollo scrape` is the matching zero-dependency client.
+//! cleanly. `apollo scrape` is the matching zero-dependency client;
+//! with `--retries N` it retries transient failures (connect errors,
+//! 5xx shedding) with jitter-free exponential backoff (`--backoff-ms`
+//! base, honouring the server's `Retry-After`) and a per-attempt
+//! `--deadline-ms`, exiting nonzero only once every retry is spent.
+//!
+//! `apollo fleet` serves a sharded fleet of `--cores` mixed-preset
+//! monitored cores across `--shards` bulkhead-isolated shard threads:
+//! batched columnar event export, per-core routing
+//! (`/cores/<id>/metrics|events`), degrade-don't-die aggregation on
+//! `/fleet/metrics`, and admission control past `--watermark` queued
+//! batches. `--kill shard@window[@attempt]` injects deterministic
+//! shard panics (chaos testing); `--windows 0` serves until
+//! `/shutdown`.
 //!
 //! `--checkpoint <dir>` makes the monitor durable: it snapshots its
 //! state to `<dir>` every `--checkpoint-every` windows (default 64)
@@ -90,13 +108,17 @@ fn usage() -> ExitCode {
          apollo trace  --config <tiny|n1|a77> --model model.json [--cycles <N>] [--threads <N>] [--out trace.json]\n  \
          apollo ga     --config <tiny|n1|a77> [--ga-generations <N>] [--population <N>] [--threads <N>]\n  \
          apollo profile <design|ga|train|eval|capture|monitor> [--preset <name>] [flags...]\n  \
-         apollo trace-lint --in trace.jsonl\n  \
+         apollo trace-lint --in trace.jsonl [--kind trace|batch]\n  \
          apollo trace-export --in trace.jsonl [--chrome out.json] [--flamegraph out.folded] [--check]\n  \
          apollo monitor --config <tiny|n1|a77> --model model.json [--listen 127.0.0.1:9100]\n  \
          \x20       [--cycles <N>] [--window <T>] [--bits <B>] [--bench <name>] [--arm] [--threads <N>]\n  \
          \x20       [--checkpoint <dir>] [--checkpoint-every <M>] [--supervise] [--pipelines <N>]\n  \
+         apollo fleet   --config <tiny|n1|a77> --model model.json [--cores <N>] [--shards <K>]\n  \
+         \x20       [--windows <W>] [--window <T>] [--bits <B>] [--listen 127.0.0.1:9200]\n  \
+         \x20       [--pace-ms <M>] [--watermark <D>] [--backoff-ms <B>]\n  \
+         \x20       [--kill shard@window[@attempt],...]\n  \
          apollo scrape  --addr 127.0.0.1:9100 [--path /metrics|/events] [--status] [--healthz]\n  \
-         \x20       [--lines <N>] [--out file]\n  \
+         \x20       [--lines <N>] [--out file] [--retries <N>] [--backoff-ms <B>] [--deadline-ms <D>]\n  \
          apollo results import   [--dir results] [--store results/store] [--force]\n  \
          apollo results query    [--suite <s>] [--metric a,b] [--last <N>] [--group-by <tag>]\n  \
          \x20       [--agg count,min,max,median,latest,delta] [--format table|json|csv|markdown]\n  \
@@ -558,6 +580,16 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            match get("kind").as_deref() {
+                None | Some("trace") => {}
+                // Fleet batch streams: framed columnar WindowBatch
+                // lines, dense seq per shard.
+                Some("batch") => return lint_batches(&path, &text),
+                Some(other) => {
+                    eprintln!("trace-lint: unknown --kind `{other}` (trace|batch)");
+                    return usage();
+                }
+            }
             let mut n = 0u64;
             let mut last_seq: Option<u64> = None;
             let mut kinds: std::collections::BTreeMap<String, u64> =
@@ -858,6 +890,7 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                 }
             }
         }
+        "fleet" => run_fleet_cmd(flags, threads),
         "scrape" => {
             let Some(addr) = get("addr") else {
                 return usage();
@@ -873,7 +906,17 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
                 get("path").unwrap_or_else(|| "/metrics".to_owned())
             };
             let max_lines: Option<usize> = get("lines").and_then(|v| v.parse().ok());
-            match apollo_introspect::http_get_lines(&addr, &path, max_lines) {
+            // Retry transient failures (connect errors, 5xx shedding)
+            // with deterministic exponential backoff; the exit code is
+            // nonzero only once every retry is exhausted.
+            let policy = apollo_introspect::RetryPolicy {
+                retries: get("retries").and_then(|v| v.parse().ok()).unwrap_or(0),
+                backoff_ms: get("backoff-ms").and_then(|v| v.parse().ok()).unwrap_or(100),
+                deadline_ms: get("deadline-ms")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(10_000),
+            };
+            match apollo_introspect::http_get_lines_retry(&addr, &path, max_lines, &policy) {
                 Ok(lines) => {
                     if let Some(out) = get("out") {
                         let mut text = lines.join("\n");
@@ -897,6 +940,169 @@ fn run_command(cmd: &str, flags: &HashMap<String, String>) -> ExitCode {
             }
         }
         _ => usage(),
+    }
+}
+
+/// Lints a fleet batch stream: every line must be a valid framed
+/// [`apollo_suite::fleet::WindowBatch`] (schema version, payload
+/// invariants, round-trip closure) and each shard's `seq` must be
+/// dense in file order.
+fn lint_batches(path: &str, text: &str) -> ExitCode {
+    use apollo_telemetry::framing::{validate_framed, SeqCheck};
+    let mut n = 0u64;
+    let mut per_shard: std::collections::BTreeMap<u64, SeqCheck> = std::collections::BTreeMap::new();
+    let mut cores: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let batch = match validate_framed::<apollo_suite::fleet::WindowBatch>(line) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{path}:{}: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = per_shard.entry(batch.shard).or_default().check(batch.seq) {
+            eprintln!("{path}:{}: shard {}: {e}", lineno + 1, batch.shard);
+            return ExitCode::FAILURE;
+        }
+        cores.extend(batch.cores.iter().cloned());
+        n += 1;
+    }
+    println!(
+        "{path}: {n} batches across {} shard(s), {} core(s), schema v{} OK",
+        per_shard.len(),
+        cores.len(),
+        apollo_suite::fleet::BATCH_VERSION
+    );
+    ExitCode::SUCCESS
+}
+
+/// `apollo fleet`: sharded fleet serving over mixed-preset cores.
+fn run_fleet_cmd(flags: &HashMap<String, String>, threads: usize) -> ExitCode {
+    use apollo_suite::fleet;
+    let get = |k: &str| flags.get(k).cloned();
+    let (Some(cfg), Some(model_path)) = (design_from_flags(flags), get("model")) else {
+        return usage();
+    };
+    let model = match load_model(&model_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cores: usize = get("cores").and_then(|v| v.parse().ok()).unwrap_or(8).max(1);
+    let n_shards: usize = get("shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+        .clamp(1, cores);
+    let window_t: usize = get("window").and_then(|v| v.parse().ok()).unwrap_or(32);
+    let bits: u8 = get("bits").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let mut kills = Vec::new();
+    if let Some(spec) = get("kill") {
+        for part in spec.split(',').filter(|s| !s.is_empty()) {
+            let fields: Vec<&str> = part.split('@').collect();
+            let parsed = match fields.as_slice() {
+                [s, w] => (s.parse(), w.parse(), Ok(0u32)),
+                [s, w, a] => (s.parse(), w.parse(), a.parse()),
+                _ => {
+                    eprintln!("--kill expects shard@window[@attempt], got `{part}`");
+                    return usage();
+                }
+            };
+            let (Ok(shard), Ok(window), Ok(attempt)) = parsed else {
+                eprintln!("--kill expects numeric shard@window[@attempt], got `{part}`");
+                return usage();
+            };
+            kills.push(fleet::ShardKill {
+                shard,
+                window,
+                attempt,
+            });
+        }
+    }
+    let mut backoff = apollo_introspect::BackoffPolicy::default();
+    if let Some(base) = get("backoff-ms").and_then(|v| v.parse().ok()) {
+        backoff.base_ms = base;
+        backoff.max_ms = backoff.max_ms.max(base);
+    }
+    let fcfg = fleet::FleetConfig {
+        windows: get("windows").and_then(|v| v.parse().ok()).unwrap_or(16),
+        backoff,
+        kills,
+        pace_ms: get("pace-ms").and_then(|v| v.parse().ok()).unwrap_or(0),
+        ..fleet::FleetConfig::default()
+    };
+    let specs = fleet::CoreSpec::fleet(cores, window_t, bits);
+    let shards = fleet::shard_cores(specs, n_shards);
+    let runtime = fleet::ShardRuntime::new(&shards, &fcfg);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let server = if let Some(listen) = get("listen") {
+        let sopts = fleet::FleetServerOptions {
+            watermark: get("watermark").and_then(|v| v.parse().ok()).unwrap_or(128),
+            ..Default::default()
+        };
+        match fleet::serve_fleet(&listen, Arc::clone(&runtime), Arc::clone(&stop), sopts) {
+            Ok(s) => {
+                println!(
+                    "fleet serving on http://{}/ (/fleet/metrics, /fleet/events, /cores/<id>/..., /healthz, /status, /shutdown)",
+                    s.addr()
+                );
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("bind {listen}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let ctx = Arc::new(DesignContext::with_threads(&cfg, threads));
+    let model = Arc::new(model);
+    let report = fleet::run_fleet(&ctx, &model, &shards, &fcfg, &runtime, &stop);
+    runtime.close();
+    if let Some(s) = server {
+        s.stop();
+    }
+    println!(
+        "fleet on `{}`: {} cores / {} shards, window {} reporting {}/{}, {} degraded",
+        cfg.name,
+        report.cores_total,
+        report.outcomes.len(),
+        report.aggregate.window,
+        report.aggregate.cores_reporting,
+        report.aggregate.cores_total,
+        report.degraded()
+    );
+    println!(
+        "  power p50 {:.2} / p99 {:.2} / mean {:.2}; alarms {}, energy {:.1}",
+        report.aggregate.p50_power,
+        report.aggregate.p99_power,
+        report.aggregate.mean_power,
+        report.aggregate.alarms,
+        report.aggregate.energy
+    );
+    for (label, raw) in report
+        .aggregate
+        .unit_labels
+        .iter()
+        .zip(&report.aggregate.unit_raw)
+    {
+        println!("  unit {label:<8} raw {raw}");
+    }
+    for o in &report.outcomes {
+        println!(
+            "  shard{} {:<10} {} windows, {} attempts",
+            o.shard,
+            format!("{:?}", o.state).to_lowercase(),
+            o.windows,
+            o.attempts
+        );
+    }
+    if report.degraded() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -17,12 +17,16 @@
 //! - [`telemetry`] — metrics, spans and schema-versioned JSONL events.
 //! - [`introspect`] — the runtime power introspection service:
 //!   per-unit attribution, drift monitors and the streaming endpoint.
+//! - [`fleet`] — sharded fleet serving: many monitored cores behind
+//!   one endpoint, with bulkhead isolation, admission control, batched
+//!   event export and degrade-don't-die aggregation.
 //! - [`results`] — the append-only run-record store, query views, and
 //!   the budgets.toml regression sentinel behind `apollo results`.
 
 pub use apollo_core as core;
 pub use apollo_cpu as cpu;
 pub use apollo_dsp as dsp;
+pub use apollo_fleet as fleet;
 pub use apollo_introspect as introspect;
 pub use apollo_mlkit as mlkit;
 pub use apollo_opm as opm;
